@@ -1,0 +1,45 @@
+// Extension bench (Sec. IX future work #2): the number of rings as a
+// variable. Sweeps n x n ring arrays on two circuits and prints the
+// tapping-wire / ring-metal / dummy-capacitance tradeoff plus the
+// explorer's pick.
+
+#include <iostream>
+
+#include "core/ring_explore.hpp"
+#include "netlist/benchmarks.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rotclk;
+  for (const char* name : {"s9234", "s15850"}) {
+    const netlist::BenchmarkSpec& spec = netlist::benchmark_spec(name);
+    const netlist::Design d = netlist::make_benchmark(spec);
+    core::RingExploreConfig cfg;
+    cfg.candidates = {4, 9, 16, 25, 36, 49};
+    cfg.flow.max_iterations = 3;
+    const core::RingExploreResult r = core::explore_ring_counts(d, cfg);
+
+    util::Table table(std::string("Extension (Sec. IX): ring-count sweep, ") +
+                      name + " (paper used " +
+                      util::fmt_int(spec.rings) + ")");
+    table.set_header({"rings", "tap WL (um)", "AFD (um)", "ring metal (um)",
+                      "dummy cap (pF)", "max cap (fF)", "cost", "pick"});
+    for (const auto& option : r.options) {
+      table.add_row(
+          {util::fmt_int(option.rings),
+           util::fmt_double(option.metrics.tap_wl_um, 0),
+           util::fmt_double(option.metrics.afd_um, 1),
+           util::fmt_double(option.ring_metal_um, 0),
+           util::fmt_double(option.dummy_cap_ff / 1000.0, 2),
+           util::fmt_double(option.metrics.max_ring_cap_ff, 1),
+           util::fmt_double(option.selection_cost, 0),
+           option.rings == r.best_rings ? "<== best" : ""});
+    }
+    table.print();
+    std::cout << "\n";
+  }
+  std::cout << "(more rings shorten stubs but cost ring metal and dummy "
+               "balancing load; the explorer integrates the ring count "
+               "into the methodology as the paper's future work suggests)\n";
+  return 0;
+}

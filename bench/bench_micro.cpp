@@ -1,0 +1,213 @@
+// Micro-benchmarks (google-benchmark) of the kernel algorithms, including
+// the DESIGN.md ablation: graph-based skew scheduling vs the LP solver on
+// identical instances.
+
+#include <benchmark/benchmark.h>
+
+#include "assign/netflow.hpp"
+#include "assign/problem.hpp"
+#include "graph/bellman_ford.hpp"
+#include "graph/mcmf.hpp"
+#include "lp/simplex.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/placement.hpp"
+#include "placer/cg.hpp"
+#include "placer/placer.hpp"
+#include "rotary/tapping.hpp"
+#include "sched/cost_driven.hpp"
+#include "route/steiner.hpp"
+#include "sched/skew.hpp"
+#include "timing/sta.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rotclk;
+
+std::vector<timing::SeqArc> random_arcs(int ffs, int count,
+                                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<timing::SeqArc> arcs;
+  for (int k = 0; k < count; ++k) {
+    timing::SeqArc a;
+    a.from_ff = rng.uniform_int(0, ffs - 1);
+    a.to_ff = rng.uniform_int(0, ffs - 1);
+    a.d_min_ps = rng.uniform(50.0, 400.0);
+    a.d_max_ps = a.d_min_ps + rng.uniform(0.0, 400.0);
+    arcs.push_back(a);
+  }
+  return arcs;
+}
+
+void BM_TappingSolve(benchmark::State& state) {
+  const rotary::RotaryRing ring(geom::Rect{0, 0, 250, 250}, 1000.0, true, 0);
+  const rotary::TappingParams params;
+  util::Rng rng(7);
+  for (auto _ : state) {
+    const geom::Point ff{rng.uniform(-100, 350), rng.uniform(-100, 350)};
+    benchmark::DoNotOptimize(
+        rotary::solve_tapping(ring, ff, rng.uniform(0, 1000), params));
+  }
+}
+BENCHMARK(BM_TappingSolve);
+
+void BM_BellmanFord(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(3);
+  std::vector<graph::Edge> edges;
+  for (int k = 0; k < 4 * n; ++k)
+    edges.push_back(graph::Edge{rng.uniform_int(0, n - 1),
+                                rng.uniform_int(0, n - 1),
+                                rng.uniform(0.0, 10.0)});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(graph::bellman_ford_all(n, edges));
+}
+BENCHMARK(BM_BellmanFord)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_McmfAssignment(benchmark::State& state) {
+  const int ffs = static_cast<int>(state.range(0));
+  const int rings = 16;
+  util::Rng rng(5);
+  for (auto _ : state) {
+    graph::MinCostMaxFlow f(ffs + rings + 2);
+    const int src = 0, tgt = ffs + rings + 1;
+    for (int i = 0; i < ffs; ++i) f.add_arc(src, 1 + i, 1.0, 0.0);
+    for (int i = 0; i < ffs; ++i)
+      for (int j = 0; j < 8; ++j)
+        f.add_arc(1 + i, 1 + ffs + rng.uniform_int(0, rings - 1), 1.0,
+                  rng.uniform(0.0, 500.0));
+    for (int j = 0; j < rings; ++j)
+      f.add_arc(1 + ffs + j, tgt, ffs / 8.0 + 2.0, 0.0);
+    benchmark::DoNotOptimize(f.solve(src, tgt, ffs));
+  }
+}
+BENCHMARK(BM_McmfAssignment)->Arg(128)->Arg(512);
+
+// Ablation: graph-based max-slack scheduling vs the LP formulation.
+void BM_MaxSlackGraph(benchmark::State& state) {
+  const int ffs = static_cast<int>(state.range(0));
+  const auto arcs = random_arcs(ffs, 3 * ffs, 11);
+  const timing::TechParams tech;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sched::max_slack_schedule(ffs, arcs, tech, 0.01));
+}
+BENCHMARK(BM_MaxSlackGraph)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_MaxSlackLp(benchmark::State& state) {
+  const int ffs = static_cast<int>(state.range(0));
+  const auto arcs = random_arcs(ffs, 3 * ffs, 11);
+  const timing::TechParams tech;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sched::max_slack_schedule_lp(ffs, arcs, tech));
+}
+BENCHMARK(BM_MaxSlackLp)->Arg(32)->Arg(128);
+
+// Ablation: weighted cost-driven scheduling, circulation dual vs LP.
+void BM_CostDrivenWeightedGraph(benchmark::State& state) {
+  const int ffs = static_cast<int>(state.range(0));
+  const auto arcs = random_arcs(ffs, 3 * ffs, 13);
+  const timing::TechParams tech;
+  util::Rng rng(17);
+  std::vector<sched::TapAnchor> anchors(static_cast<std::size_t>(ffs));
+  std::vector<double> weights(static_cast<std::size_t>(ffs));
+  for (int i = 0; i < ffs; ++i) {
+    anchors[static_cast<std::size_t>(i)] = {rng.uniform(0, 1000),
+                                            rng.uniform(0, 20)};
+    weights[static_cast<std::size_t>(i)] = rng.uniform(0.1, 100.0);
+  }
+  const double slack =
+      std::min(0.0, sched::max_slack_schedule(ffs, arcs, tech, 0.1).slack_ps);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sched::cost_driven_weighted(
+        ffs, arcs, tech, anchors, weights, slack));
+}
+BENCHMARK(BM_CostDrivenWeightedGraph)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_CostDrivenWeightedLp(benchmark::State& state) {
+  const int ffs = static_cast<int>(state.range(0));
+  const auto arcs = random_arcs(ffs, 3 * ffs, 13);
+  const timing::TechParams tech;
+  util::Rng rng(17);
+  std::vector<sched::TapAnchor> anchors(static_cast<std::size_t>(ffs));
+  std::vector<double> weights(static_cast<std::size_t>(ffs));
+  for (int i = 0; i < ffs; ++i) {
+    anchors[static_cast<std::size_t>(i)] = {rng.uniform(0, 1000),
+                                            rng.uniform(0, 20)};
+    weights[static_cast<std::size_t>(i)] = rng.uniform(0.1, 100.0);
+  }
+  const double slack =
+      std::min(0.0, sched::max_slack_schedule(ffs, arcs, tech, 0.1).slack_ps);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sched::cost_driven_weighted_lp(
+        ffs, arcs, tech, anchors, weights, slack));
+}
+BENCHMARK(BM_CostDrivenWeightedLp)->Arg(32);
+
+// Ablation: Karp's direct minimum-mean-cycle optimum vs bisection.
+void BM_MaxSlackKarp(benchmark::State& state) {
+  const int ffs = static_cast<int>(state.range(0));
+  const auto arcs = random_arcs(ffs, 3 * ffs, 11);
+  const timing::TechParams tech;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sched::max_slack_schedule_karp(ffs, arcs, tech, 1e-4));
+}
+BENCHMARK(BM_MaxSlackKarp)->Arg(32)->Arg(128);
+
+void BM_SteinerRsmt(benchmark::State& state) {
+  const int pins = static_cast<int>(state.range(0));
+  util::Rng rng(19);
+  std::vector<geom::Point> pts;
+  for (int i = 0; i < pins; ++i)
+    pts.push_back({rng.uniform(0, 1000), rng.uniform(0, 1000)});
+  for (auto _ : state) benchmark::DoNotOptimize(route::rsmt(pts));
+}
+BENCHMARK(BM_SteinerRsmt)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ConjugateGradient(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(23);
+  placer::LaplacianSystem sys(n);
+  for (int k = 0; k < 4 * n; ++k)
+    sys.add_spring(rng.uniform_int(0, n - 1), rng.uniform_int(0, n - 1),
+                   rng.uniform(0.1, 2.0));
+  for (int i = 0; i < n; i += 16)
+    sys.add_anchor(i, rng.uniform(0.0, 100.0), 1.0);
+  for (auto _ : state) {
+    std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+    benchmark::DoNotOptimize(sys.solve(x));
+  }
+}
+BENCHMARK(BM_ConjugateGradient)->Arg(1024)->Arg(8192);
+
+void BM_SequentialAdjacency(benchmark::State& state) {
+  netlist::GeneratorConfig cfg;
+  cfg.num_gates = static_cast<int>(state.range(0));
+  cfg.num_flip_flops = cfg.num_gates / 10;
+  cfg.seed = 29;
+  const netlist::Design d = netlist::generate_circuit(cfg);
+  const netlist::Placement p(d, netlist::size_die(d, 0.05));
+  const timing::TechParams tech;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        timing::extract_sequential_adjacency(d, p, tech));
+}
+BENCHMARK(BM_SequentialAdjacency)->Arg(1000)->Arg(4000);
+
+void BM_GlobalPlacement(benchmark::State& state) {
+  netlist::GeneratorConfig cfg;
+  cfg.num_gates = static_cast<int>(state.range(0));
+  cfg.num_flip_flops = cfg.num_gates / 10;
+  cfg.seed = 31;
+  const netlist::Design d = netlist::generate_circuit(cfg);
+  placer::Placer placer(d);
+  const geom::Rect die = netlist::size_die(d, 0.05);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(placer.place_initial(die));
+}
+BENCHMARK(BM_GlobalPlacement)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Table II: test-case characteristics.
+//
+// Columns: circuit, #cells, #flip-flops, #nets, PL (average source-sink
+// path length in a conventional zero-skew clock tree), #rings. The paper's
+// reported PL is shown next to ours; cell/FF/net counts are generated to
+// match Table II exactly.
+
+#include <iostream>
+
+#include "cts/clock_tree.hpp"
+#include "netlist/benchmarks.hpp"
+#include "netlist/placement.hpp"
+#include "placer/placer.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rotclk;
+  util::Table table(
+      "Table II: test cases (PL = avg source-sink path in a conventional "
+      "clock tree)");
+  table.set_header({"Circuit", "#Cells", "#Flip-flops", "#Nets", "PL(um)",
+                    "PL paper", "#Rings"});
+  for (const auto& spec : netlist::benchmark_suite()) {
+    const netlist::Design d = netlist::make_benchmark(spec);
+    placer::Placer placer(d);
+    const netlist::Placement p =
+        placer.place_initial(netlist::size_die(d, 0.05));
+    std::vector<geom::Point> sinks;
+    for (int ff : d.flip_flops()) sinks.push_back(p.loc(ff));
+    const cts::ClockTree tree =
+        cts::build_zero_skew_tree(sinks, {}, timing::default_tech());
+    table.add_row({spec.name, util::fmt_int(d.num_cells()),
+                   util::fmt_int(d.num_flip_flops()),
+                   util::fmt_int(d.num_signal_nets()),
+                   util::fmt_double(tree.avg_source_sink_path_um(), 0),
+                   util::fmt_double(spec.pl_reference_um, 0),
+                   util::fmt_int(spec.rings)});
+  }
+  table.print();
+  return 0;
+}

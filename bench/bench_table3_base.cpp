@@ -1,0 +1,37 @@
+// Table III: the base case — network-flow flip-flop assignment right after
+// the initial placement (stages 1-3, no pseudo-net iterations).
+//
+// Columns: AFD (average flip-flop-to-ring distance), tapping wirelength,
+// signal wirelength, total wirelength, clock/signal/total power, CPU.
+// Paper values correspond to their mPL placements and BPTM parameters;
+// shapes (relative magnitudes per circuit) are the reproduction target.
+
+#include <iostream>
+
+#include "suite.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace rotclk;
+  util::Table table(
+      "Table III: base case (wirelength in um, power in mW)");
+  table.set_header({"Circuit", "AFD", "Tap. WL", "Signal WL", "Tot. WL",
+                    "Clock Power", "Signal Power", "Tot. Power", "CPU(s)"});
+  for (const auto& spec : netlist::benchmark_suite()) {
+    util::Timer timer;
+    const bench::CircuitRun run = bench::run_circuit(spec.name);
+    const double cpu = timer.seconds();
+    const auto& base = run.result.base();
+    table.add_row({spec.name, util::fmt_double(base.afd_um, 1),
+                   util::fmt_double(base.tap_wl_um, 0),
+                   util::fmt_double(base.signal_wl_um, 0),
+                   util::fmt_double(base.total_wl_um, 0),
+                   util::fmt_double(base.power.clock_mw, 2),
+                   util::fmt_double(base.power.signal_mw, 2),
+                   util::fmt_double(base.power.total_mw(), 2),
+                   util::fmt_double(cpu, 1)});
+  }
+  table.print();
+  return 0;
+}

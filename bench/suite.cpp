@@ -1,0 +1,36 @@
+#include "suite.hpp"
+
+#include <iostream>
+
+namespace rotclk::bench {
+
+core::FlowConfig paper_config(const netlist::BenchmarkSpec& spec,
+                              core::AssignMode mode) {
+  core::FlowConfig cfg;
+  cfg.assign_mode = mode;
+  cfg.ring_config.rings = spec.rings;  // Table II ring counts
+  cfg.max_iterations = 5;              // paper: converges within 5
+  return cfg;
+}
+
+CircuitRun run_circuit(const std::string& name, core::AssignMode mode) {
+  const netlist::BenchmarkSpec& spec = netlist::benchmark_spec(name);
+  netlist::Design design = netlist::make_benchmark(spec);
+  core::FlowConfig config = paper_config(spec, mode);
+  core::RotaryFlow flow(design, config);
+  core::FlowResult result = flow.run();
+  return CircuitRun{spec, std::move(design), std::move(result),
+                    std::move(config)};
+}
+
+std::vector<CircuitRun> run_suite(core::AssignMode mode) {
+  std::vector<CircuitRun> runs;
+  for (const auto& spec : netlist::benchmark_suite()) {
+    std::cerr << "[bench] running " << spec.name << " ("
+              << core::to_string(mode) << ")...\n";
+    runs.push_back(run_circuit(spec.name, mode));
+  }
+  return runs;
+}
+
+}  // namespace rotclk::bench

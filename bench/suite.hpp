@@ -1,0 +1,33 @@
+#pragma once
+// Shared driver for the paper-table benches: runs the full Fig. 3 flow on
+// every Table II circuit and returns the results plus wall-clock split.
+
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "netlist/benchmarks.hpp"
+
+namespace rotclk::bench {
+
+struct CircuitRun {
+  netlist::BenchmarkSpec spec;
+  netlist::Design design;
+  core::FlowResult result;
+  /// Ring array geometry used (rebuilt from the same config on demand).
+  core::FlowConfig config;
+};
+
+/// The flow configuration used by all paper benches for one circuit.
+core::FlowConfig paper_config(const netlist::BenchmarkSpec& spec,
+                              core::AssignMode mode);
+
+/// Run the full flow on all five Table II circuits.
+std::vector<CircuitRun> run_suite(
+    core::AssignMode mode = core::AssignMode::NetworkFlow);
+
+/// Run a single circuit by name.
+CircuitRun run_circuit(const std::string& name,
+                       core::AssignMode mode = core::AssignMode::NetworkFlow);
+
+}  // namespace rotclk::bench

@@ -1,0 +1,62 @@
+// Circuit inspection: structural statistics + placed timing report.
+//
+//   $ ./examples/circuit_report [circuit|file.bench]
+//
+// Prints the netlist's structural profile (gate mix, fanout distribution,
+// logic depth, sequential adjacency), places it, and reports the critical
+// path, the zero-skew slack, and what repeater insertion does to both —
+// a tour of the analysis substrates under the rotary-clocking flow.
+
+#include <iostream>
+#include <string>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/benchmarks.hpp"
+#include "netlist/buffering.hpp"
+#include "netlist/placement.hpp"
+#include "netlist/stats.hpp"
+#include "placer/placer.hpp"
+#include "route/net_length.hpp"
+#include "timing/report.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rotclk;
+  const std::string which = argc > 1 ? argv[1] : "s9234";
+
+  netlist::Design design =
+      which.size() > 6 && which.substr(which.size() - 6) == ".bench"
+          ? netlist::read_bench_file(which)
+          : netlist::make_benchmark(which);
+
+  std::cout << "== " << design.name() << " ==\n"
+            << netlist::compute_stats(design).to_string() << '\n';
+
+  placer::Placer placer(design);
+  netlist::Placement placement =
+      placer.place_initial(netlist::size_die(design, 0.05));
+  const timing::TechParams tech;
+
+  std::cout << "wirelength models over the placed design:\n";
+  for (auto model : {route::WirelengthModel::Hpwl, route::WirelengthModel::Rmst})
+    std::cout << "  " << route::to_string(model) << ": "
+              << util::fmt_double(
+                     route::total_length(design, placement, model), 0)
+              << " um\n";
+
+  const timing::TimingReport before =
+      timing::analyze_timing(design, placement, tech);
+  std::cout << "\ntiming before repeater insertion:\n"
+            << before.to_string(design);
+
+  const netlist::BufferingReport buf =
+      netlist::insert_repeaters(design, placement);
+  const timing::TimingReport after =
+      timing::analyze_timing(design, placement, tech);
+  std::cout << "\nrepeaters inserted: " << buf.buffers_inserted << " on "
+            << buf.nets_touched << " nets ("
+            << util::fmt_double(buf.wire_driven_um, 0) << " um of runs)\n"
+            << "max path " << util::fmt_double(before.max_path_ps, 1)
+            << " -> " << util::fmt_double(after.max_path_ps, 1) << " ps\n";
+  return 0;
+}

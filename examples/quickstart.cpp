@@ -1,0 +1,62 @@
+// Quickstart: run the full integrated placement + skew optimization flow
+// on a small synthetic circuit and print per-iteration metrics.
+//
+//   $ ./examples/quickstart
+//
+// This is the smallest end-to-end tour of the library: generate a circuit,
+// configure a rotary ring array, run the six-stage methodology (Fig. 3 of
+// the paper), and inspect how the tapping wirelength drops as flip-flops
+// are pulled toward their rings.
+
+#include <iostream>
+
+#include "core/flow.hpp"
+#include "netlist/generator.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rotclk;
+
+  // A small sequential circuit: ~400 cells, 32 flip-flops.
+  netlist::GeneratorConfig gen;
+  gen.name = "quickstart";
+  gen.num_gates = 368;
+  gen.num_flip_flops = 32;
+  gen.num_primary_inputs = 12;
+  gen.num_primary_outputs = 12;
+  gen.seed = 42;
+  const netlist::Design design = netlist::generate_circuit(gen);
+  std::cout << "circuit: " << design.num_cells() << " cells, "
+            << design.num_flip_flops() << " flip-flops, "
+            << design.num_signal_nets() << " nets\n";
+
+  core::FlowConfig cfg;
+  cfg.assign_mode = core::AssignMode::NetworkFlow;
+  cfg.ring_config.rings = 4;  // 2x2 rotary ring array
+  cfg.max_iterations = 4;
+  core::RotaryFlow flow(design, cfg);
+  const core::FlowResult result = flow.run();
+
+  std::cout << "stage-2 max slack M* = " << result.slack_ps << " ps"
+            << " (stage 4 ran at M = " << result.stage4_slack_ps << " ps)\n\n";
+
+  util::Table table("quickstart: per-iteration metrics");
+  table.set_header({"iter", "tap WL (um)", "signal WL (um)", "AFD (um)",
+                    "max ring cap (fF)", "clock P (mW)", "total P (mW)"});
+  for (const auto& m : result.history) {
+    table.add_row({util::fmt_int(m.iteration), util::fmt_double(m.tap_wl_um, 0),
+                   util::fmt_double(m.signal_wl_um, 0),
+                   util::fmt_double(m.afd_um, 1),
+                   util::fmt_double(m.max_ring_cap_ff, 1),
+                   util::fmt_double(m.power.clock_mw, 3),
+                   util::fmt_double(m.power.total_mw(), 3)});
+  }
+  table.print();
+
+  const auto& base = result.base();
+  const auto& fin = result.final();
+  std::cout << "\ntapping wirelength reduced by "
+            << util::fmt_percent(1.0 - fin.tap_wl_um / base.tap_wl_um)
+            << " over " << result.iterations_run << " iterations\n";
+  return 0;
+}

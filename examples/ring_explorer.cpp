@@ -1,0 +1,72 @@
+// Rotary-ring phase math and flexible-tapping walkthrough (Secs. II-III).
+//
+//   $ ./examples/ring_explorer
+//
+// Builds one rotary ring, walks its 8 segments printing the traveling-wave
+// delay, demonstrates complementary phases, and then solves the tapping
+// problem for a flip-flop at several delay targets — the core geometric
+// machinery the whole methodology rests on.
+
+#include <iostream>
+#include <sstream>
+
+#include "rotary/ring.hpp"
+#include "rotary/tapping.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rotclk;
+  const double side = 250.0;
+  const rotary::RotaryRing ring(geom::Rect{0, 0, side, side}, 1000.0,
+                                /*clockwise=*/true, /*ref_delay_ps=*/0.0);
+
+  std::cout << "ring: side " << side << " um, period " << ring.period()
+            << " ps, rho " << util::fmt_double(ring.rho(), 3)
+            << " ps/um, total electrical length " << ring.total_length()
+            << " um\n\n";
+
+  util::Table segs("traveling-wave delay along the 8 segments");
+  segs.set_header({"segment", "lap", "start", "end", "delay at start (ps)"});
+  for (int k = 0; k < rotary::RotaryRing::kNumSegments; ++k) {
+    const auto& s = ring.segment(k);
+    std::ostringstream a, b;
+    a << s.start;
+    b << s.end;
+    segs.add_row({util::fmt_int(k), k < 4 ? "outer" : "inner", a.str(),
+                  b.str(), util::fmt_double(s.delay_start, 1)});
+  }
+  segs.print();
+
+  // Complementary phases: same layout point, opposite rail, T/2 apart.
+  const rotary::RingPos pos{1, 60.0};
+  const rotary::RingPos comp = rotary::RotaryRing::complementary(pos);
+  std::cout << "\npoint " << ring.point_at(pos) << ": outer-rail delay "
+            << util::fmt_double(ring.delay_at(pos), 1)
+            << " ps, inner-rail delay "
+            << util::fmt_double(ring.delay_at(comp), 1)
+            << " ps (complementary, T/2 apart)\n\n";
+
+  // Tapping: one flip-flop, a sweep of delay targets.
+  rotary::TappingParams params;
+  const geom::Point ff{300.0, 120.0};  // 50 um right of the ring
+  util::Table taps("flexible tapping for a flip-flop at (300, 120)");
+  taps.set_header({"target (ps)", "segment", "offset (um)", "tap point",
+                   "stub length (um)", "achieved delay (ps)"});
+  for (double target = 0.0; target < 1000.0; target += 125.0) {
+    const rotary::TapSolution sol =
+        rotary::solve_tapping(ring, ff, target, params);
+    std::ostringstream at;
+    at << sol.tap_point;
+    taps.add_row({util::fmt_double(target, 0),
+                  util::fmt_int(sol.pos.segment),
+                  util::fmt_double(sol.pos.offset, 1), at.str(),
+                  util::fmt_double(sol.wirelength, 1),
+                  util::fmt_double(sol.delay_ps, 1)});
+  }
+  taps.print();
+  std::cout << "\nEvery target is reachable because the tapping curve is "
+               "continuous around the ring and spans a full period per lap "
+               "(Sec. III); the stub length is what placement and skew "
+               "optimization then minimize.\n";
+  return 0;
+}

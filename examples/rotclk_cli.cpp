@@ -1,0 +1,180 @@
+// rotclk_cli — command-line driver for the full methodology.
+//
+//   $ ./examples/rotclk_cli --circuit s9234
+//   $ ./examples/rotclk_cli --bench my_design.bench --rings 25 --mode ilp
+//   $ ./examples/rotclk_cli --circuit s5378 --iterations 3 --csv out.csv
+//
+// Options:
+//   --circuit NAME      one of the Table II circuits (default s9234)
+//   --bench FILE        read an ISCAS89 .bench netlist instead
+//   --rings N           rotary rings, perfect square (default: Table II
+//                       value for --circuit, else 16)
+//   --mode nf|ilp       assignment formulation (default nf)
+//   --iterations N      max stage 3-6 iterations (default 5)
+//   --period PS         clock period in ps (default 1000)
+//   --utilization F     die utilization (default 0.05)
+//   --seed N            generator seed for --circuit (default 1)
+//   --csv FILE          also write per-iteration metrics as CSV
+//   --report FILE       write the full flow report (schedule + assignment)
+//   --save-placement F  write the final placement (.pl text format)
+//   --load-placement F  start from a saved placement (skips stage 1)
+//   --svg FILE          render the final layout (die, rings, taps) as SVG
+//   --complement        allow complementary-phase taps (polarity flip)
+//   --buffered-taps     drive tapping stubs through buffers (Sec. III)
+//   --quiet             suppress the progress table, print the summary only
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/flow.hpp"
+#include "core/flow_report.hpp"
+#include "core/svg_export.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/benchmarks.hpp"
+#include "netlist/placement_io.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct CliOptions {
+  std::string circuit = "s9234";
+  std::optional<std::string> bench_file;
+  std::optional<int> rings;
+  std::string mode = "nf";
+  int iterations = 5;
+  double period_ps = 1000.0;
+  double utilization = 0.05;
+  std::uint64_t seed = 1;
+  std::optional<std::string> csv_file;
+  std::optional<std::string> report_file;
+  std::optional<std::string> save_placement;
+  std::optional<std::string> load_placement;
+  std::optional<std::string> svg_file;
+  bool complement = false;
+  bool buffered_taps = false;
+  bool quiet = false;
+};
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::cerr << "rotclk_cli: " << msg << "\n(run with --help for options)\n";
+  std::exit(2);
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions opt;
+  auto need_value = [&](int& i, const std::string& flag) -> std::string {
+    if (i + 1 >= argc) usage_error("missing value for " + flag);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--circuit") opt.circuit = need_value(i, a);
+    else if (a == "--bench") opt.bench_file = need_value(i, a);
+    else if (a == "--rings") opt.rings = std::stoi(need_value(i, a));
+    else if (a == "--mode") opt.mode = need_value(i, a);
+    else if (a == "--iterations") opt.iterations = std::stoi(need_value(i, a));
+    else if (a == "--period") opt.period_ps = std::stod(need_value(i, a));
+    else if (a == "--utilization") opt.utilization = std::stod(need_value(i, a));
+    else if (a == "--seed") opt.seed = std::stoull(need_value(i, a));
+    else if (a == "--csv") opt.csv_file = need_value(i, a);
+    else if (a == "--report") opt.report_file = need_value(i, a);
+    else if (a == "--save-placement") opt.save_placement = need_value(i, a);
+    else if (a == "--load-placement") opt.load_placement = need_value(i, a);
+    else if (a == "--svg") opt.svg_file = need_value(i, a);
+    else if (a == "--complement") opt.complement = true;
+    else if (a == "--buffered-taps") opt.buffered_taps = true;
+    else if (a == "--quiet") opt.quiet = true;
+    else if (a == "--help" || a == "-h") {
+      std::cout << "see the header comment of examples/rotclk_cli.cpp\n";
+      std::exit(0);
+    } else {
+      usage_error("unknown option " + a);
+    }
+  }
+  if (opt.mode != "nf" && opt.mode != "ilp")
+    usage_error("--mode must be nf or ilp");
+  if (opt.iterations < 1) usage_error("--iterations must be >= 1");
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rotclk;
+  const CliOptions opt = parse(argc, argv);
+
+  netlist::Design design = [&] {
+    if (opt.bench_file) return netlist::read_bench_file(*opt.bench_file);
+    return netlist::make_benchmark(opt.circuit, opt.seed);
+  }();
+
+  core::FlowConfig cfg;
+  cfg.assign_mode = opt.mode == "ilp" ? core::AssignMode::MinMaxCap
+                                      : core::AssignMode::NetworkFlow;
+  cfg.max_iterations = opt.iterations;
+  cfg.die_utilization = opt.utilization;
+  cfg.ring_config.period_ps = opt.period_ps;
+  cfg.tech.clock_period_ps = opt.period_ps;
+  cfg.tapping.allow_complement = opt.complement;
+  cfg.tapping.use_buffer = opt.buffered_taps;
+  cfg.ring_config.rings = opt.rings.value_or([&] {
+    if (!opt.bench_file) return netlist::benchmark_spec(opt.circuit).rings;
+    return 16;
+  }());
+
+  core::RotaryFlow flow(design, cfg);
+  const core::FlowResult result =
+      opt.load_placement
+          ? flow.run_with_placement(
+                netlist::read_placement_file(design, *opt.load_placement))
+          : flow.run();
+  if (opt.report_file)
+    core::write_flow_report_file(design, cfg, result, *opt.report_file);
+  if (opt.save_placement)
+    netlist::write_placement_file(design, result.placement,
+                                  *opt.save_placement);
+  if (opt.svg_file) {
+    const rotary::RingArray rings(result.placement.die(),
+                                  cfg.ring_config);
+    core::write_layout_svg_file(design, result.placement, &rings,
+                                &result.problem, &result.assignment,
+                                *opt.svg_file);
+  }
+
+  util::Table table(design.name() + ": flow metrics (iteration 0 = base)");
+  table.set_header({"iter", "tap WL (um)", "signal WL (um)", "AFD (um)",
+                    "max cap (fF)", "clock P (mW)", "total P (mW)"});
+  for (const auto& m : result.history) {
+    table.add_row({util::fmt_int(m.iteration),
+                   util::fmt_double(m.tap_wl_um, 0),
+                   util::fmt_double(m.signal_wl_um, 0),
+                   util::fmt_double(m.afd_um, 1),
+                   util::fmt_double(m.max_ring_cap_ff, 1),
+                   util::fmt_double(m.power.clock_mw, 2),
+                   util::fmt_double(m.power.total_mw(), 2)});
+  }
+  if (!opt.quiet) table.print();
+  if (opt.csv_file) {
+    std::ofstream out(*opt.csv_file);
+    if (!out) usage_error("cannot write " + *opt.csv_file);
+    out << table.to_csv();
+  }
+
+  const auto& base = result.base();
+  const auto& fin = result.final();
+  std::cout << design.name() << ": " << design.num_cells() << " cells, "
+            << design.num_flip_flops() << " FFs, "
+            << cfg.ring_config.rings << " rings, mode "
+            << core::to_string(cfg.assign_mode) << "\n"
+            << "tap WL " << util::fmt_double(base.tap_wl_um, 0) << " -> "
+            << util::fmt_double(fin.tap_wl_um, 0) << " um ("
+            << util::fmt_percent(1.0 - fin.tap_wl_um / base.tap_wl_um)
+            << " reduction), signal WL change "
+            << util::fmt_percent(fin.signal_wl_um / base.signal_wl_um - 1.0)
+            << ", clock power "
+            << util::fmt_double(base.power.clock_mw, 2) << " -> "
+            << util::fmt_double(fin.power.clock_mw, 2) << " mW\n";
+  return 0;
+}

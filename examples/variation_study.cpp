@@ -1,0 +1,77 @@
+// Skew-variability study: why rotary clocking tolerates process variation.
+//
+//   $ ./examples/variation_study [circuit]
+//
+// Runs the flow on one circuit, then Monte-Carlo-perturbs every wire by a
+// Gaussian (3 sigma = +/-25%, the interconnect-variation scale of the
+// paper's reference [3]) and compares the skew statistics of a
+// conventional zero-skew tree against the rotary tapping stubs, sweeping
+// the variation strength.
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "core/flow.hpp"
+#include "netlist/benchmarks.hpp"
+#include "timing/sta.hpp"
+#include "util/table.hpp"
+#include "variation/skew_variation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rotclk;
+  const std::string circuit = argc > 1 ? argv[1] : "s5378";
+  const netlist::BenchmarkSpec& spec = netlist::benchmark_spec(circuit);
+  const netlist::Design design = netlist::make_benchmark(spec);
+
+  core::FlowConfig cfg;
+  cfg.ring_config.rings = spec.rings;
+  core::RotaryFlow flow(design, cfg);
+  const core::FlowResult r = flow.run();
+
+  // Flip-flop geometry and tapping-stub delays at the final state.
+  std::vector<geom::Point> sinks;
+  std::vector<double> stub_delay;
+  for (int i = 0; i < r.problem.num_ffs(); ++i) {
+    sinks.push_back(
+        r.placement.loc(r.problem.ff_cells[static_cast<std::size_t>(i)]));
+    const int a = r.assignment.arc_of_ff[static_cast<std::size_t>(i)];
+    const double l =
+        a < 0 ? 0.0 : r.problem.arcs[static_cast<std::size_t>(a)].tap_cost_um;
+    stub_delay.push_back(cfg.tech.wire_delay_ps(l, cfg.tech.ff_input_cap_ff));
+  }
+  const auto arcs =
+      timing::extract_sequential_adjacency(design, r.placement, cfg.tech);
+  std::vector<std::pair<int, int>> pairs;
+  const std::size_t stride = std::max<std::size_t>(1, arcs.size() / 2000);
+  for (std::size_t k = 0; k < arcs.size(); k += stride)
+    if (arcs[k].from_ff != arcs[k].to_ff)
+      pairs.emplace_back(arcs[k].from_ff, arcs[k].to_ff);
+
+  std::cout << circuit << ": " << sinks.size() << " flip-flops, "
+            << pairs.size() << " adjacent pairs sampled\n\n";
+
+  util::Table table(circuit + ": skew variation vs wire-variation strength");
+  table.set_header({"3-sigma wire var", "tree sigma (ps)", "tree worst",
+                    "rotary sigma (ps)", "rotary worst", "ratio"});
+  for (double three_sigma : {0.05, 0.10, 0.25, 0.50}) {
+    variation::VariationConfig vcfg;
+    vcfg.wire_sigma = three_sigma / 3.0;
+    vcfg.samples = 300;
+    const auto cmp = variation::compare_skew_variation(sinks, stub_delay,
+                                                       pairs, cfg.tech, vcfg);
+    table.add_row({util::fmt_percent(three_sigma, 0),
+                   util::fmt_double(cmp.tree.sigma_ps, 2),
+                   util::fmt_double(cmp.tree.worst_ps, 1),
+                   util::fmt_double(cmp.rotary.sigma_ps, 2),
+                   util::fmt_double(cmp.rotary.worst_ps, 1),
+                   util::fmt_double(cmp.sigma_ratio, 1) + "x"});
+  }
+  table.print();
+  std::cout << "\nThe tree's skew spread grows with the millimeters of "
+               "varying wire on every root-to-sink path; the rotary side "
+               "only exposes each flip-flop's short tapping stub plus the "
+               "ring jitter floor, which is why the paper's test chip "
+               "could hold 5.5 ps of variation at 950 MHz.\n";
+  return 0;
+}

@@ -1,0 +1,240 @@
+#include "assign/ilp_assign.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "lp/revised_simplex.hpp"
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace rotclk::assign {
+
+namespace {
+
+// Build formulation (3)'s LP over the candidate arcs: one x variable per
+// arc in [0,1], one Cmax variable; per-FF assignment equalities and per-ring
+// capacitance rows. Returns the Cmax variable index.
+int build_lp(const AssignProblem& problem, lp::Model& model) {
+  // x >= 0 suffices: the per-FF equalities imply x <= 1, and leaving the
+  // upper bound off keeps the simplex tableau free of 10^4 bound rows.
+  for (std::size_t a = 0; a < problem.arcs.size(); ++a)
+    model.add_variable(0.0, lp::kInfinity, 0.0);
+  const int cmax = model.add_variable(0.0, lp::kInfinity, 1.0, "Cmax");
+
+  const auto by_ff = problem.arcs_by_ff();
+  for (int i = 0; i < problem.num_ffs(); ++i) {
+    std::vector<std::pair<int, double>> terms;
+    for (int a : by_ff[static_cast<std::size_t>(i)]) terms.emplace_back(a, 1.0);
+    if (terms.empty())
+      throw std::runtime_error("ilp_assign: flip-flop with no candidate arcs");
+    model.add_constraint(std::move(terms), lp::Sense::Equal, 1.0);
+  }
+  std::vector<std::vector<std::pair<int, double>>> ring_terms(
+      static_cast<std::size_t>(problem.num_rings));
+  for (std::size_t a = 0; a < problem.arcs.size(); ++a)
+    ring_terms[static_cast<std::size_t>(problem.arcs[a].ring)].emplace_back(
+        static_cast<int>(a), problem.arcs[a].load_cap_ff);
+  for (auto& terms : ring_terms) {
+    if (terms.empty()) continue;
+    terms.emplace_back(cmax, -1.0);
+    model.add_constraint(std::move(terms), lp::Sense::LessEqual, 0.0);
+  }
+  return cmax;
+}
+
+// Fig. 5 greedy rounding: each flip-flop goes to its largest-x_ij ring.
+Assignment greedy_round(const AssignProblem& problem,
+                        const std::vector<double>& x) {
+  Assignment out;
+  out.arc_of_ff.assign(static_cast<std::size_t>(problem.num_ffs()), -1);
+  const auto by_ff = problem.arcs_by_ff();
+  for (int i = 0; i < problem.num_ffs(); ++i) {
+    int best = -1;
+    double best_x = -1.0;
+    for (int a : by_ff[static_cast<std::size_t>(i)]) {
+      const double v = x[static_cast<std::size_t>(a)];
+      if (v > best_x) {
+        best_x = v;
+        best = a;
+      }
+    }
+    out.arc_of_ff[static_cast<std::size_t>(i)] = best;
+  }
+  refresh_metrics(problem, out);
+  return out;
+}
+
+// Local min-max descent after rounding: repeatedly move one flip-flop off
+// the worst-loaded ring to whichever of its candidate rings minimizes the
+// resulting global maximum. Terminates because the sorted load vector
+// strictly decreases lexicographically.
+void polish_min_max(const AssignProblem& problem, Assignment& a) {
+  const auto by_ff = problem.arcs_by_ff();
+  std::vector<double> load(static_cast<std::size_t>(problem.num_rings), 0.0);
+  for (int i = 0; i < problem.num_ffs(); ++i) {
+    const int arc = a.arc_of_ff[static_cast<std::size_t>(i)];
+    if (arc >= 0)
+      load[static_cast<std::size_t>(problem.arcs[static_cast<std::size_t>(arc)].ring)] +=
+          problem.arcs[static_cast<std::size_t>(arc)].load_cap_ff;
+  }
+  for (int round = 0; round < 4 * problem.num_ffs(); ++round) {
+    const int worst = static_cast<int>(
+        std::max_element(load.begin(), load.end()) - load.begin());
+    const double worst_cap = load[static_cast<std::size_t>(worst)];
+    int best_ff_arc_old = -1, best_ff = -1, best_new_arc = -1;
+    double best_peak = worst_cap;
+    for (int i = 0; i < problem.num_ffs(); ++i) {
+      const int old_arc = a.arc_of_ff[static_cast<std::size_t>(i)];
+      if (old_arc < 0) continue;
+      const CandidateArc& oa = problem.arcs[static_cast<std::size_t>(old_arc)];
+      if (oa.ring != worst) continue;
+      for (int na : by_ff[static_cast<std::size_t>(i)]) {
+        const CandidateArc& nb = problem.arcs[static_cast<std::size_t>(na)];
+        if (nb.ring == worst) continue;
+        // Peak after the move: max over (worst minus, target plus).
+        const double target_after =
+            load[static_cast<std::size_t>(nb.ring)] + nb.load_cap_ff;
+        const double worst_after = worst_cap - oa.load_cap_ff;
+        const double peak = std::max(target_after, worst_after);
+        if (peak < best_peak - 1e-12) {
+          best_peak = peak;
+          best_ff = i;
+          best_ff_arc_old = old_arc;
+          best_new_arc = na;
+        }
+      }
+    }
+    if (best_ff < 0) break;
+    const CandidateArc& oa =
+        problem.arcs[static_cast<std::size_t>(best_ff_arc_old)];
+    const CandidateArc& nb =
+        problem.arcs[static_cast<std::size_t>(best_new_arc)];
+    load[static_cast<std::size_t>(oa.ring)] -= oa.load_cap_ff;
+    load[static_cast<std::size_t>(nb.ring)] += nb.load_cap_ff;
+    a.arc_of_ff[static_cast<std::size_t>(best_ff)] = best_new_arc;
+  }
+  refresh_metrics(problem, a);
+}
+
+}  // namespace
+
+IlpAssignResult assign_min_max_cap(const AssignProblem& problem) {
+  IlpAssignResult result;
+  lp::Model model;
+  const int cmax = build_lp(problem, model);
+
+  util::Timer timer;
+  const lp::Solution sol = lp::solve_auto(model);
+  result.lp_seconds = timer.seconds();
+  if (sol.status != lp::SolveStatus::Optimal)
+    throw std::runtime_error("ilp_assign: LP relaxation failed: " +
+                             std::string(lp::to_string(sol.status)));
+  result.lp_solved = true;
+  result.lp_optimum_ff = sol.values[static_cast<std::size_t>(cmax)];
+
+  timer.reset();
+  result.assignment = greedy_round(problem, sol.values);
+  // IG (Eq. 4) is measured on the pure Fig. 5 rounding, as in Table I.
+  result.rounded_max_cap_ff = result.assignment.max_ring_cap_ff;
+  result.integrality_gap =
+      result.lp_optimum_ff > 0.0
+          ? result.rounded_max_cap_ff / result.lp_optimum_ff
+          : 1.0;
+  polish_min_max(problem, result.assignment);
+  result.rounding_seconds = timer.seconds();
+  return result;
+}
+
+IlpAssignResult assign_min_max_cap_randomized(const AssignProblem& problem,
+                                              int trials,
+                                              std::uint64_t seed) {
+  IlpAssignResult result;
+  lp::Model model;
+  const int cmax = build_lp(problem, model);
+  util::Timer timer;
+  const lp::Solution sol = lp::solve_auto(model);
+  result.lp_seconds = timer.seconds();
+  if (sol.status != lp::SolveStatus::Optimal)
+    throw std::runtime_error("ilp_assign: LP relaxation failed: " +
+                             std::string(lp::to_string(sol.status)));
+  result.lp_solved = true;
+  result.lp_optimum_ff = sol.values[static_cast<std::size_t>(cmax)];
+
+  timer.reset();
+  util::Rng rng(seed);
+  const auto by_ff = problem.arcs_by_ff();
+  Assignment best;
+  for (int t = 0; t < trials; ++t) {
+    Assignment trial;
+    trial.arc_of_ff.assign(static_cast<std::size_t>(problem.num_ffs()), -1);
+    for (int i = 0; i < problem.num_ffs(); ++i) {
+      const auto& arcs = by_ff[static_cast<std::size_t>(i)];
+      double total = 0.0;
+      for (int a : arcs) total += sol.values[static_cast<std::size_t>(a)];
+      double pick = rng.uniform(0.0, std::max(total, 1e-12));
+      int chosen = arcs.back();
+      for (int a : arcs) {
+        pick -= sol.values[static_cast<std::size_t>(a)];
+        if (pick <= 0.0) {
+          chosen = a;
+          break;
+        }
+      }
+      trial.arc_of_ff[static_cast<std::size_t>(i)] = chosen;
+    }
+    refresh_metrics(problem, trial);
+    if (best.arc_of_ff.empty() ||
+        trial.max_ring_cap_ff < best.max_ring_cap_ff)
+      best = std::move(trial);
+  }
+  result.assignment = std::move(best);
+  result.rounded_max_cap_ff = result.assignment.max_ring_cap_ff;
+  result.integrality_gap =
+      result.lp_optimum_ff > 0.0
+          ? result.rounded_max_cap_ff / result.lp_optimum_ff
+          : 1.0;
+  result.rounding_seconds = timer.seconds();
+  return result;
+}
+
+ExactIlpAssignResult assign_min_max_cap_exact(const AssignProblem& problem,
+                                              double time_limit_s) {
+  ExactIlpAssignResult result;
+  lp::Model model;
+  const int cmax = build_lp(problem, model);
+  std::vector<int> integer_vars(problem.arcs.size());
+  for (std::size_t a = 0; a < problem.arcs.size(); ++a)
+    integer_vars[a] = static_cast<int>(a);
+
+  ilp::IlpOptions opt;
+  opt.time_limit_s = time_limit_s;
+  const ilp::IlpResult ilp_res = ilp::solve_ilp(model, integer_vars, opt);
+  result.status = ilp_res.status;
+  result.seconds = ilp_res.seconds;
+  result.nodes = ilp_res.nodes_explored;
+  result.lp_optimum_ff = ilp_res.best_bound;
+
+  if (ilp_res.status == ilp::IlpStatus::Optimal ||
+      ilp_res.status == ilp::IlpStatus::Feasible) {
+    result.assignment.arc_of_ff.assign(
+        static_cast<std::size_t>(problem.num_ffs()), -1);
+    const auto by_ff = problem.arcs_by_ff();
+    for (int i = 0; i < problem.num_ffs(); ++i) {
+      for (int a : by_ff[static_cast<std::size_t>(i)]) {
+        if (ilp_res.values[static_cast<std::size_t>(a)] > 0.5) {
+          result.assignment.arc_of_ff[static_cast<std::size_t>(i)] = a;
+          break;
+        }
+      }
+    }
+    refresh_metrics(problem, result.assignment);
+    (void)cmax;
+    if (result.lp_optimum_ff > 0.0)
+      result.integrality_gap =
+          result.assignment.max_ring_cap_ff / result.lp_optimum_ff;
+  }
+  return result;
+}
+
+}  // namespace rotclk::assign

@@ -1,0 +1,58 @@
+#pragma once
+// Min-max load-capacitance flip-flop assignment (Sec. VI).
+//
+// Formulation (3):  min  max_j sum_i C_p^ij x_ij
+//                   s.t. sum_j x_ij = 1,  x_ij in {0,1}
+// The operating frequency of a rotary ring falls with its loaded
+// capacitance (Eq. 2), so speed-critical designs minimize the worst ring.
+//
+// Production path: LP relaxation (bundled simplex) followed by *greedy
+// rounding* (Fig. 5) — each fractional flip-flop goes to its largest-x_ij
+// ring. Also provided: the exact branch-and-bound ILP (the paper's generic
+// ILP-solver baseline) and the integrality gap IG = SOLN(ILP)/OPT(LP)
+// (Eq. 4) used by Table I.
+
+#include <cstdint>
+
+#include "assign/problem.hpp"
+#include "ilp/branch_bound.hpp"
+
+namespace rotclk::assign {
+
+struct IlpAssignResult {
+  Assignment assignment;           ///< rounded + min-max local descent
+  double lp_optimum_ff = 0.0;      ///< OPT(LP): relaxed min-max capacitance
+  double rounded_max_cap_ff = 0.0; ///< pure Fig. 5 rounding (IG basis)
+  double integrality_gap = 0.0;    ///< Eq. (4): rounding SOLN / OPT(LP)
+  double lp_seconds = 0.0;
+  double rounding_seconds = 0.0;
+  bool lp_solved = false;
+};
+
+/// LP relaxation + greedy rounding (Fig. 5), followed by a min-max local
+/// descent that moves single flip-flops off the worst-loaded ring while
+/// the global maximum improves. The integrality gap is measured on the
+/// pure rounding, matching Table I.
+IlpAssignResult assign_min_max_cap(const AssignProblem& problem);
+
+/// Ablation alternative to Fig. 5: randomized LP rounding. Each flip-flop
+/// samples a ring from its fractional x_ij distribution; the best of
+/// `trials` samples (by max ring capacitance) is kept, with no local
+/// descent, so the comparison against greedy rounding is clean.
+IlpAssignResult assign_min_max_cap_randomized(const AssignProblem& problem,
+                                              int trials = 32,
+                                              std::uint64_t seed = 1);
+
+/// Exact/bounded branch-and-bound on the same ILP (Table I baseline).
+struct ExactIlpAssignResult {
+  ilp::IlpStatus status = ilp::IlpStatus::NoSolution;
+  Assignment assignment;          ///< valid when status != NoSolution
+  double lp_optimum_ff = 0.0;
+  double integrality_gap = 0.0;   ///< of the B&B incumbent
+  double seconds = 0.0;
+  long nodes = 0;
+};
+ExactIlpAssignResult assign_min_max_cap_exact(const AssignProblem& problem,
+                                              double time_limit_s);
+
+}  // namespace rotclk::assign

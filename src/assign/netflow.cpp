@@ -1,0 +1,51 @@
+#include "assign/netflow.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/mcmf.hpp"
+
+namespace rotclk::assign {
+
+Assignment assign_netflow(const AssignProblem& problem) {
+  const int f = problem.num_ffs();
+  const int r = problem.num_rings;
+  const long total_cap = std::accumulate(problem.ring_capacity.begin(),
+                                         problem.ring_capacity.end(), 0L);
+  if (total_cap < f)
+    throw std::runtime_error("assign_netflow: ring capacities below #FFs");
+
+  // Node layout: 0 = source, 1..f = flip-flops, f+1..f+r = rings, f+r+1 = target.
+  const int source = 0;
+  const int target = f + r + 1;
+  graph::MinCostMaxFlow flow(f + r + 2);
+  for (int i = 0; i < f; ++i) flow.add_arc(source, 1 + i, 1.0, 0.0);
+  std::vector<int> arc_ids(problem.arcs.size());
+  for (std::size_t a = 0; a < problem.arcs.size(); ++a) {
+    const CandidateArc& arc = problem.arcs[a];
+    arc_ids[a] = flow.add_arc(1 + arc.ff, 1 + f + arc.ring, 1.0,
+                              arc.tap_cost_um);
+  }
+  for (int j = 0; j < r; ++j)
+    flow.add_arc(1 + f + j, target,
+                 static_cast<double>(problem.ring_capacity[static_cast<std::size_t>(j)]),
+                 0.0);
+
+  const auto res = flow.solve(source, target, static_cast<double>(f));
+  if (res.flow < static_cast<double>(f) - 0.5)
+    throw std::runtime_error(
+        "assign_netflow: candidate arcs cannot route all flip-flops; "
+        "increase candidates_per_ff");
+
+  Assignment out;
+  out.arc_of_ff.assign(static_cast<std::size_t>(f), -1);
+  for (std::size_t a = 0; a < problem.arcs.size(); ++a) {
+    if (flow.flow_on(arc_ids[a]) > 0.5)
+      out.arc_of_ff[static_cast<std::size_t>(problem.arcs[a].ff)] =
+          static_cast<int>(a);
+  }
+  refresh_metrics(problem, out);
+  return out;
+}
+
+}  // namespace rotclk::assign

@@ -1,0 +1,22 @@
+#pragma once
+// Network-flow flip-flop assignment (Sec. V, Fig. 4).
+//
+// The 0-1 assignment minimizing total tapping cost under ring capacities
+// U_j is solved exactly as a min-cost max-flow: source -> each flip-flop
+// (cap 1), flip-flop -> candidate ring (cap 1, cost c_ij), ring -> target
+// (cap U_j). Integrality of min-cost flow on this unit-capacity bipartite
+// network yields an optimal 0-1 assignment in polynomial time [22].
+//
+// If the pruned candidate set cannot route every flip-flop (all its nearby
+// rings saturated), the solver throws: the caller should rebuild the
+// problem with a larger candidates_per_ff. Total ring capacity must be at
+// least the number of flip-flops.
+
+#include "assign/problem.hpp"
+
+namespace rotclk::assign {
+
+/// Solve the Sec. V formulation exactly.
+Assignment assign_netflow(const AssignProblem& problem);
+
+}  // namespace rotclk::assign

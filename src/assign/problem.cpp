@@ -1,0 +1,62 @@
+#include "assign/problem.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rotclk::assign {
+
+std::vector<std::vector<int>> AssignProblem::arcs_by_ff() const {
+  std::vector<std::vector<int>> by_ff(ff_cells.size());
+  for (std::size_t a = 0; a < arcs.size(); ++a)
+    by_ff[static_cast<std::size_t>(arcs[a].ff)].push_back(static_cast<int>(a));
+  return by_ff;
+}
+
+AssignProblem build_assign_problem(const netlist::Design& design,
+                                   const netlist::Placement& placement,
+                                   const rotary::RingArray& rings,
+                                   const std::vector<double>& arrival_ps,
+                                   const timing::TechParams& tech,
+                                   const AssignProblemConfig& config) {
+  AssignProblem problem;
+  problem.ff_cells = design.flip_flops();
+  problem.num_rings = rings.size();
+  if (arrival_ps.size() != problem.ff_cells.size())
+    throw std::runtime_error("assign: arrival targets size mismatch");
+  problem.ring_capacity.resize(static_cast<std::size_t>(rings.size()));
+  for (int j = 0; j < rings.size(); ++j)
+    problem.ring_capacity[static_cast<std::size_t>(j)] = rings.capacity(j);
+
+  const int k = std::max(1, config.candidates_per_ff);
+  for (std::size_t i = 0; i < problem.ff_cells.size(); ++i) {
+    const geom::Point loc = placement.loc(problem.ff_cells[i]);
+    for (int j : rings.nearest_rings(loc, k)) {
+      CandidateArc arc;
+      arc.ff = static_cast<int>(i);
+      arc.ring = j;
+      arc.tap = rotary::solve_tapping(rings.ring(j), loc, arrival_ps[i],
+                                      config.tapping);
+      if (!arc.tap.feasible) continue;  // defensive; case 4 makes all feasible
+      arc.tap_cost_um = arc.tap.wirelength;
+      arc.load_cap_ff = arc.tap.wirelength * config.tapping.wire_cap_per_um +
+                        tech.ff_input_cap_ff;
+      problem.arcs.push_back(arc);
+    }
+  }
+  return problem;
+}
+
+void refresh_metrics(const AssignProblem& problem, Assignment& assignment) {
+  assignment.total_tap_cost_um = 0.0;
+  std::vector<double> ring_cap(static_cast<std::size_t>(problem.num_rings), 0.0);
+  for (int a : assignment.arc_of_ff) {
+    if (a < 0) continue;
+    const CandidateArc& arc = problem.arcs[static_cast<std::size_t>(a)];
+    assignment.total_tap_cost_um += arc.tap_cost_um;
+    ring_cap[static_cast<std::size_t>(arc.ring)] += arc.load_cap_ff;
+  }
+  assignment.max_ring_cap_ff =
+      ring_cap.empty() ? 0.0 : *std::max_element(ring_cap.begin(), ring_cap.end());
+}
+
+}  // namespace rotclk::assign

@@ -1,0 +1,70 @@
+#pragma once
+// Flip-flop-to-ring assignment problem construction (stage 3 inputs).
+//
+// For every flip-flop i and candidate ring j the builder solves the
+// flexible-tapping problem (Sec. III) at the flip-flop's scheduled delay
+// target, yielding the tapping cost c_ij (stub wirelength) and the load
+// capacitance C_p^ij (stub wire + flip-flop pin) that the two formulations
+// of Secs. V and VI optimize. Arcs are pruned to the k nearest rings per
+// flip-flop, as the paper suggests ("if a flip-flop and a ring are too far
+// away ... it is not necessary to insert an arc").
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/placement.hpp"
+#include "rotary/array.hpp"
+#include "rotary/tapping.hpp"
+#include "timing/tech.hpp"
+
+namespace rotclk::assign {
+
+struct CandidateArc {
+  int ff = 0;    ///< flip-flop index (Design::flip_flops() order)
+  int ring = 0;
+  double tap_cost_um = 0.0;  ///< c_ij: stub wirelength
+  double load_cap_ff = 0.0;  ///< C_p^ij: stub wire cap + FF pin cap
+  rotary::TapSolution tap;
+};
+
+struct AssignProblem {
+  std::vector<int> ff_cells;       ///< cell index per flip-flop
+  int num_rings = 0;
+  std::vector<int> ring_capacity;  ///< U_j (used by the network-flow mode)
+  std::vector<CandidateArc> arcs;
+
+  [[nodiscard]] int num_ffs() const { return static_cast<int>(ff_cells.size()); }
+  /// Arc indices grouped per flip-flop (built once, cached).
+  [[nodiscard]] std::vector<std::vector<int>> arcs_by_ff() const;
+};
+
+struct AssignProblemConfig {
+  int candidates_per_ff = 8;
+  rotary::TappingParams tapping{};
+};
+
+/// Build the problem at the given placement and per-flip-flop delay
+/// targets (`arrival_ps`, Design::flip_flops() order).
+AssignProblem build_assign_problem(const netlist::Design& design,
+                                   const netlist::Placement& placement,
+                                   const rotary::RingArray& rings,
+                                   const std::vector<double>& arrival_ps,
+                                   const timing::TechParams& tech,
+                                   const AssignProblemConfig& config = {});
+
+/// The result of either assignment formulation.
+struct Assignment {
+  std::vector<int> arc_of_ff;   ///< chosen CandidateArc index per FF (-1 none)
+  double total_tap_cost_um = 0.0;
+  double max_ring_cap_ff = 0.0;
+
+  [[nodiscard]] int ring_of(const AssignProblem& p, int ff) const {
+    const int a = arc_of_ff[static_cast<std::size_t>(ff)];
+    return a < 0 ? -1 : p.arcs[static_cast<std::size_t>(a)].ring;
+  }
+};
+
+/// Recompute an assignment's aggregate metrics from its chosen arcs.
+void refresh_metrics(const AssignProblem& problem, Assignment& assignment);
+
+}  // namespace rotclk::assign

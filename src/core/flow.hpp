@@ -1,0 +1,128 @@
+#pragma once
+// The integrated placement and skew optimization flow (Sec. IV, Fig. 3).
+//
+//   stage 1  initial placement                      (placer)
+//   stage 2  max-slack skew scheduling              (sched)
+//   stage 3  flip-flop -> ring assignment           (assign; NF or ILP mode)
+//   stage 4  cost-driven skew re-optimization       (sched)
+//   stage 5  overall cost evaluation / convergence
+//   stage 6  incremental placement with pseudo nets (placer)
+//   ... iterate 3-6 until the weighted total cost stops improving.
+//
+// The FlowResult keeps a per-iteration metrics history; iteration 0 is the
+// paper's "base case" (Table III): network-flow assignment right after the
+// initial placement, before any pseudo-net iteration.
+
+#include <memory>
+#include <vector>
+
+#include "assign/problem.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/placement.hpp"
+#include "placer/placer.hpp"
+#include "power/power.hpp"
+#include "rotary/array.hpp"
+#include "timing/tech.hpp"
+
+namespace rotclk::core {
+
+enum class AssignMode {
+  NetworkFlow,  ///< Sec. V: minimize total tapping wirelength
+  MinMaxCap,    ///< Sec. VI: minimize the worst ring load capacitance
+};
+
+const char* to_string(AssignMode mode);
+
+struct FlowConfig {
+  AssignMode assign_mode = AssignMode::NetworkFlow;
+  int max_iterations = 5;            ///< stages 3-6 loop bound (paper: <= 5)
+  double convergence_tolerance = 0.01;  ///< min relative total-cost gain
+  /// Stage-5 weighted sum. Tapping cost carries extra weight because it is
+  /// the quantity the iterations exist to reduce (each tapping micron also
+  /// costs clock power at alpha = 1 versus alpha = 0.15 on signal nets).
+  double cost_tap_weight = 10.0;
+  double cost_signal_weight = 1.0;
+  /// Prespecified slack M for stage 4, as a fraction of the stage-2
+  /// optimum (clamped to the optimum when that is negative).
+  double slack_fraction = 0.5;
+  /// Stage 4 flavor: the weighted-sum formulation aligns with the total
+  /// tapping cost the flow minimizes; the min-max flavor only bounds the
+  /// single worst deviation. Both are exact (Sec. VII).
+  bool weighted_cost_driven = true;
+  int candidates_per_ff = 8;
+  double capacity_factor = 1.3;       ///< U_j sizing for network-flow mode
+  double pseudo_net_weight = 0.5;     ///< stage-6 pull strength
+  /// Low utilization reproduces the paper's sparse 180nm floorplans (die
+  /// sides of 2-8 mm for the Table II circuits, matching the PL column).
+  double die_utilization = 0.05;
+  rotary::RingArrayConfig ring_config{};
+  rotary::TappingParams tapping{};
+  placer::PlacerConfig placer{};
+  timing::TechParams tech{};
+};
+
+struct IterationMetrics {
+  int iteration = 0;                ///< 0 = base case
+  double tap_wl_um = 0.0;
+  double signal_wl_um = 0.0;
+  double total_wl_um = 0.0;
+  double afd_um = 0.0;              ///< average flip-flop-to-ring distance
+  double max_ring_cap_ff = 0.0;
+  power::PowerBreakdown power{};
+  double overall_cost = 0.0;        ///< stage-5 weighted sum
+};
+
+struct FlowResult {
+  netlist::Placement placement;     ///< final (legalized) placement
+  std::vector<double> arrival_ps;   ///< final delay targets per flip-flop
+  assign::AssignProblem problem;    ///< final candidate arcs
+  assign::Assignment assignment;    ///< final flip-flop -> ring assignment
+  double slack_ps = 0.0;            ///< stage-2 optimum M*
+  double stage4_slack_ps = 0.0;     ///< prespecified M used in stage 4
+  std::vector<IterationMetrics> history;  ///< [0] = base case
+  double algo_seconds = 0.0;        ///< stages 2-5 (paper: "Stg 2-5")
+  double placer_seconds = 0.0;      ///< stages 1 and 6 (paper: "mPL")
+  int iterations_run = 0;
+  /// Index (into history) of the lowest-overall-cost iteration; the
+  /// returned placement/assignment/arrival correspond to this state.
+  int best_iteration = 0;
+
+  [[nodiscard]] const IterationMetrics& base() const { return history.front(); }
+  [[nodiscard]] const IterationMetrics& final() const {
+    return history[static_cast<std::size_t>(best_iteration)];
+  }
+};
+
+class RotaryFlow {
+ public:
+  RotaryFlow(const netlist::Design& design, FlowConfig config);
+
+  /// Run the full methodology. The ring array is constructed over the die
+  /// from config.ring_config.
+  FlowResult run();
+
+  /// Run from an existing placement (skips stage 1; the die comes from the
+  /// placement). Useful to resume from a saved placement
+  /// (netlist/placement_io.hpp) or to plug in an external placer.
+  FlowResult run_with_placement(netlist::Placement initial);
+
+  /// The ring array used by the last run() (valid afterwards).
+  [[nodiscard]] const rotary::RingArray& rings() const;
+
+  /// Metrics snapshot for an arbitrary state (used by benches).
+  IterationMetrics evaluate(const netlist::Placement& placement,
+                            const rotary::RingArray& rings,
+                            const assign::AssignProblem& problem,
+                            const assign::Assignment& assignment,
+                            int iteration) const;
+
+ private:
+  FlowResult run_stages_2_to_6(netlist::Placement placement,
+                               double placer_seconds);
+
+  const netlist::Design& design_;
+  FlowConfig config_;
+  std::unique_ptr<rotary::RingArray> rings_;
+};
+
+}  // namespace rotclk::core

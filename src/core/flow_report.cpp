@@ -1,0 +1,88 @@
+#include "core/flow_report.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rotclk::core {
+
+void write_flow_report(const netlist::Design& design,
+                       const FlowConfig& config, const FlowResult& result,
+                       std::ostream& out) {
+  out << std::setprecision(10);
+  const auto& base = result.base();
+  const auto& fin = result.final();
+  out << "[summary]\n"
+      << "design " << design.name() << '\n'
+      << "cells " << design.num_cells() << '\n'
+      << "flip_flops " << design.num_flip_flops() << '\n'
+      << "rings " << config.ring_config.rings << '\n'
+      << "assign_mode " << to_string(config.assign_mode) << '\n'
+      << "max_slack_ps " << result.slack_ps << '\n'
+      << "stage4_slack_ps " << result.stage4_slack_ps << '\n'
+      << "iterations " << result.iterations_run << '\n'
+      << "best_iteration " << result.best_iteration << '\n'
+      << "tap_wl_um " << fin.tap_wl_um << '\n'
+      << "tap_wl_improvement "
+      << (base.tap_wl_um > 0.0 ? 1.0 - fin.tap_wl_um / base.tap_wl_um : 0.0)
+      << '\n'
+      << "signal_wl_um " << fin.signal_wl_um << '\n'
+      << "max_ring_cap_ff " << fin.max_ring_cap_ff << '\n'
+      << "clock_power_mw " << fin.power.clock_mw << '\n'
+      << "total_power_mw " << fin.power.total_mw() << '\n';
+
+  out << "\n[iterations]\n"
+      << "iter,tap_wl_um,signal_wl_um,afd_um,max_cap_ff,clock_mw,total_mw\n";
+  for (const auto& m : result.history) {
+    out << m.iteration << ',' << m.tap_wl_um << ',' << m.signal_wl_um << ','
+        << m.afd_um << ',' << m.max_ring_cap_ff << ',' << m.power.clock_mw
+        << ',' << m.power.total_mw() << '\n';
+  }
+
+  out << "\n[schedule]\n"
+      << "ff,cell,target_ps\n";
+  const auto& problem = result.problem;
+  for (int i = 0; i < problem.num_ffs(); ++i) {
+    out << i << ','
+        << design.cell(problem.ff_cells[static_cast<std::size_t>(i)]).name
+        << ',' << result.arrival_ps[static_cast<std::size_t>(i)] << '\n';
+  }
+
+  out << "\n[assignment]\n"
+      << "ff,ring,segment,offset_um,tap_x,tap_y,stub_um,complemented,"
+         "periods_shifted\n";
+  for (int i = 0; i < problem.num_ffs(); ++i) {
+    const int a = result.assignment.arc_of_ff[static_cast<std::size_t>(i)];
+    if (a < 0) {
+      out << i << ",-,-,-,-,-,-,-,-\n";
+      continue;
+    }
+    const auto& arc = problem.arcs[static_cast<std::size_t>(a)];
+    out << i << ',' << arc.ring << ',' << arc.tap.pos.segment << ','
+        << arc.tap.pos.offset << ',' << arc.tap.tap_point.x << ','
+        << arc.tap.tap_point.y << ',' << arc.tap.wirelength << ','
+        << (arc.tap.complemented ? 1 : 0) << ',' << arc.tap.periods_shifted
+        << '\n';
+  }
+}
+
+std::string write_flow_report_string(const netlist::Design& design,
+                                     const FlowConfig& config,
+                                     const FlowResult& result) {
+  std::ostringstream os;
+  write_flow_report(design, config, result, os);
+  return os.str();
+}
+
+void write_flow_report_file(const netlist::Design& design,
+                            const FlowConfig& config,
+                            const FlowResult& result,
+                            const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot write flow report: " + path);
+  write_flow_report(design, config, result, f);
+}
+
+}  // namespace rotclk::core

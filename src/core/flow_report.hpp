@@ -1,0 +1,31 @@
+#pragma once
+// Flow-result report writer: a complete, human-readable record of one run
+// of the methodology — configuration, per-iteration metrics, the skew
+// schedule, and the flip-flop -> ring assignment with tap coordinates —
+// so a physical-design flow downstream (clock routing, ECO) can consume
+// the outcome without linking against rotclk.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/flow.hpp"
+
+namespace rotclk::core {
+
+/// Write the full report. Sections:
+///   [summary], [iterations] (CSV), [schedule] (per FF), [assignment]
+///   (per FF: ring, tap segment/offset/point, stub length, polarity).
+void write_flow_report(const netlist::Design& design,
+                       const FlowConfig& config, const FlowResult& result,
+                       std::ostream& out);
+
+std::string write_flow_report_string(const netlist::Design& design,
+                                     const FlowConfig& config,
+                                     const FlowResult& result);
+
+void write_flow_report_file(const netlist::Design& design,
+                            const FlowConfig& config,
+                            const FlowResult& result,
+                            const std::string& path);
+
+}  // namespace rotclk::core

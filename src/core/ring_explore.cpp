@@ -1,0 +1,58 @@
+#include "core/ring_explore.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace rotclk::core {
+
+RingExploreResult explore_ring_counts(const netlist::Design& design,
+                                      const RingExploreConfig& config) {
+  if (config.candidates.empty())
+    throw std::runtime_error("ring_explore: no candidate counts");
+  RingExploreResult result;
+  double best_cost = 0.0;
+  for (int rings : config.candidates) {
+    FlowConfig cfg = config.flow;
+    cfg.ring_config.rings = rings;
+    RotaryFlow flow(design, cfg);
+    const FlowResult r = flow.run();
+
+    RingCountOption option;
+    option.rings = rings;
+    option.metrics = r.final();
+
+    const rotary::RingArray& array = flow.rings();
+    for (int j = 0; j < array.size(); ++j)
+      option.ring_metal_um += array.ring(j).total_length();
+
+    // Dummy balancing load for the final assignment (Sec. II).
+    std::vector<rotary::TappedLoad> loads;
+    for (int i = 0; i < r.problem.num_ffs(); ++i) {
+      const int a = r.assignment.arc_of_ff[static_cast<std::size_t>(i)];
+      if (a < 0) continue;
+      const auto& arc = r.problem.arcs[static_cast<std::size_t>(a)];
+      loads.push_back(
+          rotary::TappedLoad{arc.ring, arc.tap.pos, arc.load_cap_ff});
+    }
+    const auto balance = rotary::balance_ring_loads(array, loads);
+    option.dummy_cap_ff = balance.total_dummy_ff;
+    option.worst_imbalance = balance.worst_imbalance;
+
+    option.selection_cost = option.metrics.tap_wl_um +
+                            config.ring_metal_weight * option.ring_metal_um +
+                            config.dummy_cap_weight * option.dummy_cap_ff;
+    util::debug("ring_explore: ", rings, " rings -> cost ",
+                option.selection_cost);
+
+    if (result.best_index < 0 || option.selection_cost < best_cost) {
+      best_cost = option.selection_cost;
+      result.best_index = static_cast<int>(result.options.size());
+      result.best_rings = rings;
+    }
+    result.options.push_back(std::move(option));
+  }
+  return result;
+}
+
+}  // namespace rotclk::core

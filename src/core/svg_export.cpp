@@ -1,0 +1,103 @@
+#include "core/svg_export.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rotclk::core {
+
+void write_layout_svg(const netlist::Design& design,
+                      const netlist::Placement& placement,
+                      const rotary::RingArray* rings,
+                      const assign::AssignProblem* problem,
+                      const assign::Assignment* assignment,
+                      std::ostream& out, const SvgOptions& options) {
+  const geom::Rect& die = placement.die();
+  const double scale = options.width_px / die.width();
+  const double height_px = die.height() * scale;
+  // SVG y grows downward; flip so the layout reads like the floorplan.
+  auto X = [&](double x) { return (x - die.xlo) * scale; };
+  auto Y = [&](double y) { return height_px - (y - die.ylo) * scale; };
+
+  out << std::setprecision(6);
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << options.width_px << "\" height=\"" << height_px << "\" viewBox=\"0 0 "
+      << options.width_px << ' ' << height_px << "\">\n";
+  out << "<rect x=\"0\" y=\"0\" width=\"" << options.width_px
+      << "\" height=\"" << height_px
+      << "\" fill=\"#fcfcf8\" stroke=\"#333\"/>\n";
+
+  if (options.draw_cells) {
+    out << "<g fill=\"#b8b8b8\">\n";
+    for (std::size_t i = 0; i < design.cells().size(); ++i) {
+      const auto& c = design.cells()[i];
+      if (!c.is_gate()) continue;
+      const geom::Point p = placement.loc(static_cast<int>(i));
+      out << "<rect x=\"" << X(p.x) - 1 << "\" y=\"" << Y(p.y) - 1
+          << "\" width=\"2\" height=\"2\"/>\n";
+    }
+    out << "</g>\n";
+  }
+
+  if (rings != nullptr) {
+    out << "<g fill=\"none\" stroke=\"#2b6cb0\" stroke-width=\"2\">\n";
+    for (int j = 0; j < rings->size(); ++j) {
+      const geom::Rect& o = rings->ring(j).outline();
+      out << "<rect x=\"" << X(o.xlo) << "\" y=\"" << Y(o.yhi)
+          << "\" width=\"" << o.width() * scale << "\" height=\""
+          << o.height() * scale << "\"/>\n";
+    }
+    out << "</g>\n";
+  }
+
+  if (options.draw_taps && problem != nullptr && assignment != nullptr) {
+    out << "<g stroke=\"#c05621\" stroke-width=\"1\">\n";
+    for (int i = 0; i < problem->num_ffs(); ++i) {
+      const int a = assignment->arc_of_ff[static_cast<std::size_t>(i)];
+      if (a < 0) continue;
+      const auto& arc = problem->arcs[static_cast<std::size_t>(a)];
+      const geom::Point ff = placement.loc(
+          problem->ff_cells[static_cast<std::size_t>(i)]);
+      out << "<line x1=\"" << X(ff.x) << "\" y1=\"" << Y(ff.y) << "\" x2=\""
+          << X(arc.tap.tap_point.x) << "\" y2=\"" << Y(arc.tap.tap_point.y)
+          << "\"/>\n";
+    }
+    out << "</g>\n";
+  }
+
+  // Flip-flops on top so they stay visible.
+  out << "<g fill=\"#c53030\">\n";
+  for (int ff : design.flip_flops()) {
+    const geom::Point p = placement.loc(ff);
+    out << "<circle cx=\"" << X(p.x) << "\" cy=\"" << Y(p.y)
+        << "\" r=\"3\"/>\n";
+  }
+  out << "</g>\n</svg>\n";
+}
+
+std::string write_layout_svg_string(const netlist::Design& design,
+                                    const netlist::Placement& placement,
+                                    const rotary::RingArray* rings,
+                                    const assign::AssignProblem* problem,
+                                    const assign::Assignment* assignment,
+                                    const SvgOptions& options) {
+  std::ostringstream os;
+  write_layout_svg(design, placement, rings, problem, assignment, os, options);
+  return os.str();
+}
+
+void write_layout_svg_file(const netlist::Design& design,
+                           const netlist::Placement& placement,
+                           const rotary::RingArray* rings,
+                           const assign::AssignProblem* problem,
+                           const assign::Assignment* assignment,
+                           const std::string& path,
+                           const SvgOptions& options) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot write SVG file: " + path);
+  write_layout_svg(design, placement, rings, problem, assignment, f, options);
+}
+
+}  // namespace rotclk::core

@@ -1,0 +1,47 @@
+#pragma once
+// SVG layout export: die, standard cells, rotary rings, flip-flops and
+// their tapping stubs — the picture the paper's Fig. 1(b) sketches,
+// rendered from an actual flow result. Viewable in any browser; used by
+// the CLI (--svg) and handy when debugging placements.
+
+#include <iosfwd>
+#include <string>
+
+#include "assign/problem.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/placement.hpp"
+#include "rotary/array.hpp"
+
+namespace rotclk::core {
+
+struct SvgOptions {
+  double width_px = 1000.0;   ///< output width; height follows the die ratio
+  bool draw_cells = true;     ///< gates as gray dots
+  bool draw_taps = true;      ///< flip-flop-to-tap stub lines
+};
+
+/// Render the layout. `rings`, `problem`, and `assignment` may be null to
+/// draw a placement only.
+void write_layout_svg(const netlist::Design& design,
+                      const netlist::Placement& placement,
+                      const rotary::RingArray* rings,
+                      const assign::AssignProblem* problem,
+                      const assign::Assignment* assignment,
+                      std::ostream& out, const SvgOptions& options = {});
+
+std::string write_layout_svg_string(const netlist::Design& design,
+                                    const netlist::Placement& placement,
+                                    const rotary::RingArray* rings,
+                                    const assign::AssignProblem* problem,
+                                    const assign::Assignment* assignment,
+                                    const SvgOptions& options = {});
+
+void write_layout_svg_file(const netlist::Design& design,
+                           const netlist::Placement& placement,
+                           const rotary::RingArray* rings,
+                           const assign::AssignProblem* problem,
+                           const assign::Assignment* assignment,
+                           const std::string& path,
+                           const SvgOptions& options = {});
+
+}  // namespace rotclk::core

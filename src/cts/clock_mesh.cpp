@@ -1,0 +1,50 @@
+#include "cts/clock_mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rotclk::cts {
+
+ClockMesh build_clock_mesh(const std::vector<geom::Point>& sinks,
+                           const geom::Rect& region, int grid) {
+  if (grid < 1) throw std::runtime_error("clock mesh: grid must be >= 1");
+  ClockMesh mesh;
+  mesh.grid = grid;
+  mesh.region = region;
+  // m horizontal wires spanning the width + m vertical spanning the height,
+  // evenly spaced (wire k at fraction (k + 0.5) / m).
+  mesh.mesh_wirelength_um =
+      static_cast<double>(grid) * (region.width() + region.height());
+
+  auto nearest_line = [&](double v, double lo, double span) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int k = 0; k < grid; ++k) {
+      const double line =
+          lo + (static_cast<double>(k) + 0.5) * span / static_cast<double>(grid);
+      best = std::min(best, std::abs(v - line));
+    }
+    return best;
+  };
+
+  mesh.stub_um.reserve(sinks.size());
+  for (const auto& s : sinks) {
+    const double dy = nearest_line(s.y, region.ylo, region.height());
+    const double dx = nearest_line(s.x, region.xlo, region.width());
+    const double stub = std::min(dx, dy);  // tap whichever wire is closer
+    mesh.stub_um.push_back(stub);
+    mesh.stub_wirelength_um += stub;
+  }
+  return mesh;
+}
+
+double mesh_power_mw(const ClockMesh& mesh, int num_sinks,
+                     const timing::TechParams& tech) {
+  const double cap_ff =
+      mesh.total_wirelength_um() * tech.wire_cap_per_um +
+      static_cast<double>(num_sinks) * tech.ff_input_cap_ff;
+  return tech.dynamic_power_mw(cap_ff, tech.clock_activity);
+}
+
+}  // namespace rotclk::cts

@@ -1,0 +1,40 @@
+#pragma once
+// Clock mesh baseline (Restle et al. [11], the paper's Sec. I comparison).
+//
+// A uniform m x m grid of clock wire spans the region; every sink taps the
+// nearest mesh wire with a short stub. Meshes achieve low skew variation
+// (like rotary arrays) but at "excessive wirelength and power overhead" —
+// the full mesh switches rail-to-rail every cycle. This module provides
+// the geometry and cost metrics so the three-way rotary / tree / mesh
+// comparison in the benches is quantitative.
+
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+#include "timing/tech.hpp"
+
+namespace rotclk::cts {
+
+struct ClockMesh {
+  int grid = 0;                    ///< m: wires per direction
+  geom::Rect region;
+  double mesh_wirelength_um = 0.0; ///< the grid itself
+  double stub_wirelength_um = 0.0; ///< sum of sink stubs
+  std::vector<double> stub_um;     ///< per sink
+  [[nodiscard]] double total_wirelength_um() const {
+    return mesh_wirelength_um + stub_wirelength_um;
+  }
+};
+
+/// Build an m x m mesh over `region` and attach every sink to its nearest
+/// mesh wire.
+ClockMesh build_clock_mesh(const std::vector<geom::Point>& sinks,
+                           const geom::Rect& region, int grid);
+
+/// Dynamic power (mW) of the mesh: all mesh + stub wire plus sink pins
+/// switching at full clock activity (the mesh's known cost).
+double mesh_power_mw(const ClockMesh& mesh, int num_sinks,
+                     const timing::TechParams& tech);
+
+}  // namespace rotclk::cts

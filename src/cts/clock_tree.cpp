@@ -1,0 +1,224 @@
+#include "cts/clock_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geom/rect.hpp"
+
+namespace rotclk::cts {
+
+namespace {
+
+struct Merger {
+  const timing::TechParams& tech;
+  std::vector<TreeNode>& nodes;
+  double r;   // ohm/um
+  double c;   // fF/um
+  double ps;  // ohm*fF -> ps
+
+  // Zero-skew merge of two built subtrees; returns the new node index.
+  int merge(int a, int b) {
+    const TreeNode& na = nodes[static_cast<std::size_t>(a)];
+    const TreeNode& nb = nodes[static_cast<std::size_t>(b)];
+    const double L = geom::manhattan(na.loc, nb.loc);
+    const double da = na.delay_ps, db = nb.delay_ps;
+    const double ca = na.subtree_cap_ff, cb = nb.subtree_cap_ff;
+
+    TreeNode m;
+    m.left = a;
+    m.right = b;
+    double ea = 0.0, eb = 0.0;  // edge lengths
+    double x = 0.5;
+    if (L > 0.0) {
+      // Tsay's balance point: delay equality along the joining wire.
+      x = (db - da + ps * r * L * (cb + c * L / 2.0)) /
+          (ps * r * L * (ca + cb + c * L));
+    } else {
+      x = 0.0;
+    }
+    if (L > 0.0 && x >= 0.0 && x <= 1.0) {
+      ea = x * L;
+      eb = (1.0 - x) * L;
+      m.loc = point_along(na.loc, nb.loc, ea);
+    } else if ((L == 0.0 && da >= db) || x < 0.0) {
+      // a is slower: sit on a and elongate the b branch.
+      ea = 0.0;
+      eb = elongate(L, cb, da - db);
+      m.loc = na.loc;
+    } else {
+      eb = 0.0;
+      ea = elongate(L, ca, db - da);
+      m.loc = nb.loc;
+    }
+    m.edge_left_um = ea;
+    m.edge_right_um = eb;
+    m.subtree_cap_ff = ca + cb + c * (ea + eb);
+    m.delay_ps = da + ps * r * ea * (c * ea / 2.0 + ca);
+    // By construction the other side agrees up to roundoff.
+    nodes.push_back(m);
+    return static_cast<int>(nodes.size()) - 1;
+  }
+
+  // Wire length l >= L satisfying r*l*(c*l/2 + C) = deficit (ps).
+  double elongate(double L, double C, double deficit_ps) const {
+    if (deficit_ps <= 0.0) return L;
+    const double A = ps * r * c / 2.0;
+    const double B = ps * r * C;
+    const double l = (-B + std::sqrt(B * B + 4.0 * A * deficit_ps)) / (2.0 * A);
+    return std::max(l, L);
+  }
+
+  // Point at wire distance `d` from `from` along an L-shaped (x-then-y)
+  // Manhattan route to `to`.
+  static geom::Point point_along(geom::Point from, geom::Point to, double d) {
+    const double dx = std::abs(to.x - from.x);
+    if (d <= dx) {
+      const double step = to.x > from.x ? d : -d;
+      return {from.x + step, from.y};
+    }
+    const double rem = d - dx;
+    const double step = to.y > from.y ? rem : -rem;
+    return {to.x, from.y + step};
+  }
+
+  // Recursive means-and-medians topology over sink indices [lo, hi).
+  int build(std::vector<int>& order, int lo, int hi) {
+    if (hi - lo == 1) return order[static_cast<std::size_t>(lo)];
+    // Split along the axis with the larger spread.
+    geom::BBox box;
+    for (int i = lo; i < hi; ++i)
+      box.add(nodes[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])].loc);
+    const bool by_x = box.rect().width() >= box.rect().height();
+    std::sort(order.begin() + lo, order.begin() + hi, [&](int u, int v) {
+      const geom::Point pu = nodes[static_cast<std::size_t>(u)].loc;
+      const geom::Point pv = nodes[static_cast<std::size_t>(v)].loc;
+      return by_x ? pu.x < pv.x : pu.y < pv.y;
+    });
+    const int mid = lo + (hi - lo) / 2;
+    const int left = build(order, lo, mid);
+    const int right = build(order, mid, hi);
+    return merge(left, right);
+  }
+};
+
+}  // namespace
+
+std::vector<double> ClockTree::source_sink_paths() const {
+  std::vector<double> out;
+  // Count sinks first.
+  int num_sinks = 0;
+  for (const auto& n : nodes)
+    if (n.sink >= 0) num_sinks = std::max(num_sinks, n.sink + 1);
+  out.assign(static_cast<std::size_t>(num_sinks), 0.0);
+  if (root < 0) return out;
+  // Iterative DFS accumulating wire path length.
+  std::vector<std::pair<int, double>> stack{{root, 0.0}};
+  while (!stack.empty()) {
+    const auto [idx, path] = stack.back();
+    stack.pop_back();
+    const TreeNode& n = nodes[static_cast<std::size_t>(idx)];
+    if (n.sink >= 0) {
+      out[static_cast<std::size_t>(n.sink)] = path;
+      continue;
+    }
+    if (n.left >= 0) stack.emplace_back(n.left, path + n.edge_left_um);
+    if (n.right >= 0) stack.emplace_back(n.right, path + n.edge_right_um);
+  }
+  return out;
+}
+
+double ClockTree::avg_source_sink_path_um() const {
+  const auto paths = source_sink_paths();
+  if (paths.empty()) return 0.0;
+  double sum = 0.0;
+  for (double p : paths) sum += p;
+  return sum / static_cast<double>(paths.size());
+}
+
+double ClockTree::root_delay_ps() const {
+  return root < 0 ? 0.0 : nodes[static_cast<std::size_t>(root)].delay_ps;
+}
+
+double sink_path_delay_ps(const ClockTree& tree, int sink,
+                          const timing::TechParams& tech) {
+  // Find the root -> sink path by parent tracing.
+  std::vector<int> parent(tree.nodes.size(), -1);
+  std::vector<int> stack{tree.root};
+  int leaf = -1;
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    const TreeNode& n = tree.nodes[static_cast<std::size_t>(u)];
+    if (n.sink == sink) {
+      leaf = u;
+      break;
+    }
+    if (n.left >= 0) {
+      parent[static_cast<std::size_t>(n.left)] = u;
+      stack.push_back(n.left);
+    }
+    if (n.right >= 0) {
+      parent[static_cast<std::size_t>(n.right)] = u;
+      stack.push_back(n.right);
+    }
+  }
+  if (leaf < 0) throw std::runtime_error("clock tree: sink not found");
+  std::vector<int> path;
+  for (int v = leaf; v >= 0; v = parent[static_cast<std::size_t>(v)])
+    path.push_back(v);
+  std::reverse(path.begin(), path.end());
+
+  const double r = tech.wire_res_per_um, c = tech.wire_cap_per_um;
+  double delay = 0.0;
+  for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+    const TreeNode& n = tree.nodes[static_cast<std::size_t>(path[k])];
+    const TreeNode& child = tree.nodes[static_cast<std::size_t>(path[k + 1])];
+    const double len =
+        path[k + 1] == n.left ? n.edge_left_um : n.edge_right_um;
+    delay += 1e-3 * r * len * (c * len / 2.0 + child.subtree_cap_ff);
+  }
+  return delay;
+}
+
+ClockTree build_prescribed_skew_tree(
+    const std::vector<geom::Point>& sinks,
+    const std::vector<double>& sink_caps,
+    const std::vector<double>& sink_init_delay_ps,
+    const timing::TechParams& tech) {
+  if (sinks.empty())
+    throw std::runtime_error("clock tree: no sinks");
+  if (!sink_caps.empty() && sink_caps.size() != sinks.size())
+    throw std::runtime_error("clock tree: sink_caps size mismatch");
+  if (!sink_init_delay_ps.empty() &&
+      sink_init_delay_ps.size() != sinks.size())
+    throw std::runtime_error("clock tree: sink_init_delay size mismatch");
+
+  ClockTree tree;
+  tree.nodes.reserve(sinks.size() * 2);
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    TreeNode leaf;
+    leaf.loc = sinks[i];
+    leaf.sink = static_cast<int>(i);
+    leaf.subtree_cap_ff =
+        sink_caps.empty() ? tech.ff_input_cap_ff : sink_caps[i];
+    leaf.delay_ps = sink_init_delay_ps.empty() ? 0.0 : sink_init_delay_ps[i];
+    tree.nodes.push_back(leaf);
+  }
+  Merger merger{tech, tree.nodes, tech.wire_res_per_um, tech.wire_cap_per_um,
+                1e-3};
+  std::vector<int> order(sinks.size());
+  for (std::size_t i = 0; i < sinks.size(); ++i) order[i] = static_cast<int>(i);
+  tree.root = merger.build(order, 0, static_cast<int>(sinks.size()));
+  for (const auto& n : tree.nodes)
+    tree.total_wirelength_um += n.edge_left_um + n.edge_right_um;
+  return tree;
+}
+
+ClockTree build_zero_skew_tree(const std::vector<geom::Point>& sinks,
+                               const std::vector<double>& sink_caps,
+                               const timing::TechParams& tech) {
+  return build_prescribed_skew_tree(sinks, sink_caps, {}, tech);
+}
+
+}  // namespace rotclk::cts

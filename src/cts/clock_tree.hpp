@@ -1,0 +1,68 @@
+#pragma once
+// Conventional zero-skew clock-tree synthesis baseline ([5],[6],[7]).
+//
+// Used for the "PL" reference column of Table II (average source-to-sink
+// path length in a conventional clock tree) and as the conventional-clock
+// power baseline. Topology comes from recursive geometric bipartition
+// (method of means and medians, Jackson/Kahng style); merging is exact
+// zero-skew under Elmore (Tsay [6]): at every internal node the tapping
+// point along the joining wire is solved so both subtrees see identical
+// delay, elongating (snaking) one branch when the balance point falls
+// outside the wire.
+
+#include <vector>
+
+#include "geom/point.hpp"
+#include "timing/tech.hpp"
+
+namespace rotclk::cts {
+
+struct TreeNode {
+  geom::Point loc;
+  int left = -1;            ///< child node indices (-1 for sinks)
+  int right = -1;
+  int sink = -1;            ///< sink index for leaves
+  double subtree_cap_ff = 0.0;
+  double delay_ps = 0.0;    ///< node-to-any-sink delay (zero skew)
+  double edge_left_um = 0.0;   ///< wire to left child (incl. snaking)
+  double edge_right_um = 0.0;
+};
+
+struct ClockTree {
+  std::vector<TreeNode> nodes;
+  int root = -1;
+  double total_wirelength_um = 0.0;
+
+  /// Wire path length from the root to each sink, in input-sink order.
+  [[nodiscard]] std::vector<double> source_sink_paths() const;
+  /// Mean of source_sink_paths (the paper's PL metric).
+  [[nodiscard]] double avg_source_sink_path_um() const;
+  /// Root-to-sink Elmore delay (equal for all sinks by construction).
+  [[nodiscard]] double root_delay_ps() const;
+};
+
+/// Build a zero-skew tree over the sinks. `sink_caps` may be empty (then
+/// every sink loads tech.ff_input_cap_ff).
+ClockTree build_zero_skew_tree(const std::vector<geom::Point>& sinks,
+                               const std::vector<double>& sink_caps,
+                               const timing::TechParams& tech);
+
+/// Physical wire delay (ps) from the root to one sink, recomputed from the
+/// embedded edges and downstream capacitances (independent of the stored
+/// per-node delay_ps bookkeeping).
+double sink_path_delay_ps(const ClockTree& tree, int sink,
+                          const timing::TechParams& tech);
+
+/// Prescribed-skew generalization: sink i starts with virtual delay
+/// `sink_init_delay_ps[i]` (empty = all zeros). The merge equalizes
+/// (wire delay to sink + init), so with init_i = -target_i every sink's
+/// physical delay is exactly target_i + root delay_ps — the construction
+/// the local clock trees of Sec. IX use. With zero inits this is exactly
+/// build_zero_skew_tree.
+ClockTree build_prescribed_skew_tree(
+    const std::vector<geom::Point>& sinks,
+    const std::vector<double>& sink_caps,
+    const std::vector<double>& sink_init_delay_ps,
+    const timing::TechParams& tech);
+
+}  // namespace rotclk::cts

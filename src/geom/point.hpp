@@ -1,0 +1,46 @@
+#pragma once
+// 2-D points with Manhattan metrics. All layout coordinates in rotclk are
+// in micrometers (double), matching the paper's reporting units.
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace rotclk::geom {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point operator*(Point a, double s) { return {a.x * s, a.y * s}; }
+  friend Point operator*(double s, Point a) { return a * s; }
+  friend bool operator==(const Point& a, const Point& b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Point p) {
+    return os << '(' << p.x << ", " << p.y << ')';
+  }
+};
+
+/// Manhattan (rectilinear) distance — the wirelength metric throughout.
+inline double manhattan(Point a, Point b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Euclidean distance, used only by the clock-tree topology clustering.
+inline double euclidean(Point a, Point b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Component-wise midpoint.
+inline Point midpoint(Point a, Point b) {
+  return {(a.x + b.x) / 2.0, (a.y + b.y) / 2.0};
+}
+
+/// Clamp `v` into [lo, hi].
+inline double clamp(double v, double lo, double hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+}  // namespace rotclk::geom

@@ -1,0 +1,36 @@
+#include "geom/rect.hpp"
+
+#include <algorithm>
+
+namespace rotclk::geom {
+
+void Rect::expand(Point p) {
+  xlo = std::min(xlo, p.x);
+  ylo = std::min(ylo, p.y);
+  xhi = std::max(xhi, p.x);
+  yhi = std::max(yhi, p.y);
+}
+
+Point Rect::clamp_inside(Point p) const {
+  return {clamp(p.x, xlo, xhi), clamp(p.y, ylo, yhi)};
+}
+
+double Rect::manhattan_to(Point p) const {
+  return manhattan(p, clamp_inside(p));
+}
+
+void BBox::add(Point p) {
+  if (count_ == 0) {
+    rect_ = Rect{p.x, p.y, p.x, p.y};
+  } else {
+    rect_.expand(p);
+  }
+  ++count_;
+}
+
+double BBox::half_perimeter() const {
+  if (count_ == 0) return 0.0;
+  return rect_.width() + rect_.height();
+}
+
+}  // namespace rotclk::geom

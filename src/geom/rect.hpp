@@ -1,0 +1,53 @@
+#pragma once
+// Axis-aligned rectangles: chip core area, ring bounding boxes, placement
+// bins. Degenerate (point/segment) rectangles are allowed.
+
+#include <ostream>
+
+#include "geom/point.hpp"
+
+namespace rotclk::geom {
+
+struct Rect {
+  double xlo = 0.0;
+  double ylo = 0.0;
+  double xhi = 0.0;
+  double yhi = 0.0;
+
+  [[nodiscard]] double width() const { return xhi - xlo; }
+  [[nodiscard]] double height() const { return yhi - ylo; }
+  [[nodiscard]] double area() const { return width() * height(); }
+  [[nodiscard]] Point center() const {
+    return {(xlo + xhi) / 2.0, (ylo + yhi) / 2.0};
+  }
+  [[nodiscard]] bool contains(Point p) const {
+    return p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi;
+  }
+  /// Grow the rect to include `p`.
+  void expand(Point p);
+  /// Closest point inside the rect to `p` (p itself if contained).
+  [[nodiscard]] Point clamp_inside(Point p) const;
+  /// Manhattan distance from `p` to the rect (0 if inside).
+  [[nodiscard]] double manhattan_to(Point p) const;
+
+  friend bool operator==(const Rect& a, const Rect& b) = default;
+  friend std::ostream& operator<<(std::ostream& os, const Rect& r) {
+    return os << '[' << r.xlo << ',' << r.ylo << " .. " << r.xhi << ','
+              << r.yhi << ']';
+  }
+};
+
+/// Bounding box accumulator for half-perimeter wirelength (HPWL).
+class BBox {
+ public:
+  void add(Point p);
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] double half_perimeter() const;
+  [[nodiscard]] Rect rect() const { return rect_; }
+
+ private:
+  Rect rect_;
+  int count_ = 0;
+};
+
+}  // namespace rotclk::geom

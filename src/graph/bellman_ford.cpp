@@ -1,0 +1,94 @@
+#include "graph/bellman_ford.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace rotclk::graph {
+
+BellmanFordResult bellman_ford_all(int num_nodes,
+                                   const std::vector<Edge>& edges) {
+  BellmanFordResult res;
+  res.dist.assign(static_cast<std::size_t>(num_nodes), 0.0);  // super-source
+  std::vector<int> parent(static_cast<std::size_t>(num_nodes), -1);
+  int last_relaxed = -1;
+  for (int pass = 0; pass <= num_nodes; ++pass) {
+    last_relaxed = -1;
+    for (const Edge& e : edges) {
+      const double nd = res.dist[static_cast<std::size_t>(e.from)] + e.weight;
+      if (nd < res.dist[static_cast<std::size_t>(e.to)] - 1e-12) {
+        res.dist[static_cast<std::size_t>(e.to)] = nd;
+        parent[static_cast<std::size_t>(e.to)] = e.from;
+        last_relaxed = e.to;
+      }
+    }
+    if (last_relaxed < 0) return res;  // converged
+  }
+  // Still relaxing after n passes: negative cycle. Walk parents n times to
+  // land inside the cycle, then trace it.
+  res.has_negative_cycle = true;
+  int v = last_relaxed;
+  for (int i = 0; i < num_nodes; ++i) v = parent[static_cast<std::size_t>(v)];
+  std::vector<int> cycle{v};
+  for (int u = parent[static_cast<std::size_t>(v)]; u != v;
+       u = parent[static_cast<std::size_t>(u)])
+    cycle.push_back(u);
+  cycle.push_back(v);
+  std::reverse(cycle.begin(), cycle.end());
+  res.cycle = std::move(cycle);
+  return res;
+}
+
+std::vector<double> bellman_ford_from(int source, int num_nodes,
+                                      const std::vector<Edge>& edges) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<std::size_t>(num_nodes), kInf);
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  for (int pass = 0; pass < num_nodes; ++pass) {
+    bool changed = false;
+    for (const Edge& e : edges) {
+      if (dist[static_cast<std::size_t>(e.from)] == kInf) continue;
+      const double nd = dist[static_cast<std::size_t>(e.from)] + e.weight;
+      if (nd < dist[static_cast<std::size_t>(e.to)] - 1e-12) {
+        dist[static_cast<std::size_t>(e.to)] = nd;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+std::vector<int> find_negative_cycle(int num_nodes,
+                                     const std::vector<Edge>& edges,
+                                     double tolerance) {
+  std::vector<double> dist(static_cast<std::size_t>(num_nodes), 0.0);
+  std::vector<int> parent_edge(static_cast<std::size_t>(num_nodes), -1);
+  int last_relaxed = -1;
+  for (int pass = 0; pass <= num_nodes; ++pass) {
+    last_relaxed = -1;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const Edge& e = edges[i];
+      const double nd = dist[static_cast<std::size_t>(e.from)] + e.weight;
+      if (nd < dist[static_cast<std::size_t>(e.to)] - tolerance) {
+        dist[static_cast<std::size_t>(e.to)] = nd;
+        parent_edge[static_cast<std::size_t>(e.to)] = static_cast<int>(i);
+        last_relaxed = e.to;
+      }
+    }
+    if (last_relaxed < 0) return {};
+  }
+  // Walk back n steps to guarantee we are on the cycle.
+  int v = last_relaxed;
+  for (int i = 0; i < num_nodes; ++i)
+    v = edges[static_cast<std::size_t>(parent_edge[static_cast<std::size_t>(v)])].from;
+  std::vector<int> cycle{v};
+  for (int u = edges[static_cast<std::size_t>(parent_edge[static_cast<std::size_t>(v)])].from;
+       u != v;
+       u = edges[static_cast<std::size_t>(parent_edge[static_cast<std::size_t>(u)])].from)
+    cycle.push_back(u);
+  cycle.push_back(v);
+  std::reverse(cycle.begin(), cycle.end());
+  return cycle;
+}
+
+}  // namespace rotclk::graph

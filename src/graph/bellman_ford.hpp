@@ -1,0 +1,43 @@
+#pragma once
+// Bellman-Ford shortest paths with negative-cycle detection.
+//
+// Used as the feasibility oracle for difference-constraint systems (skew
+// scheduling, Sec. VII) and to find negative cycles for the min-cost
+// circulation solver.
+
+#include <vector>
+
+namespace rotclk::graph {
+
+struct Edge {
+  int from = 0;
+  int to = 0;
+  double weight = 0.0;
+};
+
+struct BellmanFordResult {
+  bool has_negative_cycle = false;
+  /// Shortest distance from the virtual super-source (0 to every node);
+  /// meaningless when has_negative_cycle.
+  std::vector<double> dist;
+  /// One negative cycle as a node sequence (first == last) when detected.
+  std::vector<int> cycle;
+};
+
+/// Run Bellman-Ford from a virtual source connected to every node with
+/// 0-weight arcs (the standard difference-constraint construction).
+BellmanFordResult bellman_ford_all(int num_nodes,
+                                   const std::vector<Edge>& edges);
+
+/// Single-source shortest paths (negative weights allowed, no negative
+/// cycles reachable from `source` assumed). Unreachable nodes get +inf.
+std::vector<double> bellman_ford_from(int source, int num_nodes,
+                                      const std::vector<Edge>& edges);
+
+/// Find any negative-weight cycle, or return empty. (SPFA-style with parent
+/// tracing; exact for real weights up to the given tolerance.)
+std::vector<int> find_negative_cycle(int num_nodes,
+                                     const std::vector<Edge>& edges,
+                                     double tolerance = 1e-9);
+
+}  // namespace rotclk::graph

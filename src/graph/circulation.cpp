@@ -1,0 +1,209 @@
+#include "graph/circulation.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/bellman_ford.hpp"
+
+namespace rotclk::graph {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+MinCostCirculation::MinCostCirculation(int num_nodes)
+    : num_nodes_(num_nodes) {}
+
+int MinCostCirculation::add_arc(int from, int to, double capacity,
+                                double cost) {
+  if (from < 0 || from >= num_nodes_ || to < 0 || to >= num_nodes_)
+    throw std::runtime_error("circulation: arc endpoint out of range");
+  const int id = static_cast<int>(arcs_.size());
+  arcs_.push_back(Arc{from, to, capacity, cost});
+  arcs_.push_back(Arc{to, from, 0.0, -cost});
+  return id;
+}
+
+MinCostCirculation::Result MinCostCirculation::solve(long max_cycles,
+                                                     double tolerance) {
+  Result res;
+  while (res.cycles_canceled < max_cycles) {
+    // Residual edges with index mapping back to arcs.
+    std::vector<Edge> edges;
+    std::vector<int> edge_arc;
+    edges.reserve(arcs_.size());
+    for (std::size_t i = 0; i < arcs_.size(); ++i) {
+      if (arcs_[i].cap > kEps) {
+        edges.push_back(Edge{arcs_[i].from, arcs_[i].to, arcs_[i].cost});
+        edge_arc.push_back(static_cast<int>(i));
+      }
+    }
+    const std::vector<int> cycle =
+        find_negative_cycle(num_nodes_, edges, tolerance);
+    if (cycle.empty()) {
+      res.optimal = true;
+      break;
+    }
+    // Map node cycle back to residual arcs: for each consecutive pair pick
+    // the cheapest residual arc between them.
+    std::vector<int> path_arcs;
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k + 1 < cycle.size(); ++k) {
+      int best = -1;
+      for (std::size_t i = 0; i < arcs_.size(); ++i) {
+        if (arcs_[i].cap <= kEps) continue;
+        if (arcs_[i].from != cycle[k] || arcs_[i].to != cycle[k + 1]) continue;
+        if (best < 0 || arcs_[i].cost < arcs_[static_cast<std::size_t>(best)].cost)
+          best = static_cast<int>(i);
+      }
+      if (best < 0) { path_arcs.clear(); break; }  // stale cycle; retry
+      path_arcs.push_back(best);
+      bottleneck = std::min(bottleneck, arcs_[static_cast<std::size_t>(best)].cap);
+    }
+    if (path_arcs.empty()) break;
+    double cycle_cost = 0.0;
+    for (int id : path_arcs) cycle_cost += arcs_[static_cast<std::size_t>(id)].cost;
+    if (cycle_cost >= -tolerance) {  // numerically not worth canceling
+      res.optimal = true;
+      break;
+    }
+    for (int id : path_arcs) {
+      arcs_[static_cast<std::size_t>(id)].cap -= bottleneck;
+      arcs_[static_cast<std::size_t>(id) ^ 1].cap += bottleneck;
+    }
+    res.cost += cycle_cost * bottleneck;
+    ++res.cycles_canceled;
+  }
+  return res;
+}
+
+MinCostCirculation::Result MinCostCirculation::solve_ssp(
+    const std::vector<double>& initial_potentials,
+    std::vector<double>* final_potentials) {
+  Result res;
+  const std::size_t n = static_cast<std::size_t>(num_nodes_);
+  std::vector<double> pot = initial_potentials;
+  std::vector<double> excess(n, 0.0);
+
+  // Saturate every finite negative-reduced-cost arc; infinite-capacity
+  // arcs must already be nonnegative under the caller's potentials (tiny
+  // numerical negatives are clamped to zero inside the Dijkstra).
+  constexpr double kFiniteCap = 1e17;
+  double total_saturated = 0.0;
+  for (std::size_t i = 0; i < arcs_.size(); ++i) {
+    Arc& a = arcs_[i];
+    if (a.cap <= kEps) continue;
+    const double rc = a.cost + pot[static_cast<std::size_t>(a.from)] -
+                      pot[static_cast<std::size_t>(a.to)];
+    if (rc >= -1e-9) continue;
+    if (a.cap >= kFiniteCap)
+      throw std::runtime_error(
+          "circulation: infinite-capacity arc with negative reduced cost");
+    const double f = a.cap;
+    excess[static_cast<std::size_t>(a.to)] += f;
+    excess[static_cast<std::size_t>(a.from)] -= f;
+    res.cost += f * a.cost;
+    arcs_[i ^ 1].cap += f;
+    a.cap = 0.0;
+    total_saturated += f;
+  }
+  // One epsilon for both excess and deficit detection, scaled to the flow
+  // actually in play, so residues always pair up.
+  const double flow_eps = std::max(1e-9, 1e-10 * total_saturated);
+
+  // Adjacency over the arc pool (residual capacities change, ids do not).
+  std::vector<std::vector<int>> head(n);
+  for (std::size_t i = 0; i < arcs_.size(); ++i)
+    head[static_cast<std::size_t>(arcs_[i].from)].push_back(static_cast<int>(i));
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n);
+  std::vector<int> parent(n);
+  std::vector<char> settled(n);
+
+  auto route_from = [&](int s) -> bool {
+    // Dijkstra over reduced costs from s until a deficit node is settled.
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(parent.begin(), parent.end(), -1);
+    std::fill(settled.begin(), settled.end(), 0);
+    using Item = std::pair<double, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[static_cast<std::size_t>(s)] = 0.0;
+    pq.emplace(0.0, s);
+    int target = -1;
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (settled[static_cast<std::size_t>(u)]) continue;
+      settled[static_cast<std::size_t>(u)] = 1;
+      if (excess[static_cast<std::size_t>(u)] < -flow_eps * 1e-3) {
+        target = u;
+        break;
+      }
+      for (int id : head[static_cast<std::size_t>(u)]) {
+        const Arc& a = arcs_[static_cast<std::size_t>(id)];
+        if (a.cap <= kEps) continue;
+        const double rc = std::max(
+            0.0, a.cost + pot[static_cast<std::size_t>(u)] -
+                     pot[static_cast<std::size_t>(a.to)]);
+        const double nd = d + rc;
+        if (nd < dist[static_cast<std::size_t>(a.to)] - 1e-15) {
+          dist[static_cast<std::size_t>(a.to)] = nd;
+          parent[static_cast<std::size_t>(a.to)] = id;
+          pq.emplace(nd, a.to);
+        }
+      }
+    }
+    if (target < 0) return false;
+    // Standard potential update keeps all residual reduced costs >= 0.
+    const double dt = dist[static_cast<std::size_t>(target)];
+    for (std::size_t v = 0; v < n; ++v)
+      pot[v] += std::min(dist[v], dt);
+    // Augment along the path by the bottleneck.
+    double push = std::min(excess[static_cast<std::size_t>(s)],
+                           -excess[static_cast<std::size_t>(target)]);
+    for (int v = target; v != s;) {
+      const int id = parent[static_cast<std::size_t>(v)];
+      push = std::min(push, arcs_[static_cast<std::size_t>(id)].cap);
+      v = arcs_[static_cast<std::size_t>(id)].from;
+    }
+    for (int v = target; v != s;) {
+      const int id = parent[static_cast<std::size_t>(v)];
+      arcs_[static_cast<std::size_t>(id)].cap -= push;
+      arcs_[static_cast<std::size_t>(id) ^ 1].cap += push;
+      res.cost += push * arcs_[static_cast<std::size_t>(id)].cost;
+      v = arcs_[static_cast<std::size_t>(id)].from;
+    }
+    excess[static_cast<std::size_t>(s)] -= push;
+    excess[static_cast<std::size_t>(target)] += push;
+    ++res.cycles_canceled;  // counts augmentations in this mode
+    return true;
+  };
+
+  for (std::size_t s = 0; s < n; ++s) {
+    while (excess[s] > flow_eps) {
+      if (!route_from(static_cast<int>(s)))
+        throw std::runtime_error(
+            "circulation: imbalance cannot be routed (bad potentials?)");
+    }
+  }
+  res.optimal = true;
+  if (final_potentials != nullptr) *final_potentials = std::move(pot);
+  return res;
+}
+
+double MinCostCirculation::flow_on(int arc_id) const {
+  return arcs_[static_cast<std::size_t>(arc_id) ^ 1].cap;
+}
+
+std::vector<double> MinCostCirculation::potentials() const {
+  std::vector<Edge> edges;
+  for (const Arc& a : arcs_)
+    if (a.cap > kEps) edges.push_back(Edge{a.from, a.to, a.cost});
+  return bellman_ford_all(num_nodes_, edges).dist;
+}
+
+}  // namespace rotclk::graph

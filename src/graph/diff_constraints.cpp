@@ -1,0 +1,47 @@
+#include "graph/diff_constraints.hpp"
+
+#include <stdexcept>
+
+#include "graph/bellman_ford.hpp"
+
+namespace rotclk::graph {
+
+DiffConstraintSystem::DiffConstraintSystem(int num_variables)
+    : num_vars_(num_variables) {}
+
+void DiffConstraintSystem::add(int i, int j, double c) {
+  if (i < 0 || i >= num_vars_ || j < 0 || j >= num_vars_)
+    throw std::runtime_error("diff-constraints: variable out of range");
+  edges_.push_back(Row{i, j, c});
+}
+
+void DiffConstraintSystem::add_upper(int i, double c) {
+  // x_i - ref <= c with ref pinned to 0 (node index num_vars_).
+  edges_.push_back(Row{i, num_vars_, c});
+}
+
+void DiffConstraintSystem::add_lower(int i, double c) {
+  // ref - x_i <= -c.
+  edges_.push_back(Row{num_vars_, i, -c});
+}
+
+DiffConstraintSystem::Result DiffConstraintSystem::solve() const {
+  // Constraint x_i - x_j <= c becomes edge j -> i with weight c; shortest
+  // distances from a virtual all-zeros source satisfy d_i <= d_j + c.
+  const int n = num_vars_ + 1;  // + reference node
+  std::vector<Edge> edges;
+  edges.reserve(edges_.size());
+  for (const Row& r : edges_) edges.push_back(Edge{r.j, r.i, r.c});
+  const BellmanFordResult bf = bellman_ford_all(n, edges);
+  Result res;
+  if (bf.has_negative_cycle) return res;
+  res.feasible = true;
+  res.values.resize(static_cast<std::size_t>(num_vars_));
+  const double ref = bf.dist[static_cast<std::size_t>(num_vars_)];
+  for (int i = 0; i < num_vars_; ++i)
+    res.values[static_cast<std::size_t>(i)] =
+        bf.dist[static_cast<std::size_t>(i)] - ref;
+  return res;
+}
+
+}  // namespace rotclk::graph

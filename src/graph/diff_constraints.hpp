@@ -1,0 +1,48 @@
+#pragma once
+// Difference-constraint systems: x_i - x_j <= c.
+//
+// The skew-scheduling formulations of Sec. VII are LPs whose constraint
+// matrices are pure difference constraints; feasibility and one feasible
+// point come from Bellman-Ford shortest paths (the paper's graph-based
+// alternative [23],[24] to calling an LP solver).
+
+#include <vector>
+
+namespace rotclk::graph {
+
+class DiffConstraintSystem {
+ public:
+  explicit DiffConstraintSystem(int num_variables);
+
+  /// Add x_i - x_j <= c.
+  void add(int i, int j, double c);
+
+  /// Add x_i <= c (implemented against an internal reference node).
+  void add_upper(int i, double c);
+
+  /// Add x_i >= c.
+  void add_lower(int i, double c);
+
+  struct Result {
+    bool feasible = false;
+    /// A feasible assignment (shortest-path distances, normalized so the
+    /// internal reference variable is 0). Empty when infeasible.
+    std::vector<double> values;
+  };
+
+  /// Solve for feasibility and a witness point.
+  [[nodiscard]] Result solve() const;
+
+  [[nodiscard]] int num_variables() const { return num_vars_; }
+  [[nodiscard]] std::size_t num_constraints() const { return edges_.size(); }
+
+ private:
+  struct Row {
+    int i, j;
+    double c;
+  };
+  int num_vars_;
+  std::vector<Row> edges_;
+};
+
+}  // namespace rotclk::graph

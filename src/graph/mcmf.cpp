@@ -1,0 +1,127 @@
+#include "graph/mcmf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace rotclk::graph {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-12;
+}  // namespace
+
+MinCostMaxFlow::MinCostMaxFlow(int num_nodes)
+    : head_(static_cast<std::size_t>(num_nodes)),
+      potential_(static_cast<std::size_t>(num_nodes), 0.0) {}
+
+int MinCostMaxFlow::add_arc(int from, int to, double capacity, double cost) {
+  if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes())
+    throw std::runtime_error("mcmf: arc endpoint out of range");
+  const int id = static_cast<int>(arcs_.size());
+  head_[static_cast<std::size_t>(from)].push_back(id);
+  arcs_.push_back(Arc{to, capacity, cost});
+  head_[static_cast<std::size_t>(to)].push_back(id + 1);
+  arcs_.push_back(Arc{from, 0.0, -cost});
+  return id;
+}
+
+bool MinCostMaxFlow::bellman_ford_potentials(int source) {
+  // Establish potentials so all residual reduced costs are nonnegative.
+  const int n = num_nodes();
+  std::vector<double> dist(static_cast<std::size_t>(n), kInf);
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  bool changed = true;
+  for (int pass = 0; pass < n && changed; ++pass) {
+    changed = false;
+    for (int u = 0; u < n; ++u) {
+      if (dist[static_cast<std::size_t>(u)] == kInf) continue;
+      for (int id : head_[static_cast<std::size_t>(u)]) {
+        const Arc& a = arcs_[static_cast<std::size_t>(id)];
+        if (a.cap <= kEps) continue;
+        const double nd = dist[static_cast<std::size_t>(u)] + a.cost;
+        if (nd < dist[static_cast<std::size_t>(a.to)] - kEps) {
+          dist[static_cast<std::size_t>(a.to)] = nd;
+          changed = true;
+        }
+      }
+    }
+  }
+  if (changed) return false;  // negative cycle reachable from source
+  for (int u = 0; u < n; ++u)
+    potential_[static_cast<std::size_t>(u)] =
+        dist[static_cast<std::size_t>(u)] == kInf ? 0.0
+                                                  : dist[static_cast<std::size_t>(u)];
+  return true;
+}
+
+bool MinCostMaxFlow::dijkstra(int source, int target,
+                              std::vector<int>& parent_arc) {
+  const int n = num_nodes();
+  std::vector<double> dist(static_cast<std::size_t>(n), kInf);
+  parent_arc.assign(static_cast<std::size_t>(n), -1);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  pq.emplace(0.0, source);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(u)] + kEps) continue;
+    for (int id : head_[static_cast<std::size_t>(u)]) {
+      const Arc& a = arcs_[static_cast<std::size_t>(id)];
+      if (a.cap <= kEps) continue;
+      const double reduced = a.cost + potential_[static_cast<std::size_t>(u)] -
+                             potential_[static_cast<std::size_t>(a.to)];
+      // Reduced costs are >= 0 up to roundoff; clamp tiny negatives.
+      const double nd = d + std::max(0.0, reduced);
+      if (nd < dist[static_cast<std::size_t>(a.to)] - kEps) {
+        dist[static_cast<std::size_t>(a.to)] = nd;
+        parent_arc[static_cast<std::size_t>(a.to)] = id;
+        pq.emplace(nd, a.to);
+      }
+    }
+  }
+  if (dist[static_cast<std::size_t>(target)] == kInf) return false;
+  for (int u = 0; u < n; ++u) {
+    if (dist[static_cast<std::size_t>(u)] < kInf)
+      potential_[static_cast<std::size_t>(u)] += dist[static_cast<std::size_t>(u)];
+  }
+  return true;
+}
+
+MinCostMaxFlow::Result MinCostMaxFlow::solve(int source, int target,
+                                             double max_flow) {
+  Result res;
+  if (!bellman_ford_potentials(source))
+    throw std::runtime_error("mcmf: negative cycle in input graph");
+  std::vector<int> parent_arc;
+  while (res.flow + kEps < max_flow) {
+    if (!dijkstra(source, target, parent_arc)) break;
+    // Bottleneck along the path.
+    double push = max_flow - res.flow;
+    for (int v = target; v != source;) {
+      const int id = parent_arc[static_cast<std::size_t>(v)];
+      push = std::min(push, arcs_[static_cast<std::size_t>(id)].cap);
+      v = arcs_[static_cast<std::size_t>(id ^ 1)].to;
+    }
+    for (int v = target; v != source;) {
+      const int id = parent_arc[static_cast<std::size_t>(v)];
+      arcs_[static_cast<std::size_t>(id)].cap -= push;
+      arcs_[static_cast<std::size_t>(id ^ 1)].cap += push;
+      res.cost += push * arcs_[static_cast<std::size_t>(id)].cost;
+      v = arcs_[static_cast<std::size_t>(id ^ 1)].to;
+    }
+    res.flow += push;
+  }
+  return res;
+}
+
+double MinCostMaxFlow::flow_on(int arc_id) const {
+  // Flow equals the residual capacity accumulated on the reverse arc.
+  return arcs_[static_cast<std::size_t>(arc_id ^ 1)].cap;
+}
+
+}  // namespace rotclk::graph

@@ -1,0 +1,51 @@
+#pragma once
+// Min-cost max-flow via successive shortest augmenting paths with Johnson
+// potentials (Dijkstra inside). Costs may be arbitrary reals as long as the
+// initial graph has no negative-cost arc reachable with residual capacity
+// (an initial Bellman-Ford pass establishes valid potentials otherwise).
+//
+// This is the solver behind the flip-flop-to-ring assignment of Sec. V
+// (Fig. 4): unit-supply flip-flop nodes, capacity-U_j ring nodes.
+
+#include <vector>
+
+namespace rotclk::graph {
+
+class MinCostMaxFlow {
+ public:
+  explicit MinCostMaxFlow(int num_nodes);
+
+  /// Add a directed arc; returns an arc id usable with flow_on().
+  int add_arc(int from, int to, double capacity, double cost);
+
+  struct Result {
+    double flow = 0.0;
+    double cost = 0.0;
+  };
+
+  /// Push min-cost flow from `source` to `target` until `max_flow` is
+  /// reached or no augmenting path remains.
+  Result solve(int source, int target,
+               double max_flow = 1e100);
+
+  /// Flow currently on the arc with this id (after solve()).
+  [[nodiscard]] double flow_on(int arc_id) const;
+
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(head_.size()); }
+
+ private:
+  struct Arc {
+    int to;
+    double cap;   // residual capacity
+    double cost;
+  };
+  // Forward arc 2k pairs with backward arc 2k+1.
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<int>> head_;  // node -> arc indices
+  std::vector<double> potential_;
+
+  bool bellman_ford_potentials(int source);
+  bool dijkstra(int source, int target, std::vector<int>& parent_arc);
+};
+
+}  // namespace rotclk::graph

@@ -1,0 +1,78 @@
+#include "graph/min_mean_cycle.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace rotclk::graph {
+
+MinMeanCycleResult min_mean_cycle(int num_nodes,
+                                  const std::vector<Edge>& edges) {
+  MinMeanCycleResult result;
+  const std::size_t n = static_cast<std::size_t>(num_nodes);
+  if (n == 0 || edges.empty()) return result;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // d[k][v]: minimum weight of a k-edge walk from the virtual source
+  // (connected to every node with weight 0) to v. The virtual source makes
+  // every node reachable, which Karp's theorem permits.
+  std::vector<std::vector<double>> d(n + 1,
+                                     std::vector<double>(n, kInf));
+  std::vector<std::vector<int>> parent(n + 1, std::vector<int>(n, -1));
+  for (std::size_t v = 0; v < n; ++v) d[0][v] = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    for (const Edge& e : edges) {
+      const std::size_t u = static_cast<std::size_t>(e.from);
+      const std::size_t v = static_cast<std::size_t>(e.to);
+      if (d[k - 1][u] == kInf) continue;
+      const double w = d[k - 1][u] + e.weight;
+      if (w < d[k][v]) {
+        d[k][v] = w;
+        parent[k][v] = e.from;
+      }
+    }
+  }
+
+  // mu* = min over v of max over k of (d[n][v] - d[k][v]) / (n - k).
+  double best = kInf;
+  int best_v = -1;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (d[n][v] == kInf) continue;
+    double worst = -kInf;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (d[k][v] == kInf) continue;
+      worst = std::max(worst, (d[n][v] - d[k][v]) /
+                                  static_cast<double>(n - k));
+    }
+    if (worst != -kInf && worst < best) {
+      best = worst;
+      best_v = static_cast<int>(v);
+    }
+  }
+  if (best_v < 0) return result;  // acyclic: no n-edge walk exists
+  result.has_cycle = true;
+  result.mean = best;
+
+  // Recover a cycle: walk n parents from best_v along the d[n][.] walk;
+  // some node repeats, and the repeated stretch is a min-mean cycle.
+  std::vector<int> walk;  // walk[i] = node at position n - i
+  int v = best_v;
+  for (int k = static_cast<int>(n); k >= 0 && v >= 0; --k) {
+    walk.push_back(v);
+    if (k > 0) v = parent[static_cast<std::size_t>(k)][static_cast<std::size_t>(v)];
+  }
+  std::vector<int> seen_at(n, -1);
+  for (std::size_t i = 0; i < walk.size(); ++i) {
+    const int node = walk[i];
+    if (node < 0) break;
+    if (seen_at[static_cast<std::size_t>(node)] >= 0) {
+      // walk[seen_at[node]] .. walk[i] is a cycle (in reverse direction).
+      for (std::size_t j = i + 1; j-- > static_cast<std::size_t>(seen_at[static_cast<std::size_t>(node)]);)
+        result.cycle.push_back(walk[j]);
+      break;
+    }
+    seen_at[static_cast<std::size_t>(node)] = static_cast<int>(i);
+  }
+  return result;
+}
+
+}  // namespace rotclk::graph

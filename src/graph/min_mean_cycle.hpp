@@ -1,0 +1,28 @@
+#pragma once
+// Karp's minimum mean cycle algorithm.
+//
+// For the max-slack skew schedule (Sec. VII), every unit of slack M
+// subtracts 1 from every constraint-graph arc weight, and feasibility
+// requires all cycles nonnegative — so the optimum M* equals the minimum
+// cycle mean of the graph at M = 0. Karp computes that exactly in O(nm),
+// giving a direct (no binary search) solver that the test suite
+// cross-checks against the Bellman-Ford bisection and the LP.
+
+#include <vector>
+
+#include "graph/bellman_ford.hpp"
+
+namespace rotclk::graph {
+
+struct MinMeanCycleResult {
+  bool has_cycle = false;
+  double mean = 0.0;        ///< minimum cycle mean (undefined if !has_cycle)
+  std::vector<int> cycle;   ///< one cycle achieving it (first == last)
+};
+
+/// Karp's algorithm over the edge list. Nodes unreachable from others are
+/// handled by the standard virtual-source construction.
+MinMeanCycleResult min_mean_cycle(int num_nodes,
+                                  const std::vector<Edge>& edges);
+
+}  // namespace rotclk::graph

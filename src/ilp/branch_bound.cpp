@@ -1,0 +1,145 @@
+#include "ilp/branch_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "lp/revised_simplex.hpp"
+#include "lp/simplex.hpp"
+#include "util/timer.hpp"
+
+namespace rotclk::ilp {
+
+const char* to_string(IlpStatus s) {
+  switch (s) {
+    case IlpStatus::Optimal: return "optimal";
+    case IlpStatus::Feasible: return "feasible";
+    case IlpStatus::Infeasible: return "infeasible";
+    case IlpStatus::NoSolution: return "no-solution";
+  }
+  return "?";
+}
+
+namespace {
+
+class Solver {
+ public:
+  Solver(const lp::Model& model, const std::vector<int>& integer_vars,
+         const IlpOptions& opt)
+      : model_(model), integer_vars_(integer_vars), opt_(opt),
+        minimize_(model.objective == lp::Objective::Minimize) {}
+
+  IlpResult run() {
+    util::Timer timer;
+    dive();
+    result_.seconds = timer.seconds();
+    if (have_incumbent_) {
+      result_.status = exhausted_ ? IlpStatus::Feasible : IlpStatus::Optimal;
+      result_.objective = incumbent_obj_;
+      result_.values = incumbent_;
+    } else {
+      result_.status = exhausted_ ? IlpStatus::NoSolution : IlpStatus::Infeasible;
+    }
+    return result_;
+  }
+
+ private:
+  // Objective comparison in a sense-free way: returns true when a is
+  // strictly better than b.
+  [[nodiscard]] bool better(double a, double b) const {
+    return minimize_ ? a < b - 1e-9 : a > b + 1e-9;
+  }
+
+  void dive() {
+    timer_.reset();
+    recurse(0);
+  }
+
+  void recurse(int depth) {
+    if (exhausted_) return;
+    if (result_.nodes_explored >= opt_.max_nodes ||
+        timer_.seconds() > opt_.time_limit_s) {
+      exhausted_ = true;
+      return;
+    }
+    ++result_.nodes_explored;
+
+    const lp::Solution rel = lp::solve_auto(model_, opt_.lp_options);
+    if (rel.status == lp::SolveStatus::Infeasible) return;
+    if (rel.status != lp::SolveStatus::Optimal) {
+      // Unbounded/iteration-limited relaxation: cannot bound this subtree;
+      // treat as exhausted to stay sound.
+      exhausted_ = true;
+      return;
+    }
+    if (depth == 0) result_.best_bound = rel.objective;
+    if (have_incumbent_ && !better(rel.objective, incumbent_obj_)) return;
+
+    // Most fractional integer variable.
+    int branch_var = -1;
+    double best_frac = opt_.integrality_tolerance;
+    for (int v : integer_vars_) {
+      const double x = rel.values[static_cast<std::size_t>(v)];
+      const double frac = std::abs(x - std::round(x));
+      if (frac > best_frac) {
+        best_frac = frac;
+        branch_var = v;
+      }
+    }
+    if (branch_var < 0) {
+      // Integral: candidate incumbent.
+      if (!have_incumbent_ || better(rel.objective, incumbent_obj_)) {
+        have_incumbent_ = true;
+        incumbent_obj_ = rel.objective;
+        incumbent_ = rel.values;
+        for (int v : integer_vars_)
+          incumbent_[static_cast<std::size_t>(v)] =
+              std::round(incumbent_[static_cast<std::size_t>(v)]);
+      }
+      return;
+    }
+
+    const double x = rel.values[static_cast<std::size_t>(branch_var)];
+    const auto& var = model_.variables()[static_cast<std::size_t>(branch_var)];
+    const double lo = var.lower, hi = var.upper;
+    const double floor_x = std::floor(x), ceil_x = std::ceil(x);
+
+    // Round-nearest child first (better incumbents earlier).
+    const bool down_first = (x - floor_x) <= (ceil_x - x);
+    for (int side = 0; side < 2; ++side) {
+      const bool down = (side == 0) == down_first;
+      if (down) {
+        if (floor_x < lo - 1e-12) continue;
+        model_.set_bounds(branch_var, lo, floor_x);
+      } else {
+        if (ceil_x > hi + 1e-12) continue;
+        model_.set_bounds(branch_var, ceil_x, hi);
+      }
+      recurse(depth + 1);
+      model_.set_bounds(branch_var, lo, hi);
+      if (exhausted_) return;
+    }
+  }
+
+  lp::Model model_;  // mutable copy; bounds are tweaked and restored
+  const std::vector<int>& integer_vars_;
+  const IlpOptions& opt_;
+  const bool minimize_;
+  util::Timer timer_;
+  IlpResult result_;
+  bool have_incumbent_ = false;
+  bool exhausted_ = false;
+  double incumbent_obj_ = 0.0;
+  std::vector<double> incumbent_;
+};
+
+}  // namespace
+
+IlpResult solve_ilp(const lp::Model& model,
+                    const std::vector<int>& integer_vars,
+                    const IlpOptions& options) {
+  Solver solver(model, integer_vars, options);
+  return solver.run();
+}
+
+}  // namespace rotclk::ilp

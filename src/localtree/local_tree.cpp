@@ -1,0 +1,166 @@
+#include "localtree/local_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "geom/point.hpp"
+
+namespace rotclk::localtree {
+
+namespace {
+
+// Greedy clustering of one ring's flip-flops: sorted by delay target, a
+// cluster grows while size, target spread, and spatial radius permit.
+std::vector<std::vector<int>> cluster_ffs(
+    const std::vector<int>& ffs, const netlist::Placement& placement,
+    const assign::AssignProblem& problem,
+    const std::vector<double>& arrival_ps, const LocalTreeConfig& config) {
+  std::vector<int> order = ffs;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return arrival_ps[static_cast<std::size_t>(a)] <
+           arrival_ps[static_cast<std::size_t>(b)];
+  });
+  std::vector<std::vector<int>> clusters;
+  std::vector<bool> used(order.size(), false);
+  for (std::size_t s = 0; s < order.size(); ++s) {
+    if (used[s]) continue;
+    used[s] = true;
+    std::vector<int> cluster{order[s]};
+    const geom::Point seed_loc = placement.loc(
+        problem.ff_cells[static_cast<std::size_t>(order[s])]);
+    const double seed_target = arrival_ps[static_cast<std::size_t>(order[s])];
+    for (std::size_t k = s + 1;
+         k < order.size() &&
+         static_cast<int>(cluster.size()) < config.max_cluster_size;
+         ++k) {
+      if (used[k]) continue;
+      const double target = arrival_ps[static_cast<std::size_t>(order[k])];
+      if (target - seed_target > config.max_target_spread_ps) break;
+      const geom::Point loc = placement.loc(
+          problem.ff_cells[static_cast<std::size_t>(order[k])]);
+      if (geom::manhattan(loc, seed_loc) > config.max_cluster_radius_um)
+        continue;
+      used[k] = true;
+      cluster.push_back(order[k]);
+    }
+    clusters.push_back(std::move(cluster));
+  }
+  return clusters;
+}
+
+}  // namespace
+
+LocalTreeResult build_local_trees(const netlist::Placement& placement,
+                                  const rotary::RingArray& rings,
+                                  const assign::AssignProblem& problem,
+                                  const assign::Assignment& assignment,
+                                  const std::vector<double>& arrival_ps,
+                                  const timing::TechParams& tech,
+                                  const LocalTreeConfig& config) {
+  if (arrival_ps.size() != static_cast<std::size_t>(problem.num_ffs()))
+    throw std::runtime_error("local_tree: arrival size mismatch");
+
+  LocalTreeResult result;
+  // Baseline: the per-flip-flop stubs the assignment already chose.
+  result.direct_wirelength_um = assignment.total_tap_cost_um;
+
+  std::vector<std::vector<int>> ffs_of_ring(
+      static_cast<std::size_t>(rings.size()));
+  for (int i = 0; i < problem.num_ffs(); ++i) {
+    const int ring = assignment.ring_of(problem, i);
+    if (ring >= 0)
+      ffs_of_ring[static_cast<std::size_t>(ring)].push_back(i);
+  }
+
+  for (int j = 0; j < rings.size(); ++j) {
+    const auto clusters = cluster_ffs(ffs_of_ring[static_cast<std::size_t>(j)],
+                                      placement, problem, arrival_ps, config);
+    for (const auto& cluster : clusters) {
+      LocalTree lt;
+      lt.ring = j;
+      lt.ffs = cluster;
+      std::vector<geom::Point> sinks;
+      std::vector<double> caps, inits;
+      double mean_target = 0.0;
+      for (int i : cluster) {
+        sinks.push_back(placement.loc(
+            problem.ff_cells[static_cast<std::size_t>(i)]));
+        caps.push_back(tech.ff_input_cap_ff);
+        inits.push_back(-arrival_ps[static_cast<std::size_t>(i)]);
+        mean_target += arrival_ps[static_cast<std::size_t>(i)];
+      }
+      mean_target /= static_cast<double>(cluster.size());
+
+      double tap_target = 0.0;
+      if (config.mode == BalanceMode::ExactElongation) {
+        // Exact targets: virtual initial delays -target_i; the stub then
+        // delivers -root.delay_ps (mod T) at the root.
+        lt.tree = cts::build_prescribed_skew_tree(sinks, caps, inits, tech);
+        tap_target = -lt.tree.nodes[static_cast<std::size_t>(lt.tree.root)]
+                          .delay_ps;
+      } else {
+        // Shared phase: a zero-skew subtree; every sink receives
+        // mean_target, so the stub delivers mean_target - root delay.
+        lt.tree = cts::build_zero_skew_tree(sinks, caps, tech);
+        lt.common_target_ps = mean_target;
+        tap_target = mean_target - lt.tree.root_delay_ps();
+      }
+      lt.tree_wirelength_um = lt.tree.total_wirelength_um;
+      const cts::TreeNode& root =
+          lt.tree.nodes[static_cast<std::size_t>(lt.tree.root)];
+      rotary::TappingParams tap_params = config.tapping;
+      tap_params.sink_cap_ff = root.subtree_cap_ff;
+      const rotary::RotaryRing& ring = rings.ring(j);
+      lt.tap = rotary::solve_tapping(ring, root.loc,
+                                     ring.wrap_delay(tap_target), tap_params);
+      lt.stub_wirelength_um = lt.tap.wirelength;
+      if (cluster.size() == 1) ++result.clusters_of_size_one;
+
+      result.total_wirelength_um += lt.wirelength_um();
+      result.total_cap_ff +=
+          lt.wirelength_um() * config.tapping.wire_cap_per_um +
+          static_cast<double>(cluster.size()) * tech.ff_input_cap_ff;
+      result.worst_target_error_ps = std::max(
+          result.worst_target_error_ps,
+          verify_local_tree(lt, rings, arrival_ps, tech, config));
+      result.trees.push_back(std::move(lt));
+    }
+  }
+  return result;
+}
+
+double verify_local_tree(const LocalTree& lt, const rotary::RingArray& rings,
+                         const std::vector<double>& arrival_ps,
+                         const timing::TechParams& tech,
+                         const LocalTreeConfig& config) {
+  const rotary::RotaryRing& ring = rings.ring(lt.ring);
+  const cts::TreeNode& root =
+      lt.tree.nodes[static_cast<std::size_t>(lt.tree.root)];
+  // Stub Elmore delay from the tapping point into the subtree root.
+  const double l = lt.tap.wirelength;
+  const auto& tp = config.tapping;
+  double stub = 1e-3 * (0.5 * tp.wire_res_per_um * tp.wire_cap_per_um * l * l +
+                        tp.wire_res_per_um * l * root.subtree_cap_ff);
+  if (tp.use_buffer)
+    stub += tp.buffer_delay_ps +
+            1e-3 * tp.buffer_drive_res_ohm *
+                (tp.wire_cap_per_um * l + root.subtree_cap_ff);
+  const double base = ring.delay_at(lt.tap.pos) + stub;
+
+  double worst = 0.0;
+  for (std::size_t k = 0; k < lt.ffs.size(); ++k) {
+    const double path =
+        cts::sink_path_delay_ps(lt.tree, static_cast<int>(k), tech);
+    const double arrival = ring.wrap_delay(base + path);
+    const double target =
+        ring.wrap_delay(arrival_ps[static_cast<std::size_t>(lt.ffs[k])]);
+    double err = std::abs(arrival - target);
+    err = std::min(err, ring.period() - err);
+    worst = std::max(worst, err);
+  }
+  return worst;
+}
+
+}  // namespace rotclk::localtree

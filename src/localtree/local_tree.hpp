@@ -1,0 +1,93 @@
+#pragma once
+// Local clock trees per ring (Sec. IX, the paper's first future-work item):
+// "this could be improved by creating local trees that connect the ring
+// location to a set of flip-flops. In such a construction, care should be
+// taken [of] the skew permissible ranges of the flip-flop pairs."
+//
+// Two balancing modes are provided:
+//
+//  * SharedPhase (default, the practical one): flip-flops with *nearly
+//    equal* delay targets share one zero-skew subtree tapped at their mean
+//    target phase. Each flip-flop's delivered delay deviates from its
+//    scheduled target by at most half the cluster's target spread, which
+//    the caller bounds by the schedule's slack margin so every permissible
+//    range stays satisfied — the "care" the paper calls for.
+//
+//  * ExactElongation: a prescribed-skew subtree (virtual initial delays
+//    -target_i) delivers every target exactly. Exact but wire-hungry:
+//    creating even tens of picoseconds of intentional skew through RC wire
+//    takes millimeters of elongation — the very reason rotary clocking
+//    derives skew from ring phase instead of wire. Provided for
+//    completeness and used by the ablation bench.
+
+#include <vector>
+
+#include "assign/problem.hpp"
+#include "cts/clock_tree.hpp"
+#include "netlist/placement.hpp"
+#include "rotary/array.hpp"
+#include "rotary/tapping.hpp"
+#include "timing/tech.hpp"
+
+namespace rotclk::localtree {
+
+enum class BalanceMode {
+  SharedPhase,      ///< common tap phase; error <= target spread / 2
+  ExactElongation,  ///< exact targets via wire elongation
+};
+
+struct LocalTreeConfig {
+  BalanceMode mode = BalanceMode::SharedPhase;
+  int max_cluster_size = 4;
+  /// Flip-flops farther apart than this never share a tree.
+  double max_cluster_radius_um = 250.0;
+  /// Delay targets farther apart than this never share a tree. In
+  /// SharedPhase mode, keep this within twice the schedule's slack margin
+  /// so the introduced deviation cannot break a permissible range.
+  double max_target_spread_ps = 4.0;
+  rotary::TappingParams tapping{};
+};
+
+struct LocalTree {
+  int ring = 0;
+  std::vector<int> ffs;         ///< flip-flop indices (problem order)
+  cts::ClockTree tree;          ///< subtree over the cluster
+  rotary::TapSolution tap;      ///< root-to-ring stub
+  double common_target_ps = 0;  ///< SharedPhase: the delivered common delay
+  double tree_wirelength_um = 0.0;
+  double stub_wirelength_um = 0.0;
+  [[nodiscard]] double wirelength_um() const {
+    return tree_wirelength_um + stub_wirelength_um;
+  }
+};
+
+struct LocalTreeResult {
+  std::vector<LocalTree> trees;
+  double total_wirelength_um = 0.0;   ///< trees + stubs
+  double direct_wirelength_um = 0.0;  ///< baseline: per-FF stubs (Sec. V/VI)
+  double total_cap_ff = 0.0;          ///< wire + pin load hung on the rings
+  int clusters_of_size_one = 0;
+  /// Worst |delivered - scheduled| delay over all flip-flops (ps); bounded
+  /// by max_target_spread_ps / 2 in SharedPhase mode, ~0 in exact mode.
+  double worst_target_error_ps = 0.0;
+};
+
+/// Build local trees for an assignment at a placement. `arrival_ps` are
+/// the scheduled per-flip-flop delay targets.
+LocalTreeResult build_local_trees(const netlist::Placement& placement,
+                                  const rotary::RingArray& rings,
+                                  const assign::AssignProblem& problem,
+                                  const assign::Assignment& assignment,
+                                  const std::vector<double>& arrival_ps,
+                                  const timing::TechParams& tech,
+                                  const LocalTreeConfig& config = {});
+
+/// Recompute one tree's delivered delays independently and return the worst
+/// absolute deviation (mod T) from the scheduled targets.
+double verify_local_tree(const LocalTree& tree,
+                         const rotary::RingArray& rings,
+                         const std::vector<double>& arrival_ps,
+                         const timing::TechParams& tech,
+                         const LocalTreeConfig& config = {});
+
+}  // namespace rotclk::localtree

@@ -1,0 +1,74 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rotclk::lp {
+
+int Model::add_variable(double lower, double upper, double cost,
+                        std::string name) {
+  if (lower > upper)
+    throw std::runtime_error("lp: variable with lower > upper: " + name);
+  vars_.push_back(Variable{std::move(name), lower, upper, cost});
+  return static_cast<int>(vars_.size()) - 1;
+}
+
+int Model::add_free_variable(double cost, std::string name) {
+  return add_variable(-kInfinity, kInfinity, cost, std::move(name));
+}
+
+int Model::add_constraint(std::vector<std::pair<int, double>> terms,
+                          Sense sense, double rhs) {
+  // Merge duplicate indices so solvers can assume one coefficient per var.
+  std::sort(terms.begin(), terms.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<int, double>> merged;
+  for (const auto& [idx, coeff] : terms) {
+    if (idx < 0 || idx >= num_variables())
+      throw std::runtime_error("lp: constraint references unknown variable");
+    if (!merged.empty() && merged.back().first == idx)
+      merged.back().second += coeff;
+    else
+      merged.emplace_back(idx, coeff);
+  }
+  cons_.push_back(Constraint{std::move(merged), sense, rhs});
+  return static_cast<int>(cons_.size()) - 1;
+}
+
+void Model::set_bounds(int var, double lower, double upper) {
+  if (var < 0 || var >= num_variables())
+    throw std::runtime_error("lp: set_bounds on unknown variable");
+  if (lower > upper)
+    throw std::runtime_error("lp: set_bounds with lower > upper");
+  vars_[static_cast<std::size_t>(var)].lower = lower;
+  vars_[static_cast<std::size_t>(var)].upper = upper;
+}
+
+double Model::objective_value(const std::vector<double>& x) const {
+  double v = 0.0;
+  for (std::size_t i = 0; i < vars_.size(); ++i) v += vars_[i].cost * x[i];
+  return v;
+}
+
+double Model::max_violation(const std::vector<double>& x) const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    if (std::isfinite(vars_[i].lower))
+      worst = std::max(worst, vars_[i].lower - x[i]);
+    if (std::isfinite(vars_[i].upper))
+      worst = std::max(worst, x[i] - vars_[i].upper);
+  }
+  for (const auto& c : cons_) {
+    double lhs = 0.0;
+    for (const auto& [idx, coeff] : c.terms) lhs += coeff * x[static_cast<std::size_t>(idx)];
+    switch (c.sense) {
+      case Sense::LessEqual: worst = std::max(worst, lhs - c.rhs); break;
+      case Sense::GreaterEqual: worst = std::max(worst, c.rhs - lhs); break;
+      case Sense::Equal: worst = std::max(worst, std::abs(lhs - c.rhs)); break;
+    }
+  }
+  return worst;
+}
+
+}  // namespace rotclk::lp

@@ -1,0 +1,76 @@
+#pragma once
+// Linear-program model builder.
+//
+// rotclk uses LP in three places: the LP relaxation of the min-max load
+// capacitance ILP (Sec. VI), LP cross-checks of the graph-based skew
+// schedulers (Sec. VII), and as the relaxation engine inside the
+// branch-and-bound ILP solver. The model is solver-agnostic; see
+// lp/simplex.hpp for the bundled solver.
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rotclk::lp {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class Sense { LessEqual, Equal, GreaterEqual };
+enum class Objective { Minimize, Maximize };
+
+struct Variable {
+  std::string name;
+  double lower = 0.0;
+  double upper = kInfinity;
+  double cost = 0.0;  ///< objective coefficient
+};
+
+struct Constraint {
+  std::vector<std::pair<int, double>> terms;  ///< (variable index, coeff)
+  Sense sense = Sense::LessEqual;
+  double rhs = 0.0;
+};
+
+class Model {
+ public:
+  Objective objective = Objective::Minimize;
+
+  /// Add a variable with bounds [lower, upper] and objective coefficient
+  /// `cost`. Lower may be -kInfinity (free below); upper may be kInfinity.
+  int add_variable(double lower, double upper, double cost,
+                   std::string name = {});
+
+  /// Add a free variable (unbounded both ways).
+  int add_free_variable(double cost, std::string name = {});
+
+  /// Add a linear constraint sum(coeff * var) `sense` rhs.
+  /// Duplicate variable indices in `terms` are merged.
+  int add_constraint(std::vector<std::pair<int, double>> terms, Sense sense,
+                     double rhs);
+
+  /// Tighten/replace the bounds of an existing variable (used by the
+  /// branch-and-bound ILP solver).
+  void set_bounds(int var, double lower, double upper);
+
+  [[nodiscard]] const std::vector<Variable>& variables() const {
+    return vars_;
+  }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const {
+    return cons_;
+  }
+  [[nodiscard]] int num_variables() const { return static_cast<int>(vars_.size()); }
+  [[nodiscard]] int num_constraints() const { return static_cast<int>(cons_.size()); }
+
+  /// Evaluate the objective at a point.
+  [[nodiscard]] double objective_value(const std::vector<double>& x) const;
+
+  /// Max constraint violation and bound violation at a point (0 = feasible).
+  [[nodiscard]] double max_violation(const std::vector<double>& x) const;
+
+ private:
+  std::vector<Variable> vars_;
+  std::vector<Constraint> cons_;
+};
+
+}  // namespace rotclk::lp

@@ -1,0 +1,347 @@
+#include "lp/revised_simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace rotclk::lp {
+
+namespace {
+
+// Mapping of one model variable onto standard-form columns (mirrors the
+// tableau solver's conversion; see lp/simplex.cpp).
+struct VarMap {
+  enum class Kind { Shifted, Mirrored, Split } kind = Kind::Shifted;
+  int col = -1;
+  int neg_col = -1;
+  double shift = 0.0;
+};
+
+struct SparseCol {
+  std::vector<std::pair<int, double>> entries;  // (row, coeff)
+};
+
+class RevisedSolver {
+ public:
+  RevisedSolver(const Model& model, const SolveOptions& opt)
+      : model_(model), opt_(opt) {
+    build();
+  }
+
+  Solution run() {
+    Solution sol;
+    if (num_artificials_ > 0) {
+      phase1_ = true;
+      const SolveStatus st = iterate(sol.iterations);
+      if (st != SolveStatus::Optimal) {
+        sol.status = st == SolveStatus::Unbounded ? SolveStatus::Infeasible
+                                                  : st;
+        return finish(sol);
+      }
+      double infeas = 0.0;
+      for (int r = 0; r < m_; ++r)
+        if (basis_[static_cast<std::size_t>(r)] >= first_artificial_)
+          infeas += std::max(0.0, xb_[static_cast<std::size_t>(r)]);
+      if (infeas > 1e2 * opt_.tolerance) {
+        sol.status = SolveStatus::Infeasible;
+        return finish(sol);
+      }
+      phase1_ = false;
+    }
+    sol.status = iterate(sol.iterations);
+    return finish(sol);
+  }
+
+ private:
+  void build() {
+    const auto& vars = model_.variables();
+    maps_.resize(vars.size());
+    int col = 0;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      const Variable& v = vars[i];
+      VarMap& mp = maps_[i];
+      if (std::isfinite(v.lower)) {
+        mp.kind = VarMap::Kind::Shifted;
+        mp.shift = v.lower;
+        mp.col = col++;
+      } else if (std::isfinite(v.upper)) {
+        mp.kind = VarMap::Kind::Mirrored;
+        mp.shift = v.upper;
+        mp.col = col++;
+      } else {
+        mp.kind = VarMap::Kind::Split;
+        mp.col = col++;
+        mp.neg_col = col++;
+      }
+    }
+    const int structural = col;
+
+    struct Row {
+      std::vector<std::pair<int, double>> terms;
+      Sense sense;
+      double rhs;
+    };
+    std::vector<Row> rows;
+    for (const auto& c : model_.constraints()) {
+      Row row;
+      row.sense = c.sense;
+      row.rhs = c.rhs;
+      for (const auto& [vi, coeff] : c.terms) {
+        const VarMap& mp = maps_[static_cast<std::size_t>(vi)];
+        switch (mp.kind) {
+          case VarMap::Kind::Shifted:
+            row.terms.emplace_back(mp.col, coeff);
+            row.rhs -= coeff * mp.shift;
+            break;
+          case VarMap::Kind::Mirrored:
+            row.terms.emplace_back(mp.col, -coeff);
+            row.rhs -= coeff * mp.shift;
+            break;
+          case VarMap::Kind::Split:
+            row.terms.emplace_back(mp.col, coeff);
+            row.terms.emplace_back(mp.neg_col, -coeff);
+            break;
+        }
+      }
+      rows.push_back(std::move(row));
+    }
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      const Variable& v = vars[i];
+      if (std::isfinite(v.lower) && std::isfinite(v.upper)) {
+        Row row;
+        row.sense = Sense::LessEqual;
+        row.rhs = v.upper - v.lower;
+        row.terms.emplace_back(maps_[i].col, 1.0);
+        rows.push_back(std::move(row));
+      }
+    }
+
+    m_ = static_cast<int>(rows.size());
+    int slack_count = 0, artificial_count = 0;
+    for (auto& row : rows) {
+      if (row.rhs < 0) {
+        for (auto& [c2, v2] : row.terms) v2 = -v2;
+        row.rhs = -row.rhs;
+        if (row.sense == Sense::LessEqual) row.sense = Sense::GreaterEqual;
+        else if (row.sense == Sense::GreaterEqual) row.sense = Sense::LessEqual;
+      }
+      if (row.sense != Sense::Equal) ++slack_count;
+      if (row.sense != Sense::LessEqual) ++artificial_count;
+    }
+    first_artificial_ = structural + slack_count;
+    num_artificials_ = artificial_count;
+    n_ = structural + slack_count + artificial_count;
+
+    cols_.resize(static_cast<std::size_t>(n_));
+    cost_.assign(static_cast<std::size_t>(n_), 0.0);
+    b_.assign(static_cast<std::size_t>(m_), 0.0);
+    basis_.assign(static_cast<std::size_t>(m_), -1);
+
+    for (int r = 0; r < m_; ++r) {
+      for (const auto& [c2, v2] : rows[static_cast<std::size_t>(r)].terms)
+        cols_[static_cast<std::size_t>(c2)].entries.emplace_back(r, v2);
+      b_[static_cast<std::size_t>(r)] = rows[static_cast<std::size_t>(r)].rhs;
+    }
+    int slack = structural, artificial = first_artificial_;
+    for (int r = 0; r < m_; ++r) {
+      switch (rows[static_cast<std::size_t>(r)].sense) {
+        case Sense::LessEqual:
+          cols_[static_cast<std::size_t>(slack)].entries.emplace_back(r, 1.0);
+          basis_[static_cast<std::size_t>(r)] = slack++;
+          break;
+        case Sense::GreaterEqual:
+          cols_[static_cast<std::size_t>(slack)].entries.emplace_back(r, -1.0);
+          ++slack;
+          cols_[static_cast<std::size_t>(artificial)].entries.emplace_back(r, 1.0);
+          basis_[static_cast<std::size_t>(r)] = artificial++;
+          break;
+        case Sense::Equal:
+          cols_[static_cast<std::size_t>(artificial)].entries.emplace_back(r, 1.0);
+          basis_[static_cast<std::size_t>(r)] = artificial++;
+          break;
+      }
+    }
+
+    const double sign = model_.objective == Objective::Minimize ? 1.0 : -1.0;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      const VarMap& mp = maps_[i];
+      const double c = sign * vars[i].cost;
+      switch (mp.kind) {
+        case VarMap::Kind::Shifted: cost_[static_cast<std::size_t>(mp.col)] += c; break;
+        case VarMap::Kind::Mirrored: cost_[static_cast<std::size_t>(mp.col)] -= c; break;
+        case VarMap::Kind::Split:
+          cost_[static_cast<std::size_t>(mp.col)] += c;
+          cost_[static_cast<std::size_t>(mp.neg_col)] -= c;
+          break;
+      }
+    }
+
+    basic_.assign(static_cast<std::size_t>(n_), 0);
+    for (int r = 0; r < m_; ++r) basic_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] = 1;
+    // Initial basis is identity (slacks/artificials): B^{-1} = I, xB = b.
+    binv_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_), 0.0);
+    for (int r = 0; r < m_; ++r) binv_[static_cast<std::size_t>(r) * static_cast<std::size_t>(m_) + static_cast<std::size_t>(r)] = 1.0;
+    xb_ = b_;
+  }
+
+  [[nodiscard]] double col_cost(int j) const {
+    if (phase1_) return j >= first_artificial_ ? 1.0 : 0.0;
+    return cost_[static_cast<std::size_t>(j)];
+  }
+
+  SolveStatus iterate(long& iterations) {
+    std::vector<double> y(static_cast<std::size_t>(m_));
+    std::vector<double> d(static_cast<std::size_t>(m_));
+    int degenerate_streak = 0;
+    while (true) {
+      if (iterations >= opt_.max_iterations) return SolveStatus::IterationLimit;
+      // y = c_B^T B^{-1}
+      std::fill(y.begin(), y.end(), 0.0);
+      for (int r = 0; r < m_; ++r) {
+        const double cb = col_cost(basis_[static_cast<std::size_t>(r)]);
+        if (cb == 0.0) continue;
+        const double* row = &binv_[static_cast<std::size_t>(r) * static_cast<std::size_t>(m_)];
+        for (int k = 0; k < m_; ++k) y[static_cast<std::size_t>(k)] += cb * row[k];
+      }
+      // Pricing.
+      const bool bland = degenerate_streak >= opt_.bland_after_degenerate;
+      int enter = -1;
+      double best = -opt_.tolerance;
+      const int limit = phase1_ ? n_ : first_artificial_;
+      for (int j = 0; j < limit; ++j) {
+        if (basic_[static_cast<std::size_t>(j)]) continue;
+        double rc = col_cost(j);
+        for (const auto& [r, v] : cols_[static_cast<std::size_t>(j)].entries)
+          rc -= y[static_cast<std::size_t>(r)] * v;
+        if (bland) {
+          if (rc < -opt_.tolerance) { enter = j; break; }
+        } else if (rc < best) {
+          best = rc;
+          enter = j;
+        }
+      }
+      if (enter < 0) return SolveStatus::Optimal;
+      // d = B^{-1} A_enter  (sparse column times dense inverse columns).
+      std::fill(d.begin(), d.end(), 0.0);
+      for (const auto& [r, v] : cols_[static_cast<std::size_t>(enter)].entries) {
+        for (int i = 0; i < m_; ++i)
+          d[static_cast<std::size_t>(i)] +=
+              v * binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m_) + static_cast<std::size_t>(r)];
+      }
+      // Ratio test.
+      int leave = -1;
+      double best_ratio = 0.0;
+      for (int r = 0; r < m_; ++r) {
+        if (d[static_cast<std::size_t>(r)] <= opt_.tolerance) continue;
+        const double ratio = xb_[static_cast<std::size_t>(r)] / d[static_cast<std::size_t>(r)];
+        if (leave < 0 || ratio < best_ratio - 1e-12 ||
+            (std::abs(ratio - best_ratio) <= 1e-12 &&
+             basis_[static_cast<std::size_t>(r)] < basis_[static_cast<std::size_t>(leave)])) {
+          leave = r;
+          best_ratio = ratio;
+        }
+      }
+      if (leave < 0) return SolveStatus::Unbounded;
+      degenerate_streak = best_ratio <= opt_.tolerance ? degenerate_streak + 1 : 0;
+      // Pivot: update B^{-1} and xB with the eta transformation.
+      const double piv = d[static_cast<std::size_t>(leave)];
+      double* lrow = &binv_[static_cast<std::size_t>(leave) * static_cast<std::size_t>(m_)];
+      for (int k = 0; k < m_; ++k) lrow[k] /= piv;
+      xb_[static_cast<std::size_t>(leave)] /= piv;
+      for (int r = 0; r < m_; ++r) {
+        if (r == leave) continue;
+        const double f = d[static_cast<std::size_t>(r)];
+        if (f == 0.0) continue;
+        double* row = &binv_[static_cast<std::size_t>(r) * static_cast<std::size_t>(m_)];
+        for (int k = 0; k < m_; ++k) row[k] -= f * lrow[k];
+        xb_[static_cast<std::size_t>(r)] -= f * xb_[static_cast<std::size_t>(leave)];
+      }
+      basic_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(leave)])] = 0;
+      basis_[static_cast<std::size_t>(leave)] = enter;
+      basic_[static_cast<std::size_t>(enter)] = 1;
+      ++iterations;
+    }
+  }
+
+  Solution finish(Solution sol) {
+    sol.values.assign(model_.variables().size(), 0.0);
+    if (sol.status != SolveStatus::Optimal) return sol;
+    std::vector<double> y(static_cast<std::size_t>(n_), 0.0);
+    for (int r = 0; r < m_; ++r)
+      y[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] =
+          xb_[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < maps_.size(); ++i) {
+      const VarMap& mp = maps_[i];
+      switch (mp.kind) {
+        case VarMap::Kind::Shifted:
+          sol.values[i] = mp.shift + y[static_cast<std::size_t>(mp.col)];
+          break;
+        case VarMap::Kind::Mirrored:
+          sol.values[i] = mp.shift - y[static_cast<std::size_t>(mp.col)];
+          break;
+        case VarMap::Kind::Split:
+          sol.values[i] = y[static_cast<std::size_t>(mp.col)] -
+                          y[static_cast<std::size_t>(mp.neg_col)];
+          break;
+      }
+    }
+    sol.objective = model_.objective_value(sol.values);
+    // Verify against the model; demote on numerical drift so callers can
+    // fall back to the tableau solver.
+    const double viol = model_.max_violation(sol.values);
+    if (viol > 1e-4) {
+      util::warn("revised simplex: verification failed (violation ", viol,
+                 "); demoting to iteration-limit");
+      sol.status = SolveStatus::IterationLimit;
+    }
+    return sol;
+  }
+
+  const Model& model_;
+  const SolveOptions& opt_;
+  std::vector<VarMap> maps_;
+  std::vector<SparseCol> cols_;
+  std::vector<double> cost_;
+  std::vector<double> b_;
+  std::vector<double> binv_;  // m x m row-major
+  std::vector<double> xb_;
+  std::vector<int> basis_;
+  std::vector<char> basic_;
+  int m_ = 0;
+  int n_ = 0;
+  int first_artificial_ = 0;
+  int num_artificials_ = 0;
+  bool phase1_ = false;
+};
+
+}  // namespace
+
+Solution solve_revised(const Model& model, const SolveOptions& options) {
+  if (model.num_variables() == 0) {
+    Solution sol;
+    sol.status = model.num_constraints() == 0 ? SolveStatus::Optimal
+                                              : SolveStatus::Infeasible;
+    return sol;
+  }
+  RevisedSolver solver(model, options);
+  return solver.run();
+}
+
+Solution solve_auto(const Model& model, const SolveOptions& options) {
+  const long cells = static_cast<long>(model.num_constraints()) *
+                     static_cast<long>(model.num_variables());
+  if (cells > 200000) {
+    Solution sol = solve_revised(model, options);
+    if (sol.status == SolveStatus::Optimal ||
+        sol.status == SolveStatus::Infeasible ||
+        sol.status == SolveStatus::Unbounded)
+      return sol;
+    util::warn("solve_auto: revised simplex inconclusive; falling back to "
+               "the tableau solver");
+  }
+  return solve(model, options);
+}
+
+}  // namespace rotclk::lp

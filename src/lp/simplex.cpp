@@ -1,0 +1,346 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace rotclk::lp {
+
+const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::Optimal: return "optimal";
+    case SolveStatus::Infeasible: return "infeasible";
+    case SolveStatus::Unbounded: return "unbounded";
+    case SolveStatus::IterationLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+namespace {
+
+// How a model variable maps onto standard-form columns.
+struct VarMap {
+  enum class Kind { Shifted, Mirrored, Split } kind = Kind::Shifted;
+  int col = -1;       // primary column
+  int neg_col = -1;   // negative part for Split
+  double shift = 0.0; // x = shift + y (Shifted) or x = shift - y (Mirrored)
+};
+
+class Tableau {
+ public:
+  Tableau(const Model& model, const SolveOptions& opt)
+      : model_(model), opt_(opt) {
+    build();
+  }
+
+  Solution run() {
+    Solution sol;
+    // ---- Phase 1: minimize sum of artificials ----------------------------
+    if (num_artificials_ > 0) {
+      std::vector<double> phase1_cost(num_cols_, 0.0);
+      for (int j = first_artificial_; j < num_cols_; ++j) phase1_cost[static_cast<std::size_t>(j)] = 1.0;
+      set_objective(phase1_cost);
+      const SolveStatus st = iterate(sol.iterations);
+      if (st == SolveStatus::IterationLimit) {
+        sol.status = st;
+        return finish(sol);
+      }
+      if (objective_value(phase1_cost) > 1e2 * opt_.tolerance) {
+        sol.status = SolveStatus::Infeasible;
+        return finish(sol);
+      }
+      purge_artificials();
+    }
+    // ---- Phase 2: real objective ------------------------------------------
+    set_objective(cost_);
+    const SolveStatus st = iterate(sol.iterations);
+    sol.status = st;
+    return finish(sol);
+  }
+
+ private:
+  double& at(int r, int c) { return tab_[static_cast<std::size_t>(r) * static_cast<std::size_t>(stride_) + static_cast<std::size_t>(c)]; }
+  double& rhs(int r) { return at(r, num_cols_); }
+
+  void build() {
+    const auto& vars = model_.variables();
+    maps_.resize(vars.size());
+    // Assign structural columns.
+    int col = 0;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      const Variable& v = vars[i];
+      VarMap& m = maps_[i];
+      if (std::isfinite(v.lower)) {
+        m.kind = VarMap::Kind::Shifted;
+        m.shift = v.lower;
+        m.col = col++;
+      } else if (std::isfinite(v.upper)) {
+        m.kind = VarMap::Kind::Mirrored;
+        m.shift = v.upper;
+        m.col = col++;
+      } else {
+        m.kind = VarMap::Kind::Split;
+        m.col = col++;
+        m.neg_col = col++;
+      }
+    }
+    const int structural = col;
+
+    // Build row list in dense form: constraint rows + upper-bound rows.
+    struct Row {
+      std::vector<std::pair<int, double>> terms;  // (structural col, coeff)
+      Sense sense;
+      double rhs;
+    };
+    std::vector<Row> rows;
+    rows.reserve(model_.constraints().size());
+    for (const auto& c : model_.constraints()) {
+      Row row;
+      row.sense = c.sense;
+      row.rhs = c.rhs;
+      for (const auto& [vi, coeff] : c.terms) {
+        const VarMap& m = maps_[static_cast<std::size_t>(vi)];
+        switch (m.kind) {
+          case VarMap::Kind::Shifted:
+            row.terms.emplace_back(m.col, coeff);
+            row.rhs -= coeff * m.shift;
+            break;
+          case VarMap::Kind::Mirrored:
+            row.terms.emplace_back(m.col, -coeff);
+            row.rhs -= coeff * m.shift;
+            break;
+          case VarMap::Kind::Split:
+            row.terms.emplace_back(m.col, coeff);
+            row.terms.emplace_back(m.neg_col, -coeff);
+            break;
+        }
+      }
+      rows.push_back(std::move(row));
+    }
+    // Finite [lower, upper] windows become y <= upper - lower rows.
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      const Variable& v = vars[i];
+      if (std::isfinite(v.lower) && std::isfinite(v.upper)) {
+        Row row;
+        row.sense = Sense::LessEqual;
+        row.rhs = v.upper - v.lower;
+        row.terms.emplace_back(maps_[i].col, 1.0);
+        rows.push_back(std::move(row));
+      }
+    }
+
+    num_rows_ = static_cast<int>(rows.size());
+    // Count extra columns: slack/surplus per inequality, artificial per
+    // (>=, =) row and per negative-rhs <= row.
+    int slack_count = 0, artificial_count = 0;
+    for (auto& row : rows) {
+      if (row.rhs < 0) {  // normalize rhs >= 0
+        for (auto& [c2, v2] : row.terms) v2 = -v2;
+        row.rhs = -row.rhs;
+        if (row.sense == Sense::LessEqual) row.sense = Sense::GreaterEqual;
+        else if (row.sense == Sense::GreaterEqual) row.sense = Sense::LessEqual;
+      }
+      if (row.sense != Sense::Equal) ++slack_count;
+      if (row.sense != Sense::LessEqual) ++artificial_count;
+    }
+    first_slack_ = structural;
+    first_artificial_ = structural + slack_count;
+    num_artificials_ = artificial_count;
+    num_cols_ = structural + slack_count + artificial_count;
+    stride_ = num_cols_ + 1;
+
+    tab_.assign(static_cast<std::size_t>(num_rows_) * static_cast<std::size_t>(stride_), 0.0);
+    obj_.assign(static_cast<std::size_t>(stride_), 0.0);
+    basis_.assign(static_cast<std::size_t>(num_rows_), -1);
+
+    int slack = first_slack_, artificial = first_artificial_;
+    for (int r = 0; r < num_rows_; ++r) {
+      const Row& row = rows[static_cast<std::size_t>(r)];
+      for (const auto& [c2, v2] : row.terms) at(r, c2) += v2;
+      rhs(r) = row.rhs;
+      switch (row.sense) {
+        case Sense::LessEqual:
+          at(r, slack) = 1.0;
+          basis_[static_cast<std::size_t>(r)] = slack++;
+          break;
+        case Sense::GreaterEqual:
+          at(r, slack++) = -1.0;
+          at(r, artificial) = 1.0;
+          basis_[static_cast<std::size_t>(r)] = artificial++;
+          break;
+        case Sense::Equal:
+          at(r, artificial) = 1.0;
+          basis_[static_cast<std::size_t>(r)] = artificial++;
+          break;
+      }
+    }
+
+    // Real cost vector over standard-form columns (minimization).
+    cost_.assign(static_cast<std::size_t>(num_cols_), 0.0);
+    const double sign = model_.objective == Objective::Minimize ? 1.0 : -1.0;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      const VarMap& m = maps_[i];
+      const double c = sign * vars[i].cost;
+      switch (m.kind) {
+        case VarMap::Kind::Shifted: cost_[static_cast<std::size_t>(m.col)] += c; break;
+        case VarMap::Kind::Mirrored: cost_[static_cast<std::size_t>(m.col)] -= c; break;
+        case VarMap::Kind::Split:
+          cost_[static_cast<std::size_t>(m.col)] += c;
+          cost_[static_cast<std::size_t>(m.neg_col)] -= c;
+          break;
+      }
+    }
+  }
+
+  // Reset the objective row to reduced costs of `cost` w.r.t. the basis.
+  void set_objective(const std::vector<double>& cost) {
+    for (int j = 0; j <= num_cols_; ++j) obj_[static_cast<std::size_t>(j)] = j < num_cols_ ? cost[static_cast<std::size_t>(j)] : 0.0;
+    for (int r = 0; r < num_rows_; ++r) {
+      const double cb = cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])];
+      if (cb == 0.0) continue;
+      for (int j = 0; j <= num_cols_; ++j)
+        obj_[static_cast<std::size_t>(j)] -= cb * at(r, j);
+    }
+  }
+
+  double objective_value(const std::vector<double>& cost) {
+    double v = 0.0;
+    for (int r = 0; r < num_rows_; ++r)
+      v += cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] * rhs(r);
+    return v;
+  }
+
+  SolveStatus iterate(long& iterations) {
+    int degenerate_streak = 0;
+    while (true) {
+      if (iterations >= opt_.max_iterations) return SolveStatus::IterationLimit;
+      const bool bland = degenerate_streak >= opt_.bland_after_degenerate;
+      // --- pricing ---
+      int enter = -1;
+      double best = -opt_.tolerance;
+      for (int j = 0; j < num_cols_; ++j) {
+        if (banned_artificials_ && j >= first_artificial_) continue;
+        const double rc = obj_[static_cast<std::size_t>(j)];
+        if (bland) {
+          if (rc < -opt_.tolerance) { enter = j; break; }
+        } else if (rc < best) {
+          best = rc;
+          enter = j;
+        }
+      }
+      if (enter < 0) return SolveStatus::Optimal;
+      // --- ratio test ---
+      int leave = -1;
+      double best_ratio = 0.0;
+      for (int r = 0; r < num_rows_; ++r) {
+        const double a = at(r, enter);
+        if (a <= opt_.tolerance) continue;
+        const double ratio = rhs(r) / a;
+        if (leave < 0 || ratio < best_ratio - 1e-12 ||
+            (std::abs(ratio - best_ratio) <= 1e-12 &&
+             basis_[static_cast<std::size_t>(r)] < basis_[static_cast<std::size_t>(leave)])) {
+          leave = r;
+          best_ratio = ratio;
+        }
+      }
+      if (leave < 0) return SolveStatus::Unbounded;
+      degenerate_streak = best_ratio <= opt_.tolerance ? degenerate_streak + 1 : 0;
+      pivot(leave, enter);
+      ++iterations;
+    }
+  }
+
+  void pivot(int leave, int enter) {
+    const double p = at(leave, enter);
+    const double inv = 1.0 / p;
+    for (int j = 0; j <= num_cols_; ++j) at(leave, j) *= inv;
+    at(leave, enter) = 1.0;  // exact
+    for (int r = 0; r < num_rows_; ++r) {
+      if (r == leave) continue;
+      const double f = at(r, enter);
+      if (f == 0.0) continue;
+      for (int j = 0; j <= num_cols_; ++j) at(r, j) -= f * at(leave, j);
+      at(r, enter) = 0.0;  // exact
+    }
+    const double f = obj_[static_cast<std::size_t>(enter)];
+    if (f != 0.0) {
+      for (int j = 0; j <= num_cols_; ++j)
+        obj_[static_cast<std::size_t>(j)] -= f * at(leave, j);
+      obj_[static_cast<std::size_t>(enter)] = 0.0;
+    }
+    basis_[static_cast<std::size_t>(leave)] = enter;
+  }
+
+  // After phase 1: pivot artificials out of the basis where possible, then
+  // forbid artificial columns from ever re-entering.
+  void purge_artificials() {
+    for (int r = 0; r < num_rows_; ++r) {
+      if (basis_[static_cast<std::size_t>(r)] < first_artificial_) continue;
+      int enter = -1;
+      for (int j = 0; j < first_artificial_; ++j) {
+        if (std::abs(at(r, j)) > 1e2 * opt_.tolerance) { enter = j; break; }
+      }
+      if (enter >= 0) pivot(r, enter);
+      // else: redundant row; the artificial stays basic at value ~0, which
+      // is harmless because artificial columns are banned below.
+    }
+    banned_artificials_ = true;
+  }
+
+  Solution finish(Solution sol) {
+    sol.values.assign(model_.variables().size(), 0.0);
+    if (sol.status != SolveStatus::Optimal) return sol;
+    // Standard-form variable values.
+    std::vector<double> y(static_cast<std::size_t>(num_cols_), 0.0);
+    for (int r = 0; r < num_rows_; ++r)
+      y[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] = rhs(r);
+    for (std::size_t i = 0; i < maps_.size(); ++i) {
+      const VarMap& m = maps_[i];
+      switch (m.kind) {
+        case VarMap::Kind::Shifted:
+          sol.values[i] = m.shift + y[static_cast<std::size_t>(m.col)];
+          break;
+        case VarMap::Kind::Mirrored:
+          sol.values[i] = m.shift - y[static_cast<std::size_t>(m.col)];
+          break;
+        case VarMap::Kind::Split:
+          sol.values[i] = y[static_cast<std::size_t>(m.col)] - y[static_cast<std::size_t>(m.neg_col)];
+          break;
+      }
+    }
+    sol.objective = model_.objective_value(sol.values);
+    return sol;
+  }
+
+  const Model& model_;
+  const SolveOptions& opt_;
+  std::vector<double> tab_;   // num_rows_ x stride_
+  std::vector<double> obj_;   // reduced-cost row (+ rhs cell)
+  std::vector<double> cost_;  // phase-2 cost over standard columns
+  std::vector<int> basis_;
+  std::vector<VarMap> maps_;
+  int num_rows_ = 0;
+  int num_cols_ = 0;
+  int stride_ = 0;
+  int first_slack_ = 0;
+  int first_artificial_ = 0;
+  int num_artificials_ = 0;
+  bool banned_artificials_ = false;
+};
+
+}  // namespace
+
+Solution solve(const Model& model, const SolveOptions& options) {
+  if (model.num_variables() == 0) {
+    Solution sol;
+    sol.status = model.num_constraints() == 0 ? SolveStatus::Optimal
+                                              : SolveStatus::Infeasible;
+    return sol;
+  }
+  Tableau tableau(model, options);
+  return tableau.run();
+}
+
+}  // namespace rotclk::lp

@@ -1,0 +1,41 @@
+#pragma once
+// Dense two-phase primal simplex.
+//
+// This is the bundled general-purpose LP solver (the paper used Soplex; we
+// ship our own). It converts the Model to standard form
+//   min c'x  s.t.  Ax = b, x >= 0
+// by shifting finite lower bounds, splitting free variables, turning finite
+// upper bounds into rows, and adding slack/surplus/artificial columns; then
+// runs tableau simplex with Dantzig pricing and a Bland anti-cycling
+// fallback. Intended problem sizes: up to a few thousand rows and ~10^4
+// columns (the LP relaxations in Sec. VI and the skew LP cross-checks).
+
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace rotclk::lp {
+
+enum class SolveStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+const char* to_string(SolveStatus s);
+
+struct SolveOptions {
+  long max_iterations = 200000;   ///< across both phases
+  double tolerance = 1e-7;        ///< pivot/feasibility tolerance
+  /// Switch from Dantzig to Bland's rule after this many degenerate pivots.
+  int bland_after_degenerate = 64;
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::Infeasible;
+  double objective = 0.0;          ///< in the Model's own sense
+  std::vector<double> values;      ///< one per model variable
+  long iterations = 0;
+};
+
+/// Solve the model. The returned `values` always has model.num_variables()
+/// entries (zeros when not Optimal).
+Solution solve(const Model& model, const SolveOptions& options = {});
+
+}  // namespace rotclk::lp

@@ -1,0 +1,132 @@
+#include "netlist/bench_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace rotclk::netlist {
+
+namespace {
+
+struct GateLine {
+  std::string out;
+  GateFn fn;
+  std::vector<std::string> ins;
+};
+
+// Parse "name = FN(a, b)" into a GateLine.
+GateLine parse_assignment(std::string_view line, int lineno) {
+  const auto eq = line.find('=');
+  const auto lp = line.find('(', eq);
+  const auto rp = line.rfind(')');
+  if (eq == std::string_view::npos || lp == std::string_view::npos ||
+      rp == std::string_view::npos || rp < lp) {
+    throw std::runtime_error("bench parse error at line " +
+                             std::to_string(lineno));
+  }
+  GateLine g;
+  g.out = std::string(util::trim(line.substr(0, eq)));
+  g.fn = gate_fn_from_name(
+      std::string(util::trim(line.substr(eq + 1, lp - eq - 1))));
+  for (const auto& tok :
+       util::split(line.substr(lp + 1, rp - lp - 1), ", \t")) {
+    g.ins.push_back(tok);
+  }
+  if (g.out.empty() || g.ins.empty()) {
+    throw std::runtime_error("bench parse error at line " +
+                             std::to_string(lineno));
+  }
+  return g;
+}
+
+}  // namespace
+
+Design read_bench(std::istream& in, const std::string& design_name) {
+  Design d(design_name);
+  std::vector<std::string> outputs;   // declared primary outputs
+  std::vector<GateLine> gates;        // deferred so nets exist in any order
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string_view line = raw;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    line = util::trim(line);
+    if (line.empty()) continue;
+    const std::string lower = util::to_lower(line);
+    if (util::starts_with(lower, "input")) {
+      const auto lp = line.find('('), rp = line.rfind(')');
+      if (lp == std::string_view::npos || rp == std::string_view::npos)
+        throw std::runtime_error("bench parse error at line " +
+                                 std::to_string(lineno));
+      d.add_primary_input(std::string(util::trim(line.substr(lp + 1, rp - lp - 1))));
+    } else if (util::starts_with(lower, "output")) {
+      const auto lp = line.find('('), rp = line.rfind(')');
+      if (lp == std::string_view::npos || rp == std::string_view::npos)
+        throw std::runtime_error("bench parse error at line " +
+                                 std::to_string(lineno));
+      outputs.emplace_back(util::trim(line.substr(lp + 1, rp - lp - 1)));
+    } else {
+      gates.push_back(parse_assignment(line, lineno));
+    }
+  }
+  for (const auto& g : gates) {
+    if (g.fn == GateFn::Dff) {
+      if (g.ins.size() != 1)
+        throw std::runtime_error("DFF with wrong arity: " + g.out);
+      d.add_flip_flop(g.out, g.ins[0]);
+    } else {
+      d.add_gate(g.fn, g.out, g.ins);
+    }
+  }
+  for (const auto& out : outputs) d.add_primary_output(out);
+  d.validate();
+  return d;
+}
+
+Design read_bench_string(const std::string& text,
+                         const std::string& design_name) {
+  std::istringstream is(text);
+  return read_bench(is, design_name);
+}
+
+Design read_bench_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open bench file: " + path);
+  auto slash = path.find_last_of('/');
+  std::string stem = slash == std::string::npos ? path : path.substr(slash + 1);
+  if (auto dot = stem.find_last_of('.'); dot != std::string::npos)
+    stem = stem.substr(0, dot);
+  return read_bench(f, stem);
+}
+
+void write_bench(const Design& design, std::ostream& out) {
+  out << "# " << design.name() << " (written by rotclk)\n";
+  for (const auto& c : design.cells())
+    if (c.is_primary_input()) out << "INPUT(" << c.name << ")\n";
+  for (const auto& c : design.cells())
+    if (c.is_primary_output())
+      out << "OUTPUT(" << design.net(c.in_nets[0]).name << ")\n";
+  out << '\n';
+  for (const auto& c : design.cells()) {
+    if (!c.is_gate() && !c.is_flip_flop()) continue;
+    out << c.name << " = " << gate_fn_name(c.fn) << '(';
+    for (std::size_t i = 0; i < c.in_nets.size(); ++i) {
+      if (i) out << ", ";
+      out << design.net(c.in_nets[i]).name;
+    }
+    out << ")\n";
+  }
+}
+
+std::string write_bench_string(const Design& design) {
+  std::ostringstream os;
+  write_bench(design, os);
+  return os.str();
+}
+
+}  // namespace rotclk::netlist

@@ -1,0 +1,34 @@
+#pragma once
+// ISCAS89 `.bench` format reader/writer.
+//
+// Grammar handled (whitespace-insensitive, `#` comments):
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = FN(arg1, arg2, ...)
+// where FN is one of BUF/NOT/AND/NAND/OR/NOR/XOR/XNOR/DFF.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace rotclk::netlist {
+
+/// Parse a design from `.bench` text. Throws std::runtime_error on
+/// malformed input. `design_name` is the name given to the Design.
+Design read_bench(std::istream& in, const std::string& design_name);
+
+/// Parse from a string (convenience for tests).
+Design read_bench_string(const std::string& text,
+                         const std::string& design_name);
+
+/// Parse from a file path; the design is named after the file stem.
+Design read_bench_file(const std::string& path);
+
+/// Serialize a design to `.bench` text. Round-trips with read_bench.
+void write_bench(const Design& design, std::ostream& out);
+
+/// Serialize to a string (convenience for tests).
+std::string write_bench_string(const Design& design);
+
+}  // namespace rotclk::netlist

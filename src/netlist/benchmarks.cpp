@@ -1,0 +1,44 @@
+#include "netlist/benchmarks.hpp"
+
+#include <stdexcept>
+
+#include "netlist/generator.hpp"
+
+namespace rotclk::netlist {
+
+const std::vector<BenchmarkSpec>& benchmark_suite() {
+  // Cell/FF/net/ring/PL columns are Table II of the paper; PI/PO counts are
+  // the ISCAS89 originals.
+  static const std::vector<BenchmarkSpec> kSuite = {
+      {"s9234", 1510, 135, 1471, 36, 39, 16, 2471.0},
+      {"s5378", 1112, 164, 1063, 35, 49, 25, 2718.0},
+      {"s15850", 3549, 566, 3462, 77, 150, 36, 5175.0},
+      {"s38417", 11651, 1463, 11545, 28, 106, 49, 8261.0},
+      {"s35932", 17005, 1728, 16685, 35, 320, 49, 8290.0},
+  };
+  return kSuite;
+}
+
+const BenchmarkSpec& benchmark_spec(const std::string& name) {
+  for (const auto& spec : benchmark_suite())
+    if (spec.name == name) return spec;
+  throw std::runtime_error("unknown benchmark: " + name);
+}
+
+Design make_benchmark(const BenchmarkSpec& spec, std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.name = spec.name;
+  cfg.num_gates = spec.cells - spec.flip_flops;
+  cfg.num_flip_flops = spec.flip_flops;
+  cfg.num_primary_inputs = spec.primary_inputs;
+  cfg.num_primary_outputs = spec.primary_outputs;
+  cfg.target_nets = spec.nets;
+  cfg.seed = seed;
+  return generate_circuit(cfg);
+}
+
+Design make_benchmark(const std::string& name, std::uint64_t seed) {
+  return make_benchmark(benchmark_spec(name), seed);
+}
+
+}  // namespace rotclk::netlist

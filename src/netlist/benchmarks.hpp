@@ -1,0 +1,41 @@
+#pragma once
+// The paper's ISCAS89 benchmark suite (Table II), reproduced via the
+// synthetic generator with matching cell / flip-flop / net counts.
+//
+// `pl_reference_um` and `rings` carry the paper's reported values (average
+// conventional clock-tree source-sink path length and number of rotary
+// rings); the bench binaries recompute PL from our own clock-tree baseline
+// and report both.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rotclk::netlist {
+
+struct BenchmarkSpec {
+  std::string name;
+  int cells = 0;          ///< Table II "#Cells" (gates + flip-flops)
+  int flip_flops = 0;     ///< Table II "#Flip-flops"
+  int nets = 0;           ///< Table II "#Nets"
+  int primary_inputs = 0;
+  int primary_outputs = 0;
+  int rings = 0;          ///< Table II "#Rings"
+  double pl_reference_um = 0.0;  ///< Table II "PL" (paper's value)
+};
+
+/// The five circuits of Table II, in paper order.
+const std::vector<BenchmarkSpec>& benchmark_suite();
+
+/// Spec lookup by name; throws std::runtime_error for unknown names.
+const BenchmarkSpec& benchmark_spec(const std::string& name);
+
+/// Generate the named benchmark circuit (deterministic in `seed`).
+Design make_benchmark(const std::string& name, std::uint64_t seed = 1);
+
+/// Generate from a spec directly.
+Design make_benchmark(const BenchmarkSpec& spec, std::uint64_t seed = 1);
+
+}  // namespace rotclk::netlist

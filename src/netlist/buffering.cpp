@@ -1,0 +1,73 @@
+#include "netlist/buffering.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geom/point.hpp"
+
+namespace rotclk::netlist {
+
+BufferingReport insert_repeaters(Design& design, Placement& placement,
+                                 const BufferingConfig& config) {
+  if (config.segment_um <= 0.0 || config.critical_len_um <= 0.0)
+    throw std::runtime_error("buffering: lengths must be positive");
+
+  // Collect the work list first: adding nets/cells invalidates iteration.
+  struct Run {
+    int net;
+    int sink;
+    double length;
+  };
+  std::vector<Run> runs;
+  for (std::size_t n = 0; n < design.nets().size(); ++n) {
+    const Net& net = design.net(static_cast<int>(n));
+    if (net.driver < 0) continue;
+    for (int s : net.sinks) {
+      const double d =
+          geom::manhattan(placement.loc(net.driver), placement.loc(s));
+      if (d > config.critical_len_um)
+        runs.push_back(Run{static_cast<int>(n), s, d});
+    }
+  }
+
+  BufferingReport report;
+  std::vector<bool> net_touched(design.nets().size(), false);
+  int serial = 0;
+  for (const Run& run : runs) {
+    const Net& net = design.net(run.net);
+    const int driver = net.driver;
+    const geom::Point from = placement.loc(driver);
+    const geom::Point to = placement.loc(run.sink);
+    const int segments =
+        std::max(2, static_cast<int>(std::ceil(run.length / config.segment_um)));
+
+    // Chain of segments-1 buffers along the run; the sink moves to the
+    // last buffer's output net.
+    int prev_net = run.net;
+    for (int k = 1; k < segments; ++k) {
+      const std::string out_name =
+          "RBUF" + std::to_string(serial++) + "_" + design.net(prev_net).name;
+      const int cell = design.add_gate(GateFn::Buf, out_name,
+                                       {design.net(prev_net).name});
+      Cell& c = design.cell_mutable(cell);
+      c.width = config.buffer_width_um;
+      c.height = config.buffer_height_um;
+      placement.resize(design);
+      const double f = static_cast<double>(k) / static_cast<double>(segments);
+      placement.set_loc(cell, {from.x + (to.x - from.x) * f,
+                               from.y + (to.y - from.y) * f});
+      prev_net = c.out_net;
+      ++report.buffers_inserted;
+    }
+    design.rewire_input(run.sink, run.net, prev_net);
+    report.wire_driven_um += run.length;
+    if (!net_touched[static_cast<std::size_t>(run.net)]) {
+      net_touched[static_cast<std::size_t>(run.net)] = true;
+      ++report.nets_touched;
+    }
+  }
+  design.validate();
+  return report;
+}
+
+}  // namespace rotclk::netlist

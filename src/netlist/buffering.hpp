@@ -1,0 +1,36 @@
+#pragma once
+// Repeater insertion: materialize the buffers the power model only
+// *estimates* (Alpert et al. [31] style) as real cells in the netlist.
+//
+// For every signal net whose driver-to-sink runs exceed the technology's
+// critical buffered length, sinks are detached and re-driven through a
+// chain of BUF cells placed at even intervals along the run. The pass
+// keeps the design valid (validate() passes afterwards) and returns what
+// it did, so timing/power can be compared before and after.
+
+#include "netlist/netlist.hpp"
+#include "netlist/placement.hpp"
+
+namespace rotclk::netlist {
+
+struct BufferingConfig {
+  /// A run longer than this gets repeaters every `segment_um`.
+  double critical_len_um = 1000.0;
+  double segment_um = 1000.0;
+  /// Buffer footprint (matches generator gate sizing for fanin 1).
+  double buffer_width_um = 8.0;
+  double buffer_height_um = 12.0;
+};
+
+struct BufferingReport {
+  int buffers_inserted = 0;
+  int nets_touched = 0;
+  double wire_driven_um = 0.0;  ///< total run length that got repeaters
+};
+
+/// Insert repeaters in place. The placement is extended with positions for
+/// the new cells (evenly spaced along each run).
+BufferingReport insert_repeaters(Design& design, Placement& placement,
+                                 const BufferingConfig& config = {});
+
+}  // namespace rotclk::netlist

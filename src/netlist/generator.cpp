@@ -1,0 +1,231 @@
+#include "netlist/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rotclk::netlist {
+
+namespace {
+
+GateFn pick_fn(int fanin, util::Rng& rng) {
+  if (fanin == 1) return rng.chance(0.7) ? GateFn::Not : GateFn::Buf;
+  switch (rng.uniform_int(0, 5)) {
+    case 0: return GateFn::And;
+    case 1: return GateFn::Or;
+    case 2: return GateFn::Nand;
+    case 3: return GateFn::Nor;
+    case 4: return GateFn::Xor;
+    default: return GateFn::Nand;  // NAND-rich, as in mapped netlists
+  }
+}
+
+}  // namespace
+
+Design generate_circuit(const GeneratorConfig& cfg) {
+  if (cfg.num_gates < cfg.num_flip_flops)
+    throw std::runtime_error(
+        "generator: need at least one gate per flip-flop D input");
+  if (cfg.num_primary_inputs < 1)
+    throw std::runtime_error("generator: need at least one primary input");
+
+  util::Rng rng(cfg.seed);
+  Design d(cfg.name);
+
+  // `available` holds names of driven signals a new gate may consume;
+  // `fanout` tracks how many sinks each has so far. Flip-flop outputs are
+  // *released* into `available` gradually (one block of gates per
+  // flip-flop) so register-to-register cones stay local, giving the sparse
+  // sequential-adjacency graphs real circuits have.
+  std::vector<std::string> available;
+  std::vector<int> fanout;
+  std::vector<int> level;          // combinational depth of each signal
+  std::vector<bool> reserved;      // kept unloaded to hit the net target
+  std::vector<std::size_t> must_use;  // signals that still need a sink
+  auto add_signal = [&](const std::string& name, bool require_use, int lvl,
+                        bool keep_unloaded) {
+    available.push_back(name);
+    fanout.push_back(0);
+    level.push_back(lvl);
+    reserved.push_back(keep_unloaded);
+    if (require_use) {
+      must_use.push_back(available.size() - 1);
+      // Keep the pool shuffled so forced picks do not correlate.
+      const std::size_t swap_with = rng.index(must_use.size());
+      std::swap(must_use.back(), must_use[swap_with]);
+    }
+  };
+
+  for (int i = 0; i < cfg.num_primary_inputs; ++i) {
+    const std::string name = "PI" + std::to_string(i);
+    d.add_primary_input(name);
+    add_signal(name, true, 0, false);
+  }
+
+  // Flip-flops exist up front (their D nets are forward-declared and driven
+  // later); their Q signals become available block by block.
+  for (int i = 0; i < cfg.num_flip_flops; ++i)
+    d.add_flip_flop("Q" + std::to_string(i), "D" + std::to_string(i));
+
+  auto pick_input = [&](std::vector<int>& chosen) -> int {
+    while (!must_use.empty()) {
+      const std::size_t idx = must_use.back();
+      must_use.pop_back();
+      if (std::find(chosen.begin(), chosen.end(), static_cast<int>(idx)) ==
+          chosen.end())
+        return static_cast<int>(idx);
+    }
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const std::size_t window = std::min<std::size_t>(
+          available.size(), static_cast<std::size_t>(cfg.locality_window));
+      std::size_t idx;
+      if (rng.chance(0.92)) {
+        idx = available.size() - 1 - rng.index(window);
+      } else {
+        idx = rng.index(available.size());
+      }
+      if (reserved[idx]) continue;
+      if (level[idx] >= cfg.max_depth) continue;  // depth cap
+      if (std::find(chosen.begin(), chosen.end(), static_cast<int>(idx)) ==
+          chosen.end())
+        return static_cast<int>(idx);
+    }
+    // Depth-respecting fallback: any shallow unreserved signal.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const std::size_t idx = rng.index(available.size());
+      if (reserved[idx] || level[idx] >= cfg.max_depth) continue;
+      if (std::find(chosen.begin(), chosen.end(), static_cast<int>(idx)) ==
+          chosen.end())
+        return static_cast<int>(idx);
+    }
+    return -1;  // no distinct pick found; caller tolerates fewer inputs
+  };
+
+  // Gate g belongs to block g / block_size; the *last* gate of block i
+  // drives D_i, and Q_i is released at the start of block i.
+  const int ffs = cfg.num_flip_flops;
+  const int block_size = ffs > 0 ? cfg.num_gates / ffs : cfg.num_gates + 1;
+  int released = 0;
+
+  // Plan which plain-gate outputs stay unloaded so the final signal-net
+  // count hits the target exactly (real mapped netlists have such nets).
+  const int driven_nets =
+      cfg.num_primary_inputs + cfg.num_flip_flops + cfg.num_gates;
+  const int target_nets =
+      cfg.target_nets > 0 ? cfg.target_nets : driven_nets;
+  // Reserve with ~25% margin: the schedule skips D-driver gates, and the
+  // final trim below keeps exactly the wanted number unloaded.
+  const int want_dangling = std::clamp(driven_nets - target_nets, 0,
+                                       std::max(0, cfg.num_gates / 3));
+  int reserve_left = std::min(want_dangling + want_dangling / 4 + 2,
+                              std::max(0, cfg.num_gates / 3));
+  if (want_dangling == 0) reserve_left = 0;
+  const int reserve_every =
+      reserve_left > 0 ? std::max(1, cfg.num_gates / (reserve_left + 1)) : 0;
+  int reserve_due = 0;
+
+  for (int g = 0; g < cfg.num_gates; ++g) {
+    while (released < ffs && g >= released * block_size) {
+      add_signal("Q" + std::to_string(released), true, 0, false);
+      ++released;
+    }
+    const int block = block_size > 0 ? g / block_size : 0;
+    const bool drives_ff =
+        ffs > 0 && block < ffs && (g + 1) % block_size == 0 && (g + 1) / block_size == block + 1;
+    // Any gates past the last full block are plain logic.
+    const std::string out =
+        drives_ff ? "D" + std::to_string(block) : "G" + std::to_string(g);
+
+    int fanin = 2;
+    const double roll = rng.uniform(0.0, 1.0);
+    if (roll < 0.20) fanin = 1;
+    else if (roll < 0.75) fanin = 2;
+    else if (roll < 0.92) fanin = 3;
+    else fanin = std::min(4, cfg.max_fanin);
+    fanin = std::min<int>(fanin, static_cast<int>(available.size()));
+
+    std::vector<int> chosen;
+    for (int k = 0; k < fanin; ++k) {
+      const int idx = pick_input(chosen);
+      if (idx >= 0) chosen.push_back(idx);
+    }
+    if (chosen.empty()) {
+      // Last resort: any unreserved signal (depth cap waived).
+      std::size_t idx = rng.index(available.size());
+      for (int attempt = 0; attempt < 32 && reserved[idx]; ++attempt)
+        idx = rng.index(available.size());
+      chosen.push_back(static_cast<int>(idx));
+    }
+
+    std::vector<std::string> ins;
+    ins.reserve(chosen.size());
+    int out_level = 0;
+    for (int idx : chosen) {
+      ins.push_back(available[static_cast<std::size_t>(idx)]);
+      ++fanout[static_cast<std::size_t>(idx)];
+      out_level = std::max(out_level, level[static_cast<std::size_t>(idx)] + 1);
+    }
+    // Reserve some plain-gate outputs as permanently unloaded nets. A slot
+    // landing on a D-driver gate is deferred to the next plain gate.
+    if (reserve_every > 0 && g % reserve_every == reserve_every - 1)
+      ++reserve_due;
+    bool keep_unloaded = false;
+    if (!drives_ff && reserve_due > 0 && reserve_left > 0) {
+      keep_unloaded = true;
+      --reserve_due;
+      --reserve_left;
+    }
+    d.add_gate(pick_fn(static_cast<int>(ins.size()), rng), out, ins);
+    add_signal(out, false, out_level, keep_unloaded);
+  }
+
+  // Any D nets not yet driven (when num_gates isn't an exact multiple of
+  // ffs the trailing blocks may be short) get buffers from nearby gates.
+  for (int i = 0; i < ffs; ++i) {
+    const std::string dn = "D" + std::to_string(i);
+    const int net = d.find_net(dn);
+    if (net >= 0 && d.net(net).driver == -1) {
+      std::vector<int> chosen;
+      const int idx = pick_input(chosen);
+      std::size_t src =
+          idx >= 0 ? static_cast<std::size_t>(idx) : rng.index(available.size());
+      for (int attempt = 0; attempt < 32 && reserved[src]; ++attempt)
+        src = rng.index(available.size());
+      d.add_gate(GateFn::Buf, dn, {available[src]});
+      ++fanout[src];
+    }
+  }
+
+  // Final trim: pool every unloaded signal (reserved first), keep exactly
+  // `want_dangling` of them unloaded, and hook primary outputs to the rest
+  // so num_signal_nets() lands on the target.
+  std::vector<std::size_t> pool;
+  for (std::size_t i = 0; i < available.size(); ++i)
+    if (fanout[i] == 0 && reserved[i]) pool.push_back(i);
+  std::vector<std::size_t> organic;
+  for (std::size_t i = 0; i < available.size(); ++i)
+    if (fanout[i] == 0 && !reserved[i]) organic.push_back(i);
+  std::shuffle(organic.begin(), organic.end(), rng.engine());
+  pool.insert(pool.end(), organic.begin(), organic.end());
+
+  const std::size_t keep = std::min<std::size_t>(
+      static_cast<std::size_t>(want_dangling), pool.size());
+  std::vector<char> kept(available.size(), 0);
+  for (std::size_t i = 0; i < keep; ++i) kept[pool[i]] = 1;
+  int pos_made = 0;
+  for (std::size_t i = keep; i < pool.size(); ++i, ++pos_made)
+    d.add_primary_output(available[pool[i]]);
+  while (pos_made < cfg.num_primary_outputs) {
+    std::size_t idx = rng.index(available.size());
+    for (int attempt = 0; attempt < 64 && kept[idx]; ++attempt)
+      idx = rng.index(available.size());
+    d.add_primary_output(available[idx]);
+    ++pos_made;
+  }
+
+  d.validate();
+  return d;
+}
+
+}  // namespace rotclk::netlist

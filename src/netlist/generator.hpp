@@ -1,0 +1,42 @@
+#pragma once
+// Synthetic sequential-circuit generator.
+//
+// The paper evaluates on ISCAS89 circuits synthesized with SIS; those
+// mapped netlists are not redistributable, so this generator produces
+// ISCAS89-class circuits with *exactly* matching cell/flip-flop counts and
+// net counts (Table II). Construction is in topological order, so results
+// are guaranteed combinationally acyclic, every flip-flop has a driven D
+// input, and every flip-flop output reaches combinational logic (giving a
+// realistic sequential-adjacency graph for skew scheduling).
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace rotclk::netlist {
+
+struct GeneratorConfig {
+  std::string name = "synth";
+  int num_gates = 100;       ///< combinational gates (cells = gates + ffs)
+  int num_flip_flops = 10;
+  int num_primary_inputs = 8;
+  int num_primary_outputs = 8;
+  /// Target for Design::num_signal_nets(); 0 means "as many as possible".
+  /// Achieved by leaving (driven_nets - target) gate outputs unloaded, as
+  /// real mapped netlists do. Clamped to the feasible range.
+  int target_nets = 0;
+  int max_fanin = 4;
+  /// Locality of input selection: a new gate draws its inputs from roughly
+  /// the last `locality_window` created signals.
+  int locality_window = 64;
+  /// Combinational depth cap (levels from a PI/flip-flop output). Keeps
+  /// register-to-register paths clocked at the paper's 1 GHz feasible.
+  int max_depth = 10;
+  std::uint64_t seed = 1;
+};
+
+/// Generate a valid Design per the config. Deterministic in the seed.
+Design generate_circuit(const GeneratorConfig& config);
+
+}  // namespace rotclk::netlist

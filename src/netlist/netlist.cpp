@@ -1,0 +1,250 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace rotclk::netlist {
+
+const char* gate_fn_name(GateFn fn) {
+  switch (fn) {
+    case GateFn::Input: return "INPUT";
+    case GateFn::Output: return "OUTPUT";
+    case GateFn::Buf: return "BUF";
+    case GateFn::Not: return "NOT";
+    case GateFn::And: return "AND";
+    case GateFn::Nand: return "NAND";
+    case GateFn::Or: return "OR";
+    case GateFn::Nor: return "NOR";
+    case GateFn::Xor: return "XOR";
+    case GateFn::Xnor: return "XNOR";
+    case GateFn::Dff: return "DFF";
+  }
+  return "?";
+}
+
+GateFn gate_fn_from_name(const std::string& name) {
+  const std::string u = util::to_lower(name);
+  if (u == "input") return GateFn::Input;
+  if (u == "output") return GateFn::Output;
+  if (u == "buf" || u == "buff") return GateFn::Buf;
+  if (u == "not" || u == "inv") return GateFn::Not;
+  if (u == "and") return GateFn::And;
+  if (u == "nand") return GateFn::Nand;
+  if (u == "or") return GateFn::Or;
+  if (u == "nor") return GateFn::Nor;
+  if (u == "xor") return GateFn::Xor;
+  if (u == "xnor") return GateFn::Xnor;
+  if (u == "dff") return GateFn::Dff;
+  throw std::runtime_error("unknown gate function: " + name);
+}
+
+int Design::net_index(const std::string& name) {
+  auto it = net_by_name_.find(name);
+  if (it != net_by_name_.end()) return it->second;
+  const int idx = static_cast<int>(nets_.size());
+  nets_.push_back(Net{name, -1, {}});
+  net_by_name_.emplace(name, idx);
+  return idx;
+}
+
+int Design::add_cell(Cell cell) {
+  if (cell_by_name_.count(cell.name) != 0)
+    throw std::runtime_error("duplicate cell name: " + cell.name);
+  const int idx = static_cast<int>(cells_.size());
+  cell_by_name_.emplace(cell.name, idx);
+  cells_.push_back(std::move(cell));
+  return idx;
+}
+
+int Design::add_primary_input(const std::string& net_name) {
+  const int n = net_index(net_name);
+  if (nets_[static_cast<std::size_t>(n)].driver != -1)
+    throw std::runtime_error("net already driven: " + net_name);
+  Cell c;
+  c.name = net_name;  // PI cell shares the net name, as in .bench
+  c.fn = GateFn::Input;
+  c.out_net = n;
+  const int idx = add_cell(std::move(c));
+  nets_[static_cast<std::size_t>(n)].driver = idx;
+  return idx;
+}
+
+int Design::add_primary_output(const std::string& net_name) {
+  const int n = net_index(net_name);
+  Cell c;
+  c.name = "PO:" + net_name;
+  c.fn = GateFn::Output;
+  c.out_net = -1;
+  c.in_nets.push_back(n);
+  const int idx = add_cell(std::move(c));
+  nets_[static_cast<std::size_t>(n)].sinks.push_back(idx);
+  return idx;
+}
+
+int Design::add_gate(GateFn fn, const std::string& out_name,
+                     const std::vector<std::string>& in_names) {
+  if (fn == GateFn::Input || fn == GateFn::Output || fn == GateFn::Dff)
+    throw std::runtime_error("add_gate: not a combinational function");
+  if (in_names.empty())
+    throw std::runtime_error("add_gate: gate with no inputs: " + out_name);
+  const int out = net_index(out_name);
+  if (nets_[static_cast<std::size_t>(out)].driver != -1)
+    throw std::runtime_error("net already driven: " + out_name);
+  Cell c;
+  c.name = out_name;
+  c.fn = fn;
+  c.out_net = out;
+  // Footprint grows with fanin (180nm-class standard-cell row).
+  c.width = 6.0 + 2.0 * static_cast<double>(in_names.size());
+  c.height = 12.0;
+  for (const auto& in : in_names) c.in_nets.push_back(net_index(in));
+  const int idx = add_cell(std::move(c));
+  nets_[static_cast<std::size_t>(out)].driver = idx;
+  for (int n : cells_.back().in_nets)
+    nets_[static_cast<std::size_t>(n)].sinks.push_back(idx);
+  return idx;
+}
+
+int Design::add_flip_flop(const std::string& out_name,
+                          const std::string& in_name) {
+  const int out = net_index(out_name);
+  if (nets_[static_cast<std::size_t>(out)].driver != -1)
+    throw std::runtime_error("net already driven: " + out_name);
+  const int in = net_index(in_name);
+  Cell c;
+  c.name = out_name;
+  c.fn = GateFn::Dff;
+  c.out_net = out;
+  c.in_nets.push_back(in);
+  c.width = 16.0;  // flip-flops are wider than simple gates
+  c.height = 12.0;
+  const int idx = add_cell(std::move(c));
+  nets_[static_cast<std::size_t>(out)].driver = idx;
+  nets_[static_cast<std::size_t>(in)].sinks.push_back(idx);
+  return idx;
+}
+
+void Design::rewire_input(int cell, int old_net, int new_net) {
+  Cell& c = cells_[static_cast<std::size_t>(cell)];
+  auto pin = std::find(c.in_nets.begin(), c.in_nets.end(), old_net);
+  if (pin == c.in_nets.end())
+    throw std::runtime_error("rewire_input: " + c.name +
+                             " has no input on that net");
+  *pin = new_net;
+  auto& old_sinks = nets_[static_cast<std::size_t>(old_net)].sinks;
+  auto sink = std::find(old_sinks.begin(), old_sinks.end(), cell);
+  if (sink != old_sinks.end()) old_sinks.erase(sink);
+  nets_[static_cast<std::size_t>(new_net)].sinks.push_back(cell);
+}
+
+int Design::find_cell(const std::string& name) const {
+  auto it = cell_by_name_.find(name);
+  return it == cell_by_name_.end() ? -1 : it->second;
+}
+
+int Design::find_net(const std::string& name) const {
+  auto it = net_by_name_.find(name);
+  return it == net_by_name_.end() ? -1 : it->second;
+}
+
+int Design::num_cells() const {
+  int n = 0;
+  for (const auto& c : cells_)
+    if (c.is_gate() || c.is_flip_flop()) ++n;
+  return n;
+}
+
+int Design::num_flip_flops() const {
+  int n = 0;
+  for (const auto& c : cells_)
+    if (c.is_flip_flop()) ++n;
+  return n;
+}
+
+int Design::num_primary_inputs() const {
+  int n = 0;
+  for (const auto& c : cells_)
+    if (c.is_primary_input()) ++n;
+  return n;
+}
+
+int Design::num_primary_outputs() const {
+  int n = 0;
+  for (const auto& c : cells_)
+    if (c.is_primary_output()) ++n;
+  return n;
+}
+
+int Design::num_signal_nets() const {
+  int n = 0;
+  for (const auto& net : nets_)
+    if (net.driver != -1 && !net.sinks.empty()) ++n;
+  return n;
+}
+
+std::vector<int> Design::flip_flops() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < cells_.size(); ++i)
+    if (cells_[i].is_flip_flop()) out.push_back(static_cast<int>(i));
+  return out;
+}
+
+std::vector<int> Design::combinational_topo_order() const {
+  // Kahn's algorithm over combinational gates only. PI and DFF outputs are
+  // treated as primary sources (their cells are not part of the order).
+  std::vector<int> indeg(cells_.size(), 0);
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const Cell& c = cells_[i];
+    if (!c.is_gate()) continue;
+    for (int n : c.in_nets) {
+      const int drv = nets_[static_cast<std::size_t>(n)].driver;
+      if (drv >= 0 && cells_[static_cast<std::size_t>(drv)].is_gate())
+        ++indeg[i];
+    }
+  }
+  std::vector<int> queue;
+  for (std::size_t i = 0; i < cells_.size(); ++i)
+    if (cells_[i].is_gate() && indeg[i] == 0) queue.push_back(static_cast<int>(i));
+  std::vector<int> order;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const int u = queue[head];
+    order.push_back(u);
+    const Cell& c = cells_[static_cast<std::size_t>(u)];
+    if (c.out_net < 0) continue;
+    for (int sink : nets_[static_cast<std::size_t>(c.out_net)].sinks) {
+      if (!cells_[static_cast<std::size_t>(sink)].is_gate()) continue;
+      if (--indeg[static_cast<std::size_t>(sink)] == 0) queue.push_back(sink);
+    }
+  }
+  int gates = 0;
+  for (const auto& c : cells_)
+    if (c.is_gate()) ++gates;
+  if (static_cast<int>(order.size()) != gates)
+    throw std::runtime_error("combinational cycle detected in design " + name_);
+  return order;
+}
+
+void Design::validate() const {
+  for (const auto& net : nets_) {
+    if (net.driver == -1 && !net.sinks.empty())
+      throw std::runtime_error("undriven net: " + net.name);
+  }
+  for (const auto& c : cells_) {
+    if (c.is_primary_output()) {
+      if (c.in_nets.size() != 1)
+        throw std::runtime_error("PO with wrong pin count: " + c.name);
+      continue;
+    }
+    if (c.out_net < 0)
+      throw std::runtime_error("cell drives no net: " + c.name);
+    if (c.is_flip_flop() && c.in_nets.size() != 1)
+      throw std::runtime_error("DFF with wrong pin count: " + c.name);
+    if (c.is_gate() && c.in_nets.empty())
+      throw std::runtime_error("gate with no inputs: " + c.name);
+  }
+  (void)combinational_topo_order();  // throws on cycles
+}
+
+}  // namespace rotclk::netlist

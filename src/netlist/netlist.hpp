@@ -1,0 +1,138 @@
+#pragma once
+// Gate-level sequential netlist data model.
+//
+// The model matches the ISCAS89 `.bench` view of a circuit: every signal is
+// a net named after the gate (or primary input) driving it; flip-flops are
+// DFF cells with one data input and one output; primary outputs are
+// modeled as explicit sink cells so fanout bookkeeping is uniform.
+//
+// Cell indices and net indices are stable (no deletion API); all cross
+// references are by index.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rotclk::netlist {
+
+/// Cell function. Input/Output are the primary-I/O pseudo cells.
+enum class GateFn {
+  Input,
+  Output,
+  Buf,
+  Not,
+  And,
+  Nand,
+  Or,
+  Nor,
+  Xor,
+  Xnor,
+  Dff,
+};
+
+/// Printable name of a gate function (matches `.bench` keywords).
+const char* gate_fn_name(GateFn fn);
+
+/// Parse a `.bench` keyword (case-insensitive); throws on unknown names.
+GateFn gate_fn_from_name(const std::string& name);
+
+struct Cell {
+  std::string name;
+  GateFn fn = GateFn::Buf;
+  int out_net = -1;             ///< net driven by this cell; -1 for Output cells
+  std::vector<int> in_nets;     ///< input nets in pin order
+  double width = 1.0;           ///< footprint (um), used by legalization
+  double height = 1.0;
+
+  [[nodiscard]] bool is_flip_flop() const { return fn == GateFn::Dff; }
+  [[nodiscard]] bool is_primary_input() const { return fn == GateFn::Input; }
+  [[nodiscard]] bool is_primary_output() const { return fn == GateFn::Output; }
+  /// Combinational logic gate (not PI/PO/DFF).
+  [[nodiscard]] bool is_gate() const {
+    return !is_flip_flop() && !is_primary_input() && !is_primary_output();
+  }
+};
+
+struct Net {
+  std::string name;
+  int driver = -1;          ///< driving cell index; -1 while under construction
+  std::vector<int> sinks;   ///< sink cell indices (duplicates allowed for multi-pin)
+};
+
+/// A sequential gate-level design.
+class Design {
+ public:
+  explicit Design(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // --- construction -------------------------------------------------------
+
+  /// Get-or-create a net by name; returns its index.
+  int net_index(const std::string& name);
+
+  /// Add a primary input driving net `net_name`. Returns the cell index.
+  int add_primary_input(const std::string& net_name);
+
+  /// Add a primary-output sink cell on net `net_name`. Returns cell index.
+  int add_primary_output(const std::string& net_name);
+
+  /// Add a combinational gate computing `fn` over `in_names`, driving `out_name`.
+  int add_gate(GateFn fn, const std::string& out_name,
+               const std::vector<std::string>& in_names);
+
+  /// Add a flip-flop with data input `in_name` driving `out_name`.
+  int add_flip_flop(const std::string& out_name, const std::string& in_name);
+
+  /// Rewire one input of `cell` from `old_net` to `new_net`, updating both
+  /// nets' sink lists (used by repeater insertion). Throws if `cell` has no
+  /// input on `old_net`.
+  void rewire_input(int cell, int old_net, int new_net);
+
+  // --- access -------------------------------------------------------------
+
+  [[nodiscard]] const std::vector<Cell>& cells() const { return cells_; }
+  [[nodiscard]] const std::vector<Net>& nets() const { return nets_; }
+  [[nodiscard]] const Cell& cell(int i) const { return cells_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const Net& net(int i) const { return nets_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] Cell& cell_mutable(int i) { return cells_[static_cast<std::size_t>(i)]; }
+
+  /// Index of the named cell, or -1.
+  [[nodiscard]] int find_cell(const std::string& name) const;
+  /// Index of the named net, or -1.
+  [[nodiscard]] int find_net(const std::string& name) const;
+
+  // --- statistics (paper Table II semantics) ------------------------------
+
+  /// Gates + flip-flops (primary I/O pseudo cells excluded).
+  [[nodiscard]] int num_cells() const;
+  [[nodiscard]] int num_flip_flops() const;
+  [[nodiscard]] int num_primary_inputs() const;
+  [[nodiscard]] int num_primary_outputs() const;
+  /// Nets with a driver and at least one sink.
+  [[nodiscard]] int num_signal_nets() const;
+
+  /// Indices of all flip-flop cells, in creation order.
+  [[nodiscard]] std::vector<int> flip_flops() const;
+
+  // --- structure ----------------------------------------------------------
+
+  /// Topological order over combinational gates (PI/DFF outputs are
+  /// sources). Throws std::runtime_error on a combinational cycle.
+  [[nodiscard]] std::vector<int> combinational_topo_order() const;
+
+  /// Full structural validation: every net driven, every gate input
+  /// present, no combinational cycles. Throws on violation.
+  void validate() const;
+
+ private:
+  int add_cell(Cell cell);
+
+  std::string name_;
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+  std::unordered_map<std::string, int> net_by_name_;
+  std::unordered_map<std::string, int> cell_by_name_;
+};
+
+}  // namespace rotclk::netlist

@@ -1,0 +1,38 @@
+#include "netlist/placement.hpp"
+
+#include <cmath>
+
+namespace rotclk::netlist {
+
+Placement::Placement(const Design& design, geom::Rect die)
+    : die_(die), locs_(design.cells().size(), die.center()) {}
+
+void Placement::resize(const Design& design) {
+  locs_.resize(design.cells().size(), die_.center());
+}
+
+double Placement::net_hpwl(const Design& design, int net) const {
+  const Net& n = design.net(net);
+  if (n.driver < 0 || n.sinks.empty()) return 0.0;
+  geom::BBox box;
+  box.add(loc(n.driver));
+  for (int s : n.sinks) box.add(loc(s));
+  return box.half_perimeter();
+}
+
+double Placement::total_hpwl(const Design& design) const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < design.nets().size(); ++i)
+    sum += net_hpwl(design, static_cast<int>(i));
+  return sum;
+}
+
+geom::Rect size_die(const Design& design, double utilization) {
+  double cell_area = 0.0;
+  for (const auto& c : design.cells())
+    if (c.is_gate() || c.is_flip_flop()) cell_area += c.width * c.height;
+  const double side = std::sqrt(cell_area / utilization);
+  return geom::Rect{0.0, 0.0, side, side};
+}
+
+}  // namespace rotclk::netlist

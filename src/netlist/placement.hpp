@@ -1,0 +1,48 @@
+#pragma once
+// Placement container: one location per cell plus the die outline.
+//
+// Placement is design-level data (timing, assignment, and power all read
+// it), so it lives beside the netlist rather than inside the placer.
+
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rotclk::netlist {
+
+class Placement {
+ public:
+  /// All cells start at the die center.
+  Placement(const Design& design, geom::Rect die);
+
+  [[nodiscard]] const geom::Rect& die() const { return die_; }
+  [[nodiscard]] std::size_t size() const { return locs_.size(); }
+
+  [[nodiscard]] geom::Point loc(int cell) const {
+    return locs_[static_cast<std::size_t>(cell)];
+  }
+  void set_loc(int cell, geom::Point p) {
+    locs_[static_cast<std::size_t>(cell)] = p;
+  }
+
+  /// Extend the location table after cells were added to the design (new
+  /// cells start at the die center). Existing locations are unchanged.
+  void resize(const Design& design);
+
+  /// Half-perimeter wirelength of one net (0 for degenerate nets).
+  [[nodiscard]] double net_hpwl(const Design& design, int net) const;
+
+  /// Sum of HPWL over all signal nets — the paper's "Signal WL".
+  [[nodiscard]] double total_hpwl(const Design& design) const;
+
+ private:
+  geom::Rect die_;
+  std::vector<geom::Point> locs_;
+};
+
+/// Square die sized so cell area / die area == `utilization`.
+[[nodiscard]] geom::Rect size_die(const Design& design, double utilization);
+
+}  // namespace rotclk::netlist

@@ -1,0 +1,98 @@
+#include "netlist/placement_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace rotclk::netlist {
+
+void write_placement(const Design& design, const Placement& placement,
+                     std::ostream& out) {
+  out << "# rotclk placement v1\n";
+  out << std::setprecision(17);
+  const geom::Rect& die = placement.die();
+  out << "die " << die.xlo << ' ' << die.ylo << ' ' << die.xhi << ' '
+      << die.yhi << '\n';
+  for (std::size_t i = 0; i < design.cells().size(); ++i) {
+    const geom::Point p = placement.loc(static_cast<int>(i));
+    out << design.cells()[i].name << ' ' << p.x << ' ' << p.y << '\n';
+  }
+}
+
+std::string write_placement_string(const Design& design,
+                                   const Placement& placement) {
+  std::ostringstream os;
+  write_placement(design, placement, os);
+  return os.str();
+}
+
+void write_placement_file(const Design& design, const Placement& placement,
+                          const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot write placement file: " + path);
+  write_placement(design, placement, f);
+}
+
+Placement read_placement(const Design& design, std::istream& in) {
+  std::string line;
+  geom::Rect die{};
+  bool have_die = false;
+  std::vector<bool> seen(design.cells().size(), false);
+  std::vector<geom::Point> locs(design.cells().size());
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream fields{std::string(trimmed)};
+    std::string head;
+    fields >> head;
+    if (head == "die") {
+      if (!(fields >> die.xlo >> die.ylo >> die.xhi >> die.yhi))
+        throw std::runtime_error("placement: bad die line " +
+                                 std::to_string(lineno));
+      have_die = true;
+      continue;
+    }
+    const int cell = design.find_cell(head);
+    if (cell < 0)
+      throw std::runtime_error("placement: unknown cell '" + head +
+                               "' at line " + std::to_string(lineno));
+    geom::Point p;
+    if (!(fields >> p.x >> p.y))
+      throw std::runtime_error("placement: bad coordinates at line " +
+                               std::to_string(lineno));
+    if (seen[static_cast<std::size_t>(cell)])
+      throw std::runtime_error("placement: duplicate cell '" + head + "'");
+    seen[static_cast<std::size_t>(cell)] = true;
+    locs[static_cast<std::size_t>(cell)] = p;
+  }
+  if (!have_die) throw std::runtime_error("placement: missing die line");
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    if (!seen[i])
+      throw std::runtime_error("placement: no location for cell '" +
+                               design.cells()[i].name + "'");
+  }
+  Placement placement(design, die);
+  for (std::size_t i = 0; i < locs.size(); ++i)
+    placement.set_loc(static_cast<int>(i), locs[i]);
+  return placement;
+}
+
+Placement read_placement_string(const Design& design,
+                                const std::string& text) {
+  std::istringstream is(text);
+  return read_placement(design, is);
+}
+
+Placement read_placement_file(const Design& design, const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open placement file: " + path);
+  return read_placement(design, f);
+}
+
+}  // namespace rotclk::netlist

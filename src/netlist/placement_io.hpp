@@ -1,0 +1,34 @@
+#pragma once
+// Placement serialization (a simple .pl-style text format):
+//
+//   # rotclk placement v1
+//   die <xlo> <ylo> <xhi> <yhi>
+//   <cell-name> <x> <y>
+//   ...
+//
+// Round-trips exactly (coordinates are printed with enough digits); the
+// reader validates that every design cell appears exactly once.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "netlist/placement.hpp"
+
+namespace rotclk::netlist {
+
+void write_placement(const Design& design, const Placement& placement,
+                     std::ostream& out);
+std::string write_placement_string(const Design& design,
+                                   const Placement& placement);
+void write_placement_file(const Design& design, const Placement& placement,
+                          const std::string& path);
+
+/// Throws std::runtime_error on malformed input, unknown cell names, or
+/// cells missing a location.
+Placement read_placement(const Design& design, std::istream& in);
+Placement read_placement_string(const Design& design,
+                                const std::string& text);
+Placement read_placement_file(const Design& design, const std::string& path);
+
+}  // namespace rotclk::netlist

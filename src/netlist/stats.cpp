@@ -1,0 +1,98 @@
+#include "netlist/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rotclk::netlist {
+
+DesignStats compute_stats(const Design& design) {
+  DesignStats s;
+  s.cells = design.num_cells();
+  s.flip_flops = design.num_flip_flops();
+  s.gates = s.cells - s.flip_flops;
+  s.primary_inputs = design.num_primary_inputs();
+  s.primary_outputs = design.num_primary_outputs();
+  s.nets = design.num_signal_nets();
+
+  s.gate_mix.assign(static_cast<std::size_t>(GateFn::Dff) + 1, 0);
+  long fanin_sum = 0;
+  for (const auto& c : design.cells()) {
+    if (!c.is_gate() && !c.is_flip_flop()) continue;
+    ++s.gate_mix[static_cast<std::size_t>(c.fn)];
+    if (c.is_gate()) fanin_sum += static_cast<long>(c.in_nets.size());
+  }
+  s.avg_fanin = s.gates > 0 ? static_cast<double>(fanin_sum) / s.gates : 0.0;
+
+  s.fanout_histogram.assign(6, 0);
+  long fanout_sum = 0;
+  int driven = 0;
+  for (const auto& net : design.nets()) {
+    if (net.driver < 0) continue;
+    const int f = static_cast<int>(net.sinks.size());
+    fanout_sum += f;
+    ++driven;
+    s.max_fanout = std::max(s.max_fanout, f);
+    const int bucket = f == 0 ? 0 : f == 1 ? 1 : f <= 3 ? 2 : f <= 7 ? 3
+                       : f <= 15 ? 4 : 5;
+    ++s.fanout_histogram[static_cast<std::size_t>(bucket)];
+  }
+  s.avg_fanout = driven > 0 ? static_cast<double>(fanout_sum) / driven : 0.0;
+
+  // Structural depth: unit delay per gate level.
+  std::vector<int> level(design.cells().size(), 0);
+  for (int g : design.combinational_topo_order()) {
+    int lvl = 0;
+    for (int n : design.cell(g).in_nets) {
+      const int drv = design.net(n).driver;
+      if (drv >= 0 && design.cell(drv).is_gate())
+        lvl = std::max(lvl, level[static_cast<std::size_t>(drv)]);
+    }
+    level[static_cast<std::size_t>(g)] = lvl + 1;
+    s.max_depth = std::max(s.max_depth, lvl + 1);
+  }
+
+  // Structural sequential adjacency by forward BFS from each flip-flop.
+  const auto ffs = design.flip_flops();
+  const auto topo = design.combinational_topo_order();
+  std::vector<char> reach(design.cells().size(), 0);
+  for (int ff : ffs) {
+    std::fill(reach.begin(), reach.end(), 0);
+    auto mark_fanout = [&](int cell) {
+      const auto& c = design.cell(cell);
+      if (c.out_net < 0) return;
+      for (int sink : design.net(c.out_net).sinks)
+        reach[static_cast<std::size_t>(sink)] = 1;
+    };
+    mark_fanout(ff);
+    for (int g : topo) {
+      if (reach[static_cast<std::size_t>(g)]) mark_fanout(g);
+    }
+    for (int other : ffs) {
+      if (!reach[static_cast<std::size_t>(other)]) continue;
+      ++s.seq_arcs;
+      if (other == ff) ++s.seq_self_loops;
+    }
+  }
+  return s;
+}
+
+std::string DesignStats::to_string() const {
+  std::ostringstream os;
+  os << cells << " cells (" << gates << " gates + " << flip_flops
+     << " FFs), " << primary_inputs << " PIs, " << primary_outputs
+     << " POs, " << nets << " nets\n";
+  os << "gate mix:";
+  for (std::size_t fn = 0; fn < gate_mix.size(); ++fn) {
+    if (gate_mix[fn] == 0) continue;
+    os << ' ' << gate_fn_name(static_cast<GateFn>(fn)) << '=' << gate_mix[fn];
+  }
+  os << "\navg fanin " << avg_fanin << ", avg fanout " << avg_fanout
+     << ", max fanout " << max_fanout << ", depth " << max_depth << '\n';
+  os << "fanout histogram [0,1,2-3,4-7,8-15,16+]:";
+  for (int b : fanout_histogram) os << ' ' << b;
+  os << "\nsequential adjacency: " << seq_arcs << " arcs ("
+     << seq_self_loops << " self loops)\n";
+  return os.str();
+}
+
+}  // namespace rotclk::netlist

@@ -1,0 +1,42 @@
+#pragma once
+// Design statistics: structural profile of a netlist (gate mix, fanout
+// distribution, logic depth, sequential-adjacency summary). Used by the
+// circuit_report example and by tests that validate the generator's
+// realism against ISCAS89-class expectations.
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rotclk::netlist {
+
+struct DesignStats {
+  int cells = 0;
+  int gates = 0;
+  int flip_flops = 0;
+  int primary_inputs = 0;
+  int primary_outputs = 0;
+  int nets = 0;
+
+  /// Count per gate function, indexed by static_cast<int>(GateFn).
+  std::vector<int> gate_mix;
+
+  double avg_fanin = 0.0;    ///< over combinational gates
+  double avg_fanout = 0.0;   ///< over driven signal nets
+  int max_fanout = 0;
+  /// Fanout histogram: [0], [1], [2..3], [4..7], [8..15], [16+].
+  std::vector<int> fanout_histogram;
+
+  int max_depth = 0;         ///< structural (unit-delay) logic depth
+
+  /// Structural sequential adjacency: FF pairs with a combinational path.
+  int seq_arcs = 0;
+  int seq_self_loops = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+DesignStats compute_stats(const Design& design);
+
+}  // namespace rotclk::netlist

@@ -1,0 +1,111 @@
+#include "placer/cg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rotclk::placer {
+
+LaplacianSystem::LaplacianSystem(int num_unknowns)
+    : n_(num_unknowns),
+      diag_(static_cast<std::size_t>(num_unknowns), 0.0),
+      rhs_(static_cast<std::size_t>(num_unknowns), 0.0) {}
+
+void LaplacianSystem::add_spring(int i, int j, double w) {
+  if (i < 0 || i >= n_ || j < 0 || j >= n_)
+    throw std::runtime_error("laplacian: spring index out of range");
+  if (w <= 0.0 || i == j) return;
+  springs_.push_back(Triplet{i, j, w});
+  diag_[static_cast<std::size_t>(i)] += w;
+  diag_[static_cast<std::size_t>(j)] += w;
+}
+
+void LaplacianSystem::add_anchor(int i, double target, double w) {
+  if (i < 0 || i >= n_)
+    throw std::runtime_error("laplacian: anchor index out of range");
+  if (w <= 0.0) return;
+  diag_[static_cast<std::size_t>(i)] += w;
+  rhs_[static_cast<std::size_t>(i)] += w * target;
+}
+
+int LaplacianSystem::solve(std::vector<double>& x, int max_iterations,
+                           double tolerance) const {
+  const std::size_t n = static_cast<std::size_t>(n_);
+  if (x.size() != n) x.assign(n, 0.0);
+
+  // Build CSR once per solve (pattern changes every B2B iteration anyway).
+  std::vector<int> count(n + 1, 0);
+  for (const auto& t : springs_) {
+    ++count[static_cast<std::size_t>(t.i) + 1];
+    ++count[static_cast<std::size_t>(t.j) + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) count[i + 1] += count[i];
+  std::vector<int> col(static_cast<std::size_t>(count[n]));
+  std::vector<double> val(col.size());
+  {
+    std::vector<int> cursor(count.begin(), count.end() - 1);
+    for (const auto& t : springs_) {
+      col[static_cast<std::size_t>(cursor[static_cast<std::size_t>(t.i)])] = t.j;
+      val[static_cast<std::size_t>(cursor[static_cast<std::size_t>(t.i)]++)] = -t.w;
+      col[static_cast<std::size_t>(cursor[static_cast<std::size_t>(t.j)])] = t.i;
+      val[static_cast<std::size_t>(cursor[static_cast<std::size_t>(t.j)]++)] = -t.w;
+    }
+  }
+
+  auto apply = [&](const std::vector<double>& in, std::vector<double>& out) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = diag_[i] * in[i];
+      for (int k = count[i]; k < count[i + 1]; ++k)
+        acc += val[static_cast<std::size_t>(k)] *
+               in[static_cast<std::size_t>(col[static_cast<std::size_t>(k)])];
+      out[i] = acc;
+    }
+  };
+
+  std::vector<double> r(n), z(n), p(n), ap(n);
+  apply(x, ap);
+  double rnorm0 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = rhs_[i] - ap[i];
+    rnorm0 += r[i] * r[i];
+  }
+  rnorm0 = std::sqrt(rnorm0);
+  if (rnorm0 == 0.0) return 0;
+
+  auto precond = [&](const std::vector<double>& in, std::vector<double>& out) {
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = diag_[i] > 0.0 ? in[i] / diag_[i] : in[i];
+  };
+
+  precond(r, z);
+  p = z;
+  double rz = 0.0;
+  for (std::size_t i = 0; i < n; ++i) rz += r[i] * z[i];
+
+  int iter = 0;
+  for (; iter < max_iterations; ++iter) {
+    apply(p, ap);
+    double pap = 0.0;
+    for (std::size_t i = 0; i < n; ++i) pap += p[i] * ap[i];
+    if (pap <= 0.0) break;  // matrix only PSD (isolated cells): stop
+    const double alpha = rz / pap;
+    double rnorm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+      rnorm += r[i] * r[i];
+    }
+    if (std::sqrt(rnorm) < tolerance * rnorm0) {
+      ++iter;
+      break;
+    }
+    precond(r, z);
+    double rz_new = 0.0;
+    for (std::size_t i = 0; i < n; ++i) rz_new += r[i] * z[i];
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return iter;
+}
+
+}  // namespace rotclk::placer

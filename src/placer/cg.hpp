@@ -1,0 +1,43 @@
+#pragma once
+// Sparse symmetric-positive-definite linear algebra for quadratic
+// placement: a Laplacian system builder and a Jacobi-preconditioned
+// conjugate-gradient solver.
+//
+// The builder accumulates springs (two-point quadratic terms) and anchors
+// (cell-to-fixed-point terms); solving  A x = b  minimizes
+//   sum springs w_ij (x_i - x_j)^2 + sum anchors w_i (x_i - t_i)^2.
+
+#include <cstddef>
+#include <vector>
+
+namespace rotclk::placer {
+
+class LaplacianSystem {
+ public:
+  explicit LaplacianSystem(int num_unknowns);
+
+  /// Spring between unknowns i and j with weight w (>= 0).
+  void add_spring(int i, int j, double w);
+
+  /// Spring between unknown i and a fixed coordinate `target`.
+  void add_anchor(int i, double target, double w);
+
+  /// Solve with Jacobi-preconditioned CG from `x0` (also the output size).
+  /// Returns the iteration count used.
+  int solve(std::vector<double>& x, int max_iterations = 300,
+            double tolerance = 1e-6) const;
+
+  [[nodiscard]] int size() const { return n_; }
+
+ private:
+  struct Triplet {
+    int i, j;
+    double w;
+  };
+  int n_;
+  std::vector<Triplet> springs_;
+  std::vector<double> diag_;  // anchor weights accumulate here
+  std::vector<double> rhs_;
+};
+
+}  // namespace rotclk::placer

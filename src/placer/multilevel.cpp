@@ -1,0 +1,300 @@
+#include "placer/multilevel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "placer/cg.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk::placer {
+
+namespace {
+
+// A level of the hierarchy: a graph over nodes (clusters) with weighted
+// edges derived from nets, plus fixed anchor nodes (pads).
+struct Level {
+  // For each original cell: which node of this level it belongs to.
+  std::vector<int> node_of_cell;
+  int num_nodes = 0;                       // movable nodes
+  std::vector<double> area;                // per node
+  // Hyperedges: nets as node-id lists (deduped, >= 2 nodes incl. pads).
+  // Pads are encoded as node id = num_nodes + pad_index with fixed coords.
+  std::vector<std::vector<int>> nets;
+};
+
+// Greedy heavy-edge matching over the level's net-derived clique weights.
+// Returns the next level's node id per current node (pairs share an id).
+std::vector<int> match(const Level& level, util::Rng& rng, int* next_count) {
+  // Accumulate pairwise weights via small per-node maps (nets are small).
+  std::vector<std::vector<std::pair<int, double>>> nbr(
+      static_cast<std::size_t>(level.num_nodes));
+  for (const auto& net : level.nets) {
+    // Clique weight 1/(k-1) between movable members.
+    std::vector<int> movable;
+    for (int v : net)
+      if (v < level.num_nodes) movable.push_back(v);
+    const int k = static_cast<int>(movable.size());
+    if (k < 2 || k > 12) continue;  // big nets carry little matching signal
+    const double w = 1.0 / static_cast<double>(k - 1);
+    for (int a = 0; a < k; ++a)
+      for (int b = a + 1; b < k; ++b) {
+        nbr[static_cast<std::size_t>(movable[static_cast<std::size_t>(a)])]
+            .emplace_back(movable[static_cast<std::size_t>(b)], w);
+        nbr[static_cast<std::size_t>(movable[static_cast<std::size_t>(b)])]
+            .emplace_back(movable[static_cast<std::size_t>(a)], w);
+      }
+  }
+
+  std::vector<int> order(static_cast<std::size_t>(level.num_nodes));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+
+  std::vector<int> mate(static_cast<std::size_t>(level.num_nodes), -1);
+  for (int u : order) {
+    if (mate[static_cast<std::size_t>(u)] >= 0) continue;
+    // Heaviest unmatched neighbor (merge duplicate entries on the fly).
+    std::sort(nbr[static_cast<std::size_t>(u)].begin(),
+              nbr[static_cast<std::size_t>(u)].end());
+    int best = -1;
+    double best_w = 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < nbr[static_cast<std::size_t>(u)].size(); ++i) {
+      acc += nbr[static_cast<std::size_t>(u)][i].second;
+      const bool last = i + 1 == nbr[static_cast<std::size_t>(u)].size() ||
+                        nbr[static_cast<std::size_t>(u)][i + 1].first !=
+                            nbr[static_cast<std::size_t>(u)][i].first;
+      if (!last) continue;
+      const int v = nbr[static_cast<std::size_t>(u)][i].first;
+      if (v != u && mate[static_cast<std::size_t>(v)] < 0 && acc > best_w) {
+        best_w = acc;
+        best = v;
+      }
+      acc = 0.0;
+    }
+    if (best >= 0) {
+      mate[static_cast<std::size_t>(u)] = best;
+      mate[static_cast<std::size_t>(best)] = u;
+    }
+  }
+
+  // Assign next-level ids: matched pairs share one.
+  std::vector<int> next_id(static_cast<std::size_t>(level.num_nodes), -1);
+  int count = 0;
+  for (int u = 0; u < level.num_nodes; ++u) {
+    if (next_id[static_cast<std::size_t>(u)] >= 0) continue;
+    next_id[static_cast<std::size_t>(u)] = count;
+    const int v = mate[static_cast<std::size_t>(u)];
+    if (v >= 0) next_id[static_cast<std::size_t>(v)] = count;
+    ++count;
+  }
+  *next_count = count;
+  return next_id;
+}
+
+Level coarsen(const Level& level, const std::vector<int>& next_id,
+              int next_count, int num_pads) {
+  Level out;
+  out.num_nodes = next_count;
+  out.node_of_cell.resize(level.node_of_cell.size());
+  for (std::size_t c = 0; c < level.node_of_cell.size(); ++c) {
+    const int node = level.node_of_cell[c];
+    out.node_of_cell[c] =
+        node < 0 ? -1 : next_id[static_cast<std::size_t>(node)];
+  }
+  out.area.assign(static_cast<std::size_t>(next_count), 0.0);
+  for (int u = 0; u < level.num_nodes; ++u)
+    out.area[static_cast<std::size_t>(next_id[static_cast<std::size_t>(u)])] +=
+        level.area[static_cast<std::size_t>(u)];
+  out.nets.reserve(level.nets.size());
+  for (const auto& net : level.nets) {
+    std::vector<int> mapped;
+    for (int v : net) {
+      if (v < level.num_nodes)
+        mapped.push_back(next_id[static_cast<std::size_t>(v)]);
+      else  // pad: shift into the new movable-count space
+        mapped.push_back(next_count + (v - level.num_nodes));
+    }
+    std::sort(mapped.begin(), mapped.end());
+    mapped.erase(std::unique(mapped.begin(), mapped.end()), mapped.end());
+    if (mapped.size() >= 2) out.nets.push_back(std::move(mapped));
+  }
+  (void)num_pads;
+  return out;
+}
+
+// Quadratic solve + gentle uniform spreading over plain arrays.
+void place_level(const Level& level, const std::vector<geom::Point>& pads,
+                 const geom::Rect& die, int iterations, util::Rng& rng,
+                 std::vector<geom::Point>& pos) {
+  pos.resize(static_cast<std::size_t>(level.num_nodes));
+  for (auto& p : pos)
+    p = {rng.uniform(die.xlo, die.xhi), rng.uniform(die.ylo, die.yhi)};
+
+  auto coord_of = [&](int node, int axis) {
+    if (node < level.num_nodes) {
+      const geom::Point& p = pos[static_cast<std::size_t>(node)];
+      return axis == 0 ? p.x : p.y;
+    }
+    const geom::Point& p = pads[static_cast<std::size_t>(node - level.num_nodes)];
+    return axis == 0 ? p.x : p.y;
+  };
+
+  for (int it = 0; it < iterations; ++it) {
+    for (int axis = 0; axis < 2; ++axis) {
+      LaplacianSystem sys(level.num_nodes);
+      for (const auto& net : level.nets) {
+        const int k = static_cast<int>(net.size());
+        int lo = net[0], hi = net[0];
+        for (int v : net) {
+          if (coord_of(v, axis) < coord_of(lo, axis)) lo = v;
+          if (coord_of(v, axis) > coord_of(hi, axis)) hi = v;
+        }
+        const double scale = 2.0 / static_cast<double>(k - 1);
+        auto connect = [&](int a, int b) {
+          const double w =
+              scale / std::max(1.0, std::abs(coord_of(a, axis) -
+                                             coord_of(b, axis)));
+          const bool am = a < level.num_nodes, bm = b < level.num_nodes;
+          if (am && bm) sys.add_spring(a, b, w);
+          else if (am) sys.add_anchor(a, coord_of(b, axis), w);
+          else if (bm) sys.add_anchor(b, coord_of(a, axis), w);
+        };
+        for (int v : net) {
+          if (v != lo) connect(v, lo);
+          if (v != hi && lo != hi) connect(v, hi);
+        }
+      }
+      std::vector<double> x(static_cast<std::size_t>(level.num_nodes));
+      for (int u = 0; u < level.num_nodes; ++u)
+        x[static_cast<std::size_t>(u)] = coord_of(u, axis);
+      sys.solve(x);
+      for (int u = 0; u < level.num_nodes; ++u) {
+        auto& p = pos[static_cast<std::size_t>(u)];
+        (axis == 0 ? p.x : p.y) =
+            geom::clamp(x[static_cast<std::size_t>(u)],
+                        axis == 0 ? die.xlo : die.ylo,
+                        axis == 0 ? die.xhi : die.yhi);
+      }
+    }
+    // Area-weighted 1-D uniformization in both axes (blend 0.5).
+    for (int axis = 0; axis < 2; ++axis) {
+      std::vector<int> order(static_cast<std::size_t>(level.num_nodes));
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return coord_of(a, axis) < coord_of(b, axis);
+      });
+      double total = 0.0;
+      for (double a : level.area) total += a;
+      if (total <= 0.0) continue;
+      const double lo = axis == 0 ? die.xlo : die.ylo;
+      const double span = axis == 0 ? die.width() : die.height();
+      double prefix = 0.0;
+      for (int u : order) {
+        const double a = level.area[static_cast<std::size_t>(u)];
+        const double mapped = lo + (prefix + a / 2.0) / total * span;
+        prefix += a;
+        auto& p = pos[static_cast<std::size_t>(u)];
+        double& v = axis == 0 ? p.x : p.y;
+        v = 0.5 * mapped + 0.5 * v;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+netlist::Placement multilevel_seed(const netlist::Design& design,
+                                   geom::Rect die,
+                                   const MultilevelConfig& config,
+                                   MultilevelStats* stats) {
+  util::Rng rng(config.seed);
+
+  // Level 0: one node per movable cell; pads fixed on the boundary.
+  std::vector<int> pad_index(design.cells().size(), -1);
+  std::vector<geom::Point> pads;
+  Level level;
+  level.node_of_cell.assign(design.cells().size(), -1);
+  for (std::size_t i = 0; i < design.cells().size(); ++i) {
+    const auto& c = design.cells()[i];
+    if (c.is_gate() || c.is_flip_flop()) {
+      level.node_of_cell[i] = level.num_nodes++;
+      level.area.push_back(c.width * c.height);
+    } else {
+      pad_index[i] = static_cast<int>(pads.size());
+      pads.push_back({});  // positions assigned below
+    }
+  }
+  // Pad ring, same recipe as Placer::assign_pads.
+  {
+    const double w = die.width(), h = die.height();
+    const double perim = 2.0 * (w + h);
+    for (std::size_t k = 0; k < pads.size(); ++k) {
+      const double s = perim * (static_cast<double>(k) + 0.5) /
+                       static_cast<double>(pads.size());
+      geom::Point p;
+      if (s < w) p = {die.xlo + s, die.ylo};
+      else if (s < w + h) p = {die.xhi, die.ylo + (s - w)};
+      else if (s < 2.0 * w + h) p = {die.xhi - (s - w - h), die.yhi};
+      else p = {die.xlo, die.yhi - (s - 2.0 * w - h)};
+      pads[k] = die.clamp_inside(p);
+    }
+  }
+  for (const auto& net : design.nets()) {
+    if (net.driver < 0 || net.sinks.empty()) continue;
+    std::vector<int> nodes;
+    auto push = [&](int cell) {
+      const int node = level.node_of_cell[static_cast<std::size_t>(cell)];
+      if (node >= 0) nodes.push_back(node);
+      else nodes.push_back(level.num_nodes +
+                           pad_index[static_cast<std::size_t>(cell)]);
+    };
+    push(net.driver);
+    for (int s : net.sinks) push(s);
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    if (nodes.size() >= 2) level.nets.push_back(std::move(nodes));
+  }
+  // Net pad ids reference level.num_nodes + pad_index, but num_nodes
+  // changes per level; coarsen() maintains the shift.
+
+  int levels = 0;
+  while (level.num_nodes > config.coarsest_clusters &&
+         levels < config.max_levels) {
+    int next_count = 0;
+    const std::vector<int> next_id = match(level, rng, &next_count);
+    if (next_count >= level.num_nodes) break;  // matching stalled
+    level = coarsen(level, next_id, next_count,
+                    static_cast<int>(pads.size()));
+    ++levels;
+  }
+  if (stats != nullptr) {
+    stats->levels = levels;
+    stats->coarsest_size = level.num_nodes;
+  }
+
+  std::vector<geom::Point> pos;
+  place_level(level, pads, die, config.coarse_iterations, rng, pos);
+
+  // Expand: each cell at its cluster's location plus deterministic jitter
+  // proportional to the cluster's area footprint.
+  netlist::Placement placement(design, die);
+  for (std::size_t i = 0; i < design.cells().size(); ++i) {
+    const int node = level.node_of_cell[i];
+    if (node < 0) {
+      placement.set_loc(static_cast<int>(i),
+                        pads[static_cast<std::size_t>(pad_index[i])]);
+      continue;
+    }
+    const double radius =
+        std::sqrt(level.area[static_cast<std::size_t>(node)]) / 2.0;
+    const geom::Point c = pos[static_cast<std::size_t>(node)];
+    placement.set_loc(
+        static_cast<int>(i),
+        die.clamp_inside({c.x + rng.uniform(-radius, radius),
+                          c.y + rng.uniform(-radius, radius)}));
+  }
+  return placement;
+}
+
+}  // namespace rotclk::placer

@@ -1,0 +1,39 @@
+#pragma once
+// Multilevel placement seeding (the mPL [20] idea, one-directional).
+//
+// The flat analytic placer starts from random jitter; large designs
+// converge better from a coarse solution. This module coarsens the
+// movable cells by heavy-edge matching (repeatedly, until the cluster
+// count is small), places the clusters with the same B2B-quadratic +
+// spreading machinery operating on plain position arrays, and expands
+// cluster positions back to cells — producing a *seed* placement that
+// Placer::place_initial refines through its normal iterations.
+
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/placement.hpp"
+
+namespace rotclk::placer {
+
+struct MultilevelConfig {
+  int coarsest_clusters = 400;  ///< stop coarsening below this many
+  int max_levels = 6;
+  int coarse_iterations = 6;    ///< solve/spread rounds at the top level
+  std::uint64_t seed = 7;
+};
+
+struct MultilevelStats {
+  int levels = 0;
+  int coarsest_size = 0;
+};
+
+/// Produce a seed placement: pads on the boundary, movable cells at their
+/// cluster's placed location (with deterministic sub-cluster jitter).
+netlist::Placement multilevel_seed(const netlist::Design& design,
+                                   geom::Rect die,
+                                   const MultilevelConfig& config = {},
+                                   MultilevelStats* stats = nullptr);
+
+}  // namespace rotclk::placer

@@ -1,0 +1,400 @@
+#include "placer/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "placer/cg.hpp"
+#include "placer/multilevel.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk::placer {
+
+namespace {
+constexpr double kMinB2BDist = 1.0;  // um; caps B2B edge weights
+}
+
+Placer::Placer(const netlist::Design& design, PlacerConfig config)
+    : design_(design), config_(config) {
+  movable_.resize(design.cells().size(), false);
+  for (std::size_t i = 0; i < design.cells().size(); ++i) {
+    const auto& c = design.cells()[i];
+    if (c.is_gate() || c.is_flip_flop()) {
+      movable_[i] = true;
+      movable_cells_.push_back(static_cast<int>(i));
+    }
+  }
+  // Cell -> incident nets index (used by detailed placement).
+  nets_of_cell_.resize(design.cells().size());
+  for (std::size_t n = 0; n < design.nets().size(); ++n) {
+    const auto& net = design.nets()[n];
+    if (net.driver >= 0)
+      nets_of_cell_[static_cast<std::size_t>(net.driver)].push_back(
+          static_cast<int>(n));
+    for (int s : net.sinks)
+      nets_of_cell_[static_cast<std::size_t>(s)].push_back(static_cast<int>(n));
+  }
+  for (auto& nets : nets_of_cell_) {
+    std::sort(nets.begin(), nets.end());
+    nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+  }
+}
+
+void Placer::set_net_weights(std::vector<double> weights) {
+  if (!weights.empty() && weights.size() != design_.nets().size())
+    throw std::runtime_error("placer: net weight vector size mismatch");
+  net_weights_ = std::move(weights);
+}
+
+void Placer::assign_pads(netlist::Placement& placement) const {
+  // Distribute primary I/O evenly along the die perimeter, PIs first.
+  std::vector<int> pads;
+  for (std::size_t i = 0; i < design_.cells().size(); ++i)
+    if (!movable_[i]) pads.push_back(static_cast<int>(i));
+  if (pads.empty()) return;
+  const geom::Rect& die = placement.die();
+  const double w = die.width(), h = die.height();
+  const double perim = 2.0 * (w + h);
+  for (std::size_t k = 0; k < pads.size(); ++k) {
+    double s = perim * (static_cast<double>(k) + 0.5) /
+               static_cast<double>(pads.size());
+    geom::Point p;
+    if (s < w) p = {die.xlo + s, die.ylo};
+    else if (s < w + h) p = {die.xhi, die.ylo + (s - w)};
+    else if (s < 2.0 * w + h) p = {die.xhi - (s - w - h), die.yhi};
+    else p = {die.xlo, die.yhi - (s - 2.0 * w - h)};
+    // Guard against roundoff pushing a pad a hair outside the die.
+    placement.set_loc(pads[k], die.clamp_inside(p));
+  }
+}
+
+void Placer::solve_qp(netlist::Placement& placement,
+                      const std::vector<PseudoNet>& pseudo_nets,
+                      const std::vector<geom::Point>& anchors,
+                      double anchor_w,
+                      const netlist::Placement* stability_ref) const {
+  const std::size_t num_cells = design_.cells().size();
+  std::vector<int> unknown_of(num_cells, -1);
+  for (std::size_t k = 0; k < movable_cells_.size(); ++k)
+    unknown_of[static_cast<std::size_t>(movable_cells_[k])] =
+        static_cast<int>(k);
+  const int n = static_cast<int>(movable_cells_.size());
+
+  for (int axis = 0; axis < 2; ++axis) {
+    auto coord = [&](int cell) {
+      const geom::Point p = placement.loc(cell);
+      return axis == 0 ? p.x : p.y;
+    };
+    LaplacianSystem sys(n);
+    auto connect = [&](int a, int b, double wgt) {
+      const int ua = unknown_of[static_cast<std::size_t>(a)];
+      const int ub = unknown_of[static_cast<std::size_t>(b)];
+      if (ua >= 0 && ub >= 0) sys.add_spring(ua, ub, wgt);
+      else if (ua >= 0) sys.add_anchor(ua, coord(b), wgt);
+      else if (ub >= 0) sys.add_anchor(ub, coord(a), wgt);
+    };
+
+    // Bound-to-bound net model at the current positions.
+    std::vector<int> pins;
+    for (std::size_t net_id = 0; net_id < design_.nets().size(); ++net_id) {
+      const auto& net = design_.nets()[net_id];
+      if (net.driver < 0 || net.sinks.empty()) continue;
+      const double net_w =
+          net_weights_.empty() ? 1.0 : net_weights_[net_id];
+      pins.clear();
+      pins.push_back(net.driver);
+      for (int s : net.sinks) pins.push_back(s);
+      std::sort(pins.begin(), pins.end());
+      pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+      const int k = static_cast<int>(pins.size());
+      if (k < 2) continue;
+      int lo = pins[0], hi = pins[0];
+      for (int p : pins) {
+        if (coord(p) < coord(lo)) lo = p;
+        if (coord(p) > coord(hi)) hi = p;
+      }
+      const double scale = net_w * 2.0 / static_cast<double>(k - 1);
+      for (int p : pins) {
+        if (p != lo)
+          connect(p, lo, scale / std::max(kMinB2BDist,
+                                          std::abs(coord(p) - coord(lo))));
+        if (p != hi && lo != hi)
+          connect(p, hi, scale / std::max(kMinB2BDist,
+                                          std::abs(coord(p) - coord(hi))));
+      }
+    }
+
+    for (const auto& pn : pseudo_nets) {
+      const int u = unknown_of[static_cast<std::size_t>(pn.cell)];
+      if (u >= 0)
+        sys.add_anchor(u, axis == 0 ? pn.target.x : pn.target.y, pn.weight);
+    }
+    if (!anchors.empty() && anchor_w > 0.0) {
+      for (int k2 = 0; k2 < n; ++k2) {
+        const geom::Point& t = anchors[static_cast<std::size_t>(movable_cells_[static_cast<std::size_t>(k2)])];
+        sys.add_anchor(k2, axis == 0 ? t.x : t.y, anchor_w);
+      }
+    }
+    if (stability_ref != nullptr && config_.stability_weight > 0.0) {
+      for (int k2 = 0; k2 < n; ++k2) {
+        const geom::Point t =
+            stability_ref->loc(movable_cells_[static_cast<std::size_t>(k2)]);
+        sys.add_anchor(k2, axis == 0 ? t.x : t.y, config_.stability_weight);
+      }
+    }
+
+    std::vector<double> x(static_cast<std::size_t>(n));
+    for (int k2 = 0; k2 < n; ++k2)
+      x[static_cast<std::size_t>(k2)] =
+          coord(movable_cells_[static_cast<std::size_t>(k2)]);
+    sys.solve(x);
+
+    const geom::Rect& die = placement.die();
+    for (int k2 = 0; k2 < n; ++k2) {
+      const int cell = movable_cells_[static_cast<std::size_t>(k2)];
+      geom::Point p = placement.loc(cell);
+      const double v = geom::clamp(x[static_cast<std::size_t>(k2)],
+                                   axis == 0 ? die.xlo : die.ylo,
+                                   axis == 0 ? die.xhi : die.yhi);
+      if (axis == 0) p.x = v; else p.y = v;
+      placement.set_loc(cell, p);
+    }
+  }
+}
+
+void Placer::spread(netlist::Placement& placement, double alpha) const {
+  // 1-D cumulative spreading, x then y: within each slab, remap coordinates
+  // order-preservingly so total cell extent fits the die at the target
+  // utilization, then blend with the analytic positions.
+  const geom::Rect& die = placement.die();
+  const int slabs = std::max(
+      1, static_cast<int>(std::sqrt(static_cast<double>(movable_cells_.size()) / 16.0)));
+
+  for (int axis = 0; axis < 2; ++axis) {
+    const double slab_lo = axis == 0 ? die.ylo : die.xlo;
+    const double slab_span = (axis == 0 ? die.height() : die.width()) /
+                             static_cast<double>(slabs);
+    const double lane_lo = axis == 0 ? die.xlo : die.ylo;
+    const double lane_span = axis == 0 ? die.width() : die.height();
+
+    std::vector<std::vector<int>> buckets(static_cast<std::size_t>(slabs));
+    for (int cell : movable_cells_) {
+      const geom::Point p = placement.loc(cell);
+      const double t = axis == 0 ? p.y : p.x;
+      int s = static_cast<int>((t - slab_lo) / slab_span);
+      s = std::clamp(s, 0, slabs - 1);
+      buckets[static_cast<std::size_t>(s)].push_back(cell);
+    }
+    for (auto& bucket : buckets) {
+      if (bucket.empty()) continue;
+      std::sort(bucket.begin(), bucket.end(), [&](int a, int b) {
+        const geom::Point pa = placement.loc(a), pb = placement.loc(b);
+        return (axis == 0 ? pa.x : pa.y) < (axis == 0 ? pb.x : pb.y);
+      });
+      double total = 0.0;
+      for (int cell : bucket) {
+        const auto& c = design_.cell(cell);
+        total += axis == 0 ? c.width : c.height;
+      }
+      // Uniformization target: the bucket's cells distributed across the
+      // whole lane in their current order (alpha keeps it gentle).
+      double prefix = 0.0;
+      for (int cell : bucket) {
+        const auto& c = design_.cell(cell);
+        const double dim = axis == 0 ? c.width : c.height;
+        const double mapped =
+            lane_lo + (prefix + dim / 2.0) / total * lane_span;
+        prefix += dim;
+        geom::Point p = placement.loc(cell);
+        double& v = axis == 0 ? p.x : p.y;
+        v = alpha * mapped + (1.0 - alpha) * v;
+        placement.set_loc(cell, p);
+      }
+    }
+  }
+}
+
+netlist::Placement Placer::place_initial(geom::Rect die) const {
+  netlist::Placement placement(design_, die);
+  if (static_cast<int>(movable_cells_.size()) >= config_.multilevel_threshold) {
+    MultilevelConfig mlc;
+    mlc.seed = config_.seed;
+    placement = multilevel_seed(design_, die, mlc);
+  } else {
+    assign_pads(placement);
+    util::Rng rng(config_.seed);
+    for (int cell : movable_cells_) {
+      placement.set_loc(cell, {rng.uniform(die.xlo, die.xhi),
+                               rng.uniform(die.ylo, die.yhi)});
+    }
+  }
+  std::vector<geom::Point> anchors;
+  double anchor_w = 0.0;
+  for (int it = 0; it < config_.global_iterations; ++it) {
+    for (int r = 0; r < config_.b2b_refinements; ++r)
+      solve_qp(placement, {}, anchors, anchor_w, nullptr);
+    spread(placement, config_.spread_alpha);
+    anchors.resize(design_.cells().size());
+    for (std::size_t i = 0; i < anchors.size(); ++i)
+      anchors[i] = placement.loc(static_cast<int>(i));
+    anchor_w = config_.anchor_base_weight *
+               static_cast<double>((it + 1) * (it + 1));
+  }
+  if (config_.legalize) {
+    legalize(placement);
+    if (config_.detailed_passes > 0)
+      (void)refine_swaps(placement, config_.detailed_passes);
+  }
+  return placement;
+}
+
+netlist::Placement Placer::place_incremental(
+    const netlist::Placement& current,
+    const std::vector<PseudoNet>& pseudo_nets) const {
+  netlist::Placement placement = current;
+  for (int it = 0; it < config_.incremental_iterations; ++it) {
+    solve_qp(placement, pseudo_nets, {}, 0.0, &current);
+    spread(placement, 0.3);
+  }
+  if (config_.legalize) {
+    legalize(placement);
+    if (config_.detailed_passes > 0)
+      (void)refine_swaps(placement, config_.detailed_passes);
+  }
+  return placement;
+}
+
+void Placer::legalize(netlist::Placement& placement) const {
+  const geom::Rect& die = placement.die();
+  const double rh = config_.row_height_um;
+  const int rows = std::max(1, static_cast<int>(die.height() / rh));
+  std::vector<double> cursor(static_cast<std::size_t>(rows), die.xlo);
+
+  std::vector<int> order = movable_cells_;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return placement.loc(a).x < placement.loc(b).x;
+  });
+
+  for (int cell : order) {
+    const auto& c = design_.cell(cell);
+    const geom::Point want = placement.loc(cell);
+    int best_row = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    double best_left = die.xlo;
+    for (int r = 0; r < rows; ++r) {
+      const double row_y = die.ylo + (static_cast<double>(r) + 0.5) * rh;
+      const double left =
+          std::max(cursor[static_cast<std::size_t>(r)], want.x - c.width / 2.0);
+      if (left + c.width > die.xhi + 1e-9) continue;  // row full
+      const double cost =
+          std::abs(left + c.width / 2.0 - want.x) + std::abs(row_y - want.y);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_row = r;
+        best_left = left;
+      }
+    }
+    if (best_row < 0) {
+      // All rows full at/right of the desired x: fall back to the row with
+      // the smallest cursor.
+      best_row = 0;
+      for (int r = 1; r < rows; ++r)
+        if (cursor[static_cast<std::size_t>(r)] <
+            cursor[static_cast<std::size_t>(best_row)])
+          best_row = r;
+      best_left = cursor[static_cast<std::size_t>(best_row)];
+    }
+    const double row_y =
+        die.ylo + (static_cast<double>(best_row) + 0.5) * rh;
+    placement.set_loc(cell, {best_left + c.width / 2.0, row_y});
+    cursor[static_cast<std::size_t>(best_row)] = best_left + c.width;
+  }
+}
+
+int Placer::refine_swaps(netlist::Placement& placement, int passes,
+                         double window_um) const {
+  // Spatial grid over movable cells for neighbor queries.
+  const geom::Rect& die = placement.die();
+  const double cell_size = std::max(1.0, window_um);
+  const int gx = std::max(1, static_cast<int>(die.width() / cell_size));
+  const int gy = std::max(1, static_cast<int>(die.height() / cell_size));
+  auto bucket_of = [&](geom::Point p) {
+    const int bx = std::clamp(
+        static_cast<int>((p.x - die.xlo) / die.width() * gx), 0, gx - 1);
+    const int by = std::clamp(
+        static_cast<int>((p.y - die.ylo) / die.height() * gy), 0, gy - 1);
+    return by * gx + bx;
+  };
+
+  auto hpwl_of_nets = [&](const std::vector<int>& nets) {
+    double sum = 0.0;
+    for (int n : nets) sum += placement.net_hpwl(design_, n);
+    return sum;
+  };
+
+  int accepted = 0;
+  util::Rng rng(config_.seed + 1);
+  for (int pass = 0; pass < passes; ++pass) {
+    // Rebuild buckets each pass (cells move).
+    std::vector<std::vector<int>> buckets(static_cast<std::size_t>(gx * gy));
+    for (int cell : movable_cells_)
+      buckets[static_cast<std::size_t>(bucket_of(placement.loc(cell)))]
+          .push_back(cell);
+
+    std::vector<int> order = movable_cells_;
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    for (int a : order) {
+      const auto& ca = design_.cell(a);
+      const geom::Point pa = placement.loc(a);
+      // Candidate partner: same width, within the window, best gain.
+      const int bx = bucket_of(pa) % gx, by = bucket_of(pa) / gx;
+      int best_b = -1;
+      double best_gain = 1e-9;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int nx = bx + dx, ny = by + dy;
+          if (nx < 0 || nx >= gx || ny < 0 || ny >= gy) continue;
+          for (int b : buckets[static_cast<std::size_t>(ny * gx + nx)]) {
+            if (b == a) continue;
+            const auto& cb = design_.cell(b);
+            if (std::abs(cb.width - ca.width) > 1e-9) continue;
+            const geom::Point pb = placement.loc(b);
+            if (geom::manhattan(pa, pb) > window_um) continue;
+            // Gain of swapping a and b over their incident nets.
+            std::vector<int> nets = nets_of_cell_[static_cast<std::size_t>(a)];
+            nets.insert(nets.end(),
+                        nets_of_cell_[static_cast<std::size_t>(b)].begin(),
+                        nets_of_cell_[static_cast<std::size_t>(b)].end());
+            std::sort(nets.begin(), nets.end());
+            nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+            const double before = hpwl_of_nets(nets);
+            placement.set_loc(a, pb);
+            placement.set_loc(b, pa);
+            const double after = hpwl_of_nets(nets);
+            placement.set_loc(a, pa);
+            placement.set_loc(b, pb);
+            const double gain = before - after;
+            if (gain > best_gain) {
+              best_gain = gain;
+              best_b = b;
+            }
+          }
+        }
+      }
+      if (best_b >= 0) {
+        const geom::Point pb = placement.loc(best_b);
+        placement.set_loc(a, pb);
+        placement.set_loc(best_b, pa);
+        ++accepted;
+        // Buckets are stale for the two cells now; tolerated within the
+        // pass (the window check re-validates distances).
+      }
+    }
+  }
+  return accepted;
+}
+
+}  // namespace rotclk::placer

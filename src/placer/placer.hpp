@@ -1,0 +1,100 @@
+#pragma once
+// Analytic standard-cell placer.
+//
+// The paper obtains initial and incremental placements from mPL [20]; this
+// is the in-repo substitute. Global placement is quadratic with a
+// bound-to-bound (B2B) net model solved by preconditioned CG, interleaved
+// with 1-D cumulative-density spreading and anchor pull-back (the
+// FastPlace/Kraftwerk recipe); legalization is row-based greedy (Tetris).
+//
+// Two entry points mirror stages 1 and 6 of the methodology (Fig. 3):
+//   * place_initial    — wirelength-driven placement from scratch;
+//   * place_incremental — *stable* re-placement from an existing solution,
+//     honoring pseudo-nets that pull flip-flops toward their rotary rings
+//     (Sec. IV) while anchor springs hold every cell near its old spot.
+//
+// Primary I/O cells are pads: they are assigned fixed positions on the die
+// boundary by place_initial and never move afterwards.
+
+#include <vector>
+
+#include "geom/point.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/placement.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk::placer {
+
+/// A pseudo net pulling one cell toward a fixed layout point (Sec. IV's
+/// skew-awareness device: flip-flop -> ring tapping target).
+struct PseudoNet {
+  int cell = -1;
+  geom::Point target;
+  double weight = 1.0;
+};
+
+struct PlacerConfig {
+  int global_iterations = 8;     ///< solve/spread rounds (initial placement)
+  int b2b_refinements = 2;       ///< B2B reweight solves per round
+  int incremental_iterations = 3;
+  double spread_alpha = 0.6;     ///< blend toward density-balanced positions
+  double anchor_base_weight = 1e-3;  ///< pull-back strength, grows per round
+  double stability_weight = 0.05;    ///< incremental: hold cells near old spot
+  double bin_target_util = 0.85;
+  double row_height_um = 12.0;
+  bool legalize = true;
+  /// Detailed-placement swap passes after legalization (0 disables).
+  int detailed_passes = 1;
+  /// Designs with at least this many movable cells start from a multilevel
+  /// (mPL-style) coarsened seed instead of random jitter; smaller designs
+  /// converge fine from random. Set very large to disable.
+  int multilevel_threshold = 2000;
+  std::uint64_t seed = 7;        ///< initial-jitter seed
+};
+
+class Placer {
+ public:
+  Placer(const netlist::Design& design, PlacerConfig config = {});
+
+  /// Stage 1: global + legal placement into a fresh die.
+  [[nodiscard]] netlist::Placement place_initial(geom::Rect die) const;
+
+  /// Stage 6: incremental, stability-preserving re-placement with pseudo
+  /// nets. Pads keep their positions from `current`.
+  [[nodiscard]] netlist::Placement place_incremental(
+      const netlist::Placement& current,
+      const std::vector<PseudoNet>& pseudo_nets) const;
+
+  /// Timing-driven mode: per-net spring multipliers (index = net id).
+  /// Empty (default) means uniform weights. Sized to design.nets().
+  void set_net_weights(std::vector<double> weights);
+
+  /// Row-legalize a placement in place (exposed for tests).
+  void legalize(netlist::Placement& placement) const;
+
+  /// Detailed placement: greedy equal-width cell swaps within a spatial
+  /// window, accepted only when they reduce HPWL. Keeps a legalized
+  /// placement legal (positions are exchanged verbatim). Returns the
+  /// number of accepted swaps.
+  int refine_swaps(netlist::Placement& placement, int passes = 2,
+                   double window_um = 200.0) const;
+
+  [[nodiscard]] const PlacerConfig& config() const { return config_; }
+
+ private:
+  void solve_qp(netlist::Placement& placement,
+                const std::vector<PseudoNet>& pseudo_nets,
+                const std::vector<geom::Point>& anchors, double anchor_w,
+                const netlist::Placement* stability_ref) const;
+  void spread(netlist::Placement& placement, double alpha) const;
+  void assign_pads(netlist::Placement& placement) const;
+
+  const netlist::Design& design_;
+  PlacerConfig config_;
+  std::vector<bool> movable_;  // per cell
+  std::vector<int> movable_cells_;
+  std::vector<std::vector<int>> nets_of_cell_;
+  std::vector<double> net_weights_;
+};
+
+}  // namespace rotclk::placer

@@ -1,0 +1,71 @@
+#include "power/power.hpp"
+
+#include <cmath>
+
+#include "timing/delay.hpp"
+
+namespace rotclk::power {
+
+long estimate_signal_buffers(const netlist::Design& design,
+                             const netlist::Placement& placement,
+                             const timing::TechParams& tech) {
+  long buffers = 0;
+  for (std::size_t n = 0; n < design.nets().size(); ++n) {
+    const double len = placement.net_hpwl(design, static_cast<int>(n));
+    buffers += static_cast<long>(len / tech.buffer_critical_len_um);
+  }
+  return buffers;
+}
+
+double clock_net_power_mw(double tap_wirelength_um, int num_flip_flops,
+                          const timing::TechParams& tech) {
+  const double cap_ff =
+      tap_wirelength_um * tech.wire_cap_per_um +
+      static_cast<double>(num_flip_flops) * tech.ff_input_cap_ff;
+  return tech.dynamic_power_mw(cap_ff, tech.clock_activity);
+}
+
+double signal_net_power_mw(const netlist::Design& design,
+                           const netlist::Placement& placement,
+                           const timing::TechParams& tech) {
+  double cap_ff = 0.0;
+  for (std::size_t n = 0; n < design.nets().size(); ++n) {
+    const netlist::Net& net = design.net(static_cast<int>(n));
+    if (net.driver < 0 || net.sinks.empty()) continue;
+    cap_ff += placement.net_hpwl(design, static_cast<int>(n)) *
+              tech.wire_cap_per_um;
+    for (int sink : net.sinks)
+      cap_ff += timing::pin_cap_ff(design.cell(sink), tech);
+  }
+  cap_ff += static_cast<double>(
+                estimate_signal_buffers(design, placement, tech)) *
+            tech.buffer_input_cap_ff;
+  return tech.dynamic_power_mw(cap_ff, tech.signal_activity);
+}
+
+double leakage_power_mw(const netlist::Design& design,
+                        const timing::TechParams& tech,
+                        double ioff_na_per_um) {
+  double gate_size_um = 0.0;
+  double ff_size_um = 0.0;
+  for (const auto& c : design.cells()) {
+    if (c.is_flip_flop()) ff_size_um += c.width;
+    else if (c.is_gate()) gate_size_um += c.width;
+  }
+  // Eq. (9): P = Vdd * Ioff * (S + N_F * S_F); sizes proxied by widths.
+  const double ioff_ma = ioff_na_per_um * 1e-6;  // nA/um -> mA/um
+  return tech.vdd * ioff_ma * (gate_size_um + ff_size_um);
+}
+
+PowerBreakdown evaluate_power(const netlist::Design& design,
+                              const netlist::Placement& placement,
+                              double tap_wirelength_um,
+                              const timing::TechParams& tech) {
+  PowerBreakdown out;
+  out.clock_mw = clock_net_power_mw(tap_wirelength_um,
+                                    design.num_flip_flops(), tech);
+  out.signal_mw = signal_net_power_mw(design, placement, tech);
+  return out;
+}
+
+}  // namespace rotclk::power

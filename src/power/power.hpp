@@ -1,0 +1,50 @@
+#pragma once
+// Power models (Sec. VIII): dynamic power Eq. (8), leakage Eq. (9), and
+// signal-net buffer estimation per Alpert et al. [31].
+//
+// Clock-net power = tapping wires + flip-flop clock pins at alpha = 1.
+// Signal-net power = interconnect + gate input pins + estimated repeaters
+// at alpha = 0.15. Leakage is reported but unchanged by the methodology
+// (gate sizes are untouched), exactly as the paper argues.
+
+#include "netlist/netlist.hpp"
+#include "netlist/placement.hpp"
+#include "timing/tech.hpp"
+
+namespace rotclk::power {
+
+struct PowerBreakdown {
+  double clock_mw = 0.0;
+  double signal_mw = 0.0;
+  [[nodiscard]] double total_mw() const { return clock_mw + signal_mw; }
+};
+
+/// Estimated repeater count over all signal nets: one buffer per
+/// buffer_critical_len_um of net wirelength ([31]-style early estimate).
+long estimate_signal_buffers(const netlist::Design& design,
+                             const netlist::Placement& placement,
+                             const timing::TechParams& tech);
+
+/// Clock-net dynamic power (mW) for a rotary clock with total tapping-stub
+/// wirelength `tap_wirelength_um` feeding `num_flip_flops` sinks.
+double clock_net_power_mw(double tap_wirelength_um, int num_flip_flops,
+                          const timing::TechParams& tech);
+
+/// Signal-net dynamic power (mW): wire + gate pins + estimated buffers.
+double signal_net_power_mw(const netlist::Design& design,
+                           const netlist::Placement& placement,
+                           const timing::TechParams& tech);
+
+/// Leakage power (mW), Eq. (9): Vdd * Ioff * (S + N_F * S_F) with the
+/// total inverter/gate size S proxied by summed cell widths.
+double leakage_power_mw(const netlist::Design& design,
+                        const timing::TechParams& tech,
+                        double ioff_na_per_um = 10.0);
+
+/// Full breakdown for one placement + assignment outcome.
+PowerBreakdown evaluate_power(const netlist::Design& design,
+                              const netlist::Placement& placement,
+                              double tap_wirelength_um,
+                              const timing::TechParams& tech);
+
+}  // namespace rotclk::power

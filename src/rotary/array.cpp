@@ -1,0 +1,81 @@
+#include "rotary/array.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rotclk::rotary {
+
+RingArray::RingArray(geom::Rect die, const RingArrayConfig& config)
+    : die_(die), config_(config) {
+  const int grid = static_cast<int>(std::lround(std::sqrt(
+      static_cast<double>(config.rings))));
+  if (grid * grid != config.rings || grid <= 0)
+    throw std::runtime_error("ring array: ring count must be a perfect square");
+  if (config.ring_fill <= 0.0 || config.ring_fill > 1.0)
+    throw std::runtime_error("ring array: ring_fill must be in (0, 1]");
+  grid_ = grid;
+
+  const double cell_w = die.width() / static_cast<double>(grid);
+  const double cell_h = die.height() / static_cast<double>(grid);
+  // Rings are square; fit within the smaller cell dimension.
+  const double side = std::min(cell_w, cell_h) * config.ring_fill;
+  rings_.reserve(static_cast<std::size_t>(config.rings));
+  for (int gy = 0; gy < grid; ++gy) {
+    for (int gx = 0; gx < grid; ++gx) {
+      const geom::Point center{die.xlo + (gx + 0.5) * cell_w,
+                               die.ylo + (gy + 0.5) * cell_h};
+      const geom::Rect outline{center.x - side / 2.0, center.y - side / 2.0,
+                               center.x + side / 2.0, center.y + side / 2.0};
+      const bool clockwise = ((gx + gy) % 2) == 0;  // checkerboard locking
+      rings_.emplace_back(outline, config.period_ps, clockwise,
+                          config.ref_delay_ps);
+    }
+  }
+  capacity_.assign(rings_.size(), 0);
+}
+
+double RingArray::distance_to_ring(int j, geom::Point p) const {
+  double d = 0.0;
+  (void)rings_[static_cast<std::size_t>(j)].closest_point(p, &d);
+  return d;
+}
+
+int RingArray::nearest_ring(geom::Point p) const {
+  int best = 0;
+  double best_d = distance_to_ring(0, p);
+  for (int j = 1; j < size(); ++j) {
+    const double d = distance_to_ring(j, p);
+    if (d < best_d) {
+      best_d = d;
+      best = j;
+    }
+  }
+  return best;
+}
+
+std::vector<int> RingArray::nearest_rings(geom::Point p, int k) const {
+  std::vector<int> order(static_cast<std::size_t>(size()));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> dist(order.size());
+  for (int j = 0; j < size(); ++j)
+    dist[static_cast<std::size_t>(j)] = distance_to_ring(j, p);
+  const int kk = std::min<int>(k, size());
+  std::partial_sort(order.begin(), order.begin() + kk, order.end(),
+                    [&](int a, int b) {
+                      return dist[static_cast<std::size_t>(a)] <
+                             dist[static_cast<std::size_t>(b)];
+                    });
+  order.resize(static_cast<std::size_t>(kk));
+  return order;
+}
+
+void RingArray::set_uniform_capacity(int num_flip_flops, double factor) {
+  const int cap = static_cast<int>(std::ceil(
+      factor * static_cast<double>(num_flip_flops) /
+      static_cast<double>(size())));
+  std::fill(capacity_.begin(), capacity_.end(), std::max(1, cap));
+}
+
+}  // namespace rotclk::rotary

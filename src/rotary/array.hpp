@@ -1,0 +1,60 @@
+#pragma once
+// Rotary clock ring arrays (Fig. 1(b)).
+//
+// Rings tile the die in an n x n grid (the paper's ring counts — 16, 25,
+// 36, 49 — are all perfect squares). Propagation direction alternates in a
+// checkerboard so that neighboring rings phase-lock at their junctions, and
+// every ring's equal-phase reference point carries the same reference delay
+// (the small triangles in Fig. 1(b)).
+
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "rotary/ring.hpp"
+
+namespace rotclk::rotary {
+
+struct RingArrayConfig {
+  int rings = 16;            ///< perfect square (grid is sqrt x sqrt)
+  double period_ps = 1000.0; ///< clock period (1 GHz in the paper)
+  double ring_fill = 0.5;    ///< ring side as a fraction of the grid cell
+  double ref_delay_ps = 0.0; ///< t_ref at every equal-phase point
+};
+
+class RingArray {
+ public:
+  RingArray(geom::Rect die, const RingArrayConfig& config);
+
+  [[nodiscard]] int size() const { return static_cast<int>(rings_.size()); }
+  [[nodiscard]] int grid_dim() const { return grid_; }
+  [[nodiscard]] const RotaryRing& ring(int j) const {
+    return rings_[static_cast<std::size_t>(j)];
+  }
+  [[nodiscard]] const geom::Rect& die() const { return die_; }
+  [[nodiscard]] double period() const { return config_.period_ps; }
+
+  /// Manhattan distance from `p` to ring j's outline.
+  [[nodiscard]] double distance_to_ring(int j, geom::Point p) const;
+
+  /// Ring with the smallest distance_to_ring.
+  [[nodiscard]] int nearest_ring(geom::Point p) const;
+
+  /// The k nearest rings, ascending by distance (k clamped to size()).
+  [[nodiscard]] std::vector<int> nearest_rings(geom::Point p, int k) const;
+
+  /// Per-ring flip-flop capacity U_j (Sec. V). Uniform helper:
+  /// U_j = ceil(factor * num_ffs / rings), factor > 1 leaves slack.
+  void set_uniform_capacity(int num_flip_flops, double factor);
+  [[nodiscard]] int capacity(int j) const {
+    return capacity_[static_cast<std::size_t>(j)];
+  }
+
+ private:
+  geom::Rect die_;
+  RingArrayConfig config_;
+  int grid_ = 0;
+  std::vector<RotaryRing> rings_;
+  std::vector<int> capacity_;
+};
+
+}  // namespace rotclk::rotary

@@ -1,0 +1,40 @@
+#include "rotary/electrical.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rotclk::rotary {
+
+double ring_inductance_ph(const RotaryRing& ring,
+                          const RingElectricalParams& params) {
+  return params.inductance_ph_per_um * ring.total_length();
+}
+
+double ring_capacitance_ff(const RotaryRing& ring,
+                           const RingElectricalParams& params) {
+  return params.capacitance_ff_per_um * ring.total_length();
+}
+
+double oscillation_frequency_ghz(const RotaryRing& ring, double load_cap_ff,
+                                 const RingElectricalParams& params) {
+  const double l_ph = ring_inductance_ph(ring, params);
+  const double c_ff = ring_capacitance_ff(ring, params) + load_cap_ff;
+  // pH * fF = 1e-12 H * 1e-15 F = 1e-27 s^2; f = 1/(2 sqrt(LC)).
+  const double lc_s2 = l_ph * c_ff * 1e-27;
+  if (lc_s2 <= 0.0) return 0.0;
+  return 1e-9 / (2.0 * std::sqrt(lc_s2));
+}
+
+double load_budget_ff(const RotaryRing& ring, double target_ghz,
+                      const RingElectricalParams& params) {
+  // Invert Eq. (2): C_total = 1 / (4 f^2 L).
+  const double f_hz = target_ghz * 1e9;
+  const double l_h = ring_inductance_ph(ring, params) * 1e-12;
+  if (f_hz <= 0.0 || l_h <= 0.0) return 0.0;
+  const double c_total_f = 1.0 / (4.0 * f_hz * f_hz * l_h);
+  const double budget_ff =
+      c_total_f * 1e15 - ring_capacitance_ff(ring, params);
+  return std::max(0.0, budget_ff);
+}
+
+}  // namespace rotclk::rotary

@@ -1,0 +1,43 @@
+#pragma once
+// Rotary ring electrical model (Eq. 2):
+//
+//     f_osc = 1 / (2 * sqrt(L_total * C_total))
+//
+// C_total = ring wire capacitance + tapped load capacitance (+ dummies).
+// This is why Sec. VI minimizes the maximum loaded capacitance: the most
+// loaded ring sets the array's attainable frequency (all rings of an
+// array injection-lock to a common frequency, so the worst ring binds).
+
+#include "rotary/ring.hpp"
+#include "timing/tech.hpp"
+
+namespace rotclk::rotary {
+
+struct RingElectricalParams {
+  /// Transmission-line inductance per micron of ring conductor. The
+  /// default, with the default capacitances, puts an unloaded 2 mm ring
+  /// near the paper's 1 GHz design point.
+  double inductance_ph_per_um = 0.5;   // pH/um
+  /// Ring conductor capacitance per micron (differential pair).
+  double capacitance_ff_per_um = 0.15; // fF/um
+};
+
+/// Total ring self inductance (pH) over both laps.
+double ring_inductance_ph(const RotaryRing& ring,
+                          const RingElectricalParams& params = {});
+
+/// Ring conductor capacitance (fF) over both laps.
+double ring_capacitance_ff(const RotaryRing& ring,
+                           const RingElectricalParams& params = {});
+
+/// Oscillation frequency (GHz) of a ring carrying `load_cap_ff` of tapped
+/// load (stubs + sinks + dummies), per Eq. (2).
+double oscillation_frequency_ghz(const RotaryRing& ring, double load_cap_ff,
+                                 const RingElectricalParams& params = {});
+
+/// The load capacitance (fF) a ring can carry while still oscillating at
+/// or above `target_ghz`; 0 when the bare ring is already too slow.
+double load_budget_ff(const RotaryRing& ring, double target_ghz,
+                      const RingElectricalParams& params = {});
+
+}  // namespace rotclk::rotary

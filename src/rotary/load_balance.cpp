@@ -1,0 +1,62 @@
+#include "rotary/load_balance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rotclk::rotary {
+
+double RingLoadProfile::tapped_total() const {
+  double sum = 0.0;
+  for (double c : tapped_ff) sum += c;
+  return sum;
+}
+
+double RingLoadProfile::dummy_total() const {
+  double sum = 0.0;
+  for (double c : dummy_ff) sum += c;
+  return sum;
+}
+
+double RingLoadProfile::imbalance() const {
+  const double total = tapped_total();
+  if (total <= 0.0) return 1.0;
+  const double mean = total / static_cast<double>(RotaryRing::kNumSegments);
+  const double peak = *std::max_element(tapped_ff.begin(), tapped_ff.end());
+  return peak / mean;
+}
+
+LoadBalanceResult balance_ring_loads(const RingArray& rings,
+                                     const std::vector<TappedLoad>& loads,
+                                     double global_target_ff) {
+  LoadBalanceResult result;
+  result.rings.resize(static_cast<std::size_t>(rings.size()));
+  for (const TappedLoad& load : loads) {
+    if (load.ring < 0 || load.ring >= rings.size())
+      throw std::runtime_error("load_balance: ring index out of range");
+    if (load.pos.segment < 0 || load.pos.segment >= RotaryRing::kNumSegments)
+      throw std::runtime_error("load_balance: segment index out of range");
+    result.rings[static_cast<std::size_t>(load.ring)]
+        .tapped_ff[static_cast<std::size_t>(load.pos.segment)] += load.cap_ff;
+  }
+
+  double imbalance_sum = 0.0;
+  for (auto& profile : result.rings) {
+    const double imb = profile.imbalance();
+    result.worst_imbalance = std::max(result.worst_imbalance, imb);
+    imbalance_sum += imb;
+    const double peak = *std::max_element(profile.tapped_ff.begin(),
+                                          profile.tapped_ff.end());
+    const double target = std::max(global_target_ff, peak);
+    for (std::size_t s = 0; s < profile.tapped_ff.size(); ++s) {
+      profile.dummy_ff[s] = std::max(0.0, target - profile.tapped_ff[s]);
+      result.total_dummy_ff += profile.dummy_ff[s];
+    }
+  }
+  result.mean_imbalance =
+      result.rings.empty()
+          ? 1.0
+          : imbalance_sum / static_cast<double>(result.rings.size());
+  return result;
+}
+
+}  // namespace rotclk::rotary

@@ -1,0 +1,59 @@
+#pragma once
+// Dummy capacitive load insertion (Sec. II).
+//
+// A rotary ring oscillates cleanly only when capacitance is distributed
+// uniformly along it: "dummy capacitive load needs to be inserted at
+// places where no flip-flops exist". Given the tapped loads an assignment
+// hangs on each ring, this module computes per-segment load profiles and
+// the dummy capacitance needed to flatten each ring to its own peak
+// segment (optionally to a global target), plus the uniformity statistics
+// and the dynamic-power price of the dummies.
+
+#include <array>
+#include <vector>
+
+#include "rotary/array.hpp"
+#include "rotary/ring.hpp"
+
+namespace rotclk::rotary {
+
+/// One tapped load on a ring: where it taps and how much it loads (stub
+/// wire + sink pin), as produced by the assignment stage.
+struct TappedLoad {
+  int ring = 0;
+  RingPos pos;
+  double cap_ff = 0.0;
+};
+
+struct RingLoadProfile {
+  /// Tapped capacitance per segment (8 segments).
+  std::array<double, RotaryRing::kNumSegments> tapped_ff{};
+  /// Dummy capacitance inserted per segment to flatten the ring.
+  std::array<double, RotaryRing::kNumSegments> dummy_ff{};
+
+  [[nodiscard]] double tapped_total() const;
+  [[nodiscard]] double dummy_total() const;
+  /// Peak-to-mean ratio of the tapped (pre-dummy) distribution; 1 = flat.
+  /// Rings with no load report 1.
+  [[nodiscard]] double imbalance() const;
+};
+
+struct LoadBalanceResult {
+  std::vector<RingLoadProfile> rings;
+  double total_dummy_ff = 0.0;
+  /// Worst per-ring peak-to-mean imbalance before balancing.
+  double worst_imbalance = 1.0;
+  /// Mean per-ring imbalance before balancing.
+  double mean_imbalance = 1.0;
+};
+
+/// Compute load profiles and the dummies that flatten every segment of
+/// every ring to that ring's peak segment. If `global_target_ff` > 0,
+/// every segment is instead raised to that common level (needed when all
+/// rings of an array must oscillate at one frequency, Eq. (2)); segments
+/// already above it receive no dummy.
+LoadBalanceResult balance_ring_loads(const RingArray& rings,
+                                     const std::vector<TappedLoad>& loads,
+                                     double global_target_ff = 0.0);
+
+}  // namespace rotclk::rotary

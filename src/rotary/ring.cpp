@@ -1,0 +1,110 @@
+#include "rotary/ring.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <limits>
+
+namespace rotclk::rotary {
+
+RotaryRing::RotaryRing(geom::Rect outline, double period_ps, bool clockwise,
+                       double ref_delay_ps)
+    : outline_(outline),
+      period_(period_ps),
+      side_(outline.width()),
+      clockwise_(clockwise) {
+  if (std::abs(outline.width() - outline.height()) > 1e-9)
+    throw std::runtime_error("rotary ring outline must be square");
+  if (side_ <= 0.0 || period_ <= 0.0)
+    throw std::runtime_error("rotary ring needs positive side and period");
+
+  // Corner tour. Counter-clockwise base order starting at the bottom-left;
+  // a clockwise ring reverses the tour.
+  const geom::Point bl{outline.xlo, outline.ylo};
+  const geom::Point br{outline.xhi, outline.ylo};
+  const geom::Point tr{outline.xhi, outline.yhi};
+  const geom::Point tl{outline.xlo, outline.yhi};
+  std::array<geom::Point, 4> tour =
+      clockwise ? std::array<geom::Point, 4>{bl, tl, tr, br}
+                : std::array<geom::Point, 4>{bl, br, tr, tl};
+
+  // Lap 1 (outer): segments 0..3; lap 2 (inner): segments 4..7 at the same
+  // coordinates, half a period later.
+  for (int lap = 0; lap < 2; ++lap) {
+    for (int k = 0; k < 4; ++k) {
+      Segment& s = segments_[static_cast<std::size_t>(lap * 4 + k)];
+      s.start = tour[static_cast<std::size_t>(k)];
+      s.end = tour[static_cast<std::size_t>((k + 1) % 4)];
+      s.delay_start =
+          (static_cast<double>(lap) * 4.0 + static_cast<double>(k)) * side_ *
+          rho();
+    }
+  }
+
+  // Shift all delays so the equal-phase reference point — the midpoint of
+  // the bottom edge on the outer lap — carries `ref_delay_ps`.
+  double dist_to_ref = 0.0;
+  bool found = false;
+  const geom::Point ref{(outline.xlo + outline.xhi) / 2.0, outline.ylo};
+  for (int k = 0; k < 4 && !found; ++k) {
+    const Segment& s = segments_[static_cast<std::size_t>(k)];
+    const bool horizontal = s.start.y == s.end.y;
+    if (horizontal && s.start.y == outline.ylo) {
+      dist_to_ref = s.delay_start / rho() + std::abs(ref.x - s.start.x);
+      found = true;
+    }
+  }
+  const double shift = ref_delay_ps - dist_to_ref * rho();
+  for (auto& s : segments_) {
+    s.delay_start = std::fmod(s.delay_start + shift, period_);
+    if (s.delay_start < 0.0) s.delay_start += period_;
+  }
+}
+
+geom::Point RotaryRing::point_at(RingPos pos) const {
+  const Segment& s = segments_[static_cast<std::size_t>(pos.segment)];
+  const double f = pos.offset / side_;
+  return s.start + (s.end - s.start) * f;
+}
+
+double RotaryRing::delay_at(RingPos pos) const {
+  const Segment& s = segments_[static_cast<std::size_t>(pos.segment)];
+  return wrap_delay(s.delay_start + rho() * pos.offset);
+}
+
+RingPos RotaryRing::closest_point(geom::Point p, double* distance) const {
+  RingPos best{0, 0.0};
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (int k = 0; k < 4; ++k) {  // outer lap only; inner is co-located
+    const Segment& s = segments_[static_cast<std::size_t>(k)];
+    // Project p onto the axis-aligned segment.
+    const bool horizontal = s.start.y == s.end.y;
+    double offset;
+    geom::Point q;
+    if (horizontal) {
+      const double lo = std::min(s.start.x, s.end.x);
+      const double hi = std::max(s.start.x, s.end.x);
+      q = geom::Point{geom::clamp(p.x, lo, hi), s.start.y};
+      offset = std::abs(q.x - s.start.x);
+    } else {
+      const double lo = std::min(s.start.y, s.end.y);
+      const double hi = std::max(s.start.y, s.end.y);
+      q = geom::Point{s.start.x, geom::clamp(p.y, lo, hi)};
+      offset = std::abs(q.y - s.start.y);
+    }
+    const double d = geom::manhattan(p, q);
+    if (d < best_dist) {
+      best_dist = d;
+      best = RingPos{k, offset};
+    }
+  }
+  if (distance != nullptr) *distance = best_dist;
+  return best;
+}
+
+double RotaryRing::wrap_delay(double t) const {
+  double w = std::fmod(t, period_);
+  if (w < 0.0) w += period_;
+  return w;
+}
+
+}  // namespace rotclk::rotary

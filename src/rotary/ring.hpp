@@ -1,0 +1,92 @@
+#pragma once
+// Rotary traveling-wave clock ring model (Wood et al. [13]).
+//
+// A ring is a pair of cross-connected differential transmission-line loops;
+// in layout it is a square composed of four *outer* and four *inner*
+// segments (Fig. 2 of the paper). The traveling wave traverses the outer
+// lap and then — through the Mobius cross-over — the inner lap, covering
+// the full structure in exactly one clock period T. Hence:
+//   * every point on the ring carries a distinct, fixed clock delay
+//     t in [0, T) (equivalently a phase of 360 * t / T degrees);
+//   * the inner-rail point physically adjacent to an outer-rail point is
+//     half a period apart (complementary phase), which Sec. III exploits
+//     for opposite-polarity flip-flops.
+//
+// Geometry: both laps are modeled on the same square outline (the rail gap
+// is negligible at placement scale); segment k in [0,4) is the outer lap,
+// k in [4,8) the inner lap at the same coordinates.
+
+#include <array>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+
+namespace rotclk::rotary {
+
+/// A position on the ring: segment index and arc offset from its start.
+struct RingPos {
+  int segment = 0;
+  double offset = 0.0;
+};
+
+class RotaryRing {
+ public:
+  /// `outline` is the square the ring is drawn on; `period_ps` the clock
+  /// period; `clockwise` the wave propagation direction (the ring array
+  /// alternates directions in a checkerboard so neighbors phase-lock);
+  /// `ref_delay_ps` is the clock delay at the ring's equal-phase reference
+  /// point (the midpoint of the bottom edge, Fig. 1(b) triangles).
+  RotaryRing(geom::Rect outline, double period_ps, bool clockwise = true,
+             double ref_delay_ps = 0.0);
+
+  static constexpr int kNumSegments = 8;
+
+  struct Segment {
+    geom::Point start;       ///< wave entry point
+    geom::Point end;         ///< wave exit point
+    double delay_start = 0;  ///< clock delay at `start` (ps, in [0, T))
+  };
+
+  [[nodiscard]] const Segment& segment(int k) const {
+    return segments_[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] double side() const { return side_; }
+  [[nodiscard]] double period() const { return period_; }
+  [[nodiscard]] bool clockwise() const { return clockwise_; }
+  [[nodiscard]] geom::Point center() const { return outline_.center(); }
+  [[nodiscard]] const geom::Rect& outline() const { return outline_; }
+
+  /// Total electrical length (8 sides — both laps).
+  [[nodiscard]] double total_length() const { return 8.0 * side_; }
+
+  /// Delay per unit length: rho = T / total_length (ps/um).
+  [[nodiscard]] double rho() const { return period_ / total_length(); }
+
+  /// Layout point at an arc position.
+  [[nodiscard]] geom::Point point_at(RingPos pos) const;
+
+  /// Clock delay (ps, wrapped into [0, T)) at an arc position.
+  [[nodiscard]] double delay_at(RingPos pos) const;
+
+  /// Position on the *outer* lap closest (Manhattan) to `p`, with distance.
+  [[nodiscard]] RingPos closest_point(geom::Point p,
+                                      double* distance = nullptr) const;
+
+  /// The complementary position: same layout point on the other lap,
+  /// carrying a delay offset by T/2 (Sec. III, complementary phases).
+  [[nodiscard]] static RingPos complementary(RingPos pos) {
+    return RingPos{(pos.segment + 4) % kNumSegments, pos.offset};
+  }
+
+  /// Wrap an arbitrary delay into [0, T).
+  [[nodiscard]] double wrap_delay(double t) const;
+
+ private:
+  geom::Rect outline_;
+  double period_;
+  double side_;
+  bool clockwise_;
+  std::array<Segment, kNumSegments> segments_;
+};
+
+}  // namespace rotclk::rotary

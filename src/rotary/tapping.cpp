@@ -1,0 +1,180 @@
+#include "rotary/tapping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace rotclk::rotary {
+
+namespace {
+
+// Roots of A x^2 + B x + C = 0, tolerating A ~ 0 (linear case).
+std::vector<double> quadratic_roots(double a, double b, double c) {
+  constexpr double kTinyA = 1e-18;
+  if (std::abs(a) < kTinyA) {
+    if (std::abs(b) < 1e-18) return {};
+    return {-c / b};
+  }
+  const double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) return {};
+  const double sq = std::sqrt(disc);
+  // Numerically stable form.
+  const double q = -0.5 * (b + (b >= 0.0 ? sq : -sq));
+  std::vector<double> roots;
+  roots.push_back(q / a);
+  if (q != 0.0) roots.push_back(c / q);
+  else roots.push_back(0.0);
+  return roots;
+}
+
+struct SegmentFrame {
+  double t0 = 0.0;    // delay at segment start
+  double proj = 0.0;  // flip-flop coordinate along the wave direction
+  double perp = 0.0;  // perpendicular Manhattan offset (>= 0)
+  double side = 0.0;
+};
+
+// Delay along one segment at arc position x in [0, side].
+double delay_at(const SegmentFrame& f, double rho, double a2, double a1,
+                double x) {
+  const double l = std::abs(x - f.proj) + f.perp;
+  return f.t0 + rho * x + a2 * l * l + a1 * l;
+}
+
+}  // namespace
+
+TapSolution solve_tapping(const RotaryRing& ring, geom::Point flip_flop,
+                          double target_delay_ps,
+                          const TappingParams& params) {
+  const double T = ring.period();
+  const double rho = ring.rho();
+  // Stub-delay coefficients in ps (ohm*fF = 1e-3 ps). With a tap buffer,
+  // the buffer's output resistance adds a term linear in l and a constant,
+  // and its intrinsic delay shifts the whole curve (Sec. III).
+  const double a2 = 0.5 * params.wire_res_per_um * params.wire_cap_per_um * 1e-3;
+  double a1 = params.wire_res_per_um * params.sink_cap_ff * 1e-3;
+  double a0 = 0.0;  // constant stub-delay offset
+  if (params.use_buffer) {
+    a1 += params.buffer_drive_res_ohm * params.wire_cap_per_um * 1e-3;
+    a0 = params.buffer_delay_ps +
+         params.buffer_drive_res_ohm * params.sink_cap_ff * 1e-3;
+  }
+
+  TapSolution best;
+  best.wirelength = std::numeric_limits<double>::infinity();
+
+  struct Target {
+    double tau;
+    bool complemented;
+  };
+  std::vector<Target> targets{{ring.wrap_delay(target_delay_ps), false}};
+  if (params.allow_complement)
+    targets.push_back({ring.wrap_delay(target_delay_ps + T / 2.0), true});
+
+  for (const Target& tgt : targets) {
+    for (int k = 0; k < RotaryRing::kNumSegments; ++k) {
+      const RotaryRing::Segment& s = ring.segment(k);
+      SegmentFrame f;
+      f.t0 = s.delay_start + a0;  // buffer offset shifts the whole curve
+      f.side = ring.side();
+      const bool horizontal = s.start.y == s.end.y;
+      if (horizontal) {
+        const double dir = s.end.x > s.start.x ? 1.0 : -1.0;
+        f.proj = (flip_flop.x - s.start.x) * dir;
+        f.perp = std::abs(flip_flop.y - s.start.y);
+      } else {
+        const double dir = s.end.y > s.start.y ? 1.0 : -1.0;
+        f.proj = (flip_flop.y - s.start.y) * dir;
+        f.perp = std::abs(flip_flop.x - s.start.x);
+      }
+
+      // Extremes of the delay curve over [0, side] (piecewise convex, so
+      // candidates are endpoints, the joint, and interior parabola vertices).
+      std::vector<double> probes{0.0, f.side};
+      if (f.proj > 0.0 && f.proj < f.side) probes.push_back(f.proj);
+      // Piece A vertex: d/dx [a2(w-x)^2 + a1(w-x) + rho x] = 0.
+      const double w = f.proj + f.perp;
+      if (a2 > 0.0) {
+        // A-piece vertex: dt/dx = -2 a2 (w - x) - a1 + rho = 0
+        //   =>  x = w - (rho - a1)/(2 a2)
+        const double va = w - (rho - a1) / (2.0 * a2);
+        if (va > 0.0 && va < std::min(f.side, f.proj)) probes.push_back(va);
+        // B-piece: dt/dx = 2 a2 (x - w') + a1 + rho = 0 with w' = proj - perp
+        const double wp = f.proj - f.perp;
+        const double vb = wp - (a1 + rho) / (2.0 * a2);
+        if (vb > std::max(0.0, f.proj) && vb < f.side) probes.push_back(vb);
+      }
+      double t_min = std::numeric_limits<double>::infinity();
+      double t_max = -t_min;
+      for (double x : probes) {
+        const double t = delay_at(f, rho, a2, a1, x);
+        t_min = std::min(t_min, t);
+        t_max = std::max(t_max, t);
+      }
+
+      // Case 1: lift the target onto the curve by whole periods.
+      const int shift = static_cast<int>(std::ceil((t_min - tgt.tau) / T - 1e-12));
+      const double tau = tgt.tau + static_cast<double>(shift) * T;
+
+      auto consider = [&](double x, bool snaked, double wl) {
+        if (wl < best.wirelength) {
+          best.feasible = true;
+          best.pos = RingPos{k, geom::clamp(x, 0.0, f.side)};
+          best.tap_point = ring.point_at(best.pos);
+          best.wirelength = wl;
+          best.delay_ps = ring.wrap_delay(tau);
+          best.snaked = snaked;
+          best.complemented = tgt.complemented;
+          best.periods_shifted = shift;
+        }
+      };
+
+      if (tau <= t_max + 1e-9) {
+        // Cases 2/3: closed-form roots on each parabola piece.
+        // Piece A (x <= proj): t = a2 x^2 - (2 a2 w + a1 - rho) x
+        //                          + a2 w^2 + a1 w + t0
+        if (f.proj > 0.0) {
+          const double lo = 0.0, hi = std::min(f.side, f.proj);
+          for (double x : quadratic_roots(a2, -(2.0 * a2 * w + a1 - rho),
+                                          a2 * w * w + a1 * w + f.t0 - tau)) {
+            if (x >= lo - 1e-9 && x <= hi + 1e-9) {
+              const double xc = geom::clamp(x, lo, hi);
+              consider(xc, false, std::abs(xc - f.proj) + f.perp);
+            }
+          }
+        }
+        // Piece B (x >= proj): t = a2 x^2 + (-2 a2 w' + a1 + rho) x
+        //                          + a2 w'^2 - a1 w' + t0
+        if (f.proj < f.side) {
+          const double wp = f.proj - f.perp;
+          const double lo = std::max(0.0, f.proj), hi = f.side;
+          for (double x : quadratic_roots(a2, -2.0 * a2 * wp + a1 + rho,
+                                          a2 * wp * wp - a1 * wp + f.t0 - tau)) {
+            if (x >= lo - 1e-9 && x <= hi + 1e-9) {
+              const double xc = geom::clamp(x, lo, hi);
+              consider(xc, false, std::abs(xc - f.proj) + f.perp);
+            }
+          }
+        }
+      } else {
+        // Case 4: tap the segment end and snake the stub until the extra
+        // wire delay makes up the deficit: a2 l^2 + a1 l = tau - t(end).
+        const double deficit = tau - (f.t0 + rho * f.side);
+        for (double l : quadratic_roots(a2, a1, -deficit)) {
+          // The snaked stub must still physically reach the flip-flop.
+          const double direct = std::abs(f.side - f.proj) + f.perp;
+          if (l >= direct - 1e-9) consider(f.side, true, std::max(l, direct));
+        }
+      }
+    }
+  }
+  return best;
+}
+
+double tapping_cost(const RotaryRing& ring, geom::Point flip_flop,
+                    double target_delay_ps, const TappingParams& params) {
+  return solve_tapping(ring, flip_flop, target_delay_ps, params).wirelength;
+}
+
+}  // namespace rotclk::rotary

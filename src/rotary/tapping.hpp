@@ -1,0 +1,63 @@
+#pragma once
+// Flexible-tapping solver (Sec. III, Eq. 1).
+//
+// Given a flip-flop location and a clock-delay target t̂, find the tapping
+// point p on a rotary ring such that the delay of the ring signal at p plus
+// the Elmore delay of the stub wire from p to the flip-flop equals t̂
+// (modulo the clock period). On each of the 8 ring segments the delay curve
+//   t_f(x) = t0 + rho*x + 1/2*r*c*l(x)^2 + r*l(x)*C_ff,   l(x) = |x-x_f|+y_f
+// is a pair of convex parabolas joined at the flip-flop's projection; the
+// paper's four cases are handled as:
+//   case 1 (t̂ too small)    — shift the target by an integral number of
+//                              periods (phase is unchanged);
+//   case 2 (two roots)       — keep the root with smaller stub length;
+//   case 3 (one root)        — take it;
+//   case 4 (t̂ too large)    — tap the segment end and snake the stub wire
+//                              until the target is met.
+// The minimum-wirelength candidate over all segments (and optionally the
+// complementary phase, with flipped flip-flop polarity) wins; the winning
+// stub length is the *tapping cost*.
+
+#include "geom/point.hpp"
+#include "rotary/ring.hpp"
+
+namespace rotclk::rotary {
+
+struct TappingParams {
+  double wire_res_per_um = 0.08;  ///< ohm/um
+  double wire_cap_per_um = 0.08;  ///< fF/um
+  double sink_cap_ff = 10.0;      ///< flip-flop clock-pin load, fF
+  /// Also consider tapping the complementary phase (target shifted by T/2)
+  /// with an opposite-polarity flip-flop (Sec. III, last paragraph).
+  bool allow_complement = false;
+  /// Drive the stub through a buffer at the tapping point (Sec. III: "we
+  /// could also use a buffer to drive the signal from point p"; Eq. (1)
+  /// gains the buffer delay and the buffer's output resistance):
+  ///   t_f = t0 + rho x + D_buf + R_buf(c l + C_ff) + 1/2 r c l^2 + r l C_ff
+  bool use_buffer = false;
+  double buffer_delay_ps = 20.0;       ///< D_buf: intrinsic buffer delay
+  double buffer_drive_res_ohm = 600.0; ///< R_buf: buffer output resistance
+};
+
+struct TapSolution {
+  bool feasible = false;
+  RingPos pos;               ///< tapping point on the ring
+  geom::Point tap_point;     ///< its layout coordinates
+  double wirelength = 0.0;   ///< stub length incl. any snaking detour (um)
+  double delay_ps = 0.0;     ///< achieved delay at the flip-flop (wrapped)
+  bool snaked = false;       ///< case 4: wire detour used
+  bool complemented = false; ///< tapped at T/2-shifted phase, polarity flip
+  int periods_shifted = 0;   ///< case 1: periods added to reach the curve
+};
+
+/// Solve for the minimum-wirelength tapping point achieving
+/// `target_delay_ps` (mod period) at `flip_flop`. Always feasible thanks to
+/// case 4 (snaking).
+TapSolution solve_tapping(const RotaryRing& ring, geom::Point flip_flop,
+                          double target_delay_ps, const TappingParams& params);
+
+/// Convenience: just the tapping cost (stub wirelength, um).
+double tapping_cost(const RotaryRing& ring, geom::Point flip_flop,
+                    double target_delay_ps, const TappingParams& params);
+
+}  // namespace rotclk::rotary

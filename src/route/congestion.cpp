@@ -1,0 +1,70 @@
+#include "route/congestion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geom/rect.hpp"
+
+namespace rotclk::route {
+
+double CongestionMap::max_demand() const {
+  double m = 0.0;
+  for (double d : demand) m = std::max(m, d);
+  return m;
+}
+
+double CongestionMap::avg_demand() const {
+  if (demand.empty()) return 0.0;
+  double sum = 0.0;
+  for (double d : demand) sum += d;
+  return sum / static_cast<double>(demand.size());
+}
+
+double CongestionMap::hotspot_ratio() const {
+  const double avg = avg_demand();
+  return avg > 0.0 ? max_demand() / avg : 1.0;
+}
+
+CongestionMap rudy_map(const netlist::Design& design,
+                       const netlist::Placement& placement, int bins) {
+  if (bins < 1) throw std::runtime_error("rudy: bins must be >= 1");
+  CongestionMap map;
+  map.bins_x = bins;
+  map.bins_y = bins;
+  map.demand.assign(static_cast<std::size_t>(bins) *
+                        static_cast<std::size_t>(bins),
+                    0.0);
+  const geom::Rect& die = placement.die();
+  const double bw = die.width() / bins;
+  const double bh = die.height() / bins;
+
+  for (std::size_t n = 0; n < design.nets().size(); ++n) {
+    const netlist::Net& net = design.net(static_cast<int>(n));
+    if (net.driver < 0 || net.sinks.empty()) continue;
+    geom::BBox box;
+    box.add(placement.loc(net.driver));
+    for (int s : net.sinks) box.add(placement.loc(s));
+    const geom::Rect r = box.rect();
+    const double wire = box.half_perimeter();
+    if (wire <= 0.0) continue;
+    // RUDY density inside the bbox: wire / area; degenerate boxes get a
+    // one-bin-thick extent so pin-aligned nets still register.
+    const double w = std::max(r.width(), bw);
+    const double h = std::max(r.height(), bh);
+    const double density = wire / (w * h);
+
+    const int x0 = std::clamp(static_cast<int>((r.xlo - die.xlo) / bw), 0, bins - 1);
+    const int x1 = std::clamp(static_cast<int>((r.xlo + w - die.xlo) / bw), 0, bins - 1);
+    const int y0 = std::clamp(static_cast<int>((r.ylo - die.ylo) / bh), 0, bins - 1);
+    const int y1 = std::clamp(static_cast<int>((r.ylo + h - die.ylo) / bh), 0, bins - 1);
+    for (int by = y0; by <= y1; ++by)
+      for (int bx = x0; bx <= x1; ++bx)
+        map.demand[static_cast<std::size_t>(by) *
+                       static_cast<std::size_t>(bins) +
+                   static_cast<std::size_t>(bx)] += density;
+  }
+  return map;
+}
+
+}  // namespace rotclk::route

@@ -1,0 +1,37 @@
+#pragma once
+// Routing-congestion estimation (RUDY: Rectangular Uniform wire DensitY).
+//
+// Each net smears its expected wire (HPWL) uniformly over its bounding
+// box; summing over nets gives a per-bin demand density in wire-length per
+// unit area. Pulling flip-flops toward rings concentrates clock stubs, so
+// the flow benches report the congestion penalty alongside wirelength.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/placement.hpp"
+
+namespace rotclk::route {
+
+struct CongestionMap {
+  int bins_x = 0;
+  int bins_y = 0;
+  /// Demand per bin (wirelength um per um^2), row-major, y-major rows.
+  std::vector<double> demand;
+
+  [[nodiscard]] double at(int bx, int by) const {
+    return demand[static_cast<std::size_t>(by) *
+                      static_cast<std::size_t>(bins_x) +
+                  static_cast<std::size_t>(bx)];
+  }
+  [[nodiscard]] double max_demand() const;
+  [[nodiscard]] double avg_demand() const;
+  /// Peak-to-average ratio (1 = perfectly even demand).
+  [[nodiscard]] double hotspot_ratio() const;
+};
+
+/// Build a RUDY map over an n x n bin grid.
+CongestionMap rudy_map(const netlist::Design& design,
+                       const netlist::Placement& placement, int bins = 16);
+
+}  // namespace rotclk::route

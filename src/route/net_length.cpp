@@ -1,0 +1,40 @@
+#include "route/net_length.hpp"
+
+namespace rotclk::route {
+
+const char* to_string(WirelengthModel model) {
+  switch (model) {
+    case WirelengthModel::Hpwl: return "hpwl";
+    case WirelengthModel::Rmst: return "rmst";
+    case WirelengthModel::Rsmt: return "rsmt";
+  }
+  return "?";
+}
+
+double net_length(const netlist::Design& design,
+                  const netlist::Placement& placement, int net,
+                  WirelengthModel model) {
+  const netlist::Net& n = design.net(net);
+  if (n.driver < 0 || n.sinks.empty()) return 0.0;
+  std::vector<geom::Point> pins;
+  pins.reserve(n.sinks.size() + 1);
+  pins.push_back(placement.loc(n.driver));
+  for (int s : n.sinks) pins.push_back(placement.loc(s));
+  switch (model) {
+    case WirelengthModel::Hpwl: return hpwl(pins);
+    case WirelengthModel::Rmst: return rmst_length(pins);
+    case WirelengthModel::Rsmt: return rsmt_length(pins);
+  }
+  return 0.0;
+}
+
+double total_length(const netlist::Design& design,
+                    const netlist::Placement& placement,
+                    WirelengthModel model) {
+  double sum = 0.0;
+  for (std::size_t n = 0; n < design.nets().size(); ++n)
+    sum += net_length(design, placement, static_cast<int>(n), model);
+  return sum;
+}
+
+}  // namespace rotclk::route

@@ -1,0 +1,28 @@
+#pragma once
+// Net-length estimation under selectable wirelength models.
+
+#include "netlist/netlist.hpp"
+#include "netlist/placement.hpp"
+#include "route/steiner.hpp"
+
+namespace rotclk::route {
+
+enum class WirelengthModel {
+  Hpwl,  ///< half-perimeter (the paper's metric; exact for 2-3 pins)
+  Rmst,  ///< rectilinear spanning tree (routable upper bound)
+  Rsmt,  ///< Steiner heuristic (closest to detailed routing)
+};
+
+const char* to_string(WirelengthModel model);
+
+/// Length of one net under the model (0 for undriven/sinkless nets).
+double net_length(const netlist::Design& design,
+                  const netlist::Placement& placement, int net,
+                  WirelengthModel model);
+
+/// Sum over all signal nets.
+double total_length(const netlist::Design& design,
+                    const netlist::Placement& placement,
+                    WirelengthModel model);
+
+}  // namespace rotclk::route

@@ -1,0 +1,145 @@
+#include "route/steiner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "geom/rect.hpp"
+
+namespace rotclk::route {
+
+namespace {
+
+// Prim MST over manhattan distances; returns edges and total length.
+std::pair<std::vector<std::pair<int, int>>, double> prim(
+    const std::vector<geom::Point>& pts) {
+  const std::size_t n = pts.size();
+  std::vector<std::pair<int, int>> edges;
+  if (n <= 1) return {edges, 0.0};
+  std::vector<double> best(n, std::numeric_limits<double>::infinity());
+  std::vector<int> parent(n, -1);
+  std::vector<bool> in_tree(n, false);
+  best[0] = 0.0;
+  double total = 0.0;
+  for (std::size_t it = 0; it < n; ++it) {
+    int u = -1;
+    for (std::size_t v = 0; v < n; ++v)
+      if (!in_tree[v] && (u < 0 || best[v] < best[static_cast<std::size_t>(u)]))
+        u = static_cast<int>(v);
+    in_tree[static_cast<std::size_t>(u)] = true;
+    if (parent[static_cast<std::size_t>(u)] >= 0) {
+      edges.emplace_back(parent[static_cast<std::size_t>(u)], u);
+      total += best[static_cast<std::size_t>(u)];
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      const double d = geom::manhattan(pts[static_cast<std::size_t>(u)], pts[v]);
+      if (d < best[v]) {
+        best[v] = d;
+        parent[v] = u;
+      }
+    }
+  }
+  return {std::move(edges), total};
+}
+
+double mst_length(const std::vector<geom::Point>& pts) {
+  return prim(pts).second;
+}
+
+}  // namespace
+
+SteinerTree rmst(const std::vector<geom::Point>& pins) {
+  SteinerTree tree;
+  tree.points = pins;
+  tree.num_terminals = static_cast<int>(pins.size());
+  auto [edges, total] = prim(pins);
+  tree.edges = std::move(edges);
+  tree.length_um = total;
+  return tree;
+}
+
+double rmst_length(const std::vector<geom::Point>& pins) {
+  return mst_length(pins);
+}
+
+double hpwl(const std::vector<geom::Point>& pins) {
+  geom::BBox box;
+  for (const auto& p : pins) box.add(p);
+  return box.half_perimeter();
+}
+
+SteinerTree rsmt(const std::vector<geom::Point>& pins) {
+  if (pins.size() <= 2 ||
+      static_cast<int>(pins.size()) > kOneSteinerPinLimit)
+    return rmst(pins);
+
+  // Iterated 1-Steiner: greedily add the Hanan-grid point with the
+  // largest MST-length gain until no candidate helps. Steiner points that
+  // stop helping (degree <= 2 would not reduce length) are re-evaluated
+  // implicitly by the MST recomputation.
+  std::vector<geom::Point> pts = pins;
+  double current = mst_length(pts);
+  while (true) {
+    // Hanan grid of the *terminals* (candidates from Steiner points add
+    // nothing by Hanan's theorem).
+    std::set<double> xs, ys;
+    for (const auto& p : pins) {
+      xs.insert(p.x);
+      ys.insert(p.y);
+    }
+    geom::Point best_pt;
+    double best_len = current;
+    for (double x : xs) {
+      for (double y : ys) {
+        const geom::Point cand{x, y};
+        bool duplicate = false;
+        for (const auto& p : pts)
+          if (p == cand) {
+            duplicate = true;
+            break;
+          }
+        if (duplicate) continue;
+        pts.push_back(cand);
+        const double len = mst_length(pts);
+        pts.pop_back();
+        if (len < best_len - 1e-9) {
+          best_len = len;
+          best_pt = cand;
+        }
+      }
+    }
+    if (best_len >= current - 1e-9) break;
+    pts.push_back(best_pt);
+    current = best_len;
+  }
+
+  // Drop degree-<=1 Steiner points (can appear after later additions).
+  SteinerTree tree;
+  tree.num_terminals = static_cast<int>(pins.size());
+  while (true) {
+    auto [edges, total] = prim(pts);
+    std::vector<int> degree(pts.size(), 0);
+    for (const auto& [a, b] : edges) {
+      ++degree[static_cast<std::size_t>(a)];
+      ++degree[static_cast<std::size_t>(b)];
+    }
+    int drop = -1;
+    for (std::size_t i = pins.size(); i < pts.size(); ++i)
+      if (degree[i] <= 1) drop = static_cast<int>(i);
+    if (drop < 0) {
+      tree.points = pts;
+      tree.edges = std::move(edges);
+      tree.length_um = total;
+      break;
+    }
+    pts.erase(pts.begin() + drop);
+  }
+  return tree;
+}
+
+double rsmt_length(const std::vector<geom::Point>& pins) {
+  return rsmt(pins).length_um;
+}
+
+}  // namespace rotclk::route

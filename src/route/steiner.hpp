@@ -1,0 +1,56 @@
+#pragma once
+// Rectilinear Steiner/spanning tree construction for wirelength and RC
+// estimation.
+//
+// The paper (and our base flow) measures nets by half-perimeter wirelength
+// (HPWL), which is exact for 2-3 pin nets and optimistic beyond that. This
+// module provides the standard upgrade path:
+//
+//   hpwl(pins)  <=  rsmt_length(pins)  <=  rmst_length(pins)
+//
+//  * rmst: rectilinear minimum spanning tree (Prim, O(n^2));
+//  * rsmt: Steiner heuristic — RMST improved by the classic iterated
+//    1-Steiner idea restricted to Hanan-grid candidates (exact gain
+//    evaluation by MST recomputation; applied while it helps). For nets
+//    beyond `kOneSteinerPinLimit` pins the RMST is returned unmodified —
+//    the heuristic is O(n^4) and large nets are rare.
+//
+// The returned tree is a usable topology (point list + edge list), not
+// just a number, so RC estimators can walk it.
+
+#include <utility>
+#include <vector>
+
+#include "geom/point.hpp"
+
+namespace rotclk::route {
+
+struct SteinerTree {
+  /// Terminal pins first (input order), then any added Steiner points.
+  std::vector<geom::Point> points;
+  /// Tree edges as point-index pairs; each edge is an L-route of
+  /// manhattan(points[a], points[b]) wire.
+  std::vector<std::pair<int, int>> edges;
+  double length_um = 0.0;
+  int num_terminals = 0;
+
+  [[nodiscard]] int num_steiner_points() const {
+    return static_cast<int>(points.size()) - num_terminals;
+  }
+};
+
+/// Rectilinear minimum spanning tree over the pins.
+SteinerTree rmst(const std::vector<geom::Point>& pins);
+
+/// Steiner-improved tree (iterated 1-Steiner over Hanan candidates).
+SteinerTree rsmt(const std::vector<geom::Point>& pins);
+
+/// Lengths only (cheaper call sites).
+double rmst_length(const std::vector<geom::Point>& pins);
+double rsmt_length(const std::vector<geom::Point>& pins);
+double hpwl(const std::vector<geom::Point>& pins);
+
+/// Pin-count cap for the 1-Steiner refinement.
+inline constexpr int kOneSteinerPinLimit = 24;
+
+}  // namespace rotclk::route

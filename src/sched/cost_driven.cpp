@@ -1,0 +1,254 @@
+#include "sched/cost_driven.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/bellman_ford.hpp"
+#include "graph/circulation.hpp"
+#include "graph/diff_constraints.hpp"
+#include "lp/simplex.hpp"
+
+namespace rotclk::sched {
+
+namespace {
+
+void add_timing_arcs(graph::DiffConstraintSystem& sys,
+                     const std::vector<timing::SeqArc>& arcs,
+                     const timing::TechParams& tech, double slack) {
+  for (const auto& a : arcs) {
+    sys.add(a.from_ff, a.to_ff,
+            tech.clock_period_ps - a.d_max_ps - tech.setup_ps - slack);
+    sys.add(a.to_ff, a.from_ff, a.d_min_ps - tech.hold_ps - slack);
+  }
+}
+
+}  // namespace
+
+CostDrivenResult cost_driven_min_max(int num_ffs,
+                                     const std::vector<timing::SeqArc>& arcs,
+                                     const timing::TechParams& tech,
+                                     const std::vector<TapAnchor>& anchors,
+                                     double slack_ps, double precision_ps) {
+  CostDrivenResult result;
+  if (static_cast<int>(anchors.size()) != num_ffs)
+    throw std::runtime_error("cost_driven: anchors size mismatch");
+
+  auto feasible = [&](double delta, std::vector<double>* witness) {
+    graph::DiffConstraintSystem sys(num_ffs);
+    add_timing_arcs(sys, arcs, tech, slack_ps);
+    for (int i = 0; i < num_ffs; ++i) {
+      const TapAnchor& a = anchors[static_cast<std::size_t>(i)];
+      // t̂_i <= anchor + delta  and  t̂_i >= anchor + 2*stub - delta.
+      sys.add_upper(i, a.anchor_ps + delta);
+      sys.add_lower(i, a.anchor_ps + 2.0 * a.stub_ps - delta);
+    }
+    const auto res = sys.solve();
+    if (res.feasible && witness != nullptr) *witness = res.values;
+    return res.feasible;
+  };
+
+  // Lower bound: D >= stub_i for every flip-flop. Upper bound: start from
+  // any timing-feasible schedule and measure its deviations.
+  double lo = 0.0;
+  for (const auto& a : anchors) lo = std::max(lo, a.stub_ps);
+  std::vector<double> seed;
+  if (!slack_feasible(num_ffs, arcs, tech, slack_ps, &seed)) return result;
+  double hi = lo;
+  for (int i = 0; i < num_ffs; ++i) {
+    const TapAnchor& a = anchors[static_cast<std::size_t>(i)];
+    const double t = a.anchor_ps + a.stub_ps;  // achievable delay through c
+    hi = std::max(hi, std::abs(seed[static_cast<std::size_t>(i)] - t) +
+                          a.stub_ps);
+  }
+  std::vector<double> witness = seed;
+  if (!feasible(hi, &witness)) {
+    // The seed schedule itself satisfies D = hi, so this is pure numerics;
+    // widen once before giving up.
+    hi *= 2.0;
+    if (!feasible(hi, &witness)) return result;
+  }
+  if (feasible(lo, &witness)) {
+    hi = lo;
+  } else {
+    double flo = lo, fhi = hi;
+    while (fhi - flo > precision_ps) {
+      const double mid = 0.5 * (flo + fhi);
+      if (feasible(mid, &witness)) fhi = mid;
+      else flo = mid;
+    }
+    hi = fhi;
+    (void)feasible(hi, &witness);
+  }
+  result.feasible = true;
+  result.objective = hi;
+  result.arrival_ps = std::move(witness);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Weighted-sum via min-cost circulation.
+//
+// Problem: minimize sum_i w_i |x_i - b_i| subject to x_i - x_j <= c_k,
+// with b_i = anchor_i + stub_i (the delay through the nearest ring point).
+// LP duality (derivation): attaching multipliers f_k >= 0 to the difference
+// constraints and splitting |x_i - b_i| via u_i, v_i >= 0, u_i + v_i = w_i,
+// stationarity in x_i forces flow conservation with node i *producing*
+// s_i = v_i - u_i in [-w_i, w_i]. With a hub node H absorbing the s_i, the
+// dual is exactly a min-cost circulation on:
+//    i -> j  cost c_k, cap inf      (one arc per difference constraint)
+//    H -> i  cost -b_i, cap w_i     (s_i > 0 direction)
+//    i -> H  cost +b_i, cap w_i     (s_i < 0 direction)
+// whose optimal cost is -OPT. The optimal x is recovered from shortest-path
+// potentials over the optimal residual network rooted at H: x_i = -dist(i).
+// Every node with w_i > 0 is reachable from H in the optimal residual
+// (forward hub arc if unsaturated, otherwise backwards along its flow
+// cycle), so the recovery is total.
+// ---------------------------------------------------------------------------
+CostDrivenResult cost_driven_weighted(int num_ffs,
+                                      const std::vector<timing::SeqArc>& arcs,
+                                      const timing::TechParams& tech,
+                                      const std::vector<TapAnchor>& anchors,
+                                      const std::vector<double>& weights,
+                                      double slack_ps) {
+  CostDrivenResult result;
+  if (static_cast<int>(anchors.size()) != num_ffs ||
+      static_cast<int>(weights.size()) != num_ffs)
+    throw std::runtime_error("cost_driven: anchors/weights size mismatch");
+  if (!slack_feasible(num_ffs, arcs, tech, slack_ps, nullptr)) return result;
+
+  constexpr double kMinWeight = 1e-6;
+  const int hub = num_ffs;
+  graph::MinCostCirculation circ(num_ffs + 1);
+  constexpr double kInfCap = 1e18;
+  std::vector<graph::Edge> constraint_edges;
+  for (const auto& a : arcs) {
+    const double c_long =
+        tech.clock_period_ps - a.d_max_ps - tech.setup_ps - slack_ps;
+    const double c_short = a.d_min_ps - tech.hold_ps - slack_ps;
+    circ.add_arc(a.from_ff, a.to_ff, kInfCap, c_long);
+    circ.add_arc(a.to_ff, a.from_ff, kInfCap, c_short);
+    constraint_edges.push_back(graph::Edge{a.from_ff, a.to_ff, c_long});
+    constraint_edges.push_back(graph::Edge{a.to_ff, a.from_ff, c_short});
+  }
+  for (int i = 0; i < num_ffs; ++i) {
+    const double w = std::max(kMinWeight, weights[static_cast<std::size_t>(i)]);
+    const double b = anchors[static_cast<std::size_t>(i)].anchor_ps +
+                     anchors[static_cast<std::size_t>(i)].stub_ps;
+    circ.add_arc(hub, i, w, -b);
+    circ.add_arc(i, hub, w, +b);
+  }
+
+  // Initial potentials from the constraint graph alone (feasible by the
+  // slack check above, so Bellman-Ford terminates): all infinite-capacity
+  // arcs get nonnegative reduced costs, as solve_ssp requires. The hub is
+  // isolated in this graph and keeps potential 0.
+  const graph::BellmanFordResult bf =
+      graph::bellman_ford_all(num_ffs + 1, constraint_edges);
+  if (bf.has_negative_cycle) return result;  // defensive; checked above
+
+  std::vector<double> pot;
+  const auto sol = circ.solve_ssp(bf.dist, &pot);
+  if (!sol.optimal) return result;
+
+  // Optimal primal recovery: the final potentials are optimal duals, so
+  // x_i = pot[hub] - pot[i] satisfies every difference constraint and is
+  // anchored by complementary slackness on the hub arcs.
+  result.arrival_ps.resize(static_cast<std::size_t>(num_ffs));
+  double objective = 0.0;
+  for (int i = 0; i < num_ffs; ++i) {
+    const double x = pot[static_cast<std::size_t>(hub)] -
+                     pot[static_cast<std::size_t>(i)];
+    result.arrival_ps[static_cast<std::size_t>(i)] = x;
+    const double b = anchors[static_cast<std::size_t>(i)].anchor_ps +
+                     anchors[static_cast<std::size_t>(i)].stub_ps;
+    objective += weights[static_cast<std::size_t>(i)] * std::abs(x - b);
+  }
+  result.feasible = true;
+  result.objective = objective;
+  return result;
+}
+
+CostDrivenResult cost_driven_min_max_lp(
+    int num_ffs, const std::vector<timing::SeqArc>& arcs,
+    const timing::TechParams& tech, const std::vector<TapAnchor>& anchors,
+    double slack_ps) {
+  lp::Model model;
+  std::vector<int> t(static_cast<std::size_t>(num_ffs));
+  for (int i = 0; i < num_ffs; ++i)
+    t[static_cast<std::size_t>(i)] = model.add_free_variable(0.0);
+  const int delta = model.add_variable(0.0, lp::kInfinity, 1.0, "delta");
+  for (const auto& a : arcs) {
+    const int ti = t[static_cast<std::size_t>(a.from_ff)];
+    const int tj = t[static_cast<std::size_t>(a.to_ff)];
+    model.add_constraint(
+        {{ti, 1.0}, {tj, -1.0}}, lp::Sense::LessEqual,
+        tech.clock_period_ps - a.d_max_ps - tech.setup_ps - slack_ps);
+    model.add_constraint({{tj, 1.0}, {ti, -1.0}}, lp::Sense::LessEqual,
+                         a.d_min_ps - tech.hold_ps - slack_ps);
+  }
+  for (int i = 0; i < num_ffs; ++i) {
+    const TapAnchor& a = anchors[static_cast<std::size_t>(i)];
+    model.add_constraint({{t[static_cast<std::size_t>(i)], 1.0}, {delta, -1.0}},
+                         lp::Sense::LessEqual, a.anchor_ps);
+    model.add_constraint({{t[static_cast<std::size_t>(i)], 1.0}, {delta, 1.0}},
+                         lp::Sense::GreaterEqual,
+                         a.anchor_ps + 2.0 * a.stub_ps);
+  }
+  const lp::Solution sol = lp::solve(model);
+  CostDrivenResult result;
+  if (sol.status != lp::SolveStatus::Optimal) return result;
+  result.feasible = true;
+  result.objective = sol.values[static_cast<std::size_t>(delta)];
+  result.arrival_ps.resize(static_cast<std::size_t>(num_ffs));
+  for (int i = 0; i < num_ffs; ++i)
+    result.arrival_ps[static_cast<std::size_t>(i)] =
+        sol.values[static_cast<std::size_t>(t[static_cast<std::size_t>(i)])];
+  return result;
+}
+
+CostDrivenResult cost_driven_weighted_lp(
+    int num_ffs, const std::vector<timing::SeqArc>& arcs,
+    const timing::TechParams& tech, const std::vector<TapAnchor>& anchors,
+    const std::vector<double>& weights, double slack_ps) {
+  lp::Model model;
+  std::vector<int> t(static_cast<std::size_t>(num_ffs));
+  std::vector<int> d(static_cast<std::size_t>(num_ffs));
+  for (int i = 0; i < num_ffs; ++i) {
+    t[static_cast<std::size_t>(i)] = model.add_free_variable(0.0);
+    d[static_cast<std::size_t>(i)] = model.add_variable(
+        0.0, lp::kInfinity, weights[static_cast<std::size_t>(i)]);
+  }
+  for (const auto& a : arcs) {
+    const int ti = t[static_cast<std::size_t>(a.from_ff)];
+    const int tj = t[static_cast<std::size_t>(a.to_ff)];
+    model.add_constraint(
+        {{ti, 1.0}, {tj, -1.0}}, lp::Sense::LessEqual,
+        tech.clock_period_ps - a.d_max_ps - tech.setup_ps - slack_ps);
+    model.add_constraint({{tj, 1.0}, {ti, -1.0}}, lp::Sense::LessEqual,
+                         a.d_min_ps - tech.hold_ps - slack_ps);
+  }
+  for (int i = 0; i < num_ffs; ++i) {
+    const TapAnchor& a = anchors[static_cast<std::size_t>(i)];
+    const double b = a.anchor_ps + a.stub_ps;
+    model.add_constraint({{t[static_cast<std::size_t>(i)], 1.0},
+                          {d[static_cast<std::size_t>(i)], -1.0}},
+                         lp::Sense::LessEqual, b);
+    model.add_constraint({{t[static_cast<std::size_t>(i)], 1.0},
+                          {d[static_cast<std::size_t>(i)], 1.0}},
+                         lp::Sense::GreaterEqual, b);
+  }
+  const lp::Solution sol = lp::solve(model);
+  CostDrivenResult result;
+  if (sol.status != lp::SolveStatus::Optimal) return result;
+  result.feasible = true;
+  result.objective = sol.objective;
+  result.arrival_ps.resize(static_cast<std::size_t>(num_ffs));
+  for (int i = 0; i < num_ffs; ++i)
+    result.arrival_ps[static_cast<std::size_t>(i)] =
+        sol.values[static_cast<std::size_t>(t[static_cast<std::size_t>(i)])];
+  return result;
+}
+
+}  // namespace rotclk::sched

@@ -1,0 +1,66 @@
+#pragma once
+// Cost-driven skew optimization (Sec. VII, stage 4 of the flow).
+//
+// After flip-flops are assigned to rings, delay targets are re-optimized so
+// each target lands as close as possible to the clock delay t_i available
+// at the point c on the ring nearest the flip-flop: tapping then costs
+// (nearly) only the flip-flop-to-ring distance. Two formulations:
+//
+//   min-max:       minimize D     s.t. |t_i - t̂_i| + t_{c,i} <= D
+//   weighted-sum:  minimize sum w_i * d_i   s.t. |t_i - t̂_i| <= d_i
+//
+// both subject to the long/short-path constraints at a prespecified slack M.
+// The min-max form is solved exactly by binary search over D with a
+// Bellman-Ford feasibility oracle; the weighted-sum form is solved exactly
+// through its min-cost-circulation dual (see cost_driven.cpp for the
+// derivation), with an LP cross-check variant for tests.
+
+#include <vector>
+
+#include "sched/skew.hpp"
+
+namespace rotclk::sched {
+
+/// Per-flip-flop tapping anchor: the clock delay available at the nearest
+/// ring point c (anchor = t_ref + t_ref,c) and the stub delay t_{c,i} of
+/// the flip-flop-to-c wire.
+struct TapAnchor {
+  double anchor_ps = 0.0;  ///< delay at the closest ring point c
+  double stub_ps = 0.0;    ///< t_{c,i}: Elmore delay of the c->FF stub
+};
+
+struct CostDrivenResult {
+  bool feasible = false;
+  double objective = 0.0;          ///< D (min-max) or sum w*d (weighted)
+  std::vector<double> arrival_ps;  ///< optimized delay targets
+};
+
+/// Exact min-max optimization at prespecified slack `slack_ps`.
+CostDrivenResult cost_driven_min_max(int num_ffs,
+                                     const std::vector<timing::SeqArc>& arcs,
+                                     const timing::TechParams& tech,
+                                     const std::vector<TapAnchor>& anchors,
+                                     double slack_ps,
+                                     double precision_ps = 0.01);
+
+/// Exact weighted-sum optimization (weights w_i; the paper suggests
+/// w_i = l_i, the flip-flop-to-ring distance). Zero weights are clamped to
+/// a small positive value so every target stays anchored.
+CostDrivenResult cost_driven_weighted(int num_ffs,
+                                      const std::vector<timing::SeqArc>& arcs,
+                                      const timing::TechParams& tech,
+                                      const std::vector<TapAnchor>& anchors,
+                                      const std::vector<double>& weights,
+                                      double slack_ps);
+
+/// LP formulations of both problems via the bundled simplex (cross-checks).
+CostDrivenResult cost_driven_min_max_lp(
+    int num_ffs, const std::vector<timing::SeqArc>& arcs,
+    const timing::TechParams& tech, const std::vector<TapAnchor>& anchors,
+    double slack_ps);
+CostDrivenResult cost_driven_weighted_lp(
+    int num_ffs, const std::vector<timing::SeqArc>& arcs,
+    const timing::TechParams& tech, const std::vector<TapAnchor>& anchors,
+    const std::vector<double>& weights, double slack_ps);
+
+}  // namespace rotclk::sched

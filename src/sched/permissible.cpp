@@ -1,0 +1,48 @@
+#include "sched/permissible.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace rotclk::sched {
+
+std::vector<PermissibleRange> permissible_ranges(
+    const std::vector<timing::SeqArc>& arcs,
+    const timing::TechParams& tech) {
+  std::vector<PermissibleRange> ranges;
+  ranges.reserve(arcs.size());
+  for (const auto& a : arcs) {
+    PermissibleRange r;
+    r.from_ff = a.from_ff;
+    r.to_ff = a.to_ff;
+    r.lo_ps = tech.hold_ps - a.d_min_ps;
+    r.hi_ps = tech.clock_period_ps - a.d_max_ps - tech.setup_ps;
+    ranges.push_back(r);
+  }
+  return ranges;
+}
+
+ScheduleAudit audit_schedule(const std::vector<double>& arrival_ps,
+                             const std::vector<timing::SeqArc>& arcs,
+                             const timing::TechParams& tech,
+                             double tolerance_ps) {
+  ScheduleAudit audit;
+  audit.worst_slack_ps = std::numeric_limits<double>::infinity();
+  audit.min_range_width_ps = std::numeric_limits<double>::infinity();
+  for (const auto& range : permissible_ranges(arcs, tech)) {
+    const double skew = arrival_ps[static_cast<std::size_t>(range.from_ff)] -
+                        arrival_ps[static_cast<std::size_t>(range.to_ff)];
+    const double slack = std::min(range.hi_ps - skew, skew - range.lo_ps);
+    audit.worst_slack_ps = std::min(audit.worst_slack_ps, slack);
+    audit.min_range_width_ps =
+        std::min(audit.min_range_width_ps, range.width());
+    if (slack < -tolerance_ps) ++audit.violations;
+  }
+  if (arcs.empty()) {
+    audit.worst_slack_ps = 0.0;
+    audit.min_range_width_ps = 0.0;
+  }
+  audit.feasible = audit.violations == 0;
+  return audit;
+}
+
+}  // namespace rotclk::sched

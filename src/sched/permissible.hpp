@@ -1,0 +1,45 @@
+#pragma once
+// Permissible skew ranges and schedule auditing (Sec. I / Sec. VII).
+//
+// For a sequentially adjacent pair i |-> j the skew s_ij = t_i - t_j must
+// lie in the *permissible range*
+//   [ t_hold - Dmin_ij ,  T - Dmax_ij - t_setup ]
+// for correct operation. This module exposes the ranges themselves and an
+// auditor that validates any schedule against them — used by the flow's
+// tests, by the local-tree builder (whose construction must respect the
+// ranges, Sec. IX), and by the variation analysis.
+
+#include <vector>
+
+#include "timing/sta.hpp"
+#include "timing/tech.hpp"
+
+namespace rotclk::sched {
+
+struct PermissibleRange {
+  int from_ff = 0;
+  int to_ff = 0;
+  double lo_ps = 0.0;  ///< short-path bound on t_i - t_j
+  double hi_ps = 0.0;  ///< long-path bound on t_i - t_j
+  [[nodiscard]] double width() const { return hi_ps - lo_ps; }
+};
+
+/// One range per adjacency arc, in arc order.
+std::vector<PermissibleRange> permissible_ranges(
+    const std::vector<timing::SeqArc>& arcs, const timing::TechParams& tech);
+
+struct ScheduleAudit {
+  bool feasible = false;      ///< every constraint satisfied (>= -tolerance)
+  double worst_slack_ps = 0;  ///< min over constraints of remaining margin
+  int violations = 0;         ///< constraints broken beyond the tolerance
+  double min_range_width_ps = 0.0;  ///< tightest permissible range seen
+};
+
+/// Validate a schedule (clock-delay target per flip-flop) against the
+/// permissible ranges. `tolerance_ps` absorbs numerical noise.
+ScheduleAudit audit_schedule(const std::vector<double>& arrival_ps,
+                             const std::vector<timing::SeqArc>& arcs,
+                             const timing::TechParams& tech,
+                             double tolerance_ps = 1e-6);
+
+}  // namespace rotclk::sched

@@ -1,0 +1,23 @@
+#include "sched/robust.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rotclk::sched {
+
+std::vector<timing::SeqArc> derate_arcs(
+    const std::vector<timing::SeqArc>& arcs, double margin_fraction) {
+  if (margin_fraction < 0.0 || margin_fraction >= 1.0)
+    throw std::runtime_error("derate_arcs: margin must be in [0, 1)");
+  std::vector<timing::SeqArc> out;
+  out.reserve(arcs.size());
+  for (const auto& a : arcs) {
+    timing::SeqArc d = a;
+    d.d_max_ps = a.d_max_ps * (1.0 + margin_fraction);
+    d.d_min_ps = std::max(0.0, a.d_min_ps * (1.0 - margin_fraction));
+    out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace rotclk::sched

@@ -1,0 +1,23 @@
+#pragma once
+// Variation-robust skew scheduling support.
+//
+// The paper's premise is that skew must stay inside its permissible range
+// *under variation*. The standard guard-banding approach derates the path
+// bounds before scheduling: maximum delays grow and minimum delays shrink
+// by a z-sigma margin, so any schedule feasible on the derated arcs stays
+// feasible for all process corners within that confidence. Pairs with the
+// SSTA module: margin_fraction = z * stage_sigma_fraction is the matching
+// first-order guard band.
+
+#include <vector>
+
+#include "timing/sta.hpp"
+
+namespace rotclk::sched {
+
+/// Derate adjacency arcs: d_max *= (1 + margin), d_min *= (1 - margin),
+/// with d_min clamped nonnegative. margin must be in [0, 1).
+std::vector<timing::SeqArc> derate_arcs(
+    const std::vector<timing::SeqArc>& arcs, double margin_fraction);
+
+}  // namespace rotclk::sched

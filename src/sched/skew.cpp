@@ -1,0 +1,159 @@
+#include "sched/skew.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/diff_constraints.hpp"
+#include "graph/min_mean_cycle.hpp"
+#include "lp/simplex.hpp"
+
+namespace rotclk::sched {
+
+namespace {
+
+// Long-path bound: t_i - t_j <= T - Dmax - setup - M.
+double long_path_rhs(const timing::SeqArc& a, const timing::TechParams& tech,
+                     double slack) {
+  return tech.clock_period_ps - a.d_max_ps - tech.setup_ps - slack;
+}
+// Short-path bound: t_j - t_i <= Dmin - hold - M.
+double short_path_rhs(const timing::SeqArc& a, const timing::TechParams& tech,
+                      double slack) {
+  return a.d_min_ps - tech.hold_ps - slack;
+}
+
+}  // namespace
+
+bool slack_feasible(int num_ffs, const std::vector<timing::SeqArc>& arcs,
+                    const timing::TechParams& tech, double slack_ps,
+                    std::vector<double>* witness) {
+  graph::DiffConstraintSystem sys(num_ffs);
+  for (const auto& a : arcs) {
+    sys.add(a.from_ff, a.to_ff, long_path_rhs(a, tech, slack_ps));
+    sys.add(a.to_ff, a.from_ff, short_path_rhs(a, tech, slack_ps));
+  }
+  const auto res = sys.solve();
+  if (res.feasible && witness != nullptr) *witness = res.values;
+  return res.feasible;
+}
+
+double slack_upper_bound(const std::vector<timing::SeqArc>& arcs,
+                         const timing::TechParams& tech) {
+  // Adding the long- and short-path constraints of one arc gives
+  // 0 <= (T - Dmax - setup - M) + (Dmin - hold - M).
+  double ub = std::numeric_limits<double>::infinity();
+  for (const auto& a : arcs) {
+    ub = std::min(ub, (long_path_rhs(a, tech, 0.0) +
+                       short_path_rhs(a, tech, 0.0)) /
+                          2.0);
+  }
+  return ub;
+}
+
+ScheduleResult max_slack_schedule(int num_ffs,
+                                  const std::vector<timing::SeqArc>& arcs,
+                                  const timing::TechParams& tech,
+                                  double precision_ps) {
+  ScheduleResult result;
+  if (arcs.empty()) {
+    result.feasible = true;
+    result.slack_ps = std::numeric_limits<double>::infinity();
+    result.arrival_ps.assign(static_cast<std::size_t>(num_ffs), 0.0);
+    return result;
+  }
+  // A zero-skew schedule is feasible at slack lo by construction.
+  double lo = std::numeric_limits<double>::infinity();
+  for (const auto& a : arcs) {
+    lo = std::min(lo, long_path_rhs(a, tech, 0.0));
+    lo = std::min(lo, short_path_rhs(a, tech, 0.0));
+  }
+  double hi = slack_upper_bound(arcs, tech);
+  std::vector<double> witness;
+  if (!slack_feasible(num_ffs, arcs, tech, lo, &witness)) {
+    // Cannot happen for consistent inputs (zero skew meets slack lo), but
+    // stay defensive against degenerate arc data.
+    return result;
+  }
+  while (hi - lo > precision_ps) {
+    const double mid = 0.5 * (lo + hi);
+    if (slack_feasible(num_ffs, arcs, tech, mid, &witness)) lo = mid;
+    else hi = mid;
+  }
+  // Final witness at the proven-feasible lo.
+  (void)slack_feasible(num_ffs, arcs, tech, lo, &witness);
+  result.feasible = true;
+  result.slack_ps = lo;
+  result.arrival_ps = std::move(witness);
+  return result;
+}
+
+ScheduleResult max_slack_schedule_karp(int num_ffs,
+                                       const std::vector<timing::SeqArc>& arcs,
+                                       const timing::TechParams& tech,
+                                       double witness_backoff_ps) {
+  ScheduleResult result;
+  if (arcs.empty()) {
+    result.feasible = true;
+    result.slack_ps = std::numeric_limits<double>::infinity();
+    result.arrival_ps.assign(static_cast<std::size_t>(num_ffs), 0.0);
+    return result;
+  }
+  // Constraint x_i - x_j <= c maps to edge j -> i with weight c; at slack
+  // M every weight drops by M, so M* = min cycle mean at M = 0.
+  std::vector<graph::Edge> edges;
+  edges.reserve(2 * arcs.size());
+  for (const auto& a : arcs) {
+    edges.push_back(
+        graph::Edge{a.to_ff, a.from_ff, long_path_rhs(a, tech, 0.0)});
+    edges.push_back(
+        graph::Edge{a.from_ff, a.to_ff, short_path_rhs(a, tech, 0.0)});
+  }
+  const graph::MinMeanCycleResult mmc = graph::min_mean_cycle(num_ffs, edges);
+  if (!mmc.has_cycle) {
+    // Acyclic constraint graph: the slack is bounded only by the pairwise
+    // bound (every i |-> j arc still forms a 2-cycle, so this cannot
+    // happen with nonempty arcs; stay defensive).
+    result.slack_ps = slack_upper_bound(arcs, tech);
+  } else {
+    result.slack_ps = mmc.mean;
+  }
+  result.feasible = slack_feasible(num_ffs, arcs, tech,
+                                   result.slack_ps - witness_backoff_ps,
+                                   &result.arrival_ps);
+  return result;
+}
+
+ScheduleResult max_slack_schedule_lp(int num_ffs,
+                                     const std::vector<timing::SeqArc>& arcs,
+                                     const timing::TechParams& tech) {
+  lp::Model model;
+  model.objective = lp::Objective::Maximize;
+  std::vector<int> t(static_cast<std::size_t>(num_ffs));
+  for (int i = 0; i < num_ffs; ++i)
+    t[static_cast<std::size_t>(i)] = model.add_free_variable(0.0);
+  const int m = model.add_free_variable(1.0, "M");
+  for (const auto& a : arcs) {
+    const int ti = t[static_cast<std::size_t>(a.from_ff)];
+    const int tj = t[static_cast<std::size_t>(a.to_ff)];
+    model.add_constraint({{ti, 1.0}, {tj, -1.0}, {m, 1.0}},
+                         lp::Sense::LessEqual, long_path_rhs(a, tech, 0.0));
+    model.add_constraint({{tj, 1.0}, {ti, -1.0}, {m, 1.0}},
+                         lp::Sense::LessEqual, short_path_rhs(a, tech, 0.0));
+  }
+  // Pin one arrival to break translation invariance (any schedule shifts).
+  if (num_ffs > 0)
+    model.add_constraint({{t[0], 1.0}}, lp::Sense::Equal, 0.0);
+
+  const lp::Solution sol = lp::solve(model);
+  ScheduleResult result;
+  if (sol.status != lp::SolveStatus::Optimal) return result;
+  result.feasible = true;
+  result.slack_ps = sol.values[static_cast<std::size_t>(m)];
+  result.arrival_ps.resize(static_cast<std::size_t>(num_ffs));
+  for (int i = 0; i < num_ffs; ++i)
+    result.arrival_ps[static_cast<std::size_t>(i)] =
+        sol.values[static_cast<std::size_t>(t[static_cast<std::size_t>(i)])];
+  return result;
+}
+
+}  // namespace rotclk::sched

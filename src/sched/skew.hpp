@@ -1,0 +1,58 @@
+#pragma once
+// Clock skew scheduling (Sec. VII, stage 2 of the flow).
+//
+// The max-slack formulation of Fishburn [4]:
+//   maximize M
+//   s.t.  t_i - t_j + M <= T - Dmax_ij - t_setup   for i |-> j   (long path)
+//         t_i - t_j      >= M + t_hold - Dmin_ij   for i |-> j   (short path)
+//
+// For a fixed M this is a difference-constraint system, so the optimum is
+// found by binary search over M with a Bellman-Ford feasibility oracle —
+// the graph-based alternative the paper cites ([23],[24]). An LP-based
+// variant (via the bundled simplex) is provided for cross-checking.
+
+#include <vector>
+
+#include "timing/sta.hpp"
+#include "timing/tech.hpp"
+
+namespace rotclk::sched {
+
+struct ScheduleResult {
+  bool feasible = false;
+  double slack_ps = 0.0;            ///< achieved M
+  std::vector<double> arrival_ps;   ///< clock-delay target per flip-flop
+};
+
+/// Check whether slack M admits a feasible schedule; optionally return one.
+bool slack_feasible(int num_ffs, const std::vector<timing::SeqArc>& arcs,
+                    const timing::TechParams& tech, double slack_ps,
+                    std::vector<double>* witness = nullptr);
+
+/// Maximize the slack M by binary search + Bellman-Ford. `precision_ps`
+/// bounds |returned M - optimal M|.
+ScheduleResult max_slack_schedule(int num_ffs,
+                                  const std::vector<timing::SeqArc>& arcs,
+                                  const timing::TechParams& tech,
+                                  double precision_ps = 0.01);
+
+/// Same optimization through the bundled LP solver (for cross-checks and
+/// small designs; the graph version is the production path).
+ScheduleResult max_slack_schedule_lp(int num_ffs,
+                                     const std::vector<timing::SeqArc>& arcs,
+                                     const timing::TechParams& tech);
+
+/// Direct (no bisection) optimum via Karp's minimum mean cycle: every unit
+/// of slack subtracts 1 from every constraint arc, so M* is exactly the
+/// minimum cycle mean of the constraint graph at M = 0 ([23],[24]).
+/// The witness schedule is produced at M* - witness_backoff_ps (the
+/// optimum itself is degenerate up to roundoff).
+ScheduleResult max_slack_schedule_karp(
+    int num_ffs, const std::vector<timing::SeqArc>& arcs,
+    const timing::TechParams& tech, double witness_backoff_ps = 1e-6);
+
+/// Largest M any schedule could achieve (pairwise bound); +inf with no arcs.
+double slack_upper_bound(const std::vector<timing::SeqArc>& arcs,
+                         const timing::TechParams& tech);
+
+}  // namespace rotclk::sched

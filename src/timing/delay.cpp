@@ -1,0 +1,55 @@
+#include "timing/delay.hpp"
+
+#include <algorithm>
+
+#include "geom/point.hpp"
+
+namespace rotclk::timing {
+
+double pin_cap_ff(const netlist::Cell& cell, const TechParams& tech) {
+  if (cell.is_flip_flop()) return tech.ff_input_cap_ff;
+  if (cell.is_primary_output()) return tech.buffer_input_cap_ff;
+  return tech.gate_input_cap_ff;
+}
+
+double net_load_ff(const netlist::Design& design,
+                   const netlist::Placement& placement, int net,
+                   const TechParams& tech) {
+  const netlist::Net& n = design.net(net);
+  double cap = placement.net_hpwl(design, net) * tech.wire_cap_per_um;
+  for (int sink : n.sinks) cap += pin_cap_ff(design.cell(sink), tech);
+  return cap;
+}
+
+double stage_delay_ps(const netlist::Design& design,
+                      const netlist::Placement& placement, int net,
+                      int sink_cell, const TechParams& tech) {
+  const netlist::Net& n = design.net(net);
+  const netlist::Cell& driver = design.cell(n.driver);
+  const double launch = driver.is_flip_flop() ? tech.ff_clk_to_q_ps
+                                              : tech.gate_intrinsic_delay_ps;
+  // Long nets are repeater-buffered (the power model counts those buffers
+  // per [31]); electrically the driver then sees at most one critical-
+  // length segment, and the wire delay grows linearly past that length.
+  const double lc = tech.buffer_critical_len_um;
+  const double seg_load_ff =
+      lc * tech.wire_cap_per_um + tech.buffer_input_cap_ff;
+  const double load =
+      std::min(net_load_ff(design, placement, net, tech), seg_load_ff);
+  const double drive = 1e-3 * tech.gate_drive_res_ohm * load;  // ohm*fF->ps
+  const double d =
+      geom::manhattan(placement.loc(n.driver), placement.loc(sink_cell));
+  const double sink_cap = pin_cap_ff(design.cell(sink_cell), tech);
+  double wire;
+  if (d <= lc) {
+    wire = tech.wire_delay_ps(d, sink_cap);
+  } else {
+    // Repeated line: per-segment buffer delay + segment Elmore delays.
+    const double segments = d / lc;
+    wire = segments * (tech.gate_intrinsic_delay_ps +
+                       tech.wire_delay_ps(lc, tech.buffer_input_cap_ff));
+  }
+  return launch + drive + wire;
+}
+
+}  // namespace rotclk::timing

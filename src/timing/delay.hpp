@@ -1,0 +1,31 @@
+#pragma once
+// Net and cell delay models (Elmore, Rubinstein et al. [21]).
+//
+// Each signal net is modeled as a star from its driver: the stage delay
+// from a driving cell through a net to one sink is
+//   intrinsic + R_drive * C_net + r*d*(c*d/2 + C_sink)
+// where d is the Manhattan driver->sink distance, C_net the total net load
+// (wire + all sink pins) and C_sink the target pin capacitance. Flip-flops
+// launch with their clk->q delay instead of a gate intrinsic.
+
+#include "netlist/netlist.hpp"
+#include "netlist/placement.hpp"
+#include "timing/tech.hpp"
+
+namespace rotclk::timing {
+
+/// Input-pin capacitance (fF) of a cell as a net load.
+double pin_cap_ff(const netlist::Cell& cell, const TechParams& tech);
+
+/// Total capacitive load (fF) on a net: wire (HPWL-based) + sink pins.
+double net_load_ff(const netlist::Design& design,
+                   const netlist::Placement& placement, int net,
+                   const TechParams& tech);
+
+/// Stage delay (ps) from `net`'s driver to `sink_cell` — gate/FF launch
+/// delay plus driver RC plus the Elmore wire delay of the direct run.
+double stage_delay_ps(const netlist::Design& design,
+                      const netlist::Placement& placement, int net,
+                      int sink_cell, const TechParams& tech);
+
+}  // namespace rotclk::timing

@@ -1,0 +1,88 @@
+#include "timing/report.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "timing/delay.hpp"
+
+namespace rotclk::timing {
+
+TimingReport analyze_timing(const netlist::Design& design,
+                            const netlist::Placement& placement,
+                            const TechParams& tech) {
+  const std::size_t n = design.cells().size();
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> arrival(n, kNegInf);
+  std::vector<int> from(n, -1);   // predecessor cell on the longest path
+  std::vector<int> depth(n, 0);
+
+  // Sources launch at 0; their stage delays are charged on fanout arcs.
+  auto relax = [&](int cell, double base, int base_depth) {
+    const netlist::Cell& c = design.cell(cell);
+    if (c.out_net < 0) return;
+    for (int sink : design.net(c.out_net).sinks) {
+      const double d = stage_delay_ps(design, placement, c.out_net, sink, tech);
+      if (base + d > arrival[static_cast<std::size_t>(sink)]) {
+        arrival[static_cast<std::size_t>(sink)] = base + d;
+        from[static_cast<std::size_t>(sink)] = cell;
+        depth[static_cast<std::size_t>(sink)] = base_depth + 1;
+      }
+    }
+  };
+
+  std::vector<int> sources;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& c = design.cells()[i];
+    if (c.is_primary_input() || c.is_flip_flop())
+      sources.push_back(static_cast<int>(i));
+  }
+  for (int s : sources) relax(s, 0.0, 0);
+  for (int g : design.combinational_topo_order()) {
+    if (arrival[static_cast<std::size_t>(g)] == kNegInf) continue;
+    relax(g, arrival[static_cast<std::size_t>(g)],
+          depth[static_cast<std::size_t>(g)]);
+  }
+
+  TimingReport report;
+  int worst_endpoint = -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& c = design.cells()[i];
+    const bool endpoint = c.is_flip_flop() || c.is_primary_output();
+    if (!endpoint || arrival[i] == kNegInf) continue;
+    if (arrival[i] > report.max_path_ps) {
+      report.max_path_ps = arrival[i];
+      worst_endpoint = static_cast<int>(i);
+    }
+    report.max_depth = std::max(report.max_depth, depth[i]);
+  }
+  if (worst_endpoint >= 0) {
+    // Walk back exactly depth[] hops: a flip-flop can be both the source
+    // and the endpoint of its own loop, so `from` alone would cycle.
+    int v = worst_endpoint;
+    for (int hop = depth[static_cast<std::size_t>(worst_endpoint)]; hop >= 0;
+         --hop) {
+      report.critical_path.push_back(v);
+      if (v < 0 || hop == 0) break;
+      v = from[static_cast<std::size_t>(v)];
+    }
+    std::reverse(report.critical_path.begin(), report.critical_path.end());
+  }
+  report.worst_setup_slack_ps =
+      tech.clock_period_ps - report.max_path_ps - tech.setup_ps;
+  return report;
+}
+
+std::string TimingReport::to_string(const netlist::Design& design) const {
+  std::ostringstream os;
+  os << "max path " << max_path_ps << " ps, depth " << max_depth
+     << ", zero-skew setup slack " << worst_setup_slack_ps << " ps\n";
+  for (std::size_t k = 0; k < critical_path.size(); ++k) {
+    const auto& c = design.cell(critical_path[k]);
+    os << (k == 0 ? "  " : "  -> ") << c.name << " ("
+       << netlist::gate_fn_name(c.fn) << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace rotclk::timing

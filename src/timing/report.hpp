@@ -1,0 +1,36 @@
+#pragma once
+// Timing reporting: critical-path extraction and design-level summaries on
+// top of the STA engine (arrival propagation with parent tracking).
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/placement.hpp"
+#include "timing/tech.hpp"
+
+namespace rotclk::timing {
+
+struct TimingReport {
+  /// Longest combinational source-to-endpoint delay (ps). Sources are
+  /// primary inputs and flip-flop outputs; endpoints are flip-flop D
+  /// inputs and primary outputs.
+  double max_path_ps = 0.0;
+  /// Cells along that path: source first, endpoint last.
+  std::vector<int> critical_path;
+  /// Maximum combinational logic depth (gate levels).
+  int max_depth = 0;
+  /// Worst zero-skew setup slack: T - max_path - setup (clock-to-q and
+  /// wire delays are inside max_path).
+  double worst_setup_slack_ps = 0.0;
+
+  /// Human-readable rendering (one line per path cell).
+  [[nodiscard]] std::string to_string(const netlist::Design& design) const;
+};
+
+/// Analyze the design at a placement.
+TimingReport analyze_timing(const netlist::Design& design,
+                            const netlist::Placement& placement,
+                            const TechParams& tech);
+
+}  // namespace rotclk::timing

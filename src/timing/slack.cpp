@@ -1,0 +1,100 @@
+#include "timing/slack.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "timing/delay.hpp"
+
+namespace rotclk::timing {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kPosInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+SlackAnalysis analyze_slacks(const netlist::Design& design,
+                             const netlist::Placement& placement,
+                             const TechParams& tech) {
+  const std::size_t n = design.cells().size();
+  SlackAnalysis out;
+  out.arrival_ps.assign(n, kNegInf);
+  out.required_ps.assign(n, kPosInf);
+  out.net_slack_ps.assign(design.nets().size(), kPosInf);
+
+  const std::vector<int> topo = design.combinational_topo_order();
+
+  // Forward max-arrival (sources launch at 0; stage delay on the arc).
+  auto relax_forward = [&](int cell, double base) {
+    const netlist::Cell& c = design.cell(cell);
+    if (c.out_net < 0) return;
+    for (int sink : design.net(c.out_net).sinks) {
+      const double d = stage_delay_ps(design, placement, c.out_net, sink, tech);
+      out.arrival_ps[static_cast<std::size_t>(sink)] =
+          std::max(out.arrival_ps[static_cast<std::size_t>(sink)], base + d);
+    }
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& c = design.cells()[i];
+    if (c.is_primary_input() || c.is_flip_flop())
+      relax_forward(static_cast<int>(i), 0.0);
+  }
+  for (int g : topo) {
+    if (out.arrival_ps[static_cast<std::size_t>(g)] != kNegInf)
+      relax_forward(g, out.arrival_ps[static_cast<std::size_t>(g)]);
+  }
+
+  // Endpoint requirement: settle by T - setup.
+  const double budget = tech.clock_period_ps - tech.setup_ps;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& c = design.cells()[i];
+    if (c.is_flip_flop() || c.is_primary_output()) out.required_ps[i] = budget;
+  }
+  // Backward pass: a gate's input must arrive early enough for every
+  // fanout of its output.
+  auto pull_backward = [&](int cell) {
+    const netlist::Cell& c = design.cell(cell);
+    if (c.out_net < 0) return;
+    double req = kPosInf;
+    for (int sink : design.net(c.out_net).sinks) {
+      const double d = stage_delay_ps(design, placement, c.out_net, sink, tech);
+      req = std::min(req, out.required_ps[static_cast<std::size_t>(sink)] - d);
+    }
+    out.required_ps[static_cast<std::size_t>(cell)] =
+        std::min(out.required_ps[static_cast<std::size_t>(cell)], req);
+  };
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) pull_backward(*it);
+
+  // Per-net slack over constrained, reachable sinks; WNS across nets.
+  out.wns_ps = kPosInf;
+  for (std::size_t net = 0; net < design.nets().size(); ++net) {
+    const netlist::Net& nn = design.net(static_cast<int>(net));
+    if (nn.driver < 0) continue;
+    double slack = kPosInf;
+    for (int sink : nn.sinks) {
+      const double a = out.arrival_ps[static_cast<std::size_t>(sink)];
+      const double r = out.required_ps[static_cast<std::size_t>(sink)];
+      if (a == kNegInf || r == kPosInf) continue;
+      slack = std::min(slack, r - a);
+    }
+    out.net_slack_ps[net] = slack;
+    if (slack != kPosInf) out.wns_ps = std::min(out.wns_ps, slack);
+  }
+  if (out.wns_ps == kPosInf) out.wns_ps = 0.0;
+  return out;
+}
+
+std::vector<double> criticality_weights(const SlackAnalysis& analysis,
+                                        const TechParams& tech,
+                                        double max_boost) {
+  std::vector<double> weights(analysis.net_slack_ps.size(), 1.0);
+  const double T = tech.clock_period_ps;
+  for (std::size_t net = 0; net < weights.size(); ++net) {
+    const double slack = analysis.net_slack_ps[net];
+    if (slack == kPosInf) continue;
+    const double criticality = std::clamp((T - slack) / T, 0.0, 1.0);
+    weights[net] = 1.0 + max_boost * criticality;
+  }
+  return weights;
+}
+
+}  // namespace rotclk::timing

@@ -1,0 +1,41 @@
+#pragma once
+// Required-time / slack analysis and timing-driven net weighting.
+//
+// Forward max-arrival (as in report.hpp) plus a backward required-time
+// pass: endpoints (flip-flop D pins, primary outputs) must settle by
+// T - t_setup; a driver's required time is the minimum over its fanout of
+// (sink required - stage delay). Per-net slack feeds the standard
+// timing-driven placement recipe: critical nets get heavier springs.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/placement.hpp"
+#include "timing/tech.hpp"
+
+namespace rotclk::timing {
+
+struct SlackAnalysis {
+  /// Max arrival at each cell's input (-inf where unreachable).
+  std::vector<double> arrival_ps;
+  /// Required arrival at each cell's input (+inf where unconstrained).
+  std::vector<double> required_ps;
+  /// Per-net slack: min over the net's sinks of (required - arrival).
+  /// +inf for nets with no constrained sink.
+  std::vector<double> net_slack_ps;
+  /// Worst negative slack (or the smallest slack if all positive).
+  double wns_ps = 0.0;
+};
+
+SlackAnalysis analyze_slacks(const netlist::Design& design,
+                             const netlist::Placement& placement,
+                             const TechParams& tech);
+
+/// Timing-driven net weights for the placer: 1 for relaxed nets, up to
+/// 1 + max_boost for the most critical. Criticality is (T - slack)/T
+/// clamped to [0, 1] — nets at or past zero slack get the full boost.
+std::vector<double> criticality_weights(const SlackAnalysis& analysis,
+                                        const TechParams& tech,
+                                        double max_boost = 4.0);
+
+}  // namespace rotclk::timing

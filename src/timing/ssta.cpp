@@ -1,0 +1,96 @@
+#include "timing/ssta.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timing/delay.hpp"
+
+namespace rotclk::timing {
+
+namespace {
+
+double normal_pdf(double x) {
+  static const double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+GaussianDelay gaussian_sum(GaussianDelay a, GaussianDelay b) {
+  return {a.mean_ps + b.mean_ps,
+          std::sqrt(a.sigma_ps * a.sigma_ps + b.sigma_ps * b.sigma_ps)};
+}
+
+GaussianDelay gaussian_max(GaussianDelay a, GaussianDelay b) {
+  const double theta2 = a.sigma_ps * a.sigma_ps + b.sigma_ps * b.sigma_ps;
+  if (theta2 < 1e-24) {
+    // Deterministic comparison.
+    return a.mean_ps >= b.mean_ps ? a : b;
+  }
+  const double theta = std::sqrt(theta2);
+  const double alpha = (a.mean_ps - b.mean_ps) / theta;
+  const double phi = normal_pdf(alpha);
+  const double cdf_a = normal_cdf(alpha);
+  const double cdf_b = normal_cdf(-alpha);
+  const double mean = a.mean_ps * cdf_a + b.mean_ps * cdf_b + theta * phi;
+  const double second =
+      (a.mean_ps * a.mean_ps + a.sigma_ps * a.sigma_ps) * cdf_a +
+      (b.mean_ps * b.mean_ps + b.sigma_ps * b.sigma_ps) * cdf_b +
+      (a.mean_ps + b.mean_ps) * theta * phi;
+  const double var = std::max(0.0, second - mean * mean);
+  return {mean, std::sqrt(var)};
+}
+
+SstaResult analyze_ssta(const netlist::Design& design,
+                        const netlist::Placement& placement,
+                        const TechParams& tech, const SstaConfig& config) {
+  const std::size_t n = design.cells().size();
+  SstaResult result;
+  result.arrival.assign(n, GaussianDelay{});
+  result.reached.assign(n, 0);
+
+  auto relax = [&](int cell, GaussianDelay base) {
+    const netlist::Cell& c = design.cell(cell);
+    if (c.out_net < 0) return;
+    for (int sink : design.net(c.out_net).sinks) {
+      const double d = stage_delay_ps(design, placement, c.out_net, sink, tech);
+      const GaussianDelay stage{d, config.stage_sigma_fraction * d};
+      const GaussianDelay candidate = gaussian_sum(base, stage);
+      auto& slot = result.arrival[static_cast<std::size_t>(sink)];
+      if (!result.reached[static_cast<std::size_t>(sink)]) {
+        slot = candidate;
+        result.reached[static_cast<std::size_t>(sink)] = 1;
+      } else {
+        slot = gaussian_max(slot, candidate);
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& c = design.cells()[i];
+    if (c.is_primary_input() || c.is_flip_flop())
+      relax(static_cast<int>(i), GaussianDelay{});
+  }
+  for (int g : design.combinational_topo_order()) {
+    if (result.reached[static_cast<std::size_t>(g)])
+      relax(g, result.arrival[static_cast<std::size_t>(g)]);
+  }
+
+  bool have_endpoint = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& c = design.cells()[i];
+    const bool endpoint = c.is_flip_flop() || c.is_primary_output();
+    if (!endpoint || !result.reached[i]) continue;
+    if (!have_endpoint) {
+      result.max_path = result.arrival[i];
+      have_endpoint = true;
+    } else {
+      result.max_path = gaussian_max(result.max_path, result.arrival[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace rotclk::timing

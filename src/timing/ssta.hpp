@@ -1,0 +1,56 @@
+#pragma once
+// First-order statistical static timing analysis (SSTA).
+//
+// The paper's motivation leans on process variation ([2],[3]); this module
+// propagates Gaussian stage delays through the combinational network in
+// one topological pass: SUM adds means and variances (independent-stage
+// approximation), MAX uses Clark's moment-matching approximation. The
+// result gives mean/sigma arrival at every endpoint — the analytic
+// counterpart of the Monte-Carlo analysis in src/variation (and the test
+// suite checks them against each other).
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/placement.hpp"
+#include "timing/tech.hpp"
+
+namespace rotclk::timing {
+
+struct GaussianDelay {
+  double mean_ps = 0.0;
+  double sigma_ps = 0.0;
+
+  /// mean + z * sigma (e.g. z = 3 for the 99.87th percentile).
+  [[nodiscard]] double quantile(double z) const {
+    return mean_ps + z * sigma_ps;
+  }
+};
+
+/// Clark's approximation of max(a, b) for independent Gaussians.
+GaussianDelay gaussian_max(GaussianDelay a, GaussianDelay b);
+
+/// Sum of independent Gaussians.
+GaussianDelay gaussian_sum(GaussianDelay a, GaussianDelay b);
+
+struct SstaConfig {
+  /// Relative sigma applied to every stage delay (sigma = fraction * mean).
+  /// 0.083 puts 3 sigma at +/-25%, matching the variation module.
+  double stage_sigma_fraction = 0.083;
+};
+
+struct SstaResult {
+  /// Arrival distribution at each cell's input (mean 0/sigma 0 where
+  /// unreachable — check `reached`).
+  std::vector<GaussianDelay> arrival;
+  std::vector<char> reached;
+  /// Max over endpoints (flip-flop D pins and primary outputs).
+  GaussianDelay max_path;
+};
+
+/// One-pass SSTA from all sources (primary inputs and flip-flop outputs).
+SstaResult analyze_ssta(const netlist::Design& design,
+                        const netlist::Placement& placement,
+                        const TechParams& tech, const SstaConfig& config = {});
+
+}  // namespace rotclk::timing

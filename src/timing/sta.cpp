@@ -1,0 +1,103 @@
+#include "timing/sta.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "timing/delay.hpp"
+
+namespace rotclk::timing {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kPosInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+ArrivalResult propagate_arrivals(const netlist::Design& design,
+                                 const netlist::Placement& placement,
+                                 const TechParams& tech,
+                                 const std::vector<int>& source_cells,
+                                 const std::vector<int>& topo_order) {
+  const std::size_t n = design.cells().size();
+  ArrivalResult res;
+  res.max_arrival.assign(n, kNegInf);
+  res.min_arrival.assign(n, kPosInf);
+
+  // Arrival at a cell = earliest/latest time a combinational path from a
+  // source reaches one of its inputs. Sources launch at time 0 but do not
+  // record an arrival themselves, so a flip-flop reached from its own
+  // output (a sequential self-loop) gets genuine path delays.
+  auto relax_fanout = [&](int cell, double amax, double amin) {
+    const netlist::Cell& c = design.cell(cell);
+    if (c.out_net < 0) return;
+    for (int sink : design.net(c.out_net).sinks) {
+      const double d =
+          stage_delay_ps(design, placement, c.out_net, sink, tech);
+      auto& smax = res.max_arrival[static_cast<std::size_t>(sink)];
+      auto& smin = res.min_arrival[static_cast<std::size_t>(sink)];
+      if (amax != kNegInf) smax = std::max(smax, amax + d);
+      if (amin != kPosInf) smin = std::min(smin, amin + d);
+    }
+  };
+
+  for (int s : source_cells) relax_fanout(s, 0.0, 0.0);
+  // Gates propagate in topological order; flip-flop inputs accumulate but
+  // are never propagated through (they terminate combinational paths).
+  for (int g : topo_order)
+    relax_fanout(g, res.max_arrival[static_cast<std::size_t>(g)],
+                 res.min_arrival[static_cast<std::size_t>(g)]);
+  return res;
+}
+
+std::vector<SeqArc> extract_sequential_adjacency(
+    const netlist::Design& design, const netlist::Placement& placement,
+    const TechParams& tech) {
+  const std::vector<int> topo = design.combinational_topo_order();
+  const std::vector<int> ffs = design.flip_flops();
+  const std::size_t n = design.cells().size();
+
+  // Precompute the stage-delay graph once: one propagation per flip-flop
+  // then only touches plain arrays.
+  std::vector<std::vector<std::pair<int, double>>> fanout(n);
+  for (std::size_t net = 0; net < design.nets().size(); ++net) {
+    const netlist::Net& nn = design.net(static_cast<int>(net));
+    if (nn.driver < 0 || nn.sinks.empty()) continue;
+    for (int sink : nn.sinks) {
+      const double d = stage_delay_ps(design, placement,
+                                      static_cast<int>(net), sink, tech);
+      fanout[static_cast<std::size_t>(nn.driver)].emplace_back(sink, d);
+    }
+  }
+
+  std::vector<double> amax(n), amin(n);
+  std::vector<SeqArc> arcs;
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    std::fill(amax.begin(), amax.end(), kNegInf);
+    std::fill(amin.begin(), amin.end(), kPosInf);
+    for (const auto& [sink, d] : fanout[static_cast<std::size_t>(ffs[i])]) {
+      amax[static_cast<std::size_t>(sink)] =
+          std::max(amax[static_cast<std::size_t>(sink)], d);
+      amin[static_cast<std::size_t>(sink)] =
+          std::min(amin[static_cast<std::size_t>(sink)], d);
+    }
+    for (int g : topo) {
+      const double gmax = amax[static_cast<std::size_t>(g)];
+      if (gmax == kNegInf) continue;
+      const double gmin = amin[static_cast<std::size_t>(g)];
+      for (const auto& [sink, d] : fanout[static_cast<std::size_t>(g)]) {
+        amax[static_cast<std::size_t>(sink)] =
+            std::max(amax[static_cast<std::size_t>(sink)], gmax + d);
+        amin[static_cast<std::size_t>(sink)] =
+            std::min(amin[static_cast<std::size_t>(sink)], gmin + d);
+      }
+    }
+    for (std::size_t j = 0; j < ffs.size(); ++j) {
+      const std::size_t cj = static_cast<std::size_t>(ffs[j]);
+      if (amax[cj] == kNegInf) continue;
+      arcs.push_back(SeqArc{static_cast<int>(i), static_cast<int>(j),
+                            amax[cj], amin[cj]});
+    }
+  }
+  return arcs;
+}
+
+}  // namespace rotclk::timing

@@ -1,0 +1,43 @@
+#pragma once
+// Static timing analysis over the combinational network, and extraction of
+// the sequential-adjacency graph (Sec. VII): for every pair of flip-flops
+// i |-> j with combinational logic between them, the maximum and minimum
+// path delays D_max^ij / D_min^ij that bound the skew schedule.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/placement.hpp"
+#include "timing/tech.hpp"
+
+namespace rotclk::timing {
+
+/// One sequential adjacency i |-> j. Indices are positions in
+/// Design::flip_flops() order, NOT raw cell indices.
+struct SeqArc {
+  int from_ff = 0;
+  int to_ff = 0;
+  double d_max_ps = 0.0;
+  double d_min_ps = 0.0;
+};
+
+/// Compute all sequential adjacencies with Elmore stage delays at the given
+/// placement. Runs one forward max/min propagation per launching flip-flop
+/// over a shared topological order — O(#FFs * (#cells + #pins)).
+std::vector<SeqArc> extract_sequential_adjacency(
+    const netlist::Design& design, const netlist::Placement& placement,
+    const TechParams& tech);
+
+/// Max/min combinational arrival at every cell seeded from one set of
+/// sources (building block of the adjacency extraction; exposed for tests).
+struct ArrivalResult {
+  std::vector<double> max_arrival;  ///< -inf where unreachable
+  std::vector<double> min_arrival;  ///< +inf where unreachable
+};
+ArrivalResult propagate_arrivals(const netlist::Design& design,
+                                 const netlist::Placement& placement,
+                                 const TechParams& tech,
+                                 const std::vector<int>& source_cells,
+                                 const std::vector<int>& topo_order);
+
+}  // namespace rotclk::timing

@@ -1,0 +1,65 @@
+#pragma once
+// Technology parameters (BPTM 180nm-class, matching the paper's setup:
+// 1 GHz operating frequency, Elmore interconnect model).
+//
+// Units used throughout rotclk:
+//   length       um
+//   time         ps
+//   resistance   ohm
+//   capacitance  fF        (1 ohm * 1 fF = 1e-3 ps)
+//   voltage      V
+//   power        mW
+
+#include <cmath>
+
+namespace rotclk::timing {
+
+struct TechParams {
+  // --- interconnect (BPTM-derived) ---------------------------------------
+  double wire_res_per_um = 0.08;   ///< ohm/um
+  double wire_cap_per_um = 0.08;   ///< fF/um
+
+  // --- clocking ------------------------------------------------------------
+  double clock_period_ps = 1000.0;  ///< 1 GHz, as in the paper
+  double setup_ps = 30.0;
+  double hold_ps = 10.0;
+
+  // --- cells ----------------------------------------------------------------
+  double ff_input_cap_ff = 10.0;    ///< flip-flop clock-pin capacitance, fF
+  double gate_input_cap_ff = 4.0;   ///< per-input gate capacitance, fF
+  double gate_intrinsic_delay_ps = 20.0;
+  double gate_drive_res_ohm = 600.0;  ///< output resistance driving the net
+  double ff_clk_to_q_ps = 35.0;
+
+  // --- buffers (for signal-net power estimation, Alpert et al. [31]) -----
+  double buffer_input_cap_ff = 8.0;
+  /// A buffer is inserted roughly every `buffer_critical_len_um` of wire.
+  double buffer_critical_len_um = 1000.0;
+
+  // --- power (Eq. 8 / Eq. 9) ------------------------------------------------
+  double vdd = 1.8;
+  double clock_activity = 1.0;    ///< alpha for clock nets
+  double signal_activity = 0.15;  ///< alpha for signal nets (paper, [30])
+
+  /// Elmore delay (ps) of a wire of length `l` um loaded by `load_ff` fF:
+  /// t = 1/2 * r * c * l^2 + r * l * C_load   (Eq. 1's wire term)
+  [[nodiscard]] double wire_delay_ps(double l_um, double load_ff) const {
+    return 1e-3 * (0.5 * wire_res_per_um * wire_cap_per_um * l_um * l_um +
+                   wire_res_per_um * l_um * load_ff);
+  }
+
+  /// Dynamic power (mW) of switching capacitance `cap_ff` at activity
+  /// `alpha` and the tech clock frequency: P = 1/2 alpha Vdd^2 f C (Eq. 8).
+  [[nodiscard]] double dynamic_power_mw(double cap_ff, double alpha) const {
+    const double f_hz = 1e12 / clock_period_ps;      // ps period -> Hz
+    return 0.5 * alpha * vdd * vdd * f_hz * cap_ff * 1e-15 * 1e3;
+  }
+};
+
+/// Default parameters used by benches and examples.
+inline const TechParams& default_tech() {
+  static const TechParams t{};
+  return t;
+}
+
+}  // namespace rotclk::timing

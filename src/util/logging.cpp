@@ -1,0 +1,32 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace rotclk::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Info};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Silent: return "     ";
+  }
+  return "?    ";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::cerr << "[rotclk " << level_tag(level) << "] " << msg << '\n';
+}
+
+}  // namespace rotclk::util

@@ -1,0 +1,49 @@
+#pragma once
+// Minimal leveled logger used across the rotclk library.
+//
+// The logger writes to stderr by default so bench/table output on stdout
+// stays machine-parsable. Level is a process-global; the default (Info)
+// keeps library internals quiet unless a caller opts in.
+
+#include <sstream>
+#include <string>
+
+namespace rotclk::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
+
+/// Set the global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line at `level` (no-op when below threshold).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, const Args&... args) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::ostringstream os;
+  (os << ... << args);
+  log_line(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void debug(const Args&... args) {
+  detail::log_fmt(LogLevel::Debug, args...);
+}
+template <typename... Args>
+void info(const Args&... args) {
+  detail::log_fmt(LogLevel::Info, args...);
+}
+template <typename... Args>
+void warn(const Args&... args) {
+  detail::log_fmt(LogLevel::Warn, args...);
+}
+template <typename... Args>
+void error(const Args&... args) {
+  detail::log_fmt(LogLevel::Error, args...);
+}
+
+}  // namespace rotclk::util

@@ -1,0 +1,46 @@
+#pragma once
+// Deterministic random number generation.
+//
+// Everything in rotclk that uses randomness (circuit generation, placement
+// jitter, benchmarks) takes an explicit Rng so runs are reproducible from a
+// seed; there is deliberately no global generator.
+
+#include <cstdint>
+#include <random>
+
+namespace rotclk::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform size_t in [0, n-1]; n must be > 0.
+  std::size_t index(std::size_t n) {
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard-normal draw scaled to (mean, stddev).
+  double gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rotclk::util

@@ -1,0 +1,23 @@
+#pragma once
+// Small string helpers shared by the netlist parser and report writers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rotclk::util {
+
+/// Strip leading/trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Split on any of the separator characters, dropping empty tokens.
+[[nodiscard]] std::vector<std::string> split(std::string_view s,
+                                             std::string_view seps);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Lower-case copy (ASCII).
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+}  // namespace rotclk::util

@@ -1,0 +1,48 @@
+#pragma once
+// ASCII table emitter for paper-style result tables.
+//
+// Benches print one Table per paper table; the format is fixed-width,
+// pipe-separated, with a title and column headers, e.g.
+//
+//   == Table IV: network flow based optimization ==
+//   | Circuit | AFD    | Tap WL | Imp    |
+//   | s9234   | 136.30 | 18395  | 52.28% |
+
+#include <string>
+#include <vector>
+
+namespace rotclk::util {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Set the header row (column names).
+  void set_header(std::vector<std::string> header);
+
+  /// Append a pre-formatted row; size should match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render the full table as a string (title, header, separator, rows).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as CSV (header + rows, no title).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Convenience: print to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used by the benches.
+std::string fmt_double(double v, int precision);
+std::string fmt_percent(double fraction, int precision = 2);  // 0.52 -> "52.00%"
+std::string fmt_int(long long v);
+
+}  // namespace rotclk::util

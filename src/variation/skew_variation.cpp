@@ -1,0 +1,145 @@
+#include "variation/skew_variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rotclk::variation {
+
+namespace {
+
+struct StatsAccumulator {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double worst = 0.0;
+  double sum_abs = 0.0;
+  long n = 0;
+
+  void add(double v) {
+    sum += v;
+    sum_sq += v * v;
+    sum_abs += std::abs(v);
+    worst = std::max(worst, std::abs(v));
+    ++n;
+  }
+
+  [[nodiscard]] SkewVariationStats finish() const {
+    SkewVariationStats s;
+    s.observations = n;
+    if (n == 0) return s;
+    const double mean = sum / static_cast<double>(n);
+    s.sigma_ps = std::sqrt(
+        std::max(0.0, sum_sq / static_cast<double>(n) - mean * mean));
+    s.worst_ps = worst;
+    s.mean_abs_ps = sum_abs / static_cast<double>(n);
+    return s;
+  }
+};
+
+}  // namespace
+
+SkewVariationStats tree_skew_variation(
+    const cts::ClockTree& tree,
+    const std::vector<std::pair<int, int>>& pairs,
+    const timing::TechParams& tech, const VariationConfig& config) {
+  // Enumerate tree edges with their nominal Elmore contributions, and the
+  // edge list along every root-to-sink path.
+  const double r = tech.wire_res_per_um, c = tech.wire_cap_per_um;
+  std::vector<double> edge_delay;  // edge id -> nominal delay (ps)
+  int num_sinks = 0;
+  for (const auto& n : tree.nodes)
+    if (n.sink >= 0) num_sinks = std::max(num_sinks, n.sink + 1);
+  std::vector<std::vector<int>> path_edges(
+      static_cast<std::size_t>(num_sinks));
+
+  struct Frame {
+    int node;
+    std::vector<int> edges;
+  };
+  std::vector<Frame> stack{{tree.root, {}}};
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    const cts::TreeNode& n = tree.nodes[static_cast<std::size_t>(f.node)];
+    if (n.sink >= 0) {
+      path_edges[static_cast<std::size_t>(n.sink)] = std::move(f.edges);
+      continue;
+    }
+    auto descend = [&](int child, double len) {
+      const cts::TreeNode& ch = tree.nodes[static_cast<std::size_t>(child)];
+      const int id = static_cast<int>(edge_delay.size());
+      edge_delay.push_back(1e-3 * r * len *
+                           (c * len / 2.0 + ch.subtree_cap_ff));
+      Frame next{child, f.edges};
+      next.edges.push_back(id);
+      stack.push_back(std::move(next));
+    };
+    if (n.left >= 0) descend(n.left, n.edge_left_um);
+    if (n.right >= 0) descend(n.right, n.edge_right_um);
+  }
+
+  util::Rng rng(config.seed);
+  StatsAccumulator acc;
+  std::vector<double> eps(edge_delay.size());
+  std::vector<double> arrival_err(static_cast<std::size_t>(num_sinks));
+  for (int s = 0; s < config.samples; ++s) {
+    for (std::size_t e = 0; e < eps.size(); ++e)
+      eps[e] = rng.gaussian(0.0, config.wire_sigma);
+    for (int k = 0; k < num_sinks; ++k) {
+      double err = 0.0;
+      for (int e : path_edges[static_cast<std::size_t>(k)])
+        err += edge_delay[static_cast<std::size_t>(e)] *
+               eps[static_cast<std::size_t>(e)];
+      arrival_err[static_cast<std::size_t>(k)] = err;
+    }
+    for (const auto& [i, j] : pairs)
+      acc.add(arrival_err[static_cast<std::size_t>(i)] -
+              arrival_err[static_cast<std::size_t>(j)]);
+  }
+  return acc.finish();
+}
+
+SkewVariationStats rotary_skew_variation(
+    const std::vector<double>& stub_delay_ps,
+    const std::vector<std::pair<int, int>>& pairs,
+    const VariationConfig& config) {
+  util::Rng rng(config.seed + 1);
+  StatsAccumulator acc;
+  std::vector<double> err(stub_delay_ps.size());
+  for (int s = 0; s < config.samples; ++s) {
+    for (std::size_t i = 0; i < stub_delay_ps.size(); ++i) {
+      err[i] = stub_delay_ps[i] * rng.gaussian(0.0, config.wire_sigma) +
+               rng.gaussian(0.0, config.ring_jitter_sigma_ps);
+    }
+    for (const auto& [i, j] : pairs)
+      acc.add(err[static_cast<std::size_t>(i)] -
+              err[static_cast<std::size_t>(j)]);
+  }
+  return acc.finish();
+}
+
+VariationComparison compare_skew_variation(
+    const std::vector<geom::Point>& sinks,
+    const std::vector<double>& stub_delay_ps,
+    const std::vector<std::pair<int, int>>& pairs,
+    const timing::TechParams& tech, const VariationConfig& config) {
+  if (sinks.size() != stub_delay_ps.size())
+    throw std::runtime_error("variation: sinks/stubs size mismatch");
+  for (const auto& [i, j] : pairs) {
+    if (i < 0 || j < 0 || i >= static_cast<int>(sinks.size()) ||
+        j >= static_cast<int>(sinks.size()))
+      throw std::runtime_error("variation: pair index out of range");
+  }
+  VariationComparison cmp;
+  const cts::ClockTree tree = cts::build_zero_skew_tree(sinks, {}, tech);
+  cmp.tree = tree_skew_variation(tree, pairs, tech, config);
+  cmp.rotary = rotary_skew_variation(stub_delay_ps, pairs, config);
+  cmp.sigma_ratio = cmp.rotary.sigma_ps > 0.0
+                        ? cmp.tree.sigma_ps / cmp.rotary.sigma_ps
+                        : 0.0;
+  return cmp;
+}
+
+}  // namespace rotclk::variation

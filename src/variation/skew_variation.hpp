@@ -1,0 +1,78 @@
+#pragma once
+// Monte-Carlo skew-variation analysis — quantifying the paper's motivation.
+//
+// The introduction argues rotary clocking on two fronts: power, and skew
+// *variability* (Liu et al. [3]: interconnect variation alone causes 25%
+// clock-skew deviation in a conventional distribution; the rotary test
+// chip [13] measured 5.5 ps of skew variation at 950 MHz). This module
+// reproduces that comparison on our own substrates:
+//
+//  * conventional tree: each tree edge's Elmore delay is perturbed by an
+//    independent Gaussian factor; a sink's arrival error accumulates along
+//    its whole root-to-sink path (shared segments correlate sinks, exactly
+//    like a real H-tree);
+//  * rotary: the ring phase is treated as stable up to a small jitter (the
+//    array's phase averaging, [13]) and only each flip-flop's short
+//    tapping stub varies — the structural reason rotary skew barely moves.
+//
+// Reported per scheme: the standard deviation and worst case of the skew
+// *error* over sequentially adjacent flip-flop pairs across samples.
+
+#include <cstdint>
+#include <vector>
+
+#include "cts/clock_tree.hpp"
+#include "timing/sta.hpp"
+#include "timing/tech.hpp"
+
+namespace rotclk::variation {
+
+struct VariationConfig {
+  /// Per-segment Gaussian sigma of relative wire-delay variation. 0.083
+  /// puts 3 sigma at +/-25%, the deviation scale reported in [3].
+  double wire_sigma = 0.083;
+  /// Absolute ring phase jitter sigma (ps); [13] measured 5.5 ps total
+  /// variation, so a ~2 ps sigma is a generous stand-in.
+  double ring_jitter_sigma_ps = 2.0;
+  int samples = 500;
+  std::uint64_t seed = 1;
+};
+
+struct SkewVariationStats {
+  double sigma_ps = 0.0;       ///< std of skew error over pairs x samples
+  double worst_ps = 0.0;       ///< max |skew error| observed
+  double mean_abs_ps = 0.0;    ///< mean |skew error|
+  long observations = 0;
+};
+
+struct VariationComparison {
+  SkewVariationStats tree;
+  SkewVariationStats rotary;
+  /// tree.sigma / rotary.sigma (the headline variability ratio).
+  double sigma_ratio = 0.0;
+};
+
+/// Skew-error statistics of a conventional zero-skew tree over the given
+/// pairs (indices into `tree`'s sinks).
+SkewVariationStats tree_skew_variation(
+    const cts::ClockTree& tree,
+    const std::vector<std::pair<int, int>>& pairs,
+    const timing::TechParams& tech, const VariationConfig& config);
+
+/// Skew-error statistics of rotary tapping stubs: `stub_delay_ps[i]` is
+/// flip-flop i's nominal stub delay.
+SkewVariationStats rotary_skew_variation(
+    const std::vector<double>& stub_delay_ps,
+    const std::vector<std::pair<int, int>>& pairs,
+    const VariationConfig& config);
+
+/// Convenience: run both analyses over the same flip-flop population.
+/// `sinks` are flip-flop locations (tree side); `stub_delay_ps` per
+/// flip-flop (rotary side); `pairs` index into both consistently.
+VariationComparison compare_skew_variation(
+    const std::vector<geom::Point>& sinks,
+    const std::vector<double>& stub_delay_ps,
+    const std::vector<std::pair<int, int>>& pairs,
+    const timing::TechParams& tech, const VariationConfig& config = {});
+
+}  // namespace rotclk::variation

@@ -1,0 +1,267 @@
+// Unit tests for src/assign: problem construction, network-flow assignment
+// (Sec. V), min-max capacitance assignment with greedy rounding (Sec. VI).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "assign/ilp_assign.hpp"
+#include "assign/netflow.hpp"
+#include "assign/problem.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/placement.hpp"
+#include "placer/placer.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk::assign {
+namespace {
+
+struct Fixture {
+  netlist::Design design;
+  netlist::Placement placement;
+  rotary::RingArray rings;
+  std::vector<double> arrival;
+  timing::TechParams tech;
+
+  static Fixture make(int gates, int ffs, int num_rings, std::uint64_t seed,
+                      double capacity_factor = 1.5) {
+    netlist::GeneratorConfig cfg;
+    cfg.num_gates = gates;
+    cfg.num_flip_flops = ffs;
+    cfg.seed = seed;
+    netlist::Design d = netlist::generate_circuit(cfg);
+    const geom::Rect die = netlist::size_die(d, 0.05);
+    placer::Placer placer(d);
+    netlist::Placement p = placer.place_initial(die);
+    rotary::RingArrayConfig rc;
+    rc.rings = num_rings;
+    rotary::RingArray rings(die, rc);
+    rings.set_uniform_capacity(ffs, capacity_factor);
+    util::Rng rng(seed + 1);
+    std::vector<double> arrival(static_cast<std::size_t>(ffs));
+    for (auto& a : arrival) a = rng.uniform(0.0, 1000.0);
+    return Fixture{std::move(d), std::move(p), std::move(rings),
+                   std::move(arrival), timing::TechParams{}};
+  }
+};
+
+AssignProblem build(const Fixture& f, int candidates = 4) {
+  AssignProblemConfig cfg;
+  cfg.candidates_per_ff = candidates;
+  return build_assign_problem(f.design, f.placement, f.rings, f.arrival,
+                              f.tech, cfg);
+}
+
+TEST(Problem, ArcCountsRespectPruning) {
+  const Fixture f = Fixture::make(200, 20, 9, 3);
+  const AssignProblem p = build(f, 4);
+  EXPECT_EQ(p.num_ffs(), 20);
+  EXPECT_EQ(p.num_rings, 9);
+  EXPECT_EQ(p.arcs.size(), 20u * 4u);
+  const auto by_ff = p.arcs_by_ff();
+  for (const auto& list : by_ff) EXPECT_EQ(list.size(), 4u);
+}
+
+TEST(Problem, ArcCostsAreConsistentWithTapping) {
+  const Fixture f = Fixture::make(150, 12, 4, 5);
+  const AssignProblem p = build(f);
+  for (const auto& arc : p.arcs) {
+    EXPECT_TRUE(arc.tap.feasible);
+    EXPECT_DOUBLE_EQ(arc.tap_cost_um, arc.tap.wirelength);
+    EXPECT_NEAR(arc.load_cap_ff,
+                arc.tap.wirelength * 0.08 + f.tech.ff_input_cap_ff, 1e-9);
+    EXPECT_GE(arc.tap_cost_um, 0.0);
+  }
+}
+
+TEST(Problem, RejectsWrongArrivalSize) {
+  const Fixture f = Fixture::make(100, 10, 4, 7);
+  std::vector<double> wrong(5, 0.0);
+  EXPECT_THROW(build_assign_problem(f.design, f.placement, f.rings, wrong,
+                                    f.tech, {}),
+               std::runtime_error);
+}
+
+TEST(Netflow, AssignsEveryFlipFlopWithinCapacity) {
+  const Fixture f = Fixture::make(300, 30, 9, 11);
+  const AssignProblem p = build(f, 5);
+  const Assignment a = assign_netflow(p);
+  ASSERT_EQ(a.arc_of_ff.size(), 30u);
+  std::vector<int> load(9, 0);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_GE(a.arc_of_ff[static_cast<std::size_t>(i)], 0) << "ff " << i;
+    const int ring = a.ring_of(p, i);
+    ASSERT_GE(ring, 0);
+    ++load[static_cast<std::size_t>(ring)];
+  }
+  for (int j = 0; j < 9; ++j)
+    EXPECT_LE(load[static_cast<std::size_t>(j)],
+              p.ring_capacity[static_cast<std::size_t>(j)]);
+}
+
+TEST(Netflow, MatchesBruteForceOnTinyInstance) {
+  const Fixture f = Fixture::make(80, 5, 4, 13);
+  const AssignProblem p = build(f, 4);
+  const Assignment a = assign_netflow(p);
+  // Brute force over all candidate choices.
+  const auto by_ff = p.arcs_by_ff();
+  double best = 1e18;
+  std::vector<std::size_t> pick(5, 0);
+  while (true) {
+    std::vector<int> load(4, 0);
+    double cost = 0.0;
+    bool ok = true;
+    for (int i = 0; i < 5 && ok; ++i) {
+      const auto& arc =
+          p.arcs[static_cast<std::size_t>(by_ff[static_cast<std::size_t>(i)]
+                                              [pick[static_cast<std::size_t>(i)]])];
+      cost += arc.tap_cost_um;
+      if (++load[static_cast<std::size_t>(arc.ring)] >
+          p.ring_capacity[static_cast<std::size_t>(arc.ring)])
+        ok = false;
+    }
+    if (ok) best = std::min(best, cost);
+    std::size_t k = 0;
+    while (k < 5 && ++pick[k] == by_ff[k].size()) pick[k++] = 0;
+    if (k == 5) break;
+  }
+  EXPECT_NEAR(a.total_tap_cost_um, best, 1e-6);
+}
+
+TEST(Netflow, ThrowsWhenCapacityInsufficient) {
+  Fixture f = Fixture::make(100, 10, 4, 17);
+  AssignProblem p = build(f);
+  std::fill(p.ring_capacity.begin(), p.ring_capacity.end(), 1);  // 4 < 10
+  EXPECT_THROW(assign_netflow(p), std::runtime_error);
+}
+
+TEST(Netflow, TightCapacityForcesSpreading) {
+  Fixture f = Fixture::make(200, 12, 4, 19);
+  AssignProblem p = build(f, 4);
+  std::fill(p.ring_capacity.begin(), p.ring_capacity.end(), 3);  // exact fit
+  const Assignment a = assign_netflow(p);
+  std::vector<int> load(4, 0);
+  for (int i = 0; i < 12; ++i) ++load[static_cast<std::size_t>(a.ring_of(p, i))];
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(load[static_cast<std::size_t>(j)], 3);
+}
+
+TEST(IlpAssign, GreedyRoundingAssignsEveryFlipFlop) {
+  const Fixture f = Fixture::make(250, 25, 9, 23);
+  const AssignProblem p = build(f, 4);
+  const IlpAssignResult r = assign_min_max_cap(p);
+  EXPECT_TRUE(r.lp_solved);
+  EXPECT_GE(r.integrality_gap, 1.0 - 1e-6);  // IG >= 1 by definition
+  for (int i = 0; i < p.num_ffs(); ++i)
+    EXPECT_GE(r.assignment.arc_of_ff[static_cast<std::size_t>(i)], 0);
+  EXPECT_GT(r.assignment.max_ring_cap_ff, 0.0);
+  EXPECT_GE(r.assignment.max_ring_cap_ff, r.lp_optimum_ff - 1e-6);
+}
+
+TEST(IlpAssign, ReducesMaxCapVersusNetflow) {
+  // The ILP mode should never have a (much) worse max cap than the
+  // wirelength-driven network flow on the same problem.
+  const Fixture f = Fixture::make(400, 40, 9, 29);
+  const AssignProblem p = build(f, 5);
+  const Assignment nf = assign_netflow(p);
+  const IlpAssignResult ilp = assign_min_max_cap(p);
+  EXPECT_LE(ilp.assignment.max_ring_cap_ff, nf.max_ring_cap_ff * 1.05);
+}
+
+TEST(IlpAssign, ExactBnbAtLeastAsGoodAsRoundingOnTinyInstance) {
+  const Fixture f = Fixture::make(60, 5, 4, 31);
+  const AssignProblem p = build(f, 3);
+  const IlpAssignResult rounding = assign_min_max_cap(p);
+  const ExactIlpAssignResult exact = assign_min_max_cap_exact(p, 30.0);
+  ASSERT_TRUE(exact.status == ilp::IlpStatus::Optimal ||
+              exact.status == ilp::IlpStatus::Feasible);
+  if (exact.status == ilp::IlpStatus::Optimal) {
+    EXPECT_LE(exact.assignment.max_ring_cap_ff,
+              rounding.assignment.max_ring_cap_ff + 1e-6);
+    EXPECT_GE(exact.integrality_gap, 1.0 - 1e-6);
+  }
+}
+
+TEST(RefreshMetrics, RecomputesTotals) {
+  const Fixture f = Fixture::make(100, 8, 4, 37);
+  const AssignProblem p = build(f, 3);
+  Assignment a;
+  a.arc_of_ff.assign(8, -1);
+  const auto by_ff = p.arcs_by_ff();
+  for (int i = 0; i < 8; ++i)
+    a.arc_of_ff[static_cast<std::size_t>(i)] = by_ff[static_cast<std::size_t>(i)][0];
+  refresh_metrics(p, a);
+  double expect_total = 0.0;
+  for (int i = 0; i < 8; ++i)
+    expect_total +=
+        p.arcs[static_cast<std::size_t>(by_ff[static_cast<std::size_t>(i)][0])]
+            .tap_cost_um;
+  EXPECT_NEAR(a.total_tap_cost_um, expect_total, 1e-9);
+  EXPECT_GT(a.max_ring_cap_ff, 0.0);
+}
+
+
+TEST(IlpAssign, RandomizedRoundingIsFeasibleAndBoundedByLp) {
+  const Fixture f = Fixture::make(250, 25, 9, 43);
+  const AssignProblem p = build(f, 4);
+  const IlpAssignResult r = assign_min_max_cap_randomized(p, 16, 7);
+  EXPECT_TRUE(r.lp_solved);
+  EXPECT_GE(r.integrality_gap, 1.0 - 1e-6);
+  for (int i = 0; i < p.num_ffs(); ++i)
+    EXPECT_GE(r.assignment.arc_of_ff[static_cast<std::size_t>(i)], 0);
+  EXPECT_GE(r.assignment.max_ring_cap_ff, r.lp_optimum_ff - 1e-6);
+}
+
+TEST(IlpAssign, RandomizedRoundingDeterministicInSeed) {
+  const Fixture f = Fixture::make(200, 20, 4, 47);
+  const AssignProblem p = build(f, 4);
+  const IlpAssignResult a = assign_min_max_cap_randomized(p, 8, 3);
+  const IlpAssignResult b = assign_min_max_cap_randomized(p, 8, 3);
+  EXPECT_DOUBLE_EQ(a.assignment.max_ring_cap_ff,
+                   b.assignment.max_ring_cap_ff);
+  EXPECT_EQ(a.assignment.arc_of_ff, b.assignment.arc_of_ff);
+}
+
+TEST(IlpAssign, MoreRandomizedTrialsNeverHurt) {
+  const Fixture f = Fixture::make(300, 30, 9, 53);
+  const AssignProblem p = build(f, 5);
+  const IlpAssignResult few = assign_min_max_cap_randomized(p, 2, 11);
+  const IlpAssignResult many = assign_min_max_cap_randomized(p, 32, 11);
+  // Same RNG stream prefix: the 32-trial run sees the 2-trial runs\'
+  // samples first, so its best can only be at least as good.
+  EXPECT_LE(many.assignment.max_ring_cap_ff,
+            few.assignment.max_ring_cap_ff + 1e-9);
+}
+
+TEST(IlpAssign, PolishNeverWorsensRounding) {
+  const Fixture f = Fixture::make(350, 30, 9, 59);
+  const AssignProblem p = build(f, 5);
+  const IlpAssignResult r = assign_min_max_cap(p);
+  EXPECT_LE(r.assignment.max_ring_cap_ff, r.rounded_max_cap_ff + 1e-9);
+}
+
+class NetflowCapacitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NetflowCapacitySweep, TotalCostMonotoneInCapacity) {
+  // Looser capacities can only reduce the optimal tapping cost.
+  const Fixture f = Fixture::make(300, 24, 9, 41);
+  AssignProblem p = build(f, 6);
+  const double factor = GetParam();
+  const int cap = std::max(
+      1, static_cast<int>(std::ceil(factor * 24.0 / 9.0)));
+  std::fill(p.ring_capacity.begin(), p.ring_capacity.end(), cap);
+  const long total = std::accumulate(p.ring_capacity.begin(),
+                                     p.ring_capacity.end(), 0L);
+  if (total < 24) GTEST_SKIP() << "capacity below #FFs";
+  const Assignment a = assign_netflow(p);
+  // Compare against the fully relaxed assignment (huge capacity).
+  std::fill(p.ring_capacity.begin(), p.ring_capacity.end(), 24);
+  const Assignment relaxed = assign_netflow(p);
+  EXPECT_GE(a.total_tap_cost_um, relaxed.total_tap_cost_um - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, NetflowCapacitySweep,
+                         ::testing::Values(1.0, 1.2, 1.5, 2.0, 3.0));
+
+}  // namespace
+}  // namespace rotclk::assign

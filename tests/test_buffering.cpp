@@ -1,0 +1,141 @@
+// Unit tests for src/netlist/buffering: repeater insertion.
+
+#include <gtest/gtest.h>
+
+#include "netlist/buffering.hpp"
+#include "netlist/generator.hpp"
+#include "timing/report.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk::netlist {
+namespace {
+
+// A driver and one far sink.
+Design long_wire_design() {
+  Design d("longwire");
+  d.add_primary_input("in");
+  d.add_gate(GateFn::Buf, "drv", {"in"});
+  d.add_gate(GateFn::Not, "snk", {"drv"});
+  d.add_primary_output("snk");
+  d.validate();
+  return d;
+}
+
+TEST(Buffering, ShortNetsUntouched) {
+  Design d = long_wire_design();
+  Placement p(d, geom::Rect{0, 0, 500, 500});
+  const int cells_before = static_cast<int>(d.cells().size());
+  const BufferingReport r = insert_repeaters(d, p);
+  EXPECT_EQ(r.buffers_inserted, 0);
+  EXPECT_EQ(r.nets_touched, 0);
+  EXPECT_EQ(static_cast<int>(d.cells().size()), cells_before);
+}
+
+TEST(Buffering, LongRunGetsChain) {
+  Design d = long_wire_design();
+  Placement p(d, geom::Rect{0, 0, 10000, 10000});
+  p.set_loc(d.find_cell("in"), {0, 5000});
+  p.set_loc(d.find_cell("drv"), {0, 5000});
+  p.set_loc(d.find_cell("snk"), {3500, 5000});
+  p.set_loc(d.find_cell("PO:snk"), {3500, 5000});
+  BufferingConfig cfg;
+  cfg.critical_len_um = 1000.0;
+  cfg.segment_um = 1000.0;
+  const BufferingReport r = insert_repeaters(d, p, cfg);
+  // 3500 um run -> ceil(3.5) = 4 segments -> 3 buffers.
+  EXPECT_EQ(r.buffers_inserted, 3);
+  EXPECT_EQ(r.nets_touched, 1);
+  EXPECT_NO_THROW(d.validate());
+  // The sink now hangs off the last buffer, not the original driver net.
+  const Cell& sink = d.cell(d.find_cell("snk"));
+  EXPECT_NE(d.net(sink.in_nets[0]).driver, d.find_cell("drv"));
+  // Buffers sit between driver and sink.
+  for (const auto& c : d.cells()) {
+    if (c.name.rfind("RBUF", 0) != 0) continue;
+    const geom::Point loc = p.loc(d.find_cell(c.name));
+    EXPECT_GT(loc.x, 0.0);
+    EXPECT_LT(loc.x, 3500.0);
+    EXPECT_DOUBLE_EQ(loc.y, 5000.0);
+  }
+}
+
+TEST(Buffering, ReducesCriticalPathOnLongRuns) {
+  Design d = long_wire_design();
+  Placement p(d, geom::Rect{0, 0, 20000, 20000});
+  p.set_loc(d.find_cell("in"), {0, 0});
+  p.set_loc(d.find_cell("drv"), {100, 0});
+  p.set_loc(d.find_cell("snk"), {12000, 0});
+  p.set_loc(d.find_cell("PO:snk"), {12100, 0});
+  timing::TechParams tech;
+  // Make unbuffered wire quadratic (disable the model's implicit
+  // bufferedness so the pass shows its effect).
+  tech.buffer_critical_len_um = 1e9;
+  const timing::TimingReport before = timing::analyze_timing(d, p, tech);
+  BufferingConfig cfg;
+  cfg.critical_len_um = 1500.0;
+  cfg.segment_um = 1500.0;
+  (void)insert_repeaters(d, p, cfg);
+  const timing::TimingReport after = timing::analyze_timing(d, p, tech);
+  EXPECT_LT(after.max_path_ps, before.max_path_ps);
+}
+
+TEST(Buffering, MultiSinkNetsKeepAllConnections) {
+  Design d("fanout");
+  d.add_primary_input("in");
+  d.add_gate(GateFn::Buf, "drv", {"in"});
+  d.add_gate(GateFn::Not, "near", {"drv"});
+  d.add_gate(GateFn::Not, "far1", {"drv"});
+  d.add_gate(GateFn::Not, "far2", {"drv"});
+  d.add_primary_output("near");
+  d.add_primary_output("far1");
+  d.add_primary_output("far2");
+  d.validate();
+  Placement p(d, geom::Rect{0, 0, 10000, 10000});
+  p.set_loc(d.find_cell("drv"), {0, 0});
+  p.set_loc(d.find_cell("near"), {100, 0});
+  p.set_loc(d.find_cell("far1"), {4000, 0});
+  p.set_loc(d.find_cell("far2"), {0, 4200});
+  const BufferingReport r = insert_repeaters(d, p);
+  EXPECT_GE(r.buffers_inserted, 2);  // one chain per far sink
+  EXPECT_NO_THROW(d.validate());
+  // The near sink stays directly on drv's net.
+  const Cell& near = d.cell(d.find_cell("near"));
+  EXPECT_EQ(d.net(near.in_nets[0]).driver, d.find_cell("drv"));
+}
+
+TEST(Buffering, GeneratedCircuitStaysValid) {
+  GeneratorConfig gen;
+  gen.num_gates = 300;
+  gen.num_flip_flops = 24;
+  gen.seed = 23;
+  Design d = generate_circuit(gen);
+  Placement p(d, geom::Rect{0, 0, 8000, 8000});
+  util::Rng rng(29);
+  for (std::size_t i = 0; i < d.cells().size(); ++i)
+    p.set_loc(static_cast<int>(i),
+              {rng.uniform(0.0, 8000.0), rng.uniform(0.0, 8000.0)});
+  const int ffs_before = d.num_flip_flops();
+  const BufferingReport r = insert_repeaters(d, p);
+  EXPECT_GT(r.buffers_inserted, 0);
+  EXPECT_EQ(d.num_flip_flops(), ffs_before);
+  EXPECT_NO_THROW(d.validate());
+  EXPECT_EQ(p.size(), d.cells().size());
+}
+
+TEST(Buffering, RejectsBadConfig) {
+  Design d = long_wire_design();
+  Placement p(d, geom::Rect{0, 0, 100, 100});
+  BufferingConfig cfg;
+  cfg.segment_um = 0.0;
+  EXPECT_THROW(insert_repeaters(d, p, cfg), std::runtime_error);
+}
+
+TEST(Design, RewireInputValidation) {
+  Design d = long_wire_design();
+  const int snk = d.find_cell("snk");
+  const int other = d.net_index("unrelated");
+  EXPECT_THROW(d.rewire_input(snk, other, other), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rotclk::netlist

@@ -1,0 +1,91 @@
+// Unit tests for src/cts/clock_mesh: the mesh baseline of Sec. I.
+
+#include <gtest/gtest.h>
+
+#include "cts/clock_mesh.hpp"
+#include "cts/clock_tree.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk::cts {
+namespace {
+
+TEST(ClockMesh, WireLengthIsGridTimesSpan) {
+  const geom::Rect region{0, 0, 1000, 2000};
+  const ClockMesh m = build_clock_mesh({}, region, 5);
+  EXPECT_DOUBLE_EQ(m.mesh_wirelength_um, 5.0 * (1000.0 + 2000.0));
+  EXPECT_DOUBLE_EQ(m.stub_wirelength_um, 0.0);
+}
+
+TEST(ClockMesh, SinkOnWireHasZeroStub) {
+  const geom::Rect region{0, 0, 1000, 1000};
+  // Grid 2: horizontal wires at y = 250, 750.
+  const ClockMesh m = build_clock_mesh({{123, 250}}, region, 2);
+  ASSERT_EQ(m.stub_um.size(), 1u);
+  EXPECT_NEAR(m.stub_um[0], 0.0, 1e-9);
+}
+
+TEST(ClockMesh, StubIsNearestWireDistance)
+{
+  const geom::Rect region{0, 0, 1000, 1000};
+  // Grid 2: wires at 250/750 in both directions. Sink (400, 400):
+  // dy = min(150, 350) = 150; dx = min(150, 350) = 150 -> stub 150.
+  const ClockMesh m = build_clock_mesh({{400, 400}}, region, 2);
+  EXPECT_NEAR(m.stub_um[0], 150.0, 1e-9);
+}
+
+TEST(ClockMesh, DenserMeshShortensStubs) {
+  util::Rng rng(3);
+  std::vector<geom::Point> sinks;
+  for (int i = 0; i < 50; ++i)
+    sinks.push_back({rng.uniform(0, 2000), rng.uniform(0, 2000)});
+  const geom::Rect region{0, 0, 2000, 2000};
+  const ClockMesh coarse = build_clock_mesh(sinks, region, 2);
+  const ClockMesh fine = build_clock_mesh(sinks, region, 8);
+  EXPECT_LT(fine.stub_wirelength_um, coarse.stub_wirelength_um);
+  EXPECT_GT(fine.mesh_wirelength_um, coarse.mesh_wirelength_um);
+}
+
+TEST(ClockMesh, RejectsBadGrid) {
+  EXPECT_THROW(build_clock_mesh({}, geom::Rect{0, 0, 1, 1}, 0),
+               std::runtime_error);
+}
+
+TEST(ClockMesh, PowerExceedsTreeOnSameSinks) {
+  // The paper's Sec. I claim: meshes cut variation but cost wirelength and
+  // power versus trees.
+  util::Rng rng(7);
+  std::vector<geom::Point> sinks;
+  for (int i = 0; i < 100; ++i)
+    sinks.push_back({rng.uniform(0, 3000), rng.uniform(0, 3000)});
+  const timing::TechParams tech;
+  const ClockMesh mesh =
+      build_clock_mesh(sinks, geom::Rect{0, 0, 3000, 3000}, 8);
+  const ClockTree tree = build_zero_skew_tree(sinks, {}, tech);
+  EXPECT_GT(mesh.total_wirelength_um(), tree.total_wirelength_um);
+  const double tree_power = tech.dynamic_power_mw(
+      tree.total_wirelength_um * tech.wire_cap_per_um +
+          100.0 * tech.ff_input_cap_ff,
+      tech.clock_activity);
+  EXPECT_GT(mesh_power_mw(mesh, 100, tech), tree_power);
+}
+
+TEST(ClockMesh, StubsShorterThanTreePaths) {
+  // The variation advantage: per-sink varying wire is the stub, far below
+  // the tree's root-to-sink path.
+  util::Rng rng(11);
+  std::vector<geom::Point> sinks;
+  for (int i = 0; i < 60; ++i)
+    sinks.push_back({rng.uniform(0, 4000), rng.uniform(0, 4000)});
+  const timing::TechParams tech;
+  const ClockMesh mesh =
+      build_clock_mesh(sinks, geom::Rect{0, 0, 4000, 4000}, 6);
+  const ClockTree tree = build_zero_skew_tree(sinks, {}, tech);
+  const auto paths = tree.source_sink_paths();
+  double max_stub = 0.0, min_path = 1e18;
+  for (double s : mesh.stub_um) max_stub = std::max(max_stub, s);
+  for (double p : paths) min_path = std::min(min_path, p);
+  EXPECT_LT(max_stub, min_path);
+}
+
+}  // namespace
+}  // namespace rotclk::cts

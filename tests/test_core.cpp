@@ -1,0 +1,194 @@
+// Unit tests for src/core: the six-stage integrated flow (Fig. 3).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "assign/netflow.hpp"
+#include "core/flow.hpp"
+#include "placer/placer.hpp"
+#include "netlist/generator.hpp"
+#include "timing/sta.hpp"
+
+namespace rotclk::core {
+namespace {
+
+netlist::Design small_circuit(std::uint64_t seed = 42) {
+  netlist::GeneratorConfig cfg;
+  cfg.num_gates = 368;
+  cfg.num_flip_flops = 32;
+  cfg.num_primary_inputs = 12;
+  cfg.num_primary_outputs = 12;
+  cfg.seed = seed;
+  return netlist::generate_circuit(cfg);
+}
+
+FlowConfig small_config(AssignMode mode = AssignMode::NetworkFlow) {
+  FlowConfig cfg;
+  cfg.assign_mode = mode;
+  cfg.ring_config.rings = 4;
+  cfg.max_iterations = 4;
+  return cfg;
+}
+
+TEST(Flow, RunsEndToEndAndAssignsEveryFlipFlop) {
+  const netlist::Design d = small_circuit();
+  RotaryFlow flow(d, small_config());
+  const FlowResult r = flow.run();
+  ASSERT_FALSE(r.history.empty());
+  EXPECT_EQ(r.history.front().iteration, 0);
+  EXPECT_EQ(r.arrival_ps.size(), 32u);
+  for (int i = 0; i < r.problem.num_ffs(); ++i) {
+    EXPECT_GE(r.assignment.arc_of_ff[static_cast<std::size_t>(i)], 0);
+    EXPECT_GE(r.assignment.ring_of(r.problem, i), 0);
+  }
+}
+
+TEST(Flow, BestIterationIsNoWorseThanBase) {
+  const netlist::Design d = small_circuit();
+  RotaryFlow flow(d, small_config());
+  const FlowResult r = flow.run();
+  EXPECT_LE(r.final().overall_cost, r.base().overall_cost + 1e-6);
+  EXPECT_LE(r.final().tap_wl_um, r.base().tap_wl_um + 1e-6);
+}
+
+TEST(Flow, TappingCostDropsSubstantially) {
+  // The paper's headline: 33%-53% tapping-cost reduction. Require at
+  // least 20% on this small instance to stay robust across seeds.
+  const netlist::Design d = small_circuit();
+  RotaryFlow flow(d, small_config());
+  const FlowResult r = flow.run();
+  EXPECT_LT(r.final().tap_wl_um, 0.8 * r.base().tap_wl_um);
+}
+
+TEST(Flow, SignalWirelengthPenaltyIsSmall) {
+  const netlist::Design d = small_circuit();
+  RotaryFlow flow(d, small_config());
+  const FlowResult r = flow.run();
+  EXPECT_LT(r.final().signal_wl_um, 1.10 * r.base().signal_wl_um);
+}
+
+TEST(Flow, DeterministicAcrossRuns) {
+  const netlist::Design d = small_circuit();
+  RotaryFlow a(d, small_config());
+  RotaryFlow b(d, small_config());
+  const FlowResult ra = a.run();
+  const FlowResult rb = b.run();
+  EXPECT_DOUBLE_EQ(ra.final().tap_wl_um, rb.final().tap_wl_um);
+  EXPECT_DOUBLE_EQ(ra.final().signal_wl_um, rb.final().signal_wl_um);
+  EXPECT_EQ(ra.best_iteration, rb.best_iteration);
+}
+
+TEST(Flow, ArrivalTargetsSatisfyTimingConstraints) {
+  const netlist::Design d = small_circuit();
+  FlowConfig cfg = small_config();
+  RotaryFlow flow(d, cfg);
+  const FlowResult r = flow.run();
+  // Recompute adjacency at the final placement and validate the schedule
+  // at the stage-4 slack.
+  const auto arcs =
+      timing::extract_sequential_adjacency(d, r.placement, cfg.tech);
+  for (const auto& a : arcs) {
+    const double ti = r.arrival_ps[static_cast<std::size_t>(a.from_ff)];
+    const double tj = r.arrival_ps[static_cast<std::size_t>(a.to_ff)];
+    EXPECT_LE(ti - tj + r.stage4_slack_ps,
+              cfg.tech.clock_period_ps - a.d_max_ps - cfg.tech.setup_ps + 1.0);
+    EXPECT_GE(ti - tj,
+              r.stage4_slack_ps + cfg.tech.hold_ps - a.d_min_ps - 1.0);
+  }
+}
+
+TEST(Flow, MinMaxCapModeReducesMaxCapOnItsOwnProblem) {
+  // The ILP assignment must beat (or match) network flow on the max ring
+  // capacitance when both solve the *same* final problem; comparing two
+  // independently-converged flows would only measure placement noise.
+  const netlist::Design d = small_circuit(7);
+  RotaryFlow mc(d, small_config(AssignMode::MinMaxCap));
+  const FlowResult rm = mc.run();
+  const assign::Assignment nf = assign::assign_netflow(rm.problem);
+  EXPECT_LE(rm.assignment.max_ring_cap_ff, nf.max_ring_cap_ff + 1e-9);
+}
+
+
+TEST(Flow, ComplementaryTappingNeverCostsMore) {
+  // With complementary-phase taps allowed, every candidate arc's cost can
+  // only drop, so the base-case network-flow optimum can only improve.
+  const netlist::Design d = small_circuit(21);
+  FlowConfig plain_cfg = small_config();
+  FlowConfig comp_cfg = small_config();
+  comp_cfg.tapping.allow_complement = true;
+  plain_cfg.max_iterations = 1;
+  comp_cfg.max_iterations = 1;
+  placer::Placer placer(d, plain_cfg.placer);
+  const netlist::Placement initial =
+      placer.place_initial(netlist::size_die(d, plain_cfg.die_utilization));
+  RotaryFlow a(d, plain_cfg), b(d, comp_cfg);
+  const FlowResult plain = a.run_with_placement(initial);
+  const FlowResult comp = b.run_with_placement(initial);
+  EXPECT_LE(comp.base().tap_wl_um, plain.base().tap_wl_um + 1e-6);
+}
+
+TEST(Flow, BufferedTappingRunsEndToEnd) {
+  const netlist::Design d = small_circuit(23);
+  FlowConfig cfg = small_config();
+  cfg.tapping.use_buffer = true;
+  RotaryFlow flow(d, cfg);
+  const FlowResult r = flow.run();
+  EXPECT_LE(r.final().tap_wl_um, r.base().tap_wl_um + 1e-6);
+  for (int i = 0; i < r.problem.num_ffs(); ++i)
+    EXPECT_GE(r.assignment.arc_of_ff[static_cast<std::size_t>(i)], 0);
+}
+
+TEST(Flow, MinMaxWitnessVariantRuns) {
+  const netlist::Design d = small_circuit(9);
+  FlowConfig cfg = small_config();
+  cfg.weighted_cost_driven = false;  // min-max Delta flavor of stage 4
+  RotaryFlow flow(d, cfg);
+  const FlowResult r = flow.run();
+  EXPECT_LE(r.final().overall_cost, r.base().overall_cost + 1e-6);
+}
+
+TEST(Flow, HistoryIterationsAreSequential) {
+  const netlist::Design d = small_circuit();
+  RotaryFlow flow(d, small_config());
+  const FlowResult r = flow.run();
+  for (std::size_t k = 0; k < r.history.size(); ++k)
+    EXPECT_EQ(r.history[k].iteration, static_cast<int>(k));
+  EXPECT_GE(r.best_iteration, 0);
+  EXPECT_LT(r.best_iteration, static_cast<int>(r.history.size()));
+}
+
+TEST(Flow, MetricsInternallyConsistent) {
+  const netlist::Design d = small_circuit();
+  RotaryFlow flow(d, small_config());
+  const FlowResult r = flow.run();
+  for (const auto& m : r.history) {
+    EXPECT_NEAR(m.total_wl_um, m.tap_wl_um + m.signal_wl_um, 1e-6);
+    EXPECT_GE(m.afd_um, 0.0);
+    EXPECT_GT(m.max_ring_cap_ff, 0.0);
+    EXPECT_GT(m.power.total_mw(), 0.0);
+    EXPECT_NEAR(m.overall_cost,
+                10.0 * m.tap_wl_um + m.signal_wl_um, 1e-6);
+  }
+}
+
+TEST(Flow, RingAccessorValidAfterRun) {
+  const netlist::Design d = small_circuit();
+  RotaryFlow flow(d, small_config());
+  EXPECT_THROW((void)flow.rings(), std::runtime_error);
+  (void)flow.run();
+  EXPECT_EQ(flow.rings().size(), 4);
+}
+
+TEST(Flow, PlacementStaysInsideDie) {
+  const netlist::Design d = small_circuit();
+  RotaryFlow flow(d, small_config());
+  const FlowResult r = flow.run();
+  const geom::Rect& die = r.placement.die();
+  for (std::size_t i = 0; i < d.cells().size(); ++i)
+    EXPECT_TRUE(die.contains(r.placement.loc(static_cast<int>(i))))
+        << d.cells()[i].name;
+}
+
+}  // namespace
+}  // namespace rotclk::core

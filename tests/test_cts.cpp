@@ -1,0 +1,145 @@
+// Unit tests for src/cts: zero-skew clock tree construction (the paper's
+// conventional-clocking baseline, Table II's PL column).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cts/clock_tree.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk::cts {
+namespace {
+
+// Recompute a sink's root-to-sink Elmore delay independently by walking
+// the tree and accumulating downstream capacitance.
+double sink_delay(const ClockTree& tree, int sink,
+                  const timing::TechParams& tech) {
+  // Find the path root -> sink.
+  std::vector<int> path;
+  std::vector<int> stack{tree.root};
+  std::vector<int> parent(tree.nodes.size(), -1);
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    const TreeNode& n = tree.nodes[static_cast<std::size_t>(u)];
+    if (n.sink == sink) {
+      for (int v = u; v >= 0; v = parent[static_cast<std::size_t>(v)])
+        path.push_back(v);
+      break;
+    }
+    if (n.left >= 0) { parent[static_cast<std::size_t>(n.left)] = u; stack.push_back(n.left); }
+    if (n.right >= 0) { parent[static_cast<std::size_t>(n.right)] = u; stack.push_back(n.right); }
+  }
+  std::reverse(path.begin(), path.end());
+  const double r = tech.wire_res_per_um, c = tech.wire_cap_per_um;
+  double delay = 0.0;
+  for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+    const TreeNode& n = tree.nodes[static_cast<std::size_t>(path[k])];
+    const TreeNode& child = tree.nodes[static_cast<std::size_t>(path[k + 1])];
+    const double len =
+        path[k + 1] == n.left ? n.edge_left_um : n.edge_right_um;
+    delay += 1e-3 * r * len * (c * len / 2.0 + child.subtree_cap_ff);
+  }
+  return delay;
+}
+
+TEST(ClockTree, SingleSinkIsTrivial) {
+  const ClockTree t = build_zero_skew_tree({{10, 20}}, {},
+                                           timing::default_tech());
+  EXPECT_EQ(t.nodes.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.total_wirelength_um, 0.0);
+  EXPECT_DOUBLE_EQ(t.avg_source_sink_path_um(), 0.0);
+  EXPECT_DOUBLE_EQ(t.root_delay_ps(), 0.0);
+}
+
+TEST(ClockTree, TwoSymmetricSinksMeetInTheMiddle) {
+  const timing::TechParams tech = timing::default_tech();
+  const ClockTree t =
+      build_zero_skew_tree({{0, 0}, {100, 0}}, {}, tech);
+  ASSERT_EQ(t.nodes.size(), 3u);
+  const TreeNode& root = t.nodes[static_cast<std::size_t>(t.root)];
+  EXPECT_NEAR(root.loc.x, 50.0, 1e-6);
+  EXPECT_NEAR(root.edge_left_um, root.edge_right_um, 1e-6);
+  EXPECT_NEAR(t.total_wirelength_um, 100.0, 1e-6);
+}
+
+TEST(ClockTree, AsymmetricLoadsShiftTheTapPoint) {
+  const timing::TechParams tech = timing::default_tech();
+  // Heavy left sink: the zero-skew point moves toward it.
+  const ClockTree t =
+      build_zero_skew_tree({{0, 0}, {100, 0}}, {100.0, 5.0}, tech);
+  const TreeNode& root = t.nodes[static_cast<std::size_t>(t.root)];
+  double left_edge = root.edge_left_um;
+  // Identify which child is the heavy one.
+  const TreeNode& l = t.nodes[static_cast<std::size_t>(root.left)];
+  if (l.subtree_cap_ff < 50.0) left_edge = root.edge_right_um;
+  EXPECT_LT(left_edge, 50.0);
+}
+
+TEST(ClockTree, RejectsBadInput) {
+  EXPECT_THROW(build_zero_skew_tree({}, {}, timing::default_tech()),
+               std::runtime_error);
+  EXPECT_THROW(
+      build_zero_skew_tree({{0, 0}, {1, 1}}, {1.0}, timing::default_tech()),
+      std::runtime_error);
+}
+
+class ZeroSkewSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZeroSkewSweep, AllSinksSeeEqualDelay) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 5 + 2);
+  const timing::TechParams tech = timing::default_tech();
+  const int n = rng.uniform_int(2, 40);
+  std::vector<geom::Point> sinks;
+  for (int i = 0; i < n; ++i)
+    sinks.push_back({rng.uniform(0.0, 3000.0), rng.uniform(0.0, 3000.0)});
+  const ClockTree t = build_zero_skew_tree(sinks, {}, tech);
+  // Root delay equals every sink's independently recomputed path delay.
+  for (int s = 0; s < n; ++s)
+    EXPECT_NEAR(sink_delay(t, s, tech), t.root_delay_ps(),
+                1e-6 + 1e-6 * t.root_delay_ps())
+        << "sink " << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZeroSkewSweep, ::testing::Range(1, 13));
+
+TEST(ClockTree, PathLengthsAndWirelengthConsistent) {
+  util::Rng rng(77);
+  std::vector<geom::Point> sinks;
+  for (int i = 0; i < 20; ++i)
+    sinks.push_back({rng.uniform(0.0, 2000.0), rng.uniform(0.0, 2000.0)});
+  const ClockTree t =
+      build_zero_skew_tree(sinks, {}, timing::default_tech());
+  const auto paths = t.source_sink_paths();
+  ASSERT_EQ(paths.size(), 20u);
+  double max_path = 0.0;
+  for (double p : paths) {
+    EXPECT_GT(p, 0.0);
+    max_path = std::max(max_path, p);
+  }
+  // Total wire at least the longest root-sink path; avg below max.
+  EXPECT_GE(t.total_wirelength_um, max_path - 1e-6);
+  EXPECT_LE(t.avg_source_sink_path_um(), max_path + 1e-6);
+}
+
+TEST(ClockTree, CoincidentSinksDegenerate) {
+  const ClockTree t = build_zero_skew_tree(
+      {{5, 5}, {5, 5}, {5, 5}}, {}, timing::default_tech());
+  EXPECT_NEAR(t.total_wirelength_um, 0.0, 1e-9);
+  EXPECT_NEAR(t.root_delay_ps(), 0.0, 1e-9);
+}
+
+TEST(ClockTree, ScalesToTableIISizes) {
+  util::Rng rng(5);
+  std::vector<geom::Point> sinks;
+  for (int i = 0; i < 1728; ++i)
+    sinks.push_back({rng.uniform(0.0, 8000.0), rng.uniform(0.0, 8000.0)});
+  const ClockTree t =
+      build_zero_skew_tree(sinks, {}, timing::default_tech());
+  EXPECT_GT(t.avg_source_sink_path_um(), 1000.0);  // paper-scale PL
+  EXPECT_EQ(t.source_sink_paths().size(), 1728u);
+}
+
+}  // namespace
+}  // namespace rotclk::cts

@@ -1,0 +1,113 @@
+// Whole-flow property sweep: every invariant the methodology promises,
+// checked over a set of randomized circuits and both assignment modes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/flow.hpp"
+#include "netlist/generator.hpp"
+#include "rotary/array.hpp"
+#include "sched/permissible.hpp"
+#include "timing/sta.hpp"
+
+namespace rotclk::core {
+namespace {
+
+struct Case {
+  std::uint64_t seed;
+  int gates;
+  int ffs;
+  int rings;
+  AssignMode mode;
+};
+
+class FlowPropertySweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(FlowPropertySweep, AllInvariantsHold) {
+  const Case c = GetParam();
+  netlist::GeneratorConfig gen;
+  gen.num_gates = c.gates;
+  gen.num_flip_flops = c.ffs;
+  gen.seed = c.seed;
+  const netlist::Design design = netlist::generate_circuit(gen);
+
+  FlowConfig cfg;
+  cfg.assign_mode = c.mode;
+  cfg.ring_config.rings = c.rings;
+  cfg.max_iterations = 3;
+  RotaryFlow flow(design, cfg);
+  const FlowResult r = flow.run();
+  const rotary::RingArray rings(r.placement.die(), cfg.ring_config);
+
+  // 1. Every flip-flop is assigned, and (NF mode) within ring capacity.
+  std::vector<int> load(static_cast<std::size_t>(c.rings), 0);
+  for (int i = 0; i < r.problem.num_ffs(); ++i) {
+    const int ring = r.assignment.ring_of(r.problem, i);
+    ASSERT_GE(ring, 0) << "ff " << i;
+    ++load[static_cast<std::size_t>(ring)];
+  }
+  if (c.mode == AssignMode::NetworkFlow) {
+    for (int j = 0; j < c.rings; ++j)
+      EXPECT_LE(load[static_cast<std::size_t>(j)],
+                r.problem.ring_capacity[static_cast<std::size_t>(j)]);
+  }
+
+  // 2. The schedule honors every permissible range at the final placement.
+  const auto arcs = timing::extract_sequential_adjacency(
+      design, r.placement, cfg.tech);
+  const auto audit =
+      sched::audit_schedule(r.arrival_ps, arcs, cfg.tech, 1.0);
+  EXPECT_TRUE(audit.feasible) << "violations: " << audit.violations;
+
+  // 3. Every chosen tap delivers its flip-flop's scheduled delay (mod T):
+  //    ring phase at the tap + the stub's Elmore delay == target.
+  const double T = cfg.ring_config.period_ps;
+  for (int i = 0; i < r.problem.num_ffs(); ++i) {
+    const int a = r.assignment.arc_of_ff[static_cast<std::size_t>(i)];
+    ASSERT_GE(a, 0);
+    const auto& arc = r.problem.arcs[static_cast<std::size_t>(a)];
+    const rotary::RotaryRing& ring = rings.ring(arc.ring);
+    const double l = arc.tap.wirelength;
+    const double stub =
+        1e-3 * (0.5 * cfg.tapping.wire_res_per_um *
+                    cfg.tapping.wire_cap_per_um * l * l +
+                cfg.tapping.wire_res_per_um * l * cfg.tapping.sink_cap_ff);
+    const double got = ring.wrap_delay(ring.delay_at(arc.tap.pos) + stub);
+    const double want =
+        ring.wrap_delay(r.arrival_ps[static_cast<std::size_t>(i)]);
+    double diff = std::abs(got - want);
+    diff = std::min(diff, T - diff);
+    EXPECT_LT(diff, 1e-3) << "ff " << i;
+  }
+
+  // 4. Monotone bookkeeping: best iteration no worse than base; metrics
+  //    internally consistent.
+  EXPECT_LE(r.final().overall_cost, r.base().overall_cost + 1e-6);
+  for (const auto& m : r.history)
+    EXPECT_NEAR(m.total_wl_um, m.tap_wl_um + m.signal_wl_um, 1e-6);
+
+  // 5. Placement stays inside the die.
+  for (std::size_t i = 0; i < design.cells().size(); ++i)
+    EXPECT_TRUE(r.placement.die().contains(
+        r.placement.loc(static_cast<int>(i))));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, FlowPropertySweep,
+    ::testing::Values(
+        Case{101, 250, 20, 4, AssignMode::NetworkFlow},
+        Case{102, 250, 20, 4, AssignMode::MinMaxCap},
+        Case{103, 400, 36, 9, AssignMode::NetworkFlow},
+        Case{104, 400, 36, 9, AssignMode::MinMaxCap},
+        Case{105, 600, 48, 16, AssignMode::NetworkFlow},
+        Case{106, 600, 48, 16, AssignMode::MinMaxCap},
+        Case{107, 150, 8, 1, AssignMode::NetworkFlow},
+        Case{108, 800, 64, 25, AssignMode::NetworkFlow}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_" +
+             (info.param.mode == AssignMode::NetworkFlow ? "nf" : "ilp");
+    });
+
+}  // namespace
+}  // namespace rotclk::core

@@ -1,0 +1,134 @@
+// Robustness fuzzing: random mutations of valid inputs must either parse
+// or throw std::runtime_error — never crash, hang, or produce an invalid
+// Design/Placement. Also covers the robust-scheduling derate helper.
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/placement_io.hpp"
+#include "sched/permissible.hpp"
+#include "sched/robust.hpp"
+#include "sched/skew.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk {
+namespace {
+
+std::string mutate(const std::string& text, util::Rng& rng) {
+  std::string out = text;
+  const int edits = rng.uniform_int(1, 6);
+  for (int e = 0; e < edits && !out.empty(); ++e) {
+    const std::size_t pos = rng.index(out.size());
+    switch (rng.uniform_int(0, 3)) {
+      case 0:  // flip a character
+        out[pos] = static_cast<char>(rng.uniform_int(32, 126));
+        break;
+      case 1:  // delete
+        out.erase(pos, 1);
+        break;
+      case 2:  // duplicate
+        out.insert(pos, 1, out[pos]);
+        break;
+      default:  // chop a tail
+        out.resize(pos);
+        break;
+    }
+  }
+  return out;
+}
+
+TEST(Fuzz, BenchParserNeverCrashes) {
+  netlist::GeneratorConfig cfg;
+  cfg.num_gates = 60;
+  cfg.num_flip_flops = 6;
+  cfg.seed = 3;
+  const std::string valid =
+      netlist::write_bench_string(netlist::generate_circuit(cfg));
+  util::Rng rng(1);
+  int parsed = 0, rejected = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string text = mutate(valid, rng);
+    try {
+      const netlist::Design d = netlist::read_bench_string(text, "fuzz");
+      d.validate();  // anything accepted must be structurally valid
+      ++parsed;
+    } catch (const std::runtime_error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 200);
+  EXPECT_GT(rejected, 0) << "mutations should trip the parser sometimes";
+}
+
+TEST(Fuzz, PlacementParserNeverCrashes) {
+  netlist::GeneratorConfig cfg;
+  cfg.num_gates = 40;
+  cfg.num_flip_flops = 4;
+  cfg.seed = 5;
+  const netlist::Design d = netlist::generate_circuit(cfg);
+  netlist::Placement p(d, geom::Rect{0, 0, 100, 100});
+  const std::string valid = netlist::write_placement_string(d, p);
+  util::Rng rng(2);
+  int ok = 0, rejected = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string text = mutate(valid, rng);
+    try {
+      (void)netlist::read_placement_string(d, text);
+      ++ok;
+    } catch (const std::runtime_error&) {
+      ++rejected;
+    } catch (const std::exception&) {
+      // stod/stoi style failures surface as std exceptions too; acceptable,
+      // but nothing may escape uncaught.
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected, 200);
+}
+
+TEST(Robust, DeratedScheduleIsMoreConservative) {
+  util::Rng rng(7);
+  const timing::TechParams tech;
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = rng.uniform_int(3, 8);
+    std::vector<timing::SeqArc> arcs;
+    for (int k = 0; k < 2 * n; ++k) {
+      timing::SeqArc a;
+      a.from_ff = rng.uniform_int(0, n - 1);
+      a.to_ff = rng.uniform_int(0, n - 1);
+      a.d_min_ps = rng.uniform(50.0, 300.0);
+      a.d_max_ps = a.d_min_ps + rng.uniform(0.0, 300.0);
+      arcs.push_back(a);
+    }
+    const auto robust = sched::derate_arcs(arcs, 0.25);
+    const auto nominal = sched::max_slack_schedule(n, arcs, tech, 1e-3);
+    const auto guarded = sched::max_slack_schedule(n, robust, tech, 1e-3);
+    ASSERT_TRUE(nominal.feasible);
+    ASSERT_TRUE(guarded.feasible);
+    // Guard banding can only cost slack...
+    EXPECT_LE(guarded.slack_ps, nominal.slack_ps + 1e-6);
+    // ...and the guarded schedule still satisfies the *nominal* ranges.
+    const auto audit =
+        sched::audit_schedule(guarded.arrival_ps, arcs, tech, 1e-6);
+    EXPECT_TRUE(audit.feasible);
+    EXPECT_GE(audit.worst_slack_ps, -1e-6);
+  }
+}
+
+TEST(Robust, RejectsBadMargin) {
+  EXPECT_THROW(sched::derate_arcs({}, -0.1), std::runtime_error);
+  EXPECT_THROW(sched::derate_arcs({}, 1.0), std::runtime_error);
+  EXPECT_NO_THROW(sched::derate_arcs({}, 0.0));
+}
+
+TEST(Robust, DerateMath) {
+  std::vector<timing::SeqArc> arcs{{0, 1, 100.0, 40.0}};
+  const auto out = sched::derate_arcs(arcs, 0.1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].d_max_ps, 110.0);
+  EXPECT_DOUBLE_EQ(out[0].d_min_ps, 36.0);
+}
+
+}  // namespace
+}  // namespace rotclk

@@ -1,0 +1,115 @@
+// Unit tests for src/geom: points, rectangles, bounding boxes.
+
+#include <gtest/gtest.h>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+
+namespace rotclk::geom {
+namespace {
+
+TEST(Point, Arithmetic) {
+  const Point a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Point{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Point{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Point{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Point{2.0, 4.0}));
+}
+
+TEST(Point, ManhattanDistance) {
+  EXPECT_DOUBLE_EQ(manhattan({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(manhattan({-1, -1}, {-1, -1}), 0.0);
+  EXPECT_DOUBLE_EQ(manhattan({2, 5}, {-1, 1}), 7.0);
+}
+
+TEST(Point, EuclideanDistance) {
+  EXPECT_DOUBLE_EQ(euclidean({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(Point, Midpoint) {
+  EXPECT_EQ(midpoint({0, 0}, {4, 6}), (Point{2.0, 3.0}));
+}
+
+TEST(Point, Clamp) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(clamp(-1.0, 0.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(2.0, 0.0, 3.0), 2.0);
+}
+
+TEST(Rect, BasicGeometry) {
+  const Rect r{0, 0, 4, 2};
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.height(), 2.0);
+  EXPECT_DOUBLE_EQ(r.area(), 8.0);
+  EXPECT_EQ(r.center(), (Point{2.0, 1.0}));
+}
+
+TEST(Rect, Contains) {
+  const Rect r{0, 0, 4, 2};
+  EXPECT_TRUE(r.contains({0, 0}));    // boundary counts
+  EXPECT_TRUE(r.contains({4, 2}));
+  EXPECT_TRUE(r.contains({2, 1}));
+  EXPECT_FALSE(r.contains({4.1, 1}));
+  EXPECT_FALSE(r.contains({2, -0.1}));
+}
+
+TEST(Rect, Expand) {
+  Rect r{1, 1, 2, 2};
+  r.expand({5, 0});
+  EXPECT_EQ(r, (Rect{1, 0, 5, 2}));
+  r.expand({-1, 7});
+  EXPECT_EQ(r, (Rect{-1, 0, 5, 7}));
+}
+
+TEST(Rect, ClampInside) {
+  const Rect r{0, 0, 4, 2};
+  EXPECT_EQ(r.clamp_inside({10, 1}), (Point{4.0, 1.0}));
+  EXPECT_EQ(r.clamp_inside({-3, -3}), (Point{0.0, 0.0}));
+  EXPECT_EQ(r.clamp_inside({1, 1}), (Point{1.0, 1.0}));
+}
+
+TEST(Rect, ManhattanTo) {
+  const Rect r{0, 0, 4, 2};
+  EXPECT_DOUBLE_EQ(r.manhattan_to({2, 1}), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(r.manhattan_to({6, 1}), 2.0);   // right of
+  EXPECT_DOUBLE_EQ(r.manhattan_to({5, 4}), 3.0);   // corner region
+}
+
+TEST(Rect, DegenerateRect) {
+  const Rect r{1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(r.area(), 0.0);
+  EXPECT_TRUE(r.contains({1, 1}));
+  EXPECT_DOUBLE_EQ(r.manhattan_to({3, 1}), 2.0);
+}
+
+TEST(BBox, EmptyHasZeroHalfPerimeter) {
+  BBox box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_DOUBLE_EQ(box.half_perimeter(), 0.0);
+}
+
+TEST(BBox, SinglePointIsZero) {
+  BBox box;
+  box.add({3, 4});
+  EXPECT_FALSE(box.empty());
+  EXPECT_DOUBLE_EQ(box.half_perimeter(), 0.0);
+}
+
+TEST(BBox, HalfPerimeterOfSpread) {
+  BBox box;
+  box.add({0, 0});
+  box.add({3, 4});
+  box.add({1, 1});  // interior point changes nothing
+  EXPECT_DOUBLE_EQ(box.half_perimeter(), 7.0);
+  EXPECT_EQ(box.rect(), (Rect{0, 0, 3, 4}));
+}
+
+TEST(BBox, NegativeCoordinates) {
+  BBox box;
+  box.add({-2, -3});
+  box.add({2, 3});
+  EXPECT_DOUBLE_EQ(box.half_perimeter(), 10.0);
+}
+
+}  // namespace
+}  // namespace rotclk::geom

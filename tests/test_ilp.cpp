@@ -1,0 +1,157 @@
+// Unit tests for the branch-and-bound ILP solver (src/ilp).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ilp/branch_bound.hpp"
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk::ilp {
+namespace {
+
+TEST(BranchBound, SolvesSmallKnapsack) {
+  // max 10a + 13b + 7c, 3a + 4b + 2c <= 6, binary -> a=0,b=1,c=1 (20).
+  lp::Model m;
+  m.objective = lp::Objective::Maximize;
+  const int a = m.add_variable(0, 1, 10.0);
+  const int b = m.add_variable(0, 1, 13.0);
+  const int c = m.add_variable(0, 1, 7.0);
+  m.add_constraint({{a, 3.0}, {b, 4.0}, {c, 2.0}}, lp::Sense::LessEqual, 6.0);
+  const IlpResult r = solve_ilp(m, {a, b, c});
+  ASSERT_EQ(r.status, IlpStatus::Optimal);
+  EXPECT_NEAR(r.objective, 20.0, 1e-6);
+  EXPECT_NEAR(r.values[static_cast<std::size_t>(a)], 0.0, 1e-9);
+  EXPECT_NEAR(r.values[static_cast<std::size_t>(b)], 1.0, 1e-9);
+  EXPECT_NEAR(r.values[static_cast<std::size_t>(c)], 1.0, 1e-9);
+}
+
+TEST(BranchBound, IntegralRelaxationNeedsNoBranching) {
+  lp::Model m;
+  const int x = m.add_variable(0, 10, 1.0);
+  m.add_constraint({{x, 1.0}}, lp::Sense::GreaterEqual, 3.0);
+  const IlpResult r = solve_ilp(m, {x});
+  ASSERT_EQ(r.status, IlpStatus::Optimal);
+  EXPECT_NEAR(r.objective, 3.0, 1e-7);
+  EXPECT_EQ(r.nodes_explored, 1);
+}
+
+TEST(BranchBound, FractionalRelaxationGetsRounded) {
+  // min x s.t. 2x >= 3, x integer -> 2 (relaxation gives 1.5).
+  lp::Model m;
+  const int x = m.add_variable(0, 10, 1.0);
+  m.add_constraint({{x, 2.0}}, lp::Sense::GreaterEqual, 3.0);
+  const IlpResult r = solve_ilp(m, {x});
+  ASSERT_EQ(r.status, IlpStatus::Optimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-7);
+  EXPECT_GT(r.nodes_explored, 1);
+  EXPECT_NEAR(r.best_bound, 1.5, 1e-6);
+}
+
+TEST(BranchBound, DetectsIntegerInfeasibility) {
+  // 0.4 <= x <= 0.6 has no integer point.
+  lp::Model m;
+  const int x = m.add_variable(0.4, 0.6, 1.0);
+  const IlpResult r = solve_ilp(m, {x});
+  EXPECT_EQ(r.status, IlpStatus::Infeasible);
+}
+
+TEST(BranchBound, LpInfeasiblePropagates) {
+  lp::Model m;
+  const int x = m.add_variable(0, 1, 1.0);
+  m.add_constraint({{x, 1.0}}, lp::Sense::GreaterEqual, 2.0);
+  EXPECT_EQ(solve_ilp(m, {x}).status, IlpStatus::Infeasible);
+}
+
+TEST(BranchBound, MixedIntegerKeepsContinuousVars) {
+  // min y s.t. y >= x - 0.5, x integer >= 1.2 -> x = 2, y = 1.5.
+  lp::Model m;
+  const int x = m.add_variable(1.2, 10.0, 0.0);
+  const int y = m.add_variable(0.0, lp::kInfinity, 1.0);
+  m.add_constraint({{y, 1.0}, {x, -1.0}}, lp::Sense::GreaterEqual, -0.5);
+  const IlpResult r = solve_ilp(m, {x});
+  ASSERT_EQ(r.status, IlpStatus::Optimal);
+  EXPECT_NEAR(r.values[static_cast<std::size_t>(x)], 2.0, 1e-9);
+  EXPECT_NEAR(r.objective, 1.5, 1e-6);
+}
+
+TEST(BranchBound, HonorsNodeBudget) {
+  // A 12-variable knapsack with a tiny node budget must stop early.
+  lp::Model m;
+  m.objective = lp::Objective::Maximize;
+  util::Rng rng(4);
+  std::vector<int> vars;
+  std::vector<std::pair<int, double>> weight_terms;
+  for (int i = 0; i < 12; ++i) {
+    const int v = m.add_variable(0, 1, rng.uniform(1.0, 20.0));
+    vars.push_back(v);
+    weight_terms.emplace_back(v, rng.uniform(1.0, 10.0));
+  }
+  m.add_constraint(weight_terms, lp::Sense::LessEqual, 20.0);
+  IlpOptions opt;
+  opt.max_nodes = 5;
+  const IlpResult r = solve_ilp(m, vars, opt);
+  EXPECT_LE(r.nodes_explored, 5);
+  EXPECT_TRUE(r.status == IlpStatus::Feasible ||
+              r.status == IlpStatus::NoSolution ||
+              r.status == IlpStatus::Optimal);
+}
+
+// --- Property sweep: B&B matches brute force on random binary programs ----
+
+class RandomBinaryProgram : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomBinaryProgram, MatchesBruteForce) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const int n = rng.uniform_int(3, 7);
+  const int rows = rng.uniform_int(1, 3);
+  lp::Model m;
+  m.objective = lp::Objective::Maximize;
+  std::vector<double> obj(static_cast<std::size_t>(n));
+  std::vector<std::vector<double>> a(
+      static_cast<std::size_t>(rows),
+      std::vector<double>(static_cast<std::size_t>(n)));
+  std::vector<double> rhs(static_cast<std::size_t>(rows));
+  std::vector<int> vars;
+  for (int i = 0; i < n; ++i) {
+    obj[static_cast<std::size_t>(i)] = rng.uniform(-5.0, 10.0);
+    vars.push_back(m.add_variable(0, 1, obj[static_cast<std::size_t>(i)]));
+  }
+  for (int r = 0; r < rows; ++r) {
+    std::vector<std::pair<int, double>> terms;
+    for (int i = 0; i < n; ++i) {
+      a[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)] =
+          rng.uniform(0.0, 5.0);
+      terms.emplace_back(vars[static_cast<std::size_t>(i)],
+                         a[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)]);
+    }
+    rhs[static_cast<std::size_t>(r)] = rng.uniform(2.0, 10.0);
+    m.add_constraint(terms, lp::Sense::LessEqual, rhs[static_cast<std::size_t>(r)]);
+  }
+  const IlpResult r = solve_ilp(m, vars);
+  ASSERT_EQ(r.status, IlpStatus::Optimal);
+
+  double best = -1e18;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    bool ok = true;
+    for (int row = 0; row < rows && ok; ++row) {
+      double lhs = 0.0;
+      for (int i = 0; i < n; ++i)
+        if (mask & (1 << i))
+          lhs += a[static_cast<std::size_t>(row)][static_cast<std::size_t>(i)];
+      ok = lhs <= rhs[static_cast<std::size_t>(row)] + 1e-9;
+    }
+    if (!ok) continue;
+    double v = 0.0;
+    for (int i = 0; i < n; ++i)
+      if (mask & (1 << i)) v += obj[static_cast<std::size_t>(i)];
+    best = std::max(best, v);
+  }
+  EXPECT_NEAR(r.objective, best, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBinaryProgram, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace rotclk::ilp

@@ -1,0 +1,117 @@
+// Integration tests across modules: benchmark circuits through the full
+// methodology, bench-file round trips feeding the flow, and the assignment
+// formulations compared at one shared placement (the Table V experiment in
+// miniature).
+
+#include <gtest/gtest.h>
+
+#include "assign/ilp_assign.hpp"
+#include "assign/netflow.hpp"
+#include "core/flow.hpp"
+#include "cts/clock_tree.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/benchmarks.hpp"
+#include "sched/skew.hpp"
+#include "timing/sta.hpp"
+
+namespace rotclk {
+namespace {
+
+TEST(Integration, SmallestPaperCircuitThroughFullFlow) {
+  const netlist::Design d = netlist::make_benchmark("s5378");
+  core::FlowConfig cfg;
+  cfg.ring_config.rings = netlist::benchmark_spec("s5378").rings;
+  core::RotaryFlow flow(d, cfg);
+  const core::FlowResult r = flow.run();
+  // Paper band for tapping-cost reduction is 33%-53% (Table IV shows up to
+  // 52%); require at least 30% here.
+  EXPECT_LT(r.final().tap_wl_um, 0.70 * r.base().tap_wl_um);
+  // Signal wirelength penalty stays small (paper: 1.1%-4.1%).
+  EXPECT_LT(r.final().signal_wl_um, 1.08 * r.base().signal_wl_um);
+  // Average flip-flop distance shrinks (paper: to 100-200 um).
+  EXPECT_LT(r.final().afd_um, r.base().afd_um);
+}
+
+TEST(Integration, BenchRoundTripPreservesFlowBehavior) {
+  const netlist::Design d = netlist::make_benchmark("s5378");
+  const netlist::Design d2 =
+      netlist::read_bench_string(netlist::write_bench_string(d), "s5378rt");
+  core::FlowConfig cfg;
+  cfg.ring_config.rings = 25;
+  cfg.max_iterations = 2;
+  core::RotaryFlow fa(d, cfg), fb(d2, cfg);
+  const core::FlowResult ra = fa.run();
+  const core::FlowResult rb = fb.run();
+  EXPECT_NEAR(ra.base().tap_wl_um, rb.base().tap_wl_um,
+              1e-6 * ra.base().tap_wl_um + 1e-6);
+  EXPECT_NEAR(ra.base().signal_wl_um, rb.base().signal_wl_um,
+              1e-6 * ra.base().signal_wl_um + 1e-6);
+}
+
+TEST(Integration, AssignmentModesTradeOffCapAndWirelength) {
+  // Table V in miniature: at the final network-flow placement, the ILP
+  // formulation should cut the max ring capacitance versus network flow,
+  // while network flow keeps the smaller tapping wirelength.
+  const netlist::Design d = netlist::make_benchmark("s9234");
+  core::FlowConfig cfg;
+  cfg.ring_config.rings = netlist::benchmark_spec("s9234").rings;
+  core::RotaryFlow flow(d, cfg);
+  const core::FlowResult r = flow.run();
+  const assign::Assignment nf = assign::assign_netflow(r.problem);
+  const assign::IlpAssignResult ilp = assign::assign_min_max_cap(r.problem);
+  EXPECT_LE(ilp.assignment.max_ring_cap_ff, nf.max_ring_cap_ff + 1e-9);
+  EXPECT_GE(ilp.assignment.total_tap_cost_um, nf.total_tap_cost_um - 1e-9);
+  EXPECT_GE(ilp.integrality_gap, 1.0 - 1e-9);
+}
+
+TEST(Integration, ScheduleFeasibleAtEveryPaperCircuitScaleSmall) {
+  // Stage-2 scheduling is feasible on the two small paper circuits.
+  for (const char* name : {"s9234", "s5378"}) {
+    const netlist::Design d = netlist::make_benchmark(name);
+    const geom::Rect die = netlist::size_die(d, 0.05);
+    placer::Placer placer(d);
+    const netlist::Placement p = placer.place_initial(die);
+    const timing::TechParams tech;
+    const auto arcs = timing::extract_sequential_adjacency(d, p, tech);
+    EXPECT_FALSE(arcs.empty()) << name;
+    const auto r =
+        sched::max_slack_schedule(d.num_flip_flops(), arcs, tech, 0.1);
+    EXPECT_TRUE(r.feasible) << name;
+  }
+}
+
+TEST(Integration, ClockTreeBaselineMatchesPaperPlScale) {
+  // Table II column check: our conventional clock tree PL lands within a
+  // factor of ~2.5 of the paper's value for the small circuits (absolute
+  // scale depends on their floorplan; the magnitude should match).
+  const netlist::BenchmarkSpec& spec = netlist::benchmark_spec("s9234");
+  const netlist::Design d = netlist::make_benchmark(spec);
+  const geom::Rect die = netlist::size_die(d, 0.05);
+  placer::Placer placer(d);
+  const netlist::Placement p = placer.place_initial(die);
+  std::vector<geom::Point> sinks;
+  for (int ff : d.flip_flops()) sinks.push_back(p.loc(ff));
+  const cts::ClockTree tree =
+      cts::build_zero_skew_tree(sinks, {}, timing::default_tech());
+  const double pl = tree.avg_source_sink_path_um();
+  EXPECT_GT(pl, spec.pl_reference_um / 2.5);
+  EXPECT_LT(pl, spec.pl_reference_um * 2.5);
+}
+
+TEST(Integration, RotaryBeatsTreeOnClockWirelength) {
+  // The motivation experiment: total rotary tapping wire should be far
+  // below the conventional tree's total wire for the same sinks.
+  const netlist::Design d = netlist::make_benchmark("s5378");
+  core::FlowConfig cfg;
+  cfg.ring_config.rings = 25;
+  core::RotaryFlow flow(d, cfg);
+  const core::FlowResult r = flow.run();
+  std::vector<geom::Point> sinks;
+  for (int ff : d.flip_flops()) sinks.push_back(r.placement.loc(ff));
+  const cts::ClockTree tree =
+      cts::build_zero_skew_tree(sinks, {}, cfg.tech);
+  EXPECT_LT(r.final().tap_wl_um, tree.total_wirelength_um);
+}
+
+}  // namespace
+}  // namespace rotclk

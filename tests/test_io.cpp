@@ -1,0 +1,206 @@
+// Tests for serialization: placement I/O (netlist/placement_io) and the
+// flow report writer (core/flow_report), plus resuming a flow from a
+// saved placement.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/flow.hpp"
+#include "core/flow_report.hpp"
+#include "core/svg_export.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/placement_io.hpp"
+#include "placer/placer.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk {
+namespace {
+
+netlist::Design small_circuit(std::uint64_t seed = 42) {
+  netlist::GeneratorConfig cfg;
+  cfg.num_gates = 200;
+  cfg.num_flip_flops = 16;
+  cfg.seed = seed;
+  return netlist::generate_circuit(cfg);
+}
+
+TEST(PlacementIo, RoundTripsExactly) {
+  const netlist::Design d = small_circuit();
+  placer::Placer placer(d);
+  const netlist::Placement p =
+      placer.place_initial(netlist::size_die(d, 0.2));
+  const std::string text = netlist::write_placement_string(d, p);
+  const netlist::Placement q = netlist::read_placement_string(d, text);
+  EXPECT_EQ(q.die(), p.die());
+  for (std::size_t i = 0; i < d.cells().size(); ++i)
+    EXPECT_EQ(q.loc(static_cast<int>(i)), p.loc(static_cast<int>(i)))
+        << d.cells()[i].name;
+}
+
+TEST(PlacementIo, FileRoundTrip) {
+  const netlist::Design d = small_circuit(7);
+  netlist::Placement p(d, geom::Rect{0, 0, 500, 500});
+  util::Rng rng(3);
+  for (std::size_t i = 0; i < d.cells().size(); ++i)
+    p.set_loc(static_cast<int>(i),
+              {rng.uniform(0.0, 500.0), rng.uniform(0.0, 500.0)});
+  const std::string path = ::testing::TempDir() + "/rotclk_place_test.pl";
+  netlist::write_placement_file(d, p, path);
+  const netlist::Placement q = netlist::read_placement_file(d, path);
+  EXPECT_DOUBLE_EQ(q.total_hpwl(d), p.total_hpwl(d));
+}
+
+TEST(PlacementIo, RejectsMalformedInput) {
+  const netlist::Design d = small_circuit(9);
+  EXPECT_THROW(netlist::read_placement_string(d, "garbage 1 2\n"),
+               std::runtime_error);  // unknown cell before die line
+  EXPECT_THROW(netlist::read_placement_string(d, "die 0 0 10 10\nnope 1 2\n"),
+               std::runtime_error);  // unknown cell
+  EXPECT_THROW(netlist::read_placement_string(d, "die 0 0 10 10\n"),
+               std::runtime_error);  // missing locations
+  // Duplicate cell line.
+  netlist::Placement p(d, geom::Rect{0, 0, 10, 10});
+  std::string text = netlist::write_placement_string(d, p);
+  text += d.cells()[0].name + " 1 1\n";
+  EXPECT_THROW(netlist::read_placement_string(d, text), std::runtime_error);
+}
+
+TEST(PlacementIo, MissingDieRejected) {
+  const netlist::Design d = small_circuit(11);
+  netlist::Placement p(d, geom::Rect{0, 0, 10, 10});
+  std::string text = netlist::write_placement_string(d, p);
+  // Strip the die line (second line).
+  const auto first_nl = text.find('\n');
+  const auto second_nl = text.find('\n', first_nl + 1);
+  text.erase(first_nl + 1, second_nl - first_nl);
+  EXPECT_THROW(netlist::read_placement_string(d, text), std::runtime_error);
+}
+
+TEST(FlowResume, SavedPlacementReproducesTheRun) {
+  const netlist::Design d = small_circuit(13);
+  core::FlowConfig cfg;
+  cfg.ring_config.rings = 4;
+  cfg.max_iterations = 2;
+
+  // Reference run; then re-run from the same (saved) initial placement.
+  placer::Placer placer(d, cfg.placer);
+  const netlist::Placement initial =
+      placer.place_initial(netlist::size_die(d, cfg.die_utilization));
+  const std::string text = netlist::write_placement_string(d, initial);
+
+  core::RotaryFlow a(d, cfg), b(d, cfg);
+  const core::FlowResult ra = a.run_with_placement(initial);
+  const core::FlowResult rb =
+      b.run_with_placement(netlist::read_placement_string(d, text));
+  EXPECT_DOUBLE_EQ(ra.base().tap_wl_um, rb.base().tap_wl_um);
+  EXPECT_DOUBLE_EQ(ra.final().tap_wl_um, rb.final().tap_wl_um);
+}
+
+TEST(FlowResume, MatchesInternalStageOne) {
+  // run() and run_with_placement(place_initial(...)) are the same flow.
+  const netlist::Design d = small_circuit(17);
+  core::FlowConfig cfg;
+  cfg.ring_config.rings = 4;
+  cfg.max_iterations = 2;
+  core::RotaryFlow a(d, cfg), b(d, cfg);
+  const core::FlowResult ra = a.run();
+  placer::Placer placer(d, cfg.placer);
+  const core::FlowResult rb = b.run_with_placement(
+      placer.place_initial(netlist::size_die(d, cfg.die_utilization)));
+  EXPECT_DOUBLE_EQ(ra.base().tap_wl_um, rb.base().tap_wl_um);
+  EXPECT_DOUBLE_EQ(ra.base().signal_wl_um, rb.base().signal_wl_um);
+}
+
+TEST(FlowResume, RejectsMismatchedPlacement) {
+  const netlist::Design d = small_circuit(19);
+  const netlist::Design other = small_circuit(23);
+  core::FlowConfig cfg;
+  cfg.ring_config.rings = 4;
+  // A placement sized for a different design (cell counts differ thanks to
+  // differing PO attachment).
+  netlist::Placement p(other, geom::Rect{0, 0, 100, 100});
+  core::RotaryFlow flow(d, cfg);
+  if (other.cells().size() != d.cells().size()) {
+    EXPECT_THROW((void)flow.run_with_placement(p), std::runtime_error);
+  } else {
+    GTEST_SKIP() << "seeds produced equal cell counts";
+  }
+}
+
+TEST(FlowReport, ContainsEverySection) {
+  const netlist::Design d = small_circuit(29);
+  core::FlowConfig cfg;
+  cfg.ring_config.rings = 4;
+  cfg.max_iterations = 2;
+  core::RotaryFlow flow(d, cfg);
+  const core::FlowResult r = flow.run();
+  const std::string report = core::write_flow_report_string(d, cfg, r);
+  for (const char* section :
+       {"[summary]", "[iterations]", "[schedule]", "[assignment]"})
+    EXPECT_NE(report.find(section), std::string::npos) << section;
+  EXPECT_NE(report.find("design " + d.name()), std::string::npos);
+  // One schedule line and one assignment line per flip-flop.
+  std::size_t schedule_lines = 0;
+  const std::string marker = ",Q";  // schedule rows carry cell names Q<i>
+  for (std::size_t pos = report.find(marker); pos != std::string::npos;
+       pos = report.find(marker, pos + 1))
+    ++schedule_lines;
+  EXPECT_GE(schedule_lines, 16u);
+}
+
+TEST(FlowReport, WritesFile) {
+  const netlist::Design d = small_circuit(31);
+  core::FlowConfig cfg;
+  cfg.ring_config.rings = 4;
+  cfg.max_iterations = 1;
+  core::RotaryFlow flow(d, cfg);
+  const core::FlowResult r = flow.run();
+  const std::string path = ::testing::TempDir() + "/rotclk_report_test.txt";
+  EXPECT_NO_THROW(core::write_flow_report_file(d, cfg, r, path));
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good());
+}
+
+
+TEST(SvgExport, ContainsDieRingsAndTaps) {
+  const netlist::Design d = small_circuit(37);
+  core::FlowConfig cfg;
+  cfg.ring_config.rings = 4;
+  cfg.max_iterations = 1;
+  core::RotaryFlow flow(d, cfg);
+  const core::FlowResult r = flow.run();
+  const rotary::RingArray rings(r.placement.die(), cfg.ring_config);
+  const std::string svg = core::write_layout_svg_string(
+      d, r.placement, &rings, &r.problem, &r.assignment);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // 4 ring rects + die rect + cell rects.
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1))
+    ++rects;
+  EXPECT_GE(rects, 5u);
+  // One tap line and one marker circle per flip-flop.
+  std::size_t lines = 0, circles = 0;
+  for (std::size_t pos = svg.find("<line"); pos != std::string::npos;
+       pos = svg.find("<line", pos + 1))
+    ++lines;
+  for (std::size_t pos = svg.find("<circle"); pos != std::string::npos;
+       pos = svg.find("<circle", pos + 1))
+    ++circles;
+  EXPECT_EQ(lines, 16u);
+  EXPECT_EQ(circles, 16u);
+}
+
+TEST(SvgExport, PlacementOnlyModeWorks) {
+  const netlist::Design d = small_circuit(41);
+  netlist::Placement p(d, geom::Rect{0, 0, 500, 500});
+  const std::string svg =
+      core::write_layout_svg_string(d, p, nullptr, nullptr, nullptr);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_EQ(svg.find("<line"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rotclk

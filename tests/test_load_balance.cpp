@@ -1,0 +1,90 @@
+// Unit tests for src/rotary/load_balance: dummy capacitive load insertion
+// (Sec. II's uniform-capacitance requirement).
+
+#include <gtest/gtest.h>
+
+#include "rotary/load_balance.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk::rotary {
+namespace {
+
+RingArray two_rings() {
+  RingArrayConfig cfg;
+  cfg.rings = 4;
+  return RingArray(geom::Rect{0, 0, 800, 800}, cfg);
+}
+
+TEST(LoadBalance, EmptyLoadsNeedNoDummies) {
+  const RingArray rings = two_rings();
+  const auto r = balance_ring_loads(rings, {});
+  EXPECT_DOUBLE_EQ(r.total_dummy_ff, 0.0);
+  EXPECT_DOUBLE_EQ(r.worst_imbalance, 1.0);
+  EXPECT_EQ(r.rings.size(), 4u);
+}
+
+TEST(LoadBalance, SingleLoadFlattensToItsPeak) {
+  const RingArray rings = two_rings();
+  std::vector<TappedLoad> loads{{0, RingPos{2, 10.0}, 24.0}};
+  const auto r = balance_ring_loads(rings, loads);
+  const RingLoadProfile& p = r.rings[0];
+  EXPECT_DOUBLE_EQ(p.tapped_ff[2], 24.0);
+  // Every other segment gets a 24 fF dummy.
+  for (int s = 0; s < RotaryRing::kNumSegments; ++s)
+    if (s != 2) EXPECT_DOUBLE_EQ(p.dummy_ff[static_cast<std::size_t>(s)], 24.0);
+  EXPECT_DOUBLE_EQ(p.dummy_ff[2], 0.0);
+  EXPECT_DOUBLE_EQ(r.total_dummy_ff, 7.0 * 24.0);
+  EXPECT_DOUBLE_EQ(p.imbalance(), 8.0);  // all load in one of 8 segments
+}
+
+TEST(LoadBalance, BalancedRingNeedsNoDummies) {
+  const RingArray rings = two_rings();
+  std::vector<TappedLoad> loads;
+  for (int s = 0; s < RotaryRing::kNumSegments; ++s)
+    loads.push_back({1, RingPos{s, 5.0}, 10.0});
+  const auto r = balance_ring_loads(rings, loads);
+  EXPECT_NEAR(r.rings[1].dummy_total(), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.rings[1].imbalance(), 1.0);
+}
+
+TEST(LoadBalance, GlobalTargetRaisesEveryRing) {
+  const RingArray rings = two_rings();
+  std::vector<TappedLoad> loads{{0, RingPos{0, 1.0}, 8.0}};
+  const auto r = balance_ring_loads(rings, loads, 10.0);
+  // Ring 0: segment 0 has 8 -> dummy 2; others dummy 10. Empty rings: 80.
+  EXPECT_DOUBLE_EQ(r.rings[0].dummy_ff[0], 2.0);
+  EXPECT_DOUBLE_EQ(r.rings[0].dummy_total(), 2.0 + 7.0 * 10.0);
+  EXPECT_DOUBLE_EQ(r.rings[3].dummy_total(), 80.0);
+}
+
+TEST(LoadBalance, SegmentAboveGlobalTargetGetsNoDummy) {
+  const RingArray rings = two_rings();
+  std::vector<TappedLoad> loads{{2, RingPos{5, 0.0}, 50.0}};
+  const auto r = balance_ring_loads(rings, loads, 10.0);
+  EXPECT_DOUBLE_EQ(r.rings[2].dummy_ff[5], 0.0);
+  // The rest of ring 2 is raised to the local peak (50), not 10.
+  EXPECT_DOUBLE_EQ(r.rings[2].dummy_ff[0], 50.0);
+}
+
+TEST(LoadBalance, RejectsBadIndices) {
+  const RingArray rings = two_rings();
+  EXPECT_THROW(balance_ring_loads(rings, {{9, RingPos{0, 0}, 1.0}}),
+               std::runtime_error);
+  EXPECT_THROW(balance_ring_loads(rings, {{0, RingPos{8, 0}, 1.0}}),
+               std::runtime_error);
+}
+
+TEST(LoadBalance, ImbalanceStatisticsAggregate) {
+  const RingArray rings = two_rings();
+  std::vector<TappedLoad> loads;
+  // Ring 0 perfectly balanced, ring 1 all in one segment.
+  for (int s = 0; s < 8; ++s) loads.push_back({0, RingPos{s, 0.0}, 4.0});
+  loads.push_back({1, RingPos{3, 0.0}, 12.0});
+  const auto r = balance_ring_loads(rings, loads);
+  EXPECT_DOUBLE_EQ(r.worst_imbalance, 8.0);
+  // Mean over 4 rings: (1 + 8 + 1 + 1) / 4.
+  EXPECT_DOUBLE_EQ(r.mean_imbalance, 11.0 / 4.0);
+}
+
+}  // namespace
+}  // namespace rotclk::rotary

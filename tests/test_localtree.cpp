@@ -1,0 +1,219 @@
+// Unit/integration tests for src/localtree: prescribed-skew local clock
+// trees per ring (the paper's Sec. IX extension).
+
+#include <gtest/gtest.h>
+
+#include "assign/netflow.hpp"
+#include "assign/problem.hpp"
+#include "core/flow.hpp"
+#include "cts/clock_tree.hpp"
+#include "localtree/local_tree.hpp"
+#include "netlist/generator.hpp"
+#include "sched/permissible.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk::localtree {
+namespace {
+
+TEST(PrescribedSkewTree, DeliversExactTargets) {
+  const timing::TechParams tech;
+  util::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = rng.uniform_int(2, 6);
+    std::vector<geom::Point> sinks;
+    std::vector<double> caps, inits, targets;
+    for (int i = 0; i < n; ++i) {
+      sinks.push_back({rng.uniform(0.0, 400.0), rng.uniform(0.0, 400.0)});
+      caps.push_back(10.0);
+      targets.push_back(rng.uniform(0.0, 50.0));
+      inits.push_back(-targets.back());
+    }
+    const cts::ClockTree tree =
+        cts::build_prescribed_skew_tree(sinks, caps, inits, tech);
+    const double root_delay =
+        tree.nodes[static_cast<std::size_t>(tree.root)].delay_ps;
+    // Physical path delay to sink i must equal root_delay + target_i.
+    for (int i = 0; i < n; ++i) {
+      const double path = cts::sink_path_delay_ps(tree, i, tech);
+      EXPECT_NEAR(path, root_delay + targets[static_cast<std::size_t>(i)],
+                  1e-6 + 1e-6 * std::abs(path))
+          << "sink " << i;
+    }
+  }
+}
+
+TEST(PrescribedSkewTree, ZeroInitsReduceToZeroSkew) {
+  const timing::TechParams tech;
+  std::vector<geom::Point> sinks{{0, 0}, {300, 0}, {100, 200}};
+  const cts::ClockTree a = cts::build_zero_skew_tree(sinks, {}, tech);
+  const cts::ClockTree b =
+      cts::build_prescribed_skew_tree(sinks, {}, {0.0, 0.0, 0.0}, tech);
+  EXPECT_DOUBLE_EQ(a.total_wirelength_um, b.total_wirelength_um);
+  EXPECT_DOUBLE_EQ(a.root_delay_ps(), b.root_delay_ps());
+}
+
+TEST(SinkPathDelay, MatchesRootDelayOnZeroSkewTree) {
+  const timing::TechParams tech;
+  util::Rng rng(9);
+  std::vector<geom::Point> sinks;
+  for (int i = 0; i < 12; ++i)
+    sinks.push_back({rng.uniform(0.0, 1500.0), rng.uniform(0.0, 1500.0)});
+  const cts::ClockTree tree = cts::build_zero_skew_tree(sinks, {}, tech);
+  for (int i = 0; i < 12; ++i)
+    EXPECT_NEAR(cts::sink_path_delay_ps(tree, i, tech), tree.root_delay_ps(),
+                1e-6 + 1e-6 * tree.root_delay_ps());
+}
+
+struct FlowFixture {
+  netlist::Design design;
+  core::FlowResult result;
+  core::FlowConfig config;
+  rotary::RingArray rings;
+
+  static FlowFixture make(std::uint64_t seed = 42) {
+    netlist::GeneratorConfig gen;
+    gen.num_gates = 368;
+    gen.num_flip_flops = 32;
+    gen.seed = seed;
+    netlist::Design d = netlist::generate_circuit(gen);
+    core::FlowConfig cfg;
+    cfg.ring_config.rings = 4;
+    core::RotaryFlow flow(d, cfg);
+    core::FlowResult r = flow.run();
+    rotary::RingArray rings(r.placement.die(), cfg.ring_config);
+    return FlowFixture{std::move(d), std::move(r), cfg, std::move(rings)};
+  }
+};
+
+TEST(LocalTrees, CoverEveryFlipFlopExactlyOnce) {
+  const FlowFixture f = FlowFixture::make();
+  const LocalTreeResult lt = build_local_trees(
+      f.result.placement, f.rings, f.result.problem, f.result.assignment,
+      f.result.arrival_ps, f.config.tech);
+  std::vector<int> seen(32, 0);
+  for (const auto& tree : lt.trees)
+    for (int i : tree.ffs) ++seen[static_cast<std::size_t>(i)];
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], 1);
+}
+
+TEST(LocalTrees, SharedPhaseErrorBoundedByTargetSpread) {
+  const FlowFixture f = FlowFixture::make();
+  LocalTreeConfig cfg;  // SharedPhase default
+  const LocalTreeResult lt = build_local_trees(
+      f.result.placement, f.rings, f.result.problem, f.result.assignment,
+      f.result.arrival_ps, f.config.tech, cfg);
+  EXPECT_LE(lt.worst_target_error_ps, cfg.max_target_spread_ps + 0.01);
+  for (const auto& tree : lt.trees) {
+    const double err = verify_local_tree(tree, f.rings, f.result.arrival_ps,
+                                         f.config.tech, cfg);
+    EXPECT_LT(err, cfg.max_target_spread_ps + 0.01)
+        << "ring " << tree.ring << " with " << tree.ffs.size() << " FFs";
+  }
+}
+
+TEST(LocalTrees, ExactElongationDeliversExactTargets) {
+  const FlowFixture f = FlowFixture::make();
+  LocalTreeConfig cfg;
+  cfg.mode = BalanceMode::ExactElongation;
+  cfg.max_target_spread_ps = 2.0;  // keep elongation detours small
+  const LocalTreeResult lt = build_local_trees(
+      f.result.placement, f.rings, f.result.problem, f.result.assignment,
+      f.result.arrival_ps, f.config.tech, cfg);
+  EXPECT_LT(lt.worst_target_error_ps, 0.01);
+}
+
+TEST(LocalTrees, PermissibleRangesStillSatisfied) {
+  // Since the trees deliver the scheduled delays exactly, the schedule's
+  // permissible-range audit remains valid (the Sec. IX "care").
+  const FlowFixture f = FlowFixture::make();
+  const auto arcs = timing::extract_sequential_adjacency(
+      f.design, f.result.placement, f.config.tech);
+  const auto audit = sched::audit_schedule(f.result.arrival_ps, arcs,
+                                           f.config.tech, 1.0);
+  EXPECT_TRUE(audit.feasible);
+}
+
+TEST(LocalTrees, ClusterConstraintsRespected) {
+  const FlowFixture f = FlowFixture::make(7);
+  LocalTreeConfig cfg;
+  cfg.max_cluster_size = 3;
+  cfg.max_cluster_radius_um = 150.0;
+  cfg.max_target_spread_ps = 40.0;
+  const LocalTreeResult lt = build_local_trees(
+      f.result.placement, f.rings, f.result.problem, f.result.assignment,
+      f.result.arrival_ps, f.config.tech, cfg);
+  for (const auto& tree : lt.trees) {
+    EXPECT_LE(tree.ffs.size(), 3u);
+    for (std::size_t a = 0; a < tree.ffs.size(); ++a) {
+      const double spread =
+          std::abs(f.result.arrival_ps[static_cast<std::size_t>(tree.ffs[a])] -
+                   f.result.arrival_ps[static_cast<std::size_t>(tree.ffs[0])]);
+      EXPECT_LE(spread, cfg.max_target_spread_ps + 1e-9);
+    }
+  }
+}
+
+TEST(LocalTrees, SingleFlipFlopClustersMatchDirectStubCosts) {
+  const FlowFixture f = FlowFixture::make(11);
+  LocalTreeConfig cfg;
+  cfg.max_cluster_size = 1;  // force one tree per flip-flop
+  const LocalTreeResult lt = build_local_trees(
+      f.result.placement, f.rings, f.result.problem, f.result.assignment,
+      f.result.arrival_ps, f.config.tech, cfg);
+  EXPECT_EQ(lt.clusters_of_size_one, 32);
+  // Degenerate trees have no internal wire; total = stubs only, and each
+  // stub solves the same tapping problem as the direct assignment did.
+  for (const auto& tree : lt.trees)
+    EXPECT_DOUBLE_EQ(tree.tree_wirelength_um, 0.0);
+  EXPECT_NEAR(lt.total_wirelength_um, lt.direct_wirelength_um,
+              1e-6 * (1.0 + lt.direct_wirelength_um));
+}
+
+TEST(LocalTrees, SharedPhaseStaysNearDirectCostAfterFlow) {
+  // After the flow, flip-flops sit almost on their rings, so there is
+  // little stub to share; shared-phase trees must not blow the cost up.
+  const FlowFixture f = FlowFixture::make(13);
+  const LocalTreeResult lt = build_local_trees(
+      f.result.placement, f.rings, f.result.problem, f.result.assignment,
+      f.result.arrival_ps, f.config.tech);
+  EXPECT_LT(lt.total_wirelength_um, 2.0 * lt.direct_wirelength_um + 1e3);
+}
+
+TEST(LocalTrees, SharedPhaseWinsOnClusteredDistantFlipFlops) {
+  // The Sec. IX win scenario: several equal-phase flip-flops far from the
+  // ring share one stub. Construct it directly.
+  const timing::TechParams tech;
+  rotary::RingArrayConfig rc;
+  rc.rings = 1;
+  rotary::RingArray rings(geom::Rect{0, 0, 400, 400}, rc);
+  rings.set_uniform_capacity(4, 2.0);
+
+  // A tiny design with 4 flip-flops clustered 300 um from the ring.
+  netlist::GeneratorConfig gen;
+  gen.num_gates = 40;
+  gen.num_flip_flops = 4;
+  gen.seed = 5;
+  const netlist::Design d = netlist::generate_circuit(gen);
+  netlist::Placement placement(d, geom::Rect{0, 0, 800, 800});
+  const auto ffs = d.flip_flops();
+  for (std::size_t k = 0; k < ffs.size(); ++k)
+    placement.set_loc(ffs[k], {620.0 + 10.0 * static_cast<double>(k),
+                               620.0 + 7.0 * static_cast<double>(k)});
+  std::vector<double> arrival(4, 250.0);  // equal targets
+
+  assign::AssignProblemConfig pcfg;
+  pcfg.candidates_per_ff = 1;
+  const assign::AssignProblem problem = assign::build_assign_problem(
+      d, placement, rings, arrival, tech, pcfg);
+  const assign::Assignment a = assign::assign_netflow(problem);
+
+  const LocalTreeResult lt = build_local_trees(placement, rings, problem, a,
+                                               arrival, tech);
+  // One shared tree for all four flip-flops beats four separate stubs.
+  EXPECT_LT(lt.total_wirelength_um, lt.direct_wirelength_um);
+  EXPECT_EQ(lt.trees.size(), 1u);
+  EXPECT_EQ(lt.trees[0].ffs.size(), 4u);
+}
+
+}  // namespace
+}  // namespace rotclk::localtree

@@ -1,0 +1,305 @@
+// Unit tests for the dense two-phase simplex (src/lp).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/model.hpp"
+#include "lp/revised_simplex.hpp"
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk::lp {
+namespace {
+
+TEST(Simplex, SolvesTextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), obj 36.
+  Model m;
+  m.objective = Objective::Maximize;
+  const int x = m.add_variable(0, kInfinity, 3.0, "x");
+  const int y = m.add_variable(0, kInfinity, 5.0, "y");
+  m.add_constraint({{x, 1.0}}, Sense::LessEqual, 4.0);
+  m.add_constraint({{y, 2.0}}, Sense::LessEqual, 12.0);
+  m.add_constraint({{x, 3.0}, {y, 2.0}}, Sense::LessEqual, 18.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, 36.0, 1e-7);
+  EXPECT_NEAR(s.values[static_cast<std::size_t>(x)], 2.0, 1e-7);
+  EXPECT_NEAR(s.values[static_cast<std::size_t>(y)], 6.0, 1e-7);
+}
+
+TEST(Simplex, SolvesMinimizationWithGreaterEqual) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1 -> (4, 0), obj 8.
+  Model m;
+  const int x = m.add_variable(0, kInfinity, 2.0);
+  const int y = m.add_variable(0, kInfinity, 3.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::GreaterEqual, 4.0);
+  m.add_constraint({{x, 1.0}}, Sense::GreaterEqual, 1.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, 8.0, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min x + y s.t. x + 2y = 6, x - y = 0 -> x = y = 2, obj 4.
+  Model m;
+  const int x = m.add_variable(0, kInfinity, 1.0);
+  const int y = m.add_variable(0, kInfinity, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 2.0}}, Sense::Equal, 6.0);
+  m.add_constraint({{x, 1.0}, {y, -1.0}}, Sense::Equal, 0.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-7);
+  EXPECT_NEAR(s.values[0], 2.0, 1e-7);
+  EXPECT_NEAR(s.values[1], 2.0, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m;
+  const int x = m.add_variable(0, kInfinity, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::LessEqual, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::GreaterEqual, 2.0);
+  EXPECT_EQ(solve(m).status, SolveStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m;
+  m.objective = Objective::Maximize;
+  const int x = m.add_variable(0, kInfinity, 1.0);
+  m.add_constraint({{x, -1.0}}, Sense::LessEqual, 0.0);  // -x <= 0 (vacuous)
+  EXPECT_EQ(solve(m).status, SolveStatus::Unbounded);
+}
+
+TEST(Simplex, FreeVariables) {
+  // min |shift|: t free, minimize t s.t. t >= -5 -> t = -5.
+  Model m;
+  const int t = m.add_free_variable(1.0, "t");
+  m.add_constraint({{t, 1.0}}, Sense::GreaterEqual, -5.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.values[static_cast<std::size_t>(t)], -5.0, 1e-7);
+}
+
+TEST(Simplex, VariableBoundsRespected) {
+  // max x + y with x in [1, 3], y in [-2, 2].
+  Model m;
+  m.objective = Objective::Maximize;
+  const int x = m.add_variable(1.0, 3.0, 1.0);
+  const int y = m.add_variable(-2.0, 2.0, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::LessEqual, 100.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.values[static_cast<std::size_t>(x)], 3.0, 1e-7);
+  EXPECT_NEAR(s.values[static_cast<std::size_t>(y)], 2.0, 1e-7);
+}
+
+TEST(Simplex, UpperBoundedOnlyVariable) {
+  // min x with x <= 7 (free below): unbounded. max x -> 7.
+  Model m;
+  m.objective = Objective::Maximize;
+  const int x = m.add_variable(-kInfinity, 7.0, 1.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.values[static_cast<std::size_t>(x)], 7.0, 1e-7);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // min x s.t. -x <= -3  (i.e., x >= 3).
+  Model m;
+  const int x = m.add_variable(0, kInfinity, 1.0);
+  m.add_constraint({{x, -1.0}}, Sense::LessEqual, -3.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.values[0], 3.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic degeneracy: several constraints through the origin.
+  Model m;
+  m.objective = Objective::Maximize;
+  const int x = m.add_variable(0, kInfinity, 0.75);
+  const int y = m.add_variable(0, kInfinity, -150.0);
+  const int z = m.add_variable(0, kInfinity, 0.02);
+  const int w = m.add_variable(0, kInfinity, -6.0);
+  m.add_constraint({{x, 0.25}, {y, -60.0}, {z, -0.04}, {w, 9.0}},
+                   Sense::LessEqual, 0.0);
+  m.add_constraint({{x, 0.5}, {y, -90.0}, {z, -0.02}, {w, 3.0}},
+                   Sense::LessEqual, 0.0);
+  m.add_constraint({{z, 1.0}}, Sense::LessEqual, 1.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);  // Beale's example: obj 0.05
+  EXPECT_NEAR(s.objective, 0.05, 1e-6);
+}
+
+TEST(Simplex, MergesDuplicateTerms) {
+  Model m;
+  const int x = m.add_variable(0, kInfinity, 1.0);
+  m.add_constraint({{x, 1.0}, {x, 1.0}}, Sense::GreaterEqual, 6.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.values[0], 3.0, 1e-7);
+}
+
+TEST(Simplex, EmptyModelIsOptimal) {
+  Model m;
+  EXPECT_EQ(solve(m).status, SolveStatus::Optimal);
+}
+
+TEST(Model, RejectsBadInput) {
+  Model m;
+  EXPECT_THROW(m.add_variable(2.0, 1.0, 0.0), std::runtime_error);
+  const int x = m.add_variable(0, 1, 0);
+  EXPECT_THROW(m.add_constraint({{x + 7, 1.0}}, Sense::Equal, 0.0),
+               std::runtime_error);
+  EXPECT_THROW(m.set_bounds(42, 0, 1), std::runtime_error);
+}
+
+TEST(Model, ViolationMeasurement) {
+  Model m;
+  const int x = m.add_variable(0.0, 2.0, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::GreaterEqual, 5.0);
+  EXPECT_NEAR(m.max_violation({1.0}), 4.0, 1e-12);
+  EXPECT_NEAR(m.max_violation({3.0}), 2.0, 1e-12);  // bound violated
+}
+
+// --- Property sweep: random assignment-shaped LPs have consistent optima --
+
+struct RandomLpCase {
+  int seed;
+};
+
+class RandomAssignmentLp : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomAssignmentLp, OptimumIsFeasibleAndBoundedByAnyAssignment) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int ffs = rng.uniform_int(3, 6);
+  const int rings = rng.uniform_int(2, 4);
+  // min-max capacitance LP relaxation, small random instance.
+  Model m;
+  std::vector<std::vector<int>> x(static_cast<std::size_t>(ffs));
+  std::vector<std::vector<double>> cap(static_cast<std::size_t>(ffs));
+  for (int i = 0; i < ffs; ++i) {
+    for (int j = 0; j < rings; ++j) {
+      x[static_cast<std::size_t>(i)].push_back(
+          m.add_variable(0.0, kInfinity, 0.0));
+      cap[static_cast<std::size_t>(i)].push_back(rng.uniform(1.0, 10.0));
+    }
+  }
+  const int cmax = m.add_variable(0.0, kInfinity, 1.0);
+  for (int i = 0; i < ffs; ++i) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < rings; ++j)
+      terms.emplace_back(x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], 1.0);
+    m.add_constraint(terms, Sense::Equal, 1.0);
+  }
+  for (int j = 0; j < rings; ++j) {
+    std::vector<std::pair<int, double>> terms;
+    for (int i = 0; i < ffs; ++i)
+      terms.emplace_back(x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+                         cap[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+    terms.emplace_back(cmax, -1.0);
+    m.add_constraint(terms, Sense::LessEqual, 0.0);
+  }
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_LE(m.max_violation(s.values), 1e-6);
+
+  // LP optimum lower-bounds every integral assignment (brute force).
+  double best_int = 1e18;
+  std::vector<int> choice(static_cast<std::size_t>(ffs), 0);
+  while (true) {
+    std::vector<double> ring_cap(static_cast<std::size_t>(rings), 0.0);
+    for (int i = 0; i < ffs; ++i)
+      ring_cap[static_cast<std::size_t>(choice[static_cast<std::size_t>(i)])] +=
+          cap[static_cast<std::size_t>(i)][static_cast<std::size_t>(choice[static_cast<std::size_t>(i)])];
+    double worst = 0.0;
+    for (double c : ring_cap) worst = std::max(worst, c);
+    best_int = std::min(best_int, worst);
+    int k = 0;
+    while (k < ffs && ++choice[static_cast<std::size_t>(k)] == rings)
+      choice[static_cast<std::size_t>(k++)] = 0;
+    if (k == ffs) break;
+  }
+  EXPECT_LE(s.objective, best_int + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAssignmentLp,
+                         ::testing::Range(1, 13));
+
+
+// --- Revised simplex cross-checks ------------------------------------------
+
+TEST(RevisedSimplex, MatchesTableauOnTextbookProblems) {
+  Model m;
+  m.objective = Objective::Maximize;
+  const int x = m.add_variable(0, kInfinity, 3.0);
+  const int y = m.add_variable(0, kInfinity, 5.0);
+  m.add_constraint({{x, 1.0}}, Sense::LessEqual, 4.0);
+  m.add_constraint({{y, 2.0}}, Sense::LessEqual, 12.0);
+  m.add_constraint({{x, 3.0}, {y, 2.0}}, Sense::LessEqual, 18.0);
+  const Solution s = solve_revised(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, 36.0, 1e-6);
+}
+
+TEST(RevisedSimplex, HandlesEqualitiesAndFreeVars) {
+  Model m;
+  const int x = m.add_variable(0, kInfinity, 1.0);
+  const int y = m.add_variable(0, kInfinity, 1.0);
+  const int t = m.add_free_variable(0.0);
+  m.add_constraint({{x, 1.0}, {y, 2.0}}, Sense::Equal, 6.0);
+  m.add_constraint({{x, 1.0}, {y, -1.0}, {t, 1.0}}, Sense::Equal, 0.0);
+  const Solution s = solve_revised(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  const Solution ref = solve(m);
+  EXPECT_NEAR(s.objective, ref.objective, 1e-6);
+}
+
+TEST(RevisedSimplex, DetectsInfeasible) {
+  Model m;
+  const int x = m.add_variable(0, kInfinity, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::LessEqual, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::GreaterEqual, 2.0);
+  EXPECT_EQ(solve_revised(m).status, SolveStatus::Infeasible);
+}
+
+class RevisedVsTableauSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RevisedVsTableauSweep, AgreeOnRandomAssignmentLps) {
+  // Random instances shaped like the Sec. VI relaxation.
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 19 + 3);
+  const int ffs = rng.uniform_int(4, 12);
+  const int rings = rng.uniform_int(2, 5);
+  Model m;
+  std::vector<std::vector<int>> x(static_cast<std::size_t>(ffs));
+  for (int i = 0; i < ffs; ++i)
+    for (int j = 0; j < rings; ++j)
+      x[static_cast<std::size_t>(i)].push_back(
+          m.add_variable(0.0, kInfinity, 0.0));
+  const int cmax = m.add_variable(0.0, kInfinity, 1.0);
+  for (int i = 0; i < ffs; ++i) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < rings; ++j)
+      terms.emplace_back(x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], 1.0);
+    m.add_constraint(terms, Sense::Equal, 1.0);
+  }
+  for (int j = 0; j < rings; ++j) {
+    std::vector<std::pair<int, double>> terms;
+    for (int i = 0; i < ffs; ++i)
+      terms.emplace_back(x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+                         rng.uniform(1.0, 10.0));
+    terms.emplace_back(cmax, -1.0);
+    m.add_constraint(terms, Sense::LessEqual, 0.0);
+  }
+  const Solution a = solve(m);
+  const Solution b = solve_revised(m);
+  ASSERT_EQ(a.status, SolveStatus::Optimal);
+  ASSERT_EQ(b.status, SolveStatus::Optimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-5 * (1.0 + a.objective));
+  EXPECT_LE(m.max_violation(b.values), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RevisedVsTableauSweep, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace rotclk::lp

@@ -1,0 +1,323 @@
+// Unit tests for src/placer: CG solver, global placement, legalization,
+// incremental stability, pseudo nets.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "netlist/generator.hpp"
+#include "netlist/placement.hpp"
+#include "placer/cg.hpp"
+#include "placer/multilevel.hpp"
+#include "placer/placer.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk::placer {
+namespace {
+
+using netlist::Design;
+using netlist::Placement;
+
+TEST(Cg, SolvesTwoSpringSystem) {
+  // One unknown between two anchors at 0 and 10 -> lands at 5.
+  LaplacianSystem sys(1);
+  sys.add_anchor(0, 0.0, 1.0);
+  sys.add_anchor(0, 10.0, 1.0);
+  std::vector<double> x{100.0};
+  sys.solve(x);
+  EXPECT_NEAR(x[0], 5.0, 1e-6);
+}
+
+TEST(Cg, WeightedAnchors) {
+  LaplacianSystem sys(1);
+  sys.add_anchor(0, 0.0, 3.0);
+  sys.add_anchor(0, 8.0, 1.0);
+  std::vector<double> x{0.0};
+  sys.solve(x);
+  EXPECT_NEAR(x[0], 2.0, 1e-6);  // weighted mean
+}
+
+TEST(Cg, ChainOfSprings) {
+  // 0 --anchor(0)-- x0 --spring-- x1 --spring-- x2 --anchor(9)
+  LaplacianSystem sys(3);
+  sys.add_anchor(0, 0.0, 1.0);
+  sys.add_spring(0, 1, 1.0);
+  sys.add_spring(1, 2, 1.0);
+  sys.add_anchor(2, 9.0, 1.0);
+  std::vector<double> x(3, 0.0);
+  sys.solve(x);
+  EXPECT_NEAR(x[0], 2.25, 1e-5);
+  EXPECT_NEAR(x[1], 4.5, 1e-5);
+  EXPECT_NEAR(x[2], 6.75, 1e-5);
+}
+
+TEST(Cg, IgnoresNonPositiveWeightsAndSelfSprings) {
+  LaplacianSystem sys(2);
+  sys.add_spring(0, 0, 5.0);   // self spring: no-op
+  sys.add_spring(0, 1, -1.0);  // negative: no-op
+  sys.add_anchor(0, 3.0, 1.0);
+  sys.add_anchor(1, 7.0, 1.0);
+  std::vector<double> x(2, 0.0);
+  sys.solve(x);
+  EXPECT_NEAR(x[0], 3.0, 1e-6);
+  EXPECT_NEAR(x[1], 7.0, 1e-6);
+}
+
+TEST(Cg, RejectsOutOfRange) {
+  LaplacianSystem sys(2);
+  EXPECT_THROW(sys.add_spring(0, 2, 1.0), std::runtime_error);
+  EXPECT_THROW(sys.add_anchor(-1, 0.0, 1.0), std::runtime_error);
+}
+
+Design test_circuit(int gates, int ffs, std::uint64_t seed) {
+  netlist::GeneratorConfig cfg;
+  cfg.num_gates = gates;
+  cfg.num_flip_flops = ffs;
+  cfg.seed = seed;
+  return netlist::generate_circuit(cfg);
+}
+
+TEST(Placer, InitialPlacementStaysInDie) {
+  const Design d = test_circuit(200, 16, 2);
+  Placer placer(d);
+  const geom::Rect die = netlist::size_die(d, 0.4);
+  const Placement p = placer.place_initial(die);
+  for (std::size_t i = 0; i < d.cells().size(); ++i) {
+    const geom::Point loc = p.loc(static_cast<int>(i));
+    EXPECT_GE(loc.x, die.xlo - 1e-6);
+    EXPECT_LE(loc.x, die.xhi + 1e-6);
+    EXPECT_GE(loc.y, die.ylo - 1e-6);
+    EXPECT_LE(loc.y, die.yhi + 1e-6);
+  }
+}
+
+TEST(Placer, BeatsRandomPlacementOnWirelength) {
+  const Design d = test_circuit(300, 20, 3);
+  Placer placer(d);
+  const geom::Rect die = netlist::size_die(d, 0.4);
+  const Placement placed = placer.place_initial(die);
+  // Random baseline.
+  Placement random(d, die);
+  util::Rng rng(99);
+  for (std::size_t i = 0; i < d.cells().size(); ++i)
+    random.set_loc(static_cast<int>(i),
+                   {rng.uniform(die.xlo, die.xhi), rng.uniform(die.ylo, die.yhi)});
+  EXPECT_LT(placed.total_hpwl(d), 0.7 * random.total_hpwl(d));
+}
+
+TEST(Placer, DeterministicForSameSeed) {
+  const Design d = test_circuit(150, 10, 4);
+  PlacerConfig cfg;
+  cfg.seed = 42;
+  Placer a(d, cfg), b(d, cfg);
+  const geom::Rect die = netlist::size_die(d, 0.4);
+  const Placement pa = a.place_initial(die);
+  const Placement pb = b.place_initial(die);
+  for (std::size_t i = 0; i < d.cells().size(); ++i)
+    EXPECT_EQ(pa.loc(static_cast<int>(i)), pb.loc(static_cast<int>(i)));
+}
+
+TEST(Placer, LegalizationProducesNonOverlappingRows) {
+  const Design d = test_circuit(250, 20, 5);
+  PlacerConfig cfg;
+  Placer placer(d, cfg);
+  const geom::Rect die = netlist::size_die(d, 0.5);
+  const Placement p = placer.place_initial(die);
+  // Group movable cells by row and check pairwise spacing.
+  std::map<long, std::vector<std::pair<double, double>>> rows;  // y -> (x, w)
+  for (std::size_t i = 0; i < d.cells().size(); ++i) {
+    const auto& c = d.cells()[i];
+    if (!c.is_gate() && !c.is_flip_flop()) continue;
+    const geom::Point loc = p.loc(static_cast<int>(i));
+    rows[std::lround(loc.y * 100.0)].push_back({loc.x, c.width});
+  }
+  for (auto& [y, cells] : rows) {
+    std::sort(cells.begin(), cells.end());
+    for (std::size_t k = 0; k + 1 < cells.size(); ++k) {
+      const double right_edge = cells[k].first + cells[k].second / 2.0;
+      const double next_left = cells[k + 1].first - cells[k + 1].second / 2.0;
+      EXPECT_LE(right_edge, next_left + 1e-6)
+          << "overlap in row " << y;
+    }
+  }
+}
+
+TEST(Placer, LegalizedCellsOnRowGrid) {
+  const Design d = test_circuit(120, 8, 6);
+  PlacerConfig cfg;
+  Placer placer(d, cfg);
+  const geom::Rect die = netlist::size_die(d, 0.5);
+  const Placement p = placer.place_initial(die);
+  for (std::size_t i = 0; i < d.cells().size(); ++i) {
+    const auto& c = d.cells()[i];
+    if (!c.is_gate() && !c.is_flip_flop()) continue;
+    const double rel = (p.loc(static_cast<int>(i)).y - die.ylo) /
+                       cfg.row_height_um;
+    EXPECT_NEAR(rel - std::floor(rel), 0.5, 1e-6) << "cell off row center";
+  }
+}
+
+TEST(Placer, IncrementalIsStableWithoutPseudoNets) {
+  const Design d = test_circuit(200, 16, 7);
+  Placer placer(d);
+  const geom::Rect die = netlist::size_die(d, 0.4);
+  const Placement before = placer.place_initial(die);
+  const Placement after = placer.place_incremental(before, {});
+  // Average movement should be small relative to the die.
+  double total_move = 0.0;
+  int movable = 0;
+  for (std::size_t i = 0; i < d.cells().size(); ++i) {
+    const auto& c = d.cells()[i];
+    if (!c.is_gate() && !c.is_flip_flop()) continue;
+    total_move += geom::manhattan(before.loc(static_cast<int>(i)),
+                                  after.loc(static_cast<int>(i)));
+    ++movable;
+  }
+  EXPECT_LT(total_move / movable, 0.1 * die.width());
+}
+
+TEST(Placer, PseudoNetPullsCellTowardTarget) {
+  const Design d = test_circuit(200, 16, 8);
+  Placer placer(d);
+  const geom::Rect die = netlist::size_die(d, 0.4);
+  const Placement before = placer.place_initial(die);
+  const int ff = d.flip_flops()[0];
+  const geom::Point target{die.xlo + die.width() * 0.9,
+                           die.ylo + die.height() * 0.9};
+  PseudoNet pn{ff, target, 10.0};
+  const Placement after = placer.place_incremental(before, {pn});
+  EXPECT_LT(geom::manhattan(after.loc(ff), target),
+            geom::manhattan(before.loc(ff), target));
+}
+
+TEST(Placer, PadsStayFixedDuringIncremental) {
+  const Design d = test_circuit(150, 10, 9);
+  Placer placer(d);
+  const geom::Rect die = netlist::size_die(d, 0.4);
+  const Placement before = placer.place_initial(die);
+  const Placement after = placer.place_incremental(before, {});
+  for (std::size_t i = 0; i < d.cells().size(); ++i) {
+    const auto& c = d.cells()[i];
+    if (c.is_primary_input() || c.is_primary_output())
+      EXPECT_EQ(before.loc(static_cast<int>(i)), after.loc(static_cast<int>(i)));
+  }
+}
+
+TEST(Placer, PadsOnDieBoundary) {
+  const Design d = test_circuit(100, 8, 10);
+  Placer placer(d);
+  const geom::Rect die = netlist::size_die(d, 0.4);
+  const Placement p = placer.place_initial(die);
+  for (std::size_t i = 0; i < d.cells().size(); ++i) {
+    const auto& c = d.cells()[i];
+    if (!c.is_primary_input() && !c.is_primary_output()) continue;
+    const geom::Point loc = p.loc(static_cast<int>(i));
+    const bool on_edge = std::abs(loc.x - die.xlo) < 1e-6 ||
+                         std::abs(loc.x - die.xhi) < 1e-6 ||
+                         std::abs(loc.y - die.ylo) < 1e-6 ||
+                         std::abs(loc.y - die.yhi) < 1e-6;
+    EXPECT_TRUE(on_edge) << d.cells()[i].name << " at " << loc;
+  }
+}
+
+
+TEST(Placer, RefineSwapsNeverWorsensHpwl) {
+  const Design d = test_circuit(300, 24, 11);
+  PlacerConfig cfg;
+  cfg.detailed_passes = 0;  // refine manually below
+  Placer placer(d, cfg);
+  const geom::Rect die = netlist::size_die(d, 0.4);
+  Placement p = placer.place_initial(die);
+  const double before = p.total_hpwl(d);
+  const int swaps = placer.refine_swaps(p, 2);
+  EXPECT_LE(p.total_hpwl(d), before + 1e-6);
+  EXPECT_GE(swaps, 0);
+}
+
+TEST(Placer, RefineSwapsPreserveLegality) {
+  const Design d = test_circuit(200, 16, 12);
+  PlacerConfig cfg;
+  cfg.detailed_passes = 0;
+  Placer placer(d, cfg);
+  const geom::Rect die = netlist::size_die(d, 0.4);
+  Placement p = placer.place_initial(die);
+  // Snapshot the multiset of occupied positions per width class: swaps
+  // must permute positions among equal-width cells only.
+  std::map<long, std::multiset<std::pair<double, double>>> before;
+  for (std::size_t i = 0; i < d.cells().size(); ++i) {
+    const auto& c = d.cells()[i];
+    if (!c.is_gate() && !c.is_flip_flop()) continue;
+    before[std::lround(c.width * 100)].insert(
+        {p.loc(static_cast<int>(i)).x, p.loc(static_cast<int>(i)).y});
+  }
+  (void)placer.refine_swaps(p, 2);
+  std::map<long, std::multiset<std::pair<double, double>>> after;
+  for (std::size_t i = 0; i < d.cells().size(); ++i) {
+    const auto& c = d.cells()[i];
+    if (!c.is_gate() && !c.is_flip_flop()) continue;
+    after[std::lround(c.width * 100)].insert(
+        {p.loc(static_cast<int>(i)).x, p.loc(static_cast<int>(i)).y});
+  }
+  EXPECT_EQ(before, after);
+}
+
+TEST(Placer, DetailedPassImprovesDefaultPlacement) {
+  const Design d = test_circuit(400, 32, 13);
+  PlacerConfig with, without;
+  with.detailed_passes = 2;
+  without.detailed_passes = 0;
+  const geom::Rect die = netlist::size_die(d, 0.4);
+  const Placement a = Placer(d, with).place_initial(die);
+  const Placement b = Placer(d, without).place_initial(die);
+  EXPECT_LE(a.total_hpwl(d), b.total_hpwl(d) + 1e-6);
+}
+
+
+TEST(Multilevel, SeedCoversAllCellsInsideDie) {
+  const Design d = test_circuit(600, 48, 21);
+  const geom::Rect die = netlist::size_die(d, 0.1);
+  MultilevelStats stats;
+  const Placement seed = multilevel_seed(d, die, {}, &stats);
+  EXPECT_GT(stats.levels, 0);
+  EXPECT_LE(stats.coarsest_size, 400 * 2);  // threshold + one-level slop
+  for (std::size_t i = 0; i < d.cells().size(); ++i)
+    EXPECT_TRUE(die.contains(seed.loc(static_cast<int>(i))))
+        << d.cells()[i].name;
+}
+
+TEST(Multilevel, SeedBeatsRandomOnWirelength) {
+  const Design d = test_circuit(800, 64, 22);
+  const geom::Rect die = netlist::size_die(d, 0.1);
+  const Placement seed = multilevel_seed(d, die);
+  Placement random(d, die);
+  util::Rng rng(5);
+  for (std::size_t i = 0; i < d.cells().size(); ++i)
+    random.set_loc(static_cast<int>(i), {rng.uniform(die.xlo, die.xhi),
+                                         rng.uniform(die.ylo, die.yhi)});
+  EXPECT_LT(seed.total_hpwl(d), 0.8 * random.total_hpwl(d));
+}
+
+TEST(Multilevel, DeterministicInSeed) {
+  const Design d = test_circuit(500, 40, 23);
+  const geom::Rect die = netlist::size_die(d, 0.1);
+  const Placement a = multilevel_seed(d, die);
+  const Placement b = multilevel_seed(d, die);
+  for (std::size_t i = 0; i < d.cells().size(); ++i)
+    EXPECT_EQ(a.loc(static_cast<int>(i)), b.loc(static_cast<int>(i)));
+}
+
+TEST(Multilevel, SeededFullPlacementNoWorseThanFlat) {
+  const Design d = test_circuit(2500, 200, 24);
+  const geom::Rect die = netlist::size_die(d, 0.1);
+  PlacerConfig ml, flat;
+  ml.multilevel_threshold = 0;            // force the seed
+  flat.multilevel_threshold = 1 << 30;    // force random start
+  const double hp_ml = Placer(d, ml).place_initial(die).total_hpwl(d);
+  const double hp_flat = Placer(d, flat).place_initial(die).total_hpwl(d);
+  EXPECT_LT(hp_ml, 1.05 * hp_flat);
+}
+
+}  // namespace
+}  // namespace rotclk::placer

@@ -1,0 +1,108 @@
+// Unit tests for src/core/ring_explore: the Sec. IX ring-count variable.
+
+#include <gtest/gtest.h>
+
+#include "core/ring_explore.hpp"
+#include "netlist/generator.hpp"
+
+namespace rotclk::core {
+namespace {
+
+netlist::Design circuit(std::uint64_t seed = 21) {
+  netlist::GeneratorConfig gen;
+  gen.num_gates = 368;
+  gen.num_flip_flops = 32;
+  gen.seed = seed;
+  return netlist::generate_circuit(gen);
+}
+
+TEST(RingExplore, EvaluatesEveryCandidate) {
+  const netlist::Design d = circuit();
+  RingExploreConfig cfg;
+  cfg.candidates = {1, 4, 9};
+  cfg.flow.max_iterations = 2;
+  const RingExploreResult r = explore_ring_counts(d, cfg);
+  ASSERT_EQ(r.options.size(), 3u);
+  EXPECT_EQ(r.options[0].rings, 1);
+  EXPECT_EQ(r.options[2].rings, 9);
+  EXPECT_GE(r.best_index, 0);
+  EXPECT_EQ(r.options[static_cast<std::size_t>(r.best_index)].rings,
+            r.best_rings);
+}
+
+TEST(RingExplore, BestMinimizesSelectionCost) {
+  const netlist::Design d = circuit(5);
+  RingExploreConfig cfg;
+  cfg.candidates = {1, 4, 16};
+  cfg.flow.max_iterations = 2;
+  const RingExploreResult r = explore_ring_counts(d, cfg);
+  for (const auto& option : r.options)
+    EXPECT_GE(option.selection_cost + 1e-9,
+              r.options[static_cast<std::size_t>(r.best_index)].selection_cost);
+}
+
+TEST(RingExplore, MoreRingsMoreMetalAndCloserCoverage) {
+  const netlist::Design d = circuit(9);
+  RingExploreConfig cfg;
+  cfg.candidates = {1, 16};
+  cfg.flow.max_iterations = 3;
+  const RingExploreResult r = explore_ring_counts(d, cfg);
+  ASSERT_EQ(r.options.size(), 2u);
+  // 16 rings lay down more ring conductor than 1.
+  EXPECT_GT(r.options[1].ring_metal_um, r.options[0].ring_metal_um);
+  // And cover the die more closely: the worst distance from a grid of
+  // probe points to the nearest ring shrinks (pure geometry).
+  const geom::Rect die{0.0, 0.0, 1000.0, 1000.0};
+  rotary::RingArrayConfig rc1, rc16;
+  rc1.rings = 1;
+  rc16.rings = 16;
+  const rotary::RingArray one(die, rc1), many(die, rc16);
+  double worst1 = 0.0, worst16 = 0.0;
+  for (double x = 25.0; x < 1000.0; x += 50.0) {
+    for (double y = 25.0; y < 1000.0; y += 50.0) {
+      worst1 = std::max(worst1,
+                        one.distance_to_ring(one.nearest_ring({x, y}), {x, y}));
+      worst16 = std::max(
+          worst16, many.distance_to_ring(many.nearest_ring({x, y}), {x, y}));
+    }
+  }
+  EXPECT_LT(worst16, worst1);
+}
+
+TEST(RingExplore, ReportsBalancingDummies) {
+  const netlist::Design d = circuit(13);
+  RingExploreConfig cfg;
+  cfg.candidates = {4};
+  cfg.flow.max_iterations = 2;
+  const RingExploreResult r = explore_ring_counts(d, cfg);
+  // Real assignments are never perfectly segment-balanced.
+  EXPECT_GT(r.options[0].dummy_cap_ff, 0.0);
+  EXPECT_GE(r.options[0].worst_imbalance, 1.0);
+}
+
+TEST(RingExplore, RejectsEmptyCandidates) {
+  const netlist::Design d = circuit();
+  RingExploreConfig cfg;
+  cfg.candidates = {};
+  EXPECT_THROW(explore_ring_counts(d, cfg), std::runtime_error);
+}
+
+TEST(RingExplore, MetalWeightSteersTheChoice) {
+  const netlist::Design d = circuit(31);
+  RingExploreConfig few = {};
+  few.candidates = {4, 36};
+  few.flow.max_iterations = 2;
+  few.ring_metal_weight = 100.0;  // metal dominates -> few rings win
+  const RingExploreResult expensive = explore_ring_counts(d, few);
+  EXPECT_EQ(expensive.best_rings, 4);
+
+  RingExploreConfig cheap = {};
+  cheap.candidates = {4, 36};
+  cheap.flow.max_iterations = 2;
+  cheap.ring_metal_weight = 0.0;  // tapping dominates -> many rings win
+  const RingExploreResult free_metal = explore_ring_counts(d, cheap);
+  EXPECT_EQ(free_metal.best_rings, 36);
+}
+
+}  // namespace
+}  // namespace rotclk::core

@@ -1,0 +1,367 @@
+// Unit tests for src/rotary: ring phase geometry, ring arrays, and the
+// flexible-tapping solver (Sec. III) including all four cases.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rotary/array.hpp"
+#include "rotary/ring.hpp"
+#include "rotary/tapping.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk::rotary {
+namespace {
+
+RotaryRing unit_ring(double side = 100.0, double period = 1000.0,
+                     bool clockwise = true) {
+  return RotaryRing(geom::Rect{0, 0, side, side}, period, clockwise, 0.0);
+}
+
+TEST(Ring, GeometryBasics) {
+  const RotaryRing r = unit_ring(100.0, 800.0);
+  EXPECT_DOUBLE_EQ(r.side(), 100.0);
+  EXPECT_DOUBLE_EQ(r.total_length(), 800.0);
+  EXPECT_DOUBLE_EQ(r.rho(), 1.0);  // 800 ps over 800 um
+  EXPECT_EQ(r.center(), (geom::Point{50.0, 50.0}));
+}
+
+TEST(Ring, RejectsNonSquareOutline) {
+  EXPECT_THROW(RotaryRing(geom::Rect{0, 0, 10, 20}, 1000.0),
+               std::runtime_error);
+  EXPECT_THROW(RotaryRing(geom::Rect{0, 0, 0, 0}, 1000.0),
+               std::runtime_error);
+}
+
+TEST(Ring, ReferencePointCarriesReferenceDelay) {
+  for (bool cw : {true, false}) {
+    const RotaryRing r(geom::Rect{0, 0, 100, 100}, 1000.0, cw, 125.0);
+    double dist = 0.0;
+    const RingPos pos = r.closest_point({50.0, 0.0}, &dist);  // bottom mid
+    EXPECT_NEAR(dist, 0.0, 1e-9);
+    EXPECT_NEAR(r.delay_at(pos), 125.0, 1e-9);
+  }
+}
+
+TEST(Ring, DelayIncreasesAlongPropagation) {
+  const RotaryRing r = unit_ring();
+  const double d0 = r.delay_at({0, 10.0});
+  const double d1 = r.delay_at({0, 40.0});
+  EXPECT_NEAR(d1 - d0, 30.0 * r.rho(), 1e-9);
+}
+
+TEST(Ring, DelayContinuousAcrossSegmentJoints) {
+  const RotaryRing r = unit_ring();
+  for (int k = 0; k < RotaryRing::kNumSegments; ++k) {
+    const int nxt = (k + 1) % RotaryRing::kNumSegments;
+    const double end_delay = r.delay_at({k, r.side()});
+    const double start_delay = r.delay_at({nxt, 0.0});
+    const double diff =
+        std::abs(r.wrap_delay(end_delay - start_delay));
+    EXPECT_LT(std::min(diff, r.period() - diff), 1e-6) << "joint " << k;
+  }
+}
+
+TEST(Ring, FullLoopSpansOnePeriod) {
+  const RotaryRing r = unit_ring(50.0, 640.0);
+  // Walking all 8 segments accumulates exactly T.
+  EXPECT_NEAR(r.rho() * r.total_length(), 640.0, 1e-9);
+}
+
+TEST(Ring, ComplementaryPositionIsHalfPeriodApart) {
+  const RotaryRing r = unit_ring();
+  for (double off : {0.0, 25.0, 99.0}) {
+    for (int k = 0; k < 8; ++k) {
+      const RingPos p{k, off};
+      const RingPos q = RotaryRing::complementary(p);
+      EXPECT_EQ(r.point_at(p), r.point_at(q)) << "co-located rails";
+      const double diff = r.wrap_delay(r.delay_at(q) - r.delay_at(p));
+      EXPECT_NEAR(diff, r.period() / 2.0, 1e-6);
+    }
+  }
+}
+
+TEST(Ring, ClosestPointMatchesBruteForce) {
+  const RotaryRing r = unit_ring();
+  util::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const geom::Point p{rng.uniform(-50, 150), rng.uniform(-50, 150)};
+    double dist = 0.0;
+    const RingPos pos = r.closest_point(p, &dist);
+    EXPECT_NEAR(geom::manhattan(r.point_at(pos), p), dist, 1e-9);
+    // Brute force over dense samples of the outline.
+    double best = 1e18;
+    for (int k = 0; k < 4; ++k)
+      for (double o = 0.0; o <= r.side(); o += 0.5)
+        best = std::min(best, geom::manhattan(r.point_at({k, o}), p));
+    EXPECT_LE(dist, best + 0.51);
+  }
+}
+
+TEST(Ring, WrapDelay) {
+  const RotaryRing r = unit_ring(100.0, 1000.0);
+  EXPECT_NEAR(r.wrap_delay(1234.0), 234.0, 1e-9);
+  EXPECT_NEAR(r.wrap_delay(-100.0), 900.0, 1e-9);
+  EXPECT_NEAR(r.wrap_delay(1000.0), 0.0, 1e-9);
+}
+
+TEST(RingArray, BuildsPerfectSquareGrids) {
+  const geom::Rect die{0, 0, 1000, 1000};
+  RingArrayConfig cfg;
+  cfg.rings = 16;
+  const RingArray arr(die, cfg);
+  EXPECT_EQ(arr.size(), 16);
+  EXPECT_EQ(arr.grid_dim(), 4);
+  cfg.rings = 15;
+  EXPECT_THROW(RingArray(die, cfg), std::runtime_error);
+}
+
+TEST(RingArray, CheckerboardDirections) {
+  RingArrayConfig cfg;
+  cfg.rings = 9;
+  const RingArray arr(geom::Rect{0, 0, 900, 900}, cfg);
+  // Adjacent rings counter-rotate.
+  for (int gy = 0; gy < 3; ++gy)
+    for (int gx = 0; gx + 1 < 3; ++gx) {
+      const int a = gy * 3 + gx, b = gy * 3 + gx + 1;
+      EXPECT_NE(arr.ring(a).clockwise(), arr.ring(b).clockwise());
+    }
+}
+
+TEST(RingArray, AllRingsShareReferenceDelay) {
+  RingArrayConfig cfg;
+  cfg.rings = 4;
+  cfg.ref_delay_ps = 200.0;
+  const RingArray arr(geom::Rect{0, 0, 600, 600}, cfg);
+  for (int j = 0; j < arr.size(); ++j) {
+    const RotaryRing& r = arr.ring(j);
+    const geom::Point ref{r.outline().center().x, r.outline().ylo};
+    double dist = 0.0;
+    const RingPos pos = r.closest_point(ref, &dist);
+    EXPECT_NEAR(dist, 0.0, 1e-9);
+    EXPECT_NEAR(r.delay_at(pos), 200.0, 1e-6);
+  }
+}
+
+TEST(RingArray, NearestRingsSortedByDistance) {
+  RingArrayConfig cfg;
+  cfg.rings = 9;
+  const RingArray arr(geom::Rect{0, 0, 900, 900}, cfg);
+  const geom::Point p{120, 130};
+  const auto near3 = arr.nearest_rings(p, 3);
+  ASSERT_EQ(near3.size(), 3u);
+  EXPECT_LE(arr.distance_to_ring(near3[0], p),
+            arr.distance_to_ring(near3[1], p));
+  EXPECT_LE(arr.distance_to_ring(near3[1], p),
+            arr.distance_to_ring(near3[2], p));
+  EXPECT_EQ(arr.nearest_ring(p), near3[0]);
+  // k larger than size clamps.
+  EXPECT_EQ(arr.nearest_rings(p, 99).size(), 9u);
+}
+
+TEST(RingArray, UniformCapacity) {
+  RingArrayConfig cfg;
+  cfg.rings = 4;
+  RingArray arr(geom::Rect{0, 0, 400, 400}, cfg);
+  arr.set_uniform_capacity(10, 1.5);
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(arr.capacity(j), 4);  // ceil(15/4)
+  arr.set_uniform_capacity(0, 1.0);
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(arr.capacity(j), 1);  // floor of 1
+}
+
+// --- Tapping solver --------------------------------------------------------
+
+TappingParams default_params() {
+  TappingParams p;
+  p.wire_res_per_um = 0.08;
+  p.wire_cap_per_um = 0.08;
+  p.sink_cap_ff = 10.0;
+  return p;
+}
+
+// Independent check: delay at the solved tapping point through the stub.
+double achieved_delay(const RotaryRing& r, const TapSolution& sol,
+                      const TappingParams& p) {
+  const double ring_delay = r.delay_at(sol.pos);
+  const double l = sol.wirelength;
+  const double stub = 1e-3 * (0.5 * p.wire_res_per_um * p.wire_cap_per_um *
+                                  l * l +
+                              p.wire_res_per_um * l * p.sink_cap_ff);
+  return r.wrap_delay(ring_delay + stub);
+}
+
+TEST(Tapping, ExactOnRingPointWithMatchingTarget) {
+  const RotaryRing r = unit_ring();
+  // Flip-flop exactly on the ring at a known-phase point.
+  const RingPos pos{0, 30.0};
+  const geom::Point ff = r.point_at(pos);
+  const double target = r.delay_at(pos);
+  const TapSolution sol = solve_tapping(r, ff, target, default_params());
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.wirelength, 0.0, 1e-6);
+  EXPECT_FALSE(sol.snaked);
+}
+
+class TappingPropertySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TappingPropertySweep, SolvedTapMeetsTargetModPeriod) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 5);
+  const double side = rng.uniform(50.0, 300.0);
+  const RotaryRing r(geom::Rect{0, 0, side, side},
+                     rng.uniform(500.0, 2000.0), rng.chance(0.5),
+                     rng.uniform(0.0, 400.0));
+  const TappingParams p = default_params();
+  for (int trial = 0; trial < 20; ++trial) {
+    const geom::Point ff{rng.uniform(-side, 2 * side),
+                         rng.uniform(-side, 2 * side)};
+    const double target = rng.uniform(0.0, r.period());
+    const TapSolution sol = solve_tapping(r, ff, target, p);
+    ASSERT_TRUE(sol.feasible);
+    const double got = achieved_delay(r, sol, p);
+    const double diff = r.wrap_delay(got - target);
+    EXPECT_LT(std::min(diff, r.period() - diff), 1e-4)
+        << "ff=" << ff << " target=" << target;
+    // Stub must physically reach the flip-flop.
+    EXPECT_GE(sol.wirelength + 1e-9,
+              geom::manhattan(sol.tap_point, ff) - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TappingPropertySweep, ::testing::Range(1, 11));
+
+TEST(Tapping, WinnerIsNeverSnaked) {
+  // The tapping curve t_f is continuous around the closed ring and gains
+  // exactly one period per lap, so every target (mod T) is hit by a direct
+  // root on some segment: the per-segment wire-snaking of case 4 exists
+  // but can never be the global minimum-wirelength winner.
+  const RotaryRing r = unit_ring();
+  const TappingParams p = default_params();
+  util::Rng rng(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    const geom::Point ff{rng.uniform(-80, 180), rng.uniform(-80, 180)};
+    const double target = rng.uniform(0.0, r.period());
+    const TapSolution sol = solve_tapping(r, ff, target, p);
+    ASSERT_TRUE(sol.feasible);
+    EXPECT_FALSE(sol.snaked) << "ff=" << ff << " target=" << target;
+  }
+}
+
+TEST(Tapping, PeriodShiftHandlesSmallTargets) {
+  const RotaryRing r = unit_ring(100.0, 1000.0);
+  const TappingParams p = default_params();
+  // A flip-flop 40 um off the ring: its minimum stub delay exceeds 0, so a
+  // 0-target can only be met modulo the period.
+  const geom::Point ff{50.0, -40.0};
+  const TapSolution sol = solve_tapping(r, ff, 0.0, p);
+  ASSERT_TRUE(sol.feasible);
+  const double got = achieved_delay(r, sol, p);
+  EXPECT_LT(std::min(got, r.period() - got), 1e-4);
+}
+
+TEST(Tapping, ComplementOptionNeverWorse) {
+  const RotaryRing r = unit_ring();
+  TappingParams plain = default_params();
+  TappingParams comp = default_params();
+  comp.allow_complement = true;
+  util::Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    const geom::Point ff{rng.uniform(0, 100), rng.uniform(0, 100)};
+    const double target = rng.uniform(0.0, r.period());
+    const double wl_plain = tapping_cost(r, ff, target, plain);
+    const double wl_comp = tapping_cost(r, ff, target, comp);
+    EXPECT_LE(wl_comp, wl_plain + 1e-9);
+  }
+}
+
+TEST(Tapping, ComplementFlagReportsPolarity) {
+  const RotaryRing r = unit_ring();
+  TappingParams comp = default_params();
+  comp.allow_complement = true;
+  // Target exactly at a ring point's complementary phase: with complement
+  // allowed the solver can land at zero cost with the flag set, or at an
+  // equally good plain solution.
+  const RingPos pos{0, 30.0};
+  const geom::Point ff = r.point_at(pos);
+  const double target = r.wrap_delay(r.delay_at(pos) + r.period() / 2.0);
+  const TapSolution sol = solve_tapping(r, ff, target, comp);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.wirelength, 0.0, 1e-6);
+}
+
+
+TEST(Tapping, BufferedStubShiftsTheCurve) {
+  const RotaryRing r = unit_ring();
+  TappingParams plain = default_params();
+  TappingParams buffered = default_params();
+  buffered.use_buffer = true;
+  buffered.buffer_delay_ps = 20.0;
+  buffered.buffer_drive_res_ohm = 600.0;
+  const geom::Point ff{50.0, -30.0};
+  const double target = 400.0;
+  const TapSolution a = solve_tapping(r, ff, target, plain);
+  const TapSolution b = solve_tapping(r, ff, target, buffered);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_TRUE(b.feasible);
+  // Independent check of the buffered delivered delay.
+  const double l = b.wirelength;
+  const double stub =
+      buffered.buffer_delay_ps +
+      1e-3 * (buffered.buffer_drive_res_ohm *
+                  (buffered.wire_cap_per_um * l + buffered.sink_cap_ff) +
+              0.5 * buffered.wire_res_per_um * buffered.wire_cap_per_um * l * l +
+              buffered.wire_res_per_um * l * buffered.sink_cap_ff);
+  const double got = r.wrap_delay(r.delay_at(b.pos) + stub);
+  const double diff = r.wrap_delay(got - target);
+  EXPECT_LT(std::min(diff, r.period() - diff), 1e-4);
+  // The buffer absorbs delay, so the tap point generally moves.
+  EXPECT_TRUE(a.pos.segment != b.pos.segment ||
+              std::abs(a.pos.offset - b.pos.offset) > 1e-9 ||
+              std::abs(a.wirelength - b.wirelength) > 1e-9);
+}
+
+TEST(Tapping, BufferedSweepMeetsTargets) {
+  const RotaryRing r = unit_ring();
+  TappingParams p = default_params();
+  p.use_buffer = true;
+  util::Rng rng(31);
+  for (int trial = 0; trial < 40; ++trial) {
+    const geom::Point ff{rng.uniform(-50, 150), rng.uniform(-50, 150)};
+    const double target = rng.uniform(0.0, r.period());
+    const TapSolution sol = solve_tapping(r, ff, target, p);
+    ASSERT_TRUE(sol.feasible);
+    const double l = sol.wirelength;
+    const double stub =
+        p.buffer_delay_ps +
+        1e-3 * (p.buffer_drive_res_ohm * (p.wire_cap_per_um * l + p.sink_cap_ff) +
+                0.5 * p.wire_res_per_um * p.wire_cap_per_um * l * l +
+                p.wire_res_per_um * l * p.sink_cap_ff);
+    const double got = r.wrap_delay(r.delay_at(sol.pos) + stub);
+    const double diff = r.wrap_delay(got - target);
+    EXPECT_LT(std::min(diff, r.period() - diff), 1e-4);
+  }
+}
+
+TEST(Tapping, CostDecreasesAsFlipFlopApproachesRing) {
+  const RotaryRing r = unit_ring();
+  const TappingParams p = default_params();
+  const double target = r.delay_at({0, 50.0});
+  double prev = 1e18;
+  for (double dy : {80.0, 40.0, 20.0, 5.0}) {
+    const double wl = tapping_cost(r, {50.0, -dy}, target, p);
+    EXPECT_LE(wl, prev + 1e-9);
+    prev = wl;
+  }
+}
+
+TEST(Tapping, ZeroResistanceWireDegeneratesGracefully) {
+  const RotaryRing r = unit_ring();
+  TappingParams p = default_params();
+  p.wire_res_per_um = 0.0;  // stub adds no delay; only ring phase matters
+  const geom::Point ff{50.0, 50.0};
+  const TapSolution sol = solve_tapping(r, ff, 300.0, p);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(r.delay_at(sol.pos), 300.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace rotclk::rotary

@@ -1,0 +1,186 @@
+// Unit tests for src/route: rectilinear spanning/Steiner trees and
+// model-selectable net lengths.
+
+#include <gtest/gtest.h>
+
+#include "netlist/generator.hpp"
+#include "netlist/placement.hpp"
+#include "route/congestion.hpp"
+#include "route/net_length.hpp"
+#include "route/steiner.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk::route {
+namespace {
+
+TEST(Steiner, TrivialCases) {
+  EXPECT_DOUBLE_EQ(rmst({}).length_um, 0.0);
+  EXPECT_DOUBLE_EQ(rmst({{3, 4}}).length_um, 0.0);
+  const SteinerTree two = rsmt({{0, 0}, {3, 4}});
+  EXPECT_DOUBLE_EQ(two.length_um, 7.0);
+  EXPECT_EQ(two.edges.size(), 1u);
+}
+
+TEST(Steiner, ClassicThreePinSteinerPoint) {
+  // Three corners of a rectangle: RMST = 2 sides + ..., RSMT meets at the
+  // median point. Pins (0,0), (10,0), (5,8): RSMT = 10 + 8 = 18 via
+  // Steiner point (5,0); RMST = 10 + 13 = 23 or similar.
+  const std::vector<geom::Point> pins{{0, 0}, {10, 0}, {5, 8}};
+  const double mst = rmst_length(pins);
+  const double smt = rsmt_length(pins);
+  EXPECT_NEAR(smt, 18.0, 1e-9);
+  EXPECT_GT(mst, smt);
+  const SteinerTree t = rsmt(pins);
+  EXPECT_EQ(t.num_steiner_points(), 1);
+  EXPECT_EQ(t.points[3], (geom::Point{5.0, 0.0}));
+}
+
+TEST(Steiner, FourCornersCross) {
+  // Four corners of a square: RSMT <= 3 * side (two Steiner points).
+  const std::vector<geom::Point> pins{{0, 0}, {10, 0}, {0, 10}, {10, 10}};
+  EXPECT_NEAR(rsmt_length(pins), 30.0, 1e-9);
+  EXPECT_NEAR(rmst_length(pins), 30.0, 1e-9);  // MST already optimal here
+}
+
+TEST(Steiner, OrderingInvariants) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = rng.uniform_int(2, 10);
+    std::vector<geom::Point> pins;
+    for (int i = 0; i < n; ++i)
+      pins.push_back({rng.uniform(0, 500), rng.uniform(0, 500)});
+    const double h = hpwl(pins);
+    const double smt = rsmt_length(pins);
+    const double mst = rmst_length(pins);
+    EXPECT_LE(h, smt + 1e-9) << "HPWL lower-bounds RSMT";
+    EXPECT_LE(smt, mst + 1e-9) << "Steiner improves on spanning";
+  }
+}
+
+TEST(Steiner, TreeIsConnectedAndLengthConsistent) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = rng.uniform_int(3, 9);
+    std::vector<geom::Point> pins;
+    for (int i = 0; i < n; ++i)
+      pins.push_back({rng.uniform(0, 300), rng.uniform(0, 300)});
+    const SteinerTree t = rsmt(pins);
+    // Edge-length sum equals the reported length.
+    double sum = 0.0;
+    for (const auto& [a, b] : t.edges)
+      sum += geom::manhattan(t.points[static_cast<std::size_t>(a)],
+                             t.points[static_cast<std::size_t>(b)]);
+    EXPECT_NEAR(sum, t.length_um, 1e-9);
+    // Spanning: edges == points - 1 and all points reachable.
+    ASSERT_EQ(t.edges.size(), t.points.size() - 1);
+    std::vector<int> comp(t.points.size());
+    for (std::size_t i = 0; i < comp.size(); ++i) comp[i] = static_cast<int>(i);
+    std::function<int(int)> find = [&](int x) {
+      return comp[static_cast<std::size_t>(x)] == x
+                 ? x
+                 : comp[static_cast<std::size_t>(x)] =
+                       find(comp[static_cast<std::size_t>(x)]);
+    };
+    for (const auto& [a, b] : t.edges) comp[static_cast<std::size_t>(find(a))] = find(b);
+    for (std::size_t i = 0; i < comp.size(); ++i)
+      EXPECT_EQ(find(static_cast<int>(i)), find(0));
+  }
+}
+
+TEST(Steiner, LargeNetsFallBackToRmst) {
+  util::Rng rng(13);
+  std::vector<geom::Point> pins;
+  for (int i = 0; i < kOneSteinerPinLimit + 5; ++i)
+    pins.push_back({rng.uniform(0, 1000), rng.uniform(0, 1000)});
+  const SteinerTree t = rsmt(pins);
+  EXPECT_EQ(t.num_steiner_points(), 0);
+  EXPECT_DOUBLE_EQ(t.length_um, rmst_length(pins));
+}
+
+TEST(NetLength, ModelsOrderedOnRealNets) {
+  netlist::GeneratorConfig cfg;
+  cfg.num_gates = 150;
+  cfg.num_flip_flops = 12;
+  cfg.seed = 17;
+  const netlist::Design d = netlist::generate_circuit(cfg);
+  netlist::Placement p(d, geom::Rect{0, 0, 2000, 2000});
+  util::Rng rng(19);
+  for (std::size_t i = 0; i < d.cells().size(); ++i)
+    p.set_loc(static_cast<int>(i),
+              {rng.uniform(0.0, 2000.0), rng.uniform(0.0, 2000.0)});
+  const double h = total_length(d, p, WirelengthModel::Hpwl);
+  const double s = total_length(d, p, WirelengthModel::Rsmt);
+  const double m = total_length(d, p, WirelengthModel::Rmst);
+  EXPECT_LE(h, s + 1e-6);
+  EXPECT_LE(s, m + 1e-6);
+  EXPECT_GT(h, 0.0);
+  EXPECT_DOUBLE_EQ(h, p.total_hpwl(d));
+}
+
+TEST(NetLength, NamesAndDegenerates) {
+  EXPECT_STREQ(to_string(WirelengthModel::Hpwl), "hpwl");
+  EXPECT_STREQ(to_string(WirelengthModel::Rsmt), "rsmt");
+  netlist::Design d("one");
+  d.add_primary_input("x");
+  netlist::Placement p(d, geom::Rect{0, 0, 10, 10});
+  EXPECT_DOUBLE_EQ(net_length(d, p, d.find_net("x"), WirelengthModel::Rsmt),
+                   0.0);
+}
+
+
+TEST(Congestion, EmptyDesignIsFlat) {
+  netlist::Design d("empty");
+  d.add_primary_input("x");
+  netlist::Placement p(d, geom::Rect{0, 0, 100, 100});
+  const CongestionMap m = rudy_map(d, p, 4);
+  EXPECT_EQ(m.bins_x, 4);
+  EXPECT_DOUBLE_EQ(m.max_demand(), 0.0);
+  EXPECT_DOUBLE_EQ(m.hotspot_ratio(), 1.0);
+}
+
+TEST(Congestion, SingleNetDemandLandsInItsBbox) {
+  netlist::Design d("one");
+  d.add_primary_input("a");
+  d.add_gate(netlist::GateFn::Buf, "b", {"a"});
+  d.add_primary_output("b");
+  d.validate();
+  netlist::Placement p(d, geom::Rect{0, 0, 1600, 1600});
+  // Net a spans bins (0,0)..(1,0); everything else collocated.
+  p.set_loc(d.find_cell("a"), {50, 50});
+  p.set_loc(d.find_cell("b"), {350, 50});
+  p.set_loc(d.find_cell("PO:b"), {350, 50});
+  const CongestionMap m = rudy_map(d, p, 8);  // 200 um bins
+  EXPECT_GT(m.at(0, 0), 0.0);
+  EXPECT_GT(m.at(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(5, 5), 0.0);
+}
+
+TEST(Congestion, ClusteredNetsHaveHigherHotspot) {
+  netlist::GeneratorConfig cfg;
+  cfg.num_gates = 200;
+  cfg.num_flip_flops = 16;
+  cfg.seed = 13;
+  const netlist::Design d = netlist::generate_circuit(cfg);
+  const geom::Rect die{0, 0, 4000, 4000};
+  util::Rng rng(5);
+  netlist::Placement spread(d, die), clustered(d, die);
+  for (std::size_t i = 0; i < d.cells().size(); ++i) {
+    spread.set_loc(static_cast<int>(i),
+                   {rng.uniform(0.0, 4000.0), rng.uniform(0.0, 4000.0)});
+    clustered.set_loc(static_cast<int>(i),
+                      {rng.uniform(0.0, 400.0), rng.uniform(0.0, 400.0)});
+  }
+  const CongestionMap ms = rudy_map(d, spread, 8);
+  const CongestionMap mc = rudy_map(d, clustered, 8);
+  EXPECT_GT(mc.hotspot_ratio(), ms.hotspot_ratio());
+}
+
+TEST(Congestion, RejectsBadBinCount) {
+  netlist::Design d("x");
+  d.add_primary_input("a");
+  netlist::Placement p(d, geom::Rect{0, 0, 10, 10});
+  EXPECT_THROW(rudy_map(d, p, 0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rotclk::route

@@ -1,0 +1,280 @@
+// Unit tests for src/sched: max-slack scheduling (graph vs LP) and both
+// cost-driven formulations (graph/circulation vs LP cross-checks).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/cost_driven.hpp"
+#include "sched/skew.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk::sched {
+namespace {
+
+using timing::SeqArc;
+using timing::TechParams;
+
+TechParams tech_1ghz() {
+  TechParams t;
+  t.clock_period_ps = 1000.0;
+  t.setup_ps = 30.0;
+  t.hold_ps = 10.0;
+  return t;
+}
+
+// Validate a schedule against the long/short path constraints at slack M.
+void expect_schedule_valid(const std::vector<double>& t,
+                           const std::vector<SeqArc>& arcs,
+                           const TechParams& tech, double slack,
+                           double tol = 1e-6) {
+  for (const auto& a : arcs) {
+    const double ti = t[static_cast<std::size_t>(a.from_ff)];
+    const double tj = t[static_cast<std::size_t>(a.to_ff)];
+    EXPECT_LE(ti - tj + slack,
+              tech.clock_period_ps - a.d_max_ps - tech.setup_ps + tol);
+    EXPECT_GE(ti - tj, slack + tech.hold_ps - a.d_min_ps - tol);
+  }
+}
+
+TEST(MaxSlack, TwoFlipFlopPipelineExactOptimum) {
+  // Single arc 0 -> 1: long path t0-t1 <= 1000-600-30-M = 370-M, short
+  // path t1-t0 <= 200-10-M = 190-M; adding gives M* = (370+190)/2 = 280.
+  const TechParams tech = tech_1ghz();
+  std::vector<SeqArc> arcs{{0, 1, 600.0, 200.0}};
+  const ScheduleResult r = max_slack_schedule(2, arcs, tech, 1e-4);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.slack_ps, 280.0, 1e-2);
+  expect_schedule_valid(r.arrival_ps, arcs, tech, r.slack_ps - 1e-3);
+}
+
+TEST(MaxSlack, SymmetricArcPairBoundByShortPaths) {
+  // With arcs both ways, both short-path constraints bind: M* = 190.
+  const TechParams tech = tech_1ghz();
+  std::vector<SeqArc> arcs{{0, 1, 600.0, 200.0}, {1, 0, 600.0, 200.0}};
+  const ScheduleResult r = max_slack_schedule(2, arcs, tech, 1e-4);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.slack_ps, 190.0, 1e-2);
+  expect_schedule_valid(r.arrival_ps, arcs, tech, r.slack_ps - 1e-3);
+}
+
+TEST(MaxSlack, SelfLoopBoundsSlack) {
+  // Self loop forces t_i - t_i = 0: M <= min(T - Dmax - setup, Dmin - hold).
+  const TechParams tech = tech_1ghz();
+  std::vector<SeqArc> arcs{{0, 0, 700.0, 150.0}};
+  const ScheduleResult r = max_slack_schedule(1, arcs, tech, 1e-4);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.slack_ps, std::min(1000.0 - 700.0 - 30.0, 150.0 - 10.0),
+              1e-2);
+}
+
+TEST(MaxSlack, NoArcsMeansUnboundedSlack) {
+  const ScheduleResult r = max_slack_schedule(3, {}, tech_1ghz());
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(std::isinf(r.slack_ps));
+  EXPECT_EQ(r.arrival_ps.size(), 3u);
+}
+
+TEST(MaxSlack, NegativeSlackWhenPathExceedsPeriod) {
+  const TechParams tech = tech_1ghz();
+  std::vector<SeqArc> arcs{{0, 0, 1200.0, 100.0}};  // self loop over period
+  const ScheduleResult r = max_slack_schedule(1, arcs, tech, 1e-4);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.slack_ps, 1000.0 - 1200.0 - 30.0, 1e-2);
+}
+
+TEST(MaxSlack, SlackUpperBoundIsTightPairwise) {
+  const TechParams tech = tech_1ghz();
+  std::vector<SeqArc> arcs{{0, 1, 500.0, 100.0}, {1, 0, 300.0, 50.0}};
+  const double ub = slack_upper_bound(arcs, tech);
+  const ScheduleResult r = max_slack_schedule(2, arcs, tech, 1e-4);
+  EXPECT_LE(r.slack_ps, ub + 1e-6);
+}
+
+class MaxSlackGraphVsLp : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxSlackGraphVsLp, AgreeOnRandomInstances) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 3);
+  const TechParams tech = tech_1ghz();
+  const int n = rng.uniform_int(3, 8);
+  std::vector<SeqArc> arcs;
+  const int m = rng.uniform_int(n, 3 * n);
+  for (int k = 0; k < m; ++k) {
+    SeqArc a;
+    a.from_ff = rng.uniform_int(0, n - 1);
+    a.to_ff = rng.uniform_int(0, n - 1);
+    a.d_min_ps = rng.uniform(50.0, 400.0);
+    a.d_max_ps = a.d_min_ps + rng.uniform(0.0, 400.0);
+    arcs.push_back(a);
+  }
+  const ScheduleResult graph = max_slack_schedule(n, arcs, tech, 1e-5);
+  const ScheduleResult lp = max_slack_schedule_lp(n, arcs, tech);
+  ASSERT_TRUE(graph.feasible);
+  ASSERT_TRUE(lp.feasible);
+  EXPECT_NEAR(graph.slack_ps, lp.slack_ps, 1e-2);
+  expect_schedule_valid(graph.arrival_ps, arcs, tech, graph.slack_ps - 1e-4);
+  expect_schedule_valid(lp.arrival_ps, arcs, tech, lp.slack_ps - 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxSlackGraphVsLp, ::testing::Range(1, 16));
+
+
+class MaxSlackKarpVsBisection : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxSlackKarpVsBisection, AgreeOnRandomInstances) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 23 + 5);
+  const TechParams tech = tech_1ghz();
+  const int n = rng.uniform_int(3, 10);
+  std::vector<SeqArc> arcs;
+  const int m = rng.uniform_int(n, 3 * n);
+  for (int k = 0; k < m; ++k) {
+    SeqArc a;
+    a.from_ff = rng.uniform_int(0, n - 1);
+    a.to_ff = rng.uniform_int(0, n - 1);
+    a.d_min_ps = rng.uniform(50.0, 400.0);
+    a.d_max_ps = a.d_min_ps + rng.uniform(0.0, 400.0);
+    arcs.push_back(a);
+  }
+  const ScheduleResult karp = max_slack_schedule_karp(n, arcs, tech, 1e-4);
+  const ScheduleResult bisect = max_slack_schedule(n, arcs, tech, 1e-5);
+  ASSERT_TRUE(karp.feasible);
+  ASSERT_TRUE(bisect.feasible);
+  EXPECT_NEAR(karp.slack_ps, bisect.slack_ps, 1e-3);
+  expect_schedule_valid(karp.arrival_ps, arcs, tech, karp.slack_ps - 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxSlackKarpVsBisection,
+                         ::testing::Range(1, 21));
+
+TEST(MaxSlackKarp, NoArcsUnbounded) {
+  const auto r = max_slack_schedule_karp(3, {}, tech_1ghz());
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(std::isinf(r.slack_ps));
+}
+
+// --- Cost-driven -----------------------------------------------------------
+
+std::vector<SeqArc> random_arcs(util::Rng& rng, int n) {
+  std::vector<SeqArc> arcs;
+  const int m = rng.uniform_int(n, 2 * n);
+  for (int k = 0; k < m; ++k) {
+    SeqArc a;
+    a.from_ff = rng.uniform_int(0, n - 1);
+    a.to_ff = rng.uniform_int(0, n - 1);
+    a.d_min_ps = rng.uniform(50.0, 300.0);
+    a.d_max_ps = a.d_min_ps + rng.uniform(0.0, 300.0);
+    arcs.push_back(a);
+  }
+  return arcs;
+}
+
+TEST(CostDrivenMinMax, UnconstrainedHitsStubLowerBound) {
+  // No timing arcs: every target can sit exactly on its anchor + stub, so
+  // the optimum is max_i stub_i.
+  const TechParams tech = tech_1ghz();
+  std::vector<TapAnchor> anchors{{100.0, 5.0}, {400.0, 12.0}, {900.0, 3.0}};
+  const CostDrivenResult r =
+      cost_driven_min_max(3, {}, tech, anchors, 0.0, 1e-5);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.objective, 12.0, 1e-3);
+}
+
+TEST(CostDrivenMinMax, InfeasibleSlackPropagates) {
+  const TechParams tech = tech_1ghz();
+  std::vector<SeqArc> arcs{{0, 0, 700.0, 150.0}};
+  std::vector<TapAnchor> anchors{{100.0, 5.0}};
+  // Slack above the self-loop bound (270) is infeasible.
+  const CostDrivenResult r =
+      cost_driven_min_max(1, arcs, tech, anchors, 500.0);
+  EXPECT_FALSE(r.feasible);
+}
+
+class CostDrivenMinMaxSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostDrivenMinMaxSweep, GraphMatchesLp) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 11 + 1);
+  const TechParams tech = tech_1ghz();
+  const int n = rng.uniform_int(3, 7);
+  const auto arcs = random_arcs(rng, n);
+  std::vector<TapAnchor> anchors(static_cast<std::size_t>(n));
+  for (auto& a : anchors) {
+    a.anchor_ps = rng.uniform(0.0, 1000.0);
+    a.stub_ps = rng.uniform(0.0, 20.0);
+  }
+  const ScheduleResult ms = max_slack_schedule(n, arcs, tech, 1e-4);
+  ASSERT_TRUE(ms.feasible);
+  const double slack = std::min(0.0, ms.slack_ps);  // safely feasible
+  const CostDrivenResult g =
+      cost_driven_min_max(n, arcs, tech, anchors, slack, 1e-5);
+  const CostDrivenResult lp =
+      cost_driven_min_max_lp(n, arcs, tech, anchors, slack);
+  ASSERT_TRUE(g.feasible);
+  ASSERT_TRUE(lp.feasible);
+  EXPECT_NEAR(g.objective, lp.objective, 1e-2);
+  expect_schedule_valid(g.arrival_ps, arcs, tech, slack);
+  // The witness must honor the delta windows.
+  for (int i = 0; i < n; ++i) {
+    const TapAnchor& a = anchors[static_cast<std::size_t>(i)];
+    EXPECT_LE(g.arrival_ps[static_cast<std::size_t>(i)],
+              a.anchor_ps + g.objective + 1e-4);
+    EXPECT_GE(g.arrival_ps[static_cast<std::size_t>(i)],
+              a.anchor_ps + 2.0 * a.stub_ps - g.objective - 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostDrivenMinMaxSweep, ::testing::Range(1, 16));
+
+TEST(CostDrivenWeighted, UnconstrainedSitsOnAnchors) {
+  const TechParams tech = tech_1ghz();
+  std::vector<TapAnchor> anchors{{100.0, 5.0}, {700.0, 2.0}};
+  std::vector<double> w{3.0, 1.0};
+  const CostDrivenResult r =
+      cost_driven_weighted(2, {}, tech, anchors, w, 0.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.objective, 0.0, 1e-6);
+  EXPECT_NEAR(r.arrival_ps[0], 105.0, 1e-6);
+  EXPECT_NEAR(r.arrival_ps[1], 702.0, 1e-6);
+}
+
+class CostDrivenWeightedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostDrivenWeightedSweep, CirculationMatchesLp) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 17 + 9);
+  const TechParams tech = tech_1ghz();
+  const int n = rng.uniform_int(3, 7);
+  const auto arcs = random_arcs(rng, n);
+  std::vector<TapAnchor> anchors(static_cast<std::size_t>(n));
+  std::vector<double> weights(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    anchors[static_cast<std::size_t>(i)].anchor_ps = rng.uniform(0.0, 1000.0);
+    anchors[static_cast<std::size_t>(i)].stub_ps = rng.uniform(0.0, 20.0);
+    weights[static_cast<std::size_t>(i)] = rng.uniform(0.1, 100.0);
+  }
+  const ScheduleResult ms = max_slack_schedule(n, arcs, tech, 1e-4);
+  ASSERT_TRUE(ms.feasible);
+  const double slack = std::min(0.0, ms.slack_ps);
+  const CostDrivenResult g =
+      cost_driven_weighted(n, arcs, tech, anchors, weights, slack);
+  const CostDrivenResult lp =
+      cost_driven_weighted_lp(n, arcs, tech, anchors, weights, slack);
+  ASSERT_TRUE(g.feasible);
+  ASSERT_TRUE(lp.feasible);
+  EXPECT_NEAR(g.objective, lp.objective, 1e-4 * (1.0 + lp.objective));
+  expect_schedule_valid(g.arrival_ps, arcs, tech, slack);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostDrivenWeightedSweep,
+                         ::testing::Range(1, 21));
+
+TEST(CostDriven, RejectsSizeMismatch) {
+  const TechParams tech = tech_1ghz();
+  std::vector<TapAnchor> anchors(2);
+  EXPECT_THROW(cost_driven_min_max(3, {}, tech, anchors, 0.0),
+               std::runtime_error);
+  EXPECT_THROW(
+      cost_driven_weighted(3, {}, tech, anchors, {1.0, 1.0, 1.0}, 0.0),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rotclk::sched

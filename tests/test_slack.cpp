@@ -1,0 +1,128 @@
+// Unit tests for src/timing/slack: required times, net slacks, and
+// timing-driven placement weighting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/generator.hpp"
+#include "placer/placer.hpp"
+#include "timing/report.hpp"
+#include "timing/slack.hpp"
+
+namespace rotclk::timing {
+namespace {
+
+using netlist::Design;
+using netlist::GateFn;
+using netlist::Placement;
+
+Design chain() {
+  Design d("chain");
+  d.add_primary_input("in");
+  d.add_gate(GateFn::Buf, "a", {"in"});
+  d.add_gate(GateFn::Buf, "b", {"a"});
+  d.add_primary_output("b");
+  d.validate();
+  return d;
+}
+
+TEST(Slack, ChainArrivalRequiredConsistent) {
+  const Design d = chain();
+  Placement p(d, geom::Rect{0, 0, 100, 100});
+  TechParams tech;
+  const SlackAnalysis s = analyze_slacks(d, p, tech);
+  const TimingReport rep = analyze_timing(d, p, tech);
+  // On a single chain every net's slack equals the endpoint slack.
+  const double endpoint_slack =
+      tech.clock_period_ps - tech.setup_ps - rep.max_path_ps;
+  EXPECT_NEAR(s.wns_ps, endpoint_slack, 1e-9);
+  for (const char* net : {"in", "a", "b"}) {
+    EXPECT_NEAR(s.net_slack_ps[static_cast<std::size_t>(d.find_net(net))],
+                endpoint_slack, 1e-9)
+        << net;
+  }
+}
+
+TEST(Slack, SideBranchHasMoreSlack) {
+  // in -> long chain -> PO, plus a short branch from `in` to another PO:
+  // the branch net is less critical.
+  Design d("branchy");
+  d.add_primary_input("in");
+  d.add_gate(GateFn::Buf, "l1", {"in"});
+  d.add_gate(GateFn::Buf, "l2", {"l1"});
+  d.add_gate(GateFn::Buf, "l3", {"l2"});
+  d.add_gate(GateFn::Buf, "s1", {"in"});
+  d.add_primary_output("l3");
+  d.add_primary_output("s1");
+  d.validate();
+  Placement p(d, geom::Rect{0, 0, 100, 100});
+  TechParams tech;
+  const SlackAnalysis s = analyze_slacks(d, p, tech);
+  const double slack_long =
+      s.net_slack_ps[static_cast<std::size_t>(d.find_net("l2"))];
+  const double slack_short =
+      s.net_slack_ps[static_cast<std::size_t>(d.find_net("s1"))];
+  EXPECT_GT(slack_short, slack_long);
+  // Nets on the critical path share the WNS.
+  EXPECT_NEAR(slack_long, s.wns_ps, 1e-9);
+}
+
+TEST(Slack, WeightsGrowWithCriticality) {
+  const Design d = chain();
+  Placement p(d, geom::Rect{0, 0, 100, 100});
+  TechParams relaxed, tight;
+  relaxed.clock_period_ps = 10000.0;
+  tight.clock_period_ps = 200.0;
+  const auto w_relaxed =
+      criticality_weights(analyze_slacks(d, p, relaxed), relaxed);
+  const auto w_tight = criticality_weights(analyze_slacks(d, p, tight), tight);
+  const std::size_t net = static_cast<std::size_t>(d.find_net("a"));
+  EXPECT_GT(w_tight[net], w_relaxed[net]);
+  EXPECT_GE(w_relaxed[net], 1.0);
+  EXPECT_LE(w_tight[net], 5.0 + 1e-9);  // 1 + default max_boost
+}
+
+TEST(Slack, UnconstrainedNetsGetUnitWeight) {
+  // A dangling gate output (no sinks) and nets feeding nothing constrained.
+  Design d("dangle");
+  d.add_primary_input("in");
+  d.add_gate(GateFn::Buf, "g", {"in"});  // g has no sinks
+  d.validate();
+  Placement p(d, geom::Rect{0, 0, 10, 10});
+  TechParams tech;
+  const auto w = criticality_weights(analyze_slacks(d, p, tech), tech);
+  EXPECT_DOUBLE_EQ(w[static_cast<std::size_t>(d.find_net("g"))], 1.0);
+}
+
+TEST(Slack, TimingDrivenPlacementImprovesWns) {
+  // Place once, weight by criticality, re-place: WNS must not get worse,
+  // and on a congested design it should improve.
+  netlist::GeneratorConfig gen;
+  gen.num_gates = 400;
+  gen.num_flip_flops = 32;
+  gen.seed = 31;
+  const Design d = netlist::generate_circuit(gen);
+  const geom::Rect die = netlist::size_die(d, 0.02);  // sparse: long wires
+  TechParams tech;
+  placer::Placer base_placer(d);
+  const Placement base = base_placer.place_initial(die);
+  const SlackAnalysis s0 = analyze_slacks(d, base, tech);
+
+  placer::Placer td_placer(d);
+  td_placer.set_net_weights(criticality_weights(s0, tech, 8.0));
+  const Placement timing_driven = td_placer.place_initial(die);
+  const SlackAnalysis s1 = analyze_slacks(d, timing_driven, tech);
+
+  EXPECT_GE(s1.wns_ps, s0.wns_ps - 5.0);  // never much worse
+}
+
+TEST(Slack, RejectsBadWeightVector) {
+  const Design d = chain();
+  placer::Placer placer(d);
+  EXPECT_THROW(placer.set_net_weights({1.0, 2.0}), std::runtime_error);
+  EXPECT_NO_THROW(placer.set_net_weights({}));
+}
+
+}  // namespace
+}  // namespace rotclk::timing

@@ -1,0 +1,172 @@
+// Unit tests for src/timing/ssta: Clark's max, Gaussian propagation, and
+// Monte-Carlo cross-validation, plus the Eq. (2) ring electrical model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/generator.hpp"
+#include "rotary/electrical.hpp"
+#include "timing/report.hpp"
+#include "timing/ssta.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk::timing {
+namespace {
+
+TEST(GaussianOps, SumAddsMeansAndVariances) {
+  const GaussianDelay s = gaussian_sum({10.0, 3.0}, {20.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean_ps, 30.0);
+  EXPECT_DOUBLE_EQ(s.sigma_ps, 5.0);
+}
+
+TEST(GaussianOps, MaxOfDeterministicPicksLarger) {
+  const GaussianDelay m = gaussian_max({10.0, 0.0}, {20.0, 0.0});
+  EXPECT_DOUBLE_EQ(m.mean_ps, 20.0);
+  EXPECT_DOUBLE_EQ(m.sigma_ps, 0.0);
+}
+
+TEST(GaussianOps, MaxDominanceReducesToLargerInput) {
+  // When a is far above b, max(a, b) ~ a.
+  const GaussianDelay m = gaussian_max({100.0, 2.0}, {10.0, 2.0});
+  EXPECT_NEAR(m.mean_ps, 100.0, 1e-6);
+  EXPECT_NEAR(m.sigma_ps, 2.0, 1e-6);
+}
+
+TEST(GaussianOps, MaxOfEqualGaussiansMatchesTheory) {
+  // X, Y iid N(m, s): E[max] = m + s/sqrt(pi).
+  const double m = 50.0, s = 6.0;
+  const GaussianDelay r = gaussian_max({m, s}, {m, s});
+  EXPECT_NEAR(r.mean_ps, m + s / std::sqrt(M_PI), 1e-9);
+  EXPECT_LT(r.sigma_ps, s);  // max concentrates
+}
+
+TEST(GaussianOps, ClarkMatchesMonteCarlo) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const GaussianDelay a{rng.uniform(10, 100), rng.uniform(1, 10)};
+    const GaussianDelay b{rng.uniform(10, 100), rng.uniform(1, 10)};
+    const GaussianDelay clark = gaussian_max(a, b);
+    double sum = 0.0, sum2 = 0.0;
+    const int samples = 20000;
+    for (int k = 0; k < samples; ++k) {
+      const double x = rng.gaussian(a.mean_ps, a.sigma_ps);
+      const double y = rng.gaussian(b.mean_ps, b.sigma_ps);
+      const double v = std::max(x, y);
+      sum += v;
+      sum2 += v * v;
+    }
+    const double mc_mean = sum / samples;
+    const double mc_sigma =
+        std::sqrt(std::max(0.0, sum2 / samples - mc_mean * mc_mean));
+    EXPECT_NEAR(clark.mean_ps, mc_mean, 0.35) << "trial " << trial;
+    EXPECT_NEAR(clark.sigma_ps, mc_sigma, 0.35) << "trial " << trial;
+  }
+}
+
+TEST(Ssta, ZeroSigmaReducesToDeterministicSta) {
+  netlist::GeneratorConfig cfg;
+  cfg.num_gates = 150;
+  cfg.num_flip_flops = 12;
+  cfg.seed = 7;
+  const netlist::Design d = netlist::generate_circuit(cfg);
+  const netlist::Placement p(d, netlist::size_die(d, 0.05));
+  const TechParams tech;
+  SstaConfig scfg;
+  scfg.stage_sigma_fraction = 0.0;
+  const SstaResult ssta = analyze_ssta(d, p, tech, scfg);
+  const TimingReport sta = analyze_timing(d, p, tech);
+  EXPECT_NEAR(ssta.max_path.mean_ps, sta.max_path_ps, 1e-6);
+  EXPECT_NEAR(ssta.max_path.sigma_ps, 0.0, 1e-9);
+}
+
+TEST(Ssta, MeanShiftsAboveDeterministicWithVariation) {
+  // Max over many reconvergent endpoints pushes the statistical mean above
+  // the deterministic value, and sigma is positive.
+  netlist::GeneratorConfig cfg;
+  cfg.num_gates = 200;
+  cfg.num_flip_flops = 16;
+  cfg.seed = 9;
+  const netlist::Design d = netlist::generate_circuit(cfg);
+  const netlist::Placement p(d, netlist::size_die(d, 0.05));
+  const TechParams tech;
+  const SstaResult ssta = analyze_ssta(d, p, tech);
+  const TimingReport sta = analyze_timing(d, p, tech);
+  EXPECT_GE(ssta.max_path.mean_ps, sta.max_path_ps - 1e-6);
+  EXPECT_GT(ssta.max_path.sigma_ps, 0.0);
+  EXPECT_GT(ssta.max_path.quantile(3.0), ssta.max_path.mean_ps);
+}
+
+TEST(Ssta, SigmaScalesWithStageFraction) {
+  netlist::GeneratorConfig cfg;
+  cfg.num_gates = 120;
+  cfg.num_flip_flops = 10;
+  cfg.seed = 11;
+  const netlist::Design d = netlist::generate_circuit(cfg);
+  const netlist::Placement p(d, netlist::size_die(d, 0.05));
+  const TechParams tech;
+  SstaConfig lo, hi;
+  lo.stage_sigma_fraction = 0.04;
+  hi.stage_sigma_fraction = 0.08;
+  const double s_lo = analyze_ssta(d, p, tech, lo).max_path.sigma_ps;
+  const double s_hi = analyze_ssta(d, p, tech, hi).max_path.sigma_ps;
+  EXPECT_NEAR(s_hi / s_lo, 2.0, 0.4);
+}
+
+}  // namespace
+}  // namespace rotclk::timing
+
+namespace rotclk::rotary {
+namespace {
+
+RotaryRing demo_ring(double side = 250.0) {
+  return RotaryRing(geom::Rect{0, 0, side, side}, 1000.0);
+}
+
+TEST(Electrical, Eq2Formula) {
+  const RotaryRing r = demo_ring();
+  const RingElectricalParams p;
+  const double l_ph = ring_inductance_ph(r, p);
+  const double c_ff = ring_capacitance_ff(r, p);
+  const double f = oscillation_frequency_ghz(r, 0.0, p);
+  // Direct check against f = 1 / (2 sqrt(LC)).
+  EXPECT_NEAR(f, 1e-9 / (2.0 * std::sqrt(l_ph * c_ff * 1e-27)), 1e-9);
+}
+
+TEST(Electrical, LoadSlowsTheRing) {
+  const RotaryRing r = demo_ring();
+  const double f0 = oscillation_frequency_ghz(r, 0.0);
+  const double f1 = oscillation_frequency_ghz(r, 500.0);
+  EXPECT_GT(f0, f1);
+  EXPECT_GT(f1, 0.0);
+}
+
+TEST(Electrical, BareRingFastLoadedRingAtDesignPoint) {
+  // A bare 2 mm transmission-line loop rotates in the tens of GHz; the
+  // paper's ~1 GHz operating point is reached by loading the ring heavily
+  // (taps + the Sec. II dummy capacitors) — Wood et al.'s design style.
+  const RotaryRing r = demo_ring();
+  EXPECT_GT(oscillation_frequency_ghz(r, 0.0), 5.0);
+  const double budget_1ghz = load_budget_ff(r, 1.0);
+  EXPECT_GT(budget_1ghz, 1000.0);  // pF-scale load brings it to 1 GHz
+  EXPECT_NEAR(oscillation_frequency_ghz(r, budget_1ghz), 1.0, 1e-9);
+}
+
+TEST(Electrical, LoadBudgetInvertsFrequency) {
+  const RotaryRing r = demo_ring();
+  const double budget = load_budget_ff(r, 1.0);
+  if (budget > 0.0) {
+    EXPECT_NEAR(oscillation_frequency_ghz(r, budget), 1.0, 1e-9);
+  }
+  // Asking for an absurd frequency leaves no budget.
+  EXPECT_DOUBLE_EQ(load_budget_ff(r, 1000.0), 0.0);
+}
+
+TEST(Electrical, SmallerRingsRunFaster) {
+  const double f_small = oscillation_frequency_ghz(demo_ring(100.0), 100.0);
+  const double f_large = oscillation_frequency_ghz(demo_ring(400.0), 100.0);
+  EXPECT_GT(f_small, f_large);
+}
+
+}  // namespace
+}  // namespace rotclk::rotary

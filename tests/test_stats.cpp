@@ -1,0 +1,82 @@
+// Unit tests for src/netlist/stats.
+
+#include <gtest/gtest.h>
+
+#include "netlist/benchmarks.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/stats.hpp"
+
+namespace rotclk::netlist {
+namespace {
+
+Design tiny() {
+  // PI -> NAND(PI, Q) -> D; FF(Q <- D); NOT(Q) -> PO. Self loop via NAND.
+  Design d("tiny");
+  d.add_primary_input("in");
+  d.add_flip_flop("q", "d");
+  d.add_gate(GateFn::Nand, "g", {"in", "q"});
+  d.add_gate(GateFn::Buf, "d", {"g"});
+  d.add_gate(GateFn::Not, "o", {"q"});
+  d.add_primary_output("o");
+  d.validate();
+  return d;
+}
+
+TEST(Stats, CountsMatchDesignQueries) {
+  const Design d = tiny();
+  const DesignStats s = compute_stats(d);
+  EXPECT_EQ(s.cells, d.num_cells());
+  EXPECT_EQ(s.flip_flops, 1);
+  EXPECT_EQ(s.gates, 3);
+  EXPECT_EQ(s.primary_inputs, 1);
+  EXPECT_EQ(s.primary_outputs, 1);
+  EXPECT_EQ(s.nets, d.num_signal_nets());
+}
+
+TEST(Stats, GateMixCounts) {
+  const DesignStats s = compute_stats(tiny());
+  EXPECT_EQ(s.gate_mix[static_cast<std::size_t>(GateFn::Nand)], 1);
+  EXPECT_EQ(s.gate_mix[static_cast<std::size_t>(GateFn::Buf)], 1);
+  EXPECT_EQ(s.gate_mix[static_cast<std::size_t>(GateFn::Not)], 1);
+  EXPECT_EQ(s.gate_mix[static_cast<std::size_t>(GateFn::Dff)], 1);
+  EXPECT_EQ(s.gate_mix[static_cast<std::size_t>(GateFn::Xor)], 0);
+}
+
+TEST(Stats, FaninFanoutAverages) {
+  const DesignStats s = compute_stats(tiny());
+  // Gates: NAND(2), BUF(1), NOT(1) -> avg fanin 4/3.
+  EXPECT_NEAR(s.avg_fanin, 4.0 / 3.0, 1e-12);
+  // Net q drives NAND and NOT: fanout 2 is the max here.
+  EXPECT_EQ(s.max_fanout, 2);
+}
+
+TEST(Stats, DepthAndSeqArcs) {
+  const DesignStats s = compute_stats(tiny());
+  // Depth: NAND(1) -> BUF(2); NOT(1).
+  EXPECT_EQ(s.max_depth, 2);
+  // FF reaches itself through NAND -> BUF -> D.
+  EXPECT_EQ(s.seq_arcs, 1);
+  EXPECT_EQ(s.seq_self_loops, 1);
+}
+
+TEST(Stats, GeneratorProfileIsRealistic) {
+  const Design d = make_benchmark("s5378");
+  const DesignStats s = compute_stats(d);
+  EXPECT_NEAR(s.avg_fanin, 2.2, 0.4);     // mostly 2-input gates
+  EXPECT_GE(s.max_depth, 5);
+  EXPECT_LE(s.max_depth, 12);             // generator depth cap + margin
+  EXPECT_GT(s.seq_arcs, s.flip_flops);    // each FF reaches several others
+  EXPECT_LT(s.seq_arcs, s.flip_flops * s.flip_flops / 2)
+      << "adjacency should be sparse, not all-pairs";
+}
+
+TEST(Stats, ToStringMentionsKeyNumbers) {
+  const DesignStats s = compute_stats(tiny());
+  const std::string text = s.to_string();
+  EXPECT_NE(text.find("4 cells"), std::string::npos);
+  EXPECT_NE(text.find("NAND=1"), std::string::npos);
+  EXPECT_NE(text.find("self loops"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rotclk::netlist

@@ -1,0 +1,217 @@
+// Unit tests for src/timing: delay models, STA, sequential adjacency.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/generator.hpp"
+#include "netlist/placement.hpp"
+#include "timing/delay.hpp"
+#include "timing/sta.hpp"
+#include "timing/tech.hpp"
+
+namespace rotclk::timing {
+namespace {
+
+using netlist::Design;
+using netlist::GateFn;
+using netlist::Placement;
+
+TEST(Tech, WireDelayFormula) {
+  TechParams t;
+  t.wire_res_per_um = 0.1;
+  t.wire_cap_per_um = 0.2;
+  // t = 1e-3 * (0.5*r*c*l^2 + r*l*C)
+  EXPECT_NEAR(t.wire_delay_ps(100.0, 10.0),
+              1e-3 * (0.5 * 0.1 * 0.2 * 1e4 + 0.1 * 100.0 * 10.0), 1e-12);
+  EXPECT_DOUBLE_EQ(t.wire_delay_ps(0.0, 10.0), 0.0);
+}
+
+TEST(Tech, DynamicPowerFormula) {
+  TechParams t;
+  t.vdd = 2.0;
+  t.clock_period_ps = 1000.0;  // 1 GHz
+  // P = 1/2 * alpha * V^2 * f * C = 0.5*1*4*1e9*1e-12 F = 2 mW for 1 pF.
+  EXPECT_NEAR(t.dynamic_power_mw(1000.0, 1.0), 2.0, 1e-9);
+  EXPECT_NEAR(t.dynamic_power_mw(1000.0, 0.15), 0.3, 1e-9);
+}
+
+Design chain_design() {
+  // PI -> A -> B -> PO : a two-gate chain.
+  Design d("chain");
+  d.add_primary_input("in");
+  d.add_gate(GateFn::Buf, "a", {"in"});
+  d.add_gate(GateFn::Buf, "b", {"a"});
+  d.add_primary_output("b");
+  d.validate();
+  return d;
+}
+
+TEST(Delay, PinCapByCellKind) {
+  const Design d = chain_design();
+  TechParams t;
+  EXPECT_DOUBLE_EQ(pin_cap_ff(d.cell(d.find_cell("a")), t),
+                   t.gate_input_cap_ff);
+  EXPECT_DOUBLE_EQ(pin_cap_ff(d.cell(d.find_cell("PO:b")), t),
+                   t.buffer_input_cap_ff);
+  Design s("ff");
+  s.add_flip_flop("q", "d");
+  EXPECT_DOUBLE_EQ(pin_cap_ff(s.cell(s.find_cell("q")), t),
+                   t.ff_input_cap_ff);
+}
+
+TEST(Delay, NetLoadIncludesWireAndPins) {
+  const Design d = chain_design();
+  Placement p(d, geom::Rect{0, 0, 1000, 1000});
+  p.set_loc(d.find_cell("in"), {0, 0});
+  p.set_loc(d.find_cell("a"), {100, 0});
+  TechParams t;
+  const double load = net_load_ff(d, p, d.find_net("in"), t);
+  EXPECT_NEAR(load, 100.0 * t.wire_cap_per_um + t.gate_input_cap_ff, 1e-9);
+}
+
+TEST(Delay, StageDelayGrowsWithDistance) {
+  const Design d = chain_design();
+  TechParams t;
+  Placement near(d, geom::Rect{0, 0, 5000, 5000});
+  Placement far = near;
+  near.set_loc(d.find_cell("in"), {0, 0});
+  near.set_loc(d.find_cell("a"), {50, 0});
+  far.set_loc(d.find_cell("in"), {0, 0});
+  far.set_loc(d.find_cell("a"), {800, 0});
+  const int net = d.find_net("in");
+  const int sink = d.find_cell("a");
+  EXPECT_LT(stage_delay_ps(d, near, net, sink, t),
+            stage_delay_ps(d, far, net, sink, t));
+}
+
+TEST(Delay, LongNetsAreBufferedLinear) {
+  const Design d = chain_design();
+  TechParams t;
+  Placement p(d, geom::Rect{0, 0, 100000, 100000});
+  const int net = d.find_net("in");
+  const int sink = d.find_cell("a");
+  p.set_loc(d.find_cell("in"), {0, 0});
+  p.set_loc(d.find_cell("a"), {4.0 * t.buffer_critical_len_um, 0});
+  const double d4 = stage_delay_ps(d, p, net, sink, t);
+  p.set_loc(d.find_cell("a"), {8.0 * t.buffer_critical_len_um, 0});
+  const double d8 = stage_delay_ps(d, p, net, sink, t);
+  // Doubling a buffered run roughly doubles the wire part (not quadruples).
+  EXPECT_LT(d8, 2.2 * d4);
+  EXPECT_GT(d8, 1.5 * d4);
+}
+
+TEST(Sta, ArrivalOnChainSumsStageDelays) {
+  const Design d = chain_design();
+  TechParams t;
+  Placement p(d, geom::Rect{0, 0, 1000, 1000});
+  p.set_loc(d.find_cell("in"), {0, 0});
+  p.set_loc(d.find_cell("a"), {100, 0});
+  p.set_loc(d.find_cell("b"), {200, 0});
+  const std::vector<int> topo = d.combinational_topo_order();
+  const auto arr = propagate_arrivals(d, p, t, {d.find_cell("in")}, topo);
+  const double s1 =
+      stage_delay_ps(d, p, d.find_net("in"), d.find_cell("a"), t);
+  const double s2 =
+      stage_delay_ps(d, p, d.find_net("a"), d.find_cell("b"), t);
+  EXPECT_NEAR(arr.max_arrival[static_cast<std::size_t>(d.find_cell("b"))],
+              s1 + s2, 1e-9);
+  EXPECT_NEAR(arr.min_arrival[static_cast<std::size_t>(d.find_cell("b"))],
+              s1 + s2, 1e-9);
+}
+
+TEST(Sta, MinMaxDivergeOnReconvergence) {
+  // in -> (short: buf) and (long: buf-buf) reconverging at an AND.
+  Design d("reconv");
+  d.add_primary_input("in");
+  d.add_gate(GateFn::Buf, "s", {"in"});
+  d.add_gate(GateFn::Buf, "l1", {"in"});
+  d.add_gate(GateFn::Buf, "l2", {"l1"});
+  d.add_gate(GateFn::And, "out", {"s", "l2"});
+  d.add_primary_output("out");
+  d.validate();
+  TechParams t;
+  Placement p(d, geom::Rect{0, 0, 1000, 1000});
+  const auto arr = propagate_arrivals(d, p, t, {d.find_cell("in")},
+                                      d.combinational_topo_order());
+  const std::size_t out = static_cast<std::size_t>(d.find_cell("out"));
+  EXPECT_GT(arr.max_arrival[out], arr.min_arrival[out]);
+}
+
+Design pipeline_design() {
+  // PI -> g0 -> FF0 -> g1 -> FF1 -> g2 -> PO with FF1 -> g1 feedback.
+  Design d("pipe");
+  d.add_primary_input("in");
+  d.add_flip_flop("q0", "d0");
+  d.add_flip_flop("q1", "d1");
+  d.add_gate(GateFn::Buf, "d0", {"in"});
+  d.add_gate(GateFn::Nand, "d1", {"q0", "q1"});
+  d.add_gate(GateFn::Not, "out", {"q1"});
+  d.add_primary_output("out");
+  d.validate();
+  return d;
+}
+
+TEST(Sta, SequentialAdjacencyFindsAllPairs) {
+  const Design d = pipeline_design();
+  TechParams t;
+  Placement p(d, geom::Rect{0, 0, 1000, 1000});
+  const auto arcs = extract_sequential_adjacency(d, p, t);
+  // Expected: FF0 -> FF1 (through d1) and FF1 -> FF1 (self loop).
+  bool found_01 = false, found_11 = false, found_00 = false;
+  for (const auto& a : arcs) {
+    if (a.from_ff == 0 && a.to_ff == 1) found_01 = true;
+    if (a.from_ff == 1 && a.to_ff == 1) found_11 = true;
+    if (a.from_ff == 0 && a.to_ff == 0) found_00 = true;
+  }
+  EXPECT_TRUE(found_01);
+  EXPECT_TRUE(found_11) << "self loop through the NAND missing";
+  EXPECT_FALSE(found_00) << "no path from q0 back to d0";
+}
+
+TEST(Sta, AdjacencyDelaysArePositiveAndOrdered) {
+  const Design d = pipeline_design();
+  TechParams t;
+  Placement p(d, geom::Rect{0, 0, 1000, 1000});
+  for (const auto& a : extract_sequential_adjacency(d, p, t)) {
+    EXPECT_GT(a.d_min_ps, 0.0);
+    EXPECT_LE(a.d_min_ps, a.d_max_ps + 1e-12);
+  }
+}
+
+TEST(Sta, AdjacencyMatchesSlowPropagationOnRandomCircuit) {
+  netlist::GeneratorConfig cfg;
+  cfg.num_gates = 120;
+  cfg.num_flip_flops = 12;
+  cfg.seed = 21;
+  const Design d = netlist::generate_circuit(cfg);
+  TechParams t;
+  Placement p(d, geom::Rect{0, 0, 2000, 2000});
+  const auto arcs = extract_sequential_adjacency(d, p, t);
+  // Cross-check a handful of arcs against the reference propagator.
+  const auto topo = d.combinational_topo_order();
+  const auto ffs = d.flip_flops();
+  for (std::size_t k = 0; k < arcs.size(); k += 7) {
+    const auto& a = arcs[k];
+    const auto arr = propagate_arrivals(
+        d, p, t, {ffs[static_cast<std::size_t>(a.from_ff)]}, topo);
+    const std::size_t to = static_cast<std::size_t>(
+        ffs[static_cast<std::size_t>(a.to_ff)]);
+    EXPECT_NEAR(arr.max_arrival[to], a.d_max_ps, 1e-9);
+    EXPECT_NEAR(arr.min_arrival[to], a.d_min_ps, 1e-9);
+  }
+}
+
+TEST(Sta, NoArcsForPurelyCombinationalCircuit) {
+  netlist::GeneratorConfig cfg;
+  cfg.num_gates = 40;
+  cfg.num_flip_flops = 0;
+  cfg.seed = 8;
+  const Design d = netlist::generate_circuit(cfg);
+  TechParams t;
+  Placement p(d, geom::Rect{0, 0, 500, 500});
+  EXPECT_TRUE(extract_sequential_adjacency(d, p, t).empty());
+}
+
+}  // namespace
+}  // namespace rotclk::timing

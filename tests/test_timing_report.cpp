@@ -1,0 +1,116 @@
+// Unit tests for src/timing/report: critical-path extraction.
+
+#include <gtest/gtest.h>
+
+#include "netlist/generator.hpp"
+#include "timing/delay.hpp"
+#include "timing/report.hpp"
+#include "timing/sta.hpp"
+
+namespace rotclk::timing {
+namespace {
+
+using netlist::Design;
+using netlist::GateFn;
+using netlist::Placement;
+
+TEST(Report, ChainCriticalPath) {
+  Design d("chain");
+  d.add_primary_input("in");
+  d.add_gate(GateFn::Buf, "a", {"in"});
+  d.add_gate(GateFn::Buf, "b", {"a"});
+  d.add_gate(GateFn::Buf, "c", {"b"});
+  d.add_primary_output("c");
+  d.validate();
+  Placement p(d, geom::Rect{0, 0, 1000, 1000});
+  TechParams tech;
+  const TimingReport r = analyze_timing(d, p, tech);
+  EXPECT_EQ(r.max_depth, 4);  // a, b, c, PO
+  ASSERT_EQ(r.critical_path.size(), 5u);
+  EXPECT_EQ(d.cell(r.critical_path.front()).name, "in");
+  EXPECT_EQ(d.cell(r.critical_path.back()).name, "PO:c");
+  // Path delay equals the sum of stage delays.
+  double expect = 0.0;
+  for (std::size_t k = 0; k + 1 < r.critical_path.size(); ++k) {
+    const auto& c = d.cell(r.critical_path[k]);
+    expect += stage_delay_ps(d, p, c.out_net, r.critical_path[k + 1], tech);
+  }
+  EXPECT_NEAR(r.max_path_ps, expect, 1e-9);
+}
+
+TEST(Report, PicksTheLongerBranch) {
+  Design d("branch");
+  d.add_primary_input("in");
+  d.add_gate(GateFn::Buf, "s", {"in"});
+  d.add_gate(GateFn::Buf, "l1", {"in"});
+  d.add_gate(GateFn::Buf, "l2", {"l1"});
+  d.add_primary_output("s");
+  d.add_primary_output("l2");
+  d.validate();
+  Placement p(d, geom::Rect{0, 0, 100, 100});
+  const TimingReport r = analyze_timing(d, p, TechParams{});
+  // The critical path runs through l1 -> l2.
+  bool saw_l2 = false;
+  for (int c : r.critical_path)
+    if (d.cell(c).name == "l2") saw_l2 = true;
+  EXPECT_TRUE(saw_l2);
+}
+
+TEST(Report, FlipFlopsAreBothSourceAndEndpoint) {
+  Design d("ff");
+  d.add_flip_flop("q", "dnet");
+  d.add_gate(GateFn::Not, "dnet", {"q"});
+  d.validate();
+  Placement p(d, geom::Rect{0, 0, 100, 100});
+  const TimingReport r = analyze_timing(d, p, TechParams{});
+  // Path: q -> NOT -> q (endpoint at the DFF's D pin).
+  EXPECT_GT(r.max_path_ps, 0.0);
+  ASSERT_GE(r.critical_path.size(), 2u);
+  EXPECT_TRUE(d.cell(r.critical_path.front()).is_flip_flop());
+  EXPECT_TRUE(d.cell(r.critical_path.back()).is_flip_flop());
+}
+
+TEST(Report, SlackConsistentWithPeriod) {
+  netlist::GeneratorConfig cfg;
+  cfg.num_gates = 200;
+  cfg.num_flip_flops = 16;
+  cfg.seed = 31;
+  const Design d = netlist::generate_circuit(cfg);
+  Placement p(d, netlist::size_die(d, 0.05));
+  TechParams tech;
+  const TimingReport r = analyze_timing(d, p, tech);
+  EXPECT_NEAR(r.worst_setup_slack_ps,
+              tech.clock_period_ps - r.max_path_ps - tech.setup_ps, 1e-9);
+  EXPECT_GT(r.max_depth, 1);
+  // Depth respects the generator's cap (+1 for the endpoint hop).
+  EXPECT_LE(r.max_depth, 10 + 2);
+}
+
+TEST(Report, MaxPathBoundsEveryAdjacencyArc) {
+  netlist::GeneratorConfig cfg;
+  cfg.num_gates = 150;
+  cfg.num_flip_flops = 12;
+  cfg.seed = 37;
+  const Design d = netlist::generate_circuit(cfg);
+  Placement p(d, netlist::size_die(d, 0.05));
+  TechParams tech;
+  const TimingReport r = analyze_timing(d, p, tech);
+  for (const auto& a : extract_sequential_adjacency(d, p, tech))
+    EXPECT_LE(a.d_max_ps, r.max_path_ps + 1e-9);
+}
+
+TEST(Report, RendersReadableText) {
+  Design d("txt");
+  d.add_primary_input("in");
+  d.add_gate(GateFn::Nand, "g", {"in", "in"});
+  d.add_primary_output("g");
+  d.validate();
+  Placement p(d, geom::Rect{0, 0, 10, 10});
+  const TimingReport r = analyze_timing(d, p, TechParams{});
+  const std::string text = r.to_string(d);
+  EXPECT_NE(text.find("max path"), std::string::npos);
+  EXPECT_NE(text.find("NAND"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rotclk::timing

@@ -1,0 +1,136 @@
+// Unit tests for src/variation: Monte-Carlo skew-variation comparison
+// between conventional trees and rotary tapping.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "variation/skew_variation.hpp"
+
+namespace rotclk::variation {
+namespace {
+
+std::vector<geom::Point> random_sinks(int n, std::uint64_t seed,
+                                      double span) {
+  util::Rng rng(seed);
+  std::vector<geom::Point> sinks;
+  for (int i = 0; i < n; ++i)
+    sinks.push_back({rng.uniform(0.0, span), rng.uniform(0.0, span)});
+  return sinks;
+}
+
+std::vector<std::pair<int, int>> all_pairs(int n) {
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+  return pairs;
+}
+
+TEST(Variation, ZeroSigmaMeansZeroSkewError) {
+  const timing::TechParams tech;
+  const auto sinks = random_sinks(8, 3, 2000.0);
+  VariationConfig cfg;
+  cfg.wire_sigma = 0.0;
+  cfg.ring_jitter_sigma_ps = 0.0;
+  cfg.samples = 50;
+  const auto cmp = compare_skew_variation(
+      sinks, std::vector<double>(8, 10.0), all_pairs(8), tech, cfg);
+  EXPECT_NEAR(cmp.tree.sigma_ps, 0.0, 1e-12);
+  EXPECT_NEAR(cmp.rotary.sigma_ps, 0.0, 1e-12);
+}
+
+TEST(Variation, TreeSigmaScalesWithWireSigma) {
+  const timing::TechParams tech;
+  const auto sinks = random_sinks(10, 5, 3000.0);
+  const auto pairs = all_pairs(10);
+  VariationConfig lo, hi;
+  lo.wire_sigma = 0.05;
+  hi.wire_sigma = 0.10;
+  lo.samples = hi.samples = 400;
+  const cts::ClockTree tree = cts::build_zero_skew_tree(sinks, {}, tech);
+  const auto a = tree_skew_variation(tree, pairs, tech, lo);
+  const auto b = tree_skew_variation(tree, pairs, tech, hi);
+  EXPECT_NEAR(b.sigma_ps / a.sigma_ps, 2.0, 0.3);
+}
+
+TEST(Variation, RotarySigmaTracksStubDelays) {
+  VariationConfig cfg;
+  cfg.ring_jitter_sigma_ps = 0.0;
+  cfg.samples = 2000;
+  const auto pairs = all_pairs(4);
+  const auto small =
+      rotary_skew_variation({1.0, 1.0, 1.0, 1.0}, pairs, cfg);
+  const auto large =
+      rotary_skew_variation({10.0, 10.0, 10.0, 10.0}, pairs, cfg);
+  EXPECT_NEAR(large.sigma_ps / small.sigma_ps, 10.0, 1.0);
+  // Analytic check: skew error = s*(e_i - e_j), sigma = s*sigma_w*sqrt(2).
+  EXPECT_NEAR(small.sigma_ps, 1.0 * cfg.wire_sigma * std::sqrt(2.0), 0.02);
+}
+
+TEST(Variation, RingJitterSetsTheRotaryFloor) {
+  VariationConfig cfg;
+  cfg.wire_sigma = 0.0;
+  cfg.ring_jitter_sigma_ps = 2.0;
+  cfg.samples = 4000;
+  const auto stats =
+      rotary_skew_variation({0.0, 0.0}, {{0, 1}}, cfg);
+  // Difference of two independent N(0,2) draws: sigma = 2*sqrt(2).
+  EXPECT_NEAR(stats.sigma_ps, 2.0 * std::sqrt(2.0), 0.2);
+}
+
+TEST(Variation, RotaryBeatsTreeOnRealisticGeometry) {
+  // The paper's motivating comparison: sinks spread over millimeters feed
+  // a tree with millimeter paths, while rotary stubs are tens of microns.
+  const timing::TechParams tech;
+  const auto sinks = random_sinks(40, 11, 4000.0);
+  std::vector<double> stubs(40);
+  util::Rng rng(13);
+  for (auto& s : stubs) s = rng.uniform(0.5, 3.0);  // short stub delays (ps)
+  // Adjacent-pair sample.
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i + 1 < 40; ++i) pairs.emplace_back(i, i + 1);
+  const auto cmp = compare_skew_variation(sinks, stubs, pairs, tech, {});
+  EXPECT_GT(cmp.tree.sigma_ps, cmp.rotary.sigma_ps);
+  EXPECT_GT(cmp.sigma_ratio, 1.5);
+}
+
+TEST(Variation, SharedTreePathsCorrelate) {
+  // Two coincident sinks share their whole path (their joining edge has
+  // zero length, hence zero delay): the pair's skew error vanishes, while
+  // a distant pair in an identical-scale tree varies.
+  const timing::TechParams tech;
+  VariationConfig cfg;
+  cfg.samples = 200;
+  const cts::ClockTree same_tree =
+      cts::build_zero_skew_tree({{0, 0}, {0, 0}}, {}, tech);
+  const auto same = tree_skew_variation(same_tree, {{0, 1}}, tech, cfg);
+  const cts::ClockTree far_tree =
+      cts::build_zero_skew_tree({{0, 0}, {3000, 3000}}, {}, tech);
+  const auto distant = tree_skew_variation(far_tree, {{0, 1}}, tech, cfg);
+  EXPECT_NEAR(same.sigma_ps, 0.0, 1e-9);
+  EXPECT_GT(distant.sigma_ps, 0.1);
+}
+
+TEST(Variation, RejectsBadInput) {
+  const timing::TechParams tech;
+  EXPECT_THROW(compare_skew_variation({{0, 0}}, {1.0, 2.0}, {}, tech, {}),
+               std::runtime_error);
+  EXPECT_THROW(
+      compare_skew_variation({{0, 0}}, {1.0}, {{0, 4}}, tech, {}),
+      std::runtime_error);
+}
+
+TEST(Variation, DeterministicInSeed) {
+  const timing::TechParams tech;
+  const auto sinks = random_sinks(12, 17, 2500.0);
+  const std::vector<double> stubs(12, 2.0);
+  const auto pairs = all_pairs(12);
+  const auto a = compare_skew_variation(sinks, stubs, pairs, tech, {});
+  const auto b = compare_skew_variation(sinks, stubs, pairs, tech, {});
+  EXPECT_DOUBLE_EQ(a.tree.sigma_ps, b.tree.sigma_ps);
+  EXPECT_DOUBLE_EQ(a.rotary.sigma_ps, b.rotary.sigma_ps);
+}
+
+}  // namespace
+}  // namespace rotclk::variation
