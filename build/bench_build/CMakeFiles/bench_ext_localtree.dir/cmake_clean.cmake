@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_localtree"
+  "../bench/bench_ext_localtree.pdb"
+  "CMakeFiles/bench_ext_localtree.dir/bench_ext_localtree.cpp.o"
+  "CMakeFiles/bench_ext_localtree.dir/bench_ext_localtree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_localtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

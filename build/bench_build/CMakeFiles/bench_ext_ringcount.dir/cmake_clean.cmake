@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_ringcount"
+  "../bench/bench_ext_ringcount.pdb"
+  "CMakeFiles/bench_ext_ringcount.dir/bench_ext_ringcount.cpp.o"
+  "CMakeFiles/bench_ext_ringcount.dir/bench_ext_ringcount.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ringcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_rounding"
+  "../bench/bench_ext_rounding.pdb"
+  "CMakeFiles/bench_ext_rounding.dir/bench_ext_rounding.cpp.o"
+  "CMakeFiles/bench_ext_rounding.dir/bench_ext_rounding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_rounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_seeds"
+  "../bench/bench_ext_seeds.pdb"
+  "CMakeFiles/bench_ext_seeds.dir/bench_ext_seeds.cpp.o"
+  "CMakeFiles/bench_ext_seeds.dir/bench_ext_seeds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_variation"
+  "../bench/bench_ext_variation.pdb"
+  "CMakeFiles/bench_ext_variation.dir/bench_ext_variation.cpp.o"
+  "CMakeFiles/bench_ext_variation.dir/bench_ext_variation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

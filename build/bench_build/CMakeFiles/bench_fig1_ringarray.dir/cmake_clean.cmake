@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_ringarray"
+  "../bench/bench_fig1_ringarray.pdb"
+  "CMakeFiles/bench_fig1_ringarray.dir/bench_fig1_ringarray.cpp.o"
+  "CMakeFiles/bench_fig1_ringarray.dir/bench_fig1_ringarray.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_ringarray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_tapping"
+  "../bench/bench_fig2_tapping.pdb"
+  "CMakeFiles/bench_fig2_tapping.dir/bench_fig2_tapping.cpp.o"
+  "CMakeFiles/bench_fig2_tapping.dir/bench_fig2_tapping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_tapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

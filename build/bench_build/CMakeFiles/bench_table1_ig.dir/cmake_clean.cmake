@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_ig"
+  "../bench/bench_table1_ig.pdb"
+  "CMakeFiles/bench_table1_ig.dir/bench_table1_ig.cpp.o"
+  "CMakeFiles/bench_table1_ig.dir/bench_table1_ig.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_ig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_testcases"
+  "../bench/bench_table2_testcases.pdb"
+  "CMakeFiles/bench_table2_testcases.dir/bench_table2_testcases.cpp.o"
+  "CMakeFiles/bench_table2_testcases.dir/bench_table2_testcases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_testcases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_base"
+  "../bench/bench_table3_base.pdb"
+  "CMakeFiles/bench_table3_base.dir/bench_table3_base.cpp.o"
+  "CMakeFiles/bench_table3_base.dir/bench_table3_base.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_netflow"
+  "../bench/bench_table4_netflow.pdb"
+  "CMakeFiles/bench_table4_netflow.dir/bench_table4_netflow.cpp.o"
+  "CMakeFiles/bench_table4_netflow.dir/bench_table4_netflow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_netflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

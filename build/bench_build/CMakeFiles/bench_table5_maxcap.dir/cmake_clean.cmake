@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_maxcap"
+  "../bench/bench_table5_maxcap.pdb"
+  "CMakeFiles/bench_table5_maxcap.dir/bench_table5_maxcap.cpp.o"
+  "CMakeFiles/bench_table5_maxcap.dir/bench_table5_maxcap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_maxcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table7_wcp.cpp" "bench_build/CMakeFiles/bench_table7_wcp.dir/bench_table7_wcp.cpp.o" "gcc" "bench_build/CMakeFiles/bench_table7_wcp.dir/bench_table7_wcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_build/CMakeFiles/rotclk_bench_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rotclk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/rotclk_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/rotclk_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/localtree/CMakeFiles/rotclk_localtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/assign/CMakeFiles/rotclk_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rotclk_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/placer/CMakeFiles/rotclk_placer.dir/DependInfo.cmake"
+  "/root/repo/build/src/cts/CMakeFiles/rotclk_cts.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rotclk_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/rotclk_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/rotary/CMakeFiles/rotclk_rotary.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rotclk_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/rotclk_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/rotclk_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rotclk_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rotclk_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rotclk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

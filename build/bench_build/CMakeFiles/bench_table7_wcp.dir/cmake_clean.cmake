@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_wcp"
+  "../bench/bench_table7_wcp.pdb"
+  "CMakeFiles/bench_table7_wcp.dir/bench_table7_wcp.cpp.o"
+  "CMakeFiles/bench_table7_wcp.dir/bench_table7_wcp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_wcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

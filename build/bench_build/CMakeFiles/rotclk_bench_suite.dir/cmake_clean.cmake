@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotclk_bench_suite.dir/suite.cpp.o"
+  "CMakeFiles/rotclk_bench_suite.dir/suite.cpp.o.d"
+  "librotclk_bench_suite.a"
+  "librotclk_bench_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotclk_bench_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assignment_tradeoffs.dir/assignment_tradeoffs.cpp.o"
+  "CMakeFiles/assignment_tradeoffs.dir/assignment_tradeoffs.cpp.o.d"
+  "assignment_tradeoffs"
+  "assignment_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assignment_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_report.dir/circuit_report.cpp.o"
+  "CMakeFiles/circuit_report.dir/circuit_report.cpp.o.d"
+  "circuit_report"
+  "circuit_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotclk_cli.dir/rotclk_cli.cpp.o"
+  "CMakeFiles/rotclk_cli.dir/rotclk_cli.cpp.o.d"
+  "rotclk_cli"
+  "rotclk_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotclk_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

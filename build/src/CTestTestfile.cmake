@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geom")
+subdirs("netlist")
+subdirs("lp")
+subdirs("ilp")
+subdirs("graph")
+subdirs("rotary")
+subdirs("timing")
+subdirs("placer")
+subdirs("sched")
+subdirs("assign")
+subdirs("power")
+subdirs("cts")
+subdirs("localtree")
+subdirs("variation")
+subdirs("route")
+subdirs("core")

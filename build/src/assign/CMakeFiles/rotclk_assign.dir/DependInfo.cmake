@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assign/ilp_assign.cpp" "src/assign/CMakeFiles/rotclk_assign.dir/ilp_assign.cpp.o" "gcc" "src/assign/CMakeFiles/rotclk_assign.dir/ilp_assign.cpp.o.d"
+  "/root/repo/src/assign/netflow.cpp" "src/assign/CMakeFiles/rotclk_assign.dir/netflow.cpp.o" "gcc" "src/assign/CMakeFiles/rotclk_assign.dir/netflow.cpp.o.d"
+  "/root/repo/src/assign/problem.cpp" "src/assign/CMakeFiles/rotclk_assign.dir/problem.cpp.o" "gcc" "src/assign/CMakeFiles/rotclk_assign.dir/problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rotary/CMakeFiles/rotclk_rotary.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rotclk_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/rotclk_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rotclk_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/rotclk_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/rotclk_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rotclk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rotclk_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

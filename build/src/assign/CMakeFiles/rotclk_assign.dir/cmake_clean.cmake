@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotclk_assign.dir/ilp_assign.cpp.o"
+  "CMakeFiles/rotclk_assign.dir/ilp_assign.cpp.o.d"
+  "CMakeFiles/rotclk_assign.dir/netflow.cpp.o"
+  "CMakeFiles/rotclk_assign.dir/netflow.cpp.o.d"
+  "CMakeFiles/rotclk_assign.dir/problem.cpp.o"
+  "CMakeFiles/rotclk_assign.dir/problem.cpp.o.d"
+  "librotclk_assign.a"
+  "librotclk_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotclk_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/flow.cpp" "src/core/CMakeFiles/rotclk_core.dir/flow.cpp.o" "gcc" "src/core/CMakeFiles/rotclk_core.dir/flow.cpp.o.d"
+  "/root/repo/src/core/flow_report.cpp" "src/core/CMakeFiles/rotclk_core.dir/flow_report.cpp.o" "gcc" "src/core/CMakeFiles/rotclk_core.dir/flow_report.cpp.o.d"
+  "/root/repo/src/core/ring_explore.cpp" "src/core/CMakeFiles/rotclk_core.dir/ring_explore.cpp.o" "gcc" "src/core/CMakeFiles/rotclk_core.dir/ring_explore.cpp.o.d"
+  "/root/repo/src/core/svg_export.cpp" "src/core/CMakeFiles/rotclk_core.dir/svg_export.cpp.o" "gcc" "src/core/CMakeFiles/rotclk_core.dir/svg_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assign/CMakeFiles/rotclk_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rotclk_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/placer/CMakeFiles/rotclk_placer.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rotclk_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/rotary/CMakeFiles/rotclk_rotary.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/rotclk_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rotclk_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rotclk_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rotclk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/rotclk_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rotclk_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/rotclk_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

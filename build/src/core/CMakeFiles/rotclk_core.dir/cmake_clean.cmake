@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotclk_core.dir/flow.cpp.o"
+  "CMakeFiles/rotclk_core.dir/flow.cpp.o.d"
+  "CMakeFiles/rotclk_core.dir/flow_report.cpp.o"
+  "CMakeFiles/rotclk_core.dir/flow_report.cpp.o.d"
+  "CMakeFiles/rotclk_core.dir/ring_explore.cpp.o"
+  "CMakeFiles/rotclk_core.dir/ring_explore.cpp.o.d"
+  "CMakeFiles/rotclk_core.dir/svg_export.cpp.o"
+  "CMakeFiles/rotclk_core.dir/svg_export.cpp.o.d"
+  "librotclk_core.a"
+  "librotclk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotclk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

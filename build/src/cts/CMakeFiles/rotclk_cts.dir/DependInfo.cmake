@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cts/clock_mesh.cpp" "src/cts/CMakeFiles/rotclk_cts.dir/clock_mesh.cpp.o" "gcc" "src/cts/CMakeFiles/rotclk_cts.dir/clock_mesh.cpp.o.d"
+  "/root/repo/src/cts/clock_tree.cpp" "src/cts/CMakeFiles/rotclk_cts.dir/clock_tree.cpp.o" "gcc" "src/cts/CMakeFiles/rotclk_cts.dir/clock_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/rotclk_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/rotclk_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rotclk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rotclk_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotclk_cts.dir/clock_mesh.cpp.o"
+  "CMakeFiles/rotclk_cts.dir/clock_mesh.cpp.o.d"
+  "CMakeFiles/rotclk_cts.dir/clock_tree.cpp.o"
+  "CMakeFiles/rotclk_cts.dir/clock_tree.cpp.o.d"
+  "librotclk_cts.a"
+  "librotclk_cts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotclk_cts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

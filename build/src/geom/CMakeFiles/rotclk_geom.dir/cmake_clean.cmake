@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotclk_geom.dir/rect.cpp.o"
+  "CMakeFiles/rotclk_geom.dir/rect.cpp.o.d"
+  "librotclk_geom.a"
+  "librotclk_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotclk_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bellman_ford.cpp" "src/graph/CMakeFiles/rotclk_graph.dir/bellman_ford.cpp.o" "gcc" "src/graph/CMakeFiles/rotclk_graph.dir/bellman_ford.cpp.o.d"
+  "/root/repo/src/graph/circulation.cpp" "src/graph/CMakeFiles/rotclk_graph.dir/circulation.cpp.o" "gcc" "src/graph/CMakeFiles/rotclk_graph.dir/circulation.cpp.o.d"
+  "/root/repo/src/graph/diff_constraints.cpp" "src/graph/CMakeFiles/rotclk_graph.dir/diff_constraints.cpp.o" "gcc" "src/graph/CMakeFiles/rotclk_graph.dir/diff_constraints.cpp.o.d"
+  "/root/repo/src/graph/mcmf.cpp" "src/graph/CMakeFiles/rotclk_graph.dir/mcmf.cpp.o" "gcc" "src/graph/CMakeFiles/rotclk_graph.dir/mcmf.cpp.o.d"
+  "/root/repo/src/graph/min_mean_cycle.cpp" "src/graph/CMakeFiles/rotclk_graph.dir/min_mean_cycle.cpp.o" "gcc" "src/graph/CMakeFiles/rotclk_graph.dir/min_mean_cycle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rotclk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

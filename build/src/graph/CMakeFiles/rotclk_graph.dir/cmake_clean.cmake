@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotclk_graph.dir/bellman_ford.cpp.o"
+  "CMakeFiles/rotclk_graph.dir/bellman_ford.cpp.o.d"
+  "CMakeFiles/rotclk_graph.dir/circulation.cpp.o"
+  "CMakeFiles/rotclk_graph.dir/circulation.cpp.o.d"
+  "CMakeFiles/rotclk_graph.dir/diff_constraints.cpp.o"
+  "CMakeFiles/rotclk_graph.dir/diff_constraints.cpp.o.d"
+  "CMakeFiles/rotclk_graph.dir/mcmf.cpp.o"
+  "CMakeFiles/rotclk_graph.dir/mcmf.cpp.o.d"
+  "CMakeFiles/rotclk_graph.dir/min_mean_cycle.cpp.o"
+  "CMakeFiles/rotclk_graph.dir/min_mean_cycle.cpp.o.d"
+  "librotclk_graph.a"
+  "librotclk_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotclk_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotclk_ilp.dir/branch_bound.cpp.o"
+  "CMakeFiles/rotclk_ilp.dir/branch_bound.cpp.o.d"
+  "librotclk_ilp.a"
+  "librotclk_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotclk_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotclk_localtree.dir/local_tree.cpp.o"
+  "CMakeFiles/rotclk_localtree.dir/local_tree.cpp.o.d"
+  "librotclk_localtree.a"
+  "librotclk_localtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotclk_localtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rotclk_localtree.
+# This may be replaced when dependencies are built.

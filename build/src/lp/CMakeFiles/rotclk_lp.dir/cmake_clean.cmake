@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotclk_lp.dir/model.cpp.o"
+  "CMakeFiles/rotclk_lp.dir/model.cpp.o.d"
+  "CMakeFiles/rotclk_lp.dir/revised_simplex.cpp.o"
+  "CMakeFiles/rotclk_lp.dir/revised_simplex.cpp.o.d"
+  "CMakeFiles/rotclk_lp.dir/simplex.cpp.o"
+  "CMakeFiles/rotclk_lp.dir/simplex.cpp.o.d"
+  "librotclk_lp.a"
+  "librotclk_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotclk_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

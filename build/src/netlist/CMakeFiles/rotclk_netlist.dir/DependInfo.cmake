@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/bench_io.cpp" "src/netlist/CMakeFiles/rotclk_netlist.dir/bench_io.cpp.o" "gcc" "src/netlist/CMakeFiles/rotclk_netlist.dir/bench_io.cpp.o.d"
+  "/root/repo/src/netlist/benchmarks.cpp" "src/netlist/CMakeFiles/rotclk_netlist.dir/benchmarks.cpp.o" "gcc" "src/netlist/CMakeFiles/rotclk_netlist.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/netlist/buffering.cpp" "src/netlist/CMakeFiles/rotclk_netlist.dir/buffering.cpp.o" "gcc" "src/netlist/CMakeFiles/rotclk_netlist.dir/buffering.cpp.o.d"
+  "/root/repo/src/netlist/generator.cpp" "src/netlist/CMakeFiles/rotclk_netlist.dir/generator.cpp.o" "gcc" "src/netlist/CMakeFiles/rotclk_netlist.dir/generator.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/rotclk_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/rotclk_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/placement.cpp" "src/netlist/CMakeFiles/rotclk_netlist.dir/placement.cpp.o" "gcc" "src/netlist/CMakeFiles/rotclk_netlist.dir/placement.cpp.o.d"
+  "/root/repo/src/netlist/placement_io.cpp" "src/netlist/CMakeFiles/rotclk_netlist.dir/placement_io.cpp.o" "gcc" "src/netlist/CMakeFiles/rotclk_netlist.dir/placement_io.cpp.o.d"
+  "/root/repo/src/netlist/stats.cpp" "src/netlist/CMakeFiles/rotclk_netlist.dir/stats.cpp.o" "gcc" "src/netlist/CMakeFiles/rotclk_netlist.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/rotclk_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rotclk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotclk_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/rotclk_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/rotclk_netlist.dir/benchmarks.cpp.o"
+  "CMakeFiles/rotclk_netlist.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/rotclk_netlist.dir/buffering.cpp.o"
+  "CMakeFiles/rotclk_netlist.dir/buffering.cpp.o.d"
+  "CMakeFiles/rotclk_netlist.dir/generator.cpp.o"
+  "CMakeFiles/rotclk_netlist.dir/generator.cpp.o.d"
+  "CMakeFiles/rotclk_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/rotclk_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/rotclk_netlist.dir/placement.cpp.o"
+  "CMakeFiles/rotclk_netlist.dir/placement.cpp.o.d"
+  "CMakeFiles/rotclk_netlist.dir/placement_io.cpp.o"
+  "CMakeFiles/rotclk_netlist.dir/placement_io.cpp.o.d"
+  "CMakeFiles/rotclk_netlist.dir/stats.cpp.o"
+  "CMakeFiles/rotclk_netlist.dir/stats.cpp.o.d"
+  "librotclk_netlist.a"
+  "librotclk_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotclk_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placer/cg.cpp" "src/placer/CMakeFiles/rotclk_placer.dir/cg.cpp.o" "gcc" "src/placer/CMakeFiles/rotclk_placer.dir/cg.cpp.o.d"
+  "/root/repo/src/placer/multilevel.cpp" "src/placer/CMakeFiles/rotclk_placer.dir/multilevel.cpp.o" "gcc" "src/placer/CMakeFiles/rotclk_placer.dir/multilevel.cpp.o.d"
+  "/root/repo/src/placer/placer.cpp" "src/placer/CMakeFiles/rotclk_placer.dir/placer.cpp.o" "gcc" "src/placer/CMakeFiles/rotclk_placer.dir/placer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/rotclk_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rotclk_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rotclk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

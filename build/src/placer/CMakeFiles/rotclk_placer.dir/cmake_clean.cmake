@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotclk_placer.dir/cg.cpp.o"
+  "CMakeFiles/rotclk_placer.dir/cg.cpp.o.d"
+  "CMakeFiles/rotclk_placer.dir/multilevel.cpp.o"
+  "CMakeFiles/rotclk_placer.dir/multilevel.cpp.o.d"
+  "CMakeFiles/rotclk_placer.dir/placer.cpp.o"
+  "CMakeFiles/rotclk_placer.dir/placer.cpp.o.d"
+  "librotclk_placer.a"
+  "librotclk_placer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotclk_placer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

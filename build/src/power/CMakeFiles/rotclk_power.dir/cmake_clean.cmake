@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotclk_power.dir/power.cpp.o"
+  "CMakeFiles/rotclk_power.dir/power.cpp.o.d"
+  "librotclk_power.a"
+  "librotclk_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotclk_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rotary/array.cpp" "src/rotary/CMakeFiles/rotclk_rotary.dir/array.cpp.o" "gcc" "src/rotary/CMakeFiles/rotclk_rotary.dir/array.cpp.o.d"
+  "/root/repo/src/rotary/electrical.cpp" "src/rotary/CMakeFiles/rotclk_rotary.dir/electrical.cpp.o" "gcc" "src/rotary/CMakeFiles/rotclk_rotary.dir/electrical.cpp.o.d"
+  "/root/repo/src/rotary/load_balance.cpp" "src/rotary/CMakeFiles/rotclk_rotary.dir/load_balance.cpp.o" "gcc" "src/rotary/CMakeFiles/rotclk_rotary.dir/load_balance.cpp.o.d"
+  "/root/repo/src/rotary/ring.cpp" "src/rotary/CMakeFiles/rotclk_rotary.dir/ring.cpp.o" "gcc" "src/rotary/CMakeFiles/rotclk_rotary.dir/ring.cpp.o.d"
+  "/root/repo/src/rotary/tapping.cpp" "src/rotary/CMakeFiles/rotclk_rotary.dir/tapping.cpp.o" "gcc" "src/rotary/CMakeFiles/rotclk_rotary.dir/tapping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/rotclk_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rotclk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotclk_rotary.dir/array.cpp.o"
+  "CMakeFiles/rotclk_rotary.dir/array.cpp.o.d"
+  "CMakeFiles/rotclk_rotary.dir/electrical.cpp.o"
+  "CMakeFiles/rotclk_rotary.dir/electrical.cpp.o.d"
+  "CMakeFiles/rotclk_rotary.dir/load_balance.cpp.o"
+  "CMakeFiles/rotclk_rotary.dir/load_balance.cpp.o.d"
+  "CMakeFiles/rotclk_rotary.dir/ring.cpp.o"
+  "CMakeFiles/rotclk_rotary.dir/ring.cpp.o.d"
+  "CMakeFiles/rotclk_rotary.dir/tapping.cpp.o"
+  "CMakeFiles/rotclk_rotary.dir/tapping.cpp.o.d"
+  "librotclk_rotary.a"
+  "librotclk_rotary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotclk_rotary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

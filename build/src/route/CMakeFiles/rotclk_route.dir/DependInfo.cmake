@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/congestion.cpp" "src/route/CMakeFiles/rotclk_route.dir/congestion.cpp.o" "gcc" "src/route/CMakeFiles/rotclk_route.dir/congestion.cpp.o.d"
+  "/root/repo/src/route/net_length.cpp" "src/route/CMakeFiles/rotclk_route.dir/net_length.cpp.o" "gcc" "src/route/CMakeFiles/rotclk_route.dir/net_length.cpp.o.d"
+  "/root/repo/src/route/steiner.cpp" "src/route/CMakeFiles/rotclk_route.dir/steiner.cpp.o" "gcc" "src/route/CMakeFiles/rotclk_route.dir/steiner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/rotclk_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rotclk_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rotclk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

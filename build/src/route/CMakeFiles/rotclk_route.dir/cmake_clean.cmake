@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotclk_route.dir/congestion.cpp.o"
+  "CMakeFiles/rotclk_route.dir/congestion.cpp.o.d"
+  "CMakeFiles/rotclk_route.dir/net_length.cpp.o"
+  "CMakeFiles/rotclk_route.dir/net_length.cpp.o.d"
+  "CMakeFiles/rotclk_route.dir/steiner.cpp.o"
+  "CMakeFiles/rotclk_route.dir/steiner.cpp.o.d"
+  "librotclk_route.a"
+  "librotclk_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotclk_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

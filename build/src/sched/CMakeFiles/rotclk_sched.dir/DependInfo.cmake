@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cost_driven.cpp" "src/sched/CMakeFiles/rotclk_sched.dir/cost_driven.cpp.o" "gcc" "src/sched/CMakeFiles/rotclk_sched.dir/cost_driven.cpp.o.d"
+  "/root/repo/src/sched/permissible.cpp" "src/sched/CMakeFiles/rotclk_sched.dir/permissible.cpp.o" "gcc" "src/sched/CMakeFiles/rotclk_sched.dir/permissible.cpp.o.d"
+  "/root/repo/src/sched/robust.cpp" "src/sched/CMakeFiles/rotclk_sched.dir/robust.cpp.o" "gcc" "src/sched/CMakeFiles/rotclk_sched.dir/robust.cpp.o.d"
+  "/root/repo/src/sched/skew.cpp" "src/sched/CMakeFiles/rotclk_sched.dir/skew.cpp.o" "gcc" "src/sched/CMakeFiles/rotclk_sched.dir/skew.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timing/CMakeFiles/rotclk_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rotclk_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/rotclk_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rotclk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rotclk_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rotclk_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

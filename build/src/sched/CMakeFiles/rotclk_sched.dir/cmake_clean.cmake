@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotclk_sched.dir/cost_driven.cpp.o"
+  "CMakeFiles/rotclk_sched.dir/cost_driven.cpp.o.d"
+  "CMakeFiles/rotclk_sched.dir/permissible.cpp.o"
+  "CMakeFiles/rotclk_sched.dir/permissible.cpp.o.d"
+  "CMakeFiles/rotclk_sched.dir/robust.cpp.o"
+  "CMakeFiles/rotclk_sched.dir/robust.cpp.o.d"
+  "CMakeFiles/rotclk_sched.dir/skew.cpp.o"
+  "CMakeFiles/rotclk_sched.dir/skew.cpp.o.d"
+  "librotclk_sched.a"
+  "librotclk_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotclk_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotclk_timing.dir/delay.cpp.o"
+  "CMakeFiles/rotclk_timing.dir/delay.cpp.o.d"
+  "CMakeFiles/rotclk_timing.dir/report.cpp.o"
+  "CMakeFiles/rotclk_timing.dir/report.cpp.o.d"
+  "CMakeFiles/rotclk_timing.dir/slack.cpp.o"
+  "CMakeFiles/rotclk_timing.dir/slack.cpp.o.d"
+  "CMakeFiles/rotclk_timing.dir/ssta.cpp.o"
+  "CMakeFiles/rotclk_timing.dir/ssta.cpp.o.d"
+  "CMakeFiles/rotclk_timing.dir/sta.cpp.o"
+  "CMakeFiles/rotclk_timing.dir/sta.cpp.o.d"
+  "librotclk_timing.a"
+  "librotclk_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotclk_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

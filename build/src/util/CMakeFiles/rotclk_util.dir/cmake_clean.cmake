@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotclk_util.dir/logging.cpp.o"
+  "CMakeFiles/rotclk_util.dir/logging.cpp.o.d"
+  "CMakeFiles/rotclk_util.dir/strings.cpp.o"
+  "CMakeFiles/rotclk_util.dir/strings.cpp.o.d"
+  "CMakeFiles/rotclk_util.dir/table.cpp.o"
+  "CMakeFiles/rotclk_util.dir/table.cpp.o.d"
+  "librotclk_util.a"
+  "librotclk_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotclk_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/variation/skew_variation.cpp" "src/variation/CMakeFiles/rotclk_variation.dir/skew_variation.cpp.o" "gcc" "src/variation/CMakeFiles/rotclk_variation.dir/skew_variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cts/CMakeFiles/rotclk_cts.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/rotclk_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rotclk_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rotclk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rotclk_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

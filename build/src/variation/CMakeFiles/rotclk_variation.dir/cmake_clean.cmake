@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotclk_variation.dir/skew_variation.cpp.o"
+  "CMakeFiles/rotclk_variation.dir/skew_variation.cpp.o.d"
+  "librotclk_variation.a"
+  "librotclk_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotclk_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librotclk_variation.a"
+)

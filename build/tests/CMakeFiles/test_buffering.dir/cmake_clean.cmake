@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buffering.dir/test_buffering.cpp.o"
+  "CMakeFiles/test_buffering.dir/test_buffering.cpp.o.d"
+  "test_buffering"
+  "test_buffering.pdb"
+  "test_buffering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

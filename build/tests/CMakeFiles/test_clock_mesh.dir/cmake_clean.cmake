@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clock_mesh.dir/test_clock_mesh.cpp.o"
+  "CMakeFiles/test_clock_mesh.dir/test_clock_mesh.cpp.o.d"
+  "test_clock_mesh"
+  "test_clock_mesh.pdb"
+  "test_clock_mesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clock_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

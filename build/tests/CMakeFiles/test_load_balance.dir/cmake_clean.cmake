@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_load_balance.dir/test_load_balance.cpp.o"
+  "CMakeFiles/test_load_balance.dir/test_load_balance.cpp.o.d"
+  "test_load_balance"
+  "test_load_balance.pdb"
+  "test_load_balance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_localtree.dir/test_localtree.cpp.o"
+  "CMakeFiles/test_localtree.dir/test_localtree.cpp.o.d"
+  "test_localtree"
+  "test_localtree.pdb"
+  "test_localtree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_localtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ring_explore.dir/test_ring_explore.cpp.o"
+  "CMakeFiles/test_ring_explore.dir/test_ring_explore.cpp.o.d"
+  "test_ring_explore"
+  "test_ring_explore.pdb"
+  "test_ring_explore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ring_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rotary.dir/test_rotary.cpp.o"
+  "CMakeFiles/test_rotary.dir/test_rotary.cpp.o.d"
+  "test_rotary"
+  "test_rotary.pdb"
+  "test_rotary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rotary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing_report.dir/test_timing_report.cpp.o"
+  "CMakeFiles/test_timing_report.dir/test_timing_report.cpp.o.d"
+  "test_timing_report"
+  "test_timing_report.pdb"
+  "test_timing_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
