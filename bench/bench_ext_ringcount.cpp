@@ -17,6 +17,9 @@ int main() {
     core::RingExploreConfig cfg;
     cfg.candidates = {4, 9, 16, 25, 36, 49};
     cfg.flow.max_iterations = 3;
+    // Candidates are independent pipeline runs; the parallel explorer is
+    // deterministic (same pick as serial), so use all cores.
+    cfg.parallel = true;
     const core::RingExploreResult r = core::explore_ring_counts(d, cfg);
 
     util::Table table(std::string("Extension (Sec. IX): ring-count sweep, ") +

@@ -19,6 +19,8 @@
 //   --save-placement F  write the final placement (.pl text format)
 //   --load-placement F  start from a saved placement (skips stage 1)
 //   --svg FILE          render the final layout (die, rings, taps) as SVG
+//   --trace FILE        write a JSON pipeline trace (per-stage wall times
+//                       and per-iteration metrics)
 //   --complement        allow complementary-phase taps (polarity flip)
 //   --buffered-taps     drive tapping stubs through buffers (Sec. III)
 //   --quiet             suppress the progress table, print the summary only
@@ -31,6 +33,7 @@
 #include "core/flow.hpp"
 #include "core/flow_report.hpp"
 #include "core/svg_export.hpp"
+#include "core/trace.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/benchmarks.hpp"
 #include "netlist/placement_io.hpp"
@@ -52,6 +55,7 @@ struct CliOptions {
   std::optional<std::string> save_placement;
   std::optional<std::string> load_placement;
   std::optional<std::string> svg_file;
+  std::optional<std::string> trace_file;
   bool complement = false;
   bool buffered_taps = false;
   bool quiet = false;
@@ -83,6 +87,7 @@ CliOptions parse(int argc, char** argv) {
     else if (a == "--save-placement") opt.save_placement = need_value(i, a);
     else if (a == "--load-placement") opt.load_placement = need_value(i, a);
     else if (a == "--svg") opt.svg_file = need_value(i, a);
+    else if (a == "--trace") opt.trace_file = need_value(i, a);
     else if (a == "--complement") opt.complement = true;
     else if (a == "--buffered-taps") opt.buffered_taps = true;
     else if (a == "--quiet") opt.quiet = true;
@@ -125,6 +130,11 @@ int main(int argc, char** argv) {
   }());
 
   core::RotaryFlow flow(design, cfg);
+  std::optional<core::JsonTraceObserver> trace;
+  if (opt.trace_file) {
+    trace.emplace(*opt.trace_file);  // written at flow end
+    flow.add_observer(&*trace);
+  }
   const core::FlowResult result =
       opt.load_placement
           ? flow.run_with_placement(

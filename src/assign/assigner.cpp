@@ -1,0 +1,45 @@
+#include "assign/assigner.hpp"
+
+#include <algorithm>
+
+#include "assign/error.hpp"
+#include "assign/ilp_assign.hpp"
+#include "assign/netflow.hpp"
+
+namespace rotclk::assign {
+
+Assignment NetflowAssigner::assign(const netlist::Design& design,
+                                   const netlist::Placement& placement,
+                                   const rotary::RingArray& rings,
+                                   const std::vector<double>& arrival_ps,
+                                   const timing::TechParams& tech,
+                                   const AssignProblemConfig& config,
+                                   AssignProblem& problem_out) const {
+  int k = config.candidates_per_ff;
+  while (true) {
+    AssignProblemConfig cfg = config;
+    cfg.candidates_per_ff = k;
+    problem_out =
+        build_assign_problem(design, placement, rings, arrival_ps, tech, cfg);
+    try {
+      return assign_netflow(problem_out);
+    } catch (const InfeasibleError&) {
+      if (k >= rings.size()) throw;  // already considered every ring
+      k = std::min(rings.size(), k * 2);
+    }
+  }
+}
+
+Assignment MinMaxCapAssigner::assign(const netlist::Design& design,
+                                     const netlist::Placement& placement,
+                                     const rotary::RingArray& rings,
+                                     const std::vector<double>& arrival_ps,
+                                     const timing::TechParams& tech,
+                                     const AssignProblemConfig& config,
+                                     AssignProblem& problem_out) const {
+  problem_out =
+      build_assign_problem(design, placement, rings, arrival_ps, tech, config);
+  return assign_min_max_cap(problem_out).assignment;
+}
+
+}  // namespace rotclk::assign

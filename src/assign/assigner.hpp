@@ -1,0 +1,70 @@
+#pragma once
+// Strategy interface for stage 3 of the flow: flip-flop -> ring assignment.
+//
+// The two formulations of the paper — total-tapping-wirelength network flow
+// (Sec. V) and min-max ring load capacitance (Sec. VI) — share one
+// interface so the flow pipeline selects the formulation once, at
+// construction, instead of branching on an enum every iteration.
+//
+// An Assigner owns the whole stage: it builds the candidate-arc problem at
+// the given placement/targets and solves it, including any retry policy
+// (NetflowAssigner doubles candidates_per_ff when the pruned arcs cannot
+// route every flip-flop).
+
+#include <memory>
+#include <vector>
+
+#include "assign/problem.hpp"
+
+namespace rotclk::assign {
+
+class Assigner {
+ public:
+  virtual ~Assigner() = default;
+
+  /// Human-readable strategy name (for logs and traces).
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Build the candidate problem at `placement` / `arrival_ps` and solve
+  /// it. `problem_out` receives the problem actually solved (a retry may
+  /// rebuild it with a larger candidate set than `config` asked for).
+  virtual Assignment assign(const netlist::Design& design,
+                            const netlist::Placement& placement,
+                            const rotary::RingArray& rings,
+                            const std::vector<double>& arrival_ps,
+                            const timing::TechParams& tech,
+                            const AssignProblemConfig& config,
+                            AssignProblem& problem_out) const = 0;
+};
+
+/// Sec. V: exact min-cost-flow assignment minimizing total tapping
+/// wirelength under ring capacities. On InfeasibleError the candidate set
+/// is doubled (up to every ring) and the problem rebuilt.
+class NetflowAssigner final : public Assigner {
+ public:
+  [[nodiscard]] const char* name() const override { return "network-flow"; }
+  Assignment assign(const netlist::Design& design,
+                    const netlist::Placement& placement,
+                    const rotary::RingArray& rings,
+                    const std::vector<double>& arrival_ps,
+                    const timing::TechParams& tech,
+                    const AssignProblemConfig& config,
+                    AssignProblem& problem_out) const override;
+};
+
+/// Sec. VI: LP relaxation + greedy rounding (Fig. 5) minimizing the worst
+/// ring load capacitance. Every flip-flop always has a candidate, so no
+/// retry policy is needed.
+class MinMaxCapAssigner final : public Assigner {
+ public:
+  [[nodiscard]] const char* name() const override { return "ilp-min-max-cap"; }
+  Assignment assign(const netlist::Design& design,
+                    const netlist::Placement& placement,
+                    const rotary::RingArray& rings,
+                    const std::vector<double>& arrival_ps,
+                    const timing::TechParams& tech,
+                    const AssignProblemConfig& config,
+                    AssignProblem& problem_out) const override;
+};
+
+}  // namespace rotclk::assign

@@ -1,0 +1,22 @@
+#pragma once
+// Assignment-specific error types.
+
+#include <stdexcept>
+#include <string>
+
+namespace rotclk::assign {
+
+/// Thrown when an assignment problem instance admits no complete
+/// flip-flop -> ring assignment (pruned candidate arcs cannot route every
+/// flip-flop, or the ring capacities sum below the flip-flop count).
+///
+/// Distinct from std::runtime_error so retry policies (candidate-set
+/// doubling in NetflowAssigner) react only to genuine infeasibility and
+/// never swallow unrelated failures.
+class InfeasibleError : public std::runtime_error {
+ public:
+  explicit InfeasibleError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace rotclk::assign

@@ -1,8 +1,8 @@
 #include "assign/netflow.hpp"
 
 #include <numeric>
-#include <stdexcept>
 
+#include "assign/error.hpp"
 #include "graph/mcmf.hpp"
 
 namespace rotclk::assign {
@@ -13,7 +13,7 @@ Assignment assign_netflow(const AssignProblem& problem) {
   const long total_cap = std::accumulate(problem.ring_capacity.begin(),
                                          problem.ring_capacity.end(), 0L);
   if (total_cap < f)
-    throw std::runtime_error("assign_netflow: ring capacities below #FFs");
+    throw InfeasibleError("assign_netflow: ring capacities below #FFs");
 
   // Node layout: 0 = source, 1..f = flip-flops, f+1..f+r = rings, f+r+1 = target.
   const int source = 0;
@@ -33,7 +33,7 @@ Assignment assign_netflow(const AssignProblem& problem) {
 
   const auto res = flow.solve(source, target, static_cast<double>(f));
   if (res.flow < static_cast<double>(f) - 0.5)
-    throw std::runtime_error(
+    throw InfeasibleError(
         "assign_netflow: candidate arcs cannot route all flip-flops; "
         "increase candidates_per_ff");
 

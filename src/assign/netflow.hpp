@@ -8,15 +8,18 @@
 // network yields an optimal 0-1 assignment in polynomial time [22].
 //
 // If the pruned candidate set cannot route every flip-flop (all its nearby
-// rings saturated), the solver throws: the caller should rebuild the
-// problem with a larger candidates_per_ff. Total ring capacity must be at
-// least the number of flip-flops.
+// rings saturated), the solver throws assign::InfeasibleError: the caller
+// should rebuild the problem with a larger candidates_per_ff (see
+// NetflowAssigner in assigner.hpp for the standard retry policy). Total
+// ring capacity must be at least the number of flip-flops.
 
+#include "assign/error.hpp"
 #include "assign/problem.hpp"
 
 namespace rotclk::assign {
 
-/// Solve the Sec. V formulation exactly.
+/// Solve the Sec. V formulation exactly. Throws InfeasibleError when no
+/// complete assignment exists for this problem instance.
 Assignment assign_netflow(const AssignProblem& problem);
 
 }  // namespace rotclk::assign

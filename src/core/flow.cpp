@@ -1,16 +1,9 @@
 #include "core/flow.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
-#include "assign/ilp_assign.hpp"
-#include "assign/netflow.hpp"
-#include "sched/cost_driven.hpp"
-#include "sched/skew.hpp"
-#include "timing/sta.hpp"
-#include "util/logging.hpp"
-#include "util/timer.hpp"
+#include "core/pipeline.hpp"
+#include "core/stages.hpp"
 
 namespace rotclk::core {
 
@@ -23,7 +16,25 @@ const char* to_string(AssignMode mode) {
 }
 
 RotaryFlow::RotaryFlow(const netlist::Design& design, FlowConfig config)
-    : design_(design), config_(std::move(config)) {}
+    : design_(design), config_(std::move(config)) {
+  // Collapse the config enums into strategies once, here, instead of
+  // branching inside the iteration loop.
+  switch (config_.assign_mode) {
+    case AssignMode::NetworkFlow:
+      assigner_ = std::make_unique<assign::NetflowAssigner>();
+      break;
+    case AssignMode::MinMaxCap:
+      assigner_ = std::make_unique<assign::MinMaxCapAssigner>();
+      break;
+  }
+  skew_optimizer_ = sched::make_skew_optimizer(config_.weighted_cost_driven);
+}
+
+RotaryFlow::~RotaryFlow() = default;
+
+void RotaryFlow::add_observer(FlowObserver* observer) {
+  observers_.push_back(observer);
+}
 
 const rotary::RingArray& RotaryFlow::rings() const {
   if (!rings_) throw std::runtime_error("flow: run() has not executed");
@@ -35,194 +46,43 @@ IterationMetrics RotaryFlow::evaluate(const netlist::Placement& placement,
                                       const assign::AssignProblem& problem,
                                       const assign::Assignment& assignment,
                                       int iteration) const {
-  IterationMetrics m;
-  m.iteration = iteration;
-  m.tap_wl_um = assignment.total_tap_cost_um;
-  m.signal_wl_um = placement.total_hpwl(design_);
-  m.total_wl_um = m.tap_wl_um + m.signal_wl_um;
-  m.max_ring_cap_ff = assignment.max_ring_cap_ff;
-  double dist_sum = 0.0;
-  for (int i = 0; i < problem.num_ffs(); ++i) {
-    const int ring = assignment.ring_of(problem, i);
-    const geom::Point loc =
-        placement.loc(problem.ff_cells[static_cast<std::size_t>(i)]);
-    dist_sum += rings.distance_to_ring(ring < 0 ? rings.nearest_ring(loc) : ring,
-                                       loc);
-  }
-  m.afd_um = problem.num_ffs() > 0
-                 ? dist_sum / static_cast<double>(problem.num_ffs())
-                 : 0.0;
-  m.power = power::evaluate_power(design_, placement, m.tap_wl_um,
-                                  config_.tech);
-  m.overall_cost = config_.cost_tap_weight * m.tap_wl_um +
-                   config_.cost_signal_weight * m.signal_wl_um;
-  return m;
+  return evaluate_metrics(design_, config_, placement, rings, problem,
+                          assignment, iteration);
 }
 
 FlowResult RotaryFlow::run() {
-  util::Timer placer_timer;
-  const geom::Rect die =
-      netlist::size_die(design_, config_.die_utilization);
-  // --- stage 1: initial placement ----------------------------------------
-  placer::Placer placer(design_, config_.placer);
-  netlist::Placement placement = placer.place_initial(die);
-  return run_stages_2_to_6(std::move(placement), placer_timer.seconds());
+  const geom::Rect die = netlist::size_die(design_, config_.die_utilization);
+  return execute(netlist::Placement(design_, die),
+                 /*with_initial_placement=*/true);
 }
 
 FlowResult RotaryFlow::run_with_placement(netlist::Placement initial) {
   if (initial.size() != design_.cells().size())
     throw std::runtime_error(
         "flow: placement does not match the design (cell count)");
-  return run_stages_2_to_6(std::move(initial), 0.0);
+  return execute(std::move(initial), /*with_initial_placement=*/false);
 }
 
-FlowResult RotaryFlow::run_stages_2_to_6(netlist::Placement placement,
-                                         double placer_seconds) {
-  util::Timer placer_timer;
-  const geom::Rect die = placement.die();
-  placer::Placer placer(design_, config_.placer);
+FlowResult RotaryFlow::execute(netlist::Placement placement,
+                               bool with_initial_placement) {
+  FlowContext ctx(design_, config_, *assigner_, *skew_optimizer_,
+                  std::move(placement));
+  FlowPipeline pipeline = make_standard_pipeline(with_initial_placement);
+  for (FlowObserver* o : observers_) pipeline.add_observer(o);
+  pipeline.run(ctx);
+  rings_ = std::move(ctx.rings);
 
-  rings_ = std::make_unique<rotary::RingArray>(die, config_.ring_config);
-  rings_->set_uniform_capacity(design_.num_flip_flops(),
-                               config_.capacity_factor);
-
-  util::Timer algo_timer;
-  // --- stage 2: max-slack skew scheduling --------------------------------
-  std::vector<timing::SeqArc> arcs =
-      timing::extract_sequential_adjacency(design_, placement, config_.tech);
-  const int num_ffs = design_.num_flip_flops();
-  sched::ScheduleResult schedule =
-      sched::max_slack_schedule(num_ffs, arcs, config_.tech);
-  if (!schedule.feasible)
-    throw std::runtime_error("flow: max-slack scheduling infeasible");
-  const double m_star = schedule.slack_ps;
-  const double m_used = std::isfinite(m_star)
-                            ? (m_star > 0.0 ? config_.slack_fraction * m_star
-                                            : m_star)
-                            : 0.0;
-  std::vector<double> arrival = schedule.arrival_ps;
-
-  assign::AssignProblemConfig pcfg;
-  pcfg.candidates_per_ff = config_.candidates_per_ff;
-  pcfg.tapping = config_.tapping;
-
-  auto assign_once = [&](const netlist::Placement& pl,
-                         const std::vector<double>& targets,
-                         assign::AssignProblem& problem_out) {
-    int k = pcfg.candidates_per_ff;
-    while (true) {
-      assign::AssignProblemConfig cfg = pcfg;
-      cfg.candidates_per_ff = k;
-      problem_out = assign::build_assign_problem(design_, pl, *rings_,
-                                                 targets, config_.tech, cfg);
-      if (config_.assign_mode == AssignMode::MinMaxCap)
-        return assign::assign_min_max_cap(problem_out).assignment;
-      try {
-        return assign::assign_netflow(problem_out);
-      } catch (const std::runtime_error&) {
-        if (k >= rings_->size()) throw;  // already considered every ring
-        k = std::min(rings_->size(), k * 2);
-      }
-    }
-  };
-
-  FlowResult result{netlist::Placement(design_, die), {}, {}, {}, 0.0, 0.0,
-                    {}, 0.0, 0.0, 0};
-  result.slack_ps = m_star;
-  result.stage4_slack_ps = m_used;
-
-  // --- stage 3 (first pass): the base case --------------------------------
-  assign::AssignProblem problem;
-  assign::Assignment assignment = assign_once(placement, arrival, problem);
-  result.history.push_back(
-      evaluate(placement, *rings_, problem, assignment, 0));
-  util::debug("flow base: tap=", result.history.back().tap_wl_um,
-              " signal=", result.history.back().signal_wl_um);
-
-  // Best-so-far snapshot (the flow may overshoot past its best state).
-  struct Snapshot {
-    netlist::Placement placement;
-    std::vector<double> arrival;
-    assign::AssignProblem problem;
-    assign::Assignment assignment;
-    double cost;
-    int iteration;
-  };
-  Snapshot best{placement, arrival, problem, assignment,
-                result.history.back().overall_cost, 0};
-
-  // --- stages 4-6 loop -----------------------------------------------------
-  double prev_cost = result.history.back().overall_cost;
-  for (int it = 1; it <= config_.max_iterations; ++it) {
-    // stage 4: cost-driven skew re-optimization toward the assigned rings.
-    std::vector<sched::TapAnchor> anchors(static_cast<std::size_t>(num_ffs));
-    std::vector<double> weights(static_cast<std::size_t>(num_ffs), 1.0);
-    for (int i = 0; i < num_ffs; ++i) {
-      const int ring = assignment.ring_of(problem, i);
-      const geom::Point loc =
-          placement.loc(problem.ff_cells[static_cast<std::size_t>(i)]);
-      const int rj = ring < 0 ? rings_->nearest_ring(loc) : ring;
-      double dist = 0.0;
-      const rotary::RingPos c = rings_->ring(rj).closest_point(loc, &dist);
-      anchors[static_cast<std::size_t>(i)].anchor_ps =
-          rings_->ring(rj).delay_at(c);
-      anchors[static_cast<std::size_t>(i)].stub_ps =
-          config_.tech.wire_delay_ps(dist, config_.tech.ff_input_cap_ff);
-      weights[static_cast<std::size_t>(i)] = dist;  // w_i = l_i (paper)
-    }
-    sched::CostDrivenResult cd =
-        config_.weighted_cost_driven
-            ? sched::cost_driven_weighted(num_ffs, arcs, config_.tech,
-                                          anchors, weights, m_used)
-            : sched::cost_driven_min_max(num_ffs, arcs, config_.tech,
-                                         anchors, m_used);
-    if (cd.feasible) arrival = cd.arrival_ps;
-
-    // stage 3 (re-run with the new targets at the current placement).
-    assignment = assign_once(placement, arrival, problem);
-
-    // stage 5: evaluate and test convergence.
-    IterationMetrics metrics =
-        evaluate(placement, *rings_, problem, assignment, it);
-    result.history.push_back(metrics);
-    result.iterations_run = it;
-    if (metrics.overall_cost < best.cost) {
-      best = Snapshot{placement, arrival, problem, assignment,
-                      metrics.overall_cost, it};
-    }
-    const double gain = (prev_cost - metrics.overall_cost) /
-                        std::max(prev_cost, 1e-12);
-    prev_cost = std::min(prev_cost, metrics.overall_cost);
-    if (it > 1 && gain < config_.convergence_tolerance) break;
-    if (it == config_.max_iterations) break;
-
-    // stage 6: incremental placement with pseudo nets to the tap points.
-    std::vector<placer::PseudoNet> pseudo;
-    pseudo.reserve(static_cast<std::size_t>(num_ffs));
-    for (int i = 0; i < num_ffs; ++i) {
-      const int a = assignment.arc_of_ff[static_cast<std::size_t>(i)];
-      if (a < 0) continue;
-      placer::PseudoNet pn;
-      pn.cell = problem.ff_cells[static_cast<std::size_t>(i)];
-      pn.target = problem.arcs[static_cast<std::size_t>(a)].tap.tap_point;
-      pn.weight = config_.pseudo_net_weight;
-      pseudo.push_back(pn);
-    }
-    result.algo_seconds += algo_timer.seconds();
-    placer_timer.reset();
-    placement = placer.place_incremental(placement, pseudo);
-    placer_seconds += placer_timer.seconds();
-    algo_timer.reset();
-
-    // Placement moved: refresh timing arcs for the next stage-4 pass.
-    arcs = timing::extract_sequential_adjacency(design_, placement,
-                                                config_.tech);
-  }
-  result.algo_seconds += algo_timer.seconds();
-  result.placer_seconds = placer_seconds;
+  FlowResult result;
+  result.slack_ps = ctx.slack_star_ps;
+  result.stage4_slack_ps = ctx.slack_used_ps;
+  result.history = std::move(ctx.history);
+  result.iterations_run = static_cast<int>(result.history.size()) - 1;
+  result.algo_seconds = ctx.algo_seconds;
+  result.placer_seconds = ctx.placer_seconds;
+  FlowContext::Snapshot& best = *ctx.best;
   result.best_iteration = best.iteration;
   result.placement = std::move(best.placement);
-  result.arrival_ps = std::move(best.arrival);
+  result.arrival_ps = std::move(best.arrival_ps);
   result.problem = std::move(best.problem);
   result.assignment = std::move(best.assignment);
   return result;

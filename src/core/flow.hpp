@@ -9,6 +9,14 @@
 //   stage 6  incremental placement with pseudo nets (placer)
 //   ... iterate 3-6 until the weighted total cost stops improving.
 //
+// RotaryFlow is a thin facade over the stage pipeline in core/pipeline.hpp
+// and core/stages.hpp: each stage is a Stage implementation, the
+// assignment formulation is an assign::Assigner strategy and the stage-4
+// flavor a sched::SkewOptimizer strategy, both selected once at
+// construction from FlowConfig. Attach FlowObservers (core/trace.hpp has a
+// ready-made JSON tracer) to watch per-stage timings and per-iteration
+// metrics of a run.
+//
 // The FlowResult keeps a per-iteration metrics history; iteration 0 is the
 // paper's "base case" (Table III): network-flow assignment right after the
 // initial placement, before any pseudo-net iteration.
@@ -16,15 +24,19 @@
 #include <memory>
 #include <vector>
 
+#include "assign/assigner.hpp"
 #include "assign/problem.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/placement.hpp"
 #include "placer/placer.hpp"
 #include "power/power.hpp"
 #include "rotary/array.hpp"
+#include "sched/skew_optimizer.hpp"
 #include "timing/tech.hpp"
 
 namespace rotclk::core {
+
+class FlowObserver;  // core/pipeline.hpp
 
 enum class AssignMode {
   NetworkFlow,  ///< Sec. V: minimize total tapping wirelength
@@ -72,6 +84,9 @@ struct IterationMetrics {
   double overall_cost = 0.0;        ///< stage-5 weighted sum
 };
 
+/// Every field default-initializes (the placement to an empty zero-die
+/// table); the flow fills them in as it runs, so no caller ever spells out
+/// a positional aggregate.
 struct FlowResult {
   netlist::Placement placement;     ///< final (legalized) placement
   std::vector<double> arrival_ps;   ///< final delay targets per flip-flop
@@ -96,6 +111,7 @@ struct FlowResult {
 class RotaryFlow {
  public:
   RotaryFlow(const netlist::Design& design, FlowConfig config);
+  ~RotaryFlow();
 
   /// Run the full methodology. The ring array is constructed over the die
   /// from config.ring_config.
@@ -106,8 +122,18 @@ class RotaryFlow {
   /// (netlist/placement_io.hpp) or to plug in an external placer.
   FlowResult run_with_placement(netlist::Placement initial);
 
+  /// Attach an observer (not owned; must outlive the run). Observers see
+  /// every stage begin/end with wall time and every iteration's metrics.
+  void add_observer(FlowObserver* observer);
+
   /// The ring array used by the last run() (valid afterwards).
   [[nodiscard]] const rotary::RingArray& rings() const;
+
+  /// The strategies selected from the config at construction.
+  [[nodiscard]] const assign::Assigner& assigner() const { return *assigner_; }
+  [[nodiscard]] const sched::SkewOptimizer& skew_optimizer() const {
+    return *skew_optimizer_;
+  }
 
   /// Metrics snapshot for an arbitrary state (used by benches).
   IterationMetrics evaluate(const netlist::Placement& placement,
@@ -117,11 +143,13 @@ class RotaryFlow {
                             int iteration) const;
 
  private:
-  FlowResult run_stages_2_to_6(netlist::Placement placement,
-                               double placer_seconds);
+  FlowResult execute(netlist::Placement placement, bool with_initial_placement);
 
   const netlist::Design& design_;
   FlowConfig config_;
+  std::unique_ptr<assign::Assigner> assigner_;
+  std::unique_ptr<sched::SkewOptimizer> skew_optimizer_;
+  std::vector<FlowObserver*> observers_;
   std::unique_ptr<rotary::RingArray> rings_;
 };
 

@@ -1,0 +1,101 @@
+#include "core/pipeline.hpp"
+
+#include "timing/sta.hpp"
+#include "util/timer.hpp"
+
+namespace rotclk::core {
+
+FlowContext::FlowContext(const netlist::Design& design_in,
+                         const FlowConfig& config_in,
+                         const assign::Assigner& assigner_in,
+                         const sched::SkewOptimizer& skew_optimizer_in,
+                         netlist::Placement initial_placement)
+    : design(design_in),
+      config(config_in),
+      assigner(assigner_in),
+      skew_optimizer(skew_optimizer_in),
+      placer(design_in, config_in.placer),
+      placement(std::move(initial_placement)) {
+  assign_config.candidates_per_ff = config.candidates_per_ff;
+  assign_config.tapping = config.tapping;
+}
+
+void FlowContext::refresh_arcs() {
+  if (!arcs_stale) return;
+  arcs = timing::extract_sequential_adjacency(design, placement, config.tech);
+  arcs_stale = false;
+}
+
+Stage& FlowPipeline::add_setup(std::unique_ptr<Stage> stage) {
+  setup_.push_back(std::move(stage));
+  return *setup_.back();
+}
+
+Stage& FlowPipeline::add_loop(std::unique_ptr<Stage> stage) {
+  loop_.push_back(std::move(stage));
+  return *loop_.back();
+}
+
+void FlowPipeline::add_observer(FlowObserver* observer) {
+  observers_.push_back(observer);
+}
+
+void FlowPipeline::run_stage(Stage& stage, FlowContext& ctx) {
+  for (FlowObserver* o : observers_) o->on_stage_begin(stage, ctx);
+  const std::size_t history_before = ctx.history.size();
+  util::Timer timer;
+  stage.run(ctx);
+  const double seconds = timer.seconds();
+  (stage.kind() == StageKind::Placement ? ctx.placer_seconds
+                                        : ctx.algo_seconds) += seconds;
+  for (FlowObserver* o : observers_) o->on_stage_end(stage, ctx, seconds);
+  if (ctx.history.size() > history_before)
+    for (FlowObserver* o : observers_) o->on_iteration(ctx.history.back());
+}
+
+void FlowPipeline::run(FlowContext& ctx) {
+  for (FlowObserver* o : observers_) o->on_flow_begin(ctx);
+  ctx.iteration = 0;
+  for (const auto& stage : setup_) run_stage(*stage, ctx);
+  for (ctx.iteration = 1;
+       ctx.iteration <= ctx.config.max_iterations && !ctx.stop;
+       ++ctx.iteration) {
+    for (const auto& stage : loop_) {
+      run_stage(*stage, ctx);
+      if (ctx.stop) break;
+    }
+  }
+  for (FlowObserver* o : observers_) o->on_flow_end(ctx);
+}
+
+IterationMetrics evaluate_metrics(const netlist::Design& design,
+                                  const FlowConfig& config,
+                                  const netlist::Placement& placement,
+                                  const rotary::RingArray& rings,
+                                  const assign::AssignProblem& problem,
+                                  const assign::Assignment& assignment,
+                                  int iteration) {
+  IterationMetrics m;
+  m.iteration = iteration;
+  m.tap_wl_um = assignment.total_tap_cost_um;
+  m.signal_wl_um = placement.total_hpwl(design);
+  m.total_wl_um = m.tap_wl_um + m.signal_wl_um;
+  m.max_ring_cap_ff = assignment.max_ring_cap_ff;
+  double dist_sum = 0.0;
+  for (int i = 0; i < problem.num_ffs(); ++i) {
+    const int ring = assignment.ring_of(problem, i);
+    const geom::Point loc =
+        placement.loc(problem.ff_cells[static_cast<std::size_t>(i)]);
+    dist_sum +=
+        rings.distance_to_ring(ring < 0 ? rings.nearest_ring(loc) : ring, loc);
+  }
+  m.afd_um = problem.num_ffs() > 0
+                 ? dist_sum / static_cast<double>(problem.num_ffs())
+                 : 0.0;
+  m.power = power::evaluate_power(design, placement, m.tap_wl_um, config.tech);
+  m.overall_cost = config.cost_tap_weight * m.tap_wl_um +
+                   config.cost_signal_weight * m.signal_wl_um;
+  return m;
+}
+
+}  // namespace rotclk::core

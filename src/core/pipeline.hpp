@@ -1,0 +1,169 @@
+#pragma once
+// Stage-pipeline spine of the integrated flow (Fig. 3).
+//
+// The flow is a sequence of setup stages (run once) followed by a loop of
+// iteration stages (stages 3-6) repeated until convergence:
+//
+//   FlowContext   — all mutable state of one run: placement, ring array,
+//                   timing arcs, delay targets, assignment, metrics
+//                   history, best-so-far snapshot, timer buckets.
+//   Stage         — one step of the methodology; reads/writes the context.
+//   FlowPipeline  — the generic driver: runs setup stages, then the loop
+//                   stages per iteration until a stage raises ctx.stop,
+//                   timing every stage and notifying observers.
+//   FlowObserver  — instrumentation hooks (per-stage wall time,
+//                   per-iteration metrics); see core/trace.hpp for a
+//                   ready-made JSON tracer.
+//
+// The concrete six stages live in core/stages.hpp; RotaryFlow
+// (core/flow.hpp) is the facade that assembles and runs the standard
+// pipeline. ring_explore runs one independent pipeline per candidate ring
+// count, optionally on parallel threads.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "assign/assigner.hpp"
+#include "assign/problem.hpp"
+#include "core/flow.hpp"
+#include "netlist/placement.hpp"
+#include "placer/placer.hpp"
+#include "rotary/array.hpp"
+#include "sched/skew_optimizer.hpp"
+#include "timing/sta.hpp"
+
+namespace rotclk::core {
+
+/// All mutable state of one flow run, owned for the duration of the
+/// pipeline. Stages communicate exclusively through this struct.
+struct FlowContext {
+  FlowContext(const netlist::Design& design, const FlowConfig& config,
+              const assign::Assigner& assigner,
+              const sched::SkewOptimizer& skew_optimizer,
+              netlist::Placement initial_placement);
+
+  // Immutable environment.
+  const netlist::Design& design;
+  const FlowConfig& config;
+  const assign::Assigner& assigner;
+  const sched::SkewOptimizer& skew_optimizer;
+  placer::Placer placer;
+
+  // Physical state.
+  netlist::Placement placement;
+  std::unique_ptr<rotary::RingArray> rings;
+
+  // Timing state.
+  std::vector<timing::SeqArc> arcs;  ///< sequential adjacency at `placement`
+  bool arcs_stale = false;  ///< placement moved since `arcs` was extracted
+  std::vector<double> arrival_ps;    ///< per-flip-flop delay targets
+  double slack_star_ps = 0.0;        ///< stage-2 optimum M*
+  double slack_used_ps = 0.0;        ///< prespecified M used by stage 4
+
+  // Assignment state.
+  assign::AssignProblemConfig assign_config;
+  assign::AssignProblem problem;
+  assign::Assignment assignment;
+
+  // Iteration control (maintained by the pipeline / stage 5).
+  int iteration = 0;    ///< 0 = base case
+  bool stop = false;    ///< set by a stage to end the loop
+  double prev_cost = 0.0;
+  std::vector<IterationMetrics> history;
+
+  /// Best-so-far snapshot: the flow may overshoot past its best state, in
+  /// which case the result is restored from here.
+  struct Snapshot {
+    netlist::Placement placement;
+    std::vector<double> arrival_ps;
+    assign::AssignProblem problem;
+    assign::Assignment assignment;
+    double cost = 0.0;
+    int iteration = 0;
+  };
+  std::optional<Snapshot> best;
+
+  // Wall-clock split matching the paper's CPU columns.
+  double algo_seconds = 0.0;    ///< stages 2-5 ("Stg 2-5")
+  double placer_seconds = 0.0;  ///< stages 1 and 6 ("mPL")
+
+  [[nodiscard]] int num_ffs() const { return design.num_flip_flops(); }
+  /// Re-extract the sequential adjacency at the current placement if the
+  /// placement moved since the last extraction.
+  void refresh_arcs();
+};
+
+/// Which wall-clock bucket a stage bills to.
+enum class StageKind { Algorithm, Placement };
+
+class Stage {
+ public:
+  virtual ~Stage() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual StageKind kind() const {
+    return StageKind::Algorithm;
+  }
+  virtual void run(FlowContext& ctx) = 0;
+};
+
+/// Instrumentation hooks. All callbacks default to no-ops; implement the
+/// ones you need. Observers are non-owning and called synchronously on the
+/// pipeline's thread.
+class FlowObserver {
+ public:
+  virtual ~FlowObserver() = default;
+  virtual void on_flow_begin(const FlowContext& /*ctx*/) {}
+  virtual void on_stage_begin(const Stage& /*stage*/,
+                              const FlowContext& /*ctx*/) {}
+  /// `seconds` is the stage's wall time.
+  virtual void on_stage_end(const Stage& /*stage*/, const FlowContext& /*ctx*/,
+                            double /*seconds*/) {}
+  /// Fired after any stage that appends to the metrics history (stage 5,
+  /// including the base-case evaluation).
+  virtual void on_iteration(const IterationMetrics& /*metrics*/) {}
+  virtual void on_flow_end(const FlowContext& /*ctx*/) {}
+};
+
+/// Generic stage driver: setup stages once, then the loop stages for
+/// iterations 1..config.max_iterations until ctx.stop. A stage raising
+/// ctx.stop ends the run immediately (the remaining loop stages of that
+/// iteration are skipped, matching Fig. 3's convergence exit after
+/// stage 5).
+class FlowPipeline {
+ public:
+  Stage& add_setup(std::unique_ptr<Stage> stage);
+  Stage& add_loop(std::unique_ptr<Stage> stage);
+  /// Observers are not owned and must outlive run().
+  void add_observer(FlowObserver* observer);
+
+  void run(FlowContext& ctx);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Stage>>& setup_stages()
+      const {
+    return setup_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<Stage>>& loop_stages()
+      const {
+    return loop_;
+  }
+
+ private:
+  void run_stage(Stage& stage, FlowContext& ctx);
+
+  std::vector<std::unique_ptr<Stage>> setup_;
+  std::vector<std::unique_ptr<Stage>> loop_;
+  std::vector<FlowObserver*> observers_;
+};
+
+/// Metrics snapshot for an arbitrary flow state (stage 5's evaluation;
+/// also used directly by benches through RotaryFlow::evaluate).
+IterationMetrics evaluate_metrics(const netlist::Design& design,
+                                  const FlowConfig& config,
+                                  const netlist::Placement& placement,
+                                  const rotary::RingArray& rings,
+                                  const assign::AssignProblem& problem,
+                                  const assign::Assignment& assignment,
+                                  int iteration);
+
+}  // namespace rotclk::core

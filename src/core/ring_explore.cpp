@@ -1,56 +1,105 @@
 #include "core/ring_explore.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
 #include <stdexcept>
+#include <thread>
 
 #include "util/logging.hpp"
 
 namespace rotclk::core {
 
+namespace {
+
+/// One candidate = one independent flow-pipeline run.
+RingCountOption evaluate_candidate(const netlist::Design& design,
+                                   const RingExploreConfig& config,
+                                   int rings) {
+  FlowConfig cfg = config.flow;
+  cfg.ring_config.rings = rings;
+  RotaryFlow flow(design, cfg);
+  const FlowResult r = flow.run();
+
+  RingCountOption option;
+  option.rings = rings;
+  option.metrics = r.final();
+
+  const rotary::RingArray& array = flow.rings();
+  for (int j = 0; j < array.size(); ++j)
+    option.ring_metal_um += array.ring(j).total_length();
+
+  // Dummy balancing load for the final assignment (Sec. II).
+  std::vector<rotary::TappedLoad> loads;
+  for (int i = 0; i < r.problem.num_ffs(); ++i) {
+    const int a = r.assignment.arc_of_ff[static_cast<std::size_t>(i)];
+    if (a < 0) continue;
+    const auto& arc = r.problem.arcs[static_cast<std::size_t>(a)];
+    loads.push_back(
+        rotary::TappedLoad{arc.ring, arc.tap.pos, arc.load_cap_ff});
+  }
+  const auto balance = rotary::balance_ring_loads(array, loads);
+  option.dummy_cap_ff = balance.total_dummy_ff;
+  option.worst_imbalance = balance.worst_imbalance;
+
+  option.selection_cost = option.metrics.tap_wl_um +
+                          config.ring_metal_weight * option.ring_metal_um +
+                          config.dummy_cap_weight * option.dummy_cap_ff;
+  util::debug("ring_explore: ", rings, " rings -> cost ",
+              option.selection_cost);
+  return option;
+}
+
+}  // namespace
+
 RingExploreResult explore_ring_counts(const netlist::Design& design,
                                       const RingExploreConfig& config) {
-  if (config.candidates.empty())
-    throw std::runtime_error("ring_explore: no candidate counts");
+  const std::size_t n = config.candidates.size();
+  if (n == 0) throw std::runtime_error("ring_explore: no candidate counts");
+
+  std::vector<RingCountOption> options(n);
+  if (!config.parallel || n == 1) {
+    for (std::size_t i = 0; i < n; ++i)
+      options[i] = evaluate_candidate(design, config, config.candidates[i]);
+  } else {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const std::size_t workers =
+        std::min(n, static_cast<std::size_t>(
+                        config.max_threads > 0
+                            ? static_cast<unsigned>(config.max_threads)
+                            : hw));
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(n);
+    auto work = [&] {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        try {
+          options[i] =
+              evaluate_candidate(design, config, config.candidates[i]);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (std::thread& t : pool) t.join();
+    for (const std::exception_ptr& e : errors)
+      if (e) std::rethrow_exception(e);
+  }
+
+  // Selection in candidate order with a strict '<' — identical whichever
+  // path produced the options.
   RingExploreResult result;
+  result.options = std::move(options);
   double best_cost = 0.0;
-  for (int rings : config.candidates) {
-    FlowConfig cfg = config.flow;
-    cfg.ring_config.rings = rings;
-    RotaryFlow flow(design, cfg);
-    const FlowResult r = flow.run();
-
-    RingCountOption option;
-    option.rings = rings;
-    option.metrics = r.final();
-
-    const rotary::RingArray& array = flow.rings();
-    for (int j = 0; j < array.size(); ++j)
-      option.ring_metal_um += array.ring(j).total_length();
-
-    // Dummy balancing load for the final assignment (Sec. II).
-    std::vector<rotary::TappedLoad> loads;
-    for (int i = 0; i < r.problem.num_ffs(); ++i) {
-      const int a = r.assignment.arc_of_ff[static_cast<std::size_t>(i)];
-      if (a < 0) continue;
-      const auto& arc = r.problem.arcs[static_cast<std::size_t>(a)];
-      loads.push_back(
-          rotary::TappedLoad{arc.ring, arc.tap.pos, arc.load_cap_ff});
-    }
-    const auto balance = rotary::balance_ring_loads(array, loads);
-    option.dummy_cap_ff = balance.total_dummy_ff;
-    option.worst_imbalance = balance.worst_imbalance;
-
-    option.selection_cost = option.metrics.tap_wl_um +
-                            config.ring_metal_weight * option.ring_metal_um +
-                            config.dummy_cap_weight * option.dummy_cap_ff;
-    util::debug("ring_explore: ", rings, " rings -> cost ",
-                option.selection_cost);
-
+  for (std::size_t i = 0; i < n; ++i) {
+    const RingCountOption& option = result.options[i];
     if (result.best_index < 0 || option.selection_cost < best_cost) {
       best_cost = option.selection_cost;
-      result.best_index = static_cast<int>(result.options.size());
-      result.best_rings = rings;
+      result.best_index = static_cast<int>(i);
+      result.best_rings = option.rings;
     }
-    result.options.push_back(std::move(option));
   }
   return result;
 }

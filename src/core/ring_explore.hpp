@@ -8,6 +8,11 @@
 // scores the outcomes with an explicit cost that captures the real
 // tradeoff: more rings shorten the tapping stubs (less stub wire/power)
 // but add ring metal and dummy balancing capacitance of their own.
+//
+// Every candidate is an independent pipeline run over its own FlowContext,
+// so candidates can be evaluated on worker threads (`parallel`); the
+// selection scan is performed in candidate order afterwards, making the
+// parallel pick identical to the serial one.
 
 #include <vector>
 
@@ -26,6 +31,11 @@ struct RingExploreConfig {
   double ring_metal_weight = 0.25;
   /// Weight of dummy balancing capacitance (fF -> cost units).
   double dummy_cap_weight = 0.05;
+  /// Evaluate candidates on std::thread workers (one flow run each).
+  /// Deterministic: the selection is identical to the serial path.
+  bool parallel = false;
+  /// Worker cap when parallel; 0 = hardware concurrency.
+  int max_threads = 0;
   FlowConfig flow{};
 };
 

@@ -1,0 +1,128 @@
+#include "core/stages.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sched/skew.hpp"
+#include "timing/sta.hpp"
+#include "util/logging.hpp"
+
+namespace rotclk::core {
+
+void InitialPlacementStage::run(FlowContext& ctx) {
+  ctx.placement = ctx.placer.place_initial(ctx.placement.die());
+  ctx.arcs_stale = true;
+}
+
+void RingArraySetupStage::run(FlowContext& ctx) {
+  ctx.rings = std::make_unique<rotary::RingArray>(ctx.placement.die(),
+                                                  ctx.config.ring_config);
+  ctx.rings->set_uniform_capacity(ctx.design.num_flip_flops(),
+                                  ctx.config.capacity_factor);
+}
+
+void SkewScheduleStage::run(FlowContext& ctx) {
+  ctx.arcs = timing::extract_sequential_adjacency(ctx.design, ctx.placement,
+                                                  ctx.config.tech);
+  ctx.arcs_stale = false;
+  const sched::ScheduleResult schedule =
+      sched::max_slack_schedule(ctx.num_ffs(), ctx.arcs, ctx.config.tech);
+  if (!schedule.feasible)
+    throw std::runtime_error("flow: max-slack scheduling infeasible");
+  const double m_star = schedule.slack_ps;
+  ctx.slack_star_ps = m_star;
+  ctx.slack_used_ps =
+      std::isfinite(m_star)
+          ? (m_star > 0.0 ? ctx.config.slack_fraction * m_star : m_star)
+          : 0.0;
+  ctx.arrival_ps = schedule.arrival_ps;
+}
+
+void AssignStage::run(FlowContext& ctx) {
+  ctx.assignment =
+      ctx.assigner.assign(ctx.design, ctx.placement, *ctx.rings,
+                          ctx.arrival_ps, ctx.config.tech, ctx.assign_config,
+                          ctx.problem);
+}
+
+void CostDrivenSkewStage::run(FlowContext& ctx) {
+  ctx.refresh_arcs();
+  const int num_ffs = ctx.num_ffs();
+  std::vector<sched::TapAnchor> anchors(static_cast<std::size_t>(num_ffs));
+  std::vector<double> weights(static_cast<std::size_t>(num_ffs), 1.0);
+  for (int i = 0; i < num_ffs; ++i) {
+    const int ring = ctx.assignment.ring_of(ctx.problem, i);
+    const geom::Point loc =
+        ctx.placement.loc(ctx.problem.ff_cells[static_cast<std::size_t>(i)]);
+    const int rj = ring < 0 ? ctx.rings->nearest_ring(loc) : ring;
+    double dist = 0.0;
+    const rotary::RingPos c = ctx.rings->ring(rj).closest_point(loc, &dist);
+    anchors[static_cast<std::size_t>(i)].anchor_ps =
+        ctx.rings->ring(rj).delay_at(c);
+    anchors[static_cast<std::size_t>(i)].stub_ps =
+        ctx.config.tech.wire_delay_ps(dist, ctx.config.tech.ff_input_cap_ff);
+    weights[static_cast<std::size_t>(i)] = dist;  // w_i = l_i (paper)
+  }
+  const sched::CostDrivenResult cd = ctx.skew_optimizer.optimize(
+      num_ffs, ctx.arcs, ctx.config.tech, anchors, weights,
+      ctx.slack_used_ps);
+  if (cd.feasible) ctx.arrival_ps = cd.arrival_ps;
+}
+
+void EvaluateStage::run(FlowContext& ctx) {
+  const IterationMetrics metrics =
+      evaluate_metrics(ctx.design, ctx.config, ctx.placement, *ctx.rings,
+                       ctx.problem, ctx.assignment, ctx.iteration);
+  ctx.history.push_back(metrics);
+  if (!ctx.best || metrics.overall_cost < ctx.best->cost)
+    ctx.best = FlowContext::Snapshot{ctx.placement,  ctx.arrival_ps,
+                                     ctx.problem,    ctx.assignment,
+                                     metrics.overall_cost, ctx.iteration};
+  if (ctx.iteration == 0) {
+    util::debug("flow base: tap=", metrics.tap_wl_um,
+                " signal=", metrics.signal_wl_um);
+    ctx.prev_cost = metrics.overall_cost;
+    return;
+  }
+  const double gain = (ctx.prev_cost - metrics.overall_cost) /
+                      std::max(ctx.prev_cost, 1e-12);
+  ctx.prev_cost = std::min(ctx.prev_cost, metrics.overall_cost);
+  if (ctx.iteration > 1 && gain < ctx.config.convergence_tolerance)
+    ctx.stop = true;
+  if (ctx.iteration >= ctx.config.max_iterations) ctx.stop = true;
+}
+
+void IncrementalPlacementStage::run(FlowContext& ctx) {
+  const int num_ffs = ctx.num_ffs();
+  std::vector<placer::PseudoNet> pseudo;
+  pseudo.reserve(static_cast<std::size_t>(num_ffs));
+  for (int i = 0; i < num_ffs; ++i) {
+    const int a = ctx.assignment.arc_of_ff[static_cast<std::size_t>(i)];
+    if (a < 0) continue;
+    placer::PseudoNet pn;
+    pn.cell = ctx.problem.ff_cells[static_cast<std::size_t>(i)];
+    pn.target = ctx.problem.arcs[static_cast<std::size_t>(a)].tap.tap_point;
+    pn.weight = ctx.config.pseudo_net_weight;
+    pseudo.push_back(pn);
+  }
+  ctx.placement = ctx.placer.place_incremental(ctx.placement, pseudo);
+  ctx.arcs_stale = true;
+}
+
+FlowPipeline make_standard_pipeline(bool with_initial_placement) {
+  FlowPipeline pipeline;
+  if (with_initial_placement)
+    pipeline.add_setup(std::make_unique<InitialPlacementStage>());
+  pipeline.add_setup(std::make_unique<RingArraySetupStage>());
+  pipeline.add_setup(std::make_unique<SkewScheduleStage>());
+  pipeline.add_setup(std::make_unique<AssignStage>());
+  pipeline.add_setup(std::make_unique<EvaluateStage>());
+  pipeline.add_loop(std::make_unique<CostDrivenSkewStage>());
+  pipeline.add_loop(std::make_unique<AssignStage>());
+  pipeline.add_loop(std::make_unique<EvaluateStage>());
+  pipeline.add_loop(std::make_unique<IncrementalPlacementStage>());
+  return pipeline;
+}
+
+}  // namespace rotclk::core

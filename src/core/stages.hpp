@@ -1,0 +1,99 @@
+#pragma once
+// The concrete stages of the paper's 6-stage methodology (Fig. 3), each a
+// Stage over the FlowContext:
+//
+//   InitialPlacementStage      stage 1  wirelength-driven placement
+//   RingArraySetupStage        —        ring array over the die (Sec. II)
+//   SkewScheduleStage          stage 2  max-slack scheduling (Fishburn)
+//   AssignStage                stage 3  FF -> ring assignment (strategy)
+//   CostDrivenSkewStage        stage 4  skew re-optimization (strategy)
+//   EvaluateStage              stage 5  cost evaluation / convergence test
+//   IncrementalPlacementStage  stage 6  pseudo-net incremental placement
+//
+// make_standard_pipeline() assembles them in the paper's order: stages 1-3
+// plus the base-case evaluation as setup, stages 4/3/5/6 as the iterated
+// loop (the paper re-runs assignment after every re-scheduling).
+
+#include <memory>
+
+#include "core/pipeline.hpp"
+
+namespace rotclk::core {
+
+/// Stage 1: global + legal placement into the context's die.
+class InitialPlacementStage final : public Stage {
+ public:
+  [[nodiscard]] const char* name() const override {
+    return "initial-placement";
+  }
+  [[nodiscard]] StageKind kind() const override {
+    return StageKind::Placement;
+  }
+  void run(FlowContext& ctx) override;
+};
+
+/// Build the n x n ring array over the die and size the ring capacities
+/// U_j for the network-flow mode.
+class RingArraySetupStage final : public Stage {
+ public:
+  [[nodiscard]] const char* name() const override { return "ring-array-setup"; }
+  void run(FlowContext& ctx) override;
+};
+
+/// Stage 2: extract the sequential adjacency and maximize the slack M
+/// (Fishburn). Fills slack_star_ps / slack_used_ps and the initial delay
+/// targets.
+class SkewScheduleStage final : public Stage {
+ public:
+  [[nodiscard]] const char* name() const override {
+    return "max-slack-scheduling";
+  }
+  void run(FlowContext& ctx) override;
+};
+
+/// Stage 3: flip-flop -> ring assignment through the context's Assigner
+/// strategy at the current placement and delay targets.
+class AssignStage final : public Stage {
+ public:
+  [[nodiscard]] const char* name() const override { return "assignment"; }
+  void run(FlowContext& ctx) override;
+};
+
+/// Stage 4: re-optimize the delay targets toward the assigned rings
+/// through the context's SkewOptimizer strategy (anchors at the nearest
+/// ring points, weights w_i = l_i).
+class CostDrivenSkewStage final : public Stage {
+ public:
+  [[nodiscard]] const char* name() const override {
+    return "cost-driven-skew";
+  }
+  void run(FlowContext& ctx) override;
+};
+
+/// Stage 5: evaluate the weighted total cost, maintain the best-so-far
+/// snapshot, and raise ctx.stop on convergence (or at the iteration
+/// bound), which skips stage 6 and ends the loop.
+class EvaluateStage final : public Stage {
+ public:
+  [[nodiscard]] const char* name() const override { return "evaluate"; }
+  void run(FlowContext& ctx) override;
+};
+
+/// Stage 6: incremental placement with pseudo nets pulling each flip-flop
+/// toward its assigned tap point; marks the timing arcs stale.
+class IncrementalPlacementStage final : public Stage {
+ public:
+  [[nodiscard]] const char* name() const override {
+    return "incremental-placement";
+  }
+  [[nodiscard]] StageKind kind() const override {
+    return StageKind::Placement;
+  }
+  void run(FlowContext& ctx) override;
+};
+
+/// The paper's pipeline. `with_initial_placement` = false resumes from an
+/// existing placement (RotaryFlow::run_with_placement).
+FlowPipeline make_standard_pipeline(bool with_initial_placement);
+
+}  // namespace rotclk::core

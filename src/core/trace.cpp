@@ -1,0 +1,109 @@
+#include "core/trace.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace rotclk::core {
+namespace {
+
+// JSON-safe number: finite values in full double precision, non-finite as
+// null (JSON has no inf/nan).
+void put_number(std::ostream& os, double v) {
+  if (std::isfinite(v)) {
+    std::ostringstream tmp;
+    tmp.precision(17);
+    tmp << v;
+    os << tmp.str();
+  } else {
+    os << "null";
+  }
+}
+
+void put_metrics(std::ostream& os, const IterationMetrics& m) {
+  os << "{\"iteration\":" << m.iteration << ",\"tap_wl_um\":";
+  put_number(os, m.tap_wl_um);
+  os << ",\"signal_wl_um\":";
+  put_number(os, m.signal_wl_um);
+  os << ",\"total_wl_um\":";
+  put_number(os, m.total_wl_um);
+  os << ",\"afd_um\":";
+  put_number(os, m.afd_um);
+  os << ",\"max_ring_cap_ff\":";
+  put_number(os, m.max_ring_cap_ff);
+  os << ",\"clock_mw\":";
+  put_number(os, m.power.clock_mw);
+  os << ",\"signal_mw\":";
+  put_number(os, m.power.signal_mw);
+  os << ",\"overall_cost\":";
+  put_number(os, m.overall_cost);
+  os << "}";
+}
+
+}  // namespace
+
+void JsonTraceObserver::on_flow_begin(const FlowContext& ctx) {
+  assigner_ = ctx.assigner.name();
+  skew_optimizer_ = ctx.skew_optimizer.name();
+  stages_.clear();
+  iterations_.clear();
+  finished_ = false;
+}
+
+void JsonTraceObserver::on_stage_end(const Stage& stage,
+                                     const FlowContext& ctx, double seconds) {
+  stages_.push_back(StageEvent{stage.name(), ctx.iteration, seconds});
+}
+
+void JsonTraceObserver::on_iteration(const IterationMetrics& metrics) {
+  iterations_.push_back(metrics);
+}
+
+void JsonTraceObserver::on_flow_end(const FlowContext& ctx) {
+  finished_ = true;
+  slack_star_ps_ = ctx.slack_star_ps;
+  slack_used_ps_ = ctx.slack_used_ps;
+  algo_seconds_ = ctx.algo_seconds;
+  placer_seconds_ = ctx.placer_seconds;
+  best_iteration_ = ctx.best ? ctx.best->iteration : 0;
+  if (path_.empty()) return;
+  std::ofstream out(path_);
+  if (!out) {
+    util::warn("trace: cannot write ", path_);
+    return;
+  }
+  out << json() << "\n";
+}
+
+std::string JsonTraceObserver::json() const {
+  std::ostringstream os;
+  os << "{\"assigner\":\"" << assigner_ << "\",\"skew_optimizer\":\""
+     << skew_optimizer_ << "\",\"finished\":" << (finished_ ? "true" : "false")
+     << ",\"slack_star_ps\":";
+  put_number(os, slack_star_ps_);
+  os << ",\"slack_used_ps\":";
+  put_number(os, slack_used_ps_);
+  os << ",\"algo_seconds\":";
+  put_number(os, algo_seconds_);
+  os << ",\"placer_seconds\":";
+  put_number(os, placer_seconds_);
+  os << ",\"best_iteration\":" << best_iteration_ << ",\"stages\":[";
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (i) os << ",";
+    os << "{\"stage\":\"" << stages_[i].stage
+       << "\",\"iteration\":" << stages_[i].iteration << ",\"seconds\":";
+    put_number(os, stages_[i].seconds);
+    os << "}";
+  }
+  os << "],\"iterations\":[";
+  for (std::size_t i = 0; i < iterations_.size(); ++i) {
+    if (i) os << ",";
+    put_metrics(os, iterations_[i]);
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace rotclk::core

@@ -1,0 +1,64 @@
+#pragma once
+// Built-in JSON-trace FlowObserver: records every stage begin/end (with
+// wall time and iteration number) and every iteration's metrics, and
+// renders them as a machine-readable JSON document so any flow run is
+// introspectable after the fact.
+//
+//   core::JsonTraceObserver trace;            // or {"run.trace.json"}
+//   flow.add_observer(&trace);
+//   flow.run();
+//   std::string doc = trace.json();
+//
+// When constructed with a path the document is also written to that file
+// at on_flow_end.
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace rotclk::core {
+
+class JsonTraceObserver final : public FlowObserver {
+ public:
+  JsonTraceObserver() = default;
+  /// Also write the document to `path` when the flow ends.
+  explicit JsonTraceObserver(std::string path) : path_(std::move(path)) {}
+
+  void on_flow_begin(const FlowContext& ctx) override;
+  void on_stage_end(const Stage& stage, const FlowContext& ctx,
+                    double seconds) override;
+  void on_iteration(const IterationMetrics& metrics) override;
+  void on_flow_end(const FlowContext& ctx) override;
+
+  struct StageEvent {
+    std::string stage;
+    int iteration = 0;
+    double seconds = 0.0;
+  };
+  [[nodiscard]] const std::vector<StageEvent>& stage_events() const {
+    return stages_;
+  }
+  [[nodiscard]] const std::vector<IterationMetrics>& iterations() const {
+    return iterations_;
+  }
+
+  /// The trace as a JSON document (valid any time; complete after the
+  /// flow ends).
+  [[nodiscard]] std::string json() const;
+
+ private:
+  std::string path_;
+  std::string assigner_;
+  std::string skew_optimizer_;
+  std::vector<StageEvent> stages_;
+  std::vector<IterationMetrics> iterations_;
+  bool finished_ = false;
+  double slack_star_ps_ = 0.0;
+  double slack_used_ps_ = 0.0;
+  double algo_seconds_ = 0.0;
+  double placer_seconds_ = 0.0;
+  int best_iteration_ = 0;
+};
+
+}  // namespace rotclk::core

@@ -14,6 +14,10 @@ namespace rotclk::netlist {
 
 class Placement {
  public:
+  /// Empty placement (no cells, zero die). Lets result structs
+  /// default-construct; assign a real placement before use.
+  Placement() = default;
+
   /// All cells start at the die center.
   Placement(const Design& design, geom::Rect die);
 

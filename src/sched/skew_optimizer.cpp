@@ -1,0 +1,25 @@
+#include "sched/skew_optimizer.hpp"
+
+namespace rotclk::sched {
+
+CostDrivenResult MinMaxSkewOptimizer::optimize(
+    int num_ffs, const std::vector<timing::SeqArc>& arcs,
+    const timing::TechParams& tech, const std::vector<TapAnchor>& anchors,
+    const std::vector<double>& /*weights*/, double slack_ps) const {
+  return cost_driven_min_max(num_ffs, arcs, tech, anchors, slack_ps);
+}
+
+CostDrivenResult WeightedSkewOptimizer::optimize(
+    int num_ffs, const std::vector<timing::SeqArc>& arcs,
+    const timing::TechParams& tech, const std::vector<TapAnchor>& anchors,
+    const std::vector<double>& weights, double slack_ps) const {
+  return cost_driven_weighted(num_ffs, arcs, tech, anchors, weights,
+                              slack_ps);
+}
+
+std::unique_ptr<SkewOptimizer> make_skew_optimizer(bool weighted) {
+  if (weighted) return std::make_unique<WeightedSkewOptimizer>();
+  return std::make_unique<MinMaxSkewOptimizer>();
+}
+
+}  // namespace rotclk::sched

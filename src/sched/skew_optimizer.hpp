@@ -1,0 +1,60 @@
+#pragma once
+// Strategy interface for stage 4 of the flow: cost-driven skew
+// re-optimization toward the assigned rings (Sec. VII).
+//
+// Two exact formulations share the interface so the flow pipeline picks
+// one at construction instead of branching per iteration:
+//   * min-max:       minimize the single worst deviation D
+//   * weighted-sum:  minimize sum w_i * d_i (paper: w_i = l_i, the
+//                    flip-flop-to-ring distance)
+
+#include <memory>
+#include <vector>
+
+#include "sched/cost_driven.hpp"
+
+namespace rotclk::sched {
+
+class SkewOptimizer {
+ public:
+  virtual ~SkewOptimizer() = default;
+
+  /// Human-readable strategy name (for logs and traces).
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Re-optimize the delay targets at prespecified slack `slack_ps`.
+  /// `weights` is sized to num_ffs; the min-max flavor ignores it.
+  virtual CostDrivenResult optimize(
+      int num_ffs, const std::vector<timing::SeqArc>& arcs,
+      const timing::TechParams& tech, const std::vector<TapAnchor>& anchors,
+      const std::vector<double>& weights, double slack_ps) const = 0;
+};
+
+/// Sec. VII min-max: binary search over D with a Bellman-Ford oracle.
+class MinMaxSkewOptimizer final : public SkewOptimizer {
+ public:
+  [[nodiscard]] const char* name() const override { return "min-max"; }
+  CostDrivenResult optimize(int num_ffs,
+                            const std::vector<timing::SeqArc>& arcs,
+                            const timing::TechParams& tech,
+                            const std::vector<TapAnchor>& anchors,
+                            const std::vector<double>& weights,
+                            double slack_ps) const override;
+};
+
+/// Sec. VII weighted-sum: exact min-cost-circulation dual.
+class WeightedSkewOptimizer final : public SkewOptimizer {
+ public:
+  [[nodiscard]] const char* name() const override { return "weighted-sum"; }
+  CostDrivenResult optimize(int num_ffs,
+                            const std::vector<timing::SeqArc>& arcs,
+                            const timing::TechParams& tech,
+                            const std::vector<TapAnchor>& anchors,
+                            const std::vector<double>& weights,
+                            double slack_ps) const override;
+};
+
+/// Factory mirroring FlowConfig::weighted_cost_driven.
+std::unique_ptr<SkewOptimizer> make_skew_optimizer(bool weighted);
+
+}  // namespace rotclk::sched

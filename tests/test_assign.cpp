@@ -133,7 +133,21 @@ TEST(Netflow, ThrowsWhenCapacityInsufficient) {
   Fixture f = Fixture::make(100, 10, 4, 17);
   AssignProblem p = build(f);
   std::fill(p.ring_capacity.begin(), p.ring_capacity.end(), 1);  // 4 < 10
+  // The dedicated infeasibility type (still a runtime_error for old
+  // callers) so retry policies don't swallow unrelated failures.
+  EXPECT_THROW(assign_netflow(p), InfeasibleError);
   EXPECT_THROW(assign_netflow(p), std::runtime_error);
+}
+
+TEST(Netflow, ThrowsInfeasibleWhenCandidateArcsCannotRouteAll) {
+  Fixture f = Fixture::make(100, 10, 4, 17);
+  AssignProblem p = build(f);
+  // Plenty of total capacity, but every arc funnels into one ring whose
+  // own capacity is too small: max-flow cannot route all flip-flops.
+  for (auto& arc : p.arcs) arc.ring = 0;
+  std::fill(p.ring_capacity.begin(), p.ring_capacity.end(), 9);
+  p.ring_capacity[0] = 1;
+  EXPECT_THROW(assign_netflow(p), InfeasibleError);
 }
 
 TEST(Netflow, TightCapacityForcesSpreading) {

@@ -1,0 +1,233 @@
+// Parity harness: the stage-pipeline flow must reproduce the seed
+// monolith (the pre-refactor RotaryFlow::run_stages_2_to_6) bit for bit.
+//
+// The reference below is a faithful transcription of the seed loop using
+// only public module APIs (placer, sched, assign, timing); every solver it
+// calls is deterministic, so the pipeline must match its IterationMetrics
+// history, best-iteration choice, delay targets, and assignment exactly
+// (EXPECT_DOUBLE_EQ, no tolerances).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "assign/ilp_assign.hpp"
+#include "assign/netflow.hpp"
+#include "core/flow.hpp"
+#include "netlist/generator.hpp"
+#include "placer/placer.hpp"
+#include "sched/cost_driven.hpp"
+#include "sched/skew.hpp"
+#include "timing/sta.hpp"
+
+namespace rotclk::core {
+namespace {
+
+netlist::Design small_circuit(std::uint64_t seed = 42) {
+  netlist::GeneratorConfig cfg;
+  cfg.num_gates = 368;
+  cfg.num_flip_flops = 32;
+  cfg.num_primary_inputs = 12;
+  cfg.num_primary_outputs = 12;
+  cfg.seed = seed;
+  return netlist::generate_circuit(cfg);
+}
+
+struct SeedResult {
+  std::vector<IterationMetrics> history;
+  std::vector<double> arrival_ps;
+  assign::Assignment assignment;
+  int best_iteration = 0;
+  double slack_ps = 0.0;
+  double stage4_slack_ps = 0.0;
+};
+
+/// The seed flow, stages 2-6, verbatim modulo syntax.
+SeedResult seed_flow(const netlist::Design& design, const FlowConfig& config,
+                     netlist::Placement placement) {
+  const RotaryFlow scorer(design, config);  // only for evaluate()
+  placer::Placer placer(design, config.placer);
+  rotary::RingArray rings(placement.die(), config.ring_config);
+  rings.set_uniform_capacity(design.num_flip_flops(),
+                             config.capacity_factor);
+
+  // stage 2
+  std::vector<timing::SeqArc> arcs =
+      timing::extract_sequential_adjacency(design, placement, config.tech);
+  const int num_ffs = design.num_flip_flops();
+  const sched::ScheduleResult schedule =
+      sched::max_slack_schedule(num_ffs, arcs, config.tech);
+  if (!schedule.feasible)
+    throw std::runtime_error("seed_flow: scheduling infeasible");
+  const double m_star = schedule.slack_ps;
+  const double m_used = std::isfinite(m_star)
+                            ? (m_star > 0.0 ? config.slack_fraction * m_star
+                                            : m_star)
+                            : 0.0;
+  std::vector<double> arrival = schedule.arrival_ps;
+
+  assign::AssignProblemConfig pcfg;
+  pcfg.candidates_per_ff = config.candidates_per_ff;
+  pcfg.tapping = config.tapping;
+  auto assign_once = [&](const netlist::Placement& pl,
+                         const std::vector<double>& targets,
+                         assign::AssignProblem& problem_out) {
+    int k = pcfg.candidates_per_ff;
+    while (true) {
+      assign::AssignProblemConfig cfg = pcfg;
+      cfg.candidates_per_ff = k;
+      problem_out = assign::build_assign_problem(design, pl, rings, targets,
+                                                 config.tech, cfg);
+      if (config.assign_mode == AssignMode::MinMaxCap)
+        return assign::assign_min_max_cap(problem_out).assignment;
+      try {
+        return assign::assign_netflow(problem_out);
+      } catch (const std::runtime_error&) {
+        if (k >= rings.size()) throw;
+        k = std::min(rings.size(), k * 2);
+      }
+    }
+  };
+
+  SeedResult result;
+  result.slack_ps = m_star;
+  result.stage4_slack_ps = m_used;
+
+  // stage 3 (base case)
+  assign::AssignProblem problem;
+  assign::Assignment assignment = assign_once(placement, arrival, problem);
+  result.history.push_back(
+      scorer.evaluate(placement, rings, problem, assignment, 0));
+
+  struct Snapshot {
+    netlist::Placement placement;
+    std::vector<double> arrival;
+    assign::Assignment assignment;
+    double cost;
+    int iteration;
+  };
+  Snapshot best{placement, arrival, assignment,
+                result.history.back().overall_cost, 0};
+
+  // stages 4-6
+  double prev_cost = result.history.back().overall_cost;
+  for (int it = 1; it <= config.max_iterations; ++it) {
+    std::vector<sched::TapAnchor> anchors(static_cast<std::size_t>(num_ffs));
+    std::vector<double> weights(static_cast<std::size_t>(num_ffs), 1.0);
+    for (int i = 0; i < num_ffs; ++i) {
+      const int ring = assignment.ring_of(problem, i);
+      const geom::Point loc =
+          placement.loc(problem.ff_cells[static_cast<std::size_t>(i)]);
+      const int rj = ring < 0 ? rings.nearest_ring(loc) : ring;
+      double dist = 0.0;
+      const rotary::RingPos c = rings.ring(rj).closest_point(loc, &dist);
+      anchors[static_cast<std::size_t>(i)].anchor_ps =
+          rings.ring(rj).delay_at(c);
+      anchors[static_cast<std::size_t>(i)].stub_ps =
+          config.tech.wire_delay_ps(dist, config.tech.ff_input_cap_ff);
+      weights[static_cast<std::size_t>(i)] = dist;
+    }
+    const sched::CostDrivenResult cd =
+        config.weighted_cost_driven
+            ? sched::cost_driven_weighted(num_ffs, arcs, config.tech,
+                                          anchors, weights, m_used)
+            : sched::cost_driven_min_max(num_ffs, arcs, config.tech, anchors,
+                                         m_used);
+    if (cd.feasible) arrival = cd.arrival_ps;
+
+    assignment = assign_once(placement, arrival, problem);
+
+    const IterationMetrics metrics =
+        scorer.evaluate(placement, rings, problem, assignment, it);
+    result.history.push_back(metrics);
+    if (metrics.overall_cost < best.cost)
+      best = Snapshot{placement, arrival, assignment, metrics.overall_cost,
+                      it};
+    const double gain =
+        (prev_cost - metrics.overall_cost) / std::max(prev_cost, 1e-12);
+    prev_cost = std::min(prev_cost, metrics.overall_cost);
+    if (it > 1 && gain < config.convergence_tolerance) break;
+    if (it == config.max_iterations) break;
+
+    std::vector<placer::PseudoNet> pseudo;
+    for (int i = 0; i < num_ffs; ++i) {
+      const int a = assignment.arc_of_ff[static_cast<std::size_t>(i)];
+      if (a < 0) continue;
+      placer::PseudoNet pn;
+      pn.cell = problem.ff_cells[static_cast<std::size_t>(i)];
+      pn.target = problem.arcs[static_cast<std::size_t>(a)].tap.tap_point;
+      pn.weight = config.pseudo_net_weight;
+      pseudo.push_back(pn);
+    }
+    placement = placer.place_incremental(placement, pseudo);
+    arcs = timing::extract_sequential_adjacency(design, placement,
+                                                config.tech);
+  }
+  result.best_iteration = best.iteration;
+  result.arrival_ps = std::move(best.arrival);
+  result.assignment = std::move(best.assignment);
+  return result;
+}
+
+void expect_parity(const netlist::Design& d, const FlowConfig& cfg) {
+  placer::Placer placer(d, cfg.placer);
+  const netlist::Placement initial =
+      placer.place_initial(netlist::size_die(d, cfg.die_utilization));
+
+  const SeedResult seed = seed_flow(d, cfg, initial);
+  RotaryFlow flow(d, cfg);
+  const FlowResult r = flow.run_with_placement(initial);
+
+  EXPECT_DOUBLE_EQ(r.slack_ps, seed.slack_ps);
+  EXPECT_DOUBLE_EQ(r.stage4_slack_ps, seed.stage4_slack_ps);
+  ASSERT_EQ(r.history.size(), seed.history.size());
+  for (std::size_t i = 0; i < seed.history.size(); ++i) {
+    SCOPED_TRACE("iteration " + std::to_string(i));
+    EXPECT_EQ(r.history[i].iteration, seed.history[i].iteration);
+    EXPECT_DOUBLE_EQ(r.history[i].tap_wl_um, seed.history[i].tap_wl_um);
+    EXPECT_DOUBLE_EQ(r.history[i].signal_wl_um,
+                     seed.history[i].signal_wl_um);
+    EXPECT_DOUBLE_EQ(r.history[i].afd_um, seed.history[i].afd_um);
+    EXPECT_DOUBLE_EQ(r.history[i].max_ring_cap_ff,
+                     seed.history[i].max_ring_cap_ff);
+    EXPECT_DOUBLE_EQ(r.history[i].overall_cost,
+                     seed.history[i].overall_cost);
+  }
+  EXPECT_EQ(r.best_iteration, seed.best_iteration);
+  ASSERT_EQ(r.arrival_ps.size(), seed.arrival_ps.size());
+  for (std::size_t i = 0; i < seed.arrival_ps.size(); ++i)
+    EXPECT_DOUBLE_EQ(r.arrival_ps[i], seed.arrival_ps[i]);
+  EXPECT_EQ(r.assignment.arc_of_ff, seed.assignment.arc_of_ff);
+}
+
+TEST(FlowParity, NetworkFlowModeMatchesSeedMonolith) {
+  const netlist::Design d = small_circuit();
+  FlowConfig cfg;
+  cfg.ring_config.rings = 4;
+  cfg.max_iterations = 4;
+  expect_parity(d, cfg);
+}
+
+TEST(FlowParity, MinMaxCapModeMatchesSeedMonolith) {
+  const netlist::Design d = small_circuit(7);
+  FlowConfig cfg;
+  cfg.assign_mode = AssignMode::MinMaxCap;
+  cfg.ring_config.rings = 4;
+  cfg.max_iterations = 3;
+  expect_parity(d, cfg);
+}
+
+TEST(FlowParity, MinMaxSkewFlavorMatchesSeedMonolith) {
+  const netlist::Design d = small_circuit(9);
+  FlowConfig cfg;
+  cfg.weighted_cost_driven = false;
+  cfg.ring_config.rings = 4;
+  cfg.max_iterations = 3;
+  expect_parity(d, cfg);
+}
+
+}  // namespace
+}  // namespace rotclk::core

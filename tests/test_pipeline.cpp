@@ -1,0 +1,221 @@
+// Unit tests for src/core/pipeline + stages: the generic stage driver, the
+// observer instrumentation, the best-so-far restoration, and the JSON
+// tracer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "core/pipeline.hpp"
+#include "core/stages.hpp"
+#include "core/trace.hpp"
+#include "netlist/generator.hpp"
+
+namespace rotclk::core {
+namespace {
+
+netlist::Design small_circuit(std::uint64_t seed = 42) {
+  netlist::GeneratorConfig cfg;
+  cfg.num_gates = 368;
+  cfg.num_flip_flops = 32;
+  cfg.num_primary_inputs = 12;
+  cfg.num_primary_outputs = 12;
+  cfg.seed = seed;
+  return netlist::generate_circuit(cfg);
+}
+
+FlowConfig small_config() {
+  FlowConfig cfg;
+  cfg.ring_config.rings = 4;
+  cfg.max_iterations = 4;
+  return cfg;
+}
+
+/// Records every callback for ordering/consistency assertions.
+struct RecordingObserver : FlowObserver {
+  int flow_begins = 0;
+  int flow_ends = 0;
+  std::vector<std::string> begins;
+  std::vector<std::string> ends;
+  std::vector<int> end_iterations;
+  std::vector<double> stage_seconds;
+  std::vector<IterationMetrics> iterations;
+
+  void on_flow_begin(const FlowContext&) override { ++flow_begins; }
+  void on_flow_end(const FlowContext&) override { ++flow_ends; }
+  void on_stage_begin(const Stage& stage, const FlowContext&) override {
+    begins.push_back(stage.name());
+  }
+  void on_stage_end(const Stage& stage, const FlowContext& ctx,
+                    double seconds) override {
+    ends.push_back(stage.name());
+    end_iterations.push_back(ctx.iteration);
+    stage_seconds.push_back(seconds);
+  }
+  void on_iteration(const IterationMetrics& metrics) override {
+    iterations.push_back(metrics);
+  }
+};
+
+TEST(Pipeline, StandardPipelineMatchesFig3) {
+  const FlowPipeline p = make_standard_pipeline(true);
+  std::vector<std::string> setup;
+  for (const auto& s : p.setup_stages()) setup.push_back(s->name());
+  std::vector<std::string> loop;
+  for (const auto& s : p.loop_stages()) loop.push_back(s->name());
+  EXPECT_EQ(setup, (std::vector<std::string>{
+                       "initial-placement", "ring-array-setup",
+                       "max-slack-scheduling", "assignment", "evaluate"}));
+  EXPECT_EQ(loop,
+            (std::vector<std::string>{"cost-driven-skew", "assignment",
+                                      "evaluate", "incremental-placement"}));
+  // Resume-from-placement skips stage 1 only.
+  const FlowPipeline q = make_standard_pipeline(false);
+  ASSERT_EQ(q.setup_stages().size(), setup.size() - 1);
+  EXPECT_STREQ(q.setup_stages().front()->name(), "ring-array-setup");
+}
+
+// The generic driver, exercised with synthetic stages: setup once, loop
+// per iteration, ctx.stop cuts the current iteration short and ends the
+// run.
+struct MarkStage final : Stage {
+  MarkStage(const char* n, std::vector<std::string>* log, int stop_at)
+      : name_(n), log_(log), stop_at_(stop_at) {}
+  [[nodiscard]] const char* name() const override { return name_; }
+  void run(FlowContext& ctx) override {
+    log_->push_back(std::string(name_) + "@" + std::to_string(ctx.iteration));
+    if (stop_at_ >= 0 && ctx.iteration == stop_at_) ctx.stop = true;
+  }
+  const char* name_;
+  std::vector<std::string>* log_;
+  int stop_at_;
+};
+
+TEST(Pipeline, DriverRunsSetupOnceAndLoopUntilStop) {
+  const netlist::Design d = small_circuit();
+  FlowConfig cfg = small_config();
+  cfg.max_iterations = 5;
+  const assign::NetflowAssigner assigner;
+  const sched::WeightedSkewOptimizer skew;
+  FlowContext ctx(d, cfg, assigner, skew,
+                  netlist::Placement(d, geom::Rect{0, 0, 100, 100}));
+
+  std::vector<std::string> log;
+  FlowPipeline p;
+  p.add_setup(std::make_unique<MarkStage>("s", &log, -1));
+  p.add_loop(std::make_unique<MarkStage>("a", &log, 2));  // stops at iter 2
+  p.add_loop(std::make_unique<MarkStage>("b", &log, -1));
+  p.run(ctx);
+
+  EXPECT_EQ(log, (std::vector<std::string>{"s@0", "a@1", "b@1", "a@2"}));
+  EXPECT_TRUE(ctx.stop);
+}
+
+TEST(Pipeline, ObserverSeesEveryStageInOrderWithWallTime) {
+  const netlist::Design d = small_circuit();
+  RotaryFlow flow(d, small_config());
+  RecordingObserver obs;
+  flow.add_observer(&obs);
+  const FlowResult r = flow.run();
+
+  EXPECT_EQ(obs.flow_begins, 1);
+  EXPECT_EQ(obs.flow_ends, 1);
+  // begin/end pair up per stage, in the same order.
+  EXPECT_EQ(obs.begins, obs.ends);
+  ASSERT_GE(obs.ends.size(), 5u);
+  const std::vector<std::string> setup(obs.ends.begin(),
+                                       obs.ends.begin() + 5);
+  EXPECT_EQ(setup, (std::vector<std::string>{
+                       "initial-placement", "ring-array-setup",
+                       "max-slack-scheduling", "assignment", "evaluate"}));
+  // Setup stages report iteration 0; the loop counts up from 1.
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(obs.end_iterations[i], 0);
+  for (std::size_t i = 5; i < obs.ends.size(); ++i)
+    EXPECT_GE(obs.end_iterations[i], 1);
+  // The run always ends right after a convergence test.
+  EXPECT_EQ(obs.ends.back(), "evaluate");
+  for (double s : obs.stage_seconds) EXPECT_GE(s, 0.0);
+  // One on_iteration per history entry, in history order.
+  ASSERT_EQ(obs.iterations.size(), r.history.size());
+  for (std::size_t i = 0; i < r.history.size(); ++i) {
+    EXPECT_EQ(obs.iterations[i].iteration, r.history[i].iteration);
+    EXPECT_DOUBLE_EQ(obs.iterations[i].overall_cost,
+                     r.history[i].overall_cost);
+  }
+}
+
+TEST(Pipeline, BestSnapshotRestoredWhenLaterIterationsOvershoot) {
+  const netlist::Design d = small_circuit(11);
+  FlowConfig cfg = small_config();
+  cfg.max_iterations = 6;
+  cfg.convergence_tolerance = -1e300;  // never stop early: force overshoot
+  cfg.pseudo_net_weight = 3.0;       // aggressive pulls oscillate
+  RotaryFlow flow(d, cfg);
+  const FlowResult r = flow.run();
+
+  // best_iteration is the argmin of the recorded history...
+  const auto argmin = static_cast<int>(std::distance(
+      r.history.begin(),
+      std::min_element(r.history.begin(), r.history.end(),
+                       [](const IterationMetrics& a,
+                          const IterationMetrics& b) {
+                         return a.overall_cost < b.overall_cost;
+                       })));
+  EXPECT_EQ(r.best_iteration, argmin);
+  ASSERT_EQ(static_cast<int>(r.history.size()), cfg.max_iterations + 1);
+
+  // ...and the returned state really is that iteration's state: re-scoring
+  // the returned placement/assignment reproduces the recorded metrics.
+  const IterationMetrics again = flow.evaluate(
+      r.placement, flow.rings(), r.problem, r.assignment, r.best_iteration);
+  EXPECT_DOUBLE_EQ(again.tap_wl_um, r.final().tap_wl_um);
+  EXPECT_DOUBLE_EQ(again.signal_wl_um, r.final().signal_wl_um);
+  EXPECT_DOUBLE_EQ(again.overall_cost, r.final().overall_cost);
+}
+
+TEST(Pipeline, JsonTraceObserverEmitsMachineReadableTrace) {
+  const netlist::Design d = small_circuit();
+  RotaryFlow flow(d, small_config());
+  JsonTraceObserver trace;
+  RecordingObserver obs;
+  flow.add_observer(&trace);
+  flow.add_observer(&obs);
+  const FlowResult r = flow.run();
+
+  EXPECT_EQ(trace.stage_events().size(), obs.ends.size());
+  EXPECT_EQ(trace.iterations().size(), r.history.size());
+
+  const std::string doc = trace.json();
+  // Structural sanity: balanced braces/brackets, and the keys a consumer
+  // greps for are present.
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'),
+            std::count(doc.begin(), doc.end(), '}'));
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '['),
+            std::count(doc.begin(), doc.end(), ']'));
+  for (const char* key :
+       {"\"assigner\":\"network-flow\"", "\"skew_optimizer\":\"weighted-sum\"",
+        "\"finished\":true", "\"stages\":[", "\"iterations\":[",
+        "\"initial-placement\"", "\"cost-driven-skew\"", "\"overall_cost\"",
+        "\"best_iteration\""}) {
+    EXPECT_NE(doc.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST(Pipeline, StrategiesSelectedAtConstruction) {
+  const netlist::Design d = small_circuit();
+  FlowConfig nf = small_config();
+  FlowConfig ilp = small_config();
+  ilp.assign_mode = AssignMode::MinMaxCap;
+  ilp.weighted_cost_driven = false;
+  EXPECT_STREQ(RotaryFlow(d, nf).assigner().name(), "network-flow");
+  EXPECT_STREQ(RotaryFlow(d, nf).skew_optimizer().name(), "weighted-sum");
+  EXPECT_STREQ(RotaryFlow(d, ilp).assigner().name(), "ilp-min-max-cap");
+  EXPECT_STREQ(RotaryFlow(d, ilp).skew_optimizer().name(), "min-max");
+}
+
+}  // namespace
+}  // namespace rotclk::core

@@ -104,5 +104,42 @@ TEST(RingExplore, MetalWeightSteersTheChoice) {
   EXPECT_EQ(free_metal.best_rings, 36);
 }
 
+TEST(RingExplore, ParallelMatchesSerial) {
+  // Each candidate is an independent pipeline run, so thread workers must
+  // reproduce the serial exploration exactly (options and the pick).
+  const netlist::Design d = circuit(13);
+  RingExploreConfig cfg;
+  cfg.candidates = {1, 4, 9, 16};
+  cfg.flow.max_iterations = 2;
+  const RingExploreResult serial = explore_ring_counts(d, cfg);
+
+  cfg.parallel = true;
+  cfg.max_threads = 4;
+  const RingExploreResult parallel = explore_ring_counts(d, cfg);
+
+  EXPECT_EQ(parallel.best_rings, serial.best_rings);
+  EXPECT_EQ(parallel.best_index, serial.best_index);
+  ASSERT_EQ(parallel.options.size(), serial.options.size());
+  for (std::size_t i = 0; i < serial.options.size(); ++i) {
+    EXPECT_EQ(parallel.options[i].rings, serial.options[i].rings);
+    EXPECT_DOUBLE_EQ(parallel.options[i].selection_cost,
+                     serial.options[i].selection_cost);
+    EXPECT_DOUBLE_EQ(parallel.options[i].metrics.tap_wl_um,
+                     serial.options[i].metrics.tap_wl_um);
+    EXPECT_DOUBLE_EQ(parallel.options[i].ring_metal_um,
+                     serial.options[i].ring_metal_um);
+    EXPECT_DOUBLE_EQ(parallel.options[i].dummy_cap_ff,
+                     serial.options[i].dummy_cap_ff);
+  }
+}
+
+TEST(RingExplore, ParallelPropagatesWorkerErrors) {
+  const netlist::Design d = circuit();
+  RingExploreConfig cfg;
+  cfg.candidates = {4, -1};  // -1 rings: RingArray construction throws
+  cfg.parallel = true;
+  EXPECT_THROW(explore_ring_counts(d, cfg), std::exception);
+}
+
 }  // namespace
 }  // namespace rotclk::core
