@@ -37,6 +37,7 @@
 #include "netlist/bench_io.hpp"
 #include "netlist/benchmarks.hpp"
 #include "netlist/placement_io.hpp"
+#include "util/error.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -66,6 +67,42 @@ struct CliOptions {
   std::exit(2);
 }
 
+// std::stoi and friends throw std::invalid_argument / std::out_of_range on
+// malformed values; turn those into the usual usage diagnostic instead of
+// an uncaught-exception abort.
+int parse_int(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    usage_error("malformed integer '" + value + "' for " + flag);
+  }
+}
+
+double parse_number(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    usage_error("malformed number '" + value + "' for " + flag);
+  }
+}
+
+std::uint64_t parse_uint(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    usage_error("malformed integer '" + value + "' for " + flag);
+  }
+}
+
 CliOptions parse(int argc, char** argv) {
   CliOptions opt;
   auto need_value = [&](int& i, const std::string& flag) -> std::string {
@@ -76,12 +113,14 @@ CliOptions parse(int argc, char** argv) {
     const std::string a = argv[i];
     if (a == "--circuit") opt.circuit = need_value(i, a);
     else if (a == "--bench") opt.bench_file = need_value(i, a);
-    else if (a == "--rings") opt.rings = std::stoi(need_value(i, a));
+    else if (a == "--rings") opt.rings = parse_int(need_value(i, a), a);
     else if (a == "--mode") opt.mode = need_value(i, a);
-    else if (a == "--iterations") opt.iterations = std::stoi(need_value(i, a));
-    else if (a == "--period") opt.period_ps = std::stod(need_value(i, a));
-    else if (a == "--utilization") opt.utilization = std::stod(need_value(i, a));
-    else if (a == "--seed") opt.seed = std::stoull(need_value(i, a));
+    else if (a == "--iterations")
+      opt.iterations = parse_int(need_value(i, a), a);
+    else if (a == "--period") opt.period_ps = parse_number(need_value(i, a), a);
+    else if (a == "--utilization")
+      opt.utilization = parse_number(need_value(i, a), a);
+    else if (a == "--seed") opt.seed = parse_uint(need_value(i, a), a);
     else if (a == "--csv") opt.csv_file = need_value(i, a);
     else if (a == "--report") opt.report_file = need_value(i, a);
     else if (a == "--save-placement") opt.save_placement = need_value(i, a);
@@ -106,9 +145,8 @@ CliOptions parse(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(const CliOptions& opt) {
   using namespace rotclk;
-  const CliOptions opt = parse(argc, argv);
 
   netlist::Design design = [&] {
     if (opt.bench_file) return netlist::read_bench_file(*opt.bench_file);
@@ -168,8 +206,10 @@ int main(int argc, char** argv) {
   if (!opt.quiet) table.print();
   if (opt.csv_file) {
     std::ofstream out(*opt.csv_file);
-    if (!out) usage_error("cannot write " + *opt.csv_file);
+    if (!out) throw IoError("cli", *opt.csv_file, "cannot open for writing");
     out << table.to_csv();
+    out.flush();
+    if (!out) throw IoError("cli", *opt.csv_file, "write failed");
   }
 
   const auto& base = result.base();
@@ -187,4 +227,18 @@ int main(int argc, char** argv) {
             << util::fmt_double(base.power.clock_mw, 2) << " -> "
             << util::fmt_double(fin.power.clock_mw, 2) << " mW\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  const CliOptions opt = parse(argc, argv);
+  try {
+    return run(opt);
+  } catch (const rotclk::Error& e) {
+    std::cerr << "rotclk_cli: [" << rotclk::to_string(e.code()) << "] "
+              << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "rotclk_cli: " << e.what() << "\n";
+    return 1;
+  }
 }

@@ -5,6 +5,7 @@
 #include "assign/error.hpp"
 #include "assign/ilp_assign.hpp"
 #include "assign/netflow.hpp"
+#include "util/fault.hpp"
 
 namespace rotclk::assign {
 
@@ -14,8 +15,10 @@ Assignment NetflowAssigner::assign(const netlist::Design& design,
                                    const std::vector<double>& arrival_ps,
                                    const timing::TechParams& tech,
                                    const AssignProblemConfig& config,
-                                   AssignProblem& problem_out) const {
+                                   AssignProblem& problem_out,
+                                   const util::RecoveryLog& log) const {
   int k = config.candidates_per_ff;
+  int attempt = 1;
   while (true) {
     AssignProblemConfig cfg = config;
     cfg.candidates_per_ff = k;
@@ -23,9 +26,21 @@ Assignment NetflowAssigner::assign(const netlist::Design& design,
         build_assign_problem(design, placement, rings, arrival_ps, tech, cfg);
     try {
       return assign_netflow(problem_out);
-    } catch (const InfeasibleError&) {
+    } catch (const InfeasibleError& e) {
       if (k >= rings.size()) throw;  // already considered every ring
-      k = std::min(rings.size(), k * 2);
+      const int next = std::min(rings.size(), k * 2);
+      if (log) {
+        util::RecoveryEvent ev;
+        ev.kind = util::RecoveryEvent::Kind::kRetry;
+        ev.site = name();
+        ev.action = "candidates_per_ff " + std::to_string(k) + " -> " +
+                    std::to_string(next);
+        ev.error = e.what();
+        ev.attempt = attempt;
+        log(ev);
+      }
+      k = next;
+      ++attempt;
     }
   }
 }
@@ -36,10 +51,48 @@ Assignment MinMaxCapAssigner::assign(const netlist::Design& design,
                                      const std::vector<double>& arrival_ps,
                                      const timing::TechParams& tech,
                                      const AssignProblemConfig& config,
-                                     AssignProblem& problem_out) const {
+                                     AssignProblem& problem_out,
+                                     const util::RecoveryLog& /*log*/) const {
+  util::fault::point("assign.minmaxcap");
   problem_out =
       build_assign_problem(design, placement, rings, arrival_ps, tech, config);
   return assign_min_max_cap(problem_out).assignment;
+}
+
+Assignment GreedyNearestAssigner::assign(
+    const netlist::Design& design, const netlist::Placement& placement,
+    const rotary::RingArray& rings, const std::vector<double>& arrival_ps,
+    const timing::TechParams& tech, const AssignProblemConfig& config,
+    AssignProblem& problem_out, const util::RecoveryLog& /*log*/) const {
+  problem_out =
+      build_assign_problem(design, placement, rings, arrival_ps, tech, config);
+  const auto by_ff = problem_out.arcs_by_ff();
+  std::vector<int> remaining = problem_out.ring_capacity;
+  Assignment out;
+  out.arc_of_ff.assign(static_cast<std::size_t>(problem_out.num_ffs()), -1);
+  for (int i = 0; i < problem_out.num_ffs(); ++i) {
+    int best = -1, best_any = -1;
+    for (const int a : by_ff[static_cast<std::size_t>(i)]) {
+      const CandidateArc& arc = problem_out.arcs[static_cast<std::size_t>(a)];
+      const auto cost = [&](int idx) {
+        return problem_out.arcs[static_cast<std::size_t>(idx)].tap_cost_um;
+      };
+      if (best_any < 0 || arc.tap_cost_um < cost(best_any)) best_any = a;
+      if (remaining[static_cast<std::size_t>(arc.ring)] > 0 &&
+          (best < 0 || arc.tap_cost_um < cost(best)))
+        best = a;
+    }
+    // Prefer a ring with capacity left; overload the nearest ring rather
+    // than leave the flip-flop untapped when every candidate is full.
+    const int chosen = best >= 0 ? best : best_any;
+    if (chosen < 0) continue;  // flip-flop with no candidate arcs at all
+    out.arc_of_ff[static_cast<std::size_t>(i)] = chosen;
+    const int ring = problem_out.arcs[static_cast<std::size_t>(chosen)].ring;
+    if (remaining[static_cast<std::size_t>(ring)] > 0)
+      --remaining[static_cast<std::size_t>(ring)];
+  }
+  refresh_metrics(problem_out, out);
+  return out;
 }
 
 }  // namespace rotclk::assign

@@ -4,17 +4,22 @@
 // The two formulations of the paper — total-tapping-wirelength network flow
 // (Sec. V) and min-max ring load capacitance (Sec. VI) — share one
 // interface so the flow pipeline selects the formulation once, at
-// construction, instead of branching on an enum every iteration.
+// construction, instead of branching on an enum every iteration. A third,
+// deliberately dumb strategy (nearest-ring greedy) exists as the last link
+// of the stage-3 fallback chain: it cannot fail, so a flow run always ends
+// with a complete assignment even when both optimizers do.
 //
 // An Assigner owns the whole stage: it builds the candidate-arc problem at
 // the given placement/targets and solves it, including any retry policy
 // (NetflowAssigner doubles candidates_per_ff when the pruned arcs cannot
-// route every flip-flop).
+// route every flip-flop). Retries are reported through the optional
+// RecoveryLog so the flow trace records every escalation.
 
 #include <memory>
 #include <vector>
 
 #include "assign/problem.hpp"
+#include "util/recovery.hpp"
 
 namespace rotclk::assign {
 
@@ -28,18 +33,21 @@ class Assigner {
   /// Build the candidate problem at `placement` / `arrival_ps` and solve
   /// it. `problem_out` receives the problem actually solved (a retry may
   /// rebuild it with a larger candidate set than `config` asked for).
+  /// Internal retries are reported through `log` when one is provided.
   virtual Assignment assign(const netlist::Design& design,
                             const netlist::Placement& placement,
                             const rotary::RingArray& rings,
                             const std::vector<double>& arrival_ps,
                             const timing::TechParams& tech,
                             const AssignProblemConfig& config,
-                            AssignProblem& problem_out) const = 0;
+                            AssignProblem& problem_out,
+                            const util::RecoveryLog& log = {}) const = 0;
 };
 
 /// Sec. V: exact min-cost-flow assignment minimizing total tapping
 /// wirelength under ring capacities. On InfeasibleError the candidate set
-/// is doubled (up to every ring) and the problem rebuilt.
+/// is doubled (up to every ring) and the problem rebuilt; each escalation
+/// is reported as a kRetry recovery event.
 class NetflowAssigner final : public Assigner {
  public:
   [[nodiscard]] const char* name() const override { return "network-flow"; }
@@ -49,7 +57,8 @@ class NetflowAssigner final : public Assigner {
                     const std::vector<double>& arrival_ps,
                     const timing::TechParams& tech,
                     const AssignProblemConfig& config,
-                    AssignProblem& problem_out) const override;
+                    AssignProblem& problem_out,
+                    const util::RecoveryLog& log = {}) const override;
 };
 
 /// Sec. VI: LP relaxation + greedy rounding (Fig. 5) minimizing the worst
@@ -64,7 +73,25 @@ class MinMaxCapAssigner final : public Assigner {
                     const std::vector<double>& arrival_ps,
                     const timing::TechParams& tech,
                     const AssignProblemConfig& config,
-                    AssignProblem& problem_out) const override;
+                    AssignProblem& problem_out,
+                    const util::RecoveryLog& log = {}) const override;
+};
+
+/// Last-resort strategy: each flip-flop takes its cheapest candidate arc
+/// whose ring still has capacity, or its cheapest arc outright when every
+/// candidate ring is full. No optimization, no failure modes — the
+/// terminal link of the stage-3 fallback chain (core/stages.cpp).
+class GreedyNearestAssigner final : public Assigner {
+ public:
+  [[nodiscard]] const char* name() const override { return "greedy-nearest"; }
+  Assignment assign(const netlist::Design& design,
+                    const netlist::Placement& placement,
+                    const rotary::RingArray& rings,
+                    const std::vector<double>& arrival_ps,
+                    const timing::TechParams& tech,
+                    const AssignProblemConfig& config,
+                    AssignProblem& problem_out,
+                    const util::RecoveryLog& log = {}) const override;
 };
 
 }  // namespace rotclk::assign

@@ -1,22 +1,18 @@
 #pragma once
 // Assignment-specific error types.
+//
+// InfeasibleError is now part of the library-wide typed hierarchy
+// (util/error.hpp): rotclk::InfeasibleError derives from rotclk::Error
+// (itself a std::runtime_error), so retry policies (candidate-set
+// doubling in NetflowAssigner) react only to genuine infeasibility and
+// never swallow unrelated failures, while pre-hierarchy call sites that
+// catch std::runtime_error keep working. This header remains as the
+// assign-layer spelling of the type.
 
-#include <stdexcept>
-#include <string>
+#include "util/error.hpp"
 
 namespace rotclk::assign {
 
-/// Thrown when an assignment problem instance admits no complete
-/// flip-flop -> ring assignment (pruned candidate arcs cannot route every
-/// flip-flop, or the ring capacities sum below the flip-flop count).
-///
-/// Distinct from std::runtime_error so retry policies (candidate-set
-/// doubling in NetflowAssigner) react only to genuine infeasibility and
-/// never swallow unrelated failures.
-class InfeasibleError : public std::runtime_error {
- public:
-  explicit InfeasibleError(const std::string& what)
-      : std::runtime_error(what) {}
-};
+using rotclk::InfeasibleError;
 
 }  // namespace rotclk::assign

@@ -1,7 +1,8 @@
 #include "assign/ilp_assign.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "assign/error.hpp"
 
 #include "lp/revised_simplex.hpp"
 #include "lp/simplex.hpp"
@@ -27,7 +28,7 @@ int build_lp(const AssignProblem& problem, lp::Model& model) {
     std::vector<std::pair<int, double>> terms;
     for (int a : by_ff[static_cast<std::size_t>(i)]) terms.emplace_back(a, 1.0);
     if (terms.empty())
-      throw std::runtime_error("ilp_assign: flip-flop with no candidate arcs");
+      throw InfeasibleError("ilp_assign", "flip-flop with no candidate arcs");
     model.add_constraint(std::move(terms), lp::Sense::Equal, 1.0);
   }
   std::vector<std::vector<std::pair<int, double>>> ring_terms(
@@ -128,8 +129,8 @@ IlpAssignResult assign_min_max_cap(const AssignProblem& problem) {
   const lp::Solution sol = lp::solve_auto(model);
   result.lp_seconds = timer.seconds();
   if (sol.status != lp::SolveStatus::Optimal)
-    throw std::runtime_error("ilp_assign: LP relaxation failed: " +
-                             std::string(lp::to_string(sol.status)));
+    throw InfeasibleError("ilp_assign", "LP relaxation failed: " +
+                                             std::string(lp::to_string(sol.status)));
   result.lp_solved = true;
   result.lp_optimum_ff = sol.values[static_cast<std::size_t>(cmax)];
 
@@ -156,8 +157,8 @@ IlpAssignResult assign_min_max_cap_randomized(const AssignProblem& problem,
   const lp::Solution sol = lp::solve_auto(model);
   result.lp_seconds = timer.seconds();
   if (sol.status != lp::SolveStatus::Optimal)
-    throw std::runtime_error("ilp_assign: LP relaxation failed: " +
-                             std::string(lp::to_string(sol.status)));
+    throw InfeasibleError("ilp_assign", "LP relaxation failed: " +
+                                             std::string(lp::to_string(sol.status)));
   result.lp_solved = true;
   result.lp_optimum_ff = sol.values[static_cast<std::size_t>(cmax)];
 

@@ -4,6 +4,7 @@
 
 #include "assign/error.hpp"
 #include "graph/mcmf.hpp"
+#include "util/fault.hpp"
 
 namespace rotclk::assign {
 
@@ -12,8 +13,9 @@ Assignment assign_netflow(const AssignProblem& problem) {
   const int r = problem.num_rings;
   const long total_cap = std::accumulate(problem.ring_capacity.begin(),
                                          problem.ring_capacity.end(), 0L);
+  util::fault::point("assign.netflow");
   if (total_cap < f)
-    throw InfeasibleError("assign_netflow: ring capacities below #FFs");
+    throw InfeasibleError("assign_netflow", "ring capacities below #FFs");
 
   // Node layout: 0 = source, 1..f = flip-flops, f+1..f+r = rings, f+r+1 = target.
   const int source = 0;
@@ -34,7 +36,8 @@ Assignment assign_netflow(const AssignProblem& problem) {
   const auto res = flow.solve(source, target, static_cast<double>(f));
   if (res.flow < static_cast<double>(f) - 0.5)
     throw InfeasibleError(
-        "assign_netflow: candidate arcs cannot route all flip-flops; "
+        "assign_netflow",
+        "candidate arcs cannot route all flip-flops; "
         "increase candidates_per_ff");
 
   Assignment out;

@@ -1,7 +1,8 @@
 #include "assign/problem.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "util/error.hpp"
 
 namespace rotclk::assign {
 
@@ -22,7 +23,7 @@ AssignProblem build_assign_problem(const netlist::Design& design,
   problem.ff_cells = design.flip_flops();
   problem.num_rings = rings.size();
   if (arrival_ps.size() != problem.ff_cells.size())
-    throw std::runtime_error("assign: arrival targets size mismatch");
+    throw InvalidArgumentError("assign", "arrival targets size mismatch");
   problem.ring_capacity.resize(static_cast<std::size_t>(rings.size()));
   for (int j = 0; j < rings.size(); ++j)
     problem.ring_capacity[static_cast<std::size_t>(j)] = rings.capacity(j);

@@ -1,9 +1,8 @@
 #include "core/flow.hpp"
 
-#include <stdexcept>
-
 #include "core/pipeline.hpp"
 #include "core/stages.hpp"
+#include "util/error.hpp"
 
 namespace rotclk::core {
 
@@ -37,7 +36,7 @@ void RotaryFlow::add_observer(FlowObserver* observer) {
 }
 
 const rotary::RingArray& RotaryFlow::rings() const {
-  if (!rings_) throw std::runtime_error("flow: run() has not executed");
+  if (!rings_) throw InvalidArgumentError("flow", "run() has not executed");
   return *rings_;
 }
 
@@ -58,8 +57,8 @@ FlowResult RotaryFlow::run() {
 
 FlowResult RotaryFlow::run_with_placement(netlist::Placement initial) {
   if (initial.size() != design_.cells().size())
-    throw std::runtime_error(
-        "flow: placement does not match the design (cell count)");
+    throw InvalidArgumentError(
+        "flow", "placement does not match the design (cell count)");
   return execute(std::move(initial), /*with_initial_placement=*/false);
 }
 
@@ -79,6 +78,10 @@ FlowResult RotaryFlow::execute(netlist::Placement placement,
   result.iterations_run = static_cast<int>(result.history.size()) - 1;
   result.algo_seconds = ctx.algo_seconds;
   result.placer_seconds = ctx.placer_seconds;
+  result.recovery = std::move(ctx.recovery);
+  if (!ctx.best)
+    throw InternalError(
+        "flow", "pipeline finished without producing a result snapshot");
   FlowContext::Snapshot& best = *ctx.best;
   result.best_iteration = best.iteration;
   result.placement = std::move(best.placement);

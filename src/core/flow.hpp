@@ -33,6 +33,7 @@
 #include "rotary/array.hpp"
 #include "sched/skew_optimizer.hpp"
 #include "timing/tech.hpp"
+#include "util/recovery.hpp"
 
 namespace rotclk::core {
 
@@ -71,6 +72,22 @@ struct FlowConfig {
   rotary::TappingParams tapping{};
   placer::PlacerConfig placer{};
   timing::TechParams tech{};
+
+  // --- Robustness (core/guards.hpp, core/stages.cpp fallback chains) ---
+  /// Validate FlowContext invariants after every stage; violations raise
+  /// GuardError naming the stage. Read-only, so results are unaffected.
+  bool stage_guards = true;
+  /// Degrade gracefully when a stage strategy fails: assignment falls back
+  /// NetflowAssigner -> MinMaxCapAssigner -> nearest-ring greedy, skew
+  /// re-optimization falls back to the plain Fishburn max-slack schedule,
+  /// a failed incremental placement keeps the current placement. Every
+  /// fallback is recorded as a RecoveryEvent. With this off, stage
+  /// failures propagate as typed errors.
+  bool recovery_fallbacks = true;
+  /// Per-stage wall-clock budget in seconds; a stage that exceeds it ends
+  /// the run at the best-so-far snapshot (recorded as a kDeadline
+  /// recovery event). 0 disables the deadline.
+  double stage_deadline_seconds = 0.0;
 };
 
 struct IterationMetrics {
@@ -101,6 +118,9 @@ struct FlowResult {
   /// Index (into history) of the lowest-overall-cost iteration; the
   /// returned placement/assignment/arrival correspond to this state.
   int best_iteration = 0;
+  /// Every retry / fallback / deadline / shielded-observer event the run
+  /// survived, in order. Empty for a clean run.
+  std::vector<util::RecoveryEvent> recovery;
 
   [[nodiscard]] const IterationMetrics& base() const { return history.front(); }
   [[nodiscard]] const IterationMetrics& final() const {

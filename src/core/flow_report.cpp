@@ -4,7 +4,8 @@
 #include <iomanip>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
+#include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace rotclk::core {
 
@@ -80,9 +81,12 @@ void write_flow_report_file(const netlist::Design& design,
                             const FlowConfig& config,
                             const FlowResult& result,
                             const std::string& path) {
+  util::fault::point("io.write");
   std::ofstream f(path);
-  if (!f) throw std::runtime_error("cannot write flow report: " + path);
+  if (!f) throw IoError("flow-report", path, "cannot open for writing");
   write_flow_report(design, config, result, f);
+  f.flush();
+  if (!f) throw IoError("flow-report", path, "write failed");
 }
 
 }  // namespace rotclk::core

@@ -1,0 +1,96 @@
+#include "core/guards.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace rotclk::core {
+namespace {
+
+[[noreturn]] void fail(const Stage& stage, const std::string& what) {
+  throw GuardError(stage.name(), "stage guard: " + what);
+}
+
+void check_placement(const Stage& stage, const FlowContext& ctx) {
+  const geom::Rect& die = ctx.placement.die();
+  if (!std::isfinite(die.xlo) || !std::isfinite(die.ylo) ||
+      !std::isfinite(die.xhi) || !std::isfinite(die.yhi))
+    fail(stage, "die outline is not finite");
+  if (die.xlo > die.xhi || die.ylo > die.yhi)
+    fail(stage, "die outline is inverted");
+  // The CG placer legalizes into the die; allow only rounding-level slop.
+  const double eps =
+      1e-6 * std::max({1.0, die.xhi - die.xlo, die.yhi - die.ylo});
+  for (std::size_t i = 0; i < ctx.placement.size(); ++i) {
+    const geom::Point p = ctx.placement.loc(static_cast<int>(i));
+    if (!std::isfinite(p.x) || !std::isfinite(p.y))
+      fail(stage, "cell " + std::to_string(i) + " at non-finite location");
+    if (p.x < die.xlo - eps || p.x > die.xhi + eps || p.y < die.ylo - eps ||
+        p.y > die.yhi + eps)
+      fail(stage,
+           "cell " + std::to_string(i) + " placed outside the die outline");
+  }
+}
+
+void check_schedule(const Stage& stage, const FlowContext& ctx) {
+  if (ctx.arrival_ps.empty()) return;  // schedule not computed yet
+  if (ctx.arrival_ps.size() != static_cast<std::size_t>(ctx.num_ffs()))
+    fail(stage, "delay-target count does not match the flip-flop count");
+  for (std::size_t i = 0; i < ctx.arrival_ps.size(); ++i) {
+    if (!std::isfinite(ctx.arrival_ps[i]))
+      fail(stage,
+           "non-finite delay target for flip-flop " + std::to_string(i));
+  }
+  // M* may be +inf for an unconstrained design, but never NaN; the
+  // prespecified M actually handed to stage 4 must be finite.
+  if (std::isnan(ctx.slack_star_ps)) fail(stage, "stage-2 slack is NaN");
+  if (!std::isfinite(ctx.slack_used_ps))
+    fail(stage, "prespecified stage-4 slack is not finite");
+}
+
+void check_assignment(const Stage& stage, const FlowContext& ctx) {
+  if (ctx.assignment.arc_of_ff.empty()) return;  // not assigned yet
+  if (ctx.assignment.arc_of_ff.size() !=
+      static_cast<std::size_t>(ctx.problem.num_ffs()))
+    fail(stage, "assignment size does not match the problem's flip-flops");
+  const int num_arcs = static_cast<int>(ctx.problem.arcs.size());
+  const int num_rings = ctx.rings ? ctx.rings->size() : ctx.problem.num_rings;
+  for (std::size_t i = 0; i < ctx.assignment.arc_of_ff.size(); ++i) {
+    const int a = ctx.assignment.arc_of_ff[i];
+    if (a < -1 || a >= num_arcs)
+      fail(stage, "assignment arc index out of range for flip-flop " +
+                      std::to_string(i));
+    if (a < 0) continue;
+    const assign::CandidateArc& arc =
+        ctx.problem.arcs[static_cast<std::size_t>(a)];
+    if (arc.ff != static_cast<int>(i))
+      fail(stage, "assignment arc belongs to a different flip-flop than " +
+                      std::to_string(i));
+    if (arc.ring < 0 || arc.ring >= num_rings)
+      fail(stage, "assigned ring index out of range for flip-flop " +
+                      std::to_string(i));
+  }
+  if (!std::isfinite(ctx.assignment.total_tap_cost_um) ||
+      !std::isfinite(ctx.assignment.max_ring_cap_ff))
+    fail(stage, "non-finite assignment metrics");
+}
+
+void check_metrics(const Stage& stage, const FlowContext& ctx) {
+  if (ctx.history.empty()) return;
+  const IterationMetrics& m = ctx.history.back();
+  if (!std::isfinite(m.overall_cost) || !std::isfinite(m.tap_wl_um) ||
+      !std::isfinite(m.signal_wl_um))
+    fail(stage, "non-finite iteration metrics");
+}
+
+}  // namespace
+
+void check_stage_invariants(const Stage& stage, const FlowContext& ctx) {
+  check_placement(stage, ctx);
+  check_schedule(stage, ctx);
+  check_assignment(stage, ctx);
+  check_metrics(stage, ctx);
+}
+
+}  // namespace rotclk::core

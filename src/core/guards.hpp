@@ -1,0 +1,37 @@
+#pragma once
+// Between-stage validation of FlowContext invariants.
+//
+// After every stage the pipeline (when FlowConfig::stage_guards is on, the
+// default) re-checks the invariants the rest of the flow silently relies
+// on, so a numerical blow-up inside one stage — NaN coordinates out of the
+// CG placer, an Inf delay target out of the skew scheduler, an assignment
+// index past the candidate-arc table — fails fast with a GuardError that
+// names the offending stage, instead of surfacing three stages later as a
+// nonsense metric or an out-of-range crash.
+//
+// Invariants checked (each only once its state exists):
+//   * the die outline is a valid, finite rectangle;
+//   * every cell location is finite and inside the die outline;
+//   * every delay target in arrival_ps is finite, and there is one per
+//     flip-flop;
+//   * the prespecified stage-4 slack is finite and neither slack is NaN
+//     (the stage-2 optimum may legitimately be +inf for unconstrained
+//     designs);
+//   * assignment indices are -1 or in range of the candidate-arc table,
+//     sized one per flip-flop, and every referenced arc stays in range of
+//     the ring array;
+//   * recorded iteration metrics are finite.
+//
+// Guards are read-only: enabling them never changes a flow's results,
+// only how early a corrupted run dies.
+
+#include "core/pipeline.hpp"
+
+namespace rotclk::core {
+
+/// Validate every applicable FlowContext invariant; throws
+/// rotclk::GuardError naming `stage` (and the first violated invariant)
+/// on failure.
+void check_stage_invariants(const Stage& stage, const FlowContext& ctx);
+
+}  // namespace rotclk::core

@@ -1,6 +1,9 @@
 #include "core/pipeline.hpp"
 
+#include "core/guards.hpp"
 #include "timing/sta.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/timer.hpp"
 
 namespace rotclk::core {
@@ -18,6 +21,12 @@ FlowContext::FlowContext(const netlist::Design& design_in,
       placement(std::move(initial_placement)) {
   assign_config.candidates_per_ff = config.candidates_per_ff;
   assign_config.tapping = config.tapping;
+}
+
+void FlowContext::record_recovery(util::RecoveryEvent ev) {
+  ev.iteration = iteration;
+  recovery.push_back(ev);
+  if (recovery_log) recovery_log(recovery.back());
 }
 
 void FlowContext::refresh_arcs() {
@@ -40,23 +49,86 @@ void FlowPipeline::add_observer(FlowObserver* observer) {
   observers_.push_back(observer);
 }
 
+// Observer callbacks are shielded: instrumentation must never be able to
+// kill a flow, so a throwing observer is demoted to a warning plus a
+// kObserverFailure recovery event. The event is appended directly (not
+// record_recovery) to avoid re-entering the observers that just failed.
+template <typename Fn>
+void FlowPipeline::notify(FlowContext& ctx, const char* hook, Fn&& fn) {
+  for (FlowObserver* o : observers_) {
+    try {
+      fn(*o);
+    } catch (const std::exception& e) {
+      util::warn("flow observer failed in ", hook, ": ", e.what());
+      util::RecoveryEvent ev;
+      ev.kind = util::RecoveryEvent::Kind::kObserverFailure;
+      ev.site = hook;
+      ev.action = "observer exception suppressed";
+      ev.error = e.what();
+      ev.iteration = ctx.iteration;
+      ctx.recovery.push_back(ev);
+    }
+  }
+}
+
 void FlowPipeline::run_stage(Stage& stage, FlowContext& ctx) {
-  for (FlowObserver* o : observers_) o->on_stage_begin(stage, ctx);
+  notify(ctx, "on_stage_begin",
+         [&](FlowObserver& o) { o.on_stage_begin(stage, ctx); });
   const std::size_t history_before = ctx.history.size();
   util::Timer timer;
-  stage.run(ctx);
+  try {
+    stage.run(ctx);
+  } catch (const DeadlineError& e) {
+    // A deadline means "stop now with what we have", not "escalate": end
+    // the run at the best-so-far snapshot when one exists. Before any
+    // snapshot there is nothing valid to return, so propagate.
+    if (!ctx.best) throw;
+    util::RecoveryEvent ev;
+    ev.kind = util::RecoveryEvent::Kind::kDeadline;
+    ev.site = stage.name();
+    ev.action = "stopping at best-so-far snapshot";
+    ev.error = e.what();
+    ctx.record_recovery(ev);
+    ctx.stop = true;
+  }
   const double seconds = timer.seconds();
   (stage.kind() == StageKind::Placement ? ctx.placer_seconds
                                         : ctx.algo_seconds) += seconds;
-  for (FlowObserver* o : observers_) o->on_stage_end(stage, ctx, seconds);
+  if (ctx.config.stage_guards) check_stage_invariants(stage, ctx);
+  if (ctx.config.stage_deadline_seconds > 0.0 &&
+      seconds > ctx.config.stage_deadline_seconds && !ctx.stop) {
+    if (ctx.best) {
+      util::RecoveryEvent ev;
+      ev.kind = util::RecoveryEvent::Kind::kDeadline;
+      ev.site = stage.name();
+      ev.action = "stage wall time exceeded the deadline; stopping at "
+                  "best-so-far snapshot";
+      ctx.record_recovery(ev);
+      ctx.stop = true;
+    } else {
+      throw DeadlineError(
+          stage.name(),
+          "stage wall time exceeded the per-stage deadline before any "
+          "result snapshot existed");
+    }
+  }
+  notify(ctx, "on_stage_end",
+         [&](FlowObserver& o) { o.on_stage_end(stage, ctx, seconds); });
   if (ctx.history.size() > history_before)
-    for (FlowObserver* o : observers_) o->on_iteration(ctx.history.back());
+    notify(ctx, "on_iteration",
+           [&](FlowObserver& o) { o.on_iteration(ctx.history.back()); });
 }
 
 void FlowPipeline::run(FlowContext& ctx) {
-  for (FlowObserver* o : observers_) o->on_flow_begin(ctx);
+  ctx.recovery_log = [this, &ctx](const util::RecoveryEvent& ev) {
+    notify(ctx, "on_recovery", [&](FlowObserver& o) { o.on_recovery(ev); });
+  };
+  notify(ctx, "on_flow_begin", [&](FlowObserver& o) { o.on_flow_begin(ctx); });
   ctx.iteration = 0;
-  for (const auto& stage : setup_) run_stage(*stage, ctx);
+  for (const auto& stage : setup_) {
+    run_stage(*stage, ctx);
+    if (ctx.stop) break;
+  }
   for (ctx.iteration = 1;
        ctx.iteration <= ctx.config.max_iterations && !ctx.stop;
        ++ctx.iteration) {
@@ -65,7 +137,8 @@ void FlowPipeline::run(FlowContext& ctx) {
       if (ctx.stop) break;
     }
   }
-  for (FlowObserver* o : observers_) o->on_flow_end(ctx);
+  notify(ctx, "on_flow_end", [&](FlowObserver& o) { o.on_flow_end(ctx); });
+  ctx.recovery_log = nullptr;
 }
 
 IterationMetrics evaluate_metrics(const netlist::Design& design,

@@ -32,6 +32,7 @@
 #include "rotary/array.hpp"
 #include "sched/skew_optimizer.hpp"
 #include "timing/sta.hpp"
+#include "util/recovery.hpp"
 
 namespace rotclk::core {
 
@@ -88,6 +89,16 @@ struct FlowContext {
   double algo_seconds = 0.0;    ///< stages 2-5 ("Stg 2-5")
   double placer_seconds = 0.0;  ///< stages 1 and 6 ("mPL")
 
+  // Recovery bookkeeping: every retry / fallback / deadline event the run
+  // survives, in order. The pipeline points `recovery_log` at its
+  // observers; stages and strategies report through record_recovery.
+  std::vector<util::RecoveryEvent> recovery;
+  util::RecoveryLog recovery_log;
+
+  /// Stamp the current iteration on `ev`, append it to `recovery`, and
+  /// forward it to `recovery_log` (when set).
+  void record_recovery(util::RecoveryEvent ev);
+
   [[nodiscard]] int num_ffs() const { return design.num_flip_flops(); }
   /// Re-extract the sequential adjacency at the current placement if the
   /// placement moved since the last extraction.
@@ -122,6 +133,8 @@ class FlowObserver {
   /// Fired after any stage that appends to the metrics history (stage 5,
   /// including the base-case evaluation).
   virtual void on_iteration(const IterationMetrics& /*metrics*/) {}
+  /// Fired for every retry / fallback / deadline event the run survives.
+  virtual void on_recovery(const util::RecoveryEvent& /*event*/) {}
   virtual void on_flow_end(const FlowContext& /*ctx*/) {}
 };
 
@@ -150,6 +163,10 @@ class FlowPipeline {
 
  private:
   void run_stage(Stage& stage, FlowContext& ctx);
+  /// Invoke `fn` on every observer, shielding the pipeline from observer
+  /// exceptions (demoted to a warning + kObserverFailure recovery event).
+  template <typename Fn>
+  void notify(FlowContext& ctx, const char* hook, Fn&& fn);
 
   std::vector<std::unique_ptr<Stage>> setup_;
   std::vector<std::unique_ptr<Stage>> loop_;

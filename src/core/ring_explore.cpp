@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <stdexcept>
 #include <thread>
 
 #include "util/logging.hpp"
+#include "util/error.hpp"
 
 namespace rotclk::core {
 
@@ -55,7 +55,7 @@ RingCountOption evaluate_candidate(const netlist::Design& design,
 RingExploreResult explore_ring_counts(const netlist::Design& design,
                                       const RingExploreConfig& config) {
   const std::size_t n = config.candidates.size();
-  if (n == 0) throw std::runtime_error("ring_explore: no candidate counts");
+  if (n == 0) throw InvalidArgumentError("ring_explore", "no candidate counts");
 
   std::vector<RingCountOption> options(n);
   if (!config.parallel || n == 1) {

@@ -2,13 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 #include "sched/skew.hpp"
 #include "timing/sta.hpp"
+#include "util/error.hpp"
 #include "util/logging.hpp"
 
 namespace rotclk::core {
+
+namespace {
+
+/// The recovery sink stages hand to strategies that retry internally
+/// (e.g. NetflowAssigner's candidate-doubling loop).
+util::RecoveryLog recovery_sink(FlowContext& ctx) {
+  return [&ctx](const util::RecoveryEvent& ev) { ctx.record_recovery(ev); };
+}
+
+}  // namespace
 
 void InitialPlacementStage::run(FlowContext& ctx) {
   ctx.placement = ctx.placer.place_initial(ctx.placement.die());
@@ -29,7 +39,8 @@ void SkewScheduleStage::run(FlowContext& ctx) {
   const sched::ScheduleResult schedule =
       sched::max_slack_schedule(ctx.num_ffs(), ctx.arcs, ctx.config.tech);
   if (!schedule.feasible)
-    throw std::runtime_error("flow: max-slack scheduling infeasible");
+    throw InfeasibleError("max-slack-scheduling",
+                          "no feasible skew schedule exists for this design");
   const double m_star = schedule.slack_ps;
   ctx.slack_star_ps = m_star;
   ctx.slack_used_ps =
@@ -40,10 +51,50 @@ void SkewScheduleStage::run(FlowContext& ctx) {
 }
 
 void AssignStage::run(FlowContext& ctx) {
-  ctx.assignment =
-      ctx.assigner.assign(ctx.design, ctx.placement, *ctx.rings,
-                          ctx.arrival_ps, ctx.config.tech, ctx.assign_config,
-                          ctx.problem);
+  const util::RecoveryLog log = recovery_sink(ctx);
+  const auto try_assign = [&](const assign::Assigner& assigner) {
+    ctx.assignment =
+        assigner.assign(ctx.design, ctx.placement, *ctx.rings, ctx.arrival_ps,
+                        ctx.config.tech, ctx.assign_config, ctx.problem, log);
+  };
+  try {
+    try_assign(ctx.assigner);
+    return;
+  } catch (const DeadlineError&) {
+    throw;  // a deadline means abandon the stage, not escalate within it
+  } catch (const Error& primary_error) {
+    if (!ctx.config.recovery_fallbacks) throw;
+    // Fallback chain: the exact min-max-cap assignment still respects ring
+    // capacities; the greedy nearest-ring pass always produces *some*
+    // assignment (possibly overloading rings). Skip whichever formulation
+    // just failed as the primary.
+    std::vector<std::unique_ptr<assign::Assigner>> chain;
+    if (std::string(ctx.assigner.name()) !=
+        assign::MinMaxCapAssigner().name())
+      chain.push_back(std::make_unique<assign::MinMaxCapAssigner>());
+    chain.push_back(std::make_unique<assign::GreedyNearestAssigner>());
+    std::string failed_site = primary_error.site();
+    std::string failed_what = primary_error.what();
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      util::RecoveryEvent ev;
+      ev.kind = util::RecoveryEvent::Kind::kFallback;
+      ev.site = name();
+      ev.action =
+          failed_site + " failed; falling back to " + chain[i]->name();
+      ev.error = failed_what;
+      ctx.record_recovery(ev);
+      try {
+        try_assign(*chain[i]);
+        return;
+      } catch (const DeadlineError&) {
+        throw;
+      } catch (const Error& e) {
+        if (i + 1 == chain.size()) throw;  // chain exhausted
+        failed_site = e.site();
+        failed_what = e.what();
+      }
+    }
+  }
 }
 
 void CostDrivenSkewStage::run(FlowContext& ctx) {
@@ -64,10 +115,30 @@ void CostDrivenSkewStage::run(FlowContext& ctx) {
         ctx.config.tech.wire_delay_ps(dist, ctx.config.tech.ff_input_cap_ff);
     weights[static_cast<std::size_t>(i)] = dist;  // w_i = l_i (paper)
   }
-  const sched::CostDrivenResult cd = ctx.skew_optimizer.optimize(
-      num_ffs, ctx.arcs, ctx.config.tech, anchors, weights,
-      ctx.slack_used_ps);
-  if (cd.feasible) ctx.arrival_ps = cd.arrival_ps;
+  try {
+    const sched::CostDrivenResult cd = ctx.skew_optimizer.optimize(
+        num_ffs, ctx.arcs, ctx.config.tech, anchors, weights,
+        ctx.slack_used_ps);
+    if (cd.feasible) ctx.arrival_ps = cd.arrival_ps;
+  } catch (const DeadlineError&) {
+    throw;
+  } catch (const Error& e) {
+    if (!ctx.config.recovery_fallbacks) throw;
+    // The cost-driven re-optimization is an improvement pass; losing it
+    // costs tapping wirelength, not correctness. Fall back to the plain
+    // Fishburn max-slack schedule at the current placement (and keep the
+    // current targets if even that is infeasible here).
+    util::RecoveryEvent ev;
+    ev.kind = util::RecoveryEvent::Kind::kFallback;
+    ev.site = name();
+    ev.action = "cost-driven re-optimization failed; falling back to the "
+                "max-slack schedule";
+    ev.error = e.what();
+    ctx.record_recovery(ev);
+    const sched::ScheduleResult schedule =
+        sched::max_slack_schedule(num_ffs, ctx.arcs, ctx.config.tech);
+    if (schedule.feasible) ctx.arrival_ps = schedule.arrival_ps;
+  }
 }
 
 void EvaluateStage::run(FlowContext& ctx) {
@@ -106,8 +177,23 @@ void IncrementalPlacementStage::run(FlowContext& ctx) {
     pn.weight = ctx.config.pseudo_net_weight;
     pseudo.push_back(pn);
   }
-  ctx.placement = ctx.placer.place_incremental(ctx.placement, pseudo);
-  ctx.arcs_stale = true;
+  try {
+    ctx.placement = ctx.placer.place_incremental(ctx.placement, pseudo);
+    ctx.arcs_stale = true;
+  } catch (const DeadlineError&) {
+    throw;
+  } catch (const Error& e) {
+    if (!ctx.config.recovery_fallbacks) throw;
+    // Stage 6 only refines: the current placement is already legal, so a
+    // failed incremental pass keeps it and lets the next iteration (or
+    // convergence) proceed from here.
+    util::RecoveryEvent ev;
+    ev.kind = util::RecoveryEvent::Kind::kFallback;
+    ev.site = name();
+    ev.action = "incremental placement failed; keeping the current placement";
+    ev.error = e.what();
+    ctx.record_recovery(ev);
+  }
 }
 
 FlowPipeline make_standard_pipeline(bool with_initial_placement) {

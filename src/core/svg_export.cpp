@@ -4,7 +4,8 @@
 #include <iomanip>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
+#include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace rotclk::core {
 
@@ -95,9 +96,12 @@ void write_layout_svg_file(const netlist::Design& design,
                            const assign::Assignment* assignment,
                            const std::string& path,
                            const SvgOptions& options) {
+  util::fault::point("io.write");
   std::ofstream f(path);
-  if (!f) throw std::runtime_error("cannot write SVG file: " + path);
+  if (!f) throw IoError("svg", path, "cannot open for writing");
   write_layout_svg(design, placement, rings, problem, assignment, f, options);
+  f.flush();
+  if (!f) throw IoError("svg", path, "write failed");
 }
 
 }  // namespace rotclk::core

@@ -1,13 +1,39 @@
 #include "core/trace.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
-#include "util/logging.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace rotclk::core {
 namespace {
+
+// Minimal JSON string escape: quotes, backslashes, and control characters
+// (recovery-event error texts embed arbitrary what() strings).
+void put_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
 
 // JSON-safe number: finite values in full double precision, non-finite as
 // null (JSON has no inf/nan).
@@ -49,6 +75,7 @@ void JsonTraceObserver::on_flow_begin(const FlowContext& ctx) {
   skew_optimizer_ = ctx.skew_optimizer.name();
   stages_.clear();
   iterations_.clear();
+  recovery_.clear();
   finished_ = false;
 }
 
@@ -61,6 +88,10 @@ void JsonTraceObserver::on_iteration(const IterationMetrics& metrics) {
   iterations_.push_back(metrics);
 }
 
+void JsonTraceObserver::on_recovery(const util::RecoveryEvent& event) {
+  recovery_.push_back(event);
+}
+
 void JsonTraceObserver::on_flow_end(const FlowContext& ctx) {
   finished_ = true;
   slack_star_ps_ = ctx.slack_star_ps;
@@ -68,13 +99,17 @@ void JsonTraceObserver::on_flow_end(const FlowContext& ctx) {
   algo_seconds_ = ctx.algo_seconds;
   placer_seconds_ = ctx.placer_seconds;
   best_iteration_ = ctx.best ? ctx.best->iteration : 0;
+  // Any event the tracer missed through direct FlowResult plumbing (e.g.
+  // shielded observer failures appended without a broadcast) still lands
+  // in the document.
+  recovery_ = ctx.recovery;
   if (path_.empty()) return;
+  util::fault::point("io.write");
   std::ofstream out(path_);
-  if (!out) {
-    util::warn("trace: cannot write ", path_);
-    return;
-  }
+  if (!out) throw IoError("trace", path_, "cannot open for writing");
   out << json() << "\n";
+  out.flush();
+  if (!out) throw IoError("trace", path_, "write failed");
 }
 
 std::string JsonTraceObserver::json() const {
@@ -101,6 +136,19 @@ std::string JsonTraceObserver::json() const {
   for (std::size_t i = 0; i < iterations_.size(); ++i) {
     if (i) os << ",";
     put_metrics(os, iterations_[i]);
+  }
+  os << "],\"recovery\":[";
+  for (std::size_t i = 0; i < recovery_.size(); ++i) {
+    const util::RecoveryEvent& ev = recovery_[i];
+    if (i) os << ",";
+    os << "{\"kind\":\"" << util::to_string(ev.kind) << "\",\"site\":";
+    put_string(os, ev.site);
+    os << ",\"action\":";
+    put_string(os, ev.action);
+    os << ",\"error\":";
+    put_string(os, ev.error);
+    os << ",\"iteration\":" << ev.iteration << ",\"attempt\":" << ev.attempt
+       << "}";
   }
   os << "]}";
   return os.str();

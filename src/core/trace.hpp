@@ -29,6 +29,7 @@ class JsonTraceObserver final : public FlowObserver {
   void on_stage_end(const Stage& stage, const FlowContext& ctx,
                     double seconds) override;
   void on_iteration(const IterationMetrics& metrics) override;
+  void on_recovery(const util::RecoveryEvent& event) override;
   void on_flow_end(const FlowContext& ctx) override;
 
   struct StageEvent {
@@ -42,6 +43,10 @@ class JsonTraceObserver final : public FlowObserver {
   [[nodiscard]] const std::vector<IterationMetrics>& iterations() const {
     return iterations_;
   }
+  [[nodiscard]] const std::vector<util::RecoveryEvent>& recovery_events()
+      const {
+    return recovery_;
+  }
 
   /// The trace as a JSON document (valid any time; complete after the
   /// flow ends).
@@ -53,6 +58,7 @@ class JsonTraceObserver final : public FlowObserver {
   std::string skew_optimizer_;
   std::vector<StageEvent> stages_;
   std::vector<IterationMetrics> iterations_;
+  std::vector<util::RecoveryEvent> recovery_;
   bool finished_ = false;
   double slack_star_ps_ = 0.0;
   double slack_used_ps_ = 0.0;

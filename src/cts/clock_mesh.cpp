@@ -3,13 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <stdexcept>
+#include "util/error.hpp"
 
 namespace rotclk::cts {
 
 ClockMesh build_clock_mesh(const std::vector<geom::Point>& sinks,
                            const geom::Rect& region, int grid) {
-  if (grid < 1) throw std::runtime_error("clock mesh: grid must be >= 1");
+  if (grid < 1) throw InvalidArgumentError("clock-mesh", "grid must be >= 1");
   ClockMesh mesh;
   mesh.grid = grid;
   mesh.region = region;

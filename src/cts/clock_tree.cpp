@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 #include "geom/rect.hpp"
+#include "util/error.hpp"
 
 namespace rotclk::cts {
 
@@ -163,7 +163,7 @@ double sink_path_delay_ps(const ClockTree& tree, int sink,
       stack.push_back(n.right);
     }
   }
-  if (leaf < 0) throw std::runtime_error("clock tree: sink not found");
+  if (leaf < 0) throw InvalidArgumentError("clock-tree", "sink not found");
   std::vector<int> path;
   for (int v = leaf; v >= 0; v = parent[static_cast<std::size_t>(v)])
     path.push_back(v);
@@ -187,12 +187,12 @@ ClockTree build_prescribed_skew_tree(
     const std::vector<double>& sink_init_delay_ps,
     const timing::TechParams& tech) {
   if (sinks.empty())
-    throw std::runtime_error("clock tree: no sinks");
+    throw InvalidArgumentError("clock-tree", "no sinks");
   if (!sink_caps.empty() && sink_caps.size() != sinks.size())
-    throw std::runtime_error("clock tree: sink_caps size mismatch");
+    throw InvalidArgumentError("clock-tree", "sink_caps size mismatch");
   if (!sink_init_delay_ps.empty() &&
       sink_init_delay_ps.size() != sinks.size())
-    throw std::runtime_error("clock tree: sink_init_delay size mismatch");
+    throw InvalidArgumentError("clock-tree", "sink_init_delay size mismatch");
 
   ClockTree tree;
   tree.nodes.reserve(sinks.size() * 2);

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <limits>
 #include <queue>
-#include <stdexcept>
 #include <utility>
 
 #include "graph/bellman_ford.hpp"
+#include "util/error.hpp"
 
 namespace rotclk::graph {
 
@@ -20,7 +20,7 @@ MinCostCirculation::MinCostCirculation(int num_nodes)
 int MinCostCirculation::add_arc(int from, int to, double capacity,
                                 double cost) {
   if (from < 0 || from >= num_nodes_ || to < 0 || to >= num_nodes_)
-    throw std::runtime_error("circulation: arc endpoint out of range");
+    throw InvalidArgumentError("circulation", "arc endpoint out of range");
   const int id = static_cast<int>(arcs_.size());
   arcs_.push_back(Arc{from, to, capacity, cost});
   arcs_.push_back(Arc{to, from, 0.0, -cost});
@@ -100,8 +100,8 @@ MinCostCirculation::Result MinCostCirculation::solve_ssp(
                       pot[static_cast<std::size_t>(a.to)];
     if (rc >= -1e-9) continue;
     if (a.cap >= kFiniteCap)
-      throw std::runtime_error(
-          "circulation: infinite-capacity arc with negative reduced cost");
+      throw NumericError(
+          "circulation", "infinite-capacity arc with negative reduced cost");
     const double f = a.cap;
     excess[static_cast<std::size_t>(a.to)] += f;
     excess[static_cast<std::size_t>(a.from)] -= f;
@@ -186,8 +186,8 @@ MinCostCirculation::Result MinCostCirculation::solve_ssp(
   for (std::size_t s = 0; s < n; ++s) {
     while (excess[s] > flow_eps) {
       if (!route_from(static_cast<int>(s)))
-        throw std::runtime_error(
-            "circulation: imbalance cannot be routed (bad potentials?)");
+        throw InfeasibleError(
+            "circulation", "imbalance cannot be routed (bad potentials?)");
     }
   }
   res.optimal = true;

@@ -1,8 +1,8 @@
 #include "graph/diff_constraints.hpp"
 
-#include <stdexcept>
 
 #include "graph/bellman_ford.hpp"
+#include "util/error.hpp"
 
 namespace rotclk::graph {
 
@@ -11,7 +11,7 @@ DiffConstraintSystem::DiffConstraintSystem(int num_variables)
 
 void DiffConstraintSystem::add(int i, int j, double c) {
   if (i < 0 || i >= num_vars_ || j < 0 || j >= num_vars_)
-    throw std::runtime_error("diff-constraints: variable out of range");
+    throw InvalidArgumentError("diff-constraints", "variable out of range");
   edges_.push_back(Row{i, j, c});
 }
 

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <queue>
-#include <stdexcept>
+#include "util/error.hpp"
 
 namespace rotclk::graph {
 
@@ -19,7 +19,7 @@ MinCostMaxFlow::MinCostMaxFlow(int num_nodes)
 
 int MinCostMaxFlow::add_arc(int from, int to, double capacity, double cost) {
   if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes())
-    throw std::runtime_error("mcmf: arc endpoint out of range");
+    throw InvalidArgumentError("mcmf", "arc endpoint out of range");
   const int id = static_cast<int>(arcs_.size());
   head_[static_cast<std::size_t>(from)].push_back(id);
   arcs_.push_back(Arc{to, capacity, cost});
@@ -96,7 +96,7 @@ MinCostMaxFlow::Result MinCostMaxFlow::solve(int source, int target,
                                              double max_flow) {
   Result res;
   if (!bellman_ford_potentials(source))
-    throw std::runtime_error("mcmf: negative cycle in input graph");
+    throw InvalidArgumentError("mcmf", "negative cycle in input graph");
   std::vector<int> parent_arc;
   while (res.flow + kEps < max_flow) {
     if (!dijkstra(source, target, parent_arc)) break;

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
-#include <stdexcept>
 
 #include "geom/point.hpp"
+#include "util/error.hpp"
 
 namespace rotclk::localtree {
 
@@ -60,7 +60,7 @@ LocalTreeResult build_local_trees(const netlist::Placement& placement,
                                   const timing::TechParams& tech,
                                   const LocalTreeConfig& config) {
   if (arrival_ps.size() != static_cast<std::size_t>(problem.num_ffs()))
-    throw std::runtime_error("local_tree: arrival size mismatch");
+    throw InvalidArgumentError("local_tree", "arrival size mismatch");
 
   LocalTreeResult result;
   // Baseline: the per-flip-flop stubs the assignment already chose.

@@ -2,14 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+#include "util/error.hpp"
 
 namespace rotclk::lp {
 
 int Model::add_variable(double lower, double upper, double cost,
                         std::string name) {
   if (lower > upper)
-    throw std::runtime_error("lp: variable with lower > upper: " + name);
+    throw InvalidArgumentError("lp", "variable with lower > upper: " + name);
   vars_.push_back(Variable{std::move(name), lower, upper, cost});
   return static_cast<int>(vars_.size()) - 1;
 }
@@ -26,7 +26,7 @@ int Model::add_constraint(std::vector<std::pair<int, double>> terms,
   std::vector<std::pair<int, double>> merged;
   for (const auto& [idx, coeff] : terms) {
     if (idx < 0 || idx >= num_variables())
-      throw std::runtime_error("lp: constraint references unknown variable");
+      throw InvalidArgumentError("lp", "constraint references unknown variable");
     if (!merged.empty() && merged.back().first == idx)
       merged.back().second += coeff;
     else
@@ -38,9 +38,9 @@ int Model::add_constraint(std::vector<std::pair<int, double>> terms,
 
 void Model::set_bounds(int var, double lower, double upper) {
   if (var < 0 || var >= num_variables())
-    throw std::runtime_error("lp: set_bounds on unknown variable");
+    throw InvalidArgumentError("lp", "set_bounds on unknown variable");
   if (lower > upper)
-    throw std::runtime_error("lp: set_bounds with lower > upper");
+    throw InvalidArgumentError("lp", "set_bounds with lower > upper");
   vars_[static_cast<std::size_t>(var)].lower = lower;
   vars_[static_cast<std::size_t>(var)].upper = upper;
 }

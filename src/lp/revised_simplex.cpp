@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 
 namespace rotclk::lp {
@@ -319,6 +320,7 @@ class RevisedSolver {
 }  // namespace
 
 Solution solve_revised(const Model& model, const SolveOptions& options) {
+  util::fault::point("lp.solve");
   if (model.num_variables() == 0) {
     Solution sol;
     sol.status = model.num_constraints() == 0 ? SolveStatus::Optimal

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 
 namespace rotclk::lp {
@@ -333,6 +334,7 @@ class Tableau {
 }  // namespace
 
 Solution solve(const Model& model, const SolveOptions& options) {
+  util::fault::point("lp.solve");
   if (model.num_variables() == 0) {
     Solution sol;
     sol.status = model.num_constraints() == 0 ? SolveStatus::Optimal

@@ -3,8 +3,8 @@
 #include <fstream>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
 
+#include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace rotclk::netlist {
@@ -15,36 +15,46 @@ struct GateLine {
   std::string out;
   GateFn fn;
   std::vector<std::string> ins;
+  int lineno = 0;  ///< source line, for deferred diagnostics
 };
 
 // Parse "name = FN(a, b)" into a GateLine.
-GateLine parse_assignment(std::string_view line, int lineno) {
+GateLine parse_assignment(std::string_view line, const std::string& source,
+                          int lineno) {
   const auto eq = line.find('=');
   const auto lp = line.find('(', eq);
   const auto rp = line.rfind(')');
   if (eq == std::string_view::npos || lp == std::string_view::npos ||
       rp == std::string_view::npos || rp < lp) {
-    throw std::runtime_error("bench parse error at line " +
-                             std::to_string(lineno));
+    throw ParseError("bench", source, lineno,
+                     "expected 'name = FN(args)'", std::string(line));
   }
   GateLine g;
   g.out = std::string(util::trim(line.substr(0, eq)));
-  g.fn = gate_fn_from_name(
-      std::string(util::trim(line.substr(eq + 1, lp - eq - 1))));
+  const std::string fn_name(util::trim(line.substr(eq + 1, lp - eq - 1)));
+  try {
+    g.fn = gate_fn_from_name(fn_name);
+  } catch (const Error&) {
+    throw ParseError("bench", source, lineno, "unknown gate function",
+                     fn_name);
+  }
   for (const auto& tok :
        util::split(line.substr(lp + 1, rp - lp - 1), ", \t")) {
     g.ins.push_back(tok);
   }
-  if (g.out.empty() || g.ins.empty()) {
-    throw std::runtime_error("bench parse error at line " +
-                             std::to_string(lineno));
-  }
+  if (g.out.empty())
+    throw ParseError("bench", source, lineno, "gate with no output name",
+                     std::string(line));
+  if (g.ins.empty())
+    throw ParseError("bench", source, lineno, "gate with no inputs", g.out);
+  g.lineno = lineno;
   return g;
 }
 
 }  // namespace
 
-Design read_bench(std::istream& in, const std::string& design_name) {
+Design read_bench(std::istream& in, const std::string& design_name,
+                  const std::string& source) {
   Design d(design_name);
   std::vector<std::string> outputs;   // declared primary outputs
   std::vector<GateLine> gates;        // deferred so nets exist in any order
@@ -60,24 +70,27 @@ Design read_bench(std::istream& in, const std::string& design_name) {
     const std::string lower = util::to_lower(line);
     if (util::starts_with(lower, "input")) {
       const auto lp = line.find('('), rp = line.rfind(')');
-      if (lp == std::string_view::npos || rp == std::string_view::npos)
-        throw std::runtime_error("bench parse error at line " +
-                                 std::to_string(lineno));
+      if (lp == std::string_view::npos || rp == std::string_view::npos ||
+          rp < lp)
+        throw ParseError("bench", source, lineno,
+                         "malformed INPUT declaration", std::string(line));
       d.add_primary_input(std::string(util::trim(line.substr(lp + 1, rp - lp - 1))));
     } else if (util::starts_with(lower, "output")) {
       const auto lp = line.find('('), rp = line.rfind(')');
-      if (lp == std::string_view::npos || rp == std::string_view::npos)
-        throw std::runtime_error("bench parse error at line " +
-                                 std::to_string(lineno));
+      if (lp == std::string_view::npos || rp == std::string_view::npos ||
+          rp < lp)
+        throw ParseError("bench", source, lineno,
+                         "malformed OUTPUT declaration", std::string(line));
       outputs.emplace_back(util::trim(line.substr(lp + 1, rp - lp - 1)));
     } else {
-      gates.push_back(parse_assignment(line, lineno));
+      gates.push_back(parse_assignment(line, source, lineno));
     }
   }
   for (const auto& g : gates) {
     if (g.fn == GateFn::Dff) {
       if (g.ins.size() != 1)
-        throw std::runtime_error("DFF with wrong arity: " + g.out);
+        throw ParseError("bench", source, g.lineno,
+                         "DFF takes exactly one input", g.out);
       d.add_flip_flop(g.out, g.ins[0]);
     } else {
       d.add_gate(g.fn, g.out, g.ins);
@@ -91,17 +104,17 @@ Design read_bench(std::istream& in, const std::string& design_name) {
 Design read_bench_string(const std::string& text,
                          const std::string& design_name) {
   std::istringstream is(text);
-  return read_bench(is, design_name);
+  return read_bench(is, design_name, "<string>");
 }
 
 Design read_bench_file(const std::string& path) {
   std::ifstream f(path);
-  if (!f) throw std::runtime_error("cannot open bench file: " + path);
+  if (!f) throw IoError("bench", path, "cannot open for reading");
   auto slash = path.find_last_of('/');
   std::string stem = slash == std::string::npos ? path : path.substr(slash + 1);
   if (auto dot = stem.find_last_of('.'); dot != std::string::npos)
     stem = stem.substr(0, dot);
-  return read_bench(f, stem);
+  return read_bench(f, stem, path);
 }
 
 void write_bench(const Design& design, std::ostream& out) {

@@ -14,9 +14,12 @@
 
 namespace rotclk::netlist {
 
-/// Parse a design from `.bench` text. Throws std::runtime_error on
-/// malformed input. `design_name` is the name given to the Design.
-Design read_bench(std::istream& in, const std::string& design_name);
+/// Parse a design from `.bench` text. Throws rotclk::ParseError (with
+/// source name, line, and offending token) on malformed input.
+/// `design_name` is the name given to the Design; `source` names the
+/// stream in diagnostics (a path for files).
+Design read_bench(std::istream& in, const std::string& design_name,
+                  const std::string& source = "<bench>");
 
 /// Parse from a string (convenience for tests).
 Design read_bench_string(const std::string& text,

@@ -1,8 +1,8 @@
 #include "netlist/benchmarks.hpp"
 
-#include <stdexcept>
 
 #include "netlist/generator.hpp"
+#include "util/error.hpp"
 
 namespace rotclk::netlist {
 
@@ -22,7 +22,7 @@ const std::vector<BenchmarkSpec>& benchmark_suite() {
 const BenchmarkSpec& benchmark_spec(const std::string& name) {
   for (const auto& spec : benchmark_suite())
     if (spec.name == name) return spec;
-  throw std::runtime_error("unknown benchmark: " + name);
+  throw InvalidArgumentError("benchmarks", "unknown benchmark: " + name);
 }
 
 Design make_benchmark(const BenchmarkSpec& spec, std::uint64_t seed) {

@@ -1,16 +1,16 @@
 #include "netlist/buffering.hpp"
 
 #include <cmath>
-#include <stdexcept>
 
 #include "geom/point.hpp"
+#include "util/error.hpp"
 
 namespace rotclk::netlist {
 
 BufferingReport insert_repeaters(Design& design, Placement& placement,
                                  const BufferingConfig& config) {
   if (config.segment_um <= 0.0 || config.critical_len_um <= 0.0)
-    throw std::runtime_error("buffering: lengths must be positive");
+    throw InvalidArgumentError("buffering", "lengths must be positive");
 
   // Collect the work list first: adding nets/cells invalidates iteration.
   struct Run {

@@ -1,9 +1,9 @@
 #include "netlist/generator.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 
 #include "util/rng.hpp"
+#include "util/error.hpp"
 
 namespace rotclk::netlist {
 
@@ -25,10 +25,10 @@ GateFn pick_fn(int fanin, util::Rng& rng) {
 
 Design generate_circuit(const GeneratorConfig& cfg) {
   if (cfg.num_gates < cfg.num_flip_flops)
-    throw std::runtime_error(
-        "generator: need at least one gate per flip-flop D input");
+    throw InvalidArgumentError(
+        "generator", "need at least one gate per flip-flop D input");
   if (cfg.num_primary_inputs < 1)
-    throw std::runtime_error("generator: need at least one primary input");
+    throw InvalidArgumentError("generator", "need at least one primary input");
 
   util::Rng rng(cfg.seed);
   Design d(cfg.name);

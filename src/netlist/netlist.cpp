@@ -1,9 +1,9 @@
 #include "netlist/netlist.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 
 #include "util/strings.hpp"
+#include "util/error.hpp"
 
 namespace rotclk::netlist {
 
@@ -37,7 +37,7 @@ GateFn gate_fn_from_name(const std::string& name) {
   if (u == "xor") return GateFn::Xor;
   if (u == "xnor") return GateFn::Xnor;
   if (u == "dff") return GateFn::Dff;
-  throw std::runtime_error("unknown gate function: " + name);
+  throw InvalidArgumentError("netlist", "unknown gate function: " + name);
 }
 
 int Design::net_index(const std::string& name) {
@@ -51,7 +51,7 @@ int Design::net_index(const std::string& name) {
 
 int Design::add_cell(Cell cell) {
   if (cell_by_name_.count(cell.name) != 0)
-    throw std::runtime_error("duplicate cell name: " + cell.name);
+    throw InvalidArgumentError("netlist", "duplicate cell name: " + cell.name);
   const int idx = static_cast<int>(cells_.size());
   cell_by_name_.emplace(cell.name, idx);
   cells_.push_back(std::move(cell));
@@ -61,7 +61,7 @@ int Design::add_cell(Cell cell) {
 int Design::add_primary_input(const std::string& net_name) {
   const int n = net_index(net_name);
   if (nets_[static_cast<std::size_t>(n)].driver != -1)
-    throw std::runtime_error("net already driven: " + net_name);
+    throw InvalidArgumentError("netlist", "net already driven: " + net_name);
   Cell c;
   c.name = net_name;  // PI cell shares the net name, as in .bench
   c.fn = GateFn::Input;
@@ -86,12 +86,12 @@ int Design::add_primary_output(const std::string& net_name) {
 int Design::add_gate(GateFn fn, const std::string& out_name,
                      const std::vector<std::string>& in_names) {
   if (fn == GateFn::Input || fn == GateFn::Output || fn == GateFn::Dff)
-    throw std::runtime_error("add_gate: not a combinational function");
+    throw InvalidArgumentError("netlist", "add_gate: not a combinational function");
   if (in_names.empty())
-    throw std::runtime_error("add_gate: gate with no inputs: " + out_name);
+    throw InvalidArgumentError("netlist", "add_gate: gate with no inputs: " + out_name);
   const int out = net_index(out_name);
   if (nets_[static_cast<std::size_t>(out)].driver != -1)
-    throw std::runtime_error("net already driven: " + out_name);
+    throw InvalidArgumentError("netlist", "net already driven: " + out_name);
   Cell c;
   c.name = out_name;
   c.fn = fn;
@@ -111,7 +111,7 @@ int Design::add_flip_flop(const std::string& out_name,
                           const std::string& in_name) {
   const int out = net_index(out_name);
   if (nets_[static_cast<std::size_t>(out)].driver != -1)
-    throw std::runtime_error("net already driven: " + out_name);
+    throw InvalidArgumentError("netlist", "net already driven: " + out_name);
   const int in = net_index(in_name);
   Cell c;
   c.name = out_name;
@@ -130,8 +130,8 @@ void Design::rewire_input(int cell, int old_net, int new_net) {
   Cell& c = cells_[static_cast<std::size_t>(cell)];
   auto pin = std::find(c.in_nets.begin(), c.in_nets.end(), old_net);
   if (pin == c.in_nets.end())
-    throw std::runtime_error("rewire_input: " + c.name +
-                             " has no input on that net");
+    throw InvalidArgumentError("netlist", "rewire_input: " + c.name +
+                               " has no input on that net");
   *pin = new_net;
   auto& old_sinks = nets_[static_cast<std::size_t>(old_net)].sinks;
   auto sink = std::find(old_sinks.begin(), old_sinks.end(), cell);
@@ -222,27 +222,27 @@ std::vector<int> Design::combinational_topo_order() const {
   for (const auto& c : cells_)
     if (c.is_gate()) ++gates;
   if (static_cast<int>(order.size()) != gates)
-    throw std::runtime_error("combinational cycle detected in design " + name_);
+    throw InvalidArgumentError("netlist", "combinational cycle detected in design " + name_);
   return order;
 }
 
 void Design::validate() const {
   for (const auto& net : nets_) {
     if (net.driver == -1 && !net.sinks.empty())
-      throw std::runtime_error("undriven net: " + net.name);
+      throw InvalidArgumentError("netlist", "undriven net: " + net.name);
   }
   for (const auto& c : cells_) {
     if (c.is_primary_output()) {
       if (c.in_nets.size() != 1)
-        throw std::runtime_error("PO with wrong pin count: " + c.name);
+        throw InvalidArgumentError("netlist", "PO with wrong pin count: " + c.name);
       continue;
     }
     if (c.out_net < 0)
-      throw std::runtime_error("cell drives no net: " + c.name);
+      throw InvalidArgumentError("netlist", "cell drives no net: " + c.name);
     if (c.is_flip_flop() && c.in_nets.size() != 1)
-      throw std::runtime_error("DFF with wrong pin count: " + c.name);
+      throw InvalidArgumentError("netlist", "DFF with wrong pin count: " + c.name);
     if (c.is_gate() && c.in_nets.empty())
-      throw std::runtime_error("gate with no inputs: " + c.name);
+      throw InvalidArgumentError("netlist", "gate with no inputs: " + c.name);
   }
   (void)combinational_topo_order();  // throws on cycles
 }

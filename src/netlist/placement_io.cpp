@@ -1,14 +1,41 @@
 #include "netlist/placement_io.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
 
+#include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/strings.hpp"
 
 namespace rotclk::netlist {
+
+namespace {
+
+// Strict numeric token parse: the whole token must be one finite-syntax
+// double ("1e3" yes, "1.5x" / "" / "nan(garbage" no).
+bool parse_double(const std::string& token, double& out) {
+  const char* first = token.data();
+  const char* last = first + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
+}
+
+double parse_coordinate(const std::string& token, const std::string& source,
+                        int line, const char* what) {
+  double value = 0.0;
+  if (token.empty())
+    throw ParseError("placement", source, line,
+                     std::string("missing ") + what);
+  if (!parse_double(token, value))
+    throw ParseError("placement", source, line,
+                     std::string("malformed ") + what, token);
+  return value;
+}
+
+}  // namespace
 
 void write_placement(const Design& design, const Placement& placement,
                      std::ostream& out) {
@@ -32,12 +59,16 @@ std::string write_placement_string(const Design& design,
 
 void write_placement_file(const Design& design, const Placement& placement,
                           const std::string& path) {
+  util::fault::point("io.write");
   std::ofstream f(path);
-  if (!f) throw std::runtime_error("cannot write placement file: " + path);
+  if (!f) throw IoError("placement", path, "cannot open for writing");
   write_placement(design, placement, f);
+  f.flush();
+  if (!f) throw IoError("placement", path, "write failed");
 }
 
-Placement read_placement(const Design& design, std::istream& in) {
+Placement read_placement(const Design& design, std::istream& in,
+                         const std::string& source) {
   std::string line;
   geom::Rect die{};
   bool have_die = false;
@@ -48,34 +79,40 @@ Placement read_placement(const Design& design, std::istream& in) {
     ++lineno;
     const auto trimmed = util::trim(line);
     if (trimmed.empty() || trimmed[0] == '#') continue;
-    std::istringstream fields{std::string(trimmed)};
-    std::string head;
-    fields >> head;
+    const std::vector<std::string> fields = util::split(trimmed, " \t");
+    const std::string& head = fields.front();
     if (head == "die") {
-      if (!(fields >> die.xlo >> die.ylo >> die.xhi >> die.yhi))
-        throw std::runtime_error("placement: bad die line " +
-                                 std::to_string(lineno));
+      if (fields.size() != 5)
+        throw ParseError("placement", source, lineno,
+                         "die line needs 4 coordinates");
+      die.xlo = parse_coordinate(fields[1], source, lineno, "die xlo");
+      die.ylo = parse_coordinate(fields[2], source, lineno, "die ylo");
+      die.xhi = parse_coordinate(fields[3], source, lineno, "die xhi");
+      die.yhi = parse_coordinate(fields[4], source, lineno, "die yhi");
       have_die = true;
       continue;
     }
     const int cell = design.find_cell(head);
     if (cell < 0)
-      throw std::runtime_error("placement: unknown cell '" + head +
-                               "' at line " + std::to_string(lineno));
+      throw ParseError("placement", source, lineno, "unknown cell", head);
+    if (fields.size() != 3)
+      throw ParseError("placement", source, lineno,
+                       "cell line needs a name and 2 coordinates", head);
     geom::Point p;
-    if (!(fields >> p.x >> p.y))
-      throw std::runtime_error("placement: bad coordinates at line " +
-                               std::to_string(lineno));
+    p.x = parse_coordinate(fields[1], source, lineno, "x coordinate");
+    p.y = parse_coordinate(fields[2], source, lineno, "y coordinate");
     if (seen[static_cast<std::size_t>(cell)])
-      throw std::runtime_error("placement: duplicate cell '" + head + "'");
+      throw ParseError("placement", source, lineno,
+                       "duplicate placement entry for cell", head);
     seen[static_cast<std::size_t>(cell)] = true;
     locs[static_cast<std::size_t>(cell)] = p;
   }
-  if (!have_die) throw std::runtime_error("placement: missing die line");
+  if (!have_die)
+    throw ParseError("placement", source, lineno, "missing die line");
   for (std::size_t i = 0; i < seen.size(); ++i) {
     if (!seen[i])
-      throw std::runtime_error("placement: no location for cell '" +
-                               design.cells()[i].name + "'");
+      throw ParseError("placement", source, lineno,
+                       "no location for cell", design.cells()[i].name);
   }
   Placement placement(design, die);
   for (std::size_t i = 0; i < locs.size(); ++i)
@@ -86,13 +123,13 @@ Placement read_placement(const Design& design, std::istream& in) {
 Placement read_placement_string(const Design& design,
                                 const std::string& text) {
   std::istringstream is(text);
-  return read_placement(design, is);
+  return read_placement(design, is, "<string>");
 }
 
 Placement read_placement_file(const Design& design, const std::string& path) {
   std::ifstream f(path);
-  if (!f) throw std::runtime_error("cannot open placement file: " + path);
-  return read_placement(design, f);
+  if (!f) throw IoError("placement", path, "cannot open for reading");
+  return read_placement(design, f, path);
 }
 
 }  // namespace rotclk::netlist

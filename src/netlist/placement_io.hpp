@@ -21,12 +21,17 @@ void write_placement(const Design& design, const Placement& placement,
                      std::ostream& out);
 std::string write_placement_string(const Design& design,
                                    const Placement& placement);
+/// Throws rotclk::IoError when the file cannot be opened or the write
+/// does not complete.
 void write_placement_file(const Design& design, const Placement& placement,
                           const std::string& path);
 
-/// Throws std::runtime_error on malformed input, unknown cell names, or
-/// cells missing a location.
-Placement read_placement(const Design& design, std::istream& in);
+/// Throws rotclk::ParseError (with source name, line, and offending
+/// token) on malformed input, unknown cell names, duplicate placement
+/// entries, or cells missing a location. `source` names the stream in
+/// diagnostics (a path for files).
+Placement read_placement(const Design& design, std::istream& in,
+                         const std::string& source = "<placement>");
 Placement read_placement_string(const Design& design,
                                 const std::string& text);
 Placement read_placement_file(const Design& design, const std::string& path);

@@ -1,7 +1,7 @@
 #include "placer/cg.hpp"
 
 #include <cmath>
-#include <stdexcept>
+#include "util/error.hpp"
 
 namespace rotclk::placer {
 
@@ -12,7 +12,7 @@ LaplacianSystem::LaplacianSystem(int num_unknowns)
 
 void LaplacianSystem::add_spring(int i, int j, double w) {
   if (i < 0 || i >= n_ || j < 0 || j >= n_)
-    throw std::runtime_error("laplacian: spring index out of range");
+    throw InvalidArgumentError("laplacian", "spring index out of range");
   if (w <= 0.0 || i == j) return;
   springs_.push_back(Triplet{i, j, w});
   diag_[static_cast<std::size_t>(i)] += w;
@@ -21,7 +21,7 @@ void LaplacianSystem::add_spring(int i, int j, double w) {
 
 void LaplacianSystem::add_anchor(int i, double target, double w) {
   if (i < 0 || i >= n_)
-    throw std::runtime_error("laplacian: anchor index out of range");
+    throw InvalidArgumentError("laplacian", "anchor index out of range");
   if (w <= 0.0) return;
   diag_[static_cast<std::size_t>(i)] += w;
   rhs_[static_cast<std::size_t>(i)] += w * target;

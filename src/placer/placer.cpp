@@ -4,10 +4,11 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
-#include <stdexcept>
 
 #include "placer/cg.hpp"
 #include "placer/multilevel.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -45,7 +46,7 @@ Placer::Placer(const netlist::Design& design, PlacerConfig config)
 
 void Placer::set_net_weights(std::vector<double> weights) {
   if (!weights.empty() && weights.size() != design_.nets().size())
-    throw std::runtime_error("placer: net weight vector size mismatch");
+    throw InvalidArgumentError("placer", "net weight vector size mismatch");
   net_weights_ = std::move(weights);
 }
 
@@ -254,6 +255,7 @@ netlist::Placement Placer::place_initial(geom::Rect die) const {
 netlist::Placement Placer::place_incremental(
     const netlist::Placement& current,
     const std::vector<PseudoNet>& pseudo_nets) const {
+  util::fault::point("placer.incremental");
   netlist::Placement placement = current;
   for (int it = 0; it < config_.incremental_iterations; ++it) {
     solve_qp(placement, pseudo_nets, {}, 0.0, &current);

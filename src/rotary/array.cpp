@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
-#include <stdexcept>
+#include "util/error.hpp"
 
 namespace rotclk::rotary {
 
@@ -12,9 +12,9 @@ RingArray::RingArray(geom::Rect die, const RingArrayConfig& config)
   const int grid = static_cast<int>(std::lround(std::sqrt(
       static_cast<double>(config.rings))));
   if (grid * grid != config.rings || grid <= 0)
-    throw std::runtime_error("ring array: ring count must be a perfect square");
+    throw InvalidArgumentError("ring-array", "ring count must be a perfect square");
   if (config.ring_fill <= 0.0 || config.ring_fill > 1.0)
-    throw std::runtime_error("ring array: ring_fill must be in (0, 1]");
+    throw InvalidArgumentError("ring-array", "ring_fill must be in (0, 1]");
   grid_ = grid;
 
   const double cell_w = die.width() / static_cast<double>(grid);

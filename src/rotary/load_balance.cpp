@@ -1,7 +1,7 @@
 #include "rotary/load_balance.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+#include "util/error.hpp"
 
 namespace rotclk::rotary {
 
@@ -32,9 +32,9 @@ LoadBalanceResult balance_ring_loads(const RingArray& rings,
   result.rings.resize(static_cast<std::size_t>(rings.size()));
   for (const TappedLoad& load : loads) {
     if (load.ring < 0 || load.ring >= rings.size())
-      throw std::runtime_error("load_balance: ring index out of range");
+      throw InvalidArgumentError("load_balance", "ring index out of range");
     if (load.pos.segment < 0 || load.pos.segment >= RotaryRing::kNumSegments)
-      throw std::runtime_error("load_balance: segment index out of range");
+      throw InvalidArgumentError("load_balance", "segment index out of range");
     result.rings[static_cast<std::size_t>(load.ring)]
         .tapped_ff[static_cast<std::size_t>(load.pos.segment)] += load.cap_ff;
   }

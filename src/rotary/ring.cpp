@@ -1,8 +1,8 @@
 #include "rotary/ring.hpp"
 
 #include <cmath>
-#include <stdexcept>
 #include <limits>
+#include "util/error.hpp"
 
 namespace rotclk::rotary {
 
@@ -13,9 +13,9 @@ RotaryRing::RotaryRing(geom::Rect outline, double period_ps, bool clockwise,
       side_(outline.width()),
       clockwise_(clockwise) {
   if (std::abs(outline.width() - outline.height()) > 1e-9)
-    throw std::runtime_error("rotary ring outline must be square");
+    throw InvalidArgumentError("rotary-ring", "outline must be square");
   if (side_ <= 0.0 || period_ <= 0.0)
-    throw std::runtime_error("rotary ring needs positive side and period");
+    throw InvalidArgumentError("rotary-ring", "needs positive side and period");
 
   // Corner tour. Counter-clockwise base order starting at the bottom-left;
   // a clockwise ring reverses the tour.

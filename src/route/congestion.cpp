@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 #include "geom/rect.hpp"
+#include "util/error.hpp"
 
 namespace rotclk::route {
 
@@ -28,7 +28,7 @@ double CongestionMap::hotspot_ratio() const {
 
 CongestionMap rudy_map(const netlist::Design& design,
                        const netlist::Placement& placement, int bins) {
-  if (bins < 1) throw std::runtime_error("rudy: bins must be >= 1");
+  if (bins < 1) throw InvalidArgumentError("rudy", "bins must be >= 1");
   CongestionMap map;
   map.bins_x = bins;
   map.bins_y = bins;

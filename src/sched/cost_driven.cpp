@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <stdexcept>
 
 #include "graph/bellman_ford.hpp"
 #include "graph/circulation.hpp"
 #include "graph/diff_constraints.hpp"
 #include "lp/simplex.hpp"
+#include "util/error.hpp"
 
 namespace rotclk::sched {
 
@@ -33,7 +33,7 @@ CostDrivenResult cost_driven_min_max(int num_ffs,
                                      double slack_ps, double precision_ps) {
   CostDrivenResult result;
   if (static_cast<int>(anchors.size()) != num_ffs)
-    throw std::runtime_error("cost_driven: anchors size mismatch");
+    throw InvalidArgumentError("cost_driven", "anchors size mismatch");
 
   auto feasible = [&](double delta, std::vector<double>* witness) {
     graph::DiffConstraintSystem sys(num_ffs);
@@ -115,7 +115,7 @@ CostDrivenResult cost_driven_weighted(int num_ffs,
   CostDrivenResult result;
   if (static_cast<int>(anchors.size()) != num_ffs ||
       static_cast<int>(weights.size()) != num_ffs)
-    throw std::runtime_error("cost_driven: anchors/weights size mismatch");
+    throw InvalidArgumentError("cost_driven", "anchors/weights size mismatch");
   if (!slack_feasible(num_ffs, arcs, tech, slack_ps, nullptr)) return result;
 
   constexpr double kMinWeight = 1e-6;

@@ -1,14 +1,14 @@
 #include "sched/robust.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+#include "util/error.hpp"
 
 namespace rotclk::sched {
 
 std::vector<timing::SeqArc> derate_arcs(
     const std::vector<timing::SeqArc>& arcs, double margin_fraction) {
   if (margin_fraction < 0.0 || margin_fraction >= 1.0)
-    throw std::runtime_error("derate_arcs: margin must be in [0, 1)");
+    throw InvalidArgumentError("derate_arcs", "margin must be in [0, 1)");
   std::vector<timing::SeqArc> out;
   out.reserve(arcs.size());
   for (const auto& a : arcs) {

@@ -1,11 +1,14 @@
 #include "sched/skew_optimizer.hpp"
 
+#include "util/fault.hpp"
+
 namespace rotclk::sched {
 
 CostDrivenResult MinMaxSkewOptimizer::optimize(
     int num_ffs, const std::vector<timing::SeqArc>& arcs,
     const timing::TechParams& tech, const std::vector<TapAnchor>& anchors,
     const std::vector<double>& /*weights*/, double slack_ps) const {
+  util::fault::point("sched.cost_driven");
   return cost_driven_min_max(num_ffs, arcs, tech, anchors, slack_ps);
 }
 
@@ -13,6 +16,7 @@ CostDrivenResult WeightedSkewOptimizer::optimize(
     int num_ffs, const std::vector<timing::SeqArc>& arcs,
     const timing::TechParams& tech, const std::vector<TapAnchor>& anchors,
     const std::vector<double>& weights, double slack_ps) const {
+  util::fault::point("sched.cost_driven");
   return cost_driven_weighted(num_ffs, arcs, tech, anchors, weights,
                               slack_ps);
 }

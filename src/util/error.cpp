@@ -1,0 +1,75 @@
+#include "util/error.hpp"
+
+namespace rotclk {
+namespace {
+
+std::string compose(const std::string& site, const std::string& message,
+                    const std::string& cause) {
+  std::string what = site;
+  what += ": ";
+  what += message;
+  if (!cause.empty()) {
+    what += " (caused by: ";
+    what += cause;
+    what += ")";
+  }
+  return what;
+}
+
+}  // namespace
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid-argument";
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kInfeasible: return "infeasible";
+    case ErrorCode::kNumeric: return "numeric";
+    case ErrorCode::kGuardViolation: return "guard-violation";
+    case ErrorCode::kDeadline: return "deadline";
+    case ErrorCode::kFaultInjected: return "fault-injected";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+Error::Error(ErrorCode code, std::string site, const std::string& message)
+    : std::runtime_error(compose(site, message, "")),
+      code_(code),
+      site_(std::move(site)),
+      message_(message) {}
+
+Error::Error(ErrorCode code, std::string site, const std::string& message,
+             const std::exception& cause)
+    : std::runtime_error(compose(site, message, cause.what())),
+      code_(code),
+      site_(std::move(site)),
+      message_(message),
+      cause_(cause.what()) {}
+
+ParseError::ParseError(std::string site, std::string source, int line,
+                       const std::string& message, std::string token)
+    : Error(ErrorCode::kParse, std::move(site),
+            [&] {
+              std::string m = source;
+              m += ":";
+              m += std::to_string(line);
+              m += ": ";
+              m += message;
+              if (!token.empty()) {
+                m += " ('";
+                m += token;
+                m += "')";
+              }
+              return m;
+            }()),
+      source_(std::move(source)),
+      line_(line),
+      token_(std::move(token)) {}
+
+IoError::IoError(std::string site, std::string path,
+                 const std::string& message)
+    : Error(ErrorCode::kIo, std::move(site), message + ": " + path),
+      path_(std::move(path)) {}
+
+}  // namespace rotclk

@@ -1,0 +1,151 @@
+#pragma once
+// Typed error hierarchy for the whole library.
+//
+// Every failure raised by rotclk code is a rotclk::Error: an ErrorCode
+// classifying the failure, a `site` naming the component that raised it
+// (the same short prefixes the old untyped messages used: "mcmf",
+// "placement", "bench", a stage name, ...), and an optional chained cause.
+// Error derives from std::runtime_error so call sites that predate the
+// hierarchy — and external users catching std::exception — keep working,
+// while recovery policies (core/stages.cpp fallback chains, the netflow
+// candidate-escalation retry) can dispatch on the concrete type or code
+// instead of string-matching what().
+//
+// Concrete subclasses exist for the codes that carry extra structure
+// (ParseError: source/line/token; IoError: path) and for the codes that
+// recovery logic dispatches on (InfeasibleError, DeadlineError,
+// FaultError, GuardError). Plain invalid-argument / numeric / internal
+// failures use the matching thin subclass with no extra payload.
+
+#include <stdexcept>
+#include <string>
+
+namespace rotclk {
+
+enum class ErrorCode {
+  kInvalidArgument,  ///< caller violated a precondition (bad index, size)
+  kParse,            ///< malformed input text (bench / placement files)
+  kIo,               ///< file could not be opened, read, or written
+  kInfeasible,       ///< a well-formed optimization instance has no solution
+  kNumeric,          ///< NaN/Inf or lost precision where finite math was due
+  kGuardViolation,   ///< a between-stage FlowContext invariant failed
+  kDeadline,         ///< a stage exceeded its wall-clock budget
+  kFaultInjected,    ///< raised by an armed util::fault injection site
+  kInternal,         ///< a "can't happen" state; always a library bug
+};
+
+[[nodiscard]] const char* to_string(ErrorCode code);
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, std::string site, const std::string& message);
+  /// Chains `cause`: what() gains a "(caused by: ...)" suffix and the
+  /// flattened cause text stays queryable via cause().
+  Error(ErrorCode code, std::string site, const std::string& message,
+        const std::exception& cause);
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  /// The component that raised the error ("mcmf", "placement", a stage
+  /// name, a fault-injection site, ...).
+  [[nodiscard]] const std::string& site() const noexcept { return site_; }
+  /// The message without the site prefix or cause suffix.
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
+  /// what() of the chained cause; empty when none.
+  [[nodiscard]] const std::string& cause() const noexcept { return cause_; }
+
+ private:
+  ErrorCode code_;
+  std::string site_;
+  std::string message_;
+  std::string cause_;
+};
+
+/// Caller violated a documented precondition.
+class InvalidArgumentError : public Error {
+ public:
+  InvalidArgumentError(std::string site, const std::string& message)
+      : Error(ErrorCode::kInvalidArgument, std::move(site), message) {}
+};
+
+/// Malformed input text. Carries the source name (file path or "<string>"),
+/// the 1-based line, and the offending token when one is known.
+class ParseError : public Error {
+ public:
+  ParseError(std::string site, std::string source, int line,
+             const std::string& message, std::string token = "");
+
+  [[nodiscard]] const std::string& source() const noexcept { return source_; }
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] const std::string& token() const noexcept { return token_; }
+
+ private:
+  std::string source_;
+  int line_;
+  std::string token_;
+};
+
+/// A file could not be opened / read / fully written. Carries the path.
+class IoError : public Error {
+ public:
+  IoError(std::string site, std::string path, const std::string& message);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// A well-formed optimization instance admits no solution (pruned
+/// assignment arcs cannot route every flip-flop, an LP relaxation fails to
+/// converge, ...). Retry policies escalate on this type specifically.
+class InfeasibleError : public Error {
+ public:
+  InfeasibleError(std::string site, const std::string& message)
+      : Error(ErrorCode::kInfeasible, std::move(site), message) {}
+  InfeasibleError(std::string site, const std::string& message,
+                  const std::exception& cause)
+      : Error(ErrorCode::kInfeasible, std::move(site), message, cause) {}
+};
+
+/// NaN/Inf (or comparable numeric degeneracy) where finite math was due.
+class NumericError : public Error {
+ public:
+  NumericError(std::string site, const std::string& message)
+      : Error(ErrorCode::kNumeric, std::move(site), message) {}
+};
+
+/// A between-stage FlowContext invariant failed; `site` is the stage that
+/// just ran (core/guards.hpp).
+class GuardError : public Error {
+ public:
+  GuardError(std::string stage, const std::string& message)
+      : Error(ErrorCode::kGuardViolation, std::move(stage), message) {}
+  [[nodiscard]] const std::string& stage() const noexcept { return site(); }
+};
+
+/// A stage exceeded its wall-clock budget. The pipeline converts this into
+/// a graceful stop that keeps the best-so-far snapshot (core/pipeline.cpp);
+/// fallback chains deliberately rethrow it instead of escalating.
+class DeadlineError : public Error {
+ public:
+  DeadlineError(std::string site, const std::string& message)
+      : Error(ErrorCode::kDeadline, std::move(site), message) {}
+};
+
+/// Raised by an armed util::fault injection site (util/fault.hpp).
+class FaultError : public Error {
+ public:
+  FaultError(std::string site, const std::string& message)
+      : Error(ErrorCode::kFaultInjected, std::move(site), message) {}
+};
+
+/// A "can't happen" state; always a library bug.
+class InternalError : public Error {
+ public:
+  InternalError(std::string site, const std::string& message)
+      : Error(ErrorCode::kInternal, std::move(site), message) {}
+};
+
+}  // namespace rotclk

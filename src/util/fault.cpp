@@ -1,0 +1,95 @@
+#include "util/fault.hpp"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+namespace rotclk::util::fault {
+namespace {
+
+struct SiteState {
+  int trigger = 1;
+  int count = 1;
+  int hits = 0;
+  ErrorCode code = ErrorCode::kFaultInjected;
+};
+
+// Fast path: point() reads only this atomic when nothing is armed, so the
+// compiled-in sites cost one relaxed load in production runs.
+std::atomic<int> g_armed{0};
+std::mutex g_mutex;
+std::map<std::string, SiteState>& registry() {
+  static std::map<std::string, SiteState> sites;
+  return sites;
+}
+
+[[noreturn]] void throw_injected(ErrorCode code, const char* site, int hit) {
+  const std::string msg =
+      "injected fault (hit " + std::to_string(hit) + ")";
+  switch (code) {
+    case ErrorCode::kInfeasible: throw InfeasibleError(site, msg);
+    case ErrorCode::kDeadline: throw DeadlineError(site, msg);
+    case ErrorCode::kIo: throw IoError(site, "<injected>", msg);
+    default: throw FaultError(site, msg);
+  }
+}
+
+}  // namespace
+
+void arm(const std::string& site, int trigger, int count, ErrorCode code) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  auto& sites = registry();
+  if (!sites.count(site)) g_armed.fetch_add(1, std::memory_order_relaxed);
+  sites[site] = SiteState{trigger, count, 0, code};
+}
+
+void disarm(const std::string& site) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  if (registry().erase(site) > 0)
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  registry().clear();
+  g_armed.store(0, std::memory_order_relaxed);
+}
+
+bool armed(const std::string& site) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  return registry().count(site) > 0;
+}
+
+int hits(const std::string& site) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  const auto& sites = registry();
+  const auto it = sites.find(site);
+  return it == sites.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> armed_sites() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, state] : registry()) names.push_back(name);
+  return names;
+}
+
+void point(const char* site) {
+  if (g_armed.load(std::memory_order_relaxed) == 0) return;
+  ErrorCode code;
+  int hit;
+  {
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    auto& sites = registry();
+    const auto it = sites.find(site);
+    if (it == sites.end()) return;
+    SiteState& s = it->second;
+    hit = ++s.hits;
+    if (hit < s.trigger || hit >= s.trigger + s.count) return;
+    code = s.code;
+  }  // release the lock: the throw must not hold it
+  throw_injected(code, site, hit);
+}
+
+}  // namespace rotclk::util::fault

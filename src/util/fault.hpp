@@ -1,0 +1,79 @@
+#pragma once
+// Deterministic fault-injection harness.
+//
+// Named injection sites are compiled into the production flow (assignment
+// solvers, the LP simplex, file writers, the incremental placer) as
+// `util::fault::point("site.name")` calls. In a normal run no site is
+// armed and point() is a single relaxed atomic load — zero behavioural
+// and near-zero performance impact, so the instrumented flow stays
+// bit-identical to an uninstrumented one.
+//
+// Tests arm a site by name, trigger ordinal, and failure count:
+//
+//   util::fault::ScopedFault f("assign.netflow");       // fail 1st hit
+//   util::fault::arm("lp.solve", /*trigger=*/3);        // fail 3rd hit
+//   util::fault::arm("io.write", 1, 2);                 // fail hits 1-2
+//   util::fault::arm("assign.netflow", 1, 1,
+//                    ErrorCode::kInfeasible);           // exercise retry
+//
+// An armed site throws on the trigger-th..(trigger+count-1)-th hit:
+// FaultError by default, or InfeasibleError / DeadlineError / IoError when
+// armed with the matching ErrorCode, so every recovery path (escalation
+// retry, fallback chain, deadline abandonment, I/O hardening) is
+// exercised deterministically — no timing tricks, no flaky signals.
+//
+// The registry is process-global and thread-safe (the parallel
+// ring_explore path hits sites from worker threads); tests that arm
+// faults must not run concurrently with each other.
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rotclk::util::fault {
+
+/// Arm `site`: hits trigger..trigger+count-1 (1-based, counted from the
+/// moment of arming) throw an error of class `code`. Re-arming a site
+/// resets its hit counter.
+void arm(const std::string& site, int trigger = 1, int count = 1,
+         ErrorCode code = ErrorCode::kFaultInjected);
+
+/// Disarm one site (no-op when not armed).
+void disarm(const std::string& site);
+
+/// Disarm every site and reset all counters.
+void disarm_all();
+
+/// True if `site` is currently armed (its failure window may have passed).
+[[nodiscard]] bool armed(const std::string& site);
+
+/// Hits observed at `site` since it was armed (0 when not armed; hits are
+/// only counted while at least one site is armed).
+[[nodiscard]] int hits(const std::string& site);
+
+/// Names of all currently armed sites.
+[[nodiscard]] std::vector<std::string> armed_sites();
+
+/// The compiled-in injection point. No-op unless `site` is armed and the
+/// hit falls inside the armed failure window, in which case it throws the
+/// armed error class with site = `site`.
+void point(const char* site);
+
+/// RAII arm/disarm for tests.
+class ScopedFault {
+ public:
+  explicit ScopedFault(std::string site, int trigger = 1, int count = 1,
+                       ErrorCode code = ErrorCode::kFaultInjected)
+      : site_(std::move(site)) {
+    arm(site_, trigger, count, code);
+  }
+  ~ScopedFault() { disarm(site_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string site_;
+};
+
+}  // namespace rotclk::util::fault

@@ -1,0 +1,53 @@
+#pragma once
+// Recovery-event vocabulary shared by the flow pipeline and the strategy
+// layers below it (assign, sched, placer).
+//
+// Whenever a component survives a failure — retries with an escalated
+// parameter, falls back to a cheaper strategy, abandons a stage at its
+// deadline, or shields the flow from a crashing observer — it records a
+// RecoveryEvent. Events flow two ways: into FlowContext::recovery (and
+// from there into FlowResult::recovery) so callers can audit a run, and
+// through FlowObserver::on_recovery into the JSON trace so `--trace`
+// output names every degradation (see README "Interpreting recovery
+// events").
+//
+// The type lives in util (not core) because sub-core components log
+// events too: NetflowAssigner reports its candidate-escalation retries
+// through the RecoveryLog callback threaded into Assigner::assign.
+
+#include <functional>
+#include <string>
+
+namespace rotclk::util {
+
+struct RecoveryEvent {
+  enum class Kind {
+    kRetry,            ///< same strategy, escalated parameter
+    kFallback,         ///< switched to a cheaper strategy
+    kDeadline,         ///< stage abandoned at its wall-clock budget
+    kObserverFailure,  ///< an observer threw; the flow continued without it
+  };
+
+  Kind kind = Kind::kRetry;
+  std::string site;    ///< stage or component that recovered
+  std::string action;  ///< what was done ("candidates 8 -> 16", ...)
+  std::string error;   ///< what() of the failure that triggered recovery
+  int iteration = 0;   ///< flow iteration the event occurred in
+  int attempt = 0;     ///< 1-based attempt ordinal for retries
+};
+
+[[nodiscard]] inline const char* to_string(RecoveryEvent::Kind kind) {
+  switch (kind) {
+    case RecoveryEvent::Kind::kRetry: return "retry";
+    case RecoveryEvent::Kind::kFallback: return "fallback";
+    case RecoveryEvent::Kind::kDeadline: return "deadline";
+    case RecoveryEvent::Kind::kObserverFailure: return "observer-failure";
+  }
+  return "?";
+}
+
+/// Nullable sink for recovery events; components must tolerate an empty
+/// function (no listener).
+using RecoveryLog = std::function<void(const RecoveryEvent&)>;
+
+}  // namespace rotclk::util

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 #include "util/rng.hpp"
+#include "util/error.hpp"
 
 namespace rotclk::variation {
 
@@ -126,11 +126,11 @@ VariationComparison compare_skew_variation(
     const std::vector<std::pair<int, int>>& pairs,
     const timing::TechParams& tech, const VariationConfig& config) {
   if (sinks.size() != stub_delay_ps.size())
-    throw std::runtime_error("variation: sinks/stubs size mismatch");
+    throw InvalidArgumentError("variation", "sinks/stubs size mismatch");
   for (const auto& [i, j] : pairs) {
     if (i < 0 || j < 0 || i >= static_cast<int>(sinks.size()) ||
         j >= static_cast<int>(sinks.size()))
-      throw std::runtime_error("variation: pair index out of range");
+      throw InvalidArgumentError("variation", "pair index out of range");
   }
   VariationComparison cmp;
   const cts::ClockTree tree = cts::build_zero_skew_tree(sinks, {}, tech);

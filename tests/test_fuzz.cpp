@@ -1,6 +1,7 @@
 // Robustness fuzzing: random mutations of valid inputs must either parse
-// or throw std::runtime_error — never crash, hang, or produce an invalid
-// Design/Placement. Also covers the robust-scheduling derate helper.
+// or throw a typed rotclk::Error — never crash, hang, surface an untyped
+// exception, or produce an invalid Design/Placement. Also covers the
+// robust-scheduling derate helper.
 
 #include <gtest/gtest.h>
 
@@ -10,6 +11,7 @@
 #include "sched/permissible.hpp"
 #include "sched/robust.hpp"
 #include "sched/skew.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace rotclk {
@@ -53,7 +55,12 @@ TEST(Fuzz, BenchParserNeverCrashes) {
       const netlist::Design d = netlist::read_bench_string(text, "fuzz");
       d.validate();  // anything accepted must be structurally valid
       ++parsed;
-    } catch (const std::runtime_error&) {
+    } catch (const Error& e) {
+      ++rejected;  // every rejection must be a typed rotclk::Error
+      EXPECT_FALSE(e.site().empty());
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "untyped exception escaped the bench parser: "
+                    << e.what();
       ++rejected;
     }
   }
@@ -76,11 +83,12 @@ TEST(Fuzz, PlacementParserNeverCrashes) {
     try {
       (void)netlist::read_placement_string(d, text);
       ++ok;
-    } catch (const std::runtime_error&) {
-      ++rejected;
-    } catch (const std::exception&) {
-      // stod/stoi style failures surface as std exceptions too; acceptable,
-      // but nothing may escape uncaught.
+    } catch (const Error& e) {
+      ++rejected;  // strict from_chars parsing: no stray std:: exceptions
+      EXPECT_FALSE(e.site().empty());
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "untyped exception escaped the placement parser: "
+                    << e.what();
       ++rejected;
     }
   }

@@ -9,9 +9,11 @@
 #include "core/flow.hpp"
 #include "core/flow_report.hpp"
 #include "core/svg_export.hpp"
+#include "netlist/bench_io.hpp"
 #include "netlist/generator.hpp"
 #include "netlist/placement_io.hpp"
 #include "placer/placer.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace rotclk {
@@ -191,6 +193,115 @@ TEST(SvgExport, ContainsDieRingsAndTaps) {
     ++circles;
   EXPECT_EQ(lines, 16u);
   EXPECT_EQ(circles, 16u);
+}
+
+// --- Negative paths: every parser rejection must be a typed
+// rotclk::ParseError carrying the source, line, and offending token, and
+// every file failure a rotclk::IoError carrying the path. ---
+
+TEST(PlacementIoNegative, MalformedCoordinateNamesLineAndToken) {
+  const netlist::Design d = small_circuit(43);
+  const std::string text =
+      "die 0 0 10 10\n" + d.cells()[0].name + " 1.5x 2\n";
+  try {
+    (void)netlist::read_placement_string(d, text);
+    FAIL() << "malformed coordinate accepted";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.source(), "<string>");
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.token(), "1.5x");
+    EXPECT_EQ(e.code(), ErrorCode::kParse);
+  }
+}
+
+TEST(PlacementIoNegative, RejectsNonFiniteSyntaxAndEmptyFields) {
+  const netlist::Design d = small_circuit(43);
+  const std::string& cell = d.cells()[0].name;
+  // from_chars-strict: hex floats, trailing junk, lone signs all rejected.
+  for (const char* bad : {"0x1p3", "--2", "1e", "+"}) {
+    const std::string text =
+        "die 0 0 10 10\n" + cell + " " + bad + " 2\n";
+    EXPECT_THROW((void)netlist::read_placement_string(d, text), ParseError)
+        << bad;
+  }
+}
+
+TEST(PlacementIoNegative, DieArityAndDuplicatesAreParseErrors) {
+  const netlist::Design d = small_circuit(47);
+  EXPECT_THROW((void)netlist::read_placement_string(d, "die 0 0 10\n"),
+               ParseError);
+  netlist::Placement p(d, geom::Rect{0, 0, 10, 10});
+  std::string text = netlist::write_placement_string(d, p);
+  text += d.cells()[0].name + " 1 1\n";
+  try {
+    (void)netlist::read_placement_string(d, text);
+    FAIL() << "duplicate entry accepted";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.token(), d.cells()[0].name);
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+  }
+}
+
+TEST(PlacementIoNegative, MissingFileIsIoErrorWithPath) {
+  const netlist::Design d = small_circuit(47);
+  const std::string path = ::testing::TempDir() + "/rotclk_does_not_exist.pl";
+  try {
+    (void)netlist::read_placement_file(d, path);
+    FAIL() << "missing file accepted";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.path(), path);
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+  }
+}
+
+TEST(PlacementIoNegative, UnwritablePathIsIoError) {
+  const netlist::Design d = small_circuit(47);
+  netlist::Placement p(d, geom::Rect{0, 0, 10, 10});
+  EXPECT_THROW(
+      netlist::write_placement_file(d, p, "/nonexistent-dir/out.pl"),
+      IoError);
+}
+
+TEST(BenchIoNegative, MalformedLinesNameSourceAndLine) {
+  // Line 2 is garbage: no '=' assignment and not a declaration.
+  try {
+    (void)netlist::read_bench_string("INPUT(a)\nthis is not bench\n", "t");
+    FAIL() << "garbage line accepted";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.code(), ErrorCode::kParse);
+  }
+}
+
+TEST(BenchIoNegative, UnknownGateFunctionRejected) {
+  EXPECT_THROW(
+      (void)netlist::read_bench_string("INPUT(a)\nb = FROB(a)\n", "t"),
+      ParseError);
+}
+
+TEST(BenchIoNegative, DffArityRejected) {
+  EXPECT_THROW((void)netlist::read_bench_string(
+                   "INPUT(a)\nINPUT(b)\nc = DFF(a, b)\n", "t"),
+               ParseError);
+}
+
+TEST(BenchIoNegative, MalformedDeclarationsRejected) {
+  for (const char* bad :
+       {"INPUT a\n", "INPUT(\n", "INPUT)a(\n", "OUTPUT(\n"}) {
+    EXPECT_THROW((void)netlist::read_bench_string(bad, "t"), ParseError)
+        << bad;
+  }
+}
+
+TEST(BenchIoNegative, MissingFileIsIoErrorWithPath) {
+  const std::string path =
+      ::testing::TempDir() + "/rotclk_no_such_file.bench";
+  try {
+    (void)netlist::read_bench_file(path);
+    FAIL() << "missing file accepted";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.path(), path);
+  }
 }
 
 TEST(SvgExport, PlacementOnlyModeWorks) {
