@@ -1,0 +1,259 @@
+// Deterministic benchmark-regression harness.
+//
+// Runs the full Fig. 3 flow on a set of Table II circuits and writes
+// BENCH_flow.json: per-stage wall time, tapping-cache hit rate, thread
+// count, peak cost-matrix size, and the final WNS / wirelength metrics.
+// With --baseline it compares each per-stage time against a checked-in
+// baseline and exits 1 on a regression beyond the tolerance, so CI can
+// gate on flow performance.
+//
+//   bench_regress [--circuits s9234,s5378] [--out BENCH_flow.json]
+//                 [--baseline bench/baseline_ci.json] [--tolerance 0.25]
+//                 [--speedup s35932]
+//
+// --speedup CIRCUIT additionally runs CIRCUIT once on a 1-thread pool and
+// once on the configured pool and records the end-to-end speedup.
+//
+// The baseline file is flat JSON: {"<circuit>.<stage>": seconds, ...}.
+// Stages faster than the absolute floor (0.25 s) never fail the check —
+// sub-second stages are dominated by scheduler noise, not regressions.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "suite.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using rotclk::bench::CircuitRun;
+
+struct CircuitReport {
+  std::string name;
+  std::map<std::string, double> stage_seconds;  // aggregated over iterations
+  double total_seconds = 0.0;
+  double algo_seconds = 0.0;
+  double placer_seconds = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double cache_hit_rate = 0.0;
+  std::size_t peak_cost_matrix_arcs = 0;
+  double wns_ps = 0.0;
+  double tap_wl_um = 0.0;
+  double signal_wl_um = 0.0;
+  double total_wl_um = 0.0;
+};
+
+CircuitReport run_one(const std::string& name) {
+  rotclk::core::JsonTraceObserver trace;
+  const rotclk::netlist::BenchmarkSpec& spec =
+      rotclk::netlist::benchmark_spec(name);
+  const rotclk::netlist::Design design = rotclk::netlist::make_benchmark(spec);
+  const rotclk::core::FlowConfig config = rotclk::bench::paper_config(
+      spec, rotclk::core::AssignMode::NetworkFlow);
+  rotclk::core::RotaryFlow flow(design, config);
+  flow.add_observer(&trace);
+  rotclk::util::Timer timer;
+  const rotclk::core::FlowResult result = flow.run();
+  CircuitReport rep;
+  rep.name = name;
+  rep.total_seconds = timer.seconds();
+  for (const auto& ev : trace.stage_events())
+    rep.stage_seconds[ev.stage] += ev.seconds;
+  rep.algo_seconds = result.algo_seconds;
+  rep.placer_seconds = result.placer_seconds;
+  rep.cache_hits = result.tapping_cache.hits;
+  rep.cache_misses = result.tapping_cache.misses;
+  rep.cache_hit_rate = result.tapping_cache.hit_rate();
+  rep.peak_cost_matrix_arcs = result.peak_cost_matrix_arcs;
+  rep.wns_ps = result.final().wns_ps;
+  rep.tap_wl_um = result.final().tap_wl_um;
+  rep.signal_wl_um = result.final().signal_wl_um;
+  rep.total_wl_um = result.final().total_wl_um;
+  return rep;
+}
+
+void put_report(std::ostream& os, const CircuitReport& r) {
+  os << "    {\"name\":\"" << r.name << "\",\n      \"stages\":{";
+  bool first = true;
+  for (const auto& [stage, seconds] : r.stage_seconds) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << stage << "\":" << seconds;
+  }
+  os << "},\n      \"total_seconds\":" << r.total_seconds
+     << ",\"algo_seconds\":" << r.algo_seconds
+     << ",\"placer_seconds\":" << r.placer_seconds
+     << ",\n      \"tapping_cache\":{\"hits\":" << r.cache_hits
+     << ",\"misses\":" << r.cache_misses
+     << ",\"hit_rate\":" << r.cache_hit_rate
+     << "},\n      \"peak_cost_matrix_arcs\":" << r.peak_cost_matrix_arcs
+     << ",\n      \"final\":{\"wns_ps\":" << r.wns_ps
+     << ",\"tap_wl_um\":" << r.tap_wl_um
+     << ",\"signal_wl_um\":" << r.signal_wl_um
+     << ",\"total_wl_um\":" << r.total_wl_um << "}}";
+}
+
+/// Parse a flat JSON object of "key": number pairs (the baseline format).
+/// Entries with non-numeric values (e.g. a "_comment" string) are skipped.
+std::map<std::string, double> parse_flat_json(const std::string& text) {
+  std::map<std::string, double> out;
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t key_open = text.find('"', i);
+    if (key_open == std::string::npos) break;
+    const std::size_t key_close = text.find('"', key_open + 1);
+    if (key_close == std::string::npos) break;
+    const std::size_t colon = text.find(':', key_close);
+    if (colon == std::string::npos) break;
+    std::size_t j = colon + 1;
+    while (j < text.size() && std::isspace(static_cast<unsigned char>(text[j])))
+      ++j;
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str() + j, &end);
+    if (end == text.c_str() + j) {
+      // Not a number (a string value, say): skip past it to the next entry.
+      if (j < text.size() && text[j] == '"') {
+        const std::size_t val_close = text.find('"', j + 1);
+        if (val_close == std::string::npos) break;
+        i = val_close + 1;
+      } else {
+        i = j + 1;
+      }
+      continue;
+    }
+    out[text.substr(key_open + 1, key_close - key_open - 1)] = v;
+    i = static_cast<std::size_t>(end - text.c_str());
+  }
+  return out;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> circuits{"s9234", "s5378"};
+  std::string out_path = "BENCH_flow.json";
+  std::string baseline_path;
+  std::string speedup_circuit;
+  double tolerance = 0.25;
+  constexpr double kAbsFloorSeconds = 0.25;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> std::string {
+      if (a + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (arg == "--circuits") circuits = split_csv(next());
+    else if (arg == "--out") out_path = next();
+    else if (arg == "--baseline") baseline_path = next();
+    else if (arg == "--tolerance") tolerance = std::stod(next());
+    else if (arg == "--speedup") speedup_circuit = next();
+    else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  const int threads = rotclk::util::ThreadPool::global().threads();
+  std::vector<CircuitReport> reports;
+  for (const std::string& name : circuits) {
+    std::cerr << "[bench_regress] " << name << " (" << threads
+              << " threads)...\n";
+    reports.push_back(run_one(name));
+  }
+
+  double speedup = 0.0, seq_seconds = 0.0, par_seconds = 0.0;
+  if (!speedup_circuit.empty()) {
+    std::cerr << "[bench_regress] speedup check on " << speedup_circuit
+              << ": 1 thread...\n";
+    rotclk::util::ThreadPool::set_global_threads(1);
+    seq_seconds = run_one(speedup_circuit).total_seconds;
+    std::cerr << "[bench_regress] speedup check on " << speedup_circuit
+              << ": " << threads << " threads...\n";
+    rotclk::util::ThreadPool::set_global_threads(threads);
+    par_seconds = run_one(speedup_circuit).total_seconds;
+    speedup = par_seconds > 0.0 ? seq_seconds / par_seconds : 0.0;
+    std::cerr << "[bench_regress] " << speedup_circuit << ": " << seq_seconds
+              << "s @1 -> " << par_seconds << "s @" << threads << " ("
+              << speedup << "x)\n";
+  }
+
+  std::ostringstream os;
+  os << "{\n  \"threads\":" << threads << ",\n  \"circuits\":[\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i) os << ",\n";
+    put_report(os, reports[i]);
+  }
+  os << "\n  ]";
+  if (!speedup_circuit.empty()) {
+    os << ",\n  \"speedup\":{\"circuit\":\"" << speedup_circuit
+       << "\",\"seconds_1t\":" << seq_seconds
+       << ",\"seconds_nt\":" << par_seconds << ",\"threads\":" << threads
+       << ",\"speedup\":" << speedup << "}";
+  }
+  os << "\n}\n";
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 2;
+    }
+    out << os.str();
+  }
+  std::cout << os.str();
+
+  if (baseline_path.empty()) return 0;
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::cerr << "cannot read baseline " << baseline_path << "\n";
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::map<std::string, double> baseline = parse_flat_json(buf.str());
+  int regressions = 0;
+  for (const CircuitReport& r : reports) {
+    for (const auto& [stage, seconds] : r.stage_seconds) {
+      const auto it = baseline.find(r.name + "." + stage);
+      if (it == baseline.end()) continue;
+      const double base = it->second;
+      if (seconds > base * (1.0 + tolerance) &&
+          seconds - base > kAbsFloorSeconds) {
+        std::cerr << "REGRESSION: " << r.name << "." << stage << " took "
+                  << seconds << "s vs baseline " << base << "s (>"
+                  << tolerance * 100.0 << "% and >" << kAbsFloorSeconds
+                  << "s slower)\n";
+        ++regressions;
+      }
+    }
+  }
+  if (regressions > 0) {
+    std::cerr << regressions << " stage regression(s) vs " << baseline_path
+              << "\n";
+    return 1;
+  }
+  std::cerr << "no stage regressions vs " << baseline_path << "\n";
+  return 0;
+}

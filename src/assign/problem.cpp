@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace rotclk::assign {
 
@@ -28,22 +29,34 @@ AssignProblem build_assign_problem(const netlist::Design& design,
   for (int j = 0; j < rings.size(); ++j)
     problem.ring_capacity[static_cast<std::size_t>(j)] = rings.capacity(j);
 
+  // The per-flip-flop tapping solves dominate the build; each flip-flop
+  // writes only its own arc list, and the lists concatenate in flip-flop
+  // order afterwards, so the arc vector is bit-identical to the sequential
+  // build at any thread count (cache hits return exact solves, see
+  // rotary::TappingCache).
   const int k = std::max(1, config.candidates_per_ff);
-  for (std::size_t i = 0; i < problem.ff_cells.size(); ++i) {
+  std::vector<std::vector<CandidateArc>> arcs_of_ff(problem.ff_cells.size());
+  util::parallel_for(problem.ff_cells.size(), [&](std::size_t i) {
     const geom::Point loc = placement.loc(problem.ff_cells[i]);
     for (int j : rings.nearest_rings(loc, k)) {
       CandidateArc arc;
       arc.ff = static_cast<int>(i);
       arc.ring = j;
-      arc.tap = rotary::solve_tapping(rings.ring(j), loc, arrival_ps[i],
-                                      config.tapping);
+      arc.tap = config.cache != nullptr
+                    ? config.cache->lookup_or_solve(rings.ring(j), j, loc,
+                                                    arrival_ps[i],
+                                                    config.tapping)
+                    : rotary::solve_tapping(rings.ring(j), loc, arrival_ps[i],
+                                            config.tapping);
       if (!arc.tap.feasible) continue;  // defensive; case 4 makes all feasible
       arc.tap_cost_um = arc.tap.wirelength;
       arc.load_cap_ff = arc.tap.wirelength * config.tapping.wire_cap_per_um +
                         tech.ff_input_cap_ff;
-      problem.arcs.push_back(arc);
+      arcs_of_ff[i].push_back(arc);
     }
-  }
+  });
+  for (const auto& list : arcs_of_ff)
+    problem.arcs.insert(problem.arcs.end(), list.begin(), list.end());
   return problem;
 }
 

@@ -41,6 +41,9 @@ struct AssignProblem {
 struct AssignProblemConfig {
   int candidates_per_ff = 8;
   rotary::TappingParams tapping{};
+  /// Optional memoization cache for the per-(FF, ring) tapping solves
+  /// (owned by the flow; see rotary::TappingCache). Null disables caching.
+  rotary::TappingCache* cache = nullptr;
 };
 
 /// Build the problem at the given placement and per-flip-flop delay

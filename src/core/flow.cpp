@@ -79,6 +79,8 @@ FlowResult RotaryFlow::execute(netlist::Placement placement,
   result.algo_seconds = ctx.algo_seconds;
   result.placer_seconds = ctx.placer_seconds;
   result.recovery = std::move(ctx.recovery);
+  result.peak_cost_matrix_arcs = ctx.peak_cost_matrix_arcs;
+  result.tapping_cache = ctx.tapping_cache.stats();
   if (!ctx.best)
     throw InternalError(
         "flow", "pipeline finished without producing a result snapshot");

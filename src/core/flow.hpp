@@ -99,6 +99,9 @@ struct IterationMetrics {
   double max_ring_cap_ff = 0.0;
   power::PowerBreakdown power{};
   double overall_cost = 0.0;        ///< stage-5 weighted sum
+  /// Signal-net worst slack under the iteration's skew schedule (ps),
+  /// from the incremental slack engine (timing/slack.hpp).
+  double wns_ps = 0.0;
 };
 
 /// Every field default-initializes (the placement to an empty zero-die
@@ -121,6 +124,11 @@ struct FlowResult {
   /// Every retry / fallback / deadline / shielded-observer event the run
   /// survived, in order. Empty for a clean run.
   std::vector<util::RecoveryEvent> recovery;
+  /// Largest candidate-arc count any assignment stage built (the flow's
+  /// peak cost-matrix size).
+  std::size_t peak_cost_matrix_arcs = 0;
+  /// Tapping-delay memoization counters for the whole run.
+  rotary::TappingCache::Stats tapping_cache{};
 
   [[nodiscard]] const IterationMetrics& base() const { return history.front(); }
   [[nodiscard]] const IterationMetrics& final() const {

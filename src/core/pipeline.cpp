@@ -18,9 +18,11 @@ FlowContext::FlowContext(const netlist::Design& design_in,
       assigner(assigner_in),
       skew_optimizer(skew_optimizer_in),
       placer(design_in, config_in.placer),
-      placement(std::move(initial_placement)) {
+      placement(std::move(initial_placement)),
+      slack_engine(design_in, config_in.tech) {
   assign_config.candidates_per_ff = config.candidates_per_ff;
   assign_config.tapping = config.tapping;
+  assign_config.cache = &tapping_cache;
 }
 
 void FlowContext::record_recovery(util::RecoveryEvent ev) {

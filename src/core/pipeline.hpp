@@ -31,6 +31,7 @@
 #include "placer/placer.hpp"
 #include "rotary/array.hpp"
 #include "sched/skew_optimizer.hpp"
+#include "timing/slack.hpp"
 #include "timing/sta.hpp"
 #include "util/recovery.hpp"
 
@@ -62,10 +63,18 @@ struct FlowContext {
   double slack_star_ps = 0.0;        ///< stage-2 optimum M*
   double slack_used_ps = 0.0;        ///< prespecified M used by stage 4
 
-  // Assignment state.
+  // Assignment state. The tapping cache memoizes the per-(FF, ring)
+  // solves across the repeated cost-matrix builds of the run
+  // (assign_config.cache points at it).
   assign::AssignProblemConfig assign_config;
   assign::AssignProblem problem;
   assign::Assignment assignment;
+  rotary::TappingCache tapping_cache;
+  std::size_t peak_cost_matrix_arcs = 0;  ///< max arcs any build produced
+
+  // Incremental signal-net slack, refreshed by the evaluate stage to put
+  // a WNS number next to each iteration's wirelength metrics.
+  timing::IncrementalSlackEngine slack_engine;
 
   // Iteration control (maintained by the pipeline / stage 5).
   int iteration = 0;    ///< 0 = base case

@@ -1,12 +1,8 @@
 #include "core/ring_explore.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <exception>
-#include <thread>
-
 #include "util/logging.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace rotclk::core {
 
@@ -62,30 +58,17 @@ RingExploreResult explore_ring_counts(const netlist::Design& design,
     for (std::size_t i = 0; i < n; ++i)
       options[i] = evaluate_candidate(design, config, config.candidates[i]);
   } else {
-    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-    const std::size_t workers =
-        std::min(n, static_cast<std::size_t>(
-                        config.max_threads > 0
-                            ? static_cast<unsigned>(config.max_threads)
-                            : hw));
-    std::atomic<std::size_t> next{0};
-    std::vector<std::exception_ptr> errors(n);
-    auto work = [&] {
-      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        try {
-          options[i] =
-              evaluate_candidate(design, config, config.candidates[i]);
-        } catch (...) {
-          errors[i] = std::current_exception();
-        }
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
-    for (std::thread& t : pool) t.join();
-    for (const std::exception_ptr& e : errors)
-      if (e) std::rethrow_exception(e);
+    // Shared work-stealing pool instead of one raw thread per candidate:
+    // concurrency is bounded by the pool size (and config.max_threads),
+    // nested parallel_for calls inside each flow run stay safe, and a
+    // failing candidate surfaces as the typed error of the smallest
+    // failing index — matching the sequential loop's first error.
+    util::parallel_for(
+        n,
+        [&](std::size_t i) {
+          options[i] = evaluate_candidate(design, config, config.candidates[i]);
+        },
+        /*grain=*/1, config.max_threads);
   }
 
   // Selection in candidate order with a strict '<' — identical whichever

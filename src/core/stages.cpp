@@ -7,6 +7,7 @@
 #include "timing/sta.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 
 namespace rotclk::core {
 
@@ -56,6 +57,8 @@ void AssignStage::run(FlowContext& ctx) {
     ctx.assignment =
         assigner.assign(ctx.design, ctx.placement, *ctx.rings, ctx.arrival_ps,
                         ctx.config.tech, ctx.assign_config, ctx.problem, log);
+    ctx.peak_cost_matrix_arcs =
+        std::max(ctx.peak_cost_matrix_arcs, ctx.problem.arcs.size());
   };
   try {
     try_assign(ctx.assigner);
@@ -102,19 +105,20 @@ void CostDrivenSkewStage::run(FlowContext& ctx) {
   const int num_ffs = ctx.num_ffs();
   std::vector<sched::TapAnchor> anchors(static_cast<std::size_t>(num_ffs));
   std::vector<double> weights(static_cast<std::size_t>(num_ffs), 1.0);
-  for (int i = 0; i < num_ffs; ++i) {
-    const int ring = ctx.assignment.ring_of(ctx.problem, i);
-    const geom::Point loc =
-        ctx.placement.loc(ctx.problem.ff_cells[static_cast<std::size_t>(i)]);
+  // Each flip-flop writes only its own anchor/weight slot from const
+  // geometry queries, so the loop parallelizes bit-identically.
+  util::parallel_for(static_cast<std::size_t>(num_ffs), [&](std::size_t i) {
+    const int ring =
+        ctx.assignment.ring_of(ctx.problem, static_cast<int>(i));
+    const geom::Point loc = ctx.placement.loc(ctx.problem.ff_cells[i]);
     const int rj = ring < 0 ? ctx.rings->nearest_ring(loc) : ring;
     double dist = 0.0;
     const rotary::RingPos c = ctx.rings->ring(rj).closest_point(loc, &dist);
-    anchors[static_cast<std::size_t>(i)].anchor_ps =
-        ctx.rings->ring(rj).delay_at(c);
-    anchors[static_cast<std::size_t>(i)].stub_ps =
+    anchors[i].anchor_ps = ctx.rings->ring(rj).delay_at(c);
+    anchors[i].stub_ps =
         ctx.config.tech.wire_delay_ps(dist, ctx.config.tech.ff_input_cap_ff);
-    weights[static_cast<std::size_t>(i)] = dist;  // w_i = l_i (paper)
-  }
+    weights[i] = dist;  // w_i = l_i (paper)
+  });
   try {
     const sched::CostDrivenResult cd = ctx.skew_optimizer.optimize(
         num_ffs, ctx.arcs, ctx.config.tech, anchors, weights,
@@ -142,9 +146,15 @@ void CostDrivenSkewStage::run(FlowContext& ctx) {
 }
 
 void EvaluateStage::run(FlowContext& ctx) {
-  const IterationMetrics metrics =
+  IterationMetrics metrics =
       evaluate_metrics(ctx.design, ctx.config, ctx.placement, *ctx.rings,
                        ctx.problem, ctx.assignment, ctx.iteration);
+  // Signal-net WNS under the current skew schedule. The first evaluation
+  // runs a full analysis; later iterations re-propagate only the cones of
+  // flip-flops whose target changed (stage 4) or cells that moved
+  // (stage 6).
+  ctx.slack_engine.set_clock_arrivals(ctx.arrival_ps);
+  metrics.wns_ps = ctx.slack_engine.refresh(ctx.placement).wns_ps;
   ctx.history.push_back(metrics);
   if (!ctx.best || metrics.overall_cost < ctx.best->cost)
     ctx.best = FlowContext::Snapshot{ctx.placement,  ctx.arrival_ps,

@@ -7,6 +7,7 @@
 
 #include "util/error.hpp"
 #include "util/fault.hpp"
+#include "util/parallel.hpp"
 
 namespace rotclk::core {
 namespace {
@@ -65,6 +66,8 @@ void put_metrics(std::ostream& os, const IterationMetrics& m) {
   put_number(os, m.power.signal_mw);
   os << ",\"overall_cost\":";
   put_number(os, m.overall_cost);
+  os << ",\"wns_ps\":";
+  put_number(os, m.wns_ps);
   os << "}";
 }
 
@@ -99,6 +102,8 @@ void JsonTraceObserver::on_flow_end(const FlowContext& ctx) {
   algo_seconds_ = ctx.algo_seconds;
   placer_seconds_ = ctx.placer_seconds;
   best_iteration_ = ctx.best ? ctx.best->iteration : 0;
+  cache_stats_ = ctx.tapping_cache.stats();
+  peak_cost_matrix_arcs_ = ctx.peak_cost_matrix_arcs;
   // Any event the tracer missed through direct FlowResult plumbing (e.g.
   // shielded observer failures appended without a broadcast) still lands
   // in the document.
@@ -124,7 +129,12 @@ std::string JsonTraceObserver::json() const {
   put_number(os, algo_seconds_);
   os << ",\"placer_seconds\":";
   put_number(os, placer_seconds_);
-  os << ",\"best_iteration\":" << best_iteration_ << ",\"stages\":[";
+  os << ",\"threads\":" << util::ThreadPool::global().threads()
+     << ",\"tapping_cache\":{\"hits\":" << cache_stats_.hits
+     << ",\"misses\":" << cache_stats_.misses << ",\"hit_rate\":";
+  put_number(os, cache_stats_.hit_rate());
+  os << "},\"peak_cost_matrix_arcs\":" << peak_cost_matrix_arcs_
+     << ",\"best_iteration\":" << best_iteration_ << ",\"stages\":[";
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     if (i) os << ",";
     os << "{\"stage\":\"" << stages_[i].stage

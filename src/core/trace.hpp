@@ -65,6 +65,8 @@ class JsonTraceObserver final : public FlowObserver {
   double algo_seconds_ = 0.0;
   double placer_seconds_ = 0.0;
   int best_iteration_ = 0;
+  rotary::TappingCache::Stats cache_stats_{};
+  std::size_t peak_cost_matrix_arcs_ = 0;
 };
 
 }  // namespace rotclk::core

@@ -11,6 +11,10 @@ namespace rotclk::graph {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kEps = 1e-12;
+// Arcs whose reduced cost is below this are part of the admissible
+// subgraph a blocking-flow phase may use. Looser than kEps because the
+// Dijkstra potential update accumulates one rounding error per path arc.
+constexpr double kAdmissibleEps = 1e-9;
 }  // namespace
 
 MinCostMaxFlow::MinCostMaxFlow(int num_nodes)
@@ -92,29 +96,96 @@ bool MinCostMaxFlow::dijkstra(int source, int target,
   return true;
 }
 
+double MinCostMaxFlow::blocking_dfs(int u, int target, double limit,
+                                    const std::vector<int>& level,
+                                    std::vector<int>& it, double& cost) {
+  if (u == target) return limit;
+  for (int& i = it[static_cast<std::size_t>(u)];
+       i < static_cast<int>(head_[static_cast<std::size_t>(u)].size()); ++i) {
+    const int id = head_[static_cast<std::size_t>(u)][static_cast<std::size_t>(i)];
+    Arc& a = arcs_[static_cast<std::size_t>(id)];
+    if (a.cap <= kEps) continue;
+    if (level[static_cast<std::size_t>(a.to)] !=
+        level[static_cast<std::size_t>(u)] + 1)
+      continue;
+    const double reduced = a.cost + potential_[static_cast<std::size_t>(u)] -
+                           potential_[static_cast<std::size_t>(a.to)];
+    if (reduced > kAdmissibleEps) continue;
+    const double got = blocking_dfs(a.to, target, std::min(limit, a.cap),
+                                    level, it, cost);
+    if (got > kEps) {
+      a.cap -= got;
+      arcs_[static_cast<std::size_t>(id ^ 1)].cap += got;
+      cost += got * a.cost;
+      return got;
+    }
+  }
+  return 0.0;
+}
+
 MinCostMaxFlow::Result MinCostMaxFlow::solve(int source, int target,
                                              double max_flow) {
   Result res;
   if (!bellman_ford_potentials(source))
     throw InvalidArgumentError("mcmf", "negative cycle in input graph");
+  const int n = num_nodes();
   std::vector<int> parent_arc;
+  std::vector<int> level(static_cast<std::size_t>(n));
+  std::vector<int> it(static_cast<std::size_t>(n));
+  std::vector<int> queue;
+  queue.reserve(static_cast<std::size_t>(n));
   while (res.flow + kEps < max_flow) {
     if (!dijkstra(source, target, parent_arc)) break;
-    // Bottleneck along the path.
-    double push = max_flow - res.flow;
-    for (int v = target; v != source;) {
-      const int id = parent_arc[static_cast<std::size_t>(v)];
-      push = std::min(push, arcs_[static_cast<std::size_t>(id)].cap);
-      v = arcs_[static_cast<std::size_t>(id ^ 1)].to;
+    // After the potential update every arc on a shortest path has reduced
+    // cost ~0. Saturate the whole admissible (reduced cost ~ 0) subgraph
+    // with a blocking flow: BFS levels keep the DFS acyclic even when the
+    // admissible subgraph has zero-cost cycles.
+    level.assign(static_cast<std::size_t>(n), -1);
+    queue.clear();
+    queue.push_back(source);
+    level[static_cast<std::size_t>(source)] = 0;
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const int u = queue[qi];
+      for (int id : head_[static_cast<std::size_t>(u)]) {
+        const Arc& a = arcs_[static_cast<std::size_t>(id)];
+        if (a.cap <= kEps || level[static_cast<std::size_t>(a.to)] >= 0)
+          continue;
+        const double reduced = a.cost +
+                               potential_[static_cast<std::size_t>(u)] -
+                               potential_[static_cast<std::size_t>(a.to)];
+        if (reduced > kAdmissibleEps) continue;
+        level[static_cast<std::size_t>(a.to)] =
+            level[static_cast<std::size_t>(u)] + 1;
+        queue.push_back(a.to);
+      }
     }
-    for (int v = target; v != source;) {
-      const int id = parent_arc[static_cast<std::size_t>(v)];
-      arcs_[static_cast<std::size_t>(id)].cap -= push;
-      arcs_[static_cast<std::size_t>(id ^ 1)].cap += push;
-      res.cost += push * arcs_[static_cast<std::size_t>(id)].cost;
-      v = arcs_[static_cast<std::size_t>(id ^ 1)].to;
+    if (level[static_cast<std::size_t>(target)] < 0) {
+      // Roundoff pushed the Dijkstra path just outside the admissible
+      // tolerance: fall back to augmenting that single path so the outer
+      // loop still makes progress.
+      double push = max_flow - res.flow;
+      for (int v = target; v != source;) {
+        const int id = parent_arc[static_cast<std::size_t>(v)];
+        push = std::min(push, arcs_[static_cast<std::size_t>(id)].cap);
+        v = arcs_[static_cast<std::size_t>(id ^ 1)].to;
+      }
+      for (int v = target; v != source;) {
+        const int id = parent_arc[static_cast<std::size_t>(v)];
+        arcs_[static_cast<std::size_t>(id)].cap -= push;
+        arcs_[static_cast<std::size_t>(id ^ 1)].cap += push;
+        res.cost += push * arcs_[static_cast<std::size_t>(id)].cost;
+        v = arcs_[static_cast<std::size_t>(id ^ 1)].to;
+      }
+      res.flow += push;
+      continue;
     }
-    res.flow += push;
+    it.assign(static_cast<std::size_t>(n), 0);
+    while (res.flow + kEps < max_flow) {
+      const double pushed = blocking_dfs(source, target, max_flow - res.flow,
+                                         level, it, res.cost);
+      if (pushed <= kEps) break;
+      res.flow += pushed;
+    }
   }
   return res;
 }

@@ -1,8 +1,15 @@
 #pragma once
-// Min-cost max-flow via successive shortest augmenting paths with Johnson
-// potentials (Dijkstra inside). Costs may be arbitrary reals as long as the
-// initial graph has no negative-cost arc reachable with residual capacity
-// (an initial Bellman-Ford pass establishes valid potentials otherwise).
+// Min-cost max-flow, primal-dual: Dijkstra with Johnson potentials picks
+// the current shortest distance class, then a blocking flow (BFS levels +
+// DFS with current-arc pruning) saturates *every* augmenting path of that
+// reduced cost at once. Each phase therefore costs one Dijkstra instead
+// of one Dijkstra per augmenting path, which is what makes the unit-
+// supply assignment instances (one path per flip-flop) cheap. Costs may
+// be arbitrary reals as long as the initial graph has no negative-cost
+// cycle reachable with residual capacity (an initial Bellman-Ford pass
+// establishes valid potentials otherwise). The optimum is identical to
+// plain successive-shortest-paths: every path pushed has reduced cost
+// zero, so the SSP invariant holds throughout.
 //
 // This is the solver behind the flip-flop-to-ring assignment of Sec. V
 // (Fig. 4): unit-supply flip-flop nodes, capacity-U_j ring nodes.
@@ -46,6 +53,9 @@ class MinCostMaxFlow {
 
   bool bellman_ford_potentials(int source);
   bool dijkstra(int source, int target, std::vector<int>& parent_arc);
+  double blocking_dfs(int u, int target, double limit,
+                      const std::vector<int>& level, std::vector<int>& it,
+                      double& cost);
 };
 
 }  // namespace rotclk::graph

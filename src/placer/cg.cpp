@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace rotclk::placer {
 
@@ -51,14 +52,21 @@ int LaplacianSystem::solve(std::vector<double>& x, int max_iterations,
     }
   }
 
+  // Row-parallel matvec: each row's accumulation stays sequential in CSR
+  // order, so the result is bit-identical at every thread count. The dot
+  // products below stay sequential for the same reason (a parallel sum
+  // would reassociate floating-point addition).
   auto apply = [&](const std::vector<double>& in, std::vector<double>& out) {
-    for (std::size_t i = 0; i < n; ++i) {
-      double acc = diag_[i] * in[i];
-      for (int k = count[i]; k < count[i + 1]; ++k)
-        acc += val[static_cast<std::size_t>(k)] *
-               in[static_cast<std::size_t>(col[static_cast<std::size_t>(k)])];
-      out[i] = acc;
-    }
+    util::parallel_for(
+        n,
+        [&](std::size_t i) {
+          double acc = diag_[i] * in[i];
+          for (int k = count[i]; k < count[i + 1]; ++k)
+            acc += val[static_cast<std::size_t>(k)] *
+                   in[static_cast<std::size_t>(col[static_cast<std::size_t>(k)])];
+          out[i] = acc;
+        },
+        /*grain=*/2048);
   };
 
   std::vector<double> r(n), z(n), p(n), ap(n);

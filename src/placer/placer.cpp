@@ -10,6 +10,7 @@
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace rotclk::placer {
@@ -84,7 +85,14 @@ void Placer::solve_qp(netlist::Placement& placement,
         static_cast<int>(k);
   const int n = static_cast<int>(movable_cells_.size());
 
-  for (int axis = 0; axis < 2; ++axis) {
+  // The two axes are independent: each reads only its own coordinate of
+  // `placement` (axis 1 never sees axis 0's result even sequentially, as
+  // the B2B model for y is built from y alone), so they solve in parallel
+  // against the unmodified placement, with write-back deferred below —
+  // bit-identical to solving them one after the other.
+  std::vector<double> solved[2];
+  util::parallel_for(2, [&](std::size_t axis_u) {
+    const int axis = static_cast<int>(axis_u);
     auto coord = [&](int cell) {
       const geom::Point p = placement.loc(cell);
       return axis == 0 ? p.x : p.y;
@@ -152,14 +160,18 @@ void Placer::solve_qp(netlist::Placement& placement,
       x[static_cast<std::size_t>(k2)] =
           coord(movable_cells_[static_cast<std::size_t>(k2)]);
     sys.solve(x);
+    solved[axis] = std::move(x);
+  }, /*grain=*/1);
 
-    const geom::Rect& die = placement.die();
+  const geom::Rect& die = placement.die();
+  for (int axis = 0; axis < 2; ++axis) {
     for (int k2 = 0; k2 < n; ++k2) {
       const int cell = movable_cells_[static_cast<std::size_t>(k2)];
       geom::Point p = placement.loc(cell);
-      const double v = geom::clamp(x[static_cast<std::size_t>(k2)],
-                                   axis == 0 ? die.xlo : die.ylo,
-                                   axis == 0 ? die.xhi : die.yhi);
+      const double v =
+          geom::clamp(solved[axis][static_cast<std::size_t>(k2)],
+                      axis == 0 ? die.xlo : die.ylo,
+                      axis == 0 ? die.xhi : die.yhi);
       if (axis == 0) p.x = v; else p.y = v;
       placement.set_loc(cell, p);
     }
@@ -189,8 +201,13 @@ void Placer::spread(netlist::Placement& placement, double alpha) const {
       s = std::clamp(s, 0, slabs - 1);
       buckets[static_cast<std::size_t>(s)].push_back(cell);
     }
-    for (auto& bucket : buckets) {
-      if (bucket.empty()) continue;
+    // Slabs partition the movable cells, so each bucket sorts and writes
+    // a disjoint cell set: safe (and bit-identical) to process in
+    // parallel. The y pass still depends on the x pass, so the axis loop
+    // itself stays sequential.
+    util::parallel_for(buckets.size(), [&](std::size_t bi) {
+      auto& bucket = buckets[bi];
+      if (bucket.empty()) return;
       std::sort(bucket.begin(), bucket.end(), [&](int a, int b) {
         const geom::Point pa = placement.loc(a), pb = placement.loc(b);
         return (axis == 0 ? pa.x : pa.y) < (axis == 0 ? pb.x : pb.y);
@@ -214,7 +231,7 @@ void Placer::spread(netlist::Placement& placement, double alpha) const {
         v = alpha * mapped + (1.0 - alpha) * v;
         placement.set_loc(cell, p);
       }
-    }
+    }, /*grain=*/1);
   }
 }
 
@@ -331,10 +348,36 @@ int Placer::refine_swaps(netlist::Placement& placement, int passes,
     return by * gx + bx;
   };
 
-  auto hpwl_of_nets = [&](const std::vector<int>& nets) {
+  // HPWL over `nets` with cells a/b virtually placed at pa/pb: gains are
+  // evaluated without mutating the placement, which is what lets the
+  // propose phase below run read-only in parallel.
+  auto hpwl_swapped = [&](const std::vector<int>& nets, int a, geom::Point pa,
+                          int b, geom::Point pb) {
     double sum = 0.0;
-    for (int n : nets) sum += placement.net_hpwl(design_, n);
+    for (int n : nets) {
+      const auto& net = design_.net(n);
+      if (net.driver < 0 || net.sinks.empty()) continue;
+      geom::BBox box;
+      auto at = [&](int cell) {
+        if (cell == a) return pa;
+        if (cell == b) return pb;
+        return placement.loc(cell);
+      };
+      box.add(at(net.driver));
+      for (int s : net.sinks) box.add(at(s));
+      sum += box.half_perimeter();
+    }
     return sum;
+  };
+  auto swap_gain = [&](int a, int b) {
+    const geom::Point pa = placement.loc(a), pb = placement.loc(b);
+    std::vector<int> nets = nets_of_cell_[static_cast<std::size_t>(a)];
+    nets.insert(nets.end(), nets_of_cell_[static_cast<std::size_t>(b)].begin(),
+                nets_of_cell_[static_cast<std::size_t>(b)].end());
+    std::sort(nets.begin(), nets.end());
+    nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+    return hpwl_swapped(nets, a, pa, b, pb) -
+           hpwl_swapped(nets, a, pb, b, pa);  // before - after
   };
 
   int accepted = 0;
@@ -348,10 +391,14 @@ int Placer::refine_swaps(netlist::Placement& placement, int passes,
 
     std::vector<int> order = movable_cells_;
     std::shuffle(order.begin(), order.end(), rng.engine());
-    for (int a : order) {
+
+    // Propose in parallel against the frozen pass-start placement: each
+    // cell independently picks its best same-width partner in the window.
+    std::vector<int> proposal(order.size(), -1);
+    util::parallel_for(order.size(), [&](std::size_t oi) {
+      const int a = order[oi];
       const auto& ca = design_.cell(a);
       const geom::Point pa = placement.loc(a);
-      // Candidate partner: same width, within the window, best gain.
       const int bx = bucket_of(pa) % gx, by = bucket_of(pa) / gx;
       int best_b = -1;
       double best_gain = 1e-9;
@@ -363,22 +410,8 @@ int Placer::refine_swaps(netlist::Placement& placement, int passes,
             if (b == a) continue;
             const auto& cb = design_.cell(b);
             if (std::abs(cb.width - ca.width) > 1e-9) continue;
-            const geom::Point pb = placement.loc(b);
-            if (geom::manhattan(pa, pb) > window_um) continue;
-            // Gain of swapping a and b over their incident nets.
-            std::vector<int> nets = nets_of_cell_[static_cast<std::size_t>(a)];
-            nets.insert(nets.end(),
-                        nets_of_cell_[static_cast<std::size_t>(b)].begin(),
-                        nets_of_cell_[static_cast<std::size_t>(b)].end());
-            std::sort(nets.begin(), nets.end());
-            nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
-            const double before = hpwl_of_nets(nets);
-            placement.set_loc(a, pb);
-            placement.set_loc(b, pa);
-            const double after = hpwl_of_nets(nets);
-            placement.set_loc(a, pa);
-            placement.set_loc(b, pb);
-            const double gain = before - after;
+            if (geom::manhattan(pa, placement.loc(b)) > window_um) continue;
+            const double gain = swap_gain(a, b);
             if (gain > best_gain) {
               best_gain = gain;
               best_b = b;
@@ -386,14 +419,21 @@ int Placer::refine_swaps(netlist::Placement& placement, int passes,
           }
         }
       }
-      if (best_b >= 0) {
-        const geom::Point pb = placement.loc(best_b);
-        placement.set_loc(a, pb);
-        placement.set_loc(best_b, pa);
-        ++accepted;
-        // Buckets are stale for the two cells now; tolerated within the
-        // pass (the window check re-validates distances).
-      }
+      proposal[oi] = best_b;
+    });
+
+    // Apply sequentially in shuffle order; earlier swaps move cells, so
+    // each proposal's gain is re-validated against the live placement
+    // (keeps total HPWL monotonically non-increasing).
+    for (std::size_t oi = 0; oi < order.size(); ++oi) {
+      const int a = order[oi], b = proposal[oi];
+      if (b < 0) continue;
+      const geom::Point pa = placement.loc(a), pb = placement.loc(b);
+      if (geom::manhattan(pa, pb) > window_um) continue;
+      if (swap_gain(a, b) <= 1e-9) continue;
+      placement.set_loc(a, pb);
+      placement.set_loc(b, pa);
+      ++accepted;
     }
   }
   return accepted;

@@ -18,6 +18,11 @@
 // complementary phase, with flipped flip-flop polarity) wins; the winning
 // stub length is the *tapping cost*.
 
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
 #include "geom/point.hpp"
 #include "rotary/ring.hpp"
 
@@ -59,5 +64,78 @@ TapSolution solve_tapping(const RotaryRing& ring, geom::Point flip_flop,
 /// Convenience: just the tapping cost (stub wirelength, um).
 double tapping_cost(const RotaryRing& ring, geom::Point flip_flop,
                     double target_delay_ps, const TappingParams& params);
+
+/// Memoization cache for `solve_tapping`, shared across the repeated
+/// cost-matrix builds of one flow (the assignment stage re-solves every
+/// (flip-flop, ring) pair each iteration, and recovery retries re-solve
+/// them again with a larger candidate set — unchanged pairs hit here).
+///
+/// Keys are (ring id, flip-flop point, period-wrapped delay target): the
+/// solver's output depends on the raw target only through
+/// `ring.wrap_delay(target)`, so targets separated by exact multiples of
+/// the period (the k·T "case 1" family) share one entry.
+///
+/// Two modes:
+///  - exact (quantum_um == 0, the default): a hit requires bit-equal
+///    inputs, so a cached result is *identical* to an uncached solve and
+///    the cache introduces zero error in any call order.
+///  - quantized (quantum_um > 0): inputs snap to the center of a
+///    (quantum_um × quantum_um × quantum_ps) bucket *before* solving, so
+///    every query in a bucket returns the solution at the bucket center —
+///    still order-independent, with a bounded input perturbation (see
+///    DESIGN.md §8 for the error bound).
+///
+/// Thread safety: the table is sharded under per-shard mutexes and the
+/// hit/miss counters are atomic; concurrent lookups (e.g. from the
+/// parallel cost-matrix build) are safe. One cache instance assumes one
+/// fixed `TappingParams`; flows that change tapping parameters must
+/// `clear()` first.
+class TappingCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    [[nodiscard]] double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                    static_cast<double>(total);
+    }
+  };
+
+  explicit TappingCache(double quantum_um = 0.0, double quantum_ps = 0.0);
+
+  /// Return the cached solution for (ring_id, flip_flop, target) or solve
+  /// and insert. `ring_id` must identify `ring` uniquely and stably for
+  /// the lifetime of the cache contents (the RingArray index).
+  TapSolution lookup_or_solve(const RotaryRing& ring, int ring_id,
+                              geom::Point flip_flop, double target_delay_ps,
+                              const TappingParams& params);
+
+  [[nodiscard]] Stats stats() const;
+  void clear();
+
+ private:
+  struct Key {
+    int ring = 0;
+    std::uint64_t x = 0, y = 0, tau = 0;
+    bool operator==(const Key& o) const {
+      return ring == o.ring && x == o.x && y == o.y && tau == o.tau;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  static constexpr int kShards = 16;
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<Key, TapSolution, KeyHash> map;
+  };
+
+  double quantum_um_;
+  double quantum_ps_;
+  Shard shards_[kShards];
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
 
 }  // namespace rotclk::rotary

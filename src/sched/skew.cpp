@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <limits>
 
+#include <array>
+
 #include "graph/diff_constraints.hpp"
 #include "graph/min_mean_cycle.hpp"
 #include "lp/simplex.hpp"
+#include "util/parallel.hpp"
 
 namespace rotclk::sched {
 
@@ -74,10 +77,44 @@ ScheduleResult max_slack_schedule(int num_ffs,
     // stay defensive against degenerate arc data.
     return result;
   }
+  // Speculative multisection: each round places a fixed grid of 7 probes
+  // (three bisection levels) across (lo, hi). With spare threads all
+  // probes are evaluated concurrently; the boundary is then located by a
+  // binary descent that consults only log2(8) = 3 of them — the same
+  // probes a plain bisection would evaluate — so the resulting interval
+  // is bit-identical at every thread count (single-threaded runs simply
+  // evaluate those three lazily and skip the speculation).
+  constexpr int kProbes = 7;
+  const bool speculate = util::ThreadPool::global().threads() > 1;
   while (hi - lo > precision_ps) {
-    const double mid = 0.5 * (lo + hi);
-    if (slack_feasible(num_ffs, arcs, tech, mid, &witness)) lo = mid;
-    else hi = mid;
+    const double step = (hi - lo) / (kProbes + 1);
+    std::array<double, kProbes> grid;
+    for (int p = 0; p < kProbes; ++p)
+      grid[static_cast<std::size_t>(p)] =
+          lo + static_cast<double>(p + 1) * step;
+    std::array<int, kProbes> state;  // -1 unknown, 0 infeasible, 1 feasible
+    state.fill(-1);
+    auto probe = [&](int p) {
+      int& s = state[static_cast<std::size_t>(p)];
+      if (s < 0)
+        s = slack_feasible(num_ffs, arcs, tech,
+                           grid[static_cast<std::size_t>(p)], nullptr)
+                ? 1
+                : 0;
+      return s == 1;
+    };
+    if (speculate)
+      util::parallel_for(kProbes, [&](std::size_t p) {
+        (void)probe(static_cast<int>(p));
+      }, /*grain=*/1);
+    int lo_i = -1, hi_i = kProbes;
+    while (hi_i - lo_i > 1) {
+      const int mid = (lo_i + hi_i) / 2;
+      if (probe(mid)) lo_i = mid;
+      else hi_i = mid;
+    }
+    if (lo_i >= 0) lo = grid[static_cast<std::size_t>(lo_i)];
+    if (hi_i < kProbes) hi = grid[static_cast<std::size_t>(hi_i)];
   }
   // Final witness at the proven-feasible lo.
   (void)slack_feasible(num_ffs, arcs, tech, lo, &witness);

@@ -83,6 +83,230 @@ SlackAnalysis analyze_slacks(const netlist::Design& design,
   return out;
 }
 
+IncrementalSlackEngine::IncrementalSlackEngine(const netlist::Design& design,
+                                               const TechParams& tech)
+    : design_(design), tech_(tech) {
+  const std::size_t n = design.cells().size();
+  topo_ = design.combinational_topo_order();
+  in_topo_.assign(n, 0);
+  for (int g : topo_) in_topo_[static_cast<std::size_t>(g)] = 1;
+  fanin_.resize(n);
+  for (std::size_t net = 0; net < design.nets().size(); ++net) {
+    const netlist::Net& nn = design.net(static_cast<int>(net));
+    if (nn.driver < 0) continue;
+    for (int sink : nn.sinks)
+      fanin_[static_cast<std::size_t>(sink)].push_back(
+          FaninArc{static_cast<int>(net), nn.driver});
+  }
+  launch_.assign(n, 0.0);
+}
+
+void IncrementalSlackEngine::set_clock_arrivals(
+    const std::vector<double>& ff_arrival_ps) {
+  const std::vector<int> ffs = design_.flip_flops();
+  for (std::size_t k = 0; k < ffs.size(); ++k) {
+    const double v = k < ff_arrival_ps.size() ? ff_arrival_ps[k] : 0.0;
+    const std::size_t cell = static_cast<std::size_t>(ffs[k]);
+    if (launch_[cell] != v) {
+      launch_[cell] = v;
+      clock_dirty_.push_back(ffs[k]);
+    }
+  }
+}
+
+double IncrementalSlackEngine::endpoint_required(std::size_t cell) const {
+  const netlist::Cell& c = design_.cells()[cell];
+  const double budget = tech_.clock_period_ps - tech_.setup_ps;
+  // A capturing flip-flop's clock arrives launch_ late, so its data may
+  // settle launch_ later too; plain analyze_slacks is the all-zero case.
+  if (c.is_flip_flop()) return budget + launch_[cell];
+  if (c.is_primary_output()) return budget;
+  return kPosInf;
+}
+
+double IncrementalSlackEngine::recompute_arrival(
+    const netlist::Placement& placement, std::size_t cell) const {
+  // Pure max over the cell's fan-in arcs: identical operand set (and thus
+  // identical bits) to the full pass's push-relaxation, in any order.
+  double a = kNegInf;
+  for (const FaninArc& arc : fanin_[cell]) {
+    const netlist::Cell& u = design_.cell(arc.driver);
+    double base;
+    if (is_source(u)) {
+      base = launch_[static_cast<std::size_t>(arc.driver)];
+    } else {
+      base = analysis_.arrival_ps[static_cast<std::size_t>(arc.driver)];
+      if (base == kNegInf) continue;
+    }
+    a = std::max(a, base + stage_delay_ps(design_, placement, arc.net,
+                                          static_cast<int>(cell), tech_));
+  }
+  return a;
+}
+
+double IncrementalSlackEngine::recompute_required(
+    const netlist::Placement& placement, std::size_t cell) const {
+  double req = endpoint_required(cell);
+  const netlist::Cell& c = design_.cells()[cell];
+  if (c.out_net < 0) return req;
+  for (int sink : design_.net(c.out_net).sinks) {
+    const double d =
+        stage_delay_ps(design_, placement, c.out_net, sink, tech_);
+    req = std::min(req,
+                   analysis_.required_ps[static_cast<std::size_t>(sink)] - d);
+  }
+  return req;
+}
+
+void IncrementalSlackEngine::recompute_net_slack(std::size_t net) {
+  const netlist::Net& nn = design_.net(static_cast<int>(net));
+  if (nn.driver < 0) return;  // stays +inf, as in the full pass
+  double slack = kPosInf;
+  for (int sink : nn.sinks) {
+    const double a = analysis_.arrival_ps[static_cast<std::size_t>(sink)];
+    const double r = analysis_.required_ps[static_cast<std::size_t>(sink)];
+    if (a == kNegInf || r == kPosInf) continue;
+    slack = std::min(slack, r - a);
+  }
+  analysis_.net_slack_ps[net] = slack;
+}
+
+void IncrementalSlackEngine::finish_wns() {
+  analysis_.wns_ps = kPosInf;
+  for (double slack : analysis_.net_slack_ps)
+    if (slack != kPosInf) analysis_.wns_ps = std::min(analysis_.wns_ps, slack);
+  if (analysis_.wns_ps == kPosInf) analysis_.wns_ps = 0.0;
+}
+
+const SlackAnalysis& IncrementalSlackEngine::full(
+    const netlist::Placement& placement) {
+  const std::size_t n = design_.cells().size();
+  positions_.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    positions_[i] = placement.loc(static_cast<int>(i));
+  clock_dirty_.clear();
+
+  analysis_.arrival_ps.assign(n, kNegInf);
+  analysis_.required_ps.assign(n, kPosInf);
+  analysis_.net_slack_ps.assign(design_.nets().size(), kPosInf);
+  for (int g : topo_)
+    analysis_.arrival_ps[static_cast<std::size_t>(g)] =
+        recompute_arrival(placement, static_cast<std::size_t>(g));
+  for (std::size_t i = 0; i < n; ++i)
+    if (!in_topo_[i] && !fanin_[i].empty())
+      analysis_.arrival_ps[i] = recompute_arrival(placement, i);
+  for (std::size_t i = 0; i < n; ++i)
+    if (!in_topo_[i]) analysis_.required_ps[i] = endpoint_required(i);
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it)
+    analysis_.required_ps[static_cast<std::size_t>(*it)] =
+        recompute_required(placement, static_cast<std::size_t>(*it));
+  for (std::size_t net = 0; net < analysis_.net_slack_ps.size(); ++net)
+    recompute_net_slack(net);
+  finish_wns();
+  has_baseline_ = true;
+  ++stats_.full_passes;
+  return analysis_;
+}
+
+const SlackAnalysis& IncrementalSlackEngine::refresh(
+    const netlist::Placement& placement) {
+  if (!has_baseline_) return full(placement);
+  ++stats_.refreshes;
+  const std::size_t n = design_.cells().size();
+  std::vector<char> dirty_a(n, 0), dirty_r(n, 0);
+  std::vector<char> dirty_net(design_.nets().size(), 0);
+  std::vector<int> a_list;
+  auto mark_a = [&](int cell) {
+    if (!dirty_a[static_cast<std::size_t>(cell)]) {
+      dirty_a[static_cast<std::size_t>(cell)] = 1;
+      a_list.push_back(cell);
+    }
+  };
+  // An incident net's delays changed: every sink re-pulls its arrival,
+  // the driver re-pulls its required time, the net's slack is stale.
+  auto net_touched = [&](int net) {
+    dirty_net[static_cast<std::size_t>(net)] = 1;
+    const netlist::Net& nn = design_.net(net);
+    if (nn.driver < 0) return;
+    dirty_r[static_cast<std::size_t>(nn.driver)] = 1;
+    for (int sink : nn.sinks) mark_a(sink);
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Point loc = placement.loc(static_cast<int>(i));
+    if (loc.x == positions_[i].x && loc.y == positions_[i].y) continue;
+    positions_[i] = loc;
+    // Any pin move can change the net's HPWL and with it *every* stage
+    // delay on the net, so all incident nets are touched.
+    const netlist::Cell& c = design_.cells()[i];
+    if (c.out_net >= 0) net_touched(c.out_net);
+    for (const FaninArc& arc : fanin_[i]) net_touched(arc.net);
+  }
+  for (int f : clock_dirty_) {
+    const std::size_t fs = static_cast<std::size_t>(f);
+    const netlist::Cell& c = design_.cells()[fs];
+    // Departure shifted: fan-out arcs carry a new base time.
+    if (c.out_net >= 0)
+      for (int sink : design_.net(c.out_net).sinks) mark_a(sink);
+    const double req = endpoint_required(fs);
+    if (req != analysis_.required_ps[fs]) {
+      analysis_.required_ps[fs] = req;
+      for (const FaninArc& arc : fanin_[fs]) {
+        dirty_r[static_cast<std::size_t>(arc.driver)] = 1;
+        dirty_net[static_cast<std::size_t>(arc.net)] = 1;
+      }
+    }
+  }
+  clock_dirty_.clear();
+
+  // Forward: dirty gates in topological order, then non-propagating
+  // endpoints (flip-flop D inputs, primary outputs) in any order.
+  for (int g : topo_) {
+    const std::size_t gs = static_cast<std::size_t>(g);
+    if (!dirty_a[gs]) continue;
+    ++stats_.arrivals_recomputed;
+    const double a = recompute_arrival(placement, gs);
+    if (a == analysis_.arrival_ps[gs]) continue;
+    analysis_.arrival_ps[gs] = a;
+    const netlist::Cell& c = design_.cells()[gs];
+    if (c.out_net >= 0)
+      for (int sink : design_.net(c.out_net).sinks) mark_a(sink);
+    for (const FaninArc& arc : fanin_[gs])
+      dirty_net[static_cast<std::size_t>(arc.net)] = 1;
+  }
+  for (int cell : a_list) {
+    const std::size_t cs = static_cast<std::size_t>(cell);
+    if (in_topo_[cs]) continue;
+    ++stats_.arrivals_recomputed;
+    const double a = recompute_arrival(placement, cs);
+    if (a == analysis_.arrival_ps[cs]) continue;
+    analysis_.arrival_ps[cs] = a;
+    for (const FaninArc& arc : fanin_[cs])
+      dirty_net[static_cast<std::size_t>(arc.net)] = 1;
+  }
+
+  // Backward: dirty gates in reverse topological order. Endpoint required
+  // times are fixed values handled above; dirty_r marks on non-gates
+  // (flip-flop or primary-input drivers) need no recompute.
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    const std::size_t gs = static_cast<std::size_t>(*it);
+    if (!dirty_r[gs]) continue;
+    ++stats_.requireds_recomputed;
+    const double req = recompute_required(placement, gs);
+    if (req == analysis_.required_ps[gs]) continue;
+    analysis_.required_ps[gs] = req;
+    for (const FaninArc& arc : fanin_[gs]) {
+      dirty_r[static_cast<std::size_t>(arc.driver)] = 1;
+      dirty_net[static_cast<std::size_t>(arc.net)] = 1;
+    }
+  }
+
+  for (std::size_t net = 0; net < dirty_net.size(); ++net)
+    if (dirty_net[net]) recompute_net_slack(net);
+  finish_wns();
+  return analysis_;
+}
+
 std::vector<double> criticality_weights(const SlackAnalysis& analysis,
                                         const TechParams& tech,
                                         double max_boost) {

@@ -7,8 +7,10 @@
 // (sink required - stage delay). Per-net slack feeds the standard
 // timing-driven placement recipe: critical nets get heavier springs.
 
+#include <cstdint>
 #include <vector>
 
+#include "geom/point.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/placement.hpp"
 #include "timing/tech.hpp"
@@ -37,5 +39,79 @@ SlackAnalysis analyze_slacks(const netlist::Design& design,
 std::vector<double> criticality_weights(const SlackAnalysis& analysis,
                                         const TechParams& tech,
                                         double max_boost = 4.0);
+
+/// Incremental slack analysis for the flow's evaluate stage: after a
+/// `full()` pass, `refresh()` re-propagates only the fan-in/fan-out cones
+/// of cells that moved or flip-flops whose clock arrival changed.
+///
+/// Invariants (see DESIGN.md §8):
+///  - Every arrival is a pure max (and every required time a pure min)
+///    over the same operand set the full pass uses, so a refresh is
+///    bit-identical to re-running `full()` at the current state — max/min
+///    are order-independent, and unchanged cells keep unchanged operands.
+///  - A moved cell dirties *every* arc of *every* incident net (the stage
+///    delay reads the net HPWL, which any pin move can change), not just
+///    its own arcs.
+///  - With all clock arrivals zero the analysis is bit-identical to
+///    `analyze_slacks` (a changed arrival shifts a launching flip-flop's
+///    departure and, symmetrically, its data-required time by the same
+///    amount).
+class IncrementalSlackEngine {
+ public:
+  IncrementalSlackEngine(const netlist::Design& design,
+                         const TechParams& tech);
+
+  /// Per-flip-flop clock arrival times (Design::flip_flops() order, ps).
+  /// Empty resets every arrival to zero. Takes effect at the next
+  /// `full()`/`refresh()`.
+  void set_clock_arrivals(const std::vector<double>& ff_arrival_ps);
+
+  /// Run the full analysis at `placement` and cache its coordinates.
+  const SlackAnalysis& full(const netlist::Placement& placement);
+
+  /// Re-propagate only the cones affected by cells that moved since the
+  /// last full()/refresh() (and by clock-arrival changes). Falls back to
+  /// `full()` when no baseline exists yet.
+  const SlackAnalysis& refresh(const netlist::Placement& placement);
+
+  [[nodiscard]] const SlackAnalysis& analysis() const { return analysis_; }
+
+  struct Stats {
+    std::uint64_t full_passes = 0;
+    std::uint64_t refreshes = 0;
+    std::uint64_t arrivals_recomputed = 0;   ///< cells, across refreshes
+    std::uint64_t requireds_recomputed = 0;  ///< cells, across refreshes
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct FaninArc {
+    int net = 0;
+    int driver = 0;
+  };
+
+  [[nodiscard]] bool is_source(const netlist::Cell& c) const {
+    return c.is_primary_input() || c.is_flip_flop();
+  }
+  [[nodiscard]] double endpoint_required(std::size_t cell) const;
+  double recompute_arrival(const netlist::Placement& placement,
+                           std::size_t cell) const;
+  double recompute_required(const netlist::Placement& placement,
+                            std::size_t cell) const;
+  void recompute_net_slack(std::size_t net);
+  void finish_wns();
+
+  const netlist::Design& design_;
+  const TechParams& tech_;
+  std::vector<int> topo_;
+  std::vector<char> in_topo_;
+  std::vector<std::vector<FaninArc>> fanin_;  ///< per cell: nets it sinks
+  std::vector<double> launch_;                ///< per cell clock arrival
+  std::vector<int> clock_dirty_;              ///< cells with changed launch_
+  std::vector<geom::Point> positions_;        ///< coordinates of last pass
+  SlackAnalysis analysis_;
+  bool has_baseline_ = false;
+  Stats stats_;
+};
 
 }  // namespace rotclk::timing

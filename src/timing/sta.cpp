@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "timing/delay.hpp"
+#include "util/parallel.hpp"
 
 namespace rotclk::timing {
 
@@ -68,11 +69,13 @@ std::vector<SeqArc> extract_sequential_adjacency(
     }
   }
 
-  std::vector<double> amax(n), amin(n);
-  std::vector<SeqArc> arcs;
-  for (std::size_t i = 0; i < ffs.size(); ++i) {
-    std::fill(amax.begin(), amax.end(), kNegInf);
-    std::fill(amin.begin(), amin.end(), kPosInf);
+  // One propagation per launching flip-flop, each over private arrival
+  // arrays and a private arc list; the per-flip-flop lists concatenate in
+  // flip-flop order afterwards, so the arc vector is bit-identical to the
+  // sequential construction no matter how the loop is scheduled.
+  std::vector<std::vector<SeqArc>> arcs_of_ff(ffs.size());
+  util::parallel_for(ffs.size(), [&](std::size_t i) {
+    std::vector<double> amax(n, kNegInf), amin(n, kPosInf);
     for (const auto& [sink, d] : fanout[static_cast<std::size_t>(ffs[i])]) {
       amax[static_cast<std::size_t>(sink)] =
           std::max(amax[static_cast<std::size_t>(sink)], d);
@@ -93,10 +96,13 @@ std::vector<SeqArc> extract_sequential_adjacency(
     for (std::size_t j = 0; j < ffs.size(); ++j) {
       const std::size_t cj = static_cast<std::size_t>(ffs[j]);
       if (amax[cj] == kNegInf) continue;
-      arcs.push_back(SeqArc{static_cast<int>(i), static_cast<int>(j),
-                            amax[cj], amin[cj]});
+      arcs_of_ff[i].push_back(SeqArc{static_cast<int>(i), static_cast<int>(j),
+                                     amax[cj], amin[cj]});
     }
-  }
+  });
+  std::vector<SeqArc> arcs;
+  for (const auto& list : arcs_of_ff)
+    arcs.insert(arcs.end(), list.begin(), list.end());
   return arcs;
 }
 

@@ -26,6 +26,7 @@
 #include "netlist/placement_io.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
+#include "util/parallel.hpp"
 
 namespace rotclk::core {
 namespace {
@@ -242,6 +243,43 @@ TEST_F(FaultTest, IoWriteFaultSurfacesAsTypedError) {
   const std::string path = ::testing::TempDir() + "/rotclk_fault_io.pl";
   fault::ScopedFault f("io.write", 1, 1, ErrorCode::kIo);
   EXPECT_THROW(netlist::write_placement_file(d, p, path), IoError);
+}
+
+// --- The parallel worker fault site -------------------------------------
+
+TEST_F(FaultTest, ParallelWorkerFaultSurfacesAsFaultError) {
+  // Every chunk a pool participant claims passes through the
+  // "parallel.worker" site, so an armed fault aborts the loop with the
+  // typed error — from whichever thread claimed the chunk.
+  fault::ScopedFault f("parallel.worker");
+  std::vector<int> out(64, 0);
+  EXPECT_THROW(util::parallel_for(out.size(),
+                                  [&](std::size_t i) {
+                                    out[i] = static_cast<int>(i);
+                                  }),
+               FaultError);
+  EXPECT_GE(fault::hits("parallel.worker"), 1);
+}
+
+TEST_F(FaultTest, ParallelWorkerFaultSurfacesFromCostMatrixBuild) {
+  // The assignment cost matrix is built by a parallel_for over flip-flops;
+  // a worker fault there must reach the caller as the typed FaultError
+  // (a rotclk::Error propagates out of the pool unchanged), which is
+  // exactly what the assignment stage's fallback chain catches.
+  const netlist::Design d = small_circuit();
+  const FlowConfig cfg = small_config();
+  netlist::Placement p(d, netlist::size_die(d, cfg.die_utilization));
+  rotary::RingArray rings(p.die(), cfg.ring_config);
+  rings.set_uniform_capacity(d.num_flip_flops(), cfg.capacity_factor);
+  const std::vector<double> targets(
+      static_cast<std::size_t>(d.num_flip_flops()), 0.0);
+  assign::AssignProblemConfig pcfg;
+  pcfg.tapping = cfg.tapping;
+  fault::ScopedFault f("parallel.worker");
+  EXPECT_THROW((void)assign::build_assign_problem(d, p, rings, targets,
+                                                  cfg.tech, pcfg),
+               FaultError);
+  EXPECT_GE(fault::hits("parallel.worker"), 1);
 }
 
 // --- Deadlines ----------------------------------------------------------

@@ -1,0 +1,168 @@
+// Stress tests for util/parallel: scheduling correctness, bit-identical
+// results across pool sizes, nested loops, typed error propagation, and
+// the "parallel.worker" fault-injection site.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/parallel.hpp"
+
+namespace rotclk::util {
+namespace {
+
+std::vector<double> run_fill(ThreadPool& pool, std::size_t n) {
+  std::vector<double> out(n, -1.0);
+  pool.parallel_for(n, [&](std::size_t i) {
+    out[i] = std::sin(static_cast<double>(i)) * 3.5 + 1.0;
+  });
+  return out;
+}
+
+TEST(Parallel, ExecutesEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (std::size_t n : {0u, 1u, 2u, 7u, 64u, 1000u}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(Parallel, BitIdenticalAcrossPoolSizes) {
+  ThreadPool p1(1), p2(2), p8(8);
+  const std::vector<double> a = run_fill(p1, 4097);
+  const std::vector<double> b = run_fill(p2, 4097);
+  const std::vector<double> c = run_fill(p8, 4097);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+    EXPECT_EQ(a[i], c[i]);
+  }
+}
+
+TEST(Parallel, NestedLoopsComplete) {
+  ThreadPool pool(4);
+  const std::size_t outer = 16, inner = 64;
+  std::vector<std::vector<int>> out(outer);
+  pool.parallel_for(outer, [&](std::size_t i) {
+    out[i].assign(inner, 0);
+    pool.parallel_for(inner, [&](std::size_t j) {
+      out[i][j] = static_cast<int>(i * inner + j);
+    });
+  });
+  for (std::size_t i = 0; i < outer; ++i)
+    for (std::size_t j = 0; j < inner; ++j)
+      EXPECT_EQ(out[i][j], static_cast<int>(i * inner + j));
+}
+
+TEST(Parallel, NestedLoopsOnSingleThreadPool) {
+  ThreadPool pool(1);
+  std::vector<int> out(64, 0);
+  pool.parallel_for(8, [&](std::size_t i) {
+    pool.parallel_for(8, [&](std::size_t j) {
+      out[i * 8 + j] = 1;
+    });
+  });
+  for (int v : out) EXPECT_EQ(v, 1);
+}
+
+TEST(Parallel, SurfacesSmallestFailingIndex) {
+  ThreadPool pool(8);
+  for (int round = 0; round < 10; ++round) {
+    try {
+      pool.parallel_for(
+          200,
+          [&](std::size_t i) {
+            if (i == 37 || i == 11 || i == 93)
+              throw std::runtime_error("idx=" + std::to_string(i));
+          },
+          /*grain=*/1);
+      FAIL() << "expected an error";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kInternal);
+      EXPECT_EQ(e.site(), "parallel");
+      EXPECT_NE(std::string(e.what()).find("idx=11"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(Parallel, TypedErrorsPropagateUnchanged) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          if (i == 50)
+                            throw InfeasibleError("unit", "no solution");
+                        }),
+      InfeasibleError);
+  // Loops never terminate the process; later loops still work.
+  std::vector<double> ok = run_fill(pool, 128);
+  EXPECT_EQ(ok.size(), 128u);
+}
+
+TEST(Parallel, WorkerFaultSiteFiresAsTypedError) {
+  ThreadPool pool(4);
+  fault::ScopedFault f("parallel.worker");
+  EXPECT_THROW(pool.parallel_for(1000, [](std::size_t) {}), FaultError);
+  // The window has passed; the next loop is clean.
+  EXPECT_NO_THROW(pool.parallel_for(1000, [](std::size_t) {}));
+}
+
+TEST(Parallel, MaxWorkersCapsConcurrency) {
+  ThreadPool pool(8);
+  std::atomic<int> active{0}, peak{0};
+  pool.parallel_for(
+      256,
+      [&](std::size_t) {
+        const int now = ++active;
+        int prev = peak.load();
+        while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+        }
+        for (volatile int spin = 0; spin < 2000; ++spin) {
+        }
+        --active;
+      },
+      /*grain=*/1, /*max_workers=*/2);
+  EXPECT_LE(peak.load(), 2);
+}
+
+TEST(Parallel, StressManySmallLoops) {
+  ThreadPool pool(4);
+  double total = 0.0;
+  for (int round = 0; round < 500; ++round) {
+    std::vector<double> out(17);
+    pool.parallel_for(out.size(),
+                      [&](std::size_t i) { out[i] = static_cast<double>(i); });
+    for (double v : out) total += v;
+  }
+  EXPECT_DOUBLE_EQ(total, 500.0 * (16.0 * 17.0 / 2.0));
+}
+
+TEST(Parallel, ConfiguredThreadsParsesEnvironment) {
+  ASSERT_EQ(setenv("ROTCLK_THREADS", "3", 1), 0);
+  EXPECT_EQ(configured_threads(), 3);
+  ASSERT_EQ(setenv("ROTCLK_THREADS", "banana", 1), 0);
+  EXPECT_EQ(configured_threads(), hardware_threads());
+  ASSERT_EQ(setenv("ROTCLK_THREADS", "-2", 1), 0);
+  EXPECT_EQ(configured_threads(), hardware_threads());
+  ASSERT_EQ(unsetenv("ROTCLK_THREADS"), 0);
+  EXPECT_EQ(configured_threads(), hardware_threads());
+}
+
+TEST(Parallel, SetGlobalThreadsReplacesPool) {
+  ThreadPool::set_global_threads(2);
+  EXPECT_EQ(ThreadPool::global().threads(), 2);
+  std::vector<int> out(100, 0);
+  parallel_for(out.size(), [&](std::size_t i) { out[i] = 1; });
+  for (int v : out) EXPECT_EQ(v, 1);
+  ThreadPool::set_global_threads(0);  // back to the environment default
+}
+
+}  // namespace
+}  // namespace rotclk::util

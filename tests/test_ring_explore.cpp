@@ -133,6 +133,37 @@ TEST(RingExplore, ParallelMatchesSerial) {
   }
 }
 
+TEST(RingExplore, SixtyFourCandidatesOnTwoThreadPoolMatchSerial) {
+  // Regression for the old ad-hoc threading, which spawned one raw
+  // std::thread per candidate: 64 candidates meant 64 threads. On the
+  // shared pool the same run uses at most max_threads workers and must
+  // still reproduce the serial exploration exactly.
+  netlist::GeneratorConfig gen;
+  gen.num_gates = 100;
+  gen.num_flip_flops = 8;
+  gen.seed = 3;
+  const netlist::Design d = netlist::generate_circuit(gen);
+
+  RingExploreConfig cfg;
+  cfg.candidates.clear();
+  for (int i = 0; i < 64; ++i) cfg.candidates.push_back((i % 4 + 1) * (i % 4 + 1));
+  cfg.flow.max_iterations = 1;
+  const RingExploreResult serial = explore_ring_counts(d, cfg);
+
+  cfg.parallel = true;
+  cfg.max_threads = 2;
+  const RingExploreResult parallel = explore_ring_counts(d, cfg);
+
+  EXPECT_EQ(parallel.best_rings, serial.best_rings);
+  EXPECT_EQ(parallel.best_index, serial.best_index);
+  ASSERT_EQ(parallel.options.size(), 64u);
+  for (std::size_t i = 0; i < serial.options.size(); ++i) {
+    EXPECT_EQ(parallel.options[i].rings, serial.options[i].rings);
+    EXPECT_DOUBLE_EQ(parallel.options[i].selection_cost,
+                     serial.options[i].selection_cost);
+  }
+}
+
 TEST(RingExplore, ParallelPropagatesWorkerErrors) {
   const netlist::Design d = circuit();
   RingExploreConfig cfg;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
 
 #include "netlist/generator.hpp"
 #include "placer/placer.hpp"
@@ -122,6 +123,125 @@ TEST(Slack, RejectsBadWeightVector) {
   placer::Placer placer(d);
   EXPECT_THROW(placer.set_net_weights({1.0, 2.0}), std::runtime_error);
   EXPECT_NO_THROW(placer.set_net_weights({}));
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalSlackEngine: refresh() must be bit-identical to a from-scratch
+// pass at the same state (plain EXPECT_EQ on doubles — infinities included).
+
+Design ff_circuit(std::uint64_t seed) {
+  netlist::GeneratorConfig gen;
+  gen.num_gates = 300;
+  gen.num_flip_flops = 24;
+  gen.num_primary_inputs = 10;
+  gen.num_primary_outputs = 10;
+  gen.seed = seed;
+  return netlist::generate_circuit(gen);
+}
+
+void expect_same_analysis(const SlackAnalysis& a, const SlackAnalysis& b) {
+  ASSERT_EQ(a.arrival_ps.size(), b.arrival_ps.size());
+  ASSERT_EQ(a.required_ps.size(), b.required_ps.size());
+  ASSERT_EQ(a.net_slack_ps.size(), b.net_slack_ps.size());
+  for (std::size_t i = 0; i < a.arrival_ps.size(); ++i)
+    EXPECT_EQ(a.arrival_ps[i], b.arrival_ps[i]) << "arrival of cell " << i;
+  for (std::size_t i = 0; i < a.required_ps.size(); ++i)
+    EXPECT_EQ(a.required_ps[i], b.required_ps[i]) << "required of cell " << i;
+  for (std::size_t i = 0; i < a.net_slack_ps.size(); ++i)
+    EXPECT_EQ(a.net_slack_ps[i], b.net_slack_ps[i]) << "slack of net " << i;
+  EXPECT_EQ(a.wns_ps, b.wns_ps);
+}
+
+TEST(IncrementalSlack, FullMatchesAnalyzeSlacksWithZeroArrivals) {
+  const Design d = ff_circuit(17);
+  const Placement p(d, netlist::size_die(d, 0.05));
+  TechParams tech;
+  IncrementalSlackEngine engine(d, tech);
+  expect_same_analysis(engine.full(p), analyze_slacks(d, p, tech));
+}
+
+TEST(IncrementalSlack, RefreshAfterSingleFfMovesMatchesFull) {
+  const Design d = ff_circuit(23);
+  TechParams tech;
+  placer::Placer placer(d);
+  Placement p = placer.place_initial(netlist::size_die(d, 0.05));
+  IncrementalSlackEngine engine(d, tech);
+  engine.full(p);
+
+  const std::vector<int> ffs = d.flip_flops();
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> jitter(-200.0, 200.0);
+  for (int round = 0; round < 8; ++round) {
+    SCOPED_TRACE("perturbation " + std::to_string(round));
+    const int ff = ffs[rng() % ffs.size()];
+    const geom::Point old = p.loc(ff);
+    p.set_loc(ff, geom::Point{old.x + jitter(rng), old.y + jitter(rng)});
+    const SlackAnalysis& incremental = engine.refresh(p);
+    IncrementalSlackEngine fresh(d, tech);
+    expect_same_analysis(incremental, fresh.full(p));
+  }
+  // The refreshes must actually have been incremental: far fewer arrival
+  // recomputations than 8 full passes over every cell would do.
+  EXPECT_EQ(engine.stats().refreshes, 8u);
+  EXPECT_LT(engine.stats().arrivals_recomputed,
+            8u * static_cast<std::uint64_t>(d.num_cells()));
+}
+
+TEST(IncrementalSlack, RefreshAfterClockArrivalChangeMatchesFull) {
+  const Design d = ff_circuit(31);
+  TechParams tech;
+  const Placement p(d, netlist::size_die(d, 0.05));
+  IncrementalSlackEngine engine(d, tech);
+  engine.full(p);
+
+  const int num_ffs = d.num_flip_flops();
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> arrival(0.0, 400.0);
+  std::vector<double> arrivals(static_cast<std::size_t>(num_ffs), 0.0);
+  for (int round = 0; round < 4; ++round) {
+    SCOPED_TRACE("arrival change " + std::to_string(round));
+    arrivals[rng() % arrivals.size()] = arrival(rng);
+    engine.set_clock_arrivals(arrivals);
+    const SlackAnalysis& incremental = engine.refresh(p);
+    IncrementalSlackEngine fresh(d, tech);
+    fresh.set_clock_arrivals(arrivals);
+    expect_same_analysis(incremental, fresh.full(p));
+  }
+}
+
+TEST(IncrementalSlack, CombinedMoveAndArrivalChangeMatchesFull) {
+  const Design d = ff_circuit(47);
+  TechParams tech;
+  placer::Placer placer(d);
+  Placement p = placer.place_initial(netlist::size_die(d, 0.05));
+  IncrementalSlackEngine engine(d, tech);
+  engine.full(p);
+
+  const std::vector<int> ffs = d.flip_flops();
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> jitter(-150.0, 150.0);
+  std::vector<double> arrivals(ffs.size(), 0.0);
+  for (int round = 0; round < 4; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const std::size_t k = rng() % ffs.size();
+    const geom::Point old = p.loc(ffs[k]);
+    p.set_loc(ffs[k], geom::Point{old.x + jitter(rng), old.y + jitter(rng)});
+    arrivals[(k + 1) % arrivals.size()] = jitter(rng);
+    engine.set_clock_arrivals(arrivals);
+    const SlackAnalysis& incremental = engine.refresh(p);
+    IncrementalSlackEngine fresh(d, tech);
+    fresh.set_clock_arrivals(arrivals);
+    expect_same_analysis(incremental, fresh.full(p));
+  }
+}
+
+TEST(IncrementalSlack, RefreshWithoutBaselineFallsBackToFull) {
+  const Design d = chain();
+  const Placement p(d, geom::Rect{0, 0, 100, 100});
+  TechParams tech;
+  IncrementalSlackEngine engine(d, tech);
+  expect_same_analysis(engine.refresh(p), analyze_slacks(d, p, tech));
+  EXPECT_EQ(engine.stats().full_passes, 1u);
 }
 
 }  // namespace

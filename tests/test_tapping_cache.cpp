@@ -1,0 +1,229 @@
+// Property tests for rotary::TappingCache (src/rotary/tapping.hpp).
+//
+// Exact mode must be transparent: for random (flip-flop, target) triples
+// the cached solution matches an uncached solve_tapping to 1e-12, across
+// all four Eq. 1 cases (period shift, two roots, one root, snaking) and
+// the complementary phase. Quantized mode must return exactly the
+// solution at the bucket's canonical (snapped) inputs — order-independent
+// by construction — with a bounded deviation from the exact solve.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "rotary/tapping.hpp"
+#include "util/parallel.hpp"
+
+namespace rotclk::rotary {
+namespace {
+
+RotaryRing make_ring(double side = 400.0, double period = 1000.0) {
+  return RotaryRing(geom::Rect{0, 0, side, side}, period, true, 0.0);
+}
+
+struct Triple {
+  geom::Point ff;
+  double target = 0.0;
+};
+
+std::vector<Triple> random_triples(int count, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  // Points inside, near, and far outside the ring; targets across several
+  // periods on both sides of zero so every Eq. 1 case appears.
+  std::uniform_real_distribution<double> coord(-300.0, 700.0);
+  std::uniform_real_distribution<double> tau(-2500.0, 2500.0);
+  std::vector<Triple> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    out.push_back(Triple{{coord(rng), coord(rng)}, tau(rng)});
+  return out;
+}
+
+TEST(TappingCache, ExactModeMatchesUncachedSolveOnRandomTriples) {
+  const RotaryRing ring = make_ring();
+  TappingParams params;
+  params.allow_complement = true;  // exercise the T/2 phase too
+  TappingCache cache;  // exact mode
+
+  int shifted = 0, direct = 0, complemented = 0;
+  for (const Triple& t : random_triples(500, 20260806)) {
+    const TapSolution uncached =
+        solve_tapping(ring, t.ff, t.target, params);
+    const TapSolution cached =
+        cache.lookup_or_solve(ring, 0, t.ff, t.target, params);
+    ASSERT_EQ(cached.feasible, uncached.feasible);
+    EXPECT_NEAR(cached.wirelength, uncached.wirelength, 1e-12);
+    EXPECT_NEAR(cached.delay_ps, uncached.delay_ps, 1e-12);
+    EXPECT_EQ(cached.pos.segment, uncached.pos.segment);
+    EXPECT_NEAR(cached.pos.offset, uncached.pos.offset, 1e-12);
+    EXPECT_EQ(cached.snaked, uncached.snaked);
+    EXPECT_EQ(cached.complemented, uncached.complemented);
+    EXPECT_EQ(cached.periods_shifted, uncached.periods_shifted);
+    // Across all Eq. 1 cases the achieved delay equals the target modulo
+    // the period (shifted by T/2 when tapping the complementary phase) —
+    // the solver's contract, so also the cache's.
+    const double half = cached.complemented ? ring.period() / 2.0 : 0.0;
+    EXPECT_NEAR(cached.delay_ps, ring.wrap_delay(t.target + half), 1e-9);
+    shifted += cached.periods_shifted != 0 ? 1 : 0;
+    complemented += cached.complemented ? 1 : 0;
+    direct += cached.periods_shifted == 0 ? 1 : 0;
+  }
+  // The sample must actually cover the case split, or the equality above
+  // proves less than it claims. (Snaked winners cannot occur — see
+  // SnakingIsAlwaysDominated below.)
+  EXPECT_GT(shifted, 0);
+  EXPECT_GT(direct, 0);
+  EXPECT_GT(complemented, 0);
+}
+
+TEST(TappingCache, SnakingIsAlwaysDominated) {
+  // The case-4 (snaking) candidates are evaluated per segment, but a
+  // snaked solution can never *win*: the delay around the ring is
+  // continuous and gains exactly one period per lap, so a direct root
+  // always exists, and fixing a deficit of d ps by walking toward it
+  // costs d / (rho + stub_slope) extra stub wire versus d / stub_slope
+  // for snaking in place — strictly cheaper whenever rho > 0. Pin that
+  // dominance across adversarial parameter sets (high wire resistance
+  // and short periods push stub_slope far above rho and still cannot
+  // flip the inequality).
+  int winners = 0;
+  for (double period : {1000.0, 32.0}) {
+    const RotaryRing ring = make_ring(400.0, period);
+    for (double res : {0.08, 1.0}) {
+      TappingParams params;
+      params.wire_res_per_um = res;
+      params.sink_cap_ff = 50.0;
+      params.allow_complement = true;
+      for (const Triple& t : random_triples(250, 11)) {
+        const TapSolution s = solve_tapping(ring, t.ff, t.target, params);
+        ASSERT_TRUE(s.feasible);
+        winners += s.snaked ? 1 : 0;
+      }
+    }
+  }
+  EXPECT_EQ(winners, 0);
+}
+
+TEST(TappingCache, SecondPassHitsAndCountersAdd) {
+  const RotaryRing ring = make_ring();
+  const TappingParams params;
+  TappingCache cache;
+  const std::vector<Triple> triples = random_triples(100, 7);
+  for (const Triple& t : triples)
+    cache.lookup_or_solve(ring, 0, t.ff, t.target, params);
+  const auto first = cache.stats();
+  EXPECT_EQ(first.hits, 0u);
+  EXPECT_EQ(first.misses, 100u);
+  for (const Triple& t : triples)
+    cache.lookup_or_solve(ring, 0, t.ff, t.target, params);
+  const auto second = cache.stats();
+  EXPECT_EQ(second.hits, 100u);
+  EXPECT_EQ(second.misses, 100u);
+  EXPECT_DOUBLE_EQ(second.hit_rate(), 0.5);
+  cache.clear();
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 0u);
+}
+
+TEST(TappingCache, TargetsWholePeriodsApartShareOneEntry) {
+  const RotaryRing ring = make_ring(400.0, 1000.0);
+  const TappingParams params;
+  TappingCache cache;
+  const geom::Point ff{150.0, 90.0};
+  const TapSolution a = cache.lookup_or_solve(ring, 0, ff, 250.0, params);
+  // +3 whole periods: same wrapped target, so this must be a cache hit
+  // with an identical tapping point.
+  const TapSolution b = cache.lookup_or_solve(ring, 0, ff, 3250.0, params);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_DOUBLE_EQ(a.wirelength, b.wirelength);
+  EXPECT_DOUBLE_EQ(a.pos.offset, b.pos.offset);
+}
+
+TEST(TappingCache, DistinctRingIdsDoNotCollide) {
+  const RotaryRing r0 = make_ring(400.0, 1000.0);
+  // Same outline, opposite wave direction: same key coordinates would
+  // alias without the ring id in the key.
+  const RotaryRing r1(geom::Rect{0, 0, 400, 400}, 1000.0, false, 0.0);
+  const TappingParams params;
+  TappingCache cache;
+  const geom::Point ff{40.0, 210.0};
+  const TapSolution a = cache.lookup_or_solve(r0, 0, ff, 333.0, params);
+  const TapSolution b = cache.lookup_or_solve(r1, 1, ff, 333.0, params);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_DOUBLE_EQ(a.wirelength, solve_tapping(r0, ff, 333.0, params).wirelength);
+  EXPECT_DOUBLE_EQ(b.wirelength, solve_tapping(r1, ff, 333.0, params).wirelength);
+}
+
+TEST(TappingCache, QuantizedModeSolvesAtBucketCenters) {
+  const RotaryRing ring = make_ring();
+  const TappingParams params;
+  const double q_um = 2.0, q_ps = 1e-3;
+  TappingCache cache(q_um, q_ps);
+  for (const Triple& t : random_triples(200, 99)) {
+    const TapSolution cached =
+        cache.lookup_or_solve(ring, 0, t.ff, t.target, params);
+    // The invariant: the cached value IS the solve at the snapped inputs,
+    // independent of which query in the bucket arrived first.
+    const geom::Point snapped{
+        (std::floor(t.ff.x / q_um) + 0.5) * q_um,
+        (std::floor(t.ff.y / q_um) + 0.5) * q_um};
+    const double tau = ring.wrap_delay(t.target);
+    const double snapped_tau = (std::floor(tau / q_ps) + 0.5) * q_ps;
+    const TapSolution canon = solve_tapping(ring, snapped, snapped_tau, params);
+    EXPECT_NEAR(cached.wirelength, canon.wirelength, 1e-12);
+    EXPECT_EQ(cached.pos.segment, canon.pos.segment);
+  }
+}
+
+TEST(TappingCache, QuantizedModeDeviationIsBounded) {
+  // Empirical check of the DESIGN.md §8 bound: coordinate snapping moves
+  // the flip-flop by at most q_um/2 per axis (wirelength is 1-Lipschitz in
+  // each), and target snapping by q_ps/2 at sensitivity at most
+  // 1/a1 um/ps (the inverse of the stub-delay slope at zero length).
+  const RotaryRing ring = make_ring();
+  const TappingParams params;
+  const double q_um = 0.5, q_ps = 1e-4;
+  const double a1 = params.wire_res_per_um * params.sink_cap_ff * 1e-3;
+  const double bound = q_um + 0.5 * q_ps / a1 + 1e-9;
+  TappingCache cache(q_um, q_ps);
+  for (const Triple& t : random_triples(200, 555)) {
+    const TapSolution exact = solve_tapping(ring, t.ff, t.target, params);
+    const TapSolution quant =
+        cache.lookup_or_solve(ring, 0, t.ff, t.target, params);
+    EXPECT_LE(std::abs(quant.wirelength - exact.wirelength), bound)
+        << "ff=(" << t.ff.x << "," << t.ff.y << ") target=" << t.target;
+  }
+}
+
+TEST(TappingCache, ConcurrentLookupsAreSafeAndConsistent) {
+  const RotaryRing ring = make_ring();
+  const TappingParams params;
+  TappingCache cache;
+  const std::vector<Triple> triples = random_triples(256, 321);
+  std::vector<TapSolution> results(triples.size());
+  util::ThreadPool pool(8);
+  // Every index queried twice from racing workers: all results must equal
+  // the sequential solve. Only the first pass writes `results` (disjoint
+  // per-index stores, per the pool's determinism contract).
+  pool.parallel_for(2 * triples.size(), [&](std::size_t i) {
+    const std::size_t j = i % triples.size();
+    const TapSolution s =
+        cache.lookup_or_solve(ring, 0, triples[j].ff, triples[j].target,
+                              params);
+    if (i < triples.size()) results[j] = s;
+  }, /*grain=*/1);
+  for (std::size_t j = 0; j < triples.size(); ++j) {
+    const TapSolution ref =
+        solve_tapping(ring, triples[j].ff, triples[j].target, params);
+    EXPECT_DOUBLE_EQ(results[j].wirelength, ref.wirelength);
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 2 * triples.size());
+  EXPECT_GE(stats.misses, triples.size());
+}
+
+}  // namespace
+}  // namespace rotclk::rotary
