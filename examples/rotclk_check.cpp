@@ -1,0 +1,210 @@
+// rotclk_check — run the flow with certificate verification and report
+// every certificate the independent checkers in src/check/ produce.
+//
+//   $ ./examples/rotclk_check                     # all Table II circuits
+//   $ ./examples/rotclk_check --circuit s9234 --mode ilp
+//   $ ./examples/rotclk_check --circuit all --iterations 2 --verbose
+//
+// Exit status is 0 when every certificate passes and 1 otherwise, so the
+// binary doubles as a CI oracle gate. Verification is forced on
+// regardless of the ROTCLK_VERIFY environment variable.
+//
+// Options:
+//   --circuit NAME|all  Table II circuit to audit (default all). With
+//                       "all" the two largest circuits run 1 iteration
+//                       unless --iterations is given explicitly.
+//   --mode nf|ilp       assignment formulation (default nf)
+//   --iterations N      max stage 3-6 iterations (default 2)
+//   --period PS         clock period in ps (default 1000)
+//   --seed N            generator seed (default 1)
+//   --tolerance T       certificate tolerance (default 1e-6)
+//   --spot-checks N     tapping solves re-checked per assignment stage
+//                       (default 8)
+//   --samples N         tapping-oracle grid density per segment
+//                       (default 128)
+//   --complement        allow complementary-phase taps
+//   --buffered-taps     drive tapping stubs through buffers
+//   --verbose           print every certificate, not only failures
+
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/certificate.hpp"
+#include "core/flow.hpp"
+#include "core/verify.hpp"
+#include "netlist/benchmarks.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct CliOptions {
+  std::string circuit = "all";
+  std::string mode = "nf";
+  std::optional<int> iterations;
+  double period_ps = 1000.0;
+  std::uint64_t seed = 1;
+  double tolerance = 1e-6;
+  int spot_checks = 8;
+  int samples = 128;
+  bool complement = false;
+  bool buffered_taps = false;
+  bool verbose = false;
+};
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::cerr << "rotclk_check: " << msg << "\n(run with --help for options)\n";
+  std::exit(2);
+}
+
+int parse_int(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    usage_error("malformed integer '" + value + "' for " + flag);
+  }
+}
+
+double parse_number(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    usage_error("malformed number '" + value + "' for " + flag);
+  }
+}
+
+std::uint64_t parse_uint(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    usage_error("malformed integer '" + value + "' for " + flag);
+  }
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions opt;
+  auto need_value = [&](int& i, const std::string& flag) -> std::string {
+    if (i + 1 >= argc) usage_error("missing value for " + flag);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--circuit") opt.circuit = need_value(i, a);
+    else if (a == "--mode") opt.mode = need_value(i, a);
+    else if (a == "--iterations")
+      opt.iterations = parse_int(need_value(i, a), a);
+    else if (a == "--period") opt.period_ps = parse_number(need_value(i, a), a);
+    else if (a == "--seed") opt.seed = parse_uint(need_value(i, a), a);
+    else if (a == "--tolerance")
+      opt.tolerance = parse_number(need_value(i, a), a);
+    else if (a == "--spot-checks")
+      opt.spot_checks = parse_int(need_value(i, a), a);
+    else if (a == "--samples") opt.samples = parse_int(need_value(i, a), a);
+    else if (a == "--complement") opt.complement = true;
+    else if (a == "--buffered-taps") opt.buffered_taps = true;
+    else if (a == "--verbose") opt.verbose = true;
+    else if (a == "--help" || a == "-h") {
+      std::cout << "see the header comment of examples/rotclk_check.cpp\n";
+      std::exit(0);
+    } else {
+      usage_error("unknown option " + a);
+    }
+  }
+  if (opt.mode != "nf" && opt.mode != "ilp")
+    usage_error("--mode must be nf or ilp");
+  if (opt.iterations && *opt.iterations < 1)
+    usage_error("--iterations must be >= 1");
+  return opt;
+}
+
+std::string fmt_tol(double v) {
+  std::ostringstream os;
+  os.precision(3);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+int run(const CliOptions& opt) {
+  using namespace rotclk;
+
+  std::vector<netlist::BenchmarkSpec> specs;
+  if (opt.circuit == "all") {
+    specs = netlist::benchmark_suite();
+  } else {
+    specs.push_back(netlist::benchmark_spec(opt.circuit));
+  }
+
+  int total = 0;
+  int failed = 0;
+  for (const netlist::BenchmarkSpec& spec : specs) {
+    const netlist::Design design = netlist::make_benchmark(spec, opt.seed);
+
+    core::FlowConfig cfg;
+    cfg.assign_mode = opt.mode == "ilp" ? core::AssignMode::MinMaxCap
+                                        : core::AssignMode::NetworkFlow;
+    // The certificates cover every iteration; keep the sweep over all
+    // five circuits tractable by auditing only one iteration of the two
+    // biggest unless the user asked for a specific count.
+    cfg.max_iterations = opt.iterations.value_or(
+        spec.flip_flops > 1000 && opt.circuit == "all" ? 1 : 2);
+    cfg.ring_config.period_ps = opt.period_ps;
+    cfg.tech.clock_period_ps = opt.period_ps;
+    cfg.ring_config.rings = spec.rings;
+    cfg.tapping.allow_complement = opt.complement;
+    cfg.tapping.use_buffer = opt.buffered_taps;
+    cfg.verify = true;  // independent of ROTCLK_VERIFY
+
+    core::RotaryFlow flow(design, cfg);
+    const core::FlowResult result = flow.run();
+
+    int circuit_failed = 0;
+    util::Table table(spec.name + ": certificates (" +
+                      std::string(core::to_string(cfg.assign_mode)) + ", " +
+                      std::to_string(cfg.max_iterations) + " iterations)");
+    table.set_header({"certificate", "pass", "violation", "tolerance",
+                      "detail"});
+    for (const check::Certificate& c : result.certificates) {
+      ++total;
+      if (!c.pass) ++circuit_failed;
+      if (!c.pass || opt.verbose)
+        table.add_row({c.name, c.pass ? "yes" : "NO", fmt_tol(c.violation),
+                       fmt_tol(c.tolerance), c.detail});
+    }
+    failed += circuit_failed;
+
+    if (table.row_count() > 0) table.print();
+    std::cout << spec.name << ": " << result.certificates.size()
+              << " certificates, "
+              << (circuit_failed == 0 ? "all pass"
+                                      : std::to_string(circuit_failed) +
+                                            " FAILED")
+              << "\n";
+  }
+
+  std::cout << "total: " << total << " certificates, "
+            << (failed == 0 ? "all pass" : std::to_string(failed) + " FAILED")
+            << "\n";
+  return failed == 0 ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse(argc, argv));
+  } catch (const std::exception& e) {
+    std::cerr << "rotclk_check: " << e.what() << "\n";
+    return 1;
+  }
+}

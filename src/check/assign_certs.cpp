@@ -1,0 +1,175 @@
+#include "check/assign_certs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "check/flow_certs.hpp"
+#include "graph/mcmf.hpp"
+
+namespace rotclk::check {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::vector<Certificate> verify_assignment(const assign::AssignProblem& problem,
+                                           const assign::Assignment& assignment,
+                                           bool enforce_capacity,
+                                           double tolerance) {
+  std::vector<Certificate> certs;
+  const int n = problem.num_ffs();
+  const std::size_t num_arcs = problem.arcs.size();
+
+  int bad_arcs = 0;
+  int unassigned = 0;
+  double total_cost = 0.0;
+  std::vector<int> ring_count(static_cast<std::size_t>(problem.num_rings), 0);
+  std::vector<double> ring_cap(static_cast<std::size_t>(problem.num_rings),
+                               0.0);
+  const bool sized =
+      static_cast<int>(assignment.arc_of_ff.size()) == n;
+  for (int i = 0; sized && i < n; ++i) {
+    const int a = assignment.arc_of_ff[static_cast<std::size_t>(i)];
+    if (a < 0) {
+      ++unassigned;
+      continue;
+    }
+    if (static_cast<std::size_t>(a) >= num_arcs ||
+        problem.arcs[static_cast<std::size_t>(a)].ff != i) {
+      ++bad_arcs;
+      continue;
+    }
+    const assign::CandidateArc& arc = problem.arcs[static_cast<std::size_t>(a)];
+    total_cost += arc.tap_cost_um;
+    ring_count[static_cast<std::size_t>(arc.ring)] += 1;
+    ring_cap[static_cast<std::size_t>(arc.ring)] += arc.load_cap_ff;
+  }
+  certs.push_back(make_certificate(
+      "assign.arcs", sized ? static_cast<double>(bad_arcs) : kInf, 0.0,
+      sized ? "chosen arcs exist and belong to their flip-flops"
+            : "arc_of_ff size does not match the problem"));
+  certs.push_back(make_certificate("assign.complete",
+                                   static_cast<double>(unassigned), 0.0));
+
+  if (enforce_capacity) {
+    int over = 0;
+    for (int j = 0; j < problem.num_rings; ++j)
+      if (ring_count[static_cast<std::size_t>(j)] >
+          problem.ring_capacity[static_cast<std::size_t>(j)])
+        ++over;
+    certs.push_back(make_certificate("assign.capacity",
+                                     static_cast<double>(over), 0.0));
+  }
+
+  const double max_cap =
+      ring_cap.empty() ? 0.0 : *std::max_element(ring_cap.begin(),
+                                                 ring_cap.end());
+  const double metrics_err = std::max(
+      std::abs(total_cost - assignment.total_tap_cost_um),
+      std::abs(max_cap - assignment.max_ring_cap_ff));
+  std::ostringstream d;
+  d << "recount cost " << total_cost << " um, max ring load " << max_cap
+    << " fF";
+  certs.push_back(make_certificate(
+      "assign.metrics", metrics_err,
+      tolerance * (1.0 + std::abs(total_cost) + std::abs(max_cap)), d.str()));
+  return certs;
+}
+
+std::vector<Certificate> verify_netflow_optimality(
+    const assign::AssignProblem& problem,
+    const assign::Assignment& assignment, double tolerance) {
+  // Fig. 4 network: source -> FF (cap 1), FF -> candidate ring (cap 1,
+  // cost c_ij), ring -> target (cap U_j). Solved by an implementation the
+  // production assignment never touches.
+  const int n = problem.num_ffs();
+  const int source = 0;
+  const int ff_base = 1;
+  const int ring_base = ff_base + n;
+  const int target = ring_base + problem.num_rings;
+  graph::MinCostMaxFlow net(target + 1);
+  for (int i = 0; i < n; ++i) net.add_arc(source, ff_base + i, 1.0, 0.0);
+  for (const assign::CandidateArc& arc : problem.arcs)
+    net.add_arc(ff_base + arc.ff, ring_base + arc.ring, 1.0, arc.tap_cost_um);
+  for (int j = 0; j < problem.num_rings; ++j)
+    net.add_arc(ring_base + j, target,
+                static_cast<double>(
+                    problem.ring_capacity[static_cast<std::size_t>(j)]),
+                0.0);
+  const graph::MinCostMaxFlow::Result res = net.solve(source, target);
+
+  // First certify the oracle's own answer, then compare totals.
+  std::vector<Certificate> certs =
+      verify_mcmf(net, source, target, res.flow, res.cost, tolerance);
+  {
+    std::ostringstream d;
+    d << "routed " << res.flow << " of " << n << " flip-flops";
+    certs.push_back(make_certificate("assign.netflow-routes-all",
+                                     static_cast<double>(n) - res.flow,
+                                     tolerance, d.str()));
+  }
+  std::ostringstream d;
+  d << "production cost " << assignment.total_tap_cost_um
+    << " um vs certified optimum " << res.cost << " um";
+  certs.push_back(make_certificate(
+      "assign.netflow-optimal",
+      std::abs(assignment.total_tap_cost_um - res.cost),
+      tolerance * (1.0 + std::abs(res.cost)), d.str()));
+  return certs;
+}
+
+std::vector<Certificate> verify_min_max_bound(
+    const assign::AssignProblem& problem,
+    const assign::IlpAssignResult& result, double tolerance) {
+  std::vector<Certificate> certs;
+  if (!result.lp_solved) {
+    Certificate c;
+    c.name = "assign.lp-lower-bound";
+    c.pass = false;
+    c.violation = kInf;
+    c.tolerance = tolerance;
+    c.detail = "LP relaxation was not solved";
+    certs.push_back(c);
+    return certs;
+  }
+  const double scale = 1.0 + std::abs(result.lp_optimum_ff);
+  // OPT(LP) <= any 0-1 solution's max load: both the pure Fig. 5 rounding
+  // and the polished assignment must sit on or above the relaxation.
+  const double bound_violation = std::max(
+      result.lp_optimum_ff - result.rounded_max_cap_ff,
+      result.lp_optimum_ff - result.assignment.max_ring_cap_ff);
+  {
+    std::ostringstream d;
+    d << "OPT(LP) " << result.lp_optimum_ff << " fF, rounded "
+      << result.rounded_max_cap_ff << " fF, polished "
+      << result.assignment.max_ring_cap_ff << " fF";
+    certs.push_back(make_certificate("assign.lp-lower-bound", bound_violation,
+                                     tolerance * scale, d.str()));
+  }
+  // Integrality gap (Eq. 4): reported ratio consistent and >= 1.
+  const double expected_ig =
+      result.lp_optimum_ff > 0.0
+          ? result.rounded_max_cap_ff / result.lp_optimum_ff
+          : 1.0;
+  {
+    std::ostringstream d;
+    d << "reported IG " << result.integrality_gap << " vs recomputed "
+      << expected_ig;
+    certs.push_back(make_certificate(
+        "assign.integrality-gap",
+        std::max(std::abs(result.integrality_gap - expected_ig),
+                 1.0 - result.integrality_gap),
+        tolerance * (1.0 + expected_ig), d.str()));
+  }
+  // The polished assignment itself must be structurally sound (no hard
+  // capacities in the min-max formulation).
+  std::vector<Certificate> structural =
+      verify_assignment(problem, result.assignment,
+                        /*enforce_capacity=*/false, tolerance);
+  certs.insert(certs.end(), structural.begin(), structural.end());
+  return certs;
+}
+
+}  // namespace rotclk::check

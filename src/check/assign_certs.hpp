@@ -1,0 +1,52 @@
+#pragma once
+// Flip-flop-to-ring assignment certificates (Secs. V-VI).
+//
+// Three independent audits of an Assignment:
+//  * structural feasibility — every flip-flop holds an arc of its own,
+//    ring capacities are respected, and the reported aggregate metrics
+//    match a from-scratch recount;
+//  * netflow optimality — the Sec. V min-total-cost assignment is
+//    replayed on the Fig. 4 network through graph::MinCostMaxFlow (a
+//    solver the production path never uses) and the flow itself is
+//    certified by reduced-cost optimality (check/flow_certs.hpp), so the
+//    production cost is matched against an independently *proven* optimum;
+//  * min-max lower bound — the Sec. VI LP relaxation optimum is a true
+//    lower bound on any 0-1 assignment's max ring load, hence the
+//    integrality gap SOLN/OPT(LP) must be >= 1 (Eq. 4, Table I).
+
+#include <vector>
+
+#include "assign/ilp_assign.hpp"
+#include "assign/problem.hpp"
+#include "check/certificate.hpp"
+
+namespace rotclk::check {
+
+/// Structural certificates:
+///   assign.arcs          each chosen arc exists and belongs to its FF
+///   assign.complete      every flip-flop is assigned
+///   assign.capacity      per-ring FF counts within U_j (only when
+///                        `enforce_capacity`; the min-max formulation has
+///                        no hard capacities)
+///   assign.metrics       total tap cost and max ring load match a recount
+std::vector<Certificate> verify_assignment(const assign::AssignProblem& problem,
+                                           const assign::Assignment& assignment,
+                                           bool enforce_capacity,
+                                           double tolerance = 1e-6);
+
+/// Differential optimality of a Sec. V (netflow) assignment: rebuild the
+/// Fig. 4 network, solve with graph::MinCostMaxFlow, certify that flow
+/// (conservation + reduced-cost optimality), and require the production
+/// total tapping cost to match the certified optimum.
+std::vector<Certificate> verify_netflow_optimality(
+    const assign::AssignProblem& problem,
+    const assign::Assignment& assignment, double tolerance = 1e-6);
+
+/// Sec. VI consistency: OPT(LP) lower-bounds the rounded solution, the
+/// integrality gap is >= 1 and equals rounded/OPT(LP) as reported (the
+/// invariant bench_table1_ig tabulates).
+std::vector<Certificate> verify_min_max_bound(
+    const assign::AssignProblem& problem,
+    const assign::IlpAssignResult& result, double tolerance = 1e-6);
+
+}  // namespace rotclk::check

@@ -1,0 +1,47 @@
+#pragma once
+// Certificate records produced by the independent verifiers in src/check/.
+//
+// A Certificate is the machine-checkable outcome of one property test on a
+// solver's answer: feasibility of a schedule, complementary slackness of a
+// flow, a duality gap, agreement with a brute-force oracle. Verifiers never
+// reuse the solver code they audit — each re-derives the property from the
+// problem data with an independent algorithm, so a shared bug cannot
+// vouch for itself.
+//
+// This header is dependency-free (plain data) so any layer — including
+// core/ pipeline headers — can carry certificates without linking the
+// checkers.
+
+#include <string>
+#include <vector>
+
+namespace rotclk::check {
+
+struct Certificate {
+  std::string name;        ///< e.g. "mcmf.flow-conservation"
+  bool pass = false;
+  double violation = 0.0;  ///< measured worst violation / gap (0 = clean)
+  double tolerance = 0.0;  ///< threshold the violation was judged against
+  std::string detail;      ///< human-readable context (counts, objectives)
+};
+
+inline bool all_pass(const std::vector<Certificate>& certs) {
+  for (const Certificate& c : certs)
+    if (!c.pass) return false;
+  return true;
+}
+
+/// Convenience constructor: pass iff |violation| <= tolerance.
+inline Certificate make_certificate(std::string name, double violation,
+                                    double tolerance,
+                                    std::string detail = {}) {
+  Certificate c;
+  c.name = std::move(name);
+  c.violation = violation;
+  c.tolerance = tolerance;
+  c.pass = violation <= tolerance;
+  c.detail = std::move(detail);
+  return c;
+}
+
+}  // namespace rotclk::check

@@ -1,0 +1,34 @@
+#pragma once
+// Min-cost-flow certificates (linear-programming duality on networks).
+//
+// A feasible flow f is min-cost iff the residual network contains no
+// negative-cost cycle — equivalently, iff node potentials pi exist with
+// every residual arc's reduced cost  c^pi(u,v) = c(u,v) + pi(u) - pi(v)
+// nonnegative (complementary slackness: arcs with f > 0 have c^pi <= 0 on
+// the forward direction, i.e. the backward residual arc is tight). The
+// checker derives its *own* potentials with a Bellman-Ford pass over the
+// residual graph — it never trusts the solver's Johnson potentials — so it
+// certifies optimality from the flow values alone.
+
+#include <vector>
+
+#include "check/certificate.hpp"
+#include "graph/mcmf.hpp"
+
+namespace rotclk::check {
+
+/// Certify a solved MinCostMaxFlow network:
+///   mcmf.capacity           0 <= f_a <= u_a on every arc
+///   mcmf.flow-conservation  excess zero everywhere but source/target, and
+///                           source excess == reported flow value
+///   mcmf.cost-consistency   sum f_a c_a == reported cost
+///   mcmf.reduced-cost-optimality  checker-derived potentials give every
+///                           residual arc nonnegative reduced cost (no
+///                           negative residual cycle => optimal)
+std::vector<Certificate> verify_mcmf(const graph::MinCostMaxFlow& net,
+                                     int source, int target,
+                                     double reported_flow,
+                                     double reported_cost,
+                                     double tolerance = 1e-6);
+
+}  // namespace rotclk::check

@@ -1,0 +1,146 @@
+#include "check/lp_certs.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "lp/revised_simplex.hpp"
+
+namespace rotclk::check {
+
+namespace {
+
+// One row of the bound-free primal: original constraints first, then the
+// finite variable bounds rewritten as single-term rows.
+struct Row {
+  std::vector<std::pair<int, double>> terms;
+  lp::Sense sense = lp::Sense::LessEqual;
+  double rhs = 0.0;
+};
+
+std::vector<Row> bound_free_rows(const lp::Model& primal) {
+  std::vector<Row> rows;
+  rows.reserve(primal.constraints().size() + primal.variables().size());
+  for (const lp::Constraint& c : primal.constraints())
+    rows.push_back(Row{c.terms, c.sense, c.rhs});
+  for (int j = 0; j < primal.num_variables(); ++j) {
+    const lp::Variable& v = primal.variables()[static_cast<std::size_t>(j)];
+    if (v.lower > -lp::kInfinity)
+      rows.push_back(Row{{{j, 1.0}}, lp::Sense::GreaterEqual, v.lower});
+    if (v.upper < lp::kInfinity)
+      rows.push_back(Row{{{j, 1.0}}, lp::Sense::LessEqual, v.upper});
+  }
+  return rows;
+}
+
+}  // namespace
+
+lp::Model build_dual(const lp::Model& primal) {
+  const std::vector<Row> rows = bound_free_rows(primal);
+  const bool min = primal.objective == lp::Objective::Minimize;
+
+  lp::Model dual;
+  dual.objective = min ? lp::Objective::Maximize : lp::Objective::Minimize;
+
+  // One dual variable per primal row. For a minimization primal a >= row
+  // yields y >= 0 and a <= row yields y <= 0 (weak duality: b'y <= c'x);
+  // a maximization primal flips both signs (b'y >= c'x). Equality rows are
+  // free either way. The dual objective in the model's own sense equals
+  // the primal optimum at strong duality.
+  for (const Row& r : rows) {
+    double lo = -lp::kInfinity, hi = lp::kInfinity;
+    if (r.sense == lp::Sense::GreaterEqual) (min ? lo : hi) = 0.0;
+    if (r.sense == lp::Sense::LessEqual) (min ? hi : lo) = 0.0;
+    dual.add_variable(lo, hi, r.rhs);
+  }
+
+  // One dual equality per primal variable (all free after bound rewriting):
+  // sum_k a_kj y_k = c_j.
+  std::vector<std::vector<std::pair<int, double>>> cols(
+      static_cast<std::size_t>(primal.num_variables()));
+  for (std::size_t k = 0; k < rows.size(); ++k)
+    for (const auto& [j, coeff] : rows[k].terms)
+      cols[static_cast<std::size_t>(j)].push_back(
+          {static_cast<int>(k), coeff});
+  for (int j = 0; j < primal.num_variables(); ++j)
+    dual.add_constraint(cols[static_cast<std::size_t>(j)], lp::Sense::Equal,
+                        primal.variables()[static_cast<std::size_t>(j)].cost);
+  return dual;
+}
+
+Certificate verify_lp_feasibility(const lp::Model& model,
+                                  const std::vector<double>& x,
+                                  double tolerance, const char* name) {
+  if (static_cast<int>(x.size()) != model.num_variables()) {
+    Certificate c;
+    c.name = name;
+    c.pass = false;
+    c.violation = std::numeric_limits<double>::infinity();
+    c.tolerance = tolerance;
+    c.detail = "solution size does not match the model";
+    return c;
+  }
+  std::ostringstream d;
+  d << model.num_constraints() << " rows, " << model.num_variables()
+    << " vars";
+  return make_certificate(name, model.max_violation(x), tolerance, d.str());
+}
+
+std::vector<Certificate> verify_lp_pair(
+    const lp::Model& model, const std::vector<double>& primal_values,
+    double tolerance) {
+  std::vector<Certificate> certs;
+  certs.push_back(verify_lp_feasibility(model, primal_values, tolerance));
+
+  const double primal_obj = model.objective_value(primal_values);
+  const lp::Model dual = build_dual(model);
+  const lp::Solution dual_sol = lp::solve(dual);
+
+  if (dual_sol.status != lp::SolveStatus::Optimal) {
+    Certificate c;
+    c.name = "lp.dual-feasible";
+    c.pass = false;
+    c.violation = std::numeric_limits<double>::infinity();
+    c.tolerance = tolerance;
+    c.detail = std::string("dual solve status: ") +
+               lp::to_string(dual_sol.status);
+    certs.push_back(c);
+    certs.push_back(make_certificate(
+        "lp.duality-gap", std::numeric_limits<double>::infinity(), tolerance,
+        "no dual optimum to compare against"));
+  } else {
+    certs.push_back(verify_lp_feasibility(dual, dual_sol.values, tolerance,
+                                          "lp.dual-feasible"));
+    const double gap = std::abs(primal_obj - dual_sol.objective);
+    std::ostringstream d;
+    d << "primal " << primal_obj << " vs dual " << dual_sol.objective;
+    certs.push_back(make_certificate(
+        "lp.duality-gap", gap, tolerance * (1.0 + std::abs(primal_obj)),
+        d.str()));
+  }
+
+  // Differential check: the two independent simplex implementations must
+  // agree on the optimum value.
+  const lp::Solution dense = lp::solve(model);
+  const lp::Solution revised = lp::solve_revised(model);
+  if (dense.status != lp::SolveStatus::Optimal ||
+      revised.status != lp::SolveStatus::Optimal) {
+    Certificate c;
+    c.name = "lp.solver-agreement";
+    c.pass = false;
+    c.violation = std::numeric_limits<double>::infinity();
+    c.tolerance = tolerance;
+    c.detail = std::string("dense: ") + lp::to_string(dense.status) +
+               ", revised: " + lp::to_string(revised.status);
+    certs.push_back(c);
+  } else {
+    std::ostringstream d;
+    d << "dense " << dense.objective << " vs revised " << revised.objective;
+    certs.push_back(make_certificate(
+        "lp.solver-agreement", std::abs(dense.objective - revised.objective),
+        tolerance * (1.0 + std::abs(dense.objective)), d.str()));
+  }
+  return certs;
+}
+
+}  // namespace rotclk::check

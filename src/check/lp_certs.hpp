@@ -1,0 +1,46 @@
+#pragma once
+// Linear-programming certificates: primal feasibility, dual feasibility,
+// and strong duality.
+//
+// For a primal   min c'x  s.t.  a_k'x {<=,=,>=} b_k  (variables free after
+// finite bounds are rewritten as rows), the Lagrangian dual is
+//   max b'y  s.t.  A'y = c,   y_k <= 0 (<= rows),  y_k >= 0 (>= rows),
+//                              y_k free (= rows).
+// Weak duality makes any feasible y a lower bound on any feasible x's
+// objective; an (x, y) pair with matching objectives therefore certifies
+// both optimal. The checker builds the dual from the Model data alone and
+// solves it with the bundled simplex, so a primal solver bug cannot
+// certify itself — the two optimizations share no state beyond the input.
+
+#include <vector>
+
+#include "check/certificate.hpp"
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+
+namespace rotclk::check {
+
+/// Build the Lagrangian dual of `primal`. Finite variable bounds are first
+/// rewritten as explicit constraint rows (so all primal variables become
+/// free and the dual constraints are equalities). Maximization models are
+/// handled by internally minimizing -c; the returned dual then *minimizes*
+/// and its optimum equals -(primal max optimum). For minimization models
+/// the dual maximizes and its optimum equals the primal optimum.
+lp::Model build_dual(const lp::Model& primal);
+
+/// Feasibility of a point against a model's rows and bounds.
+Certificate verify_lp_feasibility(const lp::Model& model,
+                                  const std::vector<double>& x,
+                                  double tolerance = 1e-6,
+                                  const char* name = "lp.primal-feasible");
+
+/// Full certificate set for a claimed primal solution:
+///   lp.primal-feasible   max row/bound violation of `primal_values`
+///   lp.dual-feasible     the independently solved dual is feasible
+///   lp.duality-gap       |primal objective - dual objective| (relative)
+///   lp.solver-agreement  dense tableau vs revised simplex objectives match
+std::vector<Certificate> verify_lp_pair(const lp::Model& model,
+                                        const std::vector<double>& primal_values,
+                                        double tolerance = 1e-6);
+
+}  // namespace rotclk::check

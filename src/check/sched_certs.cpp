@@ -1,0 +1,144 @@
+#include "check/sched_certs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace rotclk::check {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Long-path headroom A and short-path floor B of one arc: a schedule with
+// slack M needs  B + M <= t_i - t_j <= A - M.
+double long_headroom(const timing::SeqArc& a, const timing::TechParams& tech) {
+  return tech.clock_period_ps - a.d_max_ps - tech.setup_ps;
+}
+double short_floor(const timing::SeqArc& a, const timing::TechParams& tech) {
+  return tech.hold_ps - a.d_min_ps;
+}
+
+}  // namespace
+
+bool oracle_slack_feasible(int num_ffs,
+                           const std::vector<timing::SeqArc>& arcs,
+                           const timing::TechParams& tech, double slack_ps) {
+  // Difference constraints as shortest-path edges (t_u <= t_v + w becomes
+  // edge v -> u of weight w); feasible iff the constraint graph has no
+  // negative cycle. Bellman-Ford from a virtual source at distance 0.
+  struct Edge {
+    int from, to;
+    double w;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(2 * arcs.size());
+  for (const timing::SeqArc& a : arcs) {
+    // t_i - t_j <= A - M
+    edges.push_back({a.to_ff, a.from_ff, long_headroom(a, tech) - slack_ps});
+    // t_i - t_j >= B + M  <=>  t_j - t_i <= -(B + M)
+    edges.push_back({a.from_ff, a.to_ff, -(short_floor(a, tech) + slack_ps)});
+  }
+  std::vector<double> dist(static_cast<std::size_t>(num_ffs), 0.0);
+  bool changed = true;
+  for (int round = 0; round <= num_ffs && changed; ++round) {
+    changed = false;
+    for (const Edge& e : edges) {
+      const double cand = dist[static_cast<std::size_t>(e.from)] + e.w;
+      if (cand < dist[static_cast<std::size_t>(e.to)] - 1e-9) {
+        dist[static_cast<std::size_t>(e.to)] = cand;
+        changed = true;
+      }
+    }
+  }
+  return !changed;
+}
+
+double oracle_max_slack(int num_ffs, const std::vector<timing::SeqArc>& arcs,
+                        const timing::TechParams& tech, double precision_ps) {
+  if (arcs.empty()) return kInf;
+  // Pairwise upper bound: combining one arc's long and short constraint
+  // bounds M by (A - B)/2 (self-loops force t_i - t_j = 0, so min(A, -B)).
+  double hi = kInf;
+  for (const timing::SeqArc& a : arcs) {
+    const double A = long_headroom(a, tech);
+    const double B = short_floor(a, tech);
+    hi = std::min(hi, a.from_ff == a.to_ff ? std::min(A, -B)
+                                           : (A - B) / 2.0);
+  }
+  if (oracle_slack_feasible(num_ffs, arcs, tech, hi)) return hi;
+  // Exponential bracketing downwards, then bisection.
+  double step = std::max(precision_ps, 1.0);
+  double lo = hi - step;
+  while (!oracle_slack_feasible(num_ffs, arcs, tech, lo)) {
+    hi = lo;
+    step *= 2.0;
+    lo -= step;
+    if (lo < -1e12) return -kInf;
+  }
+  while (hi - lo > precision_ps) {
+    const double mid = 0.5 * (lo + hi);
+    if (oracle_slack_feasible(num_ffs, arcs, tech, mid))
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+double schedule_violation_ps(int num_ffs,
+                             const std::vector<timing::SeqArc>& arcs,
+                             const timing::TechParams& tech,
+                             const std::vector<double>& arrival_ps,
+                             double slack_ps) {
+  if (static_cast<int>(arrival_ps.size()) != num_ffs) return kInf;
+  double worst = 0.0;
+  for (const timing::SeqArc& a : arcs) {
+    const double diff = arrival_ps[static_cast<std::size_t>(a.from_ff)] -
+                        arrival_ps[static_cast<std::size_t>(a.to_ff)];
+    worst = std::max(worst, diff - (long_headroom(a, tech) - slack_ps));
+    worst = std::max(worst, (short_floor(a, tech) + slack_ps) - diff);
+  }
+  return worst;
+}
+
+std::vector<Certificate> verify_schedule(
+    int num_ffs, const std::vector<timing::SeqArc>& arcs,
+    const timing::TechParams& tech, const std::vector<double>& arrival_ps,
+    double schedule_slack_ps, double claimed_max_slack_ps,
+    double precision_ps, double tolerance) {
+  std::vector<Certificate> certs;
+  {
+    std::ostringstream d;
+    d << arcs.size() << " arcs at slack " << schedule_slack_ps << " ps";
+    certs.push_back(make_certificate(
+        "sched.constraints",
+        schedule_violation_ps(num_ffs, arcs, tech, arrival_ps,
+                              schedule_slack_ps),
+        tolerance, d.str()));
+  }
+  const double oracle = oracle_max_slack(num_ffs, arcs, tech, precision_ps);
+  Certificate opt;
+  opt.name = "sched.max-slack";
+  // Both searches (production bisection and this oracle) stop within
+  // precision_ps of the true optimum, so their answers may differ by twice
+  // that before anything is wrong.
+  opt.tolerance = 2.0 * precision_ps + tolerance;
+  if (std::isfinite(claimed_max_slack_ps) != std::isfinite(oracle)) {
+    opt.pass = false;
+    opt.violation = kInf;
+  } else {
+    opt.violation =
+        std::isfinite(oracle) ? std::abs(claimed_max_slack_ps - oracle) : 0.0;
+    opt.pass = opt.violation <= opt.tolerance;
+  }
+  std::ostringstream d;
+  d << "claimed " << claimed_max_slack_ps << " ps vs oracle " << oracle
+    << " ps";
+  opt.detail = d.str();
+  certs.push_back(opt);
+  return certs;
+}
+
+}  // namespace rotclk::check

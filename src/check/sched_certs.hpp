@@ -1,0 +1,57 @@
+#pragma once
+// Skew-schedule certificates (Fishburn max-slack, Sec. VII).
+//
+// A schedule t and slack M are certified directly against every sequential
+// arc i |-> j:
+//   long path:   t_i - t_j + M <= T - Dmax_ij - t_setup
+//   short path:  t_i - t_j     >= M + t_hold - Dmin_ij
+// and the claimed optimality of M* against an *independent* oracle: a
+// from-scratch binary search whose feasibility test is this checker's own
+// Bellman-Ford over the difference-constraint graph (deliberately not the
+// production sched::slack_feasible). Agreement of two independently coded
+// search+feasibility stacks within the search precision certifies both.
+
+#include <vector>
+
+#include "check/certificate.hpp"
+#include "timing/sta.hpp"
+#include "timing/tech.hpp"
+
+namespace rotclk::check {
+
+/// Checker-owned feasibility test for slack M (Bellman-Ford over the
+/// difference constraints; no shared code with sched/).
+bool oracle_slack_feasible(int num_ffs,
+                           const std::vector<timing::SeqArc>& arcs,
+                           const timing::TechParams& tech, double slack_ps);
+
+/// Checker-owned max-slack optimum by exponential bracketing + bisection
+/// to `precision_ps`. Returns -infinity when even arbitrarily negative
+/// slack is infeasible and +infinity when slack is unbounded (no arcs).
+double oracle_max_slack(int num_ffs, const std::vector<timing::SeqArc>& arcs,
+                        const timing::TechParams& tech,
+                        double precision_ps = 0.01);
+
+/// Worst violation (ps) of the schedule at slack M over all arcs; <= 0
+/// means every setup and hold constraint holds with margin.
+double schedule_violation_ps(int num_ffs,
+                             const std::vector<timing::SeqArc>& arcs,
+                             const timing::TechParams& tech,
+                             const std::vector<double>& arrival_ps,
+                             double slack_ps);
+
+/// Certificates for a claimed schedule. The flow schedules at
+/// `schedule_slack_ps` (a fraction of the optimum, Sec. VII) while the
+/// optimality claim concerns `claimed_max_slack_ps` (M*), so they are
+/// certified separately:
+///   sched.constraints   every setup/hold arc satisfied by `arrival_ps`
+///                       at `schedule_slack_ps`
+///   sched.max-slack     |claimed_max_slack_ps - oracle optimum| within
+///                       the combined search precision
+std::vector<Certificate> verify_schedule(
+    int num_ffs, const std::vector<timing::SeqArc>& arcs,
+    const timing::TechParams& tech, const std::vector<double>& arrival_ps,
+    double schedule_slack_ps, double claimed_max_slack_ps,
+    double precision_ps = 0.01, double tolerance = 1e-6);
+
+}  // namespace rotclk::check

@@ -1,0 +1,148 @@
+#include "check/tapping_oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace rotclk::check {
+
+namespace {
+
+// Stub-delay coefficients in ps, mirroring Eq. 1 (ohm*fF = 1e-3 ps):
+//   d(l) = a0 + a1 l + a2 l^2.
+struct StubCurve {
+  double a0 = 0.0;
+  double a1 = 0.0;
+  double a2 = 0.0;
+
+  [[nodiscard]] double delay(double l) const {
+    return a0 + a1 * l + a2 * l * l;
+  }
+
+  /// Smallest l >= 0 with delay(l) == d (d >= a0); stable quadratic
+  /// inversion that avoids cancellation for small a2.
+  [[nodiscard]] double invert(double d) const {
+    const double rhs = std::max(0.0, d - a0);
+    if (a2 <= 0.0) return a1 > 0.0 ? rhs / a1 : 0.0;
+    return 2.0 * rhs / (a1 + std::sqrt(a1 * a1 + 4.0 * a2 * rhs));
+  }
+};
+
+StubCurve stub_curve(const rotary::TappingParams& p) {
+  StubCurve c;
+  c.a2 = 0.5 * p.wire_res_per_um * p.wire_cap_per_um * 1e-3;
+  c.a1 = p.wire_res_per_um * p.sink_cap_ff * 1e-3;
+  if (p.use_buffer) {
+    c.a1 += p.buffer_drive_res_ohm * p.wire_cap_per_um * 1e-3;
+    c.a0 = p.buffer_delay_ps + p.buffer_drive_res_ohm * p.sink_cap_ff * 1e-3;
+  }
+  return c;
+}
+
+}  // namespace
+
+TapOracleResult oracle_tapping(const rotary::RotaryRing& ring,
+                               geom::Point flip_flop, double target_delay_ps,
+                               const rotary::TappingParams& params,
+                               int samples_per_segment) {
+  const double T = ring.period();
+  const double rho = ring.rho();
+  const StubCurve stub = stub_curve(params);
+
+  TapOracleResult best;
+  best.wirelength_um = std::numeric_limits<double>::infinity();
+
+  struct Target {
+    double tau;
+    bool complemented;
+  };
+  std::vector<Target> targets{{ring.wrap_delay(target_delay_ps), false}};
+  if (params.allow_complement)
+    targets.push_back({ring.wrap_delay(target_delay_ps + T / 2.0), true});
+
+  const int steps = std::max(samples_per_segment, 2);
+  for (const Target& tgt : targets) {
+    for (int k = 0; k < rotary::RotaryRing::kNumSegments; ++k) {
+      const rotary::RotaryRing::Segment& s = ring.segment(k);
+      for (int i = 0; i <= steps; ++i) {
+        const double x =
+            ring.side() * static_cast<double>(i) / static_cast<double>(steps);
+        const rotary::RingPos pos{k, x};
+        const double t_ring = s.delay_start + rho * x;
+        const double direct = geom::manhattan(ring.point_at(pos), flip_flop);
+        ++best.samples;
+        // Case 1 by construction: lift the target by whole periods until
+        // it clears the minimum achievable delay at this tap (ring delay
+        // plus the direct stub's delay); the monotone stub inversion then
+        // yields the shortest wire hitting it — snaking (case 4) is just
+        // l > direct.
+        const double t_floor = t_ring + stub.delay(direct);
+        const double lift =
+            std::max(0.0, std::ceil((t_floor - tgt.tau) / T - 1e-12) * T);
+        const double tau = tgt.tau + lift;
+        const double l =
+            std::max(direct, stub.invert(tau - t_ring));
+        if (l < best.wirelength_um) {
+          best.wirelength_um = l;
+          best.pos = pos;
+          best.complemented = tgt.complemented;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+Certificate verify_tap_solution(const rotary::RotaryRing& ring,
+                                geom::Point flip_flop, double target_delay_ps,
+                                const rotary::TappingParams& params,
+                                const rotary::TapSolution& sol,
+                                double tolerance) {
+  if (!sol.feasible) {
+    Certificate c;
+    c.name = "tap.solution-valid";
+    c.pass = false;
+    c.violation = std::numeric_limits<double>::infinity();
+    c.tolerance = tolerance;
+    c.detail = "solver reported infeasible (case 4 should always succeed)";
+    return c;
+  }
+  const StubCurve stub = stub_curve(params);
+  double worst = 0.0;
+  // The recorded tap point must be the layout point of the ring position.
+  worst = std::max(worst,
+                   geom::manhattan(ring.point_at(sol.pos), sol.tap_point));
+  // The stub must physically reach the flip-flop.
+  const double direct = geom::manhattan(sol.tap_point, flip_flop);
+  worst = std::max(worst, direct - sol.wirelength);
+  // Achieved delay: ring delay at the tap plus the stub's Elmore delay
+  // must hit the (possibly complemented) target modulo the period.
+  const double tau_eff =
+      sol.complemented ? target_delay_ps + ring.period() / 2.0
+                       : target_delay_ps;
+  const double achieved =
+      ring.delay_at(sol.pos) + stub.delay(sol.wirelength);
+  worst = std::max(worst, ring.phase_distance(achieved, tau_eff));
+  std::ostringstream d;
+  d << "wl " << sol.wirelength << " um (direct " << direct << "), delay "
+    << ring.wrap_delay(achieved) << " ps vs target "
+    << ring.wrap_delay(tau_eff) << " ps";
+  return make_certificate("tap.solution-valid", worst, tolerance, d.str());
+}
+
+Certificate verify_tap_against_oracle(const rotary::TapSolution& sol,
+                                      const TapOracleResult& oracle,
+                                      double tolerance) {
+  std::ostringstream d;
+  d << "solver " << sol.wirelength << " um vs oracle " << oracle.wirelength_um
+    << " um over " << oracle.samples << " samples";
+  // The sampled minimum is an upper bound on the optimum, so a correct
+  // solver can only beat it (negative violation) or match it.
+  return make_certificate(
+      "tap.dominates-oracle", sol.wirelength - oracle.wirelength_um,
+      tolerance * (1.0 + oracle.wirelength_um), d.str());
+}
+
+}  // namespace rotclk::check

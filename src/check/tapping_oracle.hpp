@@ -1,0 +1,54 @@
+#pragma once
+// Brute-force reference for the flexible-tapping solver (Sec. III, Eq. 1).
+//
+// The production solver inverts the piecewise-parabolic delay curve in
+// closed form (quadratic roots per parabola piece, four cases). This
+// oracle never touches a discriminant: it densely samples tap positions x
+// on all 8 segments and, at each sample, finds the minimal stub length
+// whose Elmore delay lifts the ring delay onto the target modulo T —
+// inverting the *monotone* one-variable stub-delay map
+//   d(l) = a0 + a1 l + a2 l^2,  l >= direct distance,
+// with a numerically stable closed form. The sampled minimum wirelength
+// upper-bounds the true optimum, so a correct solver must return a
+// wirelength <= oracle + tolerance on every instance; validity of the
+// solver's own answer (delay actually achieved, stub physically long
+// enough) is certified separately by verify_tap_solution.
+
+#include "check/certificate.hpp"
+#include "geom/point.hpp"
+#include "rotary/ring.hpp"
+#include "rotary/tapping.hpp"
+
+namespace rotclk::check {
+
+struct TapOracleResult {
+  double wirelength_um = 0.0;  ///< best sampled stub length
+  rotary::RingPos pos;         ///< where it tapped
+  bool complemented = false;
+  int samples = 0;             ///< tap positions examined
+};
+
+/// Dense-sampling reference solve. `samples_per_segment` grid points per
+/// segment (endpoints included).
+TapOracleResult oracle_tapping(const rotary::RotaryRing& ring,
+                               geom::Point flip_flop, double target_delay_ps,
+                               const rotary::TappingParams& params,
+                               int samples_per_segment = 256);
+
+/// Validity of a solver answer, independent of optimality:
+///   * the tap point lies on the ring at sol.pos;
+///   * the stub is at least the Manhattan distance from tap to flip-flop;
+///   * ring delay at the tap plus the stub's Elmore delay hits the target
+///     modulo the period (complemented targets shifted by T/2).
+Certificate verify_tap_solution(const rotary::RotaryRing& ring,
+                                geom::Point flip_flop, double target_delay_ps,
+                                const rotary::TappingParams& params,
+                                const rotary::TapSolution& sol,
+                                double tolerance = 1e-6);
+
+/// Domination of the sampled reference: sol.wirelength <= oracle + tol.
+Certificate verify_tap_against_oracle(const rotary::TapSolution& sol,
+                                      const TapOracleResult& oracle,
+                                      double tolerance = 1e-6);
+
+}  // namespace rotclk::check

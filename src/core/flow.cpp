@@ -2,6 +2,7 @@
 
 #include "core/pipeline.hpp"
 #include "core/stages.hpp"
+#include "core/verify.hpp"
 #include "util/error.hpp"
 
 namespace rotclk::core {
@@ -67,6 +68,13 @@ FlowResult RotaryFlow::execute(netlist::Placement placement,
   FlowContext ctx(design_, config_, *assigner_, *skew_optimizer_,
                   std::move(placement));
   FlowPipeline pipeline = make_standard_pipeline(with_initial_placement);
+  // The verifier is added before user observers so its certificates are in
+  // ctx.certificates by the time a tracer's on_flow_end snapshots them.
+  std::unique_ptr<VerifyingObserver> verifier;
+  if (config_.verify || verify_env_enabled()) {
+    verifier = std::make_unique<VerifyingObserver>(&ctx.certificates);
+    pipeline.add_observer(verifier.get());
+  }
   for (FlowObserver* o : observers_) pipeline.add_observer(o);
   pipeline.run(ctx);
   rings_ = std::move(ctx.rings);
@@ -81,6 +89,7 @@ FlowResult RotaryFlow::execute(netlist::Placement placement,
   result.recovery = std::move(ctx.recovery);
   result.peak_cost_matrix_arcs = ctx.peak_cost_matrix_arcs;
   result.tapping_cache = ctx.tapping_cache.stats();
+  result.certificates = std::move(ctx.certificates);
   if (!ctx.best)
     throw InternalError(
         "flow", "pipeline finished without producing a result snapshot");

@@ -26,6 +26,7 @@
 
 #include "assign/assigner.hpp"
 #include "assign/problem.hpp"
+#include "check/certificate.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/placement.hpp"
 #include "placer/placer.hpp"
@@ -88,6 +89,12 @@ struct FlowConfig {
   /// the run at the best-so-far snapshot (recorded as a kDeadline
   /// recovery event). 0 disables the deadline.
   double stage_deadline_seconds = 0.0;
+  /// Attach the certificate verifier (core/verify.hpp): independent
+  /// optimality/feasibility checks after the scheduling, assignment, and
+  /// cost-driven stages, recorded into FlowResult::certificates and the
+  /// JSON trace. Also enabled by the environment variable ROTCLK_VERIFY=1.
+  /// Adds solver-grade work per stage, so it is opt-in.
+  bool verify = false;
 };
 
 struct IterationMetrics {
@@ -129,6 +136,9 @@ struct FlowResult {
   std::size_t peak_cost_matrix_arcs = 0;
   /// Tapping-delay memoization counters for the whole run.
   rotary::TappingCache::Stats tapping_cache{};
+  /// Certificate results when verification ran (config.verify or
+  /// ROTCLK_VERIFY=1); empty otherwise. check::all_pass() summarizes.
+  std::vector<check::Certificate> certificates;
 
   [[nodiscard]] const IterationMetrics& base() const { return history.front(); }
   [[nodiscard]] const IterationMetrics& final() const {

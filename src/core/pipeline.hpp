@@ -26,6 +26,7 @@
 
 #include "assign/assigner.hpp"
 #include "assign/problem.hpp"
+#include "check/certificate.hpp"
 #include "core/flow.hpp"
 #include "netlist/placement.hpp"
 #include "placer/placer.hpp"
@@ -103,6 +104,11 @@ struct FlowContext {
   // observers; stages and strategies report through record_recovery.
   std::vector<util::RecoveryEvent> recovery;
   util::RecoveryLog recovery_log;
+
+  // Certificate results appended by the VerifyingObserver (core/verify.hpp)
+  // when verification is enabled; copied into FlowResult and the JSON
+  // trace at flow end. Empty when verification is off.
+  std::vector<check::Certificate> certificates;
 
   /// Stamp the current iteration on `ev`, append it to `recovery`, and
   /// forward it to `recovery_log` (when set).

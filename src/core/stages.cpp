@@ -113,8 +113,16 @@ void CostDrivenSkewStage::run(FlowContext& ctx) {
     const geom::Point loc = ctx.placement.loc(ctx.problem.ff_cells[i]);
     const int rj = ring < 0 ? ctx.rings->nearest_ring(loc) : ring;
     double dist = 0.0;
-    const rotary::RingPos c = ctx.rings->ring(rj).closest_point(loc, &dist);
-    anchors[i].anchor_ps = ctx.rings->ring(rj).delay_at(c);
+    // Of the two co-located laps pick the one in phase with the current
+    // target, and lift its wrapped delay to the representative nearest the
+    // target: the skew window |t_i - b_i| <= delta is a distance on the
+    // real line, so an anchor a full period (or half-period lap) away from
+    // an equivalent phase would spuriously look infeasible.
+    const rotary::RotaryRing& rr = ctx.rings->ring(rj);
+    const rotary::RingPos c =
+        rr.closest_point_in_phase(loc, ctx.arrival_ps[i], &dist);
+    anchors[i].anchor_ps =
+        rr.nearest_phase(rr.delay_at(c), ctx.arrival_ps[i]);
     anchors[i].stub_ps =
         ctx.config.tech.wire_delay_ps(dist, ctx.config.tech.ff_input_cap_ff);
     weights[i] = dist;  // w_i = l_i (paper)

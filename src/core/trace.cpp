@@ -79,6 +79,7 @@ void JsonTraceObserver::on_flow_begin(const FlowContext& ctx) {
   stages_.clear();
   iterations_.clear();
   recovery_.clear();
+  certificates_.clear();
   finished_ = false;
 }
 
@@ -108,6 +109,9 @@ void JsonTraceObserver::on_flow_end(const FlowContext& ctx) {
   // shielded observer failures appended without a broadcast) still lands
   // in the document.
   recovery_ = ctx.recovery;
+  // The VerifyingObserver (added before user observers) has finished by
+  // now, so this snapshot is the complete certificate record.
+  certificates_ = ctx.certificates;
   if (path_.empty()) return;
   util::fault::point("io.write");
   std::ofstream out(path_);
@@ -159,6 +163,20 @@ std::string JsonTraceObserver::json() const {
     put_string(os, ev.error);
     os << ",\"iteration\":" << ev.iteration << ",\"attempt\":" << ev.attempt
        << "}";
+  }
+  os << "],\"certificates\":[";
+  for (std::size_t i = 0; i < certificates_.size(); ++i) {
+    const check::Certificate& c = certificates_[i];
+    if (i) os << ",";
+    os << "{\"name\":";
+    put_string(os, c.name);
+    os << ",\"pass\":" << (c.pass ? "true" : "false") << ",\"violation\":";
+    put_number(os, c.violation);
+    os << ",\"tolerance\":";
+    put_number(os, c.tolerance);
+    os << ",\"detail\":";
+    put_string(os, c.detail);
+    os << "}";
   }
   os << "]}";
   return os.str();

@@ -47,6 +47,10 @@ class JsonTraceObserver final : public FlowObserver {
       const {
     return recovery_;
   }
+  /// Certificates from the VerifyingObserver, when verification ran.
+  [[nodiscard]] const std::vector<check::Certificate>& certificates() const {
+    return certificates_;
+  }
 
   /// The trace as a JSON document (valid any time; complete after the
   /// flow ends).
@@ -59,6 +63,7 @@ class JsonTraceObserver final : public FlowObserver {
   std::vector<StageEvent> stages_;
   std::vector<IterationMetrics> iterations_;
   std::vector<util::RecoveryEvent> recovery_;
+  std::vector<check::Certificate> certificates_;
   bool finished_ = false;
   double slack_star_ps_ = 0.0;
   double slack_used_ps_ = 0.0;

@@ -1,0 +1,133 @@
+#include "core/verify.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "check/assign_certs.hpp"
+#include "check/sched_certs.hpp"
+#include "check/tapping_oracle.hpp"
+
+namespace rotclk::core {
+
+namespace {
+
+bool stage_recovered(const FlowContext& ctx, const char* site) {
+  return std::any_of(ctx.recovery.begin(), ctx.recovery.end(),
+                     [&](const util::RecoveryEvent& ev) {
+                       return ev.site == site &&
+                              ev.iteration == ctx.iteration;
+                     });
+}
+
+}  // namespace
+
+VerifyingObserver::VerifyingObserver(std::vector<check::Certificate>* sink)
+    : VerifyingObserver(sink, Options()) {}
+
+VerifyingObserver::VerifyingObserver(std::vector<check::Certificate>* sink,
+                                     Options options)
+    : sink_(sink), options_(options) {}
+
+void VerifyingObserver::append(const FlowContext& ctx, const char* stage,
+                               std::vector<check::Certificate> certs) {
+  if (sink_ == nullptr) return;
+  for (check::Certificate& c : certs) {
+    std::ostringstream d;
+    d << stage << " iter " << ctx.iteration;
+    if (!c.detail.empty()) d << ": " << c.detail;
+    c.detail = d.str();
+    sink_->push_back(std::move(c));
+  }
+}
+
+void VerifyingObserver::on_stage_end(const Stage& stage,
+                                     const FlowContext& ctx,
+                                     double /*seconds*/) {
+  const char* name = stage.name();
+  if (std::strcmp(name, "max-slack-scheduling") == 0) {
+    // The stage-2 witness is produced at the claimed optimum M*.
+    verify_schedule_stage(ctx, ctx.slack_star_ps);
+  } else if (std::strcmp(name, "cost-driven-skew") == 0) {
+    // Stage 4 re-targets at the prespecified slack. A fallback re-derives
+    // the schedule from fresh arcs at an unrelated slack, so only clean
+    // runs of the stage carry the constraint claim.
+    if (!stage_recovered(ctx, name)) {
+      append(ctx, name,
+             {check::make_certificate(
+                 "sched.constraints",
+                 check::schedule_violation_ps(ctx.num_ffs(), ctx.arcs,
+                                              ctx.config.tech, ctx.arrival_ps,
+                                              ctx.slack_used_ps),
+                 options_.tolerance)});
+    }
+  } else if (std::strcmp(name, "assignment") == 0) {
+    verify_assignment_stage(ctx);
+  }
+}
+
+void VerifyingObserver::verify_schedule_stage(const FlowContext& ctx,
+                                              double schedule_slack) {
+  append(ctx, "max-slack-scheduling",
+         check::verify_schedule(ctx.num_ffs(), ctx.arcs, ctx.config.tech,
+                                ctx.arrival_ps, schedule_slack,
+                                ctx.slack_star_ps,
+                                options_.slack_precision_ps,
+                                options_.tolerance));
+}
+
+void VerifyingObserver::verify_assignment_stage(const FlowContext& ctx) {
+  // A fallback assigner may legitimately ignore hard ring capacities (the
+  // greedy last resort) and never claims cost optimality.
+  const bool netflow_clean =
+      ctx.config.assign_mode == AssignMode::NetworkFlow &&
+      !stage_recovered(ctx, "assignment");
+  append(ctx, "assignment",
+         check::verify_assignment(ctx.problem, ctx.assignment,
+                                  /*enforce_capacity=*/netflow_clean,
+                                  options_.tolerance));
+  if (netflow_clean &&
+      ctx.problem.arcs.size() <= options_.netflow_max_arcs) {
+    append(ctx, "assignment",
+           check::verify_netflow_optimality(ctx.problem, ctx.assignment,
+                                            options_.tolerance));
+  }
+
+  // Spot-check individual tapping solves against Eq. 1 and the sampled
+  // oracle: validity certifies the stored solution, domination certifies
+  // the closed-form minimization.
+  const int n = ctx.problem.num_ffs();
+  if (options_.tap_spot_checks <= 0 || n == 0 || !ctx.rings) return;
+  const int stride = std::max(1, n / options_.tap_spot_checks);
+  std::vector<check::Certificate> taps;
+  for (int i = 0; i < n; i += stride) {
+    const int a = ctx.assignment.arc_of_ff[static_cast<std::size_t>(i)];
+    if (a < 0) continue;
+    const assign::CandidateArc& arc =
+        ctx.problem.arcs[static_cast<std::size_t>(a)];
+    const rotary::RotaryRing& ring = ctx.rings->ring(arc.ring);
+    const geom::Point loc = ctx.placement.loc(
+        ctx.problem.ff_cells[static_cast<std::size_t>(i)]);
+    const double target = ctx.arrival_ps[static_cast<std::size_t>(i)];
+    taps.push_back(check::verify_tap_solution(ring, loc, target,
+                                              ctx.assign_config.tapping,
+                                              arc.tap, options_.tolerance));
+    const check::TapOracleResult oracle = check::oracle_tapping(
+        ring, loc, target, ctx.assign_config.tapping,
+        options_.oracle_samples);
+    taps.push_back(check::verify_tap_against_oracle(arc.tap, oracle,
+                                                    options_.tolerance));
+  }
+  append(ctx, "assignment", std::move(taps));
+}
+
+bool verify_env_enabled() {
+  const char* v = std::getenv("ROTCLK_VERIFY");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+         std::strcmp(v, "on") == 0 || std::strcmp(v, "yes") == 0;
+}
+
+}  // namespace rotclk::core

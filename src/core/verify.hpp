@@ -1,0 +1,72 @@
+#pragma once
+// Opt-in certificate verification for the flow pipeline.
+//
+// VerifyingObserver watches a run and, after each solver stage, audits the
+// stage's answer with the independent checkers in src/check/:
+//
+//   max-slack-scheduling  every setup/hold arc re-checked; the claimed M*
+//                         cross-examined by a from-scratch binary-search
+//                         oracle (check/sched_certs.hpp)
+//   assignment            structural feasibility + metrics recount; in
+//                         network-flow mode (no fallback) the full Fig. 4
+//                         MCMF differential with reduced-cost optimality
+//                         (check/assign_certs.hpp, check/flow_certs.hpp),
+//                         plus spot checks of individual tapping solves
+//                         against Eq. 1 (check/tapping_oracle.hpp)
+//   cost-driven-skew      the re-optimized schedule re-checked against
+//                         every arc at the prespecified slack
+//
+// Certificates accumulate in FlowContext::certificates (via the sink
+// pointer handed to the constructor) and surface in FlowResult and the
+// JSON trace's "certificates" array. Enable with FlowConfig::verify or
+// the environment variable ROTCLK_VERIFY=1.
+
+#include <vector>
+
+#include "check/certificate.hpp"
+#include "core/pipeline.hpp"
+
+namespace rotclk::core {
+
+class VerifyingObserver final : public FlowObserver {
+ public:
+  struct Options {
+    double tolerance = 1e-6;
+    /// Max-slack oracle bisection precision (matches the production
+    /// scheduler's default).
+    double slack_precision_ps = 0.01;
+    /// Flip-flops whose tapping solve is re-checked per assignment stage
+    /// (spread deterministically across the design; 0 disables).
+    int tap_spot_checks = 8;
+    /// Grid density of the brute-force tapping oracle per segment.
+    int oracle_samples = 128;
+    /// Skip the MCMF netflow differential when the candidate-arc count
+    /// exceeds this (the certificate re-solves the whole assignment).
+    std::size_t netflow_max_arcs = 250000;
+  };
+
+  /// Certificates are appended to `*sink` (not owned; typically
+  /// &FlowContext::certificates so results flow into the trace/result).
+  explicit VerifyingObserver(std::vector<check::Certificate>* sink);
+  VerifyingObserver(std::vector<check::Certificate>* sink, Options options);
+
+  void on_stage_end(const Stage& stage, const FlowContext& ctx,
+                    double seconds) override;
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  void verify_schedule_stage(const FlowContext& ctx, double schedule_slack);
+  void verify_assignment_stage(const FlowContext& ctx);
+  void append(const FlowContext& ctx, const char* stage,
+              std::vector<check::Certificate> certs);
+
+  std::vector<check::Certificate>* sink_;
+  Options options_;
+};
+
+/// True when the ROTCLK_VERIFY environment variable requests verification
+/// ("1", "true", "on", "yes"; case-sensitive).
+bool verify_env_enabled();
+
+}  // namespace rotclk::core

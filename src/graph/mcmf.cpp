@@ -195,4 +195,19 @@ double MinCostMaxFlow::flow_on(int arc_id) const {
   return arcs_[static_cast<std::size_t>(arc_id ^ 1)].cap;
 }
 
+MinCostMaxFlow::ArcView MinCostMaxFlow::arc(int arc_id) const {
+  if (arc_id < 0 || arc_id % 2 != 0 ||
+      static_cast<std::size_t>(arc_id) >= arcs_.size())
+    throw InvalidArgumentError("mcmf", "arc id is not a forward arc id");
+  const Arc& fwd = arcs_[static_cast<std::size_t>(arc_id)];
+  const Arc& bwd = arcs_[static_cast<std::size_t>(arc_id) + 1];
+  ArcView v;
+  v.from = bwd.to;
+  v.to = fwd.to;
+  v.capacity = fwd.cap + bwd.cap;  // residual + used = original
+  v.cost = fwd.cost;
+  v.flow = bwd.cap;
+  return v;
+}
+
 }  // namespace rotclk::graph

@@ -40,6 +40,31 @@ class MinCostMaxFlow {
 
   [[nodiscard]] int num_nodes() const { return static_cast<int>(head_.size()); }
 
+  /// Number of arcs added via add_arc() (each owns ids 2k and 2k+1
+  /// internally; this counts the caller-visible forward arcs).
+  [[nodiscard]] int num_arcs() const {
+    return static_cast<int>(arcs_.size() / 2);
+  }
+
+  /// Read-only view of one caller-added arc, for external certificate
+  /// checkers (flow conservation, reduced-cost optimality). `arc_id` is an
+  /// id returned by add_arc(); those are exactly the even values
+  /// 0, 2, ..., 2*(num_arcs()-1).
+  struct ArcView {
+    int from = 0;
+    int to = 0;
+    double capacity = 0.0;  ///< original capacity
+    double cost = 0.0;
+    double flow = 0.0;      ///< flow after solve()
+  };
+  [[nodiscard]] ArcView arc(int arc_id) const;
+
+  /// Node potentials after solve() (Johnson duals; reduced cost of a
+  /// saturated/used arc is cost + pot[from] - pot[to]).
+  [[nodiscard]] const std::vector<double>& potentials() const {
+    return potential_;
+  }
+
  private:
   struct Arc {
     int to;

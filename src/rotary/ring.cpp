@@ -42,6 +42,14 @@ RotaryRing::RotaryRing(geom::Rect outline, double period_ps, bool clockwise,
 
   // Shift all delays so the equal-phase reference point — the midpoint of
   // the bottom edge on the outer lap — carries `ref_delay_ps`.
+  //
+  // Direction audit: `|ref.x - s.start.x|` is the arc length from the
+  // segment's wave-*entry* point to the reference, whichever corner that
+  // entry is. Counter-clockwise the bottom edge is segment 0 (bl->br,
+  // entry bl); clockwise it is segment 3 (br->bl, entry br). Either way
+  // the midpoint sits side/2 past the entry corner, so the shift below is
+  // direction-independent — verified by the RefDelayInvariant regression
+  // test in tests/test_rotary.cpp.
   double dist_to_ref = 0.0;
   bool found = false;
   const geom::Point ref{(outline.xlo + outline.xhi) / 2.0, outline.ylo};
@@ -53,6 +61,11 @@ RotaryRing::RotaryRing(geom::Rect outline, double period_ps, bool clockwise,
       found = true;
     }
   }
+  // Both tours place exactly one outer segment on the bottom edge; a silent
+  // miss here would anchor the ring at an arbitrary phase.
+  if (!found)
+    throw InternalError("rotary-ring",
+                        "no outer-lap segment found on the bottom edge");
   const double shift = ref_delay_ps - dist_to_ref * rho();
   for (auto& s : segments_) {
     s.delay_start = std::fmod(s.delay_start + shift, period_);
@@ -101,10 +114,40 @@ RingPos RotaryRing::closest_point(geom::Point p, double* distance) const {
   return best;
 }
 
+std::array<RingPos, 2> RotaryRing::closest_points(geom::Point p,
+                                                  double* distance) const {
+  const RingPos outer = closest_point(p, distance);
+  return {outer, complementary(outer)};
+}
+
+RingPos RotaryRing::closest_point_in_phase(geom::Point p,
+                                           double target_delay_ps,
+                                           double* distance) const {
+  const std::array<RingPos, 2> laps = closest_points(p, distance);
+  const double d_outer = phase_distance(delay_at(laps[0]), target_delay_ps);
+  const double d_inner = phase_distance(delay_at(laps[1]), target_delay_ps);
+  return d_inner < d_outer ? laps[1] : laps[0];
+}
+
+double RotaryRing::phase_distance(double a_ps, double b_ps) const {
+  const double w = wrap_delay(a_ps - b_ps);
+  return std::min(w, period_ - w);
+}
+
+double RotaryRing::nearest_phase(double delay_ps, double reference_ps) const {
+  double d = wrap_delay(delay_ps - reference_ps);  // in [0, T)
+  if (d >= period_ / 2.0) d -= period_;            // into [-T/2, T/2)
+  return reference_ps + d;
+}
+
 double RotaryRing::wrap_delay(double t) const {
   double w = std::fmod(t, period_);
   if (w < 0.0) w += period_;
-  return w;
+  // fmod of a tiny negative can round back up to exactly period_ after the
+  // correction (and fmod itself yields -0.0 for negative multiples); clamp
+  // into [0, period) and normalize the sign of zero.
+  if (w >= period_) w -= period_;
+  return w + 0.0;
 }
 
 }  // namespace rotclk::rotary

@@ -69,8 +69,34 @@ class RotaryRing {
   [[nodiscard]] double delay_at(RingPos pos) const;
 
   /// Position on the *outer* lap closest (Manhattan) to `p`, with distance.
+  /// Callers that care about the clock phase at the returned point almost
+  /// always want closest_points() or closest_point_in_phase() instead: the
+  /// inner lap passes through the same layout point half a period later.
   [[nodiscard]] RingPos closest_point(geom::Point p,
                                       double* distance = nullptr) const;
+
+  /// Both lap positions at the outline point closest (Manhattan) to `p`:
+  /// [0] on the outer lap (segments 0-3), [1] on the inner lap (segments
+  /// 4-7). Same layout coordinates, clock delays T/2 apart.
+  [[nodiscard]] std::array<RingPos, 2> closest_points(
+      geom::Point p, double* distance = nullptr) const;
+
+  /// Of the two co-located lap positions nearest `p`, the one whose clock
+  /// delay is closer to `target_delay_ps` in circular phase distance (ties
+  /// go to the outer lap). This is the position a skew anchor should use:
+  /// the outer lap alone can be a full T/2 out of phase with the target
+  /// even though the inner lap matches it exactly at the same coordinates.
+  [[nodiscard]] RingPos closest_point_in_phase(
+      geom::Point p, double target_delay_ps, double* distance = nullptr) const;
+
+  /// Circular distance between two clock delays: min_k |a - b + kT|,
+  /// in [0, T/2].
+  [[nodiscard]] double phase_distance(double a_ps, double b_ps) const;
+
+  /// The representative of `delay_ps` (mod T) nearest to `reference_ps` on
+  /// the real line: reference_ps + d with d in [-T/2, T/2).
+  [[nodiscard]] double nearest_phase(double delay_ps,
+                                     double reference_ps) const;
 
   /// The complementary position: same layout point on the other lap,
   /// carrying a delay offset by T/2 (Sec. III, complementary phases).

@@ -1,0 +1,340 @@
+// Certificate-layer tests (src/check/): hand-built positive and negative
+// cases for every checker, differential cross-checks of the production
+// solvers against the independent oracles, and the end-to-end oracle gate
+// over the Table II circuits with verification enabled.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "assign/ilp_assign.hpp"
+#include "assign/netflow.hpp"
+#include "assign/problem.hpp"
+#include "check/assign_certs.hpp"
+#include "check/flow_certs.hpp"
+#include "check/lp_certs.hpp"
+#include "check/sched_certs.hpp"
+#include "core/flow.hpp"
+#include "graph/mcmf.hpp"
+#include "lp/simplex.hpp"
+#include "netlist/benchmarks.hpp"
+#include "sched/skew.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk {
+namespace {
+
+using check::Certificate;
+
+const Certificate* find_cert(const std::vector<Certificate>& certs,
+                             const std::string& name) {
+  for (const Certificate& c : certs)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+::testing::AssertionResult all_certs_pass(
+    const std::vector<Certificate>& certs) {
+  for (const Certificate& c : certs)
+    if (!c.pass)
+      return ::testing::AssertionFailure()
+             << c.name << " failed (violation " << c.violation << " > tol "
+             << c.tolerance << "): " << c.detail;
+  return ::testing::AssertionSuccess();
+}
+
+// --- MCMF certificates -----------------------------------------------------
+
+TEST(McmfCerts, HandBuiltNetworkCertifies) {
+  // s=0 -> {1,2} -> t=3; the cheap route has limited capacity so the
+  // optimum splits the flow.
+  graph::MinCostMaxFlow net(4);
+  net.add_arc(0, 1, 2.0, 1.0);
+  net.add_arc(0, 2, 2.0, 3.0);
+  net.add_arc(1, 3, 1.0, 1.0);
+  net.add_arc(1, 2, 2.0, 1.0);
+  net.add_arc(2, 3, 3.0, 1.0);
+  const auto res = net.solve(0, 3);
+  EXPECT_DOUBLE_EQ(res.flow, 4.0);
+  EXPECT_TRUE(all_certs_pass(check::verify_mcmf(net, 0, 3, res.flow,
+                                                res.cost)));
+}
+
+TEST(McmfCerts, WrongReportedValuesFail) {
+  graph::MinCostMaxFlow net(3);
+  net.add_arc(0, 1, 1.0, 2.0);
+  net.add_arc(1, 2, 1.0, 2.0);
+  const auto res = net.solve(0, 2);
+  const auto certs =
+      check::verify_mcmf(net, 0, 2, res.flow + 1.0, res.cost + 5.0);
+  const Certificate* conservation =
+      find_cert(certs, "mcmf.flow-conservation");
+  const Certificate* cost = find_cert(certs, "mcmf.cost-consistency");
+  ASSERT_NE(conservation, nullptr);
+  ASSERT_NE(cost, nullptr);
+  EXPECT_FALSE(conservation->pass);
+  EXPECT_FALSE(cost->pass);
+}
+
+TEST(McmfCerts, NegativeResidualCycleFailsReducedCostOptimality) {
+  // Route 1 unit over the expensive arc, then add an unused cheap
+  // parallel arc after the solve: the residual graph now has the
+  // negative cycle a -> t (cost 0) -> a (cost -10), so the settled flow
+  // is provably suboptimal and the optimality certificate must fail
+  // while feasibility certificates still pass.
+  graph::MinCostMaxFlow net(3);
+  net.add_arc(0, 1, 1.0, 0.0);
+  net.add_arc(1, 2, 1.0, 10.0);
+  const auto res = net.solve(0, 2);
+  EXPECT_DOUBLE_EQ(res.cost, 10.0);
+  net.add_arc(1, 2, 1.0, 0.0);
+  const auto certs = check::verify_mcmf(net, 0, 2, res.flow, res.cost);
+  EXPECT_TRUE(find_cert(certs, "mcmf.capacity")->pass);
+  EXPECT_TRUE(find_cert(certs, "mcmf.flow-conservation")->pass);
+  const Certificate* opt = find_cert(certs, "mcmf.reduced-cost-optimality");
+  ASSERT_NE(opt, nullptr);
+  EXPECT_FALSE(opt->pass);
+}
+
+// --- LP certificates -------------------------------------------------------
+
+TEST(LpCerts, MinimizationPairCertifies) {
+  // min x + 2y  s.t.  x + y >= 4,  x <= 3,  y <= 5,  x,y >= 0.
+  lp::Model m;
+  const int x = m.add_variable(0.0, 3.0, 1.0, "x");
+  const int y = m.add_variable(0.0, 5.0, 2.0, "y");
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, lp::Sense::GreaterEqual, 4.0);
+  const lp::Solution sol = lp::solve(m);
+  ASSERT_EQ(sol.status, lp::SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 5.0, 1e-7);  // x=3, y=1
+  EXPECT_TRUE(all_certs_pass(check::verify_lp_pair(m, sol.values)));
+}
+
+TEST(LpCerts, MaximizationPairCertifies) {
+  // max 3x + 5y  s.t.  x <= 4,  2y <= 12,  3x + 2y <= 18  (classic).
+  lp::Model m;
+  m.objective = lp::Objective::Maximize;
+  const int x = m.add_variable(0.0, lp::kInfinity, 3.0, "x");
+  const int y = m.add_variable(0.0, lp::kInfinity, 5.0, "y");
+  m.add_constraint({{x, 1.0}}, lp::Sense::LessEqual, 4.0);
+  m.add_constraint({{y, 2.0}}, lp::Sense::LessEqual, 12.0);
+  m.add_constraint({{x, 3.0}, {y, 2.0}}, lp::Sense::LessEqual, 18.0);
+  const lp::Solution sol = lp::solve(m);
+  ASSERT_EQ(sol.status, lp::SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 36.0, 1e-7);
+  EXPECT_TRUE(all_certs_pass(check::verify_lp_pair(m, sol.values)));
+}
+
+TEST(LpCerts, InfeasiblePointFails) {
+  lp::Model m;
+  const int x = m.add_variable(0.0, 10.0, 1.0, "x");
+  m.add_constraint({{x, 1.0}}, lp::Sense::GreaterEqual, 5.0);
+  const Certificate c = check::verify_lp_feasibility(m, {1.0});
+  EXPECT_FALSE(c.pass);
+  EXPECT_NEAR(c.violation, 4.0, 1e-9);
+}
+
+TEST(LpCerts, EqualityAndFreeVariablesCertify) {
+  // min 2x - y  s.t.  x + y = 3,  x - y >= -1,  y free, x in [0, 10].
+  lp::Model m;
+  const int x = m.add_variable(0.0, 10.0, 2.0, "x");
+  const int y = m.add_free_variable(-1.0, "y");
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, lp::Sense::Equal, 3.0);
+  m.add_constraint({{x, 1.0}, {y, -1.0}}, lp::Sense::GreaterEqual, -1.0);
+  const lp::Solution sol = lp::solve(m);
+  ASSERT_EQ(sol.status, lp::SolveStatus::Optimal);
+  EXPECT_TRUE(all_certs_pass(check::verify_lp_pair(m, sol.values)));
+}
+
+// --- Schedule certificates -------------------------------------------------
+
+std::vector<timing::SeqArc> random_arcs(int num_ffs, int count,
+                                        util::Rng& rng) {
+  std::vector<timing::SeqArc> arcs;
+  arcs.reserve(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    timing::SeqArc a;
+    a.from_ff = rng.uniform_int(0, num_ffs - 1);
+    a.to_ff = rng.uniform_int(0, num_ffs - 1);
+    a.d_min_ps = rng.uniform(5.0, 80.0);
+    a.d_max_ps = a.d_min_ps + rng.uniform(0.0, 300.0);
+    arcs.push_back(a);
+  }
+  return arcs;
+}
+
+TEST(SchedCerts, DifferentialMaxSlackAcrossAllSolvers) {
+  const timing::TechParams tech;
+  util::Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = rng.uniform_int(3, 10);
+    const auto arcs = random_arcs(n, 2 * n, rng);
+    const double oracle = check::oracle_max_slack(n, arcs, tech, 0.001);
+    if (!std::isfinite(oracle)) continue;
+    const auto bf = sched::max_slack_schedule(n, arcs, tech, 0.001);
+    const auto karp = sched::max_slack_schedule_karp(n, arcs, tech);
+    const auto lp = sched::max_slack_schedule_lp(n, arcs, tech);
+    ASSERT_TRUE(bf.feasible);
+    EXPECT_NEAR(bf.slack_ps, oracle, 0.01) << "trial " << trial;
+    EXPECT_NEAR(karp.slack_ps, oracle, 0.01) << "trial " << trial;
+    if (lp.feasible) EXPECT_NEAR(lp.slack_ps, oracle, 0.01);
+    // The production witness also satisfies the checker's certificates.
+    EXPECT_TRUE(all_certs_pass(check::verify_schedule(
+        n, arcs, tech, bf.arrival_ps, bf.slack_ps, bf.slack_ps, 0.001)));
+  }
+}
+
+TEST(SchedCerts, CorruptedScheduleFailsConstraints) {
+  const timing::TechParams tech;
+  util::Rng rng(19);
+  const auto arcs = random_arcs(6, 14, rng);
+  const auto bf = sched::max_slack_schedule(6, arcs, tech, 0.001);
+  ASSERT_TRUE(bf.feasible);
+  std::vector<double> corrupt = bf.arrival_ps;
+  corrupt[2] += tech.clock_period_ps;  // a full period off its slot
+  const auto certs = check::verify_schedule(6, arcs, tech, corrupt,
+                                            bf.slack_ps, bf.slack_ps, 0.001);
+  const Certificate* c = find_cert(certs, "sched.constraints");
+  ASSERT_NE(c, nullptr);
+  EXPECT_FALSE(c->pass);
+}
+
+TEST(SchedCerts, OverclaimedOptimumFailsMaxSlack) {
+  const timing::TechParams tech;
+  util::Rng rng(29);
+  const auto arcs = random_arcs(5, 12, rng);
+  const auto bf = sched::max_slack_schedule(5, arcs, tech, 0.001);
+  ASSERT_TRUE(bf.feasible);
+  const auto certs =
+      check::verify_schedule(5, arcs, tech, bf.arrival_ps, bf.slack_ps,
+                             bf.slack_ps + 10.0, 0.001);
+  const Certificate* c = find_cert(certs, "sched.max-slack");
+  ASSERT_NE(c, nullptr);
+  EXPECT_FALSE(c->pass);
+}
+
+// --- Assignment certificates -----------------------------------------------
+
+// A small dense problem: every flip-flop may reach every ring; costs and
+// loads vary per pair so both formulations have non-trivial optima.
+assign::AssignProblem dense_problem(int num_ffs, int num_rings,
+                                    int capacity, util::Rng& rng) {
+  assign::AssignProblem p;
+  p.num_rings = num_rings;
+  p.ring_capacity.assign(static_cast<std::size_t>(num_rings), capacity);
+  for (int i = 0; i < num_ffs; ++i) {
+    p.ff_cells.push_back(i);
+    for (int j = 0; j < num_rings; ++j) {
+      assign::CandidateArc a;
+      a.ff = i;
+      a.ring = j;
+      a.tap_cost_um = rng.uniform(1.0, 100.0);
+      a.load_cap_ff = 10.0 + 0.08 * a.tap_cost_um;
+      p.arcs.push_back(a);
+    }
+  }
+  return p;
+}
+
+TEST(AssignCerts, NetflowAssignmentCertifies) {
+  util::Rng rng(37);
+  const auto problem = dense_problem(12, 4, 3, rng);
+  const assign::Assignment a = assign::assign_netflow(problem);
+  EXPECT_TRUE(all_certs_pass(
+      check::verify_assignment(problem, a, /*enforce_capacity=*/true)));
+  EXPECT_TRUE(all_certs_pass(check::verify_netflow_optimality(problem, a)));
+}
+
+TEST(AssignCerts, CorruptedAssignmentFails) {
+  util::Rng rng(41);
+  const auto problem = dense_problem(8, 4, 2, rng);
+  const assign::Assignment good = assign::assign_netflow(problem);
+
+  {  // a flip-flop holding another flip-flop's arc
+    assign::Assignment bad = good;
+    bad.arc_of_ff[0] = bad.arc_of_ff[1];
+    const auto certs = check::verify_assignment(problem, bad, true);
+    EXPECT_FALSE(find_cert(certs, "assign.arcs")->pass);
+  }
+  {  // an unassigned flip-flop
+    assign::Assignment bad = good;
+    bad.arc_of_ff[3] = -1;
+    const auto certs = check::verify_assignment(problem, bad, true);
+    EXPECT_FALSE(find_cert(certs, "assign.complete")->pass);
+  }
+  {  // misreported aggregate metrics
+    assign::Assignment bad = good;
+    bad.total_tap_cost_um += 100.0;
+    const auto certs = check::verify_assignment(problem, bad, true);
+    EXPECT_FALSE(find_cert(certs, "assign.metrics")->pass);
+  }
+  {  // a costlier-but-feasible reassignment loses netflow optimality
+    assign::Assignment bad = good;
+    const auto by_ff = problem.arcs_by_ff();
+    int worst_arc = -1;
+    double worst_cost = -1.0;
+    for (const int arc : by_ff[0]) {
+      const double c = problem.arcs[static_cast<std::size_t>(arc)].tap_cost_um;
+      if (c > worst_cost) { worst_cost = c; worst_arc = arc; }
+    }
+    ASSERT_GE(worst_arc, 0);
+    if (worst_arc != good.arc_of_ff[0]) {
+      bad.arc_of_ff[0] = worst_arc;
+      assign::refresh_metrics(problem, bad);
+      const auto certs = check::verify_netflow_optimality(problem, bad);
+      const Certificate* opt = find_cert(certs, "assign.netflow-optimal");
+      ASSERT_NE(opt, nullptr);
+      EXPECT_FALSE(opt->pass);
+    }
+  }
+}
+
+TEST(AssignCerts, MinMaxBoundCertifies) {
+  util::Rng rng(43);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto problem = dense_problem(10 + 2 * trial, 4, /*capacity=*/0,
+                                       rng);
+    const assign::IlpAssignResult r = assign::assign_min_max_cap(problem);
+    ASSERT_TRUE(r.lp_solved);
+    EXPECT_TRUE(all_certs_pass(check::verify_min_max_bound(problem, r)));
+  }
+}
+
+// --- End-to-end oracle gate (Table II) -------------------------------------
+
+// Runs the full flow with verification enabled on every Table II circuit
+// and requires every certificate to pass. The two largest circuits run a
+// single iteration to keep the sanitizer-job runtime bounded; the
+// certificates cover every stage of every iteration either way.
+TEST(FlowCerts, TableIICircuitsCertify) {
+  for (const netlist::BenchmarkSpec& spec : netlist::benchmark_suite()) {
+    const netlist::Design design = netlist::make_benchmark(spec);
+    core::FlowConfig cfg;
+    cfg.ring_config.rings = spec.rings;
+    cfg.max_iterations = spec.flip_flops > 1000 ? 1 : 2;
+    cfg.verify = true;
+    core::RotaryFlow flow(design, cfg);
+    const core::FlowResult result = flow.run();
+    EXPECT_FALSE(result.certificates.empty()) << spec.name;
+    EXPECT_TRUE(all_certs_pass(result.certificates)) << spec.name;
+  }
+}
+
+TEST(FlowCerts, IlpModeCertifies) {
+  const netlist::Design design = netlist::make_benchmark("s5378");
+  core::FlowConfig cfg;
+  cfg.ring_config.rings = netlist::benchmark_spec("s5378").rings;
+  cfg.assign_mode = core::AssignMode::MinMaxCap;
+  cfg.max_iterations = 2;
+  cfg.verify = true;
+  cfg.tapping.allow_complement = true;
+  core::RotaryFlow flow(design, cfg);
+  const core::FlowResult result = flow.run();
+  EXPECT_FALSE(result.certificates.empty());
+  EXPECT_TRUE(all_certs_pass(result.certificates));
+}
+
+}  // namespace
+}  // namespace rotclk

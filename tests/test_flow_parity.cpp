@@ -123,9 +123,13 @@ SeedResult seed_flow(const netlist::Design& design, const FlowConfig& config,
           placement.loc(problem.ff_cells[static_cast<std::size_t>(i)]);
       const int rj = ring < 0 ? rings.nearest_ring(loc) : ring;
       double dist = 0.0;
-      const rotary::RingPos c = rings.ring(rj).closest_point(loc, &dist);
-      anchors[static_cast<std::size_t>(i)].anchor_ps =
-          rings.ring(rj).delay_at(c);
+      // Mirrors CostDrivenSkewStage: phase-compatible lap, anchor lifted to
+      // the representative nearest the current target.
+      const rotary::RotaryRing& rr = rings.ring(rj);
+      const rotary::RingPos c = rr.closest_point_in_phase(
+          loc, arrival[static_cast<std::size_t>(i)], &dist);
+      anchors[static_cast<std::size_t>(i)].anchor_ps = rr.nearest_phase(
+          rr.delay_at(c), arrival[static_cast<std::size_t>(i)]);
       anchors[static_cast<std::size_t>(i)].stub_ps =
           config.tech.wire_delay_ps(dist, config.tech.ff_input_cap_ff);
       weights[static_cast<std::size_t>(i)] = dist;

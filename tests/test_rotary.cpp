@@ -105,6 +105,86 @@ TEST(Ring, WrapDelay) {
   EXPECT_NEAR(r.wrap_delay(1000.0), 0.0, 1e-9);
 }
 
+// Regression: a tiny negative argument used to escape the [0, period)
+// contract — fmod returns the tiny negative, and adding the period rounds
+// to exactly period_ (the gap to 1000.0 is below one ulp). Downstream
+// phase comparisons then saw a delay of a full period instead of ~0.
+TEST(Ring, WrapDelayStaysBelowPeriod) {
+  const RotaryRing r = unit_ring(100.0, 1000.0);
+  for (const double t : {-5.0e-14, -1.0e-13, -1.0e-300, 1000.0 - 1.0e-14,
+                         2000.0 - 5.0e-14, -0.0}) {
+    const double w = r.wrap_delay(t);
+    EXPECT_GE(w, 0.0) << "t=" << t;
+    EXPECT_LT(w, 1000.0) << "t=" << t;
+    EXPECT_FALSE(std::signbit(w)) << "t=" << t;
+  }
+  // Exact multiples of the period wrap to exactly zero.
+  for (const double t : {0.0, 1000.0, -1000.0, 3000.0, -2000.0})
+    EXPECT_EQ(r.wrap_delay(t), 0.0) << "t=" << t;
+}
+
+// Regression: closest_point only ever reported the outer lap, so callers
+// seeking a phase had to settle for delays up to T/2 away even though the
+// co-located inner-lap conductor carries the complementary phase.
+TEST(Ring, ClosestPointInPhasePicksTheBetterLap) {
+  const RotaryRing r = unit_ring(100.0, 1000.0);
+  util::Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const geom::Point p{rng.uniform(-30, 130), rng.uniform(-30, 130)};
+    double d_outer = 0.0, d_both = 0.0;
+    const RingPos outer = r.closest_point(p, &d_outer);
+    const auto laps = r.closest_points(p, &d_both);
+    EXPECT_EQ(laps[0].segment, outer.segment);
+    EXPECT_DOUBLE_EQ(laps[0].offset, outer.offset);
+    EXPECT_DOUBLE_EQ(d_both, d_outer);  // co-located conductors
+    EXPECT_EQ(laps[1].segment, (outer.segment + 4) % RotaryRing::kNumSegments);
+    EXPECT_NEAR(r.phase_distance(r.delay_at(laps[0]), r.delay_at(laps[1])),
+                500.0, 1e-9);
+
+    // Target the inner lap's phase: the phase-aware query must pick it.
+    const double inner_delay = r.delay_at(laps[1]);
+    const RingPos best = r.closest_point_in_phase(p, inner_delay);
+    EXPECT_NEAR(r.phase_distance(r.delay_at(best), inner_delay), 0.0, 1e-9);
+    // And never worse than the outer lap for any target.
+    const double target = rng.uniform(0.0, 1000.0);
+    const RingPos chosen = r.closest_point_in_phase(p, target);
+    EXPECT_LE(r.phase_distance(r.delay_at(chosen), target),
+              r.phase_distance(r.delay_at(outer), target) + 1e-9);
+  }
+}
+
+TEST(Ring, PhaseDistanceAndNearestPhase) {
+  const RotaryRing r = unit_ring(100.0, 1000.0);
+  EXPECT_NEAR(r.phase_distance(100.0, 150.0), 50.0, 1e-9);
+  EXPECT_NEAR(r.phase_distance(950.0, 50.0), 100.0, 1e-9);  // wraps
+  EXPECT_NEAR(r.phase_distance(0.0, 500.0), 500.0, 1e-9);   // max
+  EXPECT_NEAR(r.phase_distance(2100.0, 100.0), 0.0, 1e-9);  // k periods
+  // nearest_phase returns reference + d with d in [-T/2, T/2).
+  EXPECT_NEAR(r.nearest_phase(950.0, 2010.0), 1950.0, 1e-9);
+  EXPECT_NEAR(r.nearest_phase(100.0, 80.0), 100.0, 1e-9);
+  EXPECT_NEAR(r.nearest_phase(20.0, 990.0), 1020.0, 1e-9);
+  for (int k = -2; k <= 2; ++k)
+    EXPECT_NEAR(r.nearest_phase(300.0 + 1000.0 * k, 280.0), 300.0, 1e-9);
+}
+
+// Regression guard for the constructor's reference-delay calibration: the
+// wave-entry arc length on the bottom edge is measured from the segment's
+// start point, which differs between orientations (ccw bl->br, cw br->bl).
+// The invariant must hold for both directions and arbitrary reference
+// delays.
+TEST(Ring, ReferenceDelayInvariantBothOrientations) {
+  for (const bool cw : {true, false}) {
+    for (const double ref : {0.0, 125.0, 333.25, 499.9, 500.0, 999.0}) {
+      const RotaryRing r(geom::Rect{10, 10, 110, 110}, 1000.0, cw, ref);
+      double dist = 0.0;
+      const RingPos pos = r.closest_point({60.0, 10.0}, &dist);  // bottom mid
+      EXPECT_NEAR(dist, 0.0, 1e-9);
+      EXPECT_NEAR(r.delay_at(pos), ref, 1e-9)
+          << (cw ? "cw" : "ccw") << " ref=" << ref;
+    }
+  }
+}
+
 TEST(RingArray, BuildsPerfectSquareGrids) {
   const geom::Rect die{0, 0, 1000, 1000};
   RingArrayConfig cfg;

@@ -1,0 +1,178 @@
+// Property tests for the flexible-tapping solver against the brute-force
+// sampled oracle (src/check/tapping_oracle.hpp), plus the case-boundary
+// coverage of ISSUE 4: discriminant ~ 0 (target grazing a parabola
+// vertex) and the reduce-by-kT wrap edges, in both exact and quantized
+// tapping-cache modes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "check/tapping_oracle.hpp"
+#include "rotary/ring.hpp"
+#include "rotary/tapping.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk {
+namespace {
+
+rotary::RotaryRing unit_ring(double side = 100.0, double period = 1000.0,
+                             bool clockwise = true) {
+  return rotary::RotaryRing(geom::Rect{0, 0, side, side}, period, clockwise,
+                            0.0);
+}
+
+rotary::TappingParams base_params() {
+  rotary::TappingParams p;
+  p.wire_res_per_um = 0.08;
+  p.wire_cap_per_um = 0.08;
+  p.sink_cap_ff = 10.0;
+  return p;
+}
+
+// One solver-vs-oracle round: the stored solution must be valid (delay
+// actually achieved, stub at least the direct distance) and must not be
+// longer than the sampled upper bound.
+void expect_valid_and_dominant(const rotary::RotaryRing& ring,
+                               geom::Point ff, double target,
+                               const rotary::TappingParams& params,
+                               const char* what) {
+  const rotary::TapSolution sol =
+      rotary::solve_tapping(ring, ff, target, params);
+  ASSERT_TRUE(sol.feasible) << what;
+  const check::Certificate valid =
+      check::verify_tap_solution(ring, ff, target, params, sol, 1e-6);
+  EXPECT_TRUE(valid.pass) << what << ": " << valid.detail;
+  const check::TapOracleResult oracle =
+      check::oracle_tapping(ring, ff, target, params, 256);
+  const check::Certificate dom =
+      check::verify_tap_against_oracle(sol, oracle, 1e-6);
+  EXPECT_TRUE(dom.pass) << what << ": " << dom.detail;
+}
+
+TEST(TappingOracle, SolverDominatesOracleRandomInstances) {
+  util::Rng rng(11);
+  for (const bool buffered : {false, true}) {
+    for (const bool complement : {false, true}) {
+      rotary::TappingParams p = base_params();
+      p.use_buffer = buffered;
+      p.allow_complement = complement;
+      for (int trial = 0; trial < 40; ++trial) {
+        const rotary::RotaryRing ring =
+            unit_ring(100.0, 1000.0, trial % 2 == 0);
+        const geom::Point ff{rng.uniform(-60, 160), rng.uniform(-60, 160)};
+        const double target = rng.uniform(0.0, 1000.0);
+        expect_valid_and_dominant(ring, ff, target, p,
+                                  buffered ? "buffered" : "plain");
+      }
+    }
+  }
+}
+
+// Case boundary: a target that exactly grazes the minimum of the delay
+// curve at the flip-flop's projection makes the quadratic discriminant
+// ~ 0 (cases 2/3 collapse to a double root). Probe the exact graze and
+// one-ulp-scale perturbations on both sides.
+TEST(TappingOracle, DiscriminantBoundaryAtCurveMinimum) {
+  const rotary::RotaryRing ring = unit_ring();
+  const rotary::TappingParams p = base_params();
+  util::Rng rng(23);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Flip-flop at distance d from a point x0 on segment 0 (bottom edge).
+    const double x0 = rng.uniform(5.0, 95.0);
+    const double d = rng.uniform(0.5, 40.0);
+    const geom::Point ff{x0, -d};
+    // Minimal achievable delay through the shortest stub at the
+    // projection: ring delay there plus the stub's Elmore delay.
+    const double a2 = 0.5 * p.wire_res_per_um * p.wire_cap_per_um * 1e-3;
+    const double a1 = p.wire_res_per_um * p.sink_cap_ff * 1e-3;
+    const double graze =
+        ring.delay_at({0, x0}) + a1 * d + a2 * d * d;
+    for (const double eps : {0.0, 1e-9, -1e-9, 1e-6, -1e-6}) {
+      expect_valid_and_dominant(ring, ff, graze + eps, p, "graze");
+    }
+  }
+}
+
+// Case boundary: targets at the wrap seam exercise the reduce-by-kT
+// (case 1) path — tiny targets below every reachable delay must be
+// lifted by whole periods, and raw targets k periods apart must give
+// identical solutions.
+TEST(TappingOracle, PeriodWrapEdges) {
+  const rotary::RotaryRing ring = unit_ring();
+  rotary::TappingParams p = base_params();
+  util::Rng rng(31);
+  for (const double target :
+       {0.0, 1e-12, 1e-6, 999.999999, 1000.0 - 1e-12, 500.0}) {
+    const geom::Point ff{rng.uniform(-20, 120), rng.uniform(-20, 120)};
+    expect_valid_and_dominant(ring, ff, target, p, "wrap-edge");
+    // The solver's answer depends on the raw target only modulo T.
+    const rotary::TapSolution a = rotary::solve_tapping(ring, ff, target, p);
+    for (const int k : {1, 7, -3}) {
+      const rotary::TapSolution b =
+          rotary::solve_tapping(ring, ff, target + 1000.0 * k, p);
+      EXPECT_EQ(a.pos.segment, b.pos.segment) << "k=" << k;
+      EXPECT_NEAR(a.pos.offset, b.pos.offset, 1e-9) << "k=" << k;
+      EXPECT_NEAR(a.wirelength, b.wirelength, 1e-9) << "k=" << k;
+    }
+  }
+}
+
+TEST(TappingOracle, ExactCacheIsBitIdenticalToDirectSolve) {
+  const rotary::RotaryRing ring = unit_ring();
+  const rotary::TappingParams p = base_params();
+  rotary::TappingCache cache;  // quantum 0 = exact mode
+  util::Rng rng(41);
+  for (int trial = 0; trial < 60; ++trial) {
+    const geom::Point ff{rng.uniform(-40, 140), rng.uniform(-40, 140)};
+    const double target = rng.uniform(-500.0, 2500.0);
+    const rotary::TapSolution direct =
+        rotary::solve_tapping(ring, ff, target, p);
+    const rotary::TapSolution cached =
+        cache.lookup_or_solve(ring, /*ring_id=*/0, ff, target, p);
+    EXPECT_EQ(direct.pos.segment, cached.pos.segment);
+    EXPECT_EQ(direct.pos.offset, cached.pos.offset);      // bit-equal
+    EXPECT_EQ(direct.wirelength, cached.wirelength);      // bit-equal
+    EXPECT_EQ(direct.delay_ps, cached.delay_ps);          // bit-equal
+    EXPECT_EQ(direct.complemented, cached.complemented);
+    // The repeat query hits and returns the same record.
+    const rotary::TapSolution again =
+        cache.lookup_or_solve(ring, 0, ff, target, p);
+    EXPECT_EQ(again.wirelength, cached.wirelength);
+  }
+  EXPECT_GT(cache.stats().hits, 0u);
+}
+
+TEST(TappingOracle, QuantizedCacheEqualsBucketCenterSolve) {
+  const rotary::RotaryRing ring = unit_ring();
+  const rotary::TappingParams p = base_params();
+  const double q_um = 0.5, q_ps = 0.25;
+  rotary::TappingCache cache(q_um, q_ps);
+  const auto snap = [](double v, double q) {
+    return (std::floor(v / q) + 0.5) * q;
+  };
+  util::Rng rng(43);
+  for (int trial = 0; trial < 60; ++trial) {
+    const geom::Point ff{rng.uniform(-40, 140), rng.uniform(-40, 140)};
+    const double target = rng.uniform(0.0, 1000.0);
+    const rotary::TapSolution cached =
+        cache.lookup_or_solve(ring, 0, ff, target, p);
+    // Quantized mode solves at the bucket center (of the wrapped target).
+    const geom::Point center{snap(ff.x, q_um), snap(ff.y, q_um)};
+    const double tau_center = snap(ring.wrap_delay(target), q_ps);
+    const rotary::TapSolution ref =
+        rotary::solve_tapping(ring, center, tau_center, p);
+    EXPECT_EQ(ref.pos.segment, cached.pos.segment);
+    EXPECT_EQ(ref.pos.offset, cached.pos.offset);
+    EXPECT_EQ(ref.wirelength, cached.wirelength);
+    EXPECT_EQ(ref.delay_ps, cached.delay_ps);
+    // And the bucket-center solution itself still dominates the oracle at
+    // its own (snapped) inputs.
+    const check::TapOracleResult oracle =
+        check::oracle_tapping(ring, center, tau_center, p, 256);
+    EXPECT_TRUE(check::verify_tap_against_oracle(cached, oracle, 1e-6).pass);
+  }
+}
+
+}  // namespace
+}  // namespace rotclk
