@@ -1,0 +1,89 @@
+// Serving-layer benchmark harness (in-process).
+//
+// Boots an in-process serve::Server, replays the standard deterministic
+// workload (src/serve/workload.hpp) for two passes, verifies the serving
+// acceptance contract — byte-identical per-job summaries across passes,
+// deterministic admission rejections, isolated per-job faults, a warm
+// result cache on the repeated pass — and writes BENCH_serve.json with
+// throughput and p50/p95 queue-wait / end-to-end latency.
+//
+//   bench_serve [--passes N] [--workers N] [--queue-depth N]
+//               [--out BENCH_serve.json]
+//
+// This is the no-transport twin of examples/rotclk_loadgen.cpp: same
+// replay driver, same report, suitable for CI boxes where spawning a
+// daemon is inconvenient. Exits 1 on any acceptance failure.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "serve/replay.hpp"
+#include "serve/server.hpp"
+#include "util/error.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rotclk::serve;
+
+  int passes = 2;
+  int workers = 2;
+  std::size_t queue_depth = 8;
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_serve: missing value for " << a << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--passes") passes = std::atoi(value().c_str());
+    else if (a == "--workers") workers = std::atoi(value().c_str());
+    else if (a == "--queue-depth")
+      queue_depth = static_cast<std::size_t>(std::atoi(value().c_str()));
+    else if (a == "--out") out_path = value();
+    else {
+      std::cerr << "bench_serve: unknown option " << a << "\n";
+      return 2;
+    }
+  }
+
+  try {
+    ServerConfig cfg;
+    cfg.scheduler.workers = workers;
+    cfg.scheduler.max_queue_depth = queue_depth;
+    cfg.allow_fault_injection = true;
+    Server server(cfg);
+
+    ReplayOptions opt;
+    opt.passes = passes;
+    opt.workload.queue_depth = queue_depth;
+    const ReplayReport report = replay(
+        [&](const std::string& l) { return server.handle_line(l); }, opt);
+
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "bench_serve: cannot open " << out_path << "\n";
+      return 1;
+    }
+    out << report.bench_json();
+
+    std::string why;
+    if (!report.acceptance_ok(&why)) {
+      std::cerr << "bench_serve: ACCEPTANCE FAILED: " << why << "\n";
+      return 1;
+    }
+    std::cout << "bench_serve: " << report.passes.size()
+              << " passes OK, report in " << out_path << "\n";
+    return 0;
+  } catch (const rotclk::Error& e) {
+    std::cerr << "bench_serve: [" << rotclk::to_string(e.code()) << "] "
+              << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_serve: " << e.what() << "\n";
+    return 1;
+  }
+}

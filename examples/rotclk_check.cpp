@@ -36,6 +36,7 @@
 #include "core/flow.hpp"
 #include "core/verify.hpp"
 #include "netlist/benchmarks.hpp"
+#include "util/error.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -115,7 +116,28 @@ CliOptions parse(int argc, char** argv) {
     else if (a == "--buffered-taps") opt.buffered_taps = true;
     else if (a == "--verbose") opt.verbose = true;
     else if (a == "--help" || a == "-h") {
-      std::cout << "see the header comment of examples/rotclk_check.cpp\n";
+      std::cout << R"(rotclk_check — certificate audit of the full flow
+
+usage: rotclk_check [options]
+
+  --circuit NAME|all  Table II circuit to audit (default all). With
+                      "all" the two largest circuits run 1 iteration
+                      unless --iterations is given explicitly.
+  --mode nf|ilp       assignment formulation (default nf)
+  --iterations N      max stage 3-6 iterations (default 2)
+  --period PS         clock period in ps (default 1000)
+  --seed N            generator seed (default 1)
+  --tolerance T       certificate tolerance (default 1e-6)
+  --spot-checks N     tapping solves re-checked per assignment stage
+                      (default 8)
+  --samples N         tapping-oracle grid density per segment (default 128)
+  --complement        allow complementary-phase taps
+  --buffered-taps     drive tapping stubs through buffers
+  --verbose           print every certificate, not only failures
+  --help              this message
+
+exit status: 0 all certificates pass, 1 any failure, 2 usage error
+)";
       std::exit(0);
     } else {
       usage_error("unknown option " + a);
@@ -201,8 +223,13 @@ int run(const CliOptions& opt) {
 }
 
 int main(int argc, char** argv) {
+  const CliOptions opt = parse(argc, argv);  // exits 2 on usage errors
   try {
-    return run(parse(argc, argv));
+    return run(opt);
+  } catch (const rotclk::Error& e) {
+    std::cerr << "rotclk_check: [" << rotclk::to_string(e.code()) << "] "
+              << e.what() << "\n";
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "rotclk_check: " << e.what() << "\n";
     return 1;

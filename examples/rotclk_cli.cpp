@@ -131,7 +131,32 @@ CliOptions parse(int argc, char** argv) {
     else if (a == "--buffered-taps") opt.buffered_taps = true;
     else if (a == "--quiet") opt.quiet = true;
     else if (a == "--help" || a == "-h") {
-      std::cout << "see the header comment of examples/rotclk_cli.cpp\n";
+      std::cout << R"(rotclk_cli — integrated placement + skew optimization flow driver
+
+usage: rotclk_cli [options]
+
+  --circuit NAME      one of the Table II circuits (default s9234)
+  --bench FILE        read an ISCAS89 .bench netlist instead
+  --rings N           rotary rings, perfect square (default: Table II
+                      value for --circuit, else 16)
+  --mode nf|ilp       assignment formulation (default nf)
+  --iterations N      max stage 3-6 iterations (default 5)
+  --period PS         clock period in ps (default 1000)
+  --utilization F     die utilization (default 0.05)
+  --seed N            generator seed for --circuit (default 1)
+  --csv FILE          also write per-iteration metrics as CSV
+  --report FILE       write the full flow report (schedule + assignment)
+  --save-placement F  write the final placement (.pl text format)
+  --load-placement F  start from a saved placement (skips stage 1)
+  --svg FILE          render the final layout (die, rings, taps) as SVG
+  --trace FILE        write a JSON pipeline trace
+  --complement        allow complementary-phase taps (polarity flip)
+  --buffered-taps     drive tapping stubs through buffers
+  --quiet             suppress the progress table, print the summary only
+  --help              this message
+
+exit status: 0 success, 1 flow error, 2 usage error
+)";
       std::exit(0);
     } else {
       usage_error("unknown option " + a);

@@ -1,0 +1,272 @@
+// rotclk_loadgen — deterministic load generator / replay client for
+// rotclkd.
+//
+// Replays the standard serving workload (src/serve/workload.hpp) against
+// a daemon — twice by default, under distinct job-id prefixes — and
+// checks the serving acceptance contract:
+//
+//   * per-job FlowResult summaries are byte-identical across passes,
+//   * the over-capacity burst produces admission rejections,
+//   * the injected per-job fault fails exactly its target job (the
+//     daemon and every other job survive),
+//   * the repeated pass hits the result cache,
+//
+// then writes BENCH_serve.json (throughput, p50/p95 queue-wait and
+// end-to-end latency, cache rates).
+//
+//   $ ./examples/rotclk_loadgen                    # in-process server
+//   $ ./examples/rotclkd --socket /tmp/r.sock --queue-depth 8 \
+//         --enable-fault-cmd &
+//   $ ./examples/rotclk_loadgen --socket /tmp/r.sock
+//
+// Options:
+//   --socket PATH       drive a live rotclkd over its Unix socket
+//                       (default: run an in-process server). The daemon
+//                       must be started with --enable-fault-cmd and a
+//                       --queue-depth matching this client's.
+//   --passes N          workload passes against one daemon (default 2)
+//   --queue-depth N     burst sizing; must equal the server's admission
+//                       limit (default 8; in-process servers are
+//                       configured to match automatically)
+//   --workers N         in-process server worker threads (default 2)
+//   --cache-capacity N  in-process server cache entries (default 64)
+//   --no-faults         skip the fault-injection phase
+//   --no-drain          leave the daemon running after the last pass
+//   --out FILE          benchmark report path (default BENCH_serve.json)
+//   --emit              print the pass-1 workload JSONL to stdout and
+//                       exit (pipe it into a stdio rotclkd by hand)
+//   --quiet             suppress the per-pass progress lines
+//
+// Exits 0 when every acceptance check passes, 1 otherwise, 2 on usage
+// errors.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "serve/replay.hpp"
+#include "serve/server.hpp"
+#include "util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LOADGEN_HAVE_UNIX_SOCKETS 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace {
+
+struct LoadgenOptions {
+  std::string socket_path;  // empty: in-process
+  int passes = 2;
+  int workers = 2;
+  std::size_t cache_capacity = 64;
+  rotclk::serve::WorkloadOptions workload{};
+  bool drain = true;
+  bool emit = false;
+  bool quiet = false;
+  std::string out_file = "BENCH_serve.json";
+};
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::cerr << "rotclk_loadgen: " << msg
+            << "\n(run with --help for options)\n";
+  std::exit(2);
+}
+
+int parse_int(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    usage_error("malformed integer '" + value + "' for " + flag);
+  }
+}
+
+LoadgenOptions parse(int argc, char** argv) {
+  LoadgenOptions opt;
+  auto need_value = [&](int& i, const std::string& flag) -> std::string {
+    if (i + 1 >= argc) usage_error("missing value for " + flag);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--socket") opt.socket_path = need_value(i, a);
+    else if (a == "--passes") opt.passes = parse_int(need_value(i, a), a);
+    else if (a == "--queue-depth")
+      opt.workload.queue_depth =
+          static_cast<std::size_t>(parse_int(need_value(i, a), a));
+    else if (a == "--workers") opt.workers = parse_int(need_value(i, a), a);
+    else if (a == "--cache-capacity")
+      opt.cache_capacity =
+          static_cast<std::size_t>(parse_int(need_value(i, a), a));
+    else if (a == "--no-faults") opt.workload.include_faults = false;
+    else if (a == "--no-drain") opt.drain = false;
+    else if (a == "--out") opt.out_file = need_value(i, a);
+    else if (a == "--emit") opt.emit = true;
+    else if (a == "--quiet") opt.quiet = true;
+    else if (a == "--help" || a == "-h") {
+      std::cout << "see the header comment of examples/rotclk_loadgen.cpp "
+                   "for the full option list\n\n"
+                   "usage: rotclk_loadgen [--socket PATH] [--passes N] "
+                   "[--queue-depth N]\n"
+                   "                      [--no-faults] [--no-drain] "
+                   "[--out FILE] [--emit] [--quiet]\n";
+      std::exit(0);
+    } else {
+      usage_error("unknown option " + a);
+    }
+  }
+  if (opt.passes < 1) usage_error("--passes must be >= 1");
+  if (opt.workload.queue_depth < 1) usage_error("--queue-depth must be >= 1");
+  return opt;
+}
+
+#ifdef LOADGEN_HAVE_UNIX_SOCKETS
+
+/// Blocking line-oriented client over a Unix-domain socket.
+class SocketClient {
+ public:
+  explicit SocketClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0)
+      throw rotclk::IoError("serve.loadgen", path,
+                            std::string("socket(): ") + std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+      throw rotclk::IoError("serve.loadgen", path, "socket path too long");
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0)
+      throw rotclk::IoError("serve.loadgen", path,
+                            std::string("connect(): ") + std::strerror(errno));
+  }
+  ~SocketClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  std::string roundtrip(const std::string& line) {
+    const std::string out = line + "\n";
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t w = ::write(fd_, out.data() + off, out.size() - off);
+      if (w <= 0)
+        throw rotclk::IoError("serve.loadgen", "<socket>",
+                              "write failed (daemon gone?)");
+      off += static_cast<std::size_t>(w);
+    }
+    std::size_t nl;
+    while ((nl = pending_.find('\n')) == std::string::npos) {
+      char buf[4096];
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n <= 0)
+        throw rotclk::IoError("serve.loadgen", "<socket>",
+                              "daemon closed the connection mid-request");
+      pending_.append(buf, static_cast<std::size_t>(n));
+    }
+    std::string reply = pending_.substr(0, nl);
+    pending_.erase(0, nl + 1);
+    return reply;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string pending_;
+};
+
+#endif  // LOADGEN_HAVE_UNIX_SOCKETS
+
+int run(const LoadgenOptions& opt) {
+  using namespace rotclk::serve;
+
+  if (opt.emit) {
+    WorkloadOptions w = opt.workload;
+    w.id_prefix = "p1-";
+    for (const std::string& line : make_workload(w)) std::cout << line << "\n";
+    return 0;
+  }
+
+  ReplayOptions replay_opt;
+  replay_opt.workload = opt.workload;
+  replay_opt.passes = opt.passes;
+  replay_opt.drain_at_end = opt.drain;
+
+  ReplayReport report;
+  if (!opt.socket_path.empty()) {
+#ifdef LOADGEN_HAVE_UNIX_SOCKETS
+    SocketClient client(opt.socket_path);
+    report = replay([&](const std::string& l) { return client.roundtrip(l); },
+                    replay_opt);
+#else
+    std::cerr << "rotclk_loadgen: --socket is not supported here\n";
+    return 1;
+#endif
+  } else {
+    ServerConfig cfg;
+    cfg.scheduler.workers = opt.workers;
+    cfg.scheduler.max_queue_depth = opt.workload.queue_depth;
+    cfg.cache_capacity = opt.cache_capacity;
+    cfg.allow_fault_injection = opt.workload.include_faults;
+    Server server(cfg);
+    report = replay([&](const std::string& l) { return server.handle_line(l); },
+                    replay_opt);
+  }
+
+  if (!opt.quiet) {
+    for (std::size_t p = 0; p < report.passes.size(); ++p) {
+      const PassOutcome& pass = report.passes[p];
+      std::cerr << "rotclk_loadgen: pass " << p + 1 << ": "
+                << pass.submitted << " submitted, " << pass.accepted
+                << " accepted, " << pass.rejected << " rejected, "
+                << pass.done << " done, " << pass.failed << " failed, "
+                << pass.cancelled << " cancelled, "
+                << pass.result_cache_hits << " result-cache hits in "
+                << pass.wall_s << " s\n";
+    }
+  }
+
+  std::ofstream out(opt.out_file);
+  if (!out)
+    throw rotclk::IoError("serve.loadgen", opt.out_file,
+                          "cannot open for writing");
+  out << report.bench_json();
+  out.flush();
+  if (!out)
+    throw rotclk::IoError("serve.loadgen", opt.out_file, "write failed");
+  if (!opt.quiet)
+    std::cerr << "rotclk_loadgen: wrote " << opt.out_file << "\n";
+
+  std::string why;
+  if (!report.acceptance_ok(&why)) {
+    std::cerr << "rotclk_loadgen: ACCEPTANCE FAILED: " << why << "\n";
+    return 1;
+  }
+  std::cerr << "rotclk_loadgen: replay deterministic, acceptance OK\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const LoadgenOptions opt = parse(argc, argv);
+  try {
+    return run(opt);
+  } catch (const rotclk::Error& e) {
+    std::cerr << "rotclk_loadgen: [" << rotclk::to_string(e.code()) << "] "
+              << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "rotclk_loadgen: " << e.what() << "\n";
+    return 1;
+  }
+}

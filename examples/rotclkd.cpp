@@ -1,0 +1,215 @@
+// rotclkd — the rotary-clocking flow daemon.
+//
+// Runs many independent flow jobs concurrently on a shared worker pool,
+// with admission control, a content-addressed design/result cache, and
+// per-job fault isolation. Speaks the line-delimited JSON protocol
+// (src/serve/protocol.hpp): one request object per line in, one response
+// object per line out.
+//
+//   $ ./examples/rotclkd                          # serve stdin/stdout
+//   $ ./examples/rotclkd --socket /tmp/rotclkd.sock &
+//   $ ./examples/rotclk_loadgen --socket /tmp/rotclkd.sock
+//
+// A quick manual session:
+//
+//   $ printf '%s\n' \
+//       '{"cmd":"submit","id":"j1","gates":200,"ffs":16,"rings":4}' \
+//       '{"cmd":"wait"}' '{"cmd":"status","id":"j1"}' '{"cmd":"drain"}' \
+//     | ./examples/rotclkd
+//
+// Options:
+//   --workers N         flow worker threads (default 2)
+//   --queue-depth N     max queued jobs before OverloadedError (default 16)
+//   --cache-capacity N  design/result cache entries (default 64)
+//   --socket PATH       serve a Unix-domain socket instead of stdio;
+//                       accepts clients one at a time until drained
+//   --enable-fault-cmd  allow the "fault" protocol command (deterministic
+//                       fault-injection replay; off by default)
+//
+// The daemon exits 0 after a "drain" request (or EOF on stdio), 1 on an
+// internal failure, 2 on a usage error. Logs go to stderr; stdout carries
+// only protocol responses.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "serve/server.hpp"
+#include "util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ROTCLKD_HAVE_UNIX_SOCKETS 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace {
+
+constexpr const char* kUsage = R"(rotclkd — rotary-clocking flow daemon
+
+usage: rotclkd [options]
+
+  --workers N         flow worker threads (default 2)
+  --queue-depth N     max queued jobs before rejection (default 16)
+  --cache-capacity N  design/result cache entries (default 64)
+  --socket PATH       serve a Unix-domain socket instead of stdin/stdout
+  --enable-fault-cmd  allow the "fault" protocol command (replay/testing)
+  --help              this message
+
+Protocol: one JSON request per line, one JSON response per line.
+Commands: submit status cancel stats wait suspend resume drain fault ping.
+Exits after a "drain" request (stdio mode also exits on EOF).
+)";
+
+struct DaemonOptions {
+  rotclk::serve::ServerConfig server{};
+  std::string socket_path;
+};
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::cerr << "rotclkd: " << msg << "\n(run with --help for options)\n";
+  std::exit(2);
+}
+
+int parse_int(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    usage_error("malformed integer '" + value + "' for " + flag);
+  }
+}
+
+DaemonOptions parse(int argc, char** argv) {
+  DaemonOptions opt;
+  auto need_value = [&](int& i, const std::string& flag) -> std::string {
+    if (i + 1 >= argc) usage_error("missing value for " + flag);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--workers")
+      opt.server.scheduler.workers = parse_int(need_value(i, a), a);
+    else if (a == "--queue-depth")
+      opt.server.scheduler.max_queue_depth =
+          static_cast<std::size_t>(parse_int(need_value(i, a), a));
+    else if (a == "--cache-capacity")
+      opt.server.cache_capacity =
+          static_cast<std::size_t>(parse_int(need_value(i, a), a));
+    else if (a == "--socket")
+      opt.socket_path = need_value(i, a);
+    else if (a == "--enable-fault-cmd")
+      opt.server.allow_fault_injection = true;
+    else if (a == "--help" || a == "-h") {
+      std::cout << kUsage;
+      std::exit(0);
+    } else {
+      usage_error("unknown option " + a);
+    }
+  }
+  if (opt.server.scheduler.workers < 1)
+    usage_error("--workers must be >= 1");
+  if (opt.server.scheduler.max_queue_depth < 1)
+    usage_error("--queue-depth must be >= 1");
+  return opt;
+}
+
+#ifdef ROTCLKD_HAVE_UNIX_SOCKETS
+
+/// Serve clients one at a time over a Unix-domain socket until a client
+/// drains the server. Single-threaded accept is all the load generator
+/// needs; concurrency lives in the scheduler's worker pool, not here.
+int serve_socket(rotclk::serve::Server& server, const std::string& path) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::cerr << "rotclkd: socket(): " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "rotclkd: socket path too long: " << path << "\n";
+    ::close(listener);
+    return 1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listener, 4) < 0) {
+    std::cerr << "rotclkd: bind/listen(" << path
+              << "): " << std::strerror(errno) << "\n";
+    ::close(listener);
+    return 1;
+  }
+  std::cerr << "rotclkd: listening on " << path << "\n";
+
+  while (!server.drained()) {
+    const int client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      std::cerr << "rotclkd: accept(): " << std::strerror(errno) << "\n";
+      break;
+    }
+    std::string pending;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(client, buf, sizeof(buf));
+      if (n <= 0) break;  // client disconnected (or error): next accept
+      pending.append(buf, static_cast<std::size_t>(n));
+      std::size_t nl;
+      while ((nl = pending.find('\n')) != std::string::npos) {
+        const std::string line = pending.substr(0, nl);
+        pending.erase(0, nl + 1);
+        if (line.empty()) continue;
+        const std::string reply = server.handle_line(line) + "\n";
+        std::size_t off = 0;
+        while (off < reply.size()) {
+          const ssize_t w =
+              ::write(client, reply.data() + off, reply.size() - off);
+          if (w <= 0) break;
+          off += static_cast<std::size_t>(w);
+        }
+      }
+      if (server.drained()) break;
+    }
+    ::close(client);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+#endif  // ROTCLKD_HAVE_UNIX_SOCKETS
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const DaemonOptions opt = parse(argc, argv);
+  try {
+    rotclk::serve::Server server(opt.server);
+    if (!opt.socket_path.empty()) {
+#ifdef ROTCLKD_HAVE_UNIX_SOCKETS
+      return serve_socket(server, opt.socket_path);
+#else
+      std::cerr << "rotclkd: --socket is not supported on this platform\n";
+      return 1;
+#endif
+    }
+    server.serve(std::cin, std::cout);
+    return 0;
+  } catch (const rotclk::Error& e) {
+    std::cerr << "rotclkd: [" << rotclk::to_string(e.code()) << "] "
+              << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "rotclkd: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,103 @@
+#include "serve/design_cache.hpp"
+
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace rotclk::serve {
+
+template <typename V>
+V* DesignCache::LruMap<V>::touch(const std::string& key) {
+  const auto it = map.find(key);
+  if (it == map.end()) return nullptr;
+  order.splice(order.begin(), order, it->second.where);
+  return &it->second.value;
+}
+
+template <typename V>
+std::uint64_t DesignCache::LruMap<V>::put(const std::string& key, V value,
+                                          std::size_t capacity) {
+  if (V* existing = touch(key)) {
+    *existing = std::move(value);
+    return 0;
+  }
+  order.push_front(key);
+  map.emplace(key, Entry{std::move(value), order.begin()});
+  std::uint64_t evicted = 0;
+  while (map.size() > capacity) {
+    map.erase(order.back());
+    order.pop_back();
+    ++evicted;
+  }
+  return evicted;
+}
+
+DesignCache::DesignCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<const netlist::Design> DesignCache::design_for(
+    const JobSpec& spec, const std::function<netlist::Design()>& build,
+    bool* hit) {
+  if (hit != nullptr) *hit = false;
+  // An injected cache fault must degrade to a bypass, not fail the job:
+  // the cache is an accelerator, not a correctness dependency.
+  try {
+    util::fault::point("serve.cache");
+  } catch (const Error&) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.bypasses;
+    }
+    return std::make_shared<const netlist::Design>(build());
+  }
+  const std::string key = design_key(spec);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (auto* found = designs_.touch(key)) {
+      ++stats_.design_hits;
+      if (hit != nullptr) *hit = true;
+      return *found;
+    }
+    ++stats_.design_misses;
+  }
+  // Build outside the lock: parses/generation can be expensive and two
+  // concurrent misses on the same key are merely redundant, not wrong
+  // (the second put overwrites with an identical design).
+  auto design = std::make_shared<const netlist::Design>(build());
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stats_.evictions += designs_.put(key, design, capacity_);
+  }
+  return design;
+}
+
+std::optional<std::string> DesignCache::result_for(const std::string& key) {
+  if (key.empty()) return std::nullopt;
+  try {
+    util::fault::point("serve.cache");
+  } catch (const Error&) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.bypasses;
+    return std::nullopt;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (auto* found = results_.touch(key)) {
+    ++stats_.result_hits;
+    return *found;
+  }
+  ++stats_.result_misses;
+  return std::nullopt;
+}
+
+void DesignCache::store_result(const std::string& key,
+                               const std::string& summary) {
+  if (key.empty()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  stats_.evictions += results_.put(key, summary, capacity_);
+}
+
+DesignCache::Stats DesignCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace rotclk::serve

@@ -1,0 +1,105 @@
+#pragma once
+// Content-addressed design + result cache for the serve layer.
+//
+// Parsing an inline .bench netlist or generating a synthetic circuit is
+// pure in the JobSpec's design fields, and a whole FlowResult is pure in
+// the full spec (PR-3's determinism contract), so both are memoizable by
+// content hash. The cache keeps two LRU maps in the spirit of the
+// tapping cache (rotary/tapping.hpp):
+//
+//   designs: design_key(spec) -> shared_ptr<const netlist::Design>
+//   results: result_key(spec) -> deterministic summary line
+//
+// Designs are shared read-only between concurrently running jobs (the
+// flow takes `const Design&` and never mutates it — see DESIGN.md §10's
+// re-entrancy notes), so a hit saves both the parse and the memory.
+// Completed-result hits skip the flow entirely; specs with a deadline
+// have an empty result_key and are never cached (job.hpp explains why).
+//
+// Thread safety: every method is safe to call from any worker thread.
+// Fault site "serve.cache" fires at the top of each lookup; an injected
+// fault degrades to a bypass (miss + fresh build), never a job failure,
+// and is counted in Stats::bypasses.
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "netlist/netlist.hpp"
+#include "serve/job.hpp"
+
+namespace rotclk::serve {
+
+class DesignCache {
+ public:
+  struct Stats {
+    std::uint64_t design_hits = 0;
+    std::uint64_t design_misses = 0;
+    std::uint64_t result_hits = 0;
+    std::uint64_t result_misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t bypasses = 0;  ///< injected serve.cache faults absorbed
+
+    [[nodiscard]] double design_hit_rate() const {
+      const std::uint64_t total = design_hits + design_misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(design_hits) /
+                              static_cast<double>(total);
+    }
+    [[nodiscard]] double result_hit_rate() const {
+      const std::uint64_t total = result_hits + result_misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(result_hits) /
+                              static_cast<double>(total);
+    }
+  };
+
+  /// `capacity` bounds each map independently (LRU eviction).
+  explicit DesignCache(std::size_t capacity = 64);
+
+  /// The design for `spec`, from cache or built by `build` and inserted.
+  /// `hit` (optional) reports whether the cache served it.
+  std::shared_ptr<const netlist::Design> design_for(
+      const JobSpec& spec,
+      const std::function<netlist::Design()>& build,
+      bool* hit = nullptr);
+
+  /// The memoized summary for `key`, if present ("" keys never match).
+  std::optional<std::string> result_for(const std::string& key);
+
+  /// Memoize a completed job's summary ("" keys are ignored).
+  void store_result(const std::string& key, const std::string& summary);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  /// One LRU string-keyed map; values are opaque to the policy.
+  template <typename V>
+  struct LruMap {
+    std::list<std::string> order;  // most-recent first
+    struct Entry {
+      V value;
+      std::list<std::string>::iterator where;
+    };
+    std::unordered_map<std::string, Entry> map;
+
+    V* touch(const std::string& key);
+    /// Inserts (or overwrites) and evicts past `capacity`; returns the
+    /// number of evictions.
+    std::uint64_t put(const std::string& key, V value, std::size_t capacity);
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  LruMap<std::shared_ptr<const netlist::Design>> designs_;
+  LruMap<std::string> results_;
+  Stats stats_;
+};
+
+}  // namespace rotclk::serve

@@ -1,0 +1,101 @@
+#include "serve/job.hpp"
+
+#include <cstdio>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace rotclk::serve {
+
+const char* to_string(Priority p) {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kLow: return "low";
+  }
+  return "?";
+}
+
+Priority priority_from_string(const std::string& s) {
+  if (s == "high") return Priority::kHigh;
+  if (s == "normal" || s.empty()) return Priority::kNormal;
+  if (s == "low") return Priority::kLow;
+  throw InvalidArgumentError("serve", "unknown priority '" + s + "'");
+}
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ULL;
+  void mix(std::string_view s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    mix_sep();
+  }
+  void mix(std::uint64_t v) { mix(std::to_string(v)); }
+  void mix(int v) { mix(std::to_string(v)); }
+  void mix(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    mix(std::string_view(buf));
+  }
+  /// Field separator so ("ab","c") and ("a","bc") hash differently.
+  void mix_sep() {
+    h ^= 0x1F;
+    h *= 1099511628211ULL;
+  }
+  [[nodiscard]] std::string hex() const {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+  }
+};
+
+void mix_design_fields(Fnv1a& f, const JobSpec& spec) {
+  f.mix(spec.circuit);
+  f.mix(spec.bench_text);
+  f.mix(spec.seed);
+  if (spec.circuit.empty() && spec.bench_text.empty()) {
+    f.mix(spec.gen_gates);
+    f.mix(spec.gen_flip_flops);
+    f.mix(spec.gen_inputs);
+    f.mix(spec.gen_outputs);
+  }
+}
+
+}  // namespace
+
+std::string design_key(const JobSpec& spec) {
+  Fnv1a f;
+  mix_design_fields(f, spec);
+  return f.hex();
+}
+
+std::string result_key(const JobSpec& spec) {
+  if (spec.deadline_s > 0.0) return {};
+  Fnv1a f;
+  mix_design_fields(f, spec);
+  f.mix(spec.mode);
+  f.mix(spec.rings);
+  f.mix(spec.iterations);
+  f.mix(spec.period_ps);
+  f.mix(spec.utilization);
+  f.mix(spec.verify ? 1 : 0);
+  return f.hex();
+}
+
+}  // namespace rotclk::serve

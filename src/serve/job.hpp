@@ -1,0 +1,103 @@
+#pragma once
+// Job vocabulary of the serve layer.
+//
+// A JobSpec is everything a client says about one flow run: where the
+// design comes from (a named Table II benchmark, an inline .bench
+// netlist, or the synthetic generator), the flow knobs, and the serving
+// attributes (priority class, per-stage deadline). A JobRecord is the
+// server's ledger entry for one submitted job: its state machine,
+// timings, and — once terminal — either a deterministic result summary
+// or a typed error string.
+//
+// Two content hashes key the DesignCache (serve/design_cache.hpp):
+//   design_key(spec)  — the parsed/generated netlist only
+//   result_key(spec)  — everything that determines the FlowResult
+// result_key is empty (uncacheable) when the spec carries a deadline,
+// because a deadline can truncate the run at a wall-clock-dependent
+// iteration; caching such a result would break replay determinism.
+
+#include <cstdint>
+#include <string>
+
+namespace rotclk::serve {
+
+enum class Priority { kHigh = 0, kNormal = 1, kLow = 2 };
+
+[[nodiscard]] const char* to_string(Priority p);
+/// "high" / "normal" / "low" -> Priority; throws InvalidArgumentError.
+[[nodiscard]] Priority priority_from_string(const std::string& s);
+
+enum class JobState {
+  kQueued,     ///< admitted, waiting for a worker
+  kRunning,    ///< a worker is executing the flow
+  kDone,       ///< terminal: summary is valid
+  kFailed,     ///< terminal: error is valid; the daemon survived
+  kCancelled,  ///< terminal: cancelled while still queued
+};
+
+[[nodiscard]] const char* to_string(JobState s);
+[[nodiscard]] inline bool is_terminal(JobState s) {
+  return s == JobState::kDone || s == JobState::kFailed ||
+         s == JobState::kCancelled;
+}
+
+struct JobSpec {
+  std::string id;  ///< client-chosen, unique per server lifetime
+
+  // Serving attributes (do not affect the FlowResult unless the deadline
+  // fires, which is why a deadline disables result caching).
+  Priority priority = Priority::kNormal;
+  double deadline_s = 0.0;  ///< per-stage budget (PR-2 machinery); 0 = none
+
+  // Design source; first non-empty of circuit / bench_text wins, else the
+  // synthetic generator with the gen_* parameters.
+  std::string circuit;     ///< Table II benchmark name ("s9234", ...)
+  std::string bench_text;  ///< inline ISCAS89 .bench netlist
+  int gen_gates = 368;
+  int gen_flip_flops = 32;
+  int gen_inputs = 12;
+  int gen_outputs = 12;
+  std::uint64_t seed = 1;
+
+  // Flow knobs (a subset of FlowConfig, protocol-stable).
+  std::string mode = "nf";  ///< "nf" | "ilp"
+  int rings = 4;
+  int iterations = 2;
+  double period_ps = 1000.0;
+  double utilization = 0.05;
+  bool verify = false;  ///< attach the certificate verifier to this job
+};
+
+/// FNV-1a 64-bit content hash of the design source fields, as fixed-width
+/// hex. Jobs with equal design keys share one parsed/generated Design.
+[[nodiscard]] std::string design_key(const JobSpec& spec);
+
+/// Content hash of every field that determines the FlowResult (design
+/// source + flow knobs; not id/priority). Empty when the result must not
+/// be cached (deadline_s > 0).
+[[nodiscard]] std::string result_key(const JobSpec& spec);
+
+struct JobRecord {
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+
+  /// Deterministic one-line FlowResult summary (serve/scheduler.cpp
+  /// format_summary); only timing-free quantities, so replaying the same
+  /// spec yields a byte-identical summary. Valid when state == kDone.
+  std::string summary;
+  /// "[code] what()" of the failure. Valid when state == kFailed.
+  std::string error;
+
+  bool design_cache_hit = false;  ///< parsed design came from the cache
+  bool result_cache_hit = false;  ///< whole FlowResult came from the cache
+  int recovery_events = 0;        ///< RecoveryEvents the run survived
+  int certificates_failed = 0;    ///< failed certificates (verify jobs)
+  int certificates_total = 0;
+
+  // Serving latencies (wall clock; excluded from the summary).
+  double queue_wait_s = 0.0;  ///< submit -> worker pickup
+  double exec_s = 0.0;        ///< worker pickup -> terminal
+  [[nodiscard]] double e2e_s() const { return queue_wait_s + exec_s; }
+};
+
+}  // namespace rotclk::serve

@@ -1,0 +1,96 @@
+#pragma once
+// Minimal JSON reader/writer for the serve-layer line protocol.
+//
+// The rotclkd protocol (serve/protocol.hpp) exchanges one JSON object per
+// line, so this parser covers exactly the JSON the protocol can produce:
+// objects, arrays, strings (with the standard escapes incl. \uXXXX for
+// the BMP), numbers, booleans, and null. It exists so the daemon, the
+// load generator, and the tests all speak through one strict grammar
+// instead of three ad-hoc scanners; malformed input raises
+// rotclk::ParseError with the byte offset in the token field.
+//
+// This is deliberately not a general-purpose JSON library: no comments,
+// no trailing commas, no NaN/Inf literals, documents are parsed fully
+// into memory. Protocol lines are small (the largest is an inline .bench
+// netlist), so simplicity wins over streaming.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rotclk::serve {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  JsonValue() = default;  // null
+  explicit JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit JsonValue(double n) : type_(Type::kNumber), number_(n) {}
+  explicit JsonValue(std::string s)
+      : type_(Type::kString), string_(std::move(s)) {}
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw rotclk::InvalidArgumentError on a type
+  /// mismatch so protocol handlers get a diagnosable failure, not UB.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::map<std::string, JsonValue>& as_object() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  /// Convenience typed lookups with defaults (absent key -> default;
+  /// present key of the wrong type throws).
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback = "") const;
+  [[nodiscard]] double get_number(const std::string& key,
+                                  double fallback = 0.0) const;
+  [[nodiscard]] bool get_bool(const std::string& key,
+                              bool fallback = false) const;
+
+  static JsonValue object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+  static JsonValue array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  std::map<std::string, JsonValue>& members() { return object_; }
+  std::vector<JsonValue>& elements() { return array_; }
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::map<std::string, JsonValue> object_;
+  std::vector<JsonValue> array_;
+};
+
+/// Parse one complete JSON document; trailing non-whitespace is an error.
+/// `source` names the input in ParseError diagnostics.
+JsonValue json_parse(std::string_view text,
+                     const std::string& source = "<json>");
+
+/// `s` with JSON string escaping applied, without surrounding quotes.
+std::string json_escape(std::string_view s);
+
+/// `s` as a quoted JSON string literal.
+std::string json_quote(std::string_view s);
+
+/// A double rendered for JSON (shortest round-trip form; NaN/Inf, which
+/// JSON cannot carry, are rendered as null).
+std::string json_number(double v);
+
+}  // namespace rotclk::serve

@@ -1,0 +1,102 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "serve/json.hpp"
+
+namespace rotclk::serve {
+
+namespace {
+// Bucket i spans (bound(i-1), bound(i)]; bound(i) = 1e-6 * 10^(i/5) s.
+// 52 buckets reach 1e-6 * 10^(51/5) ~ 1.26e4 seconds (~3.5 h); anything
+// larger lands in the final catch-all bucket.
+double raw_bound(int i) {
+  return 1e-6 * std::pow(10.0, static_cast<double>(i) / 5.0);
+}
+}  // namespace
+
+double Histogram::bucket_bound(int i) { return raw_bound(i); }
+
+void Histogram::record(double v) {
+  if (!(v >= 0.0)) v = 0.0;  // NaN / negative: clamp, never drop
+  int bucket = 0;
+  while (bucket < kBuckets - 1 && v > raw_bound(bucket)) ++bucket;
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[bucket];
+  if (total_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++total_;
+  sum_ += v;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.count = total_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  if (total_ == 0) return s;
+  const auto quantile = [&](double q) {
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total_)));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen >= target && target > 0)
+        return std::min(raw_bound(i), max_);
+    }
+    return max_;
+  };
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  return s;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += json_quote(name) + ":" + std::to_string(c->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->snapshot();
+    if (!first) out += ",";
+    first = false;
+    out += json_quote(name) + ":{\"count\":" + std::to_string(s.count) +
+           ",\"sum\":" + json_number(s.sum) +
+           ",\"mean\":" + json_number(s.mean()) +
+           ",\"min\":" + json_number(s.min) +
+           ",\"max\":" + json_number(s.max) +
+           ",\"p50\":" + json_number(s.p50) +
+           ",\"p95\":" + json_number(s.p95) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace rotclk::serve

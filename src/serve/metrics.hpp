@@ -1,0 +1,91 @@
+#pragma once
+// Serve-layer metrics: monotonic counters and latency histograms.
+//
+// The registry is the single sink for everything rotclkd observes about
+// itself — jobs accepted/rejected/completed/failed/cancelled, queue wait
+// and end-to-end latency, per-stage seconds, recovery events and
+// certificate failures — and renders one deterministic-ordered JSON
+// snapshot for the `stats` response and BENCH_serve.json.
+//
+// Counters are lock-free atomics. Histograms use fixed geometric buckets
+// (1 us .. ~2.8 h, ratio 10^(1/5)) so quantile estimates need no sample
+// retention: p50/p95 are read as the upper bound of the bucket holding
+// the quantile, which is within one bucket ratio (~58%) of the true
+// value — coarse, but stable, bounded-memory, and monotone, which is
+// what a serving dashboard needs. Exact min/max/sum/count are kept
+// alongside.
+//
+// Metric names are created on first use and never removed; counter() and
+// histogram() return stable references that remain valid for the
+// registry's lifetime (workers hold them across jobs).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rotclk::serve {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 52;
+
+  void record(double v);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Upper bound of bucket `i` (exposed for tests).
+  [[nodiscard]] static double bucket_bound(int i);
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Get-or-create; the reference is stable for the registry lifetime.
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// {"counters":{name:value,...},"histograms":{name:{count,sum,mean,min,
+  /// max,p50,p95},...}} with names in sorted order (deterministic byte
+  /// output for identical histories).
+  [[nodiscard]] std::string snapshot_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace rotclk::serve

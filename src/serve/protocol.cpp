@@ -1,0 +1,128 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rotclk::serve {
+
+namespace {
+
+/// A JSON number that must be an integer in [lo, hi].
+int as_int(const JsonValue& obj, const std::string& key, int fallback,
+           int lo, int hi) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  const double n = v->as_number();
+  if (std::floor(n) != n || n < lo || n > hi)
+    throw InvalidArgumentError(
+        "serve.protocol", "member '" + key + "' must be an integer in [" +
+                              std::to_string(lo) + ", " + std::to_string(hi) +
+                              "]");
+  return static_cast<int>(n);
+}
+
+JobSpec parse_spec(const JsonValue& obj) {
+  JobSpec spec;
+  spec.id = obj.get_string("id");
+  spec.priority = priority_from_string(obj.get_string("priority"));
+  spec.deadline_s = obj.get_number("deadline_s", 0.0);
+  if (spec.deadline_s < 0.0)
+    throw InvalidArgumentError("serve.protocol",
+                               "member 'deadline_s' must be >= 0");
+  spec.circuit = obj.get_string("circuit");
+  spec.bench_text = obj.get_string("bench");
+  if (!spec.circuit.empty() && !spec.bench_text.empty())
+    throw InvalidArgumentError(
+        "serve.protocol", "members 'circuit' and 'bench' are exclusive");
+  spec.gen_gates = as_int(obj, "gates", spec.gen_gates, 1, 1000000);
+  spec.gen_flip_flops = as_int(obj, "ffs", spec.gen_flip_flops, 1, 100000);
+  spec.gen_inputs = as_int(obj, "inputs", spec.gen_inputs, 1, 10000);
+  spec.gen_outputs = as_int(obj, "outputs", spec.gen_outputs, 1, 10000);
+  spec.seed = static_cast<std::uint64_t>(
+      as_int(obj, "seed", static_cast<int>(spec.seed), 0, 1 << 30));
+  spec.mode = obj.get_string("mode", spec.mode);
+  if (spec.mode != "nf" && spec.mode != "ilp")
+    throw InvalidArgumentError("serve.protocol",
+                               "member 'mode' must be \"nf\" or \"ilp\"");
+  spec.rings = as_int(obj, "rings", spec.rings, 1, 4096);
+  spec.iterations = as_int(obj, "iterations", spec.iterations, 1, 100);
+  spec.period_ps = obj.get_number("period_ps", spec.period_ps);
+  if (!(spec.period_ps > 0.0))
+    throw InvalidArgumentError("serve.protocol",
+                               "member 'period_ps' must be > 0");
+  spec.utilization = obj.get_number("utilization", spec.utilization);
+  if (!(spec.utilization > 0.0) || spec.utilization > 1.0)
+    throw InvalidArgumentError("serve.protocol",
+                               "member 'utilization' must be in (0, 1]");
+  spec.verify = obj.get_bool("verify", false);
+  return spec;
+}
+
+}  // namespace
+
+const char* to_string(Request::Cmd cmd) {
+  switch (cmd) {
+    case Request::Cmd::kSubmit: return "submit";
+    case Request::Cmd::kStatus: return "status";
+    case Request::Cmd::kCancel: return "cancel";
+    case Request::Cmd::kStats: return "stats";
+    case Request::Cmd::kWait: return "wait";
+    case Request::Cmd::kSuspend: return "suspend";
+    case Request::Cmd::kResume: return "resume";
+    case Request::Cmd::kDrain: return "drain";
+    case Request::Cmd::kFault: return "fault";
+    case Request::Cmd::kPing: return "ping";
+  }
+  return "?";
+}
+
+Request parse_request(const std::string& line) {
+  const JsonValue obj = json_parse(line, "<request>");
+  if (!obj.is_object())
+    throw InvalidArgumentError("serve.protocol",
+                               "request must be a JSON object");
+  const std::string cmd = obj.get_string("cmd");
+  Request req;
+  if (cmd == "submit") {
+    req.cmd = Request::Cmd::kSubmit;
+    req.spec = parse_spec(obj);
+    req.id = req.spec.id;
+    if (req.id.empty())
+      throw InvalidArgumentError("serve.protocol",
+                                 "submit requires a non-empty 'id'");
+  } else if (cmd == "status" || cmd == "cancel") {
+    req.cmd = cmd == "status" ? Request::Cmd::kStatus : Request::Cmd::kCancel;
+    req.id = obj.get_string("id");
+    if (req.id.empty())
+      throw InvalidArgumentError("serve.protocol",
+                                 cmd + " requires a non-empty 'id'");
+  } else if (cmd == "stats") {
+    req.cmd = Request::Cmd::kStats;
+  } else if (cmd == "wait") {
+    req.cmd = Request::Cmd::kWait;
+  } else if (cmd == "suspend") {
+    req.cmd = Request::Cmd::kSuspend;
+  } else if (cmd == "resume") {
+    req.cmd = Request::Cmd::kResume;
+  } else if (cmd == "drain") {
+    req.cmd = Request::Cmd::kDrain;
+  } else if (cmd == "fault") {
+    req.cmd = Request::Cmd::kFault;
+    req.fault_site = obj.get_string("site");
+    if (req.fault_site.empty())
+      throw InvalidArgumentError("serve.protocol",
+                                 "fault requires a non-empty 'site'");
+    req.fault_trigger = as_int(obj, "trigger", 1, 0, 1 << 20);
+    req.fault_count = as_int(obj, "count", 1, 1, 1 << 20);
+  } else if (cmd == "ping") {
+    req.cmd = Request::Cmd::kPing;
+  } else {
+    throw InvalidArgumentError(
+        "serve.protocol",
+        cmd.empty() ? "request is missing 'cmd'" : "unknown cmd '" + cmd + "'");
+  }
+  return req;
+}
+
+}  // namespace rotclk::serve

@@ -1,0 +1,65 @@
+#pragma once
+// Line-delimited JSON request protocol for rotclkd.
+//
+// One JSON object per line in, one JSON object per line out. Requests
+// carry a "cmd" member; everything else is command-specific. Grammar
+// (members marked ? are optional, with JobSpec defaults):
+//
+//   {"cmd":"submit","id":ID, priority?, deadline_s?, circuit?|bench?,
+//    gates?, ffs?, inputs?, outputs?, seed?, mode?, rings?, iterations?,
+//    period_ps?, utilization?, verify?}
+//   {"cmd":"status","id":ID}
+//   {"cmd":"cancel","id":ID}
+//   {"cmd":"stats"}
+//   {"cmd":"wait"}                  barrier: all submitted jobs terminal
+//   {"cmd":"suspend"} / {"cmd":"resume"}   freeze/unfreeze worker pickup
+//   {"cmd":"drain"}                 stop admitting, wait, then shut down
+//   {"cmd":"fault","site":S, trigger?, count?}   test hook (gated by
+//    ServerConfig::allow_fault_injection; disarms with trigger = 0)
+//   {"cmd":"ping"}
+//
+// Responses always carry "ok" (bool) and echo "cmd"; failures carry
+// "error" (the ErrorCode string, e.g. "overloaded") and "detail". The
+// response vocabulary lives in serve/server.cpp; this header owns only
+// request parsing, so the daemon, the load generator, and the tests
+// share one strict reader.
+//
+// Malformed requests raise typed errors (ParseError for bad JSON,
+// InvalidArgumentError for bad members); the server maps them to error
+// responses without dropping the session.
+
+#include <string>
+
+#include "serve/job.hpp"
+#include "serve/json.hpp"
+
+namespace rotclk::serve {
+
+struct Request {
+  enum class Cmd {
+    kSubmit,
+    kStatus,
+    kCancel,
+    kStats,
+    kWait,
+    kSuspend,
+    kResume,
+    kDrain,
+    kFault,
+    kPing,
+  };
+
+  Cmd cmd = Cmd::kPing;
+  JobSpec spec;          ///< kSubmit
+  std::string id;        ///< kStatus / kCancel (also mirrored in spec.id)
+  std::string fault_site;  ///< kFault
+  int fault_trigger = 1;   ///< kFault; 0 disarms the site
+  int fault_count = 1;     ///< kFault
+};
+
+[[nodiscard]] const char* to_string(Request::Cmd cmd);
+
+/// Parse one protocol line. Throws ParseError / InvalidArgumentError.
+[[nodiscard]] Request parse_request(const std::string& line);
+
+}  // namespace rotclk::serve

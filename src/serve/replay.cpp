@@ -1,0 +1,256 @@
+#include "serve/replay.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <utility>
+
+#include "serve/json.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace rotclk::serve {
+
+namespace {
+
+/// Strip the pass prefix from a job id so outcomes from different passes
+/// compare under one key ("p1-a-0" and "p2-a-0" are both "a-0").
+std::string strip_prefix(const std::string& id, const std::string& prefix) {
+  if (!prefix.empty() && id.rfind(prefix, 0) == 0)
+    return id.substr(prefix.size());
+  return id;
+}
+
+JsonValue parse_response(const std::string& line) {
+  if (line.empty())
+    throw IoError("serve.replay", "<transport>","transport returned an empty response line");
+  return json_parse(line, "response");
+}
+
+void run_pass(const Roundtrip& roundtrip, const WorkloadOptions& workload,
+              PassOutcome& pass) {
+  const util::Timer timer;
+  for (const std::string& request : make_workload(workload)) {
+    const std::string raw = roundtrip(request);
+    const JsonValue reply = parse_response(raw);
+    const std::string cmd = reply.get_string("cmd");
+    const bool ok = reply.get_bool("ok");
+    if (cmd == "submit") {
+      // The request carries the id; rejected submits echo it only there.
+      const JsonValue req = json_parse(request, "request");
+      const std::string id =
+          strip_prefix(req.get_string("id"), workload.id_prefix);
+      ++pass.submitted;
+      if (ok) {
+        ++pass.accepted;
+      } else if (reply.get_string("error") == "overloaded") {
+        ++pass.rejected;
+        JobOutcome& out = pass.jobs[id];
+        out.state = "rejected";
+        out.error = reply.get_string("detail");
+      } else {
+        throw IoError("serve.replay", "<transport>","submit '" + id + "' failed unexpectedly: " +
+                                    reply.get_string("detail"));
+      }
+    } else if (cmd == "status") {
+      const JsonValue req = json_parse(request, "request");
+      const std::string id =
+          strip_prefix(req.get_string("id"), workload.id_prefix);
+      JobOutcome& out = pass.jobs[id];
+      if (out.state == "rejected") continue;  // never admitted: no record
+      if (!ok)
+        throw IoError("serve.replay", "<transport>",
+                      "status failed: " + reply.get_string("detail"));
+      out.state = reply.get_string("state");
+      out.summary = reply.get_string("summary");
+      out.error = reply.get_string("job_error");
+      out.design_cache_hit = reply.get_bool("design_cache_hit");
+      out.result_cache_hit = reply.get_bool("result_cache_hit");
+      out.recovery_events =
+          static_cast<int>(reply.get_number("recovery_events"));
+      if (out.state == "done") ++pass.done;
+      if (out.state == "failed") ++pass.failed;
+      if (out.state == "cancelled") ++pass.cancelled;
+      if (out.result_cache_hit) ++pass.result_cache_hits;
+    } else if (cmd == "stats") {
+      if (!ok)
+        throw IoError("serve.replay", "<transport>","stats failed: " + reply.get_string("detail"));
+      pass.stats_json = raw;  // bench_json() re-parses it for histograms
+    } else if (!ok) {
+      throw IoError("serve.replay", "<transport>","'" + cmd + "' request failed: " +
+                                  reply.get_string("detail"));
+    }
+  }
+  pass.wall_s = timer.seconds();
+}
+
+void compare_passes(ReplayReport& report) {
+  report.replay_identical = true;
+  if (report.passes.size() < 2) return;
+  const PassOutcome& first = report.passes.front();
+  for (std::size_t p = 1; p < report.passes.size(); ++p) {
+    const PassOutcome& other = report.passes[p];
+    if (other.jobs.size() != first.jobs.size()) {
+      report.replay_identical = false;
+      report.mismatch = "pass " + std::to_string(p + 1) + " saw " +
+                        std::to_string(other.jobs.size()) + " jobs, pass 1 " +
+                        std::to_string(first.jobs.size());
+      return;
+    }
+    for (const auto& [id, a] : first.jobs) {
+      const auto it = other.jobs.find(id);
+      if (it == other.jobs.end()) {
+        report.replay_identical = false;
+        report.mismatch = "job '" + id + "' missing from pass " +
+                          std::to_string(p + 1);
+        return;
+      }
+      const JobOutcome& b = it->second;
+      if (a.state != b.state) {
+        report.replay_identical = false;
+        report.mismatch = "job '" + id + "': state '" + a.state +
+                          "' vs '" + b.state + "'";
+        return;
+      }
+      if (a.summary != b.summary) {
+        report.replay_identical = false;
+        report.mismatch = "job '" + id + "': summary differs across passes ('" +
+                          a.summary + "' vs '" + b.summary + "')";
+        return;
+      }
+      // Error strings embed the job id (which carries the pass prefix),
+      // so compare only the state/summary payload, not error text.
+    }
+  }
+}
+
+void append_histogram(std::string& out, const char* label,
+                      const JsonValue& stats, const std::string& name) {
+  const JsonValue* metrics = stats.find("metrics");
+  const JsonValue* histograms =
+      metrics != nullptr ? metrics->find("histograms") : nullptr;
+  const JsonValue* h = histograms != nullptr ? histograms->find(name) : nullptr;
+  out += std::string("\"") + label + "\":{";
+  if (h != nullptr) {
+    out += "\"count\":" +
+           std::to_string(
+               static_cast<std::uint64_t>(h->get_number("count"))) +
+           ",\"mean_s\":" + json_number(h->get_number("mean")) +
+           ",\"min_s\":" + json_number(h->get_number("min")) +
+           ",\"max_s\":" + json_number(h->get_number("max")) +
+           ",\"p50_s\":" + json_number(h->get_number("p50")) +
+           ",\"p95_s\":" + json_number(h->get_number("p95"));
+  }
+  out += "}";
+}
+
+}  // namespace
+
+ReplayReport replay(const Roundtrip& roundtrip,
+                    const ReplayOptions& options) {
+  if (options.passes < 1)
+    throw InvalidArgumentError("serve.replay", "passes must be >= 1");
+  ReplayReport report;
+  for (int p = 0; p < options.passes; ++p) {
+    WorkloadOptions workload = options.workload;
+    workload.id_prefix =
+        "p" + std::to_string(p + 1) + "-" + options.workload.id_prefix;
+    PassOutcome pass;
+    run_pass(roundtrip, workload, pass);
+    report.passes.push_back(std::move(pass));
+  }
+  compare_passes(report);
+  if (options.drain_at_end) {
+    const JsonValue reply = parse_response(roundtrip("{\"cmd\":\"drain\"}"));
+    if (!reply.get_bool("ok"))
+      throw IoError("serve.replay", "<transport>","drain failed: " + reply.get_string("detail"));
+  }
+  return report;
+}
+
+bool ReplayReport::acceptance_ok(std::string* why) const {
+  bool ok = true;
+  const auto fail = [&](const std::string& reason) {
+    ok = false;
+    if (why != nullptr) {
+      if (!why->empty()) *why += "; ";
+      *why += reason;
+    }
+  };
+  if (passes.empty()) {
+    fail("no passes ran");
+    return false;
+  }
+  if (!replay_identical)
+    fail("replay not byte-identical: " + mismatch);
+  for (std::size_t p = 0; p < passes.size(); ++p) {
+    const PassOutcome& pass = passes[p];
+    const std::string tag = "pass " + std::to_string(p + 1);
+    if (pass.rejected < 1) fail(tag + ": no admission rejection observed");
+    if (pass.failed < 1)
+      fail(tag + ": no isolated per-job fault failure observed");
+    if (pass.cancelled < 1) fail(tag + ": no cancelled job observed");
+    if (pass.done < 1) fail(tag + ": no job completed");
+    // Cross-job contamination check: every non-fault job must have
+    // finished cleanly despite the injected failures.
+    for (const auto& [id, job] : pass.jobs) {
+      const bool fault_target = id.rfind("f-0", 0) == 0;
+      if (job.state == "failed" && !fault_target)
+        fail(tag + ": job '" + id + "' failed but was not the fault target: " +
+             job.error);
+    }
+  }
+  if (passes.size() >= 2 && passes.back().result_cache_hits < 1)
+    fail("repeated pass produced no result-cache hits");
+  return ok;
+}
+
+std::string ReplayReport::bench_json() const {
+  std::string out = "{\n  \"benchmark\": \"serve\",\n  \"passes\": [\n";
+  for (std::size_t p = 0; p < passes.size(); ++p) {
+    const PassOutcome& pass = passes[p];
+    const double throughput =
+        pass.wall_s > 0.0 ? static_cast<double>(pass.done) / pass.wall_s : 0.0;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"pass\": %zu, \"submitted\": %d, \"accepted\": %d, "
+                  "\"rejected\": %d, \"done\": %d, \"failed\": %d, "
+                  "\"cancelled\": %d, \"result_cache_hits\": %d, ",
+                  p + 1, pass.submitted, pass.accepted, pass.rejected,
+                  pass.done, pass.failed, pass.cancelled,
+                  pass.result_cache_hits);
+    out += buf;
+    out += "\"wall_s\": " + json_number(pass.wall_s) +
+           ", \"throughput_jobs_per_s\": " + json_number(throughput) + "}";
+    out += p + 1 < passes.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  out += "  \"replay_identical\": ";
+  out += replay_identical ? "true" : "false";
+  out += ",\n";
+  // Latency quantiles come from the daemon's cumulative histograms in
+  // the final stats snapshot (covers every pass).
+  JsonValue stats;
+  if (!passes.empty() && !passes.back().stats_json.empty())
+    stats = json_parse(passes.back().stats_json, "stats");
+  out += "  ";
+  append_histogram(out, "queue_wait", stats, "latency.queue_wait_s");
+  out += ",\n  ";
+  append_histogram(out, "e2e", stats, "latency.e2e_s");
+  out += ",\n  ";
+  append_histogram(out, "exec", stats, "latency.exec_s");
+  out += ",\n";
+  const JsonValue* cache = stats.find("cache");
+  out += "  \"cache\": {";
+  if (cache != nullptr) {
+    out += "\"design_hit_rate\": " +
+           json_number(cache->get_number("design_hit_rate")) +
+           ", \"result_hit_rate\": " +
+           json_number(cache->get_number("result_hit_rate")) +
+           ", \"evictions\": " + json_number(cache->get_number("evictions")) +
+           ", \"bypasses\": " + json_number(cache->get_number("bypasses"));
+  }
+  out += "}\n}\n";
+  return out;
+}
+
+}  // namespace rotclk::serve

@@ -1,0 +1,86 @@
+#pragma once
+// Workload replay driver: the client half of the serving benchmark.
+//
+// replay() pushes a deterministic workload (serve/workload.hpp) through
+// any transport — an in-process Server, a pipe to a rotclkd, a Unix
+// socket — via a roundtrip callback (request line in, response line
+// out), repeated for N passes with distinct id prefixes against the
+// same daemon. It accumulates per-job outcomes and per-pass wall times
+// and reduces them into a ReplayReport that knows how to
+//
+//   * check the serving acceptance contract (byte-identical per-job
+//     summaries across passes, >= 1 admission rejection, >= 1 isolated
+//     injected-fault failure, a cancelled job, a nonzero result-cache
+//     hit rate on the repeated pass), and
+//   * render BENCH_serve.json (throughput, p50/p95 queue-wait and
+//     end-to-end latency, counters, cache rates).
+//
+// Used by examples/rotclk_loadgen.cpp (live daemon), bench/
+// bench_serve.cpp (in-process), and tests/test_serve.cpp.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/workload.hpp"
+
+namespace rotclk::serve {
+
+/// Send one request line, return the response line (no newlines).
+using Roundtrip = std::function<std::string(const std::string&)>;
+
+struct ReplayOptions {
+  WorkloadOptions workload{};
+  int passes = 2;
+  /// Send a final {"cmd":"drain"} after the last pass (shuts a live
+  /// rotclkd down cleanly).
+  bool drain_at_end = true;
+};
+
+/// What one pass observed about one job (keyed by the prefix-stripped id
+/// so passes are comparable).
+struct JobOutcome {
+  std::string state;    ///< "done" / "failed" / "cancelled" / "rejected"
+  std::string summary;  ///< deterministic FlowResult summary ("done" only)
+  std::string error;    ///< job error ("failed") or rejection detail
+  bool design_cache_hit = false;
+  bool result_cache_hit = false;
+  int recovery_events = 0;
+};
+
+struct PassOutcome {
+  int submitted = 0;
+  int accepted = 0;
+  int rejected = 0;  ///< OverloadedError admission rejections
+  int done = 0;
+  int failed = 0;
+  int cancelled = 0;
+  int result_cache_hits = 0;
+  double wall_s = 0.0;
+  std::map<std::string, JobOutcome> jobs;  ///< by stripped id
+  std::string stats_json;                  ///< final stats response line
+};
+
+struct ReplayReport {
+  std::vector<PassOutcome> passes;
+  /// Every job reached the same terminal state with a byte-identical
+  /// summary/error in every pass.
+  bool replay_identical = false;
+  /// First discrepancy, for diagnostics; empty when replay_identical.
+  std::string mismatch;
+
+  /// The serving acceptance contract (see header comment). On failure
+  /// returns false and appends the reasons to `*why` when non-null.
+  [[nodiscard]] bool acceptance_ok(std::string* why = nullptr) const;
+
+  /// BENCH_serve.json document.
+  [[nodiscard]] std::string bench_json() const;
+};
+
+/// Run `options.passes` passes of the workload through `roundtrip`.
+/// Throws rotclk::Error on transport failures or unparsable responses;
+/// job-level failures land in the outcomes, not as exceptions.
+ReplayReport replay(const Roundtrip& roundtrip, const ReplayOptions& options);
+
+}  // namespace rotclk::serve

@@ -1,0 +1,352 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "core/flow.hpp"
+#include "core/pipeline.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/benchmarks.hpp"
+#include "netlist/generator.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace rotclk::serve {
+
+namespace {
+
+std::string fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+/// Streams per-stage wall times into the metrics registry as the job
+/// runs (histogram "stage.<name>_s"), so the stats response shows where
+/// serve capacity goes without waiting for jobs to finish.
+class StageMetricsObserver final : public core::FlowObserver {
+ public:
+  explicit StageMetricsObserver(MetricsRegistry& metrics)
+      : metrics_(metrics) {}
+  void on_stage_end(const core::Stage& stage, const core::FlowContext&,
+                    double seconds) override {
+    metrics_.histogram(std::string("stage.") + stage.name() + "_s")
+        .record(seconds);
+  }
+
+ private:
+  MetricsRegistry& metrics_;
+};
+
+}  // namespace
+
+std::string format_summary(const core::FlowResult& result) {
+  int certs_failed = 0;
+  for (const auto& c : result.certificates)
+    if (!c.pass) ++certs_failed;
+  const core::IterationMetrics& fin = result.final();
+  std::string s;
+  s += "iters=" + std::to_string(result.iterations_run);
+  s += " best=" + std::to_string(result.best_iteration);
+  s += " slack_ps=" + fixed(result.slack_ps, 3);
+  s += " stage4_slack_ps=" + fixed(result.stage4_slack_ps, 3);
+  s += " tap_wl_um=" + fixed(fin.tap_wl_um, 3);
+  s += " signal_wl_um=" + fixed(fin.signal_wl_um, 3);
+  s += " total_wl_um=" + fixed(fin.total_wl_um, 3);
+  s += " afd_um=" + fixed(fin.afd_um, 3);
+  s += " max_cap_ff=" + fixed(fin.max_ring_cap_ff, 3);
+  s += " wns_ps=" + fixed(fin.wns_ps, 3);
+  s += " cost=" + fixed(fin.overall_cost, 4);
+  s += " recovery=" + std::to_string(result.recovery.size());
+  s += " certs=" +
+       std::to_string(result.certificates.size() - certs_failed) + "/" +
+       std::to_string(result.certificates.size());
+  return s;
+}
+
+struct Scheduler::Entry {
+  JobRecord record;
+  util::Timer submitted;  ///< started at admission
+};
+
+Scheduler::Scheduler(SchedulerConfig config, DesignCache& cache,
+                     MetricsRegistry& metrics)
+    : config_(config), cache_(cache), metrics_(metrics) {
+  const int workers = std::max(1, config_.workers);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_main(); });
+}
+
+Scheduler::~Scheduler() {
+  drain();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void Scheduler::submit(JobSpec spec) {
+  if (spec.id.empty())
+    throw InvalidArgumentError("serve.queue", "job id must be non-empty");
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (draining_) {
+      metrics_.counter("jobs.rejected").inc();
+      throw OverloadedError("serve.queue",
+                            "server is draining; not accepting jobs");
+    }
+    if (jobs_.count(spec.id) > 0)
+      throw InvalidArgumentError("serve.queue",
+                                 "duplicate job id '" + spec.id + "'");
+    if (queued_ >= config_.max_queue_depth) {
+      metrics_.counter("jobs.rejected").inc();
+      throw OverloadedError(
+          "serve.queue",
+          "queue depth " + std::to_string(queued_) + " at limit " +
+              std::to_string(config_.max_queue_depth) + "; retry later");
+    }
+    auto entry = std::make_shared<Entry>();
+    entry->record.spec = std::move(spec);
+    const auto klass = static_cast<std::size_t>(entry->record.spec.priority);
+    queues_[klass].push_back(entry);
+    jobs_.emplace(entry->record.spec.id, entry);
+    submission_order_.push_back(entry->record.spec.id);
+    ++queued_;
+  }
+  metrics_.counter("jobs.accepted").inc();
+  work_cv_.notify_one();
+}
+
+bool Scheduler::cancel(const std::string& id) {
+  std::shared_ptr<Entry> cancelled;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second->record.state != JobState::kQueued)
+      return false;
+    cancelled = it->second;
+    for (auto& queue : queues_) {
+      const auto pos = std::find(queue.begin(), queue.end(), cancelled);
+      if (pos != queue.end()) {
+        queue.erase(pos);
+        break;
+      }
+    }
+    cancelled->record.state = JobState::kCancelled;
+    --queued_;
+  }
+  metrics_.counter("jobs.cancelled").inc();
+  idle_cv_.notify_all();
+  return true;
+}
+
+std::optional<JobRecord> Scheduler::status(const std::string& id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second->record;
+}
+
+std::vector<JobRecord> Scheduler::all_jobs() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobRecord> out;
+  out.reserve(submission_order_.size());
+  for (const std::string& id : submission_order_)
+    out.push_back(jobs_.at(id)->record);
+  return out;
+}
+
+void Scheduler::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return queued_ == 0 && running_ == 0; });
+}
+
+void Scheduler::drain() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+    suspended_ = false;  // a drain must not deadlock a suspended queue
+  }
+  work_cv_.notify_all();
+  wait_idle();
+}
+
+void Scheduler::suspend() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  suspended_ = true;
+}
+
+void Scheduler::resume() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    suspended_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+Scheduler::QueueSnapshot Scheduler::queue_snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return QueueSnapshot{queued_, running_, draining_, suspended_};
+}
+
+std::shared_ptr<Scheduler::Entry> Scheduler::pop_next_locked() {
+  if (suspended_) return nullptr;
+  for (auto& queue : queues_) {
+    if (queue.empty()) continue;
+    std::shared_ptr<Entry> entry = queue.front();
+    queue.pop_front();
+    return entry;
+  }
+  return nullptr;
+}
+
+void Scheduler::worker_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    std::shared_ptr<Entry> entry = pop_next_locked();
+    if (entry != nullptr) {
+      --queued_;
+      ++running_;
+      entry->record.state = JobState::kRunning;
+      entry->record.queue_wait_s = entry->submitted.seconds();
+      lock.unlock();
+      metrics_.histogram("latency.queue_wait_s")
+          .record(entry->record.queue_wait_s);
+      run_job(*entry);
+      lock.lock();
+      --running_;
+      idle_cv_.notify_all();
+      continue;
+    }
+    if (stop_) return;
+    work_cv_.wait(lock);
+  }
+}
+
+void Scheduler::run_job(Entry& entry) {
+  // The spec is immutable after admission; copy it so the flow never
+  // reaches back into a record another thread may be reading.
+  JobSpec spec;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    spec = entry.record.spec;
+  }
+  util::Timer exec;
+  JobRecord scratch;  // cache/recovery/cert fields filled by execute_flow
+  std::string summary;
+  std::string error;
+  bool failed = false;
+  bool injected = false;
+  try {
+    util::fault::point("serve.job");
+    summary = execute_flow(spec, scratch);
+  } catch (const Error& e) {
+    failed = true;
+    injected = e.code() == ErrorCode::kFaultInjected;
+    error = std::string("[") + to_string(e.code()) + "] " + e.what();
+  } catch (const std::exception& e) {
+    failed = true;
+    error = std::string("[internal] ") + e.what();
+  }
+  const double exec_s = exec.seconds();
+  double e2e_s = 0.0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    JobRecord& record = entry.record;
+    record.exec_s = exec_s;
+    record.design_cache_hit = scratch.design_cache_hit;
+    record.result_cache_hit = scratch.result_cache_hit;
+    record.recovery_events = scratch.recovery_events;
+    record.certificates_failed = scratch.certificates_failed;
+    record.certificates_total = scratch.certificates_total;
+    if (failed) {
+      record.state = JobState::kFailed;
+      record.error = error;
+    } else {
+      record.state = JobState::kDone;
+      record.summary = summary;
+    }
+    e2e_s = record.e2e_s();
+  }
+  metrics_.histogram("latency.exec_s").record(exec_s);
+  metrics_.histogram("latency.e2e_s").record(e2e_s);
+  if (failed) {
+    metrics_.counter("jobs.failed").inc();
+    if (injected) metrics_.counter("jobs.faults_injected").inc();
+    util::warn("serve: job '", spec.id, "' failed: ", error);
+  } else {
+    metrics_.counter("jobs.completed").inc();
+  }
+}
+
+std::string Scheduler::execute_flow(const JobSpec& spec, JobRecord& record) {
+  // Whole-result memoization first: a repeat of an already-served spec
+  // (deadline-free, see job.hpp) skips the flow entirely.
+  const std::string rkey = result_key(spec);
+  if (std::optional<std::string> cached = cache_.result_for(rkey)) {
+    record.result_cache_hit = true;
+    metrics_.counter("jobs.result_cache_hits").inc();
+    return *cached;
+  }
+
+  const std::shared_ptr<const netlist::Design> design = cache_.design_for(
+      spec,
+      [&]() -> netlist::Design {
+        if (!spec.circuit.empty())
+          return netlist::make_benchmark(spec.circuit, spec.seed);
+        if (!spec.bench_text.empty())
+          return netlist::read_bench_string(spec.bench_text,
+                                            "job-" + spec.id);
+        netlist::GeneratorConfig gen;
+        gen.name = "job-" + design_key(spec);
+        gen.num_gates = spec.gen_gates;
+        gen.num_flip_flops = spec.gen_flip_flops;
+        gen.num_primary_inputs = spec.gen_inputs;
+        gen.num_primary_outputs = spec.gen_outputs;
+        gen.seed = spec.seed;
+        return netlist::generate_circuit(gen);
+      },
+      &record.design_cache_hit);
+
+  core::FlowConfig cfg;
+  cfg.assign_mode = spec.mode == "ilp" ? core::AssignMode::MinMaxCap
+                                       : core::AssignMode::NetworkFlow;
+  cfg.max_iterations = std::max(1, spec.iterations);
+  cfg.die_utilization = spec.utilization;
+  cfg.ring_config.rings = spec.rings;
+  cfg.ring_config.period_ps = spec.period_ps;
+  cfg.tech.clock_period_ps = spec.period_ps;
+  cfg.verify = spec.verify;
+  cfg.stage_deadline_seconds = spec.deadline_s;
+
+  core::RotaryFlow flow(*design, cfg);
+  StageMetricsObserver stage_metrics(metrics_);
+  flow.add_observer(&stage_metrics);
+  const core::FlowResult result = flow.run();
+
+  record.recovery_events = static_cast<int>(result.recovery.size());
+  record.certificates_total = static_cast<int>(result.certificates.size());
+  for (const auto& c : result.certificates)
+    if (!c.pass) ++record.certificates_failed;
+  if (record.recovery_events > 0)
+    metrics_.counter("recovery.events")
+        .inc(static_cast<std::uint64_t>(record.recovery_events));
+  if (record.certificates_failed > 0)
+    metrics_.counter("certificates.failed")
+        .inc(static_cast<std::uint64_t>(record.certificates_failed));
+
+  const std::string summary = format_summary(result);
+  // A run that needed recovery or flunked a certificate is servable but
+  // not memoizable: its summary may not be the pure-function answer.
+  if (record.recovery_events == 0 && record.certificates_failed == 0)
+    cache_.store_result(rkey, summary);
+  return summary;
+}
+
+}  // namespace rotclk::serve

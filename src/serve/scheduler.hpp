@@ -1,0 +1,143 @@
+#pragma once
+// Job queue + scheduler: many concurrent flow runs on one process.
+//
+// The scheduler owns a bounded three-class priority queue (high / normal
+// / low, FIFO within a class) and a fixed set of worker threads that pop
+// jobs and execute the full Fig. 3 flow via core::RotaryFlow. Layering:
+//
+//   submit() --admission--> JobQueue --workers--> run_job() --> JobRecord
+//
+// Admission control: a submit that finds the queue at max_queue_depth,
+// or arrives while draining, throws rotclk::OverloadedError — the typed
+// backpressure signal the protocol maps to an "overloaded" rejection.
+// Rejections are counted but never recorded as jobs.
+//
+// Isolation: run_job confines every per-job failure mode — typed errors
+// from any stage, injected faults at site "serve.job", recovery-fallback
+// exhaustion, certificate failures under verify — to that job's record.
+// A worker thread never dies; a failed job is a kFailed ledger entry and
+// a jobs.failed tick, and all other jobs' results are unaffected (the
+// flow itself shares no mutable state across runs — DESIGN.md §10).
+//
+// Determinism: jobs may run concurrently, but each flow run is
+// bit-identical regardless of pool size or co-running jobs (PR-3's
+// parallel_for contract), so each record's summary is a pure function of
+// its spec. suspend()/resume() additionally let a client freeze worker
+// pickup to make *admission* deterministic (used by the replay workloads
+// to force an exact over-capacity burst).
+//
+// Per-job deadlines reuse the PR-2 stage-deadline machinery: spec
+// deadline_s becomes FlowConfig::stage_deadline_seconds, so an
+// over-budget stage ends that job at its best-so-far snapshot (a
+// recovery event), not with a lost result.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/design_cache.hpp"
+#include "serve/job.hpp"
+#include "serve/metrics.hpp"
+
+namespace rotclk::core {
+struct FlowResult;
+}
+
+namespace rotclk::serve {
+
+struct SchedulerConfig {
+  int workers = 2;
+  std::size_t max_queue_depth = 16;  ///< queued (not running) jobs
+};
+
+class Scheduler {
+ public:
+  /// `cache` and `metrics` are borrowed and must outlive the scheduler.
+  Scheduler(SchedulerConfig config, DesignCache& cache,
+            MetricsRegistry& metrics);
+  /// Drains (rejecting nothing that is already queued) and joins.
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Admit one job. Throws InvalidArgumentError on a duplicate or empty
+  /// id, OverloadedError when the queue is full or the scheduler is
+  /// draining.
+  void submit(JobSpec spec);
+
+  /// Cancel a *queued* job (running jobs are not preempted: a flow run
+  /// is a transaction). True when the job moved to kCancelled.
+  bool cancel(const std::string& id);
+
+  /// Copy of the job's ledger entry; nullopt for unknown ids.
+  [[nodiscard]] std::optional<JobRecord> status(const std::string& id) const;
+
+  /// Copies of every record, in submission order.
+  [[nodiscard]] std::vector<JobRecord> all_jobs() const;
+
+  /// Block until no job is queued or running (jobs submitted after the
+  /// call extend the wait; pair with suspend()/drain() for a barrier).
+  void wait_idle();
+
+  /// Stop admitting (submit -> OverloadedError) and wait for every
+  /// queued + running job to finish. Idempotent.
+  void drain();
+
+  /// Freeze / unfreeze worker pickup. Suspended workers finish their
+  /// current job and then wait; queued jobs accumulate (and overflow
+  /// deterministically). Safe to call in any order.
+  void suspend();
+  void resume();
+
+  struct QueueSnapshot {
+    std::size_t queued = 0;
+    std::size_t running = 0;
+    bool draining = false;
+    bool suspended = false;
+  };
+  [[nodiscard]] QueueSnapshot queue_snapshot() const;
+
+  [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+
+ private:
+  struct Entry;  // internal record wrapper
+
+  void worker_main();
+  std::shared_ptr<Entry> pop_next_locked();
+  void run_job(Entry& entry);
+  /// Execute the flow for `spec` and return the deterministic summary;
+  /// fills the cache/recovery/certificate fields of `record`.
+  std::string execute_flow(const JobSpec& spec, JobRecord& record);
+
+  const SchedulerConfig config_;
+  DesignCache& cache_;
+  MetricsRegistry& metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: job queued / stop / resume
+  std::condition_variable idle_cv_;  // waiters: a job reached terminal
+  std::deque<std::shared_ptr<Entry>> queues_[3];  // by Priority
+  std::unordered_map<std::string, std::shared_ptr<Entry>> jobs_;
+  std::vector<std::string> submission_order_;
+  std::size_t queued_ = 0;
+  std::size_t running_ = 0;
+  bool draining_ = false;
+  bool suspended_ = false;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// The deterministic one-line summary of a FlowResult used for ledger
+/// entries and the result cache: only timing-free quantities, fixed
+/// formatting, so identical specs yield byte-identical summaries across
+/// replays and thread counts. Exposed for tests and the bench harness.
+[[nodiscard]] std::string format_summary(const core::FlowResult& result);
+
+}  // namespace rotclk::serve

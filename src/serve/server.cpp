@@ -1,0 +1,157 @@
+#include "serve/server.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "serve/protocol.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace rotclk::serve {
+
+namespace {
+
+std::string ok_prefix(const char* cmd) {
+  return std::string("{\"ok\":true,\"cmd\":") + json_quote(cmd);
+}
+
+std::string error_response(const char* cmd, const std::string& code,
+                           const std::string& detail) {
+  return std::string("{\"ok\":false,\"cmd\":") + json_quote(cmd) +
+         ",\"error\":" + json_quote(code) +
+         ",\"detail\":" + json_quote(detail) + "}";
+}
+
+std::string record_json(const JobRecord& r) {
+  std::string out = "\"id\":" + json_quote(r.spec.id) +
+                    ",\"state\":" + json_quote(to_string(r.state)) +
+                    ",\"priority\":" + json_quote(to_string(r.spec.priority));
+  if (r.state == JobState::kDone)
+    out += ",\"summary\":" + json_quote(r.summary);
+  if (r.state == JobState::kFailed) out += ",\"job_error\":" + json_quote(r.error);
+  if (is_terminal(r.state)) {
+    out += ",\"design_cache_hit\":";
+    out += r.design_cache_hit ? "true" : "false";
+    out += ",\"result_cache_hit\":";
+    out += r.result_cache_hit ? "true" : "false";
+    out += ",\"recovery_events\":" + std::to_string(r.recovery_events);
+    out += ",\"certificates_failed\":" +
+           std::to_string(r.certificates_failed);
+    out += ",\"certificates_total\":" + std::to_string(r.certificates_total);
+    out += ",\"queue_wait_s\":" + json_number(r.queue_wait_s);
+    out += ",\"exec_s\":" + json_number(r.exec_s);
+    out += ",\"e2e_s\":" + json_number(r.e2e_s());
+  }
+  return out;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config)
+    : config_(config),
+      cache_(config.cache_capacity),
+      scheduler_(config.scheduler, cache_, metrics_) {}
+
+std::string Server::handle_line(const std::string& line) {
+  const char* cmd = "?";
+  try {
+    const Request req = parse_request(line);
+    cmd = to_string(req.cmd);
+    return handle_parsed(req);
+  } catch (const Error& e) {
+    return error_response(cmd, to_string(e.code()), e.what());
+  } catch (const std::exception& e) {
+    return error_response(cmd, "internal", e.what());
+  }
+}
+
+std::string Server::handle_parsed(const Request& req) {
+  const char* cmd = to_string(req.cmd);
+  switch (req.cmd) {
+    case Request::Cmd::kSubmit:
+      scheduler_.submit(req.spec);  // throws Overloaded/InvalidArgument
+      return ok_prefix(cmd) + ",\"id\":" + json_quote(req.id) +
+             ",\"state\":\"queued\"}";
+    case Request::Cmd::kStatus: {
+      const std::optional<JobRecord> record = scheduler_.status(req.id);
+      if (!record)
+        return error_response(cmd, "invalid-argument",
+                              "unknown job id '" + req.id + "'");
+      return ok_prefix(cmd) + "," + record_json(*record) + "}";
+    }
+    case Request::Cmd::kCancel: {
+      const bool cancelled = scheduler_.cancel(req.id);
+      if (!cancelled && !scheduler_.status(req.id))
+        return error_response(cmd, "invalid-argument",
+                              "unknown job id '" + req.id + "'");
+      return ok_prefix(cmd) + ",\"id\":" + json_quote(req.id) +
+             ",\"cancelled\":" + (cancelled ? "true" : "false") + "}";
+    }
+    case Request::Cmd::kStats: return stats_response();
+    case Request::Cmd::kWait:
+      scheduler_.wait_idle();
+      return ok_prefix(cmd) + ",\"idle\":true}";
+    case Request::Cmd::kSuspend:
+      scheduler_.suspend();
+      return ok_prefix(cmd) + "}";
+    case Request::Cmd::kResume:
+      scheduler_.resume();
+      return ok_prefix(cmd) + "}";
+    case Request::Cmd::kDrain:
+      scheduler_.drain();
+      drained_ = true;
+      return ok_prefix(cmd) + ",\"drained\":true}";
+    case Request::Cmd::kFault: {
+      if (!config_.allow_fault_injection)
+        return error_response(cmd, "invalid-argument",
+                              "fault injection is disabled on this server");
+      if (req.fault_trigger == 0) {
+        util::fault::disarm(req.fault_site);
+      } else {
+        util::fault::arm(req.fault_site, req.fault_trigger, req.fault_count);
+      }
+      return ok_prefix(cmd) + ",\"site\":" + json_quote(req.fault_site) + "}";
+    }
+    case Request::Cmd::kPing: return ok_prefix(cmd) + "}";
+  }
+  return error_response(cmd, "internal", "unhandled command");
+}
+
+std::string Server::stats_response() {
+  const DesignCache::Stats cache = cache_.stats();
+  const Scheduler::QueueSnapshot queue = scheduler_.queue_snapshot();
+  std::string out = ok_prefix("stats");
+  out += ",\"metrics\":" + metrics_.snapshot_json();
+  out += ",\"cache\":{\"design_hits\":" + std::to_string(cache.design_hits) +
+         ",\"design_misses\":" + std::to_string(cache.design_misses) +
+         ",\"design_hit_rate\":" + json_number(cache.design_hit_rate()) +
+         ",\"result_hits\":" + std::to_string(cache.result_hits) +
+         ",\"result_misses\":" + std::to_string(cache.result_misses) +
+         ",\"result_hit_rate\":" + json_number(cache.result_hit_rate()) +
+         ",\"evictions\":" + std::to_string(cache.evictions) +
+         ",\"bypasses\":" + std::to_string(cache.bypasses) + "}";
+  out += ",\"queue\":{\"queued\":" + std::to_string(queue.queued) +
+         ",\"running\":" + std::to_string(queue.running) +
+         ",\"draining\":" + (queue.draining ? "true" : "false") +
+         std::string(",\"suspended\":") + (queue.suspended ? "true" : "false") +
+         ",\"workers\":" + std::to_string(scheduler_.config().workers) +
+         ",\"max_queue_depth\":" +
+         std::to_string(scheduler_.config().max_queue_depth) + "}";
+  out += "}";
+  return out;
+}
+
+std::size_t Server::serve(std::istream& in, std::ostream& out) {
+  std::size_t handled = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    out << handle_line(line) << '\n';
+    out.flush();
+    ++handled;
+    if (drained_) break;
+  }
+  return handled;
+}
+
+}  // namespace rotclk::serve

@@ -1,0 +1,72 @@
+#pragma once
+// rotclkd's brain: the protocol front-end over scheduler + cache +
+// metrics.
+//
+// A Server owns one MetricsRegistry, one DesignCache, and one Scheduler,
+// and turns protocol request lines into response lines:
+//
+//   Server server(config);
+//   std::string reply = server.handle_line(R"({"cmd":"submit",...})");
+//   server.serve(std::cin, std::cout);   // JSONL session until EOF/drain
+//
+// handle_line never throws: every failure — malformed JSON, bad members,
+// admission rejection, unknown ids — becomes an {"ok":false,...} response
+// carrying the ErrorCode string, so one bad client request (or one bad
+// job) can never take the daemon down. The transports in
+// examples/rotclkd.cpp (stdin/stdout and a Unix-domain socket) are thin
+// loops over handle_line.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "serve/design_cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/scheduler.hpp"
+
+namespace rotclk::serve {
+
+struct Request;  // serve/protocol.hpp
+
+struct ServerConfig {
+  SchedulerConfig scheduler{};
+  std::size_t cache_capacity = 64;
+  /// Permit the "fault" protocol command (arming util::fault sites over
+  /// the wire). A deterministic-replay/test affordance; keep it off for
+  /// anything resembling production.
+  bool allow_fault_injection = false;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config = {});
+
+  /// Handle one request line; returns one response line (no trailing
+  /// newline). Never throws.
+  std::string handle_line(const std::string& line);
+
+  /// Serve a JSONL session: one response line per request line, flushed,
+  /// until EOF or a "drain" request (whose response is still written).
+  /// Returns the number of requests handled.
+  std::size_t serve(std::istream& in, std::ostream& out);
+
+  /// True once a "drain" request completed; the transports exit then.
+  [[nodiscard]] bool drained() const { return drained_; }
+
+  [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] DesignCache& cache() { return cache_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+
+ private:
+  std::string handle_parsed(const Request& req);
+  std::string stats_response();
+
+  const ServerConfig config_;
+  MetricsRegistry metrics_;
+  DesignCache cache_;
+  Scheduler scheduler_;
+  bool drained_ = false;
+};
+
+}  // namespace rotclk::serve

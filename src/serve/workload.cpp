@@ -1,0 +1,181 @@
+#include "serve/workload.hpp"
+
+#include "serve/json.hpp"
+
+namespace rotclk::serve {
+
+namespace {
+
+struct LineBuilder {
+  std::vector<std::string> lines;
+  std::vector<std::string> ids;
+
+  void control(const std::string& cmd) {
+    lines.push_back("{\"cmd\":" + json_quote(cmd) + "}");
+  }
+  void fault(const std::string& site) {
+    lines.push_back("{\"cmd\":\"fault\",\"site\":" + json_quote(site) +
+                    ",\"trigger\":1,\"count\":1}");
+  }
+  void cancel(const std::string& id) {
+    lines.push_back("{\"cmd\":\"cancel\",\"id\":" + json_quote(id) + "}");
+  }
+  void status(const std::string& id) {
+    lines.push_back("{\"cmd\":\"status\",\"id\":" + json_quote(id) + "}");
+  }
+};
+
+struct SubmitSpec {
+  std::string id;
+  std::string priority = "normal";
+  int gates = 200;
+  int ffs = 16;
+  std::uint64_t seed = 1;
+  std::string mode = "nf";
+  int rings = 4;
+  int iterations = 2;
+  double deadline_s = 0.0;
+  bool verify = false;
+};
+
+void submit(LineBuilder& b, const SubmitSpec& s) {
+  std::string line = "{\"cmd\":\"submit\",\"id\":" + json_quote(s.id) +
+                     ",\"priority\":" + json_quote(s.priority) +
+                     ",\"gates\":" + std::to_string(s.gates) +
+                     ",\"ffs\":" + std::to_string(s.ffs) +
+                     ",\"seed\":" + std::to_string(s.seed) +
+                     ",\"mode\":" + json_quote(s.mode) +
+                     ",\"rings\":" + std::to_string(s.rings) +
+                     ",\"iterations\":" + std::to_string(s.iterations);
+  if (s.deadline_s > 0.0)
+    line += ",\"deadline_s\":" + json_number(s.deadline_s);
+  if (s.verify) line += ",\"verify\":true";
+  line += "}";
+  b.lines.push_back(std::move(line));
+  b.ids.push_back(s.id);
+}
+
+/// Phase A/E job variants: six distinct small designs, cycling, so jobs
+/// past the sixth repeat an earlier design (design-cache hits) and —
+/// when the whole spec matches — an earlier result.
+SubmitSpec variant_spec(const WorkloadOptions& opt, const std::string& id,
+                        int i) {
+  const int v = i % 6;
+  SubmitSpec s;
+  s.id = id;
+  s.gates = 140 + 30 * v;
+  s.ffs = 12 + 2 * v;
+  s.seed = opt.base_seed + static_cast<std::uint64_t>(v);
+  s.mode = v == 3 ? "ilp" : "nf";
+  switch (i % 3) {
+    case 0: s.priority = "high"; break;
+    case 1: s.priority = "normal"; break;
+    default: s.priority = "low"; break;
+  }
+  return s;
+}
+
+void build(LineBuilder& b, const WorkloadOptions& opt,
+           const std::string& prefix) {
+  // Phase A: mixed traffic. Job 4 carries a generous per-stage deadline
+  // (exercises the PR-2 deadline plumbing without ever firing); job 5
+  // runs with certificate verification attached. Submits go in waves of
+  // at most queue_depth with a wait between waves: queued occupancy can
+  // then never exceed the admission limit, so phase A sees zero
+  // rejections on every replay no matter how fast the workers drain.
+  const std::size_t wave = opt.queue_depth;
+  for (int i = 0; i < opt.mixed_jobs; ++i) {
+    SubmitSpec s = variant_spec(opt, prefix + "a-" + std::to_string(i), i);
+    if (i == 4) s.deadline_s = 300.0;
+    if (i == 5) s.verify = true;
+    submit(b, s);
+    if ((static_cast<std::size_t>(i) + 1) % wave == 0) b.control("wait");
+  }
+  b.control("wait");
+
+  // Phase B: deterministic over-capacity burst. With pickup suspended
+  // and the queue idle, exactly queue_depth submits are admitted and
+  // exactly burst_overflow are rejected with OverloadedError.
+  b.control("suspend");
+  const std::size_t burst = opt.queue_depth + opt.burst_overflow;
+  for (std::size_t i = 0; i < burst; ++i) {
+    SubmitSpec s;
+    s.id = prefix + "b-" + std::to_string(i);
+    s.gates = 120;
+    s.ffs = 8;
+    s.seed = opt.base_seed + 99;
+    s.iterations = 1;
+    submit(b, s);
+  }
+  b.control("resume");
+  b.control("wait");
+
+  // Phase C: cancel a queued job before any worker can claim it.
+  b.control("suspend");
+  {
+    SubmitSpec s;
+    s.id = prefix + "c-0";
+    s.gates = 150;
+    s.ffs = 10;
+    s.seed = opt.base_seed + 7;
+    submit(b, s);
+  }
+  b.cancel(prefix + "c-0");
+  b.control("resume");
+  b.control("wait");
+
+  // Phase D: per-job fault isolation. The queue is idle, so the next
+  // job to start is exactly the next submit: f-0 absorbs an injected
+  // serve.job fault (job fails, daemon survives), f-1 an injected
+  // serve.cache fault (cache bypass, job still succeeds).
+  if (opt.include_faults) {
+    b.fault("serve.job");
+    {
+      SubmitSpec s;
+      s.id = prefix + "f-0";
+      s.gates = 150;
+      s.ffs = 10;
+      s.seed = opt.base_seed + 11;
+      submit(b, s);
+    }
+    b.control("wait");
+    b.fault("serve.cache");
+    {
+      SubmitSpec s;
+      s.id = prefix + "f-1";
+      s.gates = 150;
+      s.ffs = 10;
+      s.seed = opt.base_seed + 13;
+      submit(b, s);
+    }
+    b.control("wait");
+  }
+
+  // Phase E: tail traffic replaying the phase-A design/config variants
+  // under fresh ids — whole-result cache hits. Same wave throttling as
+  // phase A so admission stays deterministic.
+  for (int i = 0; i < opt.tail_jobs; ++i) {
+    submit(b, variant_spec(opt, prefix + "e-" + std::to_string(i), i));
+    if ((static_cast<std::size_t>(i) + 1) % wave == 0) b.control("wait");
+  }
+  b.control("wait");
+
+  for (const std::string& id : b.ids) b.status(id);
+  b.control("stats");
+}
+
+}  // namespace
+
+std::vector<std::string> make_workload(const WorkloadOptions& options) {
+  LineBuilder b;
+  build(b, options, options.id_prefix);
+  return b.lines;
+}
+
+std::vector<std::string> workload_job_ids(const WorkloadOptions& options) {
+  LineBuilder b;
+  build(b, options, options.id_prefix);
+  return b.ids;
+}
+
+}  // namespace rotclk::serve

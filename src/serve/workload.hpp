@@ -1,0 +1,68 @@
+#pragma once
+// Deterministic protocol workloads for rotclkd.
+//
+// A workload is a list of protocol request lines (serve/protocol.hpp)
+// that exercises every serving behaviour on purpose, deterministically:
+//
+//   phase A  mixed traffic: generator jobs across priority classes,
+//            with repeated specs (same design, new id) so the design
+//            and result caches see hits inside a single pass, one job
+//            with a (generous) per-stage deadline, one verified job
+//   phase B  over-capacity burst: suspend worker pickup, submit
+//            queue_depth + burst_overflow jobs, resume — exactly
+//            burst_overflow deterministic OverloadedError rejections
+//   phase C  cancel: a suspended-queue job is cancelled before resume
+//   phase D  per-job faults: arm "serve.job" (next job fails, daemon
+//            survives) and "serve.cache" (next lookup bypasses)
+//   phase E  tail traffic replaying phase-A specs under fresh ids —
+//            whole-result cache hits
+//
+// Suspensions make admission decisions (not just results) identical on
+// every replay, so two passes of the same workload must produce
+// byte-identical per-job summaries; rotclk_loadgen asserts exactly that.
+//
+// The same generator feeds examples/rotclk_loadgen.cpp (live daemon over
+// stdio or a Unix socket), bench/bench_serve.cpp (in-process), and
+// tests/test_serve.cpp.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rotclk::serve {
+
+struct WorkloadOptions {
+  /// Must match the server's SchedulerConfig::max_queue_depth, or the
+  /// burst rejection count stops being deterministic.
+  std::size_t queue_depth = 8;
+  /// Burst submits beyond queue_depth; each is a guaranteed rejection.
+  std::size_t burst_overflow = 4;
+  /// Arm serve.job / serve.cache faults (requires a server started with
+  /// allow_fault_injection).
+  bool include_faults = true;
+  /// Baseline RNG seed for generated circuits.
+  std::uint64_t base_seed = 1;
+  /// Phase A + phase E job counts (phase B adds queue_depth +
+  /// burst_overflow, phase C adds 1, phase D adds 2).
+  int mixed_jobs = 20;
+  int tail_jobs = 15;
+  /// Prepended to every job id. Replay passes against one daemon must
+  /// use distinct prefixes (ids are unique per server lifetime); specs
+  /// are prefix-independent, so pass-2 jobs hit pass-1 cached results.
+  std::string id_prefix;
+};
+
+/// The request lines of the standard workload, in send order. With the
+/// defaults this is exactly 50 submit lines (20 + 8 + 4 + 1 + 2 + 15)
+/// plus the control lines (wait / suspend / resume / cancel / fault).
+[[nodiscard]] std::vector<std::string> make_workload(
+    const WorkloadOptions& options = {});
+
+/// Ids of every job the workload submits, in submit order (rejected
+/// burst jobs included; clients learn the rejections from the submit
+/// responses).
+[[nodiscard]] std::vector<std::string> workload_job_ids(
+    const WorkloadOptions& options = {});
+
+}  // namespace rotclk::serve

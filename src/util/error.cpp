@@ -28,6 +28,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kGuardViolation: return "guard-violation";
     case ErrorCode::kDeadline: return "deadline";
     case ErrorCode::kFaultInjected: return "fault-injected";
+    case ErrorCode::kOverloaded: return "overloaded";
     case ErrorCode::kInternal: return "internal";
   }
   return "?";

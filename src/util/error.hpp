@@ -31,6 +31,7 @@ enum class ErrorCode {
   kGuardViolation,   ///< a between-stage FlowContext invariant failed
   kDeadline,         ///< a stage exceeded its wall-clock budget
   kFaultInjected,    ///< raised by an armed util::fault injection site
+  kOverloaded,       ///< admission control rejected work (serve subsystem)
   kInternal,         ///< a "can't happen" state; always a library bug
 };
 
@@ -132,6 +133,15 @@ class DeadlineError : public Error {
  public:
   DeadlineError(std::string site, const std::string& message)
       : Error(ErrorCode::kDeadline, std::move(site), message) {}
+};
+
+/// Admission control rejected new work: the serve-layer job queue is at
+/// its bounded depth or the server is draining. Clients are expected to
+/// back off and resubmit; the request itself was well-formed.
+class OverloadedError : public Error {
+ public:
+  OverloadedError(std::string site, const std::string& message)
+      : Error(ErrorCode::kOverloaded, std::move(site), message) {}
 };
 
 /// Raised by an armed util::fault injection site (util/fault.hpp).

@@ -1,10 +1,12 @@
 #include "util/parallel.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdlib>
 #include <exception>
 #include <limits>
 #include <string>
+#include <system_error>
 
 #include "util/error.hpp"
 #include "util/fault.hpp"
@@ -17,16 +19,28 @@ int hardware_threads() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+std::optional<int> parse_thread_count(std::string_view text) {
+  constexpr int kMaxThreads = 1024;
+  int value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec == std::errc::result_out_of_range)
+    return text.front() == '-' ? std::nullopt
+                               : std::optional<int>(kMaxThreads);
+  if (ec != std::errc{} || ptr != last || value < 1) return std::nullopt;
+  return std::min(value, kMaxThreads);
+}
+
 int configured_threads() {
   const char* env = std::getenv("ROTCLK_THREADS");
   if (env == nullptr || *env == '\0') return hardware_threads();
-  char* end = nullptr;
-  const long value = std::strtol(env, &end, 10);
-  if (end == env || *end != '\0' || value < 1) {
-    warn("parallel: ignoring malformed ROTCLK_THREADS='", env, "'");
-    return hardware_threads();
-  }
-  return static_cast<int>(std::min(value, 1024L));
+  if (const std::optional<int> parsed = parse_thread_count(env))
+    return *parsed;
+  warn("parallel: ignoring malformed ROTCLK_THREADS='", env,
+       "' (want a positive integer); using ", hardware_threads(),
+       " hardware threads");
+  return hardware_threads();
 }
 
 // One active parallel_for. All fields are guarded by the pool mutex

@@ -38,6 +38,8 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -46,9 +48,19 @@ namespace rotclk::util {
 /// max(1, std::thread::hardware_concurrency()).
 [[nodiscard]] int hardware_threads();
 
-/// Thread count from ROTCLK_THREADS, clamped to [1, 1024]; unset, empty,
-/// or unparsable values fall back to hardware_threads() (with a logged
-/// warning when the variable is set but malformed).
+/// Strict ROTCLK_THREADS value parser (std::from_chars over the whole
+/// string; no leading '+', whitespace, or trailing text). Returns the
+/// count clamped to the documented maximum of 1024 — a value above it
+/// (including one that overflows the integer parse) is treated as "as
+/// many as allowed", not an error. Returns nullopt for everything that
+/// is not a positive integer: empty text, garbage, trailing junk, zero,
+/// and negatives.
+[[nodiscard]] std::optional<int> parse_thread_count(std::string_view text);
+
+/// Thread count from ROTCLK_THREADS via parse_thread_count. Unset or
+/// empty falls back to hardware_threads() silently; a set-but-rejected
+/// value (garbage, zero, negative) falls back too but logs a warning so
+/// a typo never silently serializes — or oversubscribes — the process.
 [[nodiscard]] int configured_threads();
 
 class ThreadPool {

@@ -24,6 +24,10 @@
 #include "core/trace.hpp"
 #include "netlist/generator.hpp"
 #include "netlist/placement_io.hpp"
+#include "serve/design_cache.hpp"
+#include "serve/job.hpp"
+#include "serve/metrics.hpp"
+#include "serve/scheduler.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/parallel.hpp"
@@ -481,6 +485,72 @@ TEST_F(FaultTest, GuardsAndFallbacksDoNotPerturbCleanRuns) {
   EXPECT_EQ(ra.best_iteration, rb.best_iteration);
   EXPECT_TRUE(ra.recovery.empty());
   EXPECT_TRUE(rb.recovery.empty());
+}
+
+// --- Serving-layer fault sites ------------------------------------------
+//
+// The serve layer adds two injection points: "serve.job" fires at the top
+// of every job execution (the whole job fails; the daemon survives), and
+// "serve.cache" fires inside every cache lookup (degrades to a bypass —
+// a cache is an accelerator, never a correctness dependency). Exhaustive
+// coverage lives in test_serve.cpp; these tests pin the isolation
+// contract from the fault harness's point of view.
+
+TEST_F(FaultTest, ServeJobFaultFailsOneJobAndSparesTheScheduler) {
+  serve::MetricsRegistry metrics;
+  serve::DesignCache cache(8);
+  serve::SchedulerConfig cfg;
+  cfg.workers = 1;
+  serve::Scheduler sched(cfg, cache, metrics);
+
+  serve::JobSpec spec;
+  spec.gen_gates = 120;
+  spec.gen_flip_flops = 8;
+  spec.iterations = 1;
+  spec.rings = 4;
+
+  sched.suspend();
+  spec.id = "doomed";
+  sched.submit(spec);
+  spec.id = "spared";
+  spec.seed = 2;
+  sched.submit(spec);
+  fault::arm("serve.job", /*trigger=*/1, /*count=*/1);
+  sched.resume();
+  sched.wait_idle();
+
+  ASSERT_TRUE(sched.status("doomed").has_value());
+  EXPECT_EQ(sched.status("doomed")->state, serve::JobState::kFailed);
+  EXPECT_NE(sched.status("doomed")->error.find("fault-injected"),
+            std::string::npos);
+  EXPECT_EQ(sched.status("spared")->state, serve::JobState::kDone);
+  EXPECT_EQ(metrics.counter("jobs.faults_injected").value(), 1u);
+}
+
+TEST_F(FaultTest, ServeCacheFaultDegradesToBypassNotFailure) {
+  serve::MetricsRegistry metrics;
+  serve::DesignCache cache(8);
+  serve::SchedulerConfig cfg;
+  cfg.workers = 1;
+  serve::Scheduler sched(cfg, cache, metrics);
+
+  serve::JobSpec spec;
+  spec.id = "under-fault";
+  spec.gen_gates = 120;
+  spec.gen_flip_flops = 8;
+  spec.iterations = 1;
+  spec.rings = 4;
+
+  sched.suspend();
+  sched.submit(spec);
+  // One job performs two lookups (result, then design); arm both.
+  fault::arm("serve.cache", /*trigger=*/1, /*count=*/2);
+  sched.resume();
+  sched.wait_idle();
+
+  ASSERT_TRUE(sched.status("under-fault").has_value());
+  EXPECT_EQ(sched.status("under-fault")->state, serve::JobState::kDone);
+  EXPECT_GE(cache.stats().bypasses, 1u);
 }
 
 }  // namespace

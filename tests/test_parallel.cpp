@@ -144,6 +144,35 @@ TEST(Parallel, StressManySmallLoops) {
   EXPECT_DOUBLE_EQ(total, 500.0 * (16.0 * 17.0 / 2.0));
 }
 
+TEST(Parallel, ParseThreadCountAcceptsPlainIntegers) {
+  EXPECT_EQ(parse_thread_count("1"), 1);
+  EXPECT_EQ(parse_thread_count("4"), 4);
+  EXPECT_EQ(parse_thread_count("128"), 128);
+}
+
+TEST(Parallel, ParseThreadCountRejectsGarbage) {
+  EXPECT_EQ(parse_thread_count(""), std::nullopt);
+  EXPECT_EQ(parse_thread_count("abc"), std::nullopt);
+  EXPECT_EQ(parse_thread_count("4x"), std::nullopt);   // trailing junk
+  EXPECT_EQ(parse_thread_count("x4"), std::nullopt);
+  EXPECT_EQ(parse_thread_count(" 4"), std::nullopt);   // no whitespace skip
+  EXPECT_EQ(parse_thread_count("4 "), std::nullopt);
+  EXPECT_EQ(parse_thread_count("4.5"), std::nullopt);
+  EXPECT_EQ(parse_thread_count("+4"), std::nullopt);   // from_chars: no '+'
+}
+
+TEST(Parallel, ParseThreadCountRejectsNonPositive) {
+  EXPECT_EQ(parse_thread_count("0"), std::nullopt);
+  EXPECT_EQ(parse_thread_count("-1"), std::nullopt);
+  EXPECT_EQ(parse_thread_count("-99999999999999999999"), std::nullopt);
+}
+
+TEST(Parallel, ParseThreadCountClampsHugeValues) {
+  EXPECT_EQ(parse_thread_count("1024"), 1024);
+  EXPECT_EQ(parse_thread_count("4096"), 1024);                  // clamp
+  EXPECT_EQ(parse_thread_count("99999999999999999999"), 1024);  // overflow
+}
+
 TEST(Parallel, ConfiguredThreadsParsesEnvironment) {
   ASSERT_EQ(setenv("ROTCLK_THREADS", "3", 1), 0);
   EXPECT_EQ(configured_threads(), 3);
@@ -151,6 +180,8 @@ TEST(Parallel, ConfiguredThreadsParsesEnvironment) {
   EXPECT_EQ(configured_threads(), hardware_threads());
   ASSERT_EQ(setenv("ROTCLK_THREADS", "-2", 1), 0);
   EXPECT_EQ(configured_threads(), hardware_threads());
+  ASSERT_EQ(setenv("ROTCLK_THREADS", "1000000", 1), 0);
+  EXPECT_EQ(configured_threads(), 1024);  // documented clamp
   ASSERT_EQ(unsetenv("ROTCLK_THREADS"), 0);
   EXPECT_EQ(configured_threads(), hardware_threads());
 }

@@ -1,0 +1,497 @@
+// Serving-subsystem tests: the JSON line protocol, content-hash job
+// keys, the LRU design/result cache (including serve.cache fault
+// bypass), metrics histograms, scheduler admission / cancellation /
+// drain / per-job fault isolation, the Server request loop, and an
+// in-process two-pass replay of the standard workload asserting the
+// full acceptance contract (byte-identical summaries, deterministic
+// rejections, warm-cache second pass).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "netlist/generator.hpp"
+#include "serve/design_cache.hpp"
+#include "serve/job.hpp"
+#include "serve/json.hpp"
+#include "serve/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/replay.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace rotclk::serve {
+namespace {
+
+namespace fault = util::fault;
+
+// ---------------------------------------------------------------- JSON
+
+TEST(ServeJson, ParsesScalarsAndContainers) {
+  const JsonValue v = json_parse(
+      R"({"a":1.5,"b":"x\n\"y\"","c":[true,false,null],"d":{"e":-2}})");
+  EXPECT_DOUBLE_EQ(v.get_number("a"), 1.5);
+  EXPECT_EQ(v.get_string("b"), "x\n\"y\"");
+  const JsonValue* c = v.find("c");
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->as_array().size(), 3u);
+  EXPECT_TRUE(c->as_array()[0].as_bool());
+  EXPECT_TRUE(c->as_array()[2].is_null());
+  ASSERT_NE(v.find("d"), nullptr);
+  EXPECT_DOUBLE_EQ(v.find("d")->get_number("e"), -2.0);
+}
+
+TEST(ServeJson, ParsesUnicodeEscapes) {
+  const JsonValue v = json_parse(R"({"s":"Aé"})");
+  EXPECT_EQ(v.get_string("s"), "A\xc3\xa9");  // "Aé" in UTF-8
+}
+
+TEST(ServeJson, RejectsMalformedDocuments) {
+  EXPECT_THROW(json_parse("{"), ParseError);
+  EXPECT_THROW(json_parse(R"({"a":1,})"), ParseError);
+  EXPECT_THROW(json_parse(R"({"a" 1})"), ParseError);
+  EXPECT_THROW(json_parse(R"({"a":1} trailing)"), ParseError);
+  EXPECT_THROW(json_parse(""), ParseError);
+  EXPECT_THROW(json_parse(R"("unterminated)"), ParseError);
+}
+
+TEST(ServeJson, TypeMismatchesThrowTyped) {
+  const JsonValue v = json_parse(R"({"a":1})");
+  EXPECT_THROW(v.get_string("a"), InvalidArgumentError);
+  EXPECT_THROW((void)v.as_array(), InvalidArgumentError);
+}
+
+TEST(ServeJson, QuoteAndNumberRoundTrip) {
+  EXPECT_EQ(json_quote("a\"b\\c\n"), R"("a\"b\\c\n")");
+  EXPECT_EQ(json_parse(json_quote("tab\there")).as_string(), "tab\there");
+  EXPECT_EQ(json_number(0.05), "0.05");
+  const double pi = 3.141592653589793;
+  EXPECT_DOUBLE_EQ(json_parse(json_number(pi)).as_number(), pi);
+}
+
+// ------------------------------------------------------------ job keys
+
+JobSpec tiny_spec(const std::string& id, std::uint64_t seed = 5) {
+  JobSpec s;
+  s.id = id;
+  s.gen_gates = 120;
+  s.gen_flip_flops = 8;
+  s.seed = seed;
+  s.iterations = 1;
+  s.rings = 4;
+  return s;
+}
+
+TEST(ServeJobKeys, DesignKeyIgnoresServingAttributes) {
+  JobSpec a = tiny_spec("a");
+  JobSpec b = tiny_spec("b");
+  b.priority = Priority::kHigh;
+  b.iterations = 7;  // flow knob: affects the result, not the design
+  EXPECT_EQ(design_key(a), design_key(b));
+  b.seed = 99;
+  EXPECT_NE(design_key(a), design_key(b));
+}
+
+TEST(ServeJobKeys, ResultKeyCoversFlowKnobs) {
+  JobSpec a = tiny_spec("a");
+  JobSpec b = tiny_spec("b");
+  EXPECT_EQ(result_key(a), result_key(b));  // id does not matter
+  b.mode = "ilp";
+  EXPECT_NE(result_key(a), result_key(b));
+  b = tiny_spec("b");
+  b.verify = true;
+  EXPECT_NE(result_key(a), result_key(b));
+}
+
+TEST(ServeJobKeys, DeadlineDisablesResultCaching) {
+  JobSpec a = tiny_spec("a");
+  a.deadline_s = 10.0;
+  EXPECT_TRUE(result_key(a).empty());
+  EXPECT_FALSE(design_key(a).empty());
+}
+
+// --------------------------------------------------------- design cache
+
+netlist::Design build_design(const JobSpec& spec) {
+  netlist::GeneratorConfig cfg;
+  cfg.num_gates = spec.gen_gates;
+  cfg.num_flip_flops = spec.gen_flip_flops;
+  cfg.num_primary_inputs = spec.gen_inputs;
+  cfg.num_primary_outputs = spec.gen_outputs;
+  cfg.seed = spec.seed;
+  return netlist::generate_circuit(cfg);
+}
+
+TEST(ServeDesignCache, HitsOnEqualDesignKeys) {
+  DesignCache cache(4);
+  std::atomic<int> builds{0};
+  const auto build = [&] {
+    ++builds;
+    return build_design(tiny_spec("x"));
+  };
+  bool hit = true;
+  const auto d1 = cache.design_for(tiny_spec("a"), build, &hit);
+  EXPECT_FALSE(hit);
+  const auto d2 = cache.design_for(tiny_spec("b"), build, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(d1.get(), d2.get());  // shared, not re-parsed
+  EXPECT_EQ(builds.load(), 1);
+  EXPECT_EQ(cache.stats().design_hits, 1u);
+  EXPECT_EQ(cache.stats().design_misses, 1u);
+}
+
+TEST(ServeDesignCache, EvictsLeastRecentlyUsed) {
+  DesignCache cache(2);
+  const auto put = [&](std::uint64_t seed) {
+    const JobSpec s = tiny_spec("s" + std::to_string(seed), seed);
+    cache.design_for(s, [&] { return build_design(s); });
+  };
+  put(1);
+  put(2);
+  put(1);  // refresh 1: 2 is now the LRU entry
+  put(3);  // evicts 2
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  bool hit = false;
+  const JobSpec again = tiny_spec("again", 2);
+  cache.design_for(again, [&] { return build_design(again); }, &hit);
+  EXPECT_FALSE(hit);  // 2 was evicted
+}
+
+TEST(ServeDesignCache, ResultRoundTripAndEmptyKeys) {
+  DesignCache cache(4);
+  EXPECT_FALSE(cache.result_for("k").has_value());
+  cache.store_result("k", "summary");
+  ASSERT_TRUE(cache.result_for("k").has_value());
+  EXPECT_EQ(*cache.result_for("k"), "summary");
+  cache.store_result("", "never");  // "" = uncacheable sentinel
+  EXPECT_FALSE(cache.result_for("").has_value());
+}
+
+TEST(ServeDesignCache, InjectedFaultDegradesToBypass) {
+  fault::disarm_all();
+  DesignCache cache(4);
+  const JobSpec s = tiny_spec("a");
+  cache.design_for(s, [&] { return build_design(s); });  // warm
+  fault::arm("serve.cache", 1, 1);
+  bool hit = true;
+  const auto d = cache.design_for(s, [&] { return build_design(s); }, &hit);
+  fault::disarm_all();
+  ASSERT_NE(d, nullptr);  // lookup still served a design
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.stats().bypasses, 1u);
+  // The cache itself still works afterwards.
+  cache.design_for(s, [&] { return build_design(s); }, &hit);
+  EXPECT_TRUE(hit);
+}
+
+// -------------------------------------------------------------- metrics
+
+TEST(ServeMetrics, HistogramQuantilesAndEdgeValues) {
+  Histogram h;
+  EXPECT_EQ(h.snapshot().count, 0u);
+  for (int i = 0; i < 95; ++i) h.record(0.001);
+  for (int i = 0; i < 5; ++i) h.record(1.0);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 0.001);
+  EXPECT_DOUBLE_EQ(s.max, 1.0);
+  // p50 falls in the 1 ms bucket, p95 too (95 of 100 samples); both
+  // within one geometric bucket ratio of the true value.
+  EXPECT_GE(s.p50, 0.001 / 2);
+  EXPECT_LE(s.p50, 0.001 * 2);
+  EXPECT_LE(s.p95, 0.01);
+  h.record(-1.0);  // clamped, not UB
+  EXPECT_EQ(h.snapshot().count, 101u);
+}
+
+TEST(ServeMetrics, RegistryReferencesAreStableAndSnapshotSorted) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("b.count");
+  reg.counter("a.count").inc(2);
+  c.inc();
+  reg.histogram("lat").record(0.5);
+  EXPECT_EQ(&c, &reg.counter("b.count"));
+  const std::string snap = reg.snapshot_json();
+  // Sorted member order -> deterministic bytes.
+  EXPECT_LT(snap.find("a.count"), snap.find("b.count"));
+  const JsonValue v = json_parse(snap);
+  EXPECT_DOUBLE_EQ(v.find("counters")->get_number("a.count"), 2.0);
+  EXPECT_EQ(v.find("histograms")->find("lat")->get_number("count"), 1.0);
+}
+
+// ------------------------------------------------------------- protocol
+
+TEST(ServeProtocol, ParsesSubmitWithDefaults) {
+  const Request r = parse_request(
+      R"({"cmd":"submit","id":"j1","gates":150,"ffs":10,"mode":"ilp"})");
+  EXPECT_EQ(r.cmd, Request::Cmd::kSubmit);
+  EXPECT_EQ(r.spec.id, "j1");
+  EXPECT_EQ(r.spec.gen_gates, 150);
+  EXPECT_EQ(r.spec.mode, "ilp");
+  EXPECT_EQ(r.spec.priority, Priority::kNormal);  // default
+}
+
+TEST(ServeProtocol, RejectsBadRequests) {
+  EXPECT_THROW(parse_request("not json"), ParseError);
+  EXPECT_THROW(parse_request(R"({"id":"x"})"), InvalidArgumentError);
+  EXPECT_THROW(parse_request(R"({"cmd":"nope"})"), InvalidArgumentError);
+  EXPECT_THROW(parse_request(R"({"cmd":"submit"})"), InvalidArgumentError);
+  EXPECT_THROW(parse_request(R"({"cmd":"submit","id":"x","mode":"x"})"),
+               InvalidArgumentError);
+  EXPECT_THROW(
+      parse_request(R"({"cmd":"submit","id":"x","priority":"urgent"})"),
+      InvalidArgumentError);
+  EXPECT_THROW(parse_request(R"({"cmd":"submit","id":"x","gates":-5})"),
+               InvalidArgumentError);
+  EXPECT_THROW(
+      parse_request(R"({"cmd":"submit","id":"x","utilization":1.5})"),
+      InvalidArgumentError);
+  EXPECT_THROW(
+      parse_request(
+          R"({"cmd":"submit","id":"x","circuit":"s9234","bench":"..."})"),
+      InvalidArgumentError);
+}
+
+// ------------------------------------------------------------ scheduler
+
+class ServeScheduler : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::disarm_all(); }
+  void TearDown() override { fault::disarm_all(); }
+
+  static SchedulerConfig config(int workers, std::size_t depth) {
+    SchedulerConfig c;
+    c.workers = workers;
+    c.max_queue_depth = depth;
+    return c;
+  }
+
+  MetricsRegistry metrics;
+  DesignCache cache{16};
+};
+
+TEST_F(ServeScheduler, RunsJobsToDone) {
+  Scheduler sched(config(2, 8), cache, metrics);
+  sched.submit(tiny_spec("a"));
+  sched.submit(tiny_spec("b", 6));
+  sched.wait_idle();
+  const auto a = sched.status("a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->state, JobState::kDone);
+  EXPECT_FALSE(a->summary.empty());
+  EXPECT_GE(a->exec_s, 0.0);
+  EXPECT_EQ(sched.status("b")->state, JobState::kDone);
+  EXPECT_FALSE(sched.status("missing").has_value());
+}
+
+TEST_F(ServeScheduler, IdenticalSpecsYieldIdenticalSummaries) {
+  Scheduler sched(config(2, 8), cache, metrics);
+  sched.submit(tiny_spec("a"));
+  sched.wait_idle();  // "a" completes (and memoizes) before "b" starts
+  sched.submit(tiny_spec("b"));  // same spec, different id
+  sched.wait_idle();
+  EXPECT_EQ(sched.status("a")->summary, sched.status("b")->summary);
+  EXPECT_FALSE(sched.status("a")->result_cache_hit);
+  EXPECT_TRUE(sched.status("b")->result_cache_hit);
+}
+
+TEST_F(ServeScheduler, RejectsDuplicateAndEmptyIds) {
+  Scheduler sched(config(1, 8), cache, metrics);
+  sched.submit(tiny_spec("a"));
+  EXPECT_THROW(sched.submit(tiny_spec("a")), InvalidArgumentError);
+  EXPECT_THROW(sched.submit(tiny_spec("")), InvalidArgumentError);
+  sched.wait_idle();
+  EXPECT_THROW(sched.submit(tiny_spec("a")), InvalidArgumentError);
+}
+
+TEST_F(ServeScheduler, OverflowsDeterministicallyWhenSuspended) {
+  Scheduler sched(config(2, 3), cache, metrics);
+  sched.suspend();
+  sched.submit(tiny_spec("q0"));
+  sched.submit(tiny_spec("q1"));
+  sched.submit(tiny_spec("q2"));
+  EXPECT_THROW(sched.submit(tiny_spec("q3")), OverloadedError);
+  EXPECT_THROW(sched.submit(tiny_spec("q4")), OverloadedError);
+  EXPECT_FALSE(sched.status("q3").has_value());  // never recorded
+  sched.resume();
+  sched.wait_idle();
+  EXPECT_EQ(sched.status("q2")->state, JobState::kDone);
+  EXPECT_EQ(metrics.counter("jobs.rejected").value(), 2u);
+}
+
+TEST_F(ServeScheduler, CancelsQueuedJobsOnly) {
+  Scheduler sched(config(1, 8), cache, metrics);
+  sched.suspend();
+  sched.submit(tiny_spec("a"));
+  EXPECT_TRUE(sched.cancel("a"));
+  EXPECT_FALSE(sched.cancel("a"));  // already terminal
+  EXPECT_FALSE(sched.cancel("missing"));
+  sched.resume();
+  sched.wait_idle();
+  EXPECT_EQ(sched.status("a")->state, JobState::kCancelled);
+  // A cancelled job never ran.
+  EXPECT_EQ(sched.status("a")->exec_s, 0.0);
+}
+
+TEST_F(ServeScheduler, DrainRejectsNewWorkAndFinishesOldWork) {
+  Scheduler sched(config(2, 8), cache, metrics);
+  sched.submit(tiny_spec("a"));
+  sched.drain();
+  EXPECT_EQ(sched.status("a")->state, JobState::kDone);
+  EXPECT_THROW(sched.submit(tiny_spec("late")), OverloadedError);
+  sched.drain();  // idempotent
+}
+
+TEST_F(ServeScheduler, InjectedFaultIsConfinedToItsJob) {
+  Scheduler sched(config(1, 8), cache, metrics);
+  sched.suspend();
+  sched.submit(tiny_spec("victim"));
+  sched.submit(tiny_spec("bystander", 6));
+  fault::arm("serve.job", 1, 1);
+  sched.resume();
+  sched.wait_idle();
+  fault::disarm_all();
+  const auto victim = sched.status("victim");
+  const auto bystander = sched.status("bystander");
+  ASSERT_TRUE(victim.has_value());
+  ASSERT_TRUE(bystander.has_value());
+  EXPECT_EQ(victim->state, JobState::kFailed);
+  EXPECT_NE(victim->error.find("fault-injected"), std::string::npos);
+  EXPECT_EQ(bystander->state, JobState::kDone);  // zero contamination
+  EXPECT_EQ(metrics.counter("jobs.faults_injected").value(), 1u);
+  // The scheduler still accepts and completes work after the failure.
+  sched.submit(tiny_spec("after", 7));
+  sched.wait_idle();
+  EXPECT_EQ(sched.status("after")->state, JobState::kDone);
+}
+
+TEST_F(ServeScheduler, AllJobsPreservesSubmissionOrder) {
+  Scheduler sched(config(2, 8), cache, metrics);
+  sched.submit(tiny_spec("first"));
+  sched.submit(tiny_spec("second", 6));
+  sched.wait_idle();
+  const std::vector<JobRecord> all = sched.all_jobs();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].spec.id, "first");
+  EXPECT_EQ(all[1].spec.id, "second");
+}
+
+// --------------------------------------------------------------- server
+
+ServerConfig tiny_server_config(std::size_t depth = 8,
+                                bool faults = false) {
+  ServerConfig cfg;
+  cfg.scheduler.workers = 2;
+  cfg.scheduler.max_queue_depth = depth;
+  cfg.allow_fault_injection = faults;
+  return cfg;
+}
+
+TEST(ServeServer, MalformedLinesNeverThrow) {
+  Server server(tiny_server_config());
+  for (const char* bad :
+       {"", "not json", "{\"cmd\":\"nope\"}", "{\"cmd\":\"submit\"}",
+        "{\"cmd\":\"status\"}", "[1,2,3]"}) {
+    const JsonValue v = json_parse(server.handle_line(bad));
+    EXPECT_FALSE(v.get_bool("ok", true)) << bad;
+    EXPECT_FALSE(v.get_string("error").empty()) << bad;
+  }
+  // The session is still healthy afterwards.
+  EXPECT_TRUE(json_parse(server.handle_line(R"({"cmd":"ping"})"))
+                  .get_bool("ok"));
+}
+
+TEST(ServeServer, SubmitWaitStatusLifecycle) {
+  Server server(tiny_server_config());
+  const JsonValue sub = json_parse(server.handle_line(
+      R"({"cmd":"submit","id":"j","gates":120,"ffs":8,"iterations":1})"));
+  ASSERT_TRUE(sub.get_bool("ok"));
+  EXPECT_EQ(sub.get_string("state"), "queued");
+  ASSERT_TRUE(
+      json_parse(server.handle_line(R"({"cmd":"wait"})")).get_bool("ok"));
+  const JsonValue st =
+      json_parse(server.handle_line(R"({"cmd":"status","id":"j"})"));
+  ASSERT_TRUE(st.get_bool("ok"));
+  EXPECT_EQ(st.get_string("state"), "done");
+  EXPECT_FALSE(st.get_string("summary").empty());
+  const JsonValue stats =
+      json_parse(server.handle_line(R"({"cmd":"stats"})"));
+  ASSERT_TRUE(stats.get_bool("ok"));
+  EXPECT_DOUBLE_EQ(
+      stats.find("metrics")->find("counters")->get_number("jobs.completed"),
+      1.0);
+  EXPECT_EQ(stats.find("queue")->get_number("queued"), 0.0);
+}
+
+TEST(ServeServer, FaultCommandIsGatedByConfig) {
+  Server locked(tiny_server_config(8, /*faults=*/false));
+  EXPECT_FALSE(json_parse(locked.handle_line(
+                              R"({"cmd":"fault","site":"serve.job"})"))
+                   .get_bool("ok"));
+  Server open(tiny_server_config(8, /*faults=*/true));
+  EXPECT_TRUE(json_parse(open.handle_line(
+                             R"({"cmd":"fault","site":"serve.job"})"))
+                  .get_bool("ok"));
+  // Disarm (trigger 0) so no later test inherits the armed site.
+  EXPECT_TRUE(
+      json_parse(open.handle_line(
+                     R"({"cmd":"fault","site":"serve.job","trigger":0})"))
+          .get_bool("ok"));
+}
+
+TEST(ServeServer, DrainEndsTheSession) {
+  Server server(tiny_server_config());
+  std::istringstream in(
+      "{\"cmd\":\"ping\"}\n{\"cmd\":\"drain\"}\n{\"cmd\":\"ping\"}\n");
+  std::ostringstream out;
+  const std::size_t handled = server.serve(in, out);
+  EXPECT_EQ(handled, 2u);  // the post-drain ping is never read
+  EXPECT_TRUE(server.drained());
+}
+
+// ------------------------------------------------- workload replay (e2e)
+
+TEST(ServeReplay, TwoPassWorkloadMeetsTheAcceptanceContract) {
+  fault::disarm_all();
+  ServerConfig cfg = tiny_server_config(/*depth=*/4, /*faults=*/true);
+  Server server(cfg);
+
+  ReplayOptions opt;
+  opt.passes = 2;
+  opt.workload.queue_depth = 4;
+  opt.workload.burst_overflow = 2;
+  opt.workload.mixed_jobs = 7;  // covers all six design variants
+  opt.workload.tail_jobs = 4;
+  const ReplayReport report = replay(
+      [&](const std::string& line) { return server.handle_line(line); }, opt);
+
+  std::string why;
+  EXPECT_TRUE(report.acceptance_ok(&why)) << why;
+  ASSERT_EQ(report.passes.size(), 2u);
+  for (const PassOutcome& pass : report.passes) {
+    EXPECT_EQ(pass.rejected, 2);  // exactly burst_overflow, both passes
+    EXPECT_EQ(pass.failed, 1);    // exactly the serve.job target
+    EXPECT_EQ(pass.cancelled, 1);
+  }
+  // The repeated pass runs against a warm cache: every design and every
+  // deadline-free result is already memoized.
+  EXPECT_GT(report.passes[1].result_cache_hits,
+            report.passes[0].result_cache_hits);
+  const std::string bench = report.bench_json();
+  const JsonValue doc = json_parse(bench);
+  EXPECT_TRUE(doc.get_bool("replay_identical"));
+  ASSERT_NE(doc.find("queue_wait"), nullptr);
+  EXPECT_GT(doc.find("e2e")->get_number("count"), 0.0);
+  EXPECT_TRUE(server.drained());
+}
+
+}  // namespace
+}  // namespace rotclk::serve

@@ -161,5 +161,67 @@ TEST(Logging, LevelGatesOutput) {
   set_log_level(old);
 }
 
+TEST(Strings, SplitOnAnySeparatorCharacter) {
+  const auto parts = split("a;b c;;  d", "; ");
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[3], "d");
+  // A string made only of separators yields nothing.
+  EXPECT_TRUE(split(";;;  ", "; ").empty());
+}
+
+TEST(Strings, StartsWithEdgeCases) {
+  EXPECT_TRUE(starts_with("abc", ""));   // empty prefix matches anything
+  EXPECT_TRUE(starts_with("", ""));
+  EXPECT_FALSE(starts_with("", "a"));
+  EXPECT_FALSE(starts_with("ab", "abc"));  // prefix longer than string
+  EXPECT_TRUE(starts_with("abc", "abc"));  // whole-string prefix
+}
+
+TEST(Strings, ToLowerLeavesNonAlphaAlone) {
+  EXPECT_EQ(to_lower("MiXeD-42_z"), "mixed-42_z");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Logging, MessagesReachStderrWithLevelTags) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::Debug);
+  ::testing::internal::CaptureStderr();
+  warn("wmsg ", 42);
+  error("emsg");
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  set_log_level(old);
+  EXPECT_NE(captured.find("WARN"), std::string::npos);
+  EXPECT_NE(captured.find("wmsg 42"), std::string::npos);
+  EXPECT_NE(captured.find("emsg"), std::string::npos);
+}
+
+TEST(Logging, SuppressedLevelsWriteNothing) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::Silent);
+  ::testing::internal::CaptureStderr();
+  debug("d");
+  info("i");
+  warn("w");
+  error("e");
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+  set_log_level(old);
+}
+
+TEST(Table, EmptyTableRendersTitleOnly) {
+  Table t("empty");
+  EXPECT_EQ(t.row_count(), 0u);
+  EXPECT_NE(t.to_string().find("== empty =="), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "\n");  // the (empty) header line only
+}
+
+TEST(Table, CsvMatchesRowContentForMultipleRows) {
+  Table t("x");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "2"});
+  EXPECT_EQ(t.to_csv(), "name,value\nalpha,1\nbeta,2\n");
+}
+
 }  // namespace
 }  // namespace rotclk::util
