@@ -1,0 +1,344 @@
+// Warm-vs-cold ECO benchmark.
+//
+// Seeds one cold flow on a Table II circuit (default s38417), then replays
+// two ECO scenarios — a single-cell move and a 1% batch move — through four
+// eco::EcoSession instances seeded from the same converged result:
+//
+//   warm   (timed)    session.apply(delta): incremental kernels
+//   cold   (timed)    session.apply_cold(delta): full kernels, same
+//                     reconvergence pipeline — the bit-identity oracle
+//   vwarm  (untimed)  verify=true warm lap: certificate re-proof
+//   vcold  (untimed)  verify=true cold lap: certificate re-proof
+//
+// Each scenario also times a true cold re-run — a fresh RotaryFlow on the
+// mutated design, which is what a user without the ECO engine would pay —
+// and `speedup` is that cold-flow time over the warm time.
+//
+// Warm/cold summaries (serve::format_summary) must be byte-identical per
+// scenario within each verify setting and every certificate must pass on
+// both verified laps — any mismatch exits 1 regardless of --baseline.
+// BENCH_eco.json records warm / cold-oracle / cold-flow seconds, speedups,
+// dirty-set sizes from the warm eco events, and certificate counts.
+//
+//   bench_eco [--circuit s38417] [--out BENCH_eco.json]
+//             [--baseline bench/baseline_ci.json] [--tolerance 0.25]
+//
+// With --baseline the warm lap times are gated against the flat keys
+// eco.<circuit>.<scenario>.warm (same rule as bench_regress: fail only
+// when measured > base * (1 + tolerance) AND measured - base > 0.25 s) and
+// the worst per-scenario speedup is gated against eco.<circuit>.min_speedup.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/certificate.hpp"
+#include "eco/delta.hpp"
+#include "eco/session.hpp"
+#include "netlist/benchmarks.hpp"
+#include "serve/scheduler.hpp"
+#include "suite.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using rotclk::core::FlowResult;
+using rotclk::eco::DesignDelta;
+using rotclk::eco::EcoSession;
+using rotclk::geom::Point;
+using rotclk::netlist::Design;
+
+struct ScenarioReport {
+  std::string name;
+  std::size_t ops = 0;
+  double warm_seconds = 0.0;
+  double cold_eco_seconds = 0.0;   ///< apply_cold lap (the oracle)
+  double cold_flow_seconds = 0.0;  ///< fresh RotaryFlow on the mutated design
+  double speedup = 0.0;            ///< cold_flow_seconds / warm_seconds
+  double speedup_vs_cold_eco = 0.0;
+  int dirty_cells = 0;
+  int dirty_ffs = 0;
+  int dirty_arcs = 0;
+  std::size_t certificates_total = 0;
+  std::size_t certificates_failed = 0;
+  bool summaries_identical = false;
+};
+
+std::string ff_name(const Design& d, std::size_t i) {
+  const std::vector<int>& ffs = d.flip_flops();
+  return d.cells()[static_cast<std::size_t>(ffs[i % ffs.size()])].name;
+}
+
+/// The two acceptance scenarios, built against the session's current
+/// (converged) placement so moves are small local perturbations.
+DesignDelta make_delta(const std::string& scenario, const EcoSession& s) {
+  const Design& d = s.design();
+  DesignDelta delta;
+  if (scenario == "single_move") {
+    const std::string ff = ff_name(d, 0);
+    const Point cur = s.placement().loc(d.find_cell(ff));
+    delta.move_cell(ff, Point{cur.x + 2.0, cur.y - 1.5});
+    return delta;
+  }
+  // batch_move_1pct: move max(1, 1%) of the flip-flops, spread evenly.
+  const std::size_t n_ffs = d.flip_flops().size();
+  const std::size_t n_moves = std::max<std::size_t>(1, n_ffs / 100);
+  const std::size_t stride = std::max<std::size_t>(1, n_ffs / n_moves);
+  for (std::size_t i = 0; i < n_moves; ++i) {
+    const std::string ff = ff_name(d, i * stride);
+    const Point cur = s.placement().loc(d.find_cell(ff));
+    delta.move_cell(ff, Point{cur.x + 1.0 + static_cast<double>(i % 3),
+                              cur.y + 0.5});
+  }
+  return delta;
+}
+
+/// Flat "key": number pairs, same format/semantics as bench_regress.
+std::map<std::string, double> parse_flat_json(const std::string& text) {
+  std::map<std::string, double> out;
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t key_open = text.find('"', i);
+    if (key_open == std::string::npos) break;
+    const std::size_t key_close = text.find('"', key_open + 1);
+    if (key_close == std::string::npos) break;
+    const std::size_t colon = text.find(':', key_close);
+    if (colon == std::string::npos) break;
+    std::size_t j = colon + 1;
+    while (j < text.size() && std::isspace(static_cast<unsigned char>(text[j])))
+      ++j;
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str() + j, &end);
+    if (end == text.c_str() + j) {
+      if (j < text.size() && text[j] == '"') {
+        const std::size_t val_close = text.find('"', j + 1);
+        if (val_close == std::string::npos) break;
+        i = val_close + 1;
+      } else {
+        i = j + 1;
+      }
+      continue;
+    }
+    out[text.substr(key_open + 1, key_close - key_open - 1)] = v;
+    i = static_cast<std::size_t>(end - text.c_str());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string circuit = "s38417";
+  std::string out_path = "BENCH_eco.json";
+  std::string baseline_path;
+  double tolerance = 0.25;
+  constexpr double kAbsFloorSeconds = 0.25;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> std::string {
+      if (a + 1 >= argc) {
+        std::cerr << "bench_eco: missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (arg == "--circuit") circuit = next();
+    else if (arg == "--out") out_path = next();
+    else if (arg == "--baseline") baseline_path = next();
+    else if (arg == "--tolerance") tolerance = std::stod(next());
+    else {
+      std::cerr << "bench_eco: unknown argument " << arg << "\n";
+      return 2;
+    }
+  }
+
+  try {
+    const rotclk::netlist::BenchmarkSpec& spec =
+        rotclk::netlist::benchmark_spec(circuit);
+    const Design design = rotclk::netlist::make_benchmark(spec);
+    const rotclk::core::FlowConfig cfg = rotclk::bench::paper_config(
+        spec, rotclk::core::AssignMode::NetworkFlow);
+    rotclk::core::FlowConfig vcfg = cfg;
+    vcfg.verify = true;
+
+    std::cerr << "[bench_eco] " << circuit << ": cold seed flow...\n";
+    EcoSession warm(design, cfg);
+    rotclk::util::Timer seed_timer;
+    const FlowResult seeded = warm.seed();
+    const double seed_flow_seconds = seed_timer.seconds();
+    std::cerr << "[bench_eco] seed done in " << seed_flow_seconds << "s\n";
+
+    EcoSession cold(design, cfg);
+    cold.seed(seeded);
+    EcoSession vwarm(design, vcfg);
+    vwarm.seed(seeded);
+    EcoSession vcold(design, vcfg);
+    vcold.seed(seeded);
+
+    const std::vector<std::string> scenarios{"single_move", "batch_move_1pct"};
+    std::vector<ScenarioReport> reports;
+    bool failed = false;
+
+    for (const std::string& name : scenarios) {
+      // All four sessions share the seed and every prior scenario's delta,
+      // so the delta (built from warm's placement) means the same thing to
+      // each of them.
+      const DesignDelta delta = make_delta(name, warm);
+
+      ScenarioReport rep;
+      rep.name = name;
+      rep.ops = delta.size();
+
+      rotclk::util::Timer warm_timer;
+      const FlowResult w = warm.apply(delta);
+      rep.warm_seconds = warm_timer.seconds();
+
+      rotclk::util::Timer cold_timer;
+      const FlowResult c = cold.apply_cold(delta);
+      rep.cold_eco_seconds = cold_timer.seconds();
+      rep.speedup_vs_cold_eco = rep.warm_seconds > 0.0
+                                    ? rep.cold_eco_seconds / rep.warm_seconds
+                                    : 0.0;
+
+      // The re-run a user without the ECO engine would pay: a fresh cold
+      // flow on the mutated design (warm's private copy already carries
+      // every applied delta).
+      rotclk::util::Timer flow_timer;
+      rotclk::core::RotaryFlow cold_flow(warm.design(), cfg);
+      (void)cold_flow.run();
+      rep.cold_flow_seconds = flow_timer.seconds();
+      rep.speedup = rep.warm_seconds > 0.0
+                        ? rep.cold_flow_seconds / rep.warm_seconds
+                        : 0.0;
+
+      for (const rotclk::core::EcoEvent& ev : w.eco_events) {
+        rep.dirty_cells = std::max(rep.dirty_cells, ev.dirty_cells);
+        rep.dirty_ffs = std::max(rep.dirty_ffs, ev.dirty_ffs);
+        rep.dirty_arcs = std::max(rep.dirty_arcs, ev.dirty_arcs);
+      }
+
+      const FlowResult vw = vwarm.apply(delta);
+      const FlowResult vc = vcold.apply_cold(delta);
+      for (const FlowResult* r : {&vw, &vc}) {
+        rep.certificates_total += r->certificates.size();
+        for (const auto& cert : r->certificates)
+          if (!cert.pass) ++rep.certificates_failed;
+      }
+
+      // Summaries must match warm-vs-cold within each verify setting
+      // (format_summary includes certificate counts, so the verified pair
+      // can never byte-match the unverified pair).
+      const std::string sw = rotclk::serve::format_summary(w);
+      const std::string svw = rotclk::serve::format_summary(vw);
+      rep.summaries_identical = sw == rotclk::serve::format_summary(c) &&
+                                svw == rotclk::serve::format_summary(vc);
+      if (!rep.summaries_identical) {
+        std::cerr << "bench_eco: FAIL " << name
+                  << ": warm/cold summaries differ\n"
+                  << "  warm:  " << sw << "\n"
+                  << "  cold:  " << rotclk::serve::format_summary(c) << "\n"
+                  << "  vwarm: " << svw << "\n"
+                  << "  vcold: " << rotclk::serve::format_summary(vc) << "\n";
+        failed = true;
+      }
+      if (warm.stats().degraded > 0) {
+        std::cerr << "bench_eco: FAIL " << name
+                  << ": warm session degraded to cold\n";
+        failed = true;
+      }
+      if (rep.certificates_total == 0 || rep.certificates_failed > 0) {
+        std::cerr << "bench_eco: FAIL " << name << ": certificates "
+                  << rep.certificates_failed << "/" << rep.certificates_total
+                  << " failed (or none ran)\n";
+        failed = true;
+      }
+      std::cerr << "[bench_eco] " << name << ": warm " << rep.warm_seconds
+                << "s, cold-flow " << rep.cold_flow_seconds << "s ("
+                << rep.speedup << "x), cold-eco " << rep.cold_eco_seconds
+                << "s (" << rep.speedup_vs_cold_eco << "x), dirty "
+                << rep.dirty_cells << " cells / " << rep.dirty_ffs
+                << " ffs / " << rep.dirty_arcs << " arcs\n";
+      reports.push_back(rep);
+    }
+
+    std::ostringstream os;
+    os << "{\n  \"circuit\":\"" << circuit << "\",\n  \"seed_flow_seconds\":"
+       << seed_flow_seconds << ",\n  \"scenarios\":[\n";
+    double min_speedup = 0.0;
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const ScenarioReport& r = reports[i];
+      if (i == 0 || r.speedup < min_speedup) min_speedup = r.speedup;
+      if (i) os << ",\n";
+      os << "    {\"name\":\"" << r.name << "\",\"ops\":" << r.ops
+         << ",\"warm_seconds\":" << r.warm_seconds
+         << ",\"cold_flow_seconds\":" << r.cold_flow_seconds
+         << ",\"cold_eco_seconds\":" << r.cold_eco_seconds
+         << ",\"speedup\":" << r.speedup
+         << ",\"speedup_vs_cold_eco\":" << r.speedup_vs_cold_eco
+         << ",\n     \"dirty_cells\":" << r.dirty_cells
+         << ",\"dirty_ffs\":" << r.dirty_ffs
+         << ",\"dirty_arcs\":" << r.dirty_arcs
+         << ",\"certificates_total\":" << r.certificates_total
+         << ",\"certificates_failed\":" << r.certificates_failed
+         << ",\"summaries_identical\":"
+         << (r.summaries_identical ? "true" : "false") << "}";
+    }
+    os << "\n  ],\n  \"min_speedup\":" << min_speedup << "\n}\n";
+    {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::cerr << "bench_eco: cannot write " << out_path << "\n";
+        return 2;
+      }
+      out << os.str();
+    }
+    std::cout << os.str();
+    if (failed) return 1;
+
+    if (baseline_path.empty()) return 0;
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::cerr << "bench_eco: cannot read baseline " << baseline_path << "\n";
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::map<std::string, double> baseline = parse_flat_json(buf.str());
+    int regressions = 0;
+    for (const ScenarioReport& r : reports) {
+      const auto it = baseline.find("eco." + circuit + "." + r.name + ".warm");
+      if (it == baseline.end()) continue;
+      const double base = it->second;
+      if (r.warm_seconds > base * (1.0 + tolerance) &&
+          r.warm_seconds - base > kAbsFloorSeconds) {
+        std::cerr << "REGRESSION: eco." << circuit << "." << r.name
+                  << ".warm took " << r.warm_seconds << "s vs baseline "
+                  << base << "s\n";
+        ++regressions;
+      }
+    }
+    const auto min_it = baseline.find("eco." + circuit + ".min_speedup");
+    if (min_it != baseline.end() && min_speedup < min_it->second) {
+      std::cerr << "REGRESSION: eco." << circuit << ".min_speedup "
+                << min_speedup << "x < required " << min_it->second << "x\n";
+      ++regressions;
+    }
+    if (regressions > 0) {
+      std::cerr << regressions << " eco regression(s) vs " << baseline_path
+                << "\n";
+      return 1;
+    }
+    std::cerr << "no eco regressions vs " << baseline_path << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_eco: " << e.what() << "\n";
+    return 1;
+  }
+}

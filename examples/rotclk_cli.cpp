@@ -21,6 +21,10 @@
 //   --svg FILE          render the final layout (die, rings, taps) as SVG
 //   --trace FILE        write a JSON pipeline trace (per-stage wall times
 //                       and per-iteration metrics)
+//   --eco FILE          after the flow converges, apply ECO deltas from
+//                       FILE (JSONL: one delta array per line, the
+//                       serve/eco_io.hpp op grammar) through a warm
+//                       EcoSession and print each reconverged summary
 //   --complement        allow complementary-phase taps (polarity flip)
 //   --buffered-taps     drive tapping stubs through buffers (Sec. III)
 //   --quiet             suppress the progress table, print the summary only
@@ -34,7 +38,10 @@
 #include "core/flow_report.hpp"
 #include "core/svg_export.hpp"
 #include "core/trace.hpp"
+#include "eco/session.hpp"
 #include "netlist/bench_io.hpp"
+#include "serve/eco_io.hpp"
+#include "serve/scheduler.hpp"
 #include "netlist/benchmarks.hpp"
 #include "netlist/placement_io.hpp"
 #include "util/error.hpp"
@@ -57,6 +64,7 @@ struct CliOptions {
   std::optional<std::string> load_placement;
   std::optional<std::string> svg_file;
   std::optional<std::string> trace_file;
+  std::optional<std::string> eco_file;
   bool complement = false;
   bool buffered_taps = false;
   bool quiet = false;
@@ -127,6 +135,7 @@ CliOptions parse(int argc, char** argv) {
     else if (a == "--load-placement") opt.load_placement = need_value(i, a);
     else if (a == "--svg") opt.svg_file = need_value(i, a);
     else if (a == "--trace") opt.trace_file = need_value(i, a);
+    else if (a == "--eco") opt.eco_file = need_value(i, a);
     else if (a == "--complement") opt.complement = true;
     else if (a == "--buffered-taps") opt.buffered_taps = true;
     else if (a == "--quiet") opt.quiet = true;
@@ -150,6 +159,8 @@ usage: rotclk_cli [options]
   --load-placement F  start from a saved placement (skips stage 1)
   --svg FILE          render the final layout (die, rings, taps) as SVG
   --trace FILE        write a JSON pipeline trace
+  --eco FILE          apply ECO deltas from FILE (JSONL, one delta array
+                      per line) through a warm session after the flow
   --complement        allow complementary-phase taps (polarity flip)
   --buffered-taps     drive tapping stubs through buffers
   --quiet             suppress the progress table, print the summary only
@@ -235,6 +246,30 @@ int run(const CliOptions& opt) {
     out << table.to_csv();
     out.flush();
     if (!out) throw IoError("cli", *opt.csv_file, "write failed");
+  }
+
+  if (opt.eco_file) {
+    std::ifstream in(*opt.eco_file);
+    if (!in) throw IoError("cli", *opt.eco_file, "cannot open for reading");
+    eco::EcoSession session(design, cfg);
+    session.seed(result);  // warm-start from the run above, no second flow
+    std::string line;
+    int line_no = 0;
+    int applied = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.empty()) continue;
+      const eco::DesignDelta delta = serve::delta_from_json_text(
+          line, *opt.eco_file + ":" + std::to_string(line_no));
+      const core::FlowResult warm = session.apply(delta);
+      ++applied;
+      std::cout << "eco[" << applied << "] " << delta.summary() << ": "
+                << serve::format_summary(warm) << "\n";
+    }
+    const eco::EcoSession::Stats& st = session.stats();
+    std::cout << "eco: " << st.deltas_applied << " deltas ("
+              << st.warm_runs << " warm, " << st.cold_runs << " cold, "
+              << st.degraded << " degraded)\n";
   }
 
   const auto& base = result.base();

@@ -1,161 +1,12 @@
 #include "assign/netflow.hpp"
 
-#include <functional>
-#include <limits>
 #include <numeric>
-#include <queue>
-#include <utility>
-#include <vector>
 
 #include "assign/error.hpp"
+#include "assign/residual.hpp"
 #include "util/fault.hpp"
 
 namespace rotclk::assign {
-
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-// Exact successive-shortest-augmenting-path solver specialized to the
-// Sec. V network (Fig. 4): unit-supply flip-flops, capacity-U_j rings.
-// This is the capacitated Jonker-Volgenant recipe: one Dijkstra per
-// flip-flop over *ring* nodes only (the source / flip-flop layer of the
-// general min-cost-flow network never enters the heap), with dual prices
-// v_j on rings maintaining reduced-cost optimality. Augmenting along the
-// shortest alternating path per flip-flop preserves the SSP invariant,
-// so the final assignment cost is the exact optimum of the flow LP —
-// identical to solving the full min-cost max-flow, at a fraction of the
-// work (the heap holds at most num_rings entries).
-class SemiAssignment {
- public:
-  explicit SemiAssignment(const AssignProblem& problem) : problem_(problem) {
-    const std::size_t f = static_cast<std::size_t>(problem.num_ffs());
-    const std::size_t r = static_cast<std::size_t>(problem.num_rings);
-    arcs_of_ff_.resize(f);
-    for (std::size_t a = 0; a < problem.arcs.size(); ++a)
-      arcs_of_ff_[static_cast<std::size_t>(problem.arcs[a].ff)].push_back(
-          static_cast<int>(a));
-    assigned_.resize(r);
-    used_.assign(r, 0);
-    price_.assign(r, 0.0);
-    arc_of_ff_.assign(f, -1);
-    dist_.assign(r, kInf);
-    parent_arc_.assign(r, -1);
-    prev_ring_.assign(r, -1);
-    popped_.reserve(r);
-  }
-
-  /// Augment every flip-flop in index order; returns the number left
-  /// unassigned (0 when the instance is feasible).
-  int run() {
-    int unassigned = 0;
-    for (int i = 0; i < problem_.num_ffs(); ++i)
-      if (!augment(i)) ++unassigned;
-    return unassigned;
-  }
-
-  [[nodiscard]] std::vector<int> take_result() { return std::move(arc_of_ff_); }
-
- private:
-  bool augment(int ff) {
-    using Item = std::pair<double, int>;  // (distance, ring)
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-    const std::size_t r = static_cast<std::size_t>(problem_.num_rings);
-    dist_.assign(r, kInf);
-    parent_arc_.assign(r, -1);
-    prev_ring_.assign(r, -1);
-    popped_.clear();
-    std::vector<bool> done(r, false);
-    for (int a : arcs_of_ff_[static_cast<std::size_t>(ff)]) {
-      const CandidateArc& arc = problem_.arcs[static_cast<std::size_t>(a)];
-      const std::size_t j = static_cast<std::size_t>(arc.ring);
-      const double nd = arc.tap_cost_um - price_[j];
-      if (nd < dist_[j]) {
-        dist_[j] = nd;
-        parent_arc_[j] = a;
-        prev_ring_[j] = -1;
-        heap.emplace(nd, arc.ring);
-      }
-    }
-    int terminal = -1;
-    double mu = kInf;
-    while (!heap.empty()) {
-      const auto [d, j] = heap.top();
-      heap.pop();
-      const std::size_t js = static_cast<std::size_t>(j);
-      if (done[js] || d > dist_[js]) continue;
-      done[js] = true;
-      popped_.push_back(j);
-      if (used_[js] <
-          problem_.ring_capacity[js]) {
-        terminal = j;
-        mu = d;
-        break;
-      }
-      // Ring j is full: paths continue by evicting one of its occupants
-      // k to another of k's candidate rings. The occupant's implicit dual
-      // u_k is recovered from its (tight) current arc.
-      for (int k : assigned_[js]) {
-        const CandidateArc& cur = problem_.arcs[static_cast<std::size_t>(
-            arc_of_ff_[static_cast<std::size_t>(k)])];
-        const double u_k = cur.tap_cost_um - price_[js];
-        for (int b : arcs_of_ff_[static_cast<std::size_t>(k)]) {
-          const CandidateArc& alt = problem_.arcs[static_cast<std::size_t>(b)];
-          const std::size_t l = static_cast<std::size_t>(alt.ring);
-          if (done[l]) continue;
-          const double nd = d + (alt.tap_cost_um - price_[l]) - u_k;
-          if (nd < dist_[l]) {
-            dist_[l] = nd;
-            parent_arc_[l] = b;
-            prev_ring_[l] = j;
-            heap.emplace(nd, alt.ring);
-          }
-        }
-      }
-    }
-    if (terminal < 0) return false;
-    // Dual update keeps every residual reduced cost nonnegative.
-    for (int j : popped_)
-      price_[static_cast<std::size_t>(j)] +=
-          dist_[static_cast<std::size_t>(j)] - mu;
-    // Reassign along the alternating path (ff -> ... -> terminal).
-    int l = terminal;
-    while (l >= 0) {
-      const std::size_t ls = static_cast<std::size_t>(l);
-      const int a = parent_arc_[ls];
-      const int k = problem_.arcs[static_cast<std::size_t>(a)].ff;
-      const int p = prev_ring_[ls];
-      if (p >= 0) {
-        std::vector<int>& occupants = assigned_[static_cast<std::size_t>(p)];
-        for (std::size_t s = 0; s < occupants.size(); ++s) {
-          if (occupants[s] == k) {
-            occupants.erase(occupants.begin() + static_cast<long>(s));
-            break;
-          }
-        }
-      }
-      arc_of_ff_[static_cast<std::size_t>(k)] = a;
-      assigned_[ls].push_back(k);
-      l = p;
-    }
-    ++used_[static_cast<std::size_t>(terminal)];
-    return true;
-  }
-
-  const AssignProblem& problem_;
-  std::vector<std::vector<int>> arcs_of_ff_;  // ff -> candidate arc ids
-  std::vector<std::vector<int>> assigned_;    // ring -> occupant ffs
-  std::vector<int> used_;                     // ring -> occupant count
-  std::vector<double> price_;                 // ring duals v_j
-  std::vector<int> arc_of_ff_;                // result: ff -> arc id
-  // Per-augmentation Dijkstra state, reset at the top of augment().
-  std::vector<double> dist_;
-  std::vector<int> parent_arc_;
-  std::vector<int> prev_ring_;
-  std::vector<int> popped_;
-};
-
-}  // namespace
 
 Assignment assign_netflow(const AssignProblem& problem) {
   const int f = problem.num_ffs();
@@ -165,17 +16,11 @@ Assignment assign_netflow(const AssignProblem& problem) {
   if (total_cap < f)
     throw InfeasibleError("assign_netflow", "ring capacities below #FFs");
 
-  SemiAssignment solver(problem);
-  if (solver.run() > 0)
-    throw InfeasibleError(
-        "assign_netflow",
-        "candidate arcs cannot route all flip-flops; "
-        "increase candidates_per_ff");
-
-  Assignment out;
-  out.arc_of_ff = solver.take_result();
-  refresh_metrics(problem, out);
-  return out;
+  // The capacitated Jonker-Volgenant solver lives in ResidualNetflow now
+  // (the ECO warm path continues solved flows through the same class);
+  // a cold solve() here is bit-identical to the former private solver.
+  ResidualNetflow solver;
+  return solver.solve(problem);
 }
 
 }  // namespace rotclk::assign

@@ -34,30 +34,40 @@ AssignProblem build_assign_problem(const netlist::Design& design,
   // order afterwards, so the arc vector is bit-identical to the sequential
   // build at any thread count (cache hits return exact solves, see
   // rotary::TappingCache).
-  const int k = std::max(1, config.candidates_per_ff);
   std::vector<std::vector<CandidateArc>> arcs_of_ff(problem.ff_cells.size());
   util::parallel_for(problem.ff_cells.size(), [&](std::size_t i) {
-    const geom::Point loc = placement.loc(problem.ff_cells[i]);
-    for (int j : rings.nearest_rings(loc, k)) {
-      CandidateArc arc;
-      arc.ff = static_cast<int>(i);
-      arc.ring = j;
-      arc.tap = config.cache != nullptr
-                    ? config.cache->lookup_or_solve(rings.ring(j), j, loc,
-                                                    arrival_ps[i],
-                                                    config.tapping)
-                    : rotary::solve_tapping(rings.ring(j), loc, arrival_ps[i],
-                                            config.tapping);
-      if (!arc.tap.feasible) continue;  // defensive; case 4 makes all feasible
-      arc.tap_cost_um = arc.tap.wirelength;
-      arc.load_cap_ff = arc.tap.wirelength * config.tapping.wire_cap_per_um +
-                        tech.ff_input_cap_ff;
-      arcs_of_ff[i].push_back(arc);
-    }
+    arcs_of_ff[i] = build_candidate_row(static_cast<int>(i),
+                                        placement.loc(problem.ff_cells[i]),
+                                        rings, arrival_ps[i], tech, config);
   });
   for (const auto& list : arcs_of_ff)
     problem.arcs.insert(problem.arcs.end(), list.begin(), list.end());
   return problem;
+}
+
+std::vector<CandidateArc> build_candidate_row(int ff_index, geom::Point loc,
+                                              const rotary::RingArray& rings,
+                                              double arrival_ps,
+                                              const timing::TechParams& tech,
+                                              const AssignProblemConfig& config) {
+  const int k = std::max(1, config.candidates_per_ff);
+  std::vector<CandidateArc> row;
+  for (int j : rings.nearest_rings(loc, k)) {
+    CandidateArc arc;
+    arc.ff = ff_index;
+    arc.ring = j;
+    arc.tap = config.cache != nullptr
+                  ? config.cache->lookup_or_solve(rings.ring(j), j, loc,
+                                                  arrival_ps, config.tapping)
+                  : rotary::solve_tapping(rings.ring(j), loc, arrival_ps,
+                                          config.tapping);
+    if (!arc.tap.feasible) continue;  // defensive; case 4 makes all feasible
+    arc.tap_cost_um = arc.tap.wirelength;
+    arc.load_cap_ff = arc.tap.wirelength * config.tapping.wire_cap_per_um +
+                      tech.ff_input_cap_ff;
+    row.push_back(arc);
+  }
+  return row;
 }
 
 void refresh_metrics(const AssignProblem& problem, Assignment& assignment) {

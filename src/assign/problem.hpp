@@ -55,6 +55,17 @@ AssignProblem build_assign_problem(const netlist::Design& design,
                                    const timing::TechParams& tech,
                                    const AssignProblemConfig& config = {});
 
+/// Candidate arcs for one flip-flop (one row of the cost matrix): the k
+/// nearest rings with their tapping solves at `arrival_ps`. Deterministic
+/// per flip-flop — both the full builder above and the incremental ECO
+/// builder assemble rows through this, so a row only depends on the
+/// flip-flop's location, target, and the ring array.
+std::vector<CandidateArc> build_candidate_row(int ff_index, geom::Point loc,
+                                              const rotary::RingArray& rings,
+                                              double arrival_ps,
+                                              const timing::TechParams& tech,
+                                              const AssignProblemConfig& config);
+
 /// The result of either assignment formulation.
 struct Assignment {
   std::vector<int> arc_of_ff;   ///< chosen CandidateArc index per FF (-1 none)

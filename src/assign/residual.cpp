@@ -1,0 +1,228 @@
+#include "assign/residual.hpp"
+
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "assign/error.hpp"
+#include "util/parallel.hpp"
+
+namespace rotclk::assign {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+void ResidualNetflow::bind(const AssignProblem& problem) {
+  const auto f = static_cast<std::size_t>(problem.num_ffs());
+  const auto r = static_cast<std::size_t>(problem.num_rings);
+  arcs_of_ff_.assign(f, {});
+  for (std::size_t a = 0; a < problem.arcs.size(); ++a)
+    arcs_of_ff_[static_cast<std::size_t>(problem.arcs[a].ff)].push_back(
+        static_cast<int>(a));
+  assigned_.assign(r, {});
+  used_.assign(r, 0);
+  arc_of_ff_.assign(f, -1);
+  dist_.assign(r, kInf);
+  parent_arc_.assign(r, -1);
+  prev_ring_.assign(r, -1);
+  popped_.clear();
+  popped_.reserve(r);
+  augmented_ = 0;
+}
+
+Assignment ResidualNetflow::finish(const AssignProblem& problem,
+                                   int unassigned) {
+  if (unassigned > 0)
+    throw InfeasibleError(
+        "assign_netflow",
+        "candidate arcs cannot route all flip-flops; "
+        "increase candidates_per_ff");
+  Assignment out;
+  out.arc_of_ff = arc_of_ff_;
+  refresh_metrics(problem, out);
+  return out;
+}
+
+Assignment ResidualNetflow::solve(const AssignProblem& problem) {
+  bind(problem);
+  price_.assign(static_cast<std::size_t>(problem.num_rings), 0.0);
+  int unassigned = 0;
+  for (int i = 0; i < problem.num_ffs(); ++i)
+    if (!augment(problem, i)) ++unassigned;
+  return finish(problem, unassigned);
+}
+
+Assignment ResidualNetflow::reassign(const AssignProblem& problem,
+                                     const std::vector<int>& seed_ring_of_ff,
+                                     const std::vector<double>& seed_prices) {
+  const auto f = static_cast<std::size_t>(problem.num_ffs());
+  const auto r = static_cast<std::size_t>(problem.num_rings);
+  if (seed_ring_of_ff.size() != f)
+    throw InvalidArgumentError("assign", "reassign: seed size mismatch");
+  if (seed_prices.size() != r)
+    throw InvalidArgumentError("assign", "reassign: price size mismatch");
+  bind(problem);
+  price_ = seed_prices;
+  // Route the clean flip-flops along their prior rings. The prior duals
+  // keep those arcs reduced-cost optimal (their costs are unchanged), so
+  // this state is a valid mid-run snapshot of the cold solve.
+  for (std::size_t i = 0; i < f; ++i) {
+    const int ring = seed_ring_of_ff[i];
+    if (ring < 0) continue;
+    int arc = -1;
+    for (int a : arcs_of_ff_[i]) {
+      if (problem.arcs[static_cast<std::size_t>(a)].ring == ring) {
+        arc = a;
+        break;
+      }
+    }
+    if (arc < 0)
+      throw InfeasibleError("assign",
+                            "reassign: seeded ring is not a candidate of the "
+                            "flip-flop (stale capsule)");
+    arc_of_ff_[i] = arc;
+    assigned_[static_cast<std::size_t>(ring)].push_back(static_cast<int>(i));
+    ++used_[static_cast<std::size_t>(ring)];
+    if (used_[static_cast<std::size_t>(ring)] >
+        problem.ring_capacity[static_cast<std::size_t>(ring)])
+      throw InfeasibleError("assign", "reassign: seeded ring over capacity");
+  }
+  int unassigned = 0;
+  for (int i = 0; i < problem.num_ffs(); ++i)
+    if (arc_of_ff_[static_cast<std::size_t>(i)] < 0 && !augment(problem, i))
+      ++unassigned;
+  return finish(problem, unassigned);
+}
+
+bool ResidualNetflow::augment(const AssignProblem& problem, int ff) {
+  ++augmented_;
+  using Item = std::pair<double, int>;  // (distance, ring)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  const std::size_t r = static_cast<std::size_t>(problem.num_rings);
+  dist_.assign(r, kInf);
+  parent_arc_.assign(r, -1);
+  prev_ring_.assign(r, -1);
+  popped_.clear();
+  std::vector<bool> done(r, false);
+  for (int a : arcs_of_ff_[static_cast<std::size_t>(ff)]) {
+    const CandidateArc& arc = problem.arcs[static_cast<std::size_t>(a)];
+    const std::size_t j = static_cast<std::size_t>(arc.ring);
+    const double nd = arc.tap_cost_um - price_[j];
+    if (nd < dist_[j]) {
+      dist_[j] = nd;
+      parent_arc_[j] = a;
+      prev_ring_[j] = -1;
+      heap.emplace(nd, arc.ring);
+    }
+  }
+  int terminal = -1;
+  double mu = kInf;
+  while (!heap.empty()) {
+    const auto [d, j] = heap.top();
+    heap.pop();
+    const std::size_t js = static_cast<std::size_t>(j);
+    if (done[js] || d > dist_[js]) continue;
+    done[js] = true;
+    popped_.push_back(j);
+    if (used_[js] < problem.ring_capacity[js]) {
+      terminal = j;
+      mu = d;
+      break;
+    }
+    // Ring j is full: paths continue by evicting one of its occupants
+    // k to another of k's candidate rings. The occupant's implicit dual
+    // u_k is recovered from its (tight) current arc.
+    for (int k : assigned_[js]) {
+      const CandidateArc& cur = problem.arcs[static_cast<std::size_t>(
+          arc_of_ff_[static_cast<std::size_t>(k)])];
+      const double u_k = cur.tap_cost_um - price_[js];
+      for (int b : arcs_of_ff_[static_cast<std::size_t>(k)]) {
+        const CandidateArc& alt = problem.arcs[static_cast<std::size_t>(b)];
+        const std::size_t l = static_cast<std::size_t>(alt.ring);
+        if (done[l]) continue;
+        const double nd = d + (alt.tap_cost_um - price_[l]) - u_k;
+        if (nd < dist_[l]) {
+          dist_[l] = nd;
+          parent_arc_[l] = b;
+          prev_ring_[l] = j;
+          heap.emplace(nd, alt.ring);
+        }
+      }
+    }
+  }
+  if (terminal < 0) return false;
+  // Dual update keeps every residual reduced cost nonnegative.
+  for (int j : popped_)
+    price_[static_cast<std::size_t>(j)] +=
+        dist_[static_cast<std::size_t>(j)] - mu;
+  // Reassign along the alternating path (ff -> ... -> terminal).
+  int l = terminal;
+  while (l >= 0) {
+    const std::size_t ls = static_cast<std::size_t>(l);
+    const int a = parent_arc_[ls];
+    const int k = problem.arcs[static_cast<std::size_t>(a)].ff;
+    const int p = prev_ring_[ls];
+    if (p >= 0) {
+      std::vector<int>& occupants = assigned_[static_cast<std::size_t>(p)];
+      for (std::size_t s = 0; s < occupants.size(); ++s) {
+        if (occupants[s] == k) {
+          occupants.erase(occupants.begin() + static_cast<long>(s));
+          break;
+        }
+      }
+    }
+    arc_of_ff_[static_cast<std::size_t>(k)] = a;
+    assigned_[ls].push_back(k);
+    l = p;
+  }
+  ++used_[static_cast<std::size_t>(terminal)];
+  return true;
+}
+
+AssignProblem build_assign_problem_incremental(
+    const netlist::Design& design, const netlist::Placement& placement,
+    const rotary::RingArray& rings, const std::vector<double>& arrival_ps,
+    const timing::TechParams& tech, const AssignProblemConfig& config,
+    const AssignProblem& prev, const std::vector<int>& prev_ff_of) {
+  AssignProblem problem;
+  problem.ff_cells = design.flip_flops();
+  problem.num_rings = rings.size();
+  if (arrival_ps.size() != problem.ff_cells.size())
+    throw InvalidArgumentError("assign", "arrival targets size mismatch");
+  if (prev_ff_of.size() != problem.ff_cells.size())
+    throw InvalidArgumentError("assign", "prev_ff_of size mismatch");
+  bool any_reuse = false;
+  for (const int pi : prev_ff_of) any_reuse |= (pi >= 0);
+  if (any_reuse && prev.num_rings != rings.size())
+    throw InvalidArgumentError(
+        "assign", "incremental build across a ring-count change");
+  problem.ring_capacity.resize(static_cast<std::size_t>(rings.size()));
+  for (int j = 0; j < rings.size(); ++j)
+    problem.ring_capacity[static_cast<std::size_t>(j)] = rings.capacity(j);
+
+  const std::vector<std::vector<int>> prev_rows = prev.arcs_by_ff();
+  std::vector<std::vector<CandidateArc>> arcs_of_ff(problem.ff_cells.size());
+  util::parallel_for(problem.ff_cells.size(), [&](std::size_t i) {
+    const int pi = prev_ff_of[i];
+    if (pi >= 0) {
+      // Clean row: copy the prior arcs, re-stamping the flip-flop index.
+      auto& row = arcs_of_ff[i];
+      row.reserve(prev_rows[static_cast<std::size_t>(pi)].size());
+      for (int a : prev_rows[static_cast<std::size_t>(pi)]) {
+        CandidateArc arc = prev.arcs[static_cast<std::size_t>(a)];
+        arc.ff = static_cast<int>(i);
+        row.push_back(arc);
+      }
+    } else {
+      arcs_of_ff[i] = build_candidate_row(
+          static_cast<int>(i), placement.loc(problem.ff_cells[i]), rings,
+          arrival_ps[i], tech, config);
+    }
+  });
+  for (const auto& list : arcs_of_ff)
+    problem.arcs.insert(problem.arcs.end(), list.begin(), list.end());
+  return problem;
+}
+
+}  // namespace rotclk::assign

@@ -1,0 +1,81 @@
+#pragma once
+// Residual min-cost-flow reassignment for the ECO warm path.
+//
+// `ResidualNetflow` is the Sec. V capacitated Jonker-Volgenant solver
+// (previously private to netflow.cpp), exposed as a class so a solved
+// flow can be *continued* instead of recomputed. `solve()` is the cold
+// full solve — bit-identical to `assign_netflow`. `reassign()` seeds the
+// network with a prior solution: clean flip-flops keep their rings (their
+// unit flows stay routed), the retained ring duals v_j keep every clean
+// reduced cost tight/nonnegative, and only the dirty flip-flops — whose
+// candidate arcs a design delta rebuilt — are cancelled and re-augmented
+// in index order. That is a valid successive-shortest-path continuation
+// (a not-yet-augmented supply's arcs are unconstrained by the dual
+// invariant, exactly as in the cold solve where supplies arrive one at a
+// time), so the result is an exact optimum of the new instance and the
+// src/check MCMF certificate replays green on it.
+//
+// Both the warm and the cold ECO paths run reassign() with the same
+// capsule seed, so their assignments agree bitwise by construction; the
+// warm savings come from not rebuilding the clean cost-matrix rows.
+
+#include <vector>
+
+#include "assign/problem.hpp"
+
+namespace rotclk::assign {
+
+class ResidualNetflow {
+ public:
+  /// Full solve from an empty flow with zero duals; retains prices for a
+  /// later capsule. Bit-identical to `assign_netflow` (which now calls
+  /// this). Throws InfeasibleError when the instance cannot be routed.
+  Assignment solve(const AssignProblem& problem);
+
+  /// Continue a prior flow on a (possibly structurally different)
+  /// problem. `seed_ring_of_ff[i]` is flip-flop i's prior ring, or -1 to
+  /// (re)augment it; `seed_prices` are the prior ring duals (one per
+  /// ring). Throws InfeasibleError when a seeded ring is not among the
+  /// flip-flop's candidates or the dirty set cannot be routed.
+  Assignment reassign(const AssignProblem& problem,
+                      const std::vector<int>& seed_ring_of_ff,
+                      const std::vector<double>& seed_prices);
+
+  /// Ring duals after the last solve()/reassign().
+  [[nodiscard]] const std::vector<double>& prices() const { return price_; }
+
+  /// Flip-flops augmented by the last solve()/reassign().
+  [[nodiscard]] int augmented() const { return augmented_; }
+
+ private:
+  void bind(const AssignProblem& problem);
+  Assignment finish(const AssignProblem& problem, int unassigned);
+  bool augment(const AssignProblem& problem, int ff);
+
+  std::vector<std::vector<int>> arcs_of_ff_;  // ff -> candidate arc ids
+  std::vector<std::vector<int>> assigned_;    // ring -> occupant ffs
+  std::vector<int> used_;                     // ring -> occupant count
+  std::vector<double> price_;                 // ring duals v_j
+  std::vector<int> arc_of_ff_;                // result: ff -> arc id
+  int augmented_ = 0;
+  // Per-augmentation Dijkstra state, reset at the top of augment().
+  std::vector<double> dist_;
+  std::vector<int> parent_arc_;
+  std::vector<int> prev_ring_;
+  std::vector<int> popped_;
+};
+
+/// Rebuild candidate arcs only for dirty flip-flops; clean rows are copied
+/// from `prev` (re-indexed via `prev_ff_of[i]`, the flip-flop's index in
+/// `prev`, or -1 to force a rebuild). The caller guarantees a clean
+/// flip-flop's location, arrival target, and the ring array are unchanged,
+/// which makes the copied rows bit-identical to rebuilt ones (candidate
+/// selection is per-flip-flop independent, and exact-mode tapping solves
+/// are deterministic functions of their inputs).
+AssignProblem build_assign_problem_incremental(
+    const netlist::Design& design, const netlist::Placement& placement,
+    const rotary::RingArray& rings, const std::vector<double>& arrival_ps,
+    const timing::TechParams& tech, const AssignProblemConfig& config,
+    const AssignProblem& prev, const std::vector<int>& prev_ff_of);
+
+}  // namespace rotclk::assign

@@ -78,28 +78,7 @@ FlowResult RotaryFlow::execute(netlist::Placement placement,
   for (FlowObserver* o : observers_) pipeline.add_observer(o);
   pipeline.run(ctx);
   rings_ = std::move(ctx.rings);
-
-  FlowResult result;
-  result.slack_ps = ctx.slack_star_ps;
-  result.stage4_slack_ps = ctx.slack_used_ps;
-  result.history = std::move(ctx.history);
-  result.iterations_run = static_cast<int>(result.history.size()) - 1;
-  result.algo_seconds = ctx.algo_seconds;
-  result.placer_seconds = ctx.placer_seconds;
-  result.recovery = std::move(ctx.recovery);
-  result.peak_cost_matrix_arcs = ctx.peak_cost_matrix_arcs;
-  result.tapping_cache = ctx.tapping_cache.stats();
-  result.certificates = std::move(ctx.certificates);
-  if (!ctx.best)
-    throw InternalError(
-        "flow", "pipeline finished without producing a result snapshot");
-  FlowContext::Snapshot& best = *ctx.best;
-  result.best_iteration = best.iteration;
-  result.placement = std::move(best.placement);
-  result.arrival_ps = std::move(best.arrival_ps);
-  result.problem = std::move(best.problem);
-  result.assignment = std::move(best.assignment);
-  return result;
+  return collect_flow_result(ctx);
 }
 
 }  // namespace rotclk::core

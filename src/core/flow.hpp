@@ -97,6 +97,18 @@ struct FlowConfig {
   bool verify = false;
 };
 
+/// One `eco` event in a warm re-optimization: delta application, warm
+/// start, kernel refresh, or degradation to a cold pass. Recorded on the
+/// FlowContext and forwarded to observers (the JSON trace renders them
+/// under an "eco" array).
+struct EcoEvent {
+  std::string kind;    ///< "delta-applied", "warm-start", "cold-run", ...
+  std::string detail;
+  int dirty_cells = 0;
+  int dirty_ffs = 0;
+  int dirty_arcs = 0;
+};
+
 struct IterationMetrics {
   int iteration = 0;                ///< 0 = base case
   double tap_wl_um = 0.0;
@@ -139,6 +151,9 @@ struct FlowResult {
   /// Certificate results when verification ran (config.verify or
   /// ROTCLK_VERIFY=1); empty otherwise. check::all_pass() summarizes.
   std::vector<check::Certificate> certificates;
+  /// ECO events when the result came from a warm re-optimization
+  /// (eco::EcoSession); empty for a standard cold flow.
+  std::vector<EcoEvent> eco_events;
 
   [[nodiscard]] const IterationMetrics& base() const { return history.front(); }
   [[nodiscard]] const IterationMetrics& final() const {

@@ -12,7 +12,8 @@ FlowContext::FlowContext(const netlist::Design& design_in,
                          const FlowConfig& config_in,
                          const assign::Assigner& assigner_in,
                          const sched::SkewOptimizer& skew_optimizer_in,
-                         netlist::Placement initial_placement)
+                         netlist::Placement initial_placement,
+                         const WarmSeed& seed)
     : design(design_in),
       config(config_in),
       assigner(assigner_in),
@@ -22,13 +23,33 @@ FlowContext::FlowContext(const netlist::Design& design_in,
       slack_engine(design_in, config_in.tech) {
   assign_config.candidates_per_ff = config.candidates_per_ff;
   assign_config.tapping = config.tapping;
-  assign_config.cache = &tapping_cache;
+  taps_ptr_ = seed.tapping_cache != nullptr ? seed.tapping_cache
+                                            : &tapping_cache;
+  slack_ptr_ = seed.slack_engine != nullptr ? seed.slack_engine
+                                            : &slack_engine;
+  assign_config.cache = taps_ptr_;
+  if (seed.arcs != nullptr) {
+    arcs = *seed.arcs;
+    arcs_stale = false;
+  }
+  if (seed.arrival_ps != nullptr) arrival_ps = *seed.arrival_ps;
+  if (seed.problem != nullptr) problem = *seed.problem;
+  if (seed.assignment != nullptr) assignment = *seed.assignment;
+  if (seed.has_slack) {
+    slack_star_ps = seed.slack_star_ps;
+    slack_used_ps = seed.slack_used_ps;
+  }
 }
 
 void FlowContext::record_recovery(util::RecoveryEvent ev) {
   ev.iteration = iteration;
   recovery.push_back(ev);
   if (recovery_log) recovery_log(recovery.back());
+}
+
+void FlowContext::record_eco(EcoEvent ev) {
+  eco_events.push_back(std::move(ev));
+  if (eco_log) eco_log(eco_events.back());
 }
 
 void FlowContext::refresh_arcs() {
@@ -125,6 +146,9 @@ void FlowPipeline::run(FlowContext& ctx) {
   ctx.recovery_log = [this, &ctx](const util::RecoveryEvent& ev) {
     notify(ctx, "on_recovery", [&](FlowObserver& o) { o.on_recovery(ev); });
   };
+  ctx.eco_log = [this, &ctx](const EcoEvent& ev) {
+    notify(ctx, "on_eco", [&](FlowObserver& o) { o.on_eco(ev); });
+  };
   notify(ctx, "on_flow_begin", [&](FlowObserver& o) { o.on_flow_begin(ctx); });
   ctx.iteration = 0;
   for (const auto& stage : setup_) {
@@ -141,6 +165,32 @@ void FlowPipeline::run(FlowContext& ctx) {
   }
   notify(ctx, "on_flow_end", [&](FlowObserver& o) { o.on_flow_end(ctx); });
   ctx.recovery_log = nullptr;
+  ctx.eco_log = nullptr;
+}
+
+FlowResult collect_flow_result(FlowContext& ctx) {
+  FlowResult result;
+  result.slack_ps = ctx.slack_star_ps;
+  result.stage4_slack_ps = ctx.slack_used_ps;
+  result.history = std::move(ctx.history);
+  result.iterations_run = static_cast<int>(result.history.size()) - 1;
+  result.algo_seconds = ctx.algo_seconds;
+  result.placer_seconds = ctx.placer_seconds;
+  result.recovery = std::move(ctx.recovery);
+  result.peak_cost_matrix_arcs = ctx.peak_cost_matrix_arcs;
+  result.tapping_cache = ctx.taps().stats();
+  result.certificates = std::move(ctx.certificates);
+  result.eco_events = std::move(ctx.eco_events);
+  if (!ctx.best)
+    throw InternalError(
+        "flow", "pipeline finished without producing a result snapshot");
+  FlowContext::Snapshot& best = *ctx.best;
+  result.best_iteration = best.iteration;
+  result.placement = std::move(best.placement);
+  result.arrival_ps = std::move(best.arrival_ps);
+  result.problem = std::move(best.problem);
+  result.assignment = std::move(best.assignment);
+  return result;
 }
 
 IterationMetrics evaluate_metrics(const netlist::Design& design,

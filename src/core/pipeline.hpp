@@ -20,6 +20,7 @@
 // pipeline. ring_explore runs one independent pipeline per candidate ring
 // count, optionally on parallel threads.
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -38,13 +39,31 @@
 
 namespace rotclk::core {
 
+/// Optional warm seed for a FlowContext: lets stages 2-6 start from a
+/// prior converged state instead of empty. Engines are borrowed (they
+/// carry their own baselines across runs); value fields are copied into
+/// the context. All pointers may be null — a default seed is a cold start.
+struct WarmSeed {
+  rotary::TappingCache* tapping_cache = nullptr;
+  timing::IncrementalSlackEngine* slack_engine = nullptr;
+  const std::vector<timing::SeqArc>* arcs = nullptr;
+  const std::vector<double>* arrival_ps = nullptr;
+  const assign::AssignProblem* problem = nullptr;
+  const assign::Assignment* assignment = nullptr;
+  /// Prespecified slack contract (M* / M) carried from the seeding run.
+  double slack_star_ps = 0.0;
+  double slack_used_ps = 0.0;
+  bool has_slack = false;
+};
+
 /// All mutable state of one flow run, owned for the duration of the
 /// pipeline. Stages communicate exclusively through this struct.
 struct FlowContext {
   FlowContext(const netlist::Design& design, const FlowConfig& config,
               const assign::Assigner& assigner,
               const sched::SkewOptimizer& skew_optimizer,
-              netlist::Placement initial_placement);
+              netlist::Placement initial_placement,
+              const WarmSeed& seed = {});
 
   // Immutable environment.
   const netlist::Design& design;
@@ -66,7 +85,8 @@ struct FlowContext {
 
   // Assignment state. The tapping cache memoizes the per-(FF, ring)
   // solves across the repeated cost-matrix builds of the run
-  // (assign_config.cache points at it).
+  // (assign_config.cache points at it). A warm seed may substitute an
+  // external cache that survives across ECO runs — use taps().
   assign::AssignProblemConfig assign_config;
   assign::AssignProblem problem;
   assign::Assignment assignment;
@@ -74,8 +94,13 @@ struct FlowContext {
   std::size_t peak_cost_matrix_arcs = 0;  ///< max arcs any build produced
 
   // Incremental signal-net slack, refreshed by the evaluate stage to put
-  // a WNS number next to each iteration's wirelength metrics.
+  // a WNS number next to each iteration's wirelength metrics. A warm seed
+  // may substitute an engine with a retained baseline — use slack().
   timing::IncrementalSlackEngine slack_engine;
+
+  [[nodiscard]] rotary::TappingCache& taps() { return *taps_ptr_; }
+  [[nodiscard]] const rotary::TappingCache& taps() const { return *taps_ptr_; }
+  [[nodiscard]] timing::IncrementalSlackEngine& slack() { return *slack_ptr_; }
 
   // Iteration control (maintained by the pipeline / stage 5).
   int iteration = 0;    ///< 0 = base case
@@ -110,14 +135,26 @@ struct FlowContext {
   // trace at flow end. Empty when verification is off.
   std::vector<check::Certificate> certificates;
 
+  // ECO events recorded by warm re-optimization stages (empty for a
+  // standard cold flow). Forwarded to observers like recovery events.
+  std::vector<EcoEvent> eco_events;
+  std::function<void(const EcoEvent&)> eco_log;
+
   /// Stamp the current iteration on `ev`, append it to `recovery`, and
   /// forward it to `recovery_log` (when set).
   void record_recovery(util::RecoveryEvent ev);
+
+  /// Append an eco event and forward it to `eco_log` (when set).
+  void record_eco(EcoEvent ev);
 
   [[nodiscard]] int num_ffs() const { return design.num_flip_flops(); }
   /// Re-extract the sequential adjacency at the current placement if the
   /// placement moved since the last extraction.
   void refresh_arcs();
+
+ private:
+  rotary::TappingCache* taps_ptr_ = nullptr;
+  timing::IncrementalSlackEngine* slack_ptr_ = nullptr;
 };
 
 /// Which wall-clock bucket a stage bills to.
@@ -150,6 +187,8 @@ class FlowObserver {
   virtual void on_iteration(const IterationMetrics& /*metrics*/) {}
   /// Fired for every retry / fallback / deadline event the run survives.
   virtual void on_recovery(const util::RecoveryEvent& /*event*/) {}
+  /// Fired for every eco event a warm re-optimization records.
+  virtual void on_eco(const EcoEvent& /*event*/) {}
   virtual void on_flow_end(const FlowContext& /*ctx*/) {}
 };
 
@@ -187,6 +226,13 @@ class FlowPipeline {
   std::vector<std::unique_ptr<Stage>> loop_;
   std::vector<FlowObserver*> observers_;
 };
+
+/// Assemble a FlowResult from a finished pipeline context: slack contract,
+/// history, timer buckets, recovery/eco/certificate records, and the
+/// best-so-far snapshot (moved out of the context). Shared by RotaryFlow
+/// and the ECO session so warm and cold results are packaged identically.
+/// Throws InternalError when the pipeline produced no snapshot.
+FlowResult collect_flow_result(FlowContext& ctx);
 
 /// Metrics snapshot for an arbitrary flow state (stage 5's evaluation;
 /// also used directly by benches through RotaryFlow::evaluate).

@@ -161,8 +161,8 @@ void EvaluateStage::run(FlowContext& ctx) {
   // runs a full analysis; later iterations re-propagate only the cones of
   // flip-flops whose target changed (stage 4) or cells that moved
   // (stage 6).
-  ctx.slack_engine.set_clock_arrivals(ctx.arrival_ps);
-  metrics.wns_ps = ctx.slack_engine.refresh(ctx.placement).wns_ps;
+  ctx.slack().set_clock_arrivals(ctx.arrival_ps);
+  metrics.wns_ps = ctx.slack().refresh(ctx.placement).wns_ps;
   ctx.history.push_back(metrics);
   if (!ctx.best || metrics.overall_cost < ctx.best->cost)
     ctx.best = FlowContext::Snapshot{ctx.placement,  ctx.arrival_ps,

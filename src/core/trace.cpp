@@ -80,6 +80,7 @@ void JsonTraceObserver::on_flow_begin(const FlowContext& ctx) {
   iterations_.clear();
   recovery_.clear();
   certificates_.clear();
+  eco_.clear();
   finished_ = false;
 }
 
@@ -96,6 +97,10 @@ void JsonTraceObserver::on_recovery(const util::RecoveryEvent& event) {
   recovery_.push_back(event);
 }
 
+void JsonTraceObserver::on_eco(const EcoEvent& event) {
+  eco_.push_back(event);
+}
+
 void JsonTraceObserver::on_flow_end(const FlowContext& ctx) {
   finished_ = true;
   slack_star_ps_ = ctx.slack_star_ps;
@@ -103,12 +108,13 @@ void JsonTraceObserver::on_flow_end(const FlowContext& ctx) {
   algo_seconds_ = ctx.algo_seconds;
   placer_seconds_ = ctx.placer_seconds;
   best_iteration_ = ctx.best ? ctx.best->iteration : 0;
-  cache_stats_ = ctx.tapping_cache.stats();
+  cache_stats_ = ctx.taps().stats();
   peak_cost_matrix_arcs_ = ctx.peak_cost_matrix_arcs;
   // Any event the tracer missed through direct FlowResult plumbing (e.g.
   // shielded observer failures appended without a broadcast) still lands
   // in the document.
   recovery_ = ctx.recovery;
+  eco_ = ctx.eco_events;
   // The VerifyingObserver (added before user observers) has finished by
   // now, so this snapshot is the complete certificate record.
   certificates_ = ctx.certificates;
@@ -163,6 +169,18 @@ std::string JsonTraceObserver::json() const {
     put_string(os, ev.error);
     os << ",\"iteration\":" << ev.iteration << ",\"attempt\":" << ev.attempt
        << "}";
+  }
+  os << "],\"eco\":[";
+  for (std::size_t i = 0; i < eco_.size(); ++i) {
+    const EcoEvent& ev = eco_[i];
+    if (i) os << ",";
+    os << "{\"kind\":";
+    put_string(os, ev.kind);
+    os << ",\"detail\":";
+    put_string(os, ev.detail);
+    os << ",\"dirty_cells\":" << ev.dirty_cells
+       << ",\"dirty_ffs\":" << ev.dirty_ffs
+       << ",\"dirty_arcs\":" << ev.dirty_arcs << "}";
   }
   os << "],\"certificates\":[";
   for (std::size_t i = 0; i < certificates_.size(); ++i) {

@@ -30,6 +30,7 @@ class JsonTraceObserver final : public FlowObserver {
                     double seconds) override;
   void on_iteration(const IterationMetrics& metrics) override;
   void on_recovery(const util::RecoveryEvent& event) override;
+  void on_eco(const EcoEvent& event) override;
   void on_flow_end(const FlowContext& ctx) override;
 
   struct StageEvent {
@@ -51,6 +52,10 @@ class JsonTraceObserver final : public FlowObserver {
   [[nodiscard]] const std::vector<check::Certificate>& certificates() const {
     return certificates_;
   }
+  /// ECO events from a warm re-optimization (empty for a cold flow).
+  [[nodiscard]] const std::vector<EcoEvent>& eco_events() const {
+    return eco_;
+  }
 
   /// The trace as a JSON document (valid any time; complete after the
   /// flow ends).
@@ -64,6 +69,7 @@ class JsonTraceObserver final : public FlowObserver {
   std::vector<IterationMetrics> iterations_;
   std::vector<util::RecoveryEvent> recovery_;
   std::vector<check::Certificate> certificates_;
+  std::vector<EcoEvent> eco_;
   bool finished_ = false;
   double slack_star_ps_ = 0.0;
   double slack_used_ps_ = 0.0;

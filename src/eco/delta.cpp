@@ -1,0 +1,127 @@
+#include "eco/delta.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rotclk::eco {
+
+namespace {
+
+constexpr std::array<const char*, 7> kKindNames = {
+    "move", "add_gate", "add_ff", "remove", "rewire", "retune", "set_rings"};
+
+}  // namespace
+
+const char* to_string(DeltaOp::Kind kind) {
+  return kKindNames[static_cast<std::size_t>(kind)];
+}
+
+DeltaOp::Kind delta_kind_from_name(const std::string& name) {
+  for (std::size_t i = 0; i < kKindNames.size(); ++i)
+    if (name == kKindNames[i]) return static_cast<DeltaOp::Kind>(i);
+  throw ParseError("eco_delta", /*source=*/"delta", /*line=*/0,
+                   "unknown delta op", name);
+}
+
+DesignDelta& DesignDelta::move_cell(std::string cell, geom::Point loc) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kMoveCell;
+  op.cell = std::move(cell);
+  op.loc = loc;
+  ops.push_back(std::move(op));
+  return *this;
+}
+
+DesignDelta& DesignDelta::add_gate(netlist::GateFn fn, std::string out_net,
+                                   std::vector<std::string> in_nets,
+                                   geom::Point loc) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kAddGate;
+  op.fn = fn;
+  op.out_net = std::move(out_net);
+  op.in_nets = std::move(in_nets);
+  op.loc = loc;
+  ops.push_back(std::move(op));
+  return *this;
+}
+
+DesignDelta& DesignDelta::add_flip_flop(std::string out_net, std::string d_net,
+                                        geom::Point loc) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kAddFlipFlop;
+  op.out_net = std::move(out_net);
+  op.in_nets = {std::move(d_net)};
+  op.loc = loc;
+  ops.push_back(std::move(op));
+  return *this;
+}
+
+DesignDelta& DesignDelta::remove_cell(std::string cell) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kRemoveCell;
+  op.cell = std::move(cell);
+  ops.push_back(std::move(op));
+  return *this;
+}
+
+DesignDelta& DesignDelta::rewire_input(std::string cell, std::string old_net,
+                                       std::string new_net) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kRewireInput;
+  op.cell = std::move(cell);
+  op.old_net = std::move(old_net);
+  op.new_net = std::move(new_net);
+  ops.push_back(std::move(op));
+  return *this;
+}
+
+DesignDelta& DesignDelta::retune_ff(std::string cell, double target_ps) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kRetuneFf;
+  op.cell = std::move(cell);
+  op.target_ps = target_ps;
+  ops.push_back(std::move(op));
+  return *this;
+}
+
+DesignDelta& DesignDelta::set_rings(int rings) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kSetRings;
+  op.rings = rings;
+  ops.push_back(std::move(op));
+  return *this;
+}
+
+bool DesignDelta::changes_structure() const {
+  for (const DeltaOp& op : ops) {
+    switch (op.kind) {
+      case DeltaOp::Kind::kAddGate:
+      case DeltaOp::Kind::kAddFlipFlop:
+      case DeltaOp::Kind::kRemoveCell:
+      case DeltaOp::Kind::kRewireInput:
+        return true;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+std::string DesignDelta::summary() const {
+  std::array<int, kKindNames.size()> counts{};
+  for (const DeltaOp& op : ops) ++counts[static_cast<std::size_t>(op.kind)];
+  std::ostringstream os;
+  os << ops.size() << (ops.size() == 1 ? " op:" : " ops:");
+  bool any = false;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    os << (any ? ", " : " ") << counts[i] << " " << kKindNames[i];
+    any = true;
+  }
+  if (!any) os << " none";
+  return os.str();
+}
+
+}  // namespace rotclk::eco

@@ -1,0 +1,80 @@
+#pragma once
+// Design deltas for the incremental ECO engine.
+//
+// A DesignDelta is an ordered list of edits against a converged design:
+// cell moves, gate/flip-flop adds, input rewires, cell removals, per-
+// flip-flop skew-target retunes, and ring-count changes. Cells and nets
+// are named by string (deltas arrive over the serve protocol or from
+// --eco files); EcoSession resolves names against its design when the
+// delta is applied, so a delta is a plain value with no binding to any
+// particular Design instance.
+//
+// This header is JSON-free on purpose: the serve layer owns the wire
+// format (serve/eco_io.hpp) and the CLI reuses it, while tests and
+// benches build deltas directly through the add_* methods.
+
+#include <string>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rotclk::eco {
+
+struct DeltaOp {
+  enum class Kind {
+    kMoveCell,     ///< move `cell` to `loc`
+    kAddGate,      ///< add combinational gate `cell` driving `out_net`
+    kAddFlipFlop,  ///< add flip-flop `cell` driving `out_net`
+    kRemoveCell,   ///< detach `cell` (its output net must have no sinks)
+    kRewireInput,  ///< swap `cell`'s input `old_net` for `new_net`
+    kRetuneFf,     ///< pin flip-flop `cell`'s delay target to `target_ps`
+    kSetRings,     ///< rebuild the ring array with `rings` rings
+  };
+
+  Kind kind = Kind::kMoveCell;
+  /// Target cell name (kMoveCell/kRemoveCell/kRewireInput/kRetuneFf).
+  /// Added cells take their name from `out_net` (the Design convention).
+  std::string cell;
+  geom::Point loc{};                 ///< kMoveCell / kAdd*
+  netlist::GateFn fn = netlist::GateFn::Buf;  ///< kAddGate
+  std::string out_net;               ///< kAdd*: output net name
+  std::vector<std::string> in_nets;  ///< kAddGate inputs / kAddFlipFlop D-net
+  std::string old_net;               ///< kRewireInput
+  std::string new_net;               ///< kRewireInput
+  double target_ps = 0.0;            ///< kRetuneFf
+  int rings = 0;                     ///< kSetRings
+};
+
+const char* to_string(DeltaOp::Kind kind);
+
+/// Parse the wire/CLI op name ("move", "add_gate", "add_ff", "remove",
+/// "rewire", "retune", "set_rings"). Throws ParseError on unknown names.
+DeltaOp::Kind delta_kind_from_name(const std::string& name);
+
+struct DesignDelta {
+  std::vector<DeltaOp> ops;
+
+  DesignDelta& move_cell(std::string cell, geom::Point loc);
+  DesignDelta& add_gate(netlist::GateFn fn, std::string out_net,
+                        std::vector<std::string> in_nets, geom::Point loc);
+  DesignDelta& add_flip_flop(std::string out_net, std::string d_net,
+                             geom::Point loc);
+  DesignDelta& remove_cell(std::string cell);
+  DesignDelta& rewire_input(std::string cell, std::string old_net,
+                            std::string new_net);
+  DesignDelta& retune_ff(std::string cell, double target_ps);
+  DesignDelta& set_rings(int rings);
+
+  [[nodiscard]] bool empty() const { return ops.empty(); }
+  [[nodiscard]] std::size_t size() const { return ops.size(); }
+
+  /// True when any op adds or removes a cell (the warm path must rebuild
+  /// structure-bound engines).
+  [[nodiscard]] bool changes_structure() const;
+
+  /// One-line human summary ("3 ops: 2 move, 1 retune") for eco events.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace rotclk::eco

@@ -1,0 +1,337 @@
+#include "eco/session.hpp"
+
+#include <unordered_map>
+
+#include "core/pipeline.hpp"
+#include "core/verify.hpp"
+#include "util/error.hpp"
+
+namespace rotclk::eco {
+
+EcoSession::EcoSession(const netlist::Design& design, core::FlowConfig config)
+    : design_(design), config_(std::move(config)) {
+  switch (config_.assign_mode) {
+    case core::AssignMode::NetworkFlow:
+      assigner_ = std::make_unique<assign::NetflowAssigner>();
+      break;
+    case core::AssignMode::MinMaxCap:
+      assigner_ = std::make_unique<assign::MinMaxCapAssigner>();
+      break;
+  }
+  skew_optimizer_ = sched::make_skew_optimizer(config_.weighted_cost_driven);
+  journal_ = std::make_unique<netlist::MutationJournal>(design_, placement_);
+}
+
+EcoSession::~EcoSession() = default;
+
+void EcoSession::add_observer(core::FlowObserver* observer) {
+  observers_.push_back(observer);
+}
+
+core::FlowResult EcoSession::seed() {
+  core::RotaryFlow flow(design_, config_);
+  for (core::FlowObserver* o : observers_) flow.add_observer(o);
+  core::FlowResult result = flow.run();
+  adopt(result);
+  return result;
+}
+
+void EcoSession::seed(const core::FlowResult& result) { adopt(result); }
+
+void EcoSession::adopt(const core::FlowResult& result) {
+  if (result.placement.size() != design_.cells().size())
+    throw InvalidArgumentError(
+        "eco", "seed result's placement does not match the design");
+  placement_ = result.placement;
+  capsule_ = WarmStart::from_result(result, config_.ring_config.rings);
+  adj_ = std::make_unique<timing::AdjacencyEngine>(design_, config_.tech);
+  capsule_.arcs = adj_->full(placement_);
+  slack_ = std::make_unique<timing::IncrementalSlackEngine>(design_,
+                                                            config_.tech);
+  journal_->commit();
+  base_mark_ = journal_->mark();
+  base_capsule_ = capsule_;
+  base_ring_config_ = config_.ring_config;
+  engines_stale_ = false;
+  seeded_ = true;
+}
+
+core::FlowResult EcoSession::apply(const DesignDelta& delta) {
+  return apply_impl(delta, /*allow_warm=*/true);
+}
+
+core::FlowResult EcoSession::apply_cold(const DesignDelta& delta) {
+  return apply_impl(delta, /*allow_warm=*/false);
+}
+
+EcoSession::AppliedOps EcoSession::apply_ops(const DesignDelta& delta) {
+  AppliedOps out;
+  int new_rings = config_.ring_config.rings;
+  for (const DeltaOp& op : delta.ops) {
+    switch (op.kind) {
+      case DeltaOp::Kind::kMoveCell: {
+        const int cell = design_.find_cell(op.cell);
+        if (cell < 0)
+          throw InvalidArgumentError("eco", "move: no such cell: " + op.cell);
+        journal_->move_cell(cell, op.loc);
+        if (design_.cells()[static_cast<std::size_t>(cell)].is_flip_flop())
+          out.touched_ff_cells.push_back(cell);
+        break;
+      }
+      case DeltaOp::Kind::kAddGate:
+        journal_->add_gate(op.fn, op.out_net, op.in_nets, op.loc);
+        break;
+      case DeltaOp::Kind::kAddFlipFlop: {
+        if (op.in_nets.size() != 1)
+          throw InvalidArgumentError(
+              "eco", "add_ff: exactly one D-net required: " + op.out_net);
+        const int cell =
+            journal_->add_flip_flop(op.out_net, op.in_nets.front(), op.loc);
+        out.touched_ff_cells.push_back(cell);
+        break;
+      }
+      case DeltaOp::Kind::kRemoveCell: {
+        const int cell = design_.find_cell(op.cell);
+        if (cell < 0)
+          throw InvalidArgumentError("eco",
+                                     "remove: no such cell: " + op.cell);
+        journal_->remove_cell(cell);
+        break;
+      }
+      case DeltaOp::Kind::kRewireInput: {
+        const int cell = design_.find_cell(op.cell);
+        if (cell < 0)
+          throw InvalidArgumentError("eco",
+                                     "rewire: no such cell: " + op.cell);
+        const int old_net = design_.find_net(op.old_net);
+        const int new_net = design_.find_net(op.new_net);
+        if (old_net < 0 || new_net < 0)
+          throw InvalidArgumentError(
+              "eco", "rewire: no such net: " +
+                         (old_net < 0 ? op.old_net : op.new_net));
+        journal_->rewire_input(cell, old_net, new_net);
+        break;
+      }
+      case DeltaOp::Kind::kRetuneFf: {
+        const int cell = design_.find_cell(op.cell);
+        if (cell < 0 ||
+            !design_.cells()[static_cast<std::size_t>(cell)].is_flip_flop())
+          throw InvalidArgumentError(
+              "eco", "retune: no such flip-flop: " + op.cell);
+        out.retunes.emplace_back(cell, op.target_ps);
+        break;
+      }
+      case DeltaOp::Kind::kSetRings:
+        if (op.rings <= 0)
+          throw InvalidArgumentError("eco", "set_rings: ring count must be positive");
+        new_rings = op.rings;
+        break;
+    }
+  }
+  if (new_rings != config_.ring_config.rings) {
+    config_.ring_config.rings = new_rings;
+    out.rings_changed = true;
+  }
+  return out;
+}
+
+void EcoSession::fill_run_state(EcoRunState& s, const DesignDelta& delta,
+                                const AppliedOps& ops,
+                                const netlist::JournalMark& pre,
+                                std::vector<double>& seeded_arrival) const {
+  s.capsule = &capsule_;
+  s.adjacency = adj_.get();
+  s.journal_dirty_cells = journal_->dirty_cells(pre);
+  s.journal_dirty_nets = journal_->dirty_nets(pre);
+  s.structure_changed = delta.changes_structure();
+  s.all_dirty = ops.rings_changed;
+  s.delta_summary = delta.summary();
+
+  s.ffs = design_.flip_flops();
+  const std::size_t n = s.ffs.size();
+  std::unordered_map<int, int> pos_of_cell;
+  pos_of_cell.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pos_of_cell.emplace(s.ffs[i], static_cast<int>(i));
+  std::unordered_map<int, int> old_of_cell;
+  old_of_cell.reserve(capsule_.problem.ff_cells.size());
+  for (std::size_t o = 0; o < capsule_.problem.ff_cells.size(); ++o)
+    old_of_cell.emplace(capsule_.problem.ff_cells[o], static_cast<int>(o));
+
+  s.prev_ff_of.assign(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto it = old_of_cell.find(s.ffs[i]);
+    if (it != old_of_cell.end()) s.prev_ff_of[i] = it->second;
+  }
+
+  s.pinned.assign(n, 0);
+  seeded_arrival.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int old = s.prev_ff_of[i];
+    if (old >= 0)
+      seeded_arrival[i] =
+          capsule_.arrival_ps[static_cast<std::size_t>(old)];
+  }
+  for (const auto& [cell, target_ps] : ops.retunes) {
+    const auto it = pos_of_cell.find(cell);
+    if (it == pos_of_cell.end()) continue;  // retuned then removed
+    s.pinned[static_cast<std::size_t>(it->second)] = 1;
+    seeded_arrival[static_cast<std::size_t>(it->second)] = target_ps;
+  }
+  s.explicit_dirty.clear();
+  for (const int cell : ops.touched_ff_cells) {
+    const auto it = pos_of_cell.find(cell);
+    if (it != pos_of_cell.end()) s.explicit_dirty.push_back(it->second);
+  }
+}
+
+void EcoSession::prepare_engines(bool structure_changed) {
+  if (engines_stale_) {
+    adj_ = std::make_unique<timing::AdjacencyEngine>(design_, config_.tech);
+    adj_->full(placement_);
+    slack_ = std::make_unique<timing::IncrementalSlackEngine>(design_,
+                                                              config_.tech);
+    engines_stale_ = false;
+  } else if (structure_changed) {
+    // The slack engine's topological order is built at construction; a
+    // structural delta needs a fresh engine (its first refresh runs full).
+    slack_ = std::make_unique<timing::IncrementalSlackEngine>(design_,
+                                                              config_.tech);
+  }
+}
+
+core::FlowResult EcoSession::run_reconverge(
+    EcoRunState& s, const std::vector<double>& seeded_arrival,
+    std::vector<timing::SeqArc>* arcs_out) {
+  core::WarmSeed seed;
+  if (s.warm) {
+    seed.tapping_cache = &taps_;
+    seed.slack_engine = slack_.get();
+  }
+  seed.arrival_ps = &seeded_arrival;
+  seed.slack_star_ps = capsule_.slack_star_ps;
+  seed.slack_used_ps = capsule_.slack_used_ps;
+  seed.has_slack = true;
+  core::FlowContext ctx(design_, config_, *assigner_, *skew_optimizer_,
+                        placement_, seed);
+  core::FlowPipeline pipeline = make_eco_pipeline(&s);
+  std::unique_ptr<core::VerifyingObserver> verifier;
+  if (config_.verify || core::verify_env_enabled()) {
+    verifier = std::make_unique<core::VerifyingObserver>(&ctx.certificates);
+    pipeline.add_observer(verifier.get());
+  }
+  for (core::FlowObserver* o : observers_) pipeline.add_observer(o);
+  pipeline.run(ctx);
+  if (arcs_out != nullptr) *arcs_out = std::move(ctx.arcs);
+  return core::collect_flow_result(ctx);
+}
+
+void EcoSession::commit_capsule(const core::FlowResult& result,
+                                const EcoRunState& s,
+                                std::vector<timing::SeqArc> arcs) {
+  capsule_.placement = result.placement;
+  capsule_.arrival_ps = result.arrival_ps;
+  capsule_.problem = result.problem;
+  capsule_.assignment = result.assignment;
+  const auto it = s.prices_by_iteration.find(result.best_iteration);
+  if (it == s.prices_by_iteration.end())
+    throw InternalError("eco", "no ring duals recorded for the best iteration");
+  capsule_.ring_prices = it->second;
+  capsule_.arcs = std::move(arcs);
+  capsule_.slack_star_ps = result.slack_ps;
+  capsule_.slack_used_ps = result.stage4_slack_ps;
+  capsule_.rings = config_.ring_config.rings;
+}
+
+core::FlowResult EcoSession::apply_impl(const DesignDelta& delta,
+                                        bool allow_warm) {
+  if (!seeded_)
+    throw InvalidArgumentError("eco", "apply() before seed()");
+  const netlist::JournalMark pre = journal_->mark();
+  const rotary::RingArrayConfig pre_rings = config_.ring_config;
+  const auto undo_delta = [&] {
+    journal_->revert_to(pre);
+    config_.ring_config = pre_rings;
+  };
+
+  AppliedOps ops;
+  try {
+    ops = apply_ops(delta);
+  } catch (...) {
+    undo_delta();
+    throw;
+  }
+
+  EcoRunState s;
+  std::vector<double> seeded_arrival;
+  fill_run_state(s, delta, ops, pre, seeded_arrival);
+
+  core::FlowResult result;
+  std::vector<timing::SeqArc> arcs;
+  bool ran_warm = false;
+  if (allow_warm) {
+    try {
+      prepare_engines(s.structure_changed);
+      // prepare_engines may have replaced the adjacency engine; rebind.
+      s.adjacency = adj_.get();
+      s.warm = true;
+      result = run_reconverge(s, seeded_arrival, &arcs);
+      ran_warm = true;
+      ++stats_.warm_runs;
+    } catch (const DeadlineError&) {
+      undo_delta();
+      engines_stale_ = true;
+      throw;
+    } catch (const Error& e) {
+      // Degrade: the cold path re-runs the SAME reconvergence with full
+      // kernels. Counted and recorded, never a wrong answer.
+      ++stats_.degraded;
+      engines_stale_ = true;
+      s.degraded_from = e.what();
+    }
+  }
+  if (!ran_warm) {
+    // Restore the run state the warm attempt may have escalated (the
+    // cost-driven fallback sets all_dirty and clears pins) so the cold
+    // run starts from the delta's own initial conditions.
+    EcoRunState cold;
+    std::vector<double> cold_arrival;
+    fill_run_state(cold, delta, ops, pre, cold_arrival);
+    cold.degraded_from = std::move(s.degraded_from);
+    cold.warm = false;
+    try {
+      result = run_reconverge(cold, cold_arrival, &arcs);
+    } catch (...) {
+      undo_delta();
+      engines_stale_ = true;
+      throw;
+    }
+    s = std::move(cold);
+    ++stats_.cold_runs;
+  }
+
+  commit_capsule(result, s, std::move(arcs));
+  ++stats_.deltas_applied;
+  return result;
+}
+
+void EcoSession::rollback() {
+  if (!seeded_)
+    throw InvalidArgumentError("eco", "rollback() before seed()");
+  journal_->revert_to(base_mark_);
+  config_.ring_config = base_ring_config_;
+  capsule_ = base_capsule_;
+  engines_stale_ = true;
+  ++stats_.rolled_back;
+}
+
+void EcoSession::commit_baseline() {
+  if (!seeded_)
+    throw InvalidArgumentError("eco", "commit_baseline() before seed()");
+  journal_->commit();
+  base_mark_ = journal_->mark();
+  base_capsule_ = capsule_;
+  base_ring_config_ = config_.ring_config;
+}
+
+}  // namespace rotclk::eco

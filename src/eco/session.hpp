@@ -1,0 +1,158 @@
+#pragma once
+// Journaled ECO session: apply design deltas to a converged flow state and
+// reconverge warm instead of re-running cold.
+//
+// An EcoSession owns a private copy of the design (and its placement) plus
+// the long-lived incremental engines — the sequential-adjacency engine, the
+// incremental slack engine, and the tapping cache — and a WarmStart capsule
+// of the last converged state. `apply(delta)` journals the delta's
+// mutations, runs the ECO reconvergence pipeline (eco/stages.hpp) warm, and
+// on success updates the capsule so chained deltas stack. Any warm-path
+// error short of a deadline degrades to a cold re-run of the SAME pipeline
+// with full kernels — counted, never a wrong answer — and the degradation
+// is recorded as an `eco` event on the result.
+//
+// Warm/cold bit-identity contract: both paths execute the same
+// reconvergence algorithm on the same seeded state and derive their dirty
+// sets from the same bitwise arc diff against the capsule; they differ only
+// in kernels whose outputs are proven bit-identical to their full
+// counterparts (AdjacencyEngine::refresh, IncrementalSlackEngine::refresh,
+// incremental row build, residual reassignment). tests/test_eco.cpp gates
+// the identity end to end, and the standard certificate verifier
+// (core/verify.hpp) re-proves schedule feasibility and assignment
+// optimality on warm results when FlowConfig::verify is on.
+//
+// `rollback()` reverts every delta applied since the last seed() /
+// commit_baseline(): the journal restores the design and placement
+// bitwise, the capsule and ring config are restored from the baseline
+// snapshots, and the engines re-baseline on the next warm apply.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "assign/assigner.hpp"
+#include "core/flow.hpp"
+#include "eco/delta.hpp"
+#include "eco/stages.hpp"
+#include "eco/warm_start.hpp"
+#include "netlist/journal.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/placement.hpp"
+#include "rotary/tapping.hpp"
+#include "sched/skew_optimizer.hpp"
+#include "timing/adjacency.hpp"
+#include "timing/slack.hpp"
+
+namespace rotclk::eco {
+
+class EcoSession {
+ public:
+  /// Copies `design` into the session; all subsequent mutations go through
+  /// the session's journal.
+  EcoSession(const netlist::Design& design, core::FlowConfig config);
+  ~EcoSession();
+  EcoSession(const EcoSession&) = delete;
+  EcoSession& operator=(const EcoSession&) = delete;
+
+  /// Seed by running the standard cold flow to convergence.
+  core::FlowResult seed();
+
+  /// Seed from an existing converged result of the same design (e.g. a
+  /// cached FlowResult); skips the cold flow.
+  void seed(const core::FlowResult& result);
+
+  /// Apply `delta` and reconverge warm from the capsule. Degrades to a
+  /// counted cold re-run on any warm-path error (except deadlines, which
+  /// propagate). On success the capsule advances; on failure the delta is
+  /// rolled back and the error rethrown.
+  core::FlowResult apply(const DesignDelta& delta);
+
+  /// Apply `delta` and reconverge cold (full kernels, same algorithm).
+  /// The oracle for warm/cold bit-identity tests and the cold lap of
+  /// bench_eco.
+  core::FlowResult apply_cold(const DesignDelta& delta);
+
+  /// Revert every delta applied since seed()/commit_baseline(): design,
+  /// placement, capsule, and ring config all restore bitwise.
+  void rollback();
+
+  /// Accept the current state as the new rollback baseline (truncates the
+  /// journal's undo log).
+  void commit_baseline();
+
+  /// Attach an observer (not owned) to every subsequent run, including the
+  /// cold seed flow. Observers see `eco` events via FlowObserver::on_eco.
+  void add_observer(core::FlowObserver* observer);
+
+  struct Stats {
+    int deltas_applied = 0;
+    int warm_runs = 0;
+    int cold_runs = 0;  ///< forced (apply_cold) + degraded
+    int degraded = 0;   ///< warm attempts that fell back to cold
+    int rolled_back = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  [[nodiscard]] bool seeded() const { return seeded_; }
+  [[nodiscard]] const netlist::Design& design() const { return design_; }
+  [[nodiscard]] const netlist::Placement& placement() const {
+    return placement_;
+  }
+  [[nodiscard]] const WarmStart& capsule() const { return capsule_; }
+  [[nodiscard]] const core::FlowConfig& config() const { return config_; }
+  [[nodiscard]] const timing::AdjacencyEngine& adjacency() const {
+    return *adj_;
+  }
+
+ private:
+  void adopt(const core::FlowResult& result);
+  core::FlowResult apply_impl(const DesignDelta& delta, bool allow_warm);
+  /// Run the delta's ops through the journal; returns (ff retunes as
+  /// (cell, target_ps), moved/added flip-flop cells, rings changed).
+  struct AppliedOps {
+    std::vector<std::pair<int, double>> retunes;
+    std::vector<int> touched_ff_cells;
+    bool rings_changed = false;
+  };
+  AppliedOps apply_ops(const DesignDelta& delta);
+  void fill_run_state(EcoRunState& s, const DesignDelta& delta,
+                      const AppliedOps& ops, const netlist::JournalMark& pre,
+                      std::vector<double>& seeded_arrival) const;
+  /// Rebuild stale engines (after a degraded run or rollback) and recreate
+  /// the structure-bound slack engine after a structural delta.
+  void prepare_engines(bool structure_changed);
+  core::FlowResult run_reconverge(EcoRunState& s,
+                                  const std::vector<double>& seeded_arrival,
+                                  std::vector<timing::SeqArc>* arcs_out);
+  void commit_capsule(const core::FlowResult& result, const EcoRunState& s,
+                      std::vector<timing::SeqArc> arcs);
+
+  netlist::Design design_;
+  netlist::Placement placement_;
+  core::FlowConfig config_;
+  std::unique_ptr<assign::Assigner> assigner_;
+  std::unique_ptr<sched::SkewOptimizer> skew_optimizer_;
+  std::unique_ptr<netlist::MutationJournal> journal_;
+
+  // Long-lived warm kernels (survive across applies).
+  rotary::TappingCache taps_;
+  std::unique_ptr<timing::AdjacencyEngine> adj_;
+  std::unique_ptr<timing::IncrementalSlackEngine> slack_;
+  /// Engine baselines no longer match the session state (degraded run or
+  /// rollback); the next warm apply re-baselines from scratch.
+  bool engines_stale_ = false;
+
+  WarmStart capsule_;
+  bool seeded_ = false;
+
+  // Rollback baseline (state at seed()/commit_baseline()).
+  netlist::JournalMark base_mark_{};
+  WarmStart base_capsule_;
+  rotary::RingArrayConfig base_ring_config_{};
+
+  std::vector<core::FlowObserver*> observers_;
+  Stats stats_;
+};
+
+}  // namespace rotclk::eco

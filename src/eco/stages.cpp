@@ -1,0 +1,440 @@
+#include "eco/stages.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+
+#include "assign/residual.hpp"
+#include "sched/cost_driven.hpp"
+#include "sched/skew.hpp"
+#include "timing/sta.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace rotclk::eco {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One cached arc in cell space for the capsule diff.
+struct CellDelay {
+  int to_cell = 0;
+  double d_max_ps = 0.0;
+  double d_min_ps = 0.0;
+};
+
+/// Group a flat SeqArc vector (concatenated per launcher, targets in
+/// flip-flop order) into per-launcher cell-space lists. Targets come out
+/// sorted by cell index because both the capsule's and the current
+/// Design::flip_flops() are ascending in cell index.
+std::vector<std::vector<CellDelay>> group_by_launcher(
+    const std::vector<timing::SeqArc>& arcs, const std::vector<int>& ff_cells) {
+  std::vector<std::vector<CellDelay>> per(ff_cells.size());
+  for (const timing::SeqArc& a : arcs)
+    per[static_cast<std::size_t>(a.from_ff)].push_back(
+        CellDelay{ff_cells[static_cast<std::size_t>(a.to_ff)], a.d_max_ps,
+                  a.d_min_ps});
+  return per;
+}
+
+}  // namespace
+
+void EcoSeedStage::run(core::FlowContext& ctx) {
+  EcoRunState& s = *state_;
+  if (s.warm) {
+    util::fault::point("eco.journal");
+    ctx.arcs = s.adjacency->refresh(ctx.placement, s.journal_dirty_cells,
+                                    s.journal_dirty_nets, s.structure_changed);
+  } else {
+    ctx.arcs = timing::extract_sequential_adjacency(ctx.design, ctx.placement,
+                                                    ctx.config.tech);
+  }
+  ctx.arcs_stale = false;
+
+  if (!s.degraded_from.empty()) {
+    core::EcoEvent ev;
+    ev.kind = "degraded-to-cold";
+    ev.detail = s.degraded_from;
+    ctx.record_eco(std::move(ev));
+  }
+  {
+    core::EcoEvent ev;
+    ev.kind = "delta-applied";
+    ev.detail = s.delta_summary;
+    ctx.record_eco(std::move(ev));
+  }
+
+  derive_dirty(ctx);
+
+  core::EcoEvent ev;
+  ev.kind = s.warm ? "warm-start" : "cold-start";
+  ev.detail = s.all_dirty ? "full reconvergence (no capsule seed)"
+                          : "capsule-seeded reconvergence";
+  ev.dirty_cells = s.dirty_cells;
+  ev.dirty_ffs = s.dirty_ffs;
+  ev.dirty_arcs = s.dirty_arcs;
+  ctx.record_eco(std::move(ev));
+}
+
+void EcoSeedStage::derive_dirty(core::FlowContext& ctx) {
+  EcoRunState& s = *state_;
+  const int n = ctx.num_ffs();
+  s.sched_dirty.assign(static_cast<std::size_t>(n), 0);
+  s.ever_row_dirty.assign(static_cast<std::size_t>(n), 0);
+  s.built_arrival.clear();
+  s.prices_by_iteration.clear();
+  s.dirty_cells = static_cast<int>(s.journal_dirty_cells.size());
+  s.dirty_arcs = 0;
+
+  std::unordered_map<int, int> pos_of_cell;
+  pos_of_cell.reserve(s.ffs.size());
+  for (std::size_t i = 0; i < s.ffs.size(); ++i)
+    pos_of_cell.emplace(s.ffs[i], static_cast<int>(i));
+  const auto mark = [&](int cell) {
+    const auto it = pos_of_cell.find(cell);
+    if (it != pos_of_cell.end())
+      s.sched_dirty[static_cast<std::size_t>(it->second)] = 1;
+  };
+
+  if (s.all_dirty) {
+    std::fill(s.sched_dirty.begin(), s.sched_dirty.end(), 1);
+  } else {
+    // Bitwise per-launcher diff against the capsule, in cell space (cell
+    // indices are stable across the journal's add/remove scheme). Both
+    // lists are sorted by target cell, so this is a linear merge.
+    //
+    // Marking is violation-gated: a changed or new arc dirties its
+    // endpoints only when the seeded targets no longer satisfy it at the
+    // prespecified slack (the same B + M <= t_i - t_j <= A - M arithmetic
+    // as check::schedule_violation_ps). A feasible change needs no
+    // re-schedule — the standing targets remain a certificate-grade
+    // schedule — and with a shared-net delay model one moved cell perturbs
+    // far more arcs than it violates. Vanished arcs only relax the system
+    // and never mark. Arcs touching a flip-flop with no capsule target are
+    // always marked (nothing trusted to hold them). dirty_arcs counts
+    // every diff, marked or not. Evaluated identically by the warm and
+    // cold paths, so bit-identity is preserved.
+    const timing::TechParams& tech = ctx.config.tech;
+    const double m = ctx.slack_used_ps;
+    const auto still_feasible = [&](int from_i, const CellDelay& d) {
+      const auto it = pos_of_cell.find(d.to_cell);
+      if (it == pos_of_cell.end()) return false;
+      const int to_i = it->second;
+      if (s.prev_ff_of[static_cast<std::size_t>(from_i)] < 0 ||
+          s.prev_ff_of[static_cast<std::size_t>(to_i)] < 0)
+        return false;
+      const double diff = ctx.arrival_ps[static_cast<std::size_t>(from_i)] -
+                          ctx.arrival_ps[static_cast<std::size_t>(to_i)];
+      const double a_long =
+          tech.clock_period_ps - d.d_max_ps - tech.setup_ps;
+      const double b_short = tech.hold_ps - d.d_min_ps;
+      return diff <= a_long - m && diff >= b_short + m;
+    };
+    const std::vector<std::vector<CellDelay>> now =
+        group_by_launcher(ctx.arcs, s.ffs);
+    const std::vector<std::vector<CellDelay>> cap = group_by_launcher(
+        s.capsule->arcs, s.capsule->problem.ff_cells);
+    for (int i = 0; i < n; ++i) {
+      const std::vector<CellDelay>& a = now[static_cast<std::size_t>(i)];
+      const int old = s.prev_ff_of[static_cast<std::size_t>(i)];
+      static const std::vector<CellDelay> kEmpty;
+      const std::vector<CellDelay>& b =
+          old >= 0 ? cap[static_cast<std::size_t>(old)] : kEmpty;
+      std::size_t x = 0, y = 0;
+      const int from_cell = s.ffs[static_cast<std::size_t>(i)];
+      while (x < a.size() || y < b.size()) {
+        if (x < a.size() && y < b.size() &&
+            a[x].to_cell == b[y].to_cell) {
+          if (a[x].d_max_ps != b[y].d_max_ps ||
+              a[x].d_min_ps != b[y].d_min_ps) {
+            ++s.dirty_arcs;
+            if (!still_feasible(i, a[x])) {
+              mark(from_cell);
+              mark(a[x].to_cell);
+            }
+          }
+          ++x;
+          ++y;
+        } else if (y >= b.size() ||
+                   (x < a.size() && a[x].to_cell < b[y].to_cell)) {
+          ++s.dirty_arcs;  // new arc
+          if (!still_feasible(i, a[x])) {
+            mark(from_cell);
+            mark(a[x].to_cell);
+          }
+          ++x;
+        } else {
+          ++s.dirty_arcs;  // vanished arc: constraints only relax
+          ++y;
+        }
+      }
+    }
+    // Launchers that no longer exist also only relax the system; count
+    // their vanished arcs for the diff report.
+    std::unordered_map<int, char> live;
+    live.reserve(s.ffs.size());
+    for (const int c : s.ffs) live.emplace(c, 1);
+    const auto& cap_cells = s.capsule->problem.ff_cells;
+    for (std::size_t o = 0; o < cap_cells.size(); ++o) {
+      if (live.count(cap_cells[o]) != 0) continue;
+      s.dirty_arcs += static_cast<int>(cap[o].size());
+    }
+  }
+
+  for (const int i : s.explicit_dirty)
+    s.sched_dirty[static_cast<std::size_t>(i)] = 1;
+  // Retuned flip-flops are pinned at their delta target; every arc partner
+  // must be free to adapt to the pinned value.
+  bool any_pinned = false;
+  for (const char p : s.pinned) any_pinned |= (p != 0);
+  if (any_pinned) {
+    for (const timing::SeqArc& a : ctx.arcs) {
+      if (s.pinned[static_cast<std::size_t>(a.from_ff)])
+        s.sched_dirty[static_cast<std::size_t>(a.to_ff)] = 1;
+      if (s.pinned[static_cast<std::size_t>(a.to_ff)])
+        s.sched_dirty[static_cast<std::size_t>(a.from_ff)] = 1;
+    }
+    for (int i = 0; i < n; ++i)
+      if (s.pinned[static_cast<std::size_t>(i)])
+        s.sched_dirty[static_cast<std::size_t>(i)] = 0;
+  }
+  s.dirty_ffs = static_cast<int>(
+      std::count(s.sched_dirty.begin(), s.sched_dirty.end(), 1));
+}
+
+void EcoCostDrivenStage::run(core::FlowContext& ctx) {
+  EcoRunState& s = *state_;
+  const int n = ctx.num_ffs();
+  std::vector<int> dirty;
+  for (int i = 0; i < n; ++i)
+    if (s.sched_dirty[static_cast<std::size_t>(i)]) dirty.push_back(i);
+  if (dirty.empty()) return;  // pinned-only or empty delta: targets stand
+  const int nd = static_cast<int>(dirty.size());
+  std::vector<int> local_of(static_cast<std::size_t>(n), -1);
+  for (int k = 0; k < nd; ++k)
+    local_of[static_cast<std::size_t>(dirty[static_cast<std::size_t>(k)])] = k;
+
+  // Anchors and weights, exactly as the standard stage computes them; the
+  // assigned ring comes from the current assignment, the capsule (before
+  // the first assignment of the run), or the nearest ring.
+  std::vector<sched::TapAnchor> anchors(static_cast<std::size_t>(nd));
+  std::vector<double> weights(static_cast<std::size_t>(nd), 1.0);
+  for (int k = 0; k < nd; ++k) {
+    const int i = dirty[static_cast<std::size_t>(k)];
+    int ring = -1;
+    if (!ctx.assignment.arc_of_ff.empty()) {
+      ring = ctx.assignment.ring_of(ctx.problem, i);
+    } else if (!s.all_dirty) {
+      const int old = s.prev_ff_of[static_cast<std::size_t>(i)];
+      if (old >= 0)
+        ring = s.capsule->assignment.ring_of(s.capsule->problem, old);
+    }
+    if (ring >= ctx.rings->size()) ring = -1;
+    const geom::Point loc =
+        ctx.placement.loc(s.ffs[static_cast<std::size_t>(i)]);
+    const int rj = ring < 0 ? ctx.rings->nearest_ring(loc) : ring;
+    double dist = 0.0;
+    const rotary::RotaryRing& rr = ctx.rings->ring(rj);
+    const rotary::RingPos c = rr.closest_point_in_phase(
+        loc, ctx.arrival_ps[static_cast<std::size_t>(i)], &dist);
+    anchors[static_cast<std::size_t>(k)].anchor_ps = rr.nearest_phase(
+        rr.delay_at(c), ctx.arrival_ps[static_cast<std::size_t>(i)]);
+    anchors[static_cast<std::size_t>(k)].stub_ps =
+        ctx.config.tech.wire_delay_ps(dist, ctx.config.tech.ff_input_cap_ff);
+    weights[static_cast<std::size_t>(k)] = dist;
+  }
+
+  // Dirty-dirty arcs stay difference constraints; arcs into the clean
+  // boundary fold into box bounds at the boundary's fixed targets.
+  const timing::TechParams& tech = ctx.config.tech;
+  const double m = ctx.slack_used_ps;
+  std::vector<timing::SeqArc> sub;
+  sched::VarBounds bounds;
+  bounds.upper.assign(static_cast<std::size_t>(nd), kInf);
+  bounds.lower.assign(static_cast<std::size_t>(nd), -kInf);
+  for (const timing::SeqArc& a : ctx.arcs) {
+    const int li = local_of[static_cast<std::size_t>(a.from_ff)];
+    const int lj = local_of[static_cast<std::size_t>(a.to_ff)];
+    const double c_long =
+        tech.clock_period_ps - a.d_max_ps - tech.setup_ps - m;
+    const double c_short = a.d_min_ps - tech.hold_ps - m;
+    if (li >= 0 && lj >= 0) {
+      sub.push_back(timing::SeqArc{li, lj, a.d_max_ps, a.d_min_ps});
+    } else if (li >= 0) {
+      const double tj = ctx.arrival_ps[static_cast<std::size_t>(a.to_ff)];
+      auto& u = bounds.upper[static_cast<std::size_t>(li)];
+      auto& l = bounds.lower[static_cast<std::size_t>(li)];
+      u = std::min(u, tj + c_long);
+      l = std::max(l, tj - c_short);
+    } else if (lj >= 0) {
+      const double ti = ctx.arrival_ps[static_cast<std::size_t>(a.from_ff)];
+      auto& u = bounds.upper[static_cast<std::size_t>(lj)];
+      auto& l = bounds.lower[static_cast<std::size_t>(lj)];
+      l = std::max(l, ti - c_long);
+      u = std::min(u, ti + c_short);
+    }
+  }
+
+  try {
+    const sched::CostDrivenResult cd =
+        ctx.config.weighted_cost_driven
+            ? sched::cost_driven_weighted_bounded(nd, sub, tech, anchors,
+                                                  weights, bounds, m)
+            : sched::cost_driven_min_max_bounded(nd, sub, tech, anchors,
+                                                 bounds, m);
+    if (!cd.feasible)
+      throw InfeasibleError(
+          name(), "localized re-schedule infeasible at the prespecified "
+                  "slack (the boundary is too tight)");
+    for (int k = 0; k < nd; ++k)
+      ctx.arrival_ps[static_cast<std::size_t>(
+          dirty[static_cast<std::size_t>(k)])] =
+          cd.arrival_ps[static_cast<std::size_t>(k)];
+    core::EcoEvent ev;
+    ev.kind = "reschedule";
+    ev.detail = "iteration " + std::to_string(ctx.iteration);
+    ev.dirty_ffs = nd;
+    ctx.record_eco(std::move(ev));
+  } catch (const DeadlineError&) {
+    throw;
+  } catch (const Error& e) {
+    if (!ctx.config.recovery_fallbacks) throw;
+    // The localized form assumed the clean boundary can stay put; when it
+    // cannot, escalate to a global max-slack schedule (the standard
+    // stage's own fallback) and treat every flip-flop as dirty from here
+    // on. Deterministic in both ECO paths, so bit-identity survives.
+    util::RecoveryEvent ev;
+    ev.kind = util::RecoveryEvent::Kind::kFallback;
+    ev.site = name();
+    ev.action = "localized re-schedule failed; falling back to the "
+                "max-slack schedule over all arcs";
+    ev.error = e.what();
+    ctx.record_recovery(ev);
+    const sched::ScheduleResult schedule =
+        sched::max_slack_schedule(n, ctx.arcs, tech);
+    if (!schedule.feasible)
+      throw InfeasibleError(name(),
+                            "no feasible skew schedule after the delta");
+    ctx.arrival_ps = schedule.arrival_ps;
+    s.all_dirty = true;
+    std::fill(s.sched_dirty.begin(), s.sched_dirty.end(), 1);
+    std::fill(s.pinned.begin(), s.pinned.end(), 0);
+  }
+}
+
+void EcoAssignStage::run(core::FlowContext& ctx) {
+  EcoRunState& s = *state_;
+  const int n = ctx.num_ffs();
+  const bool first = s.built_arrival.empty();
+  // The row-reuse predicate is pure data — a row is reusable iff its
+  // inputs are bitwise unchanged: same cell, same location, same delay
+  // target, same ring array. It MUST be evaluated identically in the warm
+  // and the cold path (it drives ever_row_dirty and hence the
+  // reassignment seed); only the build kernel below may differ.
+  std::vector<int> reuse(static_cast<std::size_t>(n), -1);
+  const assign::AssignProblem* prev =
+      first ? &s.capsule->problem : &ctx.problem;
+  if (!s.all_dirty) {
+    if (first) {
+      for (int i = 0; i < n; ++i) {
+        const int old = s.prev_ff_of[static_cast<std::size_t>(i)];
+        if (old < 0) continue;
+        const int cell = s.ffs[static_cast<std::size_t>(i)];
+        if (static_cast<std::size_t>(cell) >= s.capsule->placement.size())
+          continue;
+        if (!(ctx.placement.loc(cell) == s.capsule->placement.loc(cell)))
+          continue;
+        if (ctx.arrival_ps[static_cast<std::size_t>(i)] !=
+            s.capsule->arrival_ps[static_cast<std::size_t>(old)])
+          continue;
+        reuse[static_cast<std::size_t>(i)] = old;
+      }
+    } else {
+      for (int i = 0; i < n; ++i)
+        if (ctx.arrival_ps[static_cast<std::size_t>(i)] ==
+            s.built_arrival[static_cast<std::size_t>(i)])
+          reuse[static_cast<std::size_t>(i)] = i;
+    }
+  }
+  int rebuilt = 0;
+  for (int i = 0; i < n; ++i) {
+    if (reuse[static_cast<std::size_t>(i)] < 0) {
+      s.ever_row_dirty[static_cast<std::size_t>(i)] = 1;
+      ++rebuilt;
+    }
+  }
+  // Warm kernel: copy clean rows, rebuild dirty ones. Cold kernel: rebuild
+  // every row (prev_ff_of all -1). Copied rows are bit-identical to
+  // rebuilt ones by the reuse predicate above, so both kernels produce the
+  // same problem.
+  const std::vector<int> cold_all(static_cast<std::size_t>(n), -1);
+  ctx.problem = assign::build_assign_problem_incremental(
+      ctx.design, ctx.placement, *ctx.rings, ctx.arrival_ps, ctx.config.tech,
+      ctx.assign_config, *prev, s.warm ? reuse : cold_all);
+  ctx.peak_cost_matrix_arcs =
+      std::max(ctx.peak_cost_matrix_arcs, ctx.problem.arcs.size());
+
+  // Residual reassignment, seeded from the capsule in BOTH paths: clean
+  // flip-flops keep their capsule ring under the capsule duals, dirty ones
+  // are cancelled and re-augmented in index order.
+  std::vector<int> seed_ring(static_cast<std::size_t>(n), -1);
+  std::vector<double> seed_prices(static_cast<std::size_t>(ctx.rings->size()),
+                                  0.0);
+  if (!s.all_dirty) {
+    for (int i = 0; i < n; ++i) {
+      const int old = s.prev_ff_of[static_cast<std::size_t>(i)];
+      if (old >= 0 && !s.ever_row_dirty[static_cast<std::size_t>(i)])
+        seed_ring[static_cast<std::size_t>(i)] =
+            s.capsule->assignment.ring_of(s.capsule->problem, old);
+    }
+    if (s.capsule->ring_prices.size() == seed_prices.size())
+      seed_prices = s.capsule->ring_prices;
+  }
+  if (s.warm) util::fault::point("eco.residual");
+  assign::ResidualNetflow solver;
+  try {
+    ctx.assignment = solver.reassign(ctx.problem, seed_ring, seed_prices);
+    s.prices_by_iteration[ctx.iteration] = solver.prices();
+  } catch (const InfeasibleError& e) {
+    if (!ctx.config.recovery_fallbacks) throw;
+    // A stale seed (e.g. ring capacity shrank with the flip-flop count)
+    // falls back to an unseeded full residual solve — the cold solver's
+    // exact semantics, deterministic in both paths.
+    util::RecoveryEvent ev;
+    ev.kind = util::RecoveryEvent::Kind::kFallback;
+    ev.site = name();
+    ev.action = "capsule-seeded reassignment failed; re-solving unseeded";
+    ev.error = e.what();
+    ctx.record_recovery(ev);
+    assign::ResidualNetflow fresh;
+    ctx.assignment = fresh.reassign(
+        ctx.problem, std::vector<int>(static_cast<std::size_t>(n), -1),
+        std::vector<double>(static_cast<std::size_t>(ctx.rings->size()), 0.0));
+    s.prices_by_iteration[ctx.iteration] = fresh.prices();
+  }
+  s.built_arrival = ctx.arrival_ps;
+
+  core::EcoEvent ev;
+  ev.kind = "rows";
+  ev.detail = "iteration " + std::to_string(ctx.iteration);
+  ev.dirty_ffs = rebuilt;
+  ctx.record_eco(std::move(ev));
+}
+
+core::FlowPipeline make_eco_pipeline(EcoRunState* state) {
+  core::FlowPipeline pipeline;
+  pipeline.add_setup(std::make_unique<core::RingArraySetupStage>());
+  pipeline.add_setup(std::make_unique<EcoSeedStage>(state));
+  pipeline.add_setup(std::make_unique<EcoCostDrivenStage>(state));
+  pipeline.add_setup(std::make_unique<EcoAssignStage>(state));
+  pipeline.add_setup(std::make_unique<core::EvaluateStage>());
+  pipeline.add_loop(std::make_unique<EcoCostDrivenStage>(state));
+  pipeline.add_loop(std::make_unique<EcoAssignStage>(state));
+  pipeline.add_loop(std::make_unique<core::EvaluateStage>());
+  return pipeline;
+}
+
+}  // namespace rotclk::eco

@@ -1,0 +1,123 @@
+#pragma once
+// Pipeline stages of the ECO reconvergence.
+//
+// Warm and cold ECO runs execute the SAME reconvergence algorithm over the
+// same FlowPipeline; they differ only in which kernels the stages invoke:
+//
+//   eco-seed          warm: AdjacencyEngine::refresh over the journal's
+//                     dirty sets; cold: full extract_sequential_adjacency.
+//                     Either way the resulting arcs are diffed bitwise (in
+//                     cell space, per launcher) against the WarmStart
+//                     capsule to derive the dirty flip-flop set — so both
+//                     paths compute identical dirty sets from identical
+//                     data, and every bit of the downstream run agrees.
+//   cost-driven-skew  localized re-optimization: clean flip-flops keep
+//                     their capsule targets and act as fixed boundary
+//                     conditions (folded into box bounds), dirty ones are
+//                     re-optimized exactly over the dirty sub-system at
+//                     the capsule's prespecified slack. Named like the
+//                     standard stage so the VerifyingObserver re-checks
+//                     the full schedule against every arc.
+//   assignment        dirty candidate rows rebuilt (warm: incremental
+//                     build sharing the session tapping cache; cold: full
+//                     rebuild through the same row builder), then residual
+//                     reassignment seeded from the capsule flows/duals in
+//                     both paths. Named like the standard stage so the
+//                     MCMF optimality certificate replays on the result.
+//   evaluate          the standard stage-5 evaluation, reused verbatim.
+//
+// EcoRunState is the per-run channel between the session and the stages:
+// kernel selection, capsule reference, dirty bookkeeping, and the ring
+// duals per iteration (so the committed capsule matches best_iteration).
+
+#include <map>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/stages.hpp"
+#include "eco/warm_start.hpp"
+#include "timing/adjacency.hpp"
+
+namespace rotclk::eco {
+
+struct EcoRunState {
+  // --- kernel selection & reference state (set by the session) -----------
+  bool warm = false;
+  const WarmStart* capsule = nullptr;
+  timing::AdjacencyEngine* adjacency = nullptr;  ///< warm kernel only
+  std::vector<int> journal_dirty_cells;
+  std::vector<int> journal_dirty_nets;
+  bool structure_changed = false;
+  /// Ring-count change (or an escalated fallback): no capsule seeding,
+  /// every flip-flop is re-scheduled and every row rebuilt.
+  bool all_dirty = false;
+  std::string delta_summary;
+  std::string degraded_from;  ///< warm-path error when this is a cold rerun
+
+  // --- post-delta design view (set by the session) ------------------------
+  std::vector<int> ffs;          ///< Design::flip_flops() after the delta
+  std::vector<int> prev_ff_of;   ///< new FF index -> capsule FF index or -1
+  std::vector<char> pinned;      ///< retuned FFs: target fixed by the delta
+  std::vector<int> explicit_dirty;  ///< moved/added FFs (arc diff can miss
+                                    ///< flip-flops with no sequential arcs)
+
+  // --- run-scoped bookkeeping (maintained by the stages) ------------------
+  std::vector<char> sched_dirty;     ///< re-scheduled flip-flops
+  std::vector<char> ever_row_dirty;  ///< rows rebuilt at any iteration
+  std::vector<double> built_arrival; ///< targets at the last row build
+  std::map<int, std::vector<double>> prices_by_iteration;
+  int dirty_cells = 0;
+  int dirty_ffs = 0;
+  int dirty_arcs = 0;
+};
+
+/// Setup stage: extract/refresh the sequential adjacency and derive the
+/// dirty flip-flop set by bitwise per-launcher diff against the capsule.
+class EcoSeedStage final : public core::Stage {
+ public:
+  explicit EcoSeedStage(EcoRunState* state) : state_(state) {}
+  [[nodiscard]] const char* name() const override { return "eco-seed"; }
+  void run(core::FlowContext& ctx) override;
+
+ private:
+  void derive_dirty(core::FlowContext& ctx);
+  EcoRunState* state_;
+};
+
+/// Localized cost-driven re-schedule over the dirty flip-flops with the
+/// clean boundary folded into box bounds. Carries the standard stage name
+/// so the feasibility certificate (all arcs at the prespecified slack)
+/// applies unchanged.
+class EcoCostDrivenStage final : public core::Stage {
+ public:
+  explicit EcoCostDrivenStage(EcoRunState* state) : state_(state) {}
+  [[nodiscard]] const char* name() const override {
+    return "cost-driven-skew";
+  }
+  void run(core::FlowContext& ctx) override;
+
+ private:
+  EcoRunState* state_;
+};
+
+/// Dirty-row candidate rebuild + residual min-cost-flow reassignment
+/// seeded from the capsule. Carries the standard stage name so the
+/// assignment/MCMF certificates apply unchanged.
+class EcoAssignStage final : public core::Stage {
+ public:
+  explicit EcoAssignStage(EcoRunState* state) : state_(state) {}
+  [[nodiscard]] const char* name() const override { return "assignment"; }
+  void run(core::FlowContext& ctx) override;
+
+ private:
+  EcoRunState* state_;
+};
+
+/// Assemble the ECO reconvergence pipeline:
+///   setup = [ring-array-setup, eco-seed, cost-driven-skew, assignment,
+///            evaluate], loop = [cost-driven-skew, assignment, evaluate].
+/// No placement stages: an ECO reconverges skew and assignment around the
+/// edit and leaves the converged placement untouched.
+core::FlowPipeline make_eco_pipeline(EcoRunState* state);
+
+}  // namespace rotclk::eco

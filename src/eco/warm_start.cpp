@@ -1,0 +1,22 @@
+#include "eco/warm_start.hpp"
+
+#include "assign/residual.hpp"
+
+namespace rotclk::eco {
+
+WarmStart WarmStart::from_result(const core::FlowResult& result, int rings) {
+  WarmStart w;
+  w.placement = result.placement;
+  w.arrival_ps = result.arrival_ps;
+  w.problem = result.problem;
+  w.assignment = result.assignment;
+  w.slack_star_ps = result.slack_ps;
+  w.slack_used_ps = result.stage4_slack_ps;
+  w.rings = rings;
+  assign::ResidualNetflow solver;
+  solver.solve(w.problem);
+  w.ring_prices = solver.prices();
+  return w;
+}
+
+}  // namespace rotclk::eco

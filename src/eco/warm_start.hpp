@@ -1,0 +1,43 @@
+#pragma once
+// The WarmStart capsule: everything a converged flow run leaves behind
+// that a warm re-optimization can continue from.
+//
+// A capsule is extracted from a FlowResult (plus the ring duals, re-derived
+// by one residual solve at seed time) and thereafter updated in place after
+// every successful ECO apply, so chained deltas warm-stack. All fields are
+// values — the capsule survives the FlowContext of the run that made it and
+// is the *reference state* dirty sets are diffed against: per-launcher arc
+// lists are compared bitwise in cell space, clean flip-flops keep their
+// capsule ring and target, and the residual reassignment seeds from the
+// capsule flows and duals in both the warm and the cold ECO paths.
+
+#include <vector>
+
+#include "assign/problem.hpp"
+#include "core/flow.hpp"
+#include "netlist/placement.hpp"
+#include "timing/sta.hpp"
+
+namespace rotclk::eco {
+
+struct WarmStart {
+  netlist::Placement placement;     ///< converged placement (pre-delta)
+  std::vector<double> arrival_ps;   ///< per-FF targets, capsule FF indexing
+  assign::AssignProblem problem;    ///< converged candidate rows
+  assign::Assignment assignment;    ///< converged FF -> ring flows
+  std::vector<double> ring_prices;  ///< ring duals v_j of `assignment`
+  /// Sequential adjacency at `placement` (capsule FF indexing); the
+  /// reference the per-launcher bitwise diff runs against.
+  std::vector<timing::SeqArc> arcs;
+  double slack_star_ps = 0.0;       ///< stage-2 optimum M* of the seed run
+  double slack_used_ps = 0.0;       ///< prespecified M the ECO re-schedules at
+  int rings = 0;                    ///< ring count the capsule was built with
+
+  /// Build a capsule from a converged result. Re-derives the ring duals
+  /// with one residual full solve over `result.problem` (the solve is
+  /// bit-identical to the one that produced `result.assignment`). `arcs`
+  /// is left empty — the session fills it from its adjacency baseline.
+  static WarmStart from_result(const core::FlowResult& result, int rings);
+};
+
+}  // namespace rotclk::eco

@@ -1,0 +1,223 @@
+#include "netlist/journal.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rotclk::netlist {
+
+MutationJournal::MutationJournal(Design& design, Placement& placement)
+    : design_(design), placement_(placement) {}
+
+void MutationJournal::note_dirty_cell(int cell) { dirty_cells_.push_back(cell); }
+
+void MutationJournal::note_incident_nets(int cell) {
+  const Cell& c = design_.cells_[static_cast<std::size_t>(cell)];
+  if (c.out_net >= 0) dirty_nets_.push_back(c.out_net);
+  for (int n : c.in_nets) dirty_nets_.push_back(n);
+}
+
+void MutationJournal::move_cell(int cell, geom::Point to) {
+  if (cell < 0 || static_cast<std::size_t>(cell) >= design_.cells_.size())
+    throw InvalidArgumentError("journal", "move_cell: bad cell index");
+  if (design_.cells_[static_cast<std::size_t>(cell)].detached)
+    throw InvalidArgumentError("journal", "move_cell: cell is detached");
+  Op op;
+  op.kind = OpKind::kMove;
+  op.cell = cell;
+  op.old_loc = placement_.loc(cell);
+  placement_.set_loc(cell, to);
+  ops_.push_back(std::move(op));
+  note_dirty_cell(cell);
+  note_incident_nets(cell);
+}
+
+int MutationJournal::finish_add(int cell, geom::Point loc,
+                                std::size_t nets_before,
+                                std::size_t placement_before) {
+  placement_.resize(design_);
+  placement_.set_loc(cell, loc);
+  Op op;
+  op.kind = OpKind::kAddCell;
+  op.cell = cell;
+  op.first_new_net = nets_before;
+  op.placement_grew = placement_.size() > placement_before;
+  ops_.push_back(std::move(op));
+  note_dirty_cell(cell);
+  note_incident_nets(cell);
+  return cell;
+}
+
+int MutationJournal::add_gate(GateFn fn, const std::string& out_name,
+                              const std::vector<std::string>& in_names,
+                              geom::Point loc) {
+  // Pre-check everything Design::add_gate rejects *after* it has already
+  // created nets, so a failed op leaves no side effects to journal.
+  if (design_.find_cell(out_name) != -1)
+    throw InvalidArgumentError("journal", "add_gate: duplicate cell name: " + out_name);
+  const int existing = design_.find_net(out_name);
+  if (existing >= 0 && design_.net(existing).driver != -1)
+    throw InvalidArgumentError("journal", "add_gate: net already driven: " + out_name);
+  const std::size_t nets_before = design_.nets_.size();
+  const std::size_t placement_before = placement_.size();
+  const int cell = design_.add_gate(fn, out_name, in_names);
+  return finish_add(cell, loc, nets_before, placement_before);
+}
+
+int MutationJournal::add_flip_flop(const std::string& out_name,
+                                   const std::string& in_name,
+                                   geom::Point loc) {
+  if (design_.find_cell(out_name) != -1)
+    throw InvalidArgumentError("journal", "add_flip_flop: duplicate cell name: " + out_name);
+  const int existing = design_.find_net(out_name);
+  if (existing >= 0 && design_.net(existing).driver != -1)
+    throw InvalidArgumentError("journal", "add_flip_flop: net already driven: " + out_name);
+  const std::size_t nets_before = design_.nets_.size();
+  const std::size_t placement_before = placement_.size();
+  const int cell = design_.add_flip_flop(out_name, in_name);
+  return finish_add(cell, loc, nets_before, placement_before);
+}
+
+void MutationJournal::rewire_input(int cell, int old_net, int new_net) {
+  if (cell < 0 || static_cast<std::size_t>(cell) >= design_.cells_.size())
+    throw InvalidArgumentError("journal", "rewire_input: bad cell index");
+  Op op;
+  op.kind = OpKind::kRewire;
+  op.cell = cell;
+  op.old_net = old_net;
+  op.new_net = new_net;
+  // Snapshot both nets and the pin list: Design::rewire_input erases from
+  // the middle of one sink list and appends to another, so an exact revert
+  // must restore the vectors, not replay inverse edits.
+  for (int n : {old_net, new_net}) {
+    const Net& net = design_.nets_[static_cast<std::size_t>(n)];
+    op.nets.push_back(NetSnapshot{n, net.driver, net.sinks});
+  }
+  op.old_in_nets = design_.cells_[static_cast<std::size_t>(cell)].in_nets;
+  design_.rewire_input(cell, old_net, new_net);  // throws if no such pin
+  ops_.push_back(std::move(op));
+  note_dirty_cell(cell);
+  dirty_nets_.push_back(old_net);
+  dirty_nets_.push_back(new_net);
+}
+
+void MutationJournal::remove_cell(int cell) {
+  if (cell < 0 || static_cast<std::size_t>(cell) >= design_.cells_.size())
+    throw InvalidArgumentError("journal", "remove_cell: bad cell index");
+  const Cell& c = design_.cells_[static_cast<std::size_t>(cell)];
+  if (c.detached)
+    throw InvalidArgumentError("journal", "remove_cell: already detached");
+  Op op;
+  op.kind = OpKind::kDetach;
+  op.cell = cell;
+  std::vector<int> incident;
+  if (c.out_net >= 0) incident.push_back(c.out_net);
+  for (int n : c.in_nets) incident.push_back(n);
+  std::sort(incident.begin(), incident.end());
+  incident.erase(std::unique(incident.begin(), incident.end()), incident.end());
+  for (int n : incident) {
+    const Net& net = design_.nets_[static_cast<std::size_t>(n)];
+    op.nets.push_back(NetSnapshot{n, net.driver, net.sinks});
+  }
+  note_dirty_cell(cell);
+  note_incident_nets(cell);  // pre-detach connectivity
+  design_.detach_cell(cell);  // throws if the output still has sinks
+  ops_.push_back(std::move(op));
+}
+
+void MutationJournal::undo(const Op& op) {
+  switch (op.kind) {
+    case OpKind::kMove:
+      placement_.set_loc(op.cell, op.old_loc);
+      break;
+    case OpKind::kAddCell: {
+      const auto idx = static_cast<std::size_t>(op.cell);
+      Cell& c = design_.cells_[idx];
+      // LIFO order guarantees the added cell is still the last slot.
+      if (idx + 1 != design_.cells_.size())
+        throw InvalidArgumentError("journal", "undo add: cell is not last");
+      for (int n : c.in_nets) {
+        auto& sinks = design_.nets_[static_cast<std::size_t>(n)].sinks;
+        sinks.erase(std::remove(sinks.begin(), sinks.end(), op.cell),
+                    sinks.end());
+      }
+      if (c.out_net >= 0 &&
+          design_.nets_[static_cast<std::size_t>(c.out_net)].driver == op.cell)
+        design_.nets_[static_cast<std::size_t>(c.out_net)].driver = -1;
+      design_.cell_by_name_.erase(c.name);
+      design_.cells_.pop_back();
+      while (design_.nets_.size() > op.first_new_net) {
+        design_.net_by_name_.erase(design_.nets_.back().name);
+        design_.nets_.pop_back();
+      }
+      if (op.placement_grew) placement_.truncate(design_.cells_.size());
+      break;
+    }
+    case OpKind::kRewire: {
+      design_.cells_[static_cast<std::size_t>(op.cell)].in_nets =
+          op.old_in_nets;
+      for (const NetSnapshot& s : op.nets) {
+        Net& net = design_.nets_[static_cast<std::size_t>(s.net)];
+        net.driver = s.driver;
+        net.sinks = s.sinks;
+      }
+      break;
+    }
+    case OpKind::kDetach: {
+      for (const NetSnapshot& s : op.nets) {
+        Net& net = design_.nets_[static_cast<std::size_t>(s.net)];
+        net.driver = s.driver;
+        net.sinks = s.sinks;
+      }
+      design_.cells_[static_cast<std::size_t>(op.cell)].detached = false;
+      break;
+    }
+  }
+}
+
+void MutationJournal::revert_to(JournalMark mark) {
+  if (mark.ops > ops_.size())
+    throw InvalidArgumentError("journal", "revert_to: mark is ahead of journal");
+  while (ops_.size() > mark.ops) {
+    undo(ops_.back());
+    ops_.pop_back();
+  }
+}
+
+void MutationJournal::commit() {
+  ops_.clear();
+  dirty_cells_.clear();
+  dirty_nets_.clear();
+}
+
+namespace {
+std::vector<int> sorted_unique(std::vector<int> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+}  // namespace
+
+std::vector<int> MutationJournal::dirty_cells() const {
+  return sorted_unique(dirty_cells_);
+}
+
+std::vector<int> MutationJournal::dirty_cells(const JournalMark& since) const {
+  const std::size_t from = std::min(since.dirty_cells, dirty_cells_.size());
+  return sorted_unique(
+      std::vector<int>(dirty_cells_.begin() + static_cast<std::ptrdiff_t>(from),
+                       dirty_cells_.end()));
+}
+
+std::vector<int> MutationJournal::dirty_nets() const {
+  return sorted_unique(dirty_nets_);
+}
+
+std::vector<int> MutationJournal::dirty_nets(const JournalMark& since) const {
+  const std::size_t from = std::min(since.dirty_nets, dirty_nets_.size());
+  return sorted_unique(
+      std::vector<int>(dirty_nets_.begin() + static_cast<std::ptrdiff_t>(from),
+                       dirty_nets_.end()));
+}
+
+}  // namespace rotclk::netlist

@@ -1,0 +1,135 @@
+#pragma once
+// ECO mutation journal over a Design + Placement pair.
+//
+// Every mutation an ECO delta can make — cell moves, gate/flip-flop adds,
+// input rewires, cell removals — goes through this journal, which records
+// an exact-snapshot undo entry per operation. `revert_to(mark)` plays the
+// entries back LIFO and restores the design and placement *bitwise*: net
+// sink lists come back in their original order (snapshot copies, not
+// remove/append), so downstream iteration orders — and therefore every
+// bit-exact warm/cold comparison built on them — are preserved across an
+// apply/revert/re-apply cycle.
+//
+// The journal also maintains the dirty sets the warm re-optimization path
+// consumes: the cells touched by any op since the last `commit()`, and the
+// nets incident to them (a moved cell dirties every incident net — the
+// same rule the IncrementalSlackEngine uses, because a stage delay reads
+// the net HPWL which any pin move can change).
+//
+// Removal is detachment: the cell slot stays (indices are stable, matching
+// the Design contract), all net references are dropped, and the cell's
+// kind predicates report false so structural loops skip it. Restore
+// reconnects from the snapshot.
+
+#include <string>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/placement.hpp"
+
+namespace rotclk::netlist {
+
+/// Position in a journal, as returned by `mark()`. Carries the dirty-set
+/// watermarks so dirty_cells()/dirty_nets() can be scoped to the ops after
+/// a mark (chained ECO deltas only re-examine their own dirt).
+struct JournalMark {
+  std::size_t ops = 0;
+  std::size_t dirty_cells = 0;
+  std::size_t dirty_nets = 0;
+};
+
+class MutationJournal {
+ public:
+  /// Binds the journal to a design/placement pair. Both must outlive the
+  /// journal; all ECO mutations must go through it (direct Design edits
+  /// would make reverts inexact).
+  MutationJournal(Design& design, Placement& placement);
+
+  // --- journaled mutations ------------------------------------------------
+
+  /// Move `cell` to `to` (um).
+  void move_cell(int cell, geom::Point to);
+
+  /// Add a combinational gate (placed at `loc`). Returns the cell index.
+  int add_gate(GateFn fn, const std::string& out_name,
+               const std::vector<std::string>& in_names, geom::Point loc);
+
+  /// Add a flip-flop (placed at `loc`). Returns the cell index.
+  int add_flip_flop(const std::string& out_name, const std::string& in_name,
+                    geom::Point loc);
+
+  /// Rewire one input of `cell` from `old_net` to `new_net`.
+  void rewire_input(int cell, int old_net, int new_net);
+
+  /// Detach `cell` from the netlist (its output net must have no sinks).
+  void remove_cell(int cell);
+
+  // --- journal control ----------------------------------------------------
+
+  [[nodiscard]] JournalMark mark() const {
+    return JournalMark{ops_.size(), dirty_cells_.size(), dirty_nets_.size()};
+  }
+  [[nodiscard]] std::size_t size() const { return ops_.size(); }
+
+  /// Undo every operation after `mark`, newest first. The design and
+  /// placement are restored bitwise to their state at the mark. Reverted
+  /// ops stay in the dirty sets — a conservative superset only costs the
+  /// warm path work, never correctness.
+  void revert_to(JournalMark mark);
+
+  /// Accept the current state as the new baseline: clears the op log and
+  /// the dirty sets. Reverting past a commit is no longer possible.
+  void commit();
+
+  // --- dirty tracking (since the last commit) -----------------------------
+
+  /// Cells touched by any op since the last commit: moved, added, removed,
+  /// or rewired. Sorted ascending, deduplicated.
+  [[nodiscard]] std::vector<int> dirty_cells() const;
+
+  /// Cells dirtied by ops recorded after `since` (reverted ops included).
+  [[nodiscard]] std::vector<int> dirty_cells(const JournalMark& since) const;
+
+  /// Nets incident to any dirty cell at the time of the op (for removals,
+  /// the connections the cell had before detaching). Sorted, deduplicated.
+  [[nodiscard]] std::vector<int> dirty_nets() const;
+
+  /// Nets dirtied by ops recorded after `since` (reverted ops included).
+  [[nodiscard]] std::vector<int> dirty_nets(const JournalMark& since) const;
+
+ private:
+  enum class OpKind { kMove, kAddCell, kRewire, kDetach };
+
+  /// Exact snapshot of one net's connectivity for bitwise restore.
+  struct NetSnapshot {
+    int net = -1;
+    int driver = -1;
+    std::vector<int> sinks;
+  };
+
+  struct Op {
+    OpKind kind = OpKind::kMove;
+    int cell = -1;
+    geom::Point old_loc;                  // kMove
+    int old_net = -1, new_net = -1;       // kRewire
+    std::vector<int> old_in_nets;         // kRewire: pin list before the op
+    std::vector<NetSnapshot> nets;        // kDetach/kRewire: pre-op connectivity
+    std::size_t first_new_net = 0;        // kAddCell: nets_ size before op
+    bool placement_grew = false;          // kAddCell: placement was resized
+  };
+
+  void note_dirty_cell(int cell);
+  void note_incident_nets(int cell);
+  void undo(const Op& op);
+  int finish_add(int cell, geom::Point loc, std::size_t nets_before,
+                 std::size_t placement_before);
+
+  Design& design_;
+  Placement& placement_;
+  std::vector<Op> ops_;
+  std::vector<int> dirty_cells_;
+  std::vector<int> dirty_nets_;
+};
+
+}  // namespace rotclk::netlist

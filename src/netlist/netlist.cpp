@@ -139,6 +139,22 @@ void Design::rewire_input(int cell, int old_net, int new_net) {
   nets_[static_cast<std::size_t>(new_net)].sinks.push_back(cell);
 }
 
+void Design::detach_cell(int cell) {
+  Cell& c = cells_[static_cast<std::size_t>(cell)];
+  if (c.detached)
+    throw InvalidArgumentError("netlist", "detach_cell: already detached: " + c.name);
+  if (c.out_net >= 0 &&
+      !nets_[static_cast<std::size_t>(c.out_net)].sinks.empty())
+    throw InvalidArgumentError("netlist", "detach_cell: output of " + c.name +
+                               " still has sinks; rewire consumers first");
+  if (c.out_net >= 0) nets_[static_cast<std::size_t>(c.out_net)].driver = -1;
+  for (int n : c.in_nets) {
+    auto& sinks = nets_[static_cast<std::size_t>(n)].sinks;
+    sinks.erase(std::remove(sinks.begin(), sinks.end(), cell), sinks.end());
+  }
+  c.detached = true;
+}
+
 int Design::find_cell(const std::string& name) const {
   auto it = cell_by_name_.find(name);
   return it == cell_by_name_.end() ? -1 : it->second;
@@ -232,6 +248,7 @@ void Design::validate() const {
       throw InvalidArgumentError("netlist", "undriven net: " + net.name);
   }
   for (const auto& c : cells_) {
+    if (c.detached) continue;  // disconnected by an ECO journal
     if (c.is_primary_output()) {
       if (c.in_nets.size() != 1)
         throw InvalidArgumentError("netlist", "PO with wrong pin count: " + c.name);

@@ -43,13 +43,18 @@ struct Cell {
   std::vector<int> in_nets;     ///< input nets in pin order
   double width = 1.0;           ///< footprint (um), used by legalization
   double height = 1.0;
+  /// Removed by an ECO mutation journal: fully disconnected from all nets.
+  /// Indices stay stable, so the slot remains; the kind predicates below
+  /// return false so every structural loop skips the cell without change.
+  bool detached = false;
 
-  [[nodiscard]] bool is_flip_flop() const { return fn == GateFn::Dff; }
-  [[nodiscard]] bool is_primary_input() const { return fn == GateFn::Input; }
-  [[nodiscard]] bool is_primary_output() const { return fn == GateFn::Output; }
+  [[nodiscard]] bool is_flip_flop() const { return !detached && fn == GateFn::Dff; }
+  [[nodiscard]] bool is_primary_input() const { return !detached && fn == GateFn::Input; }
+  [[nodiscard]] bool is_primary_output() const { return !detached && fn == GateFn::Output; }
   /// Combinational logic gate (not PI/PO/DFF).
   [[nodiscard]] bool is_gate() const {
-    return !is_flip_flop() && !is_primary_input() && !is_primary_output();
+    return !detached && fn != GateFn::Dff && fn != GateFn::Input &&
+           fn != GateFn::Output;
   }
 };
 
@@ -89,6 +94,12 @@ class Design {
   /// input on `old_net`.
   void rewire_input(int cell, int old_net, int new_net);
 
+  /// Disconnect `cell` from every net and mark it detached. The cell's own
+  /// output net must have no sinks (rewire consumers first); the slot stays
+  /// so indices remain stable. Used by the ECO mutation journal, which
+  /// snapshots the connections for exact restore.
+  void detach_cell(int cell);
+
   // --- access -------------------------------------------------------------
 
   [[nodiscard]] const std::vector<Cell>& cells() const { return cells_; }
@@ -126,6 +137,8 @@ class Design {
   void validate() const;
 
  private:
+  friend class MutationJournal;  // exact-snapshot revert needs raw access
+
   int add_cell(Cell cell);
 
   std::string name_;

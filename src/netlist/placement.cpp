@@ -11,6 +11,10 @@ void Placement::resize(const Design& design) {
   locs_.resize(design.cells().size(), die_.center());
 }
 
+void Placement::truncate(std::size_t n) {
+  if (n < locs_.size()) locs_.resize(n);
+}
+
 double Placement::net_hpwl(const Design& design, int net) const {
   const Net& n = design.net(net);
   if (n.driver < 0 || n.sinks.empty()) return 0.0;

@@ -35,6 +35,10 @@ class Placement {
   /// cells start at the die center). Existing locations are unchanged.
   void resize(const Design& design);
 
+  /// Drop trailing location entries down to `n` cells. Only the ECO
+  /// mutation journal calls this, when reverting cell additions.
+  void truncate(std::size_t n);
+
   /// Half-perimeter wirelength of one net (0 for degenerate nets).
   [[nodiscard]] double net_hpwl(const Design& design, int net) const;
 

@@ -24,6 +24,26 @@ void add_timing_arcs(graph::DiffConstraintSystem& sys,
   }
 }
 
+bool has_upper(const VarBounds& b, int i) {
+  return static_cast<int>(b.upper.size()) > i &&
+         std::isfinite(b.upper[static_cast<std::size_t>(i)]);
+}
+
+bool has_lower(const VarBounds& b, int i) {
+  return static_cast<int>(b.lower.size()) > i &&
+         std::isfinite(b.lower[static_cast<std::size_t>(i)]);
+}
+
+void add_bounds(graph::DiffConstraintSystem& sys, const VarBounds& bounds,
+                int num_ffs) {
+  for (int i = 0; i < num_ffs; ++i) {
+    if (has_upper(bounds, i))
+      sys.add_upper(i, bounds.upper[static_cast<std::size_t>(i)]);
+    if (has_lower(bounds, i))
+      sys.add_lower(i, bounds.lower[static_cast<std::size_t>(i)]);
+  }
+}
+
 }  // namespace
 
 CostDrivenResult cost_driven_min_max(int num_ffs,
@@ -155,6 +175,144 @@ CostDrivenResult cost_driven_weighted(int num_ffs,
   // Optimal primal recovery: the final potentials are optimal duals, so
   // x_i = pot[hub] - pot[i] satisfies every difference constraint and is
   // anchored by complementary slackness on the hub arcs.
+  result.arrival_ps.resize(static_cast<std::size_t>(num_ffs));
+  double objective = 0.0;
+  for (int i = 0; i < num_ffs; ++i) {
+    const double x = pot[static_cast<std::size_t>(hub)] -
+                     pot[static_cast<std::size_t>(i)];
+    result.arrival_ps[static_cast<std::size_t>(i)] = x;
+    const double b = anchors[static_cast<std::size_t>(i)].anchor_ps +
+                     anchors[static_cast<std::size_t>(i)].stub_ps;
+    objective += weights[static_cast<std::size_t>(i)] * std::abs(x - b);
+  }
+  result.feasible = true;
+  result.objective = objective;
+  return result;
+}
+
+CostDrivenResult cost_driven_min_max_bounded(
+    int num_ffs, const std::vector<timing::SeqArc>& arcs,
+    const timing::TechParams& tech, const std::vector<TapAnchor>& anchors,
+    const VarBounds& bounds, double slack_ps, double precision_ps) {
+  CostDrivenResult result;
+  if (static_cast<int>(anchors.size()) != num_ffs)
+    throw InvalidArgumentError("cost_driven", "anchors size mismatch");
+
+  auto feasible = [&](double delta, std::vector<double>* witness) {
+    graph::DiffConstraintSystem sys(num_ffs);
+    add_timing_arcs(sys, arcs, tech, slack_ps);
+    add_bounds(sys, bounds, num_ffs);
+    for (int i = 0; i < num_ffs; ++i) {
+      const TapAnchor& a = anchors[static_cast<std::size_t>(i)];
+      sys.add_upper(i, a.anchor_ps + delta);
+      sys.add_lower(i, a.anchor_ps + 2.0 * a.stub_ps - delta);
+    }
+    const auto res = sys.solve();
+    if (res.feasible && witness != nullptr) *witness = res.values;
+    return res.feasible;
+  };
+
+  // The seed schedule must already respect the box bounds, so derive it
+  // from the bounded difference-constraint system instead of
+  // slack_feasible.
+  std::vector<double> seed;
+  {
+    graph::DiffConstraintSystem sys(num_ffs);
+    add_timing_arcs(sys, arcs, tech, slack_ps);
+    add_bounds(sys, bounds, num_ffs);
+    const auto res = sys.solve();
+    if (!res.feasible) return result;
+    seed = res.values;
+  }
+  double lo = 0.0;
+  for (const auto& a : anchors) lo = std::max(lo, a.stub_ps);
+  double hi = lo;
+  for (int i = 0; i < num_ffs; ++i) {
+    const TapAnchor& a = anchors[static_cast<std::size_t>(i)];
+    const double t = a.anchor_ps + a.stub_ps;
+    hi = std::max(hi, std::abs(seed[static_cast<std::size_t>(i)] - t) +
+                          a.stub_ps);
+  }
+  std::vector<double> witness = seed;
+  if (!feasible(hi, &witness)) {
+    hi *= 2.0;
+    if (!feasible(hi, &witness)) return result;
+  }
+  if (feasible(lo, &witness)) {
+    hi = lo;
+  } else {
+    double flo = lo, fhi = hi;
+    while (fhi - flo > precision_ps) {
+      const double mid = 0.5 * (flo + fhi);
+      if (feasible(mid, &witness)) fhi = mid;
+      else flo = mid;
+    }
+    hi = fhi;
+    (void)feasible(hi, &witness);
+  }
+  result.feasible = true;
+  result.objective = hi;
+  result.arrival_ps = std::move(witness);
+  return result;
+}
+
+CostDrivenResult cost_driven_weighted_bounded(
+    int num_ffs, const std::vector<timing::SeqArc>& arcs,
+    const timing::TechParams& tech, const std::vector<TapAnchor>& anchors,
+    const std::vector<double>& weights, const VarBounds& bounds,
+    double slack_ps) {
+  CostDrivenResult result;
+  if (static_cast<int>(anchors.size()) != num_ffs ||
+      static_cast<int>(weights.size()) != num_ffs)
+    throw InvalidArgumentError("cost_driven", "anchors/weights size mismatch");
+
+  constexpr double kMinWeight = 1e-6;
+  const int hub = num_ffs;
+  graph::MinCostCirculation circ(num_ffs + 1);
+  constexpr double kInfCap = 1e18;
+  std::vector<graph::Edge> constraint_edges;
+  for (const auto& a : arcs) {
+    const double c_long =
+        tech.clock_period_ps - a.d_max_ps - tech.setup_ps - slack_ps;
+    const double c_short = a.d_min_ps - tech.hold_ps - slack_ps;
+    circ.add_arc(a.from_ff, a.to_ff, kInfCap, c_long);
+    circ.add_arc(a.to_ff, a.from_ff, kInfCap, c_short);
+    constraint_edges.push_back(graph::Edge{a.from_ff, a.to_ff, c_long});
+    constraint_edges.push_back(graph::Edge{a.to_ff, a.from_ff, c_short});
+  }
+  // Box bounds: t_i - t_hub <= U and t_hub - t_i <= -L, with the hub as
+  // the ground (its recovered value is 0 by construction). Infinite
+  // capacity makes them hard constraints; they join the Bellman-Ford
+  // edges so the initial potentials satisfy the solve_ssp precondition,
+  // and an infeasible bound system surfaces as a negative cycle there.
+  for (int i = 0; i < num_ffs; ++i) {
+    if (has_upper(bounds, i)) {
+      const double u = bounds.upper[static_cast<std::size_t>(i)];
+      circ.add_arc(i, hub, kInfCap, u);
+      constraint_edges.push_back(graph::Edge{i, hub, u});
+    }
+    if (has_lower(bounds, i)) {
+      const double l = bounds.lower[static_cast<std::size_t>(i)];
+      circ.add_arc(hub, i, kInfCap, -l);
+      constraint_edges.push_back(graph::Edge{hub, i, -l});
+    }
+  }
+  for (int i = 0; i < num_ffs; ++i) {
+    const double w = std::max(kMinWeight, weights[static_cast<std::size_t>(i)]);
+    const double b = anchors[static_cast<std::size_t>(i)].anchor_ps +
+                     anchors[static_cast<std::size_t>(i)].stub_ps;
+    circ.add_arc(hub, i, w, -b);
+    circ.add_arc(i, hub, w, +b);
+  }
+
+  const graph::BellmanFordResult bf =
+      graph::bellman_ford_all(num_ffs + 1, constraint_edges);
+  if (bf.has_negative_cycle) return result;  // arcs + bounds infeasible
+
+  std::vector<double> pot;
+  const auto sol = circ.solve_ssp(bf.dist, &pot);
+  if (!sol.optimal) return result;
+
   result.arrival_ps.resize(static_cast<std::size_t>(num_ffs));
   double objective = 0.0;
   for (int i = 0; i < num_ffs; ++i) {

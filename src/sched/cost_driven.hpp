@@ -53,6 +53,38 @@ CostDrivenResult cost_driven_weighted(int num_ffs,
                                       const std::vector<double>& weights,
                                       double slack_ps);
 
+/// Per-variable box bounds for the localized (ECO) re-optimizations.
+/// Empty vectors mean unbounded; individual entries disable with +/-inf.
+/// A bound t_i <= U is exactly the difference constraint t_i - t_g <= U
+/// against a ground variable fixed at 0, so both bounded solvers stay
+/// exact: the min-max oracle adds the bounds to its difference-constraint
+/// system, and the weighted circulation dual carries them as
+/// infinite-capacity arcs against the hub node (whose recovered potential
+/// is 0 by construction; merging the ground into the hub adds no
+/// restriction because hub flow conservation is implied by the per-node
+/// stationarity conditions).
+struct VarBounds {
+  std::vector<double> upper;  ///< t_i <= upper[i]
+  std::vector<double> lower;  ///< t_i >= lower[i]
+};
+
+/// Exact min-max optimization with box bounds on the delay targets. With
+/// empty bounds this matches cost_driven_min_max.
+CostDrivenResult cost_driven_min_max_bounded(
+    int num_ffs, const std::vector<timing::SeqArc>& arcs,
+    const timing::TechParams& tech, const std::vector<TapAnchor>& anchors,
+    const VarBounds& bounds, double slack_ps, double precision_ps = 0.01);
+
+/// Exact weighted-sum optimization with box bounds on the delay targets.
+/// With empty bounds this matches cost_driven_weighted. Used by the ECO
+/// localized re-schedule: dirty flip-flops are the variables, and every
+/// timing arc into the clean (fixed) boundary folds into a bound.
+CostDrivenResult cost_driven_weighted_bounded(
+    int num_ffs, const std::vector<timing::SeqArc>& arcs,
+    const timing::TechParams& tech, const std::vector<TapAnchor>& anchors,
+    const std::vector<double>& weights, const VarBounds& bounds,
+    double slack_ps);
+
 /// LP formulations of both problems via the bundled simplex (cross-checks).
 CostDrivenResult cost_driven_min_max_lp(
     int num_ffs, const std::vector<timing::SeqArc>& arcs,

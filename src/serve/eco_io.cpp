@@ -1,0 +1,148 @@
+#include "serve/eco_io.hpp"
+
+#include "util/error.hpp"
+
+namespace rotclk::serve {
+
+namespace {
+
+double require_number(const JsonValue& obj, const char* key,
+                      const char* op_name) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr)
+    throw InvalidArgumentError("serve.eco", std::string("op '") + op_name +
+                                                "' is missing member '" + key +
+                                                "'");
+  return v->as_number();
+}
+
+std::string require_string(const JsonValue& obj, const char* key,
+                           const char* op_name) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->as_string().empty())
+    throw InvalidArgumentError("serve.eco", std::string("op '") + op_name +
+                                                "' needs a non-empty '" + key +
+                                                "'");
+  return v->as_string();
+}
+
+geom::Point require_point(const JsonValue& obj, const char* op_name) {
+  return geom::Point{require_number(obj, "x", op_name),
+                     require_number(obj, "y", op_name)};
+}
+
+}  // namespace
+
+eco::DesignDelta delta_from_json(const JsonValue& ops) {
+  eco::DesignDelta delta;
+  for (const JsonValue& o : ops.as_array()) {
+    if (!o.is_object())
+      throw InvalidArgumentError("serve.eco", "delta op must be an object");
+    const std::string name = o.get_string("op");
+    switch (eco::delta_kind_from_name(name)) {
+      case eco::DeltaOp::Kind::kMoveCell:
+        delta.move_cell(require_string(o, "cell", "move"),
+                        require_point(o, "move"));
+        break;
+      case eco::DeltaOp::Kind::kAddGate: {
+        std::vector<std::string> in_nets;
+        const JsonValue* in = o.find("in");
+        if (in == nullptr || in->as_array().empty())
+          throw InvalidArgumentError(
+              "serve.eco", "op 'add_gate' needs a non-empty 'in' array");
+        for (const JsonValue& net : in->as_array())
+          in_nets.push_back(net.as_string());
+        delta.add_gate(
+            netlist::gate_fn_from_name(require_string(o, "fn", "add_gate")),
+            require_string(o, "out", "add_gate"), std::move(in_nets),
+            require_point(o, "add_gate"));
+        break;
+      }
+      case eco::DeltaOp::Kind::kAddFlipFlop:
+        delta.add_flip_flop(require_string(o, "out", "add_ff"),
+                            require_string(o, "d", "add_ff"),
+                            require_point(o, "add_ff"));
+        break;
+      case eco::DeltaOp::Kind::kRemoveCell:
+        delta.remove_cell(require_string(o, "cell", "remove"));
+        break;
+      case eco::DeltaOp::Kind::kRewireInput:
+        delta.rewire_input(require_string(o, "cell", "rewire"),
+                           require_string(o, "old", "rewire"),
+                           require_string(o, "new", "rewire"));
+        break;
+      case eco::DeltaOp::Kind::kRetuneFf:
+        delta.retune_ff(require_string(o, "cell", "retune"),
+                        require_number(o, "target_ps", "retune"));
+        break;
+      case eco::DeltaOp::Kind::kSetRings:
+        delta.set_rings(
+            static_cast<int>(require_number(o, "rings", "set_rings")));
+        break;
+    }
+  }
+  if (delta.empty())
+    throw InvalidArgumentError("serve.eco", "delta has no ops");
+  return delta;
+}
+
+eco::DesignDelta delta_from_json_text(const std::string& text,
+                                      const std::string& source) {
+  return delta_from_json(json_parse(text, source));
+}
+
+std::string delta_to_json(const eco::DesignDelta& delta) {
+  std::string out = "[";
+  bool first = true;
+  for (const eco::DeltaOp& op : delta.ops) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"op\":";
+    out += json_quote(to_string(op.kind));
+    switch (op.kind) {
+      case eco::DeltaOp::Kind::kMoveCell:
+        out += ",\"cell\":" + json_quote(op.cell);
+        out += ",\"x\":" + json_number(op.loc.x);
+        out += ",\"y\":" + json_number(op.loc.y);
+        break;
+      case eco::DeltaOp::Kind::kAddGate: {
+        out += ",\"fn\":" + json_quote(netlist::gate_fn_name(op.fn));
+        out += ",\"out\":" + json_quote(op.out_net);
+        out += ",\"in\":[";
+        for (std::size_t i = 0; i < op.in_nets.size(); ++i)
+          out += (i == 0 ? "" : ",") + json_quote(op.in_nets[i]);
+        out += "]";
+        out += ",\"x\":" + json_number(op.loc.x);
+        out += ",\"y\":" + json_number(op.loc.y);
+        break;
+      }
+      case eco::DeltaOp::Kind::kAddFlipFlop:
+        out += ",\"out\":" + json_quote(op.out_net);
+        out += ",\"d\":" + json_quote(op.in_nets.empty() ? std::string()
+                                                         : op.in_nets.front());
+        out += ",\"x\":" + json_number(op.loc.x);
+        out += ",\"y\":" + json_number(op.loc.y);
+        break;
+      case eco::DeltaOp::Kind::kRemoveCell:
+        out += ",\"cell\":" + json_quote(op.cell);
+        break;
+      case eco::DeltaOp::Kind::kRewireInput:
+        out += ",\"cell\":" + json_quote(op.cell);
+        out += ",\"old\":" + json_quote(op.old_net);
+        out += ",\"new\":" + json_quote(op.new_net);
+        break;
+      case eco::DeltaOp::Kind::kRetuneFf:
+        out += ",\"cell\":" + json_quote(op.cell);
+        out += ",\"target_ps\":" + json_number(op.target_ps);
+        break;
+      case eco::DeltaOp::Kind::kSetRings:
+        out += ",\"rings\":" + std::to_string(op.rings);
+        break;
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace rotclk::serve

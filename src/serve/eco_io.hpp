@@ -1,0 +1,41 @@
+#pragma once
+// JSON wire format for DesignDelta (the "eco" protocol verb and the
+// rotclk_cli --eco file format).
+//
+// A delta on the wire is an array of op objects:
+//
+//   [{"op":"move","cell":"n42","x":0.5,"y":0.25},
+//    {"op":"add_gate","fn":"NAND","out":"g9","in":["a","b"],"x":1,"y":2},
+//    {"op":"add_ff","out":"ff9","d":"g9","x":1,"y":2},
+//    {"op":"remove","cell":"n42"},
+//    {"op":"rewire","cell":"n42","old":"a","new":"b"},
+//    {"op":"retune","cell":"ff3","target_ps":125.0},
+//    {"op":"set_rings","rings":16}]
+//
+// delta_to_json emits the ops with a fixed member order and the shortest
+// round-tripping numbers (serve/json.hpp), so the serialization is
+// canonical: byte-identical for equal deltas. The scheduler chains that
+// canonical text into eco result keys (job.hpp's eco_chain_key), which
+// is why the parser lives in serve and not in src/eco (delta.hpp is
+// JSON-free on purpose).
+
+#include <string>
+
+#include "eco/delta.hpp"
+#include "serve/json.hpp"
+
+namespace rotclk::serve {
+
+/// Parse a wire delta (an array of op objects). Throws ParseError /
+/// InvalidArgumentError on malformed ops.
+[[nodiscard]] eco::DesignDelta delta_from_json(const JsonValue& ops);
+
+/// Parse from raw JSON text (the --eco file path / stored spec field).
+[[nodiscard]] eco::DesignDelta delta_from_json_text(const std::string& text,
+                                                    const std::string& source);
+
+/// Canonical serialization: fixed member order, shortest round-tripping
+/// numbers; equal deltas serialize byte-identically.
+[[nodiscard]] std::string delta_to_json(const eco::DesignDelta& delta);
+
+}  // namespace rotclk::serve

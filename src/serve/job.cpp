@@ -85,8 +85,9 @@ std::string design_key(const JobSpec& spec) {
   return f.hex();
 }
 
-std::string result_key(const JobSpec& spec) {
-  if (spec.deadline_s > 0.0) return {};
+namespace {
+
+std::string result_key_fields(const JobSpec& spec) {
   Fnv1a f;
   mix_design_fields(f, spec);
   f.mix(spec.mode);
@@ -96,6 +97,26 @@ std::string result_key(const JobSpec& spec) {
   f.mix(spec.utilization);
   f.mix(spec.verify ? 1 : 0);
   return f.hex();
+}
+
+}  // namespace
+
+std::string result_key(const JobSpec& spec) {
+  if (spec.deadline_s > 0.0) return {};
+  return result_key_fields(spec);
+}
+
+std::string eco_session_key(const JobSpec& spec) {
+  return result_key_fields(spec);
+}
+
+std::string eco_chain_key(const std::string& chain_key,
+                          const std::string& delta_json) {
+  if (chain_key.empty()) return {};
+  Fnv1a f;
+  f.mix(chain_key);
+  f.mix(delta_json);
+  return "eco-" + f.hex();
 }
 
 }  // namespace rotclk::serve

@@ -66,6 +66,14 @@ struct JobSpec {
   double period_ps = 1000.0;
   double utilization = 0.05;
   bool verify = false;  ///< attach the certificate verifier to this job
+
+  /// Canonical delta JSON (serve/eco_io.hpp) for "eco" jobs; empty for
+  /// plain submits. An eco job targets the warm EcoSession for this
+  /// spec's design + flow knobs and applies the delta instead of running
+  /// the flow cold.
+  std::string eco_delta_json;
+
+  [[nodiscard]] bool is_eco() const { return !eco_delta_json.empty(); }
 };
 
 /// FNV-1a 64-bit content hash of the design source fields, as fixed-width
@@ -73,9 +81,22 @@ struct JobSpec {
 [[nodiscard]] std::string design_key(const JobSpec& spec);
 
 /// Content hash of every field that determines the FlowResult (design
-/// source + flow knobs; not id/priority). Empty when the result must not
-/// be cached (deadline_s > 0).
+/// source + flow knobs; not id/priority, not the eco delta). Empty when
+/// the result must not be cached (deadline_s > 0).
 [[nodiscard]] std::string result_key(const JobSpec& spec);
+
+/// The EcoSession identity for an eco job: the base result key with the
+/// serving attributes (deadline) ignored, so deadline-carrying deltas
+/// still target the same warm session.
+[[nodiscard]] std::string eco_session_key(const JobSpec& spec);
+
+/// Delta-chained result key: "eco-" + fnv(chain_key, delta_json). The
+/// "eco-" prefix keeps every chained key disjoint from the 16-hex-digit
+/// cold result keys, so a warm summary can never be served for a cold
+/// spec (or vice versa). Empty when `chain_key` is empty — a chain
+/// seeded by an uncacheable base stays uncacheable.
+[[nodiscard]] std::string eco_chain_key(const std::string& chain_key,
+                                        const std::string& delta_json);
 
 struct JobRecord {
   JobSpec spec;

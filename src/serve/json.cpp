@@ -148,9 +148,7 @@ class Parser {
     }
   }
 
-  /// \uXXXX for the BMP, encoded as UTF-8 (surrogate pairs unsupported —
-  /// the protocol never emits them; a lone surrogate is an error).
-  std::string parse_unicode_escape() {
+  unsigned parse_hex4() {
     if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
     unsigned cp = 0;
     for (int i = 0; i < 4; ++i) {
@@ -161,15 +159,39 @@ class Parser {
       else if (c >= 'A' && c <= 'F') cp |= static_cast<unsigned>(c - 'A' + 10);
       else fail("bad \\u escape digit");
     }
-    if (cp >= 0xD800 && cp <= 0xDFFF) fail("surrogate \\u escape unsupported");
+    return cp;
+  }
+
+  /// \uXXXX for the BMP, plus UTF-16 surrogate pairs (\uD800-\uDBFF
+  /// followed by \uDC00-\uDFFF) for code points above U+FFFF; both are
+  /// encoded as UTF-8. A lone or mis-ordered surrogate is an error.
+  std::string parse_unicode_escape() {
+    unsigned cp = parse_hex4();
+    if (cp >= 0xDC00 && cp <= 0xDFFF)
+      fail("low surrogate \\u escape without a preceding high surrogate");
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u')
+        fail("high surrogate \\u escape without a following low surrogate");
+      pos_ += 2;
+      const unsigned low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF)
+        fail("high surrogate \\u escape followed by a non-low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+    }
     std::string out;
     if (cp < 0x80) {
       out += static_cast<char>(cp);
     } else if (cp < 0x800) {
       out += static_cast<char>(0xC0 | (cp >> 6));
       out += static_cast<char>(0x80 | (cp & 0x3F));
-    } else {
+    } else if (cp < 0x10000) {
       out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
       out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
       out += static_cast<char>(0x80 | (cp & 0x3F));
     }

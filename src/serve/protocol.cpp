@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "serve/eco_io.hpp"
 #include "util/error.hpp"
 
 namespace rotclk::serve {
@@ -64,6 +65,7 @@ JobSpec parse_spec(const JsonValue& obj) {
 const char* to_string(Request::Cmd cmd) {
   switch (cmd) {
     case Request::Cmd::kSubmit: return "submit";
+    case Request::Cmd::kEco: return "eco";
     case Request::Cmd::kStatus: return "status";
     case Request::Cmd::kCancel: return "cancel";
     case Request::Cmd::kStats: return "stats";
@@ -91,6 +93,20 @@ Request parse_request(const std::string& line) {
     if (req.id.empty())
       throw InvalidArgumentError("serve.protocol",
                                  "submit requires a non-empty 'id'");
+  } else if (cmd == "eco") {
+    req.cmd = Request::Cmd::kEco;
+    req.spec = parse_spec(obj);
+    req.id = req.spec.id;
+    if (req.id.empty())
+      throw InvalidArgumentError("serve.protocol",
+                                 "eco requires a non-empty 'id'");
+    const JsonValue* delta = obj.find("delta");
+    if (delta == nullptr)
+      throw InvalidArgumentError("serve.protocol",
+                                 "eco requires a 'delta' array");
+    // Parse-then-reserialize canonicalizes the delta so equal deltas
+    // produce byte-identical spec fields (and thus equal chain keys).
+    req.spec.eco_delta_json = delta_to_json(delta_from_json(*delta));
   } else if (cmd == "status" || cmd == "cancel") {
     req.cmd = cmd == "status" ? Request::Cmd::kStatus : Request::Cmd::kCancel;
     req.id = obj.get_string("id");

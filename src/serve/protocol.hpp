@@ -8,6 +8,10 @@
 //   {"cmd":"submit","id":ID, priority?, deadline_s?, circuit?|bench?,
 //    gates?, ffs?, inputs?, outputs?, seed?, mode?, rings?, iterations?,
 //    period_ps?, utilization?, verify?}
+//   {"cmd":"eco","id":ID, "delta":[op...], <submit members>?}
+//    applies a DesignDelta (serve/eco_io.hpp op grammar) to the warm
+//    EcoSession for the submit-shaped base spec, seeding it cold first
+//    if this is the first delta against that design + flow knobs
 //   {"cmd":"status","id":ID}
 //   {"cmd":"cancel","id":ID}
 //   {"cmd":"stats"}
@@ -38,6 +42,7 @@ namespace rotclk::serve {
 struct Request {
   enum class Cmd {
     kSubmit,
+    kEco,
     kStatus,
     kCancel,
     kStats,

@@ -6,6 +6,8 @@
 
 #include "core/flow.hpp"
 #include "core/pipeline.hpp"
+#include "eco/session.hpp"
+#include "serve/eco_io.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/benchmarks.hpp"
 #include "netlist/generator.hpp"
@@ -22,6 +24,35 @@ std::string fixed(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", precision, v);
   return buf;
+}
+
+netlist::Design build_design(const JobSpec& spec) {
+  if (!spec.circuit.empty())
+    return netlist::make_benchmark(spec.circuit, spec.seed);
+  if (!spec.bench_text.empty())
+    return netlist::read_bench_string(spec.bench_text, "job-" + spec.id);
+  netlist::GeneratorConfig gen;
+  gen.name = "job-" + design_key(spec);
+  gen.num_gates = spec.gen_gates;
+  gen.num_flip_flops = spec.gen_flip_flops;
+  gen.num_primary_inputs = spec.gen_inputs;
+  gen.num_primary_outputs = spec.gen_outputs;
+  gen.seed = spec.seed;
+  return netlist::generate_circuit(gen);
+}
+
+core::FlowConfig flow_config_for(const JobSpec& spec) {
+  core::FlowConfig cfg;
+  cfg.assign_mode = spec.mode == "ilp" ? core::AssignMode::MinMaxCap
+                                       : core::AssignMode::NetworkFlow;
+  cfg.max_iterations = std::max(1, spec.iterations);
+  cfg.die_utilization = spec.utilization;
+  cfg.ring_config.rings = spec.rings;
+  cfg.ring_config.period_ps = spec.period_ps;
+  cfg.tech.clock_period_ps = spec.period_ps;
+  cfg.verify = spec.verify;
+  cfg.stage_deadline_seconds = spec.deadline_s;
+  return cfg;
 }
 
 /// Streams per-stage wall times into the metrics registry as the job
@@ -70,6 +101,16 @@ std::string format_summary(const core::FlowResult& result) {
 struct Scheduler::Entry {
   JobRecord record;
   util::Timer submitted;  ///< started at admission
+};
+
+struct Scheduler::EcoEntry {
+  eco::EcoSession session;
+  /// The delta-chain key the session's next result memoizes under; it
+  /// advances with every applied delta (job.hpp's eco_chain_key).
+  std::string chain_key;
+
+  EcoEntry(const netlist::Design& design, core::FlowConfig config)
+      : session(design, std::move(config)) {}
 };
 
 Scheduler::Scheduler(SchedulerConfig config, DesignCache& cache,
@@ -245,7 +286,8 @@ void Scheduler::run_job(Entry& entry) {
   bool injected = false;
   try {
     util::fault::point("serve.job");
-    summary = execute_flow(spec, scratch);
+    summary =
+        spec.is_eco() ? execute_eco(spec, scratch) : execute_flow(spec, scratch);
   } catch (const Error& e) {
     failed = true;
     injected = e.code() == ErrorCode::kFaultInjected;
@@ -296,34 +338,10 @@ std::string Scheduler::execute_flow(const JobSpec& spec, JobRecord& record) {
   }
 
   const std::shared_ptr<const netlist::Design> design = cache_.design_for(
-      spec,
-      [&]() -> netlist::Design {
-        if (!spec.circuit.empty())
-          return netlist::make_benchmark(spec.circuit, spec.seed);
-        if (!spec.bench_text.empty())
-          return netlist::read_bench_string(spec.bench_text,
-                                            "job-" + spec.id);
-        netlist::GeneratorConfig gen;
-        gen.name = "job-" + design_key(spec);
-        gen.num_gates = spec.gen_gates;
-        gen.num_flip_flops = spec.gen_flip_flops;
-        gen.num_primary_inputs = spec.gen_inputs;
-        gen.num_primary_outputs = spec.gen_outputs;
-        gen.seed = spec.seed;
-        return netlist::generate_circuit(gen);
-      },
+      spec, [&]() -> netlist::Design { return build_design(spec); },
       &record.design_cache_hit);
 
-  core::FlowConfig cfg;
-  cfg.assign_mode = spec.mode == "ilp" ? core::AssignMode::MinMaxCap
-                                       : core::AssignMode::NetworkFlow;
-  cfg.max_iterations = std::max(1, spec.iterations);
-  cfg.die_utilization = spec.utilization;
-  cfg.ring_config.rings = spec.rings;
-  cfg.ring_config.period_ps = spec.period_ps;
-  cfg.tech.clock_period_ps = spec.period_ps;
-  cfg.verify = spec.verify;
-  cfg.stage_deadline_seconds = spec.deadline_s;
+  const core::FlowConfig cfg = flow_config_for(spec);
 
   core::RotaryFlow flow(*design, cfg);
   StageMetricsObserver stage_metrics(metrics_);
@@ -344,6 +362,67 @@ std::string Scheduler::execute_flow(const JobSpec& spec, JobRecord& record) {
   const std::string summary = format_summary(result);
   // A run that needed recovery or flunked a certificate is servable but
   // not memoizable: its summary may not be the pure-function answer.
+  if (record.recovery_events == 0 && record.certificates_failed == 0)
+    cache_.store_result(rkey, summary);
+  return summary;
+}
+
+std::string Scheduler::execute_eco(const JobSpec& spec, JobRecord& record) {
+  // One session per design + flow knobs; eco_mu_ serializes the chain
+  // (deltas are mutations — concurrent applies have no defined order).
+  const std::lock_guard<std::mutex> eco_lock(eco_mu_);
+  std::unique_ptr<EcoEntry>& slot = eco_sessions_[eco_session_key(spec)];
+  if (slot == nullptr) {
+    const std::shared_ptr<const netlist::Design> design = cache_.design_for(
+        spec, [&]() -> netlist::Design { return build_design(spec); },
+        &record.design_cache_hit);
+    core::FlowConfig cfg = flow_config_for(spec);
+    // The session never runs with a stage deadline: the warm pass IS the
+    // fast path, and a truncated cold seed would poison every chained
+    // result. deadline_s on an eco job only gates cacheability.
+    cfg.stage_deadline_seconds = 0.0;
+    auto entry = std::make_unique<EcoEntry>(*design, std::move(cfg));
+    entry->session.seed();
+    // The chain starts at the deadline-free base key, so a chain seeded
+    // through a deadline-carrying first delta still converges to the
+    // same keys as one seeded without.
+    entry->chain_key = eco_session_key(spec);
+    slot = std::move(entry);
+    metrics_.counter("eco.sessions").inc();
+  }
+  EcoEntry& e = *slot;
+
+  const eco::DesignDelta delta =
+      delta_from_json_text(spec.eco_delta_json, "job-" + spec.id);
+  const std::string next_chain = eco_chain_key(e.chain_key, spec.eco_delta_json);
+  const eco::EcoSession::Stats before = e.session.stats();
+  const core::FlowResult result = e.session.apply(delta);
+  const eco::EcoSession::Stats after = e.session.stats();
+  e.chain_key = next_chain;
+
+  metrics_.counter("eco.jobs").inc();
+  if (after.warm_runs > before.warm_runs)
+    metrics_.counter("eco.warm_runs").inc();
+  if (after.cold_runs > before.cold_runs)
+    metrics_.counter("eco.cold_runs").inc();
+  if (after.degraded > before.degraded) metrics_.counter("eco.degraded").inc();
+
+  record.recovery_events = static_cast<int>(result.recovery.size());
+  record.certificates_total = static_cast<int>(result.certificates.size());
+  for (const auto& c : result.certificates)
+    if (!c.pass) ++record.certificates_failed;
+  if (record.recovery_events > 0)
+    metrics_.counter("recovery.events")
+        .inc(static_cast<std::uint64_t>(record.recovery_events));
+  if (record.certificates_failed > 0)
+    metrics_.counter("certificates.failed")
+        .inc(static_cast<std::uint64_t>(record.certificates_failed));
+
+  const std::string summary = format_summary(result);
+  // Deadline-carrying eco jobs are uncacheable (job.hpp); clean results
+  // memoize under the delta-chained key, which is disjoint from every
+  // cold result key by construction.
+  const std::string rkey = spec.deadline_s > 0.0 ? std::string() : next_chain;
   if (record.recovery_events == 0 && record.certificates_failed == 0)
     cache_.store_result(rkey, summary);
   return summary;

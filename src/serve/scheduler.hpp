@@ -115,10 +115,21 @@ class Scheduler {
   /// Execute the flow for `spec` and return the deterministic summary;
   /// fills the cache/recovery/certificate fields of `record`.
   std::string execute_flow(const JobSpec& spec, JobRecord& record);
+  /// Execute an eco job: route the delta to the warm EcoSession for the
+  /// spec's design + flow knobs (seeding it cold on first use).
+  std::string execute_eco(const JobSpec& spec, JobRecord& record);
 
   const SchedulerConfig config_;
   DesignCache& cache_;
   MetricsRegistry& metrics_;
+
+  /// Warm ECO store: one live EcoSession per eco_session_key, plus the
+  /// delta-chain key its next result will be memoized under. eco_mu_
+  /// serializes eco jobs (a session is a stateful chain of mutations;
+  /// concurrent deltas against one design have no defined order).
+  struct EcoEntry;
+  std::mutex eco_mu_;
+  std::unordered_map<std::string, std::unique_ptr<EcoEntry>> eco_sessions_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // workers: job queued / stop / resume

@@ -69,6 +69,7 @@ std::string Server::handle_parsed(const Request& req) {
   const char* cmd = to_string(req.cmd);
   switch (req.cmd) {
     case Request::Cmd::kSubmit:
+    case Request::Cmd::kEco:
       scheduler_.submit(req.spec);  // throws Overloaded/InvalidArgument
       return ok_prefix(cmd) + ",\"id\":" + json_quote(req.id) +
              ",\"state\":\"queued\"}";

@@ -1,0 +1,215 @@
+#include "timing/adjacency.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "timing/delay.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace rotclk::timing {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kPosInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+AdjacencyEngine::AdjacencyEngine(const netlist::Design& design,
+                                 const TechParams& tech)
+    : design_(design), tech_(tech) {}
+
+void AdjacencyEngine::rebuild_structure() {
+  topo_ = design_.combinational_topo_order();
+  ffs_ = design_.flip_flops();
+  const std::size_t n = design_.cells().size();
+  ff_pos_of_cell_.assign(n, -1);
+  for (std::size_t i = 0; i < ffs_.size(); ++i)
+    ff_pos_of_cell_[static_cast<std::size_t>(ffs_[i])] = static_cast<int>(i);
+  fanout_.resize(n);
+  arcs_of_cell_.resize(n);
+}
+
+void AdjacencyEngine::rebuild_net_delays(const netlist::Placement& placement,
+                                         int net) {
+  const netlist::Net& nn = design_.net(net);
+  if (nn.driver < 0) return;
+  auto& list = fanout_[static_cast<std::size_t>(nn.driver)];
+  list.clear();
+  for (int sink : nn.sinks)
+    list.emplace_back(sink,
+                      stage_delay_ps(design_, placement, net, sink, tech_));
+  ++stats_.nets_redelayed;
+}
+
+void AdjacencyEngine::propagate_launcher(const netlist::Placement& placement,
+                                         std::size_t ff_pos) {
+  (void)placement;  // delays are read from fanout_, rebuilt beforehand
+  const std::size_t n = design_.cells().size();
+  const int ff_cell = ffs_[ff_pos];
+  std::vector<double> amax(n, kNegInf), amin(n, kPosInf);
+  for (const auto& [sink, d] : fanout_[static_cast<std::size_t>(ff_cell)]) {
+    amax[static_cast<std::size_t>(sink)] =
+        std::max(amax[static_cast<std::size_t>(sink)], d);
+    amin[static_cast<std::size_t>(sink)] =
+        std::min(amin[static_cast<std::size_t>(sink)], d);
+  }
+  for (int g : topo_) {
+    const double gmax = amax[static_cast<std::size_t>(g)];
+    if (gmax == kNegInf) continue;
+    const double gmin = amin[static_cast<std::size_t>(g)];
+    for (const auto& [sink, d] : fanout_[static_cast<std::size_t>(g)]) {
+      amax[static_cast<std::size_t>(sink)] =
+          std::max(amax[static_cast<std::size_t>(sink)], gmax + d);
+      amin[static_cast<std::size_t>(sink)] =
+          std::min(amin[static_cast<std::size_t>(sink)], gmin + d);
+    }
+  }
+  auto& list = arcs_of_cell_[static_cast<std::size_t>(ff_cell)];
+  list.clear();
+  for (int target : ffs_) {
+    const auto cj = static_cast<std::size_t>(target);
+    if (amax[cj] == kNegInf) continue;
+    list.push_back(CellArc{target, amax[cj], amin[cj]});
+  }
+}
+
+void AdjacencyEngine::flatten() {
+  arcs_.clear();
+  for (std::size_t i = 0; i < ffs_.size(); ++i) {
+    for (const CellArc& a :
+         arcs_of_cell_[static_cast<std::size_t>(ffs_[i])]) {
+      const int pos = ff_pos_of_cell_[static_cast<std::size_t>(a.to_cell)];
+      if (pos < 0)
+        throw InternalError("adjacency",
+                            "cached arc targets a removed flip-flop");
+      arcs_.push_back(
+          SeqArc{static_cast<int>(i), pos, a.d_max_ps, a.d_min_ps});
+    }
+  }
+}
+
+const std::vector<SeqArc>& AdjacencyEngine::full(
+    const netlist::Placement& placement) {
+  rebuild_structure();
+  const std::size_t n = design_.cells().size();
+  for (auto& list : fanout_) list.clear();
+  for (std::size_t net = 0; net < design_.nets().size(); ++net)
+    rebuild_net_delays(placement, static_cast<int>(net));
+  for (auto& list : arcs_of_cell_) list.clear();
+  util::parallel_for(ffs_.size(),
+                     [&](std::size_t i) { propagate_launcher(placement, i); });
+  positions_.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    positions_[i] = placement.loc(static_cast<int>(i));
+  flatten();
+  has_baseline_ = true;
+  ++stats_.full_passes;
+  return arcs_;
+}
+
+const std::vector<SeqArc>& AdjacencyEngine::refresh(
+    const netlist::Placement& placement, const std::vector<int>& dirty_cells,
+    const std::vector<int>& dirty_nets, bool structure_changed) {
+  if (!has_baseline_) return full(placement);
+  if (structure_changed) rebuild_structure();
+  const std::size_t n = design_.cells().size();
+  if (positions_.size() < n) {
+    // Cells added since the last pass: their nets arrive via dirty_nets,
+    // so seed the snapshot at the current location (not "moved").
+    const std::size_t old = positions_.size();
+    positions_.resize(n);
+    for (std::size_t i = old; i < n; ++i)
+      positions_[i] = placement.loc(static_cast<int>(i));
+  } else if (positions_.size() > n) {
+    positions_.resize(n);
+  }
+
+  // Dirty cells: journal-reported plus anything that moved. A moved cell
+  // dirties every incident net (stage delays read the net HPWL).
+  std::vector<char> cell_dirty(n, 0);
+  for (int c : dirty_cells)
+    if (c >= 0 && static_cast<std::size_t>(c) < n)
+      cell_dirty[static_cast<std::size_t>(c)] = 1;
+  std::vector<char> net_dirty(design_.nets().size(), 0);
+  for (int net : dirty_nets)
+    if (net >= 0 && static_cast<std::size_t>(net) < design_.nets().size())
+      net_dirty[static_cast<std::size_t>(net)] = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Point p = placement.loc(static_cast<int>(i));
+    if (p.x == positions_[i].x && p.y == positions_[i].y) continue;
+    cell_dirty[i] = 1;
+    const netlist::Cell& c = design_.cell(static_cast<int>(i));
+    if (c.out_net >= 0) net_dirty[static_cast<std::size_t>(c.out_net)] = 1;
+    for (int in : c.in_nets) net_dirty[static_cast<std::size_t>(in)] = 1;
+  }
+
+  // Rebuild delay lists for dirty connectivity. `redelayed` marks every
+  // cell whose fanout list was rebuilt (or cleared): the influence set.
+  std::vector<char> redelayed(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!cell_dirty[i]) continue;
+    const netlist::Cell& c = design_.cell(static_cast<int>(i));
+    if (c.detached || c.out_net < 0) {
+      fanout_[i].clear();
+      arcs_of_cell_[i].clear();  // a detached launcher keeps no arcs
+    } else {
+      rebuild_net_delays(placement, c.out_net);
+    }
+    redelayed[i] = 1;
+  }
+  for (std::size_t net = 0; net < design_.nets().size(); ++net) {
+    if (!net_dirty[net]) continue;
+    const int driver = design_.net(static_cast<int>(net)).driver;
+    if (driver < 0) continue;
+    if (!redelayed[static_cast<std::size_t>(driver)])
+      rebuild_net_delays(placement, static_cast<int>(net));
+    redelayed[static_cast<std::size_t>(driver)] = 1;
+  }
+
+  // Backward flag pass: a gate influences its launchers iff its own delay
+  // list was rebuilt or any combinational fanout gate does.
+  std::vector<char> influenced = redelayed;
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    const auto g = static_cast<std::size_t>(*it);
+    if (influenced[g]) continue;
+    const netlist::Cell& c = design_.cell(*it);
+    if (c.out_net < 0) continue;
+    for (int sink : design_.net(c.out_net).sinks) {
+      if (design_.cell(sink).is_gate() &&
+          influenced[static_cast<std::size_t>(sink)]) {
+        influenced[g] = 1;
+        break;
+      }
+    }
+  }
+
+  std::vector<std::size_t> affected;
+  for (std::size_t i = 0; i < ffs_.size(); ++i) {
+    const auto cell = static_cast<std::size_t>(ffs_[i]);
+    bool hit = influenced[cell] != 0;
+    const netlist::Cell& c = design_.cell(ffs_[i]);
+    if (!hit && c.out_net >= 0) {
+      for (int sink : design_.net(c.out_net).sinks) {
+        if (design_.cell(sink).is_gate() &&
+            influenced[static_cast<std::size_t>(sink)]) {
+          hit = true;
+          break;
+        }
+      }
+    }
+    if (hit) affected.push_back(i);
+  }
+
+  util::parallel_for(affected.size(), [&](std::size_t k) {
+    propagate_launcher(placement, affected[k]);
+  });
+  stats_.launchers_recomputed += affected.size();
+
+  for (std::size_t i = 0; i < n; ++i)
+    positions_[i] = placement.loc(static_cast<int>(i));
+  flatten();
+  ++stats_.refreshes;
+  return arcs_;
+}
+
+}  // namespace rotclk::timing

@@ -1,0 +1,99 @@
+#pragma once
+// Incremental sequential-adjacency extraction for the ECO warm path.
+//
+// `extract_sequential_adjacency` (sta.hpp) runs one max/min propagation per
+// launching flip-flop, so its cost on a big circuit is #FFs full-graph
+// sweeps — the single largest piece of a cold re-optimization. After a
+// small design delta, almost every launcher's combinational cone is
+// untouched, so this engine caches the per-launcher arc lists and the
+// stage-delay fanout graph and recomputes only what a delta can reach:
+//
+//  1. Cells that moved (detected by exact position comparison against the
+//     snapshot of the last pass) dirty every incident net; structural
+//     changes pass their dirty cells/nets in from the mutation journal.
+//  2. Fanout delay lists are rebuilt for dirty nets only.
+//  3. A backward flag pass over the reverse topological order marks every
+//     gate whose fanout cone contains a rebuilt delay list; a launcher is
+//     recomputed iff its own list was rebuilt or it can reach a marked
+//     gate. Everything else keeps its cached arcs.
+//
+// Invariant (mirrors IncrementalSlackEngine): a refresh() is bit-identical
+// to full() at the same state. Per-launcher propagation runs the exact
+// same code over the exact same operands, unaffected launchers keep
+// unchanged operands, and the flat arc vector concatenates per-launcher
+// lists in flip-flop order either way.
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/placement.hpp"
+#include "timing/sta.hpp"
+#include "timing/tech.hpp"
+
+namespace rotclk::timing {
+
+class AdjacencyEngine {
+ public:
+  AdjacencyEngine(const netlist::Design& design, const TechParams& tech);
+
+  /// Full extraction at `placement`; caches everything for later refresh.
+  /// Bit-identical to `extract_sequential_adjacency`.
+  const std::vector<SeqArc>& full(const netlist::Placement& placement);
+
+  /// Incremental re-extraction. `dirty_cells`/`dirty_nets` carry the
+  /// structural dirt from the mutation journal (pass empty vectors for a
+  /// pure-move delta — moves are detected from the placement itself);
+  /// `structure_changed` forces the topological order, flip-flop list and
+  /// dirty-net connectivity to be rebuilt. Falls back to `full()` when no
+  /// baseline exists.
+  const std::vector<SeqArc>& refresh(const netlist::Placement& placement,
+                                     const std::vector<int>& dirty_cells,
+                                     const std::vector<int>& dirty_nets,
+                                     bool structure_changed);
+
+  /// Arcs from the last full()/refresh().
+  [[nodiscard]] const std::vector<SeqArc>& arcs() const { return arcs_; }
+
+  struct Stats {
+    std::uint64_t full_passes = 0;
+    std::uint64_t refreshes = 0;
+    std::uint64_t launchers_recomputed = 0;  ///< across refreshes
+    std::uint64_t nets_redelayed = 0;        ///< dirty nets re-delayed
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  /// Cached arc with the target as a *cell* index: launcher lists survive
+  /// flip-flop insertions/removals unchanged, and positions in
+  /// Design::flip_flops() order are assigned when flattening.
+  struct CellArc {
+    int to_cell = 0;
+    double d_max_ps = 0.0;
+    double d_min_ps = 0.0;
+  };
+
+  void rebuild_structure();
+  void rebuild_net_delays(const netlist::Placement& placement, int net);
+  void propagate_launcher(const netlist::Placement& placement,
+                          std::size_t ff_pos);
+  void flatten();
+
+  const netlist::Design& design_;
+  const TechParams& tech_;
+
+  std::vector<int> topo_;                ///< combinational topo order
+  std::vector<int> ffs_;                 ///< flip-flop cells, creation order
+  std::vector<int> ff_pos_of_cell_;      ///< cell -> position in ffs_, or -1
+  /// Per driving cell: (sink, stage delay) — exactly its output net's pins.
+  std::vector<std::vector<std::pair<int, double>>> fanout_;
+  /// Per launcher cell: cached arcs (empty vector if none).
+  std::vector<std::vector<CellArc>> arcs_of_cell_;
+  std::vector<geom::Point> positions_;   ///< coordinates of the last pass
+  std::vector<SeqArc> arcs_;
+  bool has_baseline_ = false;
+  Stats stats_;
+};
+
+}  // namespace rotclk::timing

@@ -1,0 +1,534 @@
+// Incremental ECO engine suite.
+//
+// The contract under test (DESIGN.md §12): a warm ECO reconvergence —
+// journaled delta, incremental kernels, capsule-seeded residual
+// reassignment — is BIT-IDENTICAL to a cold re-run of the same
+// reconvergence on the mutated design, with no tolerances. The suite also
+// pins the journal's exact apply/revert roundtrip, the incremental
+// kernels' refresh≡full invariants, the bounded cost-driven solvers
+// against their unbounded forms, certificate verification on both paths,
+// and fault isolation (an injected warm-path failure degrades to a
+// counted cold run with the same answer).
+//
+// This file carries the `determinism` ctest label (CI reruns it under
+// ThreadSanitizer).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "assign/residual.hpp"
+#include "core/flow.hpp"
+#include "core/verify.hpp"
+#include "eco/delta.hpp"
+#include "eco/session.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/journal.hpp"
+#include "sched/cost_driven.hpp"
+#include "timing/adjacency.hpp"
+#include "timing/sta.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace rotclk::eco {
+namespace {
+
+netlist::Design small_design(std::uint64_t seed = 1) {
+  netlist::GeneratorConfig gen;
+  gen.name = "eco-synth";
+  gen.num_gates = 220;
+  gen.num_flip_flops = 24;
+  gen.num_primary_inputs = 8;
+  gen.num_primary_outputs = 8;
+  gen.seed = seed;
+  return netlist::generate_circuit(gen);
+}
+
+core::FlowConfig small_config() {
+  core::FlowConfig cfg;
+  cfg.ring_config.rings = 9;
+  cfg.max_iterations = 3;
+  return cfg;
+}
+
+void expect_same_design(const netlist::Design& a, const netlist::Design& b) {
+  ASSERT_EQ(a.cells().size(), b.cells().size());
+  for (std::size_t i = 0; i < a.cells().size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    const netlist::Cell& ca = a.cells()[i];
+    const netlist::Cell& cb = b.cells()[i];
+    EXPECT_EQ(ca.name, cb.name);
+    EXPECT_EQ(ca.fn, cb.fn);
+    EXPECT_EQ(ca.out_net, cb.out_net);
+    EXPECT_EQ(ca.in_nets, cb.in_nets);
+    EXPECT_EQ(ca.detached, cb.detached);
+  }
+  ASSERT_EQ(a.nets().size(), b.nets().size());
+  for (std::size_t i = 0; i < a.nets().size(); ++i) {
+    SCOPED_TRACE("net " + std::to_string(i));
+    const netlist::Net& na = a.nets()[i];
+    const netlist::Net& nb = b.nets()[i];
+    EXPECT_EQ(na.name, nb.name);
+    EXPECT_EQ(na.driver, nb.driver);
+    EXPECT_EQ(na.sinks, nb.sinks);
+  }
+}
+
+void expect_same_placement(const netlist::Placement& a,
+                           const netlist::Placement& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    const int cell = static_cast<int>(c);
+    EXPECT_DOUBLE_EQ(a.loc(cell).x, b.loc(cell).x);
+    EXPECT_DOUBLE_EQ(a.loc(cell).y, b.loc(cell).y);
+  }
+}
+
+void expect_same_arcs(const std::vector<timing::SeqArc>& a,
+                      const std::vector<timing::SeqArc>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("arc " + std::to_string(i));
+    EXPECT_EQ(a[i].from_ff, b[i].from_ff);
+    EXPECT_EQ(a[i].to_ff, b[i].to_ff);
+    EXPECT_DOUBLE_EQ(a[i].d_max_ps, b[i].d_max_ps);
+    EXPECT_DOUBLE_EQ(a[i].d_min_ps, b[i].d_min_ps);
+  }
+}
+
+/// Bit-level FlowResult comparison (no tolerances). Wall-clock and cache
+/// counters are excluded — they are the only fields allowed to differ
+/// between a warm and a cold reconvergence.
+void expect_identical(const core::FlowResult& a, const core::FlowResult& b) {
+  EXPECT_DOUBLE_EQ(a.slack_ps, b.slack_ps);
+  EXPECT_DOUBLE_EQ(a.stage4_slack_ps, b.stage4_slack_ps);
+  EXPECT_EQ(a.iterations_run, b.iterations_run);
+  EXPECT_EQ(a.best_iteration, b.best_iteration);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    SCOPED_TRACE("iteration " + std::to_string(i));
+    EXPECT_DOUBLE_EQ(a.history[i].tap_wl_um, b.history[i].tap_wl_um);
+    EXPECT_DOUBLE_EQ(a.history[i].signal_wl_um, b.history[i].signal_wl_um);
+    EXPECT_DOUBLE_EQ(a.history[i].afd_um, b.history[i].afd_um);
+    EXPECT_DOUBLE_EQ(a.history[i].max_ring_cap_ff,
+                     b.history[i].max_ring_cap_ff);
+    EXPECT_DOUBLE_EQ(a.history[i].overall_cost, b.history[i].overall_cost);
+    EXPECT_DOUBLE_EQ(a.history[i].wns_ps, b.history[i].wns_ps);
+  }
+  ASSERT_EQ(a.arrival_ps.size(), b.arrival_ps.size());
+  for (std::size_t i = 0; i < a.arrival_ps.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.arrival_ps[i], b.arrival_ps[i]);
+  EXPECT_EQ(a.assignment.arc_of_ff, b.assignment.arc_of_ff);
+  EXPECT_DOUBLE_EQ(a.assignment.total_tap_cost_um,
+                   b.assignment.total_tap_cost_um);
+  ASSERT_EQ(a.problem.arcs.size(), b.problem.arcs.size());
+  EXPECT_EQ(a.problem.ff_cells, b.problem.ff_cells);
+  expect_same_placement(a.placement, b.placement);
+}
+
+/// Two sessions over the same design seeded from one cold flow: `warm`
+/// applies deltas warm, `cold` applies the same deltas with full kernels.
+struct TwinSessions {
+  explicit TwinSessions(const core::FlowConfig& cfg)
+      : design(small_design()), warm(design, cfg), cold(design, cfg) {
+    const core::FlowResult seed_result = warm.seed();
+    cold.seed(seed_result);
+  }
+  netlist::Design design;
+  EcoSession warm;
+  EcoSession cold;
+
+  void expect_delta_identical(const DesignDelta& delta) {
+    const core::FlowResult w = warm.apply(delta);
+    const core::FlowResult c = cold.apply_cold(delta);
+    expect_identical(w, c);
+    expect_same_design(warm.design(), cold.design());
+    expect_same_placement(warm.placement(), cold.placement());
+  }
+};
+
+/// Name of the i-th flip-flop cell (creation order) in `design`.
+std::string ff_name(const netlist::Design& design, int i) {
+  const std::vector<int> ffs = design.flip_flops();
+  return design.cells()[static_cast<std::size_t>(
+                            ffs[static_cast<std::size_t>(i)])]
+      .name;
+}
+
+// --- mutation journal ------------------------------------------------------
+
+TEST(Journal, ApplyRevertRestoresBitwise) {
+  netlist::Design design = small_design();
+  const netlist::Design original = design;
+  netlist::Placement placement(design, geom::Rect{0, 0, 100, 100});
+  const netlist::Placement placement0 = placement;
+  netlist::MutationJournal journal(design, placement);
+  const netlist::JournalMark mark = journal.mark();
+
+  const int ff0 = design.flip_flops().front();
+  journal.move_cell(ff0, geom::Point{12.5, 87.5});
+  const int gate =
+      journal.add_gate(netlist::GateFn::Buf, "eco_buf_x",
+                       {design.net(design.cells()[static_cast<std::size_t>(
+                                                      ff0)].out_net)
+                            .name},
+                       geom::Point{1, 2});
+  journal.add_flip_flop("eco_ff_x", "eco_buf_x", geom::Point{3, 4});
+  const int sink = design.find_cell("eco_ff_x");
+  ASSERT_GE(sink, 0);
+  // Rewire the new flip-flop's D input, then detach the now sink-less buf.
+  const int old_net = design.find_net("eco_buf_x");
+  const int new_net =
+      design.cells()[static_cast<std::size_t>(ff0)].out_net;
+  journal.rewire_input(sink, old_net, new_net);
+  journal.remove_cell(gate);
+  EXPECT_TRUE(design.cells()[static_cast<std::size_t>(gate)].detached);
+
+  journal.revert_to(mark);
+  expect_same_design(design, original);
+  expect_same_placement(placement, placement0);
+}
+
+TEST(Journal, DirtySetsScopedToMark) {
+  netlist::Design design = small_design();
+  netlist::Placement placement(design, geom::Rect{0, 0, 100, 100});
+  netlist::MutationJournal journal(design, placement);
+
+  const std::vector<int> ffs = design.flip_flops();
+  journal.move_cell(ffs[0], geom::Point{1, 1});
+  const netlist::JournalMark mid = journal.mark();
+  journal.move_cell(ffs[1], geom::Point{2, 2});
+
+  const std::vector<int> all = journal.dirty_cells();
+  const std::vector<int> since = journal.dirty_cells(mid);
+  EXPECT_EQ(all, (std::vector<int>{std::min(ffs[0], ffs[1]),
+                                   std::max(ffs[0], ffs[1])}));
+  EXPECT_EQ(since, std::vector<int>{ffs[1]});
+  EXPECT_FALSE(journal.dirty_nets(mid).empty());
+}
+
+// --- incremental kernels ---------------------------------------------------
+
+TEST(AdjacencyEngine, RefreshMatchesFullAfterMoves) {
+  const netlist::Design design = small_design();
+  netlist::Placement placement(design, geom::Rect{0, 0, 100, 100});
+  for (std::size_t c = 0; c < placement.size(); ++c)
+    placement.set_loc(static_cast<int>(c),
+                      geom::Point{static_cast<double>(c % 17) * 5.0,
+                                  static_cast<double>(c % 13) * 7.0});
+  timing::TechParams tech;
+  timing::AdjacencyEngine engine(design, tech);
+  engine.full(placement);
+
+  const std::vector<int> ffs = design.flip_flops();
+  placement.set_loc(ffs[2], geom::Point{91, 3});
+  placement.set_loc(ffs[7], geom::Point{2, 88});
+  const std::vector<timing::SeqArc> refreshed =
+      engine.refresh(placement, {}, {}, /*structure_changed=*/false);
+  const std::vector<timing::SeqArc> full =
+      timing::extract_sequential_adjacency(design, placement, tech);
+  expect_same_arcs(refreshed, full);
+  EXPECT_GT(engine.stats().refreshes, 0u);
+}
+
+TEST(AdjacencyEngine, RefreshMatchesFullAfterStructuralDelta) {
+  netlist::Design design = small_design();
+  netlist::Placement placement(design, geom::Rect{0, 0, 100, 100});
+  netlist::MutationJournal journal(design, placement);
+  timing::TechParams tech;
+  timing::AdjacencyEngine engine(design, tech);
+  engine.full(placement);
+
+  const int ff0 = design.flip_flops().front();
+  const std::string q_net =
+      design.net(design.cells()[static_cast<std::size_t>(ff0)].out_net).name;
+  journal.add_flip_flop("eco_ff_s", q_net, geom::Point{50, 50});
+  const std::vector<timing::SeqArc> refreshed =
+      engine.refresh(placement, journal.dirty_cells(), journal.dirty_nets(),
+                     /*structure_changed=*/true);
+  const std::vector<timing::SeqArc> full =
+      timing::extract_sequential_adjacency(design, placement, tech);
+  expect_same_arcs(refreshed, full);
+}
+
+TEST(BoundedCostDriven, EmptyBoundsMatchUnbounded) {
+  const netlist::Design design = small_design();
+  netlist::Placement placement(design, geom::Rect{0, 0, 100, 100});
+  timing::TechParams tech;
+  const std::vector<timing::SeqArc> arcs =
+      timing::extract_sequential_adjacency(design, placement, tech);
+  const int n = design.num_flip_flops();
+  std::vector<sched::TapAnchor> anchors(static_cast<std::size_t>(n));
+  std::vector<double> weights(static_cast<std::size_t>(n), 1.0);
+  for (int i = 0; i < n; ++i) {
+    anchors[static_cast<std::size_t>(i)].anchor_ps = 40.0 * (i % 5);
+    weights[static_cast<std::size_t>(i)] = 1.0 + (i % 3);
+  }
+  const sched::VarBounds no_bounds;
+
+  const sched::CostDrivenResult w =
+      sched::cost_driven_weighted(n, arcs, tech, anchors, weights, 0.0);
+  const sched::CostDrivenResult wb = sched::cost_driven_weighted_bounded(
+      n, arcs, tech, anchors, weights, no_bounds, 0.0);
+  ASSERT_EQ(w.feasible, wb.feasible);
+  ASSERT_TRUE(w.feasible);
+  ASSERT_EQ(w.arrival_ps.size(), wb.arrival_ps.size());
+  for (std::size_t i = 0; i < w.arrival_ps.size(); ++i)
+    EXPECT_DOUBLE_EQ(w.arrival_ps[i], wb.arrival_ps[i]);
+
+  const sched::CostDrivenResult m =
+      sched::cost_driven_min_max(n, arcs, tech, anchors, 0.0);
+  const sched::CostDrivenResult mb =
+      sched::cost_driven_min_max_bounded(n, arcs, tech, anchors, no_bounds,
+                                         0.0);
+  ASSERT_EQ(m.feasible, mb.feasible);
+  ASSERT_TRUE(m.feasible);
+  for (std::size_t i = 0; i < m.arrival_ps.size(); ++i)
+    EXPECT_DOUBLE_EQ(m.arrival_ps[i], mb.arrival_ps[i]);
+}
+
+TEST(BoundedCostDriven, BoundsAreRespectedExactly) {
+  timing::TechParams tech;
+  // Two flip-flops, one arc; generous slack so only the bounds bind.
+  std::vector<timing::SeqArc> arcs = {timing::SeqArc{0, 1, 120.0, 80.0}};
+  std::vector<sched::TapAnchor> anchors(2);
+  anchors[0].anchor_ps = 500.0;
+  anchors[1].anchor_ps = 500.0;
+  // Short-path: t1 - t0 <= d_min - hold = 70, so t0 <= 100 caps t1 at 170
+  // even though both anchors pull toward 500.
+  sched::VarBounds bounds;
+  bounds.upper = {100.0, 1e18};
+  bounds.lower = {-1e18, 150.0};
+  const sched::CostDrivenResult r = sched::cost_driven_weighted_bounded(
+      2, arcs, tech, anchors, {1.0, 1.0}, bounds, 0.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.arrival_ps[0], 100.0);
+  EXPECT_DOUBLE_EQ(r.arrival_ps[1], 170.0);
+}
+
+// --- warm vs cold bit-identity --------------------------------------------
+
+TEST(EcoWarmVsCold, SingleCellMove) {
+  TwinSessions twins(small_config());
+  const std::string ff = ff_name(twins.warm.design(), 3);
+  const geom::Point cur = twins.warm.placement().loc(
+      twins.warm.design().find_cell(ff));
+  DesignDelta delta;
+  delta.move_cell(ff, geom::Point{cur.x + 2.0, cur.y - 1.5});
+  twins.expect_delta_identical(delta);
+  EXPECT_EQ(twins.warm.stats().warm_runs, 1);
+  EXPECT_EQ(twins.warm.stats().degraded, 0);
+  EXPECT_EQ(twins.cold.stats().cold_runs, 1);
+}
+
+TEST(EcoWarmVsCold, ChainedBatchMovesAndRetune) {
+  TwinSessions twins(small_config());
+  const netlist::Design& d = twins.warm.design();
+
+  DesignDelta batch;
+  for (int i = 0; i < 5; ++i) {
+    const std::string name = ff_name(d, 2 * i);
+    const geom::Point cur = twins.warm.placement().loc(d.find_cell(name));
+    batch.move_cell(name, geom::Point{cur.x + 1.0 + i, cur.y + 0.5});
+  }
+  twins.expect_delta_identical(batch);
+
+  // Chained delta on the updated capsule: pin one flip-flop to its current
+  // converged target (plumbing check) and nudge another cell.
+  const std::string pinned = ff_name(d, 1);
+  const int pinned_idx = 1;
+  const double target =
+      twins.warm.capsule().arrival_ps[static_cast<std::size_t>(pinned_idx)];
+  DesignDelta chained;
+  chained.retune_ff(pinned, target);
+  const std::string moved = ff_name(d, 9);
+  const geom::Point cur = twins.warm.placement().loc(d.find_cell(moved));
+  chained.move_cell(moved, geom::Point{cur.x - 2.0, cur.y + 2.0});
+  const core::FlowResult w = twins.warm.apply(chained);
+  const core::FlowResult c = twins.cold.apply_cold(chained);
+  expect_identical(w, c);
+  EXPECT_DOUBLE_EQ(w.arrival_ps[static_cast<std::size_t>(pinned_idx)],
+                   target);
+  EXPECT_EQ(twins.warm.stats().warm_runs, 2);
+}
+
+TEST(EcoWarmVsCold, StructuralAddRewireRemove) {
+  TwinSessions twins(small_config());
+  const netlist::Design& d = twins.warm.design();
+  const int ff0 = d.flip_flops().front();
+  const std::string q_net =
+      d.net(d.cells()[static_cast<std::size_t>(ff0)].out_net).name;
+
+  DesignDelta add;
+  add.add_gate(netlist::GateFn::Buf, "eco_buf", {q_net},
+               geom::Point{40, 40});
+  add.add_flip_flop("eco_ff", "eco_buf", geom::Point{42, 42});
+  twins.expect_delta_identical(add);
+
+  DesignDelta rewire;
+  rewire.rewire_input("eco_ff", "eco_buf", q_net);
+  rewire.remove_cell("eco_buf");
+  twins.expect_delta_identical(rewire);
+  EXPECT_EQ(twins.warm.stats().warm_runs, 2);
+}
+
+TEST(EcoWarmVsCold, RingCountChange) {
+  core::FlowConfig cfg = small_config();
+  TwinSessions twins(cfg);
+  DesignDelta delta;
+  delta.set_rings(16);
+  twins.expect_delta_identical(delta);
+  EXPECT_EQ(twins.warm.config().ring_config.rings, 16);
+}
+
+TEST(EcoWarmVsCold, CertificatesGreenOnBothPaths) {
+  core::FlowConfig cfg = small_config();
+  cfg.verify = true;
+  TwinSessions twins(cfg);
+  const std::string ff = ff_name(twins.warm.design(), 5);
+  const geom::Point cur = twins.warm.placement().loc(
+      twins.warm.design().find_cell(ff));
+  DesignDelta delta;
+  delta.move_cell(ff, geom::Point{cur.x + 3.0, cur.y});
+  const core::FlowResult w = twins.warm.apply(delta);
+  const core::FlowResult c = twins.cold.apply_cold(delta);
+  expect_identical(w, c);
+  ASSERT_FALSE(w.certificates.empty());
+  ASSERT_FALSE(c.certificates.empty());
+  EXPECT_TRUE(check::all_pass(w.certificates));
+  EXPECT_TRUE(check::all_pass(c.certificates));
+  bool saw_warm_start = false;
+  for (const core::EcoEvent& ev : w.eco_events)
+    saw_warm_start |= (ev.kind == "warm-start");
+  EXPECT_TRUE(saw_warm_start);
+}
+
+// --- session semantics -----------------------------------------------------
+
+TEST(EcoSession, RollbackRestoresSeedStateBitwise) {
+  netlist::Design design = small_design();
+  EcoSession session(design, small_config());
+  session.seed();
+  const netlist::Design at_seed = session.design();
+  const netlist::Placement placement_at_seed = session.placement();
+  const std::vector<double> arrival_at_seed = session.capsule().arrival_ps;
+
+  DesignDelta delta;
+  const std::string ff = ff_name(session.design(), 2);
+  delta.move_cell(ff, geom::Point{0.5, 0.5});
+  delta.add_flip_flop("eco_rollback_ff",
+                      session.design()
+                          .net(session.design()
+                                   .cells()[static_cast<std::size_t>(
+                                       session.design().flip_flops()[0])]
+                                   .out_net)
+                          .name,
+                      geom::Point{1, 1});
+  session.apply(delta);
+  EXPECT_NE(session.design().cells().size(), at_seed.cells().size());
+
+  session.rollback();
+  expect_same_design(session.design(), at_seed);
+  expect_same_placement(session.placement(), placement_at_seed);
+  ASSERT_EQ(session.capsule().arrival_ps.size(), arrival_at_seed.size());
+  for (std::size_t i = 0; i < arrival_at_seed.size(); ++i)
+    EXPECT_DOUBLE_EQ(session.capsule().arrival_ps[i], arrival_at_seed[i]);
+  EXPECT_EQ(session.stats().rolled_back, 1);
+
+  // The session stays usable after a rollback (engines re-baseline).
+  const core::FlowResult again = session.apply(delta);
+  EXPECT_FALSE(again.arrival_ps.empty());
+}
+
+TEST(EcoSession, InvalidDeltaLeavesDesignUntouched) {
+  netlist::Design design = small_design();
+  EcoSession session(design, small_config());
+  session.seed();
+  const netlist::Design at_seed = session.design();
+
+  DesignDelta bad;
+  const std::string ff = ff_name(session.design(), 0);
+  bad.move_cell(ff, geom::Point{9, 9});
+  bad.move_cell("no_such_cell_name", geom::Point{1, 1});
+  EXPECT_THROW(session.apply(bad), InvalidArgumentError);
+  expect_same_design(session.design(), at_seed);
+  EXPECT_EQ(session.stats().deltas_applied, 0);
+}
+
+TEST(EcoSession, ApplyBeforeSeedThrows) {
+  netlist::Design design = small_design();
+  EcoSession session(design, small_config());
+  DesignDelta delta;
+  delta.move_cell(ff_name(design, 0), geom::Point{1, 1});
+  EXPECT_THROW(session.apply(delta), InvalidArgumentError);
+}
+
+// --- fault isolation -------------------------------------------------------
+
+class EcoFaults : public ::testing::Test {
+ protected:
+  void TearDown() override { util::fault::disarm_all(); }
+};
+
+void expect_degrades_to_identical_cold(const char* site) {
+  TwinSessions twins(small_config());
+  const std::string ff = ff_name(twins.warm.design(), 4);
+  const geom::Point cur = twins.warm.placement().loc(
+      twins.warm.design().find_cell(ff));
+  DesignDelta delta;
+  delta.move_cell(ff, geom::Point{cur.x + 1.0, cur.y + 1.0});
+
+  util::fault::ScopedFault fault(site);
+  const core::FlowResult w = twins.warm.apply(delta);
+  EXPECT_EQ(twins.warm.stats().degraded, 1);
+  EXPECT_EQ(twins.warm.stats().cold_runs, 1);
+  EXPECT_EQ(twins.warm.stats().warm_runs, 0);
+  bool saw_degraded = false;
+  for (const core::EcoEvent& ev : w.eco_events)
+    if (ev.kind == "degraded-to-cold") {
+      saw_degraded = true;
+      EXPECT_NE(ev.detail.find(site), std::string::npos);
+    }
+  EXPECT_TRUE(saw_degraded);
+
+  const core::FlowResult c = twins.cold.apply_cold(delta);
+  expect_identical(w, c);
+}
+
+TEST_F(EcoFaults, JournalFaultDegradesToCountedColdRun) {
+  expect_degrades_to_identical_cold("eco.journal");
+}
+
+TEST_F(EcoFaults, ResidualFaultDegradesToCountedColdRun) {
+  expect_degrades_to_identical_cold("eco.residual");
+}
+
+TEST_F(EcoFaults, DegradedSessionRecoversWarmOnNextApply) {
+  TwinSessions twins(small_config());
+  const netlist::Design& d = twins.warm.design();
+  DesignDelta first;
+  const std::string f0 = ff_name(d, 0);
+  const geom::Point c0 = twins.warm.placement().loc(d.find_cell(f0));
+  first.move_cell(f0, geom::Point{c0.x + 1.0, c0.y});
+  {
+    util::fault::ScopedFault fault("eco.residual");
+    twins.warm.apply(first);
+  }
+  twins.cold.apply_cold(first);
+  EXPECT_EQ(twins.warm.stats().degraded, 1);
+
+  // Engines were marked stale; the next apply re-baselines and runs warm.
+  DesignDelta second;
+  const std::string f1 = ff_name(d, 6);
+  const geom::Point c1 = twins.warm.placement().loc(d.find_cell(f1));
+  second.move_cell(f1, geom::Point{c1.x, c1.y + 1.0});
+  const core::FlowResult w = twins.warm.apply(second);
+  const core::FlowResult c = twins.cold.apply_cold(second);
+  EXPECT_EQ(twins.warm.stats().warm_runs, 1);
+  expect_identical(w, c);
+}
+
+}  // namespace
+}  // namespace rotclk::eco

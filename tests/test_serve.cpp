@@ -1,8 +1,10 @@
-// Serving-subsystem tests: the JSON line protocol, content-hash job
+// Serving-subsystem tests: the JSON line protocol (incl. UTF-16
+// surrogate-pair escapes), content-hash job keys and eco delta-chained
 // keys, the LRU design/result cache (including serve.cache fault
 // bypass), metrics histograms, scheduler admission / cancellation /
-// drain / per-job fault isolation, the Server request loop, and an
-// in-process two-pass replay of the standard workload asserting the
+// drain / per-job fault isolation, the warm-ECO job path (eco verb,
+// session reuse, deadline uncacheability), the Server request loop, and
+// an in-process two-pass replay of the standard workload asserting the
 // full acceptance contract (byte-identical summaries, deterministic
 // rejections, warm-cache second pass).
 
@@ -15,8 +17,10 @@
 #include <string>
 #include <vector>
 
+#include "eco/delta.hpp"
 #include "netlist/generator.hpp"
 #include "serve/design_cache.hpp"
+#include "serve/eco_io.hpp"
 #include "serve/job.hpp"
 #include "serve/json.hpp"
 #include "serve/metrics.hpp"
@@ -49,9 +53,49 @@ TEST(ServeJson, ParsesScalarsAndContainers) {
   EXPECT_DOUBLE_EQ(v.find("d")->get_number("e"), -2.0);
 }
 
+/// "\uXXXX" escape text built programmatically ("\x5C" = backslash), so
+/// the tests exercise the parser's escape path rather than raw UTF-8
+/// pass-through.
+std::string u_esc(const std::string& hex4) { return "\x5Cu" + hex4; }
+
 TEST(ServeJson, ParsesUnicodeEscapes) {
   const JsonValue v = json_parse(R"({"s":"Aé"})");
   EXPECT_EQ(v.get_string("s"), "A\xc3\xa9");  // "Aé" in UTF-8
+  // BMP escapes: é (2-byte UTF-8) and € (3-byte UTF-8).
+  EXPECT_EQ(json_parse("\"" + u_esc("00e9") + "\"").as_string(), "\xc3\xa9");
+  EXPECT_EQ(json_parse("\"" + u_esc("20AC") + "\"").as_string(),
+            "\xe2\x82\xac");
+}
+
+TEST(ServeJson, ParsesSurrogatePairs) {
+  // U+1F600 (grinning face): \ud83d\ude00 -> F0 9F 98 80.
+  EXPECT_EQ(json_parse("\"" + u_esc("d83d") + u_esc("de00") + "\"")
+                .as_string(),
+            "\xf0\x9f\x98\x80");
+  // U+1D11E (musical G clef), uppercase hex digits.
+  EXPECT_EQ(json_parse("\"" + u_esc("D834") + u_esc("DD1E") + "\"")
+                .as_string(),
+            "\xf0\x9d\x84\x9e");
+  // Pairs compose with surrounding text and other escapes.
+  EXPECT_EQ(json_parse("\"a" + u_esc("d83d") + u_esc("de00") + "\\tb\"")
+                .as_string(),
+            "a\xf0\x9f\x98\x80\tb");
+}
+
+TEST(ServeJson, RejectsLoneAndMisorderedSurrogates) {
+  // Lone high surrogate (end of string / followed by a plain char).
+  EXPECT_THROW(json_parse("\"" + u_esc("d83d") + "\""), ParseError);
+  EXPECT_THROW(json_parse("\"" + u_esc("d83d") + "x\""), ParseError);
+  // High surrogate followed by a non-low-surrogate \u escape.
+  EXPECT_THROW(json_parse("\"" + u_esc("d83d") + u_esc("0041") + "\""),
+               ParseError);
+  // Two high surrogates in a row.
+  EXPECT_THROW(json_parse("\"" + u_esc("d83d") + u_esc("d83d") + "\""),
+               ParseError);
+  // Lone low surrogate.
+  EXPECT_THROW(json_parse("\"" + u_esc("de00") + "\""), ParseError);
+  // Truncated second escape.
+  EXPECT_THROW(json_parse("\"" + u_esc("d83d") + "\x5Cude0"), ParseError);
 }
 
 TEST(ServeJson, RejectsMalformedDocuments) {
@@ -116,6 +160,38 @@ TEST(ServeJobKeys, DeadlineDisablesResultCaching) {
   a.deadline_s = 10.0;
   EXPECT_TRUE(result_key(a).empty());
   EXPECT_FALSE(design_key(a).empty());
+}
+
+TEST(ServeJobKeys, EcoChainKeysAreDisjointFromColdKeys) {
+  const JobSpec base = tiny_spec("a");
+  const std::string cold = result_key(base);
+  const std::string d1 = R"([{"op":"retune","cell":"Q0","target_ps":100}])";
+  const std::string d2 = R"([{"op":"move","cell":"Q0","x":1,"y":2}])";
+
+  const std::string k1 = eco_chain_key(cold, d1);
+  ASSERT_FALSE(k1.empty());
+  // The "eco-" prefix keeps chained keys disjoint from the 16-hex-digit
+  // cold keys, whatever the hash values are.
+  EXPECT_EQ(k1.rfind("eco-", 0), 0u);
+  EXPECT_NE(k1, cold);
+
+  // Chained keys depend on the whole chain: same delta at a different
+  // chain position (or a different delta) yields a different key.
+  const std::string k2 = eco_chain_key(k1, d1);
+  const std::string k3 = eco_chain_key(cold, d2);
+  EXPECT_NE(k2, k1);
+  EXPECT_NE(k3, k1);
+  EXPECT_NE(k3, k2);
+
+  // A chain seeded by an uncacheable base stays uncacheable.
+  EXPECT_TRUE(eco_chain_key("", d1).empty());
+
+  // The session identity ignores the deadline (the chain still advances
+  // for deadline-carrying deltas; only their memoization is disabled).
+  JobSpec deadline = base;
+  deadline.deadline_s = 5.0;
+  EXPECT_EQ(eco_session_key(deadline), eco_session_key(base));
+  EXPECT_EQ(eco_session_key(base), result_key(base));
 }
 
 // --------------------------------------------------------- design cache
@@ -260,6 +336,76 @@ TEST(ServeProtocol, RejectsBadRequests) {
       InvalidArgumentError);
 }
 
+TEST(ServeProtocol, ParsesEcoAndCanonicalizesTheDelta) {
+  const Request r = parse_request(
+      R"({"cmd":"eco","id":"e1","gates":120,"ffs":8,)"
+      R"("delta":[ {"op" : "retune", "cell":"Q0", "target_ps": 100.0} ]})");
+  EXPECT_EQ(r.cmd, Request::Cmd::kEco);
+  EXPECT_EQ(r.spec.id, "e1");
+  ASSERT_TRUE(r.spec.is_eco());
+  // Whitespace and member order differences canonicalize away.
+  const Request same = parse_request(
+      R"({"cmd":"eco","id":"e2","gates":120,"ffs":8,)"
+      R"("delta":[{"target_ps":100,"op":"retune","cell":"Q0"}]})");
+  EXPECT_EQ(r.spec.eco_delta_json, same.spec.eco_delta_json);
+  // The canonical text round-trips through the delta parser.
+  const eco::DesignDelta delta =
+      delta_from_json_text(r.spec.eco_delta_json, "test");
+  ASSERT_EQ(delta.size(), 1u);
+  EXPECT_EQ(delta.ops[0].kind, eco::DeltaOp::Kind::kRetuneFf);
+  EXPECT_EQ(delta.ops[0].cell, "Q0");
+  EXPECT_DOUBLE_EQ(delta.ops[0].target_ps, 100.0);
+}
+
+TEST(ServeProtocol, RejectsBadEcoRequests) {
+  // Missing / empty / malformed delta.
+  EXPECT_THROW(parse_request(R"({"cmd":"eco","id":"x"})"),
+               InvalidArgumentError);
+  EXPECT_THROW(parse_request(R"({"cmd":"eco","id":"x","delta":[]})"),
+               InvalidArgumentError);
+  EXPECT_THROW(
+      parse_request(R"({"cmd":"eco","id":"x","delta":[{"op":"warp"}]})"),
+      ParseError);
+  EXPECT_THROW(
+      parse_request(R"({"cmd":"eco","id":"x","delta":[{"op":"move"}]})"),
+      InvalidArgumentError);
+  EXPECT_THROW(
+      parse_request(
+          R"({"cmd":"eco","id":"x","delta":[{"op":"add_gate","fn":"NAND",)"
+          R"("out":"g","in":[],"x":1,"y":1}]})"),
+      InvalidArgumentError);
+  // Missing id, like submit.
+  EXPECT_THROW(parse_request(
+                   R"({"cmd":"eco","delta":[{"op":"remove","cell":"c"}]})"),
+               InvalidArgumentError);
+}
+
+TEST(ServeEcoIo, DeltaJsonRoundTripsAllOps) {
+  eco::DesignDelta delta;
+  delta.move_cell("Q0", {1.5, 2.25})
+      .add_gate(netlist::GateFn::Nand, "g_new", {"a", "b"}, {3.0, 4.0})
+      .add_flip_flop("ff_new", "g_new", {5.0, 6.0})
+      .rewire_input("sink", "old_n", "new_n")
+      .remove_cell("dead")
+      .retune_ff("Q1", 125.0)
+      .set_rings(16);
+  const std::string text = delta_to_json(delta);
+  const eco::DesignDelta back = delta_from_json_text(text, "test");
+  ASSERT_EQ(back.size(), delta.size());
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    EXPECT_EQ(back.ops[i].kind, delta.ops[i].kind) << i;
+    EXPECT_EQ(back.ops[i].cell, delta.ops[i].cell) << i;
+    EXPECT_EQ(back.ops[i].out_net, delta.ops[i].out_net) << i;
+    EXPECT_EQ(back.ops[i].in_nets, delta.ops[i].in_nets) << i;
+  }
+  EXPECT_EQ(back.ops[0].loc, delta.ops[0].loc);
+  EXPECT_EQ(back.ops[1].fn, netlist::GateFn::Nand);
+  EXPECT_DOUBLE_EQ(back.ops[5].target_ps, 125.0);
+  EXPECT_EQ(back.ops[6].rings, 16);
+  // Canonical: serializing the round-trip is byte-identical.
+  EXPECT_EQ(delta_to_json(back), text);
+}
+
 // ------------------------------------------------------------ scheduler
 
 class ServeScheduler : public ::testing::Test {
@@ -373,6 +519,110 @@ TEST_F(ServeScheduler, InjectedFaultIsConfinedToItsJob) {
   EXPECT_EQ(sched.status("after")->state, JobState::kDone);
 }
 
+JobSpec eco_spec(const std::string& id, const std::string& delta_json,
+                 double deadline_s = 0.0) {
+  JobSpec s = tiny_spec(id);
+  // Canonicalize the way the protocol does, so chain keys line up.
+  s.eco_delta_json =
+      delta_to_json(delta_from_json_text(delta_json, "test-" + id));
+  s.deadline_s = deadline_s;
+  return s;
+}
+
+constexpr const char* kRetuneQ0 =
+    R"([{"op":"retune","cell":"Q0","target_ps":100}])";
+constexpr const char* kMoveQ0 = R"([{"op":"move","cell":"Q0","x":1,"y":1}])";
+
+TEST_F(ServeScheduler, EcoJobsShareOneWarmSession) {
+  Scheduler sched(config(2, 8), cache, metrics);
+  sched.submit(eco_spec("e1", kRetuneQ0));
+  sched.wait_idle();
+  ASSERT_EQ(sched.status("e1")->state, JobState::kDone)
+      << sched.status("e1")->error;
+  EXPECT_FALSE(sched.status("e1")->summary.empty());
+  EXPECT_EQ(metrics.counter("eco.sessions").value(), 1u);
+  EXPECT_EQ(metrics.counter("eco.jobs").value(), 1u);
+  EXPECT_EQ(metrics.counter("eco.warm_runs").value(), 1u);
+
+  sched.submit(eco_spec("e2", kMoveQ0));
+  sched.wait_idle();
+  ASSERT_EQ(sched.status("e2")->state, JobState::kDone)
+      << sched.status("e2")->error;
+  // Same design + flow knobs -> the same warm session, not a second seed.
+  EXPECT_EQ(metrics.counter("eco.sessions").value(), 1u);
+  EXPECT_EQ(metrics.counter("eco.jobs").value(), 2u);
+  EXPECT_EQ(metrics.counter("eco.warm_runs").value(), 2u);
+  EXPECT_EQ(metrics.counter("eco.cold_runs").value(), 0u);
+}
+
+TEST_F(ServeScheduler, EcoResultsMemoizeUnderChainedKeysOnly) {
+  Scheduler sched(config(2, 8), cache, metrics);
+  const JobSpec e1 = eco_spec("e1", kRetuneQ0);
+  const JobSpec e2 = eco_spec("e2", kMoveQ0);
+  sched.submit(e1);
+  sched.wait_idle();
+  sched.submit(e2);
+  sched.wait_idle();
+  ASSERT_EQ(sched.status("e2")->state, JobState::kDone)
+      << sched.status("e2")->error;
+
+  const std::string k1 = eco_chain_key(eco_session_key(e1), e1.eco_delta_json);
+  const std::string k2 = eco_chain_key(k1, e2.eco_delta_json);
+  ASSERT_TRUE(cache.result_for(k1).has_value());
+  ASSERT_TRUE(cache.result_for(k2).has_value());
+  EXPECT_EQ(*cache.result_for(k1), sched.status("e1")->summary);
+  EXPECT_EQ(*cache.result_for(k2), sched.status("e2")->summary);
+
+  // A plain cold submit of the same base spec memoizes under the cold
+  // key — distinct from every chained key, so neither can shadow the
+  // other even though design + flow knobs agree.
+  const JobSpec base = tiny_spec("cold");
+  EXPECT_FALSE(cache.result_for(result_key(base)).has_value());
+  sched.submit(base);
+  sched.wait_idle();
+  ASSERT_TRUE(cache.result_for(result_key(base)).has_value());
+  EXPECT_EQ(*cache.result_for(result_key(base)),
+            sched.status("cold")->summary);
+  EXPECT_NE(result_key(base), k1);
+  EXPECT_NE(result_key(base), k2);
+}
+
+TEST_F(ServeScheduler, DeadlineEcoJobsAreUncacheable) {
+  Scheduler sched(config(2, 8), cache, metrics);
+  const JobSpec e1 = eco_spec("e1", kRetuneQ0, /*deadline_s=*/30.0);
+  sched.submit(e1);
+  sched.wait_idle();
+  ASSERT_EQ(sched.status("e1")->state, JobState::kDone)
+      << sched.status("e1")->error;
+  // The chain still advanced, but the deadline job's summary was never
+  // stored under its chained key.
+  const std::string k1 = eco_chain_key(eco_session_key(e1), e1.eco_delta_json);
+  EXPECT_FALSE(cache.result_for(k1).has_value());
+
+  // The next (deadline-free) delta memoizes under the advanced chain.
+  const JobSpec e2 = eco_spec("e2", kMoveQ0);
+  sched.submit(e2);
+  sched.wait_idle();
+  const std::string k2 = eco_chain_key(k1, e2.eco_delta_json);
+  ASSERT_TRUE(cache.result_for(k2).has_value());
+  EXPECT_EQ(*cache.result_for(k2), sched.status("e2")->summary);
+}
+
+TEST_F(ServeScheduler, InvalidEcoDeltaFailsOnlyItsJob) {
+  Scheduler sched(config(1, 8), cache, metrics);
+  sched.submit(eco_spec(
+      "bad", R"([{"op":"retune","cell":"no_such_ff","target_ps":1}])"));
+  sched.wait_idle();
+  ASSERT_EQ(sched.status("bad")->state, JobState::kFailed);
+  EXPECT_NE(sched.status("bad")->error.find("retune"), std::string::npos);
+  // The session survives the failed delta and serves the next one warm.
+  sched.submit(eco_spec("good", kRetuneQ0));
+  sched.wait_idle();
+  ASSERT_EQ(sched.status("good")->state, JobState::kDone)
+      << sched.status("good")->error;
+  EXPECT_EQ(metrics.counter("eco.warm_runs").value(), 1u);
+}
+
 TEST_F(ServeScheduler, AllJobsPreservesSubmissionOrder) {
   Scheduler sched(config(2, 8), cache, metrics);
   sched.submit(tiny_spec("first"));
@@ -445,6 +695,51 @@ TEST(ServeServer, FaultCommandIsGatedByConfig) {
       json_parse(open.handle_line(
                      R"({"cmd":"fault","site":"serve.job","trigger":0})"))
           .get_bool("ok"));
+}
+
+TEST(ServeServer, EcoVerbLifecycle) {
+  Server server(tiny_server_config());
+  const JsonValue sub = json_parse(server.handle_line(
+      R"({"cmd":"eco","id":"e","gates":120,"ffs":8,"iterations":1,)"
+      R"("delta":[{"op":"retune","cell":"Q0","target_ps":100}]})"));
+  ASSERT_TRUE(sub.get_bool("ok")) << sub.get_string("detail");
+  EXPECT_EQ(sub.get_string("cmd"), "eco");
+  EXPECT_EQ(sub.get_string("state"), "queued");
+  ASSERT_TRUE(
+      json_parse(server.handle_line(R"({"cmd":"wait"})")).get_bool("ok"));
+  const JsonValue st =
+      json_parse(server.handle_line(R"({"cmd":"status","id":"e"})"));
+  ASSERT_TRUE(st.get_bool("ok"));
+  EXPECT_EQ(st.get_string("state"), "done") << st.get_string("job_error");
+  EXPECT_FALSE(st.get_string("summary").empty());
+  const JsonValue stats = json_parse(server.handle_line(R"({"cmd":"stats"})"));
+  const JsonValue* counters = stats.find("metrics")->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->get_number("eco.jobs"), 1.0);
+  EXPECT_DOUBLE_EQ(counters->get_number("eco.sessions"), 1.0);
+  EXPECT_DOUBLE_EQ(counters->get_number("eco.warm_runs"), 1.0);
+  // A malformed delta is a protocol error, not a dead session.
+  const JsonValue bad = json_parse(server.handle_line(
+      R"({"cmd":"eco","id":"e2","delta":[{"op":"warp"}]})"));
+  EXPECT_FALSE(bad.get_bool("ok", true));
+  EXPECT_TRUE(json_parse(server.handle_line(R"({"cmd":"ping"})"))
+                  .get_bool("ok"));
+}
+
+TEST(ServeDesignCache, EcoChainedResultsParticipateInLru) {
+  DesignCache cache(2);
+  const std::string base = "0123456789abcdef";
+  const std::string k1 = eco_chain_key(base, "[d1]");
+  const std::string k2 = eco_chain_key(k1, "[d2]");
+  const std::string k3 = eco_chain_key(k2, "[d3]");
+  cache.store_result(k1, "s1");
+  cache.store_result(k2, "s2");
+  (void)cache.result_for(k1);  // refresh k1: k2 is now the LRU entry
+  cache.store_result(k3, "s3");  // evicts k2, exactly one eviction
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.result_for(k1).has_value());
+  EXPECT_FALSE(cache.result_for(k2).has_value());
+  EXPECT_TRUE(cache.result_for(k3).has_value());
 }
 
 TEST(ServeServer, DrainEndsTheSession) {
