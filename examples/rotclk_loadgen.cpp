@@ -1,68 +1,93 @@
-// rotclk_loadgen — deterministic load generator / replay client for
-// rotclkd.
+// rotclk_loadgen — deterministic load generator / replay / soak client
+// for rotclkd and rotclk_router.
 //
-// Replays the standard serving workload (src/serve/workload.hpp) against
-// a daemon — twice by default, under distinct job-id prefixes — and
-// checks the serving acceptance contract:
+// Replay mode (default) pushes the standard serving workload
+// (src/serve/workload.hpp) through a daemon — twice by default, under
+// distinct job-id prefixes — and checks the serving acceptance contract:
 //
 //   * per-job FlowResult summaries are byte-identical across passes,
 //   * the over-capacity burst produces admission rejections,
 //   * the injected per-job fault fails exactly its target job (the
-//     daemon and every other job survive),
+//     daemon and every other job survive; skipped with --no-faults),
 //   * the repeated pass hits the result cache,
 //
 // then writes BENCH_serve.json (throughput, p50/p95 queue-wait and
 // end-to-end latency, cache rates).
 //
+// Soak mode (--soak) runs the open-loop fleet harness
+// (src/serve/soak.hpp) instead: many concurrent clients, 10-100x the
+// workload's job count, optional mid-run backend kill, and an
+// exactly-once gate (zero lost, zero duplicated jobs by result-key
+// accounting), written to BENCH_router.json.
+//
 //   $ ./examples/rotclk_loadgen                    # in-process server
 //   $ ./examples/rotclkd --socket /tmp/r.sock --queue-depth 8 \
 //         --enable-fault-cmd &
 //   $ ./examples/rotclk_loadgen --socket /tmp/r.sock
+//   $ ./examples/rotclk_loadgen --connect 127.0.0.1:7070 --soak \
+//         --soak-jobs 500 --soak-kill-pid $BACKEND_PID
 //
 // Options:
-//   --socket PATH       drive a live rotclkd over its Unix socket
-//                       (default: run an in-process server). The daemon
-//                       must be started with --enable-fault-cmd and a
-//                       --queue-depth matching this client's.
+//   --socket PATH       drive a live daemon over its Unix socket
+//   --connect HOST:PORT drive a live daemon/router over TCP
+//                       (default: run an in-process server). For replay
+//                       with faults the daemon must be started with
+//                       --enable-fault-cmd and a matching --queue-depth.
 //   --passes N          workload passes against one daemon (default 2)
 //   --queue-depth N     burst sizing; must equal the server's admission
-//                       limit (default 8; in-process servers are
-//                       configured to match automatically)
+//                       limit (default 8; in-process servers match
+//                       automatically)
 //   --workers N         in-process server worker threads (default 2)
 //   --cache-capacity N  in-process server cache entries (default 64)
-//   --no-faults         skip the fault-injection phase
+//   --no-faults         skip the fault-injection phase (required when
+//                       replaying through a multi-backend router)
 //   --no-drain          leave the daemon running after the last pass
-//   --out FILE          benchmark report path (default BENCH_serve.json)
-//   --emit              print the pass-1 workload JSONL to stdout and
-//                       exit (pipe it into a stdio rotclkd by hand)
-//   --quiet             suppress the per-pass progress lines
+//   --out FILE          benchmark report path (default BENCH_serve.json,
+//                       or BENCH_router.json with --soak)
+//   --emit              print the pass-1 workload JSONL to stdout, exit
+//   --quiet             suppress the progress lines
+//   --soak              run the soak harness instead of the replay
+//   --soak-jobs N       soak job count (default 500)
+//   --soak-clients N    concurrent soak connections (default 4)
+//   --soak-kill-pid P   SIGKILL process P once half the jobs are
+//                       submitted (a deliberate mid-run backend death)
+//   --baseline FILE     soak mode: gate the report against the flat
+//                       router.* keys in FILE (bench/baseline_ci.json):
+//                       router.soak.e2e_p99_max_s is the p99 end-to-end
+//                       latency ceiling, router.soak.min_throughput is
+//                       the done-jobs-per-second floor
+//   --io-timeout S      socket read/write timeout seconds (default 60)
 //
 // Exits 0 when every acceptance check passes, 1 otherwise, 2 on usage
 // errors.
 
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <iterator>
+#include <memory>
+#include <optional>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>     // ::kill for --soak-kill-pid
+#include <sys/types.h>  // pid_t
+#endif
+
+#include "serve/json.hpp"
 #include "serve/replay.hpp"
 #include "serve/server.hpp"
+#include "serve/soak.hpp"
+#include "serve/transport.hpp"
 #include "util/error.hpp"
-
-#if defined(__unix__) || defined(__APPLE__)
-#define LOADGEN_HAVE_UNIX_SOCKETS 1
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-#endif
 
 namespace {
 
 struct LoadgenOptions {
-  std::string socket_path;  // empty: in-process
+  std::string socket_path;   // --socket; empty: see connect_hostport
+  std::string connect_hostport;  // --connect; both empty: in-process
   int passes = 2;
   int workers = 2;
   std::size_t cache_capacity = 64;
@@ -70,7 +95,12 @@ struct LoadgenOptions {
   bool drain = true;
   bool emit = false;
   bool quiet = false;
-  std::string out_file = "BENCH_serve.json";
+  bool soak_mode = false;
+  rotclk::serve::SoakOptions soak{};
+  long soak_kill_pid = 0;
+  std::string baseline_file;  // --baseline; empty: no perf gate
+  double io_timeout_s = 60.0;
+  std::string out_file;  // defaulted per mode after parsing
 };
 
 [[noreturn]] void usage_error(const std::string& msg) {
@@ -90,6 +120,17 @@ int parse_int(const std::string& value, const std::string& flag) {
   }
 }
 
+double parse_double(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    usage_error("malformed number '" + value + "' for " + flag);
+  }
+}
+
 LoadgenOptions parse(int argc, char** argv) {
   LoadgenOptions opt;
   auto need_value = [&](int& i, const std::string& flag) -> std::string {
@@ -99,6 +140,7 @@ LoadgenOptions parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--socket") opt.socket_path = need_value(i, a);
+    else if (a == "--connect") opt.connect_hostport = need_value(i, a);
     else if (a == "--passes") opt.passes = parse_int(need_value(i, a), a);
     else if (a == "--queue-depth")
       opt.workload.queue_depth =
@@ -112,13 +154,27 @@ LoadgenOptions parse(int argc, char** argv) {
     else if (a == "--out") opt.out_file = need_value(i, a);
     else if (a == "--emit") opt.emit = true;
     else if (a == "--quiet") opt.quiet = true;
+    else if (a == "--soak") opt.soak_mode = true;
+    else if (a == "--soak-jobs")
+      opt.soak.jobs = parse_int(need_value(i, a), a);
+    else if (a == "--soak-clients")
+      opt.soak.clients = parse_int(need_value(i, a), a);
+    else if (a == "--soak-kill-pid")
+      opt.soak_kill_pid = parse_int(need_value(i, a), a);
+    else if (a == "--baseline") opt.baseline_file = need_value(i, a);
+    else if (a == "--io-timeout")
+      opt.io_timeout_s = parse_double(need_value(i, a), a);
     else if (a == "--help" || a == "-h") {
       std::cout << "see the header comment of examples/rotclk_loadgen.cpp "
                    "for the full option list\n\n"
-                   "usage: rotclk_loadgen [--socket PATH] [--passes N] "
-                   "[--queue-depth N]\n"
-                   "                      [--no-faults] [--no-drain] "
-                   "[--out FILE] [--emit] [--quiet]\n";
+                   "usage: rotclk_loadgen [--socket PATH | --connect "
+                   "HOST:PORT] [--passes N]\n"
+                   "                      [--queue-depth N] [--no-faults] "
+                   "[--no-drain] [--out FILE]\n"
+                   "                      [--emit] [--quiet] [--soak] "
+                   "[--soak-jobs N]\n"
+                   "                      [--soak-clients N] "
+                   "[--soak-kill-pid P] [--baseline FILE]\n";
       std::exit(0);
     } else {
       usage_error("unknown option " + a);
@@ -126,65 +182,157 @@ LoadgenOptions parse(int argc, char** argv) {
   }
   if (opt.passes < 1) usage_error("--passes must be >= 1");
   if (opt.workload.queue_depth < 1) usage_error("--queue-depth must be >= 1");
+  if (!opt.socket_path.empty() && !opt.connect_hostport.empty())
+    usage_error("--socket and --connect are mutually exclusive");
+  if (opt.soak.jobs < 1) usage_error("--soak-jobs must be >= 1");
+  if (opt.soak.clients < 1) usage_error("--soak-clients must be >= 1");
+  if (opt.out_file.empty())
+    opt.out_file = opt.soak_mode ? "BENCH_router.json" : "BENCH_serve.json";
   return opt;
 }
 
-#ifdef LOADGEN_HAVE_UNIX_SOCKETS
+/// The target endpoint, or nullopt for the in-process server.
+std::optional<rotclk::serve::Endpoint> target_endpoint(
+    const LoadgenOptions& opt) {
+  if (!opt.socket_path.empty())
+    return rotclk::serve::Endpoint::unix_path(opt.socket_path);
+  if (!opt.connect_hostport.empty())
+    return rotclk::serve::Endpoint::tcp(opt.connect_hostport);
+  return std::nullopt;
+}
 
-/// Blocking line-oriented client over a Unix-domain socket.
-class SocketClient {
- public:
-  explicit SocketClient(const std::string& path) {
-    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd_ < 0)
-      throw rotclk::IoError("serve.loadgen", path,
-                            std::string("socket(): ") + std::strerror(errno));
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (path.size() >= sizeof(addr.sun_path))
-      throw rotclk::IoError("serve.loadgen", path, "socket path too long");
-    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) < 0)
-      throw rotclk::IoError("serve.loadgen", path,
-                            std::string("connect(): ") + std::strerror(errno));
-  }
-  ~SocketClient() {
-    if (fd_ >= 0) ::close(fd_);
-  }
-  SocketClient(const SocketClient&) = delete;
-  SocketClient& operator=(const SocketClient&) = delete;
+rotclk::serve::FramingLimits client_limits(const LoadgenOptions& opt) {
+  rotclk::serve::FramingLimits limits;
+  limits.read_timeout_s = opt.io_timeout_s;
+  limits.write_timeout_s = opt.io_timeout_s;
+  return limits;
+}
 
-  std::string roundtrip(const std::string& line) {
-    const std::string out = line + "\n";
-    std::size_t off = 0;
-    while (off < out.size()) {
-      const ssize_t w = ::write(fd_, out.data() + off, out.size() - off);
-      if (w <= 0)
-        throw rotclk::IoError("serve.loadgen", "<socket>",
-                              "write failed (daemon gone?)");
-      off += static_cast<std::size_t>(w);
+int write_report(const LoadgenOptions& opt, const std::string& doc) {
+  std::ofstream out(opt.out_file);
+  if (!out)
+    throw rotclk::IoError("serve.loadgen", opt.out_file,
+                          "cannot open for writing");
+  out << doc;
+  out.flush();
+  if (!out)
+    throw rotclk::IoError("serve.loadgen", opt.out_file, "write failed");
+  if (!opt.quiet)
+    std::cerr << "rotclk_loadgen: wrote " << opt.out_file << "\n";
+  return 0;
+}
+
+/// Gate the soak report against the flat router.* keys of a baseline
+/// file (bench/baseline_ci.json). Absent keys are not gated, so the
+/// baseline can adopt router entries incrementally.
+bool soak_baseline_ok(const LoadgenOptions& opt,
+                      const rotclk::serve::SoakReport& report) {
+  std::ifstream in(opt.baseline_file);
+  if (!in)
+    throw rotclk::IoError("serve.loadgen", opt.baseline_file,
+                          "cannot open baseline");
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const rotclk::serve::JsonValue base =
+      rotclk::serve::json_parse(text, opt.baseline_file);
+  bool ok = true;
+  auto gate = [&](const char* key, double measured, bool ceiling) {
+    const rotclk::serve::JsonValue* bound = base.find(key);
+    if (bound == nullptr) return;
+    const double limit = bound->as_number();
+    const bool bad = ceiling ? measured > limit : measured < limit;
+    if (bad) {
+      std::cerr << "rotclk_loadgen: BASELINE FAILED: " << key << ": measured "
+                << measured << (ceiling ? " > max " : " < min ") << limit
+                << "\n";
+      ok = false;
+    } else if (!opt.quiet) {
+      std::cerr << "rotclk_loadgen: baseline ok: " << key << " = " << measured
+                << (ceiling ? " <= " : " >= ") << limit << "\n";
     }
-    std::size_t nl;
-    while ((nl = pending_.find('\n')) == std::string::npos) {
-      char buf[4096];
-      const ssize_t n = ::read(fd_, buf, sizeof(buf));
-      if (n <= 0)
-        throw rotclk::IoError("serve.loadgen", "<socket>",
-                              "daemon closed the connection mid-request");
-      pending_.append(buf, static_cast<std::size_t>(n));
-    }
-    std::string reply = pending_.substr(0, nl);
-    pending_.erase(0, nl + 1);
-    return reply;
+  };
+  const double throughput =
+      report.wall_s > 0.0 ? static_cast<double>(report.done) / report.wall_s
+                          : 0.0;
+  gate("router.soak.e2e_p99_max_s", report.e2e_p99_s, /*ceiling=*/true);
+  gate("router.soak.min_throughput", throughput, /*ceiling=*/false);
+  return ok;
+}
+
+int run_soak(const LoadgenOptions& opt) {
+  using namespace rotclk::serve;
+  const std::optional<Endpoint> endpoint = target_endpoint(opt);
+
+  SoakOptions soak_opt = opt.soak;
+  if (opt.soak_kill_pid > 0) {
+#if defined(__unix__) || defined(__APPLE__)
+    const long pid = opt.soak_kill_pid;
+    const bool quiet = opt.quiet;
+    soak_opt.mid_run_hook = [pid, quiet] {
+      if (!quiet)
+        std::cerr << "rotclk_loadgen: soak halfway; killing backend pid "
+                  << pid << "\n";
+      ::kill(static_cast<pid_t>(pid), SIGKILL);
+    };
+#else
+    usage_error("--soak-kill-pid is not supported on this platform");
+#endif
   }
 
- private:
-  int fd_ = -1;
-  std::string pending_;
-};
+  SoakReport report;
+  if (endpoint.has_value()) {
+    const FramingLimits limits = client_limits(opt);
+    report = soak(
+        [&endpoint, limits]() -> std::function<std::string(const std::string&)> {
+          auto conn = std::make_shared<Connection>(dial(*endpoint, limits));
+          return [conn](const std::string& line) {
+            conn->write_line(line);
+            std::optional<std::string> reply = conn->read_line();
+            if (!reply)
+              throw rotclk::IoError("serve.loadgen", "<socket>",
+                                    "daemon closed the connection");
+            return *reply;
+          };
+        },
+        soak_opt);
+  } else {
+    // In-process soak: exercises the harness itself (and the scheduler
+    // under concurrent clients) without any network.
+    ServerConfig cfg;
+    cfg.scheduler.workers = opt.workers;
+    cfg.scheduler.max_queue_depth =
+        static_cast<std::size_t>(soak_opt.jobs) + 16;  // open loop: no burst
+    cfg.cache_capacity = opt.cache_capacity;
+    auto server = std::make_shared<Server>(cfg);
+    report = soak(
+        [server]() -> std::function<std::string(const std::string&)> {
+          return [server](const std::string& line) {
+            return server->handle_line(line);
+          };
+        },
+        soak_opt);
+  }
 
-#endif  // LOADGEN_HAVE_UNIX_SOCKETS
+  if (!opt.quiet)
+    std::cerr << "rotclk_loadgen: soak: " << report.submitted << " submitted, "
+              << report.accepted << " accepted, " << report.done << " done, "
+              << report.failed << " failed, " << report.status_unavailable
+              << " typed-unavailable, " << report.lost << " lost, "
+              << report.duplicated << " duplicated, "
+              << report.transport_errors << " transport errors in "
+              << report.wall_s << " s\n";
+
+  write_report(opt, report.bench_json());
+
+  std::string why;
+  if (!report.ok(&why)) {
+    std::cerr << "rotclk_loadgen: SOAK FAILED: " << why << "\n";
+    return 1;
+  }
+  if (!opt.baseline_file.empty() && !soak_baseline_ok(opt, report)) return 1;
+  std::cerr << "rotclk_loadgen: soak OK (zero lost, zero duplicated)\n";
+  return 0;
+}
 
 int run(const LoadgenOptions& opt) {
   using namespace rotclk::serve;
@@ -195,6 +343,7 @@ int run(const LoadgenOptions& opt) {
     for (const std::string& line : make_workload(w)) std::cout << line << "\n";
     return 0;
   }
+  if (opt.soak_mode) return run_soak(opt);
 
   ReplayOptions replay_opt;
   replay_opt.workload = opt.workload;
@@ -202,15 +351,19 @@ int run(const LoadgenOptions& opt) {
   replay_opt.drain_at_end = opt.drain;
 
   ReplayReport report;
-  if (!opt.socket_path.empty()) {
-#ifdef LOADGEN_HAVE_UNIX_SOCKETS
-    SocketClient client(opt.socket_path);
-    report = replay([&](const std::string& l) { return client.roundtrip(l); },
-                    replay_opt);
-#else
-    std::cerr << "rotclk_loadgen: --socket is not supported here\n";
-    return 1;
-#endif
+  const std::optional<Endpoint> endpoint = target_endpoint(opt);
+  if (endpoint.has_value()) {
+    Connection conn = dial(*endpoint, client_limits(opt));
+    report = replay(
+        [&conn](const std::string& line) {
+          conn.write_line(line);
+          std::optional<std::string> reply = conn.read_line();
+          if (!reply)
+            throw rotclk::IoError("serve.loadgen", "<socket>",
+                                  "daemon closed the connection mid-request");
+          return *reply;
+        },
+        replay_opt);
   } else {
     ServerConfig cfg;
     cfg.scheduler.workers = opt.workers;
@@ -235,16 +388,7 @@ int run(const LoadgenOptions& opt) {
     }
   }
 
-  std::ofstream out(opt.out_file);
-  if (!out)
-    throw rotclk::IoError("serve.loadgen", opt.out_file,
-                          "cannot open for writing");
-  out << report.bench_json();
-  out.flush();
-  if (!out)
-    throw rotclk::IoError("serve.loadgen", opt.out_file, "write failed");
-  if (!opt.quiet)
-    std::cerr << "rotclk_loadgen: wrote " << opt.out_file << "\n";
+  write_report(opt, report.bench_json());
 
   std::string why;
   if (!report.acceptance_ok(&why)) {
@@ -259,6 +403,9 @@ int run(const LoadgenOptions& opt) {
 
 int main(int argc, char** argv) {
   const LoadgenOptions opt = parse(argc, argv);
+#if defined(__unix__) || defined(__APPLE__)
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
   try {
     return run(opt);
   } catch (const rotclk::Error& e) {

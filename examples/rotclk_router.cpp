@@ -1,0 +1,230 @@
+// rotclk_router — sharded serving front-end for a rotclkd fleet.
+//
+// Listens on one socket and fans the rotclkd JSONL protocol out across N
+// backend daemons (src/serve/router.hpp): jobs are placed by a
+// consistent hash of their design key, backends are health-checked with
+// a closed/open/half-open circuit breaker, idempotent submits fail over
+// to the next ring candidate, and non-idempotent jobs (deadline or eco)
+// fail fast with the "backend-unavailable" error code rather than risk
+// running twice. Clients cannot tell a fleet from a single daemon.
+//
+//   $ ./examples/rotclkd --tcp 127.0.0.1:7071 & \
+//     ./examples/rotclkd --tcp 127.0.0.1:7072 & \
+//     ./examples/rotclkd --tcp 127.0.0.1:7073 &
+//   $ ./examples/rotclk_router --tcp 127.0.0.1:7070 \
+//       --backend 127.0.0.1:7071 --backend 127.0.0.1:7072 \
+//       --backend 127.0.0.1:7073 &
+//   $ ./examples/rotclk_loadgen --connect 127.0.0.1:7070
+//
+// Options:
+//   --socket PATH        listen on a Unix-domain socket
+//   --tcp HOST:PORT      listen on TCP (port 0 = kernel-picked, printed)
+//   --backend EP         one backend endpoint: HOST:PORT, or unix:PATH
+//                        (repeat once per backend; at least one required)
+//   --max-attempts N     distinct backends tried per idempotent submit (3)
+//   --retry-backoff S    base retry backoff seconds (0.01; doubles, capped
+//                        at --retry-cap, default 0.25)
+//   --probe-backoff S    base breaker backoff seconds (0.05; doubles per
+//                        failed probe, capped at --probe-cap, default 2)
+//   --probe-interval S   maintenance-thread probe cadence (default 0.1)
+//   --virtual-nodes N    ring points per backend (default 64)
+//   --jitter-seed N      deterministic retry-jitter seed (default 1)
+//   --io-timeout S       per-connection/backends read/write timeout (30)
+//
+// A "drain" request is broadcast to every reachable backend, then the
+// router itself exits 0. SIGTERM/SIGINT stop accepting and exit without
+// draining the backends (they keep running). Exits 2 on a usage error.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/router.hpp"
+#include "serve/transport.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(rotclk_router — sharded rotclkd front-end
+
+usage: rotclk_router (--socket PATH | --tcp HOST:PORT)
+                     --backend EP [--backend EP ...] [options]
+
+  --backend EP         backend endpoint: HOST:PORT or unix:PATH (repeat)
+  --max-attempts N     backends tried per idempotent submit (default 3)
+  --retry-backoff S    base retry backoff seconds (default 0.01)
+  --retry-cap S        retry backoff cap seconds (default 0.25)
+  --probe-backoff S    base breaker probe backoff seconds (default 0.05)
+  --probe-cap S        probe backoff cap seconds (default 2.0)
+  --probe-interval S   health-probe cadence seconds (default 0.1)
+  --virtual-nodes N    consistent-hash points per backend (default 64)
+  --jitter-seed N      retry-jitter seed (default 1)
+  --io-timeout S       read/write timeout seconds (default 30)
+  --help               this message
+
+The router speaks the same JSONL protocol as rotclkd; point any client
+(rotclk_loadgen, nc) at it as if it were a single daemon.
+)";
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::cerr << "rotclk_router: " << msg << "\n(run with --help for options)\n";
+  std::exit(2);
+}
+
+int parse_int(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    usage_error("malformed integer '" + value + "' for " + flag);
+  }
+}
+
+double parse_double(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    usage_error("malformed number '" + value + "' for " + flag);
+  }
+}
+
+/// "unix:PATH" or "HOST:PORT".
+rotclk::serve::Endpoint parse_backend(const std::string& text) {
+  if (text.rfind("unix:", 0) == 0)
+    return rotclk::serve::Endpoint::unix_path(text.substr(5));
+  return rotclk::serve::Endpoint::tcp(text);
+}
+
+struct RouterOptions {
+  std::string socket_path;
+  std::string tcp_hostport;
+  std::vector<rotclk::serve::Endpoint> backends;
+  rotclk::serve::RouterConfig config{};
+  double probe_interval_s = 0.1;
+  double io_timeout_s = 30.0;
+};
+
+RouterOptions parse(int argc, char** argv) {
+  RouterOptions opt;
+  auto need_value = [&](int& i, const std::string& flag) -> std::string {
+    if (i + 1 >= argc) usage_error("missing value for " + flag);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--socket")
+      opt.socket_path = need_value(i, a);
+    else if (a == "--tcp")
+      opt.tcp_hostport = need_value(i, a);
+    else if (a == "--backend")
+      opt.backends.push_back(parse_backend(need_value(i, a)));
+    else if (a == "--max-attempts")
+      opt.config.max_attempts = parse_int(need_value(i, a), a);
+    else if (a == "--retry-backoff")
+      opt.config.retry_backoff_base_s = parse_double(need_value(i, a), a);
+    else if (a == "--retry-cap")
+      opt.config.retry_backoff_cap_s = parse_double(need_value(i, a), a);
+    else if (a == "--probe-backoff")
+      opt.config.probe_backoff_base_s = parse_double(need_value(i, a), a);
+    else if (a == "--probe-cap")
+      opt.config.probe_backoff_cap_s = parse_double(need_value(i, a), a);
+    else if (a == "--probe-interval")
+      opt.probe_interval_s = parse_double(need_value(i, a), a);
+    else if (a == "--virtual-nodes")
+      opt.config.virtual_nodes = parse_int(need_value(i, a), a);
+    else if (a == "--jitter-seed")
+      opt.config.jitter_seed =
+          static_cast<std::uint64_t>(parse_int(need_value(i, a), a));
+    else if (a == "--io-timeout")
+      opt.io_timeout_s = parse_double(need_value(i, a), a);
+    else if (a == "--help" || a == "-h") {
+      std::cout << kUsage;
+      std::exit(0);
+    } else {
+      usage_error("unknown option " + a);
+    }
+  }
+  if (opt.backends.empty()) usage_error("at least one --backend is required");
+  if (opt.socket_path.empty() == opt.tcp_hostport.empty())
+    usage_error("exactly one of --socket or --tcp is required");
+  if (opt.config.max_attempts < 1) usage_error("--max-attempts must be >= 1");
+  if (opt.config.virtual_nodes < 1) usage_error("--virtual-nodes must be >= 1");
+  if (opt.probe_interval_s <= 0.0) usage_error("--probe-interval must be > 0");
+  return opt;
+}
+
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+extern "C" void handle_stop_signal(int) { g_stop_signal = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const RouterOptions opt = parse(argc, argv);
+#if defined(__unix__) || defined(__APPLE__)
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+#endif
+  try {
+    rotclk::serve::FramingLimits limits;
+    limits.read_timeout_s = opt.io_timeout_s;
+    limits.write_timeout_s = opt.io_timeout_s;
+
+    std::vector<std::string> names;
+    names.reserve(opt.backends.size());
+    for (const auto& ep : opt.backends) names.push_back(ep.to_string());
+    rotclk::serve::Router router(
+        opt.config, names, [&opt, limits](std::size_t index) {
+          return rotclk::serve::make_endpoint_link(opt.backends[index],
+                                                   limits);
+        });
+
+    const rotclk::serve::Endpoint listen_ep =
+        opt.socket_path.empty()
+            ? rotclk::serve::Endpoint::tcp(opt.tcp_hostport)
+            : rotclk::serve::Endpoint::unix_path(opt.socket_path);
+    rotclk::serve::Listener listener(listen_ep, limits);
+    std::cerr << "rotclk_router: listening on "
+              << listener.endpoint().to_string() << " with " << names.size()
+              << " backend(s)\n";
+
+    // Maintenance thread: half-open probes for tripped breakers, so a
+    // restarted backend rejoins the ring without client traffic.
+    std::atomic<bool> prober_stop{false};
+    std::thread prober([&router, &prober_stop, interval = opt.probe_interval_s] {
+      while (!prober_stop.load(std::memory_order_relaxed)) {
+        router.probe();
+        std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+      }
+    });
+
+    const std::size_t served = rotclk::serve::serve_listener(
+        listener,
+        [&router](const std::string& line) { return router.handle_line(line); },
+        [&router] { return router.drained(); },
+        [] { return g_stop_signal != 0; });
+
+    prober_stop.store(true, std::memory_order_relaxed);
+    prober.join();
+    std::cerr << "rotclk_router: served " << served << " connection(s)\n";
+    return 0;
+  } catch (const rotclk::Error& e) {
+    std::cerr << "rotclk_router: [" << rotclk::to_string(e.code()) << "] "
+              << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "rotclk_router: " << e.what() << "\n";
+    return 1;
+  }
+}

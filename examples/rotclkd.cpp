@@ -8,6 +8,7 @@
 //
 //   $ ./examples/rotclkd                          # serve stdin/stdout
 //   $ ./examples/rotclkd --socket /tmp/rotclkd.sock &
+//   $ ./examples/rotclkd --tcp 127.0.0.1:7070 &   # fleet backend
 //   $ ./examples/rotclk_loadgen --socket /tmp/rotclkd.sock
 //
 // A quick manual session:
@@ -21,31 +22,32 @@
 //   --workers N         flow worker threads (default 2)
 //   --queue-depth N     max queued jobs before OverloadedError (default 16)
 //   --cache-capacity N  design/result cache entries (default 64)
-//   --socket PATH       serve a Unix-domain socket instead of stdio;
-//                       accepts clients one at a time until drained
+//   --socket PATH       serve a Unix-domain socket (thread per connection)
+//   --tcp HOST:PORT     serve a TCP socket; port 0 lets the kernel pick
+//                       (the chosen port is printed to stderr)
+//   --io-timeout S      per-connection read/write timeout (default 30s)
 //   --enable-fault-cmd  allow the "fault" protocol command (deterministic
 //                       fault-injection replay; off by default)
 //
-// The daemon exits 0 after a "drain" request (or EOF on stdio), 1 on an
-// internal failure, 2 on a usage error. Logs go to stderr; stdout carries
-// only protocol responses.
+// Socket modes serve every connection on its own thread over the shared
+// serve::Transport framing (src/serve/transport.hpp): torn frames and
+// over-long lines cost that one client its connection, never the daemon.
+// SIGPIPE is ignored (a vanished peer is an I/O error on one connection);
+// SIGTERM/SIGINT trigger a graceful drain — stop accepting, finish
+// in-flight jobs, unlink the socket — and exit 0.
+//
+// The daemon exits 0 after a "drain" request, a drain signal, or EOF on
+// stdio; 1 on an internal failure; 2 on a usage error. Logs go to
+// stderr; stdout carries only protocol responses.
 
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "serve/server.hpp"
+#include "serve/transport.hpp"
 #include "util/error.hpp"
-
-#if defined(__unix__) || defined(__APPLE__)
-#define ROTCLKD_HAVE_UNIX_SOCKETS 1
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-#endif
 
 namespace {
 
@@ -57,17 +59,22 @@ usage: rotclkd [options]
   --queue-depth N     max queued jobs before rejection (default 16)
   --cache-capacity N  design/result cache entries (default 64)
   --socket PATH       serve a Unix-domain socket instead of stdin/stdout
+  --tcp HOST:PORT     serve a TCP socket (port 0 = kernel-picked)
+  --io-timeout S      per-connection read/write timeout seconds (default 30)
   --enable-fault-cmd  allow the "fault" protocol command (replay/testing)
   --help              this message
 
 Protocol: one JSON request per line, one JSON response per line.
 Commands: submit status cancel stats wait suspend resume drain fault ping.
-Exits after a "drain" request (stdio mode also exits on EOF).
+Exits after a "drain" request or SIGTERM/SIGINT (graceful drain); stdio
+mode also exits on EOF.
 )";
 
 struct DaemonOptions {
   rotclk::serve::ServerConfig server{};
   std::string socket_path;
+  std::string tcp_hostport;
+  double io_timeout_s = 30.0;
 };
 
 [[noreturn]] void usage_error(const std::string& msg) {
@@ -83,6 +90,17 @@ int parse_int(const std::string& value, const std::string& flag) {
     return v;
   } catch (const std::exception&) {
     usage_error("malformed integer '" + value + "' for " + flag);
+  }
+}
+
+double parse_double(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    usage_error("malformed number '" + value + "' for " + flag);
   }
 }
 
@@ -104,6 +122,10 @@ DaemonOptions parse(int argc, char** argv) {
           static_cast<std::size_t>(parse_int(need_value(i, a), a));
     else if (a == "--socket")
       opt.socket_path = need_value(i, a);
+    else if (a == "--tcp")
+      opt.tcp_hostport = need_value(i, a);
+    else if (a == "--io-timeout")
+      opt.io_timeout_s = parse_double(need_value(i, a), a);
     else if (a == "--enable-fault-cmd")
       opt.server.allow_fault_injection = true;
     else if (a == "--help" || a == "-h") {
@@ -117,91 +139,65 @@ DaemonOptions parse(int argc, char** argv) {
     usage_error("--workers must be >= 1");
   if (opt.server.scheduler.max_queue_depth < 1)
     usage_error("--queue-depth must be >= 1");
+  if (!opt.socket_path.empty() && !opt.tcp_hostport.empty())
+    usage_error("--socket and --tcp are mutually exclusive");
+  if (opt.io_timeout_s < 0.0) usage_error("--io-timeout must be >= 0");
   return opt;
 }
 
-#ifdef ROTCLKD_HAVE_UNIX_SOCKETS
+/// Set by SIGTERM/SIGINT; the accept loop polls it and starts a drain.
+volatile std::sig_atomic_t g_stop_signal = 0;
 
-/// Serve clients one at a time over a Unix-domain socket until a client
-/// drains the server. Single-threaded accept is all the load generator
-/// needs; concurrency lives in the scheduler's worker pool, not here.
-int serve_socket(rotclk::serve::Server& server, const std::string& path) {
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::cerr << "rotclkd: socket(): " << std::strerror(errno) << "\n";
-    return 1;
-  }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    std::cerr << "rotclkd: socket path too long: " << path << "\n";
-    ::close(listener);
-    return 1;
-  }
-  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  ::unlink(path.c_str());  // stale socket from a previous run
-  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) < 0 ||
-      ::listen(listener, 4) < 0) {
-    std::cerr << "rotclkd: bind/listen(" << path
-              << "): " << std::strerror(errno) << "\n";
-    ::close(listener);
-    return 1;
-  }
-  std::cerr << "rotclkd: listening on " << path << "\n";
+extern "C" void handle_stop_signal(int) { g_stop_signal = 1; }
 
-  while (!server.drained()) {
-    const int client = ::accept(listener, nullptr, nullptr);
-    if (client < 0) {
-      if (errno == EINTR) continue;
-      std::cerr << "rotclkd: accept(): " << std::strerror(errno) << "\n";
-      break;
-    }
-    std::string pending;
-    char buf[4096];
-    for (;;) {
-      const ssize_t n = ::read(client, buf, sizeof(buf));
-      if (n <= 0) break;  // client disconnected (or error): next accept
-      pending.append(buf, static_cast<std::size_t>(n));
-      std::size_t nl;
-      while ((nl = pending.find('\n')) != std::string::npos) {
-        const std::string line = pending.substr(0, nl);
-        pending.erase(0, nl + 1);
-        if (line.empty()) continue;
-        const std::string reply = server.handle_line(line) + "\n";
-        std::size_t off = 0;
-        while (off < reply.size()) {
-          const ssize_t w =
-              ::write(client, reply.data() + off, reply.size() - off);
-          if (w <= 0) break;
-          off += static_cast<std::size_t>(w);
-        }
-      }
-      if (server.drained()) break;
-    }
-    ::close(client);
+int serve_endpoint(rotclk::serve::Server& server,
+                   const rotclk::serve::Endpoint& endpoint,
+                   double io_timeout_s) {
+  rotclk::serve::FramingLimits limits;
+  limits.read_timeout_s = io_timeout_s;
+  limits.write_timeout_s = io_timeout_s;
+  rotclk::serve::Listener listener(endpoint, limits);
+  std::cerr << "rotclkd: listening on " << listener.endpoint().to_string()
+            << "\n";
+  const std::size_t served = rotclk::serve::serve_listener(
+      listener, [&server](const std::string& line) {
+        return server.handle_line(line);
+      },
+      [&server] { return server.drained(); },
+      [] { return g_stop_signal != 0; });
+  if (g_stop_signal != 0 && !server.drained()) {
+    // Graceful drain: the listener is already closed (no new clients);
+    // finish everything in flight before exiting.
+    std::cerr << "rotclkd: drain signal received; finishing "
+                 "in-flight jobs\n";
+    server.scheduler().drain();
   }
-  ::close(listener);
-  ::unlink(path.c_str());
+  std::cerr << "rotclkd: served " << served << " connection(s)\n";
   return 0;
 }
-
-#endif  // ROTCLKD_HAVE_UNIX_SOCKETS
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const DaemonOptions opt = parse(argc, argv);
+#if defined(__unix__) || defined(__APPLE__)
+  // A peer that vanishes mid-reply must surface as an IoError on that
+  // connection, never as a process-wide SIGPIPE (belt: transport writes
+  // already use MSG_NOSIGNAL; braces: some libc paths do not).
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+#endif
   try {
     rotclk::serve::Server server(opt.server);
-    if (!opt.socket_path.empty()) {
-#ifdef ROTCLKD_HAVE_UNIX_SOCKETS
-      return serve_socket(server, opt.socket_path);
-#else
-      std::cerr << "rotclkd: --socket is not supported on this platform\n";
-      return 1;
-#endif
-    }
+    if (!opt.socket_path.empty())
+      return serve_endpoint(
+          server, rotclk::serve::Endpoint::unix_path(opt.socket_path),
+          opt.io_timeout_s);
+    if (!opt.tcp_hostport.empty())
+      return serve_endpoint(server,
+                            rotclk::serve::Endpoint::tcp(opt.tcp_hostport),
+                            opt.io_timeout_s);
     server.serve(std::cin, std::cout);
     return 0;
   } catch (const rotclk::Error& e) {

@@ -13,6 +13,12 @@ namespace {
 
 class Parser {
  public:
+  /// Deepest accepted container nesting. A hostile "[[[[..." line must
+  /// raise a typed ParseError long before the recursive descent can
+  /// overflow the stack; 64 is far beyond anything the protocol emits
+  /// (requests nest 3 levels at most).
+  static constexpr int kMaxDepth = 64;
+
   Parser(std::string_view text, const std::string& source)
       : text_(text), source_(source) {}
 
@@ -74,7 +80,19 @@ class Parser {
     }
   }
 
+  /// RAII depth guard for the two recursive productions.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.depth_ > kMaxDepth)
+        parser.fail("nesting deeper than " + std::to_string(kMaxDepth) +
+                    " levels");
+    }
+    ~DepthGuard() { --parser.depth_; }
+    Parser& parser;
+  };
+
   JsonValue parse_object() {
+    const DepthGuard depth(*this);
     expect('{');
     JsonValue v = JsonValue::object();
     skip_ws();
@@ -100,6 +118,7 @@ class Parser {
   }
 
   JsonValue parse_array() {
+    const DepthGuard depth(*this);
     expect('[');
     JsonValue v = JsonValue::array();
     skip_ws();
@@ -218,6 +237,7 @@ class Parser {
   std::string_view text_;
   const std::string& source_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 [[noreturn]] void type_error(const char* want, JsonValue::Type got) {

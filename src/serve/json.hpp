@@ -11,8 +11,10 @@
 //
 // This is deliberately not a general-purpose JSON library: no comments,
 // no trailing commas, no NaN/Inf literals, documents are parsed fully
-// into memory. Protocol lines are small (the largest is an inline .bench
-// netlist), so simplicity wins over streaming.
+// into memory, and container nesting deeper than 64 levels is rejected
+// with a typed ParseError (a hostile "[[[[..." frame must never overflow
+// the recursive-descent stack). Protocol lines are small (the largest is
+// an inline .bench netlist), so simplicity wins over streaming.
 
 #include <map>
 #include <memory>

@@ -69,6 +69,11 @@ struct ReplayReport {
   bool replay_identical = false;
   /// First discrepancy, for diagnostics; empty when replay_identical.
   std::string mismatch;
+  /// Whether the workload armed fault injection; when false (e.g. a
+  /// --no-faults run through the router, where arming sites over the
+  /// wire would hit an arbitrary backend), acceptance does not demand an
+  /// injected-fault failure.
+  bool faults_included = true;
 
   /// The serving acceptance contract (see header comment). On failure
   /// returns false and appends the reasons to `*why` when non-null.

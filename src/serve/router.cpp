@@ -1,0 +1,684 @@
+#include "serve/router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "serve/job.hpp"
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace rotclk::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string ok_prefix(const char* cmd) {
+  return std::string("{\"ok\":true,\"cmd\":") + json_quote(cmd);
+}
+
+std::string error_response(const char* cmd, const std::string& code,
+                           const std::string& detail) {
+  return std::string("{\"ok\":false,\"cmd\":") + json_quote(cmd) +
+         ",\"error\":" + json_quote(code) +
+         ",\"detail\":" + json_quote(detail) + "}";
+}
+
+/// Splice extra members into a JSON-object response line, just before
+/// its closing brace.
+std::string annotate(std::string response, const std::string& extra) {
+  if (!response.empty() && response.back() == '}')
+    response.insert(response.size() - 1, extra);
+  return response;
+}
+
+/// A BackendLink over serve::dial(): dials lazily and drops the
+/// connection on any failure so the next round-trip redials.
+class EndpointLink final : public BackendLink {
+ public:
+  EndpointLink(Endpoint endpoint, FramingLimits limits)
+      : endpoint_(std::move(endpoint)), limits_(limits) {}
+
+  std::string roundtrip(const std::string& line) override {
+    try {
+      if (!conn_.valid()) conn_ = dial(endpoint_, limits_);
+      conn_.write_line(line);
+      std::optional<std::string> response = conn_.read_line();
+      if (!response)
+        throw IoError("router.link", endpoint_.to_string(),
+                      "backend closed the connection mid-request");
+      return *response;
+    } catch (...) {
+      conn_.close();
+      throw;
+    }
+  }
+
+ private:
+  Endpoint endpoint_;
+  FramingLimits limits_;
+  Connection conn_;
+};
+
+}  // namespace
+
+std::unique_ptr<BackendLink> make_endpoint_link(Endpoint endpoint,
+                                                FramingLimits limits) {
+  return std::make_unique<EndpointLink>(std::move(endpoint), limits);
+}
+
+const char* to_string(BackendState state) {
+  switch (state) {
+    case BackendState::kClosed: return "closed";
+    case BackendState::kOpen: return "open";
+    case BackendState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+struct Router::Backend {
+  std::string name;
+  std::unique_ptr<BackendLink> link;  ///< built lazily by factory_
+  BackendState state = BackendState::kClosed;
+  int consecutive_failures = 0;
+  double backoff_s = 0.0;
+  Clock::time_point open_until{};
+  std::uint64_t jobs_routed = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t trips = 0;
+};
+
+struct Router::LedgerEntry {
+  std::string request_line;  ///< original submit/eco line, for re-dispatch
+  std::size_t owner = 0;     ///< backend index currently holding the job
+  bool idempotent = false;
+  bool terminal = false;     ///< a response showed a terminal state
+  bool unavailable = false;  ///< orphaned with no legal re-dispatch
+  std::string detail;        ///< why, when unavailable
+};
+
+Router::~Router() = default;
+
+Router::Router(RouterConfig config, std::vector<std::string> backend_names,
+               LinkFactory factory)
+    : config_(config),
+      factory_(std::move(factory)),
+      jitter_(config.jitter_seed) {
+  if (backend_names.empty())
+    throw InvalidArgumentError("router", "a router needs at least one backend");
+  backends_.reserve(backend_names.size());
+  for (std::string& name : backend_names) {
+    Backend b;
+    b.name = std::move(name);
+    backends_.push_back(std::move(b));
+  }
+  ring_.reserve(backends_.size() *
+                static_cast<std::size_t>(std::max(1, config_.virtual_nodes)));
+  for (std::size_t i = 0; i < backends_.size(); ++i)
+    for (int v = 0; v < std::max(1, config_.virtual_nodes); ++v)
+      ring_.emplace_back(
+          fnv1a(backends_[i].name + "#" + std::to_string(v)), i);
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::vector<std::size_t> Router::candidates_for(
+    const std::string& design_key) const {
+  // ring_ is immutable after construction; no lock needed.
+  std::vector<std::size_t> order;
+  order.reserve(backends_.size());
+  std::vector<bool> seen(backends_.size(), false);
+  const std::uint64_t h = fnv1a(design_key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(),
+      std::make_pair(h, static_cast<std::size_t>(0)));
+  for (std::size_t step = 0;
+       step < ring_.size() && order.size() < backends_.size(); ++step, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (!seen[it->second]) {
+      seen[it->second] = true;
+      order.push_back(it->second);
+    }
+  }
+  return order;
+}
+
+bool Router::drained() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return drained_;
+}
+
+RouterEvents Router::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::vector<BackendSnapshot> Router::backends() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BackendSnapshot> out;
+  out.reserve(backends_.size());
+  for (const Backend& b : backends_) {
+    BackendSnapshot s;
+    s.name = b.name;
+    s.state = b.state;
+    s.jobs_routed = b.jobs_routed;
+    s.failures = b.failures;
+    s.trips = b.trips;
+    s.backoff_s = b.state == BackendState::kClosed ? 0.0 : b.backoff_s;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string Router::handle_line(const std::string& line) {
+  const char* cmd = "?";
+  try {
+    const Request req = parse_request(line);
+    cmd = to_string(req.cmd);
+    const std::lock_guard<std::mutex> lock(mu_);
+    return handle_parsed(req, line);
+  } catch (const Error& e) {
+    return error_response(cmd, to_string(e.code()), e.what());
+  } catch (const std::exception& e) {
+    return error_response(cmd, "internal", e.what());
+  }
+}
+
+std::string Router::handle_parsed(const Request& req,
+                                  const std::string& line) {
+  switch (req.cmd) {
+    case Request::Cmd::kSubmit:
+    case Request::Cmd::kEco: return route_submit(req, line);
+    case Request::Cmd::kStatus:
+    case Request::Cmd::kCancel: return forward_by_id(req, line);
+    case Request::Cmd::kStats: return stats_response();
+    case Request::Cmd::kWait: return wait_fleet();
+    case Request::Cmd::kSuspend: return broadcast("suspend", line);
+    case Request::Cmd::kResume: return broadcast("resume", line);
+    case Request::Cmd::kFault: return broadcast("fault", line);
+    case Request::Cmd::kDrain: {
+      std::string response = broadcast("drain", line);
+      drained_ = true;
+      return annotate(std::move(response), ",\"drained\":true");
+    }
+    case Request::Cmd::kPing: return ping_response();
+  }
+  return error_response("?", "internal", "unhandled command");
+}
+
+bool Router::available_locked(std::size_t index) {
+  Backend& b = backends_[index];
+  switch (b.state) {
+    case BackendState::kClosed:
+    case BackendState::kHalfOpen: return true;
+    case BackendState::kOpen:
+      if (Clock::now() < b.open_until) return false;
+      b.state = BackendState::kHalfOpen;  // next request is the trial
+      ++events_.half_opens;
+      return true;
+  }
+  return false;
+}
+
+void Router::record_success_locked(std::size_t index) {
+  Backend& b = backends_[index];
+  b.consecutive_failures = 0;
+  if (b.state != BackendState::kClosed) {
+    b.state = BackendState::kClosed;
+    b.backoff_s = 0.0;
+    ++events_.closes;
+  }
+}
+
+void Router::record_failure_locked(std::size_t index) {
+  Backend& b = backends_[index];
+  ++b.failures;
+  ++b.consecutive_failures;
+  switch (b.state) {
+    case BackendState::kClosed:
+      if (b.consecutive_failures < std::max(1, config_.failures_to_open))
+        return;
+      b.state = BackendState::kOpen;
+      b.backoff_s = config_.probe_backoff_base_s;
+      b.open_until =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(b.backoff_s));
+      ++b.trips;
+      ++events_.opens;
+      redispatch_orphans_locked(index);
+      return;
+    case BackendState::kHalfOpen:
+      // The trial failed: back to open with a doubled (capped) backoff.
+      b.state = BackendState::kOpen;
+      b.backoff_s = std::min(config_.probe_backoff_cap_s,
+                             std::max(config_.probe_backoff_base_s,
+                                      b.backoff_s * 2.0));
+      b.open_until =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(b.backoff_s));
+      ++events_.opens;
+      return;
+    case BackendState::kOpen: return;  // already isolated
+  }
+}
+
+std::string Router::send_locked(std::size_t index, const std::string& line) {
+  Backend& b = backends_[index];
+  std::string response;
+  try {
+    util::fault::point("router.backend");
+    if (!b.link) b.link = factory_(index);
+    response = b.link->roundtrip(line);
+  } catch (const Error&) {
+    record_failure_locked(index);
+    throw;
+  }
+  record_success_locked(index);
+  return response;
+}
+
+void Router::note_terminal_locked(const std::string& id,
+                                  const std::string& response) {
+  const auto it = ledger_.find(id);
+  if (it == ledger_.end() || it->second.terminal) return;
+  // Responses are trusted (our own protocol), but stay defensive: only a
+  // parseable object with a terminal "state" flips the flag.
+  try {
+    const JsonValue v = json_parse(response, "<backend-response>");
+    const std::string state = v.get_string("state");
+    if (state == "done" || state == "failed" || state == "cancelled")
+      it->second.terminal = true;
+  } catch (const Error&) {
+  }
+}
+
+void Router::redispatch_orphans_locked(std::size_t dead) {
+  // Snapshot ids first: nested breaker trips re-enter this function and
+  // mutate the ledger, so iterate by id and re-check every assumption.
+  std::vector<std::string> ids;
+  for (const auto& [id, entry] : ledger_)
+    if (entry.owner == dead && !entry.terminal && !entry.unavailable)
+      ids.push_back(id);
+  std::sort(ids.begin(), ids.end());  // deterministic re-dispatch order
+
+  const std::string dead_name = backends_[dead].name;
+  for (const std::string& id : ids) {
+    auto it = ledger_.find(id);
+    if (it == ledger_.end()) continue;
+    LedgerEntry& entry = it->second;
+    if (entry.owner != dead || entry.terminal || entry.unavailable) continue;
+    if (!entry.idempotent) {
+      entry.unavailable = true;
+      entry.detail = "backend '" + dead_name +
+                     "' failed before completing non-idempotent job '" + id +
+                     "' (deadline or eco); it was not retried";
+      continue;
+    }
+    const Request req = parse_request(entry.request_line);
+    bool moved = false;
+    for (const std::size_t idx : candidates_for(design_key(req.spec))) {
+      if (idx == dead || !available_locked(idx)) continue;
+      std::string response;
+      try {
+        response = send_locked(idx, entry.request_line);
+      } catch (const Error&) {
+        continue;  // breaker handled; try the next candidate
+      }
+      // A duplicate-id rejection means the job already lives there (an
+      // earlier re-dispatch or status race); that is still a success.
+      bool accepted = false;
+      try {
+        const JsonValue v = json_parse(response, "<backend-response>");
+        accepted = v.get_bool("ok") ||
+                   v.get_string("error") == "invalid-argument";
+      } catch (const Error&) {
+      }
+      if (!accepted) continue;  // e.g. overloaded: try the next candidate
+      entry.owner = idx;
+      ++events_.redispatches;
+      ++events_.failovers;
+      note_terminal_locked(id, response);
+      moved = true;
+      break;
+    }
+    if (!moved) {
+      entry.unavailable = true;
+      entry.detail = "backend '" + dead_name + "' failed and job '" + id +
+                     "' found no healthy backend to fail over to";
+    }
+  }
+}
+
+std::string Router::route_submit(const Request& req, const std::string& line) {
+  const bool idempotent = !req.spec.is_eco() && req.spec.deadline_s == 0.0;
+  const std::vector<std::size_t> candidates =
+      candidates_for(design_key(req.spec));
+  int attempts = 0;
+  std::string last_detail = "all backends are unavailable";
+  for (const std::size_t idx : candidates) {
+    if (attempts >= std::max(1, config_.max_attempts)) break;
+    if (!available_locked(idx)) continue;
+    ++attempts;
+    if (attempts > 1) {
+      ++events_.retries;
+      const double base =
+          config_.retry_backoff_base_s *
+          static_cast<double>(1ull << static_cast<unsigned>(attempts - 2));
+      const double nap = std::min(base, config_.retry_backoff_cap_s) *
+                         jitter_.uniform(0.5, 1.0);
+      if (nap > 0.0)
+        std::this_thread::sleep_for(std::chrono::duration<double>(nap));
+    }
+    std::string response;
+    try {
+      response = send_locked(idx, line);
+    } catch (const Error& e) {
+      last_detail = e.what();
+      if (!idempotent) {
+        ++events_.fast_fails;
+        throw BackendUnavailableError(
+            "router", std::string("non-idempotent job '") + req.spec.id +
+                          "' hit a failing backend and must not be retried: " +
+                          last_detail);
+      }
+      continue;
+    }
+    if (attempts > 1) ++events_.failovers;
+    bool accepted = false;
+    try {
+      accepted = json_parse(response, "<backend-response>").get_bool("ok");
+    } catch (const Error&) {
+    }
+    if (accepted) {
+      Backend& b = backends_[idx];
+      ++b.jobs_routed;
+      LedgerEntry entry;
+      entry.request_line = line;
+      entry.owner = idx;
+      entry.idempotent = idempotent;
+      ledger_[req.spec.id] = std::move(entry);
+      note_terminal_locked(req.spec.id, response);
+      return annotate(std::move(response),
+                      ",\"backend\":" + json_quote(b.name));
+    }
+    // An application-level rejection (overloaded, duplicate id, bad
+    // spec) is the backend's verdict; the transport worked, so forward
+    // it rather than shopping for a more permissive backend.
+    return annotate(std::move(response),
+                    ",\"backend\":" + json_quote(backends_[idx].name));
+  }
+  if (idempotent)
+    throw BackendUnavailableError(
+        "router", std::string("job '") + req.spec.id + "' exhausted " +
+                      std::to_string(attempts) + " attempt(s): " +
+                      last_detail);
+  ++events_.fast_fails;
+  throw BackendUnavailableError(
+      "router", std::string("non-idempotent job '") + req.spec.id +
+                    "' has no healthy backend: " + last_detail);
+}
+
+std::string Router::forward_by_id(const Request& req,
+                                  const std::string& line) {
+  const char* cmd = to_string(req.cmd);
+  auto it = ledger_.find(req.id);
+  if (it == ledger_.end())
+    return error_response(cmd, "invalid-argument",
+                          "unknown job id '" + req.id + "'");
+  if (it->second.unavailable)
+    return error_response(cmd, "backend-unavailable", it->second.detail);
+  std::size_t owner = it->second.owner;
+  for (int hop = 0; hop < 2; ++hop) {
+    std::string response;
+    try {
+      response = send_locked(owner, line);
+    } catch (const Error& e) {
+      // The breaker trip may have re-dispatched this very job; follow it
+      // to its new owner once.
+      it = ledger_.find(req.id);
+      if (it == ledger_.end() || it->second.unavailable)
+        return error_response(
+            cmd, "backend-unavailable",
+            it == ledger_.end() ? std::string(e.what()) : it->second.detail);
+      if (it->second.owner == owner)
+        return error_response(cmd, "backend-unavailable", e.what());
+      owner = it->second.owner;
+      continue;
+    }
+    note_terminal_locked(req.id, response);
+    return annotate(std::move(response),
+                    ",\"backend\":" + json_quote(backends_[owner].name));
+  }
+  return error_response(cmd, "backend-unavailable",
+                        "job '" + req.id + "' kept moving between backends");
+}
+
+std::string Router::broadcast(const char* cmd, const std::string& line) {
+  std::size_t reached = 0;
+  for (std::size_t idx = 0; idx < backends_.size(); ++idx) {
+    if (!available_locked(idx)) continue;
+    try {
+      (void)send_locked(idx, line);
+      ++reached;
+    } catch (const Error&) {
+      // Breaker handled (and orphans re-dispatched); keep broadcasting.
+    }
+  }
+  return ok_prefix(cmd) + ",\"backends\":" + std::to_string(reached) + "}";
+}
+
+std::string Router::wait_fleet() {
+  // A wait must cover jobs that fail over *during* the wait: a failed
+  // sweep re-dispatches orphans onto backends that were already waited
+  // on, so sweep until one pass succeeds everywhere.
+  const std::string wait_line = "{\"cmd\":\"wait\"}";
+  const int max_sweeps = static_cast<int>(backends_.size()) + 2;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool clean = true;
+    for (std::size_t idx = 0; idx < backends_.size(); ++idx) {
+      if (!available_locked(idx)) continue;
+      try {
+        (void)send_locked(idx, wait_line);
+      } catch (const Error&) {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) return ok_prefix("wait") + ",\"idle\":true}";
+  }
+  return error_response("wait", "backend-unavailable",
+                        "fleet did not settle: backends kept failing");
+}
+
+std::string Router::ping_response() {
+  std::size_t open = 0;
+  for (const Backend& b : backends_)
+    if (b.state != BackendState::kClosed) ++open;
+  return ok_prefix("ping") + ",\"role\":\"router\",\"backends_total\":" +
+         std::to_string(backends_.size()) +
+         ",\"backends_open\":" + std::to_string(open) + "}";
+}
+
+std::size_t Router::probe() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t sent = 0;
+  const std::string ping_line = "{\"cmd\":\"ping\"}";
+  for (std::size_t idx = 0; idx < backends_.size(); ++idx) {
+    Backend& b = backends_[idx];
+    if (b.state == BackendState::kClosed) continue;
+    if (b.state == BackendState::kOpen && Clock::now() < b.open_until)
+      continue;
+    if (b.state == BackendState::kOpen) {
+      b.state = BackendState::kHalfOpen;
+      ++events_.half_opens;
+    }
+    ++sent;
+    ++events_.probes;
+    try {
+      (void)send_locked(idx, ping_line);  // success closes the breaker
+    } catch (const Error&) {
+      // Failure doubled the backoff; the breaker stays open.
+    }
+  }
+  return sent;
+}
+
+namespace {
+
+/// Accumulates one histogram across backends. Quantiles cannot be merged
+/// exactly from snapshots, so p50/p95 take the max across backends — a
+/// conservative upper bound, which is the safe direction for latency
+/// gating.
+struct MergedHistogram {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+
+  void absorb(const JsonValue& h) {
+    const auto n = static_cast<std::uint64_t>(h.get_number("count"));
+    if (n == 0) return;
+    if (count == 0) min = h.get_number("min");
+    else min = std::min(min, h.get_number("min"));
+    count += n;
+    sum += h.get_number("sum");
+    max = std::max(max, h.get_number("max"));
+    p50 = std::max(p50, h.get_number("p50"));
+    p95 = std::max(p95, h.get_number("p95"));
+  }
+
+  [[nodiscard]] std::string json() const {
+    const double mean = count == 0 ? 0.0 : sum / static_cast<double>(count);
+    return "{\"count\":" + std::to_string(count) +
+           ",\"sum\":" + json_number(sum) + ",\"mean\":" + json_number(mean) +
+           ",\"min\":" + json_number(min) + ",\"max\":" + json_number(max) +
+           ",\"p50\":" + json_number(p50) + ",\"p95\":" + json_number(p95) +
+           "}";
+  }
+};
+
+}  // namespace
+
+std::string Router::stats_response() {
+  // Fleet-wide view: counters sum, histograms merge (see
+  // MergedHistogram), cache counters sum with recomputed rates. The raw
+  // per-backend responses ride along under "backends" so operators can
+  // still see the unmerged numbers.
+  const std::string stats_line = "{\"cmd\":\"stats\"}";
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, MergedHistogram> histograms;
+  std::uint64_t design_hits = 0, design_misses = 0, result_hits = 0,
+                result_misses = 0, evictions = 0, bypasses = 0;
+  std::uint64_t queued = 0, running = 0;
+  std::string per_backend = "{";
+  std::size_t reporting = 0;
+  for (std::size_t idx = 0; idx < backends_.size(); ++idx) {
+    if (!available_locked(idx)) continue;
+    std::string raw;
+    try {
+      raw = send_locked(idx, stats_line);
+    } catch (const Error&) {
+      continue;  // breaker handled; report what the fleet can give
+    }
+    JsonValue v;
+    try {
+      v = json_parse(raw, "<backend-stats>");
+    } catch (const Error&) {
+      continue;
+    }
+    if (reporting > 0) per_backend += ",";
+    per_backend += json_quote(backends_[idx].name) + ":" + raw;
+    ++reporting;
+    if (const JsonValue* metrics = v.find("metrics")) {
+      if (const JsonValue* cs = metrics->find("counters"))
+        for (const auto& [name, c] : cs->as_object())
+          counters[name] += static_cast<std::uint64_t>(c.as_number());
+      if (const JsonValue* hs = metrics->find("histograms"))
+        for (const auto& [name, h] : hs->as_object())
+          histograms[name].absorb(h);
+    }
+    if (const JsonValue* cache = v.find("cache")) {
+      design_hits += static_cast<std::uint64_t>(cache->get_number("design_hits"));
+      design_misses +=
+          static_cast<std::uint64_t>(cache->get_number("design_misses"));
+      result_hits += static_cast<std::uint64_t>(cache->get_number("result_hits"));
+      result_misses +=
+          static_cast<std::uint64_t>(cache->get_number("result_misses"));
+      evictions += static_cast<std::uint64_t>(cache->get_number("evictions"));
+      bypasses += static_cast<std::uint64_t>(cache->get_number("bypasses"));
+    }
+    if (const JsonValue* queue = v.find("queue")) {
+      queued += static_cast<std::uint64_t>(queue->get_number("queued"));
+      running += static_cast<std::uint64_t>(queue->get_number("running"));
+    }
+  }
+  per_backend += "}";
+
+  const auto rate = [](std::uint64_t hits, std::uint64_t misses) {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  };
+
+  std::string out = ok_prefix("stats");
+  out += ",\"metrics\":{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += json_quote(name) + ":" + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += json_quote(name) + ":" + h.json();
+  }
+  out += "}}";
+  out += ",\"cache\":{\"design_hits\":" + std::to_string(design_hits) +
+         ",\"design_misses\":" + std::to_string(design_misses) +
+         ",\"design_hit_rate\":" + json_number(rate(design_hits, design_misses)) +
+         ",\"result_hits\":" + std::to_string(result_hits) +
+         ",\"result_misses\":" + std::to_string(result_misses) +
+         ",\"result_hit_rate\":" + json_number(rate(result_hits, result_misses)) +
+         ",\"evictions\":" + std::to_string(evictions) +
+         ",\"bypasses\":" + std::to_string(bypasses) + "}";
+  out += ",\"queue\":{\"queued\":" + std::to_string(queued) +
+         ",\"running\":" + std::to_string(running) + "}";
+  out += ",\"router\":{\"backends_reporting\":" + std::to_string(reporting) +
+         ",\"retries\":" + std::to_string(events_.retries) +
+         ",\"failovers\":" + std::to_string(events_.failovers) +
+         ",\"redispatches\":" + std::to_string(events_.redispatches) +
+         ",\"fast_fails\":" + std::to_string(events_.fast_fails) +
+         ",\"opens\":" + std::to_string(events_.opens) +
+         ",\"half_opens\":" + std::to_string(events_.half_opens) +
+         ",\"closes\":" + std::to_string(events_.closes) +
+         ",\"probes\":" + std::to_string(events_.probes) + ",\"states\":{";
+  first = true;
+  for (const Backend& b : backends_) {
+    if (!first) out += ",";
+    first = false;
+    out += json_quote(b.name) + ":" + json_quote(to_string(b.state));
+  }
+  out += "}}";
+  out += ",\"backends\":" + per_backend;
+  out += "}";
+  return out;
+}
+
+}  // namespace rotclk::serve

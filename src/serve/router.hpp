@@ -1,0 +1,184 @@
+#pragma once
+// Sharded serving front-end: one Router in front of N rotclkd backends.
+//
+// The router speaks the same JSONL protocol as rotclkd (handle_line in,
+// one response line out), so clients — rotclk_loadgen, the replay
+// harness, plain `nc` — cannot tell a fleet from a single daemon:
+//
+//   Router router(config, {"b0", "b1", "b2"}, link_factory);
+//   std::string reply = router.handle_line(R"({"cmd":"submit",...})");
+//
+// Placement of work is a consistent hash of design_key(spec) over a
+// virtual-node ring, so jobs for the same design always land on the same
+// backend (the design cache and warm ECO sessions stay hot there) and
+// adding/removing a backend only remaps the keys it owned.
+//
+// Health is a per-backend circuit breaker:
+//
+//   kClosed ──failure──▶ kOpen ──backoff elapsed──▶ kHalfOpen
+//      ▲                   ▲                            │
+//      │                   └────────trial failed────────┤
+//      └────────────────trial succeeded─────────────────┘
+//
+// A transport failure trips the breaker (kClosed -> kOpen) and starts an
+// exponential probe backoff (doubling to a cap); once the backoff
+// elapses the next request or probe() is a half-open trial. While a
+// breaker is open the backend is skipped without any wait.
+//
+// Retry policy is keyed off the idempotency rule from serve/job.hpp:
+// a job is idempotent iff it is not an ECO delta and carries no
+// deadline (equivalently: result_key(spec) is non-empty). Idempotent
+// submits are retried on the next distinct ring candidate with a capped,
+// deterministically jittered backoff; non-idempotent jobs fail fast with
+// BackendUnavailableError — the router never risks running them twice.
+// When a breaker trips, accepted-but-unfinished idempotent jobs owned by
+// that backend are re-dispatched to healthy candidates (a duplicate-id
+// rejection from the new owner counts as success: the job already moved).
+//
+// The data plane is deliberately serialized under one mutex: correctness
+// and determinism live here, concurrency lives in the backends' worker
+// pools. Fault site "router.backend" fires on every backend round-trip
+// so tests can sever any hop deterministically.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/transport.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk::serve {
+
+/// One line-oriented channel to a backend. roundtrip() sends one request
+/// line and returns the response line; any rotclk::Error escaping it is
+/// treated by the Router as a backend failure (breaker trip).
+class BackendLink {
+ public:
+  virtual ~BackendLink() = default;
+  virtual std::string roundtrip(const std::string& line) = 0;
+};
+
+/// Lazily build the link for backend `index`; called once per backend on
+/// first use. Links reconnect internally (see make_endpoint_link).
+using LinkFactory =
+    std::function<std::unique_ptr<BackendLink>(std::size_t index)>;
+
+/// A BackendLink over serve::dial(): dials on first use, and redials on
+/// the next round-trip after any failure.
+[[nodiscard]] std::unique_ptr<BackendLink> make_endpoint_link(
+    Endpoint endpoint, FramingLimits limits = {});
+
+enum class BackendState { kClosed, kOpen, kHalfOpen };
+[[nodiscard]] const char* to_string(BackendState state);
+
+struct RouterConfig {
+  /// Ring points per backend; more points -> smoother key spread.
+  int virtual_nodes = 64;
+  /// Distinct backends tried per idempotent submit (first attempt
+  /// included) before giving up with BackendUnavailableError.
+  int max_attempts = 3;
+  /// Jittered sleep between idempotent retry attempts: the nth retry
+  /// waits base * 2^(n-1), capped, scaled by a deterministic jitter in
+  /// [0.5, 1.0) drawn from jitter_seed.
+  double retry_backoff_base_s = 0.01;
+  double retry_backoff_cap_s = 0.25;
+  std::uint64_t jitter_seed = 1;
+  /// Consecutive failures that trip a closed breaker. 1 = trip on first.
+  int failures_to_open = 1;
+  /// Probe backoff while a breaker is open (doubles per failed trial).
+  double probe_backoff_base_s = 0.05;
+  double probe_backoff_cap_s = 2.0;
+};
+
+struct BackendSnapshot {
+  std::string name;
+  BackendState state = BackendState::kClosed;
+  std::uint64_t jobs_routed = 0;  ///< ok submits/ecos this backend accepted
+  std::uint64_t failures = 0;     ///< transport failures observed
+  std::uint64_t trips = 0;        ///< closed -> open transitions
+  double backoff_s = 0.0;         ///< current probe backoff (open only)
+};
+
+/// Monotonic event counters, surfaced in "stats" under "router" and
+/// asserted by the soak gate (zero lost jobs <=> failovers account for
+/// every orphan).
+struct RouterEvents {
+  std::uint64_t retries = 0;      ///< extra submit attempts after a failure
+  std::uint64_t failovers = 0;    ///< jobs that moved to a different backend
+  std::uint64_t redispatches = 0; ///< orphaned jobs resubmitted on a trip
+  std::uint64_t fast_fails = 0;   ///< non-idempotent jobs failed typed
+  std::uint64_t opens = 0;
+  std::uint64_t half_opens = 0;
+  std::uint64_t closes = 0;
+  std::uint64_t probes = 0;
+};
+
+class Router {
+ public:
+  Router(RouterConfig config, std::vector<std::string> backend_names,
+         LinkFactory factory);
+  ~Router();  // out-of-line: Backend/LedgerEntry are incomplete here
+
+  /// Handle one protocol line; never throws (failures become
+  /// {"ok":false,...} responses, backend unavailability carries the
+  /// "backend-unavailable" ErrorCode string).
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  /// True once a "drain" request was served (broadcast to the fleet).
+  [[nodiscard]] bool drained() const;
+
+  /// Probe every open breaker whose backoff has elapsed with a "ping"
+  /// (half-open trial). Returns probes sent. The router binary calls
+  /// this from a maintenance thread; tests call it directly for
+  /// deterministic recovery.
+  std::size_t probe();
+
+  /// The ring's preference order for a design key (first entry is the
+  /// owner when healthy). Exposed for the consistent-hashing tests.
+  [[nodiscard]] std::vector<std::size_t> candidates_for(
+      const std::string& design_key) const;
+
+  [[nodiscard]] RouterEvents events() const;
+  [[nodiscard]] std::vector<BackendSnapshot> backends() const;
+
+ private:
+  struct Backend;
+  struct LedgerEntry;
+
+  std::string handle_parsed(const struct Request& req,
+                            const std::string& line);
+  std::string route_submit(const Request& req, const std::string& line);
+  std::string forward_by_id(const Request& req, const std::string& line);
+  std::string broadcast(const char* cmd, const std::string& line);
+  std::string wait_fleet();
+  std::string stats_response();
+  std::string ping_response();
+
+  /// Round-trip on one backend; records success/failure on the breaker
+  /// and rethrows the failure. Fires fault site "router.backend".
+  std::string send_locked(std::size_t index, const std::string& line);
+  bool available_locked(std::size_t index);
+  void record_failure_locked(std::size_t index);
+  void record_success_locked(std::size_t index);
+  /// Resubmit the tripped backend's accepted-but-unfinished jobs.
+  void redispatch_orphans_locked(std::size_t dead);
+  void note_terminal_locked(const std::string& id,
+                            const std::string& response);
+
+  const RouterConfig config_;
+  mutable std::mutex mu_;
+  std::vector<Backend> backends_;
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+  LinkFactory factory_;
+  std::unordered_map<std::string, LedgerEntry> ledger_;
+  RouterEvents events_;
+  util::Rng jitter_;
+  bool drained_ = false;
+};
+
+}  // namespace rotclk::serve

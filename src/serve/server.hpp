@@ -16,6 +16,7 @@
 // examples/rotclkd.cpp (stdin/stdout and a Unix-domain socket) are thin
 // loops over handle_line.
 
+#include <atomic>
 #include <cstddef>
 #include <iosfwd>
 #include <string>
@@ -42,7 +43,9 @@ class Server {
   explicit Server(ServerConfig config = {});
 
   /// Handle one request line; returns one response line (no trailing
-  /// newline). Never throws.
+  /// newline). Never throws. Thread-safe: the socket transports serve
+  /// one thread per connection over this entry point (scheduler, cache,
+  /// and metrics are internally synchronized).
   std::string handle_line(const std::string& line);
 
   /// Serve a JSONL session: one response line per request line, flushed,
@@ -66,7 +69,7 @@ class Server {
   MetricsRegistry metrics_;
   DesignCache cache_;
   Scheduler scheduler_;
-  bool drained_ = false;
+  std::atomic<bool> drained_{false};
 };
 
 }  // namespace rotclk::serve

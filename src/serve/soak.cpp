@@ -1,0 +1,335 @@
+#include "serve/soak.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "serve/job.hpp"
+#include "serve/json.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace rotclk::serve {
+
+namespace {
+
+/// One soak job plus everything its (single) owning client thread
+/// observed about it. Jobs are striped over threads by index, so no
+/// entry is ever touched by two threads.
+struct SoakJob {
+  JobSpec spec;
+  std::string submit_line;
+  bool accepted = false;
+  bool rejected = false;
+  bool submit_unavailable = false;
+  bool submit_error = false;
+  std::string resolution;  ///< "" | done | failed | cancelled | unavailable
+  std::string summary;
+  double e2e_s = 0.0;
+  bool duplicated = false;  ///< a re-poll disagreed with the resolution
+};
+
+std::string render_submit(const JobSpec& s) {
+  std::string line = "{\"cmd\":\"submit\",\"id\":" + json_quote(s.id) +
+                     ",\"priority\":" + json_quote(to_string(s.priority)) +
+                     ",\"gates\":" + std::to_string(s.gen_gates) +
+                     ",\"ffs\":" + std::to_string(s.gen_flip_flops) +
+                     ",\"seed\":" + std::to_string(s.seed) +
+                     ",\"mode\":" + json_quote(s.mode) +
+                     ",\"rings\":" + std::to_string(s.rings) +
+                     ",\"iterations\":" + std::to_string(s.iterations);
+  if (s.deadline_s > 0.0)
+    line += ",\"deadline_s\":" + json_number(s.deadline_s);
+  line += "}";
+  return line;
+}
+
+/// The soak population: `designs` distinct small designs cycling over
+/// the jobs, three priorities, every deadline_every-th job
+/// non-idempotent. Deterministic in the options.
+std::vector<SoakJob> make_population(const SoakOptions& opt) {
+  std::vector<SoakJob> jobs(static_cast<std::size_t>(opt.jobs));
+  for (int i = 0; i < opt.jobs; ++i) {
+    const int d = i % std::max(1, opt.designs);
+    JobSpec& s = jobs[static_cast<std::size_t>(i)].spec;
+    s.id = opt.id_prefix + "j" + std::to_string(i);
+    s.gen_gates = 130 + 20 * d;
+    s.gen_flip_flops = 8 + 2 * d;
+    s.seed = opt.base_seed + static_cast<std::uint64_t>(d);
+    s.mode = "nf";
+    s.rings = 4;  // ring arrays must be square
+    s.iterations = 1;
+    s.priority = static_cast<Priority>(i % 3);
+    if (opt.deadline_every > 0 && i % opt.deadline_every == opt.deadline_every - 1)
+      s.deadline_s = 300.0;  // generous: never fires, only disables retry
+    jobs[static_cast<std::size_t>(i)].submit_line = render_submit(s);
+  }
+  return jobs;
+}
+
+bool is_terminal_state(const std::string& state) {
+  return state == "done" || state == "failed" || state == "cancelled";
+}
+
+/// Per-thread client wrapper that rebuilds its connection after a
+/// transport failure, counting every break.
+class SoakClient {
+ public:
+  SoakClient(const ClientFactory& factory, std::atomic<int>& errors)
+      : factory_(factory), errors_(errors), roundtrip_(factory()) {}
+
+  /// nullopt when the request could not complete even after a redial.
+  std::optional<std::string> call(const std::string& line) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      try {
+        if (!roundtrip_) roundtrip_ = factory_();
+        return roundtrip_(line);
+      } catch (const Error&) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        roundtrip_ = nullptr;  // redial on the next attempt
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  const ClientFactory& factory_;
+  std::atomic<int>& errors_;
+  std::function<std::string(const std::string&)> roundtrip_;
+};
+
+double quantile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+SoakReport soak(const ClientFactory& make_client, const SoakOptions& options) {
+  if (options.jobs < 1)
+    throw InvalidArgumentError("serve.soak", "jobs must be >= 1");
+  if (options.clients < 1)
+    throw InvalidArgumentError("serve.soak", "clients must be >= 1");
+
+  std::vector<SoakJob> jobs = make_population(options);
+  const int threads =
+      std::min(options.clients, options.jobs);  // no idle clients
+  std::atomic<int> transport_errors{0};
+  std::atomic<int> submitted_total{0};
+  std::atomic<bool> hook_fired{false};
+  const int hook_at = std::max(1, options.jobs / 2);
+
+  util::Timer wall;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      SoakClient client(make_client, transport_errors);
+
+      // Open-loop submit of this thread's stripe.
+      for (std::size_t i = static_cast<std::size_t>(t); i < jobs.size();
+           i += static_cast<std::size_t>(threads)) {
+        SoakJob& job = jobs[i];
+        const std::optional<std::string> raw = client.call(job.submit_line);
+        const int n = submitted_total.fetch_add(1) + 1;
+        if (n == hook_at && options.mid_run_hook &&
+            !hook_fired.exchange(true))
+          options.mid_run_hook();
+        if (!raw) {
+          job.submit_error = true;
+          continue;
+        }
+        try {
+          const JsonValue v = json_parse(*raw, "<soak-submit>");
+          if (v.get_bool("ok")) {
+            job.accepted = true;
+          } else if (v.get_string("error") == "backend-unavailable") {
+            job.submit_unavailable = true;
+          } else {
+            job.rejected = true;
+          }
+        } catch (const Error&) {
+          job.submit_error = true;
+        }
+      }
+
+      // Settle: poll every accepted job to a resolution.
+      util::Timer settle;
+      for (;;) {
+        bool unresolved = false;
+        for (std::size_t i = static_cast<std::size_t>(t); i < jobs.size();
+             i += static_cast<std::size_t>(threads)) {
+          SoakJob& job = jobs[i];
+          if (!job.accepted || !job.resolution.empty()) continue;
+          const std::optional<std::string> raw = client.call(
+              "{\"cmd\":\"status\",\"id\":" + json_quote(job.spec.id) + "}");
+          if (!raw) {
+            unresolved = true;
+            continue;
+          }
+          try {
+            const JsonValue v = json_parse(*raw, "<soak-status>");
+            if (v.get_bool("ok")) {
+              const std::string state = v.get_string("state");
+              if (is_terminal_state(state)) {
+                job.resolution = state;
+                job.summary = v.get_string("summary");
+                job.e2e_s = v.get_number("e2e_s");
+              } else {
+                unresolved = true;
+              }
+            } else if (v.get_string("error") == "backend-unavailable") {
+              job.resolution = "unavailable";
+            } else {
+              unresolved = true;  // e.g. mid-failover window; keep polling
+            }
+          } catch (const Error&) {
+            unresolved = true;
+          }
+        }
+        if (!unresolved || settle.seconds() > options.settle_timeout_s) break;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(options.poll_interval_s));
+      }
+
+      // Confirmation sweep: re-poll every terminally-resolved job once.
+      // A job that ran twice on diverging backends shows up here as a
+      // second, different terminal answer.
+      for (std::size_t i = static_cast<std::size_t>(t); i < jobs.size();
+           i += static_cast<std::size_t>(threads)) {
+        SoakJob& job = jobs[i];
+        if (!is_terminal_state(job.resolution)) continue;
+        const std::optional<std::string> raw = client.call(
+            "{\"cmd\":\"status\",\"id\":" + json_quote(job.spec.id) + "}");
+        if (!raw) continue;
+        try {
+          const JsonValue v = json_parse(*raw, "<soak-confirm>");
+          if (!v.get_bool("ok")) continue;
+          if (v.get_string("state") != job.resolution ||
+              v.get_string("summary") != job.summary)
+            job.duplicated = true;
+        } catch (const Error&) {
+        }
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+
+  SoakReport report;
+  report.jobs = options.jobs;
+  report.clients = threads;
+  report.wall_s = wall.seconds();
+  report.transport_errors = transport_errors.load();
+
+  // Result-key accounting: every done job sharing a result_key must
+  // report a byte-identical FlowResult summary.
+  std::map<std::string, const SoakJob*> first_by_key;
+  std::vector<double> e2e;
+  for (const SoakJob& job : jobs) {
+    ++report.submitted;
+    if (job.rejected) ++report.rejected;
+    if (job.submit_unavailable) ++report.submit_unavailable;
+    if (!job.accepted) continue;
+    ++report.accepted;
+    if (job.resolution == "done") {
+      ++report.done;
+      e2e.push_back(job.e2e_s);
+      const std::string key = result_key(job.spec);
+      if (!key.empty()) {
+        const auto [it, inserted] = first_by_key.emplace(key, &job);
+        if (!inserted && it->second->summary != job.summary)
+          ++report.duplicated;
+      }
+    } else if (job.resolution == "failed") {
+      ++report.failed;
+    } else if (job.resolution == "cancelled") {
+      ++report.cancelled;
+    } else if (job.resolution == "unavailable") {
+      ++report.status_unavailable;
+    } else {
+      ++report.lost;
+    }
+    if (job.duplicated) ++report.duplicated;
+  }
+  std::sort(e2e.begin(), e2e.end());
+  report.e2e_p50_s = quantile(e2e, 0.50);
+  report.e2e_p99_s = quantile(e2e, 0.99);
+
+  // Scrape the endpoint's router counters (zero against a bare daemon).
+  try {
+    const auto stats_client = make_client();
+    const JsonValue v =
+        json_parse(stats_client("{\"cmd\":\"stats\"}"), "<soak-stats>");
+    if (const JsonValue* router = v.find("router")) {
+      report.router_retries =
+          static_cast<std::uint64_t>(router->get_number("retries"));
+      report.router_failovers =
+          static_cast<std::uint64_t>(router->get_number("failovers"));
+      report.router_redispatches =
+          static_cast<std::uint64_t>(router->get_number("redispatches"));
+      report.router_fast_fails =
+          static_cast<std::uint64_t>(router->get_number("fast_fails"));
+      report.router_opens =
+          static_cast<std::uint64_t>(router->get_number("opens"));
+    }
+  } catch (const Error&) {
+    // Stats are best-effort garnish; the invariants above are the gate.
+  }
+  return report;
+}
+
+bool SoakReport::ok(std::string* why) const {
+  bool good = true;
+  const auto fail = [&](const std::string& reason) {
+    good = false;
+    if (why != nullptr) {
+      if (!why->empty()) *why += "; ";
+      *why += reason;
+    }
+  };
+  if (lost != 0) fail(std::to_string(lost) + " job(s) LOST (accepted, never resolved)");
+  if (duplicated != 0)
+    fail(std::to_string(duplicated) + " job(s) DUPLICATED (diverging outcomes)");
+  if (done < 1) fail("no job completed");
+  if (accepted < 1) fail("no job was accepted");
+  return good;
+}
+
+std::string SoakReport::bench_json() const {
+  std::string out = "{\n  \"benchmark\": \"router_soak\",\n";
+  out += "  \"jobs\": " + std::to_string(jobs) + ",\n";
+  out += "  \"clients\": " + std::to_string(clients) + ",\n";
+  out += "  \"submitted\": " + std::to_string(submitted) + ",\n";
+  out += "  \"accepted\": " + std::to_string(accepted) + ",\n";
+  out += "  \"rejected\": " + std::to_string(rejected) + ",\n";
+  out += "  \"submit_unavailable\": " + std::to_string(submit_unavailable) +
+         ",\n";
+  out += "  \"transport_errors\": " + std::to_string(transport_errors) + ",\n";
+  out += "  \"done\": " + std::to_string(done) + ",\n";
+  out += "  \"failed\": " + std::to_string(failed) + ",\n";
+  out += "  \"cancelled\": " + std::to_string(cancelled) + ",\n";
+  out += "  \"status_unavailable\": " + std::to_string(status_unavailable) +
+         ",\n";
+  out += "  \"lost\": " + std::to_string(lost) + ",\n";
+  out += "  \"duplicated\": " + std::to_string(duplicated) + ",\n";
+  out += "  \"wall_s\": " + json_number(wall_s) + ",\n";
+  const double throughput =
+      wall_s > 0.0 ? static_cast<double>(done) / wall_s : 0.0;
+  out += "  \"throughput_jobs_per_s\": " + json_number(throughput) + ",\n";
+  out += "  \"e2e_p50_s\": " + json_number(e2e_p50_s) + ",\n";
+  out += "  \"e2e_p99_s\": " + json_number(e2e_p99_s) + ",\n";
+  out += "  \"router\": {\"retries\": " + std::to_string(router_retries) +
+         ", \"failovers\": " + std::to_string(router_failovers) +
+         ", \"redispatches\": " + std::to_string(router_redispatches) +
+         ", \"fast_fails\": " + std::to_string(router_fast_fails) +
+         ", \"opens\": " + std::to_string(router_opens) + "}\n}\n";
+  return out;
+}
+
+}  // namespace rotclk::serve

@@ -1,0 +1,100 @@
+#pragma once
+// Open-loop soak driver for the serving fleet.
+//
+// soak() pushes a large synthetic job population (10-100x the standard
+// 50-job workload) through any JSONL endpoint — a single rotclkd or a
+// rotclk_router fleet — from several concurrent client connections,
+// then settles every job by polling status, and verifies the
+// exactly-once contract by result-key accounting:
+//
+//   * zero LOST jobs: every accepted job reaches a terminal resolution
+//     (done / failed / cancelled, or the typed "backend-unavailable"
+//     verdict for a non-idempotent job orphaned by a dead backend);
+//   * zero DUPLICATED jobs: an id never reports two different terminal
+//     outcomes, and all done jobs sharing a result_key report
+//     byte-identical FlowResult summaries (a job that secretly ran
+//     twice on diverging state cannot hide).
+//
+// The harness is timing-elastic by design — it gates on invariants, not
+// byte-identity — which is what makes it meaningful under a mid-run
+// backend kill: SoakOptions::mid_run_hook fires exactly once, from the
+// submitting thread that crosses the halfway mark, so rotclk_loadgen
+// can SIGKILL a backend while traffic is in flight.
+//
+// Results render as BENCH_router.json: throughput, p50/p99 end-to-end
+// latency (server-reported e2e_s), the loss/duplication counts, and the
+// router's failover counters scraped from its "stats" response.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rotclk::serve {
+
+/// Build one client connection; called once per soak client thread (and
+/// again if that thread's connection dies mid-run). The returned
+/// callable is a blocking request-line -> response-line round-trip used
+/// by exactly one thread.
+using ClientFactory =
+    std::function<std::function<std::string(const std::string&)>()>;
+
+struct SoakOptions {
+  /// Total jobs; default is 10x the 50-job standard workload.
+  int jobs = 500;
+  /// Concurrent client connections (threads).
+  int clients = 4;
+  /// Distinct base designs, spread over the consistent-hash ring.
+  int designs = 8;
+  /// Every Nth job carries a generous deadline, making it non-idempotent
+  /// for routing (0 disables). Those jobs may legally fail typed with
+  /// "backend-unavailable" when their backend dies.
+  int deadline_every = 20;
+  std::uint64_t base_seed = 7;
+  std::string id_prefix = "soak-";
+  /// Give up polling unresolved jobs after this long (they count LOST).
+  double settle_timeout_s = 120.0;
+  /// Sleep between status sweeps while settling.
+  double poll_interval_s = 0.01;
+  /// Invoked exactly once, when half the jobs have been submitted
+  /// (e.g. kill a backend). Null = no mid-run event.
+  std::function<void()> mid_run_hook;
+};
+
+struct SoakReport {
+  int jobs = 0;
+  int clients = 0;
+  int submitted = 0;
+  int accepted = 0;
+  int rejected = 0;            ///< admission ("overloaded") rejections
+  int submit_unavailable = 0;  ///< typed backend-unavailable at submit
+  int transport_errors = 0;    ///< client-side connection failures
+  int done = 0;
+  int failed = 0;
+  int cancelled = 0;
+  int status_unavailable = 0;  ///< typed backend-unavailable on status
+  int lost = 0;                ///< accepted, never resolved: MUST be 0
+  int duplicated = 0;          ///< double/diverging outcomes: MUST be 0
+  double wall_s = 0.0;
+  double e2e_p50_s = 0.0;  ///< server-reported e2e_s quantiles (done jobs)
+  double e2e_p99_s = 0.0;
+  /// Router event counters from the endpoint's final "stats" response;
+  /// all zero against a plain rotclkd.
+  std::uint64_t router_retries = 0;
+  std::uint64_t router_failovers = 0;
+  std::uint64_t router_redispatches = 0;
+  std::uint64_t router_fast_fails = 0;
+  std::uint64_t router_opens = 0;
+
+  /// The soak contract: zero lost, zero duplicated, and real work done.
+  [[nodiscard]] bool ok(std::string* why = nullptr) const;
+
+  /// BENCH_router.json document.
+  [[nodiscard]] std::string bench_json() const;
+};
+
+/// Run the soak. Throws rotclk::Error only on harness-level failures
+/// (e.g. the very first connection cannot be established); per-job and
+/// per-connection trouble lands in the report.
+SoakReport soak(const ClientFactory& make_client, const SoakOptions& options);
+
+}  // namespace rotclk::serve

@@ -1,0 +1,468 @@
+#include "serve/transport.hpp"
+
+#include <charconv>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/json.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ROTCLK_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace rotclk::serve {
+
+Endpoint Endpoint::unix_path(std::string path) {
+  Endpoint ep;
+  ep.kind = Kind::kUnix;
+  ep.path = std::move(path);
+  return ep;
+}
+
+Endpoint Endpoint::tcp(const std::string& host_port) {
+  const std::size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos)
+    throw InvalidArgumentError(
+        "transport", "TCP endpoint '" + host_port + "' is not HOST:PORT");
+  Endpoint ep;
+  ep.kind = Kind::kTcp;
+  ep.host = host_port.substr(0, colon);
+  if (ep.host.empty()) ep.host = "127.0.0.1";
+  const std::string port = host_port.substr(colon + 1);
+  int value = -1;
+  const auto [end, ec] =
+      std::from_chars(port.data(), port.data() + port.size(), value);
+  if (ec != std::errc{} || end != port.data() + port.size() || value < 0 ||
+      value > 65535)
+    throw InvalidArgumentError(
+        "transport", "malformed TCP port '" + port + "' in '" + host_port +
+                         "' (want 0-65535)");
+  ep.port = value;
+  return ep;
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return host + ":" + std::to_string(port);
+}
+
+#ifdef ROTCLK_HAVE_SOCKETS
+
+namespace {
+
+[[noreturn]] void io_fail(const std::string& peer, const std::string& what) {
+  throw IoError("transport", peer, what);
+}
+
+[[noreturn]] void errno_fail(const std::string& peer, const char* call) {
+  io_fail(peer, std::string(call) + ": " + std::strerror(errno));
+}
+
+/// Wait for readability/writability; retries EINTR. timeout_s <= 0 blocks
+/// forever. Returns false on timeout.
+bool wait_fd(int fd, short events, double timeout_s, const std::string& peer) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = events;
+  const int timeout_ms =
+      timeout_s <= 0.0 ? -1 : static_cast<int>(timeout_s * 1000.0) + 1;
+  for (;;) {
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r > 0) return true;
+    if (r == 0) return false;
+    if (errno == EINTR) continue;
+    errno_fail(peer, "poll()");
+  }
+}
+
+int listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw InvalidArgumentError("transport",
+                               "Unix socket path too long: " + path);
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) errno_fail(path, "socket()");
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, backlog) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    errno_fail(path, "bind/listen()");
+  }
+  return fd;
+}
+
+int listen_tcp(Endpoint& ep, int backlog) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const std::string port = std::to_string(ep.port);
+  const int gai = ::getaddrinfo(ep.host.c_str(), port.c_str(), &hints, &res);
+  if (gai != 0)
+    io_fail(ep.to_string(),
+            std::string("getaddrinfo(): ") + ::gai_strerror(gai));
+  int fd = -1;
+  std::string error = "no usable address";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, backlog) == 0)
+      break;
+    error = std::string("bind/listen(): ") + std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) io_fail(ep.to_string(), error);
+  // Learn the port the kernel picked when the caller asked for 0.
+  sockaddr_storage bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    if (bound.ss_family == AF_INET)
+      ep.port = ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+    else if (bound.ss_family == AF_INET6)
+      ep.port = ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port);
+  }
+  return fd;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Connection
+
+Connection::Connection(int fd, FramingLimits limits, std::string peer)
+    : fd_(fd), limits_(limits), peer_(std::move(peer)) {}
+
+Connection::~Connection() { close(); }
+
+Connection::Connection(Connection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      limits_(other.limits_),
+      peer_(std::move(other.peer_)),
+      pending_(std::move(other.pending_)),
+      saw_eof_(other.saw_eof_) {}
+
+Connection& Connection::operator=(Connection&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    limits_ = other.limits_;
+    peer_ = std::move(other.peer_);
+    pending_ = std::move(other.pending_);
+    saw_eof_ = other.saw_eof_;
+  }
+  return *this;
+}
+
+void Connection::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<std::string> Connection::read_line() {
+  if (fd_ < 0) io_fail(peer_, "read_line() on a closed connection");
+  for (;;) {
+    const std::size_t nl = pending_.find('\n');
+    if (nl != std::string::npos) {
+      if (nl > limits_.max_line_bytes)
+        throw ParseError("transport", peer_, 1,
+                         "frame exceeds the line-length bound (" +
+                             std::to_string(nl) + " > " +
+                             std::to_string(limits_.max_line_bytes) + ")");
+      std::string line = pending_.substr(0, nl);
+      pending_.erase(0, nl + 1);
+      return line;
+    }
+    if (pending_.size() > limits_.max_line_bytes)
+      throw ParseError("transport", peer_, 1,
+                       "unterminated frame exceeds the line-length bound (" +
+                           std::to_string(limits_.max_line_bytes) + " bytes)");
+    if (saw_eof_) {
+      if (pending_.empty()) return std::nullopt;  // clean close
+      throw ParseError("transport", peer_, 1,
+                       "torn frame: peer closed mid-line after " +
+                           std::to_string(pending_.size()) + " bytes");
+    }
+    util::fault::point("net.read");
+    if (!wait_fd(fd_, POLLIN, limits_.read_timeout_s, peer_))
+      io_fail(peer_, "read timed out after " +
+                         std::to_string(limits_.read_timeout_s) + " s");
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      pending_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      saw_eof_ = true;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    errno_fail(peer_, "recv()");
+  }
+}
+
+void Connection::write_line(const std::string& line) {
+  if (fd_ < 0) io_fail(peer_, "write_line() on a closed connection");
+  util::fault::point("net.write");
+  const std::string frame = line + "\n";
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    if (!wait_fd(fd_, POLLOUT, limits_.write_timeout_s, peer_))
+      io_fail(peer_, "write timed out after " +
+                         std::to_string(limits_.write_timeout_s) + " s");
+#ifdef MSG_NOSIGNAL
+    const ssize_t n =
+        ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off, 0);
+#endif
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    errno_fail(peer_, "send()");
+  }
+}
+
+// ------------------------------------------------------------------ Listener
+
+Listener::Listener(const Endpoint& endpoint, FramingLimits limits, int backlog)
+    : endpoint_(endpoint), limits_(limits) {
+  if (endpoint_.kind == Endpoint::Kind::kUnix)
+    fd_ = listen_unix(endpoint_.path, backlog);
+  else
+    fd_ = listen_tcp(endpoint_, backlog);
+}
+
+Listener::~Listener() { close(); }
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    if (endpoint_.kind == Endpoint::Kind::kUnix)
+      ::unlink(endpoint_.path.c_str());
+  }
+}
+
+Connection Listener::accept(double timeout_s) {
+  if (fd_ < 0) io_fail(endpoint_.to_string(), "accept() on a closed listener");
+  for (;;) {
+    if (!wait_fd(fd_, POLLIN, timeout_s, endpoint_.to_string()))
+      return Connection{};  // timeout: caller re-checks its stop flag
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      errno_fail(endpoint_.to_string(), "accept()");
+    }
+    try {
+      util::fault::point("net.accept");
+    } catch (...) {
+      ::close(client);  // the injected failure drops this client only
+      throw;
+    }
+    if (endpoint_.kind == Endpoint::Kind::kTcp) {
+      const int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    return Connection(client, limits_,
+                      endpoint_.to_string() + "#" + std::to_string(client));
+  }
+}
+
+// ---------------------------------------------------------------------- dial
+
+Connection dial(const Endpoint& endpoint, FramingLimits limits) {
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.path.size() >= sizeof(addr.sun_path))
+      throw InvalidArgumentError(
+          "transport", "Unix socket path too long: " + endpoint.path);
+    std::strncpy(addr.sun_path, endpoint.path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) errno_fail(endpoint.path, "socket()");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      errno_fail(endpoint.path, "connect()");
+    }
+    return Connection(fd, limits, endpoint.to_string());
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port = std::to_string(endpoint.port);
+  const int gai =
+      ::getaddrinfo(endpoint.host.c_str(), port.c_str(), &hints, &res);
+  if (gai != 0)
+    io_fail(endpoint.to_string(),
+            std::string("getaddrinfo(): ") + ::gai_strerror(gai));
+  int fd = -1;
+  std::string error = "no usable address";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    error = std::string("connect(): ") + std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) io_fail(endpoint.to_string(), error);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Connection(fd, limits, endpoint.to_string());
+}
+
+// ------------------------------------------------------------ serve_listener
+
+namespace {
+
+/// Raw fds of live connections, so the accept loop can shutdown() (not
+/// close(): the owning thread still holds the fd) every blocked reader
+/// when the daemon drains, instead of waiting on clients to hang up.
+struct LiveConnections {
+  std::mutex mu;
+  std::vector<int> fds;
+
+  void add(int fd) {
+    const std::lock_guard<std::mutex> lock(mu);
+    fds.push_back(fd);
+  }
+  void remove(int fd) {
+    const std::lock_guard<std::mutex> lock(mu);
+    for (std::size_t i = 0; i < fds.size(); ++i)
+      if (fds[i] == fd) {
+        fds[i] = fds.back();
+        fds.pop_back();
+        return;
+      }
+  }
+  void shutdown_all() {
+    const std::lock_guard<std::mutex> lock(mu);
+    for (const int fd : fds) ::shutdown(fd, SHUT_RDWR);
+  }
+};
+
+std::string framing_error_response(const Error& e) {
+  return std::string("{\"ok\":false,\"cmd\":\"?\",\"error\":") +
+         json_quote(to_string(e.code())) +
+         ",\"detail\":" + json_quote(e.what()) + "}";
+}
+
+}  // namespace
+
+std::size_t serve_listener(Listener& listener, const LineHandler& handler,
+                           const std::function<bool()>& done,
+                           const std::function<bool()>& stop,
+                           const ServeLoopOptions& options) {
+  LiveConnections live;
+  std::vector<std::thread> threads;
+  std::size_t accepted = 0;
+  // An fd registered with `live` outlives its Connection only as an
+  // integer; shutdown() on a closed-and-reused fd is avoided by removing
+  // it before the Connection closes.
+  while (!(done && done()) && !(stop && stop())) {
+    Connection conn;
+    try {
+      conn = listener.accept(options.accept_poll_s);
+    } catch (const Error&) {
+      continue;  // an injected net.accept fault drops one client, not us
+    }
+    if (!conn.valid()) continue;  // poll timeout: re-check done/stop
+    ++accepted;
+    threads.emplace_back(
+        [&handler, &live, conn = std::move(conn)]() mutable {
+          const int raw_fd = conn.native_handle();
+          live.add(raw_fd);
+          try {
+            while (auto line = conn.read_line()) {
+              if (line->empty()) continue;
+              conn.write_line(handler(*line));
+            }
+          } catch (const Error& e) {
+            // One typed reply, best effort, then this connection dies;
+            // the daemon and every other connection live on.
+            try {
+              conn.write_line(framing_error_response(e));
+            } catch (...) {
+            }
+          } catch (...) {
+          }
+          live.remove(raw_fd);
+          conn.close();
+        });
+  }
+  live.shutdown_all();
+  listener.close();
+  for (std::thread& t : threads)
+    if (t.joinable()) t.join();
+  return accepted;
+}
+
+#else  // !ROTCLK_HAVE_SOCKETS
+
+namespace {
+[[noreturn]] void unsupported() {
+  throw IoError("transport", "<socket>",
+                "stream sockets are not supported on this platform");
+}
+}  // namespace
+
+Connection::Connection(int, FramingLimits, std::string) { unsupported(); }
+Connection::~Connection() = default;
+Connection::Connection(Connection&&) noexcept = default;
+Connection& Connection::operator=(Connection&&) noexcept = default;
+void Connection::close() {}
+std::optional<std::string> Connection::read_line() { unsupported(); }
+void Connection::write_line(const std::string&) { unsupported(); }
+
+Listener::Listener(const Endpoint&, FramingLimits, int) { unsupported(); }
+Listener::~Listener() = default;
+void Listener::close() {}
+Connection Listener::accept(double) { unsupported(); }
+
+Connection dial(const Endpoint&, FramingLimits) { unsupported(); }
+
+std::size_t serve_listener(Listener&, const LineHandler&,
+                           const std::function<bool()>&,
+                           const std::function<bool()>&,
+                           const ServeLoopOptions&) {
+  unsupported();
+}
+
+#endif  // ROTCLK_HAVE_SOCKETS
+
+}  // namespace rotclk::serve

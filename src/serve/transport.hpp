@@ -1,0 +1,160 @@
+#pragma once
+// Hardened network transport for the serving fleet.
+//
+// Every process that moves protocol lines over a socket — rotclkd, the
+// rotclk_router front-end, rotclk_loadgen, and the transport tests —
+// goes through this one I/O path, so the framing rules are enforced (and
+// fault-injectable) in exactly one place:
+//
+//   Endpoint   ep  = Endpoint::parse("127.0.0.1:7070");   // or a path
+//   Listener   lis(ep);                                    // bind+listen
+//   Connection c = lis.accept();                           // EINTR-safe
+//   while (auto line = c.read_line()) c.write_line(reply(*line));
+//
+// Framing contract (both directions):
+//   * one JSONL frame per '\n'-terminated line; the newline is stripped
+//     on read and appended on write,
+//   * a line longer than FramingLimits::max_line_bytes raises ParseError
+//     before buffering more input (a client cannot balloon the daemon),
+//   * EOF at a frame boundary is a clean close (read_line -> nullopt);
+//     EOF mid-line is a torn frame and raises ParseError,
+//   * reads and writes retry EINTR and honour per-connection timeouts
+//     (poll-based; 0 = block forever), raising IoError on expiry,
+//   * writes use MSG_NOSIGNAL: a peer that disappeared mid-reply is an
+//     IoError on this connection, never a process-wide SIGPIPE.
+//
+// Deterministic fault sites let tests kill a connection at the exact
+// syscall seam without timing games:
+//   net.accept   before a Listener hands out a connection
+//   net.read     before a Connection refills its frame buffer
+//   net.write    before a Connection flushes a frame
+//
+// serve_listener() is the shared daemon loop: thread-per-connection over
+// Server::handle_line (which is thread-safe), one typed error reply and
+// a connection close on any framing violation — the daemon itself stays
+// up. The router binary runs the same loop over Router::handle_line via
+// the LineHandler alias.
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace rotclk::serve {
+
+struct FramingLimits {
+  /// Longest accepted request/response line, newline excluded. Protocol
+  /// lines are small (the largest is an inline .bench netlist), so 1 MiB
+  /// is generous headroom, not a target.
+  std::size_t max_line_bytes = 1 << 20;
+  /// Per-syscall budget while reading/writing one frame; 0 blocks forever.
+  double read_timeout_s = 0.0;
+  double write_timeout_s = 0.0;
+};
+
+/// Where a daemon listens or a client dials: a Unix-domain socket path or
+/// a TCP host:port.
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+
+  Kind kind = Kind::kUnix;
+  std::string path;  ///< kUnix
+  std::string host;  ///< kTcp (numeric or resolvable name)
+  int port = 0;      ///< kTcp; 0 lets the kernel pick (Listener only)
+
+  [[nodiscard]] static Endpoint unix_path(std::string path);
+  /// "HOST:PORT" (host may be empty -> 127.0.0.1). Throws
+  /// InvalidArgumentError on a malformed port.
+  [[nodiscard]] static Endpoint tcp(const std::string& host_port);
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One accepted or dialed stream socket with line framing. Move-only;
+/// closes its descriptor on destruction.
+class Connection {
+ public:
+  Connection() = default;
+  Connection(int fd, FramingLimits limits, std::string peer);
+  ~Connection();
+  Connection(Connection&& other) noexcept;
+  Connection& operator=(Connection&& other) noexcept;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Next frame without its newline; nullopt on clean EOF at a frame
+  /// boundary. Throws ParseError on a torn frame or an over-long line,
+  /// IoError on a transport error or read timeout.
+  [[nodiscard]] std::optional<std::string> read_line();
+
+  /// Write `line` + '\n' fully. Throws IoError on failure or timeout.
+  void write_line(const std::string& line);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] const std::string& peer() const { return peer_; }
+  /// The underlying descriptor (-1 when closed); exposed so daemon loops
+  /// can shutdown() blocked connections during drain. Ownership stays
+  /// with the Connection.
+  [[nodiscard]] int native_handle() const { return fd_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  FramingLimits limits_{};
+  std::string peer_;
+  std::string pending_;  ///< bytes read past the last returned frame
+  bool saw_eof_ = false;
+};
+
+/// A bound, listening server socket (Unix path or TCP). Unix paths are
+/// unlinked on bind (stale socket) and again on close.
+class Listener {
+ public:
+  explicit Listener(const Endpoint& endpoint, FramingLimits limits = {},
+                    int backlog = 16);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Accept one connection, retrying EINTR. With timeout_s > 0, returns
+  /// an invalid Connection when no client arrived in time (so accept
+  /// loops can poll a shutdown flag). Fault site "net.accept".
+  [[nodiscard]] Connection accept(double timeout_s = 0.0);
+
+  /// The bound endpoint; for TCP with port 0 this carries the port the
+  /// kernel picked.
+  [[nodiscard]] const Endpoint& endpoint() const { return endpoint_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  Endpoint endpoint_{};
+  FramingLimits limits_{};
+};
+
+/// Dial an endpoint. Throws IoError when the peer is unreachable.
+[[nodiscard]] Connection dial(const Endpoint& endpoint,
+                              FramingLimits limits = {});
+
+/// One request line in, one response line out (Server::handle_line,
+/// Router::handle_line, or a test stub).
+using LineHandler = std::function<std::string(const std::string&)>;
+
+struct ServeLoopOptions {
+  /// Poll granularity of the accept loop, so `stop` and `done` are
+  /// observed without a connection arriving.
+  double accept_poll_s = 0.2;
+};
+
+/// Shared daemon loop: accept until `done()` (typically Server::drained)
+/// or `stop()` (typically a signal flag) is true, serving each connection
+/// on its own thread via `handler`. A framing violation (torn frame,
+/// over-long line, injected net.* fault) gets one best-effort typed error
+/// reply and closes that connection only. Returns connections accepted.
+std::size_t serve_listener(Listener& listener, const LineHandler& handler,
+                           const std::function<bool()>& done,
+                           const std::function<bool()>& stop = {},
+                           const ServeLoopOptions& options = {});
+
+}  // namespace rotclk::serve

@@ -29,6 +29,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kDeadline: return "deadline";
     case ErrorCode::kFaultInjected: return "fault-injected";
     case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kBackendUnavailable: return "backend-unavailable";
     case ErrorCode::kInternal: return "internal";
   }
   return "?";

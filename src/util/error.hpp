@@ -32,6 +32,7 @@ enum class ErrorCode {
   kDeadline,         ///< a stage exceeded its wall-clock budget
   kFaultInjected,    ///< raised by an armed util::fault injection site
   kOverloaded,       ///< admission control rejected work (serve subsystem)
+  kBackendUnavailable,  ///< no healthy backend could take the job (router)
   kInternal,         ///< a "can't happen" state; always a library bug
 };
 
@@ -142,6 +143,16 @@ class OverloadedError : public Error {
  public:
   OverloadedError(std::string site, const std::string& message)
       : Error(ErrorCode::kOverloaded, std::move(site), message) {}
+};
+
+/// The serving router found no healthy backend for a job it must not
+/// retry (non-idempotent: deadline-carrying or eco jobs), or exhausted
+/// its retry budget for an idempotent one. The job was never duplicated;
+/// clients may resubmit once a backend recovers.
+class BackendUnavailableError : public Error {
+ public:
+  BackendUnavailableError(std::string site, const std::string& message)
+      : Error(ErrorCode::kBackendUnavailable, std::move(site), message) {}
 };
 
 /// Raised by an armed util::fault injection site (util/fault.hpp).

@@ -1,7 +1,8 @@
 // Robustness fuzzing: random mutations of valid inputs must either parse
 // or throw a typed rotclk::Error — never crash, hang, surface an untyped
 // exception, or produce an invalid Design/Placement. Also covers the
-// robust-scheduling derate helper.
+// robust-scheduling derate helper and hostile protocol frames (deep
+// nesting, truncation, random mutation) through Server::handle_line.
 
 #include <gtest/gtest.h>
 
@@ -11,6 +12,8 @@
 #include "sched/permissible.hpp"
 #include "sched/robust.hpp"
 #include "sched/skew.hpp"
+#include "serve/json.hpp"
+#include "serve/server.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -136,6 +139,76 @@ TEST(Robust, DerateMath) {
   ASSERT_EQ(out.size(), 1u);
   EXPECT_DOUBLE_EQ(out[0].d_max_ps, 110.0);
   EXPECT_DOUBLE_EQ(out[0].d_min_ps, 36.0);
+}
+
+// ---------------------------------------------------------------------
+// Protocol frames. Hostile lines go through the *full* server path
+// (Server::handle_line): deep nesting, truncated frames, and random
+// mutations of a valid submit must all come back as one well-formed
+// {"ok":false,...} response line — never an exception, never a crash,
+// and the server must still answer the next request.
+
+std::string expect_error_line(serve::Server& server, const std::string& line) {
+  std::string response;
+  EXPECT_NO_THROW(response = server.handle_line(line)) << line;
+  EXPECT_EQ(response.find('\n'), std::string::npos);  // one frame out
+  const serve::JsonValue v = serve::json_parse(response);
+  EXPECT_FALSE(v.get_bool("ok", true)) << response;
+  EXPECT_FALSE(v.get_string("error").empty()) << response;
+  return v.get_string("error");
+}
+
+TEST(Fuzz, DeeplyNestedFramesAreTypedProtocolErrors) {
+  serve::Server server;
+  for (int depth : {65, 128, 5000}) {
+    std::string bomb = "{\"cmd\":\"submit\",\"id\":\"deep\",\"x\":";
+    bomb.append(static_cast<std::size_t>(depth), '[');
+    bomb.append(static_cast<std::size_t>(depth), ']');
+    bomb += "}";
+    EXPECT_EQ(expect_error_line(server, bomb), "parse") << "depth " << depth;
+  }
+  // The stack bomb left no state behind; the daemon is still serving.
+  const serve::JsonValue ping = serve::json_parse(
+      server.handle_line("{\"cmd\":\"ping\"}"));
+  EXPECT_TRUE(ping.get_bool("ok"));
+}
+
+TEST(Fuzz, TruncatedFramesAreTypedProtocolErrors) {
+  serve::Server server;
+  const std::string valid =
+      "{\"cmd\":\"submit\",\"id\":\"t\",\"gates\":120,\"ffs\":8,"
+      "\"seed\":5,\"rings\":4,\"iterations\":1}";
+  // Every proper prefix is a torn frame; all must fail typed.
+  for (std::size_t cut = 0; cut < valid.size(); ++cut)
+    expect_error_line(server, valid.substr(0, cut));
+  // The intact line still works afterwards.
+  const serve::JsonValue ok = serve::json_parse(server.handle_line(valid));
+  EXPECT_TRUE(ok.get_bool("ok"));
+  EXPECT_TRUE(serve::json_parse(server.handle_line("{\"cmd\":\"wait\"}"))
+                  .get_bool("ok"));
+}
+
+TEST(Fuzz, MutatedProtocolFramesNeverCrashTheServer) {
+  serve::Server server;
+  const std::string valid =
+      "{\"cmd\":\"submit\",\"id\":\"m\",\"gates\":120,\"ffs\":8,"
+      "\"seed\":5,\"rings\":4,\"iterations\":1,\"priority\":\"low\"}";
+  util::Rng rng(11);
+  int accepted = 0, rejected = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string line = mutate(valid, rng);
+    std::string response;
+    ASSERT_NO_THROW(response = server.handle_line(line)) << line;
+    const serve::JsonValue v = serve::json_parse(response);
+    if (v.get_bool("ok"))
+      ++accepted;  // a mutation can still be a valid (renamed) submit
+    else
+      ++rejected;
+  }
+  EXPECT_EQ(accepted + rejected, 300);
+  EXPECT_GT(rejected, 0);  // the fuzzer actually produced garbage
+  EXPECT_TRUE(serve::json_parse(server.handle_line("{\"cmd\":\"wait\"}"))
+                  .get_bool("ok"));
 }
 
 }  // namespace

@@ -1,0 +1,348 @@
+// Router tests: consistent-hash placement, the closed/open/half-open
+// circuit breaker, idempotent failover and orphan re-dispatch on a
+// backend death, typed fast-fail for non-idempotent jobs, the
+// router.backend fault site, and fleet-wide stats aggregation. Backends
+// are in-process Servers behind a down-flag link, so every "network
+// failure" is deterministic.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+#include "serve/json.hpp"
+#include "serve/router.hpp"
+#include "serve/server.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace rotclk::serve {
+namespace {
+
+namespace fault = util::fault;
+
+/// An in-process backend the router can "lose": flipping `down` makes
+/// every round-trip throw like a severed socket.
+struct TestBackend {
+  explicit TestBackend(ServerConfig cfg = make_config()) : server(cfg) {}
+
+  static ServerConfig make_config() {
+    ServerConfig cfg;
+    cfg.scheduler.workers = 1;
+    cfg.scheduler.max_queue_depth = 64;
+    return cfg;
+  }
+
+  Server server;
+  std::atomic<bool> down{false};
+};
+
+class TestLink final : public BackendLink {
+ public:
+  explicit TestLink(TestBackend& backend) : backend_(backend) {}
+
+  std::string roundtrip(const std::string& line) override {
+    if (backend_.down.load())
+      throw IoError("test.link", "<in-process>", "backend is down");
+    return backend_.server.handle_line(line);
+  }
+
+ private:
+  TestBackend& backend_;
+};
+
+JobSpec tiny_spec(const std::string& id, std::uint64_t seed = 5) {
+  JobSpec s;
+  s.id = id;
+  s.gen_gates = 120;
+  s.gen_flip_flops = 8;
+  s.seed = seed;
+  s.iterations = 1;
+  s.rings = 4;
+  return s;
+}
+
+std::string submit_line(const JobSpec& s) {
+  std::string line = "{\"cmd\":\"submit\",\"id\":" + json_quote(s.id) +
+                     ",\"gates\":" + std::to_string(s.gen_gates) +
+                     ",\"ffs\":" + std::to_string(s.gen_flip_flops) +
+                     ",\"seed\":" + std::to_string(s.seed) +
+                     ",\"rings\":" + std::to_string(s.rings) +
+                     ",\"iterations\":" + std::to_string(s.iterations);
+  if (s.deadline_s > 0.0)
+    line += ",\"deadline_s\":" + json_number(s.deadline_s);
+  line += "}";
+  return line;
+}
+
+class RouterFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kBackends = 3;
+
+  /// probe_backoff_base_s defaults high so a dead backend stays
+  /// isolated for the whole test; recovery tests pass 0 for an
+  /// immediately-eligible half-open trial.
+  void build(double probe_backoff_base_s = 60.0) {
+    backends_.clear();
+    for (std::size_t i = 0; i < kBackends; ++i)
+      backends_.push_back(std::make_unique<TestBackend>());
+    RouterConfig cfg;
+    cfg.retry_backoff_base_s = 0.0;  // no naps in unit tests
+    cfg.probe_backoff_base_s = probe_backoff_base_s;
+    cfg.probe_backoff_cap_s = probe_backoff_base_s * 2.0 + 1.0;
+    router_ = std::make_unique<Router>(
+        cfg, std::vector<std::string>{"b0", "b1", "b2"},
+        [this](std::size_t index) -> std::unique_ptr<BackendLink> {
+          return std::make_unique<TestLink>(*backends_[index]);
+        });
+  }
+
+  /// A seed whose design hashes to `target` as first ring choice.
+  std::uint64_t seed_for_backend(std::size_t target) const {
+    for (std::uint64_t seed = 1; seed < 10000; ++seed) {
+      if (router_->candidates_for(design_key(tiny_spec("x", seed)))[0] ==
+          target)
+        return seed;
+    }
+    ADD_FAILURE() << "no seed found for backend " << target;
+    return 1;
+  }
+
+  JsonValue call(const std::string& line) {
+    return json_parse(router_->handle_line(line));
+  }
+
+  std::vector<std::unique_ptr<TestBackend>> backends_;
+  std::unique_ptr<Router> router_;
+};
+
+TEST_F(RouterFixture, LooksLikeASingleDaemonToClients) {
+  build();
+  const JobSpec spec = tiny_spec("j1");
+  JsonValue reply = call(submit_line(spec));
+  EXPECT_TRUE(reply.get_bool("ok")) << reply.get_string("detail");
+  const std::string owner = reply.get_string("backend");
+  EXPECT_FALSE(owner.empty());  // responses are annotated with the shard
+  EXPECT_TRUE(call("{\"cmd\":\"wait\"}").get_bool("ok"));
+  reply = call("{\"cmd\":\"status\",\"id\":\"j1\"}");
+  EXPECT_TRUE(reply.get_bool("ok"));
+  EXPECT_EQ(reply.get_string("state"), "done");
+  EXPECT_EQ(reply.get_string("backend"), owner);  // status follows the job
+  const JsonValue ping = call("{\"cmd\":\"ping\"}");
+  EXPECT_EQ(ping.get_string("role"), "router");
+  EXPECT_DOUBLE_EQ(ping.get_number("backends_total"), 3.0);
+}
+
+TEST_F(RouterFixture, ConsistentHashSpreadsAndIsStable) {
+  build();
+  std::vector<int> hits(kBackends, 0);
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const std::string key = design_key(tiny_spec("x", seed));
+    const std::vector<std::size_t> order = router_->candidates_for(key);
+    ASSERT_EQ(order.size(), kBackends);  // full distinct preference list
+    EXPECT_EQ(order, router_->candidates_for(key));  // deterministic
+    ++hits[order[0]];
+  }
+  for (std::size_t b = 0; b < kBackends; ++b)
+    EXPECT_GT(hits[b], 0) << "backend " << b << " owns no keys";
+}
+
+TEST_F(RouterFixture, SameDesignAlwaysLandsOnTheSameBackend) {
+  build();
+  const std::uint64_t seed = seed_for_backend(1);
+  for (int i = 0; i < 4; ++i) {
+    const JsonValue reply =
+        call(submit_line(tiny_spec("rep" + std::to_string(i), seed)));
+    ASSERT_TRUE(reply.get_bool("ok"));
+    EXPECT_EQ(reply.get_string("backend"), "b1");
+  }
+  EXPECT_TRUE(call("{\"cmd\":\"wait\"}").get_bool("ok"));
+}
+
+TEST_F(RouterFixture, IdempotentSubmitFailsOverToNextCandidate) {
+  build();
+  const std::uint64_t seed = seed_for_backend(0);
+  backends_[0]->down = true;
+  const JsonValue reply = call(submit_line(tiny_spec("f1", seed)));
+  EXPECT_TRUE(reply.get_bool("ok")) << reply.get_string("detail");
+  EXPECT_NE(reply.get_string("backend"), "b0");
+  const RouterEvents ev = router_->events();
+  EXPECT_GE(ev.retries, 1u);
+  EXPECT_GE(ev.failovers, 1u);
+  EXPECT_GE(ev.opens, 1u);
+  EXPECT_TRUE(call("{\"cmd\":\"wait\"}").get_bool("ok"));
+  EXPECT_EQ(call("{\"cmd\":\"status\",\"id\":\"f1\"}").get_string("state"),
+            "done");
+}
+
+TEST_F(RouterFixture, NonIdempotentJobFailsFastTyped) {
+  build();
+  const std::uint64_t seed = seed_for_backend(2);
+  backends_[2]->down = true;
+  JobSpec spec = tiny_spec("d1", seed);
+  spec.deadline_s = 300.0;  // non-idempotent: must not be retried
+  const JsonValue reply = call(submit_line(spec));
+  EXPECT_FALSE(reply.get_bool("ok"));
+  EXPECT_EQ(reply.get_string("error"), "backend-unavailable");
+  EXPECT_EQ(router_->events().fast_fails, 1u);
+  // The job must not have been duplicated onto a healthy backend.
+  for (const auto& b : backends_) {
+    if (b->down.load()) continue;
+    const JsonValue status =
+        json_parse(b->server.handle_line("{\"cmd\":\"status\",\"id\":\"d1\"}"));
+    EXPECT_FALSE(status.get_bool("ok"));
+  }
+}
+
+TEST_F(RouterFixture, TripRedispatchesOrphanedIdempotentJobs) {
+  build();
+  const std::uint64_t seed = seed_for_backend(1);
+  // Freeze the fleet so b1's jobs are still queued when it dies.
+  ASSERT_TRUE(call("{\"cmd\":\"suspend\"}").get_bool("ok"));
+  std::vector<std::string> ids;
+  for (int i = 0; i < 3; ++i) {
+    // Distinct designs that all hash to b1, so the re-dispatch has to
+    // move real, uncached work.
+    JobSpec spec = tiny_spec("o" + std::to_string(i), seed);
+    spec.gen_gates += 10 * i;
+    if (router_->candidates_for(design_key(spec))[0] != 1) {
+      spec.gen_gates = tiny_spec("x", seed).gen_gates;  // fall back: same design
+    }
+    ids.push_back(spec.id);
+    ASSERT_TRUE(call(submit_line(spec)).get_bool("ok"));
+  }
+  backends_[1]->down = true;
+  // Any traffic to b1 trips the breaker and re-dispatches its orphans.
+  (void)call("{\"cmd\":\"status\",\"id\":\"" + ids[0] + "\"}");
+  const RouterEvents ev = router_->events();
+  EXPECT_GE(ev.redispatches, static_cast<std::uint64_t>(ids.size()));
+  ASSERT_TRUE(call("{\"cmd\":\"resume\"}").get_bool("ok"));
+  ASSERT_TRUE(call("{\"cmd\":\"wait\"}").get_bool("ok"));
+  for (const std::string& id : ids) {
+    const JsonValue status = call("{\"cmd\":\"status\",\"id\":\"" + id + "\"}");
+    EXPECT_TRUE(status.get_bool("ok")) << status.get_string("detail");
+    EXPECT_EQ(status.get_string("state"), "done") << id;
+    EXPECT_NE(status.get_string("backend"), "b1");
+  }
+}
+
+TEST_F(RouterFixture, OrphanedNonIdempotentJobReportsTypedUnavailable) {
+  build();
+  const std::uint64_t seed = seed_for_backend(0);
+  ASSERT_TRUE(call("{\"cmd\":\"suspend\"}").get_bool("ok"));
+  JobSpec spec = tiny_spec("dead1", seed);
+  spec.deadline_s = 300.0;
+  ASSERT_TRUE(call(submit_line(spec)).get_bool("ok"));
+  backends_[0]->down = true;
+  const JsonValue reply = call("{\"cmd\":\"status\",\"id\":\"dead1\"}");
+  EXPECT_FALSE(reply.get_bool("ok"));
+  EXPECT_EQ(reply.get_string("error"), "backend-unavailable");
+  // The verdict is stable: asking again gives the same typed answer.
+  EXPECT_EQ(call("{\"cmd\":\"status\",\"id\":\"dead1\"}").get_string("error"),
+            "backend-unavailable");
+  ASSERT_TRUE(call("{\"cmd\":\"resume\"}").get_bool("ok"));
+}
+
+TEST_F(RouterFixture, BreakerReopensAfterFailedTrialAndClosesOnRecovery) {
+  build(/*probe_backoff_base_s=*/0.0);  // trials eligible immediately
+  const std::uint64_t seed = seed_for_backend(2);
+  backends_[2]->down = true;
+  ASSERT_TRUE(call(submit_line(tiny_spec("r1", seed))).get_bool("ok"));
+  auto state_of = [this](std::size_t i) {
+    return router_->backends()[i].state;
+  };
+  EXPECT_EQ(state_of(2), BackendState::kOpen);
+  // A failed half-open trial lands back in open.
+  EXPECT_EQ(router_->probe(), 1u);
+  EXPECT_EQ(state_of(2), BackendState::kOpen);
+  // Recovery: the next trial succeeds and closes the breaker...
+  backends_[2]->down = false;
+  EXPECT_EQ(router_->probe(), 1u);
+  EXPECT_EQ(state_of(2), BackendState::kClosed);
+  // ...and traffic for its keys goes home again.
+  const JsonValue reply = call(submit_line(tiny_spec("r2", seed)));
+  ASSERT_TRUE(reply.get_bool("ok"));
+  EXPECT_EQ(reply.get_string("backend"), "b2");
+  const RouterEvents ev = router_->events();
+  EXPECT_GE(ev.half_opens, 2u);
+  EXPECT_GE(ev.closes, 1u);
+  EXPECT_TRUE(call("{\"cmd\":\"wait\"}").get_bool("ok"));
+}
+
+TEST_F(RouterFixture, RouterBackendFaultSiteSeversOneHop) {
+  build();
+  fault::arm("router.backend", 1, 1);
+  const JsonValue reply = call(submit_line(tiny_spec("fx")));
+  fault::disarm("router.backend");
+  // The injected failure hit the first hop; the idempotent submit
+  // failed over and still succeeded.
+  EXPECT_TRUE(reply.get_bool("ok")) << reply.get_string("detail");
+  EXPECT_GE(router_->events().failovers, 1u);
+  EXPECT_TRUE(call("{\"cmd\":\"wait\"}").get_bool("ok"));
+}
+
+TEST_F(RouterFixture, StatsAggregateAcrossTheFleet) {
+  build();
+  // One job per backend so every shard has metrics to report.
+  for (std::size_t b = 0; b < kBackends; ++b)
+    ASSERT_TRUE(
+        call(submit_line(tiny_spec("s" + std::to_string(b),
+                                   seed_for_backend(b))))
+            .get_bool("ok"));
+  ASSERT_TRUE(call("{\"cmd\":\"wait\"}").get_bool("ok"));
+  const JsonValue stats = call("{\"cmd\":\"stats\"}");
+  ASSERT_TRUE(stats.get_bool("ok"));
+  const JsonValue* router = stats.find("router");
+  ASSERT_NE(router, nullptr);
+  EXPECT_DOUBLE_EQ(router->get_number("backends_reporting"), 3.0);
+  // Merged histograms keep the single-daemon shape (loadgen's bench
+  // parser reads metrics.histograms.*).
+  const JsonValue* metrics = stats.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const JsonValue* histograms = metrics->find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* e2e = histograms->find("latency.e2e_s");
+  ASSERT_NE(e2e, nullptr);
+  EXPECT_DOUBLE_EQ(e2e->get_number("count"), 3.0);
+  // Raw per-shard responses ride along.
+  const JsonValue* per_backend = stats.find("backends");
+  ASSERT_NE(per_backend, nullptr);
+  EXPECT_EQ(per_backend->as_object().size(), kBackends);
+}
+
+TEST_F(RouterFixture, UnknownJobIdIsInvalidArgument) {
+  build();
+  const JsonValue reply = call("{\"cmd\":\"status\",\"id\":\"nope\"}");
+  EXPECT_FALSE(reply.get_bool("ok"));
+  EXPECT_EQ(reply.get_string("error"), "invalid-argument");
+}
+
+TEST_F(RouterFixture, DrainBroadcastsAndMarksRouterDrained) {
+  build();
+  EXPECT_FALSE(router_->drained());
+  const JsonValue reply = call("{\"cmd\":\"drain\"}");
+  EXPECT_TRUE(reply.get_bool("ok"));
+  EXPECT_TRUE(reply.get_bool("drained"));
+  EXPECT_TRUE(router_->drained());
+  for (const auto& b : backends_) EXPECT_TRUE(b->server.drained());
+}
+
+TEST(RouterErrors, BackendUnavailableIsATypedError) {
+  const BackendUnavailableError e("router", "no healthy backend");
+  EXPECT_EQ(e.code(), ErrorCode::kBackendUnavailable);
+  EXPECT_EQ(std::string(to_string(e.code())), "backend-unavailable");
+}
+
+TEST(RouterConfigErrors, NeedsAtLeastOneBackend) {
+  EXPECT_THROW(Router(RouterConfig{}, {},
+                      [](std::size_t) -> std::unique_ptr<BackendLink> {
+                        return nullptr;
+                      }),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace rotclk::serve

@@ -11,11 +11,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>  // raw ::send for torn-frame tests
+#include <unistd.h>      // ::getpid
+#endif
 
 #include "eco/delta.hpp"
 #include "netlist/generator.hpp"
@@ -28,6 +35,7 @@
 #include "serve/replay.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/server.hpp"
+#include "serve/transport.hpp"
 #include "serve/workload.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
@@ -787,6 +795,228 @@ TEST(ServeReplay, TwoPassWorkloadMeetsTheAcceptanceContract) {
   EXPECT_GT(doc.find("e2e")->get_number("count"), 0.0);
   EXPECT_TRUE(server.drained());
 }
+
+// ------------------------------------------------- JSON nesting depth
+
+/// `n` nested arrays: [[[...]]] — hostile recursion-bomb shape.
+std::string nested_arrays(int n) {
+  return std::string(static_cast<std::size_t>(n), '[') +
+         std::string(static_cast<std::size_t>(n), ']');
+}
+
+TEST(ServeJson, AcceptsNestingUpToTheLimit) {
+  EXPECT_NO_THROW(json_parse(nested_arrays(64)));
+  EXPECT_NO_THROW(json_parse(nested_arrays(63)));
+  // Mixed containers count the same way.
+  std::string mixed;
+  for (int i = 0; i < 32; ++i) mixed += "{\"k\":[";
+  mixed += "1";
+  for (int i = 0; i < 32; ++i) mixed += "]}";
+  EXPECT_NO_THROW(json_parse(mixed));
+}
+
+TEST(ServeJson, RejectsNestingBeyondTheLimitTyped) {
+  try {
+    json_parse(nested_arrays(65));
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting"), std::string::npos);
+  }
+  // Depth is released on the way out: a deep-but-legal prefix does not
+  // poison later siblings.
+  std::string siblings = "[";
+  for (int i = 0; i < 10; ++i) {
+    if (i > 0) siblings += ",";
+    siblings += nested_arrays(60);
+  }
+  siblings += "]";
+  EXPECT_NO_THROW(json_parse(siblings));
+}
+
+TEST(ServeJson, DeepNestingThroughTheProtocolIsATypedErrorResponse) {
+  // The full path a hostile client exercises: frame -> handle_line.
+  Server server;
+  std::string bomb = "{\"cmd\":\"submit\",\"id\":\"z\",\"x\":";
+  bomb += nested_arrays(200);
+  bomb += "}";
+  const JsonValue reply = json_parse(server.handle_line(bomb));
+  EXPECT_FALSE(reply.get_bool("ok"));
+  EXPECT_EQ(reply.get_string("error"), "parse");
+  // The server survived and still serves well-formed requests.
+  EXPECT_TRUE(json_parse(server.handle_line("{\"cmd\":\"ping\"}"))
+                  .get_bool("ok"));
+}
+
+// --------------------------------------------- transport framing (unix)
+
+#if defined(__unix__) || defined(__APPLE__)
+
+/// A live daemon loop on a Unix socket for framing tests: Server +
+/// serve_listener on a background thread, torn down by drain.
+class TransportFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = "/tmp/rotclk_test_transport_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter_++) + ".sock";
+    limits_.max_line_bytes = 512;  // small, so over-long is cheap to hit
+    listener_ = std::make_unique<Listener>(Endpoint::unix_path(path_),
+                                           limits_);
+    loop_ = std::thread([this] {
+      serve_listener(
+          *listener_, [this](const std::string& l) {
+            return server_.handle_line(l);
+          },
+          [this] { return server_.drained(); }, {}, {0.02});
+    });
+  }
+
+  void TearDown() override {
+    // Drain over the wire so the accept loop exits cleanly.
+    try {
+      Connection c = dial(Endpoint::unix_path(path_), limits_);
+      c.write_line("{\"cmd\":\"drain\"}");
+      (void)c.read_line();
+    } catch (const Error&) {
+    }
+    loop_.join();
+  }
+
+  Connection connect() { return dial(Endpoint::unix_path(path_), limits_); }
+
+  /// Raw bytes on the wire, bypassing Connection's framing.
+  static void send_raw(Connection& c, const std::string& bytes) {
+    ASSERT_EQ(::send(c.native_handle(), bytes.data(), bytes.size(),
+                     MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  std::string path_;
+  FramingLimits limits_{};
+  Server server_;
+  std::unique_ptr<Listener> listener_;
+  std::thread loop_;
+  static int counter_;
+};
+
+int TransportFixture::counter_ = 0;
+
+TEST_F(TransportFixture, RequestSplitAcrossManyWritesIsOneFrame) {
+  Connection c = connect();
+  const std::string line = "{\"cmd\":\"ping\"}\n";
+  for (const char byte : line) {
+    send_raw(c, std::string(1, byte));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto reply = c.read_line();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(json_parse(*reply).get_bool("ok"));
+}
+
+TEST_F(TransportFixture, TwoRequestsInOneWriteAreTwoFrames) {
+  Connection c = connect();
+  send_raw(c, "{\"cmd\":\"ping\"}\n{\"cmd\":\"stats\"}\n");
+  const auto first = c.read_line();
+  const auto second = c.read_line();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(json_parse(*first).get_string("cmd"), "ping");
+  EXPECT_EQ(json_parse(*second).get_string("cmd"), "stats");
+}
+
+TEST_F(TransportFixture, OverlongFrameGetsOneTypedErrorThenDisconnect) {
+  Connection c = connect();
+  // Never terminated, longer than max_line_bytes: the server must
+  // reject it without buffering without bound.
+  send_raw(c, std::string(2048, 'x'));
+  const auto reply = c.read_line();
+  ASSERT_TRUE(reply.has_value());
+  const JsonValue v = json_parse(*reply);
+  EXPECT_FALSE(v.get_bool("ok"));
+  EXPECT_EQ(v.get_string("error"), "parse");
+  EXPECT_FALSE(c.read_line().has_value());  // connection closed after
+  // The daemon itself survives: a fresh connection works.
+  Connection again = connect();
+  again.write_line("{\"cmd\":\"ping\"}");
+  EXPECT_TRUE(json_parse(*again.read_line()).get_bool("ok"));
+}
+
+TEST_F(TransportFixture, TornFrameAtEofDropsOnlyThatConnection) {
+  {
+    Connection c = connect();
+    send_raw(c, "{\"cmd\":\"pi");  // half a frame, then hang up
+  }
+  Connection again = connect();
+  again.write_line("{\"cmd\":\"ping\"}");
+  const auto reply = again.read_line();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(json_parse(*reply).get_bool("ok"));
+}
+
+TEST_F(TransportFixture, ConcurrentConnectionsAreServedIndependently) {
+  std::vector<std::thread> clients;
+  std::atomic<int> oks{0};
+  for (int i = 0; i < 4; ++i)
+    clients.emplace_back([this, &oks, i] {
+      Connection c = dial(Endpoint::unix_path(path_), limits_);
+      for (int r = 0; r < 8; ++r) {
+        c.write_line("{\"cmd\":\"ping\"}");
+        const auto reply = c.read_line();
+        if (reply && json_parse(*reply).get_bool("ok")) ++oks;
+        (void)i;
+      }
+    });
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(oks.load(), 32);
+}
+
+TEST(ServeTransportEndpoint, ParsesTcpHostPorts) {
+  const Endpoint e = Endpoint::tcp("127.0.0.1:7070");
+  EXPECT_EQ(e.host, "127.0.0.1");
+  EXPECT_EQ(e.port, 7070);
+  EXPECT_EQ(Endpoint::tcp(":9").host, "127.0.0.1");  // empty host default
+  EXPECT_THROW(Endpoint::tcp("127.0.0.1"), InvalidArgumentError);
+  EXPECT_THROW(Endpoint::tcp("h:notaport"), InvalidArgumentError);
+  EXPECT_THROW(Endpoint::tcp("h:70000"), InvalidArgumentError);
+}
+
+TEST(ServeTransportTimeout, ReadTimeoutRaisesIoError) {
+  const std::string path =
+      "/tmp/rotclk_test_timeout_" + std::to_string(::getpid()) + ".sock";
+  FramingLimits limits;
+  limits.read_timeout_s = 0.05;
+  Listener listener(Endpoint::unix_path(path), limits);
+  std::thread holder([&listener] {
+    // Accept and hold the connection open without ever replying.
+    Connection held = listener.accept();
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  });
+  Connection c = dial(Endpoint::unix_path(path), limits);
+  c.write_line("{\"cmd\":\"ping\"}");
+  EXPECT_THROW((void)c.read_line(), IoError);
+  holder.join();
+}
+
+TEST(ServeTransportFaults, InjectedNetFaultsAreDeterministic) {
+  const std::string path =
+      "/tmp/rotclk_test_netfault_" + std::to_string(::getpid()) + ".sock";
+  Listener listener(Endpoint::unix_path(path));
+  // net.read: the first refill on the server side of this pair throws.
+  std::thread peer([&listener] {
+    Connection server_side = listener.accept();
+    fault::arm("net.read", 1, 1);
+    EXPECT_THROW((void)server_side.read_line(), FaultError);
+    fault::disarm("net.read");
+  });
+  Connection client = dial(Endpoint::unix_path(path));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  peer.join();
+  // net.write: the client's next flush throws, deterministically.
+  fault::arm("net.write", 1, 1);
+  EXPECT_THROW(client.write_line("{\"cmd\":\"ping\"}"), FaultError);
+  fault::disarm("net.write");
+}
+
+#endif  // __unix__ || __APPLE__
 
 }  // namespace
 }  // namespace rotclk::serve
