@@ -7,11 +7,17 @@
 
 namespace rotclk::assign {
 
-std::vector<std::vector<int>> AssignProblem::arcs_by_ff() const {
-  std::vector<std::vector<int>> by_ff(ff_cells.size());
-  for (std::size_t a = 0; a < arcs.size(); ++a)
-    by_ff[static_cast<std::size_t>(arcs[a].ff)].push_back(static_cast<int>(a));
-  return by_ff;
+util::CsrView<std::int32_t> AssignProblem::arcs_by_ff() const {
+  if (by_ff_cached_arcs_ != arcs.size()) {
+    // Stable counting sort by flip-flop: row i holds arc ids in ascending
+    // order, exactly the push_back grouping this used to copy out.
+    std::vector<std::int32_t> keys(arcs.size());
+    for (std::size_t a = 0; a < arcs.size(); ++a) keys[a] = arcs[a].ff;
+    by_ff_cache_ = util::Csr<std::int32_t>::index_by_keys(
+        static_cast<int>(ff_cells.size()), keys);
+    by_ff_cached_arcs_ = arcs.size();
+  }
+  return by_ff_cache_.view();
 }
 
 AssignProblem build_assign_problem(const netlist::Design& design,
@@ -29,19 +35,48 @@ AssignProblem build_assign_problem(const netlist::Design& design,
   for (int j = 0; j < rings.size(); ++j)
     problem.ring_capacity[static_cast<std::size_t>(j)] = rings.capacity(j);
 
-  // The per-flip-flop tapping solves dominate the build; each flip-flop
-  // writes only its own arc list, and the lists concatenate in flip-flop
-  // order afterwards, so the arc vector is bit-identical to the sequential
-  // build at any thread count (cache hits return exact solves, see
-  // rotary::TappingCache).
-  std::vector<std::vector<CandidateArc>> arcs_of_ff(problem.ff_cells.size());
-  util::parallel_for(problem.ff_cells.size(), [&](std::size_t i) {
-    arcs_of_ff[i] = build_candidate_row(static_cast<int>(i),
-                                        placement.loc(problem.ff_cells[i]),
-                                        rings, arrival_ps[i], tech, config);
+  // The per-flip-flop tapping solves dominate the build. The whole cost
+  // matrix lives in one arena block of f * k CandidateArc slots (plus
+  // flat nearest-ring scratch), allocated up front in O(1) arena calls:
+  // each flip-flop writes only its own contiguous span, and the spans
+  // concatenate in flip-flop order afterwards, so the arc vector is
+  // bit-identical to the sequential build at any thread count (cache hits
+  // return exact solves, see rotary::TappingCache).
+  const std::size_t f = problem.ff_cells.size();
+  const auto r = static_cast<std::size_t>(rings.size());
+  const auto k = static_cast<std::size_t>(std::max(1, config.candidates_per_ff));
+  util::Arena local_arena;
+  util::Arena& arena = config.arena != nullptr ? *config.arena : local_arena;
+  arena.reset();  // recycle chunks from the previous build, if any
+  CandidateArc* const rows = arena.alloc<CandidateArc>(f * k);
+  std::int32_t* const counts = arena.alloc<std::int32_t>(f);
+  int* const order_scratch = arena.alloc<int>(f * r);
+  double* const dist_scratch = arena.alloc<double>(f * r);
+  // Batched lookups: one lock-free snapshot of the tapping cache serves
+  // every worker; only keys absent at snapshot time (first build, moved
+  // flip-flops) take the sharded mutex path.
+  const rotary::TappingCache::Snapshot* snapshot =
+      config.cache != nullptr ? &config.cache->snapshot() : nullptr;
+  util::parallel_for(f, [&](std::size_t i) {
+    counts[i] = static_cast<std::int32_t>(build_candidate_row_into(
+        static_cast<int>(i), placement.loc(problem.ff_cells[i]), rings,
+        arrival_ps[i], tech, config, {order_scratch + i * r, r},
+        {dist_scratch + i * r, r}, {rows + i * k, k}, snapshot));
   });
-  for (const auto& list : arcs_of_ff)
-    problem.arcs.insert(problem.arcs.end(), list.begin(), list.end());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < f; ++i)
+    total += static_cast<std::size_t>(counts[i]);
+  problem.arcs.reserve(total);
+  if (total == f * k) {
+    // Every row is full (case 4 makes every solve feasible), so the rows
+    // plane is gap-free and concatenates with one copy.
+    problem.arcs.insert(problem.arcs.end(), rows, rows + total);
+  } else {
+    for (std::size_t i = 0; i < f; ++i)
+      problem.arcs.insert(problem.arcs.end(), rows + i * k,
+                          rows + i * k + counts[i]);
+  }
+  problem.arcs_by_ff();  // pre-build the CSR cache while single-threaded
   return problem;
 }
 
@@ -50,24 +85,63 @@ std::vector<CandidateArc> build_candidate_row(int ff_index, geom::Point loc,
                                               double arrival_ps,
                                               const timing::TechParams& tech,
                                               const AssignProblemConfig& config) {
+  const auto k = static_cast<std::size_t>(std::max(1, config.candidates_per_ff));
+  const auto r = static_cast<std::size_t>(rings.size());
+  std::vector<int> order_scratch(r);
+  std::vector<double> dist_scratch(r);
+  std::vector<CandidateArc> row(k);
+  const int n = build_candidate_row_into(ff_index, loc, rings, arrival_ps,
+                                         tech, config, order_scratch,
+                                         dist_scratch, row);
+  row.resize(static_cast<std::size_t>(n));
+  return row;
+}
+
+int build_candidate_row_into(int ff_index, geom::Point loc,
+                             const rotary::RingArray& rings,
+                             double arrival_ps,
+                             const timing::TechParams& tech,
+                             const AssignProblemConfig& config,
+                             std::span<int> order_scratch,
+                             std::span<double> dist_scratch,
+                             std::span<CandidateArc> out,
+                             const rotary::TappingCache::Snapshot* snapshot) {
   const int k = std::max(1, config.candidates_per_ff);
-  std::vector<CandidateArc> row;
-  for (int j : rings.nearest_rings(loc, k)) {
-    CandidateArc arc;
+  int n = 0;
+  // The wrapped target depends on the ring only through its period, so one
+  // fmod covers every same-period candidate (i.e. all of them, for a
+  // uniform array).
+  double wrap_period = -1.0;
+  double wrapped = 0.0;
+  for (const int j :
+       rings.nearest_rings_into(loc, k, order_scratch, dist_scratch)) {
+    // Fill the output slot in place; an infeasible solve leaves the slot
+    // to be overwritten by the next candidate (n is not advanced).
+    CandidateArc& arc = out[static_cast<std::size_t>(n)];
     arc.ff = ff_index;
     arc.ring = j;
-    arc.tap = config.cache != nullptr
-                  ? config.cache->lookup_or_solve(rings.ring(j), j, loc,
-                                                  arrival_ps, config.tapping)
-                  : rotary::solve_tapping(rings.ring(j), loc, arrival_ps,
+    const rotary::RotaryRing& ring = rings.ring(j);
+    const rotary::TapSolution* hit = nullptr;
+    if (snapshot != nullptr) {
+      if (ring.period() != wrap_period) {
+        wrap_period = ring.period();
+        wrapped = ring.wrap_delay(arrival_ps);
+      }
+      hit = snapshot->find_wrapped(j, loc, wrapped);
+    }
+    arc.tap = hit != nullptr ? *hit
+              : config.cache != nullptr
+                  ? config.cache->lookup_or_solve(ring, j, loc, arrival_ps,
+                                                  config.tapping)
+                  : rotary::solve_tapping(ring, loc, arrival_ps,
                                           config.tapping);
     if (!arc.tap.feasible) continue;  // defensive; case 4 makes all feasible
     arc.tap_cost_um = arc.tap.wirelength;
     arc.load_cap_ff = arc.tap.wirelength * config.tapping.wire_cap_per_um +
                       tech.ff_input_cap_ff;
-    row.push_back(arc);
+    ++n;
   }
-  return row;
+  return n;
 }
 
 void refresh_metrics(const AssignProblem& problem, Assignment& assignment) {

@@ -9,6 +9,7 @@
 // flip-flop, as the paper suggests ("if a flip-flop and a ring are too far
 // away ... it is not necessary to insert an arc").
 
+#include <cstdint>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -16,6 +17,7 @@
 #include "rotary/array.hpp"
 #include "rotary/tapping.hpp"
 #include "timing/tech.hpp"
+#include "util/arena.hpp"
 
 namespace rotclk::assign {
 
@@ -34,8 +36,18 @@ struct AssignProblem {
   std::vector<CandidateArc> arcs;
 
   [[nodiscard]] int num_ffs() const { return static_cast<int>(ff_cells.size()); }
-  /// Arc indices grouped per flip-flop (built once, cached).
-  [[nodiscard]] std::vector<std::vector<int>> arcs_by_ff() const;
+  /// Arc indices grouped per flip-flop as a CSR view (row i = flip-flop
+  /// i's arc ids in ascending order). The underlying index arrays are
+  /// built once and cached on the problem — repeated calls on a hot path
+  /// are free, where this used to materialize a vector-of-vectors copy.
+  /// The cache refreshes when the arc count changes; callers must not
+  /// re-stamp `ff` fields in place after the first call. Building the
+  /// cache is not thread-safe; the problem builders pre-build it.
+  [[nodiscard]] util::CsrView<std::int32_t> arcs_by_ff() const;
+
+ private:
+  mutable util::Csr<std::int32_t> by_ff_cache_;
+  mutable std::size_t by_ff_cached_arcs_ = static_cast<std::size_t>(-1);
 };
 
 struct AssignProblemConfig {
@@ -44,6 +56,13 @@ struct AssignProblemConfig {
   /// Optional memoization cache for the per-(FF, ring) tapping solves
   /// (owned by the flow; see rotary::TappingCache). Null disables caching.
   rotary::TappingCache* cache = nullptr;
+  /// Optional arena for the batched cost-matrix build. The builder draws
+  /// its row block and scratch from here in O(1) allocations up front —
+  /// parallel workers then write disjoint contiguous spans with no
+  /// per-flip-flop heap traffic (the arena Stats hook pins this in
+  /// tests). Null uses a builder-local arena; pass one to recycle its
+  /// chunks across rebuilds (the flow loop and the ECO path do).
+  util::Arena* arena = nullptr;
 };
 
 /// Build the problem at the given placement and per-flip-flop delay
@@ -65,6 +84,22 @@ std::vector<CandidateArc> build_candidate_row(int ff_index, geom::Point loc,
                                               double arrival_ps,
                                               const timing::TechParams& tech,
                                               const AssignProblemConfig& config);
+
+/// Allocation-free variant: writes the row into `out` (at least
+/// candidates_per_ff entries) using caller scratch (each rings.size()
+/// long) and returns the number of arcs written. Row contents are
+/// bit-identical to build_candidate_row; the parallel builder points each
+/// worker at a disjoint span of one arena block.
+int build_candidate_row_into(int ff_index, geom::Point loc,
+                             const rotary::RingArray& rings,
+                             double arrival_ps,
+                             const timing::TechParams& tech,
+                             const AssignProblemConfig& config,
+                             std::span<int> order_scratch,
+                             std::span<double> dist_scratch,
+                             std::span<CandidateArc> out,
+                             const rotary::TappingCache::Snapshot* snapshot =
+                                 nullptr);
 
 /// The result of either assignment formulation.
 struct Assignment {

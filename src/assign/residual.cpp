@@ -1,8 +1,7 @@
 #include "assign/residual.hpp"
 
+#include <algorithm>
 #include <limits>
-#include <queue>
-#include <utility>
 
 #include "assign/error.hpp"
 #include "util/parallel.hpp"
@@ -16,16 +15,33 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 void ResidualNetflow::bind(const AssignProblem& problem) {
   const auto f = static_cast<std::size_t>(problem.num_ffs());
   const auto r = static_cast<std::size_t>(problem.num_rings);
-  arcs_of_ff_.assign(f, {});
-  for (std::size_t a = 0; a < problem.arcs.size(); ++a)
-    arcs_of_ff_[static_cast<std::size_t>(problem.arcs[a].ff)].push_back(
-        static_cast<int>(a));
-  assigned_.assign(r, {});
+  arcs_of_ff_ = problem.arcs_by_ff();
+  arc_ff_.resize(problem.arcs.size());
+  arc_ring_.resize(problem.arcs.size());
+  arc_cost_.resize(problem.arcs.size());
+  for (std::size_t a = 0; a < problem.arcs.size(); ++a) {
+    arc_ff_[a] = problem.arcs[a].ff;
+    arc_ring_[a] = problem.arcs[a].ring;
+    arc_cost_[a] = problem.arcs[a].tap_cost_um;
+  }
+  ring_capacity_ = problem.ring_capacity;
+  // Fixed occupant slots: ring j owns slot_off_[j] .. slot_off_[j+1]. A
+  // ring never holds more than min(U_j, #FFs) occupants (augment evicts
+  // before it overfills; reassign seeding checks), so the spans are tight.
+  slot_off_.assign(r + 1, 0);
+  for (std::size_t j = 0; j < r; ++j)
+    slot_off_[j + 1] =
+        slot_off_[j] +
+        static_cast<std::int32_t>(std::min<long long>(
+            std::max(0, problem.ring_capacity[j]), static_cast<long long>(f)));
+  slot_ff_.assign(static_cast<std::size_t>(slot_off_[r]), -1);
+  occ_.assign(r, 0);
   used_.assign(r, 0);
   arc_of_ff_.assign(f, -1);
   dist_.assign(r, kInf);
   parent_arc_.assign(r, -1);
   prev_ring_.assign(r, -1);
+  done_.assign(r, 0);
   popped_.clear();
   popped_.reserve(r);
   augmented_ = 0;
@@ -49,7 +65,7 @@ Assignment ResidualNetflow::solve(const AssignProblem& problem) {
   price_.assign(static_cast<std::size_t>(problem.num_rings), 0.0);
   int unassigned = 0;
   for (int i = 0; i < problem.num_ffs(); ++i)
-    if (!augment(problem, i)) ++unassigned;
+    if (!augment(i)) ++unassigned;
   return finish(problem, unassigned);
 }
 
@@ -71,8 +87,8 @@ Assignment ResidualNetflow::reassign(const AssignProblem& problem,
     const int ring = seed_ring_of_ff[i];
     if (ring < 0) continue;
     int arc = -1;
-    for (int a : arcs_of_ff_[i]) {
-      if (problem.arcs[static_cast<std::size_t>(a)].ring == ring) {
+    for (const std::int32_t a : arcs_of_ff_[i]) {
+      if (arc_ring_[static_cast<std::size_t>(a)] == ring) {
         arc = a;
         break;
       }
@@ -81,51 +97,52 @@ Assignment ResidualNetflow::reassign(const AssignProblem& problem,
       throw InfeasibleError("assign",
                             "reassign: seeded ring is not a candidate of the "
                             "flip-flop (stale capsule)");
-    arc_of_ff_[i] = arc;
-    assigned_[static_cast<std::size_t>(ring)].push_back(static_cast<int>(i));
-    ++used_[static_cast<std::size_t>(ring)];
-    if (used_[static_cast<std::size_t>(ring)] >
-        problem.ring_capacity[static_cast<std::size_t>(ring)])
+    const std::size_t js = static_cast<std::size_t>(ring);
+    if (used_[js] >= ring_capacity_[js] ||
+        occ_[js] >= slot_off_[js + 1] - slot_off_[js])
       throw InfeasibleError("assign", "reassign: seeded ring over capacity");
+    arc_of_ff_[i] = arc;
+    slot_ff_[static_cast<std::size_t>(slot_off_[js] + occ_[js]++)] =
+        static_cast<std::int32_t>(i);
+    ++used_[js];
   }
   int unassigned = 0;
   for (int i = 0; i < problem.num_ffs(); ++i)
-    if (arc_of_ff_[static_cast<std::size_t>(i)] < 0 && !augment(problem, i))
+    if (arc_of_ff_[static_cast<std::size_t>(i)] < 0 && !augment(i))
       ++unassigned;
   return finish(problem, unassigned);
 }
 
-bool ResidualNetflow::augment(const AssignProblem& problem, int ff) {
+bool ResidualNetflow::augment(int ff) {
   ++augmented_;
-  using Item = std::pair<double, int>;  // (distance, ring)
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-  const std::size_t r = static_cast<std::size_t>(problem.num_rings);
+  const std::size_t r = used_.size();
   dist_.assign(r, kInf);
   parent_arc_.assign(r, -1);
   prev_ring_.assign(r, -1);
+  done_.assign(r, 0);
   popped_.clear();
-  std::vector<bool> done(r, false);
-  for (int a : arcs_of_ff_[static_cast<std::size_t>(ff)]) {
-    const CandidateArc& arc = problem.arcs[static_cast<std::size_t>(a)];
-    const std::size_t j = static_cast<std::size_t>(arc.ring);
-    const double nd = arc.tap_cost_um - price_[j];
+  heap_.clear();
+  for (const std::int32_t a : arcs_of_ff_[static_cast<std::size_t>(ff)]) {
+    const std::size_t j = static_cast<std::size_t>(arc_ring_[
+        static_cast<std::size_t>(a)]);
+    const double nd = arc_cost_[static_cast<std::size_t>(a)] - price_[j];
     if (nd < dist_[j]) {
       dist_[j] = nd;
       parent_arc_[j] = a;
       prev_ring_[j] = -1;
-      heap.emplace(nd, arc.ring);
+      heap_.emplace(nd, static_cast<int>(j));
     }
   }
   int terminal = -1;
   double mu = kInf;
-  while (!heap.empty()) {
-    const auto [d, j] = heap.top();
-    heap.pop();
+  while (!heap_.empty()) {
+    const auto [d, j] = heap_.top();
+    heap_.pop();
     const std::size_t js = static_cast<std::size_t>(j);
-    if (done[js] || d > dist_[js]) continue;
-    done[js] = true;
+    if (done_[js] != 0 || d > dist_[js]) continue;
+    done_[js] = 1;
     popped_.push_back(j);
-    if (used_[js] < problem.ring_capacity[js]) {
+    if (used_[js] < ring_capacity_[js]) {
       terminal = j;
       mu = d;
       break;
@@ -133,20 +150,26 @@ bool ResidualNetflow::augment(const AssignProblem& problem, int ff) {
     // Ring j is full: paths continue by evicting one of its occupants
     // k to another of k's candidate rings. The occupant's implicit dual
     // u_k is recovered from its (tight) current arc.
-    for (int k : assigned_[js]) {
-      const CandidateArc& cur = problem.arcs[static_cast<std::size_t>(
-          arc_of_ff_[static_cast<std::size_t>(k)])];
-      const double u_k = cur.tap_cost_um - price_[js];
-      for (int b : arcs_of_ff_[static_cast<std::size_t>(k)]) {
-        const CandidateArc& alt = problem.arcs[static_cast<std::size_t>(b)];
-        const std::size_t l = static_cast<std::size_t>(alt.ring);
-        if (done[l]) continue;
-        const double nd = d + (alt.tap_cost_um - price_[l]) - u_k;
+    const std::int32_t* occupants =
+        slot_ff_.data() + static_cast<std::size_t>(slot_off_[js]);
+    const std::int32_t count = occ_[js];
+    for (std::int32_t s = 0; s < count; ++s) {
+      const std::int32_t k = occupants[s];
+      const double u_k =
+          arc_cost_[static_cast<std::size_t>(
+              arc_of_ff_[static_cast<std::size_t>(k)])] -
+          price_[js];
+      for (const std::int32_t b : arcs_of_ff_[static_cast<std::size_t>(k)]) {
+        const std::size_t l = static_cast<std::size_t>(arc_ring_[
+            static_cast<std::size_t>(b)]);
+        if (done_[l] != 0) continue;
+        const double nd =
+            d + (arc_cost_[static_cast<std::size_t>(b)] - price_[l]) - u_k;
         if (nd < dist_[l]) {
           dist_[l] = nd;
           parent_arc_[l] = b;
           prev_ring_[l] = j;
-          heap.emplace(nd, alt.ring);
+          heap_.emplace(nd, static_cast<int>(l));
         }
       }
     }
@@ -161,19 +184,25 @@ bool ResidualNetflow::augment(const AssignProblem& problem, int ff) {
   while (l >= 0) {
     const std::size_t ls = static_cast<std::size_t>(l);
     const int a = parent_arc_[ls];
-    const int k = problem.arcs[static_cast<std::size_t>(a)].ff;
+    const std::int32_t k = arc_ff_[static_cast<std::size_t>(a)];
     const int p = prev_ring_[ls];
     if (p >= 0) {
-      std::vector<int>& occupants = assigned_[static_cast<std::size_t>(p)];
-      for (std::size_t s = 0; s < occupants.size(); ++s) {
+      // Erase-shift k out of ring p's occupant span (keeps slot order,
+      // mirroring the old vector erase).
+      const std::size_t ps = static_cast<std::size_t>(p);
+      std::int32_t* occupants =
+          slot_ff_.data() + static_cast<std::size_t>(slot_off_[ps]);
+      const std::int32_t n = occ_[ps];
+      for (std::int32_t s = 0; s < n; ++s) {
         if (occupants[s] == k) {
-          occupants.erase(occupants.begin() + static_cast<long>(s));
+          for (std::int32_t t = s + 1; t < n; ++t) occupants[t - 1] = occupants[t];
+          --occ_[ps];
           break;
         }
       }
     }
     arc_of_ff_[static_cast<std::size_t>(k)] = a;
-    assigned_[ls].push_back(k);
+    slot_ff_[static_cast<std::size_t>(slot_off_[ls] + occ_[ls]++)] = k;
     l = p;
   }
   ++used_[static_cast<std::size_t>(terminal)];
@@ -201,15 +230,16 @@ AssignProblem build_assign_problem_incremental(
   for (int j = 0; j < rings.size(); ++j)
     problem.ring_capacity[static_cast<std::size_t>(j)] = rings.capacity(j);
 
-  const std::vector<std::vector<int>> prev_rows = prev.arcs_by_ff();
+  const auto prev_rows = prev.arcs_by_ff();
   std::vector<std::vector<CandidateArc>> arcs_of_ff(problem.ff_cells.size());
   util::parallel_for(problem.ff_cells.size(), [&](std::size_t i) {
     const int pi = prev_ff_of[i];
     if (pi >= 0) {
       // Clean row: copy the prior arcs, re-stamping the flip-flop index.
       auto& row = arcs_of_ff[i];
-      row.reserve(prev_rows[static_cast<std::size_t>(pi)].size());
-      for (int a : prev_rows[static_cast<std::size_t>(pi)]) {
+      const auto prev_row = prev_rows[static_cast<std::size_t>(pi)];
+      row.reserve(prev_row.size());
+      for (const std::int32_t a : prev_row) {
         CandidateArc arc = prev.arcs[static_cast<std::size_t>(a)];
         arc.ff = static_cast<int>(i);
         row.push_back(arc);
@@ -222,6 +252,7 @@ AssignProblem build_assign_problem_incremental(
   });
   for (const auto& list : arcs_of_ff)
     problem.arcs.insert(problem.arcs.end(), list.begin(), list.end());
+  problem.arcs_by_ff();  // pre-build the CSR cache while single-threaded
   return problem;
 }
 

@@ -19,9 +19,13 @@
 // capsule seed, so their assignments agree bitwise by construction; the
 // warm savings come from not rebuilding the clean cost-matrix rows.
 
+#include <cstdint>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "assign/problem.hpp"
+#include "util/arena.hpp"
 
 namespace rotclk::assign {
 
@@ -50,19 +54,40 @@ class ResidualNetflow {
  private:
   void bind(const AssignProblem& problem);
   Assignment finish(const AssignProblem& problem, int unassigned);
-  bool augment(const AssignProblem& problem, int ff);
+  bool augment(int ff);
 
-  std::vector<std::vector<int>> arcs_of_ff_;  // ff -> candidate arc ids
-  std::vector<std::vector<int>> assigned_;    // ring -> occupant ffs
-  std::vector<int> used_;                     // ring -> occupant count
-  std::vector<double> price_;                 // ring duals v_j
-  std::vector<int> arc_of_ff_;                // result: ff -> arc id
+  // The solver runs entirely on flat planes bound from the problem:
+  // immutable CSR candidate rows plus ring/cost planes of the arcs (so
+  // the Dijkstra loops stride 12 bytes per arc instead of a whole
+  // CandidateArc with its embedded TapSolution), and a mutable occupancy
+  // plane of fixed per-ring slot spans in place of the old
+  // vector-of-vectors occupant lists. Occupants keep push_back /
+  // erase-shift order within their span, which keeps eviction paths —
+  // and therefore the whole solve — bit-identical to the old layout.
+  util::CsrView<std::int32_t> arcs_of_ff_;  // rows of the problem's cache
+  std::vector<std::int32_t> arc_ff_;        // SoA planes of problem.arcs
+  std::vector<std::int32_t> arc_ring_;
+  std::vector<double> arc_cost_;
+  std::vector<std::int32_t> slot_off_;      // ring -> first occupant slot
+  std::vector<std::int32_t> slot_ff_;       // occupant slots, span per ring
+  std::vector<std::int32_t> occ_;           // ring -> occupants in its span
+  std::vector<int> ring_capacity_;          // U_j
+  std::vector<int> used_;                   // ring -> routed unit flows
+  std::vector<double> price_;               // ring duals v_j
+  std::vector<int> arc_of_ff_;              // result: ff -> arc id
   int augmented_ = 0;
   // Per-augmentation Dijkstra state, reset at the top of augment().
   std::vector<double> dist_;
   std::vector<int> parent_arc_;
   std::vector<int> prev_ring_;
   std::vector<int> popped_;
+  std::vector<char> done_;
+  using HeapItem = std::pair<double, int>;  // (distance, ring)
+  struct ReusableHeap
+      : std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> {
+    void clear() { c.clear(); }
+  };
+  ReusableHeap heap_;
 };
 
 /// Rebuild candidate arcs only for dirty flip-flops; clean rows are copied

@@ -28,6 +28,7 @@ FlowContext::FlowContext(const netlist::Design& design_in,
   slack_ptr_ = seed.slack_engine != nullptr ? seed.slack_engine
                                             : &slack_engine;
   assign_config.cache = taps_ptr_;
+  assign_config.arena = &cost_matrix_arena;
   if (seed.arcs != nullptr) {
     arcs = *seed.arcs;
     arcs_stale = false;

@@ -91,6 +91,10 @@ struct FlowContext {
   assign::AssignProblem problem;
   assign::Assignment assignment;
   rotary::TappingCache tapping_cache;
+  /// Backs the batched cost-matrix builds (assign_config.arena): the
+  /// builder resets and reuses these chunks every rebuild, so the flow
+  /// loop's stage-3/stage-4 iterations stop paying per-build heap growth.
+  util::Arena cost_matrix_arena;
   std::size_t peak_cost_matrix_arcs = 0;  ///< max arcs any build produced
 
   // Incremental signal-net slack, refreshed by the evaluate stage to put

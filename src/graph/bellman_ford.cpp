@@ -1,24 +1,68 @@
 #include "graph/bellman_ford.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
+#include <span>
+
+#include "util/arena.hpp"
 
 namespace rotclk::graph {
 
+namespace {
+
+// The relaxation passes scan flat from/to/weight planes drawn from a
+// thread-local arena instead of the caller's array-of-structs. The scan
+// stays in input edge order — regrouping (e.g. into CSR) would change the
+// relaxation order and with it the tolerance-guarded comparisons, and the
+// kernel must stay bit-identical to the recorded golden traces.
+struct EdgePlanes {
+  std::span<const std::int32_t> from;
+  std::span<const std::int32_t> to;
+  std::span<const double> weight;
+  std::size_t size = 0;
+};
+
+util::Arena& pass_arena() {
+  thread_local util::Arena arena;
+  arena.reset();
+  return arena;
+}
+
+EdgePlanes split_planes(util::Arena& arena, const std::vector<Edge>& edges) {
+  const std::size_t m = edges.size();
+  std::int32_t* from = arena.alloc<std::int32_t>(m);
+  std::int32_t* to = arena.alloc<std::int32_t>(m);
+  double* weight = arena.alloc<double>(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    from[i] = edges[i].from;
+    to[i] = edges[i].to;
+    weight[i] = edges[i].weight;
+  }
+  return {{from, m}, {to, m}, {weight, m}, m};
+}
+
+}  // namespace
+
 BellmanFordResult bellman_ford_all(int num_nodes,
                                    const std::vector<Edge>& edges) {
+  util::Arena& arena = pass_arena();
+  const EdgePlanes ep = split_planes(arena, edges);
   BellmanFordResult res;
   res.dist.assign(static_cast<std::size_t>(num_nodes), 0.0);  // super-source
-  std::vector<int> parent(static_cast<std::size_t>(num_nodes), -1);
+  const std::span<int> parent =
+      arena.alloc_span<int>(static_cast<std::size_t>(num_nodes), -1);
   int last_relaxed = -1;
   for (int pass = 0; pass <= num_nodes; ++pass) {
     last_relaxed = -1;
-    for (const Edge& e : edges) {
-      const double nd = res.dist[static_cast<std::size_t>(e.from)] + e.weight;
-      if (nd < res.dist[static_cast<std::size_t>(e.to)] - 1e-12) {
-        res.dist[static_cast<std::size_t>(e.to)] = nd;
-        parent[static_cast<std::size_t>(e.to)] = e.from;
-        last_relaxed = e.to;
+    for (std::size_t i = 0; i < ep.size; ++i) {
+      const auto u = static_cast<std::size_t>(ep.from[i]);
+      const auto v = static_cast<std::size_t>(ep.to[i]);
+      const double nd = res.dist[u] + ep.weight[i];
+      if (nd < res.dist[v] - 1e-12) {
+        res.dist[v] = nd;
+        parent[v] = ep.from[i];
+        last_relaxed = ep.to[i];
       }
     }
     if (last_relaxed < 0) return res;  // converged
@@ -41,15 +85,19 @@ BellmanFordResult bellman_ford_all(int num_nodes,
 std::vector<double> bellman_ford_from(int source, int num_nodes,
                                       const std::vector<Edge>& edges) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
+  util::Arena& arena = pass_arena();
+  const EdgePlanes ep = split_planes(arena, edges);
   std::vector<double> dist(static_cast<std::size_t>(num_nodes), kInf);
   dist[static_cast<std::size_t>(source)] = 0.0;
   for (int pass = 0; pass < num_nodes; ++pass) {
     bool changed = false;
-    for (const Edge& e : edges) {
-      if (dist[static_cast<std::size_t>(e.from)] == kInf) continue;
-      const double nd = dist[static_cast<std::size_t>(e.from)] + e.weight;
-      if (nd < dist[static_cast<std::size_t>(e.to)] - 1e-12) {
-        dist[static_cast<std::size_t>(e.to)] = nd;
+    for (std::size_t i = 0; i < ep.size; ++i) {
+      const auto u = static_cast<std::size_t>(ep.from[i]);
+      if (dist[u] == kInf) continue;
+      const auto v = static_cast<std::size_t>(ep.to[i]);
+      const double nd = dist[u] + ep.weight[i];
+      if (nd < dist[v] - 1e-12) {
+        dist[v] = nd;
         changed = true;
       }
     }
@@ -61,31 +109,36 @@ std::vector<double> bellman_ford_from(int source, int num_nodes,
 std::vector<int> find_negative_cycle(int num_nodes,
                                      const std::vector<Edge>& edges,
                                      double tolerance) {
-  std::vector<double> dist(static_cast<std::size_t>(num_nodes), 0.0);
-  std::vector<int> parent_edge(static_cast<std::size_t>(num_nodes), -1);
+  util::Arena& arena = pass_arena();
+  const EdgePlanes ep = split_planes(arena, edges);
+  const std::span<double> dist =
+      arena.alloc_span<double>(static_cast<std::size_t>(num_nodes), 0.0);
+  const std::span<int> parent_edge =
+      arena.alloc_span<int>(static_cast<std::size_t>(num_nodes), -1);
   int last_relaxed = -1;
   for (int pass = 0; pass <= num_nodes; ++pass) {
     last_relaxed = -1;
-    for (std::size_t i = 0; i < edges.size(); ++i) {
-      const Edge& e = edges[i];
-      const double nd = dist[static_cast<std::size_t>(e.from)] + e.weight;
-      if (nd < dist[static_cast<std::size_t>(e.to)] - tolerance) {
-        dist[static_cast<std::size_t>(e.to)] = nd;
-        parent_edge[static_cast<std::size_t>(e.to)] = static_cast<int>(i);
-        last_relaxed = e.to;
+    for (std::size_t i = 0; i < ep.size; ++i) {
+      const auto u = static_cast<std::size_t>(ep.from[i]);
+      const auto v = static_cast<std::size_t>(ep.to[i]);
+      const double nd = dist[u] + ep.weight[i];
+      if (nd < dist[v] - tolerance) {
+        dist[v] = nd;
+        parent_edge[v] = static_cast<int>(i);
+        last_relaxed = ep.to[i];
       }
     }
     if (last_relaxed < 0) return {};
   }
   // Walk back n steps to guarantee we are on the cycle.
+  const auto parent_of = [&](int node) {
+    return ep.from[static_cast<std::size_t>(
+        parent_edge[static_cast<std::size_t>(node)])];
+  };
   int v = last_relaxed;
-  for (int i = 0; i < num_nodes; ++i)
-    v = edges[static_cast<std::size_t>(parent_edge[static_cast<std::size_t>(v)])].from;
+  for (int i = 0; i < num_nodes; ++i) v = parent_of(v);
   std::vector<int> cycle{v};
-  for (int u = edges[static_cast<std::size_t>(parent_edge[static_cast<std::size_t>(v)])].from;
-       u != v;
-       u = edges[static_cast<std::size_t>(parent_edge[static_cast<std::size_t>(u)])].from)
-    cycle.push_back(u);
+  for (int u = parent_of(v); u != v; u = parent_of(u)) cycle.push_back(u);
   cycle.push_back(v);
   std::reverse(cycle.begin(), cycle.end());
   return cycle;

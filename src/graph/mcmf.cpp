@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
 #include "util/error.hpp"
 
 namespace rotclk::graph {
@@ -18,36 +17,52 @@ constexpr double kAdmissibleEps = 1e-9;
 }  // namespace
 
 MinCostMaxFlow::MinCostMaxFlow(int num_nodes)
-    : head_(static_cast<std::size_t>(num_nodes)),
+    : num_nodes_(num_nodes),
       potential_(static_cast<std::size_t>(num_nodes), 0.0) {}
 
 int MinCostMaxFlow::add_arc(int from, int to, double capacity, double cost) {
   if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes())
     throw InvalidArgumentError("mcmf", "arc endpoint out of range");
-  const int id = static_cast<int>(arcs_.size());
-  head_[static_cast<std::size_t>(from)].push_back(id);
-  arcs_.push_back(Arc{to, capacity, cost});
-  head_[static_cast<std::size_t>(to)].push_back(id + 1);
-  arcs_.push_back(Arc{from, 0.0, -cost});
+  const int id = static_cast<int>(arc_to_.size());
+  arc_to_.push_back(to);
+  arc_cap_.push_back(capacity);
+  arc_cost_.push_back(cost);
+  arc_to_.push_back(from);
+  arc_cap_.push_back(0.0);
+  arc_cost_.push_back(-cost);
   return id;
 }
 
-bool MinCostMaxFlow::bellman_ford_potentials(int source) {
+void MinCostMaxFlow::freeze_adjacency() {
+  if (frozen_arcs_ == arc_to_.size()) return;
+  // Arc id k hangs off its tail node, which is the head of its partner
+  // k ^ 1. Counting by tail in ascending id order reproduces exactly the
+  // per-node insertion order of the old vector-of-vectors adjacency.
+  std::vector<std::int32_t> tail(arc_to_.size());
+  for (std::size_t id = 0; id < arc_to_.size(); ++id)
+    tail[id] = arc_to_[id ^ 1];
+  adj_ = util::Csr<std::int32_t>::index_by_keys(num_nodes_, tail);
+  frozen_arcs_ = arc_to_.size();
+}
+
+bool MinCostMaxFlow::bellman_ford_potentials(int source,
+                                             std::span<double> dist) {
   // Establish potentials so all residual reduced costs are nonnegative.
   const int n = num_nodes();
-  std::vector<double> dist(static_cast<std::size_t>(n), kInf);
+  for (double& d : dist) d = kInf;
   dist[static_cast<std::size_t>(source)] = 0.0;
   bool changed = true;
   for (int pass = 0; pass < n && changed; ++pass) {
     changed = false;
     for (int u = 0; u < n; ++u) {
       if (dist[static_cast<std::size_t>(u)] == kInf) continue;
-      for (int id : head_[static_cast<std::size_t>(u)]) {
-        const Arc& a = arcs_[static_cast<std::size_t>(id)];
-        if (a.cap <= kEps) continue;
-        const double nd = dist[static_cast<std::size_t>(u)] + a.cost;
-        if (nd < dist[static_cast<std::size_t>(a.to)] - kEps) {
-          dist[static_cast<std::size_t>(a.to)] = nd;
+      for (const std::int32_t id : adj_.row(u)) {
+        if (arc_cap_[static_cast<std::size_t>(id)] <= kEps) continue;
+        const int to = arc_to_[static_cast<std::size_t>(id)];
+        const double nd = dist[static_cast<std::size_t>(u)] +
+                          arc_cost_[static_cast<std::size_t>(id)];
+        if (nd < dist[static_cast<std::size_t>(to)] - kEps) {
+          dist[static_cast<std::size_t>(to)] = nd;
           changed = true;
         }
       }
@@ -56,67 +71,72 @@ bool MinCostMaxFlow::bellman_ford_potentials(int source) {
   if (changed) return false;  // negative cycle reachable from source
   for (int u = 0; u < n; ++u)
     potential_[static_cast<std::size_t>(u)] =
-        dist[static_cast<std::size_t>(u)] == kInf ? 0.0
-                                                  : dist[static_cast<std::size_t>(u)];
+        dist[static_cast<std::size_t>(u)] == kInf
+            ? 0.0
+            : dist[static_cast<std::size_t>(u)];
   return true;
 }
 
-bool MinCostMaxFlow::dijkstra(int source, int target,
-                              std::vector<int>& parent_arc) {
+bool MinCostMaxFlow::dijkstra(int source, int target, std::span<double> dist,
+                              std::span<int> parent_arc) {
   const int n = num_nodes();
-  std::vector<double> dist(static_cast<std::size_t>(n), kInf);
-  parent_arc.assign(static_cast<std::size_t>(n), -1);
-  using Item = std::pair<double, int>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  for (double& d : dist) d = kInf;
+  for (int& p : parent_arc) p = -1;
+  pq_.clear();
   dist[static_cast<std::size_t>(source)] = 0.0;
-  pq.emplace(0.0, source);
-  while (!pq.empty()) {
-    const auto [d, u] = pq.top();
-    pq.pop();
+  pq_.emplace(0.0, source);
+  while (!pq_.empty()) {
+    const auto [d, u] = pq_.top();
+    pq_.pop();
     if (d > dist[static_cast<std::size_t>(u)] + kEps) continue;
-    for (int id : head_[static_cast<std::size_t>(u)]) {
-      const Arc& a = arcs_[static_cast<std::size_t>(id)];
-      if (a.cap <= kEps) continue;
-      const double reduced = a.cost + potential_[static_cast<std::size_t>(u)] -
-                             potential_[static_cast<std::size_t>(a.to)];
+    for (const std::int32_t id : adj_.row(u)) {
+      if (arc_cap_[static_cast<std::size_t>(id)] <= kEps) continue;
+      const int to = arc_to_[static_cast<std::size_t>(id)];
+      const double reduced = arc_cost_[static_cast<std::size_t>(id)] +
+                             potential_[static_cast<std::size_t>(u)] -
+                             potential_[static_cast<std::size_t>(to)];
       // Reduced costs are >= 0 up to roundoff; clamp tiny negatives.
       const double nd = d + std::max(0.0, reduced);
-      if (nd < dist[static_cast<std::size_t>(a.to)] - kEps) {
-        dist[static_cast<std::size_t>(a.to)] = nd;
-        parent_arc[static_cast<std::size_t>(a.to)] = id;
-        pq.emplace(nd, a.to);
+      if (nd < dist[static_cast<std::size_t>(to)] - kEps) {
+        dist[static_cast<std::size_t>(to)] = nd;
+        parent_arc[static_cast<std::size_t>(to)] = id;
+        pq_.emplace(nd, to);
       }
     }
   }
   if (dist[static_cast<std::size_t>(target)] == kInf) return false;
   for (int u = 0; u < n; ++u) {
     if (dist[static_cast<std::size_t>(u)] < kInf)
-      potential_[static_cast<std::size_t>(u)] += dist[static_cast<std::size_t>(u)];
+      potential_[static_cast<std::size_t>(u)] +=
+          dist[static_cast<std::size_t>(u)];
   }
   return true;
 }
 
 double MinCostMaxFlow::blocking_dfs(int u, int target, double limit,
-                                    const std::vector<int>& level,
-                                    std::vector<int>& it, double& cost) {
+                                    std::span<const int> level,
+                                    std::span<int> it, double& cost) {
   if (u == target) return limit;
+  const auto row = adj_.row(u);
   for (int& i = it[static_cast<std::size_t>(u)];
-       i < static_cast<int>(head_[static_cast<std::size_t>(u)].size()); ++i) {
-    const int id = head_[static_cast<std::size_t>(u)][static_cast<std::size_t>(i)];
-    Arc& a = arcs_[static_cast<std::size_t>(id)];
-    if (a.cap <= kEps) continue;
-    if (level[static_cast<std::size_t>(a.to)] !=
+       i < static_cast<int>(row.size()); ++i) {
+    const std::int32_t id = row[static_cast<std::size_t>(i)];
+    double& cap = arc_cap_[static_cast<std::size_t>(id)];
+    if (cap <= kEps) continue;
+    const int to = arc_to_[static_cast<std::size_t>(id)];
+    if (level[static_cast<std::size_t>(to)] !=
         level[static_cast<std::size_t>(u)] + 1)
       continue;
-    const double reduced = a.cost + potential_[static_cast<std::size_t>(u)] -
-                           potential_[static_cast<std::size_t>(a.to)];
+    const double reduced = arc_cost_[static_cast<std::size_t>(id)] +
+                           potential_[static_cast<std::size_t>(u)] -
+                           potential_[static_cast<std::size_t>(to)];
     if (reduced > kAdmissibleEps) continue;
-    const double got = blocking_dfs(a.to, target, std::min(limit, a.cap),
-                                    level, it, cost);
+    const double got =
+        blocking_dfs(to, target, std::min(limit, cap), level, it, cost);
     if (got > kEps) {
-      a.cap -= got;
-      arcs_[static_cast<std::size_t>(id ^ 1)].cap += got;
-      cost += got * a.cost;
+      cap -= got;
+      arc_cap_[static_cast<std::size_t>(id ^ 1)] += got;
+      cost += got * arc_cost_[static_cast<std::size_t>(id)];
       return got;
     }
   }
@@ -126,37 +146,41 @@ double MinCostMaxFlow::blocking_dfs(int u, int target, double limit,
 MinCostMaxFlow::Result MinCostMaxFlow::solve(int source, int target,
                                              double max_flow) {
   Result res;
-  if (!bellman_ford_potentials(source))
-    throw InvalidArgumentError("mcmf", "negative cycle in input graph");
+  freeze_adjacency();
+  arena_.reset();
   const int n = num_nodes();
-  std::vector<int> parent_arc;
-  std::vector<int> level(static_cast<std::size_t>(n));
-  std::vector<int> it(static_cast<std::size_t>(n));
-  std::vector<int> queue;
-  queue.reserve(static_cast<std::size_t>(n));
+  const auto un = static_cast<std::size_t>(n);
+  const std::span<double> dist = arena_.alloc_span<double>(un, kInf);
+  const std::span<int> parent_arc = arena_.alloc_span<int>(un, -1);
+  const std::span<int> level = arena_.alloc_span<int>(un, -1);
+  const std::span<int> it = arena_.alloc_span<int>(un, 0);
+  const std::span<int> queue = arena_.alloc_span<int>(un, 0);
+  if (!bellman_ford_potentials(source, dist))
+    throw InvalidArgumentError("mcmf", "negative cycle in input graph");
   while (res.flow + kEps < max_flow) {
-    if (!dijkstra(source, target, parent_arc)) break;
+    if (!dijkstra(source, target, dist, parent_arc)) break;
     // After the potential update every arc on a shortest path has reduced
     // cost ~0. Saturate the whole admissible (reduced cost ~ 0) subgraph
     // with a blocking flow: BFS levels keep the DFS acyclic even when the
     // admissible subgraph has zero-cost cycles.
-    level.assign(static_cast<std::size_t>(n), -1);
-    queue.clear();
-    queue.push_back(source);
+    for (int& l : level) l = -1;
+    std::size_t qn = 0;
+    queue[qn++] = source;
     level[static_cast<std::size_t>(source)] = 0;
-    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    for (std::size_t qi = 0; qi < qn; ++qi) {
       const int u = queue[qi];
-      for (int id : head_[static_cast<std::size_t>(u)]) {
-        const Arc& a = arcs_[static_cast<std::size_t>(id)];
-        if (a.cap <= kEps || level[static_cast<std::size_t>(a.to)] >= 0)
+      for (const std::int32_t id : adj_.row(u)) {
+        const int to = arc_to_[static_cast<std::size_t>(id)];
+        if (arc_cap_[static_cast<std::size_t>(id)] <= kEps ||
+            level[static_cast<std::size_t>(to)] >= 0)
           continue;
-        const double reduced = a.cost +
+        const double reduced = arc_cost_[static_cast<std::size_t>(id)] +
                                potential_[static_cast<std::size_t>(u)] -
-                               potential_[static_cast<std::size_t>(a.to)];
+                               potential_[static_cast<std::size_t>(to)];
         if (reduced > kAdmissibleEps) continue;
-        level[static_cast<std::size_t>(a.to)] =
+        level[static_cast<std::size_t>(to)] =
             level[static_cast<std::size_t>(u)] + 1;
-        queue.push_back(a.to);
+        queue[qn++] = to;
       }
     }
     if (level[static_cast<std::size_t>(target)] < 0) {
@@ -166,20 +190,20 @@ MinCostMaxFlow::Result MinCostMaxFlow::solve(int source, int target,
       double push = max_flow - res.flow;
       for (int v = target; v != source;) {
         const int id = parent_arc[static_cast<std::size_t>(v)];
-        push = std::min(push, arcs_[static_cast<std::size_t>(id)].cap);
-        v = arcs_[static_cast<std::size_t>(id ^ 1)].to;
+        push = std::min(push, arc_cap_[static_cast<std::size_t>(id)]);
+        v = arc_to_[static_cast<std::size_t>(id ^ 1)];
       }
       for (int v = target; v != source;) {
         const int id = parent_arc[static_cast<std::size_t>(v)];
-        arcs_[static_cast<std::size_t>(id)].cap -= push;
-        arcs_[static_cast<std::size_t>(id ^ 1)].cap += push;
-        res.cost += push * arcs_[static_cast<std::size_t>(id)].cost;
-        v = arcs_[static_cast<std::size_t>(id ^ 1)].to;
+        arc_cap_[static_cast<std::size_t>(id)] -= push;
+        arc_cap_[static_cast<std::size_t>(id ^ 1)] += push;
+        res.cost += push * arc_cost_[static_cast<std::size_t>(id)];
+        v = arc_to_[static_cast<std::size_t>(id ^ 1)];
       }
       res.flow += push;
       continue;
     }
-    it.assign(static_cast<std::size_t>(n), 0);
+    for (int& i : it) i = 0;
     while (res.flow + kEps < max_flow) {
       const double pushed = blocking_dfs(source, target, max_flow - res.flow,
                                          level, it, res.cost);
@@ -192,21 +216,20 @@ MinCostMaxFlow::Result MinCostMaxFlow::solve(int source, int target,
 
 double MinCostMaxFlow::flow_on(int arc_id) const {
   // Flow equals the residual capacity accumulated on the reverse arc.
-  return arcs_[static_cast<std::size_t>(arc_id ^ 1)].cap;
+  return arc_cap_[static_cast<std::size_t>(arc_id ^ 1)];
 }
 
 MinCostMaxFlow::ArcView MinCostMaxFlow::arc(int arc_id) const {
   if (arc_id < 0 || arc_id % 2 != 0 ||
-      static_cast<std::size_t>(arc_id) >= arcs_.size())
+      static_cast<std::size_t>(arc_id) >= arc_to_.size())
     throw InvalidArgumentError("mcmf", "arc id is not a forward arc id");
-  const Arc& fwd = arcs_[static_cast<std::size_t>(arc_id)];
-  const Arc& bwd = arcs_[static_cast<std::size_t>(arc_id) + 1];
+  const auto fwd = static_cast<std::size_t>(arc_id);
   ArcView v;
-  v.from = bwd.to;
-  v.to = fwd.to;
-  v.capacity = fwd.cap + bwd.cap;  // residual + used = original
-  v.cost = fwd.cost;
-  v.flow = bwd.cap;
+  v.from = arc_to_[fwd + 1];
+  v.to = arc_to_[fwd];
+  v.capacity = arc_cap_[fwd] + arc_cap_[fwd + 1];  // residual + used
+  v.cost = arc_cost_[fwd];
+  v.flow = arc_cap_[fwd + 1];
   return v;
 }
 

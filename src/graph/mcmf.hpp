@@ -11,10 +11,25 @@
 // plain successive-shortest-paths: every path pushed has reduced cost
 // zero, so the SSP invariant holds throughout.
 //
+// Storage is structure-of-arrays on flat planes: immutable CSR adjacency
+// (node -> arc ids, frozen at the first solve after the last add_arc)
+// plus to/cost planes, and one mutable residual-capacity plane the solve
+// updates in place. Per-solve scratch (distances, parents, BFS levels)
+// is drawn from a util::Arena recycled across solves. The CSR rows keep
+// add_arc() insertion order, so pivoting the old vector-of-vectors
+// adjacency onto this layout left every solve bit-identical (pinned by
+// test_arena_kernels).
+//
 // This is the solver behind the flip-flop-to-ring assignment of Sec. V
 // (Fig. 4): unit-supply flip-flop nodes, capacity-U_j ring nodes.
 
+#include <cstdint>
+#include <queue>
+#include <span>
+#include <utility>
 #include <vector>
+
+#include "util/arena.hpp"
 
 namespace rotclk::graph {
 
@@ -38,12 +53,12 @@ class MinCostMaxFlow {
   /// Flow currently on the arc with this id (after solve()).
   [[nodiscard]] double flow_on(int arc_id) const;
 
-  [[nodiscard]] int num_nodes() const { return static_cast<int>(head_.size()); }
+  [[nodiscard]] int num_nodes() const { return num_nodes_; }
 
   /// Number of arcs added via add_arc() (each owns ids 2k and 2k+1
   /// internally; this counts the caller-visible forward arcs).
   [[nodiscard]] int num_arcs() const {
-    return static_cast<int>(arcs_.size() / 2);
+    return static_cast<int>(arc_to_.size() / 2);
   }
 
   /// Read-only view of one caller-added arc, for external certificate
@@ -66,20 +81,35 @@ class MinCostMaxFlow {
   }
 
  private:
-  struct Arc {
-    int to;
-    double cap;   // residual capacity
-    double cost;
-  };
-  // Forward arc 2k pairs with backward arc 2k+1.
-  std::vector<Arc> arcs_;
-  std::vector<std::vector<int>> head_;  // node -> arc indices
+  // SoA arc planes; forward arc 2k pairs with backward arc 2k+1. The
+  // from-node of arc id is arc_to_[id ^ 1]. cap is the mutable residual
+  // plane; to/cost are fixed once added.
+  std::vector<std::int32_t> arc_to_;
+  std::vector<double> arc_cap_;
+  std::vector<double> arc_cost_;
+  // node -> arc ids, insertion-ordered; rebuilt lazily when arcs were
+  // added since the last freeze.
+  util::Csr<std::int32_t> adj_;
+  std::size_t frozen_arcs_ = 0;
+  int num_nodes_ = 0;
   std::vector<double> potential_;
+  util::Arena arena_;  ///< per-solve scratch, recycled by reset()
 
-  bool bellman_ford_potentials(int source);
-  bool dijkstra(int source, int target, std::vector<int>& parent_arc);
+  // Dijkstra priority queue, reused across phases (exposes the protected
+  // container so clear() keeps the capacity).
+  using PqItem = std::pair<double, int>;
+  struct ReusableQueue
+      : std::priority_queue<PqItem, std::vector<PqItem>, std::greater<>> {
+    void clear() { c.clear(); }
+  };
+  ReusableQueue pq_;
+
+  void freeze_adjacency();
+  bool bellman_ford_potentials(int source, std::span<double> dist);
+  bool dijkstra(int source, int target, std::span<double> dist,
+                std::span<int> parent_arc);
   double blocking_dfs(int u, int target, double limit,
-                      const std::vector<int>& level, std::vector<int>& it,
+                      std::span<const int> level, std::span<int> it,
                       double& cost);
 };
 

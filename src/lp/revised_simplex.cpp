@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <vector>
 
+#include "util/arena.hpp"
 #include "util/fault.hpp"
 #include "util/logging.hpp"
 
@@ -136,8 +138,10 @@ class RevisedSolver {
     n_ = structural + slack_count + artificial_count;
 
     cols_.resize(static_cast<std::size_t>(n_));
-    cost_.assign(static_cast<std::size_t>(n_), 0.0);
-    b_.assign(static_cast<std::size_t>(m_), 0.0);
+    // Dense numeric planes live in one arena; the sparse column store
+    // (the factorization input) keeps its own per-column vectors.
+    cost_ = arena_.alloc_span<double>(static_cast<std::size_t>(n_), 0.0);
+    b_ = arena_.alloc_span<double>(static_cast<std::size_t>(m_), 0.0);
     basis_.assign(static_cast<std::size_t>(m_), -1);
 
     for (int r = 0; r < m_; ++r) {
@@ -179,12 +183,17 @@ class RevisedSolver {
       }
     }
 
-    basic_.assign(static_cast<std::size_t>(n_), 0);
+    basic_ = arena_.alloc_span<char>(static_cast<std::size_t>(n_), 0);
     for (int r = 0; r < m_; ++r) basic_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] = 1;
     // Initial basis is identity (slacks/artificials): B^{-1} = I, xB = b.
-    binv_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_), 0.0);
-    for (int r = 0; r < m_; ++r) binv_[static_cast<std::size_t>(r) * static_cast<std::size_t>(m_) + static_cast<std::size_t>(r)] = 1.0;
-    xb_ = b_;
+    const auto mm = static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_);
+    binv_ = util::MatrixView{arena_.alloc_span<double>(mm, 0.0).data(), m_, m_, m_};
+    for (int r = 0; r < m_; ++r) binv_.at(r, r) = 1.0;
+    xb_ = arena_.alloc_span<double>(static_cast<std::size_t>(m_));
+    std::copy(b_.begin(), b_.end(), xb_.begin());
+    // Per-iterate workspaces, reused across both phases.
+    y_ = arena_.alloc_span<double>(static_cast<std::size_t>(m_), 0.0);
+    d_ = arena_.alloc_span<double>(static_cast<std::size_t>(m_), 0.0);
   }
 
   [[nodiscard]] double col_cost(int j) const {
@@ -193,8 +202,8 @@ class RevisedSolver {
   }
 
   SolveStatus iterate(long& iterations) {
-    std::vector<double> y(static_cast<std::size_t>(m_));
-    std::vector<double> d(static_cast<std::size_t>(m_));
+    const std::span<double> y = y_;
+    const std::span<double> d = d_;
     int degenerate_streak = 0;
     while (true) {
       if (iterations >= opt_.max_iterations) return SolveStatus::IterationLimit;
@@ -203,8 +212,9 @@ class RevisedSolver {
       for (int r = 0; r < m_; ++r) {
         const double cb = col_cost(basis_[static_cast<std::size_t>(r)]);
         if (cb == 0.0) continue;
-        const double* row = &binv_[static_cast<std::size_t>(r) * static_cast<std::size_t>(m_)];
-        for (int k = 0; k < m_; ++k) y[static_cast<std::size_t>(k)] += cb * row[k];
+        const std::span<const double> row = binv_.row(r);
+        for (int k = 0; k < m_; ++k)
+          y[static_cast<std::size_t>(k)] += cb * row[static_cast<std::size_t>(k)];
       }
       // Pricing.
       const bool bland = degenerate_streak >= opt_.bland_after_degenerate;
@@ -228,8 +238,7 @@ class RevisedSolver {
       std::fill(d.begin(), d.end(), 0.0);
       for (const auto& [r, v] : cols_[static_cast<std::size_t>(enter)].entries) {
         for (int i = 0; i < m_; ++i)
-          d[static_cast<std::size_t>(i)] +=
-              v * binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m_) + static_cast<std::size_t>(r)];
+          d[static_cast<std::size_t>(i)] += v * binv_.at(i, r);
       }
       // Ratio test.
       int leave = -1;
@@ -246,17 +255,19 @@ class RevisedSolver {
       }
       if (leave < 0) return SolveStatus::Unbounded;
       degenerate_streak = best_ratio <= opt_.tolerance ? degenerate_streak + 1 : 0;
+      if (opt_.pivot_log != nullptr) opt_.pivot_log->emplace_back(leave, enter);
       // Pivot: update B^{-1} and xB with the eta transformation.
       const double piv = d[static_cast<std::size_t>(leave)];
-      double* lrow = &binv_[static_cast<std::size_t>(leave) * static_cast<std::size_t>(m_)];
-      for (int k = 0; k < m_; ++k) lrow[k] /= piv;
+      const std::span<double> lrow = binv_.row(leave);
+      for (int k = 0; k < m_; ++k) lrow[static_cast<std::size_t>(k)] /= piv;
       xb_[static_cast<std::size_t>(leave)] /= piv;
       for (int r = 0; r < m_; ++r) {
         if (r == leave) continue;
         const double f = d[static_cast<std::size_t>(r)];
         if (f == 0.0) continue;
-        double* row = &binv_[static_cast<std::size_t>(r) * static_cast<std::size_t>(m_)];
-        for (int k = 0; k < m_; ++k) row[k] -= f * lrow[k];
+        const std::span<double> row = binv_.row(r);
+        for (int k = 0; k < m_; ++k)
+          row[static_cast<std::size_t>(k)] -= f * lrow[static_cast<std::size_t>(k)];
         xb_[static_cast<std::size_t>(r)] -= f * xb_[static_cast<std::size_t>(leave)];
       }
       basic_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(leave)])] = 0;
@@ -269,7 +280,8 @@ class RevisedSolver {
   Solution finish(Solution sol) {
     sol.values.assign(model_.variables().size(), 0.0);
     if (sol.status != SolveStatus::Optimal) return sol;
-    std::vector<double> y(static_cast<std::size_t>(n_), 0.0);
+    const std::span<double> y =
+        arena_.alloc_span<double>(static_cast<std::size_t>(n_), 0.0);
     for (int r = 0; r < m_; ++r)
       y[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] =
           xb_[static_cast<std::size_t>(r)];
@@ -302,14 +314,17 @@ class RevisedSolver {
 
   const Model& model_;
   const SolveOptions& opt_;
+  util::Arena arena_;  // dense planes + workspaces; stable for the solve
   std::vector<VarMap> maps_;
   std::vector<SparseCol> cols_;
-  std::vector<double> cost_;
-  std::vector<double> b_;
-  std::vector<double> binv_;  // m x m row-major
-  std::vector<double> xb_;
+  std::span<double> cost_;
+  std::span<double> b_;
+  util::MatrixView binv_;  // m x m row-major
+  std::span<double> xb_;
+  std::span<double> y_;  // iterate() workspace: y = c_B^T B^{-1}
+  std::span<double> d_;  // iterate() workspace: d = B^{-1} A_enter
   std::vector<int> basis_;
-  std::vector<char> basic_;
+  std::span<char> basic_;
   int m_ = 0;
   int n_ = 0;
   int first_artificial_ = 0;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
+#include "util/arena.hpp"
 #include "util/fault.hpp"
 #include "util/logging.hpp"
 
@@ -40,7 +42,8 @@ class Tableau {
     Solution sol;
     // ---- Phase 1: minimize sum of artificials ----------------------------
     if (num_artificials_ > 0) {
-      std::vector<double> phase1_cost(num_cols_, 0.0);
+      const std::span<double> phase1_cost =
+          arena_.alloc_span<double>(static_cast<std::size_t>(num_cols_), 0.0);
       for (int j = first_artificial_; j < num_cols_; ++j) phase1_cost[static_cast<std::size_t>(j)] = 1.0;
       set_objective(phase1_cost);
       const SolveStatus st = iterate(sol.iterations);
@@ -62,7 +65,7 @@ class Tableau {
   }
 
  private:
-  double& at(int r, int c) { return tab_[static_cast<std::size_t>(r) * static_cast<std::size_t>(stride_) + static_cast<std::size_t>(c)]; }
+  double& at(int r, int c) { return tab_.at(r, c); }
   double& rhs(int r) { return at(r, num_cols_); }
 
   void build() {
@@ -152,8 +155,13 @@ class Tableau {
     num_cols_ = structural + slack_count + artificial_count;
     stride_ = num_cols_ + 1;
 
-    tab_.assign(static_cast<std::size_t>(num_rows_) * static_cast<std::size_t>(stride_), 0.0);
-    obj_.assign(static_cast<std::size_t>(stride_), 0.0);
+    // One flat arena block; row r is the contiguous span
+    // [r*stride_, r*stride_ + stride_) the pivot kernels sweep.
+    const auto cells = static_cast<std::size_t>(num_rows_) *
+                       static_cast<std::size_t>(stride_);
+    tab_ = util::MatrixView{arena_.alloc_span<double>(cells, 0.0).data(),
+                            num_rows_, stride_, stride_};
+    obj_ = arena_.alloc_span<double>(static_cast<std::size_t>(stride_), 0.0);
     basis_.assign(static_cast<std::size_t>(num_rows_), -1);
 
     int slack = first_slack_, artificial = first_artificial_;
@@ -179,7 +187,7 @@ class Tableau {
     }
 
     // Real cost vector over standard-form columns (minimization).
-    cost_.assign(static_cast<std::size_t>(num_cols_), 0.0);
+    cost_ = arena_.alloc_span<double>(static_cast<std::size_t>(num_cols_), 0.0);
     const double sign = model_.objective == Objective::Minimize ? 1.0 : -1.0;
     for (std::size_t i = 0; i < vars.size(); ++i) {
       const VarMap& m = maps_[i];
@@ -196,7 +204,7 @@ class Tableau {
   }
 
   // Reset the objective row to reduced costs of `cost` w.r.t. the basis.
-  void set_objective(const std::vector<double>& cost) {
+  void set_objective(std::span<const double> cost) {
     for (int j = 0; j <= num_cols_; ++j) obj_[static_cast<std::size_t>(j)] = j < num_cols_ ? cost[static_cast<std::size_t>(j)] : 0.0;
     for (int r = 0; r < num_rows_; ++r) {
       const double cb = cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])];
@@ -206,7 +214,7 @@ class Tableau {
     }
   }
 
-  double objective_value(const std::vector<double>& cost) {
+  double objective_value(std::span<const double> cost) {
     double v = 0.0;
     for (int r = 0; r < num_rows_; ++r)
       v += cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] * rhs(r);
@@ -248,27 +256,32 @@ class Tableau {
       }
       if (leave < 0) return SolveStatus::Unbounded;
       degenerate_streak = best_ratio <= opt_.tolerance ? degenerate_streak + 1 : 0;
+      if (opt_.pivot_log != nullptr) opt_.pivot_log->emplace_back(leave, enter);
       pivot(leave, enter);
       ++iterations;
     }
   }
 
   void pivot(int leave, int enter) {
-    const double p = at(leave, enter);
-    const double inv = 1.0 / p;
-    for (int j = 0; j <= num_cols_; ++j) at(leave, j) *= inv;
-    at(leave, enter) = 1.0;  // exact
+    // Contiguous strided-row sweeps over the flat tableau; the update
+    // order (ascending j) matches the recorded pivot traces exactly.
+    const std::span<double> lrow = tab_.row(leave);
+    const double inv = 1.0 / lrow[static_cast<std::size_t>(enter)];
+    for (int j = 0; j <= num_cols_; ++j) lrow[static_cast<std::size_t>(j)] *= inv;
+    lrow[static_cast<std::size_t>(enter)] = 1.0;  // exact
     for (int r = 0; r < num_rows_; ++r) {
       if (r == leave) continue;
-      const double f = at(r, enter);
+      const std::span<double> row = tab_.row(r);
+      const double f = row[static_cast<std::size_t>(enter)];
       if (f == 0.0) continue;
-      for (int j = 0; j <= num_cols_; ++j) at(r, j) -= f * at(leave, j);
-      at(r, enter) = 0.0;  // exact
+      for (int j = 0; j <= num_cols_; ++j)
+        row[static_cast<std::size_t>(j)] -= f * lrow[static_cast<std::size_t>(j)];
+      row[static_cast<std::size_t>(enter)] = 0.0;  // exact
     }
     const double f = obj_[static_cast<std::size_t>(enter)];
     if (f != 0.0) {
       for (int j = 0; j <= num_cols_; ++j)
-        obj_[static_cast<std::size_t>(j)] -= f * at(leave, j);
+        obj_[static_cast<std::size_t>(j)] -= f * lrow[static_cast<std::size_t>(j)];
       obj_[static_cast<std::size_t>(enter)] = 0.0;
     }
     basis_[static_cast<std::size_t>(leave)] = enter;
@@ -294,7 +307,8 @@ class Tableau {
     sol.values.assign(model_.variables().size(), 0.0);
     if (sol.status != SolveStatus::Optimal) return sol;
     // Standard-form variable values.
-    std::vector<double> y(static_cast<std::size_t>(num_cols_), 0.0);
+    const std::span<double> y =
+        arena_.alloc_span<double>(static_cast<std::size_t>(num_cols_), 0.0);
     for (int r = 0; r < num_rows_; ++r)
       y[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] = rhs(r);
     for (std::size_t i = 0; i < maps_.size(); ++i) {
@@ -317,9 +331,10 @@ class Tableau {
 
   const Model& model_;
   const SolveOptions& opt_;
-  std::vector<double> tab_;   // num_rows_ x stride_
-  std::vector<double> obj_;   // reduced-cost row (+ rhs cell)
-  std::vector<double> cost_;  // phase-2 cost over standard columns
+  util::Arena arena_;         // owns every numeric block below
+  util::MatrixView tab_;      // num_rows_ x stride_, flat arena block
+  std::span<double> obj_;     // reduced-cost row (+ rhs cell)
+  std::span<double> cost_;    // phase-2 cost over standard columns
   std::vector<int> basis_;
   std::vector<VarMap> maps_;
   int num_rows_ = 0;

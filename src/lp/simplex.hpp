@@ -10,6 +10,7 @@
 // fallback. Intended problem sizes: up to a few thousand rows and ~10^4
 // columns (the LP relaxations in Sec. VI and the skew LP cross-checks).
 
+#include <utility>
 #include <vector>
 
 #include "lp/model.hpp"
@@ -25,6 +26,10 @@ struct SolveOptions {
   double tolerance = 1e-7;        ///< pivot/feasibility tolerance
   /// Switch from Dantzig to Bland's rule after this many degenerate pivots.
   int bland_after_degenerate = 64;
+  /// Optional pivot trace: each executed pivot appends (leaving row,
+  /// entering column) in standard-form indices. The differential kernel
+  /// tests record and replay these to prove bit-identical pivot sequences.
+  std::vector<std::pair<int, int>>* pivot_log = nullptr;
 };
 
 struct Solution {

@@ -34,6 +34,16 @@ RingArray::RingArray(geom::Rect die, const RingArrayConfig& config)
     }
   }
   capacity_.assign(rings_.size(), 0);
+  rect_xlo_.reserve(rings_.size());
+  rect_xhi_.reserve(rings_.size());
+  rect_ylo_.reserve(rings_.size());
+  rect_yhi_.reserve(rings_.size());
+  for (const RotaryRing& ring : rings_) {
+    rect_xlo_.push_back(ring.outline().xlo);
+    rect_xhi_.push_back(ring.outline().xhi);
+    rect_ylo_.push_back(ring.outline().ylo);
+    rect_yhi_.push_back(ring.outline().yhi);
+  }
 }
 
 double RingArray::distance_to_ring(int j, geom::Point p) const {
@@ -57,18 +67,38 @@ int RingArray::nearest_ring(geom::Point p) const {
 
 std::vector<int> RingArray::nearest_rings(geom::Point p, int k) const {
   std::vector<int> order(static_cast<std::size_t>(size()));
-  std::iota(order.begin(), order.end(), 0);
   std::vector<double> dist(order.size());
-  for (int j = 0; j < size(); ++j)
-    dist[static_cast<std::size_t>(j)] = distance_to_ring(j, p);
+  const std::span<const int> got = nearest_rings_into(p, k, order, dist);
+  return {got.begin(), got.end()};
+}
+
+std::span<const int> RingArray::nearest_rings_into(
+    geom::Point p, int k, std::span<int> order_scratch,
+    std::span<double> dist_scratch) const {
+  std::iota(order_scratch.begin(), order_scratch.end(), 0);
+  // Flat-plane distance scan. Each ring is a square, so the minimum over
+  // the four segment projections of closest_point() collapses to
+  //   min(ox + min(|y-ylo|, |y-yhi|), oy + min(|x-xlo|, |x-xhi|))
+  // where ox/oy are the outside-the-slab overhangs |x - clamp(x, ..)|.
+  // Every term is the same subtract/abs/add sequence closest_point
+  // evaluates, so the doubles (and the partial_sort order below) are
+  // bitwise identical to the per-ring projection loop.
+  for (std::size_t j = 0; j < rect_xlo_.size(); ++j) {
+    const double xlo = rect_xlo_[j], xhi = rect_xhi_[j];
+    const double ylo = rect_ylo_[j], yhi = rect_yhi_[j];
+    const double ox = p.x < xlo ? xlo - p.x : (p.x > xhi ? p.x - xhi : 0.0);
+    const double oy = p.y < ylo ? ylo - p.y : (p.y > yhi ? p.y - yhi : 0.0);
+    const double ay = std::min(std::abs(p.y - ylo), std::abs(p.y - yhi));
+    const double ax = std::min(std::abs(p.x - xlo), std::abs(p.x - xhi));
+    dist_scratch[j] = std::min(ox + ay, ax + oy);
+  }
   const int kk = std::min<int>(k, size());
-  std::partial_sort(order.begin(), order.begin() + kk, order.end(),
-                    [&](int a, int b) {
-                      return dist[static_cast<std::size_t>(a)] <
-                             dist[static_cast<std::size_t>(b)];
+  std::partial_sort(order_scratch.begin(), order_scratch.begin() + kk,
+                    order_scratch.end(), [&](int a, int b) {
+                      return dist_scratch[static_cast<std::size_t>(a)] <
+                             dist_scratch[static_cast<std::size_t>(b)];
                     });
-  order.resize(static_cast<std::size_t>(kk));
-  return order;
+  return order_scratch.first(static_cast<std::size_t>(kk));
 }
 
 void RingArray::set_uniform_capacity(int num_flip_flops, double factor) {

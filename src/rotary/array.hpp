@@ -7,6 +7,7 @@
 // every ring's equal-phase reference point carries the same reference delay
 // (the small triangles in Fig. 1(b)).
 
+#include <span>
 #include <vector>
 
 #include "geom/rect.hpp"
@@ -42,6 +43,14 @@ class RingArray {
   /// The k nearest rings, ascending by distance (k clamped to size()).
   [[nodiscard]] std::vector<int> nearest_rings(geom::Point p, int k) const;
 
+  /// nearest_rings() without the per-call allocations: both scratch spans
+  /// must hold size() elements. Returns the first min(k, size()) entries
+  /// of `order_scratch`, in the same order nearest_rings() produces (the
+  /// cost-matrix build runs this against caller-preallocated arena rows).
+  std::span<const int> nearest_rings_into(geom::Point p, int k,
+                                          std::span<int> order_scratch,
+                                          std::span<double> dist_scratch) const;
+
   /// Per-ring flip-flop capacity U_j (Sec. V). Uniform helper:
   /// U_j = ceil(factor * num_ffs / rings), factor > 1 leaves slack.
   void set_uniform_capacity(int num_flip_flops, double factor);
@@ -55,6 +64,11 @@ class RingArray {
   int grid_ = 0;
   std::vector<RotaryRing> rings_;
   std::vector<int> capacity_;
+  /// SoA planes of the ring outlines (xlo, xhi, ylo, yhi per ring), so the
+  /// nearest-ring scans read four flat arrays instead of walking the ring
+  /// objects. Distances computed from these are bitwise identical to
+  /// RotaryRing::closest_point's segment projections.
+  std::vector<double> rect_xlo_, rect_xhi_, rect_ylo_, rect_yhi_;
 };
 
 }  // namespace rotclk::rotary

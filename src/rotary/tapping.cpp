@@ -254,7 +254,69 @@ TapSolution TappingCache::lookup_or_solve(const RotaryRing& ring, int ring_id,
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.map.emplace(key, sol);
   }
+  version_.fetch_add(1, std::memory_order_release);
   return sol;
+}
+
+const TappingCache::Snapshot& TappingCache::snapshot() {
+  if (snapshot_holder_ == nullptr)
+    snapshot_holder_ = std::make_unique<SnapshotHolder>();
+  Snapshot& snap = snapshot_holder_->snap;
+  const std::uint64_t version = version_.load(std::memory_order_acquire);
+  if (snapshot_version_ == version) return snap;  // warm: reuse for free
+  snapshot_arena_.reset();
+  snap = Snapshot{};
+  snap.quantum_um_ = quantum_um_;
+  snap.quantum_ps_ = quantum_ps_;
+  std::size_t entries = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    entries += shard.map.size();
+  }
+  if (entries > 0) {
+    std::size_t cap = 16;
+    while (cap < 2 * entries) cap <<= 1;
+    Key empty;
+    empty.ring = -1;
+    snap.keys_ = snapshot_arena_.alloc_span<Key>(cap, empty);
+    snap.sols_ = snapshot_arena_.alloc_span<TapSolution>(cap);
+    snap.mask_ = cap - 1;
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const auto& [key, sol] : shard.map) {
+        std::size_t i = KeyHash{}(key) & snap.mask_;
+        while (snap.keys_[i].ring >= 0) i = (i + 1) & snap.mask_;
+        snap.keys_[i] = key;
+        snap.sols_[i] = sol;
+        ++snap.entries_;
+      }
+    }
+  }
+  snapshot_version_ = version;
+  return snap;
+}
+
+const TapSolution* TappingCache::Snapshot::find(const RotaryRing& ring,
+                                                int ring_id,
+                                                geom::Point flip_flop,
+                                                double target_delay_ps) const {
+  return find_wrapped(ring_id, flip_flop, ring.wrap_delay(target_delay_ps));
+}
+
+const TapSolution* TappingCache::Snapshot::find_wrapped(
+    int ring_id, geom::Point flip_flop, double wrapped_delay_ps) const {
+  if (keys_.empty()) return nullptr;
+  Key key;
+  key.ring = ring_id;
+  key.x = key_bits(flip_flop.x, quantum_um_);
+  key.y = key_bits(flip_flop.y, quantum_um_);
+  key.tau = key_bits(wrapped_delay_ps, quantum_ps_);
+  std::size_t i = KeyHash{}(key) & mask_;
+  while (keys_[i].ring >= 0) {
+    if (keys_[i] == key) return &sols_[i];
+    i = (i + 1) & mask_;
+  }
+  return nullptr;
 }
 
 TappingCache::Stats TappingCache::stats() const {

@@ -20,11 +20,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 
 #include "geom/point.hpp"
 #include "rotary/ring.hpp"
+#include "util/arena.hpp"
 
 namespace rotclk::rotary {
 
@@ -111,6 +114,18 @@ class TappingCache {
                               geom::Point flip_flop, double target_delay_ps,
                               const TappingParams& params);
 
+  class Snapshot;
+
+  /// Lock-free read-only view of the cache contents: one flat
+  /// open-addressed table owned by the cache (arena-resident, rebuilt only
+  /// when an insert bumped the version since the last call — a warm
+  /// rebuild reuses it for free). Batched readers (the cost-matrix build)
+  /// probe it without sharding or mutexes; a missing key falls back to
+  /// lookup_or_solve, whose insert does not invalidate the returned view
+  /// (identical canonical inputs yield identical solutions, so reading a
+  /// stale table is still exact). Call from one thread at a time.
+  [[nodiscard]] const Snapshot& snapshot();
+
   [[nodiscard]] Stats stats() const;
   void clear();
 
@@ -136,6 +151,49 @@ class TappingCache {
   Shard shards_[kShards];
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> version_{0};  ///< bumped by every insert
+  util::Arena snapshot_arena_;
+  std::uint64_t snapshot_version_ = ~0ull;
+  // The cached Snapshot lives behind the nested-class definition.
+  struct SnapshotHolder;
+  std::unique_ptr<SnapshotHolder> snapshot_holder_;
+};
+
+class TappingCache::Snapshot {
+ public:
+  Snapshot() = default;
+
+  /// The cached solution for (ring_id, flip_flop, target), or nullptr when
+  /// the key was absent at snapshot time (fall back to lookup_or_solve).
+  [[nodiscard]] const TapSolution* find(const RotaryRing& ring, int ring_id,
+                                        geom::Point flip_flop,
+                                        double target_delay_ps) const;
+
+  /// Same lookup with `ring.wrap_delay(target_delay_ps)` already in hand.
+  /// Callers probing several rings per flip-flop hoist the fmod out of
+  /// the loop when the periods match (wrap_delay depends only on the
+  /// target and the period, so equal periods give bit-equal wraps).
+  [[nodiscard]] const TapSolution* find_wrapped(int ring_id,
+                                                geom::Point flip_flop,
+                                                double wrapped_delay_ps) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_; }
+
+ private:
+  friend class TappingCache;
+  /// Keys and solutions live in parallel planes: a probe walks only the
+  /// compact key plane (32 B per slot, mostly cache-resident), and a hit
+  /// reads exactly one solution slot. `ring < 0` marks an empty slot.
+  std::span<Key> keys_;          ///< power-of-two table, linear probing
+  std::span<TapSolution> sols_;  ///< solution plane parallel to keys_
+  std::size_t mask_ = 0;
+  std::size_t entries_ = 0;
+  double quantum_um_ = 0.0;
+  double quantum_ps_ = 0.0;
+};
+
+struct TappingCache::SnapshotHolder {
+  Snapshot snap;
 };
 
 }  // namespace rotclk::rotary

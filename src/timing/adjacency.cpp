@@ -12,57 +12,111 @@ namespace rotclk::timing {
 namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 constexpr double kPosInf = std::numeric_limits<double>::infinity();
+
+// Per-thread scratch for propagate_launcher's arrival planes; reset
+// recycles the chunks, so steady state is zero heap traffic per launcher.
+util::Arena& propagate_arena() {
+  thread_local util::Arena arena;
+  arena.reset();
+  return arena;
+}
 }  // namespace
 
 AdjacencyEngine::AdjacencyEngine(const netlist::Design& design,
                                  const TechParams& tech)
     : design_(design), tech_(tech) {}
 
-void AdjacencyEngine::rebuild_structure() {
+void AdjacencyEngine::rebuild_structure(bool preserve) {
   topo_ = design_.combinational_topo_order();
   ffs_ = design_.flip_flops();
   const std::size_t n = design_.cells().size();
   ff_pos_of_cell_.assign(n, -1);
   for (std::size_t i = 0; i < ffs_.size(); ++i)
     ff_pos_of_cell_[static_cast<std::size_t>(ffs_[i])] = static_cast<int>(i);
-  fanout_.resize(n);
   arcs_of_cell_.resize(n);
+
+  const auto old_off = fan_off_;
+  const auto old_sink = fan_sink_;
+  const auto old_delay = fan_delay_;
+  const auto old_len = fan_len_;
+  if (!preserve) fan_arena_.reset();  // full pass rebuilds every list anyway
+  fan_off_ = fan_arena_.alloc_span<std::size_t>(n + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    fan_off_[i] = total;
+    const netlist::Cell& c = design_.cell(static_cast<int>(i));
+    if (c.out_net >= 0) total += design_.net(c.out_net).sinks.size();
+  }
+  fan_off_[n] = total;
+  fan_sink_ = fan_arena_.alloc_span<std::int32_t>(total, 0);
+  fan_delay_ = fan_arena_.alloc_span<double>(total, 0.0);
+  fan_len_ = fan_arena_.alloc_span<std::int32_t>(n, 0);
+  if (preserve) {
+    // A structural refresh keeps clean cells' cached delay entries; the
+    // dirty ones are rewritten right after. Old chunks never move, so the
+    // superseded spans stay readable for this copy.
+    const std::size_t old_n = old_off.empty() ? 0 : old_off.size() - 1;
+    for (std::size_t i = 0; i < n && i < old_n; ++i) {
+      const auto width =
+          static_cast<std::int32_t>(fan_off_[i + 1] - fan_off_[i]);
+      const std::int32_t len = std::min(old_len[i], width);
+      for (std::int32_t e = 0; e < len; ++e) {
+        fan_sink_[fan_off_[i] + static_cast<std::size_t>(e)] =
+            old_sink[old_off[i] + static_cast<std::size_t>(e)];
+        fan_delay_[fan_off_[i] + static_cast<std::size_t>(e)] =
+            old_delay[old_off[i] + static_cast<std::size_t>(e)];
+      }
+      fan_len_[i] = len;
+    }
+  }
 }
 
 void AdjacencyEngine::rebuild_net_delays(const netlist::Placement& placement,
                                          int net) {
   const netlist::Net& nn = design_.net(net);
   if (nn.driver < 0) return;
-  auto& list = fanout_[static_cast<std::size_t>(nn.driver)];
-  list.clear();
-  for (int sink : nn.sinks)
-    list.emplace_back(sink,
-                      stage_delay_ps(design_, placement, net, sink, tech_));
+  const auto ci = static_cast<std::size_t>(nn.driver);
+  const std::size_t base = fan_off_[ci];
+  if (nn.sinks.size() > fan_off_[ci + 1] - base)
+    throw InternalError(
+        "adjacency", "net connectivity grew without a structural rebuild");
+  std::size_t len = 0;
+  for (int sink : nn.sinks) {
+    fan_sink_[base + len] = sink;
+    fan_delay_[base + len] =
+        stage_delay_ps(design_, placement, net, sink, tech_);
+    ++len;
+  }
+  fan_len_[ci] = static_cast<std::int32_t>(len);
   ++stats_.nets_redelayed;
 }
 
 void AdjacencyEngine::propagate_launcher(const netlist::Placement& placement,
                                          std::size_t ff_pos) {
-  (void)placement;  // delays are read from fanout_, rebuilt beforehand
+  (void)placement;  // delays are read from the fanout planes
   const std::size_t n = design_.cells().size();
   const int ff_cell = ffs_[ff_pos];
-  std::vector<double> amax(n, kNegInf), amin(n, kPosInf);
-  for (const auto& [sink, d] : fanout_[static_cast<std::size_t>(ff_cell)]) {
-    amax[static_cast<std::size_t>(sink)] =
-        std::max(amax[static_cast<std::size_t>(sink)], d);
-    amin[static_cast<std::size_t>(sink)] =
-        std::min(amin[static_cast<std::size_t>(sink)], d);
-  }
+  util::Arena& scratch = propagate_arena();
+  const std::span<double> amax = scratch.alloc_span<double>(n, kNegInf);
+  const std::span<double> amin = scratch.alloc_span<double>(n, kPosInf);
+  const auto fan = [&](std::size_t cell, auto&& relax) {
+    const std::size_t base = fan_off_[cell];
+    const auto len = static_cast<std::size_t>(fan_len_[cell]);
+    for (std::size_t e = base; e < base + len; ++e)
+      relax(static_cast<std::size_t>(fan_sink_[e]), fan_delay_[e]);
+  };
+  fan(static_cast<std::size_t>(ff_cell), [&](std::size_t sink, double d) {
+    amax[sink] = std::max(amax[sink], d);
+    amin[sink] = std::min(amin[sink], d);
+  });
   for (int g : topo_) {
     const double gmax = amax[static_cast<std::size_t>(g)];
     if (gmax == kNegInf) continue;
     const double gmin = amin[static_cast<std::size_t>(g)];
-    for (const auto& [sink, d] : fanout_[static_cast<std::size_t>(g)]) {
-      amax[static_cast<std::size_t>(sink)] =
-          std::max(amax[static_cast<std::size_t>(sink)], gmax + d);
-      amin[static_cast<std::size_t>(sink)] =
-          std::min(amin[static_cast<std::size_t>(sink)], gmin + d);
-    }
+    fan(static_cast<std::size_t>(g), [&](std::size_t sink, double d) {
+      amax[sink] = std::max(amax[sink], gmax + d);
+      amin[sink] = std::min(amin[sink], gmin + d);
+    });
   }
   auto& list = arcs_of_cell_[static_cast<std::size_t>(ff_cell)];
   list.clear();
@@ -90,9 +144,8 @@ void AdjacencyEngine::flatten() {
 
 const std::vector<SeqArc>& AdjacencyEngine::full(
     const netlist::Placement& placement) {
-  rebuild_structure();
+  rebuild_structure(/*preserve=*/false);
   const std::size_t n = design_.cells().size();
-  for (auto& list : fanout_) list.clear();
   for (std::size_t net = 0; net < design_.nets().size(); ++net)
     rebuild_net_delays(placement, static_cast<int>(net));
   for (auto& list : arcs_of_cell_) list.clear();
@@ -111,7 +164,7 @@ const std::vector<SeqArc>& AdjacencyEngine::refresh(
     const netlist::Placement& placement, const std::vector<int>& dirty_cells,
     const std::vector<int>& dirty_nets, bool structure_changed) {
   if (!has_baseline_) return full(placement);
-  if (structure_changed) rebuild_structure();
+  if (structure_changed) rebuild_structure(/*preserve=*/true);
   const std::size_t n = design_.cells().size();
   if (positions_.size() < n) {
     // Cells added since the last pass: their nets arrive via dirty_nets,
@@ -150,7 +203,7 @@ const std::vector<SeqArc>& AdjacencyEngine::refresh(
     if (!cell_dirty[i]) continue;
     const netlist::Cell& c = design_.cell(static_cast<int>(i));
     if (c.detached || c.out_net < 0) {
-      fanout_[i].clear();
+      fan_len_[i] = 0;
       arcs_of_cell_[i].clear();  // a detached launcher keeps no arcs
     } else {
       rebuild_net_delays(placement, c.out_net);

@@ -24,6 +24,7 @@
 // lists in flip-flop order either way.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "geom/point.hpp"
@@ -31,6 +32,7 @@
 #include "netlist/placement.hpp"
 #include "timing/sta.hpp"
 #include "timing/tech.hpp"
+#include "util/arena.hpp"
 
 namespace rotclk::timing {
 
@@ -74,7 +76,11 @@ class AdjacencyEngine {
     double d_min_ps = 0.0;
   };
 
-  void rebuild_structure();
+  /// Recompute topo order, flip-flop list and the fanout plane offsets.
+  /// With `preserve` the cached per-cell delay entries are copied into the
+  /// new planes (a structural refresh keeps clean cells' lists); without
+  /// it the plane arena is recycled and every list starts empty.
+  void rebuild_structure(bool preserve);
   void rebuild_net_delays(const netlist::Placement& placement, int net);
   void propagate_launcher(const netlist::Placement& placement,
                           std::size_t ff_pos);
@@ -86,8 +92,17 @@ class AdjacencyEngine {
   std::vector<int> topo_;                ///< combinational topo order
   std::vector<int> ffs_;                 ///< flip-flop cells, creation order
   std::vector<int> ff_pos_of_cell_;      ///< cell -> position in ffs_, or -1
-  /// Per driving cell: (sink, stage delay) — exactly its output net's pins.
-  std::vector<std::vector<std::pair<int, double>>> fanout_;
+  /// Per driving cell: (sink, stage delay) — exactly its output net's
+  /// pins, stored as fixed-offset CSR planes. Cell c owns the slots
+  /// [fan_off_[c], fan_off_[c+1]); offsets are fixed by
+  /// rebuild_structure() from the net sink counts, and rebuild_net_delays
+  /// rewrites one driver's sink/delay span in place (fan_len_[c] = 0
+  /// clears a cell without touching its neighbours).
+  util::Arena fan_arena_;
+  std::span<std::size_t> fan_off_;      ///< n + 1 slot offsets
+  std::span<std::int32_t> fan_sink_;    ///< sink cell per slot
+  std::span<double> fan_delay_;         ///< stage delay per slot
+  std::span<std::int32_t> fan_len_;     ///< live entries per cell
   /// Per launcher cell: cached arcs (empty vector if none).
   std::vector<std::vector<CellArc>> arcs_of_cell_;
   std::vector<geom::Point> positions_;   ///< coordinates of the last pass

@@ -1,0 +1,98 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace rotclk::util {
+
+namespace {
+constexpr std::size_t kMaxChunkBytes = std::size_t{1} << 26;  // 64 MiB
+}  // namespace
+
+Arena::Arena(std::size_t first_chunk_bytes)
+    : next_chunk_bytes_(std::max<std::size_t>(first_chunk_bytes, 256)) {}
+
+void* Arena::raw_alloc(std::size_t bytes, std::size_t align) {
+  ++stats_.allocations;
+  stats_.bytes_requested += bytes;
+  // Try the current chunk, then any later (recycled) chunk.
+  while (current_ < chunks_.size()) {
+    Chunk& c = chunks_[current_];
+    const std::size_t aligned = (c.used + align - 1) & ~(align - 1);
+    if (aligned + bytes <= c.size) {
+      c.used = aligned + bytes;
+      return c.data.get() + aligned;
+    }
+    ++current_;
+  }
+  // New chunk: geometric growth, dedicated chunk for oversized requests.
+  std::size_t want = std::max(next_chunk_bytes_, bytes + align);
+  next_chunk_bytes_ = std::min(kMaxChunkBytes, next_chunk_bytes_ * 2);
+  Chunk c;
+  c.data = std::make_unique<std::byte[]>(want);
+  c.size = want;
+  chunks_.push_back(std::move(c));
+  current_ = chunks_.size() - 1;
+  ++stats_.chunks;
+  stats_.bytes_reserved += want;
+  // operator new[] storage is aligned for every fundamental type, so a
+  // fresh chunk always starts aligned.
+  Chunk& nc = chunks_.back();
+  nc.used = bytes;
+  return nc.data.get();
+}
+
+void Arena::reset() {
+  for (Chunk& c : chunks_) c.used = 0;
+  current_ = 0;
+  ++stats_.resets;
+}
+
+ArenaMatrix::ArenaMatrix(Arena& arena, int rows, int cols, int row_capacity,
+                         int col_capacity)
+    : arena_(&arena) {
+  if (rows < 0 || cols < 0)
+    throw InvalidArgumentError("arena", "negative matrix dimensions");
+  row_cap_ = std::max(rows, row_capacity);
+  const int stride = std::max(cols, col_capacity);
+  view_.rows = rows;
+  view_.cols = cols;
+  view_.stride = stride;
+  const std::size_t total =
+      static_cast<std::size_t>(row_cap_) * static_cast<std::size_t>(stride);
+  view_.data = arena_->alloc<double>(total);
+  std::memset(view_.data, 0, total * sizeof(double));
+}
+
+void ArenaMatrix::append_row() {
+  if (view_.rows == row_cap_)
+    regrow(std::max(1, row_cap_ * 2), view_.stride);
+  // Rows are zeroed at allocation/regrow time; just expose one more.
+  ++view_.rows;
+}
+
+void ArenaMatrix::append_col() {
+  if (view_.cols == view_.stride)
+    regrow(row_cap_, std::max(1, view_.stride * 2));
+  ++view_.cols;
+}
+
+void ArenaMatrix::regrow(int new_row_cap, int new_stride) {
+  const std::size_t total = static_cast<std::size_t>(new_row_cap) *
+                            static_cast<std::size_t>(new_stride);
+  double* fresh = arena_->alloc<double>(total);
+  std::memset(fresh, 0, total * sizeof(double));
+  for (int r = 0; r < view_.rows; ++r)
+    std::memcpy(fresh + static_cast<std::size_t>(r) *
+                            static_cast<std::size_t>(new_stride),
+                view_.data + static_cast<std::size_t>(r) *
+                                 static_cast<std::size_t>(view_.stride),
+                static_cast<std::size_t>(view_.cols) * sizeof(double));
+  view_.data = fresh;
+  view_.stride = new_stride;
+  row_cap_ = new_row_cap;
+}
+
+}  // namespace rotclk::util

@@ -1,0 +1,241 @@
+#pragma once
+// Arena-backed storage for the numeric kernels (LP simplex tableau, CSR
+// graph cores, assignment cost matrix).
+//
+// Three pieces, in the unmanaged-view / managed-owner idiom:
+//
+//  - `Arena`: a chunked bump allocator. Allocations are served from the
+//    current chunk; when it runs out a *new* chunk is added, so memory
+//    handed out earlier NEVER moves — live views stay valid across
+//    arbitrary further allocation (the property the kernels rely on, and
+//    what "capacity-reserved growth" means here). `reset()` recycles every
+//    chunk for the next solve without returning memory to the system.
+//    A `Stats` hook counts allocations/bytes so tests can assert a hot
+//    path performs O(1) arena allocations instead of O(n) heap ones.
+//
+//  - `MatrixView` / `ArenaMatrix`: a strided 2-D view over one flat block
+//    (`ptr` + rows/cols/stride) and its arena-backed owner. Row operations
+//    on the view are contiguous array sweeps — this is the dense simplex
+//    tableau layout, after LoopModels' Simplex.hpp.
+//
+//  - `Csr<T>` / `CsrView<T>`: compressed-sparse-row adjacency. The owner
+//    holds exactly two flat arrays (offsets, values); the view is a
+//    pointer pair the inner loops iterate. `Csr::from_keys` groups values
+//    by row *stably*, so a CSR row preserves the insertion order of the
+//    vector-of-vectors layout it replaces — which is what keeps the
+//    migrated kernels bit-identical to the old ones.
+//
+// None of this is thread-safe; one Arena serves one solver instance (the
+// parallel cost-matrix build allocates up front, then workers write
+// disjoint spans of the already-allocated rows).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace rotclk::util {
+
+class Arena {
+ public:
+  /// `first_chunk_bytes` sizes the first chunk; later chunks double until
+  /// `max_chunk_bytes`. Oversized requests get a dedicated chunk.
+  explicit Arena(std::size_t first_chunk_bytes = 1 << 16);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `count` objects of trivially-destructible
+  /// T. The returned block never moves for the lifetime of the Arena (or
+  /// until reset()).
+  template <typename T>
+  T* alloc(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is never destructed");
+    return static_cast<T*>(raw_alloc(count * sizeof(T), alignof(T)));
+  }
+
+  /// alloc() + value-fill, returned as a span.
+  template <typename T>
+  std::span<T> alloc_span(std::size_t count, T fill = T{}) {
+    T* p = alloc<T>(count);
+    for (std::size_t i = 0; i < count; ++i) p[i] = fill;
+    return {p, count};
+  }
+
+  /// Recycle every chunk (capacity is kept, nothing is freed). All
+  /// previously returned pointers and views become invalid.
+  void reset();
+
+  struct Stats {
+    std::uint64_t allocations = 0;     ///< alloc() calls served
+    std::uint64_t bytes_requested = 0; ///< sum of requested sizes
+    std::uint64_t bytes_reserved = 0;  ///< sum of chunk sizes (high water)
+    std::uint64_t chunks = 0;          ///< chunks ever created
+    std::uint64_t resets = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void* raw_alloc(std::size_t bytes, std::size_t align);
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;  ///< index of the chunk being bumped
+  std::size_t next_chunk_bytes_;
+  Stats stats_;
+};
+
+/// Unmanaged strided 2-D view: row r is the contiguous span
+/// [data + r*stride, data + r*stride + cols). stride >= cols; the gap (if
+/// any) is reserved column capacity.
+struct MatrixView {
+  double* data = nullptr;
+  int rows = 0;
+  int cols = 0;
+  int stride = 0;
+
+  [[nodiscard]] double& at(int r, int c) const {
+    return data[static_cast<std::size_t>(r) * static_cast<std::size_t>(stride) +
+                static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::span<double> row(int r) const {
+    return {data + static_cast<std::size_t>(r) * static_cast<std::size_t>(stride),
+            static_cast<std::size_t>(cols)};
+  }
+};
+
+/// Managed owner of a MatrixView, storage drawn from an Arena. Rows and
+/// columns may grow up to the reserved capacities without the data moving
+/// (appended cells are zeroed); growth past capacity allocates a fresh
+/// block from the arena and copies, invalidating earlier views.
+class ArenaMatrix {
+ public:
+  ArenaMatrix(Arena& arena, int rows, int cols, int row_capacity = 0,
+              int col_capacity = 0);
+
+  [[nodiscard]] double& at(int r, int c) { return view_.at(r, c); }
+  [[nodiscard]] std::span<double> row(int r) { return view_.row(r); }
+  [[nodiscard]] MatrixView view() const { return view_; }
+  [[nodiscard]] int rows() const { return view_.rows; }
+  [[nodiscard]] int cols() const { return view_.cols; }
+  [[nodiscard]] int row_capacity() const { return row_cap_; }
+
+  /// Append a zeroed row; within row_capacity the storage does not move.
+  void append_row();
+  /// Append a zeroed column; within the reserved stride nothing moves.
+  void append_col();
+
+ private:
+  void regrow(int new_row_cap, int new_stride);
+
+  Arena* arena_;
+  MatrixView view_;
+  int row_cap_ = 0;
+};
+
+/// Unmanaged CSR view: `offsets` has num_rows+1 entries; row r's values
+/// are values[offsets[r] .. offsets[r+1]).
+template <typename T>
+struct CsrView {
+  const std::int32_t* offsets = nullptr;
+  const T* values = nullptr;
+  std::int32_t num_rows = 0;
+
+  [[nodiscard]] std::span<const T> row(int r) const {
+    const auto b = static_cast<std::size_t>(offsets[r]);
+    const auto e = static_cast<std::size_t>(offsets[r + 1]);
+    return {values + b, e - b};
+  }
+  /// Subscript alias for row(), so a view drops into code that indexed a
+  /// vector-of-vectors.
+  [[nodiscard]] std::span<const T> operator[](std::size_t r) const {
+    return row(static_cast<int>(r));
+  }
+  [[nodiscard]] int row_size(int r) const {
+    return static_cast<int>(offsets[r + 1] - offsets[r]);
+  }
+  [[nodiscard]] std::int32_t size() const {
+    return offsets == nullptr ? 0 : offsets[num_rows];
+  }
+};
+
+/// Managed CSR owner: exactly two flat arrays, however many rows.
+template <typename T>
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Group `values[i]` under row `keys[i]`, preserving input order within
+  /// each row (stable counting sort) — bit-for-bit the iteration order of
+  /// the vector-of-vectors layout built by push_back in input order.
+  /// Entries with out-of-range keys are dropped.
+  template <typename Keys, typename Values>
+  static Csr from_keys(int num_rows, const Keys& keys, const Values& values) {
+    Csr out;
+    out.offsets_.assign(static_cast<std::size_t>(num_rows) + 1, 0);
+    const std::size_t n = std::size(keys);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int k = static_cast<int>(keys[i]);
+      if (k >= 0 && k < num_rows) ++out.offsets_[static_cast<std::size_t>(k) + 1];
+    }
+    for (int r = 0; r < num_rows; ++r)
+      out.offsets_[static_cast<std::size_t>(r) + 1] +=
+          out.offsets_[static_cast<std::size_t>(r)];
+    out.values_.resize(static_cast<std::size_t>(out.offsets_.back()));
+    std::vector<std::int32_t> cursor(out.offsets_.begin(),
+                                     out.offsets_.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int k = static_cast<int>(keys[i]);
+      if (k < 0 || k >= num_rows) continue;
+      out.values_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(k)]++)] =
+          values[i];
+    }
+    return out;
+  }
+
+  /// Rows of ascending indices 0..n-1 grouped by key (common "row r holds
+  /// the ids of its members" case): values[i] == i.
+  template <typename Keys>
+  static Csr index_by_keys(int num_rows, const Keys& keys) {
+    std::vector<T> ids(std::size(keys));
+    for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<T>(i);
+    return from_keys(num_rows, keys, ids);
+  }
+
+  [[nodiscard]] int num_rows() const {
+    return offsets_.empty() ? 0 : static_cast<int>(offsets_.size()) - 1;
+  }
+  [[nodiscard]] std::span<const T> row(int r) const {
+    const auto b = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(r)]);
+    const auto e =
+        static_cast<std::size_t>(offsets_[static_cast<std::size_t>(r) + 1]);
+    return {values_.data() + b, e - b};
+  }
+  [[nodiscard]] int row_size(int r) const {
+    return static_cast<int>(offsets_[static_cast<std::size_t>(r) + 1] -
+                            offsets_[static_cast<std::size_t>(r)]);
+  }
+  [[nodiscard]] std::int32_t size() const {
+    return offsets_.empty() ? 0 : offsets_.back();
+  }
+  [[nodiscard]] CsrView<T> view() const {
+    return {offsets_.data(), values_.data(), num_rows()};
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& offsets() const {
+    return offsets_;
+  }
+  [[nodiscard]] const std::vector<T>& values() const { return values_; }
+
+ private:
+  std::vector<std::int32_t> offsets_;
+  std::vector<T> values_;
+};
+
+}  // namespace rotclk::util

@@ -1,0 +1,206 @@
+// Property tests for the arena layer itself (util/arena): stable-pointer
+// growth, strided tableau ops against a naive 2-D reference, and CSR
+// round-trips on degenerate graphs. The kernels built on top are covered
+// by test_arena_kernels.cpp.
+
+#include "util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rotclk {
+namespace {
+
+TEST(Arena, GrowthNeverMovesLiveAllocations) {
+  util::Arena arena(128);  // tiny first chunk to force many growths
+  util::Rng rng(1);
+  std::vector<std::pair<double*, std::vector<double>>> live;
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 300));
+    double* p = arena.alloc<double>(n);
+    std::vector<double> expect(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      expect[k] = rng.uniform(-1e6, 1e6);
+      p[k] = expect[k];
+    }
+    live.emplace_back(p, std::move(expect));
+    // Every allocation so far still holds its bytes at the same address.
+    for (const auto& [q, vals] : live)
+      ASSERT_EQ(0, std::memcmp(q, vals.data(), vals.size() * sizeof(double)));
+  }
+  EXPECT_GT(arena.stats().chunks, 1u);  // growth actually happened
+  EXPECT_EQ(arena.stats().allocations, 200u);
+}
+
+TEST(Arena, ResetRecyclesWithoutNewChunks) {
+  util::Arena arena(1 << 12);
+  for (int i = 0; i < 64; ++i) arena.alloc<double>(64);
+  const auto chunks_before = arena.stats().chunks;
+  arena.reset();
+  for (int i = 0; i < 64; ++i) arena.alloc<double>(64);
+  EXPECT_EQ(arena.stats().chunks, chunks_before);  // capacity was reused
+  EXPECT_EQ(arena.stats().resets, 1u);
+}
+
+TEST(Arena, AllocSpanFills) {
+  util::Arena arena;
+  const auto s = arena.alloc_span<int>(37, -5);
+  ASSERT_EQ(s.size(), 37u);
+  for (int v : s) EXPECT_EQ(v, -5);
+}
+
+TEST(ArenaMatrix, MatchesNaive2DReference) {
+  // Random sequence of row ops applied to an ArenaMatrix (strided view)
+  // and to a vector<vector<double>> reference must agree exactly.
+  util::Arena arena;
+  util::Rng rng(7);
+  const int rows = 13, cols = 9;
+  util::ArenaMatrix m(arena, rows, cols, rows, cols + 5);  // stride > cols
+  std::vector<std::vector<double>> ref(
+      static_cast<std::size_t>(rows),
+      std::vector<double>(static_cast<std::size_t>(cols), 0.0));
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      const double v = rng.uniform(-10.0, 10.0);
+      m.at(r, c) = v;
+      ref[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = v;
+    }
+  for (int step = 0; step < 500; ++step) {
+    const int op = rng.uniform_int(0, 2);
+    if (op == 0) {  // scale a row
+      const int r = rng.uniform_int(0, rows - 1);
+      const double f = rng.uniform(-2.0, 2.0);
+      for (double& x : m.row(r)) x *= f;
+      for (double& x : ref[static_cast<std::size_t>(r)]) x *= f;
+    } else if (op == 1) {  // axpy: dst -= f * src (the pivot update shape)
+      const int dst = rng.uniform_int(0, rows - 1);
+      const int src = rng.uniform_int(0, rows - 1);
+      const double f = rng.uniform(-2.0, 2.0);
+      const auto sr = m.row(src);
+      auto dr = m.row(dst);
+      for (int c = 0; c < cols; ++c) dr[static_cast<std::size_t>(c)] -= f * sr[static_cast<std::size_t>(c)];
+      for (int c = 0; c < cols; ++c)
+        ref[static_cast<std::size_t>(dst)][static_cast<std::size_t>(c)] -=
+            f * ref[static_cast<std::size_t>(src)][static_cast<std::size_t>(c)];
+    } else {  // single-cell write
+      const int r = rng.uniform_int(0, rows - 1);
+      const int c = rng.uniform_int(0, cols - 1);
+      const double v = rng.uniform(-10.0, 10.0);
+      m.at(r, c) = v;
+      ref[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = v;
+    }
+    for (int r = 0; r < rows; ++r)
+      for (int c = 0; c < cols; ++c)
+        ASSERT_EQ(m.at(r, c),
+                  ref[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)])
+            << "step " << step << " at (" << r << "," << c << ")";
+  }
+}
+
+TEST(ArenaMatrix, AppendWithinCapacityKeepsDataInPlace) {
+  util::Arena arena;
+  util::ArenaMatrix m(arena, 2, 3, /*row_capacity=*/8, /*col_capacity=*/6);
+  m.at(0, 0) = 1.0;
+  m.at(1, 2) = 2.0;
+  double* before = m.view().data;
+  for (int i = 0; i < 6; ++i) m.append_row();
+  for (int i = 0; i < 3; ++i) m.append_col();
+  EXPECT_EQ(m.view().data, before);  // capacity-reserved: no move
+  EXPECT_EQ(m.rows(), 8);
+  EXPECT_EQ(m.cols(), 6);
+  EXPECT_EQ(m.at(0, 0), 1.0);
+  EXPECT_EQ(m.at(1, 2), 2.0);
+  EXPECT_EQ(m.at(7, 5), 0.0);  // appended cells are zeroed
+  // One past capacity regrows (copies; data preserved, pointer may move).
+  m.append_row();
+  EXPECT_EQ(m.rows(), 9);
+  EXPECT_EQ(m.at(0, 0), 1.0);
+  EXPECT_EQ(m.at(1, 2), 2.0);
+}
+
+// ---- CSR ------------------------------------------------------------------
+
+TEST(Csr, RoundTripsEmptyGraph) {
+  const std::vector<int> keys;
+  const auto csr = util::Csr<int>::index_by_keys(0, keys);
+  EXPECT_EQ(csr.num_rows(), 0);
+  EXPECT_EQ(csr.size(), 0);
+  const auto csr5 = util::Csr<int>::index_by_keys(5, keys);
+  EXPECT_EQ(csr5.num_rows(), 5);
+  for (int r = 0; r < 5; ++r) EXPECT_TRUE(csr5.row(r).empty());
+}
+
+TEST(Csr, RoundTripsSelfLoopsAndParallelArcs) {
+  // Arcs (from -> to), including a self-loop at 2 and parallel 0->1 arcs.
+  const std::vector<std::pair<int, int>> arcs = {
+      {0, 1}, {0, 1}, {2, 2}, {1, 0}, {0, 3}, {2, 2}, {3, 0}};
+  std::vector<int> from(arcs.size()), to(arcs.size());
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    from[i] = arcs[i].first;
+    to[i] = arcs[i].second;
+  }
+  const auto csr = util::Csr<int>::from_keys(4, from, to);
+  // Reference: vector-of-vectors built by push_back in input order.
+  std::vector<std::vector<int>> ref(4);
+  for (const auto& [f, t] : arcs) ref[static_cast<std::size_t>(f)].push_back(t);
+  for (int r = 0; r < 4; ++r) {
+    const auto row = csr.row(r);
+    ASSERT_EQ(row.size(), ref[static_cast<std::size_t>(r)].size());
+    for (std::size_t k = 0; k < row.size(); ++k)
+      EXPECT_EQ(row[k], ref[static_cast<std::size_t>(r)][k]);
+  }
+  EXPECT_EQ(csr.size(), static_cast<int>(arcs.size()));
+}
+
+TEST(Csr, StableOrderMatchesPushBackOnRandomGraphs) {
+  util::Rng rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int rows = rng.uniform_int(1, 40);
+    const int n = rng.uniform_int(0, 300);
+    std::vector<int> keys(static_cast<std::size_t>(n));
+    std::vector<int> vals(static_cast<std::size_t>(n));
+    std::vector<std::vector<int>> ref(static_cast<std::size_t>(rows));
+    for (int i = 0; i < n; ++i) {
+      keys[static_cast<std::size_t>(i)] = rng.uniform_int(0, rows - 1);
+      vals[static_cast<std::size_t>(i)] = rng.uniform_int(-1000, 1000);
+      ref[static_cast<std::size_t>(keys[static_cast<std::size_t>(i)])]
+          .push_back(vals[static_cast<std::size_t>(i)]);
+    }
+    const auto csr = util::Csr<int>::from_keys(rows, keys, vals);
+    const auto view = csr.view();
+    for (int r = 0; r < rows; ++r) {
+      const auto row = view.row(r);
+      ASSERT_EQ(row.size(), ref[static_cast<std::size_t>(r)].size());
+      for (std::size_t k = 0; k < row.size(); ++k)
+        ASSERT_EQ(row[k], ref[static_cast<std::size_t>(r)][k]);
+    }
+  }
+}
+
+TEST(Csr, IndexByKeysAssignsAscendingIds) {
+  const std::vector<int> keys = {1, 0, 1, 2, 0};
+  const auto csr = util::Csr<int>::index_by_keys(3, keys);
+  EXPECT_EQ(csr.row(0)[0], 1);
+  EXPECT_EQ(csr.row(0)[1], 4);
+  EXPECT_EQ(csr.row(1)[0], 0);
+  EXPECT_EQ(csr.row(1)[1], 2);
+  EXPECT_EQ(csr.row(2)[0], 3);
+}
+
+TEST(Csr, OutOfRangeKeysAreDropped) {
+  const std::vector<int> keys = {0, -1, 7, 1};
+  const std::vector<int> vals = {10, 11, 12, 13};
+  const auto csr = util::Csr<int>::from_keys(2, keys, vals);
+  EXPECT_EQ(csr.size(), 2);
+  EXPECT_EQ(csr.row(0)[0], 10);
+  EXPECT_EQ(csr.row(1)[0], 13);
+}
+
+}  // namespace
+}  // namespace rotclk

@@ -1,0 +1,564 @@
+// Differential kernel harness for the arena migration (ctest labels:
+// arena, determinism, oracle).
+//
+// Every numeric kernel that moved onto the util/arena layer — the dense
+// and revised simplex, Bellman-Ford, the primal-dual MCMF, the capacitated
+// Jonker-Volgenant SSP behind assignment, and the cost-matrix build — is
+// pinned here to *recorded golden traces*: exact bit patterns of
+// objectives/flows/duals and FNV-1a hashes of pivot sequences, per-arc
+// flows, potentials, and schedules, captured on seeded random instances
+// and on all five Table II circuits. The migration contract is bitwise
+// invisibility, so the goldens recorded from the pre-migration kernels
+// must replay unchanged on the arena kernels — no tolerances anywhere.
+//
+// Regenerate (from a trusted build only):
+//   ROTCLK_RECORD_GOLDEN=1 ./tests/test_arena_kernels
+// which rewrites tests/golden/arena_kernels.golden. A missing key in
+// check mode fails with a hint to re-record.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "assign/netflow.hpp"
+#include "assign/problem.hpp"
+#include "assign/residual.hpp"
+#include "graph/bellman_ford.hpp"
+#include "graph/mcmf.hpp"
+#include "lp/model.hpp"
+#include "lp/revised_simplex.hpp"
+#include "lp/simplex.hpp"
+#include "netlist/benchmarks.hpp"
+#include "netlist/generator.hpp"
+#include "placer/placer.hpp"
+#include "rotary/array.hpp"
+#include "sched/skew.hpp"
+#include "timing/sta.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk {
+namespace {
+
+// ---- bit-exact encoding ----------------------------------------------------
+
+std::uint64_t bits(double x) {
+  std::uint64_t u = 0;
+  static_assert(sizeof(u) == sizeof(x));
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+/// FNV-1a over a stream of 64-bit words; order-sensitive by construction,
+/// so two sequences hash equal only when they match element for element.
+class Fnv {
+ public:
+  Fnv& add(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xffu;
+      hash_ *= 1099511628211ull;
+    }
+    return *this;
+  }
+  Fnv& add(double v) { return add(bits(v)); }
+  Fnv& add(int v) { return add(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+  Fnv& add(const std::vector<double>& vs) {
+    for (double v : vs) add(v);
+    return *this;
+  }
+  Fnv& add(const std::vector<int>& vs) {
+    for (int v : vs) add(v);
+    return *this;
+  }
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ull;
+};
+
+// ---- golden store ----------------------------------------------------------
+
+std::string golden_path() {
+  return std::string(ROTCLK_GOLDEN_DIR) + "/arena_kernels.golden";
+}
+
+/// Loads `tests/golden/arena_kernels.golden` (lines of "<key> <hex u64>")
+/// in check mode, or accumulates observations for a rewrite in record mode
+/// (ROTCLK_RECORD_GOLDEN=1). ctest runs one gtest case per process, so
+/// check mode only ever consults the keys its own test emits; record mode
+/// is meant to run the whole binary in one process.
+class GoldenStore {
+ public:
+  static GoldenStore& instance() {
+    static GoldenStore store;
+    return store;
+  }
+
+  [[nodiscard]] bool recording() const { return recording_; }
+
+  void note(const std::string& key, std::uint64_t value) {
+    if (recording_) {
+      observed_[key] = value;
+      return;
+    }
+    const auto it = expected_.find(key);
+    if (it == expected_.end()) {
+      ADD_FAILURE() << "no golden entry for '" << key << "' in "
+                    << golden_path()
+                    << " — re-record with ROTCLK_RECORD_GOLDEN=1 from a "
+                       "trusted build";
+      return;
+    }
+    EXPECT_EQ(it->second, value)
+        << "golden mismatch for '" << key << "': kernel output diverged "
+        << "from the recorded trace (expected 0x" << std::hex << it->second
+        << ", got 0x" << value << ")";
+  }
+
+  void flush() {
+    if (!recording_) return;
+    std::ofstream out(golden_path(), std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << "# Golden kernel traces for test_arena_kernels. Regenerate with\n"
+           "# ROTCLK_RECORD_GOLDEN=1 ./tests/test_arena_kernels\n";
+    for (const auto& [k, v] : observed_) {
+      out << k << " ";
+      out.width(16);
+      out.fill('0');
+      out << std::hex << v << std::dec << "\n";
+    }
+  }
+
+ private:
+  GoldenStore() {
+    const char* rec = std::getenv("ROTCLK_RECORD_GOLDEN");
+    recording_ = rec != nullptr && rec[0] != '\0' && rec[0] != '0';
+    if (recording_) return;
+    std::ifstream in(golden_path());
+    std::string key;
+    std::string hex;
+    while (in >> key) {
+      if (!key.empty() && key[0] == '#') {
+        std::getline(in, hex);
+        continue;
+      }
+      if (!(in >> hex)) break;
+      expected_[key] = std::stoull(hex, nullptr, 16);
+    }
+  }
+
+  bool recording_ = false;
+  std::map<std::string, std::uint64_t> expected_;
+  std::map<std::string, std::uint64_t> observed_;  // record mode
+};
+
+void note(const std::string& key, std::uint64_t value) {
+  GoldenStore::instance().note(key, value);
+}
+
+class GoldenEnv : public ::testing::Environment {
+ public:
+  void TearDown() override { GoldenStore::instance().flush(); }
+};
+
+const ::testing::Environment* const g_golden_env =
+    ::testing::AddGlobalTestEnvironment(new GoldenEnv);
+
+// ---- seeded instance builders ----------------------------------------------
+
+/// Random LP with mixed bounds, senses, and objective direction. Some
+/// instances come out infeasible or unbounded on purpose: status
+/// transitions are part of the pivot-trace contract too.
+lp::Model random_lp(std::uint64_t seed, int max_vars, int max_rows) {
+  util::Rng rng(seed);
+  lp::Model m;
+  const int n = rng.uniform_int(2, max_vars);
+  const int rows = rng.uniform_int(1, max_rows);
+  for (int j = 0; j < n; ++j) {
+    const double cost = rng.uniform(-10.0, 10.0);
+    const int kind = rng.uniform_int(0, 3);
+    if (kind == 0) {
+      m.add_free_variable(cost);
+    } else if (kind == 1) {
+      m.add_variable(0.0, lp::kInfinity, cost);
+    } else if (kind == 2) {
+      m.add_variable(rng.uniform(-5.0, 0.0), rng.uniform(0.5, 8.0), cost);
+    } else {
+      m.add_variable(rng.uniform(1.0, 3.0), lp::kInfinity, cost);
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    std::vector<std::pair<int, double>> terms;
+    const int nnz = rng.uniform_int(1, std::min(4, n));
+    for (int k = 0; k < nnz; ++k)
+      terms.emplace_back(rng.uniform_int(0, n - 1), rng.uniform(-5.0, 5.0));
+    const int s = rng.uniform_int(0, 2);
+    const lp::Sense sense = s == 0   ? lp::Sense::LessEqual
+                            : s == 1 ? lp::Sense::GreaterEqual
+                                     : lp::Sense::Equal;
+    m.add_constraint(terms, sense, rng.uniform(-20.0, 20.0));
+  }
+  m.objective = rng.chance(0.5) ? lp::Objective::Minimize
+                                : lp::Objective::Maximize;
+  return m;
+}
+
+std::uint64_t lp_trace_hash(const lp::Solution& sol,
+                            const std::vector<std::pair<int, int>>& pivots) {
+  Fnv h;
+  h.add(static_cast<int>(sol.status));
+  h.add(sol.objective);
+  h.add(static_cast<std::uint64_t>(sol.iterations));
+  h.add(sol.values);
+  for (const auto& [leave, enter] : pivots) h.add(leave).add(enter);
+  return h.value();
+}
+
+/// Synthetic AssignProblem (no tapping solves): f flip-flops, r rings,
+/// k candidate arcs per flip-flop with random costs. Shapes match what
+/// build_assign_problem produces, so ResidualNetflow sees the real thing.
+assign::AssignProblem random_assign_problem(std::uint64_t seed, int f, int r,
+                                            int k, double capacity_factor) {
+  util::Rng rng(seed);
+  assign::AssignProblem p;
+  p.num_rings = r;
+  const int cap = std::max(
+      1, static_cast<int>(capacity_factor * static_cast<double>(f) /
+                          static_cast<double>(r)));
+  p.ring_capacity.assign(static_cast<std::size_t>(r), cap);
+  for (int i = 0; i < f; ++i) {
+    p.ff_cells.push_back(i);
+    const int kk = std::min(k, r);
+    // k distinct rings per flip-flop, chosen in random order.
+    std::vector<int> rings(static_cast<std::size_t>(r));
+    for (int j = 0; j < r; ++j) rings[static_cast<std::size_t>(j)] = j;
+    for (int j = 0; j < kk; ++j) {
+      const int pick = rng.uniform_int(j, r - 1);
+      std::swap(rings[static_cast<std::size_t>(j)],
+                rings[static_cast<std::size_t>(pick)]);
+      assign::CandidateArc arc;
+      arc.ff = i;
+      arc.ring = rings[static_cast<std::size_t>(j)];
+      arc.tap_cost_um = rng.uniform(0.0, 500.0);
+      arc.load_cap_ff = rng.uniform(1.0, 30.0);
+      p.arcs.push_back(arc);
+    }
+  }
+  return p;
+}
+
+std::uint64_t assignment_hash(const assign::AssignProblem& p,
+                              const assign::Assignment& a,
+                              const std::vector<double>& prices) {
+  Fnv h;
+  h.add(a.arc_of_ff);
+  h.add(a.total_tap_cost_um);
+  h.add(a.max_ring_cap_ff);
+  h.add(prices);
+  for (int ff = 0; ff < p.num_ffs(); ++ff)
+    h.add(a.ring_of(p, ff));
+  return h.value();
+}
+
+/// Stage 1-4 front end for one Table II circuit with seeded arrival
+/// targets (the STA stage is covered separately on the small circuits;
+/// random targets keep the big ones cheap while exercising the tapping
+/// and flow kernels at full scale).
+struct CircuitCase {
+  netlist::Design design;
+  netlist::Placement placement;
+  rotary::RingArray rings;
+  std::vector<double> arrival;
+  timing::TechParams tech;
+};
+
+CircuitCase make_circuit_case(const netlist::BenchmarkSpec& spec) {
+  netlist::Design design = netlist::make_benchmark(spec);
+  const geom::Rect die = netlist::size_die(design, 0.05);
+  placer::Placer placer(design);
+  netlist::Placement placement = placer.place_initial(die);
+  rotary::RingArrayConfig rc;
+  rc.rings = spec.rings;
+  rotary::RingArray rings(die, rc);
+  rings.set_uniform_capacity(spec.flip_flops, 1.5);
+  util::Rng rng(77 + static_cast<std::uint64_t>(spec.flip_flops));
+  std::vector<double> arrival(static_cast<std::size_t>(spec.flip_flops));
+  for (auto& a : arrival) a = rng.uniform(0.0, 1000.0);
+  return CircuitCase{std::move(design), std::move(placement),
+                     std::move(rings), std::move(arrival),
+                     timing::TechParams{}};
+}
+
+// ---- LP pivot traces -------------------------------------------------------
+
+TEST(ArenaKernels, DenseSimplexPivotTraces) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    lp::Model m = random_lp(seed, 12, 10);
+    std::vector<std::pair<int, int>> pivots;
+    lp::SolveOptions opt;
+    opt.pivot_log = &pivots;
+    const lp::Solution sol = lp::solve(m, opt);
+    note("lp.dense." + std::to_string(seed), lp_trace_hash(sol, pivots));
+  }
+}
+
+TEST(ArenaKernels, RevisedSimplexPivotTraces) {
+  for (std::uint64_t seed = 101; seed <= 108; ++seed) {
+    lp::Model m = random_lp(seed, 40, 25);
+    std::vector<std::pair<int, int>> pivots;
+    lp::SolveOptions opt;
+    opt.pivot_log = &pivots;
+    const lp::Solution sol = lp::solve_revised(m, opt);
+    note("lp.revised." + std::to_string(seed), lp_trace_hash(sol, pivots));
+  }
+}
+
+// ---- Bellman-Ford ----------------------------------------------------------
+
+TEST(ArenaKernels, BellmanFordTraces) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    util::Rng rng(1000 + seed);
+    const int n = rng.uniform_int(2, 30);
+    const int m = rng.uniform_int(0, 120);
+    std::vector<graph::Edge> edges(static_cast<std::size_t>(m));
+    for (auto& e : edges) {
+      e.from = rng.uniform_int(0, n - 1);
+      e.to = rng.uniform_int(0, n - 1);
+      e.weight = rng.uniform(-4.0, 20.0);  // some negative cycles on purpose
+    }
+    Fnv h;
+    const graph::BellmanFordResult all = graph::bellman_ford_all(n, edges);
+    h.add(all.has_negative_cycle ? 1 : 0);
+    if (!all.has_negative_cycle) h.add(all.dist);
+    h.add(all.cycle);
+    h.add(graph::find_negative_cycle(n, edges));
+    if (!all.has_negative_cycle) h.add(graph::bellman_ford_from(0, n, edges));
+    note("graph.bf." + std::to_string(seed), h.value());
+  }
+}
+
+// ---- MCMF ------------------------------------------------------------------
+
+std::uint64_t mcmf_trace(graph::MinCostMaxFlow& net, int source, int target,
+                         double max_flow) {
+  const auto result = net.solve(source, target, max_flow);
+  Fnv h;
+  h.add(result.flow);
+  h.add(result.cost);
+  for (int a = 0; a < net.num_arcs(); ++a) {
+    const auto view = net.arc(2 * a);
+    h.add(view.from).add(view.to);
+    h.add(view.capacity).add(view.cost).add(view.flow);
+  }
+  h.add(net.potentials());
+  return h.value();
+}
+
+TEST(ArenaKernels, McmfRandomGraphTraces) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Rng rng(2000 + seed);
+    const int n = rng.uniform_int(4, 40);
+    const int m = rng.uniform_int(n, 5 * n);
+    graph::MinCostMaxFlow net(n);
+    for (int a = 0; a < m; ++a) {
+      const int u = rng.uniform_int(0, n - 1);
+      const int v = rng.uniform_int(0, n - 1);
+      if (u == v) continue;
+      net.add_arc(u, v, rng.uniform(0.5, 8.0), rng.uniform(0.0, 10.0));
+    }
+    note("graph.mcmf.rand." + std::to_string(seed),
+         mcmf_trace(net, 0, n - 1, 1e100));
+  }
+}
+
+TEST(ArenaKernels, McmfAssignmentShapedTraces) {
+  // The Fig. 4 shape: source -> FFs (cap 1) -> candidate rings (cost c_ij)
+  // -> target (cap U_j). Negative costs on some candidate arcs force the
+  // initial Bellman-Ford potential pass.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    util::Rng rng(3000 + seed);
+    const int f = rng.uniform_int(5, 40);
+    const int r = rng.uniform_int(2, 9);
+    const int nodes = 2 + f + r;
+    const int source = 0;
+    const int target = nodes - 1;
+    graph::MinCostMaxFlow net(nodes);
+    for (int i = 0; i < f; ++i) net.add_arc(source, 1 + i, 1.0, 0.0);
+    for (int i = 0; i < f; ++i) {
+      const int k = rng.uniform_int(1, r);
+      for (int c = 0; c < k; ++c)
+        net.add_arc(1 + i, 1 + f + rng.uniform_int(0, r - 1), 1.0,
+                    rng.uniform(-50.0, 400.0));
+    }
+    for (int j = 0; j < r; ++j)
+      net.add_arc(1 + f + j, target,
+                  static_cast<double>(rng.uniform_int(1, 1 + f / 2)), 0.0);
+    note("graph.mcmf.assign." + std::to_string(seed),
+         mcmf_trace(net, source, target, 1e100));
+  }
+}
+
+// ---- SSP (ResidualNetflow) -------------------------------------------------
+
+TEST(ArenaKernels, ResidualSolveTraces) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const assign::AssignProblem p = random_assign_problem(
+        4000 + seed, /*f=*/20 + static_cast<int>(seed) * 17, /*r=*/9,
+        /*k=*/4, /*capacity_factor=*/1.4);
+    assign::ResidualNetflow flow;
+    const assign::Assignment a = flow.solve(p);
+    Fnv h;
+    h.add(assignment_hash(p, a, flow.prices()));
+    h.add(flow.augmented());
+    note("assign.ssp.solve." + std::to_string(seed), h.value());
+  }
+}
+
+TEST(ArenaKernels, ResidualReassignTraces) {
+  // Warm continuation: solve, dirty a subset of flip-flops (their rows get
+  // fresh costs), reassign from the prior rings + duals. Covers eviction
+  // paths and the dual-seeded Dijkstra.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    util::Rng rng(5000 + seed);
+    assign::AssignProblem p =
+        random_assign_problem(4100 + seed, 60, 16, 5, 1.25);
+    assign::ResidualNetflow flow;
+    const assign::Assignment cold = flow.solve(p);
+    std::vector<int> seed_ring(static_cast<std::size_t>(p.num_ffs()));
+    for (int ff = 0; ff < p.num_ffs(); ++ff)
+      seed_ring[static_cast<std::size_t>(ff)] = cold.ring_of(p, ff);
+    const auto by_ff = p.arcs_by_ff();
+    for (int ff = 0; ff < p.num_ffs(); ++ff) {
+      if (!rng.chance(0.25)) continue;
+      seed_ring[static_cast<std::size_t>(ff)] = -1;  // dirty
+      for (int arc_id : by_ff[static_cast<std::size_t>(ff)])
+        p.arcs[static_cast<std::size_t>(arc_id)].tap_cost_um =
+            rng.uniform(0.0, 500.0);
+    }
+    assign::ResidualNetflow warm;
+    const assign::Assignment re =
+        warm.reassign(p, seed_ring, flow.prices());
+    Fnv h;
+    h.add(assignment_hash(p, re, warm.prices()));
+    h.add(warm.augmented());
+    note("assign.ssp.reassign." + std::to_string(seed), h.value());
+  }
+}
+
+// ---- cost-matrix build: O(1) arena allocations -----------------------------
+
+TEST(ArenaKernels, CostMatrixBuildAllocatesO1FromArena) {
+  // The batched builder must draw a fixed number of arena blocks no
+  // matter how many flip-flops it processes: per-FF heap traffic was the
+  // latent cost this migration removed. Build at two sizes and check the
+  // per-build allocation count is identical (and small).
+  auto allocs_for = [](int gates, int ffs, std::uint64_t seed) {
+    netlist::GeneratorConfig gen;
+    gen.num_gates = gates;
+    gen.num_flip_flops = ffs;
+    gen.seed = seed;
+    const netlist::Design design = netlist::generate_circuit(gen);
+    const geom::Rect die = netlist::size_die(design, 0.05);
+    const placer::Placer placer(design);
+    const netlist::Placement placement = placer.place_initial(die);
+    rotary::RingArrayConfig rc;
+    rc.rings = 9;
+    rotary::RingArray rings(die, rc);
+    rings.set_uniform_capacity(ffs, 1.5);
+    util::Rng rng(seed);
+    std::vector<double> arrival(static_cast<std::size_t>(ffs));
+    for (auto& a : arrival) a = rng.uniform(0.0, 1000.0);
+    util::Arena arena;
+    assign::AssignProblemConfig cfg;
+    cfg.candidates_per_ff = 4;
+    cfg.arena = &arena;
+    const assign::AssignProblem p = assign::build_assign_problem(
+        design, placement, rings, arrival, timing::TechParams{}, cfg);
+    EXPECT_EQ(p.num_ffs(), ffs);
+    return arena.stats().allocations;
+  };
+  const auto small = allocs_for(100, 10, 11);
+  const auto large = allocs_for(800, 160, 12);
+  EXPECT_EQ(small, large) << "arena allocations scale with flip-flop count";
+  EXPECT_LE(large, 8u);
+}
+
+// ---- skew schedule (Bellman-Ford at circuit scale) -------------------------
+
+TEST(ArenaKernels, SkewScheduleTraces) {
+  for (const char* name : {"s5378", "s9234"}) {
+    const netlist::BenchmarkSpec& spec = netlist::benchmark_spec(name);
+    netlist::Design design = netlist::make_benchmark(spec);
+    const geom::Rect die = netlist::size_die(design, 0.05);
+    placer::Placer placer(design);
+    const netlist::Placement placement = placer.place_initial(die);
+    const timing::TechParams tech;
+    const std::vector<timing::SeqArc> arcs =
+        timing::extract_sequential_adjacency(design, placement, tech);
+    const sched::ScheduleResult sr =
+        sched::max_slack_schedule(spec.flip_flops, arcs, tech);
+    Fnv h;
+    h.add(sr.feasible ? 1 : 0);
+    h.add(sr.slack_ps);
+    h.add(sr.arrival_ps);
+    for (const auto& arc : arcs)
+      h.add(arc.from_ff).add(arc.to_ff).add(arc.d_max_ps).add(arc.d_min_ps);
+    note(std::string("sched.skew.") + name, h.value());
+  }
+}
+
+// ---- Table II circuits: cost matrix + assignment ---------------------------
+
+std::uint64_t circuit_assignment_trace(const netlist::BenchmarkSpec& spec) {
+  const CircuitCase c = make_circuit_case(spec);
+  assign::AssignProblemConfig cfg;
+  cfg.candidates_per_ff = 8;
+  const assign::AssignProblem p = assign::build_assign_problem(
+      c.design, c.placement, c.rings, c.arrival, c.tech, cfg);
+  Fnv h;
+  h.add(static_cast<std::uint64_t>(p.arcs.size()));
+  for (const auto& arc : p.arcs) {
+    h.add(arc.ff).add(arc.ring);
+    h.add(arc.tap_cost_um).add(arc.load_cap_ff);
+    h.add(arc.tap.feasible ? 1 : 0);
+  }
+  assign::ResidualNetflow flow;
+  const assign::Assignment a = flow.solve(p);
+  h.add(assignment_hash(p, a, flow.prices()));
+  h.add(flow.augmented());
+  return h.value();
+}
+
+TEST(ArenaKernels, TableIIS5378) {
+  note("circuit.s5378",
+       circuit_assignment_trace(netlist::benchmark_spec("s5378")));
+}
+
+TEST(ArenaKernels, TableIIS9234) {
+  note("circuit.s9234",
+       circuit_assignment_trace(netlist::benchmark_spec("s9234")));
+}
+
+TEST(ArenaKernels, TableIIS15850) {
+  note("circuit.s15850",
+       circuit_assignment_trace(netlist::benchmark_spec("s15850")));
+}
+
+TEST(ArenaKernels, TableIIS38417) {
+  note("circuit.s38417",
+       circuit_assignment_trace(netlist::benchmark_spec("s38417")));
+}
+
+TEST(ArenaKernels, TableIIS35932) {
+  note("circuit.s35932",
+       circuit_assignment_trace(netlist::benchmark_spec("s35932")));
+}
+
+}  // namespace
+}  // namespace rotclk

@@ -60,7 +60,7 @@ TEST(Problem, ArcCountsRespectPruning) {
   EXPECT_EQ(p.num_rings, 9);
   EXPECT_EQ(p.arcs.size(), 20u * 4u);
   const auto by_ff = p.arcs_by_ff();
-  for (const auto& list : by_ff) EXPECT_EQ(list.size(), 4u);
+  for (int i = 0; i < p.num_ffs(); ++i) EXPECT_EQ(by_ff.row_size(i), 4);
 }
 
 TEST(Problem, ArcCostsAreConsistentWithTapping) {
