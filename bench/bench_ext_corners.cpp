@@ -1,0 +1,436 @@
+// Extension: multi-corner / variation-aware optimization benchmark.
+//
+// For each circuit (default s9234,s5378) this runs the flow three ways
+// and prints the Pareto surface the corner subsystem trades along —
+// wirelength vs worst-corner WNS vs timing yield:
+//
+//   nominal   paper config, single corner (today's flow)
+//   corners   + fast/slow corners folded into the scheduling envelope
+//   yield     corners + Monte-Carlo yield mode (yield-driven tapping)
+//
+// Three properties are gated unconditionally (exit 1 on violation,
+// with or without --baseline):
+//
+//   * single-corner parity: a duplicate-nominal corner config is
+//     bit-identical to the plain flow (arrivals, assignment, cost);
+//   * the corner envelope never improves reported worst-corner WNS
+//     beyond nominal WNS;
+//   * a corner/ring sweep family served through an in-process
+//     serve::Server shares exactly one design parse (design_misses == 1).
+//
+// With --baseline the wall times and sweep throughput are gated against
+// the flat keys in bench/baseline_ci.json (same rule as bench_regress:
+// fail only when measured > base * (1 + tolerance) AND the absolute
+// excess is > 0.25 s; throughput fails below corners.sweep.min_throughput):
+//
+//   corners.<circuit>.corners.wall   multi-corner flow seconds
+//   corners.<circuit>.yield.wall     corners + yield-mode flow seconds
+//   corners.sweep.min_throughput     sweep jobs per second
+//
+//   bench_ext_corners [--circuits s9234,s5378] [--out BENCH_corners.json]
+//                     [--baseline bench/baseline_ci.json] [--tolerance 0.25]
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "netlist/benchmarks.hpp"
+#include "serve/json.hpp"
+#include "serve/server.hpp"
+#include "suite.hpp"
+#include "timing/corner.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using rotclk::core::FlowConfig;
+using rotclk::core::FlowResult;
+using rotclk::core::RotaryFlow;
+using rotclk::netlist::Design;
+
+struct VariantReport {
+  double wall_s = 0.0;
+  double wl_um = 0.0;
+  double wns_ps = 0.0;
+  double worst_corner_wns_ps = 0.0;
+  double yield = -1.0;
+};
+
+struct CircuitReport {
+  std::string name;
+  VariantReport nominal;
+  VariantReport corners;
+  VariantReport yield;
+  bool parity_identical = false;
+  bool envelope_conservative = false;
+};
+
+std::vector<rotclk::timing::Corner> paper_corners(
+    const rotclk::timing::TechParams& nominal) {
+  // The classic fast/slow pair around the nominal point: the slow corner
+  // stresses long paths (setup at the worst RC + cell delay), the fast
+  // corner stresses short paths (hold at the best case).
+  rotclk::timing::Corner slow;
+  slow.name = "slow";
+  slow.tech = nominal;
+  slow.tech.wire_res_per_um *= 1.25;
+  slow.tech.wire_cap_per_um *= 1.10;
+  slow.tech.gate_intrinsic_delay_ps *= 1.15;
+  slow.tech.gate_drive_res_ohm *= 1.15;
+  slow.tech.ff_clk_to_q_ps *= 1.15;
+  rotclk::timing::Corner fast;
+  fast.name = "fast";
+  fast.tech = nominal;
+  fast.tech.wire_res_per_um *= 0.85;
+  fast.tech.wire_cap_per_um *= 0.92;
+  fast.tech.gate_intrinsic_delay_ps *= 0.88;
+  fast.tech.gate_drive_res_ohm *= 0.88;
+  fast.tech.ff_clk_to_q_ps *= 0.88;
+  return {slow, fast};
+}
+
+VariantReport run_variant(const Design& design, const FlowConfig& cfg,
+                          FlowResult* out = nullptr) {
+  rotclk::util::Timer timer;
+  RotaryFlow flow(design, cfg);
+  const FlowResult r = flow.run();
+  VariantReport rep;
+  rep.wall_s = timer.seconds();
+  rep.wl_um = r.final().total_wl_um;
+  rep.wns_ps = r.final().wns_ps;
+  rep.worst_corner_wns_ps = r.final().worst_corner_wns_ps;
+  rep.yield = r.final().yield;
+  if (out) *out = r;
+  return rep;
+}
+
+bool bit_identical(const FlowResult& a, const FlowResult& b) {
+  if (a.arrival_ps != b.arrival_ps) return false;
+  if (a.assignment.arc_of_ff != b.assignment.arc_of_ff) return false;
+  if (a.history.size() != b.history.size()) return false;
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    if (a.history[i].overall_cost != b.history[i].overall_cost) return false;
+    if (a.history[i].wns_ps != b.history[i].wns_ps) return false;
+    if (a.history[i].total_wl_um != b.history[i].total_wl_um) return false;
+  }
+  if (a.placement.size() != b.placement.size()) return false;
+  for (std::size_t c = 0; c < a.placement.size(); ++c) {
+    const int cell = static_cast<int>(c);
+    if (a.placement.loc(cell).x != b.placement.loc(cell).x) return false;
+    if (a.placement.loc(cell).y != b.placement.loc(cell).y) return false;
+  }
+  return true;
+}
+
+struct SweepReport {
+  int jobs = 0;
+  double wall_s = 0.0;
+  double throughput = 0.0;
+  double design_misses = -1.0;
+  double design_hits = -1.0;
+  bool all_done = false;
+};
+
+/// One parse, N jobs: a corner x ring-count family against an in-process
+/// server, asserting the family shared the DesignCache entry.
+SweepReport run_sweep() {
+  rotclk::serve::ServerConfig cfg;
+  cfg.scheduler.workers = 2;
+  cfg.scheduler.max_queue_depth = 32;
+  rotclk::serve::Server server(cfg);
+  SweepReport rep;
+  rotclk::util::Timer timer;
+  const rotclk::serve::JsonValue sub =
+      rotclk::serve::json_parse(server.handle_line(
+          R"({"cmd":"sweep","id":"fam","gates":400,"ffs":36,"iterations":1,)"
+          R"("sweep":{"rings":[4,9],"corners":[)"
+          R"({"name":"slow","wire_res_scale":1.25,"wire_cap_scale":1.1},)"
+          R"({"name":"fast","cell_delay_scale":0.88},)"
+          R"({"name":"nom"}]}})"));
+  if (!sub.get_bool("ok")) {
+    std::cerr << "bench_ext_corners: sweep rejected: "
+              << sub.get_string("detail") << "\n";
+    return rep;
+  }
+  rep.jobs = static_cast<int>(sub.get_number("accepted"));
+  (void)server.handle_line(R"({"cmd":"wait"})");
+  rep.wall_s = timer.seconds();
+  rep.throughput = rep.wall_s > 0.0 ? rep.jobs / rep.wall_s : 0.0;
+  rep.all_done = true;
+  for (int i = 0; i < rep.jobs; ++i) {
+    const rotclk::serve::JsonValue st =
+        rotclk::serve::json_parse(server.handle_line(
+            R"({"cmd":"status","id":"fam#)" + std::to_string(i) + R"("})"));
+    if (!st.get_bool("ok") || st.get_string("state") != "done") {
+      std::cerr << "bench_ext_corners: sweep job fam#" << i << " is "
+                << st.get_string("state", "?") << ": "
+                << st.get_string("job_error", "") << "\n";
+      rep.all_done = false;
+    }
+  }
+  const rotclk::serve::JsonValue stats =
+      rotclk::serve::json_parse(server.handle_line(R"({"cmd":"stats"})"));
+  if (const rotclk::serve::JsonValue* cache = stats.find("cache")) {
+    rep.design_misses = cache->get_number("design_misses");
+    rep.design_hits = cache->get_number("design_hits");
+  }
+  return rep;
+}
+
+/// Flat "key": number pairs, same format/semantics as bench_regress.
+std::map<std::string, double> parse_flat_json(const std::string& text) {
+  std::map<std::string, double> out;
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t key_open = text.find('"', i);
+    if (key_open == std::string::npos) break;
+    const std::size_t key_close = text.find('"', key_open + 1);
+    if (key_close == std::string::npos) break;
+    const std::size_t colon = text.find(':', key_close);
+    if (colon == std::string::npos) break;
+    std::size_t j = colon + 1;
+    while (j < text.size() && std::isspace(static_cast<unsigned char>(text[j])))
+      ++j;
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str() + j, &end);
+    if (end == text.c_str() + j) {
+      if (j < text.size() && text[j] == '"') {
+        const std::size_t val_close = text.find('"', j + 1);
+        if (val_close == std::string::npos) break;
+        i = val_close + 1;
+      } else {
+        i = j + 1;
+      }
+      continue;
+    }
+    out[text.substr(key_open + 1, key_close - key_open - 1)] = v;
+    i = static_cast<std::size_t>(end - text.c_str());
+  }
+  return out;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string circuits_csv = "s9234,s5378";
+  std::string out_path = "BENCH_corners.json";
+  std::string baseline_path;
+  double tolerance = 0.25;
+  constexpr double kAbsFloorSeconds = 0.25;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> std::string {
+      if (a + 1 >= argc) {
+        std::cerr << "bench_ext_corners: missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (arg == "--circuits") circuits_csv = next();
+    else if (arg == "--out") out_path = next();
+    else if (arg == "--baseline") baseline_path = next();
+    else if (arg == "--tolerance") tolerance = std::stod(next());
+    else {
+      std::cerr << "bench_ext_corners: unknown argument " << arg << "\n";
+      return 2;
+    }
+  }
+
+  try {
+    bool failed = false;
+    std::vector<CircuitReport> reports;
+    for (const std::string& name : split_csv(circuits_csv)) {
+      const rotclk::netlist::BenchmarkSpec& spec =
+          rotclk::netlist::benchmark_spec(name);
+      const Design design = rotclk::netlist::make_benchmark(spec);
+      const FlowConfig base = rotclk::bench::paper_config(
+          spec, rotclk::core::AssignMode::NetworkFlow);
+
+      CircuitReport rep;
+      rep.name = name;
+      std::cerr << "[bench_ext_corners] " << name << ": nominal...\n";
+      FlowResult nominal_result;
+      rep.nominal = run_variant(design, base, &nominal_result);
+
+      // Parity gate: the degenerate single-corner config (one corner
+      // whose tech equals nominal) must be bit-identical to the plain
+      // flow.
+      FlowConfig degenerate = base;
+      rotclk::timing::Corner dup;
+      dup.name = "nominal-twin";
+      dup.tech = base.tech;
+      degenerate.corners = {dup};
+      FlowResult twin_result;
+      (void)run_variant(design, degenerate, &twin_result);
+      rep.parity_identical = bit_identical(nominal_result, twin_result);
+      if (!rep.parity_identical) {
+        std::cerr << "bench_ext_corners: FAIL " << name
+                  << ": degenerate corner config is not bit-identical\n";
+        failed = true;
+      }
+
+      std::cerr << "[bench_ext_corners] " << name << ": fast/slow corners...\n";
+      FlowConfig cornered = base;
+      cornered.corners = paper_corners(base.tech);
+      FlowResult corner_result;
+      rep.corners = run_variant(design, cornered, &corner_result);
+      rep.envelope_conservative =
+          rep.corners.worst_corner_wns_ps <= rep.corners.wns_ps + 1e-9;
+      if (!rep.envelope_conservative) {
+        std::cerr << "bench_ext_corners: FAIL " << name
+                  << ": worst-corner WNS better than nominal WNS\n";
+        failed = true;
+      }
+
+      std::cerr << "[bench_ext_corners] " << name << ": corners + yield...\n";
+      FlowConfig yielding = cornered;
+      yielding.yield_mode = true;
+      yielding.yield_samples = 64;
+      rep.yield = run_variant(design, yielding);
+      if (rep.yield.yield < 0.0 || rep.yield.yield > 1.0) {
+        std::cerr << "bench_ext_corners: FAIL " << name
+                  << ": yield " << rep.yield.yield
+                  << " is not a probability\n";
+        failed = true;
+      }
+      reports.push_back(rep);
+    }
+
+    std::cerr << "[bench_ext_corners] corner/ring sweep family...\n";
+    const SweepReport sweep = run_sweep();
+    if (!sweep.all_done || sweep.jobs == 0) {
+      std::cerr << "bench_ext_corners: FAIL sweep family did not complete\n";
+      failed = true;
+    }
+    if (sweep.design_misses != 1.0) {
+      std::cerr << "bench_ext_corners: FAIL sweep design_misses "
+                << sweep.design_misses << " != 1 (shared parse broken)\n";
+      failed = true;
+    }
+
+    rotclk::util::Table table(
+        "Extension: wirelength / worst-corner WNS / yield Pareto surface");
+    table.set_header({"Circuit", "Config", "WL(um)", "WNS nom(ps)",
+                      "WNS worst(ps)", "Yield", "Wall(s)"});
+    for (const CircuitReport& r : reports) {
+      const auto row = [&](const char* cfg, const VariantReport& v) {
+        table.add_row(
+            {r.name, cfg, rotclk::util::fmt_double(v.wl_um, 0),
+             rotclk::util::fmt_double(v.wns_ps, 1),
+             v.yield >= 0.0 || cfg != std::string("nominal")
+                 ? rotclk::util::fmt_double(v.worst_corner_wns_ps, 1)
+                 : "-",
+             v.yield >= 0.0 ? rotclk::util::fmt_double(v.yield, 3) : "-",
+             rotclk::util::fmt_double(v.wall_s, 2)});
+      };
+      row("nominal", r.nominal);
+      row("corners", r.corners);
+      row("corners+yield", r.yield);
+    }
+    table.print();
+    std::cerr << "[bench_ext_corners] sweep: " << sweep.jobs << " jobs in "
+              << sweep.wall_s << "s (" << sweep.throughput
+              << " jobs/s), design parses: "
+              << (sweep.design_misses >= 0 ? sweep.design_misses : -1)
+              << "\n";
+
+    std::ostringstream os;
+    os << "{\n  \"circuits\":[\n";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const CircuitReport& r = reports[i];
+      const auto variant = [&os](const char* name, const VariantReport& v) {
+        os << "    \"" << name << "\":{\"wall_s\":" << v.wall_s
+           << ",\"wl_um\":" << v.wl_um << ",\"wns_ps\":" << v.wns_ps
+           << ",\"worst_corner_wns_ps\":" << v.worst_corner_wns_ps
+           << ",\"yield\":" << v.yield << "}";
+      };
+      if (i) os << ",\n";
+      os << "   {\"name\":\"" << r.name << "\",\n";
+      variant("nominal", r.nominal);
+      os << ",\n";
+      variant("corners", r.corners);
+      os << ",\n";
+      variant("yield", r.yield);
+      os << ",\n    \"parity_identical\":"
+         << (r.parity_identical ? "true" : "false")
+         << ",\"envelope_conservative\":"
+         << (r.envelope_conservative ? "true" : "false") << "}";
+    }
+    os << "\n  ],\n  \"sweep\":{\"jobs\":" << sweep.jobs
+       << ",\"wall_s\":" << sweep.wall_s
+       << ",\"throughput_jobs_per_s\":" << sweep.throughput
+       << ",\"design_misses\":" << sweep.design_misses
+       << ",\"design_hits\":" << sweep.design_hits << "}\n}\n";
+    {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::cerr << "bench_ext_corners: cannot write " << out_path << "\n";
+        return 2;
+      }
+      out << os.str();
+    }
+    std::cout << os.str();
+    if (failed) return 1;
+
+    if (baseline_path.empty()) return 0;
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::cerr << "bench_ext_corners: cannot read baseline " << baseline_path
+                << "\n";
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::map<std::string, double> baseline = parse_flat_json(buf.str());
+    int regressions = 0;
+    const auto gate_wall = [&](const std::string& key, double measured) {
+      const auto it = baseline.find(key);
+      if (it == baseline.end()) return;
+      if (measured > it->second * (1.0 + tolerance) &&
+          measured - it->second > kAbsFloorSeconds) {
+        std::cerr << "REGRESSION: " << key << " took " << measured
+                  << "s vs baseline " << it->second << "s\n";
+        ++regressions;
+      }
+    };
+    for (const CircuitReport& r : reports) {
+      gate_wall("corners." + r.name + ".corners.wall", r.corners.wall_s);
+      gate_wall("corners." + r.name + ".yield.wall", r.yield.wall_s);
+    }
+    const auto min_tp = baseline.find("corners.sweep.min_throughput");
+    if (min_tp != baseline.end() && sweep.throughput < min_tp->second) {
+      std::cerr << "REGRESSION: corners.sweep.min_throughput "
+                << sweep.throughput << " jobs/s < required " << min_tp->second
+                << "\n";
+      ++regressions;
+    }
+    if (regressions > 0) {
+      std::cerr << regressions << " corner regression(s) vs " << baseline_path
+                << "\n";
+      return 1;
+    }
+    std::cerr << "no corner regressions vs " << baseline_path << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_ext_corners: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "core/flow.hpp"
 #include "cts/clock_tree.hpp"
 #include "netlist/benchmarks.hpp"
 #include "netlist/placement.hpp"
@@ -15,6 +16,11 @@
 
 int main() {
   using namespace rotclk;
+  // The reference clock tree must be built with the same tech the flow
+  // optimizes against, not a hard-coded timing::default_tech() — that
+  // bypass silently ignored any corner/tech override and made the PL
+  // column incomparable with flow results.
+  const core::FlowConfig config;
   util::Table table(
       "Table II: test cases (PL = avg source-sink path in a conventional "
       "clock tree)");
@@ -28,7 +34,7 @@ int main() {
     std::vector<geom::Point> sinks;
     for (int ff : d.flip_flops()) sinks.push_back(p.loc(ff));
     const cts::ClockTree tree =
-        cts::build_zero_skew_tree(sinks, {}, timing::default_tech());
+        cts::build_zero_skew_tree(sinks, {}, config.tech);
     table.add_row({spec.name, util::fmt_int(d.num_cells()),
                    util::fmt_int(d.num_flip_flops()),
                    util::fmt_int(d.num_signal_nets()),

@@ -67,7 +67,8 @@ FlowResult RotaryFlow::execute(netlist::Placement placement,
                                bool with_initial_placement) {
   FlowContext ctx(design_, config_, *assigner_, *skew_optimizer_,
                   std::move(placement));
-  FlowPipeline pipeline = make_standard_pipeline(with_initial_placement);
+  FlowPipeline pipeline =
+      make_standard_pipeline(config_, with_initial_placement);
   // The verifier is added before user observers so its certificates are in
   // ctx.certificates by the time a tracer's on_flow_end snapshots them.
   std::unique_ptr<VerifyingObserver> verifier;

@@ -21,6 +21,7 @@
 // paper's "base case" (Table III): network-flow assignment right after the
 // initial placement, before any pseudo-net iteration.
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -33,6 +34,7 @@
 #include "power/power.hpp"
 #include "rotary/array.hpp"
 #include "sched/skew_optimizer.hpp"
+#include "timing/corner.hpp"
 #include "timing/tech.hpp"
 #include "util/recovery.hpp"
 
@@ -73,6 +75,24 @@ struct FlowConfig {
   rotary::TappingParams tapping{};
   placer::PlacerConfig placer{};
   timing::TechParams tech{};
+
+  // --- Multi-corner / variation-aware optimization (timing/corner.hpp,
+  // variation/yield.hpp; DESIGN.md §15) ---
+  /// Extra analysis corners beyond the nominal `tech`. Empty = the
+  /// single-corner flow, bit-identical to the pre-corner pipeline (parity
+  /// gated in tests/test_corners.cpp). Non-empty: stage 2 and every arc
+  /// refresh schedule against the worst-case envelope across
+  /// {tech} ∪ corners, and stage 5 reports the worst per-corner WNS.
+  std::vector<timing::Corner> corners;
+  /// Monte-Carlo yield mode: after each assignment a yield-tapping stage
+  /// re-picks candidate arcs to maximize timing yield under the ±25%
+  /// (3σ) wire-variation model, and stage 5 samples the schedule's yield
+  /// into IterationMetrics::yield. Off = that stage is not even inserted.
+  bool yield_mode = false;
+  int yield_samples = 128;             ///< Monte-Carlo samples per estimate
+  std::uint64_t yield_seed = 1;        ///< common-random-number stream seed
+  double yield_wire_sigma = 0.083;     ///< relative stub sigma (3σ = 25%)
+  double yield_jitter_sigma_ps = 2.0;  ///< absolute ring-jitter sigma
 
   // --- Robustness (core/guards.hpp, core/stages.cpp fallback chains) ---
   /// Validate FlowContext invariants after every stage; violations raise
@@ -121,6 +141,12 @@ struct IterationMetrics {
   /// Signal-net worst slack under the iteration's skew schedule (ps),
   /// from the incremental slack engine (timing/slack.hpp).
   double wns_ps = 0.0;
+  /// Worst signal-net WNS across the nominal tech and every extra corner
+  /// (ps); equals wns_ps for a single-corner run.
+  double worst_corner_wns_ps = 0.0;
+  /// Monte-Carlo timing yield of this iteration's schedule + tapping in
+  /// [0, 1]; -1 when yield mode is off (not sampled).
+  double yield = -1.0;
 };
 
 /// Every field default-initializes (the placement to an empty zero-die
@@ -154,6 +180,9 @@ struct FlowResult {
   /// ECO events when the result came from a warm re-optimization
   /// (eco::EcoSession); empty for a standard cold flow.
   std::vector<EcoEvent> eco_events;
+  /// Number of extra corners the run analyzed (config.corners.size());
+  /// 0 for a single-corner run.
+  int corners_analyzed = 0;
 
   [[nodiscard]] const IterationMetrics& base() const { return history.front(); }
   [[nodiscard]] const IterationMetrics& final() const {

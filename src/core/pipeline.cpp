@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include "core/guards.hpp"
+#include "timing/corner.hpp"
 #include "timing/sta.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -55,7 +56,8 @@ void FlowContext::record_eco(EcoEvent ev) {
 
 void FlowContext::refresh_arcs() {
   if (!arcs_stale) return;
-  arcs = timing::extract_sequential_adjacency(design, placement, config.tech);
+  arcs = timing::extract_corner_envelope(design, placement, config.tech,
+                                         config.corners);
   arcs_stale = false;
 }
 
@@ -182,6 +184,7 @@ FlowResult collect_flow_result(FlowContext& ctx) {
   result.tapping_cache = ctx.taps().stats();
   result.certificates = std::move(ctx.certificates);
   result.eco_events = std::move(ctx.eco_events);
+  result.corners_analyzed = static_cast<int>(ctx.config.corners.size());
   if (!ctx.best)
     throw InternalError(
         "flow", "pipeline finished without producing a result snapshot");

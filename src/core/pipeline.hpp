@@ -102,6 +102,12 @@ struct FlowContext {
   // may substitute an engine with a retained baseline — use slack().
   timing::IncrementalSlackEngine slack_engine;
 
+  // Per-extra-corner incremental slack engines (config.corners order),
+  // built lazily by the evaluate stage on the first multi-corner
+  // evaluation. Each references the corner's TechParams owned by the
+  // config, which outlives the context. Empty for single-corner runs.
+  std::vector<std::unique_ptr<timing::IncrementalSlackEngine>> corner_slack;
+
   [[nodiscard]] rotary::TappingCache& taps() { return *taps_ptr_; }
   [[nodiscard]] const rotary::TappingCache& taps() const { return *taps_ptr_; }
   [[nodiscard]] timing::IncrementalSlackEngine& slack() { return *slack_ptr_; }
@@ -153,7 +159,8 @@ struct FlowContext {
 
   [[nodiscard]] int num_ffs() const { return design.num_flip_flops(); }
   /// Re-extract the sequential adjacency at the current placement if the
-  /// placement moved since the last extraction.
+  /// placement moved since the last extraction. With extra corners this
+  /// is the worst-case envelope across all of them (timing/corner.hpp).
   void refresh_arcs();
 
  private:

@@ -4,10 +4,12 @@
 #include <cmath>
 
 #include "sched/skew.hpp"
+#include "timing/corner.hpp"
 #include "timing/sta.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
+#include "variation/yield.hpp"
 
 namespace rotclk::core {
 
@@ -17,6 +19,32 @@ namespace {
 /// (e.g. NetflowAssigner's candidate-doubling loop).
 util::RecoveryLog recovery_sink(FlowContext& ctx) {
   return [&ctx](const util::RecoveryEvent& ev) { ctx.record_recovery(ev); };
+}
+
+variation::YieldConfig yield_config(const FlowConfig& config) {
+  variation::YieldConfig y;
+  y.wire_sigma = config.yield_wire_sigma;
+  y.ring_jitter_sigma_ps = config.yield_jitter_sigma_ps;
+  y.samples = config.yield_samples;
+  y.seed = config.yield_seed;
+  return y;
+}
+
+/// Nominal tapping-stub delay per flip-flop from its assigned arc (0 for
+/// unassigned): the quantity the variation model scales.
+std::vector<double> assigned_stub_delays(const FlowContext& ctx) {
+  const int num_ffs = ctx.num_ffs();
+  std::vector<double> stub(static_cast<std::size_t>(num_ffs), 0.0);
+  for (int i = 0; i < num_ffs; ++i) {
+    const int a = i < static_cast<int>(ctx.assignment.arc_of_ff.size())
+                      ? ctx.assignment.arc_of_ff[static_cast<std::size_t>(i)]
+                      : -1;
+    if (a < 0) continue;
+    stub[static_cast<std::size_t>(i)] = ctx.config.tech.wire_delay_ps(
+        ctx.problem.arcs[static_cast<std::size_t>(a)].tap_cost_um,
+        ctx.config.tech.ff_input_cap_ff);
+  }
+  return stub;
 }
 
 }  // namespace
@@ -34,8 +62,9 @@ void RingArraySetupStage::run(FlowContext& ctx) {
 }
 
 void SkewScheduleStage::run(FlowContext& ctx) {
-  ctx.arcs = timing::extract_sequential_adjacency(ctx.design, ctx.placement,
-                                                  ctx.config.tech);
+  ctx.arcs = timing::extract_corner_envelope(ctx.design, ctx.placement,
+                                             ctx.config.tech,
+                                             ctx.config.corners);
   ctx.arcs_stale = false;
   const sched::ScheduleResult schedule =
       sched::max_slack_schedule(ctx.num_ffs(), ctx.arcs, ctx.config.tech);
@@ -98,6 +127,145 @@ void AssignStage::run(FlowContext& ctx) {
       }
     }
   }
+}
+
+void YieldTapStage::run(FlowContext& ctx) {
+  if (!ctx.config.yield_mode) return;
+  const int num_ffs = ctx.num_ffs();
+  if (num_ffs == 0 || ctx.problem.arcs.empty() ||
+      static_cast<int>(ctx.assignment.arc_of_ff.size()) != num_ffs) {
+    return;
+  }
+  ctx.refresh_arcs();
+  const timing::TechParams& tech = ctx.config.tech;
+  // Sequential arcs incident to each flip-flop: these are the constraints
+  // whose pass-rate the flip-flop's stub length can move. A self-loop
+  // contributes no skew error (the same error cancels on both sides) but
+  // is kept once so its fixed window still gates the score.
+  std::vector<std::vector<int>> incident(static_cast<std::size_t>(num_ffs));
+  for (std::size_t a = 0; a < ctx.arcs.size(); ++a) {
+    incident[static_cast<std::size_t>(ctx.arcs[a].from_ff)].push_back(
+        static_cast<int>(a));
+    if (ctx.arcs[a].to_ff != ctx.arcs[a].from_ff)
+      incident[static_cast<std::size_t>(ctx.arcs[a].to_ff)].push_back(
+          static_cast<int>(a));
+  }
+  std::vector<double> stub = assigned_stub_delays(ctx);
+  // Ring occupancy in flip-flop counts against the network-flow U_j
+  // bounds (an empty capacity vector means unconstrained, as in the
+  // min-max-cap mode).
+  std::vector<int> load(static_cast<std::size_t>(ctx.problem.num_rings), 0);
+  for (int i = 0; i < num_ffs; ++i) {
+    const int ring = ctx.assignment.ring_of(ctx.problem, i);
+    if (ring >= 0) ++load[static_cast<std::size_t>(ring)];
+  }
+  const variation::VariationDraws draws = variation::draw_variation(
+      ctx.config.yield_samples, num_ffs, yield_config(ctx.config));
+  const double period = tech.clock_period_ps;
+  const double setup = tech.setup_ps;
+  const double hold = tech.hold_ps;
+  // Samples in which `arc` passes when flip-flop `ff` uses a stub of
+  // delay `cand_stub` and every other flip-flop keeps its current stub.
+  const auto arc_passes = [&](const timing::SeqArc& arc, int sample, int ff,
+                              double cand_stub) {
+    const double su = arc.from_ff == ff ? cand_stub
+                                        : stub[static_cast<std::size_t>(
+                                              arc.from_ff)];
+    const double sv =
+        arc.to_ff == ff ? cand_stub
+                        : stub[static_cast<std::size_t>(arc.to_ff)];
+    const double skew =
+        (ctx.arrival_ps[static_cast<std::size_t>(arc.from_ff)] +
+         draws.error_ps(sample, arc.from_ff, su)) -
+        (ctx.arrival_ps[static_cast<std::size_t>(arc.to_ff)] +
+         draws.error_ps(sample, arc.to_ff, sv));
+    return skew <= period - arc.d_max_ps - setup && skew >= hold - arc.d_min_ps;
+  };
+  const util::CsrView<std::int32_t> rows = ctx.problem.arcs_by_ff();
+  // Score every (flip-flop, candidate arc) pair in parallel — disjoint
+  // writes per flip-flop over the shared pre-pass stubs, so the scores
+  // are bit-identical at any thread count. The sequential commit loop
+  // below then applies switches in flip-flop order so capacity checks and
+  // cross-FF interactions stay deterministic (a committed switch does not
+  // re-score later flip-flops; the next iteration's pass sees it).
+  std::vector<std::vector<int>> score(static_cast<std::size_t>(num_ffs));
+  util::parallel_for(static_cast<std::size_t>(num_ffs), [&](std::size_t i) {
+    const auto row = rows[i];
+    score[i].assign(row.size(), 0);
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      const assign::CandidateArc& cand =
+          ctx.problem.arcs[static_cast<std::size_t>(row[k])];
+      const double cand_stub =
+          tech.wire_delay_ps(cand.tap_cost_um, tech.ff_input_cap_ff);
+      int passed = 0;
+      for (int s = 0; s < draws.samples; ++s) {
+        bool ok = true;
+        for (int a : incident[i]) {
+          if (!arc_passes(ctx.arcs[static_cast<std::size_t>(a)], s,
+                          static_cast<int>(i), cand_stub)) {
+            ok = false;
+            break;
+          }
+        }
+        passed += ok ? 1 : 0;
+      }
+      score[i][k] = passed;
+    }
+  });
+  int switched = 0;
+  for (int i = 0; i < num_ffs; ++i) {
+    const int current = ctx.assignment.arc_of_ff[static_cast<std::size_t>(i)];
+    if (current < 0) continue;
+    const auto row = rows[static_cast<std::size_t>(i)];
+    int best_arc = current;
+    int best_score = -1;
+    double best_cost = 0.0;
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      if (row[k] == current) {
+        best_score = score[static_cast<std::size_t>(i)][k];
+        best_cost =
+            ctx.problem.arcs[static_cast<std::size_t>(current)].tap_cost_um;
+        break;
+      }
+    }
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      const int arc_id = row[k];
+      if (arc_id == current) continue;
+      const assign::CandidateArc& cand =
+          ctx.problem.arcs[static_cast<std::size_t>(arc_id)];
+      const int s = score[static_cast<std::size_t>(i)][k];
+      const bool better =
+          s > best_score || (s == best_score && cand.tap_cost_um < best_cost);
+      if (!better) continue;
+      // The flip-flop already occupies its current ring, so only a move
+      // to a *different* ring needs headroom there.
+      const int cur_ring =
+          ctx.problem.arcs[static_cast<std::size_t>(current)].ring;
+      if (cand.ring != cur_ring && !ctx.problem.ring_capacity.empty() &&
+          load[static_cast<std::size_t>(cand.ring)] >=
+              ctx.problem.ring_capacity[static_cast<std::size_t>(cand.ring)]) {
+        continue;  // target ring is full
+      }
+      best_arc = arc_id;
+      best_score = s;
+      best_cost = cand.tap_cost_um;
+    }
+    if (best_arc == current) continue;
+    const int old_ring =
+        ctx.problem.arcs[static_cast<std::size_t>(current)].ring;
+    const int new_ring =
+        ctx.problem.arcs[static_cast<std::size_t>(best_arc)].ring;
+    --load[static_cast<std::size_t>(old_ring)];
+    ++load[static_cast<std::size_t>(new_ring)];
+    ctx.assignment.arc_of_ff[static_cast<std::size_t>(i)] = best_arc;
+    stub[static_cast<std::size_t>(i)] = tech.wire_delay_ps(
+        ctx.problem.arcs[static_cast<std::size_t>(best_arc)].tap_cost_um,
+        tech.ff_input_cap_ff);
+    ++switched;
+  }
+  if (switched > 0) assign::refresh_metrics(ctx.problem, ctx.assignment);
+  util::debug("yield-tapping: switched ", switched, " of ", num_ffs,
+              " flip-flops");
 }
 
 void CostDrivenSkewStage::run(FlowContext& ctx) {
@@ -163,6 +331,30 @@ void EvaluateStage::run(FlowContext& ctx) {
   // (stage 6).
   ctx.slack().set_clock_arrivals(ctx.arrival_ps);
   metrics.wns_ps = ctx.slack().refresh(ctx.placement).wns_ps;
+  // Worst WNS across the extra corners, from one lazily-built incremental
+  // engine per corner (each holds its own baseline across iterations, so
+  // later evaluations are cone-incremental like the nominal engine).
+  metrics.worst_corner_wns_ps = metrics.wns_ps;
+  if (!ctx.config.corners.empty()) {
+    if (ctx.corner_slack.empty()) {
+      ctx.corner_slack.reserve(ctx.config.corners.size());
+      for (const timing::Corner& corner : ctx.config.corners)
+        ctx.corner_slack.push_back(
+            std::make_unique<timing::IncrementalSlackEngine>(ctx.design,
+                                                             corner.tech));
+    }
+    for (auto& engine : ctx.corner_slack) {
+      engine->set_clock_arrivals(ctx.arrival_ps);
+      metrics.worst_corner_wns_ps = std::min(
+          metrics.worst_corner_wns_ps, engine->refresh(ctx.placement).wns_ps);
+    }
+  }
+  if (ctx.config.yield_mode) {
+    metrics.yield =
+        variation::timing_yield(ctx.arcs, ctx.arrival_ps,
+                                assigned_stub_delays(ctx), ctx.config.tech,
+                                yield_config(ctx.config));
+  }
   ctx.history.push_back(metrics);
   if (!ctx.best || metrics.overall_cost < ctx.best->cost)
     ctx.best = FlowContext::Snapshot{ctx.placement,  ctx.arrival_ps,
@@ -214,16 +406,19 @@ void IncrementalPlacementStage::run(FlowContext& ctx) {
   }
 }
 
-FlowPipeline make_standard_pipeline(bool with_initial_placement) {
+FlowPipeline make_standard_pipeline(const FlowConfig& config,
+                                    bool with_initial_placement) {
   FlowPipeline pipeline;
   if (with_initial_placement)
     pipeline.add_setup(std::make_unique<InitialPlacementStage>());
   pipeline.add_setup(std::make_unique<RingArraySetupStage>());
   pipeline.add_setup(std::make_unique<SkewScheduleStage>());
   pipeline.add_setup(std::make_unique<AssignStage>());
+  if (config.yield_mode) pipeline.add_setup(std::make_unique<YieldTapStage>());
   pipeline.add_setup(std::make_unique<EvaluateStage>());
   pipeline.add_loop(std::make_unique<CostDrivenSkewStage>());
   pipeline.add_loop(std::make_unique<AssignStage>());
+  if (config.yield_mode) pipeline.add_loop(std::make_unique<YieldTapStage>());
   pipeline.add_loop(std::make_unique<EvaluateStage>());
   pipeline.add_loop(std::make_unique<IncrementalPlacementStage>());
   return pipeline;

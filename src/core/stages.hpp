@@ -6,13 +6,18 @@
 //   RingArraySetupStage        —        ring array over the die (Sec. II)
 //   SkewScheduleStage          stage 2  max-slack scheduling (Fishburn)
 //   AssignStage                stage 3  FF -> ring assignment (strategy)
+//   YieldTapStage              —        MC-yield tapping re-pick (opt-in)
 //   CostDrivenSkewStage        stage 4  skew re-optimization (strategy)
 //   EvaluateStage              stage 5  cost evaluation / convergence test
 //   IncrementalPlacementStage  stage 6  pseudo-net incremental placement
 //
 // make_standard_pipeline() assembles them in the paper's order: stages 1-3
 // plus the base-case evaluation as setup, stages 4/3/5/6 as the iterated
-// loop (the paper re-runs assignment after every re-scheduling).
+// loop (the paper re-runs assignment after every re-scheduling). Stage 2
+// schedules against the worst-case corner envelope when the config names
+// extra corners, and YieldTapStage is inserted after each AssignStage
+// only when config.yield_mode is on — a default config assembles exactly
+// the pre-corner pipeline.
 
 #include <memory>
 
@@ -59,6 +64,19 @@ class AssignStage final : public Stage {
   void run(FlowContext& ctx) override;
 };
 
+/// Yield mode only: re-pick each flip-flop's tapping arc to maximize the
+/// number of Monte-Carlo variation samples in which every incident
+/// sequential arc still meets setup and hold (variation/yield.hpp). All
+/// candidates are scored under the same materialized draws (common random
+/// numbers), ties prefer the shorter stub and then the incumbent, and
+/// ring capacities U_j stay respected — so the pass is deterministic at
+/// any thread count and can only trade tapping wirelength for yield.
+class YieldTapStage final : public Stage {
+ public:
+  [[nodiscard]] const char* name() const override { return "yield-tapping"; }
+  void run(FlowContext& ctx) override;
+};
+
 /// Stage 4: re-optimize the delay targets toward the assigned rings
 /// through the context's SkewOptimizer strategy (anchors at the nearest
 /// ring points, weights w_i = l_i).
@@ -92,8 +110,10 @@ class IncrementalPlacementStage final : public Stage {
   void run(FlowContext& ctx) override;
 };
 
-/// The paper's pipeline. `with_initial_placement` = false resumes from an
-/// existing placement (RotaryFlow::run_with_placement).
-FlowPipeline make_standard_pipeline(bool with_initial_placement);
+/// The paper's pipeline, shaped by `config` (yield mode inserts
+/// YieldTapStage after each assignment). `with_initial_placement` = false
+/// resumes from an existing placement (RotaryFlow::run_with_placement).
+FlowPipeline make_standard_pipeline(const FlowConfig& config,
+                                    bool with_initial_placement);
 
 }  // namespace rotclk::core

@@ -10,6 +10,13 @@ namespace rotclk::eco {
 
 EcoSession::EcoSession(const netlist::Design& design, core::FlowConfig config)
     : design_(design), config_(std::move(config)) {
+  // The warm engines (AdjacencyEngine, IncrementalSlackEngine) run at the
+  // nominal tech only; silently accepting a multi-corner or yield config
+  // would drop its envelope/yield constraints from every warm result.
+  if (!config_.corners.empty() || config_.yield_mode)
+    throw InvalidArgumentError(
+        "eco", "multi-corner / yield configs are not supported by the warm "
+               "ECO engine; run a cold RotaryFlow instead");
   switch (config_.assign_mode) {
     case core::AssignMode::NetworkFlow:
       assigner_ = std::make_unique<assign::NetflowAssigner>();

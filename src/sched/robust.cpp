@@ -1,20 +1,48 @@
 #include "sched/robust.hpp"
 
 #include <algorithm>
+#include <string>
+
 #include "util/error.hpp"
 
 namespace rotclk::sched {
 
+namespace {
+
+void check_margin(double margin, const char* which) {
+  if (margin < 0.0 || margin >= 1.0)
+    throw InvalidArgumentError(
+        "derate_arcs", std::string(which) + " margin must be in [0, 1)");
+}
+
+}  // namespace
+
 std::vector<timing::SeqArc> derate_arcs(
     const std::vector<timing::SeqArc>& arcs, double margin_fraction) {
-  if (margin_fraction < 0.0 || margin_fraction >= 1.0)
-    throw InvalidArgumentError("derate_arcs", "margin must be in [0, 1)");
+  return derate_arcs(arcs, margin_fraction, margin_fraction);
+}
+
+std::vector<timing::SeqArc> derate_arcs(
+    const std::vector<timing::SeqArc>& arcs, double max_margin_fraction,
+    double min_margin_fraction) {
+  check_margin(max_margin_fraction, "max");
+  check_margin(min_margin_fraction, "min");
   std::vector<timing::SeqArc> out;
   out.reserve(arcs.size());
   for (const auto& a : arcs) {
     timing::SeqArc d = a;
-    d.d_max_ps = a.d_max_ps * (1.0 + margin_fraction);
-    d.d_min_ps = std::max(0.0, a.d_min_ps * (1.0 - margin_fraction));
+    d.d_max_ps = a.d_max_ps * (1.0 + max_margin_fraction);
+    d.d_min_ps = std::max(0.0, a.d_min_ps * (1.0 - min_margin_fraction));
+    // The clamp (or an asymmetric margin pair on an already-degenerate
+    // arc) can push d_min past d_max, which would hand the scheduler an
+    // empty permissible range disguised as a constraint.
+    if (d.d_min_ps > d.d_max_ps)
+      throw InfeasibleError(
+          "derate_arcs",
+          "derated arc " + std::to_string(a.from_ff) + "->" +
+              std::to_string(a.to_ff) + " has empty delay range (d_min " +
+              std::to_string(d.d_min_ps) + " > d_max " +
+              std::to_string(d.d_max_ps) + ")");
     out.push_back(d);
   }
   return out;

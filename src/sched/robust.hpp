@@ -7,7 +7,9 @@
 // by a z-sigma margin, so any schedule feasible on the derated arcs stays
 // feasible for all process corners within that confidence. Pairs with the
 // SSTA module: margin_fraction = z * stage_sigma_fraction is the matching
-// first-order guard band.
+// first-order guard band. For discrete named corners use
+// timing::extract_corner_envelope instead — this module stays the
+// continuous z-sigma approximation.
 
 #include <vector>
 
@@ -16,8 +18,20 @@
 namespace rotclk::sched {
 
 /// Derate adjacency arcs: d_max *= (1 + margin), d_min *= (1 - margin),
-/// with d_min clamped nonnegative. margin must be in [0, 1).
+/// with d_min clamped nonnegative. margin must be in [0, 1)
+/// (InvalidArgumentError otherwise). Every output arc satisfies
+/// d_min <= d_max; an input arc degenerate enough to violate that after
+/// derating — e.g. a negative d_max whose clamped d_min lands above it —
+/// raises InfeasibleError naming the arc instead of silently emitting an
+/// empty permissible range.
 std::vector<timing::SeqArc> derate_arcs(
     const std::vector<timing::SeqArc>& arcs, double margin_fraction);
+
+/// Asymmetric variant: separate margins for the max and min bounds (e.g.
+/// z-sigma on long paths only, or a tighter hold guard band). Same
+/// domain and d_min <= d_max output invariant as above.
+std::vector<timing::SeqArc> derate_arcs(
+    const std::vector<timing::SeqArc>& arcs, double max_margin_fraction,
+    double min_margin_fraction);
 
 }  // namespace rotclk::sched

@@ -50,6 +50,9 @@ std::shared_ptr<const netlist::Design> DesignCache::design_for(
     return std::make_shared<const netlist::Design>(build());
   }
   const std::string key = design_key(spec);
+  std::promise<std::shared_ptr<const netlist::Design>> prom;
+  std::shared_future<std::shared_ptr<const netlist::Design>> fut;
+  bool leader = false;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     if (auto* found = designs_.touch(key)) {
@@ -57,17 +60,43 @@ std::shared_ptr<const netlist::Design> DesignCache::design_for(
       if (hit != nullptr) *hit = true;
       return *found;
     }
-    ++stats_.design_misses;
+    const auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      fut = it->second;
+    } else {
+      leader = true;
+      ++stats_.design_misses;
+      fut = prom.get_future().share();
+      inflight_.emplace(key, fut);
+    }
   }
-  // Build outside the lock: parses/generation can be expensive and two
-  // concurrent misses on the same key are merely redundant, not wrong
-  // (the second put overwrites with an identical design).
-  auto design = std::make_shared<const netlist::Design>(build());
-  {
+  if (!leader) {
+    // Single-flight follower: block on the leader's parse instead of
+    // duplicating it (rethrows the leader's exception, if any).
+    auto design = fut.get();
     const std::lock_guard<std::mutex> lock(mu_);
-    stats_.evictions += designs_.put(key, design, capacity_);
+    ++stats_.design_hits;
+    if (hit != nullptr) *hit = true;
+    return design;
   }
-  return design;
+  // Leader: build outside the lock — parses/generation can be expensive.
+  try {
+    auto design = std::make_shared<const netlist::Design>(build());
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stats_.evictions += designs_.put(key, design, capacity_);
+      inflight_.erase(key);
+    }
+    prom.set_value(design);
+    return design;
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(key);
+    }
+    prom.set_exception(std::current_exception());
+    throw;
+  }
 }
 
 std::optional<std::string> DesignCache::result_for(const std::string& key) {

@@ -13,6 +13,12 @@
 // Designs are shared read-only between concurrently running jobs (the
 // flow takes `const Design&` and never mutates it — see DESIGN.md §10's
 // re-entrancy notes), so a hit saves both the parse and the memory.
+// Misses are single-flight: concurrent requests for the same key elect
+// one builder and the rest block on its result, so a sweep family fanned
+// out across workers still performs exactly one parse (design_misses
+// counts builds started, and followers count as hits). If the build
+// throws, every waiter sees the same exception and the key is released
+// for a fresh attempt.
 // Completed-result hits skip the flow entirely; specs with a deadline
 // have an empty result_key and are never cached (job.hpp explains why).
 //
@@ -23,6 +29,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -99,6 +106,11 @@ class DesignCache {
   mutable std::mutex mu_;
   LruMap<std::shared_ptr<const netlist::Design>> designs_;
   LruMap<std::string> results_;
+  /// Keys with a build in progress; followers wait on the leader's future
+  /// instead of parsing the same design again.
+  std::unordered_map<std::string,
+                     std::shared_future<std::shared_ptr<const netlist::Design>>>
+      inflight_;
   Stats stats_;
 };
 

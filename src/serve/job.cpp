@@ -96,6 +96,20 @@ std::string result_key_fields(const JobSpec& spec) {
   f.mix(spec.period_ps);
   f.mix(spec.utilization);
   f.mix(spec.verify ? 1 : 0);
+  // Corner set and yield knobs change the FlowResult; leaving them out
+  // aliased same-design different-corner jobs to one cached summary.
+  f.mix(static_cast<int>(spec.corners.size()));
+  for (const CornerSpec& c : spec.corners) {
+    f.mix(c.name);
+    f.mix(c.wire_res_scale);
+    f.mix(c.wire_cap_scale);
+    f.mix(c.cell_delay_scale);
+    f.mix(c.setup_ps);
+    f.mix(c.hold_ps);
+  }
+  f.mix(spec.yield_mode ? 1 : 0);
+  f.mix(spec.yield_samples);
+  f.mix(spec.yield_seed);
   return f.hex();
 }
 

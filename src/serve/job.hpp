@@ -15,9 +15,18 @@
 // result_key is empty (uncacheable) when the spec carries a deadline,
 // because a deadline can truncate the run at a wall-clock-dependent
 // iteration; caching such a result would break replay determinism.
+//
+// The corner set and yield knobs are result_key (and eco key) fields:
+// they change the FlowResult, so two jobs on the same design at different
+// corners must never alias to one cached summary (they used to — the keys
+// were corner-blind; tests/test_serve.cpp pins the fix). They are
+// deliberately NOT design_key fields: the parsed netlist is
+// corner-independent, which is what lets a corner sweep share one parse
+// across its whole job family.
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace rotclk::serve {
 
@@ -40,6 +49,20 @@ enum class JobState {
   return s == JobState::kDone || s == JobState::kFailed ||
          s == JobState::kCancelled;
 }
+
+/// One named process corner, specified as deltas against the job's
+/// nominal tech: multiplicative scales on wire RC and cell delays, plus
+/// optional absolute setup/hold overrides (< 0 = inherit the nominal
+/// value). Protocol-stable mirror of timing::Corner — the scheduler maps
+/// it onto TechParams (serve/scheduler.cpp).
+struct CornerSpec {
+  std::string name;
+  double wire_res_scale = 1.0;
+  double wire_cap_scale = 1.0;
+  double cell_delay_scale = 1.0;
+  double setup_ps = -1.0;
+  double hold_ps = -1.0;
+};
 
 struct JobSpec {
   std::string id;  ///< client-chosen, unique per server lifetime
@@ -66,6 +89,13 @@ struct JobSpec {
   double period_ps = 1000.0;
   double utilization = 0.05;
   bool verify = false;  ///< attach the certificate verifier to this job
+
+  /// Extra analysis corners; empty = single-corner nominal flow. Part of
+  /// result_key, never design_key (see the header comment).
+  std::vector<CornerSpec> corners;
+  bool yield_mode = false;  ///< Monte-Carlo yield tapping + yield metric
+  int yield_samples = 128;
+  std::uint64_t yield_seed = 1;
 
   /// Canonical delta JSON (serve/eco_io.hpp) for "eco" jobs; empty for
   /// plain submits. An eco job targets the warm EcoSession for this

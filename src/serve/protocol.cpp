@@ -1,5 +1,6 @@
 #include "serve/protocol.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "serve/eco_io.hpp"
@@ -21,6 +22,41 @@ int as_int(const JsonValue& obj, const std::string& key, int fallback,
                               std::to_string(lo) + ", " + std::to_string(hi) +
                               "]");
   return static_cast<int>(n);
+}
+
+double corner_scale(const JsonValue& obj, const std::string& key) {
+  const double v = obj.get_number(key, 1.0);
+  if (!(v > 0.0) || v > 10.0)
+    throw InvalidArgumentError(
+        "serve.protocol", "corner member '" + key + "' must be in (0, 10]");
+  return v;
+}
+
+CornerSpec parse_corner(const JsonValue& obj) {
+  if (!obj.is_object())
+    throw InvalidArgumentError("serve.protocol",
+                               "each corner must be a JSON object");
+  CornerSpec corner;
+  corner.name = obj.get_string("name");
+  if (corner.name.empty())
+    throw InvalidArgumentError("serve.protocol",
+                               "corner requires a non-empty 'name'");
+  corner.wire_res_scale = corner_scale(obj, "wire_res_scale");
+  corner.wire_cap_scale = corner_scale(obj, "wire_cap_scale");
+  corner.cell_delay_scale = corner_scale(obj, "cell_delay_scale");
+  if (obj.find("setup_ps") != nullptr) {
+    corner.setup_ps = obj.get_number("setup_ps");
+    if (corner.setup_ps < 0.0)
+      throw InvalidArgumentError("serve.protocol",
+                                 "corner member 'setup_ps' must be >= 0");
+  }
+  if (obj.find("hold_ps") != nullptr) {
+    corner.hold_ps = obj.get_number("hold_ps");
+    if (corner.hold_ps < 0.0)
+      throw InvalidArgumentError("serve.protocol",
+                                 "corner member 'hold_ps' must be >= 0");
+  }
+  return corner;
 }
 
 JobSpec parse_spec(const JsonValue& obj) {
@@ -57,7 +93,86 @@ JobSpec parse_spec(const JsonValue& obj) {
     throw InvalidArgumentError("serve.protocol",
                                "member 'utilization' must be in (0, 1]");
   spec.verify = obj.get_bool("verify", false);
+  const JsonValue* corners = obj.find("corners");
+  if (corners != nullptr) {
+    const std::vector<JsonValue>& arr = corners->as_array();
+    if (arr.size() > 8)
+      throw InvalidArgumentError("serve.protocol",
+                                 "at most 8 corners per job");
+    for (const JsonValue& c : arr) spec.corners.push_back(parse_corner(c));
+  }
+  spec.yield_mode = obj.get_bool("yield", false);
+  spec.yield_samples =
+      as_int(obj, "yield_samples", spec.yield_samples, 1, 100000);
+  spec.yield_seed = static_cast<std::uint64_t>(as_int(
+      obj, "yield_seed", static_cast<int>(spec.yield_seed), 0, 1 << 30));
   return spec;
+}
+
+/// Cartesian expansion of the sweep axes over the base spec, in id order
+/// (rings innermost). An absent axis is a single point at the base spec's
+/// own value; a "corners" axis gives each sub-job exactly that corner.
+std::vector<JobSpec> expand_sweep(const JobSpec& base, const JsonValue& axes) {
+  std::vector<int> rings;
+  const JsonValue* rings_axis = axes.find("rings");
+  if (rings_axis != nullptr) {
+    for (const JsonValue& v : rings_axis->as_array()) {
+      const double n = v.as_number();
+      if (std::floor(n) != n || n < 1 || n > 4096)
+        throw InvalidArgumentError(
+            "serve.protocol",
+            "sweep 'rings' entries must be integers in [1, 4096]");
+      rings.push_back(static_cast<int>(n));
+    }
+  }
+  std::vector<std::uint64_t> seeds;
+  const JsonValue* seeds_axis = axes.find("seeds");
+  if (seeds_axis != nullptr) {
+    for (const JsonValue& v : seeds_axis->as_array()) {
+      const double n = v.as_number();
+      if (std::floor(n) != n || n < 0 || n > (1 << 30))
+        throw InvalidArgumentError(
+            "serve.protocol",
+            "sweep 'seeds' entries must be integers in [0, 2^30]");
+      seeds.push_back(static_cast<std::uint64_t>(n));
+    }
+  }
+  std::vector<CornerSpec> corners;
+  const JsonValue* corners_axis = axes.find("corners");
+  if (corners_axis != nullptr) {
+    for (const JsonValue& c : corners_axis->as_array())
+      corners.push_back(parse_corner(c));
+  }
+  if (rings.empty() && seeds.empty() && corners.empty())
+    throw InvalidArgumentError(
+        "serve.protocol",
+        "sweep requires at least one non-empty axis "
+        "('rings', 'seeds', or 'corners')");
+  const std::size_t total = std::max<std::size_t>(rings.size(), 1) *
+                            std::max<std::size_t>(seeds.size(), 1) *
+                            std::max<std::size_t>(corners.size(), 1);
+  if (total > 256)
+    throw InvalidArgumentError(
+        "serve.protocol", "sweep expands to " + std::to_string(total) +
+                              " jobs; the limit is 256");
+  std::vector<JobSpec> out;
+  out.reserve(total);
+  const std::size_t nc = std::max<std::size_t>(corners.size(), 1);
+  const std::size_t ns = std::max<std::size_t>(seeds.size(), 1);
+  const std::size_t nr = std::max<std::size_t>(rings.size(), 1);
+  for (std::size_t c = 0; c < nc; ++c) {
+    for (std::size_t s = 0; s < ns; ++s) {
+      for (std::size_t r = 0; r < nr; ++r) {
+        JobSpec sub = base;
+        sub.id = base.id + "#" + std::to_string(out.size());
+        if (!corners.empty()) sub.corners = {corners[c]};
+        if (!seeds.empty()) sub.seed = seeds[s];
+        if (!rings.empty()) sub.rings = rings[r];
+        out.push_back(std::move(sub));
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -65,6 +180,7 @@ JobSpec parse_spec(const JsonValue& obj) {
 const char* to_string(Request::Cmd cmd) {
   switch (cmd) {
     case Request::Cmd::kSubmit: return "submit";
+    case Request::Cmd::kSweep: return "sweep";
     case Request::Cmd::kEco: return "eco";
     case Request::Cmd::kStatus: return "status";
     case Request::Cmd::kCancel: return "cancel";
@@ -93,6 +209,18 @@ Request parse_request(const std::string& line) {
     if (req.id.empty())
       throw InvalidArgumentError("serve.protocol",
                                  "submit requires a non-empty 'id'");
+  } else if (cmd == "sweep") {
+    req.cmd = Request::Cmd::kSweep;
+    req.spec = parse_spec(obj);
+    req.id = req.spec.id;
+    if (req.id.empty())
+      throw InvalidArgumentError("serve.protocol",
+                                 "sweep requires a non-empty 'id'");
+    const JsonValue* axes = obj.find("sweep");
+    if (axes == nullptr || !axes->is_object())
+      throw InvalidArgumentError("serve.protocol",
+                                 "sweep requires a 'sweep' axes object");
+    req.sweep = expand_sweep(req.spec, *axes);
   } else if (cmd == "eco") {
     req.cmd = Request::Cmd::kEco;
     req.spec = parse_spec(obj);
@@ -139,6 +267,52 @@ Request parse_request(const std::string& line) {
         cmd.empty() ? "request is missing 'cmd'" : "unknown cmd '" + cmd + "'");
   }
   return req;
+}
+
+std::string submit_line(const JobSpec& spec) {
+  std::string out = "{\"cmd\":\"submit\",\"id\":" + json_quote(spec.id);
+  out += ",\"priority\":" + json_quote(to_string(spec.priority));
+  if (spec.deadline_s > 0.0)
+    out += ",\"deadline_s\":" + json_number(spec.deadline_s);
+  if (!spec.circuit.empty()) {
+    out += ",\"circuit\":" + json_quote(spec.circuit);
+  } else if (!spec.bench_text.empty()) {
+    out += ",\"bench\":" + json_quote(spec.bench_text);
+  } else {
+    out += ",\"gates\":" + std::to_string(spec.gen_gates);
+    out += ",\"ffs\":" + std::to_string(spec.gen_flip_flops);
+    out += ",\"inputs\":" + std::to_string(spec.gen_inputs);
+    out += ",\"outputs\":" + std::to_string(spec.gen_outputs);
+  }
+  out += ",\"seed\":" + std::to_string(spec.seed);
+  out += ",\"mode\":" + json_quote(spec.mode);
+  out += ",\"rings\":" + std::to_string(spec.rings);
+  out += ",\"iterations\":" + std::to_string(spec.iterations);
+  out += ",\"period_ps\":" + json_number(spec.period_ps);
+  out += ",\"utilization\":" + json_number(spec.utilization);
+  if (spec.verify) out += ",\"verify\":true";
+  if (!spec.corners.empty()) {
+    out += ",\"corners\":[";
+    for (std::size_t i = 0; i < spec.corners.size(); ++i) {
+      const CornerSpec& c = spec.corners[i];
+      if (i > 0) out += ",";
+      out += "{\"name\":" + json_quote(c.name);
+      out += ",\"wire_res_scale\":" + json_number(c.wire_res_scale);
+      out += ",\"wire_cap_scale\":" + json_number(c.wire_cap_scale);
+      out += ",\"cell_delay_scale\":" + json_number(c.cell_delay_scale);
+      if (c.setup_ps >= 0.0) out += ",\"setup_ps\":" + json_number(c.setup_ps);
+      if (c.hold_ps >= 0.0) out += ",\"hold_ps\":" + json_number(c.hold_ps);
+      out += "}";
+    }
+    out += "]";
+  }
+  if (spec.yield_mode) {
+    out += ",\"yield\":true";
+    out += ",\"yield_samples\":" + std::to_string(spec.yield_samples);
+    out += ",\"yield_seed\":" + std::to_string(spec.yield_seed);
+  }
+  out += "}";
+  return out;
 }
 
 }  // namespace rotclk::serve

@@ -7,7 +7,20 @@
 //
 //   {"cmd":"submit","id":ID, priority?, deadline_s?, circuit?|bench?,
 //    gates?, ffs?, inputs?, outputs?, seed?, mode?, rings?, iterations?,
-//    period_ps?, utilization?, verify?}
+//    period_ps?, utilization?, verify?, corners?, yield?, yield_samples?,
+//    yield_seed?}
+//    corners is an array of at most 8 corner objects:
+//      {"name":N, wire_res_scale?, wire_cap_scale?, cell_delay_scale?,
+//       setup_ps?, hold_ps?}
+//    (scales in (0, 10] against the nominal tech; setup/hold override the
+//    nominal values when present)
+//   {"cmd":"sweep","id":ID, <submit members>?,
+//    "sweep":{"rings":[..]?, "seeds":[..]?, "corners":[corner...]?}}
+//    expands the cartesian product of the named axes over the base spec
+//    into a job family (ids ID#0, ID#1, ... — at most 256 jobs; an axis
+//    left out keeps the base spec's own value, a "corners" axis gives
+//    each sub-job exactly that one corner). All sub-jobs share one parsed
+//    design through the DesignCache: the axes never touch design_key.
 //   {"cmd":"eco","id":ID, "delta":[op...], <submit members>?}
 //    applies a DesignDelta (serve/eco_io.hpp op grammar) to the warm
 //    EcoSession for the submit-shaped base spec, seeding it cold first
@@ -33,6 +46,7 @@
 // responses without dropping the session.
 
 #include <string>
+#include <vector>
 
 #include "serve/job.hpp"
 #include "serve/json.hpp"
@@ -42,6 +56,7 @@ namespace rotclk::serve {
 struct Request {
   enum class Cmd {
     kSubmit,
+    kSweep,
     kEco,
     kStatus,
     kCancel,
@@ -55,8 +70,9 @@ struct Request {
   };
 
   Cmd cmd = Cmd::kPing;
-  JobSpec spec;          ///< kSubmit
+  JobSpec spec;          ///< kSubmit / kSweep base spec
   std::string id;        ///< kStatus / kCancel (also mirrored in spec.id)
+  std::vector<JobSpec> sweep;  ///< kSweep: expanded job family, in id order
   std::string fault_site;  ///< kFault
   int fault_trigger = 1;   ///< kFault; 0 disarms the site
   int fault_count = 1;     ///< kFault
@@ -66,5 +82,10 @@ struct Request {
 
 /// Parse one protocol line. Throws ParseError / InvalidArgumentError.
 [[nodiscard]] Request parse_request(const std::string& line);
+
+/// Serialize a spec back into a one-line {"cmd":"submit",...} request
+/// that parse_request round-trips to the same spec. The router uses it to
+/// dispatch sweep sub-jobs to their design-key owners as plain submits.
+[[nodiscard]] std::string submit_line(const JobSpec& spec);
 
 }  // namespace rotclk::serve

@@ -201,6 +201,7 @@ std::string Router::handle_parsed(const Request& req,
   switch (req.cmd) {
     case Request::Cmd::kSubmit:
     case Request::Cmd::kEco: return route_submit(req, line);
+    case Request::Cmd::kSweep: return route_sweep(req);
     case Request::Cmd::kStatus:
     case Request::Cmd::kCancel: return forward_by_id(req, line);
     case Request::Cmd::kStats: return stats_response();
@@ -428,6 +429,54 @@ std::string Router::route_submit(const Request& req, const std::string& line) {
   throw BackendUnavailableError(
       "router", std::string("non-idempotent job '") + req.spec.id +
                     "' has no healthy backend: " + last_detail);
+}
+
+std::string Router::route_sweep(const Request& req) {
+  // Mirror the single-daemon sweep semantics (serve/server.cpp): admit
+  // the family front-to-back, stop on the first failure, and report
+  // exactly which sub-jobs were queued. Every sub-job re-enters
+  // route_submit as its own submit line, so the ledger, breaker, and
+  // failover machinery see sweep members exactly like plain jobs.
+  std::string jobs = "[";
+  std::size_t accepted = 0;
+  std::string detail;
+  for (const JobSpec& sub : req.sweep) {
+    Request subreq;
+    subreq.cmd = Request::Cmd::kSubmit;
+    subreq.spec = sub;
+    subreq.id = sub.id;
+    std::string response;
+    try {
+      response = route_submit(subreq, submit_line(sub));
+    } catch (const Error& e) {
+      detail = std::string("[") + to_string(e.code()) + "] " + e.what();
+      break;
+    }
+    bool ok = false;
+    try {
+      ok = json_parse(response, "<backend-response>").get_bool("ok");
+    } catch (const Error&) {
+    }
+    if (!ok) {
+      // The owning backend rejected the sub-job (overloaded, duplicate
+      // id, ...); forward its verdict as the stop reason.
+      detail = response;
+      break;
+    }
+    if (accepted > 0) jobs += ",";
+    jobs += json_quote(sub.id);
+    ++accepted;
+  }
+  jobs += "]";
+  if (accepted == 0)
+    return error_response("sweep", "backend-unavailable",
+                          detail.empty() ? "no sweep job admitted" : detail);
+  std::string out = ok_prefix("sweep") + ",\"id\":" + json_quote(req.id) +
+                    ",\"count\":" + std::to_string(req.sweep.size()) +
+                    ",\"accepted\":" + std::to_string(accepted) +
+                    ",\"jobs\":" + jobs;
+  if (!detail.empty()) out += ",\"detail\":" + json_quote(detail);
+  return out + "}";
 }
 
 std::string Router::forward_by_id(const Request& req,

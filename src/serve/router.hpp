@@ -153,6 +153,9 @@ class Router {
   std::string handle_parsed(const struct Request& req,
                             const std::string& line);
   std::string route_submit(const Request& req, const std::string& line);
+  /// Fan a sweep family out as plain submits (all sub-jobs share one
+  /// design_key, so they land on the same owner and share its parse).
+  std::string route_sweep(const Request& req);
   std::string forward_by_id(const Request& req, const std::string& line);
   std::string broadcast(const char* cmd, const std::string& line);
   std::string wait_fleet();

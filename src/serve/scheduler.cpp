@@ -52,6 +52,22 @@ core::FlowConfig flow_config_for(const JobSpec& spec) {
   cfg.tech.clock_period_ps = spec.period_ps;
   cfg.verify = spec.verify;
   cfg.stage_deadline_seconds = spec.deadline_s;
+  for (const CornerSpec& c : spec.corners) {
+    timing::Corner corner;
+    corner.name = c.name;
+    corner.tech = cfg.tech;
+    corner.tech.wire_res_per_um *= c.wire_res_scale;
+    corner.tech.wire_cap_per_um *= c.wire_cap_scale;
+    corner.tech.gate_intrinsic_delay_ps *= c.cell_delay_scale;
+    corner.tech.gate_drive_res_ohm *= c.cell_delay_scale;
+    corner.tech.ff_clk_to_q_ps *= c.cell_delay_scale;
+    if (c.setup_ps >= 0.0) corner.tech.setup_ps = c.setup_ps;
+    if (c.hold_ps >= 0.0) corner.tech.hold_ps = c.hold_ps;
+    cfg.corners.push_back(std::move(corner));
+  }
+  cfg.yield_mode = spec.yield_mode;
+  cfg.yield_samples = spec.yield_samples;
+  cfg.yield_seed = spec.yield_seed;
   return cfg;
 }
 
@@ -91,6 +107,14 @@ std::string format_summary(const core::FlowResult& result) {
   s += " max_cap_ff=" + fixed(fin.max_ring_cap_ff, 3);
   s += " wns_ps=" + fixed(fin.wns_ps, 3);
   s += " cost=" + fixed(fin.overall_cost, 4);
+  // Corner/yield fields appear only for multi-corner / yield runs, so
+  // legacy summaries (bench_serve replay, eco twin comparisons) stay
+  // byte-identical.
+  if (result.corners_analyzed > 0) {
+    s += " corners=" + std::to_string(result.corners_analyzed);
+    s += " worst_wns_ps=" + fixed(fin.worst_corner_wns_ps, 3);
+  }
+  if (fin.yield >= 0.0) s += " yield=" + fixed(fin.yield, 4);
   s += " recovery=" + std::to_string(result.recovery.size());
   s += " certs=" +
        std::to_string(result.certificates.size() - certs_failed) + "/" +
@@ -368,6 +392,13 @@ std::string Scheduler::execute_flow(const JobSpec& spec, JobRecord& record) {
 }
 
 std::string Scheduler::execute_eco(const JobSpec& spec, JobRecord& record) {
+  // The warm engine's adjacency/slack kernels are nominal-tech-only, so a
+  // corner/yield eco job would silently drop those constraints; reject it
+  // with a typed error until the warm path grows envelope support.
+  if (!spec.corners.empty() || spec.yield_mode)
+    throw InvalidArgumentError(
+        "serve.eco",
+        "eco jobs do not support corners/yield; submit a cold job instead");
   // One session per design + flow knobs; eco_mu_ serializes the chain
   // (deltas are mutations — concurrent applies have no defined order).
   const std::lock_guard<std::mutex> eco_lock(eco_mu_);

@@ -73,6 +73,36 @@ std::string Server::handle_parsed(const Request& req) {
       scheduler_.submit(req.spec);  // throws Overloaded/InvalidArgument
       return ok_prefix(cmd) + ",\"id\":" + json_quote(req.id) +
              ",\"state\":\"queued\"}";
+    case Request::Cmd::kSweep: {
+      // Admit the family front-to-back; the first admission failure stops
+      // the expansion so the client sees exactly which jobs were queued
+      // (all sub-jobs up to "accepted").
+      std::string jobs = "[";
+      std::size_t accepted = 0;
+      std::string detail;
+      for (const JobSpec& sub : req.sweep) {
+        try {
+          scheduler_.submit(sub);
+        } catch (const Error& e) {
+          detail = std::string("[") + to_string(e.code()) + "] " + e.what();
+          break;
+        }
+        if (accepted > 0) jobs += ",";
+        jobs += json_quote(sub.id);
+        ++accepted;
+      }
+      jobs += "]";
+      if (accepted == 0)
+        return error_response(cmd, "overloaded",
+                              detail.empty() ? "no sweep job admitted"
+                                             : detail);
+      std::string out = ok_prefix(cmd) + ",\"id\":" + json_quote(req.id) +
+                        ",\"count\":" + std::to_string(req.sweep.size()) +
+                        ",\"accepted\":" + std::to_string(accepted) +
+                        ",\"jobs\":" + jobs;
+      if (!detail.empty()) out += ",\"detail\":" + json_quote(detail);
+      return out + "}";
+    }
     case Request::Cmd::kStatus: {
       const std::optional<JobRecord> record = scheduler_.status(req.id);
       if (!record)

@@ -1,0 +1,56 @@
+#include "timing/corner.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace rotclk::timing {
+
+std::vector<SeqArc> extract_corner_envelope(
+    const netlist::Design& design, const netlist::Placement& placement,
+    const TechParams& nominal, const std::vector<Corner>& corners) {
+  std::vector<SeqArc> envelope =
+      extract_sequential_adjacency(design, placement, nominal);
+  if (corners.empty()) return envelope;
+
+  for (const Corner& corner : corners) {
+    const std::vector<SeqArc> arcs =
+        extract_sequential_adjacency(design, placement, corner.tech);
+    if (arcs.size() != envelope.size()) {
+      throw InternalError(
+          "corner-envelope",
+          "corner '" + corner.name + "' extracted " +
+              std::to_string(arcs.size()) + " arcs, nominal has " +
+              std::to_string(envelope.size()) +
+              " (adjacency must be structural)");
+    }
+    // A corner's own Fishburn constraints, rewritten in nominal form:
+    //   long:  t_i - t_j <= T^c - d_max^c - setup^c
+    //          == T^nom - (d_max^c + (setup^c - setup^nom)
+    //                              + (T^nom - T^c)) - setup^nom
+    //   short: t_i - t_j >= hold^c - d_min^c
+    //          == hold^nom - (d_min^c - (hold^c - hold^nom))
+    const double setup_delta = corner.tech.setup_ps - nominal.setup_ps;
+    const double hold_delta = corner.tech.hold_ps - nominal.hold_ps;
+    const double period_delta =
+        nominal.clock_period_ps - corner.tech.clock_period_ps;
+    for (std::size_t a = 0; a < arcs.size(); ++a) {
+      if (arcs[a].from_ff != envelope[a].from_ff ||
+          arcs[a].to_ff != envelope[a].to_ff) {
+        throw InternalError(
+            "corner-envelope",
+            "corner '" + corner.name + "' arc " + std::to_string(a) +
+                " endpoints diverge from the nominal extraction");
+      }
+      envelope[a].d_max_ps =
+          std::max(envelope[a].d_max_ps,
+                   arcs[a].d_max_ps + setup_delta + period_delta);
+      envelope[a].d_min_ps =
+          std::min(envelope[a].d_min_ps, arcs[a].d_min_ps - hold_delta);
+    }
+  }
+  return envelope;
+}
+
+}  // namespace rotclk::timing

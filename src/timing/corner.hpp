@@ -1,0 +1,54 @@
+#pragma once
+// Multi-corner technology model (the OpenROAD `define_corners fast slow`
+// idea): one named TechParams per process corner. Corner 0 is implicitly
+// the *nominal* corner — the config's own `tech` — and every geometric
+// query (tapping stubs, anchors, power, slack reporting) keeps running at
+// it; extra corners only widen the scheduling constraints.
+//
+// Scheduling stays a single-tech problem: the per-corner (d_min, d_max)
+// path bounds are folded into one worst-case arc envelope whose values
+// encode each corner's setup/hold/period differences as deltas against
+// the nominal corner:
+//
+//   d_max_env = max over c of [ d_max^c + (setup^c - setup^nom)
+//                                        + (T^nom - T^c) ]
+//   d_min_env = min over c of [ d_min^c - (hold^c - hold^nom) ]
+//
+// A schedule is feasible on the envelope at the nominal tech iff it
+// satisfies every corner's own Fishburn constraint system (each corner's
+// long-path constraint t_i - t_j <= T^c - d_max^c - setup^c and
+// short-path constraint t_i - t_j >= hold^c - d_min^c is exactly the
+// nominal-form constraint over the enveloped arc). With no extra corners
+// the envelope IS the nominal extraction, bit-identical to the
+// single-corner flow — the parity tests in tests/test_corners.cpp gate
+// this.
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/placement.hpp"
+#include "timing/sta.hpp"
+#include "timing/tech.hpp"
+
+namespace rotclk::timing {
+
+/// One named analysis corner. The TechParams carry everything a corner
+/// can move: wire R/C, cell delays, setup/hold, clock period.
+struct Corner {
+  std::string name = "corner";
+  TechParams tech{};
+};
+
+/// Extract the sequential adjacency at `placement` for the nominal tech
+/// and every extra corner, merged into the worst-case envelope above.
+/// `corners` empty returns the plain nominal extraction (bit-identical to
+/// extract_sequential_adjacency). The per-corner extractions are purely
+/// structural in the arc set — only delays change — so a corner whose arc
+/// list diverges from the nominal one raises InternalError.
+std::vector<SeqArc> extract_corner_envelope(const netlist::Design& design,
+                                            const netlist::Placement& placement,
+                                            const TechParams& nominal,
+                                            const std::vector<Corner>& corners);
+
+}  // namespace rotclk::timing

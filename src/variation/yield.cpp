@@ -1,0 +1,119 @@
+#include "variation/yield.hpp"
+
+#include <cstddef>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace rotclk::variation {
+
+namespace {
+
+// splitmix64 finalizer over (seed, sample) so per-sample streams are
+// independent and reordering samples across threads cannot correlate them.
+std::uint64_t sample_seed(std::uint64_t seed, std::uint64_t sample) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (sample + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+VariationDraws draw_variation(int samples, int num_ffs,
+                              const YieldConfig& config) {
+  if (samples < 1) {
+    throw InvalidArgumentError("yield", "samples must be >= 1, got " +
+                                            std::to_string(samples));
+  }
+  if (num_ffs < 0) {
+    throw InvalidArgumentError("yield", "num_ffs must be >= 0");
+  }
+  if (config.wire_sigma < 0.0 || config.ring_jitter_sigma_ps < 0.0) {
+    throw InvalidArgumentError("yield", "variation sigmas must be >= 0");
+  }
+  VariationDraws draws;
+  draws.samples = samples;
+  draws.num_ffs = num_ffs;
+  const std::size_t n = static_cast<std::size_t>(samples) * num_ffs;
+  draws.wire_factor.assign(n, 0.0);
+  draws.jitter_ps.assign(n, 0.0);
+  // normal_distribution requires stddev > 0; a zero sigma means "no
+  // variation on that term", written directly without consuming draws.
+  const bool has_wire = config.wire_sigma > 0.0;
+  const bool has_jitter = config.ring_jitter_sigma_ps > 0.0;
+  util::parallel_for(static_cast<std::size_t>(samples), [&](std::size_t s) {
+    util::Rng rng(sample_seed(config.seed, s));
+    const std::size_t base = s * num_ffs;
+    for (int i = 0; i < num_ffs; ++i) {
+      if (has_wire) {
+        draws.wire_factor[base + i] = rng.gaussian(0.0, config.wire_sigma);
+      }
+      if (has_jitter) {
+        draws.jitter_ps[base + i] =
+            rng.gaussian(0.0, config.ring_jitter_sigma_ps);
+      }
+    }
+  });
+  return draws;
+}
+
+double timing_yield(const std::vector<timing::SeqArc>& arcs,
+                    const std::vector<double>& arrival_ps,
+                    const std::vector<double>& stub_delay_ps,
+                    const timing::TechParams& tech,
+                    const VariationDraws& draws) {
+  if (arrival_ps.size() != stub_delay_ps.size() ||
+      static_cast<int>(arrival_ps.size()) != draws.num_ffs) {
+    throw InvalidArgumentError(
+        "yield", "arrival/stub/draw flip-flop counts must match");
+  }
+  for (const timing::SeqArc& arc : arcs) {
+    if (arc.from_ff < 0 || arc.from_ff >= draws.num_ffs || arc.to_ff < 0 ||
+        arc.to_ff >= draws.num_ffs) {
+      throw InvalidArgumentError("yield", "arc references an unknown ff");
+    }
+  }
+  if (draws.samples == 0) return 1.0;
+  const double period = tech.clock_period_ps;
+  const double setup = tech.setup_ps;
+  const double hold = tech.hold_ps;
+  std::vector<unsigned char> pass(static_cast<std::size_t>(draws.samples), 0);
+  util::parallel_for(
+      static_cast<std::size_t>(draws.samples), [&](std::size_t s) {
+        const int sample = static_cast<int>(s);
+        bool ok = true;
+        for (const timing::SeqArc& arc : arcs) {
+          const double eu =
+              draws.error_ps(sample, arc.from_ff, stub_delay_ps[arc.from_ff]);
+          const double ev =
+              draws.error_ps(sample, arc.to_ff, stub_delay_ps[arc.to_ff]);
+          const double skew =
+              (arrival_ps[arc.from_ff] + eu) - (arrival_ps[arc.to_ff] + ev);
+          if (skew > period - arc.d_max_ps - setup ||
+              skew < hold - arc.d_min_ps) {
+            ok = false;
+            break;
+          }
+        }
+        pass[s] = ok ? 1 : 0;
+      });
+  std::size_t passed = 0;
+  for (unsigned char p : pass) passed += p;
+  return static_cast<double>(passed) / static_cast<double>(draws.samples);
+}
+
+double timing_yield(const std::vector<timing::SeqArc>& arcs,
+                    const std::vector<double>& arrival_ps,
+                    const std::vector<double>& stub_delay_ps,
+                    const timing::TechParams& tech,
+                    const YieldConfig& config) {
+  return timing_yield(
+      arcs, arrival_ps, stub_delay_ps, tech,
+      draw_variation(config.samples, static_cast<int>(arrival_ps.size()),
+                     config));
+}
+
+}  // namespace rotclk::variation

@@ -1,0 +1,79 @@
+#pragma once
+// Monte-Carlo timing yield under the paper's wire-variation model.
+//
+// Each flip-flop's clock arrival moves by an error term built the same
+// way as skew_variation.cpp's rotary model: its tapping-stub delay times
+// a relative Gaussian wire factor (sigma 0.083 => 3-sigma = +-25%), plus
+// an absolute Gaussian ring-jitter term. A sample "passes" when every
+// sequential arc still meets setup and hold with the perturbed arrivals;
+// yield is the passing fraction.
+//
+// Determinism: draws are materialized up front into a VariationDraws
+// table with one independent generator per sample (seed mixed with the
+// sample index), then samples are evaluated with util::parallel_for
+// writing disjoint per-sample flags — bit-identical at any ROTCLK_THREADS
+// (gated in tests/test_corners.cpp under the `determinism` ctest label).
+// Materializing the draws also gives common random numbers: the yield
+// tapping stage (core/stages.cpp) compares candidate tapping points under
+// the SAME noise realizations, so candidate ranking is noise-free.
+
+#include <cstdint>
+#include <vector>
+
+#include "timing/sta.hpp"
+#include "timing/tech.hpp"
+
+namespace rotclk::variation {
+
+struct YieldConfig {
+  double wire_sigma = 0.083;        ///< relative stub-delay sigma (3σ=25%)
+  double ring_jitter_sigma_ps = 2.0;  ///< absolute per-FF jitter sigma
+  int samples = 128;                ///< Monte-Carlo samples per estimate
+  std::uint64_t seed = 1;           ///< common-random-number stream seed
+};
+
+/// Materialized standard draws: one wire factor (standard normal scaled
+/// by wire_sigma) and one jitter value (already in ps) per (sample, ff).
+struct VariationDraws {
+  int samples = 0;
+  int num_ffs = 0;
+  std::vector<double> wire_factor;  ///< samples x num_ffs, row-major
+  std::vector<double> jitter_ps;    ///< samples x num_ffs, row-major
+
+  [[nodiscard]] double wire(int sample, int ff) const {
+    return wire_factor[static_cast<std::size_t>(sample) * num_ffs + ff];
+  }
+  [[nodiscard]] double jitter(int sample, int ff) const {
+    return jitter_ps[static_cast<std::size_t>(sample) * num_ffs + ff];
+  }
+  /// Clock-arrival error of `ff` in `sample` for a stub of delay
+  /// `stub_delay_ps`: stub * wire-factor + jitter.
+  [[nodiscard]] double error_ps(int sample, int ff,
+                                double stub_delay_ps) const {
+    return stub_delay_ps * wire(sample, ff) + jitter(sample, ff);
+  }
+};
+
+/// Draw the full variation table. samples must be >= 1, sigmas >= 0
+/// (InvalidArgumentError otherwise). Bit-identical at any thread count.
+VariationDraws draw_variation(int samples, int num_ffs,
+                              const YieldConfig& config);
+
+/// Fraction of samples in which every arc meets both
+///   skew <= T - d_max - setup   and   skew >= hold - d_min
+/// where skew = (t_u + e_u) - (t_v + e_v) over the perturbed arrivals.
+/// `stub_delay_ps[i]` is flip-flop i's nominal tapping-stub delay.
+double timing_yield(const std::vector<timing::SeqArc>& arcs,
+                    const std::vector<double>& arrival_ps,
+                    const std::vector<double>& stub_delay_ps,
+                    const timing::TechParams& tech,
+                    const VariationDraws& draws);
+
+/// Convenience overload drawing its own table from `config`.
+double timing_yield(const std::vector<timing::SeqArc>& arcs,
+                    const std::vector<double>& arrival_ps,
+                    const std::vector<double>& stub_delay_ps,
+                    const timing::TechParams& tech,
+                    const YieldConfig& config);
+
+}  // namespace rotclk::variation

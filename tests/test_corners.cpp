@@ -1,0 +1,359 @@
+// Multi-corner / variation-aware optimization tests: the corner
+// envelope's folding math and its exact single-corner degeneracy (the
+// parity gate for this subsystem), worst-corner WNS reporting, the
+// Monte-Carlo yield sampler (validation, sigma edge cases, common
+// random numbers), the yield-driven tapping stage, and bit-identical
+// determinism of the whole yield flow across thread counts (this file
+// carries the `determinism` ctest label).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/flow.hpp"
+#include "netlist/generator.hpp"
+#include "placer/placer.hpp"
+#include "sched/permissible.hpp"
+#include "timing/corner.hpp"
+#include "timing/sta.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "variation/yield.hpp"
+
+namespace rotclk::core {
+namespace {
+
+netlist::Design tiny_design(std::uint64_t seed = 11, int gates = 150,
+                            int ffs = 12) {
+  netlist::GeneratorConfig gen;
+  gen.num_gates = gates;
+  gen.num_flip_flops = ffs;
+  gen.seed = seed;
+  return netlist::generate_circuit(gen);
+}
+
+netlist::Placement place(const netlist::Design& d) {
+  placer::Placer placer(d);
+  return placer.place_initial(netlist::size_die(d, 0.05));
+}
+
+// ------------------------------------------------------ corner envelope
+
+TEST(CornerEnvelope, EmptyCornerSetIsExactlyNominalExtraction) {
+  const netlist::Design d = tiny_design();
+  const netlist::Placement p = place(d);
+  const timing::TechParams tech{};
+  const auto nominal = timing::extract_sequential_adjacency(d, p, tech);
+  const auto env = timing::extract_corner_envelope(d, p, tech, {});
+  ASSERT_EQ(env.size(), nominal.size());
+  for (std::size_t i = 0; i < env.size(); ++i) {
+    EXPECT_EQ(env[i].from_ff, nominal[i].from_ff);
+    EXPECT_EQ(env[i].to_ff, nominal[i].to_ff);
+    EXPECT_EQ(env[i].d_max_ps, nominal[i].d_max_ps);  // bitwise
+    EXPECT_EQ(env[i].d_min_ps, nominal[i].d_min_ps);
+  }
+}
+
+TEST(CornerEnvelope, DuplicateNominalCornerIsIdentity) {
+  // A corner whose tech equals the nominal tech contributes deltas of
+  // exactly 0.0, and max(a, a) == a bitwise — the degeneracy the
+  // single-corner parity gate rests on.
+  const netlist::Design d = tiny_design();
+  const netlist::Placement p = place(d);
+  const timing::TechParams tech{};
+  timing::Corner dup;
+  dup.name = "nominal-twin";
+  dup.tech = tech;
+  const auto nominal = timing::extract_sequential_adjacency(d, p, tech);
+  const auto env = timing::extract_corner_envelope(d, p, tech, {dup});
+  ASSERT_EQ(env.size(), nominal.size());
+  for (std::size_t i = 0; i < env.size(); ++i) {
+    EXPECT_EQ(env[i].d_max_ps, nominal[i].d_max_ps);
+    EXPECT_EQ(env[i].d_min_ps, nominal[i].d_min_ps);
+  }
+}
+
+TEST(CornerEnvelope, SlowCornerOnlyWidensTheEnvelope) {
+  const netlist::Design d = tiny_design();
+  const netlist::Placement p = place(d);
+  const timing::TechParams tech{};
+  timing::Corner slow;
+  slow.name = "slow";
+  slow.tech = tech;
+  slow.tech.wire_res_per_um *= 1.5;
+  slow.tech.gate_intrinsic_delay_ps *= 1.3;
+  const auto nominal = timing::extract_sequential_adjacency(d, p, tech);
+  const auto env = timing::extract_corner_envelope(d, p, tech, {slow});
+  ASSERT_EQ(env.size(), nominal.size());
+  bool widened = false;
+  for (std::size_t i = 0; i < env.size(); ++i) {
+    EXPECT_GE(env[i].d_max_ps, nominal[i].d_max_ps) << i;
+    EXPECT_LE(env[i].d_min_ps, nominal[i].d_min_ps) << i;
+    if (env[i].d_max_ps > nominal[i].d_max_ps) widened = true;
+  }
+  EXPECT_TRUE(widened);  // a slower corner must actually bind somewhere
+}
+
+TEST(CornerEnvelope, SetupHoldAndPeriodDeltasFoldExactly) {
+  // A corner that differs only in setup/hold/period leaves path delays
+  // untouched, so the folding terms are directly observable:
+  //   d_max_env = d_max + (setup_c - setup_nom) + (T_nom - T_c)
+  //   d_min_env = d_min - (hold_c - hold_nom)
+  const netlist::Design d = tiny_design();
+  const netlist::Placement p = place(d);
+  const timing::TechParams tech{};
+  timing::Corner c;
+  c.name = "margins";
+  c.tech = tech;
+  c.tech.setup_ps += 15.0;
+  c.tech.hold_ps += 5.0;
+  c.tech.clock_period_ps -= 100.0;
+  const auto nominal = timing::extract_sequential_adjacency(d, p, tech);
+  const auto env = timing::extract_corner_envelope(d, p, tech, {c});
+  ASSERT_EQ(env.size(), nominal.size());
+  ASSERT_FALSE(env.empty());
+  for (std::size_t i = 0; i < env.size(); ++i) {
+    EXPECT_DOUBLE_EQ(env[i].d_max_ps, nominal[i].d_max_ps + 15.0 + 100.0);
+    EXPECT_DOUBLE_EQ(env[i].d_min_ps, nominal[i].d_min_ps - 5.0);
+  }
+}
+
+// ---------------------------------------------------- single-corner parity
+
+void expect_bit_identical(const FlowResult& a, const FlowResult& b) {
+  ASSERT_EQ(a.arrival_ps.size(), b.arrival_ps.size());
+  for (std::size_t i = 0; i < a.arrival_ps.size(); ++i)
+    EXPECT_EQ(a.arrival_ps[i], b.arrival_ps[i]) << "arrival " << i;
+  ASSERT_EQ(a.assignment.arc_of_ff.size(), b.assignment.arc_of_ff.size());
+  for (std::size_t i = 0; i < a.assignment.arc_of_ff.size(); ++i)
+    EXPECT_EQ(a.assignment.arc_of_ff[i], b.assignment.arc_of_ff[i])
+        << "ff " << i;
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].overall_cost, b.history[i].overall_cost) << i;
+    EXPECT_EQ(a.history[i].wns_ps, b.history[i].wns_ps) << i;
+    EXPECT_EQ(a.history[i].total_wl_um, b.history[i].total_wl_um) << i;
+  }
+  ASSERT_EQ(a.placement.size(), b.placement.size());
+  for (std::size_t c = 0; c < a.placement.size(); ++c) {
+    const int cell = static_cast<int>(c);
+    EXPECT_EQ(a.placement.loc(cell).x, b.placement.loc(cell).x) << cell;
+    EXPECT_EQ(a.placement.loc(cell).y, b.placement.loc(cell).y) << cell;
+  }
+}
+
+TEST(CornerFlowParity, DuplicateNominalCornerIsBitIdenticalToNoCorners) {
+  // The acceptance gate for the whole subsystem: a degenerate corner
+  // configuration must not change a single bit of the optimization
+  // result relative to today's single-corner flow.
+  const netlist::Design d = tiny_design(21, 200, 16);
+  FlowConfig base;
+  base.max_iterations = 2;
+  const FlowResult plain = RotaryFlow(d, base).run();
+
+  FlowConfig degenerate = base;
+  timing::Corner dup;
+  dup.name = "nominal-twin";
+  dup.tech = degenerate.tech;
+  degenerate.corners = {dup};
+  const FlowResult twin = RotaryFlow(d, degenerate).run();
+
+  expect_bit_identical(plain, twin);
+  EXPECT_EQ(plain.corners_analyzed, 0);
+  EXPECT_EQ(twin.corners_analyzed, 1);
+  // The duplicate corner's WNS is the nominal WNS.
+  EXPECT_NEAR(twin.final().worst_corner_wns_ps, twin.final().wns_ps, 1e-6);
+}
+
+TEST(CornerFlow, WorstCornerWnsIsNeverBetterThanNominal) {
+  const netlist::Design d = tiny_design(31, 200, 16);
+  FlowConfig cfg;
+  cfg.max_iterations = 2;
+  timing::Corner slow;
+  slow.name = "slow";
+  slow.tech = cfg.tech;
+  slow.tech.wire_res_per_um *= 1.4;
+  slow.tech.gate_intrinsic_delay_ps *= 1.2;
+  cfg.corners = {slow};
+  const FlowResult r = RotaryFlow(d, cfg).run();
+  EXPECT_EQ(r.corners_analyzed, 1);
+  for (const auto& m : r.history)
+    EXPECT_LE(m.worst_corner_wns_ps, m.wns_ps + 1e-9);
+  // The envelope schedule still audits feasible at every corner's own
+  // extraction (the conservativeness the envelope promises), as long as
+  // the envelope itself was schedulable.
+  if (r.final().wns_ps >= 0.0) {
+    const auto slow_arcs =
+        timing::extract_sequential_adjacency(d, r.placement, slow.tech);
+    const auto audit =
+        sched::audit_schedule(r.arrival_ps, slow_arcs, slow.tech, 1e-6);
+    EXPECT_TRUE(audit.feasible) << "violations: " << audit.violations;
+  }
+}
+
+TEST(CornerFlow, NonDefaultTechIsRespectedEndToEnd) {
+  // Satellite audit regression: every stage must consume the
+  // FlowConfig-supplied tech, never a hard-coded default_tech(). With a
+  // deliberately non-default tech the schedule must audit feasible
+  // against *that* tech and differ from the default-tech schedule.
+  const netlist::Design d = tiny_design(41, 200, 16);
+  FlowConfig def;
+  def.max_iterations = 2;
+  FlowConfig custom = def;
+  custom.tech.wire_res_per_um *= 2.0;
+  custom.tech.setup_ps = 60.0;
+  const FlowResult rd = RotaryFlow(d, def).run();
+  const FlowResult rc = RotaryFlow(d, custom).run();
+  const auto arcs =
+      timing::extract_sequential_adjacency(d, rc.placement, custom.tech);
+  const auto audit = sched::audit_schedule(rc.arrival_ps, arcs, custom.tech);
+  EXPECT_TRUE(audit.feasible) << "violations: " << audit.violations;
+  EXPECT_NE(rd.final().wns_ps, rc.final().wns_ps);
+}
+
+// ----------------------------------------------------------- yield model
+
+timing::SeqArc arc(int from, int to, double d_max, double d_min) {
+  timing::SeqArc a;
+  a.from_ff = from;
+  a.to_ff = to;
+  a.d_max_ps = d_max;
+  a.d_min_ps = d_min;
+  return a;
+}
+
+TEST(Yield, ValidationIsTyped) {
+  EXPECT_THROW((void)variation::draw_variation(0, 4, {}), InvalidArgumentError);
+  EXPECT_THROW((void)variation::draw_variation(4, -1, {}),
+               InvalidArgumentError);
+  variation::YieldConfig bad;
+  bad.wire_sigma = -0.1;
+  EXPECT_THROW((void)variation::draw_variation(4, 4, bad),
+               InvalidArgumentError);
+  const variation::VariationDraws draws = variation::draw_variation(4, 2, {});
+  const std::vector<timing::SeqArc> arcs = {arc(0, 5, 100.0, 50.0)};
+  EXPECT_THROW((void)variation::timing_yield(arcs, {0.0, 0.0}, {0.0, 0.0},
+                                             timing::TechParams{}, draws),
+               InvalidArgumentError);
+  EXPECT_THROW((void)variation::timing_yield({arc(0, 1, 100.0, 50.0)},
+                                             {0.0}, {0.0, 0.0},
+                                             timing::TechParams{}, draws),
+               InvalidArgumentError);
+}
+
+TEST(Yield, ZeroSigmaIsCertaintyOnAFeasibleSchedule) {
+  // With both sigmas zero every sample sees the deterministic skew, so
+  // yield is exactly 1 on a schedule inside the permissible ranges and
+  // exactly 0 outside them.
+  const timing::TechParams tech{};  // T=1000, setup=30, hold=10
+  variation::YieldConfig cfg;
+  cfg.wire_sigma = 0.0;
+  cfg.ring_jitter_sigma_ps = 0.0;
+  cfg.samples = 32;
+  const std::vector<timing::SeqArc> arcs = {arc(0, 1, 200.0, 50.0),
+                                            arc(1, 0, 300.0, 60.0)};
+  const std::vector<double> zero_skew = {0.0, 0.0};
+  const std::vector<double> stubs = {5.0, 7.0};
+  EXPECT_DOUBLE_EQ(
+      variation::timing_yield(arcs, zero_skew, stubs, tech, cfg), 1.0);
+  // Push one arrival past the long-path bound: hi = T - dmax - setup.
+  const std::vector<double> broken = {900.0, 0.0};
+  EXPECT_DOUBLE_EQ(
+      variation::timing_yield(arcs, broken, stubs, tech, cfg), 0.0);
+}
+
+TEST(Yield, IsAFractionAndDegradesWithVariation) {
+  const timing::TechParams tech{};
+  // A schedule with ~100 ps of slack on each side.
+  const std::vector<timing::SeqArc> arcs = {arc(0, 1, 200.0, 120.0),
+                                            arc(1, 2, 250.0, 130.0),
+                                            arc(2, 0, 220.0, 110.0)};
+  const std::vector<double> arrivals = {0.0, 10.0, -10.0};
+  const std::vector<double> stubs = {40.0, 45.0, 50.0};
+  variation::YieldConfig small;
+  small.samples = 256;
+  small.ring_jitter_sigma_ps = 2.0;
+  variation::YieldConfig huge = small;
+  huge.ring_jitter_sigma_ps = 400.0;  // jitter swamps every margin
+  const double y_small =
+      variation::timing_yield(arcs, arrivals, stubs, tech, small);
+  const double y_huge =
+      variation::timing_yield(arcs, arrivals, stubs, tech, huge);
+  EXPECT_GE(y_small, 0.0);
+  EXPECT_LE(y_small, 1.0);
+  EXPECT_GE(y_huge, 0.0);
+  EXPECT_LE(y_huge, 1.0);
+  EXPECT_GT(y_small, y_huge);
+  EXPECT_LT(y_huge, 0.5);
+}
+
+TEST(Yield, DrawsAreSeededPerSampleNotPerThread) {
+  // Common random numbers: the draw matrix depends only on (seed,
+  // sample, ff), never on the thread schedule, and a different seed
+  // yields a different matrix.
+  const variation::VariationDraws a = variation::draw_variation(16, 8, {});
+  variation::YieldConfig reseeded;
+  reseeded.seed = 2;
+  const variation::VariationDraws b =
+      variation::draw_variation(16, 8, reseeded);
+  EXPECT_NE(a.wire_factor, b.wire_factor);
+  util::ThreadPool::set_global_threads(8);
+  const variation::VariationDraws c = variation::draw_variation(16, 8, {});
+  util::ThreadPool::set_global_threads(0);
+  EXPECT_EQ(a.wire_factor, c.wire_factor);  // bitwise, any thread count
+  EXPECT_EQ(a.jitter_ps, c.jitter_ps);
+}
+
+// -------------------------------------------- yield flow + determinism
+
+class CornerDeterminism : public ::testing::Test {
+ protected:
+  void TearDown() override { util::ThreadPool::set_global_threads(0); }
+};
+
+FlowResult run_yield_flow(const netlist::Design& d, int threads) {
+  util::ThreadPool::set_global_threads(threads);
+  FlowConfig cfg;
+  cfg.max_iterations = 2;
+  cfg.yield_mode = true;
+  cfg.yield_samples = 32;
+  timing::Corner slow;
+  slow.name = "slow";
+  slow.tech = cfg.tech;
+  slow.tech.wire_res_per_um *= 1.3;
+  cfg.corners = {slow};
+  return RotaryFlow(d, cfg).run();
+}
+
+TEST_F(CornerDeterminism, YieldFlowIsBitIdenticalAcrossThreadCounts) {
+  const netlist::Design d = tiny_design(51, 200, 16);
+  const FlowResult t1 = run_yield_flow(d, 1);
+  const FlowResult t2 = run_yield_flow(d, 2);
+  const FlowResult t8 = run_yield_flow(d, 8);
+  {
+    SCOPED_TRACE("1 vs 2 threads");
+    expect_bit_identical(t1, t2);
+    EXPECT_EQ(t1.final().yield, t2.final().yield);
+    EXPECT_EQ(t1.final().worst_corner_wns_ps, t2.final().worst_corner_wns_ps);
+  }
+  {
+    SCOPED_TRACE("1 vs 8 threads");
+    expect_bit_identical(t1, t8);
+    EXPECT_EQ(t1.final().yield, t8.final().yield);
+    EXPECT_EQ(t1.final().worst_corner_wns_ps, t8.final().worst_corner_wns_ps);
+  }
+  // Yield mode actually reported a yield, and it is a probability.
+  EXPECT_GE(t1.final().yield, 0.0);
+  EXPECT_LE(t1.final().yield, 1.0);
+}
+
+TEST_F(CornerDeterminism, NonYieldFlowReportsNoYield) {
+  const netlist::Design d = tiny_design(61, 150, 12);
+  FlowConfig cfg;
+  cfg.max_iterations = 1;
+  const FlowResult r = RotaryFlow(d, cfg).run();
+  EXPECT_EQ(r.final().yield, -1.0);
+}
+
+}  // namespace
+}  // namespace rotclk::core

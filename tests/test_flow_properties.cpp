@@ -9,7 +9,9 @@
 #include "netlist/generator.hpp"
 #include "rotary/array.hpp"
 #include "sched/permissible.hpp"
+#include "sched/robust.hpp"
 #include "timing/sta.hpp"
+#include "util/error.hpp"
 
 namespace rotclk::core {
 namespace {
@@ -91,6 +93,62 @@ TEST_P(FlowPropertySweep, AllInvariantsHold) {
   for (std::size_t i = 0; i < design.cells().size(); ++i)
     EXPECT_TRUE(r.placement.die().contains(
         r.placement.loc(static_cast<int>(i))));
+}
+
+// --- sched::derate_arcs: the d_min <= d_max output invariant ---------
+
+timing::SeqArc make_arc(int from, int to, double d_max, double d_min) {
+  timing::SeqArc a;
+  a.from_ff = from;
+  a.to_ff = to;
+  a.d_max_ps = d_max;
+  a.d_min_ps = d_min;
+  return a;
+}
+
+TEST(DerateArcs, ZeroMarginIsIdentity) {
+  const std::vector<timing::SeqArc> arcs = {make_arc(0, 1, 120.0, 35.0),
+                                            make_arc(1, 2, 80.0, 0.0)};
+  const auto out = sched::derate_arcs(arcs, 0.0);
+  ASSERT_EQ(out.size(), arcs.size());
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    EXPECT_EQ(out[i].d_max_ps, arcs[i].d_max_ps);
+    EXPECT_EQ(out[i].d_min_ps, arcs[i].d_min_ps);
+  }
+}
+
+TEST(DerateArcs, MarginJustBelowOneKeepsRangesOrdered) {
+  const std::vector<timing::SeqArc> arcs = {make_arc(0, 1, 120.0, 35.0)};
+  const auto out = sched::derate_arcs(arcs, 0.999999);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_GT(out[0].d_max_ps, arcs[0].d_max_ps);
+  EXPECT_LT(out[0].d_min_ps, arcs[0].d_min_ps);
+  EXPECT_LE(out[0].d_min_ps, out[0].d_max_ps);
+  EXPECT_GE(out[0].d_min_ps, 0.0);
+}
+
+TEST(DerateArcs, AsymmetricMarginsKeepRangesOrdered) {
+  const std::vector<timing::SeqArc> arcs = {make_arc(0, 1, 120.0, 35.0),
+                                            make_arc(2, 3, 50.0, 50.0)};
+  const auto out = sched::derate_arcs(arcs, 0.0, 0.9);
+  for (const auto& a : out) EXPECT_LE(a.d_min_ps, a.d_max_ps);
+}
+
+TEST(DerateArcs, OutOfRangeMarginIsTypedError) {
+  const std::vector<timing::SeqArc> arcs = {make_arc(0, 1, 120.0, 35.0)};
+  EXPECT_THROW((void)sched::derate_arcs(arcs, -0.1), InvalidArgumentError);
+  EXPECT_THROW((void)sched::derate_arcs(arcs, 1.0), InvalidArgumentError);
+  EXPECT_THROW((void)sched::derate_arcs(arcs, 0.1, 1.0),
+               InvalidArgumentError);
+}
+
+TEST(DerateArcs, DegenerateArcEmptyRangeIsTypedError) {
+  // A negative d_max (a corrupt or mis-extracted arc) combined with the
+  // d_min >= 0 clamp would hand the scheduler an empty permissible range;
+  // derate_arcs must reject it as InfeasibleError, never return it.
+  const std::vector<timing::SeqArc> arcs = {make_arc(4, 7, -10.0, -20.0)};
+  EXPECT_THROW((void)sched::derate_arcs(arcs, 0.0), InfeasibleError);
+  EXPECT_THROW((void)sched::derate_arcs(arcs, 0.3, 0.1), InfeasibleError);
 }
 
 INSTANTIATE_TEST_SUITE_P(

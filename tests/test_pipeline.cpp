@@ -62,7 +62,8 @@ struct RecordingObserver : FlowObserver {
 };
 
 TEST(Pipeline, StandardPipelineMatchesFig3) {
-  const FlowPipeline p = make_standard_pipeline(true);
+  const FlowConfig cfg;
+  const FlowPipeline p = make_standard_pipeline(cfg, true);
   std::vector<std::string> setup;
   for (const auto& s : p.setup_stages()) setup.push_back(s->name());
   std::vector<std::string> loop;
@@ -74,9 +75,26 @@ TEST(Pipeline, StandardPipelineMatchesFig3) {
             (std::vector<std::string>{"cost-driven-skew", "assignment",
                                       "evaluate", "incremental-placement"}));
   // Resume-from-placement skips stage 1 only.
-  const FlowPipeline q = make_standard_pipeline(false);
+  const FlowPipeline q = make_standard_pipeline(cfg, false);
   ASSERT_EQ(q.setup_stages().size(), setup.size() - 1);
   EXPECT_STREQ(q.setup_stages().front()->name(), "ring-array-setup");
+}
+
+TEST(Pipeline, YieldModeInsertsYieldTappingAfterEachAssignment) {
+  FlowConfig cfg;
+  cfg.yield_mode = true;
+  const FlowPipeline p = make_standard_pipeline(cfg, true);
+  std::vector<std::string> setup;
+  for (const auto& s : p.setup_stages()) setup.push_back(s->name());
+  std::vector<std::string> loop;
+  for (const auto& s : p.loop_stages()) loop.push_back(s->name());
+  EXPECT_EQ(setup, (std::vector<std::string>{
+                       "initial-placement", "ring-array-setup",
+                       "max-slack-scheduling", "assignment", "yield-tapping",
+                       "evaluate"}));
+  EXPECT_EQ(loop, (std::vector<std::string>{
+                      "cost-driven-skew", "assignment", "yield-tapping",
+                      "evaluate", "incremental-placement"}));
 }
 
 // The generic driver, exercised with synthetic stages: setup once, loop

@@ -330,6 +330,46 @@ TEST_F(RouterFixture, DrainBroadcastsAndMarksRouterDrained) {
   for (const auto& b : backends_) EXPECT_TRUE(b->server.drained());
 }
 
+TEST_F(RouterFixture, SweepFansOutToTheDesignOwnerAsPlainSubmits) {
+  build();
+  const JsonValue resp = call(
+      R"({"cmd":"sweep","id":"fam","gates":120,"ffs":8,"iterations":1,)"
+      R"("seed":5,"sweep":{"rings":[4,9],)"
+      R"("corners":[{"name":"fast"},{"name":"slow","wire_res_scale":1.2}]}})");
+  ASSERT_TRUE(resp.get_bool("ok")) << resp.get_string("detail");
+  EXPECT_EQ(resp.get_number("count"), 4.0);
+  EXPECT_EQ(resp.get_number("accepted"), 4.0);
+  ASSERT_TRUE(call(R"({"cmd":"wait"})").get_bool("ok"));
+  // Every sub-job is statusable through the router (the ledger saw each
+  // one as a plain submit) and landed on one owner: the sweep axes never
+  // touch design_key, so the whole family consistent-hashes together.
+  std::string owner;
+  for (int i = 0; i < 4; ++i) {
+    const JsonValue st =
+        call(R"({"cmd":"status","id":"fam#)" + std::to_string(i) + R"("})");
+    ASSERT_TRUE(st.get_bool("ok")) << i;
+    EXPECT_EQ(st.get_string("state"), "done")
+        << i << ": " << st.get_string("job_error");
+    const std::string backend = st.get_string("backend");
+    if (owner.empty()) owner = backend;
+    EXPECT_EQ(backend, owner) << i;
+  }
+  // That owner parsed the design exactly once for the whole family.
+  const JsonValue stats = call(R"({"cmd":"stats"})");
+  EXPECT_EQ(stats.find("cache")->get_number("design_misses"), 1.0);
+  EXPECT_EQ(stats.find("cache")->get_number("design_hits"), 3.0);
+}
+
+TEST_F(RouterFixture, SweepWithNoHealthyBackendFailsTyped) {
+  build();
+  for (auto& b : backends_) b->down = true;
+  const JsonValue resp = call(
+      R"({"cmd":"sweep","id":"fam","gates":120,"ffs":8,"iterations":1,)"
+      R"("sweep":{"rings":[4,9]}})");
+  EXPECT_FALSE(resp.get_bool("ok"));
+  EXPECT_EQ(resp.get_string("error"), "backend-unavailable");
+}
+
 TEST(RouterErrors, BackendUnavailableIsATypedError) {
   const BackendUnavailableError e("router", "no healthy backend");
   EXPECT_EQ(e.code(), ErrorCode::kBackendUnavailable);

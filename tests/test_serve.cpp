@@ -202,6 +202,61 @@ TEST(ServeJobKeys, EcoChainKeysAreDisjointFromColdKeys) {
   EXPECT_EQ(eco_session_key(base), result_key(base));
 }
 
+CornerSpec slow_corner() {
+  CornerSpec c;
+  c.name = "slow";
+  c.wire_res_scale = 1.25;
+  c.wire_cap_scale = 1.1;
+  return c;
+}
+
+// Regression for the corner-blind cache keys: a spec analyzed at extra
+// corners must produce a *different* result key than the same spec at
+// nominal only, while still sharing the parsed design. Before the fix
+// the keys aliased and a corner job could be served a stale nominal
+// summary straight from the result cache.
+TEST(ServeJobKeys, CornersAffectResultKeyButNotDesignKey) {
+  const JobSpec nominal = tiny_spec("a");
+  JobSpec cornered = tiny_spec("b");
+  cornered.corners = {slow_corner()};
+  EXPECT_EQ(design_key(nominal), design_key(cornered));  // one shared parse
+  EXPECT_NE(result_key(nominal), result_key(cornered));
+
+  // Different corner parameters are different results too.
+  JobSpec other = cornered;
+  other.corners[0].wire_res_scale = 1.5;
+  EXPECT_NE(result_key(cornered), result_key(other));
+  other = cornered;
+  other.corners[0].setup_ps = 45.0;
+  EXPECT_NE(result_key(cornered), result_key(other));
+}
+
+TEST(ServeJobKeys, YieldKnobsAffectResultKeyButNotDesignKey) {
+  const JobSpec off = tiny_spec("a");
+  JobSpec on = tiny_spec("b");
+  on.yield_mode = true;
+  EXPECT_EQ(design_key(off), design_key(on));
+  EXPECT_NE(result_key(off), result_key(on));
+  JobSpec more = on;
+  more.yield_samples = 256;
+  EXPECT_NE(result_key(on), result_key(more));
+  JobSpec reseeded = on;
+  reseeded.yield_seed = 42;
+  EXPECT_NE(result_key(on), result_key(reseeded));
+}
+
+TEST(ServeJobKeys, EcoSessionKeysAreCornerAware) {
+  // The warm-ECO session identity must distinguish corner sets as well:
+  // eco_session_key is the flow-knob identity the scheduler keys warm
+  // sessions by, and a nominal session must never serve a corner job.
+  const JobSpec nominal = tiny_spec("a");
+  JobSpec cornered = tiny_spec("b");
+  cornered.corners = {slow_corner()};
+  EXPECT_NE(eco_session_key(nominal), eco_session_key(cornered));
+  EXPECT_NE(eco_chain_key(eco_session_key(nominal), "[d]"),
+            eco_chain_key(eco_session_key(cornered), "[d]"));
+}
+
 // --------------------------------------------------------- design cache
 
 netlist::Design build_design(const JobSpec& spec) {
@@ -386,6 +441,133 @@ TEST(ServeProtocol, RejectsBadEcoRequests) {
   EXPECT_THROW(parse_request(
                    R"({"cmd":"eco","delta":[{"op":"remove","cell":"c"}]})"),
                InvalidArgumentError);
+}
+
+TEST(ServeProtocol, ParsesCornersAndYieldKnobs) {
+  const Request r = parse_request(
+      R"({"cmd":"submit","id":"c1","gates":120,"ffs":8,)"
+      R"("corners":[{"name":"slow","wire_res_scale":1.25,"setup_ps":45},)"
+      R"({"name":"fast","cell_delay_scale":0.8,"hold_ps":12}],)"
+      R"("yield":true,"yield_samples":64,"yield_seed":7})");
+  ASSERT_EQ(r.spec.corners.size(), 2u);
+  EXPECT_EQ(r.spec.corners[0].name, "slow");
+  EXPECT_DOUBLE_EQ(r.spec.corners[0].wire_res_scale, 1.25);
+  EXPECT_DOUBLE_EQ(r.spec.corners[0].setup_ps, 45.0);
+  EXPECT_DOUBLE_EQ(r.spec.corners[0].hold_ps, -1.0);  // not overridden
+  EXPECT_EQ(r.spec.corners[1].name, "fast");
+  EXPECT_DOUBLE_EQ(r.spec.corners[1].cell_delay_scale, 0.8);
+  EXPECT_DOUBLE_EQ(r.spec.corners[1].hold_ps, 12.0);
+  EXPECT_TRUE(r.spec.yield_mode);
+  EXPECT_EQ(r.spec.yield_samples, 64);
+  EXPECT_EQ(r.spec.yield_seed, 7u);
+}
+
+TEST(ServeProtocol, RejectsBadCorners) {
+  const auto submit = [](const std::string& corners) {
+    return R"({"cmd":"submit","id":"x","gates":120,"ffs":8,"corners":)" +
+           corners + "}";
+  };
+  // Not an array / not objects / missing name.
+  EXPECT_THROW(parse_request(submit(R"("slow")")), InvalidArgumentError);
+  EXPECT_THROW(parse_request(submit(R"([1])")), InvalidArgumentError);
+  EXPECT_THROW(parse_request(submit(R"([{"wire_res_scale":1.1}])")),
+               InvalidArgumentError);
+  // Scales outside (0, 10].
+  EXPECT_THROW(
+      parse_request(submit(R"([{"name":"s","wire_res_scale":0}])")),
+      InvalidArgumentError);
+  EXPECT_THROW(
+      parse_request(submit(R"([{"name":"s","wire_cap_scale":11}])")),
+      InvalidArgumentError);
+  // Negative setup/hold overrides.
+  EXPECT_THROW(parse_request(submit(R"([{"name":"s","setup_ps":-3}])")),
+               InvalidArgumentError);
+  // More than 8 corners.
+  std::string many = "[";
+  for (int i = 0; i < 9; ++i) {
+    if (i > 0) many += ",";
+    many += R"({"name":"c)" + std::to_string(i) + R"("})";
+  }
+  many += "]";
+  EXPECT_THROW(parse_request(submit(many)), InvalidArgumentError);
+  // Yield knob ranges.
+  EXPECT_THROW(
+      parse_request(
+          R"({"cmd":"submit","id":"x","gates":120,"ffs":8,"yield_samples":0})"),
+      InvalidArgumentError);
+}
+
+TEST(ServeProtocol, SweepExpandsTheCartesianProduct) {
+  const Request r = parse_request(
+      R"({"cmd":"sweep","id":"fam","gates":120,"ffs":8,"iterations":1,)"
+      R"("sweep":{"rings":[4,9],)"
+      R"("corners":[{"name":"fast"},{"name":"slow","wire_res_scale":1.2}]}})");
+  EXPECT_EQ(r.cmd, Request::Cmd::kSweep);
+  ASSERT_EQ(r.sweep.size(), 4u);  // 2 corners x 2 ring counts
+  for (std::size_t i = 0; i < r.sweep.size(); ++i)
+    EXPECT_EQ(r.sweep[i].id, "fam#" + std::to_string(i));
+  // Corners vary outermost, rings innermost; each sub-job gets exactly
+  // one corner.
+  EXPECT_EQ(r.sweep[0].corners.at(0).name, "fast");
+  EXPECT_EQ(r.sweep[0].rings, 4);
+  EXPECT_EQ(r.sweep[1].corners.at(0).name, "fast");
+  EXPECT_EQ(r.sweep[1].rings, 9);
+  EXPECT_EQ(r.sweep[3].corners.at(0).name, "slow");
+  EXPECT_EQ(r.sweep[3].rings, 9);
+  // The whole family shares one design parse: the axes never touch
+  // design_key...
+  for (const JobSpec& sub : r.sweep)
+    EXPECT_EQ(design_key(sub), design_key(r.spec));
+  // ...but every member is a distinct result.
+  for (std::size_t i = 0; i < r.sweep.size(); ++i)
+    for (std::size_t j = i + 1; j < r.sweep.size(); ++j)
+      EXPECT_NE(result_key(r.sweep[i]), result_key(r.sweep[j])) << i << j;
+}
+
+TEST(ServeProtocol, RejectsBadSweeps) {
+  // No sweep object / no axes.
+  EXPECT_THROW(parse_request(R"({"cmd":"sweep","id":"x","gates":120,"ffs":8})"),
+               InvalidArgumentError);
+  EXPECT_THROW(
+      parse_request(
+          R"({"cmd":"sweep","id":"x","gates":120,"ffs":8,"sweep":{}})"),
+      InvalidArgumentError);
+  // Family too large (> 256 jobs).
+  std::string seeds = "[";
+  for (int i = 0; i < 257; ++i) {
+    if (i > 0) seeds += ",";
+    seeds += std::to_string(i);
+  }
+  seeds += "]";
+  EXPECT_THROW(
+      parse_request(
+          R"({"cmd":"sweep","id":"x","gates":120,"ffs":8,"sweep":{"seeds":)" +
+          seeds + "}}"),
+      InvalidArgumentError);
+  // Bad axis values.
+  EXPECT_THROW(
+      parse_request(
+          R"({"cmd":"sweep","id":"x","gates":120,"ffs":8,"sweep":{"rings":[0]}})"),
+      InvalidArgumentError);
+}
+
+TEST(ServeProtocol, SubmitLineRoundTripsCornersAndYield) {
+  JobSpec spec = tiny_spec("rt");
+  spec.corners = {slow_corner()};
+  spec.corners[0].setup_ps = 45.0;
+  spec.yield_mode = true;
+  spec.yield_samples = 64;
+  spec.yield_seed = 9;
+  const Request back = parse_request(submit_line(spec));
+  EXPECT_EQ(back.cmd, Request::Cmd::kSubmit);
+  EXPECT_EQ(back.spec.id, spec.id);
+  ASSERT_EQ(back.spec.corners.size(), 1u);
+  EXPECT_EQ(back.spec.corners[0].name, "slow");
+  EXPECT_DOUBLE_EQ(back.spec.corners[0].wire_res_scale, 1.25);
+  EXPECT_DOUBLE_EQ(back.spec.corners[0].setup_ps, 45.0);
+  // The round trip preserves both identities exactly.
+  EXPECT_EQ(design_key(back.spec), design_key(spec));
+  EXPECT_EQ(result_key(back.spec), result_key(spec));
 }
 
 TEST(ServeEcoIo, DeltaJsonRoundTripsAllOps) {
@@ -642,6 +824,78 @@ TEST_F(ServeScheduler, AllJobsPreservesSubmissionOrder) {
   EXPECT_EQ(all[1].spec.id, "second");
 }
 
+TEST_F(ServeScheduler, CornerJobsNeverServeStaleNominalResults) {
+  // The cross-corner aliasing bug: with corner-blind result keys, the
+  // nominal job memoizes its summary, and the corner job — same design,
+  // same flow knobs, different corner set — hits the result cache and is
+  // served the nominal answer. Post-fix the corner job must miss the
+  // cache and run (its summary then reports corner analysis).
+  Scheduler sched(config(2, 8), cache, metrics);
+  sched.submit(tiny_spec("nominal"));
+  sched.wait_idle();
+  ASSERT_EQ(sched.status("nominal")->state, JobState::kDone);
+
+  JobSpec cornered = tiny_spec("cornered");
+  cornered.corners = {slow_corner()};
+  sched.submit(cornered);
+  sched.wait_idle();
+  ASSERT_EQ(sched.status("cornered")->state, JobState::kDone)
+      << sched.status("cornered")->error;
+  EXPECT_FALSE(sched.status("cornered")->result_cache_hit);
+  EXPECT_TRUE(sched.status("cornered")->design_cache_hit);  // shared parse
+  EXPECT_NE(sched.status("cornered")->summary,
+            sched.status("nominal")->summary);
+  EXPECT_NE(sched.status("cornered")->summary.find("corners="),
+            std::string::npos);
+  EXPECT_EQ(sched.status("nominal")->summary.find("corners="),
+            std::string::npos);  // legacy summaries unchanged
+
+  // And the memoization works *within* a corner set: an identical corner
+  // job is a result hit on the corner summary, not the nominal one.
+  JobSpec again = cornered;
+  again.id = "cornered2";
+  sched.submit(again);
+  sched.wait_idle();
+  EXPECT_TRUE(sched.status("cornered2")->result_cache_hit);
+  EXPECT_EQ(sched.status("cornered2")->summary,
+            sched.status("cornered")->summary);
+}
+
+TEST_F(ServeScheduler, YieldJobsReportYieldAndMissNominalCache) {
+  Scheduler sched(config(2, 8), cache, metrics);
+  sched.submit(tiny_spec("nominal"));
+  sched.wait_idle();
+  JobSpec y = tiny_spec("yield");
+  y.yield_mode = true;
+  y.yield_samples = 16;
+  sched.submit(y);
+  sched.wait_idle();
+  ASSERT_EQ(sched.status("yield")->state, JobState::kDone)
+      << sched.status("yield")->error;
+  EXPECT_FALSE(sched.status("yield")->result_cache_hit);
+  EXPECT_NE(sched.status("yield")->summary.find("yield="),
+            std::string::npos);
+}
+
+TEST_F(ServeScheduler, EcoJobsRejectCornersAndYieldTyped) {
+  // The warm ECO engine replays deltas against one nominal-tech session;
+  // silently dropping the corner set would hand back unsound results, so
+  // the scheduler fails such jobs with a typed error instead.
+  Scheduler sched(config(1, 8), cache, metrics);
+  JobSpec e = eco_spec("e-corner", kRetuneQ0);
+  e.corners = {slow_corner()};
+  sched.submit(e);
+  sched.wait_idle();
+  ASSERT_EQ(sched.status("e-corner")->state, JobState::kFailed);
+  EXPECT_NE(sched.status("e-corner")->error.find("corner"),
+            std::string::npos);
+  // The scheduler stays healthy for nominal eco work.
+  sched.submit(eco_spec("e-ok", kRetuneQ0));
+  sched.wait_idle();
+  EXPECT_EQ(sched.status("e-ok")->state, JobState::kDone)
+      << sched.status("e-ok")->error;
+}
+
 // --------------------------------------------------------------- server
 
 ServerConfig tiny_server_config(std::size_t depth = 8,
@@ -732,6 +986,60 @@ TEST(ServeServer, EcoVerbLifecycle) {
   EXPECT_FALSE(bad.get_bool("ok", true));
   EXPECT_TRUE(json_parse(server.handle_line(R"({"cmd":"ping"})"))
                   .get_bool("ok"));
+}
+
+TEST(ServeServer, SweepRunsAFamilyOnOneSharedParse) {
+  Server server(tiny_server_config(/*depth=*/16));
+  const JsonValue sub = json_parse(server.handle_line(
+      R"({"cmd":"sweep","id":"fam","gates":120,"ffs":8,"iterations":1,)"
+      R"("sweep":{"rings":[4,9],)"
+      R"("corners":[{"name":"fast"},{"name":"slow","wire_res_scale":1.2}]}})"));
+  ASSERT_TRUE(sub.get_bool("ok")) << sub.get_string("detail");
+  EXPECT_EQ(sub.get_number("count"), 4.0);
+  EXPECT_EQ(sub.get_number("accepted"), 4.0);
+  ASSERT_NE(sub.find("jobs"), nullptr);
+  EXPECT_EQ(sub.find("jobs")->as_array().size(), 4u);
+  ASSERT_TRUE(
+      json_parse(server.handle_line(R"({"cmd":"wait"})")).get_bool("ok"));
+  for (int i = 0; i < 4; ++i) {
+    const JsonValue st = json_parse(server.handle_line(
+        R"({"cmd":"status","id":"fam#)" + std::to_string(i) + R"("})"));
+    ASSERT_TRUE(st.get_bool("ok")) << i;
+    EXPECT_EQ(st.get_string("state"), "done")
+        << i << ": " << st.get_string("job_error");
+    EXPECT_NE(st.get_string("summary").find("corners="), std::string::npos)
+        << i;
+  }
+  // The whole family shares one parsed design: exactly one design-cache
+  // miss, every later member a hit.
+  const JsonValue stats = json_parse(server.handle_line(R"({"cmd":"stats"})"));
+  EXPECT_EQ(stats.find("cache")->get_number("design_misses"), 1.0);
+  EXPECT_EQ(stats.find("cache")->get_number("design_hits"), 3.0);
+}
+
+TEST(ServeServer, SweepOverflowReportsTheAdmittedPrefix) {
+  Server server(tiny_server_config(/*depth=*/2));
+  // Freeze pickup so admission alone decides the outcome.
+  ASSERT_TRUE(json_parse(server.handle_line(R"({"cmd":"suspend"})"))
+                  .get_bool("ok"));
+  const JsonValue sub = json_parse(server.handle_line(
+      R"({"cmd":"sweep","id":"fam","gates":120,"ffs":8,"iterations":1,)"
+      R"("sweep":{"rings":[4,9,16,25]}})"));
+  ASSERT_TRUE(sub.get_bool("ok"));
+  EXPECT_EQ(sub.get_number("count"), 4.0);
+  EXPECT_EQ(sub.get_number("accepted"), 2.0);  // queue depth 2
+  EXPECT_FALSE(sub.get_string("detail").empty());
+  ASSERT_TRUE(json_parse(server.handle_line(R"({"cmd":"resume"})"))
+                  .get_bool("ok"));
+  ASSERT_TRUE(
+      json_parse(server.handle_line(R"({"cmd":"wait"})")).get_bool("ok"));
+  EXPECT_EQ(json_parse(server.handle_line(R"({"cmd":"status","id":"fam#0"})"))
+                .get_string("state"),
+            "done");
+  // The rejected tail was never recorded.
+  EXPECT_FALSE(json_parse(server.handle_line(
+                              R"({"cmd":"status","id":"fam#3"})"))
+                   .get_bool("ok"));
 }
 
 TEST(ServeDesignCache, EcoChainedResultsParticipateInLru) {
