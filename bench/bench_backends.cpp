@@ -1,0 +1,317 @@
+// Extension: cross-backend comparison harness (DESIGN.md §16).
+//
+// For each Table II circuit this runs the flow once per clocking
+// discipline — rotary, cts (zero-skew tree), two-phase, retime — with
+// the certificate verifier attached, and prints the WL/WNS surface the
+// backend choice trades along. The big circuits (> 1000 flip-flops) run
+// a single iteration to bound CI runtime; the per-backend certificates
+// cover every stage either way.
+//
+// Two properties are gated unconditionally (exit 1 on violation, with
+// or without --baseline):
+//
+//   * every backend completes every circuit with all certificates green
+//     (the per-backend certificate hooks included);
+//   * rotary golden parity: two rotary runs through the ClockBackend
+//     interface are bit-identical (arrivals, assignment, history,
+//     placement) — the "existing flow behind the interface" contract.
+//
+// With --baseline the per-run wall times are gated against the flat keys
+// in bench/baseline_ci.json (same rule as bench_regress: fail only when
+// measured > base * (1 + tolerance) AND the absolute excess is > 0.25 s):
+//
+//   backend.<circuit>.<backend>.wall   flow seconds for that discipline
+//
+//   bench_backends [--circuits s9234,s5378] [--out BENCH_backends.json]
+//                  [--baseline bench/baseline_ci.json] [--tolerance 0.25]
+//
+// --circuits defaults to the whole Table II suite.
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "clocking/backend_id.hpp"
+#include "core/flow.hpp"
+#include "netlist/benchmarks.hpp"
+#include "suite.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using rotclk::core::FlowConfig;
+using rotclk::core::FlowResult;
+using rotclk::core::RotaryFlow;
+using rotclk::netlist::Design;
+
+struct BackendReport {
+  std::string backend;
+  double wall_s = 0.0;
+  double wl_um = 0.0;
+  double tap_wl_um = 0.0;
+  double wns_ps = 0.0;
+  double slack_ps = 0.0;
+  int certs_total = 0;
+  int certs_failed = 0;
+};
+
+struct CircuitReport {
+  std::string name;
+  std::vector<BackendReport> backends;
+  bool rotary_parity = false;
+};
+
+bool bit_identical(const FlowResult& a, const FlowResult& b) {
+  if (a.arrival_ps != b.arrival_ps) return false;
+  if (a.assignment.arc_of_ff != b.assignment.arc_of_ff) return false;
+  if (a.history.size() != b.history.size()) return false;
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    if (a.history[i].overall_cost != b.history[i].overall_cost) return false;
+    if (a.history[i].wns_ps != b.history[i].wns_ps) return false;
+    if (a.history[i].total_wl_um != b.history[i].total_wl_um) return false;
+  }
+  if (a.placement.size() != b.placement.size()) return false;
+  for (std::size_t c = 0; c < a.placement.size(); ++c) {
+    const int cell = static_cast<int>(c);
+    if (a.placement.loc(cell).x != b.placement.loc(cell).x) return false;
+    if (a.placement.loc(cell).y != b.placement.loc(cell).y) return false;
+  }
+  return true;
+}
+
+BackendReport run_backend(const Design& design, FlowConfig cfg,
+                          rotclk::clocking::BackendId id,
+                          FlowResult* out = nullptr) {
+  cfg.backend = id;
+  cfg.verify = true;
+  rotclk::util::Timer timer;
+  RotaryFlow flow(design, cfg);
+  const FlowResult r = flow.run();
+  BackendReport rep;
+  rep.backend = rotclk::clocking::to_string(id);
+  rep.wall_s = timer.seconds();
+  rep.wl_um = r.final().total_wl_um;
+  rep.tap_wl_um = r.final().tap_wl_um;
+  rep.wns_ps = r.final().wns_ps;
+  rep.slack_ps = r.slack_ps;
+  rep.certs_total = static_cast<int>(r.certificates.size());
+  for (const auto& c : r.certificates)
+    if (!c.pass) ++rep.certs_failed;
+  if (out) *out = r;
+  return rep;
+}
+
+/// Flat "key": number pairs, same format/semantics as bench_regress.
+std::map<std::string, double> parse_flat_json(const std::string& text) {
+  std::map<std::string, double> out;
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t key_open = text.find('"', i);
+    if (key_open == std::string::npos) break;
+    const std::size_t key_close = text.find('"', key_open + 1);
+    if (key_close == std::string::npos) break;
+    const std::size_t colon = text.find(':', key_close);
+    if (colon == std::string::npos) break;
+    std::size_t j = colon + 1;
+    while (j < text.size() && std::isspace(static_cast<unsigned char>(text[j])))
+      ++j;
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str() + j, &end);
+    if (end == text.c_str() + j) {
+      if (j < text.size() && text[j] == '"') {
+        const std::size_t val_close = text.find('"', j + 1);
+        if (val_close == std::string::npos) break;
+        i = val_close + 1;
+      } else {
+        i = j + 1;
+      }
+      continue;
+    }
+    out[text.substr(key_open + 1, key_close - key_open - 1)] = v;
+    i = static_cast<std::size_t>(end - text.c_str());
+  }
+  return out;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string circuits_csv;  // empty = the whole Table II suite
+  std::string out_path = "BENCH_backends.json";
+  std::string baseline_path;
+  double tolerance = 0.25;
+  constexpr double kAbsFloorSeconds = 0.25;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> std::string {
+      if (a + 1 >= argc) {
+        std::cerr << "bench_backends: missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (arg == "--circuits") circuits_csv = next();
+    else if (arg == "--out") out_path = next();
+    else if (arg == "--baseline") baseline_path = next();
+    else if (arg == "--tolerance") tolerance = std::stod(next());
+    else {
+      std::cerr << "bench_backends: unknown argument " << arg << "\n";
+      return 2;
+    }
+  }
+
+  try {
+    std::vector<std::string> circuits = split_csv(circuits_csv);
+    if (circuits.empty()) {
+      for (const auto& spec : rotclk::netlist::benchmark_suite())
+        circuits.push_back(spec.name);
+    }
+
+    bool failed = false;
+    std::vector<CircuitReport> reports;
+    for (const std::string& name : circuits) {
+      const rotclk::netlist::BenchmarkSpec& spec =
+          rotclk::netlist::benchmark_spec(name);
+      const Design design = rotclk::netlist::make_benchmark(spec);
+      FlowConfig base = rotclk::bench::paper_config(
+          spec, rotclk::core::AssignMode::NetworkFlow);
+      base.max_iterations = spec.flip_flops > 1000 ? 1 : 2;
+
+      CircuitReport rep;
+      rep.name = name;
+      FlowResult rotary_a;
+      for (const rotclk::clocking::BackendId id :
+           {rotclk::clocking::BackendId::kRotary,
+            rotclk::clocking::BackendId::kZeroSkewTree,
+            rotclk::clocking::BackendId::kTwoPhase,
+            rotclk::clocking::BackendId::kRetimeBudget}) {
+        std::cerr << "[bench_backends] " << name << ": "
+                  << rotclk::clocking::to_string(id) << "...\n";
+        const BackendReport br = run_backend(
+            design, base, id,
+            id == rotclk::clocking::BackendId::kRotary ? &rotary_a : nullptr);
+        if (br.certs_total == 0 || br.certs_failed > 0) {
+          std::cerr << "bench_backends: FAIL " << name << "/" << br.backend
+                    << ": " << br.certs_failed << " of " << br.certs_total
+                    << " certificates failed\n";
+          failed = true;
+        }
+        rep.backends.push_back(br);
+      }
+
+      // Golden parity gate: the rotary discipline through the backend
+      // interface is deterministic run to run, bit for bit.
+      FlowResult rotary_b;
+      (void)run_backend(design, base, rotclk::clocking::BackendId::kRotary,
+                        &rotary_b);
+      rep.rotary_parity = bit_identical(rotary_a, rotary_b);
+      if (!rep.rotary_parity) {
+        std::cerr << "bench_backends: FAIL " << name
+                  << ": rotary runs are not bit-identical\n";
+        failed = true;
+      }
+      reports.push_back(rep);
+    }
+
+    rotclk::util::Table table(
+        "Extension: clocking backends (WL / WNS per discipline)");
+    table.set_header({"Circuit", "Backend", "WL(um)", "Tap WL(um)", "WNS(ps)",
+                      "M*(ps)", "Certs", "Wall(s)"});
+    for (const CircuitReport& r : reports) {
+      for (const BackendReport& b : r.backends) {
+        table.add_row(
+            {r.name, b.backend, rotclk::util::fmt_double(b.wl_um, 0),
+             rotclk::util::fmt_double(b.tap_wl_um, 0),
+             rotclk::util::fmt_double(b.wns_ps, 1),
+             rotclk::util::fmt_double(b.slack_ps, 1),
+             std::to_string(b.certs_total - b.certs_failed) + "/" +
+                 std::to_string(b.certs_total),
+             rotclk::util::fmt_double(b.wall_s, 2)});
+      }
+    }
+    table.print();
+
+    std::ostringstream os;
+    os << "{\n  \"circuits\":[\n";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const CircuitReport& r = reports[i];
+      if (i) os << ",\n";
+      os << "   {\"name\":\"" << r.name << "\",\"rotary_parity\":"
+         << (r.rotary_parity ? "true" : "false") << ",\n    \"backends\":{";
+      for (std::size_t j = 0; j < r.backends.size(); ++j) {
+        const BackendReport& b = r.backends[j];
+        if (j) os << ",";
+        os << "\n     \"" << b.backend << "\":{\"wall_s\":" << b.wall_s
+           << ",\"wl_um\":" << b.wl_um << ",\"tap_wl_um\":" << b.tap_wl_um
+           << ",\"wns_ps\":" << b.wns_ps << ",\"slack_ps\":" << b.slack_ps
+           << ",\"certs_total\":" << b.certs_total
+           << ",\"certs_failed\":" << b.certs_failed << "}";
+      }
+      os << "}}";
+    }
+    os << "\n  ]\n}\n";
+    {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::cerr << "bench_backends: cannot write " << out_path << "\n";
+        return 2;
+      }
+      out << os.str();
+    }
+    std::cout << os.str();
+    if (failed) return 1;
+
+    if (baseline_path.empty()) return 0;
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::cerr << "bench_backends: cannot read baseline " << baseline_path
+                << "\n";
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::map<std::string, double> baseline = parse_flat_json(buf.str());
+    int regressions = 0;
+    for (const CircuitReport& r : reports) {
+      for (const BackendReport& b : r.backends) {
+        const std::string key =
+            "backend." + r.name + "." + b.backend + ".wall";
+        const auto it = baseline.find(key);
+        if (it == baseline.end()) continue;
+        if (b.wall_s > it->second * (1.0 + tolerance) &&
+            b.wall_s - it->second > kAbsFloorSeconds) {
+          std::cerr << "REGRESSION: " << key << " took " << b.wall_s
+                    << "s vs baseline " << it->second << "s\n";
+          ++regressions;
+        }
+      }
+    }
+    if (regressions > 0) {
+      std::cerr << regressions << " backend regression(s) vs " << baseline_path
+                << "\n";
+      return 1;
+    }
+    std::cerr << "no backend regressions vs " << baseline_path << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_backends: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "clocking/backends.hpp"
 #include "core/flow.hpp"
 #include "cts/clock_tree.hpp"
 #include "netlist/benchmarks.hpp"
@@ -33,8 +34,10 @@ int main() {
         placer.place_initial(netlist::size_die(d, 0.05));
     std::vector<geom::Point> sinks;
     for (int ff : d.flip_flops()) sinks.push_back(p.loc(ff));
+    // The same construction the cts clocking backend embeds, so the PL
+    // column and the zero-skew flow can never disagree about the tree.
     const cts::ClockTree tree =
-        cts::build_zero_skew_tree(sinks, {}, config.tech);
+        clocking::ZeroSkewTreeBackend::reference_tree(sinks, config.tech);
     table.add_row({spec.name, util::fmt_int(d.num_cells()),
                    util::fmt_int(d.num_flip_flops()),
                    util::fmt_int(d.num_signal_nets()),

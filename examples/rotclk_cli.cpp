@@ -9,6 +9,8 @@
 //   --bench FILE        read an ISCAS89 .bench netlist instead
 //   --rings N           rotary rings, perfect square (default: Table II
 //                       value for --circuit, else 16)
+//   --backend NAME      clocking discipline: rotary (default), cts,
+//                       two-phase, or retime (clocking/backend_id.hpp)
 //   --mode nf|ilp       assignment formulation (default nf)
 //   --iterations N      max stage 3-6 iterations (default 5)
 //   --period PS         clock period in ps (default 1000)
@@ -34,6 +36,7 @@
 #include <optional>
 #include <string>
 
+#include "clocking/backend_id.hpp"
 #include "core/flow.hpp"
 #include "core/flow_report.hpp"
 #include "core/svg_export.hpp"
@@ -53,6 +56,7 @@ struct CliOptions {
   std::string circuit = "s9234";
   std::optional<std::string> bench_file;
   std::optional<int> rings;
+  std::string backend = "rotary";
   std::string mode = "nf";
   int iterations = 5;
   double period_ps = 1000.0;
@@ -122,6 +126,7 @@ CliOptions parse(int argc, char** argv) {
     if (a == "--circuit") opt.circuit = need_value(i, a);
     else if (a == "--bench") opt.bench_file = need_value(i, a);
     else if (a == "--rings") opt.rings = parse_int(need_value(i, a), a);
+    else if (a == "--backend") opt.backend = need_value(i, a);
     else if (a == "--mode") opt.mode = need_value(i, a);
     else if (a == "--iterations")
       opt.iterations = parse_int(need_value(i, a), a);
@@ -148,6 +153,8 @@ usage: rotclk_cli [options]
   --bench FILE        read an ISCAS89 .bench netlist instead
   --rings N           rotary rings, perfect square (default: Table II
                       value for --circuit, else 16)
+  --backend NAME      clocking discipline: rotary (default), cts,
+                      two-phase, or retime
   --mode nf|ilp       assignment formulation (default nf)
   --iterations N      max stage 3-6 iterations (default 5)
   --period PS         clock period in ps (default 1000)
@@ -176,6 +183,13 @@ exit status: 0 success, 1 flow error, 2 usage error
   if (opt.mode != "nf" && opt.mode != "ilp")
     usage_error("--mode must be nf or ilp");
   if (opt.iterations < 1) usage_error("--iterations must be >= 1");
+  // Validate at parse time so a typo'd discipline is a usage error
+  // (exit 2), not a flow error (exit 1).
+  try {
+    (void)rotclk::clocking::backend_from_string(opt.backend);
+  } catch (const rotclk::Error& e) {
+    usage_error(e.what());
+  }
   return opt;
 }
 
@@ -196,6 +210,7 @@ int run(const CliOptions& opt) {
   cfg.die_utilization = opt.utilization;
   cfg.ring_config.period_ps = opt.period_ps;
   cfg.tech.clock_period_ps = opt.period_ps;
+  cfg.backend = clocking::backend_from_string(opt.backend);
   cfg.tapping.allow_complement = opt.complement;
   cfg.tapping.use_buffer = opt.buffered_taps;
   cfg.ring_config.rings = opt.rings.value_or([&] {
@@ -277,7 +292,8 @@ int run(const CliOptions& opt) {
   std::cout << design.name() << ": " << design.num_cells() << " cells, "
             << design.num_flip_flops() << " FFs, "
             << cfg.ring_config.rings << " rings, mode "
-            << core::to_string(cfg.assign_mode) << "\n"
+            << core::to_string(cfg.assign_mode) << ", backend "
+            << clocking::to_string(cfg.backend) << "\n"
             << "tap WL " << util::fmt_double(base.tap_wl_um, 0) << " -> "
             << util::fmt_double(fin.tap_wl_um, 0) << " um ("
             << util::fmt_percent(1.0 - fin.tap_wl_um / base.tap_wl_um)

@@ -66,6 +66,8 @@ usage: rotclkd [options]
 
 Protocol: one JSON request per line, one JSON response per line.
 Commands: submit status cancel stats wait suspend resume drain fault ping.
+Job specs take "backend": rotary (default) | cts | two-phase | retime to
+select the clocking discipline; sweeps accept a "backends" axis.
 Exits after a "drain" request or SIGTERM/SIGINT (graceful drain); stdio
 mode also exits on EOF.
 )";

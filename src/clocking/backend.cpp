@@ -1,0 +1,63 @@
+#include "clocking/backend.hpp"
+
+#include "check/sched_certs.hpp"
+#include "clocking/backends.hpp"
+#include "util/error.hpp"
+
+namespace rotclk::clocking {
+
+const char* to_string(BackendId id) {
+  switch (id) {
+    case BackendId::kRotary: return "rotary";
+    case BackendId::kZeroSkewTree: return "cts";
+    case BackendId::kTwoPhase: return "two-phase";
+    case BackendId::kRetimeBudget: return "retime";
+  }
+  return "?";
+}
+
+const std::vector<std::string>& backend_names() {
+  static const std::vector<std::string> names = {"rotary", "cts", "two-phase",
+                                                 "retime"};
+  return names;
+}
+
+BackendId backend_from_string(const std::string& name) {
+  if (name == "rotary") return BackendId::kRotary;
+  if (name == "cts") return BackendId::kZeroSkewTree;
+  if (name == "two-phase") return BackendId::kTwoPhase;
+  if (name == "retime") return BackendId::kRetimeBudget;
+  std::string valid;
+  for (const std::string& n : backend_names())
+    valid += (valid.empty() ? "" : "|") + n;
+  throw InvalidArgumentError(
+      "clocking", "unknown clock backend '" + name + "' (expected " + valid +
+                      ")");
+}
+
+std::vector<check::Certificate> ClockBackend::schedule_certificates(
+    const ScheduleVerifyInputs& in) const {
+  // The stage-2 witness is produced at the claimed optimum M*.
+  return check::verify_schedule(in.num_ffs, in.arcs, in.tech, in.arrival_ps,
+                                in.slack_star_ps, in.slack_star_ps,
+                                in.precision_ps, in.tolerance);
+}
+
+std::unique_ptr<ClockBackend> make_backend(BackendId id) {
+  switch (id) {
+    case BackendId::kRotary: return std::make_unique<RotaryBackend>();
+    case BackendId::kZeroSkewTree:
+      return std::make_unique<ZeroSkewTreeBackend>();
+    case BackendId::kTwoPhase: return std::make_unique<TwoPhaseBackend>();
+    case BackendId::kRetimeBudget:
+      return std::make_unique<RetimeBudgetBackend>();
+  }
+  throw InvalidArgumentError("clocking", "unknown clock backend id");
+}
+
+const ClockBackend& rotary_backend() {
+  static const RotaryBackend backend;
+  return backend;
+}
+
+}  // namespace rotclk::clocking

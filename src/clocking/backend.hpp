@@ -1,0 +1,180 @@
+#pragma once
+// Pluggable clocking-discipline interface (DESIGN.md §16).
+//
+// Stages 1-2 and 4-6 of the flow are generic placement/skew machinery;
+// only the phase model — what a feasible schedule is, what attaching a
+// flip-flop to the clock source costs, and what certifies a result — is
+// discipline-specific. ClockBackend captures exactly that surface:
+//
+//   transform_arcs   fold the raw sequential arcs into the backend's
+//                    constraint arcs (e.g. the two-phase non-overlap
+//                    window folds into Fishburn setup/hold bounds)
+//   schedule         stage 2: produce delay targets + the slack contract
+//   physical_arrivals  logical target -> physical clock arrival (phase
+//                    offsets; identity for single-phase backends)
+//   assign           stage 3: attachment problem + solution (tapping cost
+//                    and load model live in the problem it builds)
+//   tap_anchors      stage 4 anchors for the cost-driven re-optimization
+//   *_certificates   per-backend proof obligations for the verifier
+//
+// Backends operate on plain data (never FlowContext), so the layer sits
+// below core; core/stages.cpp dispatches through the interface and the
+// rotary backend is required to keep the dispatched flow bit-identical to
+// the pre-interface pipeline (gated by test_flow_parity + test_backends).
+
+#include <memory>
+#include <vector>
+
+#include "assign/assigner.hpp"
+#include "assign/problem.hpp"
+#include "check/certificate.hpp"
+#include "clocking/backend_id.hpp"
+#include "cts/clock_tree.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/placement.hpp"
+#include "rotary/array.hpp"
+#include "sched/cost_driven.hpp"
+#include "sched/skew.hpp"
+#include "timing/sta.hpp"
+#include "timing/tech.hpp"
+#include "util/recovery.hpp"
+
+namespace rotclk::clocking {
+
+/// Per-run mutable state a backend threads between its hooks. Owned by the
+/// FlowContext (one per run), value-semantic so snapshots stay cheap.
+struct BackendState {
+  // --- two-phase ---------------------------------------------------------
+  /// Phase class (0 = φ1, 1 = φ2) per flip-flop, assigned once from the
+  /// sequential-arc structure on the first transform_arcs call.
+  std::vector<int> phase_of_ff;
+  double phase_offset_ps = 0.0;  ///< φ2 launch-edge offset (T/2)
+  double non_overlap_ps = 0.0;   ///< W folded into cross-phase arcs
+
+  // --- retiming + slack budgeting ---------------------------------------
+  bool budget_valid = false;      ///< the budgeting circulation ran
+  double budget_total_ps = 0.0;   ///< optimal total arc slack budget
+  double budget_baseline_ps = 0.0;  ///< budget of the Fishburn witness
+
+  // --- zero-skew tree ----------------------------------------------------
+  /// The tree the last assign() embedded (shared so Snapshot copies of the
+  /// context stay cheap). Null until the cts backend runs stage 3.
+  std::shared_ptr<const cts::ClockTree> tree;
+};
+
+/// Inputs for the stage-2 certificate hook (everything the schedule claim
+/// references, plus the verifier's tolerances).
+struct ScheduleVerifyInputs {
+  int num_ffs = 0;
+  const std::vector<timing::SeqArc>& arcs;
+  const timing::TechParams& tech;
+  const std::vector<double>& arrival_ps;
+  double slack_star_ps = 0.0;
+  double slack_used_ps = 0.0;
+  double precision_ps = 0.01;
+  double tolerance = 1e-6;
+  const BackendState& state;
+};
+
+/// Inputs for the stage-3 certificate hook.
+struct AssignVerifyInputs {
+  const netlist::Design& design;
+  const netlist::Placement& placement;
+  const std::vector<timing::SeqArc>& arcs;
+  const assign::AssignProblem& problem;
+  const assign::Assignment& assignment;
+  const std::vector<double>& arrival_ps;
+  const timing::TechParams& tech;
+  double tolerance = 1e-6;
+  const BackendState& state;
+};
+
+class ClockBackend {
+ public:
+  virtual ~ClockBackend() = default;
+
+  [[nodiscard]] virtual BackendId id() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// True when the discipline prescribes the schedule (zero-skew tree):
+  /// stage 4 then re-derives the slack contract at the fresh placement
+  /// instead of running the cost-driven re-optimization.
+  [[nodiscard]] virtual bool fixed_schedule() const { return false; }
+
+  /// True when attachment is a rotary tapping solve (TapSolution against a
+  /// RingPos). Gates the ring-specific certificates (netflow differential,
+  /// Eq. 1 tapping spot checks) and the yield tapping stage's phase model.
+  [[nodiscard]] virtual bool ring_tapping() const { return true; }
+
+  /// Fold the raw sequential adjacency into the backend's constraint arcs.
+  /// Default: identity (the Fishburn arcs are the constraints).
+  [[nodiscard]] virtual std::vector<timing::SeqArc> transform_arcs(
+      const netlist::Design& design, std::vector<timing::SeqArc> arcs,
+      const timing::TechParams& tech, BackendState& state) const {
+    (void)design;
+    (void)tech;
+    (void)state;
+    return arcs;
+  }
+
+  /// Stage 2: delay targets + the slack contract over the (transformed)
+  /// constraint arcs.
+  [[nodiscard]] virtual sched::ScheduleResult schedule(
+      int num_ffs, const std::vector<timing::SeqArc>& arcs,
+      const timing::TechParams& tech, BackendState& state) const = 0;
+
+  /// Physical clock arrival per flip-flop: the logical target plus the
+  /// backend's phase offset. Default: identity copy (single-phase).
+  [[nodiscard]] virtual std::vector<double> physical_arrivals(
+      const std::vector<double>& arrival_ps, const BackendState& state) const {
+    (void)state;
+    return arrival_ps;
+  }
+
+  /// Stage 3: build and solve the attachment problem at the given targets.
+  /// `assigner` is the flow's configured strategy (or a fallback link);
+  /// ring-tapping backends delegate to it, others may ignore it.
+  [[nodiscard]] virtual assign::Assignment assign(
+      const netlist::Design& design, const netlist::Placement& placement,
+      const rotary::RingArray& rings, const std::vector<double>& arrival_ps,
+      const timing::TechParams& tech, const assign::Assigner& assigner,
+      const assign::AssignProblemConfig& config,
+      assign::AssignProblem& problem_out, const util::RecoveryLog& log,
+      BackendState& state) const = 0;
+
+  /// Stage 4 anchors + weights (both pre-sized to num_ffs). Not called for
+  /// fixed_schedule() backends.
+  virtual void tap_anchors(const netlist::Placement& placement,
+                           const rotary::RingArray& rings,
+                           const assign::AssignProblem& problem,
+                           const assign::Assignment& assignment,
+                           const std::vector<double>& arrival_ps,
+                           const timing::TechParams& tech,
+                           const BackendState& state,
+                           std::vector<sched::TapAnchor>& anchors,
+                           std::vector<double>& weights) const = 0;
+
+  /// Stage-2 proof obligations. Default: the standard Fishburn audit —
+  /// every arc re-checked at the claimed M*, which is itself cross-examined
+  /// by the independent bracket+bisection oracle.
+  [[nodiscard]] virtual std::vector<check::Certificate> schedule_certificates(
+      const ScheduleVerifyInputs& in) const;
+
+  /// Stage-3 proof obligations beyond the generic structural recount
+  /// (which the verifier always runs). Default: none.
+  [[nodiscard]] virtual std::vector<check::Certificate> assignment_certificates(
+      const AssignVerifyInputs& in) const {
+    (void)in;
+    return {};
+  }
+};
+
+/// Construct a backend instance by id.
+std::unique_ptr<ClockBackend> make_backend(BackendId id);
+
+/// Shared immutable rotary backend — the default wired into FlowContext
+/// when no backend is passed (keeps every pre-interface caller, including
+/// the warm ECO engine, on the rotary discipline without plumbing).
+const ClockBackend& rotary_backend();
+
+}  // namespace rotclk::clocking

@@ -1,0 +1,32 @@
+#pragma once
+// Clock-backend identifiers (DESIGN.md §16).
+//
+// A tiny leaf header so FlowConfig and the serve-layer job spec can name a
+// backend without pulling in the full ClockBackend interface (and its
+// assign/sched/cts dependencies). The interface itself lives in
+// clocking/backend.hpp; the four implementations in clocking/backends.hpp.
+
+#include <string>
+#include <vector>
+
+namespace rotclk::clocking {
+
+enum class BackendId {
+  kRotary,        ///< the paper's rotary ring array (the default)
+  kZeroSkewTree,  ///< conventional zero-skew clock tree (src/cts)
+  kTwoPhase,      ///< two-phase non-overlapping clocking (Pedroso et al.)
+  kRetimeBudget,  ///< retiming-style slack budgeting (Bei Yu et al.)
+};
+
+/// Canonical wire/CLI name ("rotary", "cts", "two-phase", "retime").
+const char* to_string(BackendId id);
+
+/// Parse a canonical name. Throws InvalidArgumentError("clocking", ...)
+/// listing the valid names for anything else — the typed error the CLI and
+/// the serve protocol surface for an unknown --backend / "backend" field.
+BackendId backend_from_string(const std::string& name);
+
+/// All canonical names, in BackendId order (for help text and sweeps).
+const std::vector<std::string>& backend_names();
+
+}  // namespace rotclk::clocking

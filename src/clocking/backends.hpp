@@ -1,0 +1,186 @@
+#pragma once
+// The four ClockBackend implementations (DESIGN.md §16).
+//
+//   RotaryBackend        the paper's flow, verbatim, behind the interface
+//                        (required to stay bit-identical to the
+//                        pre-interface pipeline)
+//   ZeroSkewTreeBackend  the src/cts reference tree as a real backend:
+//                        fixed all-zero schedule, attachment = leaf edge
+//   TwoPhaseBackend      two-phase non-overlapping clocking (Pedroso et
+//                        al.): FF classes split to φ1/φ2, the non-overlap
+//                        window folds into the Fishburn setup/hold arcs
+//   RetimeBudgetBackend  retiming-style slack budgeting (Bei Yu et al.):
+//                        a min-cost circulation over the constraint graph
+//                        maximizes the total per-arc slack budget, widening
+//                        permissible skew ranges before assignment;
+//                        re-proven by the src/check MCMF certificates
+
+#include "clocking/backend.hpp"
+
+namespace rotclk::clocking {
+
+class RotaryBackend : public ClockBackend {
+ public:
+  [[nodiscard]] BackendId id() const override { return BackendId::kRotary; }
+  [[nodiscard]] const char* name() const override { return "rotary"; }
+
+  [[nodiscard]] sched::ScheduleResult schedule(
+      int num_ffs, const std::vector<timing::SeqArc>& arcs,
+      const timing::TechParams& tech, BackendState& state) const override;
+
+  [[nodiscard]] assign::Assignment assign(
+      const netlist::Design& design, const netlist::Placement& placement,
+      const rotary::RingArray& rings, const std::vector<double>& arrival_ps,
+      const timing::TechParams& tech, const assign::Assigner& assigner,
+      const assign::AssignProblemConfig& config,
+      assign::AssignProblem& problem_out, const util::RecoveryLog& log,
+      BackendState& state) const override;
+
+  void tap_anchors(const netlist::Placement& placement,
+                   const rotary::RingArray& rings,
+                   const assign::AssignProblem& problem,
+                   const assign::Assignment& assignment,
+                   const std::vector<double>& arrival_ps,
+                   const timing::TechParams& tech, const BackendState& state,
+                   std::vector<sched::TapAnchor>& anchors,
+                   std::vector<double>& weights) const override;
+};
+
+class ZeroSkewTreeBackend final : public ClockBackend {
+ public:
+  [[nodiscard]] BackendId id() const override {
+    return BackendId::kZeroSkewTree;
+  }
+  [[nodiscard]] const char* name() const override { return "cts"; }
+  [[nodiscard]] bool fixed_schedule() const override { return true; }
+  [[nodiscard]] bool ring_tapping() const override { return false; }
+
+  /// All-zero arrivals (the tree delivers one delay to every sink); the
+  /// slack contract is the worst arc margin of the zero-skew schedule.
+  [[nodiscard]] sched::ScheduleResult schedule(
+      int num_ffs, const std::vector<timing::SeqArc>& arcs,
+      const timing::TechParams& tech, BackendState& state) const override;
+
+  /// Embed the zero-skew tree over the flip-flop locations; each FF's
+  /// attachment cost is its leaf edge (incl. snaking), its tap point the
+  /// leaf's merge node. One candidate arc per flip-flop on "ring" 0.
+  [[nodiscard]] assign::Assignment assign(
+      const netlist::Design& design, const netlist::Placement& placement,
+      const rotary::RingArray& rings, const std::vector<double>& arrival_ps,
+      const timing::TechParams& tech, const assign::Assigner& assigner,
+      const assign::AssignProblemConfig& config,
+      assign::AssignProblem& problem_out, const util::RecoveryLog& log,
+      BackendState& state) const override;
+
+  void tap_anchors(const netlist::Placement& placement,
+                   const rotary::RingArray& rings,
+                   const assign::AssignProblem& problem,
+                   const assign::Assignment& assignment,
+                   const std::vector<double>& arrival_ps,
+                   const timing::TechParams& tech, const BackendState& state,
+                   std::vector<sched::TapAnchor>& anchors,
+                   std::vector<double>& weights) const override;
+
+  [[nodiscard]] std::vector<check::Certificate> schedule_certificates(
+      const ScheduleVerifyInputs& in) const override;
+
+  [[nodiscard]] std::vector<check::Certificate> assignment_certificates(
+      const AssignVerifyInputs& in) const override;
+
+  /// The reference-tree construction, shared with bench_table2_testcases
+  /// so the benchmark comparator and the backend can never diverge.
+  static cts::ClockTree reference_tree(const std::vector<geom::Point>& sinks,
+                                       const timing::TechParams& tech);
+};
+
+class TwoPhaseBackend final : public RotaryBackend {
+ public:
+  explicit TwoPhaseBackend(double non_overlap_ps = 25.0)
+      : non_overlap_ps_(non_overlap_ps) {}
+
+  [[nodiscard]] BackendId id() const override { return BackendId::kTwoPhase; }
+  [[nodiscard]] const char* name() const override { return "two-phase"; }
+
+  /// Assign φ1/φ2 classes (deterministic BFS 2-coloring of the FF
+  /// adjacency, odd cycles keep their first color) and fold the phase
+  /// separation + non-overlap window W into the Fishburn bounds: a
+  /// cross-phase arc sees d_max' = d_max + T/2 + W and
+  /// d_min' = d_min + T/2 - W (both launch->capture separations are T/2,
+  /// and W shrinks the permissible window from both sides); same-phase
+  /// arcs are unchanged.
+  [[nodiscard]] std::vector<timing::SeqArc> transform_arcs(
+      const netlist::Design& design, std::vector<timing::SeqArc> arcs,
+      const timing::TechParams& tech, BackendState& state) const override;
+
+  /// t_i + T/2 for φ2 flip-flops.
+  [[nodiscard]] std::vector<double> physical_arrivals(
+      const std::vector<double>& arrival_ps,
+      const BackendState& state) const override;
+
+  /// Delegates to the rotary tapping solve at the *physical* targets (a φ2
+  /// flip-flop taps the ring half a period later).
+  [[nodiscard]] assign::Assignment assign(
+      const netlist::Design& design, const netlist::Placement& placement,
+      const rotary::RingArray& rings, const std::vector<double>& arrival_ps,
+      const timing::TechParams& tech, const assign::Assigner& assigner,
+      const assign::AssignProblemConfig& config,
+      assign::AssignProblem& problem_out, const util::RecoveryLog& log,
+      BackendState& state) const override;
+
+  /// Rotary anchors at the physical target, shifted back to logical time.
+  void tap_anchors(const netlist::Placement& placement,
+                   const rotary::RingArray& rings,
+                   const assign::AssignProblem& problem,
+                   const assign::Assignment& assignment,
+                   const std::vector<double>& arrival_ps,
+                   const timing::TechParams& tech, const BackendState& state,
+                   std::vector<sched::TapAnchor>& anchors,
+                   std::vector<double>& weights) const override;
+
+  /// The standard Fishburn audit plus "twophase.partition": the φ1/φ2
+  /// classes independently re-derived from the arc structure must match.
+  [[nodiscard]] std::vector<check::Certificate> assignment_certificates(
+      const AssignVerifyInputs& in) const override;
+
+  /// The deterministic phase partition (exposed for the verifier + tests).
+  static std::vector<int> partition_phases(
+      int num_ffs, const std::vector<timing::SeqArc>& arcs);
+
+ private:
+  double non_overlap_ps_;
+};
+
+class RetimeBudgetBackend final : public RotaryBackend {
+ public:
+  [[nodiscard]] BackendId id() const override {
+    return BackendId::kRetimeBudget;
+  }
+  [[nodiscard]] const char* name() const override { return "retime"; }
+
+  /// Maximize the total per-arc slack budget sum_e min(B, c_e - (t_u-t_v))
+  /// (B = T caps any one arc's budget) over feasible schedules t. The dual
+  /// is a min-cost circulation over the constraint graph, solved on
+  /// graph::MinCostMaxFlow via the standard negative-arc saturation
+  /// reduction; t is recovered from the optimal potentials. slack_ps stays
+  /// the Fishburn optimum M* (the stage-4 contract), and the flow degrades
+  /// to the plain Fishburn witness when budgeting is vacuous (no arcs,
+  /// M* <= 0, or an infeasible design).
+  [[nodiscard]] sched::ScheduleResult schedule(
+      int num_ffs, const std::vector<timing::SeqArc>& arcs,
+      const timing::TechParams& tech, BackendState& state) const override;
+
+  /// Feasibility of the budget schedule (at slack 0) with M* cross-checked
+  /// by the oracle, budget non-negativity / consistency / widening, and
+  /// the rebuilt circulation re-proven optimal by the check::verify_mcmf
+  /// certificates plus a zero LP-duality gap against the schedule.
+  [[nodiscard]] std::vector<check::Certificate> schedule_certificates(
+      const ScheduleVerifyInputs& in) const override;
+
+  /// Budget of schedule `t` under cap B = T: sum_e min(B, c_e - (t_u-t_v))
+  /// over both constraint directions of every arc. Exposed for tests.
+  static double schedule_budget_ps(const std::vector<timing::SeqArc>& arcs,
+                                   const timing::TechParams& tech,
+                                   const std::vector<double>& arrival_ps);
+};
+
+}  // namespace rotclk::clocking

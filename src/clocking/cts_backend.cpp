@@ -1,0 +1,227 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "check/sched_certs.hpp"
+#include "clocking/backends.hpp"
+#include "util/error.hpp"
+
+namespace rotclk::clocking {
+
+namespace {
+
+/// Worst arc slack of the all-zero schedule: a zero-skew tree delivers one
+/// delay to every sink, so each arc's margin is just its own window
+/// (setup: T - d_max - setup, hold: d_min - hold). +inf with no arcs —
+/// matching max_slack_schedule's convention.
+double zero_skew_margin_ps(const std::vector<timing::SeqArc>& arcs,
+                           const timing::TechParams& tech) {
+  double margin = std::numeric_limits<double>::infinity();
+  for (const timing::SeqArc& arc : arcs) {
+    margin = std::min(margin,
+                      tech.clock_period_ps - arc.d_max_ps - tech.setup_ps);
+    margin = std::min(margin, arc.d_min_ps - tech.hold_ps);
+  }
+  return margin;
+}
+
+}  // namespace
+
+cts::ClockTree ZeroSkewTreeBackend::reference_tree(
+    const std::vector<geom::Point>& sinks, const timing::TechParams& tech) {
+  return cts::build_zero_skew_tree(sinks, {}, tech);
+}
+
+sched::ScheduleResult ZeroSkewTreeBackend::schedule(
+    int num_ffs, const std::vector<timing::SeqArc>& arcs,
+    const timing::TechParams& tech, BackendState& /*state*/) const {
+  sched::ScheduleResult r;
+  r.feasible = true;  // the tree always exists; the margin may be negative
+  r.slack_ps = zero_skew_margin_ps(arcs, tech);
+  r.arrival_ps.assign(static_cast<std::size_t>(num_ffs), 0.0);
+  return r;
+}
+
+assign::Assignment ZeroSkewTreeBackend::assign(
+    const netlist::Design& design, const netlist::Placement& placement,
+    const rotary::RingArray& rings,
+    const std::vector<double>& /*arrival_ps*/,
+    const timing::TechParams& tech, const assign::Assigner& /*assigner*/,
+    const assign::AssignProblemConfig& /*config*/,
+    assign::AssignProblem& problem_out, const util::RecoveryLog& /*log*/,
+    BackendState& state) const {
+  const std::vector<int> ffs = design.flip_flops();
+  const int n = static_cast<int>(ffs.size());
+  std::vector<geom::Point> sinks;
+  sinks.reserve(ffs.size());
+  for (const int cell : ffs) sinks.push_back(placement.loc(cell));
+
+  problem_out = assign::AssignProblem{};
+  problem_out.ff_cells = ffs;
+  // "Ring" 0 is the tree source; keep the ring count consistent with the
+  // array the pipeline set up so the between-stage guards hold. No hard
+  // capacity (like the min-max formulation).
+  problem_out.num_rings = std::max(1, rings.size());
+
+  assign::Assignment result;
+  result.arc_of_ff.assign(static_cast<std::size_t>(n), -1);
+  if (n == 0) {
+    state.tree.reset();
+    return result;
+  }
+
+  cts::ClockTree tree = reference_tree(sinks, tech);
+  // Leaf attachment: per sink, the merge node it hangs off and the embedded
+  // edge length (incl. any zero-skew snaking detour).
+  std::vector<int> parent_of(tree.nodes.size(), -1);
+  std::vector<double> edge_of(tree.nodes.size(), 0.0);
+  for (std::size_t p = 0; p < tree.nodes.size(); ++p) {
+    const cts::TreeNode& node = tree.nodes[p];
+    if (node.left >= 0) {
+      parent_of[static_cast<std::size_t>(node.left)] = static_cast<int>(p);
+      edge_of[static_cast<std::size_t>(node.left)] = node.edge_left_um;
+    }
+    if (node.right >= 0) {
+      parent_of[static_cast<std::size_t>(node.right)] = static_cast<int>(p);
+      edge_of[static_cast<std::size_t>(node.right)] = node.edge_right_um;
+    }
+  }
+  std::vector<int> leaf_of_sink(static_cast<std::size_t>(n), -1);
+  for (std::size_t k = 0; k < tree.nodes.size(); ++k) {
+    const int sink = tree.nodes[k].sink;
+    if (sink >= 0 && sink < n)
+      leaf_of_sink[static_cast<std::size_t>(sink)] = static_cast<int>(k);
+  }
+
+  problem_out.arcs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int leaf = leaf_of_sink[static_cast<std::size_t>(i)];
+    if (leaf < 0)
+      throw InternalError("clocking",
+                          "zero-skew tree is missing a sink leaf");
+    const int parent = parent_of[static_cast<std::size_t>(leaf)];
+    assign::CandidateArc arc;
+    arc.ff = i;
+    arc.ring = 0;
+    arc.tap_cost_um = parent >= 0 ? edge_of[static_cast<std::size_t>(leaf)]
+                                  : 0.0;
+    arc.load_cap_ff = arc.tap_cost_um * tech.wire_cap_per_um +
+                      tech.ff_input_cap_ff;
+    arc.tap.feasible = true;
+    arc.tap.tap_point =
+        parent >= 0 ? tree.nodes[static_cast<std::size_t>(parent)].loc
+                    : tree.nodes[static_cast<std::size_t>(leaf)].loc;
+    arc.tap.wirelength = arc.tap_cost_um;
+    problem_out.arcs.push_back(arc);
+    result.arc_of_ff[static_cast<std::size_t>(i)] = i;
+  }
+  assign::refresh_metrics(problem_out, result);
+  state.tree = std::make_shared<const cts::ClockTree>(std::move(tree));
+  return result;
+}
+
+void ZeroSkewTreeBackend::tap_anchors(
+    const netlist::Placement& /*placement*/,
+    const rotary::RingArray& /*rings*/,
+    const assign::AssignProblem& /*problem*/,
+    const assign::Assignment& /*assignment*/,
+    const std::vector<double>& /*arrival_ps*/,
+    const timing::TechParams& /*tech*/, const BackendState& /*state*/,
+    std::vector<sched::TapAnchor>& /*anchors*/,
+    std::vector<double>& /*weights*/) const {
+  throw InternalError("clocking",
+                      "the zero-skew tree schedule is fixed; stage 4 must "
+                      "not request tap anchors");
+}
+
+std::vector<check::Certificate> ZeroSkewTreeBackend::schedule_certificates(
+    const ScheduleVerifyInputs& in) const {
+  std::vector<check::Certificate> certs;
+  const double margin = zero_skew_margin_ps(in.arcs, in.tech);
+  // The claimed slack contract is exactly the recomputed worst margin.
+  const double claim_gap =
+      (std::isinf(margin) && std::isinf(in.slack_star_ps))
+          ? 0.0
+          : std::abs(margin - in.slack_star_ps);
+  certs.push_back(
+      check::make_certificate("cts.margin", claim_gap, in.tolerance,
+                              "worst arc margin of the zero-skew schedule"));
+  // And the all-zero schedule really does satisfy every arc at it.
+  if (std::isfinite(in.slack_star_ps)) {
+    certs.push_back(check::make_certificate(
+        "cts.constraints",
+        check::schedule_violation_ps(in.num_ffs, in.arcs, in.tech,
+                                     in.arrival_ps, in.slack_star_ps),
+        in.tolerance));
+  }
+  return certs;
+}
+
+std::vector<check::Certificate> ZeroSkewTreeBackend::assignment_certificates(
+    const AssignVerifyInputs& in) const {
+  std::vector<check::Certificate> certs;
+  const int n = in.problem.num_ffs();
+  if (!in.state.tree) {
+    certs.push_back(check::make_certificate(
+        "cts.zero-skew", n > 0 ? 1.0 : 0.0, in.tolerance,
+        "no embedded tree on the backend state"));
+    return certs;
+  }
+  const cts::ClockTree& tree = *in.state.tree;
+  // Re-derive every sink's root-to-sink Elmore delay from the embedded
+  // edges (independent of the construction's per-node bookkeeping): zero
+  // skew means the spread vanishes.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (int k = 0; k < n; ++k) {
+    const double d = cts::sink_path_delay_ps(tree, k, in.tech);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  const double spread = n > 0 ? hi - lo : 0.0;
+  // The merge arithmetic accumulates over O(log n) levels of quadratic
+  // Elmore terms; scale the tolerance by the delay magnitude.
+  const double scale = std::max(1.0, std::abs(hi));
+  certs.push_back(check::make_certificate("cts.zero-skew", spread,
+                                          in.tolerance * scale,
+                                          "sink delay spread (ps)"));
+  // Attachment consistency: one candidate per flip-flop, chosen, and its
+  // cost is the leaf edge the tree actually embedded.
+  double mismatch = 0.0;
+  std::vector<double> leaf_edge(static_cast<std::size_t>(n), -1.0);
+  for (const cts::TreeNode& node : tree.nodes) {
+    if (node.left >= 0) {
+      const int s = tree.nodes[static_cast<std::size_t>(node.left)].sink;
+      if (s >= 0 && s < n) leaf_edge[static_cast<std::size_t>(s)] =
+          node.edge_left_um;
+    }
+    if (node.right >= 0) {
+      const int s = tree.nodes[static_cast<std::size_t>(node.right)].sink;
+      if (s >= 0 && s < n) leaf_edge[static_cast<std::size_t>(s)] =
+          node.edge_right_um;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    const int a = i < static_cast<int>(in.assignment.arc_of_ff.size())
+                      ? in.assignment.arc_of_ff[static_cast<std::size_t>(i)]
+                      : -1;
+    if (a < 0) {
+      mismatch = std::max(mismatch, 1.0);
+      continue;
+    }
+    const double expected =
+        leaf_edge[static_cast<std::size_t>(i)] >= 0.0
+            ? leaf_edge[static_cast<std::size_t>(i)]
+            : 0.0;  // a single-sink tree has no leaf edge
+    mismatch = std::max(
+        mismatch,
+        std::abs(in.problem.arcs[static_cast<std::size_t>(a)].tap_cost_um -
+                 expected));
+  }
+  certs.push_back(check::make_certificate(
+      "cts.attachment", mismatch, in.tolerance,
+      "per-flip-flop attachment cost vs embedded leaf edge (um)"));
+  return certs;
+}
+
+}  // namespace rotclk::clocking

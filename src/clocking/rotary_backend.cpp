@@ -1,0 +1,54 @@
+#include "clocking/backends.hpp"
+
+#include "util/parallel.hpp"
+
+namespace rotclk::clocking {
+
+sched::ScheduleResult RotaryBackend::schedule(
+    int num_ffs, const std::vector<timing::SeqArc>& arcs,
+    const timing::TechParams& tech, BackendState& /*state*/) const {
+  return sched::max_slack_schedule(num_ffs, arcs, tech);
+}
+
+assign::Assignment RotaryBackend::assign(
+    const netlist::Design& design, const netlist::Placement& placement,
+    const rotary::RingArray& rings, const std::vector<double>& arrival_ps,
+    const timing::TechParams& tech, const assign::Assigner& assigner,
+    const assign::AssignProblemConfig& config,
+    assign::AssignProblem& problem_out, const util::RecoveryLog& log,
+    BackendState& /*state*/) const {
+  return assigner.assign(design, placement, rings, arrival_ps, tech, config,
+                         problem_out, log);
+}
+
+void RotaryBackend::tap_anchors(const netlist::Placement& placement,
+                                const rotary::RingArray& rings,
+                                const assign::AssignProblem& problem,
+                                const assign::Assignment& assignment,
+                                const std::vector<double>& arrival_ps,
+                                const timing::TechParams& tech,
+                                const BackendState& /*state*/,
+                                std::vector<sched::TapAnchor>& anchors,
+                                std::vector<double>& weights) const {
+  // Each flip-flop writes only its own anchor/weight slot from const
+  // geometry queries, so the loop parallelizes bit-identically.
+  util::parallel_for(anchors.size(), [&](std::size_t i) {
+    const int ring = assignment.ring_of(problem, static_cast<int>(i));
+    const geom::Point loc = placement.loc(problem.ff_cells[i]);
+    const int rj = ring < 0 ? rings.nearest_ring(loc) : ring;
+    double dist = 0.0;
+    // Of the two co-located laps pick the one in phase with the current
+    // target, and lift its wrapped delay to the representative nearest the
+    // target: the skew window |t_i - b_i| <= delta is a distance on the
+    // real line, so an anchor a full period (or half-period lap) away from
+    // an equivalent phase would spuriously look infeasible.
+    const rotary::RotaryRing& rr = rings.ring(rj);
+    const rotary::RingPos c =
+        rr.closest_point_in_phase(loc, arrival_ps[i], &dist);
+    anchors[i].anchor_ps = rr.nearest_phase(rr.delay_at(c), arrival_ps[i]);
+    anchors[i].stub_ps = tech.wire_delay_ps(dist, tech.ff_input_cap_ff);
+    weights[i] = dist;  // w_i = l_i (paper)
+  });
+}
+
+}  // namespace rotclk::clocking

@@ -1,0 +1,151 @@
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "clocking/backends.hpp"
+
+namespace rotclk::clocking {
+
+namespace {
+
+std::vector<double> shifted_targets(const std::vector<double>& arrival_ps,
+                                    const BackendState& state) {
+  std::vector<double> out = arrival_ps;
+  if (state.phase_offset_ps == 0.0) return out;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (i < state.phase_of_ff.size() && state.phase_of_ff[i] == 1)
+      out[i] += state.phase_offset_ps;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> TwoPhaseBackend::partition_phases(
+    int num_ffs, const std::vector<timing::SeqArc>& arcs) {
+  // Deterministic BFS 2-coloring of the flip-flop adjacency, in arc order.
+  // Alternating launch/capture phases is exactly bipartiteness; an odd
+  // cycle (or a self-loop) cannot alternate, so the conflicting endpoint
+  // keeps the color it was reached with first.
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(num_ffs));
+  for (const timing::SeqArc& arc : arcs) {
+    if (arc.from_ff == arc.to_ff) continue;
+    adj[static_cast<std::size_t>(arc.from_ff)].push_back(arc.to_ff);
+    adj[static_cast<std::size_t>(arc.to_ff)].push_back(arc.from_ff);
+  }
+  std::vector<int> phase(static_cast<std::size_t>(num_ffs), -1);
+  std::vector<int> queue;
+  for (int start = 0; start < num_ffs; ++start) {
+    if (phase[static_cast<std::size_t>(start)] >= 0) continue;
+    phase[static_cast<std::size_t>(start)] = 0;
+    queue.assign(1, start);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const int u = queue[head];
+      for (const int v : adj[static_cast<std::size_t>(u)]) {
+        if (phase[static_cast<std::size_t>(v)] >= 0) continue;
+        phase[static_cast<std::size_t>(v)] =
+            1 - phase[static_cast<std::size_t>(u)];
+        queue.push_back(v);
+      }
+    }
+  }
+  return phase;
+}
+
+std::vector<timing::SeqArc> TwoPhaseBackend::transform_arcs(
+    const netlist::Design& design, std::vector<timing::SeqArc> arcs,
+    const timing::TechParams& tech, BackendState& state) const {
+  const int num_ffs = static_cast<int>(design.flip_flops().size());
+  // The partition is structural, not geometric: assign it once and keep it
+  // stable across incremental-placement iterations.
+  if (static_cast<int>(state.phase_of_ff.size()) != num_ffs) {
+    state.phase_of_ff = partition_phases(num_ffs, arcs);
+    state.phase_offset_ps = 0.5 * tech.clock_period_ps;
+    state.non_overlap_ps = non_overlap_ps_;
+  }
+  // Fold the phase separation into the bounds on the *logical* skew
+  // variables t (physical arrival = t + phase * T/2). Both cross-phase
+  // directions see a launch->capture edge separation of T/2 (phi1 at 0 is
+  // captured by phi2 at T/2; phi2 at T/2 by phi1 at T), and the
+  // non-overlap window W tightens the permissible range from both sides:
+  //   setup  t_u - t_v <= T - (d_max + Delta) - setup,  Delta = -(T/2 + W)
+  //   hold   t_v - t_u <= (d_min + Delta') - hold,      Delta' = T/2 - W
+  // which is exactly d_max' = d_max + T/2 + W, d_min' = d_min + T/2 - W.
+  const double half = 0.5 * tech.clock_period_ps;
+  for (timing::SeqArc& arc : arcs) {
+    const bool cross =
+        state.phase_of_ff[static_cast<std::size_t>(arc.from_ff)] !=
+        state.phase_of_ff[static_cast<std::size_t>(arc.to_ff)];
+    if (!cross) continue;
+    arc.d_max_ps += half + state.non_overlap_ps;
+    arc.d_min_ps += half - state.non_overlap_ps;
+  }
+  return arcs;
+}
+
+std::vector<double> TwoPhaseBackend::physical_arrivals(
+    const std::vector<double>& arrival_ps, const BackendState& state) const {
+  return shifted_targets(arrival_ps, state);
+}
+
+assign::Assignment TwoPhaseBackend::assign(
+    const netlist::Design& design, const netlist::Placement& placement,
+    const rotary::RingArray& rings, const std::vector<double>& arrival_ps,
+    const timing::TechParams& tech, const assign::Assigner& assigner,
+    const assign::AssignProblemConfig& config,
+    assign::AssignProblem& problem_out, const util::RecoveryLog& log,
+    BackendState& state) const {
+  // The ring is tapped at the physical arrival: a phi2 flip-flop wants its
+  // clock half a period after its logical target.
+  const std::vector<double> targets = shifted_targets(arrival_ps, state);
+  return RotaryBackend::assign(design, placement, rings, targets, tech,
+                               assigner, config, problem_out, log, state);
+}
+
+void TwoPhaseBackend::tap_anchors(const netlist::Placement& placement,
+                                  const rotary::RingArray& rings,
+                                  const assign::AssignProblem& problem,
+                                  const assign::Assignment& assignment,
+                                  const std::vector<double>& arrival_ps,
+                                  const timing::TechParams& tech,
+                                  const BackendState& state,
+                                  std::vector<sched::TapAnchor>& anchors,
+                                  std::vector<double>& weights) const {
+  // Anchor on the ring at the physical target, then express the anchor in
+  // logical time so the stage-4 window |t_i - b_i| stays phase-consistent.
+  const std::vector<double> targets = shifted_targets(arrival_ps, state);
+  RotaryBackend::tap_anchors(placement, rings, problem, assignment, targets,
+                             tech, state, anchors, weights);
+  if (state.phase_offset_ps == 0.0) return;
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    if (i < state.phase_of_ff.size() && state.phase_of_ff[i] == 1)
+      anchors[i].anchor_ps -= state.phase_offset_ps;
+  }
+}
+
+std::vector<check::Certificate> TwoPhaseBackend::assignment_certificates(
+    const AssignVerifyInputs& in) const {
+  // The phase classes must be exactly the deterministic 2-coloring of the
+  // arc structure the schedule was solved over (the fold already baked the
+  // partition into the constraint arcs, so a drifted partition would make
+  // every downstream claim about the wrong discipline).
+  const int n = in.problem.num_ffs();
+  double violation = 0.0;
+  if (static_cast<int>(in.state.phase_of_ff.size()) != n) {
+    violation = 1.0;
+  } else {
+    const std::vector<int> expect = partition_phases(n, in.arcs);
+    int mismatches = 0;
+    for (int i = 0; i < n; ++i) {
+      if (expect[static_cast<std::size_t>(i)] !=
+          in.state.phase_of_ff[static_cast<std::size_t>(i)])
+        ++mismatches;
+    }
+    violation = static_cast<double>(mismatches);
+  }
+  return {check::make_certificate(
+      "twophase.partition", violation, in.tolerance,
+      "phi1/phi2 classes vs re-derived 2-coloring")};
+}
+
+}  // namespace rotclk::clocking

@@ -1,5 +1,6 @@
 #include "core/flow.hpp"
 
+#include "clocking/backend.hpp"
 #include "core/pipeline.hpp"
 #include "core/stages.hpp"
 #include "core/verify.hpp"
@@ -28,6 +29,7 @@ RotaryFlow::RotaryFlow(const netlist::Design& design, FlowConfig config)
       break;
   }
   skew_optimizer_ = sched::make_skew_optimizer(config_.weighted_cost_driven);
+  backend_ = clocking::make_backend(config_.backend);
 }
 
 RotaryFlow::~RotaryFlow() = default;
@@ -66,7 +68,7 @@ FlowResult RotaryFlow::run_with_placement(netlist::Placement initial) {
 FlowResult RotaryFlow::execute(netlist::Placement placement,
                                bool with_initial_placement) {
   FlowContext ctx(design_, config_, *assigner_, *skew_optimizer_,
-                  std::move(placement));
+                  std::move(placement), WarmSeed{}, backend_.get());
   FlowPipeline pipeline =
       make_standard_pipeline(config_, with_initial_placement);
   // The verifier is added before user observers so its certificates are in

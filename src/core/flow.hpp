@@ -28,6 +28,7 @@
 #include "assign/assigner.hpp"
 #include "assign/problem.hpp"
 #include "check/certificate.hpp"
+#include "clocking/backend_id.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/placement.hpp"
 #include "placer/placer.hpp"
@@ -37,6 +38,10 @@
 #include "timing/corner.hpp"
 #include "timing/tech.hpp"
 #include "util/recovery.hpp"
+
+namespace rotclk::clocking {
+class ClockBackend;  // clocking/backend.hpp
+}
 
 namespace rotclk::core {
 
@@ -51,6 +56,10 @@ const char* to_string(AssignMode mode);
 
 struct FlowConfig {
   AssignMode assign_mode = AssignMode::NetworkFlow;
+  /// Clocking discipline (src/clocking, DESIGN.md §16). The default rotary
+  /// backend keeps the flow bit-identical to the pre-interface pipeline;
+  /// the others swap the phase model behind the same six stages.
+  clocking::BackendId backend = clocking::BackendId::kRotary;
   int max_iterations = 5;            ///< stages 3-6 loop bound (paper: <= 5)
   double convergence_tolerance = 0.01;  ///< min relative total-cost gain
   /// Stage-5 weighted sum. Tapping cost carries extra weight because it is
@@ -183,6 +192,8 @@ struct FlowResult {
   /// Number of extra corners the run analyzed (config.corners.size());
   /// 0 for a single-corner run.
   int corners_analyzed = 0;
+  /// Clocking discipline the run used (config.backend).
+  clocking::BackendId backend = clocking::BackendId::kRotary;
 
   [[nodiscard]] const IterationMetrics& base() const { return history.front(); }
   [[nodiscard]] const IterationMetrics& final() const {
@@ -216,6 +227,9 @@ class RotaryFlow {
   [[nodiscard]] const sched::SkewOptimizer& skew_optimizer() const {
     return *skew_optimizer_;
   }
+  [[nodiscard]] const clocking::ClockBackend& backend() const {
+    return *backend_;
+  }
 
   /// Metrics snapshot for an arbitrary state (used by benches).
   IterationMetrics evaluate(const netlist::Placement& placement,
@@ -231,6 +245,7 @@ class RotaryFlow {
   FlowConfig config_;
   std::unique_ptr<assign::Assigner> assigner_;
   std::unique_ptr<sched::SkewOptimizer> skew_optimizer_;
+  std::unique_ptr<clocking::ClockBackend> backend_;
   std::vector<FlowObserver*> observers_;
   std::unique_ptr<rotary::RingArray> rings_;
 };

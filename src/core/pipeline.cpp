@@ -14,11 +14,14 @@ FlowContext::FlowContext(const netlist::Design& design_in,
                          const assign::Assigner& assigner_in,
                          const sched::SkewOptimizer& skew_optimizer_in,
                          netlist::Placement initial_placement,
-                         const WarmSeed& seed)
+                         const WarmSeed& seed,
+                         const clocking::ClockBackend* backend_in)
     : design(design_in),
       config(config_in),
       assigner(assigner_in),
       skew_optimizer(skew_optimizer_in),
+      backend(backend_in != nullptr ? *backend_in
+                                    : clocking::rotary_backend()),
       placer(design_in, config_in.placer),
       placement(std::move(initial_placement)),
       slack_engine(design_in, config_in.tech) {
@@ -56,8 +59,11 @@ void FlowContext::record_eco(EcoEvent ev) {
 
 void FlowContext::refresh_arcs() {
   if (!arcs_stale) return;
-  arcs = timing::extract_corner_envelope(design, placement, config.tech,
-                                         config.corners);
+  arcs = backend.transform_arcs(
+      design,
+      timing::extract_corner_envelope(design, placement, config.tech,
+                                      config.corners),
+      config.tech, backend_state);
   arcs_stale = false;
 }
 
@@ -185,6 +191,7 @@ FlowResult collect_flow_result(FlowContext& ctx) {
   result.certificates = std::move(ctx.certificates);
   result.eco_events = std::move(ctx.eco_events);
   result.corners_analyzed = static_cast<int>(ctx.config.corners.size());
+  result.backend = ctx.backend.id();
   if (!ctx.best)
     throw InternalError(
         "flow", "pipeline finished without producing a result snapshot");

@@ -28,6 +28,7 @@
 #include "assign/assigner.hpp"
 #include "assign/problem.hpp"
 #include "check/certificate.hpp"
+#include "clocking/backend.hpp"
 #include "core/flow.hpp"
 #include "netlist/placement.hpp"
 #include "placer/placer.hpp"
@@ -63,18 +64,28 @@ struct FlowContext {
               const assign::Assigner& assigner,
               const sched::SkewOptimizer& skew_optimizer,
               netlist::Placement initial_placement,
-              const WarmSeed& seed = {});
+              const WarmSeed& seed = {},
+              const clocking::ClockBackend* backend = nullptr);
 
   // Immutable environment.
   const netlist::Design& design;
   const FlowConfig& config;
   const assign::Assigner& assigner;
   const sched::SkewOptimizer& skew_optimizer;
+  /// Clocking discipline the stages dispatch through (clocking/backend.hpp).
+  /// Defaults to the shared rotary backend, which keeps every pre-interface
+  /// construction site (ECO engine, ring explorer, tests) on the paper's
+  /// discipline without plumbing.
+  const clocking::ClockBackend& backend;
   placer::Placer placer;
 
   // Physical state.
   netlist::Placement placement;
   std::unique_ptr<rotary::RingArray> rings;
+
+  // Per-run backend state (phase classes, budget bookkeeping, embedded
+  // tree), threaded through the backend hooks.
+  clocking::BackendState backend_state;
 
   // Timing state.
   std::vector<timing::SeqArc> arcs;  ///< sequential adjacency at `placement`

@@ -47,6 +47,17 @@ std::vector<double> assigned_stub_delays(const FlowContext& ctx) {
   return stub;
 }
 
+/// Adopt a schedule's optimum as the run's slack contract: M* plus the
+/// prespecified stage-4 slack M (a fraction of M*, clamped to M* when that
+/// is negative, 0 when unbounded).
+void adopt_slack_contract(FlowContext& ctx, double m_star) {
+  ctx.slack_star_ps = m_star;
+  ctx.slack_used_ps =
+      std::isfinite(m_star)
+          ? (m_star > 0.0 ? ctx.config.slack_fraction * m_star : m_star)
+          : 0.0;
+}
+
 }  // namespace
 
 void InitialPlacementStage::run(FlowContext& ctx) {
@@ -62,30 +73,28 @@ void RingArraySetupStage::run(FlowContext& ctx) {
 }
 
 void SkewScheduleStage::run(FlowContext& ctx) {
-  ctx.arcs = timing::extract_corner_envelope(ctx.design, ctx.placement,
-                                             ctx.config.tech,
-                                             ctx.config.corners);
+  ctx.arcs = ctx.backend.transform_arcs(
+      ctx.design,
+      timing::extract_corner_envelope(ctx.design, ctx.placement,
+                                      ctx.config.tech, ctx.config.corners),
+      ctx.config.tech, ctx.backend_state);
   ctx.arcs_stale = false;
-  const sched::ScheduleResult schedule =
-      sched::max_slack_schedule(ctx.num_ffs(), ctx.arcs, ctx.config.tech);
+  const sched::ScheduleResult schedule = ctx.backend.schedule(
+      ctx.num_ffs(), ctx.arcs, ctx.config.tech, ctx.backend_state);
   if (!schedule.feasible)
     throw InfeasibleError("max-slack-scheduling",
                           "no feasible skew schedule exists for this design");
-  const double m_star = schedule.slack_ps;
-  ctx.slack_star_ps = m_star;
-  ctx.slack_used_ps =
-      std::isfinite(m_star)
-          ? (m_star > 0.0 ? ctx.config.slack_fraction * m_star : m_star)
-          : 0.0;
+  adopt_slack_contract(ctx, schedule.slack_ps);
   ctx.arrival_ps = schedule.arrival_ps;
 }
 
 void AssignStage::run(FlowContext& ctx) {
   const util::RecoveryLog log = recovery_sink(ctx);
   const auto try_assign = [&](const assign::Assigner& assigner) {
-    ctx.assignment =
-        assigner.assign(ctx.design, ctx.placement, *ctx.rings, ctx.arrival_ps,
-                        ctx.config.tech, ctx.assign_config, ctx.problem, log);
+    ctx.assignment = ctx.backend.assign(
+        ctx.design, ctx.placement, *ctx.rings, ctx.arrival_ps,
+        ctx.config.tech, assigner, ctx.assign_config, ctx.problem, log,
+        ctx.backend_state);
     ctx.peak_cost_matrix_arcs =
         std::max(ctx.peak_cost_matrix_arcs, ctx.problem.arcs.size());
   };
@@ -271,30 +280,24 @@ void YieldTapStage::run(FlowContext& ctx) {
 void CostDrivenSkewStage::run(FlowContext& ctx) {
   ctx.refresh_arcs();
   const int num_ffs = ctx.num_ffs();
+  if (ctx.backend.fixed_schedule()) {
+    // The discipline prescribes the schedule (e.g. a zero-skew tree): there
+    // is nothing to re-optimize, but the slack contract must be re-derived
+    // at the fresh placement so stage 5 and the verifier audit current
+    // numbers.
+    const sched::ScheduleResult schedule = ctx.backend.schedule(
+        num_ffs, ctx.arcs, ctx.config.tech, ctx.backend_state);
+    if (schedule.feasible) {
+      adopt_slack_contract(ctx, schedule.slack_ps);
+      ctx.arrival_ps = schedule.arrival_ps;
+    }
+    return;
+  }
   std::vector<sched::TapAnchor> anchors(static_cast<std::size_t>(num_ffs));
   std::vector<double> weights(static_cast<std::size_t>(num_ffs), 1.0);
-  // Each flip-flop writes only its own anchor/weight slot from const
-  // geometry queries, so the loop parallelizes bit-identically.
-  util::parallel_for(static_cast<std::size_t>(num_ffs), [&](std::size_t i) {
-    const int ring =
-        ctx.assignment.ring_of(ctx.problem, static_cast<int>(i));
-    const geom::Point loc = ctx.placement.loc(ctx.problem.ff_cells[i]);
-    const int rj = ring < 0 ? ctx.rings->nearest_ring(loc) : ring;
-    double dist = 0.0;
-    // Of the two co-located laps pick the one in phase with the current
-    // target, and lift its wrapped delay to the representative nearest the
-    // target: the skew window |t_i - b_i| <= delta is a distance on the
-    // real line, so an anchor a full period (or half-period lap) away from
-    // an equivalent phase would spuriously look infeasible.
-    const rotary::RotaryRing& rr = ctx.rings->ring(rj);
-    const rotary::RingPos c =
-        rr.closest_point_in_phase(loc, ctx.arrival_ps[i], &dist);
-    anchors[i].anchor_ps =
-        rr.nearest_phase(rr.delay_at(c), ctx.arrival_ps[i]);
-    anchors[i].stub_ps =
-        ctx.config.tech.wire_delay_ps(dist, ctx.config.tech.ff_input_cap_ff);
-    weights[i] = dist;  // w_i = l_i (paper)
-  });
+  ctx.backend.tap_anchors(ctx.placement, *ctx.rings, ctx.problem,
+                          ctx.assignment, ctx.arrival_ps, ctx.config.tech,
+                          ctx.backend_state, anchors, weights);
   try {
     const sched::CostDrivenResult cd = ctx.skew_optimizer.optimize(
         num_ffs, ctx.arcs, ctx.config.tech, anchors, weights,
@@ -329,7 +332,11 @@ void EvaluateStage::run(FlowContext& ctx) {
   // runs a full analysis; later iterations re-propagate only the cones of
   // flip-flops whose target changed (stage 4) or cells that moved
   // (stage 6).
-  ctx.slack().set_clock_arrivals(ctx.arrival_ps);
+  // Slack engines see *physical* clock arrivals (the logical target plus
+  // the backend's phase offset; identity for single-phase backends).
+  const std::vector<double> physical_ps =
+      ctx.backend.physical_arrivals(ctx.arrival_ps, ctx.backend_state);
+  ctx.slack().set_clock_arrivals(physical_ps);
   metrics.wns_ps = ctx.slack().refresh(ctx.placement).wns_ps;
   // Worst WNS across the extra corners, from one lazily-built incremental
   // engine per corner (each holds its own baseline across iterations, so
@@ -344,7 +351,7 @@ void EvaluateStage::run(FlowContext& ctx) {
                                                              corner.tech));
     }
     for (auto& engine : ctx.corner_slack) {
-      engine->set_clock_arrivals(ctx.arrival_ps);
+      engine->set_clock_arrivals(physical_ps);
       metrics.worst_corner_wns_ps = std::min(
           metrics.worst_corner_wns_ps, engine->refresh(ctx.placement).wns_ps);
     }

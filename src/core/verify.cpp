@@ -48,8 +48,10 @@ void VerifyingObserver::on_stage_end(const Stage& stage,
                                      double /*seconds*/) {
   const char* name = stage.name();
   if (std::strcmp(name, "max-slack-scheduling") == 0) {
-    // The stage-2 witness is produced at the claimed optimum M*.
-    verify_schedule_stage(ctx, ctx.slack_star_ps);
+    // The stage-2 proof obligations are discipline-specific (the rotary
+    // default audits the Fishburn witness at the claimed M*; the budgeting
+    // backend re-proves its circulation, the tree backend its margin).
+    verify_schedule_stage(ctx);
   } else if (std::strcmp(name, "cost-driven-skew") == 0) {
     // Stage 4 re-targets at the prespecified slack. A fallback re-derives
     // the schedule from fresh arcs at an unrelated slack, so only clean
@@ -68,21 +70,22 @@ void VerifyingObserver::on_stage_end(const Stage& stage,
   }
 }
 
-void VerifyingObserver::verify_schedule_stage(const FlowContext& ctx,
-                                              double schedule_slack) {
-  append(ctx, "max-slack-scheduling",
-         check::verify_schedule(ctx.num_ffs(), ctx.arcs, ctx.config.tech,
-                                ctx.arrival_ps, schedule_slack,
-                                ctx.slack_star_ps,
-                                options_.slack_precision_ps,
-                                options_.tolerance));
+void VerifyingObserver::verify_schedule_stage(const FlowContext& ctx) {
+  const clocking::ScheduleVerifyInputs in{
+      ctx.num_ffs(),     ctx.arcs,          ctx.config.tech,
+      ctx.arrival_ps,    ctx.slack_star_ps, ctx.slack_used_ps,
+      options_.slack_precision_ps, options_.tolerance, ctx.backend_state};
+  append(ctx, "max-slack-scheduling", ctx.backend.schedule_certificates(in));
 }
 
 void VerifyingObserver::verify_assignment_stage(const FlowContext& ctx) {
   // A fallback assigner may legitimately ignore hard ring capacities (the
-  // greedy last resort) and never claims cost optimality.
+  // greedy last resort) and never claims cost optimality. Both the netflow
+  // differential and the tapping spot checks speak the rotary phase model,
+  // so non-ring-tapping backends carry their own certificates instead.
+  const bool ring_tapping = ctx.backend.ring_tapping();
   const bool netflow_clean =
-      ctx.config.assign_mode == AssignMode::NetworkFlow &&
+      ring_tapping && ctx.config.assign_mode == AssignMode::NetworkFlow &&
       !stage_recovered(ctx, "assignment");
   append(ctx, "assignment",
          check::verify_assignment(ctx.problem, ctx.assignment,
@@ -94,12 +97,23 @@ void VerifyingObserver::verify_assignment_stage(const FlowContext& ctx) {
            check::verify_netflow_optimality(ctx.problem, ctx.assignment,
                                             options_.tolerance));
   }
+  {
+    const clocking::AssignVerifyInputs in{
+        ctx.design,     ctx.placement,      ctx.arcs,
+        ctx.problem,    ctx.assignment,     ctx.arrival_ps,
+        ctx.config.tech, options_.tolerance, ctx.backend_state};
+    append(ctx, "assignment", ctx.backend.assignment_certificates(in));
+  }
 
   // Spot-check individual tapping solves against Eq. 1 and the sampled
   // oracle: validity certifies the stored solution, domination certifies
-  // the closed-form minimization.
+  // the closed-form minimization. The solve targeted the *physical*
+  // arrival (identical to the logical target for single-phase backends).
   const int n = ctx.problem.num_ffs();
-  if (options_.tap_spot_checks <= 0 || n == 0 || !ctx.rings) return;
+  if (!ring_tapping || options_.tap_spot_checks <= 0 || n == 0 || !ctx.rings)
+    return;
+  const std::vector<double> physical_ps =
+      ctx.backend.physical_arrivals(ctx.arrival_ps, ctx.backend_state);
   const int stride = std::max(1, n / options_.tap_spot_checks);
   std::vector<check::Certificate> taps;
   for (int i = 0; i < n; i += stride) {
@@ -110,7 +124,7 @@ void VerifyingObserver::verify_assignment_stage(const FlowContext& ctx) {
     const rotary::RotaryRing& ring = ctx.rings->ring(arc.ring);
     const geom::Point loc = ctx.placement.loc(
         ctx.problem.ff_cells[static_cast<std::size_t>(i)]);
-    const double target = ctx.arrival_ps[static_cast<std::size_t>(i)];
+    const double target = physical_ps[static_cast<std::size_t>(i)];
     taps.push_back(check::verify_tap_solution(ring, loc, target,
                                               ctx.assign_config.tapping,
                                               arc.tap, options_.tolerance));

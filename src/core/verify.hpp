@@ -56,7 +56,7 @@ class VerifyingObserver final : public FlowObserver {
   [[nodiscard]] const Options& options() const { return options_; }
 
  private:
-  void verify_schedule_stage(const FlowContext& ctx, double schedule_slack);
+  void verify_schedule_stage(const FlowContext& ctx);
   void verify_assignment_stage(const FlowContext& ctx);
   void append(const FlowContext& ctx, const char* stage,
               std::vector<check::Certificate> certs);

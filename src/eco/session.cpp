@@ -1,7 +1,9 @@
 #include "eco/session.hpp"
 
+#include <string>
 #include <unordered_map>
 
+#include "clocking/backend_id.hpp"
 #include "core/pipeline.hpp"
 #include "core/verify.hpp"
 #include "util/error.hpp"
@@ -17,6 +19,15 @@ EcoSession::EcoSession(const netlist::Design& design, core::FlowConfig config)
     throw InvalidArgumentError(
         "eco", "multi-corner / yield configs are not supported by the warm "
                "ECO engine; run a cold RotaryFlow instead");
+  // Same soundness class for clocking disciplines: the warm path rebuilds
+  // FlowContexts without a backend (rotary), so a non-rotary config would
+  // silently re-converge under the wrong phase model.
+  if (config_.backend != clocking::BackendId::kRotary)
+    throw InvalidArgumentError(
+        "eco", std::string("the warm ECO engine supports only the rotary "
+                           "backend (got '") +
+                   clocking::to_string(config_.backend) +
+                   "'); run a cold RotaryFlow instead");
   switch (config_.assign_mode) {
     case core::AssignMode::NetworkFlow:
       assigner_ = std::make_unique<assign::NetflowAssigner>();

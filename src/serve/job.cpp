@@ -96,6 +96,10 @@ std::string result_key_fields(const JobSpec& spec) {
   f.mix(spec.period_ps);
   f.mix(spec.utilization);
   f.mix(spec.verify ? 1 : 0);
+  // The clocking discipline changes the FlowResult (and the warm-session
+  // identity) exactly like the corner set below: mix it unconditionally so
+  // a "cts" job can never be served a cached rotary summary.
+  f.mix(spec.backend);
   // Corner set and yield knobs change the FlowResult; leaving them out
   // aliased same-design different-corner jobs to one cached summary.
   f.mix(static_cast<int>(spec.corners.size()));

@@ -90,6 +90,12 @@ struct JobSpec {
   double utilization = 0.05;
   bool verify = false;  ///< attach the certificate verifier to this job
 
+  /// Clocking discipline ("rotary" | "cts" | "two-phase" | "retime",
+  /// clocking/backend_id.hpp). Part of result_key, never design_key — same
+  /// soundness class as the corner fields: two jobs on the same design
+  /// under different disciplines must never alias to one cached summary.
+  std::string backend = "rotary";
+
   /// Extra analysis corners; empty = single-corner nominal flow. Part of
   /// result_key, never design_key (see the header comment).
   std::vector<CornerSpec> corners;

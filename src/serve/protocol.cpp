@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "clocking/backend_id.hpp"
 #include "serve/eco_io.hpp"
 #include "util/error.hpp"
 
@@ -93,6 +94,10 @@ JobSpec parse_spec(const JsonValue& obj) {
     throw InvalidArgumentError("serve.protocol",
                                "member 'utilization' must be in (0, 1]");
   spec.verify = obj.get_bool("verify", false);
+  spec.backend = obj.get_string("backend", spec.backend);
+  // Validation only; the typed InvalidArgumentError from an unknown name
+  // propagates to the client as a failed request.
+  (void)clocking::backend_from_string(spec.backend);
   const JsonValue* corners = obj.find("corners");
   if (corners != nullptr) {
     const std::vector<JsonValue>& arr = corners->as_array();
@@ -143,32 +148,46 @@ std::vector<JobSpec> expand_sweep(const JobSpec& base, const JsonValue& axes) {
     for (const JsonValue& c : corners_axis->as_array())
       corners.push_back(parse_corner(c));
   }
-  if (rings.empty() && seeds.empty() && corners.empty())
+  std::vector<std::string> backends;
+  const JsonValue* backends_axis = axes.find("backends");
+  if (backends_axis != nullptr) {
+    for (const JsonValue& b : backends_axis->as_array()) {
+      const std::string name = b.as_string();
+      (void)clocking::backend_from_string(name);  // typed error on unknown
+      backends.push_back(name);
+    }
+  }
+  if (rings.empty() && seeds.empty() && corners.empty() && backends.empty())
     throw InvalidArgumentError(
         "serve.protocol",
         "sweep requires at least one non-empty axis "
-        "('rings', 'seeds', or 'corners')");
+        "('rings', 'seeds', 'corners', or 'backends')");
   const std::size_t total = std::max<std::size_t>(rings.size(), 1) *
                             std::max<std::size_t>(seeds.size(), 1) *
-                            std::max<std::size_t>(corners.size(), 1);
+                            std::max<std::size_t>(corners.size(), 1) *
+                            std::max<std::size_t>(backends.size(), 1);
   if (total > 256)
     throw InvalidArgumentError(
         "serve.protocol", "sweep expands to " + std::to_string(total) +
                               " jobs; the limit is 256");
   std::vector<JobSpec> out;
   out.reserve(total);
+  const std::size_t nb = std::max<std::size_t>(backends.size(), 1);
   const std::size_t nc = std::max<std::size_t>(corners.size(), 1);
   const std::size_t ns = std::max<std::size_t>(seeds.size(), 1);
   const std::size_t nr = std::max<std::size_t>(rings.size(), 1);
-  for (std::size_t c = 0; c < nc; ++c) {
-    for (std::size_t s = 0; s < ns; ++s) {
-      for (std::size_t r = 0; r < nr; ++r) {
-        JobSpec sub = base;
-        sub.id = base.id + "#" + std::to_string(out.size());
-        if (!corners.empty()) sub.corners = {corners[c]};
-        if (!seeds.empty()) sub.seed = seeds[s];
-        if (!rings.empty()) sub.rings = rings[r];
-        out.push_back(std::move(sub));
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (std::size_t c = 0; c < nc; ++c) {
+      for (std::size_t s = 0; s < ns; ++s) {
+        for (std::size_t r = 0; r < nr; ++r) {
+          JobSpec sub = base;
+          sub.id = base.id + "#" + std::to_string(out.size());
+          if (!backends.empty()) sub.backend = backends[b];
+          if (!corners.empty()) sub.corners = {corners[c]};
+          if (!seeds.empty()) sub.seed = seeds[s];
+          if (!rings.empty()) sub.rings = rings[r];
+          out.push_back(std::move(sub));
+        }
       }
     }
   }
@@ -291,6 +310,10 @@ std::string submit_line(const JobSpec& spec) {
   out += ",\"period_ps\":" + json_number(spec.period_ps);
   out += ",\"utilization\":" + json_number(spec.utilization);
   if (spec.verify) out += ",\"verify\":true";
+  // Emitted only when non-default so pre-backend request lines stay
+  // byte-identical.
+  if (!spec.backend.empty() && spec.backend != "rotary")
+    out += ",\"backend\":" + json_quote(spec.backend);
   if (!spec.corners.empty()) {
     out += ",\"corners\":[";
     for (std::size_t i = 0; i < spec.corners.size(); ++i) {

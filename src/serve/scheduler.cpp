@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "clocking/backend_id.hpp"
 #include "core/flow.hpp"
 #include "core/pipeline.hpp"
 #include "eco/session.hpp"
@@ -51,6 +52,7 @@ core::FlowConfig flow_config_for(const JobSpec& spec) {
   cfg.ring_config.period_ps = spec.period_ps;
   cfg.tech.clock_period_ps = spec.period_ps;
   cfg.verify = spec.verify;
+  cfg.backend = clocking::backend_from_string(spec.backend);
   cfg.stage_deadline_seconds = spec.deadline_s;
   for (const CornerSpec& c : spec.corners) {
     timing::Corner corner;
@@ -107,9 +109,11 @@ std::string format_summary(const core::FlowResult& result) {
   s += " max_cap_ff=" + fixed(fin.max_ring_cap_ff, 3);
   s += " wns_ps=" + fixed(fin.wns_ps, 3);
   s += " cost=" + fixed(fin.overall_cost, 4);
-  // Corner/yield fields appear only for multi-corner / yield runs, so
+  // Backend / corner / yield fields appear only for non-default runs, so
   // legacy summaries (bench_serve replay, eco twin comparisons) stay
   // byte-identical.
+  if (result.backend != clocking::BackendId::kRotary)
+    s += std::string(" backend=") + clocking::to_string(result.backend);
   if (result.corners_analyzed > 0) {
     s += " corners=" + std::to_string(result.corners_analyzed);
     s += " worst_wns_ps=" + fixed(fin.worst_corner_wns_ps, 3);
@@ -399,6 +403,14 @@ std::string Scheduler::execute_eco(const JobSpec& spec, JobRecord& record) {
     throw InvalidArgumentError(
         "serve.eco",
         "eco jobs do not support corners/yield; submit a cold job instead");
+  // Same rejection for non-rotary disciplines: EcoSession itself throws
+  // (eco/session.cpp), but failing before a session slot is allocated
+  // keeps the eco_sessions_ map free of poisoned entries.
+  if (spec.backend != "rotary" && !spec.backend.empty())
+    throw InvalidArgumentError(
+        "serve.eco",
+        "eco jobs support only the rotary backend (got '" + spec.backend +
+            "'); submit a cold job instead");
   // One session per design + flow knobs; eco_mu_ serializes the chain
   // (deltas are mutations — concurrent applies have no defined order).
   const std::lock_guard<std::mutex> eco_lock(eco_mu_);

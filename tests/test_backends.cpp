@@ -1,0 +1,224 @@
+// Clocking-backend subsystem tests (src/clocking, DESIGN.md §16):
+// registry round-trips and the typed unknown-name contract, per-backend
+// end-to-end certification on a small circuit, run-twice determinism
+// (this file carries the determinism ctest label), and unit checks of
+// the two-phase arc fold and the retime budget widening.
+//
+// The rotary golden-parity suite — the seed monolith reproduced bit for
+// bit through the backend interface — lives in test_flow_parity.cpp,
+// which shares the `backend` ctest label with this file.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clocking/backends.hpp"
+#include "core/flow.hpp"
+#include "netlist/generator.hpp"
+#include "sched/skew.hpp"
+#include "timing/sta.hpp"
+#include "util/error.hpp"
+
+namespace rotclk {
+namespace {
+
+netlist::Design small_circuit(std::uint64_t seed = 42) {
+  netlist::GeneratorConfig cfg;
+  cfg.num_gates = 368;
+  cfg.num_flip_flops = 32;
+  cfg.num_primary_inputs = 12;
+  cfg.num_primary_outputs = 12;
+  cfg.seed = seed;
+  return netlist::generate_circuit(cfg);
+}
+
+core::FlowConfig small_config(clocking::BackendId backend) {
+  core::FlowConfig cfg;
+  cfg.ring_config.rings = 4;
+  cfg.max_iterations = 2;
+  cfg.verify = true;
+  cfg.backend = backend;
+  return cfg;
+}
+
+std::string failing_certs(const std::vector<check::Certificate>& certs) {
+  std::string out;
+  for (const auto& c : certs)
+    if (!c.pass) out += c.name + " ";
+  return out;
+}
+
+constexpr clocking::BackendId kAllBackends[] = {
+    clocking::BackendId::kRotary, clocking::BackendId::kZeroSkewTree,
+    clocking::BackendId::kTwoPhase, clocking::BackendId::kRetimeBudget};
+
+// --- Registry --------------------------------------------------------------
+
+TEST(BackendRegistry, NamesRoundTrip) {
+  for (const clocking::BackendId id : kAllBackends)
+    EXPECT_EQ(clocking::backend_from_string(clocking::to_string(id)), id);
+  EXPECT_EQ(clocking::backend_names().size(), 4u);
+  for (const std::string& name : clocking::backend_names())
+    EXPECT_EQ(clocking::to_string(clocking::backend_from_string(name)), name);
+}
+
+TEST(BackendRegistry, UnknownNameThrowsTypedError) {
+  try {
+    (void)clocking::backend_from_string("warp");
+    FAIL() << "expected InvalidArgumentError";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown clock backend"),
+              std::string::npos);
+  }
+  EXPECT_THROW((void)clocking::backend_from_string(""), InvalidArgumentError);
+}
+
+TEST(BackendRegistry, MakeBackendReportsItsOwnIdentity) {
+  for (const clocking::BackendId id : kAllBackends) {
+    const std::unique_ptr<clocking::ClockBackend> b = clocking::make_backend(id);
+    EXPECT_EQ(b->id(), id);
+    EXPECT_EQ(std::string(b->name()), clocking::to_string(id));
+  }
+}
+
+// --- End-to-end: every backend completes and certifies ---------------------
+
+TEST(BackendFlow, EveryBackendCertifiesSmallCircuit) {
+  const netlist::Design design = small_circuit();
+  for (const clocking::BackendId id : kAllBackends) {
+    SCOPED_TRACE(clocking::to_string(id));
+    core::RotaryFlow flow(design, small_config(id));
+    const core::FlowResult result = flow.run();
+    EXPECT_EQ(result.backend, id);
+    EXPECT_FALSE(result.history.empty());
+    EXPECT_FALSE(result.certificates.empty());
+    EXPECT_TRUE(failing_certs(result.certificates).empty())
+        << "failing certificates: " << failing_certs(result.certificates);
+  }
+}
+
+TEST(BackendFlow, CtsBackendHoldsZeroSkewSchedule) {
+  const netlist::Design design = small_circuit();
+  core::RotaryFlow flow(design,
+                        small_config(clocking::BackendId::kZeroSkewTree));
+  const core::FlowResult result = flow.run();
+  for (const double t : result.arrival_ps) EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+// The run-twice bit-identity below is what the determinism ctest label
+// enforces (including under TSan); the rotary case doubles as the golden
+// parity gate for "existing flow behind the interface".
+TEST(BackendFlow, RunTwiceIsBitIdentical) {
+  const netlist::Design design = small_circuit(7);
+  for (const clocking::BackendId id : kAllBackends) {
+    SCOPED_TRACE(clocking::to_string(id));
+    core::RotaryFlow a(design, small_config(id));
+    core::RotaryFlow b(design, small_config(id));
+    const core::FlowResult ra = a.run();
+    const core::FlowResult rb = b.run();
+    EXPECT_DOUBLE_EQ(ra.slack_ps, rb.slack_ps);
+    EXPECT_DOUBLE_EQ(ra.stage4_slack_ps, rb.stage4_slack_ps);
+    EXPECT_EQ(ra.best_iteration, rb.best_iteration);
+    ASSERT_EQ(ra.history.size(), rb.history.size());
+    for (std::size_t i = 0; i < ra.history.size(); ++i)
+      EXPECT_DOUBLE_EQ(ra.history[i].overall_cost,
+                       rb.history[i].overall_cost);
+    ASSERT_EQ(ra.arrival_ps.size(), rb.arrival_ps.size());
+    for (std::size_t i = 0; i < ra.arrival_ps.size(); ++i)
+      EXPECT_DOUBLE_EQ(ra.arrival_ps[i], rb.arrival_ps[i]);
+    EXPECT_EQ(ra.assignment.arc_of_ff, rb.assignment.arc_of_ff);
+  }
+}
+
+// --- Two-phase: partition + fold units -------------------------------------
+
+TEST(TwoPhaseBackend, PartitionIsDeterministicBfsColoring) {
+  // Chain 0->1->2->3: alternating phases from the BFS root.
+  std::vector<timing::SeqArc> chain = {
+      {0, 1, 100.0, 50.0}, {1, 2, 100.0, 50.0}, {2, 3, 100.0, 50.0}};
+  EXPECT_EQ(clocking::TwoPhaseBackend::partition_phases(4, chain),
+            (std::vector<int>{0, 1, 0, 1}));
+  // Odd cycle 0->1->2->0: not bipartite; BFS from 0 reaches both
+  // neighbors first, so 1 and 2 share a phase and the 1-2 arc stays
+  // same-phase (first color wins on the conflict).
+  std::vector<timing::SeqArc> odd = {
+      {0, 1, 100.0, 50.0}, {1, 2, 100.0, 50.0}, {2, 0, 100.0, 50.0}};
+  EXPECT_EQ(clocking::TwoPhaseBackend::partition_phases(3, odd),
+            (std::vector<int>{0, 1, 1}));
+  // Self-loops never constrain the coloring.
+  std::vector<timing::SeqArc> self = {{0, 0, 100.0, 50.0}};
+  EXPECT_EQ(clocking::TwoPhaseBackend::partition_phases(1, self),
+            (std::vector<int>{0}));
+}
+
+TEST(TwoPhaseBackend, FoldShiftsCrossPhaseArcsOnly) {
+  const netlist::Design design = small_circuit();  // 32 flip-flops
+  const timing::TechParams tech;                   // T = 1000 ps
+  const clocking::TwoPhaseBackend backend(25.0);
+  clocking::BackendState state;
+  // 0->1 and 0->2 are cross-phase (BFS colors 1 and 2 opposite to 0);
+  // 1->2 then connects two same-phase flip-flops and must not fold.
+  const std::vector<timing::SeqArc> raw = {
+      {0, 1, 100.0, 50.0}, {0, 2, 100.0, 50.0}, {1, 2, 100.0, 50.0}};
+  const std::vector<timing::SeqArc> folded =
+      backend.transform_arcs(design, raw, tech, state);
+  ASSERT_EQ(folded.size(), raw.size());
+  EXPECT_DOUBLE_EQ(state.phase_offset_ps, 500.0);
+  EXPECT_DOUBLE_EQ(state.non_overlap_ps, 25.0);
+  EXPECT_DOUBLE_EQ(folded[0].d_max_ps, 100.0 + 500.0 + 25.0);
+  EXPECT_DOUBLE_EQ(folded[0].d_min_ps, 50.0 + 500.0 - 25.0);
+  EXPECT_DOUBLE_EQ(folded[1].d_max_ps, 100.0 + 500.0 + 25.0);
+  EXPECT_DOUBLE_EQ(folded[1].d_min_ps, 50.0 + 500.0 - 25.0);
+  EXPECT_DOUBLE_EQ(folded[2].d_max_ps, 100.0);
+  EXPECT_DOUBLE_EQ(folded[2].d_min_ps, 50.0);
+  // The physical arrivals lift φ2 flip-flops by half a period.
+  std::vector<double> logical(32, 10.0);
+  const std::vector<double> physical =
+      backend.physical_arrivals(logical, state);
+  EXPECT_DOUBLE_EQ(physical[0], 10.0);
+  EXPECT_DOUBLE_EQ(physical[1], 510.0);
+  EXPECT_DOUBLE_EQ(physical[2], 510.0);
+}
+
+// --- Retime: the budget schedule must dominate the Fishburn witness --------
+
+TEST(RetimeBackend, BudgetScheduleWidensOverFishburnWitness) {
+  const timing::TechParams tech;  // T = 1000, setup 30, hold 10
+  const std::vector<timing::SeqArc> arcs = {
+      {0, 1, 200.0, 120.0}, {1, 2, 400.0, 80.0}, {2, 0, 300.0, 60.0}};
+  const sched::ScheduleResult fishburn =
+      sched::max_slack_schedule(3, arcs, tech);
+  ASSERT_TRUE(fishburn.feasible);
+  ASSERT_GT(fishburn.slack_ps, 0.0);
+
+  const clocking::RetimeBudgetBackend backend;
+  clocking::BackendState state;
+  const sched::ScheduleResult budgeted = backend.schedule(3, arcs, tech, state);
+  ASSERT_TRUE(budgeted.feasible);
+  ASSERT_TRUE(state.budget_valid);
+  // The slack contract stays the Fishburn optimum M* (stage-4 contract).
+  EXPECT_DOUBLE_EQ(budgeted.slack_ps, fishburn.slack_ps);
+  const double optimized = clocking::RetimeBudgetBackend::schedule_budget_ps(
+      arcs, tech, budgeted.arrival_ps);
+  const double baseline = clocking::RetimeBudgetBackend::schedule_budget_ps(
+      arcs, tech, fishburn.arrival_ps);
+  EXPECT_NEAR(optimized, state.budget_total_ps, 1e-6);
+  EXPECT_NEAR(baseline, state.budget_baseline_ps, 1e-6);
+  EXPECT_GE(optimized, baseline - 1e-6);
+}
+
+TEST(RetimeBackend, DegradesToFishburnWhenBudgetingIsVacuous) {
+  const timing::TechParams tech;
+  const clocking::RetimeBudgetBackend backend;
+  clocking::BackendState state;
+  // No arcs: nothing to budget, plain Fishburn result.
+  const sched::ScheduleResult empty = backend.schedule(2, {}, tech, state);
+  EXPECT_TRUE(empty.feasible);
+  EXPECT_FALSE(state.budget_valid);
+}
+
+}  // namespace
+}  // namespace rotclk

@@ -245,6 +245,21 @@ TEST(ServeJobKeys, YieldKnobsAffectResultKeyButNotDesignKey) {
   EXPECT_NE(result_key(on), result_key(reseeded));
 }
 
+// Same soundness class as the corner-blind keys above: the clocking
+// discipline changes the FlowResult, so it must be a result-key field
+// (never a design-key field — the parse is discipline-independent).
+TEST(ServeJobKeys, BackendAffectsResultKeyButNotDesignKey) {
+  const JobSpec rotary = tiny_spec("a");
+  JobSpec cts = tiny_spec("b");
+  cts.backend = "cts";
+  EXPECT_EQ(design_key(rotary), design_key(cts));  // one shared parse
+  EXPECT_NE(result_key(rotary), result_key(cts));
+  EXPECT_NE(eco_session_key(rotary), eco_session_key(cts));
+  JobSpec retime = cts;
+  retime.backend = "retime";
+  EXPECT_NE(result_key(cts), result_key(retime));
+}
+
 TEST(ServeJobKeys, EcoSessionKeysAreCornerAware) {
   // The warm-ECO session identity must distinguish corner sets as well:
   // eco_session_key is the flow-knob identity the scheduler keys warm
@@ -522,6 +537,40 @@ TEST(ServeProtocol, SweepExpandsTheCartesianProduct) {
   for (std::size_t i = 0; i < r.sweep.size(); ++i)
     for (std::size_t j = i + 1; j < r.sweep.size(); ++j)
       EXPECT_NE(result_key(r.sweep[i]), result_key(r.sweep[j])) << i << j;
+}
+
+TEST(ServeProtocol, SweepExpandsTheBackendsAxis) {
+  const Request r = parse_request(
+      R"({"cmd":"sweep","id":"fam","gates":120,"ffs":8,"iterations":1,)"
+      R"("sweep":{"rings":[4,9],"backends":["rotary","cts"]}})");
+  ASSERT_EQ(r.sweep.size(), 4u);  // 2 backends x 2 ring counts
+  // Backends vary outermost (like corners), rings innermost.
+  EXPECT_EQ(r.sweep[0].backend, "rotary");
+  EXPECT_EQ(r.sweep[0].rings, 4);
+  EXPECT_EQ(r.sweep[1].backend, "rotary");
+  EXPECT_EQ(r.sweep[1].rings, 9);
+  EXPECT_EQ(r.sweep[2].backend, "cts");
+  EXPECT_EQ(r.sweep[2].rings, 4);
+  EXPECT_EQ(r.sweep[3].backend, "cts");
+  EXPECT_EQ(r.sweep[3].rings, 9);
+  for (const JobSpec& sub : r.sweep)
+    EXPECT_EQ(design_key(sub), design_key(r.spec));
+  for (std::size_t i = 0; i < r.sweep.size(); ++i)
+    for (std::size_t j = i + 1; j < r.sweep.size(); ++j)
+      EXPECT_NE(result_key(r.sweep[i]), result_key(r.sweep[j])) << i << j;
+}
+
+TEST(ServeProtocol, RejectsUnknownBackends) {
+  // Submit-time validation: a typo'd discipline is a parse error, not a
+  // failed job.
+  EXPECT_THROW(
+      parse_request(
+          R"({"cmd":"submit","id":"x","gates":120,"ffs":8,"backend":"warp"})"),
+      InvalidArgumentError);
+  EXPECT_THROW(
+      parse_request(R"({"cmd":"sweep","id":"x","gates":120,"ffs":8,)"
+                    R"("sweep":{"backends":["rotary","warp"]}})"),
+      InvalidArgumentError);
 }
 
 TEST(ServeProtocol, RejectsBadSweeps) {
@@ -861,6 +910,39 @@ TEST_F(ServeScheduler, CornerJobsNeverServeStaleNominalResults) {
             sched.status("cornered")->summary);
 }
 
+// Mirror of CornerJobsNeverServeStaleNominalResults for the clocking
+// discipline: with backend-blind result keys the cts job would hit the
+// cached rotary summary and serve a zero-skew client a rotary answer.
+TEST_F(ServeScheduler, BackendJobsNeverServeStaleRotaryResults) {
+  Scheduler sched(config(2, 8), cache, metrics);
+  sched.submit(tiny_spec("rotary"));
+  sched.wait_idle();
+  ASSERT_EQ(sched.status("rotary")->state, JobState::kDone)
+      << sched.status("rotary")->error;
+
+  JobSpec cts = tiny_spec("cts");
+  cts.backend = "cts";
+  sched.submit(cts);
+  sched.wait_idle();
+  ASSERT_EQ(sched.status("cts")->state, JobState::kDone)
+      << sched.status("cts")->error;
+  EXPECT_FALSE(sched.status("cts")->result_cache_hit);
+  EXPECT_TRUE(sched.status("cts")->design_cache_hit);  // shared parse
+  EXPECT_NE(sched.status("cts")->summary, sched.status("rotary")->summary);
+  EXPECT_NE(sched.status("cts")->summary.find("backend=cts"),
+            std::string::npos);
+  EXPECT_EQ(sched.status("rotary")->summary.find("backend="),
+            std::string::npos);  // legacy summaries unchanged
+
+  // Memoization still works *within* a discipline.
+  JobSpec again = cts;
+  again.id = "cts2";
+  sched.submit(again);
+  sched.wait_idle();
+  EXPECT_TRUE(sched.status("cts2")->result_cache_hit);
+  EXPECT_EQ(sched.status("cts2")->summary, sched.status("cts")->summary);
+}
+
 TEST_F(ServeScheduler, YieldJobsReportYieldAndMissNominalCache) {
   Scheduler sched(config(2, 8), cache, metrics);
   sched.submit(tiny_spec("nominal"));
@@ -890,6 +972,24 @@ TEST_F(ServeScheduler, EcoJobsRejectCornersAndYieldTyped) {
   EXPECT_NE(sched.status("e-corner")->error.find("corner"),
             std::string::npos);
   // The scheduler stays healthy for nominal eco work.
+  sched.submit(eco_spec("e-ok", kRetuneQ0));
+  sched.wait_idle();
+  EXPECT_EQ(sched.status("e-ok")->state, JobState::kDone)
+      << sched.status("e-ok")->error;
+}
+
+TEST_F(ServeScheduler, EcoJobsRejectNonRotaryBackendsTyped) {
+  // The warm engine's journaled deltas replay against the rotary pipeline
+  // only; a cts/two-phase/retime eco job must fail typed (before any warm
+  // session is allocated), not silently run the wrong discipline.
+  Scheduler sched(config(1, 8), cache, metrics);
+  JobSpec e = eco_spec("e-cts", kRetuneQ0);
+  e.backend = "cts";
+  sched.submit(e);
+  sched.wait_idle();
+  ASSERT_EQ(sched.status("e-cts")->state, JobState::kFailed);
+  EXPECT_NE(sched.status("e-cts")->error.find("rotary"), std::string::npos);
+  // Rotary eco work still runs afterwards.
   sched.submit(eco_spec("e-ok", kRetuneQ0));
   sched.wait_idle();
   EXPECT_EQ(sched.status("e-ok")->state, JobState::kDone)
